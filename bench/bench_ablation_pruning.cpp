@@ -1,0 +1,102 @@
+// Ablation: symbolic feasibility pruning (§4 step 1's "symbolic
+// evaluation").  Without it, the enumerator visits every *syntactic*
+// root-to-leaf walk — on the QDMA deparser that is 8 walks instead of the 4
+// real formats, and on monotone threshold chains the blowup is exponential:
+// d cascading `>=` guards have 2^d walks but only d+1 feasible paths.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/compiler.hpp"
+#include "nic/model.hpp"
+#include "p4/parser.hpp"
+
+namespace {
+
+using namespace opendesc;
+
+// d cascading thresholds over one log2(d+1)-bit context variable.
+std::string threshold_nic(std::size_t depth) {
+  std::size_t bits = 1;
+  while ((std::size_t{1} << bits) < depth + 1) {
+    ++bits;
+  }
+  std::string source = "struct ctx_t { bit<" + std::to_string(bits) +
+                       "> level; }\nheader m_t {\n";
+  for (std::size_t i = 0; i < depth; ++i) {
+    source += "  bit<32> f" + std::to_string(i) + ";\n";
+  }
+  source += "  @semantic(\"pkt_len\") bit<16> len;\n}\n";
+  source += "control ThresholdDeparser(cmpt_out o, in ctx_t ctx, in m_t m) {\n"
+            "    apply {\n        o.emit(m.len);\n";
+  for (std::size_t i = 0; i < depth; ++i) {
+    source += "        if (ctx.level >= " + std::to_string(i + 1) +
+              ") { o.emit(m.f" + std::to_string(i) + "); }\n";
+  }
+  source += "    }\n}\n";
+  return source;
+}
+
+std::pair<std::size_t, double> enumerate_with(const std::string& nic_source,
+                                              bool prune) {
+  const p4::Program program = p4::parse_program(nic_source);
+  const p4::TypeInfo types = p4::check_program(program);
+  const p4::ControlDecl& deparser = core::select_deparser(program, "");
+  softnic::SemanticRegistry registry;
+  const core::Cfg cfg = core::build_cfg(program, types, deparser, registry);
+  core::PathEnumOptions options;
+  options.consts = types.constants();
+  options.variable_bounds = core::context_bounds(program, types, deparser);
+  options.prune_infeasible = prune;
+  const auto start = std::chrono::steady_clock::now();
+  const auto paths = core::enumerate_paths(cfg, options);
+  const double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  return {paths.size(), us};
+}
+
+void print_table() {
+  std::printf("=== Ablation: feasibility pruning in path enumeration ===\n");
+  std::printf("%-22s %12s %12s %12s %12s\n", "deparser", "pruned", "us",
+              "unpruned", "us");
+  const nic::NicModel& qdma = nic::NicCatalog::by_name("qdma");
+  {
+    const auto [with_n, with_us] = enumerate_with(qdma.p4_source(), true);
+    const auto [without_n, without_us] = enumerate_with(qdma.p4_source(), false);
+    std::printf("%-22s %12zu %12.0f %12zu %12.0f\n", "qdma (real)", with_n,
+                with_us, without_n, without_us);
+  }
+  for (const std::size_t depth : {4u, 8u, 12u, 16u}) {
+    const std::string source = threshold_nic(depth);
+    const auto [with_n, with_us] = enumerate_with(source, true);
+    const auto [without_n, without_us] = enumerate_with(source, false);
+    std::printf("threshold d=%-10zu %12zu %12.0f %12zu %12.0f\n", depth,
+                with_n, with_us, without_n, without_us);
+  }
+  std::printf(
+      "\nShape check: pruning keeps the path set at the d+1 real formats; "
+      "without it the\nenumerator walks all 2^d syntactic combinations — the "
+      "symbolic evaluation of §4 is\nwhat makes \"enumerate a small finite "
+      "set\" true in the first place.\n\n");
+}
+
+void BM_Enumerate(benchmark::State& state, bool prune) {
+  const std::string source = threshold_nic(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerate_with(source, prune));
+  }
+}
+BENCHMARK_CAPTURE(BM_Enumerate, pruned, true)->Arg(8)->Arg(12);
+BENCHMARK_CAPTURE(BM_Enumerate, unpruned, false)->Arg(8)->Arg(12);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

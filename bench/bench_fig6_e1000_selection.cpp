@@ -1,0 +1,109 @@
+// Fig. 6 / §4 running example: e1000e completion-path selection.
+//
+// Regenerates the paper's walk-through: the e1000e deparser has two
+// completion paths (RSS hash | ip_id + checksum).  For every subset of
+// {rss, ip_checksum, vlan, timestamp} we print which path Eq. 1 selects,
+// what falls back to software, and the score — including the headline case
+// Req = {rss, csum} where the csum branch wins because software RSS is
+// cheaper than software checksum.  Also times the full compile pipeline.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "nic/model.hpp"
+
+namespace {
+
+using namespace opendesc;
+
+struct Feature {
+  const char* semantic;
+  const char* field;
+};
+
+constexpr Feature kFeatures[] = {
+    {"rss", "bit<32> f_rss"},
+    {"ip_checksum", "bit<16> f_csum"},
+    {"vlan", "bit<16> f_vlan"},
+    {"timestamp", "bit<64> f_ts"},
+};
+
+std::string intent_for_mask(unsigned mask) {
+  std::string intent = "header intent_t {\n";
+  for (unsigned i = 0; i < 4; ++i) {
+    if (mask & (1u << i)) {
+      intent += std::string("    @semantic(\"") + kFeatures[i].semantic +
+                "\") " + kFeatures[i].field + std::to_string(i) + ";\n";
+    }
+  }
+  intent += "}\n";
+  return intent;
+}
+
+std::string mask_name(unsigned mask) {
+  std::string name;
+  for (unsigned i = 0; i < 4; ++i) {
+    if (mask & (1u << i)) {
+      if (!name.empty()) name += "+";
+      name += kFeatures[i].semantic;
+    }
+  }
+  return name.empty() ? "(empty)" : name;
+}
+
+void print_selection_table() {
+  const nic::NicModel& nic = nic::NicCatalog::by_name("e1000e");
+  std::printf("=== Fig. 6: e1000e path selection per intent ===\n");
+  std::printf("%-34s %-10s %-10s %-34s %10s\n", "intent (Req)", "chosen",
+              "cmpt", "software fallbacks", "Eq.1 cost");
+  for (unsigned mask = 1; mask < 16; ++mask) {
+    softnic::SemanticRegistry registry;
+    softnic::CostTable costs(registry);
+    core::Compiler compiler(registry, costs);
+    const auto result =
+        compiler.compile(nic.p4_source(), intent_for_mask(mask), {});
+    const auto& chosen = result.chosen_path();
+    const bool is_rss_branch = chosen.provides(softnic::SemanticId::rss_hash);
+
+    std::string fallbacks;
+    for (const auto& shim : result.shims) {
+      if (!fallbacks.empty()) fallbacks += ",";
+      fallbacks += shim.semantic_name;
+    }
+    if (fallbacks.empty()) fallbacks = "(none)";
+    std::printf("%-34s %-10s %4zuB      %-34s %10.1f\n",
+                mask_name(mask).c_str(), is_rss_branch ? "rss-path" : "csum-path",
+                result.layout.total_bytes(), fallbacks.c_str(),
+                result.chosen_score().total());
+  }
+  std::printf(
+      "\nHeadline row: rss+ip_checksum selects the csum-path — recomputing "
+      "RSS in software\n(w=20ns over the 12-byte tuple) is cheaper than "
+      "recomputing the checksum (w=25ns),\nmatching the paper's §4 "
+      "discussion of Fig. 6.\n\n");
+}
+
+void BM_CompileE1000e(benchmark::State& state) {
+  const nic::NicModel& nic = nic::NicCatalog::by_name("e1000e");
+  const std::string intent = intent_for_mask(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    softnic::SemanticRegistry registry;
+    softnic::CostTable costs(registry);
+    core::Compiler compiler(registry, costs);
+    benchmark::DoNotOptimize(compiler.compile(nic.p4_source(), intent, {}));
+  }
+  state.SetLabel(mask_name(static_cast<unsigned>(state.range(0))));
+}
+BENCHMARK(BM_CompileE1000e)->Arg(1)->Arg(3)->Arg(15);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_selection_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Fig. B (§2 claim, TinyNF ~1.7×): host datapath throughput of the
+// generated minimal accessors vs the DPDK-style mbuf indirection, the
+// kernel-style full extraction, and the netmap-style all-software baseline.
+//
+// The paper's motivation cites TinyNF's 1.7× gain from replacing the DPDK
+// metadata machinery with a minimal driver; the shape to reproduce is
+// OpenDesc ≳ raw-with-offloads > mbuf > skbuff on a metadata-light intent.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/compiler.hpp"
+#include "nic/model.hpp"
+#include "runtime/rxloop.hpp"
+
+namespace {
+
+using namespace opendesc;
+using softnic::SemanticId;
+
+constexpr const char* kIntent = R"P4(
+header nf_intent_t {
+    @semantic("rss")        bit<32> hash;
+    @semantic("l4_csum_ok") bit<1>  ok;
+    @semantic("pkt_len")    bit<16> len;
+}
+)P4";
+
+const std::vector<SemanticId> kWanted = {
+    SemanticId::rss_hash, SemanticId::l4_csum_ok, SemanticId::pkt_len};
+
+struct Setup {
+  softnic::SemanticRegistry registry;
+  std::unique_ptr<softnic::CostTable> costs;
+  std::unique_ptr<softnic::ComputeEngine> engine;
+  core::CompileResult result;
+
+  explicit Setup(const std::string& nic_name) {
+    costs = std::make_unique<softnic::CostTable>(registry);
+    engine = std::make_unique<softnic::ComputeEngine>(registry);
+    core::Compiler compiler(registry, *costs);
+    result = compiler.compile(nic::NicCatalog::by_name(nic_name).p4_source(),
+                              kIntent, {});
+  }
+};
+
+std::unique_ptr<rt::RxStrategy> make_strategy(const std::string& kind,
+                                              const Setup& setup) {
+  if (kind == "skbuff") {
+    return std::make_unique<rt::SkbuffStrategy>(setup.result.layout,
+                                                *setup.engine);
+  }
+  if (kind == "mbuf") {
+    return std::make_unique<rt::MbufStrategy>(setup.result.layout, *setup.engine);
+  }
+  if (kind == "raw") {
+    return std::make_unique<rt::RawStrategy>(*setup.engine);
+  }
+  return std::make_unique<rt::OpenDescStrategy>(setup.result, *setup.engine);
+}
+
+double measure_ns_per_packet(const std::string& kind, const Setup& setup,
+                             std::size_t frame_size, std::size_t packets) {
+  sim::NicSimulator nic(setup.result.layout, *setup.engine, {});
+  net::WorkloadConfig config;
+  config.seed = 3;
+  config.min_frame = frame_size;
+  config.max_frame = frame_size;
+  net::WorkloadGenerator gen(config);
+  const auto strategy = make_strategy(kind, setup);
+  rt::RxLoopConfig loop;
+  loop.packet_count = packets;
+  return rt::run_rx_loop(nic, gen, *strategy, kWanted, loop).ns_per_packet();
+}
+
+void print_table() {
+  const Setup setup("mlx5");
+  std::printf("=== Fig. B: host datapath cost, intent {rss, l4_csum_ok, "
+              "pkt_len} on mlx5 ===\n");
+  std::printf("%-8s %12s %12s %12s %12s %14s\n", "frame", "skbuff", "mbuf",
+              "raw-sw", "opendesc", "mbuf/opendesc");
+  for (const std::size_t frame : {64u, 128u, 256u, 512u, 1024u, 1500u}) {
+    const double skbuff = measure_ns_per_packet("skbuff", setup, frame, 30000);
+    const double mbuf = measure_ns_per_packet("mbuf", setup, frame, 30000);
+    const double raw = measure_ns_per_packet("raw", setup, frame, 30000);
+    const double opendesc =
+        measure_ns_per_packet("opendesc", setup, frame, 30000);
+    std::printf("%5zuB %10.1fns %10.1fns %10.1fns %10.1fns %13.2fx\n", frame,
+                skbuff, mbuf, raw, opendesc, mbuf / opendesc);
+  }
+  std::printf(
+      "\nShape check: the generated intent-tailored datapath beats the "
+      "eager mbuf transform\n(TinyNF reported 1.7x from the same "
+      "simplification) and the raw baseline pays the\nfull software "
+      "checksum, growing with frame size.\n\n");
+}
+
+void BM_Strategy(benchmark::State& state, const std::string& kind) {
+  static Setup setup("mlx5");
+  sim::NicSimulator nic(setup.result.layout, *setup.engine, {});
+  net::WorkloadConfig config;
+  config.min_frame = 256;
+  config.max_frame = 256;
+  net::WorkloadGenerator gen(config);
+  const auto strategy = make_strategy(kind, setup);
+
+  // Pre-fill a batch and time only consumption.
+  std::vector<sim::RxEvent> events(64);
+  for (int i = 0; i < 64; ++i) {
+    nic.rx(gen.next());
+  }
+  const std::size_t n = nic.poll(events);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const rt::PacketContext pkt(events[i]);
+      sink ^= strategy->consume(pkt, kWanted);
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_Strategy, skbuff, "skbuff");
+BENCHMARK_CAPTURE(BM_Strategy, mbuf, "mbuf");
+BENCHMARK_CAPTURE(BM_Strategy, raw, "raw");
+BENCHMARK_CAPTURE(BM_Strategy, opendesc, "opendesc");
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

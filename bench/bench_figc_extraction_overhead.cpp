@@ -1,0 +1,172 @@
+// Fig. C (§2 claim, X-Change +70% throughput / −28% latency): cost of the
+// kernel-style extract-everything model vs the intent-tailored generated
+// datapath, as a function of how much metadata the application actually
+// needs.
+//
+// The mlx5 full CQE carries 12 metadata fields.  An sk_buff-style stack
+// extracts all of them (plus software defaults) on every packet; OpenDesc
+// reads exactly the requested subset.  The series to reproduce: skbuff cost
+// is flat and high; OpenDesc grows with the request size and stays below.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/compiler.hpp"
+#include "nic/model.hpp"
+#include "runtime/rxloop.hpp"
+
+namespace {
+
+using namespace opendesc;
+using softnic::SemanticId;
+
+// The 12 semantics of the mlx5 full CQE, in request order.
+struct FieldSpec {
+  SemanticId id;
+  const char* semantic;
+  const char* type;
+};
+constexpr FieldSpec kFields[] = {
+    {SemanticId::pkt_len, "pkt_len", "bit<16>"},
+    {SemanticId::rss_hash, "rss", "bit<32>"},
+    {SemanticId::vlan_tci, "vlan", "bit<16>"},
+    {SemanticId::l4_csum_ok, "l4_csum_ok", "bit<1>"},
+    {SemanticId::flow_id, "flow_id", "bit<32>"},
+    {SemanticId::packet_type, "packet_type", "bit<16>"},
+    {SemanticId::timestamp, "timestamp", "bit<64>"},
+    {SemanticId::ip_csum_ok, "ip_csum_ok", "bit<1>"},
+    {SemanticId::l4_checksum, "l4_checksum", "bit<16>"},
+    {SemanticId::rss_type, "rss_type", "bit<8>"},
+    {SemanticId::vlan_stripped, "vlan_stripped", "bit<1>"},
+    {SemanticId::lro_seg_count, "lro_seg_count", "bit<8>"},
+};
+
+std::string intent_with_fields(std::size_t k) {
+  std::string intent = "header i_t {\n";
+  for (std::size_t i = 0; i < k; ++i) {
+    intent += std::string("  @semantic(\"") + kFields[i].semantic + "\") " +
+              kFields[i].type + " f" + std::to_string(i) + ";\n";
+  }
+  intent += "}\n";
+  return intent;
+}
+
+struct Measurement {
+  double skbuff_ns;
+  double opendesc_ns;
+};
+
+Measurement measure(std::size_t k, std::size_t packets) {
+  // Hold the NIC format constant — the full 64B CQE (force it with the
+  // 12-field intent; lro_seg_count has no software fallback) — and vary
+  // only how much of it the host consumes, isolating the transform
+  // overhead X-Change measured.
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs(registry);
+  core::Compiler compiler(registry, costs);
+  const auto result =
+      compiler.compile(nic::NicCatalog::by_name("mlx5").p4_source(),
+                       intent_with_fields(12), {});
+  softnic::ComputeEngine engine(registry);
+
+  std::vector<SemanticId> wanted;
+  for (std::size_t i = 0; i < k; ++i) {
+    wanted.push_back(kFields[i].id);
+  }
+
+  net::WorkloadConfig config;
+  config.seed = 13;
+  config.vlan_probability = 0.3;
+  config.min_frame = 256;
+  config.max_frame = 256;
+  rt::RxLoopConfig loop;
+  loop.packet_count = packets;
+
+  Measurement m{};
+  {
+    sim::NicSimulator nic(result.layout, engine, {});
+    net::WorkloadGenerator gen(config);
+    rt::SkbuffStrategy strategy(result.layout, engine);
+    m.skbuff_ns = rt::run_rx_loop(nic, gen, strategy, wanted, loop).ns_per_packet();
+  }
+  {
+    sim::NicSimulator nic(result.layout, engine, {});
+    net::WorkloadGenerator gen(config);
+    rt::OpenDescStrategy strategy(result.layout, {}, engine);
+    m.opendesc_ns =
+        rt::run_rx_loop(nic, gen, strategy, wanted, loop).ns_per_packet();
+  }
+  return m;
+}
+
+void print_table() {
+  std::printf("=== Fig. C: extraction overhead vs requested field count "
+              "(mlx5 full CQE) ===\n");
+  std::printf("%-8s %14s %14s %12s %12s\n", "fields", "skbuff ns/pkt",
+              "opendesc ns/pkt", "speedup", "tput gain");
+  for (std::size_t k = 1; k <= 12; ++k) {
+    const Measurement m = measure(k, 30000);
+    std::printf("%6zu %13.1f %14.1f %11.2fx %+11.0f%%\n", k, m.skbuff_ns,
+                m.opendesc_ns, m.skbuff_ns / m.opendesc_ns,
+                (m.skbuff_ns / m.opendesc_ns - 1.0) * 100.0);
+  }
+  std::printf(
+      "\nShape check: the always-extract-everything stack pays a flat, high "
+      "cost; the generated\ndatapath pays only for what the intent names.  "
+      "X-Change reported +70%% throughput from\neliminating the same "
+      "transform overhead; the gain here is largest for small intents and\n"
+      "narrows as the application asks for everything.\n\n");
+}
+
+void BM_Extraction(benchmark::State& state, const std::string& kind) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs(registry);
+  core::Compiler compiler(registry, costs);
+  const auto result =
+      compiler.compile(nic::NicCatalog::by_name("mlx5").p4_source(),
+                       intent_with_fields(k), {});
+  softnic::ComputeEngine engine(registry);
+  sim::NicSimulator nic(result.layout, engine, {});
+  net::WorkloadConfig config;
+  config.min_frame = 256;
+  config.max_frame = 256;
+  net::WorkloadGenerator gen(config);
+  std::vector<SemanticId> wanted;
+  for (std::size_t i = 0; i < k; ++i) {
+    wanted.push_back(kFields[i].id);
+  }
+  std::unique_ptr<rt::RxStrategy> strategy;
+  if (kind == "skbuff") {
+    strategy = std::make_unique<rt::SkbuffStrategy>(result.layout, engine);
+  } else {
+    strategy = std::make_unique<rt::OpenDescStrategy>(result, engine);
+  }
+  std::vector<sim::RxEvent> events(64);
+  for (int i = 0; i < 64; ++i) {
+    nic.rx(gen.next());
+  }
+  const std::size_t n = nic.poll(events);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const rt::PacketContext pkt(events[i]);
+      sink ^= strategy->consume(pkt, wanted);
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_Extraction, skbuff, "skbuff")->Arg(1)->Arg(6)->Arg(12);
+BENCHMARK_CAPTURE(BM_Extraction, opendesc, "opendesc")->Arg(1)->Arg(6)->Arg(12);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

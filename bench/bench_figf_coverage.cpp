@@ -1,0 +1,148 @@
+// Fig. F (§2): metadata coverage.  "The BPF accessors only cover 3 of the
+// 12 metadata information available in NVIDIA Mellanox ConnectX
+// descriptors."
+//
+// We model today's hand-written XDP accessor set (rx hash, rx timestamp,
+// vlan tag — the three kfuncs in the kernel at the time of writing) and
+// compare against OpenDesc-generated accessors, which cover every field the
+// chosen completion path provides — for any intent, on any catalog NIC.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "nic/model.hpp"
+
+namespace {
+
+using namespace opendesc;
+using softnic::SemanticId;
+
+// The three hand-maintained XDP metadata kfuncs (bpf_xdp_metadata_rx_hash,
+// _rx_timestamp, _rx_vlan_tag).
+constexpr SemanticId kXdpKfuncs[] = {
+    SemanticId::rss_hash, SemanticId::timestamp, SemanticId::vlan_tci};
+
+bool xdp_covers(SemanticId id) {
+  for (const SemanticId k : kXdpKfuncs) {
+    if (k == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Same intent without the NIC-state-only semantic, for fixed NICs that
+// cannot provide lro_seg_count at all (it has no software fallback, so the
+// full intent is rejected as unsatisfiable there — itself a §4 behaviour).
+constexpr const char* kPortableIntent = R"(header i_t {
+    @semantic("pkt_len")       bit<16> f0;
+    @semantic("rss")           bit<32> f1;
+    @semantic("rss_type")      bit<8>  f2;
+    @semantic("vlan")          bit<16> f3;
+    @semantic("vlan_stripped") bit<1>  f4;
+    @semantic("ip_csum_ok")    bit<1>  f5;
+    @semantic("l4_csum_ok")    bit<1>  f6;
+    @semantic("l4_checksum")   bit<16> f7;
+    @semantic("timestamp")     bit<64> f8;
+    @semantic("flow_id")       bit<32> f9;
+    @semantic("packet_type")   bit<16> f10;
+})";
+
+// Intent that asks for every semantic the mlx5 full CQE can carry.
+constexpr const char* kFullIntent = R"(header i_t {
+    @semantic("pkt_len")       bit<16> f0;
+    @semantic("rss")           bit<32> f1;
+    @semantic("rss_type")      bit<8>  f2;
+    @semantic("vlan")          bit<16> f3;
+    @semantic("vlan_stripped") bit<1>  f4;
+    @semantic("ip_csum_ok")    bit<1>  f5;
+    @semantic("l4_csum_ok")    bit<1>  f6;
+    @semantic("l4_checksum")   bit<16> f7;
+    @semantic("timestamp")     bit<64> f8;
+    @semantic("flow_id")       bit<32> f9;
+    @semantic("packet_type")   bit<16> f10;
+    @semantic("lro_seg_count") bit<8>  f11;
+})";
+
+void print_table() {
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs(registry);
+  core::Compiler compiler(registry, costs);
+  const auto result = compiler.compile(
+      nic::NicCatalog::by_name("mlx5").p4_source(), kFullIntent, {});
+
+  std::printf("=== Fig. F: per-field accessibility, mlx5 full CQE ===\n");
+  std::printf("%-16s %14s %18s\n", "semantic", "XDP kfuncs", "OpenDesc");
+  std::size_t xdp_count = 0, odx_count = 0, total = 0;
+  for (const core::IntentField& field : result.intent.fields) {
+    const bool provided = result.chosen_path().provides(field.semantic);
+    const bool xdp = xdp_covers(field.semantic) && provided;
+    const bool odx = provided;
+    ++total;
+    xdp_count += xdp;
+    odx_count += odx;
+    std::printf("%-16s %14s %18s\n", registry.name(field.semantic).c_str(),
+                xdp ? "accessor" : "-",
+                odx ? "generated accessor" : "softnic shim");
+  }
+  std::printf("%-16s %11zu/12 %15zu/12\n", "coverage", xdp_count, odx_count);
+
+  std::printf("\nAcross the catalog (same 12-field intent):\n");
+  std::printf("%-9s %10s %12s %14s\n", "nic", "provided", "xdp-covered",
+              "odx-covered");
+  for (const nic::NicModel& model : nic::NicCatalog::all()) {
+    softnic::SemanticRegistry reg2;
+    softnic::CostTable costs2(reg2);
+    core::Compiler compiler2(reg2, costs2);
+    core::CompileResult r;
+    try {
+      r = compiler2.compile(model.p4_source(), kFullIntent, {});
+    } catch (const Error&) {
+      // lro_seg_count unsatisfiable on this NIC: drop it and recompile.
+      r = compiler2.compile(model.p4_source(), kPortableIntent, {});
+    }
+    std::size_t provided = 0, xdp = 0;
+    for (const core::IntentField& field : r.intent.fields) {
+      if (r.chosen_path().provides(field.semantic)) {
+        ++provided;
+        if (xdp_covers(field.semantic)) {
+          ++xdp;
+        }
+      }
+    }
+    std::printf("%-9s %8zu/12 %10zu/12 %12zu/12\n", model.name().c_str(),
+                provided, xdp, provided);
+  }
+  std::printf(
+      "\nShape check: static kernel accessors cap coverage at 3 fields "
+      "regardless of what the\nNIC exposes; generated accessors track the "
+      "chosen path exactly (the paper's core claim).\n\n");
+}
+
+// Cost of an accessor read vs a fallback compute, the price of a coverage
+// gap.
+void BM_AccessorRead(benchmark::State& state) {
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs(registry);
+  core::Compiler compiler(registry, costs);
+  const auto result = compiler.compile(
+      nic::NicCatalog::by_name("mlx5").p4_source(), kFullIntent, {});
+  std::vector<std::uint8_t> record(result.layout.total_bytes(), 0x5A);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink ^= result.layout.read(record, SemanticId::flow_id);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_AccessorRead);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,150 @@
+// The title story, runnable: "from static NIC descriptors to EVOLVABLE
+// metadata interfaces".
+//
+// A NIC vendor ships three firmware generations of the same device.  The
+// application's intent never changes; at each generation it simply
+// recompiles the same intent against the new interface description.  Watch
+// the hardware/software split, the completion size, and the per-packet cost
+// evolve while the application code — and the values it observes — stay
+// identical.
+//
+// Run:  ./firmware_evolution [packets]
+#include <iostream>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "net/workload.hpp"
+#include "runtime/rxloop.hpp"
+#include "sim/nicsim.hpp"
+
+namespace {
+
+// Generation 1: a dumb device — length only.
+constexpr const char* kGen1 = R"P4(
+struct fw_ctx_t { bit<1> unused; }
+header fw_meta_t {
+    @semantic("pkt_len") bit<16> len;
+    @fixed(1) bit<8> dd;
+    bit<8> rsvd;
+}
+@nic("acmenic")
+control AcmeDeparser(cmpt_out o, in fw_ctx_t ctx, in fw_meta_t m) {
+    apply { o.emit(m); }
+}
+)P4";
+
+// Generation 2: checksum verification added.
+constexpr const char* kGen2 = R"P4(
+struct fw_ctx_t { bit<1> unused; }
+header fw_meta_t {
+    @semantic("pkt_len")    bit<16> len;
+    @semantic("l4_csum_ok") bit<1>  ok;
+    bit<7> flags_rsvd;
+    @fixed(1) bit<8> dd;
+}
+@nic("acmenic")
+control AcmeDeparser(cmpt_out o, in fw_ctx_t ctx, in fw_meta_t m) {
+    apply { o.emit(m); }
+}
+)P4";
+
+// Generation 3: an RSS engine with a selectable rich format.
+constexpr const char* kGen3 = R"P4(
+struct fw_ctx_t { bit<1> rss_en; }
+header fw_meta_t {
+    @semantic("pkt_len")    bit<16> len;
+    @semantic("l4_csum_ok") bit<1>  ok;
+    bit<7> flags_rsvd;
+    @fixed(1) bit<8> dd;
+    @semantic("rss")        bit<32> hash;
+}
+@nic("acmenic")
+control AcmeDeparser(cmpt_out o, in fw_ctx_t ctx, in fw_meta_t m) {
+    apply {
+        o.emit(m.len);
+        o.emit(m.ok);
+        o.emit(m.flags_rsvd);
+        o.emit(m.dd);
+        if (ctx.rss_en == 1) {
+            o.emit(m.hash);
+        }
+    }
+}
+)P4";
+
+// The application — fixed for all generations.
+constexpr const char* kIntent = R"P4(
+header app_t {
+    @semantic("pkt_len")    bit<16> len;
+    @semantic("l4_csum_ok") bit<1>  ok;
+    @semantic("rss")        bit<32> hash;
+}
+)P4";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace opendesc;
+  using softnic::SemanticId;
+
+  const std::size_t packet_count =
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 20000;
+  const std::vector<SemanticId> wanted = {
+      SemanticId::pkt_len, SemanticId::l4_csum_ok, SemanticId::rss_hash};
+
+  std::cout << "One application intent, three firmware generations:\n"
+            << kIntent << "\n";
+  std::printf("%-6s %6s %-28s %10s %12s %18s\n", "fw", "cmpt",
+              "software fallbacks", "ns/pkt", "fallbacks", "value checksum");
+
+  const struct {
+    const char* name;
+    const char* source;
+  } generations[] = {{"gen1", kGen1}, {"gen2", kGen2}, {"gen3", kGen3}};
+
+  for (const auto& gen : generations) {
+    try {
+      softnic::SemanticRegistry registry;
+      softnic::CostTable costs(registry);
+      core::Compiler compiler(registry, costs);
+      const core::CompileResult result =
+          compiler.compile(gen.source, kIntent, {});
+      softnic::ComputeEngine engine(registry);
+      sim::NicSimulator nic(result.layout, engine, {});
+      rt::OpenDescStrategy strategy(result, engine);
+
+      net::WorkloadConfig config;
+      config.seed = 77;  // the same trace for every generation
+      config.bad_l4_csum_fraction = 0.1;
+      net::WorkloadGenerator workload(config);
+
+      rt::RxLoopConfig loop;
+      loop.packet_count = packet_count;
+      const rt::RxLoopStats stats =
+          rt::run_rx_loop(nic, workload, strategy, wanted, loop);
+
+      std::string shims;
+      for (const auto& shim : result.shims) {
+        if (!shims.empty()) shims += ",";
+        shims += shim.semantic_name;
+      }
+      if (shims.empty()) shims = "(none)";
+      std::printf("%-6s %5zuB %-28s %10.1f %12llu %18llx\n", gen.name,
+                  result.layout.total_bytes(), shims.c_str(),
+                  stats.ns_per_packet(),
+                  static_cast<unsigned long long>(
+                      strategy.facade().fallback_calls()),
+                  static_cast<unsigned long long>(stats.value_checksum));
+    } catch (const Error& e) {
+      std::printf("%-6s failed: %s\n", gen.name, e.what());
+    }
+  }
+
+  std::cout << "\nThe value checksum is identical in every row: the "
+               "application observes the same\nmetadata regardless of where "
+               "it was computed.  Each firmware generation moves work\nfrom "
+               "the software column into the completion record — no driver "
+               "or application\nchanges, only a recompile of the same "
+               "intent.  That is the evolvability argument.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fig. 1 scenario: a key-value store wants the NIC to extract the request
+// key (FlexNIC-style offload).  On a programmable NIC (qdma) the kv_key_hash
+// semantic comes straight from the completion record; on fixed-function NICs
+// the compiler falls back to a SoftNIC shim that parses the payload on the
+// host.  This example runs the same application against both and reports
+// where each semantic was served and at what cost.
+//
+// Run:  ./kvstore_offload [packet-count]
+#include <array>
+#include <iostream>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "nic/model.hpp"
+#include "runtime/rxloop.hpp"
+
+namespace {
+
+constexpr const char* kKvIntent = R"P4(
+// A KV server's per-packet needs: steer by hash, validate checksum, and —
+// the application-specific part — the hash of the request key, so requests
+// can be dispatched to the right shard without touching the payload.
+header kv_intent_t {
+    @semantic("rss")         bit<32> steer_hash;
+    @semantic("l4_csum_ok")  bit<1>  csum_ok;
+    @semantic("kv_key_hash") bit<32> key_hash;
+    @semantic("pkt_len")     bit<16> len;
+}
+)P4";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace opendesc;
+  using softnic::SemanticId;
+
+  const std::size_t packet_count =
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 20000;
+
+  const std::array<SemanticId, 4> wanted = {
+      SemanticId::rss_hash, SemanticId::l4_csum_ok, SemanticId::kv_key_hash,
+      SemanticId::pkt_len};
+
+  std::cout << "KV-store offload (Fig. 1 scenario), " << packet_count
+            << " requests per NIC\n\n";
+  std::printf("%-10s %-6s %-10s %-28s %10s %12s\n", "nic", "cmpt", "kv-key",
+              "software fallbacks", "ns/pkt", "fallbacks");
+
+  for (const char* nic_name : {"dumbnic", "e1000e", "mlx5", "qdma"}) {
+    try {
+      const nic::NicModel& nic_model = nic::NicCatalog::by_name(nic_name);
+      softnic::SemanticRegistry registry;
+      softnic::CostTable costs(registry);
+      core::Compiler compiler(registry, costs);
+      const core::CompileResult result =
+          compiler.compile(nic_model.p4_source(), kKvIntent, {});
+
+      softnic::ComputeEngine engine(registry);
+      sim::NicSimulator nic(result.layout, engine, {});
+      rt::OpenDescStrategy strategy(result, engine);
+
+      net::WorkloadConfig config;
+      config.seed = 11;
+      config.kv_requests = true;
+      config.min_frame = 80;
+      config.max_frame = 256;
+      net::WorkloadGenerator gen(config);
+
+      rt::RxLoopConfig loop;
+      loop.packet_count = packet_count;
+      const rt::RxLoopStats stats =
+          rt::run_rx_loop(nic, gen, strategy, wanted, loop);
+
+      std::string shims;
+      for (const core::SoftNicShim& shim : result.shims) {
+        if (!shims.empty()) shims += ",";
+        shims += shim.semantic_name;
+      }
+      if (shims.empty()) shims = "(none)";
+
+      std::printf("%-10s %4zuB %-10s %-28s %10.1f %12llu\n", nic_name,
+                  result.layout.total_bytes(),
+                  result.layout.find(SemanticId::kv_key_hash) ? "hardware"
+                                                              : "software",
+                  shims.c_str(), stats.ns_per_packet(),
+                  static_cast<unsigned long long>(
+                      strategy.facade().fallback_calls()));
+    } catch (const Error& e) {
+      std::printf("%-10s compilation failed: %s\n", nic_name, e.what());
+    }
+  }
+
+  std::cout << "\nReading: the programmable NIC (qdma) serves the key hash "
+               "from the completion record;\nfixed NICs pay the SoftNIC "
+               "payload-parse on the host, visible in ns/pkt and the "
+               "fallback counter.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Portability walk-through: ONE application intent compiled against EVERY
+// NIC in the catalog — the paper's Fig. 1 flow.  Prints, per NIC, the chosen
+// completion layout, which requested semantics are hardware-provided vs
+// software fallbacks, the context programming that steers the NIC onto the
+// chosen path, and the Eq. 1 score of every candidate path.
+//
+// Run:  ./multi_nic_portability [--verbose]
+#include <cstring>
+#include <iostream>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "nic/model.hpp"
+
+namespace {
+
+// The paper's running application: "an application that wants to receive
+// the checksum of a packet, the decapsulated vlan TCI, the RSS hash and the
+// result of a specific feature, for instance the key of a key-value-store
+// request" (§2, Fig. 1).
+constexpr const char* kFig1Intent = R"P4(
+header app_intent_t {
+    @semantic("ip_checksum") bit<16> csum;
+    @semantic("vlan")        bit<16> vlan_tci;
+    @semantic("rss")         bit<32> rss_hash;
+    @semantic("kv_key_hash") bit<32> kv_key;
+}
+)P4";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace opendesc;
+  const bool verbose = argc > 1 && std::strcmp(argv[1], "--verbose") == 0;
+
+  std::cout << "One intent, every NIC (paper Fig. 1):\n" << kFig1Intent << "\n";
+  std::printf("%-10s %-24s %6s %6s  %-30s %-22s\n", "nic", "class", "paths",
+              "cmpt", "hardware-provided", "software-fallback");
+
+  for (const nic::NicModel& model : nic::NicCatalog::all()) {
+    softnic::SemanticRegistry registry;
+    softnic::CostTable costs(registry);
+    core::Compiler compiler(registry, costs);
+    try {
+      const core::CompileResult result =
+          compiler.compile(model.p4_source(), kFig1Intent, {});
+
+      std::string hw, sw;
+      for (const core::IntentField& field : result.intent.fields) {
+        const bool provided = result.chosen_path().provides(field.semantic);
+        std::string& bucket = provided ? hw : sw;
+        if (!bucket.empty()) bucket += ",";
+        bucket += registry.name(field.semantic);
+      }
+      if (hw.empty()) hw = "(none)";
+      if (sw.empty()) sw = "(none)";
+
+      std::printf("%-10s %-24s %6zu %5zuB  %-30s %-22s\n", model.name().c_str(),
+                  to_string(model.nic_class()).c_str(), result.paths.size(),
+                  result.layout.total_bytes(), hw.c_str(), sw.c_str());
+
+      if (verbose) {
+        std::cout << "\n" << result.report << "\n";
+      }
+    } catch (const Error& e) {
+      std::printf("%-10s %-24s  unsatisfiable: %s\n", model.name().c_str(),
+                  to_string(model.nic_class()).c_str(), e.what());
+    }
+  }
+
+  std::cout << "\nThe application code is identical in every row; only the\n"
+               "generated accessors and fallback shims differ — the\n"
+               "\"semantic alignment\" the paper argues for in §3.\n";
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Multi-queue intents (§3): "applications might use multiple OpenDesc
+// instances with different intents to obtain different queues tailored for
+// different kinds of traffic."
+//
+// A monitoring application splits traffic over two queues of the same
+// programmable NIC:
+//   * a FAST queue for bulk data — minimal 8B completions (length only),
+//     maximizing packet rate;
+//   * a TELEMETRY queue for sampled traffic — 32B completions with
+//     timestamps and checksum status for measurement.
+// Each queue gets its own compiled contract; the DMA accounting shows the
+// footprint the split saves versus running everything on the rich layout.
+//
+// Run:  ./multi_queue [packets]
+#include <iostream>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "net/workload.hpp"
+#include "nic/model.hpp"
+#include "runtime/facade.hpp"
+#include "sim/nicsim.hpp"
+
+namespace {
+
+constexpr const char* kFastIntent = R"P4(
+header fast_q_t {
+    @semantic("pkt_len") bit<16> len;
+}
+)P4";
+
+constexpr const char* kTelemetryIntent = R"P4(
+header telemetry_q_t {
+    @semantic("pkt_len")     bit<16> len;
+    @semantic("timestamp")   bit<64> ts;
+    @semantic("l4_csum_ok")  bit<1>  ok;
+    @semantic("kv_key_hash") bit<32> key;
+}
+)P4";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace opendesc;
+  using softnic::SemanticId;
+
+  const std::size_t packet_count =
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 50000;
+
+  try {
+    const nic::NicModel& model = nic::NicCatalog::by_name("qdma");
+    softnic::SemanticRegistry registry;
+    softnic::CostTable costs(registry);
+    core::Compiler compiler(registry, costs);
+
+    // One compiler, two intents, two per-queue contracts.
+    core::CompileOptions fast_opts, telem_opts;
+    // The telemetry queue must carry the hardware timestamp: make the
+    // software clock substitute unattractive.
+    const auto fast = compiler.compile(model.p4_source(), kFastIntent, fast_opts);
+    telem_opts.dma_weight_per_byte = 0.1;  // telemetry tolerates footprint
+    const auto telemetry =
+        compiler.compile(model.p4_source(), kTelemetryIntent, telem_opts);
+
+    std::cout << "fast queue:      " << fast.layout.total_bytes()
+              << "B completions, ctx {";
+    for (const auto& [k, v] : fast.context_assignment) {
+      std::cout << k << "=" << v << " ";
+    }
+    std::cout << "}\ntelemetry queue: " << telemetry.layout.total_bytes()
+              << "B completions, ctx {";
+    for (const auto& [k, v] : telemetry.context_assignment) {
+      std::cout << k << "=" << v << " ";
+    }
+    std::cout << "}\n\n";
+
+    softnic::ComputeEngine engine(registry);
+    sim::SimConfig fast_cfg, telem_cfg;
+    fast_cfg.queue_id = 0;
+    telem_cfg.queue_id = 1;
+    sim::NicSimulator fast_q(fast.layout, engine, {}, fast_cfg);
+    sim::NicSimulator telem_q(telemetry.layout, engine, {}, telem_cfg);
+    rt::MetadataFacade fast_facade(fast, engine);
+    rt::MetadataFacade telem_facade(telemetry, engine);
+
+    // Classifier: 1-in-16 sampling to the telemetry queue (flow-stable via
+    // the workload's flow index would be the realistic policy; sampling
+    // keeps the example small).
+    net::WorkloadConfig config;
+    config.seed = 9;
+    config.kv_requests = true;
+    config.min_frame = 80;
+    net::WorkloadGenerator gen(config);
+
+    std::uint64_t fast_pkts = 0, telem_pkts = 0, bad_csum = 0;
+    std::vector<sim::RxEvent> events(64);
+    for (std::size_t i = 0; i < packet_count; ++i) {
+      const net::Packet pkt = gen.next();
+      const bool sample = (i % 16) == 0;
+      sim::NicSimulator& queue = sample ? telem_q : fast_q;
+      if (!queue.rx(pkt)) {
+        continue;  // ring full: drop (counted by the sim)
+      }
+      const std::size_t n = queue.poll(events);
+      for (std::size_t e = 0; e < n; ++e) {
+        const rt::PacketContext ctx(events[e]);
+        if (sample) {
+          ++telem_pkts;
+          if (telem_facade.get(ctx, SemanticId::l4_csum_ok) == 0) {
+            ++bad_csum;
+          }
+        } else {
+          ++fast_pkts;
+          (void)fast_facade.get(ctx, SemanticId::pkt_len);
+        }
+      }
+      queue.advance(n);
+    }
+
+    const auto& fd = fast_q.dma();
+    const auto& td = telem_q.dma();
+    std::printf("%-12s %10s %14s %16s\n", "queue", "packets", "cmpt bytes",
+                "bytes/packet");
+    std::printf("%-12s %10llu %14llu %16.1f\n", "fast",
+                static_cast<unsigned long long>(fast_pkts),
+                static_cast<unsigned long long>(fd.completion_bytes),
+                static_cast<double>(fd.completion_bytes) / fast_pkts);
+    std::printf("%-12s %10llu %14llu %16.1f\n", "telemetry",
+                static_cast<unsigned long long>(telem_pkts),
+                static_cast<unsigned long long>(td.completion_bytes),
+                static_cast<double>(td.completion_bytes) / telem_pkts);
+
+    const std::uint64_t split_bytes = fd.completion_bytes + td.completion_bytes;
+    const std::uint64_t mono_bytes =
+        (fast_pkts + telem_pkts) * telemetry.layout.total_bytes();
+    std::printf("\ncompletion DMA: %llu bytes split vs %llu monolithic "
+                "(%.0f%% saved); %llu bad checksums sampled\n",
+                static_cast<unsigned long long>(split_bytes),
+                static_cast<unsigned long long>(mono_bytes),
+                (1.0 - static_cast<double>(split_bytes) /
+                           static_cast<double>(mono_bytes)) *
+                    100.0,
+                static_cast<unsigned long long>(bad_csum));
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "opendesc: " << e.what() << "\n";
+    return 1;
+  }
+}

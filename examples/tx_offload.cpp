@@ -1,0 +1,146 @@
+// TX-side walk-through: the host declares a *transmit* intent (checksum
+// insertion, VLAN tagging, TCP segmentation), OpenDesc selects a descriptor
+// format the NIC's DescParser accepts, and the simulated NIC executes the
+// offloads.  Where a format cannot express a request, the shim list tells
+// the host what to do in software before posting — here we actually do it,
+// so the wire output is identical either way.
+//
+// Run:  ./tx_offload
+#include <iostream>
+#include <map>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "net/checksum.hpp"
+#include "net/offload.hpp"
+#include "nic/model.hpp"
+#include "sim/nicsim.hpp"
+
+namespace {
+
+constexpr const char* kTxIntent = R"P4(
+// "Post frames by address+length; insert the L4 checksum; segment big TCP
+// frames at my MSS; tag with my VLAN."
+header tx_intent_t {
+    @semantic("tx_buf_addr")    bit<64> addr;
+    @semantic("tx_buf_len")     bit<16> len;
+    @semantic("tx_csum_en")     bit<1>  csum;
+    @semantic("tx_tso_en")      bit<1>  tso;
+    @semantic("tx_tso_mss")     bit<16> mss;
+    @semantic("tx_vlan_insert") bit<16> vlan;
+}
+)P4";
+
+}  // namespace
+
+int main() {
+  using namespace opendesc;
+  using softnic::SemanticId;
+
+  std::cout << "TX intent:\n" << kTxIntent << "\n";
+  std::printf("%-8s %-8s %-40s %12s\n", "nic", "desc", "software pre-work",
+              "wire frames");
+
+  // A large TCP frame with a broken checksum: the contract must deliver
+  // valid segmented frames regardless of which side does the work.
+  const net::Packet pkt = net::PacketBuilder()
+                              .eth(net::make_mac(2, 0, 0, 0, 0, 1),
+                                   net::make_mac(2, 0, 0, 0, 0, 2))
+                              .ipv4(net::ipv4_from_string("10.0.0.1"),
+                                    net::ipv4_from_string("10.0.0.2"))
+                              .tcp(40000, 443)
+                              .payload_text(std::string(2800, 'z'))
+                              .corrupt_l4_checksum()
+                              .build();
+  constexpr std::uint16_t kMss = 1000;
+
+  for (const char* nic_name : {"e1000", "ixgbe", "qdma"}) {
+    try {
+      const nic::NicModel& model = nic::NicCatalog::by_name(nic_name);
+      softnic::SemanticRegistry registry;
+      softnic::CostTable costs(registry);
+      core::Compiler compiler(registry, costs);
+      const core::CompileResult tx =
+          compiler.compile_tx(model.p4_source(), kTxIntent, {});
+
+      softnic::ComputeEngine engine(registry);
+      // RX side unused here; reuse the TX layout as a placeholder.
+      sim::NicSimulator nic(tx.layout, engine, {});
+      nic.configure_tx(tx.layout);
+
+      // Software pre-work for every shimmed offload, using the same
+      // reference implementations the NIC would.
+      const auto shimmed = [&](SemanticId id) {
+        for (const auto& s : tx.shims) {
+          if (s.semantic == id) return true;
+        }
+        return false;
+      };
+
+      std::vector<std::vector<std::uint8_t>> host_frames;
+      std::vector<std::uint8_t> frame(pkt.data);
+      if (shimmed(SemanticId::tx_vlan_insert)) {
+        frame = net::insert_vlan(frame, 42);
+      }
+      if (shimmed(SemanticId::tx_tso_en)) {
+        host_frames = net::tso_segment(frame, kMss);
+      } else {
+        host_frames.push_back(std::move(frame));
+      }
+      const bool sw_csum = shimmed(SemanticId::tx_csum_en);
+
+      // Post each host-side frame with the hardware-side requests set.
+      for (auto& f : host_frames) {
+        if (sw_csum) {
+          net::patch_l4_checksum(f);
+        }
+        std::vector<std::uint64_t> values(tx.layout.slices().size(), 0);
+        for (std::size_t i = 0; i < tx.layout.slices().size(); ++i) {
+          const auto& slice = tx.layout.slices()[i];
+          if (!slice.semantic) continue;
+          switch (*slice.semantic) {
+            case SemanticId::tx_buf_len: values[i] = f.size(); break;
+            case SemanticId::tx_eop: values[i] = 1; break;
+            case SemanticId::tx_csum_en: values[i] = 1; break;
+            case SemanticId::tx_tso_en: values[i] = 1; break;
+            case SemanticId::tx_tso_mss: values[i] = kMss; break;
+            case SemanticId::tx_vlan_insert: values[i] = 42; break;
+            default: break;
+          }
+        }
+        std::vector<std::uint8_t> desc(tx.layout.total_bytes());
+        tx.layout.serialize(desc, values);
+        nic.tx_post(desc, f);
+      }
+
+      // Validate every wire frame: tagged, MSS-bounded, valid checksums.
+      std::size_t valid = 0;
+      for (const auto& wire : nic.transmitted()) {
+        const net::PacketView view = net::PacketView::parse(wire);
+        const bool tagged = view.has_vlan() && view.vlan().vid() == 42;
+        const bool sized = view.payload().size() <= kMss;
+        const bool csum_ok =
+            net::l4_checksum_ipv4(view.ipv4().src, view.ipv4().dst,
+                                  net::kIpProtoTcp, view.l4_bytes()) == 0;
+        valid += tagged && sized && csum_ok;
+      }
+
+      std::string shims;
+      for (const auto& s : tx.shims) {
+        if (!shims.empty()) shims += ",";
+        shims += s.semantic_name;
+      }
+      if (shims.empty()) shims = "(none — all in hardware)";
+      std::printf("%-8s %5zuB  %-40s %4zu (%zu valid)\n", nic_name,
+                  tx.layout.total_bytes(), shims.c_str(),
+                  nic.transmitted().size(), valid);
+    } catch (const Error& e) {
+      std::printf("%-8s failed: %s\n", nic_name, e.what());
+    }
+  }
+
+  std::cout << "\nEvery row transmits identical, correct wire traffic; the\n"
+               "descriptor format and the hardware/software split differ —\n"
+               "that is the negotiated part of the contract.\n";
+  return 0;
+}

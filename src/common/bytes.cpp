@@ -1,0 +1,176 @@
+#include "common/bytes.hpp"
+
+#include <stdexcept>
+
+namespace opendesc {
+
+std::string to_string(Endian e) {
+  return e == Endian::little ? "little" : "big";
+}
+
+std::uint16_t load_le16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+  return std::uint64_t{load_le32(p)} | (std::uint64_t{load_le32(p + 4)} << 32);
+}
+
+std::uint16_t load_be16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((std::uint16_t{p[0]} << 8) | p[1]);
+}
+
+std::uint32_t load_be32(const std::uint8_t* p) noexcept {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+std::uint64_t load_be64(const std::uint8_t* p) noexcept {
+  return (std::uint64_t{load_be32(p)} << 32) | std::uint64_t{load_be32(p + 4)};
+}
+
+void store_le16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  store_le16(p, static_cast<std::uint16_t>(v));
+  store_le16(p + 2, static_cast<std::uint16_t>(v >> 16));
+}
+
+void store_le64(std::uint8_t* p, std::uint64_t v) noexcept {
+  store_le32(p, static_cast<std::uint32_t>(v));
+  store_le32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+void store_be16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  store_be16(p, static_cast<std::uint16_t>(v >> 16));
+  store_be16(p + 2, static_cast<std::uint16_t>(v));
+}
+
+void store_be64(std::uint8_t* p, std::uint64_t v) noexcept {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+namespace {
+
+// Validates slice geometry shared by the checked read/write paths.
+// A slice must start within the first byte (bit_offset < 8) and the loaded
+// window (bit_offset + bit_width bits) must fit in a 64-bit accumulator;
+// 64-bit fields therefore have to be byte-aligned.
+void check_slice(std::size_t buf_size, std::size_t byte_offset,
+                 std::size_t bit_offset, std::size_t bit_width) {
+  if (bit_offset >= 8) {
+    throw std::invalid_argument("bit_offset must be < 8 (normalize into byte_offset)");
+  }
+  if (bit_width == 0 || bit_width > 64) {
+    throw std::invalid_argument("bit_width must be in [1, 64]");
+  }
+  if (bit_offset + bit_width > 64) {
+    throw std::invalid_argument("bit slice window exceeds 64 bits; 64-bit fields must be byte-aligned");
+  }
+  const std::size_t span_bytes = bits_to_bytes(bit_offset + bit_width);
+  if (byte_offset > buf_size || span_bytes > buf_size - byte_offset) {
+    throw std::out_of_range("bit slice out of buffer bounds");
+  }
+}
+
+}  // namespace
+
+std::uint64_t read_bits_unchecked(const std::uint8_t* buf,
+                                  std::size_t byte_offset,
+                                  std::size_t bit_offset,
+                                  std::size_t bit_width,
+                                  Endian endian) noexcept {
+  const std::size_t span_bytes = bits_to_bytes(bit_offset + bit_width);
+  std::uint64_t acc = 0;
+  if (endian == Endian::little) {
+    for (std::size_t i = 0; i < span_bytes; ++i) {
+      acc |= std::uint64_t{buf[byte_offset + i]} << (8 * i);
+    }
+    return (acc >> bit_offset) & low_mask(bit_width);
+  }
+  for (std::size_t i = 0; i < span_bytes; ++i) {
+    acc = (acc << 8) | buf[byte_offset + i];
+  }
+  const std::size_t total_bits = 8 * span_bytes;
+  return (acc >> (total_bits - bit_offset - bit_width)) & low_mask(bit_width);
+}
+
+void write_bits_unchecked(std::uint8_t* buf,
+                          std::size_t byte_offset,
+                          std::size_t bit_offset,
+                          std::size_t bit_width,
+                          Endian endian,
+                          std::uint64_t value) noexcept {
+  const std::size_t span_bytes = bits_to_bytes(bit_offset + bit_width);
+  const std::uint64_t mask = low_mask(bit_width);
+  value &= mask;
+  std::uint64_t acc = 0;
+  if (endian == Endian::little) {
+    for (std::size_t i = 0; i < span_bytes; ++i) {
+      acc |= std::uint64_t{buf[byte_offset + i]} << (8 * i);
+    }
+    acc = (acc & ~(mask << bit_offset)) | (value << bit_offset);
+    for (std::size_t i = 0; i < span_bytes; ++i) {
+      buf[byte_offset + i] = static_cast<std::uint8_t>(acc >> (8 * i));
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < span_bytes; ++i) {
+    acc = (acc << 8) | buf[byte_offset + i];
+  }
+  const std::size_t shift = 8 * span_bytes - bit_offset - bit_width;
+  acc = (acc & ~(mask << shift)) | (value << shift);
+  for (std::size_t i = 0; i < span_bytes; ++i) {
+    buf[byte_offset + i] =
+        static_cast<std::uint8_t>(acc >> (8 * (span_bytes - 1 - i)));
+  }
+}
+
+std::uint64_t read_bits(std::span<const std::uint8_t> buf,
+                        std::size_t byte_offset,
+                        std::size_t bit_offset,
+                        std::size_t bit_width,
+                        Endian endian) {
+  check_slice(buf.size(), byte_offset, bit_offset, bit_width);
+  return read_bits_unchecked(buf.data(), byte_offset, bit_offset, bit_width, endian);
+}
+
+void write_bits(std::span<std::uint8_t> buf,
+                std::size_t byte_offset,
+                std::size_t bit_offset,
+                std::size_t bit_width,
+                Endian endian,
+                std::uint64_t value) {
+  check_slice(buf.size(), byte_offset, bit_offset, bit_width);
+  write_bits_unchecked(buf.data(), byte_offset, bit_offset, bit_width, endian, value);
+}
+
+std::string hex_dump(std::span<const std::uint8_t> buf) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(buf.size() * 3 + buf.size() / 16 + 1);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    if (i != 0) {
+      out.push_back(i % 16 == 0 ? '\n' : ' ');
+    }
+    out.push_back(kHex[buf[i] >> 4]);
+    out.push_back(kHex[buf[i] & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace opendesc

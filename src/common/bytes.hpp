@@ -1,0 +1,100 @@
+// Byte-order and bit-slice utilities shared across OpenDesc.
+//
+// Completion records and descriptors are raw byte streams; every module that
+// touches them (the simulator's serializer, the generated accessors, the
+// runtime facade) goes through these helpers so that bit-level layout
+// semantics are defined in exactly one place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace opendesc {
+
+/// Endianness of a multi-byte field inside a descriptor/completion record.
+/// Intel-style descriptors are little-endian; mlx5 CQE fields are big-endian.
+enum class Endian : std::uint8_t {
+  little,
+  big,
+};
+
+/// Returns "little" / "big".
+[[nodiscard]] std::string to_string(Endian e);
+
+// ---------------------------------------------------------------------------
+// Whole-byte loads/stores (bounds are the caller's responsibility; all
+// accessors used in the fast path take pre-validated spans).
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::uint16_t load_le16(const std::uint8_t* p) noexcept;
+[[nodiscard]] std::uint32_t load_le32(const std::uint8_t* p) noexcept;
+[[nodiscard]] std::uint64_t load_le64(const std::uint8_t* p) noexcept;
+[[nodiscard]] std::uint16_t load_be16(const std::uint8_t* p) noexcept;
+[[nodiscard]] std::uint32_t load_be32(const std::uint8_t* p) noexcept;
+[[nodiscard]] std::uint64_t load_be64(const std::uint8_t* p) noexcept;
+
+void store_le16(std::uint8_t* p, std::uint16_t v) noexcept;
+void store_le32(std::uint8_t* p, std::uint32_t v) noexcept;
+void store_le64(std::uint8_t* p, std::uint64_t v) noexcept;
+void store_be16(std::uint8_t* p, std::uint16_t v) noexcept;
+void store_be32(std::uint8_t* p, std::uint32_t v) noexcept;
+void store_be64(std::uint8_t* p, std::uint64_t v) noexcept;
+
+// ---------------------------------------------------------------------------
+// Arbitrary bit slices.
+//
+// A field is addressed by (byte_offset, bit_offset, bit_width) where
+// bit_offset counts from the LSB of the byte at byte_offset when the field is
+// little-endian, and from the MSB when big-endian (matching how the
+// respective datasheets draw their layouts). bit_width <= 64.
+// ---------------------------------------------------------------------------
+
+/// Reads `bit_width` bits starting at `byte_offset`/`bit_offset` from `buf`.
+/// Throws std::out_of_range if the slice does not fit in `buf`.
+[[nodiscard]] std::uint64_t read_bits(std::span<const std::uint8_t> buf,
+                                      std::size_t byte_offset,
+                                      std::size_t bit_offset,
+                                      std::size_t bit_width,
+                                      Endian endian);
+
+/// Writes the low `bit_width` bits of `value` at the given position.
+/// Other bits in the touched bytes are preserved.
+/// Throws std::out_of_range if the slice does not fit in `buf`.
+void write_bits(std::span<std::uint8_t> buf,
+                std::size_t byte_offset,
+                std::size_t bit_offset,
+                std::size_t bit_width,
+                Endian endian,
+                std::uint64_t value);
+
+/// Unchecked variants used on the hot path after a one-time layout
+/// verification pass (see core::LayoutVerifier).
+[[nodiscard]] std::uint64_t read_bits_unchecked(const std::uint8_t* buf,
+                                                std::size_t byte_offset,
+                                                std::size_t bit_offset,
+                                                std::size_t bit_width,
+                                                Endian endian) noexcept;
+
+void write_bits_unchecked(std::uint8_t* buf,
+                          std::size_t byte_offset,
+                          std::size_t bit_offset,
+                          std::size_t bit_width,
+                          Endian endian,
+                          std::uint64_t value) noexcept;
+
+/// Mask with the low `width` bits set; width == 64 yields all-ones.
+[[nodiscard]] constexpr std::uint64_t low_mask(std::size_t width) noexcept {
+  return width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+
+/// Hex dump ("0a 1b ..." with 16 bytes per line) used in diagnostics/tests.
+[[nodiscard]] std::string hex_dump(std::span<const std::uint8_t> buf);
+
+/// Number of bytes needed to hold `bits` bits.
+[[nodiscard]] constexpr std::size_t bits_to_bytes(std::size_t bits) noexcept {
+  return (bits + 7) / 8;
+}
+
+}  // namespace opendesc

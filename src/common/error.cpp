@@ -1,0 +1,21 @@
+#include "common/error.hpp"
+
+namespace opendesc {
+
+std::string to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::lex: return "lex";
+    case ErrorKind::parse: return "parse";
+    case ErrorKind::type: return "type";
+    case ErrorKind::semantic: return "semantic";
+    case ErrorKind::layout: return "layout";
+    case ErrorKind::unsatisfiable: return "unsatisfiable";
+    case ErrorKind::verification: return "verification";
+    case ErrorKind::simulation: return "simulation";
+    case ErrorKind::io: return "io";
+    case ErrorKind::internal: return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace opendesc

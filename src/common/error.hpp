@@ -1,0 +1,42 @@
+// Error taxonomy shared by all OpenDesc modules.
+//
+// Per C++ Core Guidelines E.2/E.14 we throw exceptions derived from a single
+// project root so callers can catch at the right granularity.  Each error
+// carries a machine-readable kind used by tests and by the CLI front-ends.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace opendesc {
+
+/// Broad classification of OpenDesc failures.
+enum class ErrorKind {
+  lex,            ///< P4 lexer failure (bad character, unterminated literal...)
+  parse,          ///< P4 syntax error
+  type,           ///< P4 type/annotation checking error
+  semantic,       ///< unknown @semantic name, width mismatch with registry...
+  layout,         ///< generated layout inconsistent (overlap, out of bounds)
+  unsatisfiable,  ///< Eq. 1 has no finite-cost path for the intent
+  verification,   ///< generated accessor failed the bounds verifier
+  simulation,     ///< ring/DMA invariant violated at run time
+  io,             ///< file or OS failure
+  internal,       ///< invariant broken inside the compiler itself
+};
+
+/// Returns the kind as a stable lowercase identifier (used in diagnostics).
+[[nodiscard]] std::string to_string(ErrorKind kind);
+
+/// Root of the OpenDesc exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorKind kind, const std::string& message)
+      : std::runtime_error(to_string(kind) + " error: " + message), kind_(kind) {}
+
+  [[nodiscard]] ErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+}  // namespace opendesc

@@ -1,0 +1,337 @@
+#include "core/cfg.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "p4/pretty.hpp"
+
+namespace opendesc::core {
+
+using p4::DeclKind;
+using p4::Expr;
+using p4::ExprKind;
+using p4::Stmt;
+using p4::StmtKind;
+
+std::vector<const CfgEdge*> Cfg::successors(std::size_t id) const {
+  std::vector<const CfgEdge*> out;
+  for (const CfgEdge& e : edges_) {
+    if (e.from == id) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+std::size_t Cfg::emit_count() const {
+  // Anchor nodes (empty emits inserted for empty branch arms) don't count.
+  std::size_t n = 0;
+  for (const CfgNode& node : nodes_) {
+    if (node.kind == CfgNodeKind::emit && !node.pieces.empty()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t Cfg::branch_count() const {
+  std::size_t n = 0;
+  for (const CfgNode& node : nodes_) {
+    if (node.kind == CfgNodeKind::branch) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t Cfg::add_node(CfgNode node) {
+  node.id = nodes_.size();
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+void Cfg::add_edge(std::size_t from, std::size_t to, std::optional<bool> polarity) {
+  edges_.push_back(CfgEdge{from, to, polarity});
+}
+
+std::string Cfg::to_dot() const {
+  std::ostringstream out;
+  out << "digraph cmpt_deparser {\n";
+  for (const CfgNode& node : nodes_) {
+    out << "  n" << node.id << " [label=\"";
+    switch (node.kind) {
+      case CfgNodeKind::entry: out << "entry"; break;
+      case CfgNodeKind::exit: out << "exit"; break;
+      case CfgNodeKind::branch:
+        out << "if " << (node.predicate ? p4::to_source(*node.predicate) : "?");
+        break;
+      case CfgNodeKind::emit: {
+        out << "emit ";
+        for (std::size_t i = 0; i < node.pieces.size(); ++i) {
+          if (i != 0) out << ",";
+          out << node.pieces[i].field_name;
+        }
+        out << " (" << node.size_bits() << "b)";
+        break;
+      }
+    }
+    out << "\"];\n";
+  }
+  for (const CfgEdge& e : edges_) {
+    out << "  n" << e.from << " -> n" << e.to;
+    if (e.polarity) {
+      out << " [label=\"" << (*e.polarity ? "true" : "false") << "\"]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(const p4::SourceLocation& at, const std::string& message) {
+  throw Error(ErrorKind::type, p4::to_string(at) + ": " + message);
+}
+
+class CfgBuilder {
+ public:
+  CfgBuilder(const p4::Program& program, const p4::TypeInfo& types,
+             const p4::ControlDecl& deparser,
+             const softnic::SemanticRegistry& registry,
+             const CfgBuildOptions& options)
+      : program_(program), types_(types), deparser_(deparser),
+        registry_(registry) {
+    out_param_ = options.out_param.empty() ? detect_out_param() : options.out_param;
+  }
+
+  Cfg build() {
+    const std::size_t entry = cfg_.add_node(
+        CfgNode{0, CfgNodeKind::entry, {}, nullptr, deparser_.location()});
+    cfg_.set_entry(entry);
+    std::vector<std::size_t> tails = build_stmt(deparser_.apply(), {entry});
+    const std::size_t exit_node = cfg_.add_node(
+        CfgNode{0, CfgNodeKind::exit, {}, nullptr, deparser_.location()});
+    cfg_.set_exit(exit_node);
+    for (const std::size_t tail : tails) {
+      cfg_.add_edge(tail, exit_node, std::nullopt);
+    }
+    return std::move(cfg_);
+  }
+
+ private:
+  /// The parameter whose type is the `cmpt_out` channel.
+  std::string detect_out_param() const {
+    for (const p4::Param& p : deparser_.params()) {
+      if (p.type.kind == p4::TypeRef::Kind::named && p.type.name == "cmpt_out") {
+        return p.name;
+      }
+    }
+    fail(deparser_.location(),
+         "deparser '" + deparser_.name() + "' has no cmpt_out parameter");
+  }
+
+  /// Finds a deparser parameter by name; nullptr when absent.
+  const p4::Param* find_param(const std::string& name) const {
+    for (const p4::Param& p : deparser_.params()) {
+      if (p.name == name) {
+        return &p;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Resolves the header/struct declaration backing a parameter type.
+  const p4::StructLikeDecl* param_struct(const p4::Param& param) const {
+    if (param.type.kind != p4::TypeRef::Kind::named) {
+      return nullptr;
+    }
+    if (const auto* header = program_.find_header(param.type.name)) {
+      return header;
+    }
+    return program_.find_struct(param.type.name);
+  }
+
+  EmitPiece piece_from_field(const p4::FieldDecl& field) const {
+    EmitPiece piece;
+    piece.field_name = field.name;
+    piece.bit_width = types_.field_width(field);
+    if (const auto* sem = p4::find_annotation(field.annotations, "semantic")) {
+      const auto id = registry_.find(sem->string_arg());
+      if (!id) {
+        fail(field.location, "unknown @semantic(\"" + sem->string_arg() +
+                                 "\") — register it first");
+      }
+      piece.semantic = *id;
+    }
+    if (const auto* fixed = p4::find_annotation(field.annotations, "fixed")) {
+      piece.fixed_value = fixed->int_arg();
+    }
+    return piece;
+  }
+
+  /// Decodes one emit call into its pieces.  Accepts:
+  ///   out.emit(param.field)  — a single annotated field
+  ///   out.emit(param)        — every field of the parameter's header
+  std::vector<EmitPiece> decode_emit(const p4::CallExpr& call) const {
+    if (call.args().size() != 1) {
+      fail(call.location(), "emit expects exactly one argument");
+    }
+    const Expr& arg = *call.args()[0];
+    const std::string path = p4::dotted_path(arg);
+    if (path.empty()) {
+      fail(arg.location(), "emit argument must be a field or header reference");
+    }
+
+    const std::size_t dot = path.find('.');
+    const std::string base = path.substr(0, dot == std::string::npos ? path.size() : dot);
+    const p4::Param* param = find_param(base);
+    if (param == nullptr) {
+      fail(arg.location(), "emit references unknown parameter '" + base + "'");
+    }
+    const p4::StructLikeDecl* decl = param_struct(*param);
+    if (decl == nullptr) {
+      fail(arg.location(), "emit parameter '" + base +
+                               "' has no header/struct type declaration");
+    }
+
+    std::vector<EmitPiece> pieces;
+    if (dot == std::string::npos) {
+      // Whole-header emit: every field in declaration order.
+      for (const p4::FieldDecl& field : decl->fields()) {
+        pieces.push_back(piece_from_field(field));
+      }
+      return pieces;
+    }
+    const std::string member = path.substr(dot + 1);
+    if (member.find('.') != std::string::npos) {
+      fail(arg.location(), "nested member emits are not supported");
+    }
+    const p4::FieldDecl* field = decl->find_field(member);
+    if (field == nullptr) {
+      fail(arg.location(), "header '" + decl->name() + "' has no field '" +
+                               member + "'");
+    }
+    pieces.push_back(piece_from_field(*field));
+    return pieces;
+  }
+
+  /// Returns true when the statement is `out_param.emit(...)`.
+  const p4::CallExpr* as_emit(const Stmt& stmt) const {
+    if (stmt.kind() != StmtKind::method_call) {
+      return nullptr;
+    }
+    const auto& call = static_cast<const p4::MethodCallStmt&>(stmt).call();
+    if (call.callee().kind() != ExprKind::member) {
+      return nullptr;
+    }
+    const auto& member = static_cast<const p4::MemberExpr&>(call.callee());
+    if (member.member() != "emit") {
+      return nullptr;
+    }
+    return p4::dotted_path(member.base()) == out_param_ ? &call : nullptr;
+  }
+
+  /// Builds the subgraph of `stmt`, connecting it below every node in
+  /// `preds`; returns the dangling tails.
+  std::vector<std::size_t> build_stmt(const Stmt& stmt,
+                                      std::vector<std::size_t> preds) {
+    switch (stmt.kind()) {
+      case StmtKind::block: {
+        const auto& block = static_cast<const p4::BlockStmt&>(stmt);
+        for (const p4::StmtPtr& s : block.statements()) {
+          preds = build_stmt(*s, std::move(preds));
+        }
+        return preds;
+      }
+      case StmtKind::if_stmt: {
+        const auto& if_stmt = static_cast<const p4::IfStmt&>(stmt);
+        const std::size_t branch = cfg_.add_node(CfgNode{
+            0, CfgNodeKind::branch, {}, &if_stmt.condition(), if_stmt.location()});
+        for (const std::size_t p : preds) {
+          cfg_.add_edge(p, branch, std::nullopt);
+        }
+        // True edge: anchor node so the subtree hangs off a labelled edge.
+        std::vector<std::size_t> tails =
+            build_branch(if_stmt.then_branch(), branch, true);
+        if (if_stmt.else_branch() != nullptr) {
+          auto else_tails = build_branch(*if_stmt.else_branch(), branch, false);
+          tails.insert(tails.end(), else_tails.begin(), else_tails.end());
+        } else {
+          // Fall-through: the branch node itself is a tail on the false edge.
+          // Model it with a zero-size emit anchor to keep edges labelled.
+          const std::size_t anchor = cfg_.add_node(CfgNode{
+              0, CfgNodeKind::emit, {}, nullptr, if_stmt.location()});
+          cfg_.add_edge(branch, anchor, false);
+          tails.push_back(anchor);
+        }
+        return tails;
+      }
+      case StmtKind::method_call: {
+        if (const p4::CallExpr* call = as_emit(stmt)) {
+          CfgNode node{0, CfgNodeKind::emit, decode_emit(*call), nullptr,
+                       stmt.location()};
+          const std::size_t id = cfg_.add_node(std::move(node));
+          for (const std::size_t p : preds) {
+            cfg_.add_edge(p, id, std::nullopt);
+          }
+          return {id};
+        }
+        // Non-emit calls (e.g. pipeline externs) do not affect the layout.
+        return preds;
+      }
+      case StmtKind::assign:
+      case StmtKind::var_decl:
+        return preds;  // value-level statements do not shape the layout
+    }
+    return preds;
+  }
+
+  std::vector<std::size_t> build_branch(const Stmt& body, std::size_t branch,
+                                        bool polarity) {
+    // Build the body hanging off a labelled edge: connect via a fresh
+    // first-node using an explicit polarity edge.  We achieve this by
+    // building the body with a fake predecessor, then rewriting the first
+    // edge(s).  Simpler: record edge count, build, then fix labels of edges
+    // leaving `branch`.
+    const std::size_t first_edge = cfg_edges_count();
+    std::vector<std::size_t> tails = build_stmt(body, {branch});
+    // Any edge added from `branch` in this window gets the polarity label.
+    label_edges_from(branch, first_edge, polarity);
+    if (tails.size() == 1 && tails[0] == branch) {
+      // Empty body: add an anchor so the edge exists and is labelled.
+      const std::size_t anchor = cfg_.add_node(CfgNode{
+          0, CfgNodeKind::emit, {}, nullptr, body.location()});
+      cfg_.add_edge(branch, anchor, polarity);
+      return {anchor};
+    }
+    return tails;
+  }
+
+  [[nodiscard]] std::size_t cfg_edges_count() const { return cfg_.edges().size(); }
+
+  void label_edges_from(std::size_t branch, std::size_t first_edge, bool polarity) {
+    // const_cast-free label fixup: rebuild via the public interface is
+    // wasteful; Cfg grants us access through a dedicated mutator instead.
+    cfg_.relabel_edges(branch, first_edge, polarity);
+  }
+
+  const p4::Program& program_;
+  const p4::TypeInfo& types_;
+  const p4::ControlDecl& deparser_;
+  const softnic::SemanticRegistry& registry_;
+  std::string out_param_;
+  Cfg cfg_;
+};
+
+}  // namespace
+
+Cfg build_cfg(const p4::Program& program, const p4::TypeInfo& types,
+              const p4::ControlDecl& deparser,
+              const softnic::SemanticRegistry& registry,
+              const CfgBuildOptions& options) {
+  CfgBuilder builder(program, types, deparser, registry, options);
+  return builder.build();
+}
+
+}  // namespace opendesc::core

@@ -1,0 +1,123 @@
+// Control-flow graph extraction from a CmptDeparser control (§4 step 1).
+//
+// The compiler parses the body of the deparser once, replacing each emit
+// statement by a vertex and each conditional by two directed edges labelled
+// with the branch predicate that guards them.  A root-to-leaf walk is a
+// *completion path* — a concrete metadata layout the NIC may emit under a
+// given context.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "p4/ast.hpp"
+#include "p4/typecheck.hpp"
+#include "softnic/semantics.hpp"
+
+namespace opendesc::core {
+
+/// One field written by an emit call: bit width, optional semantic tag,
+/// optional hardware-constant value (@fixed annotation).
+struct EmitPiece {
+  std::string field_name;
+  std::optional<softnic::SemanticId> semantic;
+  std::size_t bit_width = 0;
+  std::optional<std::uint64_t> fixed_value;
+};
+
+enum class CfgNodeKind : std::uint8_t { entry, emit, branch, exit };
+
+/// CFG node.  `emit` nodes carry the three static properties of §4:
+/// bits(v) (the pieces, in emit order), sem(v) (their semantic tags) and
+/// size(v) (total bits).
+struct CfgNode {
+  std::size_t id = 0;
+  CfgNodeKind kind = CfgNodeKind::emit;
+  std::vector<EmitPiece> pieces;        ///< emit nodes only
+  const p4::Expr* predicate = nullptr;  ///< branch nodes only
+  p4::SourceLocation location;
+
+  [[nodiscard]] std::size_t size_bits() const noexcept {
+    std::size_t total = 0;
+    for (const EmitPiece& p : pieces) {
+      total += p.bit_width;
+    }
+    return total;
+  }
+};
+
+/// Directed edge; for branch sources, `polarity` says which outcome of the
+/// predicate this edge represents.
+struct CfgEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  std::optional<bool> polarity;  ///< nullopt on unconditional edges
+};
+
+/// The extracted graph.  Structured P4 bodies yield a DAG with one entry
+/// and one exit.
+class Cfg {
+ public:
+  [[nodiscard]] const std::vector<CfgNode>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] const std::vector<CfgEdge>& edges() const noexcept { return edges_; }
+  [[nodiscard]] std::size_t entry_id() const noexcept { return entry_; }
+  [[nodiscard]] std::size_t exit_id() const noexcept { return exit_; }
+
+  [[nodiscard]] const CfgNode& node(std::size_t id) const { return nodes_.at(id); }
+
+  /// Outgoing edges of a node, in insertion order (true branch first).
+  [[nodiscard]] std::vector<const CfgEdge*> successors(std::size_t id) const;
+
+  /// Number of emit / branch nodes (test and report helpers).
+  [[nodiscard]] std::size_t emit_count() const;
+  [[nodiscard]] std::size_t branch_count() const;
+
+  /// Graphviz rendering for reports and documentation.
+  [[nodiscard]] std::string to_dot() const;
+
+  // Construction interface used by the builder.
+  std::size_t add_node(CfgNode node);
+  void add_edge(std::size_t from, std::size_t to, std::optional<bool> polarity);
+  void set_entry(std::size_t id) noexcept { entry_ = id; }
+  void set_exit(std::size_t id) noexcept { exit_ = id; }
+
+  /// Labels every still-unlabelled edge leaving `from` that was added at or
+  /// after `first_edge` with `polarity` (builder fixup for branch bodies).
+  void relabel_edges(std::size_t from, std::size_t first_edge, bool polarity) {
+    for (std::size_t i = first_edge; i < edges_.size(); ++i) {
+      if (edges_[i].from == from && !edges_[i].polarity) {
+        edges_[i].polarity = polarity;
+      }
+    }
+  }
+
+ private:
+  std::vector<CfgNode> nodes_;
+  std::vector<CfgEdge> edges_;
+  std::size_t entry_ = 0;
+  std::size_t exit_ = 0;
+};
+
+/// Options controlling extraction.
+struct CfgBuildOptions {
+  /// Name of the parameter carrying the completion output channel; empty =
+  /// auto-detect the parameter whose type is `cmpt_out`.
+  std::string out_param;
+};
+
+/// Extracts the CFG of `deparser`.  Needs the enclosing program (to resolve
+/// header types of the deparser parameters), its TypeInfo (field widths) and
+/// the semantic registry (to resolve @semantic annotations).
+///
+/// Emit statements must reference fields (or whole headers) of the
+/// deparser's `in` parameters; each emit becomes one vertex.  Throws
+/// Error(type) on emits through unknown channels or of unknown fields.
+[[nodiscard]] Cfg build_cfg(const p4::Program& program,
+                            const p4::TypeInfo& types,
+                            const p4::ControlDecl& deparser,
+                            const softnic::SemanticRegistry& registry,
+                            const CfgBuildOptions& options = {});
+
+}  // namespace opendesc::core

@@ -1,0 +1,83 @@
+// Host stub synthesis (§4 step 4).
+//
+// For the selected path p* the compiler emits:
+//  * a plain-C header with constant-time accessors reading fixed bit slices
+//    of the completion record (user-level drivers, DPDK-style datapaths);
+//  * an XDP-style header whose accessors carry explicit data_end bounds
+//    checks, mirroring what the eBPF verifier demands;
+//  * a textual manifest describing the layout (consumed by tools/tests);
+//  * extern declarations for the SoftNIC shims covering Req \ Prov(p*).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/intent.hpp"
+#include "core/layout.hpp"
+
+namespace opendesc::core {
+
+/// One software-fallback shim the application must link (or let the runtime
+/// facade service, see runtime::MetadataFacade).
+struct SoftNicShim {
+  softnic::SemanticId semantic{};
+  std::string semantic_name;
+  double cost_ns = 0.0;
+};
+
+struct CodegenOptions {
+  /// Identifier prefix of every generated symbol, e.g. "odx_e1000".
+  std::string prefix = "odx";
+};
+
+/// Plain C11 accessor header for user-level datapaths.
+[[nodiscard]] std::string generate_c_header(const CompiledLayout& layout,
+                                            const std::vector<SoftNicShim>& shims,
+                                            const softnic::SemanticRegistry& registry,
+                                            const CodegenOptions& options = {});
+
+/// Bounds-checked XDP/eBPF-style accessor header: every accessor takes
+/// (data, data_end) and returns -1 without touching memory when the slice
+/// would fall outside [data, data_end).
+[[nodiscard]] std::string generate_xdp_header(const CompiledLayout& layout,
+                                              const std::vector<SoftNicShim>& shims,
+                                              const softnic::SemanticRegistry& registry,
+                                              const CodegenOptions& options = {});
+
+/// Batched (4-wide) accessor header: for every field, a
+/// `<prefix>_<name>_x4(const uint8_t *r0, ..., uint64_t out[4])` reader
+/// with hoisted geometry — the generated-SIMD extension the paper proposes
+/// in §5 ("Most DPDK drivers implement another version of the driver
+/// datapath using SSE to read 4 descriptors at a time... OpenDesc could be
+/// extended to generate SIMD accessors instead").  Plain C so it vectorizes
+/// under -O2 without intrinsics; a true SSE/NEON backend would emit the
+/// same shape with intrinsics.
+[[nodiscard]] std::string generate_c_batch_header(
+    const CompiledLayout& layout, const softnic::SemanticRegistry& registry,
+    const CodegenOptions& options = {});
+
+/// Generated minimalist driver datapath (the paper's concluding goal: "a
+/// generated minimalist driver datapath that can leverage the growing
+/// capabilities of increasingly feature-rich NICs").  Emits:
+///   * `<prefix>_meta_t` — a struct with exactly the requested semantics
+///     the chosen path provides (narrowest C types);
+///   * `<prefix>_rx_burst(ring, entries, tail, budget, out)` — walks the
+///     completion ring from `tail`, stops at the first not-yet-written
+///     record (detected via the layout's first @fixed field, the
+///     descriptor-done convention) or after `budget` records, extracting
+///     the requested fields of each record into `out[]`;
+/// Returns the generated C source.  `wanted` orders the struct fields;
+/// semantics the layout does not provide are skipped (they remain SoftNIC
+/// shims at a higher layer).
+[[nodiscard]] std::string generate_rx_burst_header(
+    const CompiledLayout& layout,
+    const std::vector<softnic::SemanticId>& wanted,
+    const softnic::SemanticRegistry& registry,
+    const CodegenOptions& options = {});
+
+/// Stable machine-readable manifest, one line per layout element.
+[[nodiscard]] std::string generate_manifest(const CompiledLayout& layout,
+                                            const std::vector<SoftNicShim>& shims,
+                                            const softnic::SemanticRegistry& registry);
+
+}  // namespace opendesc::core

@@ -1,0 +1,313 @@
+#include "core/compiler.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/txdesc.hpp"
+#include "core/verifier.hpp"
+#include "p4/parser.hpp"
+
+namespace opendesc::core {
+
+const p4::ControlDecl& select_deparser(const p4::Program& program,
+                                       std::string_view name) {
+  if (!name.empty()) {
+    const p4::ControlDecl* control = program.find_control(name);
+    if (control == nullptr) {
+      throw Error(ErrorKind::semantic,
+                  "NIC description has no control named '" + std::string(name) + "'");
+    }
+    return *control;
+  }
+  const p4::ControlDecl* found = nullptr;
+  for (const p4::ControlDecl* control : program.controls()) {
+    const bool has_cmpt_out = std::any_of(
+        control->params().begin(), control->params().end(), [](const p4::Param& p) {
+          return p.type.kind == p4::TypeRef::Kind::named && p.type.name == "cmpt_out";
+        });
+    if (!has_cmpt_out) {
+      continue;
+    }
+    if (found != nullptr) {
+      throw Error(ErrorKind::semantic,
+                  "NIC description declares several completion deparsers; pass "
+                  "CompileOptions::deparser_name");
+    }
+    found = control;
+  }
+  if (found == nullptr) {
+    throw Error(ErrorKind::semantic,
+                "NIC description declares no completion deparser (control with "
+                "a cmpt_out parameter)");
+  }
+  return *found;
+}
+
+Endian deparser_endian(const p4::ControlDecl& deparser) {
+  const p4::Annotation* a = p4::find_annotation(deparser.annotations(), "endian");
+  if (a == nullptr) {
+    return Endian::little;
+  }
+  const std::string& value = a->string_arg();
+  if (value == "big") {
+    return Endian::big;
+  }
+  if (value == "little") {
+    return Endian::little;
+  }
+  throw Error(ErrorKind::type, "@endian must be \"big\" or \"little\", got \"" +
+                                   value + "\"");
+}
+
+namespace {
+
+std::string sanitize_symbol(std::string s) {
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) {
+      c = '_';
+    }
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::string build_report(const CompileResult& r,
+                         const softnic::SemanticRegistry& registry,
+                         const softnic::CostTable& costs, const Intent& intent) {
+  std::ostringstream out;
+  out << "=== OpenDesc compilation report ===\n"
+      << "NIC:    " << r.nic_name << "\n"
+      << "Intent: " << r.intent.header_name << " {";
+  for (std::size_t i = 0; i < r.intent.fields.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << registry.name(r.intent.fields[i].semantic);
+  }
+  out << "}\n\n";
+
+  out << "CFG: " << r.cfg_emit_nodes << " emit node(s), " << r.cfg_branch_nodes
+      << " branch node(s), " << r.paths.size() << " feasible completion path(s)\n\n";
+
+  out << "Ranking (Eq. 1: softnic cost + dma footprint):\n";
+  for (const PathScore& score : r.ranking) {
+    const CompletionPath& path = r.paths[score.path_index];
+    out << "  " << (score.path_index == r.chosen_index ? "* " : "  ")
+        << path.describe(registry) << "\n      softnic=";
+    if (score.satisfiable()) {
+      out << score.softnic_cost;
+    } else {
+      out << "inf";
+    }
+    out << " dma=" << score.dma_cost << " total=";
+    if (score.satisfiable()) {
+      out << score.total();
+    } else {
+      out << "inf";
+    }
+    out << "\n";
+  }
+
+  out << "\nChosen layout (" << r.layout.total_bytes() << " bytes, "
+      << to_string(r.layout.endian()) << "-endian):\n";
+  for (const FieldSlice& slice : r.layout.slices()) {
+    out << "  [" << slice.byte_offset() << "." << slice.bit_offset() << " +"
+        << slice.bit_width << "b] " << slice.name;
+    if (slice.semantic) {
+      out << "  <- @semantic(\"" << registry.name(*slice.semantic) << "\")";
+    }
+    if (slice.fixed_value) {
+      out << "  (fixed " << *slice.fixed_value << ")";
+    }
+    out << "\n";
+  }
+
+  if (!r.shims.empty()) {
+    out << "\nSoftNIC fallbacks (computed on the host):\n";
+    for (const SoftNicShim& shim : r.shims) {
+      out << "  " << shim.semantic_name << "  w(s)=" << shim.cost_ns << " ns/pkt\n";
+    }
+  } else {
+    out << "\nAll requested semantics are provided by the NIC on this path.\n";
+  }
+
+  if (!r.context_assignment.empty()) {
+    out << "\nContext programming (steers the NIC onto the chosen path):\n";
+    for (const auto& [path, value] : r.context_assignment) {
+      out << "  " << path << " = " << value << "\n";
+    }
+  }
+  (void)costs;
+  (void)intent;
+  return out.str();
+}
+
+}  // namespace
+
+CompileResult Compiler::compile(std::string_view nic_source,
+                                std::string_view intent_source,
+                                const CompileOptions& options) const {
+  const p4::Program program = p4::parse_program(nic_source);
+  const p4::TypeInfo types = p4::check_program(program);
+  const p4::ControlDecl& deparser = select_deparser(program, options.deparser_name);
+  Intent intent =
+      parse_intent(intent_source, registry_, options.auto_register_semantics);
+  return compile(program, types, deparser, std::move(intent), options);
+}
+
+CompileResult Compiler::compile(const p4::Program& nic_program,
+                                const p4::TypeInfo& types,
+                                const p4::ControlDecl& deparser, Intent intent,
+                                const CompileOptions& options) const {
+  CompileResult result;
+  result.nic_name = deparser.name();
+  if (const p4::Annotation* nic = p4::find_annotation(deparser.annotations(), "nic")) {
+    result.nic_name = nic->string_arg();
+  }
+  result.intent = std::move(intent);
+
+  // 1. Control-flow graph extraction.
+  const Cfg cfg = build_cfg(nic_program, types, deparser, registry_);
+  result.cfg_emit_nodes = cfg.emit_count();
+  result.cfg_branch_nodes = cfg.branch_count();
+  result.cfg_dot = cfg.to_dot();
+
+  // 2. Path characterization (with feasibility pruning).
+  PathEnumOptions enum_options;
+  enum_options.consts = types.constants();
+  enum_options.variable_bounds = context_bounds(nic_program, types, deparser);
+  result.paths = enumerate_paths(cfg, enum_options);
+
+  // 3. Optimization problem (Eq. 1).
+  OptimizerOptions opt_options;
+  opt_options.dma_weight_per_byte = options.dma_weight_per_byte;
+  result.ranking =
+      rank_paths(result.paths, result.intent, costs_, opt_options);
+  const PathScore best = choose_path(result.paths, result.intent, costs_,
+                                     registry_, opt_options);
+  result.chosen_index = best.path_index;
+  const CompletionPath& chosen = result.paths[result.chosen_index];
+
+  // 4. Host stub synthesis.
+  std::vector<FieldSlice> slices;
+  slices.reserve(chosen.pieces.size());
+  for (const EmitPiece& piece : chosen.pieces) {
+    FieldSlice slice;
+    slice.name = piece.field_name;
+    slice.semantic = piece.semantic;
+    slice.bit_width = piece.bit_width;
+    slice.fixed_value = piece.fixed_value;
+    slices.push_back(std::move(slice));
+  }
+  result.layout = pack_layout(result.nic_name, chosen.id,
+                              deparser_endian(deparser), std::move(slices));
+  verify_layout_or_throw(result.layout, registry_);
+
+  for (const softnic::SemanticId missing : best.missing) {
+    SoftNicShim shim;
+    shim.semantic = missing;
+    shim.semantic_name = registry_.name(missing);
+    shim.cost_ns = effective_cost(result.intent, costs_, missing);
+    result.shims.push_back(std::move(shim));
+  }
+
+  result.context_assignment = chosen.constraints.sample_assignment();
+
+  CodegenOptions cg;
+  cg.prefix = options.prefix.empty() ? "odx_" + sanitize_symbol(result.nic_name)
+                                     : options.prefix;
+  result.c_header = generate_c_header(result.layout, result.shims, registry_, cg);
+  result.xdp_header =
+      generate_xdp_header(result.layout, result.shims, registry_, cg);
+  result.manifest = generate_manifest(result.layout, result.shims, registry_);
+  result.report = build_report(result, registry_, costs_, result.intent);
+  return result;
+}
+
+CompileResult Compiler::compile_tx(std::string_view nic_source,
+                                   std::string_view tx_intent_source,
+                                   const CompileOptions& options) const {
+  const p4::Program program = p4::parse_program(nic_source);
+  const p4::TypeInfo types = p4::check_program(program);
+  const p4::ParserDecl* desc_parser = nullptr;
+  for (const p4::ParserDecl* parser : program.parsers()) {
+    const bool has_desc_in = std::any_of(
+        parser->params().begin(), parser->params().end(), [](const p4::Param& p) {
+          return p.type.kind == p4::TypeRef::Kind::named &&
+                 p.type.name == "desc_in";
+        });
+    if (has_desc_in) {
+      if (desc_parser != nullptr) {
+        throw Error(ErrorKind::semantic,
+                    "NIC description declares several descriptor parsers");
+      }
+      desc_parser = parser;
+    }
+  }
+  if (desc_parser == nullptr) {
+    throw Error(ErrorKind::semantic,
+                "NIC description declares no descriptor parser (parser with a "
+                "desc_in parameter)");
+  }
+  Intent intent =
+      parse_intent(tx_intent_source, registry_, options.auto_register_semantics);
+  return compile_tx(program, types, *desc_parser, std::move(intent), options);
+}
+
+CompileResult Compiler::compile_tx(const p4::Program& nic_program,
+                                   const p4::TypeInfo& types,
+                                   const p4::ParserDecl& desc_parser,
+                                   Intent intent,
+                                   const CompileOptions& options) const {
+  CompileResult result;
+  result.nic_name = desc_parser.name();
+  if (const p4::Annotation* nic =
+          p4::find_annotation(desc_parser.annotations(), "nic")) {
+    result.nic_name = nic->string_arg();
+  }
+  result.intent = std::move(intent);
+
+  TxDescOptions tx_options;
+  tx_options.consts = types.constants();
+  result.paths =
+      enumerate_tx_formats(nic_program, types, desc_parser, registry_, tx_options);
+
+  OptimizerOptions opt_options;
+  opt_options.dma_weight_per_byte = options.dma_weight_per_byte;
+  result.ranking = rank_paths(result.paths, result.intent, costs_, opt_options);
+  const PathScore best =
+      choose_path(result.paths, result.intent, costs_, registry_, opt_options);
+  result.chosen_index = best.path_index;
+  const CompletionPath& chosen = result.paths[result.chosen_index];
+
+  std::vector<FieldSlice> slices;
+  slices.reserve(chosen.pieces.size());
+  for (const EmitPiece& piece : chosen.pieces) {
+    FieldSlice slice;
+    slice.name = piece.field_name;
+    slice.semantic = piece.semantic;
+    slice.bit_width = piece.bit_width;
+    slice.fixed_value = piece.fixed_value;
+    slices.push_back(std::move(slice));
+  }
+  result.layout = pack_layout(result.nic_name, chosen.id,
+                              desc_parser_endian(desc_parser), std::move(slices));
+  verify_layout_or_throw(result.layout, registry_);
+
+  for (const softnic::SemanticId missing : best.missing) {
+    SoftNicShim shim;
+    shim.semantic = missing;
+    shim.semantic_name = registry_.name(missing);
+    shim.cost_ns = effective_cost(result.intent, costs_, missing);
+    result.shims.push_back(std::move(shim));
+  }
+  result.context_assignment = chosen.constraints.sample_assignment();
+
+  const std::string prefix =
+      options.prefix.empty() ? "odx_" + sanitize_symbol(result.nic_name) + "_tx"
+                             : options.prefix;
+  result.c_header = generate_tx_writer_header(result.layout, registry_, prefix);
+  result.manifest = generate_manifest(result.layout, result.shims, registry_);
+  result.report = build_report(result, registry_, costs_, result.intent);
+  return result;
+}
+
+}  // namespace opendesc::core

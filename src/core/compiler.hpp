@@ -1,0 +1,119 @@
+// The OpenDesc compiler facade (§4).
+//
+// Pipeline: parse NIC description + intent → extract the CmptDeparser CFG →
+// enumerate feasible completion paths → solve Eq. 1 → pack the chosen
+// path's layout → verify it → synthesize host stubs and SoftNIC shims.
+#pragma once
+
+#include <string_view>
+
+#include "core/cfg.hpp"
+#include "core/codegen.hpp"
+#include "core/intent.hpp"
+#include "core/layout.hpp"
+#include "core/optimizer.hpp"
+#include "core/paths.hpp"
+#include "softnic/cost.hpp"
+
+namespace opendesc::core {
+
+struct CompileOptions {
+  /// Deparser control to compile; empty = the single control of the program
+  /// (error when the program declares several and none is named).
+  std::string deparser_name;
+  /// α of Eq. 1: DMA cost per completion byte.
+  double dma_weight_per_byte = 1.0;
+  /// Prefix of generated symbols; empty = "odx_<nic-name>".
+  std::string prefix;
+  /// Auto-register unknown intent semantics as extensions.
+  bool auto_register_semantics = true;
+};
+
+/// Everything the compilation of one (NIC, intent) pair produced.
+struct CompileResult {
+  std::string nic_name;
+  Intent intent;
+
+  // Analysis artifacts.
+  std::size_t cfg_emit_nodes = 0;
+  std::size_t cfg_branch_nodes = 0;
+  std::string cfg_dot;
+  std::vector<CompletionPath> paths;   ///< all feasible paths
+  std::vector<PathScore> ranking;      ///< best-first
+
+  // Selection.
+  std::size_t chosen_index = 0;        ///< into `paths`
+  CompiledLayout layout;
+  std::vector<SoftNicShim> shims;      ///< Req \ Prov(p*)
+  /// A context assignment steering the NIC onto the chosen path
+  /// (programmed over the control channel in a real deployment).
+  p4::ConstEnv context_assignment;
+
+  // Synthesized stubs.
+  std::string c_header;
+  std::string xdp_header;
+  std::string manifest;
+  std::string report;                  ///< human-readable summary
+
+  [[nodiscard]] const CompletionPath& chosen_path() const {
+    return paths.at(chosen_index);
+  }
+  [[nodiscard]] const PathScore& chosen_score() const { return ranking.front(); }
+};
+
+/// Compiler instance; holds the semantic registry (mutable: intents may
+/// register extension semantics) and the software cost table.
+class Compiler {
+ public:
+  Compiler(softnic::SemanticRegistry& registry, const softnic::CostTable& costs)
+      : registry_(registry), costs_(costs) {}
+
+  /// Full pipeline from source text.
+  [[nodiscard]] CompileResult compile(std::string_view nic_source,
+                                      std::string_view intent_source,
+                                      const CompileOptions& options = {}) const;
+
+  /// Pipeline from pre-parsed artifacts (used by the NIC catalog, which
+  /// caches parsed descriptions).
+  [[nodiscard]] CompileResult compile(const p4::Program& nic_program,
+                                      const p4::TypeInfo& types,
+                                      const p4::ControlDecl& deparser,
+                                      Intent intent,
+                                      const CompileOptions& options = {}) const;
+
+  /// TX-side pipeline: matches a TX intent (tx_* semantics) against the
+  /// NIC's DescParser formats.  The result's layout is the selected
+  /// descriptor format; c_header holds generated *writer* stubs
+  /// (<prefix>_set_<semantic>); shims name the offloads the host must
+  /// perform in software before posting (e.g. software checksum when the
+  /// format lacks tx_csum_en).
+  [[nodiscard]] CompileResult compile_tx(std::string_view nic_source,
+                                         std::string_view tx_intent_source,
+                                         const CompileOptions& options = {}) const;
+
+  [[nodiscard]] CompileResult compile_tx(const p4::Program& nic_program,
+                                         const p4::TypeInfo& types,
+                                         const p4::ParserDecl& desc_parser,
+                                         Intent intent,
+                                         const CompileOptions& options = {}) const;
+
+  [[nodiscard]] softnic::SemanticRegistry& registry() const noexcept {
+    return registry_;
+  }
+  [[nodiscard]] const softnic::CostTable& costs() const noexcept { return costs_; }
+
+ private:
+  softnic::SemanticRegistry& registry_;
+  const softnic::CostTable& costs_;
+};
+
+/// Picks the deparser control: `name` when given, else the unique control
+/// with a cmpt_out parameter.  Throws Error(semantic) when ambiguous/absent.
+[[nodiscard]] const p4::ControlDecl& select_deparser(const p4::Program& program,
+                                                     std::string_view name);
+
+/// The endianness a NIC declares on its deparser via @endian("big"/"little");
+/// little when unannotated (Intel-style).
+[[nodiscard]] Endian deparser_endian(const p4::ControlDecl& deparser);
+
+}  // namespace opendesc::core

@@ -1,0 +1,208 @@
+#include "core/equivalence.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "p4/pretty.hpp"
+
+namespace opendesc::core {
+
+bool interface_equivalent(const Intent& a, const Intent& b) {
+  std::multiset<softnic::SemanticId> sa, sb;
+  for (const IntentField& f : a.fields) {
+    sa.insert(f.semantic);
+  }
+  for (const IntentField& f : b.fields) {
+    sb.insert(f.semantic);
+  }
+  return sa == sb;
+}
+
+namespace {
+
+/// Positional parameter renaming a → b.
+using Renaming = std::map<std::string, std::string>;
+
+class Comparator {
+ public:
+  explicit Comparator(Renaming renaming) : renaming_(std::move(renaming)) {}
+
+  [[nodiscard]] const std::string& divergence() const noexcept {
+    return divergence_;
+  }
+
+  bool expr(const p4::Expr& a, const p4::Expr& b) {
+    if (a.kind() != b.kind()) {
+      return diverge("expression kinds differ: " + p4::to_source(a) + " vs " +
+                     p4::to_source(b));
+    }
+    switch (a.kind()) {
+      case p4::ExprKind::int_literal: {
+        const auto& la = static_cast<const p4::IntLiteral&>(a);
+        const auto& lb = static_cast<const p4::IntLiteral&>(b);
+        if (la.value() != lb.value()) {
+          return diverge("literals differ: " + std::to_string(la.value()) +
+                         " vs " + std::to_string(lb.value()));
+        }
+        return true;
+      }
+      case p4::ExprKind::bool_literal:
+        return static_cast<const p4::BoolLiteral&>(a).value() ==
+                       static_cast<const p4::BoolLiteral&>(b).value()
+                   ? true
+                   : diverge("boolean literals differ");
+      case p4::ExprKind::string_literal:
+        return static_cast<const p4::StringLiteral&>(a).value() ==
+                       static_cast<const p4::StringLiteral&>(b).value()
+                   ? true
+                   : diverge("string literals differ");
+      case p4::ExprKind::identifier: {
+        const std::string& name_a =
+            static_cast<const p4::Identifier&>(a).name();
+        const std::string& name_b =
+            static_cast<const p4::Identifier&>(b).name();
+        const auto it = renaming_.find(name_a);
+        const std::string& mapped = it == renaming_.end() ? name_a : it->second;
+        return mapped == name_b
+                   ? true
+                   : diverge("identifier '" + name_a + "' maps to '" + mapped +
+                             "', found '" + name_b + "'");
+      }
+      case p4::ExprKind::member: {
+        const auto& ma = static_cast<const p4::MemberExpr&>(a);
+        const auto& mb = static_cast<const p4::MemberExpr&>(b);
+        if (ma.member() != mb.member()) {
+          return diverge("member names differ: ." + ma.member() + " vs ." +
+                         mb.member());
+        }
+        return expr(ma.base(), mb.base());
+      }
+      case p4::ExprKind::unary: {
+        const auto& ua = static_cast<const p4::UnaryExpr&>(a);
+        const auto& ub = static_cast<const p4::UnaryExpr&>(b);
+        if (ua.op() != ub.op()) {
+          return diverge("unary operators differ");
+        }
+        return expr(ua.operand(), ub.operand());
+      }
+      case p4::ExprKind::binary: {
+        const auto& ba = static_cast<const p4::BinaryExpr&>(a);
+        const auto& bb = static_cast<const p4::BinaryExpr&>(b);
+        if (ba.op() != bb.op()) {
+          return diverge("binary operators differ: " + p4::to_string(ba.op()) +
+                         " vs " + p4::to_string(bb.op()));
+        }
+        return expr(ba.lhs(), bb.lhs()) && expr(ba.rhs(), bb.rhs());
+      }
+      case p4::ExprKind::call: {
+        const auto& ca = static_cast<const p4::CallExpr&>(a);
+        const auto& cb = static_cast<const p4::CallExpr&>(b);
+        if (ca.args().size() != cb.args().size()) {
+          return diverge("call arities differ");
+        }
+        if (!expr(ca.callee(), cb.callee())) {
+          return false;
+        }
+        for (std::size_t i = 0; i < ca.args().size(); ++i) {
+          if (!expr(*ca.args()[i], *cb.args()[i])) {
+            return false;
+          }
+        }
+        return true;
+      }
+    }
+    return diverge("unknown expression kind");
+  }
+
+  bool stmt(const p4::Stmt& a, const p4::Stmt& b) {
+    if (a.kind() != b.kind()) {
+      return diverge("statement kinds differ at " +
+                     p4::to_string(a.location()) + " vs " +
+                     p4::to_string(b.location()));
+    }
+    switch (a.kind()) {
+      case p4::StmtKind::block: {
+        const auto& ba = static_cast<const p4::BlockStmt&>(a);
+        const auto& bb = static_cast<const p4::BlockStmt&>(b);
+        if (ba.statements().size() != bb.statements().size()) {
+          return diverge("block lengths differ");
+        }
+        for (std::size_t i = 0; i < ba.statements().size(); ++i) {
+          if (!stmt(*ba.statements()[i], *bb.statements()[i])) {
+            return false;
+          }
+        }
+        return true;
+      }
+      case p4::StmtKind::if_stmt: {
+        const auto& ia = static_cast<const p4::IfStmt&>(a);
+        const auto& ib = static_cast<const p4::IfStmt&>(b);
+        if (!expr(ia.condition(), ib.condition())) {
+          return false;
+        }
+        if (!stmt(ia.then_branch(), ib.then_branch())) {
+          return false;
+        }
+        const bool has_else_a = ia.else_branch() != nullptr;
+        const bool has_else_b = ib.else_branch() != nullptr;
+        if (has_else_a != has_else_b) {
+          return diverge("one branch has an else, the other does not");
+        }
+        return !has_else_a || stmt(*ia.else_branch(), *ib.else_branch());
+      }
+      case p4::StmtKind::method_call:
+        return expr(static_cast<const p4::MethodCallStmt&>(a).call(),
+                    static_cast<const p4::MethodCallStmt&>(b).call());
+      case p4::StmtKind::assign: {
+        const auto& aa = static_cast<const p4::AssignStmt&>(a);
+        const auto& ab = static_cast<const p4::AssignStmt&>(b);
+        return expr(aa.lhs(), ab.lhs()) && expr(aa.rhs(), ab.rhs());
+      }
+      case p4::StmtKind::var_decl: {
+        const auto& va = static_cast<const p4::VarDeclStmt&>(a);
+        const auto& vb = static_cast<const p4::VarDeclStmt&>(b);
+        // Local names also alpha-rename.
+        renaming_[va.name()] = vb.name();
+        const bool has_init_a = va.init() != nullptr;
+        const bool has_init_b = vb.init() != nullptr;
+        if (has_init_a != has_init_b) {
+          return diverge("one declaration has an initializer, the other not");
+        }
+        return !has_init_a || expr(*va.init(), *vb.init());
+      }
+    }
+    return diverge("unknown statement kind");
+  }
+
+ private:
+  bool diverge(std::string reason) {
+    if (divergence_.empty()) {
+      divergence_ = std::move(reason);
+    }
+    return false;
+  }
+
+  Renaming renaming_;
+  std::string divergence_;
+};
+
+}  // namespace
+
+StructuralResult structurally_equivalent(const p4::ControlDecl& a,
+                                         const p4::ControlDecl& b) {
+  StructuralResult result;
+  if (a.params().size() != b.params().size()) {
+    result.divergence = "parameter counts differ";
+    return result;
+  }
+  Renaming renaming;
+  for (std::size_t i = 0; i < a.params().size(); ++i) {
+    renaming[a.params()[i].name] = b.params()[i].name;
+  }
+  Comparator comparator(std::move(renaming));
+  result.equivalent = comparator.stmt(a.apply(), b.apply());
+  result.divergence = comparator.divergence();
+  return result;
+}
+
+}  // namespace opendesc::core

@@ -1,0 +1,44 @@
+// Feature equivalence (§5).
+//
+// The paper asks whether "a feature described in the NIC is equivalent to a
+// feature described in application code", to avoid standardizing semantics
+// by name.  It also reports the sobering finding that full semantic
+// equivalence is out of reach ("implementations from vendors differ
+// slightly"), which is why OpenDesc settles on @semantic annotations.
+//
+// This module implements the tractable middle ground the paper's position
+// implies:
+//  * interface equivalence — two intents request interchangeable contracts
+//    iff their semantic multisets match (names are the unit of meaning);
+//  * structural equivalence — two P4 controls are the same feature modulo
+//    alpha-renaming of their parameters (catches vendor copies that only
+//    rename identifiers; deliberately does NOT attempt to prove that two
+//    different algorithms agree — the thing the paper says needs symbolic
+//    execution and remains future work).
+#pragma once
+
+#include "core/intent.hpp"
+#include "p4/ast.hpp"
+
+namespace opendesc::core {
+
+/// True iff the two intents request the same multiset of semantics (widths
+/// follow from the registry, so names suffice).
+[[nodiscard]] bool interface_equivalent(const Intent& a, const Intent& b);
+
+/// Result of a structural comparison, with the first divergence point for
+/// diagnostics.
+struct StructuralResult {
+  bool equivalent = false;
+  std::string divergence;  ///< human-readable reason when !equivalent
+
+  explicit operator bool() const noexcept { return equivalent; }
+};
+
+/// Compares the apply bodies of two controls modulo a positional renaming
+/// of their parameters (a's i-th parameter name ↦ b's i-th).  Field names,
+/// literals, operators and control flow must match exactly.
+[[nodiscard]] StructuralResult structurally_equivalent(
+    const p4::ControlDecl& a, const p4::ControlDecl& b);
+
+}  // namespace opendesc::core

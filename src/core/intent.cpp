@@ -1,0 +1,79 @@
+#include "core/intent.hpp"
+
+#include "common/error.hpp"
+#include "p4/parser.hpp"
+
+namespace opendesc::core {
+
+Intent intent_from_header(const p4::StructLikeDecl& header,
+                          const p4::TypeInfo& types,
+                          softnic::SemanticRegistry& registry,
+                          bool auto_register) {
+  Intent intent;
+  intent.header_name = header.name();
+  for (const p4::FieldDecl& field : header.fields()) {
+    const p4::Annotation* sem = p4::find_annotation(field.annotations, "semantic");
+    if (sem == nullptr) {
+      throw Error(ErrorKind::semantic,
+                  p4::to_string(field.location) + ": intent field '" + field.name +
+                      "' lacks a @semantic annotation");
+    }
+    const std::string& sem_name = sem->string_arg();
+    const std::size_t width = types.field_width(field);
+
+    std::optional<softnic::SemanticId> id = registry.find(sem_name);
+    if (!id) {
+      if (!auto_register) {
+        throw Error(ErrorKind::semantic,
+                    p4::to_string(field.location) + ": unknown semantic '" +
+                        sem_name + "'");
+      }
+      id = registry.register_extension(sem_name, width,
+                                       "application-defined (auto-registered)");
+    } else if (registry.bit_width(*id) != width) {
+      throw Error(ErrorKind::semantic,
+                  p4::to_string(field.location) + ": field '" + field.name +
+                      "' is " + std::to_string(width) + " bits but semantic '" +
+                      sem_name + "' is defined as " +
+                      std::to_string(registry.bit_width(*id)) + " bits");
+    }
+
+    IntentField out;
+    out.field_name = field.name;
+    out.semantic = *id;
+    out.bit_width = width;
+    if (const p4::Annotation* cost = p4::find_annotation(field.annotations, "cost")) {
+      out.cost_override = static_cast<double>(cost->int_arg());
+    }
+    intent.fields.push_back(std::move(out));
+  }
+  if (intent.fields.empty()) {
+    throw Error(ErrorKind::semantic,
+                "intent header '" + header.name() + "' declares no fields");
+  }
+  return intent;
+}
+
+Intent parse_intent(std::string_view source, softnic::SemanticRegistry& registry,
+                    bool auto_register) {
+  const p4::Program program = p4::parse_program(source);
+  const p4::TypeInfo types = p4::check_program(program);
+
+  const p4::StructLikeDecl* header = nullptr;
+  for (const auto& decl : program.decls()) {
+    if (decl->kind() == p4::DeclKind::header) {
+      if (header != nullptr) {
+        throw Error(ErrorKind::semantic,
+                    "intent source declares more than one header; pass the "
+                    "header explicitly via intent_from_header");
+      }
+      header = static_cast<const p4::StructLikeDecl*>(decl.get());
+    }
+  }
+  if (header == nullptr) {
+    throw Error(ErrorKind::semantic, "intent source declares no header");
+  }
+  return intent_from_header(*header, types, registry, auto_register);
+}
+
+}  // namespace opendesc::core

@@ -1,0 +1,65 @@
+// Application intent parsing (§3, Fig. 5).
+//
+// An application declares the metadata it wants as a plain P4 header whose
+// fields carry @semantic annotations:
+//
+//     header intent_t {
+//         @semantic("rss")         bit<32> rss_val;
+//         @semantic("vlan")        bit<16> vlan_tag;
+//         @semantic("ip_checksum") bit<16> csum;
+//     }
+//
+// Fields may also carry @cost(ns) to override the software-fallback cost of
+// that semantic, and unannotated fields are rejected (they would have no
+// meaning to either side).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "p4/ast.hpp"
+#include "p4/typecheck.hpp"
+#include "softnic/semantics.hpp"
+
+namespace opendesc::core {
+
+/// One requested metadata field.
+struct IntentField {
+  std::string field_name;
+  softnic::SemanticId semantic{};
+  std::size_t bit_width = 0;
+  std::optional<double> cost_override;  ///< @cost(ns) annotation
+};
+
+/// The parsed intent: Req ⊆ Σ plus per-field details.
+struct Intent {
+  std::string header_name;
+  std::vector<IntentField> fields;
+
+  [[nodiscard]] std::set<softnic::SemanticId> requested() const {
+    std::set<softnic::SemanticId> req;
+    for (const IntentField& f : fields) {
+      req.insert(f.semantic);
+    }
+    return req;
+  }
+};
+
+/// Extracts the intent from an already-parsed header declaration.
+/// Unknown @semantic names are auto-registered as extension semantics when
+/// `auto_register` is true (the paper's "application can define new
+/// @semantic annotations"); otherwise they raise Error(semantic).
+[[nodiscard]] Intent intent_from_header(const p4::StructLikeDecl& header,
+                                        const p4::TypeInfo& types,
+                                        softnic::SemanticRegistry& registry,
+                                        bool auto_register = true);
+
+/// Parses P4 source containing exactly one intent header (plus optional
+/// typedefs/consts) and extracts it.
+[[nodiscard]] Intent parse_intent(std::string_view source,
+                                  softnic::SemanticRegistry& registry,
+                                  bool auto_register = true);
+
+}  // namespace opendesc::core

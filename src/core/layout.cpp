@@ -1,0 +1,95 @@
+#include "core/layout.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace opendesc::core {
+
+CompiledLayout::CompiledLayout(std::string nic_name, std::string path_id,
+                               Endian endian, std::vector<FieldSlice> slices)
+    : nic_name_(std::move(nic_name)), path_id_(std::move(path_id)),
+      endian_(endian), slices_(std::move(slices)) {
+  for (const FieldSlice& s : slices_) {
+    total_bits_ = std::max(total_bits_, s.bit_start + s.bit_width);
+  }
+}
+
+const FieldSlice* CompiledLayout::find(softnic::SemanticId semantic) const noexcept {
+  const auto it = std::find_if(
+      slices_.begin(), slices_.end(),
+      [&](const FieldSlice& s) { return s.semantic == semantic; });
+  return it == slices_.end() ? nullptr : &*it;
+}
+
+std::vector<softnic::SemanticId> CompiledLayout::provided() const {
+  std::vector<softnic::SemanticId> out;
+  for (const FieldSlice& s : slices_) {
+    if (s.semantic) {
+      out.push_back(*s.semantic);
+    }
+  }
+  return out;
+}
+
+void CompiledLayout::serialize(std::span<std::uint8_t> out,
+                               std::span<const std::uint64_t> values) const {
+  if (out.size() < total_bytes()) {
+    throw Error(ErrorKind::layout, "completion buffer too small for layout '" +
+                                       path_id_ + "'");
+  }
+  if (values.size() != slices_.size()) {
+    throw Error(ErrorKind::layout,
+                "serialize: expected " + std::to_string(slices_.size()) +
+                    " values, got " + std::to_string(values.size()));
+  }
+  std::fill(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(total_bytes()), 0);
+  for (std::size_t i = 0; i < slices_.size(); ++i) {
+    const FieldSlice& s = slices_[i];
+    const std::uint64_t value = s.fixed_value.value_or(values[i]);
+    write_bits(out, s.byte_offset(), s.bit_offset(), s.bit_width, endian_, value);
+  }
+}
+
+std::uint64_t CompiledLayout::read_slice(std::span<const std::uint8_t> record,
+                                         std::size_t index) const {
+  const FieldSlice& s = slices_.at(index);
+  return read_bits(record, s.byte_offset(), s.bit_offset(), s.bit_width, endian_);
+}
+
+std::uint64_t CompiledLayout::read(std::span<const std::uint8_t> record,
+                                   softnic::SemanticId semantic) const {
+  const FieldSlice* s = find(semantic);
+  if (s == nullptr) {
+    throw Error(ErrorKind::layout, "layout '" + path_id_ +
+                                       "' does not provide semantic id " +
+                                       std::to_string(softnic::raw(semantic)));
+  }
+  return read_bits(record, s->byte_offset(), s->bit_offset(), s->bit_width, endian_);
+}
+
+CompiledLayout pack_layout(std::string nic_name, std::string path_id,
+                           Endian endian, std::vector<FieldSlice> pieces) {
+  std::size_t bit_pos = 0;
+  for (FieldSlice& s : pieces) {
+    if (s.bit_width == 0 || s.bit_width > 64) {
+      throw Error(ErrorKind::layout,
+                  "field '" + s.name + "' has invalid width " +
+                      std::to_string(s.bit_width));
+    }
+    // A slice is read through one 64-bit window: (bit_pos % 8) + width <= 64.
+    if ((bit_pos % 8) + s.bit_width > 64) {
+      throw Error(ErrorKind::layout,
+                  "field '" + s.name + "' (" + std::to_string(s.bit_width) +
+                      " bits) would start at bit " + std::to_string(bit_pos) +
+                      " and exceed the 64-bit access window; align it to a "
+                      "byte boundary in the deparser");
+    }
+    s.bit_start = bit_pos;
+    bit_pos += s.bit_width;
+  }
+  return CompiledLayout(std::move(nic_name), std::move(path_id), endian,
+                        std::move(pieces));
+}
+
+}  // namespace opendesc::core

@@ -1,0 +1,84 @@
+// Compiled completion layouts: the binary contract a chosen completion path
+// defines between NIC and host (§5 of DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "softnic/semantics.hpp"
+
+namespace opendesc::core {
+
+/// One contiguous bit field of a completion record.
+struct FieldSlice {
+  std::string name;                                ///< P4 field name
+  std::optional<softnic::SemanticId> semantic;     ///< nullopt = status/padding
+  std::size_t bit_start = 0;                       ///< from start of record
+  std::size_t bit_width = 0;
+  std::optional<std::uint64_t> fixed_value;        ///< @fixed(n) fields
+
+  [[nodiscard]] std::size_t byte_offset() const noexcept { return bit_start / 8; }
+  [[nodiscard]] std::size_t bit_offset() const noexcept { return bit_start % 8; }
+};
+
+/// The completion record layout selected for one (NIC, intent) pair.
+class CompiledLayout {
+ public:
+  CompiledLayout() = default;
+  CompiledLayout(std::string nic_name, std::string path_id, Endian endian,
+                 std::vector<FieldSlice> slices);
+
+  [[nodiscard]] const std::string& nic_name() const noexcept { return nic_name_; }
+  [[nodiscard]] const std::string& path_id() const noexcept { return path_id_; }
+  [[nodiscard]] Endian endian() const noexcept { return endian_; }
+  [[nodiscard]] const std::vector<FieldSlice>& slices() const noexcept {
+    return slices_;
+  }
+
+  /// Size of the record in bits / bytes (bytes rounded up).
+  [[nodiscard]] std::size_t total_bits() const noexcept { return total_bits_; }
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return bits_to_bytes(total_bits_);
+  }
+
+  /// Slice carrying `semantic`; nullptr when the path does not provide it.
+  [[nodiscard]] const FieldSlice* find(softnic::SemanticId semantic) const noexcept;
+
+  /// Every semantic this layout provides.
+  [[nodiscard]] std::vector<softnic::SemanticId> provided() const;
+
+  /// Serializes one completion record: values[i] corresponds to the i-th
+  /// slice (fixed-value slices may pass any value; the fixed value wins;
+  /// padding slices take the given raw value, normally 0).
+  /// `out` must be at least total_bytes() long.
+  void serialize(std::span<std::uint8_t> out,
+                 std::span<const std::uint64_t> values) const;
+
+  /// Reads the slice at `index` from a completion record.
+  [[nodiscard]] std::uint64_t read_slice(std::span<const std::uint8_t> record,
+                                         std::size_t index) const;
+
+  /// Reads the slice carrying `semantic`; throws Error(layout) when absent.
+  [[nodiscard]] std::uint64_t read(std::span<const std::uint8_t> record,
+                                   softnic::SemanticId semantic) const;
+
+ private:
+  std::string nic_name_;
+  std::string path_id_;
+  Endian endian_ = Endian::little;
+  std::vector<FieldSlice> slices_;
+  std::size_t total_bits_ = 0;
+};
+
+/// Packs `pieces` sequentially from bit 0 and returns the layout.
+/// Throws Error(layout) when a >56-bit field would start unaligned (the
+/// bit-slice machinery reads through a single 64-bit window).
+[[nodiscard]] CompiledLayout pack_layout(std::string nic_name, std::string path_id,
+                                         Endian endian,
+                                         std::vector<FieldSlice> pieces);
+
+}  // namespace opendesc::core

@@ -1,0 +1,92 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace opendesc::core {
+
+double effective_cost(const Intent& intent, const softnic::CostTable& costs,
+                      softnic::SemanticId semantic) {
+  for (const IntentField& f : intent.fields) {
+    if (f.semantic == semantic && f.cost_override) {
+      return *f.cost_override;
+    }
+  }
+  return costs.cost(semantic);
+}
+
+PathScore score_path(const CompletionPath& path, std::size_t index,
+                     const Intent& intent, const softnic::CostTable& costs,
+                     const OptimizerOptions& options) {
+  PathScore score;
+  score.path_index = index;
+  for (const softnic::SemanticId s : intent.requested()) {
+    if (!path.provides(s)) {
+      score.missing.insert(s);
+      score.softnic_cost += effective_cost(intent, costs, s);
+    }
+  }
+  score.dma_cost =
+      options.dma_weight_per_byte * static_cast<double>(path.size_bytes());
+  return score;
+}
+
+std::vector<PathScore> rank_paths(const std::vector<CompletionPath>& paths,
+                                  const Intent& intent,
+                                  const softnic::CostTable& costs,
+                                  const OptimizerOptions& options) {
+  std::vector<PathScore> scores;
+  scores.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    scores.push_back(score_path(paths[i], i, intent, costs, options));
+  }
+  std::stable_sort(scores.begin(), scores.end(),
+                   [&](const PathScore& a, const PathScore& b) {
+                     if (a.total() != b.total()) {
+                       return a.total() < b.total();
+                     }
+                     const std::size_t size_a = paths[a.path_index].size_bits;
+                     const std::size_t size_b = paths[b.path_index].size_bits;
+                     if (size_a != size_b) {
+                       return size_a < size_b;
+                     }
+                     return a.path_index < b.path_index;
+                   });
+  return scores;
+}
+
+PathScore choose_path(const std::vector<CompletionPath>& paths,
+                      const Intent& intent, const softnic::CostTable& costs,
+                      const softnic::SemanticRegistry& registry,
+                      const OptimizerOptions& options) {
+  if (paths.empty()) {
+    throw Error(ErrorKind::unsatisfiable,
+                "the NIC description exposes no feasible completion path");
+  }
+  const std::vector<PathScore> ranked = rank_paths(paths, intent, costs, options);
+  const PathScore& best = ranked.front();
+  if (!best.satisfiable()) {
+    // Name the semantics that are infinite on every path to guide the user.
+    std::string names;
+    for (const softnic::SemanticId s : intent.requested()) {
+      const bool on_some_path =
+          std::any_of(paths.begin(), paths.end(),
+                      [&](const CompletionPath& p) { return p.provides(s); });
+      if (!on_some_path && effective_cost(intent, costs, s) >= softnic::kInfiniteCost) {
+        if (!names.empty()) {
+          names += ", ";
+        }
+        names += registry.name(s);
+      }
+    }
+    throw Error(ErrorKind::unsatisfiable,
+                "no completion path can satisfy the intent: semantic(s) {" +
+                    names +
+                    "} are not provided by any path and have no software "
+                    "fallback (w = infinity)");
+  }
+  return best;
+}
+
+}  // namespace opendesc::core

@@ -1,0 +1,67 @@
+// The path-selection optimization of §4 step 3 (Eq. 1):
+//
+//     min_{p ∈ Paths(G)}  Σ_{s ∈ Req \ Prov(p)} w(s)  +  α · Size(p)
+//
+// The first term is the SoftNIC (software fallback) cost of every requested
+// semantic the path does not provide; the second is the DMA completion
+// footprint, weighted by α (cost per byte).  A program is rejected as
+// unsatisfiable when some requested semantic has w(s) = ∞ on every path.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/intent.hpp"
+#include "core/paths.hpp"
+#include "softnic/cost.hpp"
+
+namespace opendesc::core {
+
+/// Optimizer knobs.
+struct OptimizerOptions {
+  /// α — cost (ns-equivalents) per completion byte DMAed to the host.
+  double dma_weight_per_byte = 1.0;
+};
+
+/// Score of one candidate path against one intent.
+struct PathScore {
+  std::size_t path_index = 0;
+  double softnic_cost = 0.0;  ///< Σ w(s) over missing requested semantics
+  double dma_cost = 0.0;      ///< α · Size(p) in bytes
+  std::set<softnic::SemanticId> missing;  ///< Req \ Prov(p)
+
+  [[nodiscard]] double total() const noexcept { return softnic_cost + dma_cost; }
+  [[nodiscard]] bool satisfiable() const noexcept {
+    return softnic_cost < softnic::kInfiniteCost;
+  }
+};
+
+/// Effective cost table: the global CostTable with the intent's per-field
+/// @cost overrides applied.
+[[nodiscard]] double effective_cost(const Intent& intent,
+                                    const softnic::CostTable& costs,
+                                    softnic::SemanticId semantic);
+
+/// Scores one path (Eq. 1 with the given α).
+[[nodiscard]] PathScore score_path(const CompletionPath& path, std::size_t index,
+                                   const Intent& intent,
+                                   const softnic::CostTable& costs,
+                                   const OptimizerOptions& options);
+
+/// Scores every path and returns them sorted best-first (ties broken toward
+/// smaller completions, then lower index for determinism).
+[[nodiscard]] std::vector<PathScore> rank_paths(
+    const std::vector<CompletionPath>& paths, const Intent& intent,
+    const softnic::CostTable& costs, const OptimizerOptions& options = {});
+
+/// Picks the optimal path p*.  Throws Error(unsatisfiable) when `paths` is
+/// empty or every path leaves some infinite-cost semantic unprovided; the
+/// message names the offending semantics.
+[[nodiscard]] PathScore choose_path(const std::vector<CompletionPath>& paths,
+                                    const Intent& intent,
+                                    const softnic::CostTable& costs,
+                                    const softnic::SemanticRegistry& registry,
+                                    const OptimizerOptions& options = {});
+
+}  // namespace opendesc::core

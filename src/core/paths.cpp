@@ -1,0 +1,151 @@
+#include "core/paths.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "p4/pretty.hpp"
+
+namespace opendesc::core {
+
+std::string CompletionPath::describe(
+    const softnic::SemanticRegistry& registry) const {
+  std::ostringstream out;
+  out << id << ": {";
+  bool first = true;
+  for (const softnic::SemanticId s : provided) {
+    if (!first) out << ", ";
+    out << registry.name(s);
+    first = false;
+  }
+  out << "} " << size_bytes() << "B";
+  if (!branch_trace.empty()) {
+    out << "  [";
+    for (std::size_t i = 0; i < branch_trace.size(); ++i) {
+      if (i != 0) out << " && ";
+      out << branch_trace[i];
+    }
+    out << "]";
+  }
+  return out.str();
+}
+
+namespace {
+
+class PathWalker {
+ public:
+  PathWalker(const Cfg& cfg, const PathEnumOptions& options)
+      : cfg_(cfg), options_(options) {}
+
+  std::vector<CompletionPath> run() {
+    p4::ConstraintSet root(options_.consts);
+    for (const auto& [path, max] : options_.variable_bounds) {
+      if (!root.bound(path, max)) {
+        return {};  // impossible bounds: no feasible path at all
+      }
+    }
+    walk(cfg_.entry_id(), {}, root, {});
+    return std::move(paths_);
+  }
+
+ private:
+  void walk(std::size_t node_id, std::vector<std::size_t> emitted,
+            p4::ConstraintSet constraints, std::vector<std::string> trace) {
+    const CfgNode& node = cfg_.node(node_id);
+
+    if (node.kind == CfgNodeKind::emit && !node.pieces.empty()) {
+      emitted.push_back(node_id);
+    }
+    if (node.kind == CfgNodeKind::exit) {
+      finish(std::move(emitted), std::move(constraints), std::move(trace));
+      return;
+    }
+
+    const std::vector<const CfgEdge*> succ = cfg_.successors(node_id);
+    if (succ.empty()) {
+      // Malformed graph; treat the dangling node as an exit.
+      finish(std::move(emitted), std::move(constraints), std::move(trace));
+      return;
+    }
+
+    for (const CfgEdge* edge : succ) {
+      p4::ConstraintSet next = constraints;
+      std::vector<std::string> next_trace = trace;
+      if (edge->polarity.has_value() && node.predicate != nullptr) {
+        if (!next.assume(*node.predicate, *edge->polarity) &&
+            options_.prune_infeasible) {
+          continue;  // infeasible branch: prune
+        }
+        next_trace.push_back((*edge->polarity ? "" : "!(") +
+                             p4::to_source(*node.predicate) +
+                             (*edge->polarity ? "" : ")"));
+      }
+      walk(edge->to, emitted, std::move(next), std::move(next_trace));
+    }
+  }
+
+  void finish(std::vector<std::size_t> emitted, p4::ConstraintSet constraints,
+              std::vector<std::string> trace) {
+    if (paths_.size() >= options_.max_paths) {
+      throw Error(ErrorKind::internal,
+                  "completion path explosion: more than " +
+                      std::to_string(options_.max_paths) + " paths");
+    }
+    CompletionPath path;
+    path.id = "path" + std::to_string(paths_.size());
+    path.node_ids = std::move(emitted);
+    for (const std::size_t id : path.node_ids) {
+      const CfgNode& node = cfg_.node(id);
+      for (const EmitPiece& piece : node.pieces) {
+        path.pieces.push_back(piece);
+        if (piece.semantic) {
+          path.provided.insert(*piece.semantic);
+        }
+        path.size_bits += piece.bit_width;
+      }
+    }
+    path.constraints = std::move(constraints);
+    path.branch_trace = std::move(trace);
+    paths_.push_back(std::move(path));
+  }
+
+  const Cfg& cfg_;
+  const PathEnumOptions& options_;
+  std::vector<CompletionPath> paths_;
+};
+
+}  // namespace
+
+std::vector<CompletionPath> enumerate_paths(const Cfg& cfg,
+                                            const PathEnumOptions& options) {
+  PathWalker walker(cfg, options);
+  return walker.run();
+}
+
+std::map<std::string, std::uint64_t> context_bounds(
+    const p4::Program& program, const p4::TypeInfo& types,
+    const p4::ControlDecl& deparser) {
+  std::map<std::string, std::uint64_t> bounds;
+  for (const p4::Param& param : deparser.params()) {
+    if (param.type.kind != p4::TypeRef::Kind::named) {
+      continue;
+    }
+    const p4::StructLikeDecl* decl = program.find_header(param.type.name);
+    if (decl == nullptr) {
+      decl = program.find_struct(param.type.name);
+    }
+    if (decl == nullptr) {
+      continue;  // channel types / type params carry no fields
+    }
+    for (const p4::FieldDecl& field : decl->fields()) {
+      const std::size_t width = types.field_width(field);
+      if (width == 0 || width > 63) {
+        continue;  // full-range variable: no useful bound
+      }
+      const std::uint64_t max = (std::uint64_t{1} << width) - 1;
+      bounds[param.name + "." + field.name] = max;
+    }
+  }
+  return bounds;
+}
+
+}  // namespace opendesc::core

@@ -1,0 +1,67 @@
+// Completion-path enumeration and characterization (§4 step 2).
+//
+// A completion path p = (v0, ..., vk) is a feasible root-to-leaf walk of the
+// deparser CFG.  Each path is characterized by
+//     Prov(p) = ∪ sem(v_i)      (the semantics the NIC emits on this path)
+//     Size(p) = Σ size(v_i)     (the DMA completion footprint)
+// Infeasible walks — whose branch predicates contradict each other or the
+// declared widths of the context fields — are pruned with the symbolic
+// ConstraintSet machinery.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/cfg.hpp"
+#include "p4/eval.hpp"
+
+namespace opendesc::core {
+
+/// One feasible completion path.
+struct CompletionPath {
+  std::string id;                          ///< "path0", "path1", ... stable order
+  std::vector<std::size_t> node_ids;       ///< emit vertices, in emit order
+  std::vector<EmitPiece> pieces;           ///< flattened emit pieces
+  std::set<softnic::SemanticId> provided;  ///< Prov(p)
+  std::size_t size_bits = 0;               ///< Size(p) in bits
+  p4::ConstraintSet constraints;           ///< context constraints of the walk
+  std::vector<std::string> branch_trace;   ///< human-readable predicate trail
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return (size_bits + 7) / 8;
+  }
+  [[nodiscard]] bool provides(softnic::SemanticId s) const {
+    return provided.contains(s);
+  }
+  /// "path2: {rss, ip_checksum} 8B  [ctx.use_rss=1]"
+  [[nodiscard]] std::string describe(const softnic::SemanticRegistry& registry) const;
+};
+
+/// Enumeration options.
+struct PathEnumOptions {
+  /// Known constants visible to branch predicates.
+  p4::ConstEnv consts;
+  /// Width bounds of context variables ("ctx.cmpt_size" → max value).
+  std::map<std::string, std::uint64_t> variable_bounds;
+  /// Safety valve for pathological deparsers.
+  std::size_t max_paths = 1 << 20;
+  /// Disable symbolic feasibility pruning (ablation: enumerate every
+  /// syntactic root-to-leaf walk, contradictory or not).
+  bool prune_infeasible = true;
+};
+
+/// Enumerates every feasible completion path of `cfg` in deterministic
+/// order (true branches explored first).  Throws Error(internal) when the
+/// path count exceeds options.max_paths.
+[[nodiscard]] std::vector<CompletionPath> enumerate_paths(
+    const Cfg& cfg, const PathEnumOptions& options = {});
+
+/// Convenience: derives variable_bounds from the deparser's context
+/// parameters (each bit<w> field of every `in` struct parameter that is not
+/// the metadata source gets the bound 2^w - 1).
+[[nodiscard]] std::map<std::string, std::uint64_t> context_bounds(
+    const p4::Program& program, const p4::TypeInfo& types,
+    const p4::ControlDecl& deparser);
+
+}  // namespace opendesc::core

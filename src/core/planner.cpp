@@ -1,0 +1,132 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace opendesc::core {
+
+using softnic::SemanticId;
+
+std::string to_string(Placement p) {
+  switch (p) {
+    case Placement::pipeline: return "pipeline";
+    case Placement::software: return "software";
+    case Placement::rejected: return "rejected";
+  }
+  return "unknown";
+}
+
+FeatureLibrary::FeatureLibrary() {
+  // Stage costs loosely track implementation complexity: hashes burn more
+  // match-action stages than header-field copies; payload-inspecting
+  // features (KV key extraction) need a parser extension + hash.
+  const auto reg = [&](SemanticId id, std::uint32_t stages) {
+    features_[softnic::raw(id)] = FeatureInfo{true, stages};
+  };
+  reg(SemanticId::rss_hash, 3);
+  reg(SemanticId::rss_type, 1);
+  reg(SemanticId::ip_csum_ok, 1);
+  reg(SemanticId::l4_csum_ok, 2);
+  reg(SemanticId::ip_checksum, 1);
+  reg(SemanticId::l4_checksum, 2);
+  reg(SemanticId::ip_id, 1);
+  reg(SemanticId::vlan_tci, 1);
+  reg(SemanticId::vlan_stripped, 1);
+  reg(SemanticId::flow_id, 2);
+  reg(SemanticId::packet_type, 1);
+  reg(SemanticId::pkt_len, 1);
+  reg(SemanticId::kv_key_hash, 4);
+  // timestamp / queue_id / seq_no / mark / lro_seg_count are NIC-state or
+  // clock features: they cannot be synthesized from a P4 reference
+  // implementation into someone else's pipeline.
+}
+
+FeatureInfo FeatureLibrary::info(SemanticId id) const {
+  const auto it = features_.find(softnic::raw(id));
+  return it == features_.end() ? FeatureInfo{} : it->second;
+}
+
+void FeatureLibrary::register_feature(SemanticId id, FeatureInfo info) {
+  features_[softnic::raw(id)] = info;
+}
+
+std::string OffloadPlan::describe() const {
+  std::ostringstream out;
+  out << "Offload plan: " << stages_used << "/" << stages_budget
+      << " pipeline stage(s) used, host cost " << software_cost_before_ns
+      << " -> " << software_cost_after_ns << " ns/pkt\n";
+  for (const PlannedOffload& o : offloads) {
+    out << "  " << o.semantic_name << ": " << to_string(o.placement);
+    if (o.placement == Placement::pipeline) {
+      out << " (" << o.stages << " stage(s), saves " << o.software_cost_ns
+          << " ns/pkt)";
+    } else if (o.placement == Placement::software) {
+      out << " (w=" << o.software_cost_ns << " ns/pkt)";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+OffloadPlan plan_offloads(const std::vector<SoftNicShim>& shims,
+                          nic::NicClass nic_class, const FeatureLibrary& library,
+                          const PlannerOptions& options) {
+  OffloadPlan plan;
+  plan.stages_budget = nic_class == nic::NicClass::programmable
+                           ? options.pipeline_stage_budget
+                       : nic_class == nic::NicClass::partial
+                           ? options.pipeline_stage_budget / 2
+                           : 0;
+
+  // Start with everything in software.
+  for (const SoftNicShim& shim : shims) {
+    PlannedOffload o;
+    o.semantic = shim.semantic;
+    o.semantic_name = shim.semantic_name;
+    o.software_cost_ns = shim.cost_ns;
+    o.placement = shim.cost_ns >= softnic::kInfiniteCost ? Placement::rejected
+                                                         : Placement::software;
+    plan.offloads.push_back(std::move(o));
+    if (shim.cost_ns < softnic::kInfiniteCost) {
+      plan.software_cost_before_ns += shim.cost_ns;
+    }
+  }
+  plan.software_cost_after_ns = plan.software_cost_before_ns;
+  if (plan.stages_budget == 0) {
+    return plan;  // fixed-function: software is the only option
+  }
+
+  // Greedy: push the features with the highest software cost per stage
+  // first (classic knapsack heuristic; the sets are tiny).
+  std::vector<PlannedOffload*> candidates;
+  for (PlannedOffload& o : plan.offloads) {
+    const FeatureInfo feature = library.info(o.semantic);
+    if (feature.has_reference_impl && feature.pipeline_stages > 0) {
+      o.stages = feature.pipeline_stages;
+      candidates.push_back(&o);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const PlannedOffload* a, const PlannedOffload* b) {
+              const double density_a =
+                  a->software_cost_ns / static_cast<double>(a->stages);
+              const double density_b =
+                  b->software_cost_ns / static_cast<double>(b->stages);
+              if (density_a != density_b) {
+                return density_a > density_b;
+              }
+              return a->semantic_name < b->semantic_name;  // determinism
+            });
+
+  for (PlannedOffload* o : candidates) {
+    if (plan.stages_used + o->stages > plan.stages_budget) {
+      continue;
+    }
+    o->placement = Placement::pipeline;
+    plan.stages_used += o->stages;
+    plan.software_cost_after_ns -= o->software_cost_ns;
+  }
+  return plan;
+}
+
+}  // namespace opendesc::core

@@ -1,0 +1,89 @@
+// Offload placement planning (§2 + §5).
+//
+// "Missing features are implemented in software, or pushed to the
+// programmable pipeline if available."  The paper's prototype stops at
+// listing the missing features; this module implements the next step it
+// sketches: given the SoftNIC shims of a compilation, the NIC's
+// programmability class, and a feature library saying which semantics have
+// reference implementations compilable to a pipeline (Lyra/P4FPGA/DPL-style
+// backends), produce a *placement plan* under a match-action resource
+// budget — the Pipeleon/P4All-flavoured constraint of §5.
+#pragma once
+
+#include <vector>
+
+#include "core/codegen.hpp"
+#include "nic/model.hpp"
+#include "softnic/cost.hpp"
+
+namespace opendesc::core {
+
+/// Where one missing semantic ends up.
+enum class Placement : std::uint8_t {
+  pipeline,  ///< synthesized into the NIC's programmable pipeline
+  software,  ///< SoftNIC shim on the host
+  rejected,  ///< no implementation anywhere (should have failed Eq. 1)
+};
+
+[[nodiscard]] std::string to_string(Placement p);
+
+/// What the feature library knows about one semantic.
+struct FeatureInfo {
+  bool has_reference_impl = false;  ///< reference P4 exists, compilable
+  std::uint32_t pipeline_stages = 0; ///< match-action stages it consumes
+};
+
+/// Library of reference implementations.  Builtins are pre-registered with
+/// stage costs mirroring their complexity (hashing > parsing > field
+/// copies); extensions default to "no reference implementation" until
+/// registered — matching the paper's requirement that every feature ship a
+/// reference implementation to be offloadable.
+class FeatureLibrary {
+ public:
+  FeatureLibrary();
+
+  [[nodiscard]] FeatureInfo info(softnic::SemanticId id) const;
+  void register_feature(softnic::SemanticId id, FeatureInfo info);
+
+ private:
+  std::map<std::uint32_t, FeatureInfo> features_;
+};
+
+/// One planned placement.
+struct PlannedOffload {
+  softnic::SemanticId semantic{};
+  std::string semantic_name;
+  Placement placement = Placement::software;
+  double software_cost_ns = 0.0;  ///< w(s), what pipeline placement saves
+  std::uint32_t stages = 0;       ///< pipeline stages consumed (if placed)
+};
+
+/// Full plan for one compilation.
+struct OffloadPlan {
+  std::vector<PlannedOffload> offloads;
+  std::uint32_t stages_used = 0;
+  std::uint32_t stages_budget = 0;
+  double software_cost_before_ns = 0.0;  ///< Σ w(s) with everything in software
+  double software_cost_after_ns = 0.0;   ///< Σ w(s) still on the host
+
+  [[nodiscard]] std::string describe() const;
+};
+
+struct PlannerOptions {
+  /// Match-action stages available to *this* application's features (after
+  /// the fixed pipeline), Menshen-style per-tenant slice.  Only meaningful
+  /// for partially/fully programmable NICs.
+  std::uint32_t pipeline_stage_budget = 8;
+};
+
+/// Plans placements for the shims of `result` on a NIC of class `nic_class`.
+/// Fixed-function NICs place everything in software.  Programmable classes
+/// greedily push the highest-software-cost features whose reference
+/// implementations fit the remaining stage budget (partial NICs get half
+/// the budget — the fixed pipeline occupies the rest).
+[[nodiscard]] OffloadPlan plan_offloads(const std::vector<SoftNicShim>& shims,
+                                        nic::NicClass nic_class,
+                                        const FeatureLibrary& library,
+                                        const PlannerOptions& options = {});
+
+}  // namespace opendesc::core

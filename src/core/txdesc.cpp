@@ -1,0 +1,320 @@
+#include "core/txdesc.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "p4/parser.hpp"
+#include "p4/pretty.hpp"
+
+namespace opendesc::core {
+
+namespace {
+
+[[noreturn]] void fail(const p4::SourceLocation& at, const std::string& message) {
+  throw Error(ErrorKind::type, p4::to_string(at) + ": " + message);
+}
+
+/// Walks the parser state machine collecting descriptor formats.
+class FormatWalker {
+ public:
+  FormatWalker(const p4::Program& program, const p4::TypeInfo& types,
+               const p4::ParserDecl& parser,
+               const softnic::SemanticRegistry& registry,
+               const TxDescOptions& options)
+      : program_(program), types_(types), parser_(parser), registry_(registry),
+        options_(options) {}
+
+  std::vector<CompletionPath> run() {
+    const p4::ParserState* start = parser_.find_state("start");
+    if (start == nullptr) {
+      fail(parser_.location(), "descriptor parser has no start state");
+    }
+    walk(*start, {}, p4::ConstraintSet(options_.consts), {}, {});
+    return std::move(formats_);
+  }
+
+ private:
+  const p4::Param* find_param(const std::string& name) const {
+    for (const p4::Param& p : parser_.params()) {
+      if (p.name == name) {
+        return &p;
+      }
+    }
+    return nullptr;
+  }
+
+  const p4::StructLikeDecl* param_struct(const p4::Param& param) const {
+    if (param.type.kind != p4::TypeRef::Kind::named) {
+      return nullptr;
+    }
+    if (const auto* header = program_.find_header(param.type.name)) {
+      return header;
+    }
+    return program_.find_struct(param.type.name);
+  }
+
+  EmitPiece piece_from_field(const std::string& header_name,
+                             const p4::FieldDecl& field) const {
+    EmitPiece piece;
+    piece.field_name = field.name;
+    piece.bit_width = types_.field_width(field);
+    if (const auto* sem = p4::find_annotation(field.annotations, "semantic")) {
+      const auto id = registry_.find(sem->string_arg());
+      if (!id) {
+        fail(field.location, "unknown @semantic(\"" + sem->string_arg() +
+                                 "\") in header '" + header_name + "'");
+      }
+      piece.semantic = *id;
+    }
+    if (const auto* fixed = p4::find_annotation(field.annotations, "fixed")) {
+      piece.fixed_value = fixed->int_arg();
+    }
+    return piece;
+  }
+
+  /// Decodes a `d.extract(target)` statement into the extracted pieces.
+  /// `target` must be an `out` parameter (or a member-designated header of
+  /// one).  Returns empty when the statement is not an extract.
+  std::vector<EmitPiece> decode_extract(const p4::Stmt& stmt) const {
+    if (stmt.kind() != p4::StmtKind::method_call) {
+      return {};
+    }
+    const auto& call = static_cast<const p4::MethodCallStmt&>(stmt).call();
+    if (call.callee().kind() != p4::ExprKind::member) {
+      return {};
+    }
+    const auto& member = static_cast<const p4::MemberExpr&>(call.callee());
+    if (member.member() != "extract") {
+      return {};
+    }
+    if (call.args().size() != 1) {
+      fail(call.location(), "extract expects exactly one argument");
+    }
+    const std::string path = p4::dotted_path(*call.args()[0]);
+    const std::size_t dot = path.find('.');
+    const std::string base =
+        path.substr(0, dot == std::string::npos ? path.size() : dot);
+    const p4::Param* param = find_param(base);
+    if (param == nullptr) {
+      fail(call.location(), "extract into unknown parameter '" + base + "'");
+    }
+    const p4::StructLikeDecl* decl = param_struct(*param);
+    if (decl == nullptr) {
+      fail(call.location(),
+           "extract target '" + base + "' has no header type declaration");
+    }
+    std::vector<EmitPiece> pieces;
+    for (const p4::FieldDecl& field : decl->fields()) {
+      pieces.push_back(piece_from_field(decl->name(), field));
+    }
+    return pieces;
+  }
+
+  void walk(const p4::ParserState& state, std::vector<EmitPiece> pieces,
+            p4::ConstraintSet constraints, std::vector<std::string> trace,
+            std::set<std::string> visited) {
+    if (!visited.insert(state.name).second) {
+      fail(state.location, "descriptor parser state cycle through '" +
+                               state.name + "'");
+    }
+    for (const p4::StmtPtr& stmt : state.statements) {
+      std::vector<EmitPiece> extracted = decode_extract(*stmt);
+      pieces.insert(pieces.end(), std::make_move_iterator(extracted.begin()),
+                    std::make_move_iterator(extracted.end()));
+    }
+
+    const auto go = [&](const std::string& next, p4::ConstraintSet next_cs,
+                        std::vector<std::string> next_trace) {
+      if (next == p4::kAcceptState) {
+        finish(pieces, std::move(next_cs), std::move(next_trace));
+        return;
+      }
+      if (next == p4::kRejectState) {
+        return;  // rejected walks are not formats
+      }
+      const p4::ParserState* target = parser_.find_state(next);
+      if (target == nullptr) {
+        fail(state.location, "transition to unknown state '" + next + "'");
+      }
+      walk(*target, pieces, std::move(next_cs), std::move(next_trace), visited);
+    };
+
+    if (!state.direct_next.empty()) {
+      go(state.direct_next, constraints, trace);
+      return;
+    }
+    if (!state.has_select()) {
+      // No transition at all: P4 semantics treat it as reject.
+      return;
+    }
+    if (state.select_keys.size() != 1) {
+      fail(state.location,
+           "OpenDesc descriptor parsers support single-key selects");
+    }
+    const p4::Expr& key = *state.select_keys[0];
+    const std::string key_path = p4::dotted_path(key);
+
+    // Track which values earlier cases consumed, so `default` can at least
+    // be annotated (it remains unconstrained in the solver — conservative).
+    for (const p4::SelectCase& c : state.cases) {
+      p4::ConstraintSet next_cs = constraints;
+      std::vector<std::string> next_trace = trace;
+      if (c.key != nullptr) {
+        const auto value = p4::try_evaluate(*c.key, options_.consts);
+        if (!value) {
+          fail(c.location, "select keyset must be a compile-time constant");
+        }
+        if (!key_path.empty()) {
+          // key == value as a constraint; prune contradictions.
+          bool ok = next_cs.bound(key_path, ~std::uint64_t{0});
+          (void)ok;
+          const p4::ExprPtr synth = p4::parse_expression(
+              key_path + " == " + std::to_string(*value));
+          if (!next_cs.assume(*synth, true)) {
+            continue;
+          }
+        }
+        next_trace.push_back(p4::to_source(key) + " == " +
+                             std::to_string(*value));
+      } else {
+        next_trace.push_back(p4::to_source(key) + " == default");
+      }
+      go(c.next_state, std::move(next_cs), std::move(next_trace));
+    }
+  }
+
+  void finish(std::vector<EmitPiece> pieces, p4::ConstraintSet constraints,
+              std::vector<std::string> trace) {
+    if (formats_.size() >= options_.max_formats) {
+      throw Error(ErrorKind::internal, "descriptor format explosion");
+    }
+    CompletionPath format;
+    format.id = "fmt" + std::to_string(formats_.size());
+    for (const EmitPiece& piece : pieces) {
+      if (piece.semantic) {
+        format.provided.insert(*piece.semantic);
+      }
+      format.size_bits += piece.bit_width;
+    }
+    format.pieces = std::move(pieces);
+    format.constraints = std::move(constraints);
+    format.branch_trace = std::move(trace);
+    formats_.push_back(std::move(format));
+  }
+
+  const p4::Program& program_;
+  const p4::TypeInfo& types_;
+  const p4::ParserDecl& parser_;
+  const softnic::SemanticRegistry& registry_;
+  const TxDescOptions& options_;
+  std::vector<CompletionPath> formats_;
+};
+
+}  // namespace
+
+std::vector<CompletionPath> enumerate_tx_formats(
+    const p4::Program& program, const p4::TypeInfo& types,
+    const p4::ParserDecl& desc_parser, const softnic::SemanticRegistry& registry,
+    const TxDescOptions& options) {
+  FormatWalker walker(program, types, desc_parser, registry, options);
+  return walker.run();
+}
+
+Endian desc_parser_endian(const p4::ParserDecl& desc_parser) {
+  const p4::Annotation* a =
+      p4::find_annotation(desc_parser.annotations(), "endian");
+  if (a == nullptr) {
+    return Endian::little;
+  }
+  const std::string& value = a->string_arg();
+  if (value == "big") {
+    return Endian::big;
+  }
+  if (value == "little") {
+    return Endian::little;
+  }
+  throw Error(ErrorKind::type, "@endian must be \"big\" or \"little\"");
+}
+
+namespace {
+
+/// C statements storing the low `width` bits of `v` at the slice position,
+/// mirroring common/bytes.cpp write_bits semantics.
+std::string store_statements(const CompiledLayout& layout,
+                             const FieldSlice& slice) {
+  const std::size_t bo = slice.byte_offset();
+  const std::size_t bit = slice.bit_offset();
+  const std::size_t width = slice.bit_width;
+  const std::size_t span = (bit + width + 7) / 8;
+  const bool little = layout.endian() == Endian::little;
+  const std::size_t shift = little ? bit : 8 * span - bit - width;
+
+  std::ostringstream out;
+  out << "    uint64_t acc = 0;\n";
+  for (std::size_t i = 0; i < span; ++i) {
+    const std::size_t sh = little ? 8 * i : 8 * (span - 1 - i);
+    out << "    acc |= (uint64_t)desc[" << (bo + i) << "]";
+    if (sh != 0) out << " << " << sh;
+    out << ";\n";
+  }
+  out << "    acc &= ~(0x" << std::hex << low_mask(width) << std::dec
+      << "ULL << " << shift << ");\n";
+  out << "    acc |= ((uint64_t)(value & 0x" << std::hex << low_mask(width)
+      << std::dec << "ULL)) << " << shift << ";\n";
+  for (std::size_t i = 0; i < span; ++i) {
+    const std::size_t sh = little ? 8 * i : 8 * (span - 1 - i);
+    out << "    desc[" << (bo + i) << "] = (uint8_t)(acc";
+    if (sh != 0) out << " >> " << sh;
+    out << ");\n";
+  }
+  return out.str();
+}
+
+std::string upper(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string generate_tx_writer_header(const CompiledLayout& layout,
+                                      const softnic::SemanticRegistry& registry,
+                                      const std::string& prefix) {
+  std::ostringstream out;
+  out << "/*\n * Generated by the OpenDesc compiler — DO NOT EDIT.\n"
+      << " * TX descriptor writers for NIC " << layout.nic_name() << ", format "
+      << layout.path_id() << " (" << layout.total_bytes() << " bytes, "
+      << to_string(layout.endian()) << "-endian).\n */\n"
+      << "#pragma once\n\n#include <stdint.h>\n#include <string.h>\n\n"
+      << "#define " << upper(prefix) << "_DESC_SIZE " << layout.total_bytes()
+      << "u\n\n";
+
+  // Initializer: zero + @fixed stamps.
+  out << "static inline void " << prefix << "_desc_init(uint8_t *desc) {\n"
+      << "    memset(desc, 0, " << layout.total_bytes() << ");\n";
+  for (const FieldSlice& slice : layout.slices()) {
+    if (!slice.fixed_value) {
+      continue;
+    }
+    out << "    { /* " << slice.name << " = " << *slice.fixed_value
+        << " (@fixed) */\n"
+        << "    uint64_t value = " << *slice.fixed_value << "ULL;\n"
+        << store_statements(layout, slice) << "    }\n";
+  }
+  out << "}\n";
+
+  for (const FieldSlice& slice : layout.slices()) {
+    const std::string symbol =
+        slice.semantic ? registry.name(*slice.semantic) : slice.name;
+    out << "\n/* " << slice.name << " @ byte " << slice.byte_offset() << " bit "
+        << slice.bit_offset() << ", " << slice.bit_width << " bits */\n"
+        << "static inline void " << prefix << "_set_" << symbol
+        << "(uint8_t *desc, uint64_t value) {\n"
+        << store_statements(layout, slice) << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace opendesc::core

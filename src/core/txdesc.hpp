@@ -1,0 +1,53 @@
+// TX-descriptor analysis: the DescParser side of the contract (Fig. 3).
+//
+// On TX, the *host* is the producer: it posts descriptors the NIC's
+// DescParser interprets.  A NIC's descriptor parser is a P4 parser whose
+// states extract header(s); select() transitions on already-extracted
+// fields choose between descriptor formats (e.g. ixgbe's data vs context
+// descriptors, QDMA's 16/32-byte H2C layouts).
+//
+// The analysis walks the state machine from `start`, collecting the
+// extracted fields of every root-to-accept walk into one *descriptor
+// format*.  Formats deliberately reuse the CompletionPath representation —
+// Prov(p) becomes "TX semantics the NIC understands in this format",
+// Size(p) the posted-descriptor footprint — so the Eq. 1 optimizer and the
+// layout packer apply unchanged; only the roles of producer and consumer
+// swap, exactly as §3 describes.
+#pragma once
+
+#include "core/layout.hpp"
+#include "core/paths.hpp"
+
+namespace opendesc::core {
+
+/// Options for descriptor-format enumeration.
+struct TxDescOptions {
+  /// Known constants visible to select keysets.
+  p4::ConstEnv consts;
+  /// Safety valve for degenerate state machines.
+  std::size_t max_formats = 4096;
+};
+
+/// Enumerates the descriptor formats accepted by `desc_parser`.
+/// Each returned path's `provided` holds the TX semantics of the format,
+/// `pieces` the field layout in extraction order, `constraints`/`branch_trace`
+/// the select keyset that activates it.  Walks ending in `reject` are
+/// dropped.  Throws Error(type) on cycles or malformed extracts.
+[[nodiscard]] std::vector<CompletionPath> enumerate_tx_formats(
+    const p4::Program& program, const p4::TypeInfo& types,
+    const p4::ParserDecl& desc_parser, const softnic::SemanticRegistry& registry,
+    const TxDescOptions& options = {});
+
+/// The endianness a NIC declares on its descriptor parser via
+/// @endian("big"/"little"); little when unannotated.
+[[nodiscard]] Endian desc_parser_endian(const p4::ParserDecl& desc_parser);
+
+/// Generates a C header of *writer* stubs for a chosen TX format: one
+/// `<prefix>_set_<semantic>(uint8_t *desc, uint64_t value)` per field, plus
+/// `<prefix>_desc_init` that zeroes the descriptor and stamps @fixed
+/// fields.  The inverse of the completion accessors.
+[[nodiscard]] std::string generate_tx_writer_header(
+    const CompiledLayout& layout, const softnic::SemanticRegistry& registry,
+    const std::string& prefix);
+
+}  // namespace opendesc::core

@@ -1,0 +1,78 @@
+#include "core/verifier.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace opendesc::core {
+
+std::vector<VerifyIssue> verify_layout(const CompiledLayout& layout,
+                                       const softnic::SemanticRegistry& registry) {
+  std::vector<VerifyIssue> issues;
+  const std::size_t total_bits = layout.total_bytes() * 8;
+
+  // Collect occupied ranges for the overlap check.
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;  // [start, end)
+  for (const FieldSlice& slice : layout.slices()) {
+    const std::size_t end = slice.bit_start + slice.bit_width;
+
+    if (slice.bit_width == 0 || slice.bit_width > 64) {
+      issues.push_back({slice.name, "width " + std::to_string(slice.bit_width) +
+                                        " outside [1, 64]"});
+      continue;
+    }
+    if (end > total_bits) {
+      issues.push_back({slice.name, "slice ends at bit " + std::to_string(end) +
+                                        " beyond record size " +
+                                        std::to_string(total_bits) + " bits"});
+    }
+    if (slice.bit_offset() + slice.bit_width > 64) {
+      issues.push_back(
+          {slice.name,
+           "slice does not fit a 64-bit access window (bit offset " +
+               std::to_string(slice.bit_offset()) + " + width " +
+               std::to_string(slice.bit_width) + " > 64)"});
+    }
+    if (slice.semantic) {
+      const std::size_t declared = registry.bit_width(*slice.semantic);
+      if (declared != slice.bit_width) {
+        issues.push_back(
+            {slice.name, "width " + std::to_string(slice.bit_width) +
+                             " does not match semantic '" +
+                             registry.name(*slice.semantic) + "' declared as " +
+                             std::to_string(declared) + " bits"});
+      }
+    }
+    if (slice.fixed_value && slice.bit_width < 64 &&
+        *slice.fixed_value >= (std::uint64_t{1} << slice.bit_width)) {
+      issues.push_back({slice.name, "@fixed value does not fit the field width"});
+    }
+    ranges.emplace_back(slice.bit_start, end);
+  }
+
+  std::sort(ranges.begin(), ranges.end());
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    if (ranges[i].first < ranges[i - 1].second) {
+      issues.push_back(
+          {"<layout>", "overlapping slices at bit " +
+                           std::to_string(ranges[i].first) + " (previous ends at " +
+                           std::to_string(ranges[i - 1].second) + ")"});
+    }
+  }
+  return issues;
+}
+
+void verify_layout_or_throw(const CompiledLayout& layout,
+                            const softnic::SemanticRegistry& registry) {
+  const std::vector<VerifyIssue> issues = verify_layout(layout, registry);
+  if (issues.empty()) {
+    return;
+  }
+  std::string message = "layout '" + layout.path_id() + "' failed verification:";
+  for (const VerifyIssue& issue : issues) {
+    message += "\n  [" + issue.slice_name + "] " + issue.message;
+  }
+  throw Error(ErrorKind::verification, message);
+}
+
+}  // namespace opendesc::core

@@ -1,0 +1,32 @@
+// Layout verifier.
+//
+// Before a generated layout is allowed on the fast path (unchecked reads),
+// it is verified once: every slice must lie inside the record, fit its
+// 64-bit access window, not overlap any other slice, and match the declared
+// width of its semantic.  This mirrors the paper's point that XDP-style
+// bounded access lets eBPF read descriptors safely — here the bound proof is
+// done ahead of time for the user-level accessors too.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/layout.hpp"
+
+namespace opendesc::core {
+
+/// One verification finding.
+struct VerifyIssue {
+  std::string slice_name;
+  std::string message;
+};
+
+/// Verifies `layout`.  Returns the list of issues (empty = verified).
+[[nodiscard]] std::vector<VerifyIssue> verify_layout(
+    const CompiledLayout& layout, const softnic::SemanticRegistry& registry);
+
+/// Throwing variant: raises Error(verification) listing every issue.
+void verify_layout_or_throw(const CompiledLayout& layout,
+                            const softnic::SemanticRegistry& registry);
+
+}  // namespace opendesc::core

@@ -1,0 +1,75 @@
+#include "net/checksum.hpp"
+
+#include "common/bytes.hpp"
+
+namespace opendesc::net {
+
+void ChecksumAccumulator::add(std::span<const std::uint8_t> data) noexcept {
+  std::size_t i = 0;
+  if (odd_ && !data.empty()) {
+    // Previous range ended mid-word: this byte is the low half of that word.
+    sum_ += data[0];
+    i = 1;
+    odd_ = false;
+  }
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += load_be16(data.data() + i);
+  }
+  if (i < data.size()) {
+    sum_ += std::uint16_t(data[i]) << 8;
+    odd_ = true;
+  }
+}
+
+void ChecksumAccumulator::add_word(std::uint16_t word) noexcept {
+  sum_ += word;
+}
+
+std::uint16_t ChecksumAccumulator::finish() const noexcept {
+  std::uint64_t s = sum_;
+  while (s >> 16) {
+    s = (s & 0xFFFF) + (s >> 16);
+  }
+  return static_cast<std::uint16_t>(~s & 0xFFFF);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  ChecksumAccumulator acc;
+  acc.add(data);
+  return acc.finish();
+}
+
+bool verify_checksum(std::span<const std::uint8_t> data) noexcept {
+  return internet_checksum(data) == 0;
+}
+
+std::uint16_t l4_checksum_ipv4(std::uint32_t src_addr, std::uint32_t dst_addr,
+                               std::uint8_t protocol,
+                               std::span<const std::uint8_t> l4) noexcept {
+  ChecksumAccumulator acc;
+  acc.add_word(static_cast<std::uint16_t>(src_addr >> 16));
+  acc.add_word(static_cast<std::uint16_t>(src_addr));
+  acc.add_word(static_cast<std::uint16_t>(dst_addr >> 16));
+  acc.add_word(static_cast<std::uint16_t>(dst_addr));
+  acc.add_word(protocol);
+  acc.add_word(static_cast<std::uint16_t>(l4.size()));
+  acc.add(l4);
+  return acc.finish();
+}
+
+std::uint16_t l4_checksum_ipv6(std::span<const std::uint8_t> src_addr,
+                               std::span<const std::uint8_t> dst_addr,
+                               std::uint8_t protocol,
+                               std::span<const std::uint8_t> l4) noexcept {
+  ChecksumAccumulator acc;
+  acc.add(src_addr);
+  acc.add(dst_addr);
+  const std::uint32_t len = static_cast<std::uint32_t>(l4.size());
+  acc.add_word(static_cast<std::uint16_t>(len >> 16));
+  acc.add_word(static_cast<std::uint16_t>(len));
+  acc.add_word(protocol);
+  acc.add(l4);
+  return acc.finish();
+}
+
+}  // namespace opendesc::net

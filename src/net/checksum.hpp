@@ -1,0 +1,57 @@
+// RFC 1071 Internet checksum and the TCP/UDP pseudo-header variants.
+//
+// These routines are used in three roles: (1) the workload generator stamps
+// correct checksums on synthesized packets, (2) the simulated NIC "hardware"
+// verifies them to produce csum-ok completion metadata, and (3) the SoftNIC
+// fallback recomputes them on the host when the chosen completion path does
+// not carry checksum results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace opendesc::net {
+
+/// One's-complement running sum that can be folded into a checksum.  Allows
+/// incremental computation over discontiguous regions (pseudo-header + body).
+class ChecksumAccumulator {
+ public:
+  /// Adds a byte range.  Ranges added separately must each start at an even
+  /// offset of the conceptual message; `add` handles a trailing odd byte of
+  /// the *final* range only if no further ranges are added afterwards at odd
+  /// alignment (standard RFC 1071 usage).
+  void add(std::span<const std::uint8_t> data) noexcept;
+
+  /// Adds a 16-bit word in host order.
+  void add_word(std::uint16_t word) noexcept;
+
+  /// Folds carries and returns the one's-complement checksum (host order).
+  [[nodiscard]] std::uint16_t finish() const noexcept;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  ///< previous add() ended on an odd byte
+};
+
+/// Checksum over a single contiguous range (e.g. an IPv4 header with its
+/// checksum field zeroed).
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept;
+
+/// Verifies a range that *includes* its checksum field; returns true when
+/// the folded sum is zero (i.e. the checksum is valid).
+[[nodiscard]] bool verify_checksum(std::span<const std::uint8_t> data) noexcept;
+
+/// TCP/UDP checksum over an IPv4 pseudo-header + L4 segment.
+/// `l4` must include the L4 header with its checksum field zeroed.
+[[nodiscard]] std::uint16_t l4_checksum_ipv4(std::uint32_t src_addr,
+                                             std::uint32_t dst_addr,
+                                             std::uint8_t protocol,
+                                             std::span<const std::uint8_t> l4) noexcept;
+
+/// TCP/UDP checksum over an IPv6 pseudo-header + L4 segment.
+[[nodiscard]] std::uint16_t l4_checksum_ipv6(std::span<const std::uint8_t> src_addr,
+                                             std::span<const std::uint8_t> dst_addr,
+                                             std::uint8_t protocol,
+                                             std::span<const std::uint8_t> l4) noexcept;
+
+}  // namespace opendesc::net

@@ -1,0 +1,180 @@
+#include "net/headers.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace opendesc::net {
+
+namespace {
+
+void require_size(std::size_t actual, std::size_t needed, const char* what) {
+  if (actual < needed) {
+    throw std::out_of_range(std::string(what) + ": buffer too small");
+  }
+}
+
+}  // namespace
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0],
+                bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+MacAddress make_mac(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                    std::uint8_t d, std::uint8_t e, std::uint8_t f) {
+  return MacAddress{{a, b, c, d, e, f}};
+}
+
+void EthernetHeader::serialize(std::span<std::uint8_t> out) const {
+  require_size(out.size(), kWireSize, "EthernetHeader::serialize");
+  std::copy(dst.bytes.begin(), dst.bytes.end(), out.begin());
+  std::copy(src.bytes.begin(), src.bytes.end(), out.begin() + 6);
+  store_be16(out.data() + 12, ethertype);
+}
+
+EthernetHeader EthernetHeader::parse(std::span<const std::uint8_t> in) {
+  require_size(in.size(), kWireSize, "EthernetHeader::parse");
+  EthernetHeader h;
+  std::copy(in.begin(), in.begin() + 6, h.dst.bytes.begin());
+  std::copy(in.begin() + 6, in.begin() + 12, h.src.bytes.begin());
+  h.ethertype = load_be16(in.data() + 12);
+  return h;
+}
+
+void VlanTag::serialize(std::span<std::uint8_t> out) const {
+  require_size(out.size(), kWireSize, "VlanTag::serialize");
+  store_be16(out.data(), tci);
+  store_be16(out.data() + 2, inner_ethertype);
+}
+
+VlanTag VlanTag::parse(std::span<const std::uint8_t> in) {
+  require_size(in.size(), kWireSize, "VlanTag::parse");
+  VlanTag t;
+  t.tci = load_be16(in.data());
+  t.inner_ethertype = load_be16(in.data() + 2);
+  return t;
+}
+
+void Ipv4Header::serialize(std::span<std::uint8_t> out) const {
+  require_size(out.size(), kWireSize, "Ipv4Header::serialize");
+  out[0] = 0x45;  // version 4, IHL 5
+  out[1] = dscp_ecn;
+  store_be16(out.data() + 2, total_length);
+  store_be16(out.data() + 4, identification);
+  store_be16(out.data() + 6, flags_fragment);
+  out[8] = ttl;
+  out[9] = protocol;
+  store_be16(out.data() + 10, header_checksum);
+  store_be32(out.data() + 12, src);
+  store_be32(out.data() + 16, dst);
+}
+
+Ipv4Header Ipv4Header::parse(std::span<const std::uint8_t> in) {
+  require_size(in.size(), kWireSize, "Ipv4Header::parse");
+  if ((in[0] >> 4) != 4) {
+    throw std::invalid_argument("Ipv4Header::parse: not an IPv4 packet");
+  }
+  Ipv4Header h;
+  h.dscp_ecn = in[1];
+  h.total_length = load_be16(in.data() + 2);
+  h.identification = load_be16(in.data() + 4);
+  h.flags_fragment = load_be16(in.data() + 6);
+  h.ttl = in[8];
+  h.protocol = in[9];
+  h.header_checksum = load_be16(in.data() + 10);
+  h.src = load_be32(in.data() + 12);
+  h.dst = load_be32(in.data() + 16);
+  return h;
+}
+
+void Ipv6Header::serialize(std::span<std::uint8_t> out) const {
+  require_size(out.size(), kWireSize, "Ipv6Header::serialize");
+  store_be32(out.data(), (std::uint32_t{6} << 28) | (flow_label & 0xFFFFF));
+  store_be16(out.data() + 4, payload_length);
+  out[6] = next_header;
+  out[7] = hop_limit;
+  std::copy(src.begin(), src.end(), out.begin() + 8);
+  std::copy(dst.begin(), dst.end(), out.begin() + 24);
+}
+
+Ipv6Header Ipv6Header::parse(std::span<const std::uint8_t> in) {
+  require_size(in.size(), kWireSize, "Ipv6Header::parse");
+  const std::uint32_t first = load_be32(in.data());
+  if ((first >> 28) != 6) {
+    throw std::invalid_argument("Ipv6Header::parse: not an IPv6 packet");
+  }
+  Ipv6Header h;
+  h.flow_label = first & 0xFFFFF;
+  h.payload_length = load_be16(in.data() + 4);
+  h.next_header = in[6];
+  h.hop_limit = in[7];
+  std::copy(in.begin() + 8, in.begin() + 24, h.src.begin());
+  std::copy(in.begin() + 24, in.begin() + 40, h.dst.begin());
+  return h;
+}
+
+void TcpHeader::serialize(std::span<std::uint8_t> out) const {
+  require_size(out.size(), kWireSize, "TcpHeader::serialize");
+  store_be16(out.data(), src_port);
+  store_be16(out.data() + 2, dst_port);
+  store_be32(out.data() + 4, seq);
+  store_be32(out.data() + 8, ack);
+  out[12] = 0x50;  // data offset 5 words
+  out[13] = flags;
+  store_be16(out.data() + 14, window);
+  store_be16(out.data() + 16, checksum);
+  store_be16(out.data() + 18, urgent);
+}
+
+TcpHeader TcpHeader::parse(std::span<const std::uint8_t> in) {
+  require_size(in.size(), kWireSize, "TcpHeader::parse");
+  TcpHeader h;
+  h.src_port = load_be16(in.data());
+  h.dst_port = load_be16(in.data() + 2);
+  h.seq = load_be32(in.data() + 4);
+  h.ack = load_be32(in.data() + 8);
+  h.flags = in[13];
+  h.window = load_be16(in.data() + 14);
+  h.checksum = load_be16(in.data() + 16);
+  h.urgent = load_be16(in.data() + 18);
+  return h;
+}
+
+void UdpHeader::serialize(std::span<std::uint8_t> out) const {
+  require_size(out.size(), kWireSize, "UdpHeader::serialize");
+  store_be16(out.data(), src_port);
+  store_be16(out.data() + 2, dst_port);
+  store_be16(out.data() + 4, length);
+  store_be16(out.data() + 6, checksum);
+}
+
+UdpHeader UdpHeader::parse(std::span<const std::uint8_t> in) {
+  require_size(in.size(), kWireSize, "UdpHeader::parse");
+  UdpHeader h;
+  h.src_port = load_be16(in.data());
+  h.dst_port = load_be16(in.data() + 2);
+  h.length = load_be16(in.data() + 4);
+  h.checksum = load_be16(in.data() + 6);
+  return h;
+}
+
+std::uint32_t ipv4_from_string(const std::string& dotted) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = 0;
+  if (std::sscanf(dotted.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) != 4 ||
+      a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument("ipv4_from_string: bad address '" + dotted + "'");
+  }
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+std::string ipv4_to_string(std::uint32_t addr) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (addr >> 24) & 0xFF,
+                (addr >> 16) & 0xFF, (addr >> 8) & 0xFF, addr & 0xFF);
+  return buf;
+}
+
+}  // namespace opendesc::net

@@ -1,0 +1,134 @@
+// Protocol header types used by the workload generator, the simulated NIC
+// pipeline, and the SoftNIC reference implementations.
+//
+// Headers are plain structs with explicit serialize/parse methods instead of
+// packed-struct reinterpret_casts: the byte layout is defined by the
+// serializers (network byte order), keeping the code free of alignment and
+// aliasing UB (Core Guidelines C.183, ES.48).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace opendesc::net {
+
+// Ethertypes and IP protocol numbers used across the project.
+inline constexpr std::uint16_t kEthertypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEthertypeIpv6 = 0x86DD;
+inline constexpr std::uint16_t kEthertypeVlan = 0x8100;
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+
+/// 48-bit MAC address.
+struct MacAddress {
+  std::array<std::uint8_t, 6> bytes{};
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const MacAddress&, const MacAddress&) = default;
+};
+
+/// Convenience constructor from six octets.
+[[nodiscard]] MacAddress make_mac(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                  std::uint8_t d, std::uint8_t e, std::uint8_t f);
+
+/// Ethernet II header (14 bytes on the wire, without VLAN).
+struct EthernetHeader {
+  static constexpr std::size_t kWireSize = 14;
+
+  MacAddress dst{};
+  MacAddress src{};
+  std::uint16_t ethertype = kEthertypeIpv4;
+
+  void serialize(std::span<std::uint8_t> out) const;
+  static EthernetHeader parse(std::span<const std::uint8_t> in);
+};
+
+/// 802.1Q VLAN tag (4 bytes: TPID already consumed as ethertype, then TCI +
+/// inner ethertype).
+struct VlanTag {
+  static constexpr std::size_t kWireSize = 4;
+
+  std::uint16_t tci = 0;  ///< PCP(3) | DEI(1) | VID(12)
+  std::uint16_t inner_ethertype = kEthertypeIpv4;
+
+  [[nodiscard]] std::uint16_t vid() const noexcept { return tci & 0x0FFF; }
+  [[nodiscard]] std::uint8_t pcp() const noexcept {
+    return static_cast<std::uint8_t>(tci >> 13);
+  }
+
+  void serialize(std::span<std::uint8_t> out) const;
+  static VlanTag parse(std::span<const std::uint8_t> in);
+};
+
+/// IPv4 header without options (20 bytes).
+struct Ipv4Header {
+  static constexpr std::size_t kWireSize = 20;
+
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  std::uint16_t flags_fragment = 0x4000;  ///< DF set by default
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kIpProtoTcp;
+  std::uint16_t header_checksum = 0;
+  std::uint32_t src = 0;  ///< host byte order
+  std::uint32_t dst = 0;  ///< host byte order
+
+  void serialize(std::span<std::uint8_t> out) const;
+  static Ipv4Header parse(std::span<const std::uint8_t> in);
+};
+
+/// IPv6 header (40 bytes).
+struct Ipv6Header {
+  static constexpr std::size_t kWireSize = 40;
+
+  std::uint32_t flow_label = 0;  ///< low 20 bits used
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = kIpProtoTcp;
+  std::uint8_t hop_limit = 64;
+  std::array<std::uint8_t, 16> src{};
+  std::array<std::uint8_t, 16> dst{};
+
+  void serialize(std::span<std::uint8_t> out) const;
+  static Ipv6Header parse(std::span<const std::uint8_t> in);
+};
+
+/// TCP header without options (20 bytes).
+struct TcpHeader {
+  static constexpr std::size_t kWireSize = 20;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0x18;  ///< PSH|ACK by default
+  std::uint16_t window = 0xFFFF;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent = 0;
+
+  void serialize(std::span<std::uint8_t> out) const;
+  static TcpHeader parse(std::span<const std::uint8_t> in);
+};
+
+/// UDP header (8 bytes).
+struct UdpHeader {
+  static constexpr std::size_t kWireSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;
+  std::uint16_t checksum = 0;
+
+  void serialize(std::span<std::uint8_t> out) const;
+  static UdpHeader parse(std::span<const std::uint8_t> in);
+};
+
+/// Dotted-quad helper for tests and examples ("10.0.0.1" -> host-order u32).
+[[nodiscard]] std::uint32_t ipv4_from_string(const std::string& dotted);
+[[nodiscard]] std::string ipv4_to_string(std::uint32_t addr);
+
+}  // namespace opendesc::net

@@ -1,0 +1,123 @@
+#include "net/offload.hpp"
+
+#include <stdexcept>
+
+#include "net/checksum.hpp"
+
+namespace opendesc::net {
+
+void patch_l4_checksum(std::span<std::uint8_t> frame) {
+  const PacketView view = PacketView::parse(frame);
+  if (view.l4_kind() != L4Kind::tcp && view.l4_kind() != L4Kind::udp) {
+    return;
+  }
+  const std::size_t csum_offset =
+      view.l4_offset() + (view.l4_kind() == L4Kind::tcp ? 16 : 6);
+  frame[csum_offset] = 0;
+  frame[csum_offset + 1] = 0;
+  const std::uint8_t proto =
+      view.l4_kind() == L4Kind::tcp ? kIpProtoTcp : kIpProtoUdp;
+  const std::span<const std::uint8_t> l4 =
+      std::span<const std::uint8_t>(frame).subspan(view.l4_offset());
+  std::uint16_t csum = 0;
+  if (view.l3_kind() == L3Kind::ipv4) {
+    csum = l4_checksum_ipv4(view.ipv4().src, view.ipv4().dst, proto, l4);
+  } else if (view.l3_kind() == L3Kind::ipv6) {
+    csum = l4_checksum_ipv6(view.ipv6().src, view.ipv6().dst, proto, l4);
+  } else {
+    return;
+  }
+  store_be16(frame.data() + csum_offset, csum);
+}
+
+void patch_ipv4_checksum(std::span<std::uint8_t> frame) {
+  const PacketView view = PacketView::parse(frame);
+  if (view.l3_kind() != L3Kind::ipv4) {
+    return;
+  }
+  const std::size_t l3 = view.l3_offset();
+  frame[l3 + 10] = 0;
+  frame[l3 + 11] = 0;
+  const std::uint16_t csum = internet_checksum(
+      std::span<const std::uint8_t>(frame).subspan(l3, Ipv4Header::kWireSize));
+  store_be16(frame.data() + l3 + 10, csum);
+}
+
+std::vector<std::uint8_t> insert_vlan(std::span<const std::uint8_t> frame,
+                                      std::uint16_t tci) {
+  if (frame.size() < EthernetHeader::kWireSize) {
+    throw std::invalid_argument("insert_vlan: frame too short");
+  }
+  const EthernetHeader eth = EthernetHeader::parse(frame);
+  if (eth.ethertype == kEthertypeVlan) {
+    throw std::invalid_argument("insert_vlan: frame already tagged");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(frame.size() + VlanTag::kWireSize);
+  // dst + src MACs unchanged.
+  out.insert(out.end(), frame.begin(), frame.begin() + 12);
+  // TPID + TCI + original ethertype.
+  out.resize(12 + 4 + 2);
+  store_be16(out.data() + 12, kEthertypeVlan);
+  store_be16(out.data() + 14, tci);
+  store_be16(out.data() + 16, eth.ethertype);
+  // Rest of the original frame.
+  out.insert(out.end(), frame.begin() + EthernetHeader::kWireSize, frame.end());
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> tso_segment(
+    std::span<const std::uint8_t> frame, std::size_t mss) {
+  const PacketView view = PacketView::parse(frame);
+  std::vector<std::vector<std::uint8_t>> segments;
+
+  const bool segmentable = view.l3_kind() == L3Kind::ipv4 &&
+                           view.l4_kind() == L4Kind::tcp && mss > 0 &&
+                           view.payload().size() > mss;
+  if (!segmentable) {
+    segments.emplace_back(frame.begin(), frame.end());
+    return segments;
+  }
+
+  const std::size_t header_len = view.payload_offset();
+  const std::span<const std::uint8_t> payload = view.payload();
+  const TcpHeader tcp = TcpHeader::parse(frame.subspan(view.l4_offset()));
+  const Ipv4Header ip = view.ipv4();
+
+  std::size_t offset = 0;
+  std::uint16_t ip_id = ip.identification;
+  while (offset < payload.size()) {
+    const std::size_t chunk = std::min(mss, payload.size() - offset);
+    const bool last = offset + chunk == payload.size();
+
+    std::vector<std::uint8_t> seg;
+    seg.reserve(header_len + chunk);
+    seg.insert(seg.end(), frame.begin(),
+               frame.begin() + static_cast<std::ptrdiff_t>(header_len));
+    seg.insert(seg.end(), payload.begin() + static_cast<std::ptrdiff_t>(offset),
+               payload.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
+
+    // IPv4: total_length, identification.
+    const std::size_t l3 = view.l3_offset();
+    store_be16(seg.data() + l3 + 2,
+               static_cast<std::uint16_t>(Ipv4Header::kWireSize +
+                                          TcpHeader::kWireSize + chunk));
+    store_be16(seg.data() + l3 + 4, ip_id++);
+
+    // TCP: sequence number; FIN(0x01)/PSH(0x08) only on the last segment.
+    const std::size_t l4 = view.l4_offset();
+    store_be32(seg.data() + l4 + 4,
+               tcp.seq + static_cast<std::uint32_t>(offset));
+    if (!last) {
+      seg[l4 + 13] = static_cast<std::uint8_t>(seg[l4 + 13] & ~0x09);
+    }
+
+    patch_ipv4_checksum(seg);
+    patch_l4_checksum(seg);
+    segments.push_back(std::move(seg));
+    offset += chunk;
+  }
+  return segments;
+}
+
+}  // namespace opendesc::net

@@ -1,0 +1,41 @@
+// TX offload reference implementations.
+//
+// The paper proposes that every offload feature ships a reference
+// implementation usable on either side of the link (§2: "we propose each
+// offload feature to come with a reference P4 implementation", realized
+// here in C++).  These routines are used by the simulated NIC to *execute*
+// TX offload requests (checksum insertion, VLAN insertion, TCP
+// segmentation) and by the host-side SoftNIC fallback when a chosen
+// descriptor format cannot express the request.
+#pragma once
+
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace opendesc::net {
+
+/// Recomputes and patches the L4 checksum of an Ethernet/IPv4|IPv6/TCP|UDP
+/// frame in place.  No-op for frames without a TCP/UDP header.
+void patch_l4_checksum(std::span<std::uint8_t> frame);
+
+/// Recomputes and patches the IPv4 header checksum in place (no-op for
+/// non-IPv4 frames).
+void patch_ipv4_checksum(std::span<std::uint8_t> frame);
+
+/// Inserts an 802.1Q tag with the given TCI after the Ethernet header.
+/// Returns the new frame (original + 4 bytes).  Throws on non-Ethernet
+/// frames or already-tagged frames.
+[[nodiscard]] std::vector<std::uint8_t> insert_vlan(
+    std::span<const std::uint8_t> frame, std::uint16_t tci);
+
+/// TCP segmentation offload: splits an Ethernet/IPv4/TCP frame whose
+/// payload exceeds `mss` into a train of frames with at most `mss` payload
+/// bytes each.  Sequence numbers advance per segment; IPv4 identification
+/// increments; total lengths, IP and TCP checksums are recomputed; FIN/PSH
+/// flags are kept only on the final segment.  A frame with payload <= mss
+/// (or a non-TCP frame) is returned unchanged as a single segment.
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> tso_segment(
+    std::span<const std::uint8_t> frame, std::size_t mss);
+
+}  // namespace opendesc::net

@@ -1,0 +1,263 @@
+#include "net/packet.hpp"
+
+#include <stdexcept>
+
+#include "net/checksum.hpp"
+
+namespace opendesc::net {
+
+PacketView PacketView::parse(std::span<const std::uint8_t> frame) {
+  PacketView v;
+  v.frame_ = frame;
+  v.eth_ = EthernetHeader::parse(frame);
+  std::size_t offset = EthernetHeader::kWireSize;
+  std::uint16_t ethertype = v.eth_.ethertype;
+
+  if (ethertype == kEthertypeVlan) {
+    v.vlan_ = VlanTag::parse(frame.subspan(offset));
+    offset += VlanTag::kWireSize;
+    ethertype = v.vlan_->inner_ethertype;
+  }
+
+  v.l3_offset_ = offset;
+  std::uint8_t l4_proto = 0;
+  if (ethertype == kEthertypeIpv4) {
+    v.l3_kind_ = L3Kind::ipv4;
+    v.ipv4_ = Ipv4Header::parse(frame.subspan(offset));
+    offset += Ipv4Header::kWireSize;
+    l4_proto = v.ipv4_->protocol;
+  } else if (ethertype == kEthertypeIpv6) {
+    v.l3_kind_ = L3Kind::ipv6;
+    v.ipv6_ = Ipv6Header::parse(frame.subspan(offset));
+    offset += Ipv6Header::kWireSize;
+    l4_proto = v.ipv6_->next_header;
+  } else {
+    // Non-IP frame: everything after Ethernet is opaque payload.
+    v.l4_offset_ = offset;
+    v.payload_offset_ = offset;
+    return v;
+  }
+
+  v.l4_offset_ = offset;
+  if (l4_proto == kIpProtoTcp) {
+    v.l4_kind_ = L4Kind::tcp;
+    const TcpHeader tcp = TcpHeader::parse(frame.subspan(offset));
+    v.src_port_ = tcp.src_port;
+    v.dst_port_ = tcp.dst_port;
+    offset += TcpHeader::kWireSize;
+  } else if (l4_proto == kIpProtoUdp) {
+    v.l4_kind_ = L4Kind::udp;
+    const UdpHeader udp = UdpHeader::parse(frame.subspan(offset));
+    v.src_port_ = udp.src_port;
+    v.dst_port_ = udp.dst_port;
+    offset += UdpHeader::kWireSize;
+  } else {
+    v.l4_kind_ = L4Kind::other;
+  }
+  v.payload_offset_ = offset;
+  return v;
+}
+
+std::span<const std::uint8_t> PacketView::l3_bytes() const noexcept {
+  return frame_.subspan(l3_offset_, l4_offset_ - l3_offset_);
+}
+
+std::span<const std::uint8_t> PacketView::l4_bytes() const noexcept {
+  return frame_.subspan(l4_offset_);
+}
+
+std::span<const std::uint8_t> PacketView::payload() const noexcept {
+  return frame_.subspan(payload_offset_);
+}
+
+PacketBuilder& PacketBuilder::eth(const MacAddress& src, const MacAddress& dst) {
+  eth_.src = src;
+  eth_.dst = dst;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::vlan(std::uint16_t tci) {
+  vlan_ = VlanTag{.tci = tci, .inner_ethertype = kEthertypeIpv4};
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::ipv4(std::uint32_t src, std::uint32_t dst) {
+  l3_ = L3Kind::ipv4;
+  ip4_src_ = src;
+  ip4_dst_ = dst;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::ipv6(const std::array<std::uint8_t, 16>& src,
+                                   const std::array<std::uint8_t, 16>& dst) {
+  l3_ = L3Kind::ipv6;
+  ip6_src_ = src;
+  ip6_dst_ = dst;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::ip_id(std::uint16_t id) {
+  ip_id_ = id;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::ttl(std::uint8_t value) {
+  ttl_ = value;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::tcp(std::uint16_t src_port, std::uint16_t dst_port) {
+  l4_ = L4Kind::tcp;
+  sport_ = src_port;
+  dport_ = dst_port;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::udp(std::uint16_t src_port, std::uint16_t dst_port) {
+  l4_ = L4Kind::udp;
+  sport_ = src_port;
+  dport_ = dst_port;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::payload(std::span<const std::uint8_t> bytes) {
+  payload_.assign(bytes.begin(), bytes.end());
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::payload_text(std::string_view text) {
+  payload_.assign(text.begin(), text.end());
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::frame_size(std::size_t size) {
+  frame_size_ = size;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::corrupt_ip_checksum() {
+  corrupt_ip_csum_ = true;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::corrupt_l4_checksum() {
+  corrupt_l4_csum_ = true;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::rx_timestamp(std::uint64_t ns) {
+  rx_timestamp_ns_ = ns;
+  return *this;
+}
+
+PacketBuilder& PacketBuilder::rx_port(std::uint16_t port) {
+  rx_port_num_ = port;
+  return *this;
+}
+
+Packet PacketBuilder::build() const {
+  if (l3_ == L3Kind::none || l4_ == L4Kind::none) {
+    throw std::logic_error("PacketBuilder: L3 and L4 layers are required");
+  }
+
+  std::size_t header_size = EthernetHeader::kWireSize;
+  if (vlan_) header_size += VlanTag::kWireSize;
+  header_size += (l3_ == L3Kind::ipv4) ? Ipv4Header::kWireSize : Ipv6Header::kWireSize;
+  header_size += (l4_ == L4Kind::tcp) ? TcpHeader::kWireSize : UdpHeader::kWireSize;
+
+  std::vector<std::uint8_t> body = payload_;
+  if (frame_size_) {
+    if (*frame_size_ < header_size + body.size()) {
+      if (*frame_size_ < header_size) {
+        throw std::invalid_argument("PacketBuilder: frame_size smaller than headers");
+      }
+      body.resize(*frame_size_ - header_size);
+    } else {
+      body.resize(*frame_size_ - header_size, 0);
+    }
+  }
+
+  Packet pkt;
+  pkt.rx_timestamp_ns = rx_timestamp_ns_;
+  pkt.rx_port = rx_port_num_;
+  pkt.data.resize(header_size + body.size());
+  std::span<std::uint8_t> out{pkt.data};
+
+  EthernetHeader eth = eth_;
+  eth.ethertype = vlan_ ? kEthertypeVlan
+                        : (l3_ == L3Kind::ipv4 ? kEthertypeIpv4 : kEthertypeIpv6);
+  eth.serialize(out);
+  std::size_t offset = EthernetHeader::kWireSize;
+
+  if (vlan_) {
+    VlanTag tag = *vlan_;
+    tag.inner_ethertype = (l3_ == L3Kind::ipv4) ? kEthertypeIpv4 : kEthertypeIpv6;
+    tag.serialize(out.subspan(offset));
+    offset += VlanTag::kWireSize;
+  }
+
+  const std::size_t l3_offset = offset;
+  const std::size_t l4_size =
+      ((l4_ == L4Kind::tcp) ? TcpHeader::kWireSize : UdpHeader::kWireSize) + body.size();
+
+  if (l3_ == L3Kind::ipv4) {
+    Ipv4Header ip;
+    ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kWireSize + l4_size);
+    ip.identification = ip_id_;
+    ip.ttl = ttl_;
+    ip.protocol = (l4_ == L4Kind::tcp) ? kIpProtoTcp : kIpProtoUdp;
+    ip.src = ip4_src_;
+    ip.dst = ip4_dst_;
+    ip.serialize(out.subspan(offset));
+    const std::uint16_t csum =
+        internet_checksum(out.subspan(offset, Ipv4Header::kWireSize));
+    store_be16(out.data() + offset + 10,
+               corrupt_ip_csum_ ? static_cast<std::uint16_t>(csum ^ 0xFFFF) : csum);
+    offset += Ipv4Header::kWireSize;
+  } else {
+    Ipv6Header ip;
+    ip.payload_length = static_cast<std::uint16_t>(l4_size);
+    ip.next_header = (l4_ == L4Kind::tcp) ? kIpProtoTcp : kIpProtoUdp;
+    ip.hop_limit = ttl_;
+    ip.src = ip6_src_;
+    ip.dst = ip6_dst_;
+    ip.serialize(out.subspan(offset));
+    offset += Ipv6Header::kWireSize;
+  }
+
+  const std::size_t l4_offset = offset;
+  if (l4_ == L4Kind::tcp) {
+    TcpHeader tcp;
+    tcp.src_port = sport_;
+    tcp.dst_port = dport_;
+    tcp.serialize(out.subspan(offset));
+    offset += TcpHeader::kWireSize;
+  } else {
+    UdpHeader udp;
+    udp.src_port = sport_;
+    udp.dst_port = dport_;
+    udp.length = static_cast<std::uint16_t>(l4_size);
+    udp.serialize(out.subspan(offset));
+    offset += UdpHeader::kWireSize;
+  }
+  std::copy(body.begin(), body.end(), out.begin() + offset);
+
+  // L4 checksum over pseudo-header + segment (checksum field currently 0).
+  const std::span<const std::uint8_t> l4_span =
+      std::span<const std::uint8_t>(out).subspan(l4_offset, l4_size);
+  const std::uint8_t proto = (l4_ == L4Kind::tcp) ? kIpProtoTcp : kIpProtoUdp;
+  std::uint16_t l4_csum =
+      (l3_ == L3Kind::ipv4)
+          ? l4_checksum_ipv4(ip4_src_, ip4_dst_, proto, l4_span)
+          : l4_checksum_ipv6(ip6_src_, ip6_dst_, proto, l4_span);
+  if (corrupt_l4_csum_) {
+    l4_csum = static_cast<std::uint16_t>(l4_csum ^ 0x5555);
+  }
+  const std::size_t csum_offset = l4_offset + ((l4_ == L4Kind::tcp) ? 16 : 6);
+  store_be16(out.data() + csum_offset, l4_csum);
+
+  (void)l3_offset;
+  return pkt;
+}
+
+}  // namespace opendesc::net

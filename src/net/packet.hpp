@@ -1,0 +1,124 @@
+// Owning packet buffer, zero-copy parsed view, and fluent builder.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "net/headers.hpp"
+
+namespace opendesc::net {
+
+/// An owning packet: wire bytes plus out-of-band receive context that real
+/// hardware would know (arrival timestamp, ingress port).
+struct Packet {
+  std::vector<std::uint8_t> data;
+  std::uint64_t rx_timestamp_ns = 0;
+  std::uint16_t rx_port = 0;
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept { return data; }
+  [[nodiscard]] std::span<std::uint8_t> bytes() noexcept { return data; }
+  [[nodiscard]] std::size_t size() const noexcept { return data.size(); }
+};
+
+/// Which L3/L4 protocols a parsed packet carries.
+enum class L3Kind : std::uint8_t { none, ipv4, ipv6 };
+enum class L4Kind : std::uint8_t { none, tcp, udp, other };
+
+/// Zero-copy parse result: header offsets into the original buffer plus the
+/// decoded fixed headers.  This is the ground truth the simulated NIC
+/// pipeline and the SoftNIC fallbacks both compute from.
+class PacketView {
+ public:
+  /// Parses Ethernet[/802.1Q]/IPv4|IPv6/TCP|UDP.  Throws
+  /// std::invalid_argument / std::out_of_range on truncated or non-IP input.
+  static PacketView parse(std::span<const std::uint8_t> frame);
+
+  [[nodiscard]] std::span<const std::uint8_t> frame() const noexcept { return frame_; }
+
+  [[nodiscard]] const EthernetHeader& eth() const noexcept { return eth_; }
+  [[nodiscard]] bool has_vlan() const noexcept { return vlan_.has_value(); }
+  [[nodiscard]] const VlanTag& vlan() const { return vlan_.value(); }
+
+  [[nodiscard]] L3Kind l3_kind() const noexcept { return l3_kind_; }
+  [[nodiscard]] const Ipv4Header& ipv4() const { return ipv4_.value(); }
+  [[nodiscard]] const Ipv6Header& ipv6() const { return ipv6_.value(); }
+
+  [[nodiscard]] L4Kind l4_kind() const noexcept { return l4_kind_; }
+  [[nodiscard]] std::uint16_t src_port() const noexcept { return src_port_; }
+  [[nodiscard]] std::uint16_t dst_port() const noexcept { return dst_port_; }
+
+  /// Byte offsets of each layer within frame(); l4_offset==frame size when
+  /// there is no L4 header.
+  [[nodiscard]] std::size_t l3_offset() const noexcept { return l3_offset_; }
+  [[nodiscard]] std::size_t l4_offset() const noexcept { return l4_offset_; }
+  [[nodiscard]] std::size_t payload_offset() const noexcept { return payload_offset_; }
+
+  [[nodiscard]] std::span<const std::uint8_t> l3_bytes() const noexcept;
+  [[nodiscard]] std::span<const std::uint8_t> l4_bytes() const noexcept;
+  [[nodiscard]] std::span<const std::uint8_t> payload() const noexcept;
+
+ private:
+  std::span<const std::uint8_t> frame_;
+  EthernetHeader eth_{};
+  std::optional<VlanTag> vlan_;
+  L3Kind l3_kind_ = L3Kind::none;
+  std::optional<Ipv4Header> ipv4_;
+  std::optional<Ipv6Header> ipv6_;
+  L4Kind l4_kind_ = L4Kind::none;
+  std::uint16_t src_port_ = 0;
+  std::uint16_t dst_port_ = 0;
+  std::size_t l3_offset_ = 0;
+  std::size_t l4_offset_ = 0;
+  std::size_t payload_offset_ = 0;
+};
+
+/// Fluent builder producing well-formed frames with correct (or, for failure
+/// injection, deliberately corrupted) checksums.
+class PacketBuilder {
+ public:
+  PacketBuilder& eth(const MacAddress& src, const MacAddress& dst);
+  PacketBuilder& vlan(std::uint16_t tci);
+  PacketBuilder& ipv4(std::uint32_t src, std::uint32_t dst);
+  PacketBuilder& ipv6(const std::array<std::uint8_t, 16>& src,
+                      const std::array<std::uint8_t, 16>& dst);
+  PacketBuilder& ip_id(std::uint16_t id);
+  PacketBuilder& ttl(std::uint8_t value);
+  PacketBuilder& tcp(std::uint16_t src_port, std::uint16_t dst_port);
+  PacketBuilder& udp(std::uint16_t src_port, std::uint16_t dst_port);
+  PacketBuilder& payload(std::span<const std::uint8_t> bytes);
+  PacketBuilder& payload_text(std::string_view text);
+  /// Pads the payload with zero bytes so the final frame is exactly
+  /// `frame_size` bytes (throws if headers alone already exceed it).
+  PacketBuilder& frame_size(std::size_t size);
+  /// Corrupt the IPv4 header checksum (failure injection).
+  PacketBuilder& corrupt_ip_checksum();
+  /// Corrupt the L4 checksum (failure injection).
+  PacketBuilder& corrupt_l4_checksum();
+  PacketBuilder& rx_timestamp(std::uint64_t ns);
+  PacketBuilder& rx_port(std::uint16_t port);
+
+  /// Assembles the frame.  The builder can be reused afterwards.
+  [[nodiscard]] Packet build() const;
+
+ private:
+  EthernetHeader eth_{};
+  std::optional<VlanTag> vlan_;
+  L3Kind l3_ = L3Kind::none;
+  std::uint32_t ip4_src_ = 0, ip4_dst_ = 0;
+  std::array<std::uint8_t, 16> ip6_src_{}, ip6_dst_{};
+  std::uint16_t ip_id_ = 0;
+  std::uint8_t ttl_ = 64;
+  L4Kind l4_ = L4Kind::none;
+  std::uint16_t sport_ = 0, dport_ = 0;
+  std::vector<std::uint8_t> payload_;
+  std::optional<std::size_t> frame_size_;
+  bool corrupt_ip_csum_ = false;
+  bool corrupt_l4_csum_ = false;
+  std::uint64_t rx_timestamp_ns_ = 0;
+  std::uint16_t rx_port_num_ = 0;
+};
+
+}  // namespace opendesc::net

@@ -1,0 +1,142 @@
+#include "net/workload.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace opendesc::net {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.flow_count == 0) {
+    throw std::invalid_argument("WorkloadGenerator: flow_count must be > 0");
+  }
+  if (config_.min_frame < 60 || config_.min_frame > config_.max_frame) {
+    throw std::invalid_argument("WorkloadGenerator: bad frame size range");
+  }
+
+  flows_.reserve(config_.flow_count);
+  for (std::size_t i = 0; i < config_.flow_count; ++i) {
+    FlowSpec f;
+    f.src_ip = 0x0A000000u | static_cast<std::uint32_t>(rng_.bounded(1 << 24));
+    f.dst_ip = 0xC0A80000u | static_cast<std::uint32_t>(rng_.bounded(1 << 16));
+    f.src_port = static_cast<std::uint16_t>(rng_.range(1024, 65535));
+    f.dst_port = static_cast<std::uint16_t>(rng_.range(1, 1023));
+    f.is_udp = rng_.chance(config_.udp_fraction);
+    f.is_ipv6 = rng_.chance(config_.ipv6_fraction);
+    if (f.is_ipv6) {
+      f.src_ip6[0] = 0x20;
+      f.src_ip6[1] = 0x01;
+      f.dst_ip6[0] = 0x20;
+      f.dst_ip6[1] = 0x01;
+      for (int b = 8; b < 16; ++b) {
+        f.src_ip6[b] = static_cast<std::uint8_t>(rng_.next());
+        f.dst_ip6[b] = static_cast<std::uint8_t>(rng_.next());
+      }
+    }
+    f.tagged = rng_.chance(config_.vlan_probability);
+    f.vlan_tci = static_cast<std::uint16_t>(rng_.range(1, 4094));
+    flows_.push_back(f);
+  }
+
+  if (config_.zipf_skew > 0.0) {
+    zipf_cdf_.resize(config_.flow_count);
+    double total = 0.0;
+    for (std::size_t i = 0; i < config_.flow_count; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), config_.zipf_skew);
+      zipf_cdf_[i] = total;
+    }
+    for (auto& v : zipf_cdf_) {
+      v /= total;
+    }
+  }
+}
+
+std::size_t WorkloadGenerator::pick_flow() {
+  if (zipf_cdf_.empty()) {
+    return static_cast<std::size_t>(rng_.bounded(flows_.size()));
+  }
+  const double u = rng_.uniform01();
+  // Binary search the CDF.
+  std::size_t lo = 0, hi = zipf_cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (zipf_cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Packet WorkloadGenerator::next() {
+  last_flow_ = pick_flow();
+  const FlowSpec& f = flows_[last_flow_];
+
+  PacketBuilder b;
+  b.eth(make_mac(0x02, 0, 0, 0, 0, 1), make_mac(0x02, 0, 0, 0, 0, 2));
+  if (f.tagged) {
+    b.vlan(f.vlan_tci);
+  }
+  if (f.is_ipv6) {
+    b.ipv6(f.src_ip6, f.dst_ip6);
+  } else {
+    b.ipv4(f.src_ip, f.dst_ip);
+    b.ip_id(next_ip_id_++);
+  }
+  if (f.is_udp) {
+    b.udp(f.src_port, f.dst_port);
+  } else {
+    b.tcp(f.src_port, f.dst_port);
+  }
+
+  if (config_.kv_requests) {
+    char key[32];
+    std::snprintf(key, sizeof key, "GET key-%06llu\n",
+                  static_cast<unsigned long long>(rng_.bounded(config_.kv_key_space)));
+    b.payload_text(key);
+  }
+
+  const std::size_t size =
+      static_cast<std::size_t>(rng_.range(config_.min_frame, config_.max_frame));
+  b.frame_size(size);
+
+  if (config_.bad_l4_csum_fraction > 0.0 && rng_.chance(config_.bad_l4_csum_fraction)) {
+    b.corrupt_l4_checksum();
+  }
+
+  clock_ns_ += config_.inter_arrival_ns;
+  b.rx_timestamp(clock_ns_);
+  b.rx_port(0);
+  return b.build();
+}
+
+std::vector<Packet> WorkloadGenerator::batch(std::size_t n) {
+  std::vector<Packet> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(next());
+  }
+  return out;
+}
+
+std::string kv_extract_key(std::span<const std::uint8_t> payload) {
+  // Accept "GET <key>\n" and "SET <key> ..." request lines.
+  static constexpr std::string_view kGet = "GET ";
+  static constexpr std::string_view kSet = "SET ";
+  const std::string_view text(reinterpret_cast<const char*>(payload.data()),
+                              payload.size());
+  std::string_view rest;
+  if (text.starts_with(kGet)) {
+    rest = text.substr(kGet.size());
+  } else if (text.starts_with(kSet)) {
+    rest = text.substr(kSet.size());
+  } else {
+    return {};
+  }
+  const std::size_t end = rest.find_first_of(" \n\r");
+  return std::string(rest.substr(0, end == std::string_view::npos ? rest.size() : end));
+}
+
+}  // namespace opendesc::net

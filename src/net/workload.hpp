@@ -1,0 +1,86 @@
+// Synthetic workload generation.
+//
+// The paper evaluates on traffic a real testbed would supply; we synthesize
+// equivalent traces: multi-flow TCP/UDP traffic with a Zipf flow-popularity
+// skew, optional 802.1Q tags, and optional key-value request payloads
+// matching the Fig. 1 scenario (a KV store whose NIC extracts the request
+// key, following FlexNIC).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/packet.hpp"
+
+namespace opendesc::net {
+
+/// Parameters of a synthetic trace.
+struct WorkloadConfig {
+  std::uint64_t seed = 1;
+  std::size_t flow_count = 64;         ///< distinct 5-tuples
+  double zipf_skew = 0.0;              ///< 0 = uniform; ~0.99 = web-like skew
+  std::size_t min_frame = 64;          ///< bytes including headers
+  std::size_t max_frame = 1500;
+  double vlan_probability = 0.0;       ///< fraction of tagged frames
+  double udp_fraction = 0.5;           ///< rest is TCP
+  double ipv6_fraction = 0.0;          ///< fraction of IPv6 flows
+  bool kv_requests = false;            ///< payload = "GET <key>\n"
+  std::size_t kv_key_space = 1024;     ///< distinct keys when kv_requests
+  double bad_l4_csum_fraction = 0.0;   ///< failure injection
+  std::uint64_t inter_arrival_ns = 100;///< timestamp spacing
+};
+
+/// A single flow's immutable 5-tuple (plus its VLAN TCI if tagged).
+struct FlowSpec {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::array<std::uint8_t, 16> src_ip6{};
+  std::array<std::uint8_t, 16> dst_ip6{};
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  bool is_udp = false;
+  bool is_ipv6 = false;
+  bool tagged = false;
+  std::uint16_t vlan_tci = 0;
+};
+
+/// Deterministic trace generator.  All randomness flows from the seed, so a
+/// (config, n) pair always denotes the same trace — tests and benches rely
+/// on this to compare implementations on identical input.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config);
+
+  /// Generates the next packet of the trace.
+  [[nodiscard]] Packet next();
+
+  /// Generates a batch of `n` packets.
+  [[nodiscard]] std::vector<Packet> batch(std::size_t n);
+
+  /// Flow table built at construction (one entry per configured flow).
+  [[nodiscard]] const std::vector<FlowSpec>& flows() const noexcept { return flows_; }
+
+  /// Index of the flow used for the packet most recently returned by next().
+  [[nodiscard]] std::size_t last_flow_index() const noexcept { return last_flow_; }
+
+ private:
+  [[nodiscard]] std::size_t pick_flow();
+
+  WorkloadConfig config_;
+  Rng rng_;
+  std::vector<FlowSpec> flows_;
+  std::vector<double> zipf_cdf_;  ///< empty when skew == 0
+  std::uint64_t clock_ns_ = 0;
+  std::size_t last_flow_ = 0;
+  std::uint16_t next_ip_id_ = 1;
+};
+
+/// The key a KV request payload ("GET key-000042\n") refers to, or empty if
+/// the payload is not a KV request.  Shared by the simulated NIC offload and
+/// the SoftNIC fallback so both compute identical ground truth.
+[[nodiscard]] std::string kv_extract_key(std::span<const std::uint8_t> payload);
+
+}  // namespace opendesc::net

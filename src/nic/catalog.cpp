@@ -1,0 +1,604 @@
+#include "nic/model.hpp"
+
+namespace opendesc::nic {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// e1000 (legacy): the paper's "older NICs like the early Intel e1000 series
+// supported only a single descriptor, giving the computed IP checksum".
+// Little-endian, one completion layout, 8 bytes.
+// ---------------------------------------------------------------------------
+const char* const kE1000Source = R"P4(
+// Intel e1000 legacy receive write-back (single fixed layout).
+struct e1000_ctx_t {
+    bit<1> unused;
+}
+
+header e1000_wb_t {
+    @semantic("pkt_len")     bit<16> length;
+    @semantic("ip_checksum") bit<16> csum;
+    @fixed(1)                bit<8>  status;   // DD bit set on write-back
+    bit<8>  errors;
+    @semantic("vlan")        bit<16> special;
+}
+
+// Legacy 16-byte TX descriptor: address, length, checksum offload hints.
+header e1000_tx_desc_t {
+    @semantic("tx_buf_addr")    bit<64> buffer_addr;
+    @semantic("tx_buf_len")     bit<16> length;
+    @semantic("tx_csum_offset") bit<8>  cso;
+    @semantic("tx_eop")         bit<1>  eop;
+    @semantic("tx_csum_en")     bit<1>  ic;
+    bit<6>  cmd_rsvd;
+    bit<8>  status;
+    bit<8>  css;
+    @semantic("tx_vlan_insert") bit<16> special;
+}
+
+@endian("little")
+parser E1000TxDescParser(desc_in d, in e1000_ctx_t ctx,
+                         out e1000_tx_desc_t txd) {
+    state start {
+        d.extract(txd);
+        transition accept;
+    }
+}
+
+@nic("e1000")
+@endian("little")
+control E1000CmptDeparser(cmpt_out cmpt, in e1000_ctx_t ctx, in e1000_wb_t meta) {
+    apply {
+        cmpt.emit(meta);
+    }
+}
+)P4";
+
+// ---------------------------------------------------------------------------
+// e1000e (Fig. 6): extended write-back where a single context bit selects
+// between the 32-bit RSS hash and the (ip_id, fragment checksum) pair.
+// ---------------------------------------------------------------------------
+const char* const kE1000eSource = R"P4(
+// Intel e1000e / 8257x extended receive write-back (Fig. 6 of the paper).
+struct e1000e_ctx_t {
+    bit<1> use_rss;
+}
+
+header e1000e_meta_t {
+    @semantic("rss")         bit<32> rss_hash;
+    @semantic("ip_id")       bit<16> ip_id;
+    @semantic("ip_checksum") bit<16> csum;
+    @semantic("pkt_len")     bit<16> length;
+    @fixed(1)                bit<8>  status;
+    bit<8>  errors;
+    @semantic("vlan")        bit<16> vlan;
+}
+
+@nic("e1000e")
+@endian("little")
+control E1000eCmptDeparser(cmpt_out cmpt, in e1000e_ctx_t ctx,
+                           in e1000e_meta_t meta) {
+    apply {
+        if (ctx.use_rss == 1) {
+            cmpt.emit(meta.rss_hash);
+        } else {
+            cmpt.emit(meta.ip_id);
+            cmpt.emit(meta.csum);
+        }
+        cmpt.emit(meta.length);
+        cmpt.emit(meta.status);
+        cmpt.emit(meta.errors);
+        cmpt.emit(meta.vlan);
+    }
+}
+)P4";
+
+// ---------------------------------------------------------------------------
+// ixgbe (82599-style): adds Flow Director and packet-type reporting; the
+// hash field is shared between RSS, Flow Director id and fragment checksum.
+// ---------------------------------------------------------------------------
+const char* const kIxgbeSource = R"P4(
+// Intel ixgbe (82599) advanced receive write-back.
+struct ixgbe_ctx_t {
+    bit<1> fdir_en;
+    bit<1> rss_en;
+}
+
+header ixgbe_meta_t {
+    @semantic("flow_id")     bit<32> fdir_id;
+    @semantic("rss")         bit<32> rss_hash;
+    @semantic("ip_id")       bit<16> ip_id;
+    @semantic("ip_checksum") bit<16> frag_csum;
+    @semantic("packet_type") bit<16> pkt_info;
+    @semantic("pkt_len")     bit<16> length;
+    @fixed(1)                bit<8>  status;
+    bit<8>  errors;
+    @semantic("vlan")        bit<16> vlan;
+}
+
+// Advanced TX: the dtyp field selects between a data descriptor and a
+// TSO-setup context descriptor (both 16 bytes).
+header ixgbe_tx_base_t {
+    bit<4> dtyp;
+    bit<4> rsvd;
+}
+
+header ixgbe_tx_data_t {
+    @semantic("tx_buf_addr")    bit<64> buffer_addr;
+    @semantic("tx_buf_len")     bit<16> length;
+    @semantic("tx_eop")         bit<1>  eop;
+    @semantic("tx_csum_en")     bit<1>  ixsm;
+    bit<6>  cmd_rsvd;
+    @semantic("tx_vlan_insert") bit<16> vlan;
+    bit<16> rsvd_tail;
+}
+
+header ixgbe_tx_ctxd_t {
+    @semantic("tx_tso_en")      bit<1>  tse;
+    bit<7>  rsvd_flags;
+    @semantic("tx_tso_mss")     bit<16> mss;
+    @semantic("tx_csum_offset") bit<8>  tucso;
+    bit<64> rsvd0;
+    bit<24> rsvd1;
+}
+
+@endian("little")
+parser IxgbeTxDescParser(desc_in d, in ixgbe_ctx_t ctx,
+                         out ixgbe_tx_base_t base, out ixgbe_tx_data_t data,
+                         out ixgbe_tx_ctxd_t setup) {
+    state start {
+        d.extract(base);
+        transition select(base.dtyp) {
+            3: parse_data;
+            2: parse_context;
+            default: reject;
+        };
+    }
+    state parse_data {
+        d.extract(data);
+        transition accept;
+    }
+    state parse_context {
+        d.extract(setup);
+        transition accept;
+    }
+}
+
+@nic("ixgbe")
+@endian("little")
+control IxgbeCmptDeparser(cmpt_out cmpt, in ixgbe_ctx_t ctx,
+                          in ixgbe_meta_t meta) {
+    apply {
+        if (ctx.fdir_en == 1) {
+            cmpt.emit(meta.fdir_id);
+        } else {
+            if (ctx.rss_en == 1) {
+                cmpt.emit(meta.rss_hash);
+            } else {
+                cmpt.emit(meta.ip_id);
+                cmpt.emit(meta.frag_csum);
+            }
+        }
+        cmpt.emit(meta.pkt_info);
+        cmpt.emit(meta.length);
+        cmpt.emit(meta.status);
+        cmpt.emit(meta.errors);
+        cmpt.emit(meta.vlan);
+    }
+}
+)P4";
+
+// ---------------------------------------------------------------------------
+// mlx5 (ConnectX): 64-byte big-endian CQE carrying 12 metadata fields, plus
+// compressed mini-CQE formats (hash or checksum flavour).  "Many formats".
+// ---------------------------------------------------------------------------
+const char* const kMlx5Source = R"P4(
+// NVIDIA ConnectX (mlx5) receive CQE: full 64B format (optionally without a
+// valid timestamp) and two compressed mini-CQE formats.
+struct mlx5_ctx_t {
+    bit<1> cqe_comp;     // CQE compression enabled
+    bit<1> mini_format;  // 0 = hash mini-CQE, 1 = checksum mini-CQE
+    bit<1> ts_en;        // timestamping enabled
+}
+
+header mlx5_cqe_t {
+    @semantic("flow_id")       bit<32> flow_tag;
+    @semantic("rss")           bit<32> rx_hash;
+    @semantic("rss_type")      bit<8>  hash_type;
+    @semantic("vlan")          bit<16> vlan_info;
+    @semantic("vlan_stripped") bit<1>  vlan_stripped;
+    @semantic("ip_csum_ok")    bit<1>  l3_ok;
+    @semantic("l4_csum_ok")    bit<1>  l4_ok;
+    bit<5>  flags_rsvd;
+    @semantic("l4_checksum")   bit<16> csum;
+    @semantic("pkt_len")       bit<16> byte_cnt;
+    @semantic("timestamp")     bit<64> timestamp;
+    bit<64> rsvd_ts;
+    @semantic("lro_seg_count") bit<8>  lro_num_seg;
+    @semantic("packet_type")   bit<16> l3_l4_hdr_type;
+    bit<64> rsvd0;
+    bit<64> rsvd1;
+    bit<64> rsvd2;
+    bit<64> rsvd3;
+    bit<40> rsvd4;
+}
+
+header mlx5_mini_cqe_t {
+    @semantic("rss")         bit<32> rx_hash;
+    @semantic("l4_checksum") bit<16> csum;
+    bit<16> rsvd;
+    @semantic("pkt_len")     bit<16> byte_cnt;
+    bit<16> stride_idx;
+}
+
+@nic("mlx5")
+@endian("big")
+control Mlx5CmptDeparser(cmpt_out cmpt, in mlx5_ctx_t ctx, in mlx5_cqe_t meta,
+                         in mlx5_mini_cqe_t mini) {
+    apply {
+        if (ctx.cqe_comp == 0) {
+            cmpt.emit(meta.flow_tag);
+            cmpt.emit(meta.rx_hash);
+            cmpt.emit(meta.hash_type);
+            cmpt.emit(meta.vlan_info);
+            cmpt.emit(meta.vlan_stripped);
+            cmpt.emit(meta.l3_ok);
+            cmpt.emit(meta.l4_ok);
+            cmpt.emit(meta.flags_rsvd);
+            cmpt.emit(meta.csum);
+            cmpt.emit(meta.byte_cnt);
+            if (ctx.ts_en == 1) {
+                cmpt.emit(meta.timestamp);
+            } else {
+                cmpt.emit(meta.rsvd_ts);
+            }
+            cmpt.emit(meta.lro_num_seg);
+            cmpt.emit(meta.l3_l4_hdr_type);
+            cmpt.emit(meta.rsvd0);
+            cmpt.emit(meta.rsvd1);
+            cmpt.emit(meta.rsvd2);
+            cmpt.emit(meta.rsvd3);
+            cmpt.emit(meta.rsvd4);
+        } else {
+            if (ctx.mini_format == 0) {
+                cmpt.emit(mini.rx_hash);
+                cmpt.emit(mini.byte_cnt);
+                cmpt.emit(mini.stride_idx);
+            } else {
+                cmpt.emit(mini.csum);
+                cmpt.emit(mini.rsvd);
+                cmpt.emit(mini.byte_cnt);
+                cmpt.emit(mini.stride_idx);
+            }
+        }
+    }
+}
+)P4";
+
+// ---------------------------------------------------------------------------
+// bf3 (BlueField-3 style): mlx5 CQE family plus a match-action mark field
+// programmable through the DPL pipeline, and a 16B "flex" format exposing
+// the mark with the hash.
+// ---------------------------------------------------------------------------
+const char* const kBf3Source = R"P4(
+// NVIDIA BlueField-3 style CQE: a partially programmable device whose
+// match-action pipeline fills a mark register (paper: "a field for specific
+// metadata computed through a series of Match-Action tables").
+// Descriptive stateful context (§5): the match-action pipeline that fills
+// ma_mark keeps per-flow state; declared so tooling can see it, never
+// mapped to host resources.
+register<bit<32>>(65536) bf3_flow_marks;
+extern Bf3MatchActionPipeline;
+
+struct bf3_ctx_t {
+    bit<1> flex_format;
+    bit<1> ts_en;
+}
+
+header bf3_cqe_t {
+    @semantic("mark")          bit<32> ma_mark;
+    @semantic("flow_id")       bit<32> flow_tag;
+    @semantic("rss")           bit<32> rx_hash;
+    @semantic("rss_type")      bit<8>  hash_type;
+    @semantic("vlan")          bit<16> vlan_info;
+    @semantic("vlan_stripped") bit<1>  vlan_stripped;
+    @semantic("ip_csum_ok")    bit<1>  l3_ok;
+    @semantic("l4_csum_ok")    bit<1>  l4_ok;
+    bit<5>  flags_rsvd;
+    @semantic("l4_checksum")   bit<16> csum;
+    @semantic("pkt_len")       bit<16> byte_cnt;
+    @semantic("timestamp")     bit<64> timestamp;
+    bit<64> rsvd_ts;
+    @semantic("lro_seg_count") bit<8>  lro_num_seg;
+    @semantic("packet_type")   bit<16> l3_l4_hdr_type;
+    bit<64> rsvd0;
+    bit<64> rsvd1;
+    bit<40> rsvd2;
+}
+
+header bf3_flex_t {
+    @semantic("mark")    bit<32> ma_mark;
+    @semantic("rss")     bit<32> rx_hash;
+    @semantic("pkt_len") bit<16> byte_cnt;
+    bit<16> rsvd;
+    @semantic("flow_id") bit<32> flow_tag;
+}
+
+@nic("bf3")
+@endian("big")
+control Bf3CmptDeparser(cmpt_out cmpt, in bf3_ctx_t ctx, in bf3_cqe_t meta,
+                        in bf3_flex_t flex) {
+    apply {
+        if (ctx.flex_format == 1) {
+            cmpt.emit(flex);
+        } else {
+            cmpt.emit(meta.ma_mark);
+            cmpt.emit(meta.flow_tag);
+            cmpt.emit(meta.rx_hash);
+            cmpt.emit(meta.hash_type);
+            cmpt.emit(meta.vlan_info);
+            cmpt.emit(meta.vlan_stripped);
+            cmpt.emit(meta.l3_ok);
+            cmpt.emit(meta.l4_ok);
+            cmpt.emit(meta.flags_rsvd);
+            cmpt.emit(meta.csum);
+            cmpt.emit(meta.byte_cnt);
+            if (ctx.ts_en == 1) {
+                cmpt.emit(meta.timestamp);
+            } else {
+                cmpt.emit(meta.rsvd_ts);
+            }
+            cmpt.emit(meta.lro_num_seg);
+            cmpt.emit(meta.l3_l4_hdr_type);
+            cmpt.emit(meta.rsvd0);
+            cmpt.emit(meta.rsvd1);
+            cmpt.emit(meta.rsvd2);
+        }
+    }
+}
+)P4";
+
+// ---------------------------------------------------------------------------
+// ice (Intel E810-style): 32-byte "flexible descriptors" — a fixed shell
+// whose metadata slots are filled according to a per-queue flex profile,
+// programmed at queue setup.  Sits between fixed (layout count is fixed)
+// and programmable (slot contents vary by profile).
+// ---------------------------------------------------------------------------
+const char* const kIceSource = R"P4(
+// Intel E810 (ice) flexible receive descriptor: an 8-byte common prefix
+// plus a 24-byte profile-selected extension.
+struct ice_ctx_t {
+    bit<2> flex_profile;  // 0 = rss/flow, 1 = timestamping, 2 = comms
+}
+
+header ice_base_t {
+    @fixed(1) bit<1> dd;
+    bit<1> eop;
+    bit<6> rsvd_flags;
+    @semantic("packet_type") bit<16> ptype;
+    @semantic("pkt_len")     bit<16> len;
+    @semantic("vlan")        bit<16> vlan;
+    bit<8> rsvd;
+}
+
+header ice_flex_rss_t {
+    @semantic("rss")         bit<32> hash;
+    @semantic("flow_id")     bit<32> fdid;
+    @semantic("ip_csum_ok")  bit<1>  l3_ok;
+    @semantic("l4_csum_ok")  bit<1>  l4_ok;
+    bit<6>  rsvd_flags;
+    @semantic("ip_id")       bit<16> ip_id;
+    @semantic("l4_checksum") bit<16> csum;
+    bit<64> rsvd0;
+    bit<24> rsvd1;
+}
+
+header ice_flex_ts_t {
+    @semantic("timestamp") bit<64> ts;
+    @semantic("rss")       bit<32> hash;
+    @semantic("mark")      bit<32> mark;
+    bit<64> rsvd0;
+}
+
+header ice_flex_comms_t {
+    @semantic("flow_id")       bit<32> fdid;
+    @semantic("mark")          bit<32> mark;
+    @semantic("queue_id")      bit<16> qid;
+    @semantic("seq_no")        bit<32> seq;
+    @semantic("lro_seg_count") bit<8>  rsc_cnt;
+    bit<64> rsvd0;
+    bit<8>  rsvd1;
+}
+
+@nic("ice")
+@endian("little")
+control IceCmptDeparser(cmpt_out cmpt, in ice_ctx_t ctx, in ice_base_t base,
+                        in ice_flex_rss_t flex_rss, in ice_flex_ts_t flex_ts,
+                        in ice_flex_comms_t flex_comms) {
+    apply {
+        cmpt.emit(base);
+        if (ctx.flex_profile == 0) {
+            cmpt.emit(flex_rss);
+        } else {
+            if (ctx.flex_profile == 1) {
+                cmpt.emit(flex_ts);
+            } else {
+                cmpt.emit(flex_comms);
+            }
+        }
+    }
+}
+)P4";
+
+// ---------------------------------------------------------------------------
+// qdma (AMD/Xilinx): fully programmable completions of 8/16/32/64 bytes.
+// The 32/64-byte formats expose an application-defined accelerator result
+// (here: the KV request key hash of the paper's Fig. 1 scenario).
+// ---------------------------------------------------------------------------
+const char* const kQdmaSource = R"P4(
+// AMD/Xilinx QDMA user completion: one programmable format per queue,
+// selectable size 8/16/32/64 bytes (PG302).
+struct qdma_ctx_t {
+    bit<2> cmpt_size;  // 0=8B 1=16B 2=32B 3=64B
+    bit<1> h2c_fmt;    // 0=16B base H2C descriptor, 1=32B with offload hints
+}
+
+header qdma_cmpt8_t {
+    @fixed(1)              bit<1>  valid;
+    bit<1>  err;
+    bit<6>  rsvd_flags;
+    @semantic("pkt_len")   bit<16> length;
+    @semantic("flow_id")   bit<32> flow_id;
+    bit<8>  rsvd;
+}
+
+header qdma_cmpt16_ext_t {
+    @semantic("rss")          bit<32> rss_hash;
+    @semantic("vlan")         bit<16> vlan;
+    @semantic("packet_type")  bit<16> ptype;
+}
+
+header qdma_cmpt32_ext_t {
+    @semantic("timestamp")    bit<64> timestamp;
+    @semantic("kv_key_hash")  bit<32> kv_key_hash;
+    @semantic("ip_csum_ok")   bit<1>  l3_ok;
+    @semantic("l4_csum_ok")   bit<1>  l4_ok;
+    bit<6>  rsvd_flags;
+    bit<24> rsvd;
+}
+
+header qdma_cmpt64_ext_t {
+    @semantic("mark")          bit<32> mark;
+    @semantic("queue_id")      bit<16> qid;
+    @semantic("lro_seg_count") bit<8>  coalesce_cnt;
+    @semantic("l4_checksum")   bit<16> l4_csum;
+    @semantic("ip_id")         bit<16> ip_id;
+    @semantic("rss_type")      bit<8>  hash_type;
+    @semantic("seq_no")        bit<32> seq_no;
+    bit<64> user0;
+    bit<64> user1;
+}
+
+// H2C (TX) descriptors: a 16-byte base format, or 32 bytes when the queue
+// is programmed with offload hints (per-queue, like the completions).
+header qdma_h2c_base_t {
+    @semantic("tx_buf_addr") bit<64> src_addr;
+    @semantic("tx_buf_len")  bit<16> len;
+    @semantic("tx_eop")      bit<1>  eop;
+    bit<1>  sop;
+    bit<6>  rsvd_flags;
+    bit<40> rsvd;
+}
+
+header qdma_h2c_ext_t {
+    @semantic("tx_csum_en")     bit<1>  csum_en;
+    @semantic("tx_tso_en")      bit<1>  tso_en;
+    bit<6>  rsvd_flags;
+    @semantic("tx_tso_mss")     bit<16> mss;
+    @semantic("tx_csum_offset") bit<8>  csum_off;
+    @semantic("tx_vlan_insert") bit<16> vlan;
+    bit<64> user0;
+    bit<16> rsvd;
+}
+
+@endian("little")
+parser QdmaDescParser(desc_in d, in qdma_ctx_t ctx, out qdma_h2c_base_t base,
+                      out qdma_h2c_ext_t ext) {
+    state start {
+        d.extract(base);
+        transition select(ctx.h2c_fmt) {
+            0: accept;
+            1: parse_ext;
+            default: reject;
+        };
+    }
+    state parse_ext {
+        d.extract(ext);
+        transition accept;
+    }
+}
+
+@nic("qdma")
+@endian("little")
+control QdmaCmptDeparser(cmpt_out cmpt, in qdma_ctx_t ctx, in qdma_cmpt8_t base,
+                         in qdma_cmpt16_ext_t ext16, in qdma_cmpt32_ext_t ext32,
+                         in qdma_cmpt64_ext_t ext64) {
+    apply {
+        cmpt.emit(base);
+        if (ctx.cmpt_size >= 1) {
+            cmpt.emit(ext16);
+        }
+        if (ctx.cmpt_size >= 2) {
+            cmpt.emit(ext32);
+        }
+        if (ctx.cmpt_size >= 3) {
+            cmpt.emit(ext64);
+        }
+    }
+}
+)P4";
+
+// ---------------------------------------------------------------------------
+// dumbnic: netmap-style least common denominator — buffer length only.
+// ---------------------------------------------------------------------------
+const char* const kDumbSource = R"P4(
+// A "dumb DMA" NIC: the least-common-denominator interface (netmap-style):
+// a packet length and a done bit, nothing else.
+struct dumb_ctx_t {
+    bit<1> unused;
+}
+
+header dumb_cmpt_t {
+    @semantic("pkt_len") bit<16> length;
+    @fixed(1)            bit<8>  status;
+    bit<8>  rsvd;
+}
+
+@nic("dumbnic")
+@endian("little")
+control DumbCmptDeparser(cmpt_out cmpt, in dumb_ctx_t ctx, in dumb_cmpt_t meta) {
+    apply {
+        cmpt.emit(meta);
+    }
+}
+)P4";
+
+}  // namespace
+
+const std::vector<NicModel>& NicCatalog::all() {
+  static const std::vector<NicModel> kModels = [] {
+    std::vector<NicModel> models;
+    models.emplace_back("dumbnic", NicClass::fixed,
+                        "netmap-style dumb DMA engine (length only)",
+                        kDumbSource, "DumbCmptDeparser");
+    models.emplace_back("e1000", NicClass::fixed,
+                        "Intel e1000 legacy: single layout with IP checksum",
+                        kE1000Source, "E1000CmptDeparser");
+    models.emplace_back("e1000e", NicClass::fixed,
+                        "Intel e1000e: RSS hash xor (ip_id, checksum) — Fig. 6",
+                        kE1000eSource, "E1000eCmptDeparser");
+    models.emplace_back("ixgbe", NicClass::fixed,
+                        "Intel 82599: Flow Director / RSS / fragment checksum",
+                        kIxgbeSource, "IxgbeCmptDeparser");
+    models.emplace_back("mlx5", NicClass::fixed,
+                        "NVIDIA ConnectX: 64B big-endian CQE (12 fields) + "
+                        "compressed mini-CQE formats",
+                        kMlx5Source, "Mlx5CmptDeparser");
+    models.emplace_back("bf3", NicClass::partial,
+                        "NVIDIA BlueField-3 style: CQE + match-action mark + "
+                        "16B flex format",
+                        kBf3Source, "Bf3CmptDeparser");
+    models.emplace_back("ice", NicClass::partial,
+                        "Intel E810: 32B flexible descriptors with "
+                        "profile-selected metadata slots",
+                        kIceSource, "IceCmptDeparser");
+    models.emplace_back("qdma", NicClass::programmable,
+                        "AMD/Xilinx QDMA: programmable 8/16/32/64B completions "
+                        "with custom accelerator fields",
+                        kQdmaSource, "QdmaCmptDeparser");
+    return models;
+  }();
+  return kModels;
+}
+
+}  // namespace opendesc::nic

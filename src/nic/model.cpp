@@ -1,0 +1,85 @@
+#include "nic/model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "p4/parser.hpp"
+
+namespace opendesc::nic {
+
+std::string to_string(NicClass c) {
+  switch (c) {
+    case NicClass::fixed: return "fixed";
+    case NicClass::partial: return "partially-programmable";
+    case NicClass::programmable: return "programmable";
+  }
+  return "unknown";
+}
+
+NicModel::NicModel(std::string name, NicClass nic_class, std::string description,
+                   std::string p4_source, std::string deparser_name)
+    : name_(std::move(name)), class_(nic_class),
+      description_(std::move(description)), source_(std::move(p4_source)),
+      deparser_name_(std::move(deparser_name)) {}
+
+void NicModel::ensure_parsed() const {
+  if (program_ != nullptr) {
+    return;
+  }
+  auto program = std::make_unique<p4::Program>(p4::parse_program(source_));
+  auto types = std::make_unique<p4::TypeInfo>(p4::check_program(*program));
+  program_ = std::move(program);
+  types_ = std::move(types);
+}
+
+const p4::Program& NicModel::program() const {
+  ensure_parsed();
+  return *program_;
+}
+
+const p4::TypeInfo& NicModel::types() const {
+  ensure_parsed();
+  return *types_;
+}
+
+const p4::ControlDecl& NicModel::deparser() const {
+  const p4::ControlDecl* control = program().find_control(deparser_name_);
+  if (control == nullptr) {
+    throw Error(ErrorKind::internal, "NIC model '" + name_ +
+                                         "' references missing deparser '" +
+                                         deparser_name_ + "'");
+  }
+  return *control;
+}
+
+const p4::ParserDecl* NicModel::desc_parser() const {
+  const p4::ParserDecl* found = nullptr;
+  for (const p4::ParserDecl* parser : program().parsers()) {
+    const bool has_desc_in = std::any_of(
+        parser->params().begin(), parser->params().end(), [](const p4::Param& p) {
+          return p.type.kind == p4::TypeRef::Kind::named &&
+                 p.type.name == "desc_in";
+        });
+    if (!has_desc_in) {
+      continue;
+    }
+    if (found != nullptr) {
+      throw Error(ErrorKind::internal,
+                  "NIC model '" + name_ + "' declares several desc parsers");
+    }
+    found = parser;
+  }
+  return found;
+}
+
+const NicModel& NicCatalog::by_name(std::string_view name) {
+  const auto& models = all();
+  const auto it = std::find_if(models.begin(), models.end(),
+                               [&](const NicModel& m) { return m.name() == name; });
+  if (it == models.end()) {
+    throw Error(ErrorKind::io, "unknown NIC model '" + std::string(name) + "'");
+  }
+  return *it;
+}
+
+}  // namespace opendesc::nic

@@ -1,0 +1,79 @@
+// NIC model: a named P4 interface description plus its parsed artifacts.
+//
+// Fixed-function NICs describe the layouts they support; partially and fully
+// programmable NICs describe the constraints of their interface (§1).  The
+// catalog in catalog.cpp mirrors the device classes the paper walks through
+// in Fig. 1: e1000 (single layout), e1000e (two layouts, Fig. 6), ixgbe,
+// mlx5 ConnectX (many CQE formats, big-endian), BlueField-style mlx5 with a
+// programmable match-action mark, Xilinx QDMA (8/16/32/64-byte programmable
+// completions), and a netmap-style dumb NIC.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "p4/ast.hpp"
+#include "p4/typecheck.hpp"
+
+namespace opendesc::nic {
+
+/// Degree of programmability, used in reports and the Table A bench.
+enum class NicClass : std::uint8_t {
+  fixed,         ///< fixed-function: layouts are take-it-or-leave-it
+  partial,       ///< fixed layouts with programmable match-action metadata
+  programmable,  ///< fully programmable descriptors (QDMA-style)
+};
+
+[[nodiscard]] std::string to_string(NicClass c);
+
+/// A catalog entry: the P4 description plus lazily parsed artifacts.
+class NicModel {
+ public:
+  NicModel(std::string name, NicClass nic_class, std::string description,
+           std::string p4_source, std::string deparser_name);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] NicClass nic_class() const noexcept { return class_; }
+  [[nodiscard]] const std::string& description() const noexcept {
+    return description_;
+  }
+  [[nodiscard]] const std::string& p4_source() const noexcept { return source_; }
+  [[nodiscard]] const std::string& deparser_name() const noexcept {
+    return deparser_name_;
+  }
+
+  /// Parsed + type-checked program (parsed on first use, then cached).
+  [[nodiscard]] const p4::Program& program() const;
+  [[nodiscard]] const p4::TypeInfo& types() const;
+  [[nodiscard]] const p4::ControlDecl& deparser() const;
+
+  /// The TX descriptor parser (the unique parser with a desc_in parameter);
+  /// nullptr when the model does not describe its TX side.
+  [[nodiscard]] const p4::ParserDecl* desc_parser() const;
+
+ private:
+  void ensure_parsed() const;
+
+  std::string name_;
+  NicClass class_;
+  std::string description_;
+  std::string source_;
+  std::string deparser_name_;
+
+  // Lazy cache (parse-once).
+  mutable std::unique_ptr<p4::Program> program_;
+  mutable std::unique_ptr<p4::TypeInfo> types_;
+};
+
+/// The built-in model catalog.
+class NicCatalog {
+ public:
+  /// All models, stable order (oldest/least capable first).
+  [[nodiscard]] static const std::vector<NicModel>& all();
+
+  /// Lookup by name; throws Error(io) when unknown.
+  [[nodiscard]] static const NicModel& by_name(std::string_view name);
+};
+
+}  // namespace opendesc::nic

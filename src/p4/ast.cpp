@@ -1,0 +1,194 @@
+#include "p4/ast.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace opendesc::p4 {
+
+std::string to_string(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::logical_not: return "!";
+    case UnaryOp::bit_not: return "~";
+    case UnaryOp::negate: return "-";
+  }
+  return "?";
+}
+
+std::string to_string(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::add: return "+";
+    case BinaryOp::sub: return "-";
+    case BinaryOp::mul: return "*";
+    case BinaryOp::div: return "/";
+    case BinaryOp::mod: return "%";
+    case BinaryOp::bit_and: return "&";
+    case BinaryOp::bit_or: return "|";
+    case BinaryOp::bit_xor: return "^";
+    case BinaryOp::shl: return "<<";
+    case BinaryOp::shr: return ">>";
+    case BinaryOp::eq: return "==";
+    case BinaryOp::ne: return "!=";
+    case BinaryOp::lt: return "<";
+    case BinaryOp::le: return "<=";
+    case BinaryOp::gt: return ">";
+    case BinaryOp::ge: return ">=";
+    case BinaryOp::logical_and: return "&&";
+    case BinaryOp::logical_or: return "||";
+  }
+  return "?";
+}
+
+std::string dotted_path(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::identifier:
+      return static_cast<const Identifier&>(expr).name();
+    case ExprKind::member: {
+      const auto& member = static_cast<const MemberExpr&>(expr);
+      const std::string base = dotted_path(member.base());
+      if (base.empty()) {
+        return {};
+      }
+      return base + "." + member.member();
+    }
+    default:
+      return {};
+  }
+}
+
+std::string TypeRef::to_string() const {
+  switch (kind) {
+    case Kind::bits: return "bit<" + std::to_string(width) + ">";
+    case Kind::boolean: return "bool";
+    case Kind::named: return name;
+  }
+  return "?";
+}
+
+const std::string& Annotation::string_arg() const {
+  if (args.size() != 1 || args[0]->kind() != ExprKind::string_literal) {
+    throw Error(ErrorKind::type, to_string(location) + ": annotation @" + name +
+                                     " expects exactly one string argument");
+  }
+  return static_cast<const StringLiteral&>(*args[0]).value();
+}
+
+std::uint64_t Annotation::int_arg() const {
+  if (args.size() != 1 || args[0]->kind() != ExprKind::int_literal) {
+    throw Error(ErrorKind::type, to_string(location) + ": annotation @" + name +
+                                     " expects exactly one integer argument");
+  }
+  return static_cast<const IntLiteral&>(*args[0]).value();
+}
+
+const Annotation* find_annotation(const std::vector<Annotation>& annotations,
+                                  std::string_view name) {
+  const auto it = std::find_if(annotations.begin(), annotations.end(),
+                               [&](const Annotation& a) { return a.name == name; });
+  return it == annotations.end() ? nullptr : &*it;
+}
+
+const FieldDecl* StructLikeDecl::find_field(std::string_view field_name) const {
+  const auto it = std::find_if(fields_.begin(), fields_.end(),
+                               [&](const FieldDecl& f) { return f.name == field_name; });
+  return it == fields_.end() ? nullptr : &*it;
+}
+
+const ParserState* ParserDecl::find_state(std::string_view state_name) const {
+  const auto it = std::find_if(states_.begin(), states_.end(),
+                               [&](const ParserState& s) { return s.name == state_name; });
+  return it == states_.end() ? nullptr : &*it;
+}
+
+const Decl* Program::find(std::string_view name) const {
+  const auto it = std::find_if(decls_.begin(), decls_.end(),
+                               [&](const DeclPtr& d) { return d->name() == name; });
+  return it == decls_.end() ? nullptr : it->get();
+}
+
+namespace {
+
+template <typename T>
+const T* find_as(const Program& program, std::string_view name, DeclKind kind) {
+  const Decl* d = program.find(name);
+  if (d == nullptr || d->kind() != kind) {
+    return nullptr;
+  }
+  return static_cast<const T*>(d);
+}
+
+}  // namespace
+
+const StructLikeDecl* Program::find_header(std::string_view name) const {
+  return find_as<StructLikeDecl>(*this, name, DeclKind::header);
+}
+
+const StructLikeDecl* Program::find_struct(std::string_view name) const {
+  return find_as<StructLikeDecl>(*this, name, DeclKind::struct_);
+}
+
+const ParserDecl* Program::find_parser(std::string_view name) const {
+  return find_as<ParserDecl>(*this, name, DeclKind::parser);
+}
+
+const ControlDecl* Program::find_control(std::string_view name) const {
+  return find_as<ControlDecl>(*this, name, DeclKind::control);
+}
+
+const TypedefDecl* Program::find_typedef(std::string_view name) const {
+  return find_as<TypedefDecl>(*this, name, DeclKind::typedef_);
+}
+
+const ConstDecl* Program::find_const(std::string_view name) const {
+  return find_as<ConstDecl>(*this, name, DeclKind::const_);
+}
+
+const RegisterDecl* Program::find_register(std::string_view name) const {
+  return find_as<RegisterDecl>(*this, name, DeclKind::register_);
+}
+
+const ExternDecl* Program::find_extern(std::string_view name) const {
+  return find_as<ExternDecl>(*this, name, DeclKind::extern_);
+}
+
+std::vector<const RegisterDecl*> Program::registers() const {
+  std::vector<const RegisterDecl*> out;
+  for (const auto& d : decls_) {
+    if (d->kind() == DeclKind::register_) {
+      out.push_back(static_cast<const RegisterDecl*>(d.get()));
+    }
+  }
+  return out;
+}
+
+std::vector<const ExternDecl*> Program::externs() const {
+  std::vector<const ExternDecl*> out;
+  for (const auto& d : decls_) {
+    if (d->kind() == DeclKind::extern_) {
+      out.push_back(static_cast<const ExternDecl*>(d.get()));
+    }
+  }
+  return out;
+}
+
+std::vector<const ControlDecl*> Program::controls() const {
+  std::vector<const ControlDecl*> out;
+  for (const auto& d : decls_) {
+    if (d->kind() == DeclKind::control) {
+      out.push_back(static_cast<const ControlDecl*>(d.get()));
+    }
+  }
+  return out;
+}
+
+std::vector<const ParserDecl*> Program::parsers() const {
+  std::vector<const ParserDecl*> out;
+  for (const auto& d : decls_) {
+    if (d->kind() == DeclKind::parser) {
+      out.push_back(static_cast<const ParserDecl*>(d.get()));
+    }
+  }
+  return out;
+}
+
+}  // namespace opendesc::p4

@@ -1,0 +1,553 @@
+// Abstract syntax tree for the OpenDesc P4-16 subset.
+//
+// The tree intentionally covers only what the OpenDesc compiler consumes:
+// header/struct/typedef/const declarations, parser declarations (descriptor
+// parsers), and control declarations (completion deparsers) whose apply
+// blocks contain if/else, assignments, local declarations, and emit-style
+// method calls.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "p4/source.hpp"
+
+namespace opendesc::p4 {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  int_literal,
+  bool_literal,
+  string_literal,
+  identifier,
+  member,
+  unary,
+  binary,
+  call,
+};
+
+enum class UnaryOp : std::uint8_t { logical_not, bit_not, negate };
+enum class BinaryOp : std::uint8_t {
+  add, sub, mul, div, mod,
+  bit_and, bit_or, bit_xor, shl, shr,
+  eq, ne, lt, le, gt, ge,
+  logical_and, logical_or,
+};
+
+[[nodiscard]] std::string to_string(UnaryOp op);
+[[nodiscard]] std::string to_string(BinaryOp op);
+
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  [[nodiscard]] ExprKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const SourceLocation& location() const noexcept { return location_; }
+
+ protected:
+  Expr(ExprKind kind, SourceLocation location) : kind_(kind), location_(location) {}
+
+ private:
+  ExprKind kind_;
+  SourceLocation location_;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLiteral final : public Expr {
+ public:
+  IntLiteral(std::uint64_t value, std::optional<std::size_t> width,
+             SourceLocation loc)
+      : Expr(ExprKind::int_literal, loc), value_(value), width_(width) {}
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  [[nodiscard]] std::optional<std::size_t> width() const noexcept { return width_; }
+
+ private:
+  std::uint64_t value_;
+  std::optional<std::size_t> width_;
+};
+
+class BoolLiteral final : public Expr {
+ public:
+  BoolLiteral(bool value, SourceLocation loc)
+      : Expr(ExprKind::bool_literal, loc), value_(value) {}
+
+  [[nodiscard]] bool value() const noexcept { return value_; }
+
+ private:
+  bool value_;
+};
+
+class StringLiteral final : public Expr {
+ public:
+  StringLiteral(std::string value, SourceLocation loc)
+      : Expr(ExprKind::string_literal, loc), value_(std::move(value)) {}
+
+  [[nodiscard]] const std::string& value() const noexcept { return value_; }
+
+ private:
+  std::string value_;
+};
+
+class Identifier final : public Expr {
+ public:
+  Identifier(std::string name, SourceLocation loc)
+      : Expr(ExprKind::identifier, loc), name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// `base.member` — e.g. `ctx.use_rss` or `desc_hdr.rss_val`.
+class MemberExpr final : public Expr {
+ public:
+  MemberExpr(ExprPtr base, std::string member, SourceLocation loc)
+      : Expr(ExprKind::member, loc), base_(std::move(base)),
+        member_(std::move(member)) {}
+
+  [[nodiscard]] const Expr& base() const noexcept { return *base_; }
+  [[nodiscard]] const std::string& member() const noexcept { return member_; }
+
+ private:
+  ExprPtr base_;
+  std::string member_;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr operand, SourceLocation loc)
+      : Expr(ExprKind::unary, loc), op_(op), operand_(std::move(operand)) {}
+
+  [[nodiscard]] UnaryOp op() const noexcept { return op_; }
+  [[nodiscard]] const Expr& operand() const noexcept { return *operand_; }
+
+ private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs, SourceLocation loc)
+      : Expr(ExprKind::binary, loc), op_(op), lhs_(std::move(lhs)),
+        rhs_(std::move(rhs)) {}
+
+  [[nodiscard]] BinaryOp op() const noexcept { return op_; }
+  [[nodiscard]] const Expr& lhs() const noexcept { return *lhs_; }
+  [[nodiscard]] const Expr& rhs() const noexcept { return *rhs_; }
+
+ private:
+  BinaryOp op_;
+  ExprPtr lhs_, rhs_;
+};
+
+/// `callee(args...)` where callee is an identifier or member chain,
+/// e.g. `cmpt_out.emit(desc_hdr.rss_val)` or `pkt.extract(hdr)`.
+class CallExpr final : public Expr {
+ public:
+  CallExpr(ExprPtr callee, std::vector<ExprPtr> args, SourceLocation loc)
+      : Expr(ExprKind::call, loc), callee_(std::move(callee)),
+        args_(std::move(args)) {}
+
+  [[nodiscard]] const Expr& callee() const noexcept { return *callee_; }
+  [[nodiscard]] const std::vector<ExprPtr>& args() const noexcept { return args_; }
+
+ private:
+  ExprPtr callee_;
+  std::vector<ExprPtr> args_;
+};
+
+/// Renders a member chain ("ctx.use_rss") or identifier as a dotted path;
+/// empty string when the expression is not a pure identifier/member chain.
+[[nodiscard]] std::string dotted_path(const Expr& expr);
+
+// ---------------------------------------------------------------------------
+// Types and annotations
+// ---------------------------------------------------------------------------
+
+/// Reference to a type as spelled in the source.
+struct TypeRef {
+  enum class Kind : std::uint8_t { bits, boolean, named };
+
+  Kind kind = Kind::bits;
+  std::size_t width = 0;  ///< for Kind::bits
+  std::string name;       ///< for Kind::named
+  SourceLocation location;
+
+  [[nodiscard]] static TypeRef bits(std::size_t w, SourceLocation loc = {}) {
+    return TypeRef{Kind::bits, w, {}, loc};
+  }
+  [[nodiscard]] static TypeRef boolean(SourceLocation loc = {}) {
+    return TypeRef{Kind::boolean, 1, {}, loc};
+  }
+  [[nodiscard]] static TypeRef named(std::string n, SourceLocation loc = {}) {
+    return TypeRef{Kind::named, 0, std::move(n), loc};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// `@name` or `@name("string")` or `@name(expr, ...)`.
+struct Annotation {
+  std::string name;
+  std::vector<ExprPtr> args;
+  SourceLocation location;
+
+  /// The single string argument; throws Error(type) when the annotation
+  /// does not carry exactly one string literal.
+  [[nodiscard]] const std::string& string_arg() const;
+
+  /// The single integer argument (constant literal).
+  [[nodiscard]] std::uint64_t int_arg() const;
+};
+
+/// Finds an annotation by name; nullptr when absent.
+[[nodiscard]] const Annotation* find_annotation(
+    const std::vector<Annotation>& annotations, std::string_view name);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t { block, if_stmt, method_call, assign, var_decl };
+
+class Stmt {
+ public:
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  [[nodiscard]] StmtKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const SourceLocation& location() const noexcept { return location_; }
+
+ protected:
+  Stmt(StmtKind kind, SourceLocation location) : kind_(kind), location_(location) {}
+
+ private:
+  StmtKind kind_;
+  SourceLocation location_;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class BlockStmt final : public Stmt {
+ public:
+  BlockStmt(std::vector<StmtPtr> statements, SourceLocation loc)
+      : Stmt(StmtKind::block, loc), statements_(std::move(statements)) {}
+
+  [[nodiscard]] const std::vector<StmtPtr>& statements() const noexcept {
+    return statements_;
+  }
+
+ private:
+  std::vector<StmtPtr> statements_;
+};
+
+class IfStmt final : public Stmt {
+ public:
+  IfStmt(ExprPtr condition, StmtPtr then_branch, StmtPtr else_branch,
+         SourceLocation loc)
+      : Stmt(StmtKind::if_stmt, loc), condition_(std::move(condition)),
+        then_branch_(std::move(then_branch)), else_branch_(std::move(else_branch)) {}
+
+  [[nodiscard]] const Expr& condition() const noexcept { return *condition_; }
+  [[nodiscard]] const Stmt& then_branch() const noexcept { return *then_branch_; }
+  [[nodiscard]] const Stmt* else_branch() const noexcept { return else_branch_.get(); }
+
+ private:
+  ExprPtr condition_;
+  StmtPtr then_branch_;
+  StmtPtr else_branch_;  ///< may be null
+};
+
+class MethodCallStmt final : public Stmt {
+ public:
+  MethodCallStmt(std::unique_ptr<CallExpr> call, SourceLocation loc)
+      : Stmt(StmtKind::method_call, loc), call_(std::move(call)) {}
+
+  [[nodiscard]] const CallExpr& call() const noexcept { return *call_; }
+
+ private:
+  std::unique_ptr<CallExpr> call_;
+};
+
+class AssignStmt final : public Stmt {
+ public:
+  AssignStmt(ExprPtr lhs, ExprPtr rhs, SourceLocation loc)
+      : Stmt(StmtKind::assign, loc), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  [[nodiscard]] const Expr& lhs() const noexcept { return *lhs_; }
+  [[nodiscard]] const Expr& rhs() const noexcept { return *rhs_; }
+
+ private:
+  ExprPtr lhs_, rhs_;
+};
+
+class VarDeclStmt final : public Stmt {
+ public:
+  VarDeclStmt(TypeRef type, std::string name, ExprPtr init, SourceLocation loc)
+      : Stmt(StmtKind::var_decl, loc), type_(std::move(type)),
+        name_(std::move(name)), init_(std::move(init)) {}
+
+  [[nodiscard]] const TypeRef& type() const noexcept { return type_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Expr* init() const noexcept { return init_.get(); }
+
+ private:
+  TypeRef type_;
+  std::string name_;
+  ExprPtr init_;  ///< may be null
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+enum class DeclKind : std::uint8_t {
+  header, struct_, typedef_, const_, parser, control, register_, extern_,
+};
+
+struct FieldDecl {
+  std::vector<Annotation> annotations;
+  TypeRef type;
+  std::string name;
+  SourceLocation location;
+};
+
+class Decl {
+ public:
+  virtual ~Decl() = default;
+  Decl(const Decl&) = delete;
+  Decl& operator=(const Decl&) = delete;
+
+  [[nodiscard]] DeclKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const SourceLocation& location() const noexcept { return location_; }
+  [[nodiscard]] const std::vector<Annotation>& annotations() const noexcept {
+    return annotations_;
+  }
+
+ protected:
+  Decl(DeclKind kind, std::string name, std::vector<Annotation> annotations,
+       SourceLocation location)
+      : kind_(kind), name_(std::move(name)),
+        annotations_(std::move(annotations)), location_(location) {}
+
+ private:
+  DeclKind kind_;
+  std::string name_;
+  std::vector<Annotation> annotations_;
+  SourceLocation location_;
+};
+
+using DeclPtr = std::unique_ptr<Decl>;
+
+/// `header Name { ... }` or `struct Name { ... }` (kind distinguishes).
+class StructLikeDecl final : public Decl {
+ public:
+  StructLikeDecl(DeclKind kind, std::string name, std::vector<FieldDecl> fields,
+                 std::vector<Annotation> annotations, SourceLocation loc)
+      : Decl(kind, std::move(name), std::move(annotations), loc),
+        fields_(std::move(fields)) {}
+
+  [[nodiscard]] const std::vector<FieldDecl>& fields() const noexcept {
+    return fields_;
+  }
+  [[nodiscard]] const FieldDecl* find_field(std::string_view field_name) const;
+
+ private:
+  std::vector<FieldDecl> fields_;
+};
+
+class TypedefDecl final : public Decl {
+ public:
+  TypedefDecl(TypeRef aliased, std::string name, SourceLocation loc)
+      : Decl(DeclKind::typedef_, std::move(name), {}, loc),
+        aliased_(std::move(aliased)) {}
+
+  [[nodiscard]] const TypeRef& aliased() const noexcept { return aliased_; }
+
+ private:
+  TypeRef aliased_;
+};
+
+class ConstDecl final : public Decl {
+ public:
+  ConstDecl(TypeRef type, std::string name, ExprPtr value, SourceLocation loc)
+      : Decl(DeclKind::const_, std::move(name), {}, loc),
+        type_(std::move(type)), value_(std::move(value)) {}
+
+  [[nodiscard]] const TypeRef& type() const noexcept { return type_; }
+  [[nodiscard]] const Expr& value() const noexcept { return *value_; }
+
+ private:
+  TypeRef type_;
+  ExprPtr value_;
+};
+
+enum class ParamDir : std::uint8_t { none, in, out, inout };
+
+struct Param {
+  ParamDir direction = ParamDir::none;
+  TypeRef type;
+  std::string name;
+  SourceLocation location;
+};
+
+/// One case of a `select` expression.
+struct SelectCase {
+  ExprPtr key;             ///< null = default / `_`
+  std::string next_state;
+  SourceLocation location;
+};
+
+/// A parser state: statements, then either a direct transition or a select.
+struct ParserState {
+  std::string name;
+  std::vector<StmtPtr> statements;
+  std::string direct_next;          ///< non-empty for `transition next;`
+  std::vector<ExprPtr> select_keys; ///< non-empty for select transitions
+  std::vector<SelectCase> cases;
+  SourceLocation location;
+
+  [[nodiscard]] bool has_select() const noexcept { return !select_keys.empty(); }
+};
+
+/// Terminal state names defined by the P4 core library.
+inline constexpr std::string_view kAcceptState = "accept";
+inline constexpr std::string_view kRejectState = "reject";
+
+class ParserDecl final : public Decl {
+ public:
+  ParserDecl(std::string name, std::vector<std::string> type_params,
+             std::vector<Param> params, std::vector<ParserState> states,
+             std::vector<Annotation> annotations, SourceLocation loc)
+      : Decl(DeclKind::parser, std::move(name), std::move(annotations), loc),
+        type_params_(std::move(type_params)), params_(std::move(params)),
+        states_(std::move(states)) {}
+
+  [[nodiscard]] const std::vector<std::string>& type_params() const noexcept {
+    return type_params_;
+  }
+  [[nodiscard]] const std::vector<Param>& params() const noexcept { return params_; }
+  [[nodiscard]] const std::vector<ParserState>& states() const noexcept {
+    return states_;
+  }
+  [[nodiscard]] const ParserState* find_state(std::string_view state_name) const;
+
+ private:
+  std::vector<std::string> type_params_;
+  std::vector<Param> params_;
+  std::vector<ParserState> states_;
+};
+
+class ControlDecl final : public Decl {
+ public:
+  ControlDecl(std::string name, std::vector<std::string> type_params,
+              std::vector<Param> params, std::vector<StmtPtr> locals,
+              std::unique_ptr<BlockStmt> apply,
+              std::vector<Annotation> annotations, SourceLocation loc)
+      : Decl(DeclKind::control, std::move(name), std::move(annotations), loc),
+        type_params_(std::move(type_params)), params_(std::move(params)),
+        locals_(std::move(locals)), apply_(std::move(apply)) {}
+
+  [[nodiscard]] const std::vector<std::string>& type_params() const noexcept {
+    return type_params_;
+  }
+  [[nodiscard]] const std::vector<Param>& params() const noexcept { return params_; }
+  [[nodiscard]] const std::vector<StmtPtr>& locals() const noexcept { return locals_; }
+  [[nodiscard]] const BlockStmt& apply() const noexcept { return *apply_; }
+
+ private:
+  std::vector<std::string> type_params_;
+  std::vector<Param> params_;
+  std::vector<StmtPtr> locals_;
+  std::unique_ptr<BlockStmt> apply_;
+};
+
+/// `register<bit<W>>(SIZE) name;` — stateful storage, *descriptive only*
+/// (§5: "these constructs are used only as a descriptive mechanism and are
+/// not mapped to hardware resources").  The compiler records them so a NIC
+/// can declare stateful offload context; they never affect layout selection.
+class RegisterDecl final : public Decl {
+ public:
+  RegisterDecl(TypeRef value_type, std::uint64_t size, std::string name,
+               std::vector<Annotation> annotations, SourceLocation loc)
+      : Decl(DeclKind::register_, std::move(name), std::move(annotations), loc),
+        value_type_(std::move(value_type)), size_(size) {}
+
+  [[nodiscard]] const TypeRef& value_type() const noexcept { return value_type_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+
+ private:
+  TypeRef value_type_;
+  std::uint64_t size_;
+};
+
+/// `extern Name;` or `extern Name { ...opaque body... }` — an externally
+/// implemented feature referenced by name (§5: "P4 enables access to more
+/// complex offloads through extern").  Bodies are recorded verbatim but not
+/// interpreted.
+class ExternDecl final : public Decl {
+ public:
+  ExternDecl(std::string name, std::string opaque_body,
+             std::vector<Annotation> annotations, SourceLocation loc)
+      : Decl(DeclKind::extern_, std::move(name), std::move(annotations), loc),
+        opaque_body_(std::move(opaque_body)) {}
+
+  [[nodiscard]] const std::string& opaque_body() const noexcept {
+    return opaque_body_;
+  }
+
+ private:
+  std::string opaque_body_;
+};
+
+// ---------------------------------------------------------------------------
+// Program
+// ---------------------------------------------------------------------------
+
+class Program {
+ public:
+  Program() = default;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  void add(DeclPtr decl) { decls_.push_back(std::move(decl)); }
+
+  [[nodiscard]] const std::vector<DeclPtr>& decls() const noexcept { return decls_; }
+
+  /// Finders return nullptr when absent; by-name lookup over all decls.
+  [[nodiscard]] const Decl* find(std::string_view name) const;
+  [[nodiscard]] const StructLikeDecl* find_header(std::string_view name) const;
+  [[nodiscard]] const StructLikeDecl* find_struct(std::string_view name) const;
+  [[nodiscard]] const ParserDecl* find_parser(std::string_view name) const;
+  [[nodiscard]] const ControlDecl* find_control(std::string_view name) const;
+  [[nodiscard]] const TypedefDecl* find_typedef(std::string_view name) const;
+  [[nodiscard]] const ConstDecl* find_const(std::string_view name) const;
+  [[nodiscard]] const RegisterDecl* find_register(std::string_view name) const;
+  [[nodiscard]] const ExternDecl* find_extern(std::string_view name) const;
+
+  /// All stateful/extern declarations (for interface reports).
+  [[nodiscard]] std::vector<const RegisterDecl*> registers() const;
+  [[nodiscard]] std::vector<const ExternDecl*> externs() const;
+
+  /// All controls / parsers (for "enumerate every deparser" workflows).
+  [[nodiscard]] std::vector<const ControlDecl*> controls() const;
+  [[nodiscard]] std::vector<const ParserDecl*> parsers() const;
+
+ private:
+  std::vector<DeclPtr> decls_;
+};
+
+}  // namespace opendesc::p4

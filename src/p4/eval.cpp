@@ -1,0 +1,350 @@
+#include "p4/eval.hpp"
+
+#include "common/error.hpp"
+
+namespace opendesc::p4 {
+
+namespace {
+
+std::uint64_t apply_binary(BinaryOp op, std::uint64_t a, std::uint64_t b,
+                           const SourceLocation& at) {
+  switch (op) {
+    case BinaryOp::add: return a + b;
+    case BinaryOp::sub: return a - b;
+    case BinaryOp::mul: return a * b;
+    case BinaryOp::div:
+      if (b == 0) {
+        throw Error(ErrorKind::type, to_string(at) + ": division by zero");
+      }
+      return a / b;
+    case BinaryOp::mod:
+      if (b == 0) {
+        throw Error(ErrorKind::type, to_string(at) + ": modulo by zero");
+      }
+      return a % b;
+    case BinaryOp::bit_and: return a & b;
+    case BinaryOp::bit_or: return a | b;
+    case BinaryOp::bit_xor: return a ^ b;
+    case BinaryOp::shl: return b >= 64 ? 0 : a << b;
+    case BinaryOp::shr: return b >= 64 ? 0 : a >> b;
+    case BinaryOp::eq: return a == b ? 1 : 0;
+    case BinaryOp::ne: return a != b ? 1 : 0;
+    case BinaryOp::lt: return a < b ? 1 : 0;
+    case BinaryOp::le: return a <= b ? 1 : 0;
+    case BinaryOp::gt: return a > b ? 1 : 0;
+    case BinaryOp::ge: return a >= b ? 1 : 0;
+    case BinaryOp::logical_and: return (a != 0 && b != 0) ? 1 : 0;
+    case BinaryOp::logical_or: return (a != 0 || b != 0) ? 1 : 0;
+  }
+  throw Error(ErrorKind::internal, "unhandled binary operator");
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> try_evaluate(const Expr& expr, const ConstEnv& env) {
+  switch (expr.kind()) {
+    case ExprKind::int_literal:
+      return static_cast<const IntLiteral&>(expr).value();
+    case ExprKind::bool_literal:
+      return static_cast<const BoolLiteral&>(expr).value() ? 1 : 0;
+    case ExprKind::string_literal:
+      return std::nullopt;
+    case ExprKind::identifier:
+    case ExprKind::member: {
+      const std::string path = dotted_path(expr);
+      if (const auto it = env.find(path); it != env.end()) {
+        return it->second;
+      }
+      return std::nullopt;
+    }
+    case ExprKind::unary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      const auto operand = try_evaluate(unary.operand(), env);
+      if (!operand) {
+        return std::nullopt;
+      }
+      switch (unary.op()) {
+        case UnaryOp::logical_not: return *operand == 0 ? 1 : 0;
+        case UnaryOp::bit_not: return ~*operand;
+        case UnaryOp::negate: return static_cast<std::uint64_t>(0) - *operand;
+      }
+      return std::nullopt;
+    }
+    case ExprKind::binary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      const auto lhs = try_evaluate(binary.lhs(), env);
+      const auto rhs = try_evaluate(binary.rhs(), env);
+      // Short-circuit forms that are decidable from one side.
+      if (binary.op() == BinaryOp::logical_and) {
+        if ((lhs && *lhs == 0) || (rhs && *rhs == 0)) return 0;
+      }
+      if (binary.op() == BinaryOp::logical_or) {
+        if ((lhs && *lhs != 0) || (rhs && *rhs != 0)) return 1;
+      }
+      if (!lhs || !rhs) {
+        return std::nullopt;
+      }
+      return apply_binary(binary.op(), *lhs, *rhs, binary.location());
+    }
+    case ExprKind::call:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t evaluate(const Expr& expr, const ConstEnv& env) {
+  const auto value = try_evaluate(expr, env);
+  if (!value) {
+    throw Error(ErrorKind::type, to_string(expr.location()) +
+                                     ": expression is not a compile-time constant");
+  }
+  return *value;
+}
+
+// ---------------------------------------------------------------------------
+// ConstraintSet
+// ---------------------------------------------------------------------------
+
+bool ConstraintSet::add_atom(const std::string& path, Cmp op, std::uint64_t value,
+                             bool from_predicate) {
+  VarDomain& d = domains_[path];
+  d.constrained = d.constrained || from_predicate;
+  switch (op) {
+    case Cmp::eq:
+      if (d.fixed && *d.fixed != value) return feasible_ = false;
+      if (value < d.lo || value > d.hi) return feasible_ = false;
+      if (d.forbidden.contains(value)) return feasible_ = false;
+      d.fixed = value;
+      break;
+    case Cmp::ne:
+      if (d.fixed && *d.fixed == value) return feasible_ = false;
+      d.forbidden.insert(value);
+      if (d.lo == d.hi && d.lo == value) return feasible_ = false;
+      break;
+    case Cmp::lt:
+      if (value == 0) return feasible_ = false;
+      d.hi = std::min(d.hi, value - 1);
+      break;
+    case Cmp::le:
+      d.hi = std::min(d.hi, value);
+      break;
+    case Cmp::gt:
+      if (value == ~std::uint64_t{0}) return feasible_ = false;
+      d.lo = std::max(d.lo, value + 1);
+      break;
+    case Cmp::ge:
+      d.lo = std::max(d.lo, value);
+      break;
+  }
+  if (d.lo > d.hi) return feasible_ = false;
+  if (d.fixed && (*d.fixed < d.lo || *d.fixed > d.hi)) return feasible_ = false;
+  // A fully forbidden singleton interval is infeasible.
+  if (d.lo == d.hi && d.forbidden.contains(d.lo)) return feasible_ = false;
+  return true;
+}
+
+bool ConstraintSet::assume_comparison(const BinaryExpr& cmp, bool taken) {
+  static const auto negate = [](Cmp op) {
+    switch (op) {
+      case Cmp::eq: return Cmp::ne;
+      case Cmp::ne: return Cmp::eq;
+      case Cmp::lt: return Cmp::ge;
+      case Cmp::le: return Cmp::gt;
+      case Cmp::gt: return Cmp::le;
+      case Cmp::ge: return Cmp::lt;
+    }
+    return Cmp::eq;
+  };
+  static const auto mirror = [](Cmp op) {  // a OP b  ==  b MIRROR(OP) a
+    switch (op) {
+      case Cmp::lt: return Cmp::gt;
+      case Cmp::le: return Cmp::ge;
+      case Cmp::gt: return Cmp::lt;
+      case Cmp::ge: return Cmp::le;
+      default: return op;
+    }
+  };
+
+  Cmp op;
+  switch (cmp.op()) {
+    case BinaryOp::eq: op = Cmp::eq; break;
+    case BinaryOp::ne: op = Cmp::ne; break;
+    case BinaryOp::lt: op = Cmp::lt; break;
+    case BinaryOp::le: op = Cmp::le; break;
+    case BinaryOp::gt: op = Cmp::gt; break;
+    case BinaryOp::ge: op = Cmp::ge; break;
+    default: return true;  // not a comparison: unconstrained
+  }
+
+  const std::string lhs_path = dotted_path(cmp.lhs());
+  const std::string rhs_path = dotted_path(cmp.rhs());
+  const auto lhs_const = try_evaluate(cmp.lhs(), consts_);
+  const auto rhs_const = try_evaluate(cmp.rhs(), consts_);
+
+  if (!taken) {
+    op = negate(op);
+  }
+  if (!lhs_path.empty() && !lhs_const && rhs_const) {
+    return add_atom(lhs_path, op, *rhs_const);
+  }
+  if (!rhs_path.empty() && !rhs_const && lhs_const) {
+    return add_atom(rhs_path, mirror(op), *lhs_const);
+  }
+  if (lhs_const && rhs_const) {
+    // Fully constant comparison: decide it now.
+    const std::uint64_t truth =
+        apply_binary(cmp.op(), *lhs_const, *rhs_const, cmp.location());
+    const bool holds = truth != 0;
+    if (holds != taken) {
+      return feasible_ = false;
+    }
+    return true;
+  }
+  return true;  // variable-vs-variable: treated as unconstrained
+}
+
+bool ConstraintSet::assume(const Expr& cond, bool taken) {
+  if (!feasible_) {
+    return false;
+  }
+  switch (cond.kind()) {
+    case ExprKind::bool_literal: {
+      const bool value = static_cast<const BoolLiteral&>(cond).value();
+      if (value != taken) {
+        return feasible_ = false;
+      }
+      return true;
+    }
+    case ExprKind::identifier:
+    case ExprKind::member: {
+      const std::string path = dotted_path(cond);
+      if (path.empty()) {
+        return true;
+      }
+      if (const auto it = consts_.find(path); it != consts_.end()) {
+        // Known constant used as a boolean.
+        if ((it->second != 0) != taken) {
+          return feasible_ = false;
+        }
+        return true;
+      }
+      // Boolean flag variable: pin to taken (0/1 domain, like bit<1>).
+      return add_atom(path, Cmp::eq, taken ? 1 : 0);
+    }
+    case ExprKind::unary: {
+      const auto& unary = static_cast<const UnaryExpr&>(cond);
+      if (unary.op() == UnaryOp::logical_not) {
+        return assume(unary.operand(), !taken);
+      }
+      return true;
+    }
+    case ExprKind::binary: {
+      const auto& binary = static_cast<const BinaryExpr&>(cond);
+      if (binary.op() == BinaryOp::logical_and) {
+        if (taken) {
+          return assume(binary.lhs(), true) && assume(binary.rhs(), true);
+        }
+        // ¬(a ∧ b) is a disjunction: only decidable when one side is
+        // already pinned true, in which case the other must be false.
+        if (const auto lhs = try_evaluate(binary.lhs(), consts_);
+            lhs && *lhs != 0) {
+          return assume(binary.rhs(), false);
+        }
+        if (const auto rhs = try_evaluate(binary.rhs(), consts_);
+            rhs && *rhs != 0) {
+          return assume(binary.lhs(), false);
+        }
+        return true;  // unconstrained
+      }
+      if (binary.op() == BinaryOp::logical_or) {
+        if (!taken) {
+          return assume(binary.lhs(), false) && assume(binary.rhs(), false);
+        }
+        if (const auto lhs = try_evaluate(binary.lhs(), consts_);
+            lhs && *lhs == 0) {
+          return assume(binary.rhs(), true);
+        }
+        if (const auto rhs = try_evaluate(binary.rhs(), consts_);
+            rhs && *rhs == 0) {
+          return assume(binary.lhs(), true);
+        }
+        return true;
+      }
+      return assume_comparison(binary, taken);
+    }
+    default:
+      return true;  // calls, literals of other kinds: unconstrained
+  }
+}
+
+std::optional<std::uint64_t> ConstraintSet::value_of(const std::string& path) const {
+  const auto it = domains_.find(path);
+  if (it == domains_.end()) {
+    return std::nullopt;
+  }
+  const VarDomain& d = it->second;
+  if (d.fixed) {
+    return d.fixed;
+  }
+  // Trim interval endpoints excluded by != constraints; if that collapses
+  // the domain to one point, the value is determined.
+  std::uint64_t lo = d.lo, hi = d.hi;
+  while (lo < hi && d.forbidden.contains(lo)) {
+    ++lo;
+  }
+  while (hi > lo && d.forbidden.contains(hi)) {
+    --hi;
+  }
+  if (lo == hi && !d.forbidden.contains(lo)) {
+    return lo;
+  }
+  return std::nullopt;
+}
+
+ConstEnv ConstraintSet::sample_assignment() const {
+  ConstEnv assignment;
+  for (const auto& [path, domain] : domains_) {
+    if (!domain.constrained) {
+      continue;
+    }
+    std::uint64_t v = domain.fixed.value_or(domain.lo);
+    while (domain.forbidden.contains(v) && v < domain.hi) {
+      ++v;
+    }
+    assignment[path] = v;
+  }
+  return assignment;
+}
+
+bool ConstraintSet::satisfied_by(const ConstEnv& env) const {
+  if (!feasible_) {
+    return false;
+  }
+  for (const auto& [path, domain] : domains_) {
+    if (!domain.constrained) {
+      continue;
+    }
+    const auto it = env.find(path);
+    const std::uint64_t value = it == env.end() ? 0 : it->second;
+    if (domain.fixed && *domain.fixed != value) {
+      return false;
+    }
+    if (value < domain.lo || value > domain.hi ||
+        domain.forbidden.contains(value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::set<std::string> ConstraintSet::variables() const {
+  std::set<std::string> names;
+  for (const auto& [path, domain] : domains_) {
+    if (domain.constrained) {
+      names.insert(path);
+    }
+  }
+  return names;
+}
+
+}  // namespace opendesc::p4

@@ -1,0 +1,101 @@
+// Constant expression evaluation and symbolic predicate reasoning.
+//
+// The OpenDesc compiler needs two flavours of evaluation:
+//  * full constant folding (const declarations, annotation arguments,
+//    select keysets);
+//  * *satisfiability* of conjunctions of branch predicates over free context
+//    variables (e.g. `ctx.use_rss`, `ctx.desc_size == 16`) — used by
+//    core::PathEnumerator to prune infeasible completion paths, i.e. the
+//    "symbolic evaluation" of §4 step 1.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "p4/ast.hpp"
+
+namespace opendesc::p4 {
+
+/// Environment mapping dotted paths ("ctx.use_rss") and identifiers to
+/// concrete values.
+using ConstEnv = std::map<std::string, std::uint64_t>;
+
+/// Fully evaluates `expr` under `env`.  Returns nullopt when the expression
+/// references unknown variables; throws Error(type) on division by zero.
+[[nodiscard]] std::optional<std::uint64_t> try_evaluate(const Expr& expr,
+                                                        const ConstEnv& env);
+
+/// Evaluates or throws Error(type) when the expression is not constant.
+[[nodiscard]] std::uint64_t evaluate(const Expr& expr, const ConstEnv& env);
+
+/// Value domain of one symbolic variable: an interval plus a set of excluded
+/// points, optionally pinned to a single value.
+struct VarDomain {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = ~std::uint64_t{0};
+  std::optional<std::uint64_t> fixed;
+  std::set<std::uint64_t> forbidden;
+  bool constrained = false;  ///< touched by a branch predicate (not just a width bound)
+};
+
+/// A conjunction of constraints over named context variables.
+///
+/// assume() refines the set with "predicate `cond` evaluated to `taken`".
+/// The analysis is sound for the completion-deparser predicates the paper's
+/// NICs use (boolean flags and comparisons against constants); anything it
+/// cannot interpret is treated as unconstrained (conservatively satisfiable).
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+
+  /// Constants visible to the predicates (from `const` declarations).
+  explicit ConstraintSet(ConstEnv consts) : consts_(std::move(consts)) {}
+
+  /// Refines with `cond == taken`.  Returns false — and leaves the set in an
+  /// unspecified but safe state — when the conjunction became infeasible.
+  [[nodiscard]] bool assume(const Expr& cond, bool taken);
+
+  /// Declares that `path` can hold at most `max` (e.g. 2^width - 1 for a
+  /// bit<width> context field).  Returns false when this contradicts
+  /// existing constraints.
+  [[nodiscard]] bool bound(const std::string& path, std::uint64_t max) {
+    return add_atom(path, Cmp::le, max, /*from_predicate=*/false);
+  }
+
+  /// True when no contradiction has been recorded.
+  [[nodiscard]] bool feasible() const noexcept { return feasible_; }
+
+  /// The pinned value of a variable, if the constraints fix one.
+  [[nodiscard]] std::optional<std::uint64_t> value_of(const std::string& path) const;
+
+  /// A satisfying assignment over the variables that branch predicates
+  /// actually constrained: pinned values where fixed, otherwise the lowest
+  /// allowed value.  Useful to build a concrete context that steers the NIC
+  /// into a chosen completion path.
+  [[nodiscard]] ConstEnv sample_assignment() const;
+
+  /// Variables constrained by branch predicates.
+  [[nodiscard]] std::set<std::string> variables() const;
+
+  /// True when the assignment `env` (missing variables read as 0) satisfies
+  /// every predicate-derived constraint.  Used by the simulator's control
+  /// channel: the NIC walks the deparser path whose constraints the
+  /// programmed context registers satisfy.
+  [[nodiscard]] bool satisfied_by(const ConstEnv& env) const;
+
+ private:
+  enum class Cmp { eq, ne, lt, le, gt, ge };
+
+  bool add_atom(const std::string& path, Cmp op, std::uint64_t value,
+                bool from_predicate = true);
+  bool assume_comparison(const BinaryExpr& cmp, bool taken);
+
+  ConstEnv consts_;
+  std::map<std::string, VarDomain> domains_;
+  bool feasible_ = true;
+};
+
+}  // namespace opendesc::p4

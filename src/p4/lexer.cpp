@@ -1,0 +1,332 @@
+#include "p4/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace opendesc::p4 {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keyword_table() {
+  static const std::unordered_map<std::string_view, TokenKind> kTable = {
+      {"header", TokenKind::kw_header},
+      {"struct", TokenKind::kw_struct},
+      {"typedef", TokenKind::kw_typedef},
+      {"const", TokenKind::kw_const},
+      {"parser", TokenKind::kw_parser},
+      {"control", TokenKind::kw_control},
+      {"state", TokenKind::kw_state},
+      {"transition", TokenKind::kw_transition},
+      {"select", TokenKind::kw_select},
+      {"apply", TokenKind::kw_apply},
+      {"if", TokenKind::kw_if},
+      {"else", TokenKind::kw_else},
+      {"true", TokenKind::kw_true},
+      {"false", TokenKind::kw_false},
+      {"default", TokenKind::kw_default},
+      {"in", TokenKind::kw_in},
+      {"out", TokenKind::kw_out},
+      {"inout", TokenKind::kw_inout},
+      {"bit", TokenKind::kw_bit},
+      {"bool", TokenKind::kw_bool},
+      {"return", TokenKind::kw_return},
+      {"register", TokenKind::kw_register},
+      {"extern", TokenKind::kw_extern},
+  };
+  return kTable;
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view source) : src_(source) {}
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() noexcept {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++loc_.line;
+      loc_.column = 1;
+    } else {
+      ++loc_.column;
+    }
+    return c;
+  }
+  bool match(char expected) noexcept {
+    if (eof() || peek() != expected) {
+      return false;
+    }
+    advance();
+    return true;
+  }
+  [[nodiscard]] SourceLocation location() const noexcept { return loc_; }
+  [[nodiscard]] std::size_t offset() const noexcept { return pos_; }
+  [[nodiscard]] std::string_view slice(std::size_t from) const noexcept {
+    return src_.substr(from, pos_ - from);
+  }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  SourceLocation loc_;
+};
+
+[[noreturn]] void fail(const SourceLocation& loc, const std::string& message) {
+  throw Error(ErrorKind::lex, to_string(loc) + ": " + message);
+}
+
+bool is_ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parses digits in the given base from `cur`; at least one digit required.
+std::uint64_t scan_digits(Cursor& cur, unsigned base, const SourceLocation& at) {
+  std::uint64_t value = 0;
+  bool any = false;
+  for (;;) {
+    const char c = cur.peek();
+    unsigned digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<unsigned>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<unsigned>(c - 'A' + 10);
+    } else if (c == '_') {  // P4 allows underscores in literals
+      cur.advance();
+      continue;
+    } else {
+      break;
+    }
+    if (digit >= base) {
+      break;
+    }
+    cur.advance();
+    value = value * base + digit;
+    any = true;
+  }
+  if (!any) {
+    fail(at, "expected at least one digit");
+  }
+  return value;
+}
+
+/// Scans an unsigned number with optional 0x/0b/0o prefix.
+std::uint64_t scan_number(Cursor& cur, const SourceLocation& at) {
+  if (cur.peek() == '0' && (cur.peek(1) == 'x' || cur.peek(1) == 'X')) {
+    cur.advance();
+    cur.advance();
+    return scan_digits(cur, 16, at);
+  }
+  if (cur.peek() == '0' && (cur.peek(1) == 'b' || cur.peek(1) == 'B')) {
+    cur.advance();
+    cur.advance();
+    return scan_digits(cur, 2, at);
+  }
+  if (cur.peek() == '0' && (cur.peek(1) == 'o' || cur.peek(1) == 'O')) {
+    cur.advance();
+    cur.advance();
+    return scan_digits(cur, 8, at);
+  }
+  return scan_digits(cur, 10, at);
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  Cursor cur(source);
+
+  const auto push = [&](TokenKind kind, const SourceLocation& at,
+                        std::string text = {}) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.location = at;
+    tokens.push_back(std::move(t));
+  };
+
+  while (!cur.eof()) {
+    const SourceLocation at = cur.location();
+    const char c = cur.peek();
+
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.advance();
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && cur.peek(1) == '/') {
+      while (!cur.eof() && cur.peek() != '\n') {
+        cur.advance();
+      }
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '*') {
+      cur.advance();
+      cur.advance();
+      bool closed = false;
+      while (!cur.eof()) {
+        if (cur.peek() == '*' && cur.peek(1) == '/') {
+          cur.advance();
+          cur.advance();
+          closed = true;
+          break;
+        }
+        cur.advance();
+      }
+      if (!closed) {
+        fail(at, "unterminated block comment");
+      }
+      continue;
+    }
+
+    // Identifiers / keywords / lone underscore.
+    if (is_ident_start(c)) {
+      const std::size_t start = cur.offset();
+      while (!cur.eof() && is_ident_char(cur.peek())) {
+        cur.advance();
+      }
+      const std::string_view word = cur.slice(start);
+      if (word == "_") {
+        push(TokenKind::underscore, at);
+        continue;
+      }
+      if (const auto it = keyword_table().find(word); it != keyword_table().end()) {
+        push(it->second, at, std::string(word));
+        continue;
+      }
+      push(TokenKind::identifier, at, std::string(word));
+      continue;
+    }
+
+    // Numbers, including P4 width literals `8w0xFF`.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const std::uint64_t first = scan_number(cur, at);
+      Token t;
+      t.kind = TokenKind::int_literal;
+      t.location = at;
+      if (cur.peek() == 'w') {
+        cur.advance();
+        if (first == 0 || first > 64) {
+          fail(at, "width literal prefix must be in [1, 64]");
+        }
+        t.int_width = static_cast<std::size_t>(first);
+        t.int_value = scan_number(cur, cur.location());
+        if (*t.int_width < 64 &&
+            t.int_value >= (std::uint64_t{1} << *t.int_width)) {
+          fail(at, "literal value does not fit in declared width");
+        }
+      } else if (cur.peek() == 's') {
+        fail(at, "signed width literals are not supported by the OpenDesc subset");
+      } else {
+        t.int_value = first;
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // String literals (annotation arguments).
+    if (c == '"') {
+      cur.advance();
+      std::string text;
+      for (;;) {
+        if (cur.eof()) {
+          fail(at, "unterminated string literal");
+        }
+        const char ch = cur.advance();
+        if (ch == '"') {
+          break;
+        }
+        if (ch == '\\') {
+          if (cur.eof()) {
+            fail(at, "unterminated escape sequence");
+          }
+          const char esc = cur.advance();
+          switch (esc) {
+            case 'n': text.push_back('\n'); break;
+            case 't': text.push_back('\t'); break;
+            case '"': text.push_back('"'); break;
+            case '\\': text.push_back('\\'); break;
+            default: fail(at, std::string("unknown escape '\\") + esc + "'");
+          }
+          continue;
+        }
+        text.push_back(ch);
+      }
+      push(TokenKind::string_literal, at, std::move(text));
+      continue;
+    }
+
+    // Operators and punctuation.
+    cur.advance();
+    switch (c) {
+      case '{': push(TokenKind::l_brace, at); break;
+      case '}': push(TokenKind::r_brace, at); break;
+      case '(': push(TokenKind::l_paren, at); break;
+      case ')': push(TokenKind::r_paren, at); break;
+      case '[': push(TokenKind::l_bracket, at); break;
+      case ']': push(TokenKind::r_bracket, at); break;
+      case ';': push(TokenKind::semicolon, at); break;
+      case ':': push(TokenKind::colon, at); break;
+      case ',': push(TokenKind::comma, at); break;
+      case '.': push(TokenKind::dot, at); break;
+      case '@': push(TokenKind::at, at); break;
+      case '+': push(TokenKind::plus, at); break;
+      case '-': push(TokenKind::minus, at); break;
+      case '*': push(TokenKind::star, at); break;
+      case '/': push(TokenKind::slash, at); break;
+      case '%': push(TokenKind::percent, at); break;
+      case '^': push(TokenKind::caret, at); break;
+      case '~': push(TokenKind::tilde, at); break;
+      case '&':
+        push(cur.match('&') ? TokenKind::and_and : TokenKind::amp, at);
+        break;
+      case '|':
+        push(cur.match('|') ? TokenKind::or_or : TokenKind::pipe, at);
+        break;
+      case '=':
+        push(cur.match('=') ? TokenKind::eq : TokenKind::assign, at);
+        break;
+      case '!':
+        push(cur.match('=') ? TokenKind::ne : TokenKind::bang, at);
+        break;
+      case '<':
+        if (cur.match('=')) {
+          push(TokenKind::le, at);
+        } else if (cur.match('<')) {
+          push(TokenKind::shl, at);
+        } else {
+          push(TokenKind::l_angle, at);
+        }
+        break;
+      case '>':
+        if (cur.match('=')) {
+          push(TokenKind::ge, at);
+        } else if (cur.match('>')) {
+          push(TokenKind::shr, at);
+        } else {
+          push(TokenKind::r_angle, at);
+        }
+        break;
+      default:
+        fail(at, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Token eof_token;
+  eof_token.kind = TokenKind::end_of_file;
+  eof_token.location = cur.location();
+  tokens.push_back(std::move(eof_token));
+  return tokens;
+}
+
+}  // namespace opendesc::p4

@@ -1,0 +1,21 @@
+// Lexer for the OpenDesc P4-16 subset.
+//
+// Supports identifiers, keywords, punctuation, `//` and `/* */` comments,
+// string literals, and P4 integer literals including explicit-width forms
+// (`8w0xFF`, `4w0b1010`, `16w42`).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "p4/token.hpp"
+
+namespace opendesc::p4 {
+
+/// Tokenizes `source` in one pass.  Throws Error(lex) with a line:column
+/// position on invalid input.  The returned stream always ends with an
+/// end_of_file token.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace opendesc::p4

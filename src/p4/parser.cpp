@@ -1,0 +1,577 @@
+#include "p4/parser.hpp"
+
+#include "common/error.hpp"
+#include "p4/lexer.hpp"
+
+namespace opendesc::p4 {
+
+namespace {
+
+/// Binding powers for the expression grammar (higher binds tighter).
+int binary_precedence(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::or_or: return 1;
+    case TokenKind::and_and: return 2;
+    case TokenKind::pipe: return 3;
+    case TokenKind::caret: return 4;
+    case TokenKind::amp: return 5;
+    case TokenKind::eq:
+    case TokenKind::ne: return 6;
+    case TokenKind::l_angle:
+    case TokenKind::r_angle:
+    case TokenKind::le:
+    case TokenKind::ge: return 7;
+    case TokenKind::shl:
+    case TokenKind::shr: return 8;
+    case TokenKind::plus:
+    case TokenKind::minus: return 9;
+    case TokenKind::star:
+    case TokenKind::slash:
+    case TokenKind::percent: return 10;
+    default: return 0;
+  }
+}
+
+BinaryOp to_binary_op(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::or_or: return BinaryOp::logical_or;
+    case TokenKind::and_and: return BinaryOp::logical_and;
+    case TokenKind::pipe: return BinaryOp::bit_or;
+    case TokenKind::caret: return BinaryOp::bit_xor;
+    case TokenKind::amp: return BinaryOp::bit_and;
+    case TokenKind::eq: return BinaryOp::eq;
+    case TokenKind::ne: return BinaryOp::ne;
+    case TokenKind::l_angle: return BinaryOp::lt;
+    case TokenKind::r_angle: return BinaryOp::gt;
+    case TokenKind::le: return BinaryOp::le;
+    case TokenKind::ge: return BinaryOp::ge;
+    case TokenKind::shl: return BinaryOp::shl;
+    case TokenKind::shr: return BinaryOp::shr;
+    case TokenKind::plus: return BinaryOp::add;
+    case TokenKind::minus: return BinaryOp::sub;
+    case TokenKind::star: return BinaryOp::mul;
+    case TokenKind::slash: return BinaryOp::div;
+    case TokenKind::percent: return BinaryOp::mod;
+    default: break;
+  }
+  throw Error(ErrorKind::internal, "not a binary operator token");
+}
+
+/// Re-spells a token as parseable source text (for opaque extern bodies).
+std::string spell(const Token& t) {
+  switch (t.kind) {
+    case TokenKind::int_literal: {
+      std::string out;
+      if (t.int_width) {
+        out = std::to_string(*t.int_width) + "w";
+      }
+      return out + std::to_string(t.int_value);
+    }
+    case TokenKind::string_literal:
+      return "\"" + t.text + "\"";
+    default:
+      break;
+  }
+  if (!t.text.empty()) {
+    return t.text;  // identifiers and keywords carry their spelling
+  }
+  // Punctuation: to_string() wraps in quotes ("';'") — strip them.
+  std::string quoted = to_string(t.kind);
+  if (quoted.size() >= 2 && quoted.front() == '\'' && quoted.back() == '\'') {
+    return quoted.substr(1, quoted.size() - 2);
+  }
+  return quoted;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program parse_program() {
+    Program program;
+    while (!check(TokenKind::end_of_file)) {
+      program.add(parse_declaration());
+    }
+    return program;
+  }
+
+  ExprPtr parse_single_expression() {
+    ExprPtr e = parse_expr();
+    expect(TokenKind::end_of_file, "after expression");
+    return e;
+  }
+
+ private:
+  // -- token helpers --------------------------------------------------------
+
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  [[nodiscard]] bool check(TokenKind kind) const { return peek().kind == kind; }
+  const Token& advance() {
+    const Token& t = peek();
+    if (pos_ + 1 < tokens_.size()) {
+      ++pos_;
+    }
+    return t;
+  }
+  bool match(TokenKind kind) {
+    if (!check(kind)) {
+      return false;
+    }
+    advance();
+    return true;
+  }
+  const Token& expect(TokenKind kind, const std::string& context) {
+    if (!check(kind)) {
+      fail("expected " + to_string(kind) + " " + context + ", found " +
+           to_string(peek().kind));
+    }
+    return advance();
+  }
+  [[noreturn]] void fail(const std::string& message) const {
+    throw Error(ErrorKind::parse, to_string(peek().location) + ": " + message);
+  }
+
+  /// Consumes a closing '>' even when the lexer fused two of them into a
+  /// '>>' token (as in `register<bit<32>>`): the fused token is split in
+  /// place, leaving one '>' for the outer closer.
+  void expect_closing_angle(const std::string& context) {
+    if (check(TokenKind::shr)) {
+      tokens_[pos_].kind = TokenKind::r_angle;
+      return;  // consumed one '>', one remains
+    }
+    expect(TokenKind::r_angle, context);
+  }
+
+  // -- annotations ----------------------------------------------------------
+
+  std::vector<Annotation> parse_annotations() {
+    std::vector<Annotation> annotations;
+    while (match(TokenKind::at)) {
+      Annotation a;
+      a.location = peek().location;
+      a.name = expect(TokenKind::identifier, "as annotation name").text;
+      if (match(TokenKind::l_paren)) {
+        if (!check(TokenKind::r_paren)) {
+          do {
+            a.args.push_back(parse_expr());
+          } while (match(TokenKind::comma));
+        }
+        expect(TokenKind::r_paren, "to close annotation arguments");
+      }
+      annotations.push_back(std::move(a));
+    }
+    return annotations;
+  }
+
+  // -- types ----------------------------------------------------------------
+
+  [[nodiscard]] bool looks_like_type() const {
+    return check(TokenKind::kw_bit) || check(TokenKind::kw_bool) ||
+           check(TokenKind::identifier);
+  }
+
+  TypeRef parse_type() {
+    const SourceLocation at = peek().location;
+    if (match(TokenKind::kw_bit)) {
+      expect(TokenKind::l_angle, "after 'bit'");
+      const Token& width = expect(TokenKind::int_literal, "as bit width");
+      if (width.int_value == 0 || width.int_value > 64) {
+        fail("bit width must be in [1, 64] for descriptor fields");
+      }
+      expect_closing_angle("to close bit width");
+      return TypeRef::bits(static_cast<std::size_t>(width.int_value), at);
+    }
+    if (match(TokenKind::kw_bool)) {
+      return TypeRef::boolean(at);
+    }
+    const Token& name = expect(TokenKind::identifier, "as type name");
+    return TypeRef::named(name.text, at);
+  }
+
+  // -- expressions ----------------------------------------------------------
+
+  ExprPtr parse_expr(int min_precedence = 1) {
+    ExprPtr lhs = parse_unary();
+    for (;;) {
+      const TokenKind op_kind = peek().kind;
+      const int prec = binary_precedence(op_kind);
+      if (prec < min_precedence) {
+        return lhs;
+      }
+      const SourceLocation at = peek().location;
+      advance();
+      ExprPtr rhs = parse_expr(prec + 1);  // left-associative
+      lhs = std::make_unique<BinaryExpr>(to_binary_op(op_kind), std::move(lhs),
+                                         std::move(rhs), at);
+    }
+  }
+
+  ExprPtr parse_unary() {
+    const SourceLocation at = peek().location;
+    if (match(TokenKind::bang)) {
+      return std::make_unique<UnaryExpr>(UnaryOp::logical_not, parse_unary(), at);
+    }
+    if (match(TokenKind::tilde)) {
+      return std::make_unique<UnaryExpr>(UnaryOp::bit_not, parse_unary(), at);
+    }
+    if (match(TokenKind::minus)) {
+      return std::make_unique<UnaryExpr>(UnaryOp::negate, parse_unary(), at);
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr expr = parse_primary();
+    for (;;) {
+      if (match(TokenKind::dot)) {
+        const SourceLocation at = peek().location;
+        const Token& member = expect(TokenKind::identifier, "after '.'");
+        expr = std::make_unique<MemberExpr>(std::move(expr), member.text, at);
+        continue;
+      }
+      if (check(TokenKind::l_paren)) {
+        const SourceLocation at = advance().location;
+        std::vector<ExprPtr> args;
+        if (!check(TokenKind::r_paren)) {
+          do {
+            args.push_back(parse_expr());
+          } while (match(TokenKind::comma));
+        }
+        expect(TokenKind::r_paren, "to close call arguments");
+        expr = std::make_unique<CallExpr>(std::move(expr), std::move(args), at);
+        continue;
+      }
+      return expr;
+    }
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokenKind::int_literal: {
+        advance();
+        return std::make_unique<IntLiteral>(t.int_value, t.int_width, t.location);
+      }
+      case TokenKind::kw_true:
+        advance();
+        return std::make_unique<BoolLiteral>(true, t.location);
+      case TokenKind::kw_false:
+        advance();
+        return std::make_unique<BoolLiteral>(false, t.location);
+      case TokenKind::string_literal:
+        advance();
+        return std::make_unique<StringLiteral>(t.text, t.location);
+      case TokenKind::identifier:
+        advance();
+        return std::make_unique<Identifier>(t.text, t.location);
+      case TokenKind::l_paren: {
+        advance();
+        ExprPtr inner = parse_expr();
+        expect(TokenKind::r_paren, "to close parenthesized expression");
+        return inner;
+      }
+      default:
+        fail("expected expression, found " + to_string(t.kind));
+    }
+  }
+
+  // -- statements -----------------------------------------------------------
+
+  StmtPtr parse_statement() {
+    const SourceLocation at = peek().location;
+
+    if (check(TokenKind::l_brace)) {
+      return parse_block();
+    }
+
+    if (match(TokenKind::kw_if)) {
+      expect(TokenKind::l_paren, "after 'if'");
+      ExprPtr condition = parse_expr();
+      expect(TokenKind::r_paren, "to close if condition");
+      StmtPtr then_branch = parse_statement();
+      StmtPtr else_branch;
+      if (match(TokenKind::kw_else)) {
+        else_branch = parse_statement();
+      }
+      return std::make_unique<IfStmt>(std::move(condition), std::move(then_branch),
+                                      std::move(else_branch), at);
+    }
+
+    // Local variable declaration: `bit<32> tmp;` / `bool x = ...;` /
+    // `TypeName v = ...;`.  Distinguished from expression statements by a
+    // type-looking token followed by an identifier.
+    if ((check(TokenKind::kw_bit) || check(TokenKind::kw_bool)) ||
+        (check(TokenKind::identifier) && peek(1).kind == TokenKind::identifier)) {
+      TypeRef type = parse_type();
+      const Token& name = expect(TokenKind::identifier, "as variable name");
+      ExprPtr init;
+      if (match(TokenKind::assign)) {
+        init = parse_expr();
+      }
+      expect(TokenKind::semicolon, "after variable declaration");
+      return std::make_unique<VarDeclStmt>(std::move(type), name.text,
+                                           std::move(init), at);
+    }
+
+    // Expression statement: method call or assignment.
+    ExprPtr expr = parse_postfix();
+    if (match(TokenKind::assign)) {
+      ExprPtr rhs = parse_expr();
+      expect(TokenKind::semicolon, "after assignment");
+      return std::make_unique<AssignStmt>(std::move(expr), std::move(rhs), at);
+    }
+    expect(TokenKind::semicolon, "after statement");
+    if (expr->kind() != ExprKind::call) {
+      fail("expected a method call or assignment statement");
+    }
+    auto* raw_call = static_cast<CallExpr*>(expr.release());
+    return std::make_unique<MethodCallStmt>(std::unique_ptr<CallExpr>(raw_call), at);
+  }
+
+  std::unique_ptr<BlockStmt> parse_block() {
+    const SourceLocation at = peek().location;
+    expect(TokenKind::l_brace, "to open block");
+    std::vector<StmtPtr> statements;
+    while (!check(TokenKind::r_brace) && !check(TokenKind::end_of_file)) {
+      statements.push_back(parse_statement());
+    }
+    expect(TokenKind::r_brace, "to close block");
+    return std::make_unique<BlockStmt>(std::move(statements), at);
+  }
+
+  // -- declarations ---------------------------------------------------------
+
+  DeclPtr parse_declaration() {
+    std::vector<Annotation> annotations = parse_annotations();
+    const SourceLocation at = peek().location;
+
+    if (match(TokenKind::kw_header)) {
+      return parse_struct_like(DeclKind::header, std::move(annotations), at);
+    }
+    if (match(TokenKind::kw_struct)) {
+      return parse_struct_like(DeclKind::struct_, std::move(annotations), at);
+    }
+    if (match(TokenKind::kw_typedef)) {
+      TypeRef aliased = parse_type();
+      const Token& name = expect(TokenKind::identifier, "as typedef name");
+      expect(TokenKind::semicolon, "after typedef");
+      return std::make_unique<TypedefDecl>(std::move(aliased), name.text, at);
+    }
+    if (match(TokenKind::kw_const)) {
+      TypeRef type = parse_type();
+      const Token& name = expect(TokenKind::identifier, "as constant name");
+      expect(TokenKind::assign, "after constant name");
+      ExprPtr value = parse_expr();
+      expect(TokenKind::semicolon, "after constant");
+      return std::make_unique<ConstDecl>(std::move(type), name.text,
+                                         std::move(value), at);
+    }
+    if (match(TokenKind::kw_register)) {
+      // register<TYPE>(SIZE) name;  — descriptive stateful storage (§5).
+      expect(TokenKind::l_angle, "after 'register'");
+      TypeRef value_type = parse_type();
+      expect_closing_angle("to close register value type");
+      expect(TokenKind::l_paren, "for register size");
+      ExprPtr size_expr = parse_expr();
+      expect(TokenKind::r_paren, "to close register size");
+      const Token& name = expect(TokenKind::identifier, "as register name");
+      expect(TokenKind::semicolon, "after register declaration");
+      // Size must be a literal or constant-foldable later; store the value
+      // when it is a plain literal, otherwise reject (keeps grammar simple).
+      if (size_expr->kind() != ExprKind::int_literal) {
+        fail("register size must be an integer literal");
+      }
+      const std::uint64_t size =
+          static_cast<const IntLiteral&>(*size_expr).value();
+      return std::make_unique<RegisterDecl>(std::move(value_type), size,
+                                            name.text, std::move(annotations), at);
+    }
+    if (match(TokenKind::kw_extern)) {
+      const Token& name = expect(TokenKind::identifier, "as extern name");
+      std::string body;
+      if (match(TokenKind::l_brace)) {
+        // Opaque body: balance braces without interpreting (the paper:
+        // "there is no need for the interface to be able to peek in the
+        // feature itself").  Tokens are re-spelled so the body survives a
+        // print-parse round trip.
+        int depth = 1;
+        while (depth > 0) {
+          const Token& t = peek();
+          if (t.kind == TokenKind::end_of_file) {
+            fail("unterminated extern body");
+          }
+          if (t.kind == TokenKind::l_brace) ++depth;
+          if (t.kind == TokenKind::r_brace) --depth;
+          if (depth > 0) {
+            if (!body.empty()) body += ' ';
+            body += spell(t);
+          }
+          advance();
+        }
+      } else {
+        expect(TokenKind::semicolon, "after extern declaration");
+      }
+      return std::make_unique<ExternDecl>(name.text, std::move(body),
+                                          std::move(annotations), at);
+    }
+    if (match(TokenKind::kw_parser)) {
+      return parse_parser(std::move(annotations), at);
+    }
+    if (match(TokenKind::kw_control)) {
+      return parse_control(std::move(annotations), at);
+    }
+    fail("expected a declaration (header/struct/typedef/const/parser/control)");
+  }
+
+  DeclPtr parse_struct_like(DeclKind kind, std::vector<Annotation> annotations,
+                            SourceLocation at) {
+    const Token& name = expect(TokenKind::identifier, "as declaration name");
+    expect(TokenKind::l_brace, "to open field list");
+    std::vector<FieldDecl> fields;
+    while (!check(TokenKind::r_brace) && !check(TokenKind::end_of_file)) {
+      FieldDecl field;
+      field.location = peek().location;
+      field.annotations = parse_annotations();
+      field.type = parse_type();
+      field.name = expect(TokenKind::identifier, "as field name").text;
+      expect(TokenKind::semicolon, "after field");
+      fields.push_back(std::move(field));
+    }
+    expect(TokenKind::r_brace, "to close field list");
+    return std::make_unique<StructLikeDecl>(kind, name.text, std::move(fields),
+                                            std::move(annotations), at);
+  }
+
+  std::vector<std::string> parse_type_params() {
+    std::vector<std::string> params;
+    if (match(TokenKind::l_angle)) {
+      do {
+        params.push_back(expect(TokenKind::identifier, "as type parameter").text);
+      } while (match(TokenKind::comma));
+      expect(TokenKind::r_angle, "to close type parameters");
+    }
+    return params;
+  }
+
+  std::vector<Param> parse_params() {
+    std::vector<Param> params;
+    expect(TokenKind::l_paren, "to open parameter list");
+    if (!check(TokenKind::r_paren)) {
+      do {
+        Param p;
+        p.location = peek().location;
+        if (match(TokenKind::kw_in)) {
+          p.direction = ParamDir::in;
+        } else if (match(TokenKind::kw_out)) {
+          p.direction = ParamDir::out;
+        } else if (match(TokenKind::kw_inout)) {
+          p.direction = ParamDir::inout;
+        }
+        p.type = parse_type();
+        p.name = expect(TokenKind::identifier, "as parameter name").text;
+        params.push_back(std::move(p));
+      } while (match(TokenKind::comma));
+    }
+    expect(TokenKind::r_paren, "to close parameter list");
+    return params;
+  }
+
+  DeclPtr parse_parser(std::vector<Annotation> annotations, SourceLocation at) {
+    const Token& name = expect(TokenKind::identifier, "as parser name");
+    std::vector<std::string> type_params = parse_type_params();
+    std::vector<Param> params = parse_params();
+    expect(TokenKind::l_brace, "to open parser body");
+
+    std::vector<ParserState> states;
+    while (!check(TokenKind::r_brace) && !check(TokenKind::end_of_file)) {
+      expect(TokenKind::kw_state, "in parser body");
+      ParserState state;
+      state.location = peek().location;
+      state.name = expect(TokenKind::identifier, "as state name").text;
+      expect(TokenKind::l_brace, "to open state body");
+      while (!check(TokenKind::r_brace) && !check(TokenKind::kw_transition) &&
+             !check(TokenKind::end_of_file)) {
+        state.statements.push_back(parse_statement());
+      }
+      if (match(TokenKind::kw_transition)) {
+        parse_transition(state);
+      }
+      expect(TokenKind::r_brace, "to close state body");
+      states.push_back(std::move(state));
+    }
+    expect(TokenKind::r_brace, "to close parser body");
+    return std::make_unique<ParserDecl>(name.text, std::move(type_params),
+                                        std::move(params), std::move(states),
+                                        std::move(annotations), at);
+  }
+
+  void parse_transition(ParserState& state) {
+    if (match(TokenKind::kw_select)) {
+      expect(TokenKind::l_paren, "after 'select'");
+      do {
+        state.select_keys.push_back(parse_expr());
+      } while (match(TokenKind::comma));
+      expect(TokenKind::r_paren, "to close select keys");
+      expect(TokenKind::l_brace, "to open select cases");
+      while (!check(TokenKind::r_brace) && !check(TokenKind::end_of_file)) {
+        SelectCase c;
+        c.location = peek().location;
+        if (match(TokenKind::kw_default) || match(TokenKind::underscore)) {
+          c.key = nullptr;
+        } else {
+          c.key = parse_expr();
+        }
+        expect(TokenKind::colon, "after select keyset");
+        c.next_state = expect(TokenKind::identifier, "as next state").text;
+        expect(TokenKind::semicolon, "after select case");
+        state.cases.push_back(std::move(c));
+      }
+      expect(TokenKind::r_brace, "to close select cases");
+      expect(TokenKind::semicolon, "after select transition");
+      return;
+    }
+    state.direct_next = expect(TokenKind::identifier, "as transition target").text;
+    expect(TokenKind::semicolon, "after transition");
+  }
+
+  DeclPtr parse_control(std::vector<Annotation> annotations, SourceLocation at) {
+    const Token& name = expect(TokenKind::identifier, "as control name");
+    std::vector<std::string> type_params = parse_type_params();
+    std::vector<Param> params = parse_params();
+    expect(TokenKind::l_brace, "to open control body");
+
+    std::vector<StmtPtr> locals;
+    while (!check(TokenKind::kw_apply)) {
+      if (check(TokenKind::r_brace) || check(TokenKind::end_of_file)) {
+        fail("control body must contain an apply block");
+      }
+      locals.push_back(parse_statement());
+    }
+    expect(TokenKind::kw_apply, "in control body");
+    std::unique_ptr<BlockStmt> apply = parse_block();
+    expect(TokenKind::r_brace, "to close control body");
+    return std::make_unique<ControlDecl>(name.text, std::move(type_params),
+                                         std::move(params), std::move(locals),
+                                         std::move(apply), std::move(annotations), at);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse_program(std::string_view source) {
+  Parser parser(tokenize(source));
+  return parser.parse_program();
+}
+
+ExprPtr parse_expression(std::string_view source) {
+  Parser parser(tokenize(source));
+  return parser.parse_single_expression();
+}
+
+}  // namespace opendesc::p4

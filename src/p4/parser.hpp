@@ -1,0 +1,17 @@
+// Recursive-descent parser for the OpenDesc P4-16 subset.
+#pragma once
+
+#include <string_view>
+
+#include "p4/ast.hpp"
+
+namespace opendesc::p4 {
+
+/// Parses a complete P4 source buffer into a Program.
+/// Throws Error(lex) / Error(parse) with line:column diagnostics.
+[[nodiscard]] Program parse_program(std::string_view source);
+
+/// Parses a single expression (used by tests and the intent parser).
+[[nodiscard]] ExprPtr parse_expression(std::string_view source);
+
+}  // namespace opendesc::p4

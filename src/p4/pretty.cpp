@@ -1,0 +1,299 @@
+#include "p4/pretty.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace opendesc::p4 {
+
+namespace {
+
+std::string pad(int indent) {
+  return std::string(static_cast<std::size_t>(indent) * 4, ' ');
+}
+
+/// Parenthesization: we print conservative parentheses around nested binary
+/// expressions so the output re-parses to the identical tree regardless of
+/// precedence subtleties.
+void print_expr(std::ostringstream& out, const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::int_literal: {
+      const auto& lit = static_cast<const IntLiteral&>(expr);
+      if (lit.width()) {
+        out << *lit.width() << 'w';
+      }
+      out << lit.value();
+      break;
+    }
+    case ExprKind::bool_literal:
+      out << (static_cast<const BoolLiteral&>(expr).value() ? "true" : "false");
+      break;
+    case ExprKind::string_literal:
+      out << '"' << static_cast<const StringLiteral&>(expr).value() << '"';
+      break;
+    case ExprKind::identifier:
+      out << static_cast<const Identifier&>(expr).name();
+      break;
+    case ExprKind::member: {
+      const auto& member = static_cast<const MemberExpr&>(expr);
+      print_expr(out, member.base());
+      out << '.' << member.member();
+      break;
+    }
+    case ExprKind::unary: {
+      const auto& unary = static_cast<const UnaryExpr&>(expr);
+      out << to_string(unary.op());
+      const bool needs_parens = unary.operand().kind() == ExprKind::binary;
+      if (needs_parens) out << '(';
+      print_expr(out, unary.operand());
+      if (needs_parens) out << ')';
+      break;
+    }
+    case ExprKind::binary: {
+      const auto& binary = static_cast<const BinaryExpr&>(expr);
+      const auto print_side = [&](const Expr& side) {
+        const bool needs_parens = side.kind() == ExprKind::binary;
+        if (needs_parens) out << '(';
+        print_expr(out, side);
+        if (needs_parens) out << ')';
+      };
+      print_side(binary.lhs());
+      out << ' ' << to_string(binary.op()) << ' ';
+      print_side(binary.rhs());
+      break;
+    }
+    case ExprKind::call: {
+      const auto& call = static_cast<const CallExpr&>(expr);
+      print_expr(out, call.callee());
+      out << '(';
+      for (std::size_t i = 0; i < call.args().size(); ++i) {
+        if (i != 0) out << ", ";
+        print_expr(out, *call.args()[i]);
+      }
+      out << ')';
+      break;
+    }
+  }
+}
+
+void print_annotations(std::ostringstream& out,
+                       const std::vector<Annotation>& annotations, int indent) {
+  for (const Annotation& a : annotations) {
+    out << pad(indent) << '@' << a.name;
+    if (!a.args.empty()) {
+      out << '(';
+      for (std::size_t i = 0; i < a.args.size(); ++i) {
+        if (i != 0) out << ", ";
+        print_expr(out, *a.args[i]);
+      }
+      out << ')';
+    }
+    out << '\n';
+  }
+}
+
+void print_stmt(std::ostringstream& out, const Stmt& stmt, int indent) {
+  switch (stmt.kind()) {
+    case StmtKind::block: {
+      out << pad(indent) << "{\n";
+      for (const StmtPtr& s : static_cast<const BlockStmt&>(stmt).statements()) {
+        print_stmt(out, *s, indent + 1);
+      }
+      out << pad(indent) << "}\n";
+      break;
+    }
+    case StmtKind::if_stmt: {
+      const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+      out << pad(indent) << "if (";
+      print_expr(out, if_stmt.condition());
+      out << ")\n";
+      print_stmt(out, if_stmt.then_branch(), indent);
+      if (if_stmt.else_branch() != nullptr) {
+        out << pad(indent) << "else\n";
+        print_stmt(out, *if_stmt.else_branch(), indent);
+      }
+      break;
+    }
+    case StmtKind::method_call: {
+      out << pad(indent);
+      print_expr(out, static_cast<const MethodCallStmt&>(stmt).call());
+      out << ";\n";
+      break;
+    }
+    case StmtKind::assign: {
+      const auto& assign = static_cast<const AssignStmt&>(stmt);
+      out << pad(indent);
+      print_expr(out, assign.lhs());
+      out << " = ";
+      print_expr(out, assign.rhs());
+      out << ";\n";
+      break;
+    }
+    case StmtKind::var_decl: {
+      const auto& var = static_cast<const VarDeclStmt&>(stmt);
+      out << pad(indent) << var.type().to_string() << ' ' << var.name();
+      if (var.init() != nullptr) {
+        out << " = ";
+        print_expr(out, *var.init());
+      }
+      out << ";\n";
+      break;
+    }
+  }
+}
+
+void print_params(std::ostringstream& out, const std::vector<Param>& params) {
+  out << '(';
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i != 0) out << ", ";
+    const Param& p = params[i];
+    switch (p.direction) {
+      case ParamDir::in: out << "in "; break;
+      case ParamDir::out: out << "out "; break;
+      case ParamDir::inout: out << "inout "; break;
+      case ParamDir::none: break;
+    }
+    out << p.type.to_string() << ' ' << p.name;
+  }
+  out << ')';
+}
+
+void print_type_params(std::ostringstream& out,
+                       const std::vector<std::string>& type_params) {
+  if (type_params.empty()) {
+    return;
+  }
+  out << '<';
+  for (std::size_t i = 0; i < type_params.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << type_params[i];
+  }
+  out << '>';
+}
+
+void print_decl(std::ostringstream& out, const Decl& decl) {
+  print_annotations(out, decl.annotations(), 0);
+  switch (decl.kind()) {
+    case DeclKind::header:
+    case DeclKind::struct_: {
+      const auto& s = static_cast<const StructLikeDecl&>(decl);
+      out << (decl.kind() == DeclKind::header ? "header " : "struct ")
+          << s.name() << " {\n";
+      for (const FieldDecl& f : s.fields()) {
+        print_annotations(out, f.annotations, 1);
+        out << pad(1) << f.type.to_string() << ' ' << f.name << ";\n";
+      }
+      out << "}\n";
+      break;
+    }
+    case DeclKind::typedef_: {
+      const auto& td = static_cast<const TypedefDecl&>(decl);
+      out << "typedef " << td.aliased().to_string() << ' ' << td.name() << ";\n";
+      break;
+    }
+    case DeclKind::const_: {
+      const auto& c = static_cast<const ConstDecl&>(decl);
+      out << "const " << c.type().to_string() << ' ' << c.name() << " = ";
+      print_expr(out, c.value());
+      out << ";\n";
+      break;
+    }
+    case DeclKind::register_: {
+      const auto& r = static_cast<const RegisterDecl&>(decl);
+      out << "register<" << r.value_type().to_string() << ">(" << r.size()
+          << ") " << r.name() << ";\n";
+      break;
+    }
+    case DeclKind::extern_: {
+      const auto& e = static_cast<const ExternDecl&>(decl);
+      out << "extern " << e.name();
+      if (e.opaque_body().empty()) {
+        out << ";\n";
+      } else {
+        out << " { " << e.opaque_body() << " }\n";
+      }
+      break;
+    }
+    case DeclKind::parser: {
+      const auto& p = static_cast<const ParserDecl&>(decl);
+      out << "parser " << p.name();
+      print_type_params(out, p.type_params());
+      print_params(out, p.params());
+      out << " {\n";
+      for (const ParserState& state : p.states()) {
+        out << pad(1) << "state " << state.name << " {\n";
+        for (const StmtPtr& s : state.statements) {
+          print_stmt(out, *s, 2);
+        }
+        if (state.has_select()) {
+          out << pad(2) << "transition select(";
+          for (std::size_t i = 0; i < state.select_keys.size(); ++i) {
+            if (i != 0) out << ", ";
+            print_expr(out, *state.select_keys[i]);
+          }
+          out << ") {\n";
+          for (const SelectCase& c : state.cases) {
+            out << pad(3);
+            if (c.key == nullptr) {
+              out << "default";
+            } else {
+              print_expr(out, *c.key);
+            }
+            out << ": " << c.next_state << ";\n";
+          }
+          out << pad(2) << "};\n";
+        } else if (!state.direct_next.empty()) {
+          out << pad(2) << "transition " << state.direct_next << ";\n";
+        }
+        out << pad(1) << "}\n";
+      }
+      out << "}\n";
+      break;
+    }
+    case DeclKind::control: {
+      const auto& c = static_cast<const ControlDecl&>(decl);
+      out << "control " << c.name();
+      print_type_params(out, c.type_params());
+      print_params(out, c.params());
+      out << " {\n";
+      for (const StmtPtr& local : c.locals()) {
+        print_stmt(out, *local, 1);
+      }
+      out << pad(1) << "apply\n";
+      print_stmt(out, c.apply(), 1);
+      out << "}\n";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_source(const Program& program) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < program.decls().size(); ++i) {
+    if (i != 0) out << '\n';
+    print_decl(out, *program.decls()[i]);
+  }
+  return out.str();
+}
+
+std::string to_source(const Decl& decl) {
+  std::ostringstream out;
+  print_decl(out, decl);
+  return out.str();
+}
+
+std::string to_source(const Stmt& stmt, int indent) {
+  std::ostringstream out;
+  print_stmt(out, stmt, indent);
+  return out.str();
+}
+
+std::string to_source(const Expr& expr) {
+  std::ostringstream out;
+  print_expr(out, expr);
+  return out.str();
+}
+
+}  // namespace opendesc::p4

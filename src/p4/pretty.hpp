@@ -1,0 +1,19 @@
+// AST pretty-printer.
+//
+// Regenerates P4-subset source from an AST.  Used for golden tests
+// (parse ∘ print ∘ parse is a fixpoint) and for human-readable compiler
+// reports that quote the relevant deparser fragments.
+#pragma once
+
+#include <string>
+
+#include "p4/ast.hpp"
+
+namespace opendesc::p4 {
+
+[[nodiscard]] std::string to_source(const Program& program);
+[[nodiscard]] std::string to_source(const Decl& decl);
+[[nodiscard]] std::string to_source(const Stmt& stmt, int indent = 0);
+[[nodiscard]] std::string to_source(const Expr& expr);
+
+}  // namespace opendesc::p4

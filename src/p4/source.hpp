@@ -1,0 +1,21 @@
+// Source locations for P4 diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace opendesc::p4 {
+
+/// 1-based line/column position in a P4 source buffer.
+struct SourceLocation {
+  std::uint32_t line = 1;
+  std::uint32_t column = 1;
+
+  friend bool operator==(const SourceLocation&, const SourceLocation&) = default;
+};
+
+[[nodiscard]] inline std::string to_string(const SourceLocation& loc) {
+  return std::to_string(loc.line) + ":" + std::to_string(loc.column);
+}
+
+}  // namespace opendesc::p4

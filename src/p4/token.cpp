@@ -1,0 +1,71 @@
+#include "p4/token.hpp"
+
+namespace opendesc::p4 {
+
+std::string to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::identifier: return "identifier";
+    case TokenKind::int_literal: return "integer literal";
+    case TokenKind::string_literal: return "string literal";
+    case TokenKind::kw_header: return "'header'";
+    case TokenKind::kw_struct: return "'struct'";
+    case TokenKind::kw_typedef: return "'typedef'";
+    case TokenKind::kw_const: return "'const'";
+    case TokenKind::kw_parser: return "'parser'";
+    case TokenKind::kw_control: return "'control'";
+    case TokenKind::kw_state: return "'state'";
+    case TokenKind::kw_transition: return "'transition'";
+    case TokenKind::kw_select: return "'select'";
+    case TokenKind::kw_apply: return "'apply'";
+    case TokenKind::kw_if: return "'if'";
+    case TokenKind::kw_else: return "'else'";
+    case TokenKind::kw_true: return "'true'";
+    case TokenKind::kw_false: return "'false'";
+    case TokenKind::kw_default: return "'default'";
+    case TokenKind::kw_in: return "'in'";
+    case TokenKind::kw_out: return "'out'";
+    case TokenKind::kw_inout: return "'inout'";
+    case TokenKind::kw_bit: return "'bit'";
+    case TokenKind::kw_bool: return "'bool'";
+    case TokenKind::kw_return: return "'return'";
+    case TokenKind::kw_register: return "'register'";
+    case TokenKind::kw_extern: return "'extern'";
+    case TokenKind::l_brace: return "'{'";
+    case TokenKind::r_brace: return "'}'";
+    case TokenKind::l_paren: return "'('";
+    case TokenKind::r_paren: return "')'";
+    case TokenKind::l_angle: return "'<'";
+    case TokenKind::r_angle: return "'>'";
+    case TokenKind::l_bracket: return "'['";
+    case TokenKind::r_bracket: return "']'";
+    case TokenKind::semicolon: return "';'";
+    case TokenKind::colon: return "':'";
+    case TokenKind::comma: return "','";
+    case TokenKind::dot: return "'.'";
+    case TokenKind::at: return "'@'";
+    case TokenKind::assign: return "'='";
+    case TokenKind::eq: return "'=='";
+    case TokenKind::ne: return "'!='";
+    case TokenKind::le: return "'<='";
+    case TokenKind::ge: return "'>='";
+    case TokenKind::plus: return "'+'";
+    case TokenKind::minus: return "'-'";
+    case TokenKind::star: return "'*'";
+    case TokenKind::slash: return "'/'";
+    case TokenKind::percent: return "'%'";
+    case TokenKind::amp: return "'&'";
+    case TokenKind::pipe: return "'|'";
+    case TokenKind::caret: return "'^'";
+    case TokenKind::tilde: return "'~'";
+    case TokenKind::bang: return "'!'";
+    case TokenKind::and_and: return "'&&'";
+    case TokenKind::or_or: return "'||'";
+    case TokenKind::shl: return "'<<'";
+    case TokenKind::shr: return "'>>'";
+    case TokenKind::underscore: return "'_'";
+    case TokenKind::end_of_file: return "end of file";
+  }
+  return "unknown token";
+}
+
+}  // namespace opendesc::p4

@@ -1,0 +1,47 @@
+// Token stream produced by the P4 lexer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "p4/source.hpp"
+
+namespace opendesc::p4 {
+
+enum class TokenKind : std::uint8_t {
+  // literals / identifiers
+  identifier,
+  int_literal,     ///< value (+ optional explicit bit width, e.g. 8w0xFF)
+  string_literal,
+  // keywords
+  kw_header, kw_struct, kw_typedef, kw_const, kw_parser, kw_control,
+  kw_state, kw_transition, kw_select, kw_apply, kw_if, kw_else,
+  kw_true, kw_false, kw_default, kw_in, kw_out, kw_inout, kw_bit,
+  kw_bool, kw_return, kw_register, kw_extern,
+  // punctuation
+  l_brace, r_brace, l_paren, r_paren, l_angle, r_angle, l_bracket, r_bracket,
+  semicolon, colon, comma, dot, at,
+  // operators
+  assign,        // =
+  eq, ne, le, ge,              // == != <= >=  (< > reuse l_angle/r_angle)
+  plus, minus, star, slash, percent,
+  amp, pipe, caret, tilde, bang,
+  and_and, or_or, shl, shr,
+  underscore,    // '_' keyset wildcard
+  end_of_file,
+};
+
+[[nodiscard]] std::string to_string(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::end_of_file;
+  std::string text;                       ///< identifier / string spelling
+  std::uint64_t int_value = 0;            ///< for int_literal
+  std::optional<std::size_t> int_width;   ///< explicit width (8w...) if any
+  SourceLocation location;
+
+  [[nodiscard]] bool is(TokenKind k) const noexcept { return kind == k; }
+};
+
+}  // namespace opendesc::p4

@@ -1,0 +1,321 @@
+#include "p4/typecheck.hpp"
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace opendesc::p4 {
+
+namespace {
+
+[[noreturn]] void fail(const SourceLocation& at, const std::string& message) {
+  throw Error(ErrorKind::type, to_string(at) + ": " + message);
+}
+
+/// Widths of type parameters are unknown at declaration time; parser and
+/// control templates may reference them.  We track them as "opaque" names.
+class Checker {
+ public:
+  explicit Checker(const Program& program) : program_(program) {}
+
+  TypeInfo run() {
+    check_unique_decl_names();
+    // Two passes: first collect typedef/const/struct widths (they may be
+    // referenced before use in our single-file model NIC descriptions),
+    // then validate parsers/controls.
+    collect_types_and_consts();
+    for (const auto& decl : program_.decls()) {
+      switch (decl->kind()) {
+        case DeclKind::header:
+        case DeclKind::struct_:
+          check_struct_like(static_cast<const StructLikeDecl&>(*decl));
+          break;
+        case DeclKind::parser:
+          check_parser(static_cast<const ParserDecl&>(*decl));
+          break;
+        case DeclKind::control:
+          check_control(static_cast<const ControlDecl&>(*decl));
+          break;
+        default:
+          break;
+      }
+    }
+    return std::move(info_);
+  }
+
+ private:
+  void check_unique_decl_names() {
+    std::set<std::string> seen;
+    for (const auto& decl : program_.decls()) {
+      if (!seen.insert(decl->name()).second) {
+        fail(decl->location(), "duplicate declaration '" + decl->name() + "'");
+      }
+    }
+  }
+
+  /// Resolves the width of a type reference; `type_params` are names that
+  /// are opaque in the current scope (width unknown but legal).
+  std::size_t resolve_width(const TypeRef& type,
+                            const std::set<std::string>& type_params,
+                            bool allow_opaque) {
+    switch (type.kind) {
+      case TypeRef::Kind::bits:
+        return type.width;
+      case TypeRef::Kind::boolean:
+        return 1;
+      case TypeRef::Kind::named: {
+        if (type_params.contains(type.name)) {
+          if (!allow_opaque) {
+            fail(type.location,
+                 "type parameter '" + type.name + "' not allowed here");
+          }
+          return 0;
+        }
+        const auto it = info_.has_named(type.name) ? std::optional<std::size_t>(info_.width_of(type)) : std::nullopt;
+        if (!it) {
+          fail(type.location, "unknown type '" + type.name + "'");
+        }
+        return *it;
+      }
+    }
+    fail(type.location, "unresolvable type");
+  }
+
+  void collect_types_and_consts() {
+    // Iterate until fixpoint so typedefs can reference later declarations
+    // (our NIC models are single files where order is natural, but the
+    // grammar does not force it).
+    bool progress = true;
+    std::size_t resolved = 0;
+    const std::size_t total = program_.decls().size();
+    std::set<std::string> done;
+    while (progress && resolved < total) {
+      progress = false;
+      for (const auto& decl : program_.decls()) {
+        if (done.contains(decl->name())) {
+          continue;
+        }
+        switch (decl->kind()) {
+          case DeclKind::typedef_: {
+            const auto& td = static_cast<const TypedefDecl&>(*decl);
+            if (td.aliased().kind == TypeRef::Kind::named &&
+                !info_.has_named(td.aliased().name)) {
+              continue;  // dependency not yet resolved
+            }
+            info_.set_named_width(td.name(), resolve_width(td.aliased(), {}, false));
+            break;
+          }
+          case DeclKind::header:
+          case DeclKind::struct_: {
+            const auto& s = static_cast<const StructLikeDecl&>(*decl);
+            std::size_t width = 0;
+            bool ready = true;
+            for (const FieldDecl& f : s.fields()) {
+              if (f.type.kind == TypeRef::Kind::named &&
+                  !info_.has_named(f.type.name)) {
+                ready = false;
+                break;
+              }
+              width += resolve_width(f.type, {}, false);
+            }
+            if (!ready) {
+              continue;
+            }
+            info_.set_named_width(s.name(), width);
+            break;
+          }
+          case DeclKind::const_: {
+            const auto& c = static_cast<const ConstDecl&>(*decl);
+            info_.set_constant(c.name(), evaluate(c.value(), info_.constants()));
+            break;
+          }
+          case DeclKind::register_: {
+            const auto& r = static_cast<const RegisterDecl&>(*decl);
+            if (r.value_type().kind == TypeRef::Kind::named &&
+                !info_.has_named(r.value_type().name)) {
+              continue;  // dependency not yet resolved
+            }
+            (void)resolve_width(r.value_type(), {}, false);
+            if (r.size() == 0) {
+              fail(r.location(), "register size must be positive");
+            }
+            break;
+          }
+          case DeclKind::extern_:
+            break;  // opaque by design
+          case DeclKind::parser:
+          case DeclKind::control:
+            break;  // handled in the second pass
+        }
+        done.insert(decl->name());
+        ++resolved;
+        progress = true;
+      }
+    }
+    // Anything left unresolved has a circular or dangling type reference.
+    for (const auto& decl : program_.decls()) {
+      if (done.contains(decl->name()) || decl->kind() == DeclKind::parser ||
+          decl->kind() == DeclKind::control) {
+        continue;
+      }
+      fail(decl->location(),
+           "circular or dangling type reference involving '" + decl->name() + "'");
+    }
+  }
+
+  void check_struct_like(const StructLikeDecl& decl) {
+    std::set<std::string> field_names;
+    for (const FieldDecl& field : decl.fields()) {
+      if (!field_names.insert(field.name).second) {
+        fail(field.location, "duplicate field '" + field.name + "' in '" +
+                                 decl.name() + "'");
+      }
+      check_field_annotations(field);
+    }
+  }
+
+  void check_field_annotations(const FieldDecl& field) {
+    for (const Annotation& a : field.annotations) {
+      if (a.name == "semantic") {
+        // Must carry exactly one string; string_arg() throws otherwise.
+        (void)a.string_arg();
+      } else if (a.name == "cost") {
+        (void)a.int_arg();
+      }
+      // Unknown annotations are allowed (forward compatibility), matching
+      // P4-16 which lets targets define their own.
+    }
+  }
+
+  void check_parser(const ParserDecl& decl) {
+    const std::set<std::string> type_params(decl.type_params().begin(),
+                                            decl.type_params().end());
+    check_params(decl.params(), type_params);
+
+    std::set<std::string> state_names;
+    for (const ParserState& state : decl.states()) {
+      if (!state_names.insert(state.name).second) {
+        fail(state.location, "duplicate state '" + state.name + "'");
+      }
+    }
+    if (!state_names.contains("start")) {
+      fail(decl.location(), "parser '" + decl.name() + "' has no start state");
+    }
+    for (const ParserState& state : decl.states()) {
+      const auto target_ok = [&](const std::string& target) {
+        return target == kAcceptState || target == kRejectState ||
+               state_names.contains(target);
+      };
+      if (!state.direct_next.empty() && !target_ok(state.direct_next)) {
+        fail(state.location, "transition to unknown state '" +
+                                 state.direct_next + "'");
+      }
+      for (const SelectCase& c : state.cases) {
+        if (!target_ok(c.next_state)) {
+          fail(c.location, "select case targets unknown state '" +
+                               c.next_state + "'");
+        }
+      }
+      if (state.has_select() && state.cases.empty()) {
+        fail(state.location, "select with no cases");
+      }
+    }
+  }
+
+  void check_control(const ControlDecl& decl) {
+    const std::set<std::string> type_params(decl.type_params().begin(),
+                                            decl.type_params().end());
+    check_params(decl.params(), type_params);
+    check_stmt(decl.apply());
+    for (const StmtPtr& local : decl.locals()) {
+      check_stmt(*local);
+    }
+  }
+
+  void check_params(const std::vector<Param>& params,
+                    const std::set<std::string>& type_params) {
+    std::set<std::string> names;
+    for (const Param& p : params) {
+      if (!names.insert(p.name).second) {
+        fail(p.location, "duplicate parameter '" + p.name + "'");
+      }
+      if (p.type.kind == TypeRef::Kind::named &&
+          !type_params.contains(p.type.name) &&
+          !info_.has_named(p.type.name) &&
+          !is_builtin_channel_type(p.type.name)) {
+        fail(p.type.location, "unknown parameter type '" + p.type.name + "'");
+      }
+    }
+  }
+
+  /// Channel endpoint types from the OpenDesc architecture (Fig. 2-4):
+  /// descriptor byte stream in, completion byte stream out, packet channels.
+  static bool is_builtin_channel_type(const std::string& name) {
+    return name == "desc_in" || name == "cmpt_out" || name == "packet_in" ||
+           name == "packet_out";
+  }
+
+  void check_stmt(const Stmt& stmt) {
+    switch (stmt.kind()) {
+      case StmtKind::block:
+        for (const StmtPtr& s : static_cast<const BlockStmt&>(stmt).statements()) {
+          check_stmt(*s);
+        }
+        break;
+      case StmtKind::if_stmt: {
+        const auto& if_stmt = static_cast<const IfStmt&>(stmt);
+        check_stmt(if_stmt.then_branch());
+        if (if_stmt.else_branch() != nullptr) {
+          check_stmt(*if_stmt.else_branch());
+        }
+        break;
+      }
+      case StmtKind::method_call:
+      case StmtKind::assign:
+      case StmtKind::var_decl:
+        break;  // expression-level checking happens in the core compiler,
+                // which knows the emit/extract channel semantics
+    }
+  }
+
+  const Program& program_;
+  TypeInfo info_;
+};
+
+}  // namespace
+
+std::size_t TypeInfo::width_of(const TypeRef& type) const {
+  switch (type.kind) {
+    case TypeRef::Kind::bits:
+      return type.width;
+    case TypeRef::Kind::boolean:
+      return 1;
+    case TypeRef::Kind::named: {
+      const auto it = named_widths_.find(type.name);
+      if (it == named_widths_.end()) {
+        throw Error(ErrorKind::type, "unknown type '" + type.name + "'");
+      }
+      return it->second;
+    }
+  }
+  throw Error(ErrorKind::internal, "unresolvable TypeRef");
+}
+
+std::size_t TypeInfo::width_of(const StructLikeDecl& decl) const {
+  const auto it = named_widths_.find(decl.name());
+  if (it == named_widths_.end()) {
+    throw Error(ErrorKind::type, "declaration '" + decl.name() + "' was not checked");
+  }
+  return it->second;
+}
+
+std::size_t TypeInfo::field_width(const FieldDecl& field) const {
+  return width_of(field.type);
+}
+
+TypeInfo check_program(const Program& program) {
+  Checker checker(program);
+  return checker.run();
+}
+
+}  // namespace opendesc::p4

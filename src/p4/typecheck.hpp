@@ -1,0 +1,53 @@
+// Type and annotation checking for the OpenDesc P4 subset.
+//
+// Produces a TypeInfo side table the core compiler consumes: resolved field
+// widths, header total widths, and constant values.  Reports structural
+// problems (duplicate names, unknown types, dangling parser transitions,
+// malformed annotations) as Error(type) with source positions.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "p4/ast.hpp"
+#include "p4/eval.hpp"
+
+namespace opendesc::p4 {
+
+/// Resolved type/constant information for one checked Program.
+class TypeInfo {
+ public:
+  /// Width in bits of a type reference; resolves typedef chains and
+  /// header/struct names (total width).  Throws Error(type) when unknown.
+  [[nodiscard]] std::size_t width_of(const TypeRef& type) const;
+
+  /// Total bit width of a header/struct declaration.
+  [[nodiscard]] std::size_t width_of(const StructLikeDecl& decl) const;
+
+  /// Width of a single field after typedef resolution.
+  [[nodiscard]] std::size_t field_width(const FieldDecl& field) const;
+
+  /// Values of `const` declarations, keyed by name.
+  [[nodiscard]] const ConstEnv& constants() const noexcept { return constants_; }
+
+  /// Mutators used by the checker while building the table.
+  void set_named_width(const std::string& name, std::size_t bits) {
+    named_widths_[name] = bits;
+  }
+  void set_constant(const std::string& name, std::uint64_t value) {
+    constants_[name] = value;
+  }
+  [[nodiscard]] bool has_named(const std::string& name) const {
+    return named_widths_.contains(name);
+  }
+
+ private:
+  std::map<std::string, std::size_t> named_widths_;  ///< typedef/header/struct → bits
+  ConstEnv constants_;
+};
+
+/// Checks `program` and returns its TypeInfo.  Throws Error(type) on the
+/// first violation.
+[[nodiscard]] TypeInfo check_program(const Program& program);
+
+}  // namespace opendesc::p4

@@ -1,0 +1,59 @@
+#include "runtime/accessor.hpp"
+
+#include "common/error.hpp"
+#include "core/verifier.hpp"
+
+namespace opendesc::rt {
+
+OffsetAccessor::OffsetAccessor(const core::CompiledLayout& layout,
+                               const softnic::SemanticRegistry& registry) {
+  core::verify_layout_or_throw(layout, registry);
+  record_size_ = layout.total_bytes();
+  endian_ = layout.endian();
+  for (const core::FieldSlice& slice : layout.slices()) {
+    if (!slice.semantic) {
+      continue;
+    }
+    AccessorSlot slot;
+    slot.byte_offset = static_cast<std::uint32_t>(slice.byte_offset());
+    slot.bit_offset = static_cast<std::uint8_t>(slice.bit_offset());
+    slot.bit_width = static_cast<std::uint8_t>(slice.bit_width);
+    const std::uint32_t id_raw = softnic::raw(*slice.semantic);
+    if (id_raw < softnic::kBuiltinSemanticCount) {
+      builtin_[id_raw] = slot;
+    } else {
+      extensions_.emplace_back(id_raw, slot);
+    }
+  }
+}
+
+const AccessorSlot* OffsetAccessor::slot_of(softnic::SemanticId id) const noexcept {
+  const std::uint32_t id_raw = softnic::raw(id);
+  if (id_raw < softnic::kBuiltinSemanticCount) {
+    const auto& slot = builtin_[id_raw];
+    return slot ? &*slot : nullptr;
+  }
+  for (const auto& [raw_id, slot] : extensions_) {
+    if (raw_id == id_raw) {
+      return &slot;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<std::uint64_t> OffsetAccessor::read_checked(
+    std::span<const std::uint8_t> record, softnic::SemanticId id) const {
+  const AccessorSlot* slot = slot_of(id);
+  if (slot == nullptr) {
+    return std::nullopt;
+  }
+  const std::size_t span_bytes =
+      bits_to_bytes(slot->bit_offset + slot->bit_width);
+  if (slot->byte_offset + span_bytes > record.size()) {
+    return std::nullopt;  // truncated record: refuse, like the eBPF verifier
+  }
+  return read_bits_unchecked(record.data(), slot->byte_offset, slot->bit_offset,
+                             slot->bit_width, endian_);
+}
+
+}  // namespace opendesc::rt

@@ -1,0 +1,72 @@
+// Runtime offset-table accessors.
+//
+// The in-process equivalent of the generated C accessors: a CompiledLayout
+// is "loaded" once (verified, flattened into a dense slot table) and then
+// read with constant-time unchecked bit-slice loads.  This is what a
+// generated driver datapath compiles down to; benches use it to measure the
+// OpenDesc datapath without a C compiler in the loop.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+
+#include "common/error.hpp"
+#include "core/layout.hpp"
+#include "softnic/semantics.hpp"
+
+namespace opendesc::rt {
+
+/// Dense per-semantic slot: precomputed geometry of one field.
+struct AccessorSlot {
+  std::uint32_t byte_offset = 0;
+  std::uint8_t bit_offset = 0;
+  std::uint8_t bit_width = 0;
+};
+
+/// Verified constant-time reader over one CompiledLayout.
+class OffsetAccessor {
+ public:
+  /// Verifies the layout (Error(verification) on failure) and builds the
+  /// slot table.
+  OffsetAccessor(const core::CompiledLayout& layout,
+                 const softnic::SemanticRegistry& registry);
+
+  [[nodiscard]] std::size_t record_size() const noexcept { return record_size_; }
+  [[nodiscard]] Endian endian() const noexcept { return endian_; }
+
+  /// True when the layout carries this semantic.
+  [[nodiscard]] bool provides(softnic::SemanticId id) const noexcept {
+    return slot_of(id) != nullptr;
+  }
+
+  /// Unchecked constant-time read; the caller guarantees record has
+  /// record_size() bytes (the ring's entry size, checked once at setup).
+  [[nodiscard]] std::uint64_t read(const std::uint8_t* record,
+                                   softnic::SemanticId id) const {
+    const AccessorSlot* slot = slot_of(id);
+    if (slot == nullptr) {
+      throw Error(ErrorKind::layout,
+                  "accessor: semantic not provided by this layout");
+    }
+    return read_bits_unchecked(record, slot->byte_offset, slot->bit_offset,
+                               slot->bit_width, endian_);
+  }
+
+  /// Checked read for untrusted/truncated records (XDP-style): nullopt when
+  /// the slice would cross `record.size()`.
+  [[nodiscard]] std::optional<std::uint64_t> read_checked(
+      std::span<const std::uint8_t> record, softnic::SemanticId id) const;
+
+ private:
+  [[nodiscard]] const AccessorSlot* slot_of(softnic::SemanticId id) const noexcept;
+
+  // Builtins get a direct-indexed table (hot path); extensions use a small
+  // linear-scanned vector.
+  std::array<std::optional<AccessorSlot>, softnic::kBuiltinSemanticCount> builtin_{};
+  std::vector<std::pair<std::uint32_t, AccessorSlot>> extensions_;
+  std::size_t record_size_ = 0;
+  Endian endian_ = Endian::little;
+};
+
+}  // namespace opendesc::rt

@@ -1,0 +1,286 @@
+#include "runtime/baselines.hpp"
+
+namespace opendesc::rt {
+
+using softnic::SemanticId;
+
+namespace {
+
+/// Software fallback value with host-side context (no NIC state).
+std::uint64_t software_value(const softnic::ComputeEngine& engine,
+                             const PacketContext& pkt, SemanticId id) {
+  const softnic::RxContext host_ctx{};
+  if (!engine.can_compute(id)) {
+    return 0;  // kernel semantics: absent fields read as zero
+  }
+  return engine.compute(id, pkt.frame(), pkt.view(), host_ctx);
+}
+
+/// Size-limited little-endian dynfield stores/loads.
+void store_dynfield(std::uint8_t* p, std::uint64_t v, int size) noexcept {
+  for (int i = 0; i < size; ++i) {
+    p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+std::uint64_t load_dynfield(const std::uint8_t* p, int size) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < size; ++i) {
+    v |= std::uint64_t{p[i]} << (8 * i);
+  }
+  return v;
+}
+
+/// Hardware-or-software value used by the eager fill paths.
+std::uint64_t hw_or_sw(const OffsetAccessor& accessor,
+                       const softnic::ComputeEngine& engine,
+                       const PacketContext& pkt, SemanticId id) {
+  if (accessor.provides(id)) {
+    return accessor.read(pkt.record().data(), id);
+  }
+  return software_value(engine, pkt, id);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SkbuffStrategy
+// ---------------------------------------------------------------------------
+
+SkbuffStrategy::SkbuffStrategy(const core::CompiledLayout& layout,
+                               const softnic::ComputeEngine& engine)
+    : accessor_(layout, engine.registry()), engine_(engine) {}
+
+SkbuffStrategy::Meta SkbuffStrategy::fill(const PacketContext& pkt) const {
+  // The kernel model: every rx packet gets a fully populated metadata
+  // struct, independent of what the application will read.  Header parsing
+  // happens eagerly too (eth_type_trans + flow dissector equivalents).
+  Meta meta;
+  meta.len = static_cast<std::uint32_t>(pkt.frame().size());
+  const net::PacketView& view = pkt.view();  // eager parse
+  meta.protocol = view.eth().ethertype;
+
+  meta.hash = static_cast<std::uint32_t>(
+      hw_or_sw(accessor_, engine_, pkt, SemanticId::rss_hash));
+  meta.hash_type = static_cast<std::uint8_t>(
+      hw_or_sw(accessor_, engine_, pkt, SemanticId::rss_type));
+  meta.ip_csum_ok =
+      hw_or_sw(accessor_, engine_, pkt, SemanticId::ip_csum_ok) != 0;
+  meta.l4_csum_ok =
+      hw_or_sw(accessor_, engine_, pkt, SemanticId::l4_csum_ok) != 0;
+  meta.csum = static_cast<std::uint16_t>(
+      hw_or_sw(accessor_, engine_, pkt, SemanticId::ip_checksum));
+  meta.l4_csum = static_cast<std::uint16_t>(
+      hw_or_sw(accessor_, engine_, pkt, SemanticId::l4_checksum));
+  meta.vlan_tci = static_cast<std::uint16_t>(
+      hw_or_sw(accessor_, engine_, pkt, SemanticId::vlan_tci));
+  meta.vlan_present =
+      hw_or_sw(accessor_, engine_, pkt, SemanticId::vlan_stripped) != 0;
+  meta.timestamp = hw_or_sw(accessor_, engine_, pkt, SemanticId::timestamp);
+  meta.mark = static_cast<std::uint32_t>(
+      accessor_.provides(SemanticId::mark)
+          ? accessor_.read(pkt.record().data(), SemanticId::mark)
+          : 0);
+  meta.flow_id = static_cast<std::uint32_t>(
+      hw_or_sw(accessor_, engine_, pkt, SemanticId::flow_id));
+  meta.packet_type = static_cast<std::uint16_t>(
+      hw_or_sw(accessor_, engine_, pkt, SemanticId::packet_type));
+  meta.ip_id = static_cast<std::uint16_t>(
+      hw_or_sw(accessor_, engine_, pkt, SemanticId::ip_id));
+  meta.queue = static_cast<std::uint16_t>(
+      accessor_.provides(SemanticId::queue_id)
+          ? accessor_.read(pkt.record().data(), SemanticId::queue_id)
+          : 0);
+  meta.seq = static_cast<std::uint32_t>(
+      accessor_.provides(SemanticId::seq_no)
+          ? accessor_.read(pkt.record().data(), SemanticId::seq_no)
+          : 0);
+  meta.lro_segs = static_cast<std::uint8_t>(
+      accessor_.provides(SemanticId::lro_seg_count)
+          ? accessor_.read(pkt.record().data(), SemanticId::lro_seg_count)
+          : 1);
+  meta.kv_key_hash = static_cast<std::uint32_t>(
+      accessor_.provides(SemanticId::kv_key_hash)
+          ? accessor_.read(pkt.record().data(), SemanticId::kv_key_hash)
+          : 0);
+  return meta;
+}
+
+std::uint64_t SkbuffStrategy::consume(
+    const PacketContext& pkt, std::span<const SemanticId> wanted) {
+  const Meta meta = fill(pkt);  // eager, unconditional
+  std::uint64_t checksum = 0;
+  for (const SemanticId id : wanted) {
+    switch (id) {
+      case SemanticId::rss_hash: checksum ^= meta.hash; break;
+      case SemanticId::rss_type: checksum ^= meta.hash_type; break;
+      case SemanticId::ip_csum_ok: checksum ^= meta.ip_csum_ok ? 1 : 0; break;
+      case SemanticId::l4_csum_ok: checksum ^= meta.l4_csum_ok ? 1 : 0; break;
+      case SemanticId::ip_checksum: checksum ^= meta.csum; break;
+      case SemanticId::l4_checksum: checksum ^= meta.l4_csum; break;
+      case SemanticId::ip_id: checksum ^= meta.ip_id; break;
+      case SemanticId::vlan_tci: checksum ^= meta.vlan_tci; break;
+      case SemanticId::vlan_stripped: checksum ^= meta.vlan_present ? 1 : 0; break;
+      case SemanticId::timestamp: checksum ^= meta.timestamp; break;
+      case SemanticId::flow_id: checksum ^= meta.flow_id; break;
+      case SemanticId::packet_type: checksum ^= meta.packet_type; break;
+      case SemanticId::pkt_len: checksum ^= meta.len; break;
+      case SemanticId::queue_id: checksum ^= meta.queue; break;
+      case SemanticId::seq_no: checksum ^= meta.seq; break;
+      case SemanticId::mark: checksum ^= meta.mark; break;
+      case SemanticId::lro_seg_count: checksum ^= meta.lro_segs; break;
+      case SemanticId::kv_key_hash: checksum ^= meta.kv_key_hash; break;
+      default: break;  // extension semantics: not part of sk_buff
+    }
+  }
+  return checksum;
+}
+
+// ---------------------------------------------------------------------------
+// MbufStrategy
+// ---------------------------------------------------------------------------
+
+MbufStrategy::MbufStrategy(const core::CompiledLayout& layout,
+                           const softnic::ComputeEngine& engine)
+    : accessor_(layout, engine.registry()), engine_(engine) {
+  // Dynamic-field registrations, mirroring rte_mbuf_dyn: a fixed set of
+  // "extra" semantics gets offsets in the 64-byte dynfield area.
+  dyn_offsets_.fill(-1);
+  dyn_sizes_.fill(0);
+  int next = 0;
+  const auto reg = [&](SemanticId id, int size) {
+    dyn_offsets_[softnic::raw(id)] = static_cast<std::int8_t>(next);
+    dyn_sizes_[softnic::raw(id)] = static_cast<std::int8_t>(size);
+    next += size;
+  };
+  reg(SemanticId::timestamp, 8);
+  reg(SemanticId::l4_checksum, 2);
+  reg(SemanticId::ip_checksum, 2);
+  reg(SemanticId::ip_id, 2);
+  reg(SemanticId::seq_no, 4);
+  reg(SemanticId::queue_id, 2);
+  reg(SemanticId::flow_id, 4);
+  reg(SemanticId::kv_key_hash, 4);
+  reg(SemanticId::rss_type, 1);
+  reg(SemanticId::lro_seg_count, 1);
+  reg(SemanticId::ip_csum_ok, 1);
+  reg(SemanticId::l4_csum_ok, 1);
+  reg(SemanticId::vlan_stripped, 1);
+}
+
+int MbufStrategy::dyn_offset(SemanticId id) const noexcept {
+  const std::uint32_t id_raw = softnic::raw(id);
+  if (id_raw >= dyn_offsets_.size()) {
+    return -1;
+  }
+  return dyn_offsets_[id_raw];
+}
+
+MbufStrategy::Mbuf MbufStrategy::fill(const PacketContext& pkt) const {
+  // The DPDK driver model: copy every provided descriptor field into the
+  // mbuf (fixed fields first, dynfields for the rest) and set ol_flags.
+  // The per-field conditionals are exactly the "numerous configuration
+  // flags" indirection the paper calls a bottleneck.
+  Mbuf mbuf;
+  mbuf.pkt_len = static_cast<std::uint16_t>(pkt.frame().size());
+  mbuf.data_len = mbuf.pkt_len;
+
+  const auto copy_fixed = [&](SemanticId id, auto member, std::uint64_t flag) {
+    if (accessor_.provides(id)) {
+      *member = static_cast<std::remove_reference_t<decltype(*member)>>(
+          accessor_.read(pkt.record().data(), id));
+      mbuf.ol_flags |= flag;
+    }
+  };
+  copy_fixed(SemanticId::rss_hash, &mbuf.rss_hash, 1u << 0);
+  copy_fixed(SemanticId::vlan_tci, &mbuf.vlan_tci, 1u << 1);
+  copy_fixed(SemanticId::flow_id, &mbuf.fdir_id, 1u << 2);
+  copy_fixed(SemanticId::mark, &mbuf.mark, 1u << 3);
+  copy_fixed(SemanticId::packet_type, &mbuf.packet_type, 1u << 4);
+
+  // Dynfields: one copy + flag per registered semantic the NIC provides.
+  for (std::uint32_t id_raw = 0; id_raw < dyn_offsets_.size(); ++id_raw) {
+    const int offset = dyn_offsets_[id_raw];
+    if (offset < 0) {
+      continue;
+    }
+    const auto id = static_cast<SemanticId>(id_raw);
+    if (!accessor_.provides(id)) {
+      continue;
+    }
+    const std::uint64_t value = accessor_.read(pkt.record().data(), id);
+    store_dynfield(mbuf.dynfield.data() + offset, value, dyn_sizes_[id_raw]);
+    mbuf.ol_flags |= std::uint64_t{1} << (8 + id_raw);
+  }
+  return mbuf;
+}
+
+std::uint64_t MbufStrategy::consume(const PacketContext& pkt,
+                                    std::span<const SemanticId> wanted) {
+  const Mbuf mbuf = fill(pkt);  // eager driver-side transform
+  std::uint64_t checksum = 0;
+  for (const SemanticId id : wanted) {
+    // Application-side access: flag check, then fixed field / dynfield /
+    // software compute — the indirection chain of rte_mbuf_dyn.
+    switch (id) {
+      case SemanticId::pkt_len: checksum ^= mbuf.pkt_len; continue;
+      case SemanticId::rss_hash:
+        if (mbuf.ol_flags & (1u << 0)) { checksum ^= mbuf.rss_hash; continue; }
+        break;
+      case SemanticId::vlan_tci:
+        if (mbuf.ol_flags & (1u << 1)) { checksum ^= mbuf.vlan_tci; continue; }
+        break;
+      case SemanticId::flow_id:
+        if (mbuf.ol_flags & (1u << 2)) { checksum ^= mbuf.fdir_id; continue; }
+        break;
+      case SemanticId::mark:
+        if (mbuf.ol_flags & (1u << 3)) { checksum ^= mbuf.mark; continue; }
+        break;
+      case SemanticId::packet_type:
+        if (mbuf.ol_flags & (1u << 4)) { checksum ^= mbuf.packet_type; continue; }
+        break;
+      default:
+        break;
+    }
+    const int offset = dyn_offset(id);
+    const std::uint32_t id_raw = softnic::raw(id);
+    if (offset >= 0 && id_raw < 56 &&
+        (mbuf.ol_flags & (std::uint64_t{1} << (8 + id_raw)))) {
+      checksum ^= load_dynfield(mbuf.dynfield.data() + offset, dyn_sizes_[id_raw]);
+      continue;
+    }
+    checksum ^= software_value(engine_, pkt, id);
+  }
+  return checksum;
+}
+
+// ---------------------------------------------------------------------------
+// RawStrategy
+// ---------------------------------------------------------------------------
+
+std::uint64_t RawStrategy::consume(const PacketContext& pkt,
+                                   std::span<const SemanticId> wanted) {
+  std::uint64_t checksum = 0;
+  for (const SemanticId id : wanted) {
+    if (id == SemanticId::pkt_len) {
+      checksum ^= pkt.frame().size();  // length is the one thing netmap has
+      continue;
+    }
+    checksum ^= software_value(engine_, pkt, id);
+  }
+  return checksum;
+}
+
+// ---------------------------------------------------------------------------
+// OpenDescStrategy
+// ---------------------------------------------------------------------------
+
+std::uint64_t OpenDescStrategy::consume(const PacketContext& pkt,
+                                        std::span<const SemanticId> wanted) {
+  std::uint64_t checksum = 0;
+  for (const SemanticId id : wanted) {
+    checksum ^= facade_.get(pkt, id);
+  }
+  return checksum;
+}
+
+}  // namespace opendesc::rt

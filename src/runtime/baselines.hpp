@@ -1,0 +1,170 @@
+// Host datapath strategies: OpenDesc vs the §2 baselines.
+//
+// Each strategy answers the same question — "give me the values of these
+// semantics for this packet" — the way a real stack would:
+//
+//  * SkbuffStrategy  (Linux kernel style): eagerly extracts *every* field
+//    the descriptor carries into a large metadata struct, parses headers,
+//    and fills software defaults for the rest, whether or not the
+//    application wants them.  Reads are then cheap struct loads.
+//  * MbufStrategy    (DPDK style): the driver copies provided fields into a
+//    fixed 128-byte mbuf guarded by offload flags; semantics beyond the
+//    fixed struct go through a dynfield indirection table; missing ones are
+//    computed on access.
+//  * RawStrategy     (netmap style): buffer + length only; every requested
+//    semantic is recomputed in software.
+//  * OpenDescStrategy: the generated, intent-tailored datapath — lazy
+//    constant-time accessor reads for provided semantics, SoftNIC shims for
+//    the rest.
+#pragma once
+
+#include <string_view>
+
+#include "runtime/facade.hpp"
+
+namespace opendesc::rt {
+
+/// Common interface: fold the requested semantics of one packet into a
+/// checksum (returned so benches can defeat dead-code elimination).
+class RxStrategy {
+ public:
+  virtual ~RxStrategy() = default;
+  RxStrategy(const RxStrategy&) = delete;
+  RxStrategy& operator=(const RxStrategy&) = delete;
+
+  [[nodiscard]] virtual std::uint64_t consume(
+      const PacketContext& pkt,
+      std::span<const softnic::SemanticId> wanted) = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+ protected:
+  RxStrategy() = default;
+};
+
+/// Kernel-style full extraction into a big metadata struct.
+class SkbuffStrategy final : public RxStrategy {
+ public:
+  SkbuffStrategy(const core::CompiledLayout& layout,
+                 const softnic::ComputeEngine& engine);
+
+  [[nodiscard]] std::uint64_t consume(
+      const PacketContext& pkt,
+      std::span<const softnic::SemanticId> wanted) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "skbuff-full-extract";
+  }
+
+  /// The sk_buff-like struct (exposed for tests).
+  struct Meta {
+    std::uint32_t len = 0;
+    std::uint32_t hash = 0;
+    std::uint8_t hash_type = 0;
+    std::uint8_t csum_level = 0;
+    bool ip_csum_ok = false;
+    bool l4_csum_ok = false;
+    std::uint16_t csum = 0;
+    std::uint16_t l4_csum = 0;
+    std::uint16_t vlan_tci = 0;
+    bool vlan_present = false;
+    std::uint64_t timestamp = 0;
+    std::uint32_t mark = 0;
+    std::uint32_t flow_id = 0;
+    std::uint16_t packet_type = 0;
+    std::uint16_t ip_id = 0;
+    std::uint16_t queue = 0;
+    std::uint32_t seq = 0;
+    std::uint8_t lro_segs = 0;
+    std::uint32_t kv_key_hash = 0;
+    std::uint16_t protocol = 0;
+  };
+
+  /// The eager per-packet fill step (what a kernel driver's rx routine does).
+  [[nodiscard]] Meta fill(const PacketContext& pkt) const;
+
+ private:
+  OffsetAccessor accessor_;
+  const softnic::ComputeEngine& engine_;
+};
+
+/// DPDK-style mbuf with offload flags + dynfield indirection.
+class MbufStrategy final : public RxStrategy {
+ public:
+  MbufStrategy(const core::CompiledLayout& layout,
+               const softnic::ComputeEngine& engine);
+
+  [[nodiscard]] std::uint64_t consume(
+      const PacketContext& pkt,
+      std::span<const softnic::SemanticId> wanted) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "dpdk-mbuf-indirection";
+  }
+
+  /// rte_mbuf-like fixed struct: 128 bytes of metadata space, an offload
+  /// flag word, and a dynamic-field area addressed through a registration
+  /// table (modelled after rte_mbuf_dyn).
+  struct Mbuf {
+    std::uint64_t ol_flags = 0;
+    std::uint16_t pkt_len = 0;
+    std::uint16_t data_len = 0;
+    std::uint32_t rss_hash = 0;
+    std::uint16_t vlan_tci = 0;
+    std::uint32_t fdir_id = 0;
+    std::uint32_t mark = 0;
+    std::uint16_t packet_type = 0;
+    std::array<std::uint8_t, 64> dynfield{};  ///< registered dynamic fields
+  };
+
+  [[nodiscard]] Mbuf fill(const PacketContext& pkt) const;
+
+ private:
+  /// Dynamic-field registration: semantic → offset in Mbuf::dynfield
+  /// (-1 = not registered, compute on access).
+  [[nodiscard]] int dyn_offset(softnic::SemanticId id) const noexcept;
+
+  OffsetAccessor accessor_;
+  const softnic::ComputeEngine& engine_;
+  std::array<std::int8_t, softnic::kBuiltinSemanticCount> dyn_offsets_{};
+  std::array<std::int8_t, softnic::kBuiltinSemanticCount> dyn_sizes_{};
+};
+
+/// netmap-style raw buffer: all software.
+class RawStrategy final : public RxStrategy {
+ public:
+  explicit RawStrategy(const softnic::ComputeEngine& engine) : engine_(engine) {}
+
+  [[nodiscard]] std::uint64_t consume(
+      const PacketContext& pkt,
+      std::span<const softnic::SemanticId> wanted) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "raw-software";
+  }
+
+ private:
+  const softnic::ComputeEngine& engine_;
+};
+
+/// The OpenDesc generated datapath.
+class OpenDescStrategy final : public RxStrategy {
+ public:
+  OpenDescStrategy(const core::CompileResult& result,
+                   const softnic::ComputeEngine& engine)
+      : facade_(result, engine) {}
+  OpenDescStrategy(const core::CompiledLayout& layout,
+                   std::vector<core::SoftNicShim> shims,
+                   const softnic::ComputeEngine& engine)
+      : facade_(layout, std::move(shims), engine) {}
+
+  [[nodiscard]] std::uint64_t consume(
+      const PacketContext& pkt,
+      std::span<const softnic::SemanticId> wanted) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "opendesc-generated";
+  }
+
+  [[nodiscard]] const MetadataFacade& facade() const noexcept { return facade_; }
+
+ private:
+  MetadataFacade facade_;
+};
+
+}  // namespace opendesc::rt

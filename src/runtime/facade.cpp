@@ -1,0 +1,30 @@
+#include "runtime/facade.hpp"
+
+#include "common/error.hpp"
+
+namespace opendesc::rt {
+
+MetadataFacade::MetadataFacade(const core::CompileResult& result,
+                               const softnic::ComputeEngine& engine)
+    : MetadataFacade(result.layout, result.shims, engine) {}
+
+MetadataFacade::MetadataFacade(const core::CompiledLayout& layout,
+                               std::vector<core::SoftNicShim> shims,
+                               const softnic::ComputeEngine& engine)
+    : accessor_(layout, engine.registry()), shims_(std::move(shims)),
+      engine_(engine) {}
+
+std::uint64_t MetadataFacade::get(const PacketContext& pkt,
+                                  softnic::SemanticId semantic) const {
+  if (accessor_.provides(semantic)) {
+    return accessor_.read(pkt.record().data(), semantic);
+  }
+  ++fallback_calls_;
+  // Software fallback: recompute from the frame.  The host has no NIC
+  // context, so NIC-private values are unavailable (caught at compile time)
+  // and the timestamp degrades to "no hardware stamp".
+  const softnic::RxContext host_ctx{};
+  return engine_.compute(semantic, pkt.frame(), pkt.view(), host_ctx);
+}
+
+}  // namespace opendesc::rt

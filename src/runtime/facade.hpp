@@ -1,0 +1,91 @@
+// The host-side metadata facade — the "facade API" of §3.
+//
+// One facade instance is built per (NIC, intent) compilation: semantics the
+// chosen path provides are served by constant-time accessor reads; the rest
+// go through SoftNIC shims (reference software implementations), computed
+// lazily per packet.  This is the application-visible API generated drivers
+// would expose.
+#pragma once
+
+#include <optional>
+
+#include "core/compiler.hpp"
+#include "runtime/accessor.hpp"
+#include "sim/nicsim.hpp"
+#include "softnic/compute.hpp"
+
+namespace opendesc::rt {
+
+/// Per-packet lazily-parsed state shared by software fallbacks.
+class PacketContext {
+ public:
+  PacketContext(std::span<const std::uint8_t> record,
+                std::span<const std::uint8_t> frame)
+      : record_(record), frame_(frame) {}
+
+  explicit PacketContext(const sim::RxEvent& event)
+      : PacketContext(event.record, event.frame) {}
+
+  [[nodiscard]] std::span<const std::uint8_t> record() const noexcept {
+    return record_;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> frame() const noexcept {
+    return frame_;
+  }
+
+  /// Parses the frame on first use and caches the view.
+  [[nodiscard]] const net::PacketView& view() const {
+    if (!view_) {
+      view_ = net::PacketView::parse(frame_);
+    }
+    return *view_;
+  }
+
+ private:
+  std::span<const std::uint8_t> record_;
+  std::span<const std::uint8_t> frame_;
+  mutable std::optional<net::PacketView> view_;
+};
+
+/// Intent-tailored metadata access: NIC-provided fields via accessors,
+/// missing fields via SoftNIC fallbacks.
+class MetadataFacade {
+ public:
+  /// Builds a facade from a compilation result.  `engine` must outlive the
+  /// facade; it services the software fallbacks.
+  MetadataFacade(const core::CompileResult& result,
+                 const softnic::ComputeEngine& engine);
+
+  /// Direct construction (tests): layout + explicit fallback set.
+  MetadataFacade(const core::CompiledLayout& layout,
+                 std::vector<core::SoftNicShim> shims,
+                 const softnic::ComputeEngine& engine);
+
+  /// The value of `semantic` for this packet.  Constant-time accessor read
+  /// when the NIC provides it; otherwise the SoftNIC shim computes it from
+  /// the frame (throws Error(semantic) when impossible — should have been
+  /// caught at compile time as unsatisfiable).
+  [[nodiscard]] std::uint64_t get(const PacketContext& pkt,
+                                  softnic::SemanticId semantic) const;
+
+  [[nodiscard]] bool hardware_provided(softnic::SemanticId semantic) const noexcept {
+    return accessor_.provides(semantic);
+  }
+  [[nodiscard]] const OffsetAccessor& accessor() const noexcept { return accessor_; }
+  [[nodiscard]] std::size_t record_size() const noexcept {
+    return accessor_.record_size();
+  }
+
+  /// Number of get() calls served by software fallbacks (telemetry).
+  [[nodiscard]] std::uint64_t fallback_calls() const noexcept {
+    return fallback_calls_;
+  }
+
+ private:
+  OffsetAccessor accessor_;
+  std::vector<core::SoftNicShim> shims_;
+  const softnic::ComputeEngine& engine_;
+  mutable std::uint64_t fallback_calls_ = 0;
+};
+
+}  // namespace opendesc::rt

@@ -1,0 +1,64 @@
+#include "runtime/rxloop.hpp"
+
+#include <chrono>
+
+namespace opendesc::rt {
+
+RxLoopStats run_rx_loop(sim::NicSimulator& nic, net::WorkloadGenerator& workload,
+                        RxStrategy& strategy,
+                        std::span<const softnic::SemanticId> wanted,
+                        const RxLoopConfig& config) {
+  RxLoopStats stats;
+  std::vector<sim::RxEvent> events(config.batch);
+
+  std::size_t remaining = config.packet_count;
+  while (remaining > 0) {
+    const std::size_t burst = std::min(config.batch, remaining);
+
+    // NIC side: packets arrive from the wire.
+    for (std::size_t i = 0; i < burst; ++i) {
+      const net::Packet pkt = workload.next();
+      if (!nic.rx(pkt)) {
+        ++stats.drops;
+      }
+    }
+    remaining -= burst;
+
+    // Host side: poll + consume (the timed section).
+    const std::size_t n = nic.poll(events);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      const PacketContext pkt(events[i]);
+      stats.value_checksum ^= strategy.consume(pkt, wanted);
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    stats.host_ns += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    stats.packets += n;
+    nic.advance(n);
+  }
+
+  // Drain anything still pending (possible when bursts exceeded ring space).
+  for (;;) {
+    const std::size_t n = nic.poll(events);
+    if (n == 0) {
+      break;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      const PacketContext pkt(events[i]);
+      stats.value_checksum ^= strategy.consume(pkt, wanted);
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    stats.host_ns += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    stats.packets += n;
+    nic.advance(n);
+  }
+
+  stats.completion_bytes = nic.dma().completion_bytes;
+  stats.frame_bytes = nic.dma().rx_frame_bytes;
+  return stats;
+}
+
+}  // namespace opendesc::rt

@@ -1,0 +1,43 @@
+// Receive-loop driver: pushes a synthetic workload through a simulated NIC
+// and processes completions with a chosen host datapath strategy.  Shared by
+// the integration tests, the examples, and every throughput-shaped bench.
+#pragma once
+
+#include "net/workload.hpp"
+#include "runtime/baselines.hpp"
+#include "sim/nicsim.hpp"
+
+namespace opendesc::rt {
+
+struct RxLoopStats {
+  std::uint64_t packets = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t value_checksum = 0;  ///< xor-fold of consumed metadata
+  double host_ns = 0.0;              ///< host-side processing time
+  std::uint64_t completion_bytes = 0;
+  std::uint64_t frame_bytes = 0;
+
+  [[nodiscard]] double ns_per_packet() const noexcept {
+    return packets == 0 ? 0.0 : host_ns / static_cast<double>(packets);
+  }
+  [[nodiscard]] double packets_per_second() const noexcept {
+    const double ns = ns_per_packet();
+    return ns <= 0.0 ? 0.0 : 1e9 / ns;
+  }
+};
+
+struct RxLoopConfig {
+  std::size_t packet_count = 10000;
+  std::size_t batch = 32;
+};
+
+/// Runs the loop: per batch, inject packets on the NIC side, poll, consume
+/// each completion with `strategy` for the `wanted` semantics, advance.
+/// Only the host-side consume portion is timed.
+[[nodiscard]] RxLoopStats run_rx_loop(sim::NicSimulator& nic,
+                                      net::WorkloadGenerator& workload,
+                                      RxStrategy& strategy,
+                                      std::span<const softnic::SemanticId> wanted,
+                                      const RxLoopConfig& config = {});
+
+}  // namespace opendesc::rt

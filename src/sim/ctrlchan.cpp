@@ -1,0 +1,170 @@
+#include "sim/ctrlchan.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace opendesc::sim {
+
+namespace {
+
+std::size_t max_record_bytes(const std::vector<core::CompiledLayout>& layouts) {
+  std::size_t max_bytes = 1;
+  for (const core::CompiledLayout& layout : layouts) {
+    max_bytes = std::max(max_bytes, layout.total_bytes());
+  }
+  return max_bytes;
+}
+
+std::vector<core::CompiledLayout> pack_all(
+    const std::string& nic_name, const std::vector<core::CompletionPath>& paths,
+    Endian endian) {
+  std::vector<core::CompiledLayout> layouts;
+  layouts.reserve(paths.size());
+  for (const core::CompletionPath& path : paths) {
+    std::vector<core::FieldSlice> slices;
+    slices.reserve(path.pieces.size());
+    for (const core::EmitPiece& piece : path.pieces) {
+      core::FieldSlice slice;
+      slice.name = piece.field_name;
+      slice.semantic = piece.semantic;
+      slice.bit_width = piece.bit_width;
+      slice.fixed_value = piece.fixed_value;
+      slices.push_back(std::move(slice));
+    }
+    layouts.push_back(
+        core::pack_layout(nic_name, path.id, endian, std::move(slices)));
+  }
+  return layouts;
+}
+
+}  // namespace
+
+ProgrammableNic::ProgrammableNic(std::string nic_name,
+                                 std::vector<core::CompletionPath> paths,
+                                 Endian endian,
+                                 const softnic::ComputeEngine& engine,
+                                 SimConfig config)
+    : nic_name_(std::move(nic_name)), paths_(std::move(paths)),
+      layouts_(pack_all(nic_name_, paths_, endian)), engine_(engine),
+      config_(config),
+      ring_(config.cmpt_ring_entries, max_record_bytes(layouts_)),
+      buffers_(config.rx_buffer_count, config.rx_buffer_size) {
+  if (paths_.empty()) {
+    throw Error(ErrorKind::simulation,
+                "ProgrammableNic needs at least one completion path");
+  }
+  ctx_.queue_id = config.queue_id;
+  reselect();  // all-zero registers may or may not select a path; lazily ok
+}
+
+void ProgrammableNic::reselect() {
+  active_valid_ = false;
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < paths_.size(); ++i) {
+    if (paths_[i].constraints.satisfied_by(registers_.values())) {
+      active_ = i;
+      ++matches;
+    }
+  }
+  active_valid_ = matches == 1;
+}
+
+void ProgrammableNic::program(const p4::ConstEnv& assignment) {
+  if (pending() != 0) {
+    throw Error(ErrorKind::simulation,
+                "quiesce the queue before reprogramming (completions pending)");
+  }
+  registers_.program(assignment);
+  reselect();
+}
+
+void ProgrammableNic::write_register(const std::string& path,
+                                     std::uint64_t value) {
+  if (pending() != 0) {
+    throw Error(ErrorKind::simulation,
+                "quiesce the queue before reprogramming (completions pending)");
+  }
+  registers_.write(path, value);
+  reselect();
+}
+
+const core::CompiledLayout& ProgrammableNic::active_layout() const {
+  if (!active_valid_) {
+    throw Error(ErrorKind::simulation,
+                "context registers select no unique completion path");
+  }
+  return layouts_[active_];
+}
+
+const std::string& ProgrammableNic::active_path_id() const {
+  return active_layout().path_id();
+}
+
+bool ProgrammableNic::rx(const net::Packet& packet) {
+  const core::CompiledLayout& layout = active_layout();
+  if (packet.size() > buffers_.buffer_size()) {
+    ++dma_.drops;
+    return false;
+  }
+  std::span<std::uint8_t> slot = ring_.produce_slot();
+  if (slot.empty()) {
+    ++dma_.drops;
+    return false;
+  }
+  std::uint32_t buffer_id = 0;
+  if (!buffers_.allocate(buffer_id)) {
+    ++dma_.drops;
+    return false;
+  }
+
+  const net::PacketView view = net::PacketView::parse(packet.bytes());
+  ctx_.rx_timestamp_ns = packet.rx_timestamp_ns;
+  ++ctx_.seq_no;
+
+  std::vector<std::uint64_t> values(layout.slices().size(), 0);
+  for (std::size_t i = 0; i < layout.slices().size(); ++i) {
+    const core::FieldSlice& slice = layout.slices()[i];
+    if (slice.semantic) {
+      values[i] =
+          engine_.hardware_value(*slice.semantic, packet.bytes(), view, ctx_);
+    }
+  }
+  layout.serialize(slot, values);
+
+  std::span<std::uint8_t> buffer = buffers_.buffer(buffer_id);
+  std::copy(packet.data.begin(), packet.data.end(), buffer.begin());
+  inflight_.push_back({buffer_id, static_cast<std::uint32_t>(packet.size()),
+                       static_cast<std::uint32_t>(layout.total_bytes())});
+  ring_.push();
+
+  dma_.completion_bytes += layout.total_bytes();
+  dma_.rx_frame_bytes += packet.size();
+  dma_.descriptor_bytes += config_.rx_descriptor_bytes;
+  ++dma_.completions;
+  ++dma_.frames;
+  return true;
+}
+
+std::size_t ProgrammableNic::poll(std::span<RxEvent> out) const {
+  const std::size_t n = std::min(out.size(), ring_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Inflight& frame = inflight_[i];
+    out[i].record = ring_.peek(ring_.tail() + i).first(frame.record_len);
+    out[i].frame = buffers_.buffer(frame.buffer_id).first(frame.frame_len);
+  }
+  return n;
+}
+
+void ProgrammableNic::advance(std::size_t n) {
+  if (n > ring_.size() || n > inflight_.size()) {
+    throw Error(ErrorKind::simulation, "advance exceeds pending completions");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ring_.pop();
+    buffers_.release(inflight_[i].buffer_id);
+  }
+  inflight_.erase(inflight_.begin(), inflight_.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+}  // namespace opendesc::sim

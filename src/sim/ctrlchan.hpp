@@ -1,0 +1,95 @@
+// The implicit control channel (Fig. 2): "configuration and control
+// messages, typically handled out-of-band via mechanisms like MMIO writes
+// to hardware registers."
+//
+// ProgrammableNic models a device that owns its *entire* completion
+// deparser: every enumerated completion path is loaded, and per-queue
+// context registers — programmed by the host through the RegisterFile —
+// select which path the hardware walks for each received packet.  This is
+// the step beyond NicSimulator (which is pre-configured with one layout):
+// the host takes a CompileResult's context_assignment and programs it over
+// the control channel, exactly as a generated driver would.
+#pragma once
+
+#include "core/paths.hpp"
+#include "sim/nicsim.hpp"
+
+namespace opendesc::sim {
+
+/// Host-visible context registers, keyed by the P4 context field path
+/// ("ctx.use_rss").  Unwritten registers read as zero, like real MMIO.
+class RegisterFile {
+ public:
+  void write(const std::string& path, std::uint64_t value) {
+    values_[path] = value;
+  }
+  [[nodiscard]] std::uint64_t read(const std::string& path) const {
+    const auto it = values_.find(path);
+    return it == values_.end() ? 0 : it->second;
+  }
+  void program(const p4::ConstEnv& assignment) {
+    for (const auto& [path, value] : assignment) {
+      values_[path] = value;
+    }
+  }
+  [[nodiscard]] const p4::ConstEnv& values() const noexcept { return values_; }
+
+ private:
+  p4::ConstEnv values_;
+};
+
+/// A NIC loaded with every completion path of its deparser; the control
+/// channel picks the active one.
+class ProgrammableNic {
+ public:
+  /// `paths` come from core::enumerate_paths on the device's deparser;
+  /// `endian` from core::deparser_endian.  Completion-ring entries are
+  /// sized for the largest path.  Throws Error(simulation) on empty paths.
+  ProgrammableNic(std::string nic_name, std::vector<core::CompletionPath> paths,
+                  Endian endian, const softnic::ComputeEngine& engine,
+                  SimConfig config = {});
+
+  /// The control channel.  Register writes take effect on the next rx();
+  /// reconfiguring with completions pending is rejected (drain first), as
+  /// real drivers quiesce a queue before reprogramming it.
+  void program(const p4::ConstEnv& assignment);
+  void write_register(const std::string& path, std::uint64_t value);
+  [[nodiscard]] const RegisterFile& registers() const noexcept { return registers_; }
+
+  /// The layout the current register values select.  Throws
+  /// Error(simulation) when no path (or more than one) matches — a
+  /// misprogrammed device.
+  [[nodiscard]] const core::CompiledLayout& active_layout() const;
+  [[nodiscard]] const std::string& active_path_id() const;
+
+  /// Datapath (same contract as NicSimulator).
+  bool rx(const net::Packet& packet);
+  [[nodiscard]] std::size_t poll(std::span<RxEvent> out) const;
+  void advance(std::size_t n);
+  [[nodiscard]] std::size_t pending() const noexcept { return ring_.size(); }
+  [[nodiscard]] const DmaAccounting& dma() const noexcept { return dma_; }
+
+ private:
+  void reselect();
+
+  std::string nic_name_;
+  std::vector<core::CompletionPath> paths_;
+  std::vector<core::CompiledLayout> layouts_;  ///< one per path
+  const softnic::ComputeEngine& engine_;
+  SimConfig config_;
+  RegisterFile registers_;
+  std::size_t active_ = 0;
+  bool active_valid_ = false;
+  softnic::RxContext ctx_;
+  ByteRing ring_;
+  BufferPool buffers_;
+  struct Inflight {
+    std::uint32_t buffer_id;
+    std::uint32_t frame_len;
+    std::uint32_t record_len;
+  };
+  std::vector<Inflight> inflight_;
+  DmaAccounting dma_;
+};
+
+}  // namespace opendesc::sim

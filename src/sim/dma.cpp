@@ -1,0 +1,4 @@
+#include "sim/dma.hpp"
+
+// Header-only definitions; this TU anchors the library target.
+namespace opendesc::sim {}

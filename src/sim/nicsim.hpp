@@ -1,0 +1,107 @@
+// The software NIC: executes a compiled completion layout against live
+// packets, exactly as the hardware deparser would.
+//
+// The simulator replaces the paper's physical testbed (repro substitution
+// documented in DESIGN.md §2).  The NIC side computes every semantic the
+// chosen completion path provides (using the same reference implementations
+// the SoftNIC fallback uses), serializes the record in the path's layout,
+// and "DMAs" record + frame to host-visible memory; the host side polls the
+// completion ring and reads metadata back through generated accessors.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/layout.hpp"
+#include "net/packet.hpp"
+#include "sim/dma.hpp"
+#include "sim/ring.hpp"
+#include "softnic/compute.hpp"
+
+namespace opendesc::sim {
+
+struct SimConfig {
+  std::size_t cmpt_ring_entries = 1024;  ///< power of two
+  std::size_t rx_buffer_count = 2048;
+  std::size_t rx_buffer_size = 2048;
+  std::uint16_t queue_id = 0;
+  std::size_t rx_descriptor_bytes = 16;  ///< posted-descriptor size (accounting)
+};
+
+/// One received packet as seen by the host after polling.
+struct RxEvent {
+  std::span<const std::uint8_t> record;  ///< completion record (ring slot)
+  std::span<const std::uint8_t> frame;   ///< packet bytes (pool buffer)
+};
+
+/// Single-queue receive-side NIC simulator.
+class NicSimulator {
+ public:
+  NicSimulator(core::CompiledLayout layout, const softnic::ComputeEngine& engine,
+               softnic::RxContext base_context, SimConfig config = {});
+
+  /// NIC side: a packet arrives from the wire.  Returns false (and counts a
+  /// drop) when the completion ring or the buffer pool is exhausted, or the
+  /// frame exceeds the posted buffer size.
+  bool rx(const net::Packet& packet);
+
+  /// Host side: peeks up to out.size() pending completions without
+  /// consuming them.  Events stay valid until advance().
+  [[nodiscard]] std::size_t poll(std::span<RxEvent> out) const;
+
+  /// Consumes `n` polled completions: advances the ring tail and recycles
+  /// the frame buffers (the driver's "update tail pointer" step).
+  void advance(std::size_t n);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return cmpt_ring_.size(); }
+  [[nodiscard]] const DmaAccounting& dma() const noexcept { return dma_; }
+  [[nodiscard]] const core::CompiledLayout& layout() const noexcept { return layout_; }
+  [[nodiscard]] const softnic::RxContext& context() const noexcept { return ctx_; }
+
+  // --- TX path (host → NIC → wire) -----------------------------------------
+
+  /// Programs the TX descriptor format the NIC's DescParser will use
+  /// (normally the format the compiler selected for the TX intent).
+  void configure_tx(core::CompiledLayout tx_layout);
+
+  /// Host posts a descriptor + the frame it points at.  The NIC parses the
+  /// descriptor through the configured format and *executes* the requested
+  /// offloads with the reference implementations: VLAN insertion, TCP
+  /// segmentation (tx_tso_en/tx_tso_mss), L4 checksum insertion
+  /// (tx_csum_en).  Resulting wire frames land in transmitted().
+  /// Throws Error(simulation) when no TX format is configured or the
+  /// descriptor is shorter than the format.
+  void tx_post(std::span<const std::uint8_t> desc,
+               std::span<const std::uint8_t> frame);
+
+  /// Frames sent to the wire, in order.
+  [[nodiscard]] const std::vector<std::vector<std::uint8_t>>& transmitted()
+      const noexcept {
+    return transmitted_;
+  }
+
+  /// Drops accumulated wire frames (long-running benches).
+  void clear_transmitted() noexcept { transmitted_.clear(); }
+
+ private:
+  core::CompiledLayout layout_;
+  const softnic::ComputeEngine& engine_;
+  softnic::RxContext ctx_;
+  SimConfig config_;
+  ByteRing cmpt_ring_;
+  BufferPool buffers_;
+  // Per in-flight completion, in ring order: which pool buffer holds the
+  // frame and how long the frame is.
+  struct InflightFrame {
+    std::uint32_t buffer_id = 0;
+    std::uint32_t frame_len = 0;
+  };
+  std::vector<InflightFrame> inflight_;  ///< FIFO aligned with the ring
+  DmaAccounting dma_;
+  std::vector<std::uint64_t> scratch_values_;  ///< per-slice serialize buffer
+  std::optional<core::CompiledLayout> tx_layout_;
+  std::vector<std::vector<std::uint8_t>> transmitted_;
+};
+
+}  // namespace opendesc::sim

@@ -1,0 +1,100 @@
+#include "sim/ring.hpp"
+
+#include "common/error.hpp"
+
+namespace opendesc::sim {
+
+namespace {
+
+bool is_power_of_two(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace
+
+ByteRing::ByteRing(std::size_t entries, std::size_t entry_size)
+    : entries_(entries), entry_size_(entry_size), mask_(entries - 1),
+      storage_(entries * entry_size) {
+  if (!is_power_of_two(entries)) {
+    throw Error(ErrorKind::simulation, "ring entries must be a power of two");
+  }
+  if (entry_size == 0) {
+    throw Error(ErrorKind::simulation, "ring entry size must be positive");
+  }
+}
+
+std::span<std::uint8_t> ByteRing::produce_slot() noexcept {
+  if (full()) {
+    return {};
+  }
+  return std::span<std::uint8_t>(storage_).subspan(slot_offset(head_), entry_size_);
+}
+
+void ByteRing::push() noexcept {
+  if (!full()) {
+    ++head_;
+  }
+}
+
+std::span<const std::uint8_t> ByteRing::front() const noexcept {
+  if (empty()) {
+    return {};
+  }
+  return std::span<const std::uint8_t>(storage_).subspan(slot_offset(tail_),
+                                                         entry_size_);
+}
+
+void ByteRing::pop() noexcept {
+  if (!empty()) {
+    ++tail_;
+  }
+}
+
+BufferPool::BufferPool(std::size_t buffer_count, std::size_t buffer_size)
+    : buffer_size_(buffer_size), storage_(buffer_count * buffer_size),
+      in_use_(buffer_count, false) {
+  if (buffer_count == 0 || buffer_size == 0) {
+    throw Error(ErrorKind::simulation, "buffer pool dimensions must be positive");
+  }
+  free_.reserve(buffer_count);
+  for (std::size_t i = buffer_count; i > 0; --i) {
+    free_.push_back(static_cast<std::uint32_t>(i - 1));
+  }
+}
+
+bool BufferPool::allocate(std::uint32_t& id) noexcept {
+  if (free_.empty()) {
+    return false;
+  }
+  id = free_.back();
+  free_.pop_back();
+  in_use_[id] = true;
+  return true;
+}
+
+void BufferPool::release(std::uint32_t id) {
+  if (id >= in_use_.size() || !in_use_[id]) {
+    throw Error(ErrorKind::simulation,
+                "BufferPool::release of invalid or free buffer " +
+                    std::to_string(id));
+  }
+  in_use_[id] = false;
+  free_.push_back(id);
+}
+
+std::span<std::uint8_t> BufferPool::buffer(std::uint32_t id) {
+  if (id >= in_use_.size()) {
+    throw Error(ErrorKind::simulation, "invalid buffer id");
+  }
+  return std::span<std::uint8_t>(storage_).subspan(id * buffer_size_, buffer_size_);
+}
+
+std::span<const std::uint8_t> BufferPool::buffer(std::uint32_t id) const {
+  if (id >= in_use_.size()) {
+    throw Error(ErrorKind::simulation, "invalid buffer id");
+  }
+  return std::span<const std::uint8_t>(storage_).subspan(id * buffer_size_,
+                                                         buffer_size_);
+}
+
+}  // namespace opendesc::sim

@@ -1,0 +1,91 @@
+// Descriptor and completion rings.
+//
+// Models the classic NIC/host shared-memory rings: fixed-size power-of-two
+// entry arrays with free-running head/tail indices (a la e1000/ixgbe/mlx5).
+// The host posts receive buffers on the descriptor ring; the NIC consumes
+// them, fills buffers and pushes fixed-size completion records on the
+// completion ring.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace opendesc::sim {
+
+/// Fixed-entry-size ring buffer with single-producer/single-consumer
+/// free-running indices.  Entry payloads live in one contiguous allocation,
+/// as in real descriptor memory.
+class ByteRing {
+ public:
+  /// `entries` must be a power of two; `entry_size` > 0.
+  ByteRing(std::size_t entries, std::size_t entry_size);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return entries_; }
+  [[nodiscard]] std::size_t entry_size() const noexcept { return entry_size_; }
+  [[nodiscard]] std::size_t size() const noexcept { return head_ - tail_; }
+  [[nodiscard]] bool empty() const noexcept { return head_ == tail_; }
+  [[nodiscard]] bool full() const noexcept { return size() == entries_; }
+
+  /// Producer: returns the next free entry slot, or an empty span when the
+  /// ring is full.  The producer fills the slot, then calls push().
+  [[nodiscard]] std::span<std::uint8_t> produce_slot() noexcept;
+  void push() noexcept;
+
+  /// Consumer: the oldest entry, or an empty span when the ring is empty.
+  /// The consumer reads it, then calls pop().
+  [[nodiscard]] std::span<const std::uint8_t> front() const noexcept;
+  void pop() noexcept;
+
+  /// Peeks the entry at free-running index `index` (must be in
+  /// [tail, head)); empty span otherwise.  Lets a consumer batch-process
+  /// several pending entries before advancing the tail.
+  [[nodiscard]] std::span<const std::uint8_t> peek(std::uint64_t index) const noexcept {
+    if (index < tail_ || index >= head_) {
+      return {};
+    }
+    return std::span<const std::uint8_t>(storage_).subspan(slot_offset(index),
+                                                           entry_size_);
+  }
+
+  /// Free-running indices (test/diagnostic access).
+  [[nodiscard]] std::uint64_t head() const noexcept { return head_; }
+  [[nodiscard]] std::uint64_t tail() const noexcept { return tail_; }
+
+ private:
+  [[nodiscard]] std::size_t slot_offset(std::uint64_t index) const noexcept {
+    return (static_cast<std::size_t>(index) & mask_) * entry_size_;
+  }
+
+  std::size_t entries_;
+  std::size_t entry_size_;
+  std::size_t mask_;
+  std::uint64_t head_ = 0;  ///< producer position
+  std::uint64_t tail_ = 0;  ///< consumer position
+  std::vector<std::uint8_t> storage_;
+};
+
+/// Pool of fixed-size receive buffers the host posts to the NIC.  Mirrors a
+/// driver's rx buffer management: buffers cycle host → NIC → host.
+class BufferPool {
+ public:
+  BufferPool(std::size_t buffer_count, std::size_t buffer_size);
+
+  [[nodiscard]] std::size_t buffer_size() const noexcept { return buffer_size_; }
+  [[nodiscard]] std::size_t free_count() const noexcept { return free_.size(); }
+
+  /// Takes a free buffer id; returns false when exhausted.
+  [[nodiscard]] bool allocate(std::uint32_t& id) noexcept;
+  void release(std::uint32_t id);
+
+  [[nodiscard]] std::span<std::uint8_t> buffer(std::uint32_t id);
+  [[nodiscard]] std::span<const std::uint8_t> buffer(std::uint32_t id) const;
+
+ private:
+  std::size_t buffer_size_;
+  std::vector<std::uint8_t> storage_;
+  std::vector<std::uint32_t> free_;
+  std::vector<bool> in_use_;
+};
+
+}  // namespace opendesc::sim

@@ -1,0 +1,233 @@
+#include "softnic/compute.hpp"
+
+#include "common/error.hpp"
+#include "net/checksum.hpp"
+#include "net/workload.hpp"
+#include "softnic/toeplitz.hpp"
+
+namespace opendesc::softnic {
+
+std::uint32_t fnv1a32(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t hash = 0x811c9dc5u;
+  for (const std::uint8_t byte : data) {
+    hash ^= byte;
+    hash *= 0x01000193u;
+  }
+  return hash;
+}
+
+std::uint16_t encode_packet_type(const net::PacketView& view) noexcept {
+  std::uint16_t type = 0;
+  switch (view.l3_kind()) {
+    case net::L3Kind::ipv4: type |= 1; break;
+    case net::L3Kind::ipv6: type |= 2; break;
+    case net::L3Kind::none: break;
+  }
+  switch (view.l4_kind()) {
+    case net::L4Kind::tcp: type |= 1 << 4; break;
+    case net::L4Kind::udp: type |= 2 << 4; break;
+    case net::L4Kind::other: type |= 3 << 4; break;
+    case net::L4Kind::none: break;
+  }
+  if (view.has_vlan()) {
+    type |= 1 << 8;
+  }
+  return type;
+}
+
+namespace {
+
+std::uint32_t compute_rss(const net::PacketView& view) {
+  const bool has_ports = view.l4_kind() == net::L4Kind::tcp ||
+                         view.l4_kind() == net::L4Kind::udp;
+  if (view.l3_kind() == net::L3Kind::ipv4) {
+    const auto& ip = view.ipv4();
+    return has_ports
+               ? rss_ipv4_l4(ip.src, ip.dst, view.src_port(), view.dst_port())
+               : rss_ipv4(ip.src, ip.dst);
+  }
+  if (view.l3_kind() == net::L3Kind::ipv6) {
+    const auto& ip = view.ipv6();
+    return has_ports
+               ? rss_ipv6_l4(ip.src, ip.dst, view.src_port(), view.dst_port())
+               : rss_ipv6(ip.src, ip.dst);
+  }
+  return 0;
+}
+
+// rss_type encoding mirrors common NIC completion fields: which tuple the
+// hash was computed over.
+std::uint8_t compute_rss_type(const net::PacketView& view) {
+  const bool has_ports = view.l4_kind() == net::L4Kind::tcp ||
+                         view.l4_kind() == net::L4Kind::udp;
+  if (view.l3_kind() == net::L3Kind::ipv4) {
+    return has_ports ? 2 : 1;
+  }
+  if (view.l3_kind() == net::L3Kind::ipv6) {
+    return has_ports ? 4 : 3;
+  }
+  return 0;
+}
+
+bool compute_ip_csum_ok(const net::PacketView& view) {
+  if (view.l3_kind() != net::L3Kind::ipv4) {
+    return view.l3_kind() == net::L3Kind::ipv6;  // v6 has no header checksum
+  }
+  return net::verify_checksum(view.l3_bytes());
+}
+
+std::uint16_t compute_ip_checksum(const net::PacketView& view) {
+  if (view.l3_kind() != net::L3Kind::ipv4) {
+    return 0;
+  }
+  // Checksum over the header with the checksum field zeroed = correct value.
+  std::array<std::uint8_t, net::Ipv4Header::kWireSize> hdr{};
+  const auto bytes = view.l3_bytes();
+  std::copy(bytes.begin(), bytes.begin() + hdr.size(), hdr.begin());
+  hdr[10] = 0;
+  hdr[11] = 0;
+  return net::internet_checksum(hdr);
+}
+
+std::uint16_t compute_l4_checksum(const net::PacketView& view) {
+  if (view.l4_kind() != net::L4Kind::tcp && view.l4_kind() != net::L4Kind::udp) {
+    return 0;
+  }
+  // Recompute over a copy with the stored checksum zeroed.
+  std::vector<std::uint8_t> l4(view.l4_bytes().begin(), view.l4_bytes().end());
+  const std::size_t csum_off = view.l4_kind() == net::L4Kind::tcp ? 16 : 6;
+  l4[csum_off] = 0;
+  l4[csum_off + 1] = 0;
+  const std::uint8_t proto = view.l4_kind() == net::L4Kind::tcp
+                                 ? net::kIpProtoTcp
+                                 : net::kIpProtoUdp;
+  if (view.l3_kind() == net::L3Kind::ipv4) {
+    return net::l4_checksum_ipv4(view.ipv4().src, view.ipv4().dst, proto, l4);
+  }
+  if (view.l3_kind() == net::L3Kind::ipv6) {
+    return net::l4_checksum_ipv6(view.ipv6().src, view.ipv6().dst, proto, l4);
+  }
+  return 0;
+}
+
+bool compute_l4_csum_ok(const net::PacketView& view) {
+  if (view.l4_kind() != net::L4Kind::tcp && view.l4_kind() != net::L4Kind::udp) {
+    return false;
+  }
+  std::uint16_t stored = 0;
+  const auto l4 = view.l4_bytes();
+  const std::size_t csum_off = view.l4_kind() == net::L4Kind::tcp ? 16 : 6;
+  stored = static_cast<std::uint16_t>((l4[csum_off] << 8) | l4[csum_off + 1]);
+  return stored == compute_l4_checksum(view);
+}
+
+std::uint32_t compute_flow_id(const net::PacketView& view) {
+  // FNV over the canonical 5-tuple bytes — models a match-action flow tag.
+  std::uint8_t buf[13] = {};
+  if (view.l3_kind() == net::L3Kind::ipv4) {
+    store_be32(buf, view.ipv4().src);
+    store_be32(buf + 4, view.ipv4().dst);
+    buf[8] = view.ipv4().protocol;
+  }
+  store_be16(buf + 9, view.src_port());
+  store_be16(buf + 11, view.dst_port());
+  return fnv1a32(buf);
+}
+
+std::uint32_t compute_kv_key_hash(const net::PacketView& view) {
+  const std::string key = net::kv_extract_key(view.payload());
+  if (key.empty()) {
+    return 0;
+  }
+  return fnv1a32(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(key.data()), key.size()));
+}
+
+}  // namespace
+
+ComputeEngine::ComputeEngine(const SemanticRegistry& registry)
+    : registry_(registry) {}
+
+void ComputeEngine::set_custom(SemanticId id, CustomFn fn) {
+  custom_[raw(id)] = std::move(fn);
+}
+
+bool ComputeEngine::can_compute(SemanticId id) const {
+  if (custom_.contains(raw(id))) {
+    return true;
+  }
+  switch (id) {
+    case SemanticId::mark:
+    case SemanticId::lro_seg_count:
+      return false;  // NIC-state dependent: w(s) = infinity in software
+    case SemanticId::tx_buf_addr:
+    case SemanticId::tx_buf_len:
+    case SemanticId::tx_eop:
+    case SemanticId::tx_csum_en:
+    case SemanticId::tx_csum_offset:
+    case SemanticId::tx_tso_en:
+    case SemanticId::tx_tso_mss:
+    case SemanticId::tx_vlan_insert:
+      return false;  // host-produced TX intentions, not derivable from a frame
+    default:
+      break;
+  }
+  // Builtins all have reference implementations; unknown extensions do not.
+  return raw(id) < kFirstExtensionId;
+}
+
+std::uint64_t ComputeEngine::compute(SemanticId id,
+                                     std::span<const std::uint8_t> frame,
+                                     const net::PacketView& view,
+                                     const RxContext& ctx) const {
+  if (const auto it = custom_.find(raw(id)); it != custom_.end()) {
+    return it->second(frame, view, ctx);
+  }
+  switch (id) {
+    case SemanticId::rss_hash: return compute_rss(view);
+    case SemanticId::rss_type: return compute_rss_type(view);
+    case SemanticId::ip_csum_ok: return compute_ip_csum_ok(view) ? 1 : 0;
+    case SemanticId::l4_csum_ok: return compute_l4_csum_ok(view) ? 1 : 0;
+    case SemanticId::ip_checksum: return compute_ip_checksum(view);
+    case SemanticId::l4_checksum: return compute_l4_checksum(view);
+    case SemanticId::ip_id:
+      return view.l3_kind() == net::L3Kind::ipv4 ? view.ipv4().identification : 0;
+    case SemanticId::vlan_tci: return view.has_vlan() ? view.vlan().tci : 0;
+    case SemanticId::vlan_stripped: return view.has_vlan() ? 1 : 0;
+    case SemanticId::timestamp: return ctx.rx_timestamp_ns;
+    case SemanticId::flow_id: return compute_flow_id(view);
+    case SemanticId::packet_type: return encode_packet_type(view);
+    case SemanticId::pkt_len: return frame.size();
+    case SemanticId::queue_id: return ctx.queue_id;
+    case SemanticId::seq_no: return ctx.seq_no;
+    case SemanticId::kv_key_hash: return compute_kv_key_hash(view);
+    case SemanticId::mark:
+    case SemanticId::lro_seg_count:
+    case SemanticId::tx_buf_addr:
+    case SemanticId::tx_buf_len:
+    case SemanticId::tx_eop:
+    case SemanticId::tx_csum_en:
+    case SemanticId::tx_csum_offset:
+    case SemanticId::tx_tso_en:
+    case SemanticId::tx_tso_mss:
+    case SemanticId::tx_vlan_insert:
+      throw Error(ErrorKind::semantic,
+                  "semantic '" + registry_.name(id) +
+                      "' has no software implementation (w = infinity)");
+  }
+  throw Error(ErrorKind::semantic, "no implementation registered for semantic id " +
+                                       std::to_string(raw(id)));
+}
+
+std::uint64_t ComputeEngine::hardware_value(SemanticId id,
+                                            std::span<const std::uint8_t> frame,
+                                            const net::PacketView& view,
+                                            const RxContext& ctx) const {
+  switch (id) {
+    case SemanticId::mark: return ctx.mark;
+    case SemanticId::lro_seg_count: return ctx.lro_segments;
+    default: return compute(id, frame, view, ctx);
+  }
+}
+
+}  // namespace opendesc::softnic

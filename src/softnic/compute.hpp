@@ -1,0 +1,80 @@
+// Reference implementations of every builtin semantic.
+//
+// The same routines serve two roles (mirroring §3/§4 of the paper):
+//  * as the *hardware* of the simulated NICs — sim::NicSimulator calls them
+//    to fill the fields of whichever completion path the compiler selected;
+//  * as the *SoftNIC fallback shims* — runtime::MetadataFacade calls them on
+//    the host for each semantic in Req \ Prov(p*).
+// Keeping one implementation guarantees the integration tests compare
+// accessor-read values against identical ground truth.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+#include "softnic/semantics.hpp"
+
+namespace opendesc::softnic {
+
+/// Receive-side context.  On the NIC side all fields are known; on the
+/// host (SoftNIC fallback) side NIC-private state is absent and
+/// rx_timestamp_ns is whatever clock the host reads — the paper's point
+/// that some semantics degrade or disappear in software.
+struct RxContext {
+  std::uint16_t queue_id = 0;
+  std::uint32_t seq_no = 0;
+  std::uint32_t mark = 0;            ///< value a match-action rule would set
+  std::uint8_t lro_segments = 1;     ///< hardware LRO coalescing count
+  std::uint64_t rx_timestamp_ns = 0; ///< arrival time (hardware-stamped)
+};
+
+/// 32-bit FNV-1a, used for flow ids and KV key hashes.
+[[nodiscard]] std::uint32_t fnv1a32(std::span<const std::uint8_t> data) noexcept;
+
+/// packet_type encoding: bits[3:0] L3 (0 none, 1 v4, 2 v6),
+/// bits[7:4] L4 (0 none, 1 tcp, 2 udp, 3 other), bit 8 VLAN-tagged.
+[[nodiscard]] std::uint16_t encode_packet_type(const net::PacketView& view) noexcept;
+
+/// Computes builtin and custom semantics from a parsed packet.
+class ComputeEngine {
+ public:
+  using CustomFn = std::function<std::uint64_t(
+      std::span<const std::uint8_t>, const net::PacketView&, const RxContext&)>;
+
+  explicit ComputeEngine(const SemanticRegistry& registry);
+
+  /// Installs the software implementation of an extension semantic.
+  void set_custom(SemanticId id, CustomFn fn);
+
+  /// True when compute() would succeed for this id (builtin with a software
+  /// definition, or extension with an installed CustomFn).  `mark` and
+  /// `lro_seg_count` are NIC-state-dependent and have *no* software
+  /// equivalent — they model the paper's w(s) = ∞ case.
+  [[nodiscard]] bool can_compute(SemanticId id) const;
+
+  /// Ground-truth value of a semantic computed from the frame bytes.
+  /// Throws Error(semantic) when the semantic has no software
+  /// implementation (see can_compute).
+  [[nodiscard]] std::uint64_t compute(SemanticId id,
+                                      std::span<const std::uint8_t> frame,
+                                      const net::PacketView& view,
+                                      const RxContext& ctx) const;
+
+  /// The value the *hardware* would produce.  Identical to compute() except
+  /// that NIC-state-dependent semantics (mark, lro_seg_count) are resolved
+  /// from the RxContext instead of throwing.
+  [[nodiscard]] std::uint64_t hardware_value(SemanticId id,
+                                             std::span<const std::uint8_t> frame,
+                                             const net::PacketView& view,
+                                             const RxContext& ctx) const;
+
+  [[nodiscard]] const SemanticRegistry& registry() const noexcept { return registry_; }
+
+ private:
+  const SemanticRegistry& registry_;
+  std::unordered_map<std::uint32_t, CustomFn> custom_;
+};
+
+}  // namespace opendesc::softnic

@@ -1,0 +1,93 @@
+#include "softnic/cost.hpp"
+
+#include <chrono>
+
+namespace opendesc::softnic {
+
+namespace {
+
+double default_cost(SemanticId id) {
+  // Nanoseconds per packet; relative order is what matters for Eq. 1.
+  switch (id) {
+    case SemanticId::rss_hash: return 20.0;       // Toeplitz over 12 bytes
+    case SemanticId::rss_type: return 2.0;
+    case SemanticId::ip_csum_ok: return 25.0;     // 20-byte header sum
+    case SemanticId::l4_csum_ok: return 150.0;    // touches the full payload
+    case SemanticId::ip_checksum: return 25.0;
+    case SemanticId::l4_checksum: return 150.0;
+    case SemanticId::ip_id: return 4.0;           // header field read
+    case SemanticId::vlan_tci: return 5.0;
+    case SemanticId::vlan_stripped: return 2.0;
+    case SemanticId::timestamp: return 40.0;      // degraded software clock
+    case SemanticId::flow_id: return 22.0;
+    case SemanticId::packet_type: return 12.0;
+    case SemanticId::pkt_len: return 1.0;
+    case SemanticId::queue_id: return 1.0;
+    case SemanticId::seq_no: return 1.0;
+    case SemanticId::mark: return kInfiniteCost;          // NIC rule state
+    case SemanticId::lro_seg_count: return kInfiniteCost; // NIC LRO state
+    case SemanticId::kv_key_hash: return 60.0;    // payload parse + hash
+    // TX side: emulating the offload on the host before posting.
+    case SemanticId::tx_buf_addr: return kInfiniteCost;  // fundamental
+    case SemanticId::tx_buf_len: return kInfiniteCost;   // fundamental
+    case SemanticId::tx_eop: return kInfiniteCost;       // fundamental
+    case SemanticId::tx_csum_en: return 150.0;     // software checksum
+    case SemanticId::tx_csum_offset: return 1.0;
+    case SemanticId::tx_tso_en: return 600.0;      // software segmentation
+    case SemanticId::tx_tso_mss: return 1.0;
+    case SemanticId::tx_vlan_insert: return 30.0;  // memmove + tag write
+  }
+  return kInfiniteCost;
+}
+
+}  // namespace
+
+CostTable::CostTable(const SemanticRegistry& registry) {
+  for (const SemanticInfo& info : registry.all()) {
+    costs_[raw(info.id)] = raw(info.id) < kFirstExtensionId
+                               ? default_cost(info.id)
+                               : kInfiniteCost;
+  }
+}
+
+double CostTable::cost(SemanticId id) const {
+  const auto it = costs_.find(raw(id));
+  return it == costs_.end() ? kInfiniteCost : it->second;
+}
+
+void CostTable::set(SemanticId id, double cost_ns) {
+  costs_[raw(id)] = cost_ns;
+}
+
+void CostTable::measure(const ComputeEngine& engine,
+                        std::span<const net::Packet> samples) {
+  if (samples.empty()) {
+    return;
+  }
+  std::vector<net::PacketView> views;
+  views.reserve(samples.size());
+  for (const auto& pkt : samples) {
+    views.push_back(net::PacketView::parse(pkt.bytes()));
+  }
+  const RxContext ctx;
+  for (auto& [id_raw, cost] : costs_) {
+    const auto id = static_cast<SemanticId>(id_raw);
+    if (!engine.can_compute(id)) {
+      continue;
+    }
+    volatile std::uint64_t sink = 0;  // keep the computation alive
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      sink = engine.compute(id, samples[i].bytes(), views[i], ctx);
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    (void)sink;
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) /
+        static_cast<double>(samples.size());
+    cost = ns > 0.0 ? ns : 0.5;
+  }
+}
+
+}  // namespace opendesc::softnic

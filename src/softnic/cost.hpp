@@ -1,0 +1,43 @@
+// The software-fallback cost model  w : Σ → ℝ₊ ∪ {∞}  of §4 (Eq. 1).
+//
+// Costs are in nanoseconds per packet.  Defaults are hand-calibrated to the
+// relative magnitudes the paper assumes (software RSS over the 12-byte tuple
+// is cheaper than recomputing a full-payload L4 checksum) and can be
+// re-measured against this machine via measure().
+#pragma once
+
+#include <limits>
+#include <map>
+
+#include "softnic/compute.hpp"
+#include "softnic/semantics.hpp"
+
+namespace opendesc::softnic {
+
+inline constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
+
+/// Per-semantic software cost table.
+class CostTable {
+ public:
+  /// Builds the default table for all builtins of `registry`.  Extension
+  /// semantics default to infinity until set() is called for them.
+  explicit CostTable(const SemanticRegistry& registry);
+
+  /// Cost of emulating `id` in software; kInfiniteCost when impossible.
+  [[nodiscard]] double cost(SemanticId id) const;
+
+  /// Overrides the cost of one semantic (ns).
+  void set(SemanticId id, double cost_ns);
+
+  [[nodiscard]] bool is_finite(SemanticId id) const { return cost(id) < kInfiniteCost; }
+
+  /// Re-measures every computable builtin by timing `engine.compute` over
+  /// the provided sample packets and stores the mean ns per call.
+  void measure(const ComputeEngine& engine,
+               std::span<const net::Packet> samples);
+
+ private:
+  std::map<std::uint32_t, double> costs_;
+};
+
+}  // namespace opendesc::softnic

@@ -1,0 +1,76 @@
+#include "softnic/semantics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace opendesc::softnic {
+
+SemanticRegistry::SemanticRegistry() {
+  entries_ = {
+      {SemanticId::rss_hash, "rss", 32, "Toeplitz hash of the 5-tuple"},
+      {SemanticId::rss_type, "rss_type", 8, "hash input descriptor"},
+      {SemanticId::ip_csum_ok, "ip_csum_ok", 1, "IPv4 header checksum valid"},
+      {SemanticId::l4_csum_ok, "l4_csum_ok", 1, "TCP/UDP checksum valid"},
+      {SemanticId::ip_checksum, "ip_checksum", 16, "computed IPv4 header checksum"},
+      {SemanticId::l4_checksum, "l4_checksum", 16, "computed L4 checksum"},
+      {SemanticId::ip_id, "ip_id", 16, "IPv4 identification field"},
+      {SemanticId::vlan_tci, "vlan", 16, "stripped 802.1Q TCI"},
+      {SemanticId::vlan_stripped, "vlan_stripped", 1, "VLAN tag was removed"},
+      {SemanticId::timestamp, "timestamp", 64, "arrival timestamp in ns"},
+      {SemanticId::flow_id, "flow_id", 32, "match-action flow tag"},
+      {SemanticId::packet_type, "packet_type", 16, "parsed L2/L3/L4 kinds"},
+      {SemanticId::pkt_len, "pkt_len", 16, "received frame length"},
+      {SemanticId::queue_id, "queue_id", 16, "receive queue index"},
+      {SemanticId::seq_no, "seq_no", 32, "completion sequence number"},
+      {SemanticId::mark, "mark", 32, "application-defined mark"},
+      {SemanticId::lro_seg_count, "lro_seg_count", 8, "coalesced segment count"},
+      {SemanticId::kv_key_hash, "kv_key_hash", 32, "hash of KV request key"},
+      {SemanticId::tx_buf_addr, "tx_buf_addr", 64, "TX frame DMA address"},
+      {SemanticId::tx_buf_len, "tx_buf_len", 16, "TX frame length"},
+      {SemanticId::tx_eop, "tx_eop", 1, "TX end-of-packet marker"},
+      {SemanticId::tx_csum_en, "tx_csum_en", 1, "request L4 checksum insertion"},
+      {SemanticId::tx_csum_offset, "tx_csum_offset", 8, "checksum field offset"},
+      {SemanticId::tx_tso_en, "tx_tso_en", 1, "request TCP segmentation"},
+      {SemanticId::tx_tso_mss, "tx_tso_mss", 16, "TSO maximum segment size"},
+      {SemanticId::tx_vlan_insert, "tx_vlan_insert", 16, "VLAN TCI to insert"},
+  };
+  static_assert(kBuiltinSemanticCount == 26);
+}
+
+SemanticId SemanticRegistry::register_extension(std::string_view name,
+                                                std::size_t bit_width,
+                                                std::string_view description) {
+  if (find(name).has_value()) {
+    throw Error(ErrorKind::semantic,
+                "semantic '" + std::string(name) + "' already registered");
+  }
+  if (bit_width == 0 || bit_width > 64) {
+    throw Error(ErrorKind::semantic, "semantic bit width must be in [1, 64]");
+  }
+  const auto id = static_cast<SemanticId>(next_extension_++);
+  entries_.push_back(SemanticInfo{id, std::string(name), bit_width,
+                                  std::string(description)});
+  return id;
+}
+
+std::optional<SemanticId> SemanticRegistry::find(std::string_view name) const {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const SemanticInfo& e) { return e.name == name; });
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->id;
+}
+
+const SemanticInfo& SemanticRegistry::info(SemanticId id) const {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const SemanticInfo& e) { return e.id == id; });
+  if (it == entries_.end()) {
+    throw Error(ErrorKind::semantic,
+                "unknown semantic id " + std::to_string(raw(id)));
+  }
+  return *it;
+}
+
+}  // namespace opendesc::softnic

@@ -1,0 +1,104 @@
+// The semantic alphabet Σ.
+//
+// OpenDesc aligns NIC and host not on byte layouts but on *semantics*: each
+// metadata field carries a name from a shared registry.  §3 of the paper
+// attaches these names to intent-header fields via @semantic("...")
+// annotations; §4 defines the provided set Prov(p) of a completion path and
+// the requested set Req of an application as subsets of Σ.
+//
+// The registry ships the builtin semantics every model NIC in our catalog
+// understands, plus an extension mechanism mirroring the paper's "the
+// application can define new @semantic annotations ... tied to a new feature
+// that will be offloaded in a programmable NIC or future NICs".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opendesc::softnic {
+
+/// Identifier of a semantic.  Builtins use small fixed values; runtime
+/// extensions are allocated ids from kFirstExtensionId upward.
+enum class SemanticId : std::uint32_t {
+  rss_hash,       ///< 32-bit Toeplitz hash of the 5-tuple
+  rss_type,       ///< 8-bit hash-input descriptor (which tuple fields)
+  ip_csum_ok,     ///< 1-bit IPv4 header checksum verification status
+  l4_csum_ok,     ///< 1-bit TCP/UDP checksum verification status
+  ip_checksum,    ///< 16-bit computed IP header checksum value
+  l4_checksum,    ///< 16-bit computed L4 checksum value
+  ip_id,          ///< 16-bit IPv4 identification field
+  vlan_tci,       ///< 16-bit stripped 802.1Q TCI
+  vlan_stripped,  ///< 1-bit flag: a VLAN tag was removed
+  timestamp,      ///< 64-bit arrival timestamp (ns)
+  flow_id,        ///< 32-bit flow tag (match-action mark)
+  packet_type,    ///< 16-bit parsed packet type (L2/L3/L4 kinds)
+  pkt_len,        ///< 16-bit received frame length
+  queue_id,       ///< 16-bit receive queue index
+  seq_no,         ///< 32-bit completion sequence number
+  mark,           ///< 32-bit application-defined mark
+  lro_seg_count,  ///< 8-bit coalesced-segment count
+  kv_key_hash,    ///< 32-bit hash of a KV request key (Fig. 1 scenario)
+
+  // TX-side semantics: what the *host* produces in a posted descriptor and
+  // the NIC consumes (the paper's channel ① in Fig. 2).  Their software
+  // cost w(s) is the price of doing the offload on the host before posting
+  // (e.g. computing the checksum in software when the NIC lacks insertion).
+  tx_buf_addr,    ///< 64-bit DMA address of the frame
+  tx_buf_len,     ///< 16-bit frame length
+  tx_eop,         ///< 1-bit end-of-packet marker
+  tx_csum_en,     ///< 1-bit "insert L4 checksum" request
+  tx_csum_offset, ///< 8-bit checksum field offset
+  tx_tso_en,      ///< 1-bit TCP segmentation offload request
+  tx_tso_mss,     ///< 16-bit TSO segment size
+  tx_vlan_insert, ///< 16-bit VLAN TCI to insert (0 = none)
+};
+
+inline constexpr std::uint32_t kFirstExtensionId = 1000;
+inline constexpr std::size_t kBuiltinSemanticCount = 26;
+
+/// Registry entry for one semantic.
+struct SemanticInfo {
+  SemanticId id{};
+  std::string name;          ///< the @semantic("...") string
+  std::size_t bit_width = 0; ///< natural width of the value
+  std::string description;
+};
+
+/// Registry of known semantics.  A compiler instance owns one; tests build
+/// their own; extensions registered on one registry do not leak globally.
+class SemanticRegistry {
+ public:
+  /// Constructs a registry pre-populated with the builtin alphabet.
+  SemanticRegistry();
+
+  /// Registers an extension semantic; returns its freshly allocated id.
+  /// Throws Error(semantic) if the name is already taken.
+  SemanticId register_extension(std::string_view name, std::size_t bit_width,
+                                std::string_view description);
+
+  /// Lookup by @semantic name.  nullopt when unknown.
+  [[nodiscard]] std::optional<SemanticId> find(std::string_view name) const;
+
+  /// Info for an id.  Throws Error(semantic) for unknown ids.
+  [[nodiscard]] const SemanticInfo& info(SemanticId id) const;
+
+  [[nodiscard]] const std::string& name(SemanticId id) const { return info(id).name; }
+  [[nodiscard]] std::size_t bit_width(SemanticId id) const { return info(id).bit_width; }
+
+  /// All registered semantics, builtins first, in registration order.
+  [[nodiscard]] const std::vector<SemanticInfo>& all() const noexcept { return entries_; }
+
+ private:
+  std::vector<SemanticInfo> entries_;
+  std::uint32_t next_extension_ = kFirstExtensionId;
+};
+
+/// Stable ordering for use in std::map/std::set keys.
+[[nodiscard]] constexpr std::uint32_t raw(SemanticId id) noexcept {
+  return static_cast<std::uint32_t>(id);
+}
+
+}  // namespace opendesc::softnic

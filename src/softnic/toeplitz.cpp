@@ -1,0 +1,77 @@
+#include "softnic/toeplitz.hpp"
+
+#include <cassert>
+
+#include "common/bytes.hpp"
+
+namespace opendesc::softnic {
+
+std::uint32_t toeplitz_hash(std::span<const std::uint8_t> key,
+                            std::span<const std::uint8_t> input) noexcept {
+  assert(key.size() >= input.size() + 4);
+  std::uint32_t result = 0;
+  // The sliding 32-bit key window starts at the first 4 key bytes.
+  std::uint32_t window = load_be32(key.data());
+  std::size_t next_key_byte = 4;
+  for (const std::uint8_t byte : input) {
+    for (int bit = 7; bit >= 0; --bit) {
+      if ((byte >> bit) & 1) {
+        result ^= window;
+      }
+      // Slide the window one bit left, pulling in the next key bit.
+      const std::uint8_t next =
+          next_key_byte < key.size() ? key[next_key_byte] : 0;
+      window = (window << 1) | ((next >> bit) & 1);
+      if (bit == 0) {
+        ++next_key_byte;
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+std::uint32_t hash_concat(std::span<const std::uint8_t> input) noexcept {
+  return toeplitz_hash(kDefaultRssKey, input);
+}
+
+}  // namespace
+
+std::uint32_t rss_ipv4(std::uint32_t src_addr, std::uint32_t dst_addr) noexcept {
+  std::uint8_t buf[8];
+  store_be32(buf, src_addr);
+  store_be32(buf + 4, dst_addr);
+  return hash_concat(buf);
+}
+
+std::uint32_t rss_ipv4_l4(std::uint32_t src_addr, std::uint32_t dst_addr,
+                          std::uint16_t src_port, std::uint16_t dst_port) noexcept {
+  std::uint8_t buf[12];
+  store_be32(buf, src_addr);
+  store_be32(buf + 4, dst_addr);
+  store_be16(buf + 8, src_port);
+  store_be16(buf + 10, dst_port);
+  return hash_concat(buf);
+}
+
+std::uint32_t rss_ipv6(std::span<const std::uint8_t> src_addr,
+                       std::span<const std::uint8_t> dst_addr) noexcept {
+  std::uint8_t buf[32];
+  std::copy(src_addr.begin(), src_addr.begin() + 16, buf);
+  std::copy(dst_addr.begin(), dst_addr.begin() + 16, buf + 16);
+  return hash_concat(buf);
+}
+
+std::uint32_t rss_ipv6_l4(std::span<const std::uint8_t> src_addr,
+                          std::span<const std::uint8_t> dst_addr,
+                          std::uint16_t src_port, std::uint16_t dst_port) noexcept {
+  std::uint8_t buf[36];
+  std::copy(src_addr.begin(), src_addr.begin() + 16, buf);
+  std::copy(dst_addr.begin(), dst_addr.begin() + 16, buf + 16);
+  store_be16(buf + 32, src_port);
+  store_be16(buf + 34, dst_port);
+  return hash_concat(buf);
+}
+
+}  // namespace opendesc::softnic

@@ -1,0 +1,47 @@
+// Toeplitz hash used for Receive-Side Scaling.
+//
+// This is both the "hardware" RSS engine of our simulated NICs and the
+// SoftNIC software fallback — matching the paper's position that every
+// semantic ships one reference implementation used on either side.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace opendesc::softnic {
+
+/// Microsoft's default 40-byte RSS secret key, used by most NIC drivers.
+inline constexpr std::array<std::uint8_t, 40> kDefaultRssKey = {
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+    0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+    0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+};
+
+/// Raw Toeplitz hash over `input` with `key`.  `key` must be at least
+/// `input.size() + 4` bytes long.
+[[nodiscard]] std::uint32_t toeplitz_hash(std::span<const std::uint8_t> key,
+                                          std::span<const std::uint8_t> input) noexcept;
+
+/// RSS over an IPv4 2-tuple (addresses in host byte order).
+[[nodiscard]] std::uint32_t rss_ipv4(std::uint32_t src_addr,
+                                     std::uint32_t dst_addr) noexcept;
+
+/// RSS over an IPv4 4-tuple (TCP/UDP).
+[[nodiscard]] std::uint32_t rss_ipv4_l4(std::uint32_t src_addr,
+                                        std::uint32_t dst_addr,
+                                        std::uint16_t src_port,
+                                        std::uint16_t dst_port) noexcept;
+
+/// RSS over an IPv6 2-tuple (addresses as wire bytes).
+[[nodiscard]] std::uint32_t rss_ipv6(std::span<const std::uint8_t> src_addr,
+                                     std::span<const std::uint8_t> dst_addr) noexcept;
+
+/// RSS over an IPv6 4-tuple.
+[[nodiscard]] std::uint32_t rss_ipv6_l4(std::span<const std::uint8_t> src_addr,
+                                        std::span<const std::uint8_t> dst_addr,
+                                        std::uint16_t src_port,
+                                        std::uint16_t dst_port) noexcept;
+
+}  // namespace opendesc::softnic

@@ -1,0 +1,165 @@
+// Unit and property tests for the bit-slice and byte-order utilities that
+// every descriptor read/write goes through.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace opendesc {
+namespace {
+
+TEST(Bytes, ScalarLoadStoreRoundTrip) {
+  std::uint8_t buf[8] = {};
+  store_le16(buf, 0x1234);
+  EXPECT_EQ(load_le16(buf), 0x1234);
+  EXPECT_EQ(buf[0], 0x34);  // little-endian byte order on the wire
+
+  store_be16(buf, 0x1234);
+  EXPECT_EQ(load_be16(buf), 0x1234);
+  EXPECT_EQ(buf[0], 0x12);
+
+  store_le32(buf, 0xdeadbeef);
+  EXPECT_EQ(load_le32(buf), 0xdeadbeef);
+  store_be32(buf, 0xdeadbeef);
+  EXPECT_EQ(load_be32(buf), 0xdeadbeef);
+
+  store_le64(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(load_le64(buf), 0x0123456789abcdefULL);
+  store_be64(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(load_be64(buf), 0x0123456789abcdefULL);
+  EXPECT_EQ(buf[0], 0x01);
+}
+
+TEST(Bytes, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(8), 0xFFu);
+  EXPECT_EQ(low_mask(63), 0x7FFFFFFFFFFFFFFFull);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bytes, ByteAlignedLittleEndianSlice) {
+  std::vector<std::uint8_t> buf(8, 0);
+  write_bits(buf, 2, 0, 16, Endian::little, 0xBEEF);
+  EXPECT_EQ(read_bits(buf, 2, 0, 16, Endian::little), 0xBEEF);
+  EXPECT_EQ(buf[2], 0xEF);
+  EXPECT_EQ(buf[3], 0xBE);
+  // Neighbours untouched.
+  EXPECT_EQ(buf[1], 0);
+  EXPECT_EQ(buf[4], 0);
+}
+
+TEST(Bytes, ByteAlignedBigEndianSlice) {
+  std::vector<std::uint8_t> buf(8, 0);
+  write_bits(buf, 2, 0, 16, Endian::big, 0xBEEF);
+  EXPECT_EQ(read_bits(buf, 2, 0, 16, Endian::big), 0xBEEF);
+  EXPECT_EQ(buf[2], 0xBE);
+  EXPECT_EQ(buf[3], 0xEF);
+}
+
+TEST(Bytes, SubByteSlicesPreserveNeighbours) {
+  std::vector<std::uint8_t> buf(2, 0xFF);
+  write_bits(buf, 0, 3, 2, Endian::little, 0b00);
+  // Bits 3..4 cleared, everything else still set.
+  EXPECT_EQ(buf[0], 0b11100111);
+  EXPECT_EQ(buf[1], 0xFF);
+  EXPECT_EQ(read_bits(buf, 0, 3, 2, Endian::little), 0u);
+  EXPECT_EQ(read_bits(buf, 0, 0, 3, Endian::little), 0b111u);
+}
+
+TEST(Bytes, CrossByteUnalignedSlice) {
+  std::vector<std::uint8_t> buf(4, 0);
+  // 12-bit field starting at bit 6 of byte 0.
+  write_bits(buf, 0, 6, 12, Endian::little, 0xABC);
+  EXPECT_EQ(read_bits(buf, 0, 6, 12, Endian::little), 0xABCu);
+  write_bits(buf, 0, 6, 12, Endian::big, 0xABC);
+  EXPECT_EQ(read_bits(buf, 0, 6, 12, Endian::big), 0xABCu);
+}
+
+TEST(Bytes, RejectsOutOfRangeGeometry) {
+  std::vector<std::uint8_t> buf(4, 0);
+  EXPECT_THROW((void)read_bits(buf, 0, 8, 4, Endian::little), std::invalid_argument);
+  EXPECT_THROW((void)read_bits(buf, 0, 0, 0, Endian::little), std::invalid_argument);
+  EXPECT_THROW((void)read_bits(buf, 0, 0, 65, Endian::little), std::invalid_argument);
+  EXPECT_THROW((void)read_bits(buf, 0, 4, 64, Endian::little), std::invalid_argument);
+  EXPECT_THROW((void)read_bits(buf, 3, 0, 16, Endian::little), std::out_of_range);
+  EXPECT_THROW((void)read_bits(buf, 4, 0, 8, Endian::little), std::out_of_range);
+}
+
+TEST(Bytes, WriteMasksValueToWidth) {
+  std::vector<std::uint8_t> buf(2, 0);
+  write_bits(buf, 0, 0, 4, Endian::little, 0xFF);  // only low 4 bits stored
+  EXPECT_EQ(read_bits(buf, 0, 0, 4, Endian::little), 0xFu);
+  EXPECT_EQ(buf[0], 0x0F);
+}
+
+// Property: random geometry round-trips in both endiannesses and leaves all
+// other bits untouched.
+class BitSliceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitSliceProperty, RandomRoundTripPreservesOtherBits) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const Endian endian = rng.chance(0.5) ? Endian::little : Endian::big;
+    std::vector<std::uint8_t> buf(16);
+    for (auto& b : buf) {
+      b = static_cast<std::uint8_t>(rng.next());
+    }
+    const std::size_t bit_offset = rng.bounded(8);
+    const std::size_t max_width = 64 - bit_offset;
+    const std::size_t bit_width = 1 + rng.bounded(max_width);
+    const std::size_t span = bits_to_bytes(bit_offset + bit_width);
+    const std::size_t byte_offset = rng.bounded(buf.size() - span + 1);
+    const std::uint64_t value = rng.next() & low_mask(bit_width);
+
+    std::vector<std::uint8_t> before = buf;
+    write_bits(buf, byte_offset, bit_offset, bit_width, endian, value);
+    EXPECT_EQ(read_bits(buf, byte_offset, bit_offset, bit_width, endian), value);
+
+    // Restore the field to its previous value: buffer must be identical.
+    const std::uint64_t old_value =
+        read_bits(before, byte_offset, bit_offset, bit_width, endian);
+    write_bits(buf, byte_offset, bit_offset, bit_width, endian, old_value);
+    EXPECT_EQ(buf, before);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitSliceProperty, ::testing::Range(0, 8));
+
+TEST(Bytes, HexDumpFormat) {
+  const std::vector<std::uint8_t> buf = {0x00, 0x0a, 0xff};
+  EXPECT_EQ(hex_dump(buf), "00 0a ff");
+  EXPECT_EQ(hex_dump({}), "");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+    const std::uint64_t v = rng.range(5, 10);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 10u);
+  }
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace opendesc

@@ -1,0 +1,230 @@
+// CFG extraction tests (§4 step 1): emit vertices, labelled branch edges,
+// and the Fig. 6 running example's graph shape.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/cfg.hpp"
+#include "p4/parser.hpp"
+
+namespace opendesc::core {
+namespace {
+
+struct Built {
+  p4::Program program;
+  p4::TypeInfo types;
+  softnic::SemanticRegistry registry;
+  Cfg cfg;
+};
+
+Built build(std::string_view source, const std::string& control_name) {
+  Built b{p4::parse_program(source), {}, {}, {}};
+  b.types = p4::check_program(b.program);
+  const p4::ControlDecl* control = b.program.find_control(control_name);
+  if (control == nullptr) {
+    throw std::logic_error("control not found");
+  }
+  b.cfg = build_cfg(b.program, b.types, *control, b.registry);
+  return b;
+}
+
+constexpr const char* kFig6 = R"(
+    struct ctx_t { bit<1> use_rss; }
+    header meta_t {
+        @semantic("rss")         bit<32> rss;
+        @semantic("ip_id")       bit<16> ip_id;
+        @semantic("ip_checksum") bit<16> csum;
+    }
+    control E1000e(cmpt_out o, in ctx_t ctx, in meta_t m) {
+        apply {
+            if (ctx.use_rss == 1) {
+                o.emit(m.rss);
+            } else {
+                o.emit(m.ip_id);
+                o.emit(m.csum);
+            }
+        }
+    }
+)";
+
+TEST(Cfg, Fig6GraphShape) {
+  const Built b = build(kFig6, "E1000e");
+  // 3 emit vertices (rss | ip_id, csum), 1 branch.
+  EXPECT_EQ(b.cfg.emit_count(), 3u);
+  EXPECT_EQ(b.cfg.branch_count(), 1u);
+
+  // The branch node has exactly one true-labelled and one false-labelled
+  // outgoing edge.
+  const CfgNode* branch = nullptr;
+  for (const CfgNode& node : b.cfg.nodes()) {
+    if (node.kind == CfgNodeKind::branch) {
+      branch = &node;
+    }
+  }
+  ASSERT_NE(branch, nullptr);
+  ASSERT_NE(branch->predicate, nullptr);
+  int true_edges = 0, false_edges = 0;
+  for (const CfgEdge* e : b.cfg.successors(branch->id)) {
+    if (e->polarity == true) ++true_edges;
+    if (e->polarity == false) ++false_edges;
+  }
+  EXPECT_EQ(true_edges, 1);
+  EXPECT_EQ(false_edges, 1);
+}
+
+TEST(Cfg, EmitVertexProperties) {
+  const Built b = build(kFig6, "E1000e");
+  // Find the rss emit: 32 bits, semantic rss.
+  bool found_rss = false, found_csum = false;
+  for (const CfgNode& node : b.cfg.nodes()) {
+    if (node.kind != CfgNodeKind::emit || node.pieces.empty()) {
+      continue;
+    }
+    const EmitPiece& piece = node.pieces[0];
+    if (piece.field_name == "rss") {
+      found_rss = true;
+      EXPECT_EQ(node.size_bits(), 32u);
+      EXPECT_EQ(piece.semantic, softnic::SemanticId::rss_hash);
+    }
+    if (piece.field_name == "csum") {
+      found_csum = true;
+      EXPECT_EQ(piece.semantic, softnic::SemanticId::ip_checksum);
+      EXPECT_EQ(piece.bit_width, 16u);
+    }
+  }
+  EXPECT_TRUE(found_rss);
+  EXPECT_TRUE(found_csum);
+}
+
+TEST(Cfg, WholeHeaderEmitBecomesOneVertexWithAllPieces) {
+  const Built b = build(R"(
+      struct ctx_t { bit<1> u; }
+      header m_t {
+          @semantic("pkt_len") bit<16> len;
+          @fixed(1) bit<8> status;
+          bit<8> pad;
+      }
+      control C(cmpt_out o, in ctx_t ctx, in m_t m) {
+          apply { o.emit(m); }
+      }
+  )", "C");
+  EXPECT_EQ(b.cfg.emit_count(), 1u);
+  const CfgNode* emit = nullptr;
+  for (const CfgNode& node : b.cfg.nodes()) {
+    if (node.kind == CfgNodeKind::emit && !node.pieces.empty()) {
+      emit = &node;
+    }
+  }
+  ASSERT_NE(emit, nullptr);
+  ASSERT_EQ(emit->pieces.size(), 3u);
+  EXPECT_EQ(emit->size_bits(), 32u);
+  EXPECT_EQ(emit->pieces[1].fixed_value, 1u);
+  EXPECT_EQ(emit->pieces[2].semantic, std::nullopt);
+}
+
+TEST(Cfg, IfWithoutElseGetsFallthroughEdge) {
+  const Built b = build(R"(
+      struct ctx_t { bit<1> extra; }
+      header m_t { @semantic("pkt_len") bit<16> len; @semantic("rss") bit<32> h; }
+      control C(cmpt_out o, in ctx_t ctx, in m_t m) {
+          apply {
+              o.emit(m.len);
+              if (ctx.extra == 1) {
+                  o.emit(m.h);
+              }
+          }
+      }
+  )", "C");
+  EXPECT_EQ(b.cfg.emit_count(), 2u);
+  EXPECT_EQ(b.cfg.branch_count(), 1u);
+  // Both branch outcomes must reach the exit.
+  const auto succ = b.cfg.successors(b.cfg.exit_id());
+  EXPECT_TRUE(succ.empty());
+}
+
+TEST(Cfg, NonEmitCallsIgnored) {
+  const Built b = build(R"(
+      struct ctx_t { bit<1> u; }
+      header m_t { @semantic("pkt_len") bit<16> len; }
+      control C(cmpt_out o, in ctx_t ctx, in m_t m) {
+          apply {
+              log.debug(m.len);
+              o.emit(m.len);
+          }
+      }
+  )", "C");
+  EXPECT_EQ(b.cfg.emit_count(), 1u);
+}
+
+TEST(Cfg, EmitErrorsDiagnosed) {
+  // Unknown parameter.
+  EXPECT_THROW((void)build(R"(
+      struct ctx_t { bit<1> u; }
+      header m_t { bit<8> x; }
+      control C(cmpt_out o, in ctx_t ctx, in m_t m) {
+          apply { o.emit(ghost.x); }
+      }
+  )", "C"), Error);
+  // Unknown field.
+  EXPECT_THROW((void)build(R"(
+      struct ctx_t { bit<1> u; }
+      header m_t { bit<8> x; }
+      control C(cmpt_out o, in ctx_t ctx, in m_t m) {
+          apply { o.emit(m.nothere); }
+      }
+  )", "C"), Error);
+  // Unknown @semantic name.
+  EXPECT_THROW((void)build(R"(
+      struct ctx_t { bit<1> u; }
+      header m_t { @semantic("martian") bit<8> x; }
+      control C(cmpt_out o, in ctx_t ctx, in m_t m) {
+          apply { o.emit(m.x); }
+      }
+  )", "C"), Error);
+  // No cmpt_out parameter at all.
+  EXPECT_THROW((void)build(R"(
+      struct ctx_t { bit<1> u; }
+      control C(in ctx_t ctx) { apply { } }
+  )", "C"), Error);
+}
+
+TEST(Cfg, DotRenderingMentionsNodes) {
+  const Built b = build(kFig6, "E1000e");
+  const std::string dot = b.cfg.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("emit rss"), std::string::npos);
+  EXPECT_NE(dot.find("ctx.use_rss == 1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"true\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"false\""), std::string::npos);
+}
+
+TEST(Cfg, DeeplyNestedConditionals) {
+  const Built b = build(R"(
+      struct ctx_t { bit<4> level; }
+      header m_t {
+          @semantic("rss") bit<32> a;
+          @semantic("vlan") bit<16> b;
+          @semantic("ip_id") bit<16> c;
+          @semantic("pkt_len") bit<16> d;
+      }
+      control C(cmpt_out o, in ctx_t ctx, in m_t m) {
+          apply {
+              if (ctx.level >= 1) {
+                  o.emit(m.a);
+                  if (ctx.level >= 2) {
+                      o.emit(m.b);
+                      if (ctx.level >= 3) {
+                          o.emit(m.c);
+                      }
+                  }
+              } else {
+                  o.emit(m.d);
+              }
+          }
+      }
+  )", "C");
+  EXPECT_EQ(b.cfg.branch_count(), 3u);
+  EXPECT_EQ(b.cfg.emit_count(), 4u);
+}
+
+}  // namespace
+}  // namespace opendesc::core

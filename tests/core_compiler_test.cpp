@@ -1,0 +1,215 @@
+// End-to-end tests of the Compiler facade: the §4 pipeline from NIC
+// description + intent to chosen layout and generated stubs, including the
+// paper's Fig. 6 running example.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "nic/model.hpp"
+
+namespace opendesc {
+namespace {
+
+using softnic::SemanticId;
+
+/// Fixture providing a fresh registry/cost-table/compiler per test.
+class CompilerTest : public ::testing::Test {
+ protected:
+  softnic::SemanticRegistry registry_;
+  softnic::CostTable costs_{registry_};
+  core::Compiler compiler_{registry_, costs_};
+};
+
+constexpr const char* kRssCsumIntent = R"P4(
+header intent_t {
+    @semantic("rss")         bit<32> rss_val;
+    @semantic("ip_checksum") bit<16> csum;
+}
+)P4";
+
+// --- Fig. 6: e1000e path selection ----------------------------------------
+
+TEST_F(CompilerTest, Fig6_E1000e_PrefersCsumBranchWhenBothRequested) {
+  // With Req = {rss, ip_checksum} and w(rss) < w(ip_checksum) (software RSS
+  // over the 12-byte tuple is cheaper than recomputing the checksum), the
+  // compiler must select the (ip_id, csum) branch and fall back to software
+  // RSS — the paper's running example.
+  const nic::NicModel& nic = nic::NicCatalog::by_name("e1000e");
+  const auto result =
+      compiler_.compile(nic.p4_source(), kRssCsumIntent, {});
+
+  EXPECT_EQ(result.paths.size(), 2u);
+  const auto& chosen = result.chosen_path();
+  EXPECT_TRUE(chosen.provides(SemanticId::ip_checksum));
+  EXPECT_FALSE(chosen.provides(SemanticId::rss_hash));
+
+  ASSERT_EQ(result.shims.size(), 1u);
+  EXPECT_EQ(result.shims[0].semantic, SemanticId::rss_hash);
+
+  // The context steering: use_rss must be 0 on the chosen path.
+  const auto it = result.context_assignment.find("ctx.use_rss");
+  ASSERT_NE(it, result.context_assignment.end());
+  EXPECT_EQ(it->second, 0u);
+}
+
+TEST_F(CompilerTest, Fig6_E1000e_PrefersRssBranchWhenCsumCheap) {
+  // Flip the cost relation via @cost overrides: now software csum is cheap
+  // and software rss expensive, so the rss branch must win.
+  constexpr const char* kFlipped = R"P4(
+header intent_t {
+    @semantic("rss")   @cost(500) bit<32> rss_val;
+    @semantic("ip_checksum") @cost(1) bit<16> csum;
+}
+)P4";
+  const nic::NicModel& nic = nic::NicCatalog::by_name("e1000e");
+  const auto result = compiler_.compile(nic.p4_source(), kFlipped, {});
+  EXPECT_TRUE(result.chosen_path().provides(SemanticId::rss_hash));
+  EXPECT_FALSE(result.chosen_path().provides(SemanticId::ip_checksum));
+}
+
+// --- Catalog sanity ---------------------------------------------------------
+
+TEST_F(CompilerTest, CatalogPathCountsMatchDeviceClasses) {
+  // e1000: 1 path; e1000e: 2 (Fig. 6); ixgbe: 3; mlx5: 4 formats;
+  // qdma: 4 sizes (the paper: "two in e1000, many formats for MLX5, one per
+  // installed queue in fully-programmable cards").
+  const std::map<std::string, std::size_t> expected = {
+      {"dumbnic", 1}, {"e1000", 1}, {"e1000e", 2}, {"ixgbe", 3},
+      {"mlx5", 4},    {"bf3", 3},   {"ice", 3},   {"qdma", 4},
+  };
+  for (const auto& [name, count] : expected) {
+    const nic::NicModel& nic = nic::NicCatalog::by_name(name);
+    const auto result = compiler_.compile(
+        nic.p4_source(), "header i_t { @semantic(\"pkt_len\") bit<16> l; }", {});
+    EXPECT_EQ(result.paths.size(), count) << "NIC " << name;
+  }
+}
+
+TEST_F(CompilerTest, Mlx5FullCqeIs64BytesAndProvides12Semantics) {
+  const nic::NicModel& nic = nic::NicCatalog::by_name("mlx5");
+  // lro_seg_count has no software fallback (w = ∞), so only the full CQE
+  // satisfies this intent; requesting the timestamp picks the ts variant.
+  constexpr const char* kIntent = R"P4(
+header intent_t {
+    @semantic("timestamp")     bit<64> ts;
+    @semantic("rss")           bit<32> hash;
+    @semantic("lro_seg_count") bit<8>  lro;
+}
+)P4";
+  const auto result = compiler_.compile(nic.p4_source(), kIntent, {});
+  EXPECT_EQ(result.layout.total_bytes(), 64u);
+  EXPECT_EQ(result.chosen_path().provided.size(), 12u);
+  EXPECT_EQ(result.layout.endian(), Endian::big);
+}
+
+TEST_F(CompilerTest, QdmaSelectsSmallestCompletionCoveringIntent) {
+  const nic::NicModel& nic = nic::NicCatalog::by_name("qdma");
+  // pkt_len only → 8B format.
+  {
+    const auto result = compiler_.compile(
+        nic.p4_source(), "header i_t { @semantic(\"pkt_len\") bit<16> l; }", {});
+    EXPECT_EQ(result.layout.total_bytes(), 8u);
+  }
+  // + rss → 16B format.
+  {
+    constexpr const char* kIntent = R"P4(
+header i_t {
+    @semantic("pkt_len") bit<16> l;
+    @semantic("rss")     bit<32> h;
+}
+)P4";
+    const auto result = compiler_.compile(nic.p4_source(), kIntent, {});
+    EXPECT_EQ(result.layout.total_bytes(), 16u);
+  }
+  // + kv_key_hash (accelerator result) → 32B format.
+  {
+    constexpr const char* kIntent = R"P4(
+header i_t {
+    @semantic("pkt_len")     bit<16> l;
+    @semantic("kv_key_hash") bit<32> k;
+}
+)P4";
+    const auto result = compiler_.compile(nic.p4_source(), kIntent, {});
+    EXPECT_EQ(result.layout.total_bytes(), 32u);
+  }
+}
+
+TEST_F(CompilerTest, UnsatisfiableIntentIsRejected) {
+  // `mark` has w = ∞ (NIC match-action state) and the e1000 cannot provide
+  // it: Eq. 1 must reject the program as unsatisfiable.
+  const nic::NicModel& nic = nic::NicCatalog::by_name("e1000");
+  constexpr const char* kIntent = R"P4(
+header i_t {
+    @semantic("mark") bit<32> m;
+}
+)P4";
+  try {
+    (void)compiler_.compile(nic.p4_source(), kIntent, {});
+    FAIL() << "expected Error(unsatisfiable)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::unsatisfiable);
+    EXPECT_NE(std::string(e.what()).find("mark"), std::string::npos);
+  }
+}
+
+TEST_F(CompilerTest, MarkRequestSelectsBf3FlexOrQdma64) {
+  // The same `mark` intent is satisfiable on bf3 (flex format provides it).
+  const nic::NicModel& nic = nic::NicCatalog::by_name("bf3");
+  constexpr const char* kIntent = R"P4(
+header i_t {
+    @semantic("mark") bit<32> m;
+}
+)P4";
+  const auto result = compiler_.compile(nic.p4_source(), kIntent, {});
+  EXPECT_TRUE(result.chosen_path().provides(SemanticId::mark));
+  // The flex format (16B) beats the full CQE on DMA footprint.
+  EXPECT_EQ(result.layout.total_bytes(), 16u);
+  EXPECT_TRUE(result.shims.empty());
+}
+
+TEST_F(CompilerTest, GeneratedHeadersMentionEveryProvidedSemantic) {
+  const nic::NicModel& nic = nic::NicCatalog::by_name("e1000e");
+  const auto result = compiler_.compile(nic.p4_source(), kRssCsumIntent, {});
+  EXPECT_NE(result.c_header.find("odx_e1000e_ip_checksum"), std::string::npos);
+  EXPECT_NE(result.c_header.find("ODX_E1000E_CMPT_SIZE"), std::string::npos);
+  EXPECT_NE(result.xdp_header.find("data_end"), std::string::npos);
+  EXPECT_NE(result.manifest.find("semantic=ip_checksum"), std::string::npos);
+  // The shim for software RSS must be declared.
+  EXPECT_NE(result.c_header.find("softnic_rss"), std::string::npos);
+}
+
+TEST_F(CompilerTest, DmaWeightSteersSelectionTowardSmallerCompletions) {
+  // On qdma with a pkt_len+rss intent, a huge α should still pick 16B (the
+  // smallest covering format), but with rss dropped if software rss is
+  // cheaper than 8 extra DMA bytes: α=1000 → 8B + software rss wins.
+  const nic::NicModel& nic = nic::NicCatalog::by_name("qdma");
+  constexpr const char* kIntent = R"P4(
+header i_t {
+    @semantic("pkt_len") bit<16> l;
+    @semantic("rss")     bit<32> h;
+}
+)P4";
+  core::CompileOptions options;
+  options.dma_weight_per_byte = 1000.0;
+  const auto result = compiler_.compile(nic.p4_source(), kIntent, options);
+  EXPECT_EQ(result.layout.total_bytes(), 8u);
+  ASSERT_EQ(result.shims.size(), 1u);
+  EXPECT_EQ(result.shims[0].semantic, SemanticId::rss_hash);
+}
+
+TEST_F(CompilerTest, AutoRegistersUnknownSemanticsFromIntent) {
+  const nic::NicModel& nic = nic::NicCatalog::by_name("qdma");
+  constexpr const char* kIntent = R"P4(
+header i_t {
+    @semantic("pkt_len")    bit<16> l;
+    @semantic("my_feature") bit<32> f;
+}
+)P4";
+  // my_feature is unknown: auto-registered as an extension, but it has no
+  // software fallback and no NIC path provides it → unsatisfiable.
+  EXPECT_THROW((void)compiler_.compile(nic.p4_source(), kIntent, {}), Error);
+  EXPECT_TRUE(registry_.find("my_feature").has_value());
+}
+
+}  // namespace
+}  // namespace opendesc

@@ -1,0 +1,236 @@
+// CompiledLayout packing, serialization round-trips, verifier, and intent
+// parsing tests.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/intent.hpp"
+#include "core/layout.hpp"
+#include "core/verifier.hpp"
+
+namespace opendesc::core {
+namespace {
+
+using softnic::SemanticId;
+
+FieldSlice slice(std::string name, std::optional<SemanticId> semantic,
+                 std::size_t width,
+                 std::optional<std::uint64_t> fixed = std::nullopt) {
+  FieldSlice s;
+  s.name = std::move(name);
+  s.semantic = semantic;
+  s.bit_width = width;
+  s.fixed_value = fixed;
+  return s;
+}
+
+TEST(Layout, PackAssignsSequentialOffsets) {
+  const CompiledLayout layout = pack_layout(
+      "test", "p0", Endian::little,
+      {slice("len", SemanticId::pkt_len, 16), slice("flags", std::nullopt, 3),
+       slice("ok", SemanticId::ip_csum_ok, 1), slice("pad", std::nullopt, 4),
+       slice("hash", SemanticId::rss_hash, 32)});
+  ASSERT_EQ(layout.slices().size(), 5u);
+  EXPECT_EQ(layout.slices()[0].bit_start, 0u);
+  EXPECT_EQ(layout.slices()[1].bit_start, 16u);
+  EXPECT_EQ(layout.slices()[2].bit_start, 19u);
+  EXPECT_EQ(layout.slices()[3].bit_start, 20u);
+  EXPECT_EQ(layout.slices()[4].bit_start, 24u);
+  EXPECT_EQ(layout.total_bits(), 56u);
+  EXPECT_EQ(layout.total_bytes(), 7u);
+  EXPECT_NE(layout.find(SemanticId::rss_hash), nullptr);
+  EXPECT_EQ(layout.find(SemanticId::timestamp), nullptr);
+}
+
+TEST(Layout, SerializeReadRoundTripBothEndians) {
+  for (const Endian endian : {Endian::little, Endian::big}) {
+    const CompiledLayout layout = pack_layout(
+        "test", "p0", endian,
+        {slice("a", SemanticId::pkt_len, 16), slice("b", SemanticId::rss_hash, 32),
+         slice("c", SemanticId::ip_csum_ok, 1), slice("pad", std::nullopt, 7),
+         slice("t", SemanticId::timestamp, 64)});
+    std::vector<std::uint8_t> record(layout.total_bytes());
+    const std::vector<std::uint64_t> values = {1500, 0xdeadbeef, 1, 0,
+                                               0x0123456789abcdefULL};
+    layout.serialize(record, values);
+    EXPECT_EQ(layout.read(record, SemanticId::pkt_len), 1500u);
+    EXPECT_EQ(layout.read(record, SemanticId::rss_hash), 0xdeadbeefu);
+    EXPECT_EQ(layout.read(record, SemanticId::ip_csum_ok), 1u);
+    EXPECT_EQ(layout.read(record, SemanticId::timestamp), 0x0123456789abcdefULL);
+  }
+}
+
+TEST(Layout, FixedValuesWinOverSuppliedValues) {
+  const CompiledLayout layout = pack_layout(
+      "test", "p0", Endian::little,
+      {slice("status", std::nullopt, 8, 0x81), slice("len", SemanticId::pkt_len, 16)});
+  std::vector<std::uint8_t> record(layout.total_bytes());
+  layout.serialize(record, std::vector<std::uint64_t>{0, 64});
+  EXPECT_EQ(record[0], 0x81);
+  EXPECT_EQ(layout.read_slice(record, 0), 0x81u);
+}
+
+TEST(Layout, SerializeValidatesArguments) {
+  const CompiledLayout layout = pack_layout(
+      "test", "p0", Endian::little, {slice("len", SemanticId::pkt_len, 16)});
+  std::vector<std::uint8_t> small(1);
+  const std::vector<std::uint64_t> values = {1};
+  EXPECT_THROW(layout.serialize(small, values), Error);
+  std::vector<std::uint8_t> record(2);
+  EXPECT_THROW(layout.serialize(record, std::vector<std::uint64_t>{}), Error);
+  EXPECT_THROW((void)layout.read(record, SemanticId::rss_hash), Error);
+}
+
+TEST(Layout, UnalignedWideFieldRejected) {
+  EXPECT_THROW((void)pack_layout("t", "p", Endian::little,
+                                 {slice("misalign", std::nullopt, 4),
+                                  slice("wide", SemanticId::timestamp, 64)}),
+               Error);
+  // Byte-aligning it (4 + 4 pad) fixes the problem.
+  EXPECT_NO_THROW((void)pack_layout("t", "p", Endian::little,
+                                    {slice("misalign", std::nullopt, 4),
+                                     slice("pad", std::nullopt, 4),
+                                     slice("wide", SemanticId::timestamp, 64)}));
+}
+
+TEST(Layout, RandomLayoutsRoundTripAllSlices) {
+  Rng rng(2024);
+  softnic::SemanticRegistry registry;
+  for (int round = 0; round < 100; ++round) {
+    std::vector<FieldSlice> pieces;
+    const std::size_t n = 1 + rng.bounded(12);
+    std::size_t bit_pos = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t width = 1 + rng.bounded(32);
+      if ((bit_pos % 8) + width > 64) {
+        width = 8 - (bit_pos % 8);  // keep within the window
+      }
+      pieces.push_back(slice("f" + std::to_string(i), std::nullopt, width));
+      bit_pos += width;
+    }
+    const Endian endian = rng.chance(0.5) ? Endian::little : Endian::big;
+    const CompiledLayout layout = pack_layout("rand", "p", endian, pieces);
+
+    std::vector<std::uint64_t> values(layout.slices().size());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i] = rng.next() & low_mask(layout.slices()[i].bit_width);
+    }
+    std::vector<std::uint8_t> record(layout.total_bytes());
+    layout.serialize(record, values);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      EXPECT_EQ(layout.read_slice(record, i), values[i]) << "round " << round;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Verifier
+// ---------------------------------------------------------------------------
+
+TEST(Verifier, AcceptsWellFormedLayout) {
+  softnic::SemanticRegistry registry;
+  const CompiledLayout layout = pack_layout(
+      "t", "p", Endian::little,
+      {slice("len", SemanticId::pkt_len, 16), slice("hash", SemanticId::rss_hash, 32)});
+  EXPECT_TRUE(verify_layout(layout, registry).empty());
+  EXPECT_NO_THROW(verify_layout_or_throw(layout, registry));
+}
+
+TEST(Verifier, FlagsSemanticWidthMismatch) {
+  softnic::SemanticRegistry registry;
+  // rss is declared 32-bit in the registry; a 16-bit slice is a contract
+  // violation.
+  const CompiledLayout layout = pack_layout(
+      "t", "p", Endian::little, {slice("hash", SemanticId::rss_hash, 16)});
+  const auto issues = verify_layout(layout, registry);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("does not match semantic"), std::string::npos);
+  EXPECT_THROW(verify_layout_or_throw(layout, registry), Error);
+}
+
+TEST(Verifier, FlagsOverlapAndOutOfBounds) {
+  softnic::SemanticRegistry registry;
+  // Hand-build a broken layout (bypassing pack_layout's sequential packing).
+  std::vector<FieldSlice> pieces = {slice("a", std::nullopt, 16),
+                                    slice("b", std::nullopt, 16)};
+  pieces[0].bit_start = 0;
+  pieces[1].bit_start = 8;  // overlaps a
+  const CompiledLayout overlapping("t", "p", Endian::little, pieces);
+  bool found_overlap = false;
+  for (const auto& issue : verify_layout(overlapping, registry)) {
+    found_overlap |= issue.message.find("overlap") != std::string::npos;
+  }
+  EXPECT_TRUE(found_overlap);
+}
+
+TEST(Verifier, FlagsOversizedFixedValue) {
+  softnic::SemanticRegistry registry;
+  const CompiledLayout layout = pack_layout(
+      "t", "p", Endian::little, {slice("s", std::nullopt, 4, 0x1F)});
+  const auto issues = verify_layout(layout, registry);
+  ASSERT_FALSE(issues.empty());
+  EXPECT_NE(issues[0].message.find("@fixed"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Intent parsing
+// ---------------------------------------------------------------------------
+
+TEST(Intent, ParsesFig5StyleHeader) {
+  softnic::SemanticRegistry registry;
+  const Intent intent = parse_intent(R"(
+      header intent_t {
+          @semantic("rss")         bit<32> rss_val;
+          @semantic("vlan")        bit<16> vlan_tag;
+          @semantic("ip_checksum") bit<16> csum;
+      }
+  )", registry);
+  EXPECT_EQ(intent.header_name, "intent_t");
+  ASSERT_EQ(intent.fields.size(), 3u);
+  EXPECT_EQ(intent.requested(),
+            (std::set<SemanticId>{SemanticId::rss_hash, SemanticId::vlan_tci,
+                                  SemanticId::ip_checksum}));
+}
+
+TEST(Intent, RejectsUnannotatedAndWidthMismatchedFields) {
+  softnic::SemanticRegistry registry;
+  EXPECT_THROW((void)parse_intent("header i_t { bit<32> naked; }", registry), Error);
+  // rss is 32-bit; a 16-bit field contradicts the registry.
+  EXPECT_THROW((void)parse_intent(R"(
+      header i_t { @semantic("rss") bit<16> h; }
+  )", registry), Error);
+  EXPECT_THROW((void)parse_intent("header i_t { }", registry), Error);
+}
+
+TEST(Intent, AutoRegistrationControllable) {
+  softnic::SemanticRegistry registry;
+  EXPECT_THROW((void)parse_intent(R"(
+      header i_t { @semantic("novel") bit<8> x; }
+  )", registry, /*auto_register=*/false), Error);
+  EXPECT_FALSE(registry.find("novel").has_value());
+  const Intent intent = parse_intent(R"(
+      header i_t { @semantic("novel") bit<8> x; }
+  )", registry, /*auto_register=*/true);
+  EXPECT_TRUE(registry.find("novel").has_value());
+  EXPECT_EQ(registry.bit_width(intent.fields[0].semantic), 8u);
+}
+
+TEST(Intent, CostOverridesParsed) {
+  softnic::SemanticRegistry registry;
+  const Intent intent = parse_intent(R"(
+      header i_t { @semantic("rss") @cost(777) bit<32> h; }
+  )", registry);
+  ASSERT_TRUE(intent.fields[0].cost_override.has_value());
+  EXPECT_DOUBLE_EQ(*intent.fields[0].cost_override, 777.0);
+}
+
+TEST(Intent, MultipleHeadersRejectedInConvenienceParser) {
+  softnic::SemanticRegistry registry;
+  EXPECT_THROW((void)parse_intent(R"(
+      header a_t { @semantic("rss") bit<32> h; }
+      header b_t { @semantic("vlan") bit<16> v; }
+  )", registry), Error);
+}
+
+}  // namespace
+}  // namespace opendesc::core

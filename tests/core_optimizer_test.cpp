@@ -1,0 +1,212 @@
+// Eq. 1 optimizer tests: scoring, ranking, brute-force optimality, and
+// unsatisfiability detection.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/optimizer.hpp"
+
+namespace opendesc::core {
+namespace {
+
+using softnic::SemanticId;
+
+/// Builds a synthetic path providing the given semantics with the given
+/// total size (bits split arbitrarily).
+CompletionPath make_path(std::string id, std::set<SemanticId> provided,
+                         std::size_t size_bits) {
+  CompletionPath p;
+  p.id = std::move(id);
+  p.provided = std::move(provided);
+  p.size_bits = size_bits;
+  return p;
+}
+
+Intent make_intent(std::initializer_list<SemanticId> semantics) {
+  softnic::SemanticRegistry registry;
+  Intent intent;
+  intent.header_name = "intent_t";
+  for (const SemanticId id : semantics) {
+    IntentField f;
+    f.field_name = registry.name(id);
+    f.semantic = id;
+    f.bit_width = registry.bit_width(id);
+    intent.fields.push_back(std::move(f));
+  }
+  return intent;
+}
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  softnic::SemanticRegistry registry_;
+  softnic::CostTable costs_{registry_};
+};
+
+TEST_F(OptimizerTest, ScoreSumsMissingCostsAndDmaFootprint) {
+  const CompletionPath p = make_path("p", {SemanticId::rss_hash}, 64);
+  const Intent intent =
+      make_intent({SemanticId::rss_hash, SemanticId::ip_checksum});
+  OptimizerOptions options;
+  options.dma_weight_per_byte = 2.0;
+  const PathScore score = score_path(p, 0, intent, costs_, options);
+  EXPECT_EQ(score.missing, std::set<SemanticId>{SemanticId::ip_checksum});
+  EXPECT_DOUBLE_EQ(score.softnic_cost, costs_.cost(SemanticId::ip_checksum));
+  EXPECT_DOUBLE_EQ(score.dma_cost, 2.0 * 8);
+  EXPECT_TRUE(score.satisfiable());
+}
+
+TEST_F(OptimizerTest, Fig6CostRelationDecides) {
+  // Two equal-size paths; requesting both semantics must pick the path
+  // missing the *cheaper* software fallback.
+  const std::vector<CompletionPath> paths = {
+      make_path("rss_path", {SemanticId::rss_hash}, 32),
+      make_path("csum_path", {SemanticId::ip_id, SemanticId::ip_checksum}, 32),
+  };
+  const Intent intent =
+      make_intent({SemanticId::rss_hash, SemanticId::ip_checksum});
+  const PathScore best = choose_path(paths, intent, costs_, registry_, {});
+  // w(rss) < w(ip_checksum) so missing-rss (csum_path) wins.
+  EXPECT_EQ(best.path_index, 1u);
+}
+
+TEST_F(OptimizerTest, RankingIsTotalAndDeterministic) {
+  const std::vector<CompletionPath> paths = {
+      make_path("a", {SemanticId::rss_hash}, 128),
+      make_path("b", {SemanticId::rss_hash}, 32),
+      make_path("c", {SemanticId::rss_hash}, 32),
+  };
+  const Intent intent = make_intent({SemanticId::rss_hash});
+  const auto ranking = rank_paths(paths, intent, costs_, {});
+  ASSERT_EQ(ranking.size(), 3u);
+  // Equal cost & size for b and c: index tiebreak; a (bigger) last.
+  EXPECT_EQ(ranking[0].path_index, 1u);
+  EXPECT_EQ(ranking[1].path_index, 2u);
+  EXPECT_EQ(ranking[2].path_index, 0u);
+}
+
+TEST_F(OptimizerTest, UnsatisfiableWhenInfiniteSemanticUnprovidedEverywhere) {
+  const std::vector<CompletionPath> paths = {
+      make_path("a", {SemanticId::rss_hash}, 32),
+  };
+  const Intent intent = make_intent({SemanticId::mark});
+  try {
+    (void)choose_path(paths, intent, costs_, registry_, {});
+    FAIL() << "expected unsatisfiable";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::unsatisfiable);
+    EXPECT_NE(std::string(e.what()).find("mark"), std::string::npos);
+  }
+}
+
+TEST_F(OptimizerTest, SatisfiableWhenSomePathProvidesInfiniteSemantic) {
+  const std::vector<CompletionPath> paths = {
+      make_path("small", {SemanticId::rss_hash}, 32),
+      make_path("with_mark", {SemanticId::mark}, 512),
+  };
+  const Intent intent = make_intent({SemanticId::mark});
+  const PathScore best = choose_path(paths, intent, costs_, registry_, {});
+  EXPECT_EQ(best.path_index, 1u);
+  EXPECT_TRUE(best.satisfiable());
+}
+
+TEST_F(OptimizerTest, EmptyPathListRejected) {
+  const Intent intent = make_intent({SemanticId::rss_hash});
+  EXPECT_THROW((void)choose_path({}, intent, costs_, registry_, {}), Error);
+}
+
+TEST_F(OptimizerTest, CostOverrideChangesChoice) {
+  const std::vector<CompletionPath> paths = {
+      make_path("rss_path", {SemanticId::rss_hash}, 32),
+      make_path("csum_path", {SemanticId::ip_checksum}, 32),
+  };
+  Intent intent = make_intent({SemanticId::rss_hash, SemanticId::ip_checksum});
+  // Default: csum_path wins (software rss cheap).  Override makes software
+  // rss catastrophically expensive → rss_path must win.
+  intent.fields[0].cost_override = 10000.0;
+  const PathScore best = choose_path(paths, intent, costs_, registry_, {});
+  EXPECT_EQ(best.path_index, 0u);
+  EXPECT_DOUBLE_EQ(effective_cost(intent, costs_, SemanticId::rss_hash), 10000.0);
+}
+
+TEST_F(OptimizerTest, AlphaZeroIgnoresFootprint) {
+  const std::vector<CompletionPath> paths = {
+      make_path("huge", {SemanticId::rss_hash, SemanticId::ip_checksum}, 4096),
+      make_path("tiny", {}, 8),
+  };
+  const Intent intent =
+      make_intent({SemanticId::rss_hash, SemanticId::ip_checksum});
+  OptimizerOptions options;
+  options.dma_weight_per_byte = 0.0;
+  const PathScore best = choose_path(paths, intent, costs_, registry_, options);
+  EXPECT_EQ(best.path_index, 0u);  // full coverage, footprint free
+}
+
+// Property: choose_path is optimal against brute force over random inputs.
+class OptimizerProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerProperty, MatchesBruteForceMinimum) {
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs(registry);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 7);
+
+  const std::vector<SemanticId> universe = {
+      SemanticId::rss_hash, SemanticId::ip_checksum, SemanticId::vlan_tci,
+      SemanticId::timestamp, SemanticId::flow_id, SemanticId::packet_type,
+      SemanticId::pkt_len, SemanticId::mark,
+  };
+
+  for (int round = 0; round < 50; ++round) {
+    // Random paths.
+    std::vector<CompletionPath> paths;
+    const std::size_t path_count = 1 + rng.bounded(6);
+    for (std::size_t i = 0; i < path_count; ++i) {
+      std::set<SemanticId> provided;
+      for (const SemanticId s : universe) {
+        if (rng.chance(0.4)) {
+          provided.insert(s);
+        }
+      }
+      paths.push_back(make_path("p" + std::to_string(i), std::move(provided),
+                                8 * (1 + rng.bounded(64))));
+    }
+    // Random intent (nonempty).
+    Intent intent;
+    intent.header_name = "i";
+    for (const SemanticId s : universe) {
+      if (rng.chance(0.35)) {
+        IntentField f;
+        f.semantic = s;
+        f.field_name = registry.name(s);
+        f.bit_width = registry.bit_width(s);
+        intent.fields.push_back(std::move(f));
+      }
+    }
+    if (intent.fields.empty()) {
+      continue;
+    }
+    OptimizerOptions options;
+    options.dma_weight_per_byte = rng.uniform01() * 10.0;
+
+    // Brute force Eq. 1.
+    double best_total = softnic::kInfiniteCost;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      const PathScore s = score_path(paths[i], i, intent, costs, options);
+      if (s.total() < best_total) {
+        best_total = s.total();
+      }
+    }
+
+    if (best_total >= softnic::kInfiniteCost) {
+      EXPECT_THROW((void)choose_path(paths, intent, costs, registry, options),
+                   Error);
+      continue;
+    }
+    const PathScore chosen = choose_path(paths, intent, costs, registry, options);
+    EXPECT_DOUBLE_EQ(chosen.total(), best_total);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace opendesc::core

@@ -1,0 +1,209 @@
+// Path enumeration and characterization tests (§4 step 2): Prov(p),
+// Size(p), feasibility pruning, and combinatorial behaviour.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/paths.hpp"
+#include "p4/parser.hpp"
+
+namespace opendesc::core {
+namespace {
+
+using softnic::SemanticId;
+
+struct Built {
+  p4::Program program;
+  p4::TypeInfo types;
+  softnic::SemanticRegistry registry;
+  Cfg cfg;
+  std::vector<CompletionPath> paths;
+};
+
+Built enumerate(std::string_view source, const std::string& control_name,
+                std::size_t max_paths = 1 << 20) {
+  Built b{p4::parse_program(source), {}, {}, {}, {}};
+  b.types = p4::check_program(b.program);
+  const p4::ControlDecl& control = *b.program.find_control(control_name);
+  b.cfg = build_cfg(b.program, b.types, control, b.registry);
+  PathEnumOptions options;
+  options.consts = b.types.constants();
+  options.variable_bounds = context_bounds(b.program, b.types, control);
+  options.max_paths = max_paths;
+  b.paths = enumerate_paths(b.cfg, options);
+  return b;
+}
+
+constexpr const char* kFig6 = R"(
+    struct ctx_t { bit<1> use_rss; }
+    header meta_t {
+        @semantic("rss")         bit<32> rss;
+        @semantic("ip_id")       bit<16> ip_id;
+        @semantic("ip_checksum") bit<16> csum;
+    }
+    control E1000e(cmpt_out o, in ctx_t ctx, in meta_t m) {
+        apply {
+            if (ctx.use_rss == 1) {
+                o.emit(m.rss);
+            } else {
+                o.emit(m.ip_id);
+                o.emit(m.csum);
+            }
+        }
+    }
+)";
+
+TEST(Paths, Fig6TwoPathsWithExpectedProvAndSize) {
+  const Built b = enumerate(kFig6, "E1000e");
+  ASSERT_EQ(b.paths.size(), 2u);
+
+  // True branch first (deterministic order): {rss}, 4 bytes.
+  const CompletionPath& rss_path = b.paths[0];
+  EXPECT_EQ(rss_path.provided, std::set<SemanticId>{SemanticId::rss_hash});
+  EXPECT_EQ(rss_path.size_bits, 32u);
+  EXPECT_EQ(rss_path.size_bytes(), 4u);
+  EXPECT_EQ(rss_path.constraints.value_of("ctx.use_rss"), 1u);
+
+  const CompletionPath& csum_path = b.paths[1];
+  EXPECT_EQ(csum_path.provided,
+            (std::set<SemanticId>{SemanticId::ip_id, SemanticId::ip_checksum}));
+  EXPECT_EQ(csum_path.size_bits, 32u);
+  EXPECT_EQ(csum_path.constraints.value_of("ctx.use_rss"), 0u);
+  EXPECT_TRUE(csum_path.provides(SemanticId::ip_checksum));
+  EXPECT_FALSE(csum_path.provides(SemanticId::rss_hash));
+}
+
+TEST(Paths, DescribeIsHumanReadable) {
+  const Built b = enumerate(kFig6, "E1000e");
+  const std::string description = b.paths[0].describe(b.registry);
+  EXPECT_NE(description.find("rss"), std::string::npos);
+  EXPECT_NE(description.find("4B"), std::string::npos);
+  EXPECT_NE(description.find("ctx.use_rss"), std::string::npos);
+}
+
+TEST(Paths, InfeasibleCombinationsPruned) {
+  // Independent >= conditions on one 2-bit variable: of the 8 syntactic
+  // walks only 4 are feasible (monotone prefixes), like the QDMA model.
+  const Built b = enumerate(R"(
+      struct ctx_t { bit<2> size; }
+      header m_t {
+          @semantic("pkt_len") bit<16> a;
+          @semantic("rss") bit<32> b;
+          @semantic("timestamp") bit<64> c;
+      }
+      control C(cmpt_out o, in ctx_t ctx, in m_t m) {
+          apply {
+              o.emit(m.a);
+              if (ctx.size >= 1) { o.emit(m.b); }
+              if (ctx.size >= 2) { o.emit(m.c); }
+          }
+      }
+  )", "C");
+  ASSERT_EQ(b.paths.size(), 3u);  // size=0 | size=1 | size>=2
+  EXPECT_EQ(b.paths[0].size_bits, 16u + 32u + 64u);
+  EXPECT_EQ(b.paths[1].size_bits, 16u + 32u);
+  EXPECT_EQ(b.paths[2].size_bits, 16u);
+}
+
+TEST(Paths, WidthBoundsPruneImpossibleBranches) {
+  // ctx.flag is bit<1>; the == 2 branch can never be taken.
+  const Built b = enumerate(R"(
+      struct ctx_t { bit<1> flag; }
+      header m_t { @semantic("rss") bit<32> h; @semantic("pkt_len") bit<16> l; }
+      control C(cmpt_out o, in ctx_t ctx, in m_t m) {
+          apply {
+              if (ctx.flag == 2) {
+                  o.emit(m.h);
+              } else {
+                  o.emit(m.l);
+              }
+          }
+      }
+  )", "C");
+  ASSERT_EQ(b.paths.size(), 1u);
+  EXPECT_TRUE(b.paths[0].provides(SemanticId::pkt_len));
+}
+
+TEST(Paths, ConstantsDecideBranchesStatically) {
+  const Built b = enumerate(R"(
+      const bit<8> FEATURE_ON = 1;
+      struct ctx_t { bit<1> u; }
+      header m_t { @semantic("rss") bit<32> h; @semantic("pkt_len") bit<16> l; }
+      control C(cmpt_out o, in ctx_t ctx, in m_t m) {
+          apply {
+              if (FEATURE_ON == 1) {
+                  o.emit(m.h);
+              } else {
+                  o.emit(m.l);
+              }
+          }
+      }
+  )", "C");
+  ASSERT_EQ(b.paths.size(), 1u);
+  EXPECT_TRUE(b.paths[0].provides(SemanticId::rss_hash));
+}
+
+TEST(Paths, LeafCountEqualsPathCountOnIndependentBranches) {
+  // k independent boolean context bits over distinct emits → 2^k paths.
+  const Built b = enumerate(R"(
+      struct ctx_t { bit<1> a; bit<1> b; bit<1> c; }
+      header m_t {
+          @semantic("rss") bit<32> f0;
+          @semantic("vlan") bit<16> f1;
+          @semantic("ip_id") bit<16> f2;
+      }
+      control C(cmpt_out o, in ctx_t ctx, in m_t m) {
+          apply {
+              if (ctx.a == 1) { o.emit(m.f0); }
+              if (ctx.b == 1) { o.emit(m.f1); }
+              if (ctx.c == 1) { o.emit(m.f2); }
+          }
+      }
+  )", "C");
+  EXPECT_EQ(b.paths.size(), 8u);
+  // All Prov sets must be distinct subsets.
+  std::set<std::set<SemanticId>> provs;
+  for (const CompletionPath& p : b.paths) {
+    provs.insert(p.provided);
+  }
+  EXPECT_EQ(provs.size(), 8u);
+}
+
+TEST(Paths, PathExplosionGuard) {
+  EXPECT_THROW((void)enumerate(R"(
+      struct ctx_t { bit<1> a; bit<1> b; bit<1> c; }
+      header m_t { @semantic("rss") bit<32> f; @semantic("vlan") bit<16> g;
+                   @semantic("ip_id") bit<16> h; }
+      control C(cmpt_out o, in ctx_t ctx, in m_t m) {
+          apply {
+              if (ctx.a == 1) { o.emit(m.f); }
+              if (ctx.b == 1) { o.emit(m.g); }
+              if (ctx.c == 1) { o.emit(m.h); }
+          }
+      }
+  )", "C", /*max_paths=*/4), Error);
+}
+
+TEST(Paths, StraightLineDeparserHasOnePath) {
+  const Built b = enumerate(R"(
+      struct ctx_t { bit<1> u; }
+      header m_t { @semantic("pkt_len") bit<16> l; @fixed(1) bit<8> s; bit<8> e; }
+      control C(cmpt_out o, in ctx_t ctx, in m_t m) {
+          apply { o.emit(m); }
+      }
+  )", "C");
+  ASSERT_EQ(b.paths.size(), 1u);
+  EXPECT_EQ(b.paths[0].size_bytes(), 4u);
+  EXPECT_TRUE(b.paths[0].branch_trace.empty());
+  EXPECT_TRUE(b.paths[0].constraints.variables().empty());
+}
+
+TEST(Paths, SampleAssignmentSteersEachPath) {
+  const Built b = enumerate(kFig6, "E1000e");
+  const p4::ConstEnv on = b.paths[0].constraints.sample_assignment();
+  const p4::ConstEnv off = b.paths[1].constraints.sample_assignment();
+  EXPECT_EQ(on.at("ctx.use_rss"), 1u);
+  EXPECT_EQ(off.at("ctx.use_rss"), 0u);
+}
+
+}  // namespace
+}  // namespace opendesc::core

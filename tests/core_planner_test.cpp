@@ -1,0 +1,141 @@
+// Offload placement planner tests (§5 "performance and programmable
+// constraint").
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "core/planner.hpp"
+#include "nic/model.hpp"
+
+namespace opendesc::core {
+namespace {
+
+using softnic::SemanticId;
+
+std::vector<SoftNicShim> shims_for(const std::string& nic_name,
+                                   const char* intent,
+                                   softnic::SemanticRegistry& registry) {
+  softnic::CostTable costs(registry);
+  Compiler compiler(registry, costs);
+  const auto result =
+      compiler.compile(nic::NicCatalog::by_name(nic_name).p4_source(), intent, {});
+  return result.shims;
+}
+
+constexpr const char* kFig1Intent = R"(header i_t {
+    @semantic("ip_checksum") bit<16> csum;
+    @semantic("vlan")        bit<16> vlan_tci;
+    @semantic("rss")         bit<32> rss_hash;
+    @semantic("kv_key_hash") bit<32> kv_key;
+})";
+
+TEST(Planner, FixedFunctionNicKeepsEverythingInSoftware) {
+  softnic::SemanticRegistry registry;
+  const auto shims = shims_for("e1000", kFig1Intent, registry);
+  ASSERT_FALSE(shims.empty());
+  const FeatureLibrary library;
+  const OffloadPlan plan =
+      plan_offloads(shims, nic::NicClass::fixed, library, {});
+  EXPECT_EQ(plan.stages_budget, 0u);
+  EXPECT_EQ(plan.stages_used, 0u);
+  for (const PlannedOffload& o : plan.offloads) {
+    EXPECT_EQ(o.placement, Placement::software) << o.semantic_name;
+  }
+  EXPECT_DOUBLE_EQ(plan.software_cost_after_ns, plan.software_cost_before_ns);
+}
+
+TEST(Planner, ProgrammableNicAbsorbsFeaturesUnderBudget) {
+  softnic::SemanticRegistry registry;
+  // mlx5 mini-CQE leaves csum/vlan/kv in software for the Fig. 1 intent;
+  // plan as if this deparser ran on a programmable device.
+  const auto shims = shims_for("mlx5", kFig1Intent, registry);
+  ASSERT_EQ(shims.size(), 3u);
+  const FeatureLibrary library;
+
+  PlannerOptions options;
+  options.pipeline_stage_budget = 16;  // plenty: everything fits
+  const OffloadPlan generous = plan_offloads(
+      shims, nic::NicClass::programmable, library, options);
+  for (const PlannedOffload& o : generous.offloads) {
+    EXPECT_EQ(o.placement, Placement::pipeline) << o.semantic_name;
+  }
+  EXPECT_DOUBLE_EQ(generous.software_cost_after_ns, 0.0);
+  EXPECT_LE(generous.stages_used, generous.stages_budget);
+}
+
+TEST(Planner, TightBudgetPrefersHighestCostPerStage) {
+  softnic::SemanticRegistry registry;
+  const auto shims = shims_for("mlx5", kFig1Intent, registry);
+  const FeatureLibrary library;
+  // Shims: ip_checksum (w=25, 1 stage), vlan (w=5, 1 stage),
+  // kv_key_hash (w=60, 4 stages).  Budget 4: kv density 15/stage wins
+  // over... csum density 25, vlan 5.  Greedy order: csum(25) → kv(15) →
+  // vlan(5).  csum takes 1 stage; kv needs 4 > 3 left; vlan takes 1.
+  PlannerOptions options;
+  options.pipeline_stage_budget = 4;
+  const OffloadPlan plan = plan_offloads(
+      shims, nic::NicClass::programmable, library, options);
+  std::map<std::string, Placement> placement;
+  for (const PlannedOffload& o : plan.offloads) {
+    placement[o.semantic_name] = o.placement;
+  }
+  EXPECT_EQ(placement.at("ip_checksum"), Placement::pipeline);
+  EXPECT_EQ(placement.at("vlan"), Placement::pipeline);
+  EXPECT_EQ(placement.at("kv_key_hash"), Placement::software);
+  EXPECT_EQ(plan.stages_used, 2u);
+  EXPECT_DOUBLE_EQ(plan.software_cost_after_ns, 60.0);
+}
+
+TEST(Planner, PartialNicGetsHalfBudget) {
+  softnic::SemanticRegistry registry;
+  const auto shims = shims_for("mlx5", kFig1Intent, registry);
+  const FeatureLibrary library;
+  PlannerOptions options;
+  options.pipeline_stage_budget = 8;
+  const OffloadPlan plan =
+      plan_offloads(shims, nic::NicClass::partial, library, options);
+  EXPECT_EQ(plan.stages_budget, 4u);
+}
+
+TEST(Planner, FeaturesWithoutReferenceImplStayInSoftware) {
+  softnic::SemanticRegistry registry;
+  const SemanticId custom =
+      registry.register_extension("crypto_tag", 32, "AES-GCM tag");
+  std::vector<SoftNicShim> shims = {{custom, "crypto_tag", 90.0}};
+  const FeatureLibrary library;  // knows nothing about crypto_tag
+  const OffloadPlan plan = plan_offloads(
+      shims, nic::NicClass::programmable, library, {});
+  EXPECT_EQ(plan.offloads[0].placement, Placement::software);
+
+  // Registering a reference implementation makes it placeable — the
+  // paper's extensibility story.
+  FeatureLibrary extended;
+  extended.register_feature(custom, {true, 2});
+  const OffloadPlan plan2 = plan_offloads(
+      shims, nic::NicClass::programmable, extended, {});
+  EXPECT_EQ(plan2.offloads[0].placement, Placement::pipeline);
+  EXPECT_EQ(plan2.stages_used, 2u);
+}
+
+TEST(Planner, InfiniteCostShimsAreRejected) {
+  softnic::SemanticRegistry registry;
+  std::vector<SoftNicShim> shims = {
+      {SemanticId::mark, "mark", softnic::kInfiniteCost}};
+  const FeatureLibrary library;
+  const OffloadPlan plan =
+      plan_offloads(shims, nic::NicClass::fixed, library, {});
+  EXPECT_EQ(plan.offloads[0].placement, Placement::rejected);
+}
+
+TEST(Planner, DescribeMentionsPlacements) {
+  softnic::SemanticRegistry registry;
+  const auto shims = shims_for("mlx5", kFig1Intent, registry);
+  const FeatureLibrary library;
+  const OffloadPlan plan = plan_offloads(
+      shims, nic::NicClass::programmable, library, {});
+  const std::string text = plan.describe();
+  EXPECT_NE(text.find("pipeline stage(s) used"), std::string::npos);
+  EXPECT_NE(text.find("kv_key_hash"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opendesc::core

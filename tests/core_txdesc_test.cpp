@@ -1,0 +1,387 @@
+// TX-descriptor side tests: format enumeration from DescParser state
+// machines, Eq. 1 selection over formats, writer codegen, and the
+// end-to-end offload execution in the simulator.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "core/txdesc.hpp"
+#include "net/checksum.hpp"
+#include "net/offload.hpp"
+#include "nic/model.hpp"
+#include "sim/nicsim.hpp"
+
+namespace opendesc::core {
+namespace {
+
+using softnic::SemanticId;
+
+struct TxSetup {
+  softnic::SemanticRegistry registry;
+  std::vector<CompletionPath> formats;
+  const nic::NicModel* model = nullptr;
+};
+
+TxSetup formats_of(const std::string& nic_name) {
+  TxSetup setup;
+  setup.model = &nic::NicCatalog::by_name(nic_name);
+  const p4::ParserDecl* parser = setup.model->desc_parser();
+  if (parser == nullptr) {
+    throw std::logic_error("model has no desc parser");
+  }
+  TxDescOptions options;
+  options.consts = setup.model->types().constants();
+  setup.formats = enumerate_tx_formats(setup.model->program(),
+                                       setup.model->types(), *parser,
+                                       setup.registry, options);
+  return setup;
+}
+
+TEST(TxDesc, E1000SingleLegacyFormat) {
+  const TxSetup setup = formats_of("e1000");
+  ASSERT_EQ(setup.formats.size(), 1u);
+  const CompletionPath& fmt = setup.formats[0];
+  EXPECT_EQ(fmt.size_bytes(), 16u);
+  EXPECT_TRUE(fmt.provides(SemanticId::tx_buf_addr));
+  EXPECT_TRUE(fmt.provides(SemanticId::tx_csum_en));
+  EXPECT_TRUE(fmt.provides(SemanticId::tx_vlan_insert));
+  EXPECT_FALSE(fmt.provides(SemanticId::tx_tso_en));  // no TSO on legacy
+}
+
+TEST(TxDesc, IxgbeDataAndContextFormats) {
+  const TxSetup setup = formats_of("ixgbe");
+  ASSERT_EQ(setup.formats.size(), 2u);
+  // Case order: dtyp==3 (data) then dtyp==2 (context).
+  const CompletionPath& data = setup.formats[0];
+  const CompletionPath& context = setup.formats[1];
+  EXPECT_EQ(data.size_bytes(), 16u);
+  EXPECT_EQ(context.size_bytes(), 16u);
+  EXPECT_TRUE(data.provides(SemanticId::tx_buf_addr));
+  EXPECT_TRUE(data.provides(SemanticId::tx_csum_en));
+  EXPECT_FALSE(data.provides(SemanticId::tx_tso_en));
+  EXPECT_TRUE(context.provides(SemanticId::tx_tso_en));
+  EXPECT_TRUE(context.provides(SemanticId::tx_tso_mss));
+  EXPECT_FALSE(context.provides(SemanticId::tx_buf_addr));
+  // The select keyset is recorded as a constraint on the extracted field.
+  EXPECT_EQ(data.constraints.value_of("base.dtyp"), 3u);
+  EXPECT_EQ(context.constraints.value_of("base.dtyp"), 2u);
+}
+
+TEST(TxDesc, QdmaContextSelectedFormats) {
+  const TxSetup setup = formats_of("qdma");
+  ASSERT_EQ(setup.formats.size(), 2u);
+  EXPECT_EQ(setup.formats[0].size_bytes(), 16u);  // h2c_fmt == 0
+  EXPECT_EQ(setup.formats[1].size_bytes(), 32u);  // h2c_fmt == 1
+  EXPECT_FALSE(setup.formats[0].provides(SemanticId::tx_tso_en));
+  EXPECT_TRUE(setup.formats[1].provides(SemanticId::tx_tso_en));
+  EXPECT_EQ(setup.formats[0].constraints.value_of("ctx.h2c_fmt"), 0u);
+  EXPECT_EQ(setup.formats[1].constraints.value_of("ctx.h2c_fmt"), 1u);
+}
+
+TEST(TxDesc, Eq1SelectionOverFormats) {
+  // TX intent: send with checksum insertion.  On qdma the 16B base format
+  // lacks tx_csum_en (software checksum w=150 + 16B) vs the 32B format
+  // (0 + 32B): the extended format must win under α=1.
+  TxSetup setup = formats_of("qdma");
+  softnic::CostTable costs(setup.registry);
+  Intent intent;
+  intent.header_name = "tx_intent";
+  for (const SemanticId id :
+       {SemanticId::tx_buf_addr, SemanticId::tx_buf_len, SemanticId::tx_csum_en}) {
+    IntentField f;
+    f.semantic = id;
+    f.field_name = setup.registry.name(id);
+    f.bit_width = setup.registry.bit_width(id);
+    intent.fields.push_back(std::move(f));
+  }
+  const PathScore best =
+      choose_path(setup.formats, intent, costs, setup.registry, {});
+  EXPECT_EQ(best.path_index, 1u);
+  EXPECT_TRUE(best.missing.empty());
+
+  // With a huge α the 16B format + software checksum wins instead.
+  OptimizerOptions options;
+  options.dma_weight_per_byte = 100.0;
+  const PathScore frugal =
+      choose_path(setup.formats, intent, costs, setup.registry, options);
+  EXPECT_EQ(frugal.path_index, 0u);
+  EXPECT_EQ(frugal.missing, std::set<SemanticId>{SemanticId::tx_csum_en});
+}
+
+TEST(TxDesc, FundamentalTxSemanticsUnsatisfiableWhenAbsent) {
+  // tx_buf_addr has w = ∞; a format set lacking it everywhere must reject.
+  TxSetup setup = formats_of("ixgbe");
+  softnic::CostTable costs(setup.registry);
+  Intent intent;
+  intent.header_name = "i";
+  IntentField f;
+  f.semantic = SemanticId::tx_buf_addr;
+  f.field_name = "tx_buf_addr";
+  f.bit_width = 64;
+  intent.fields.push_back(std::move(f));
+  // Only keep the context format (which lacks the address).
+  std::vector<CompletionPath> only_context;
+  only_context.push_back(std::move(setup.formats[1]));
+  EXPECT_THROW(
+      (void)choose_path(only_context, intent, costs, setup.registry, {}),
+      Error);
+}
+
+TEST(TxDesc, WriterHeaderGeneratesSettersAndInit) {
+  TxSetup setup = formats_of("e1000");
+  std::vector<FieldSlice> slices;
+  for (const EmitPiece& piece : setup.formats[0].pieces) {
+    FieldSlice s;
+    s.name = piece.field_name;
+    s.semantic = piece.semantic;
+    s.bit_width = piece.bit_width;
+    s.fixed_value = piece.fixed_value;
+    slices.push_back(std::move(s));
+  }
+  const CompiledLayout layout =
+      pack_layout("e1000", "fmt0", Endian::little, std::move(slices));
+  const std::string header =
+      generate_tx_writer_header(layout, setup.registry, "odx_e1000_tx");
+  EXPECT_NE(header.find("#define ODX_E1000_TX_DESC_SIZE 16u"), std::string::npos);
+  EXPECT_NE(header.find("odx_e1000_tx_desc_init"), std::string::npos);
+  EXPECT_NE(header.find("odx_e1000_tx_set_tx_buf_addr"), std::string::npos);
+  EXPECT_NE(header.find("odx_e1000_tx_set_tx_csum_en"), std::string::npos);
+  EXPECT_NE(header.find("odx_e1000_tx_set_tx_vlan_insert"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end TX offload execution in the simulator.
+// ---------------------------------------------------------------------------
+
+class TxSimTest : public ::testing::Test {
+ protected:
+  /// Builds a layout for the named NIC's format `index`.
+  CompiledLayout tx_layout(const std::string& nic_name, std::size_t index) {
+    TxSetup setup = formats_of(nic_name);
+    std::vector<FieldSlice> slices;
+    for (const EmitPiece& piece : setup.formats.at(index).pieces) {
+      FieldSlice s;
+      s.name = piece.field_name;
+      s.semantic = piece.semantic;
+      s.bit_width = piece.bit_width;
+      s.fixed_value = piece.fixed_value;
+      slices.push_back(std::move(s));
+    }
+    return pack_layout(nic_name, "fmt" + std::to_string(index), Endian::little,
+                       std::move(slices));
+  }
+
+  /// Serializes a TX descriptor with the given semantic values.
+  std::vector<std::uint8_t> make_desc(
+      const CompiledLayout& layout,
+      const std::map<SemanticId, std::uint64_t>& fields) {
+    std::vector<std::uint64_t> values(layout.slices().size(), 0);
+    for (std::size_t i = 0; i < layout.slices().size(); ++i) {
+      const auto& slice = layout.slices()[i];
+      if (slice.semantic && fields.contains(*slice.semantic)) {
+        values[i] = fields.at(*slice.semantic);
+      }
+    }
+    std::vector<std::uint8_t> desc(layout.total_bytes());
+    layout.serialize(desc, values);
+    return desc;
+  }
+
+  softnic::SemanticRegistry registry_;
+  softnic::ComputeEngine engine_{registry_};
+};
+
+TEST_F(TxSimTest, ChecksumInsertionProducesValidFrames) {
+  const CompiledLayout layout = tx_layout("e1000", 0);
+  // RX side unused; reuse a dumb completion layout.
+  sim::NicSimulator nic(layout, engine_, {});
+  nic.configure_tx(layout);
+
+  // A frame with a deliberately broken checksum.
+  net::Packet pkt = net::PacketBuilder()
+                        .eth(net::make_mac(2, 0, 0, 0, 0, 1),
+                             net::make_mac(2, 0, 0, 0, 0, 2))
+                        .ipv4(net::ipv4_from_string("10.0.0.1"),
+                              net::ipv4_from_string("10.0.0.2"))
+                        .tcp(1234, 80)
+                        .payload_text("hello world")
+                        .corrupt_l4_checksum()
+                        .build();
+
+  const auto desc = make_desc(
+      layout, {{SemanticId::tx_buf_len, pkt.size()},
+               {SemanticId::tx_eop, 1},
+               {SemanticId::tx_csum_en, 1}});
+  nic.tx_post(desc, pkt.bytes());
+
+  ASSERT_EQ(nic.transmitted().size(), 1u);
+  const auto& wire = nic.transmitted()[0];
+  const net::PacketView view = net::PacketView::parse(wire);
+  EXPECT_EQ(net::l4_checksum_ipv4(view.ipv4().src, view.ipv4().dst,
+                                  net::kIpProtoTcp, view.l4_bytes()),
+            0);  // offload fixed the checksum
+}
+
+TEST_F(TxSimTest, VlanInsertionTagsFrame) {
+  const CompiledLayout layout = tx_layout("e1000", 0);
+  sim::NicSimulator nic(layout, engine_, {});
+  nic.configure_tx(layout);
+
+  const net::Packet pkt = net::PacketBuilder()
+                              .eth(net::make_mac(2, 0, 0, 0, 0, 1),
+                                   net::make_mac(2, 0, 0, 0, 0, 2))
+                              .ipv4(1, 2)
+                              .udp(5, 6)
+                              .build();
+  const auto desc =
+      make_desc(layout, {{SemanticId::tx_buf_len, pkt.size()},
+                         {SemanticId::tx_vlan_insert, 1234}});
+  nic.tx_post(desc, pkt.bytes());
+  ASSERT_EQ(nic.transmitted().size(), 1u);
+  const net::PacketView view = net::PacketView::parse(nic.transmitted()[0]);
+  ASSERT_TRUE(view.has_vlan());
+  EXPECT_EQ(view.vlan().tci, 1234);
+  EXPECT_EQ(nic.transmitted()[0].size(), pkt.size() + 4);
+}
+
+TEST_F(TxSimTest, TsoSegmentsLargeFrames) {
+  // qdma extended format carries TSO controls.
+  const CompiledLayout layout = tx_layout("qdma", 1);
+  sim::NicSimulator nic(layout, engine_, {});
+  nic.configure_tx(layout);
+
+  const std::string payload(1000, 'x');
+  const net::Packet pkt = net::PacketBuilder()
+                              .eth(net::make_mac(2, 0, 0, 0, 0, 1),
+                                   net::make_mac(2, 0, 0, 0, 0, 2))
+                              .ipv4(net::ipv4_from_string("10.0.0.1"),
+                                    net::ipv4_from_string("10.0.0.2"))
+                              .tcp(1000, 80)
+                              .payload_text(payload)
+                              .build();
+  const auto desc = make_desc(layout, {{SemanticId::tx_buf_len, pkt.size()},
+                                       {SemanticId::tx_tso_en, 1},
+                                       {SemanticId::tx_tso_mss, 300},
+                                       {SemanticId::tx_csum_en, 1}});
+  nic.tx_post(desc, pkt.bytes());
+
+  // 1000 bytes at MSS 300 → 4 segments (300+300+300+100).
+  ASSERT_EQ(nic.transmitted().size(), 4u);
+  std::uint32_t expected_seq = 0;
+  std::string reassembled;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const net::PacketView view = net::PacketView::parse(nic.transmitted()[i]);
+    const net::TcpHeader tcp = net::TcpHeader::parse(
+        std::span<const std::uint8_t>(nic.transmitted()[i]).subspan(view.l4_offset()));
+    if (i == 0) {
+      expected_seq = tcp.seq;
+    }
+    EXPECT_EQ(tcp.seq, expected_seq);
+    expected_seq += static_cast<std::uint32_t>(view.payload().size());
+    // Every segment has valid IP and TCP checksums.
+    EXPECT_TRUE(net::verify_checksum(view.l3_bytes()));
+    EXPECT_EQ(net::l4_checksum_ipv4(view.ipv4().src, view.ipv4().dst,
+                                    net::kIpProtoTcp, view.l4_bytes()),
+              0);
+    // FIN/PSH only on the last segment.
+    if (i < 3) {
+      EXPECT_EQ(tcp.flags & 0x09, 0);
+    }
+    reassembled.append(view.payload().begin(), view.payload().end());
+  }
+  EXPECT_EQ(reassembled, payload);
+}
+
+TEST_F(TxSimTest, TxPostWithoutConfigureRejected) {
+  const CompiledLayout layout = tx_layout("e1000", 0);
+  sim::NicSimulator nic(layout, engine_, {});
+  std::vector<std::uint8_t> desc(16, 0);
+  std::vector<std::uint8_t> frame(64, 0);
+  EXPECT_THROW(nic.tx_post(desc, frame), opendesc::Error);
+  nic.configure_tx(layout);
+  std::vector<std::uint8_t> short_desc(4, 0);
+  EXPECT_THROW(nic.tx_post(short_desc, frame), opendesc::Error);
+}
+
+TEST(TxDescFacade, CompileTxErrorsOnDevicesWithoutDescParser) {
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs(registry);
+  Compiler compiler(registry, costs);
+  // mlx5's catalog entry describes only the completion side.
+  EXPECT_THROW((void)compiler.compile_tx(
+                   nic::NicCatalog::by_name("mlx5").p4_source(),
+                   R"(header i_t { @semantic("tx_buf_len") bit<16> l; })", {}),
+               Error);
+}
+
+TEST(TxDescFacade, CompileTxProducesWritersAndReport) {
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs(registry);
+  Compiler compiler(registry, costs);
+  const auto tx = compiler.compile_tx(
+      nic::NicCatalog::by_name("qdma").p4_source(),
+      R"(header i_t {
+          @semantic("tx_buf_addr") bit<64> a;
+          @semantic("tx_buf_len")  bit<16> l;
+          @semantic("tx_csum_en")  bit<1>  c;
+      })",
+      {});
+  EXPECT_EQ(tx.layout.total_bytes(), 32u);
+  EXPECT_NE(tx.c_header.find("_set_tx_csum_en"), std::string::npos);
+  EXPECT_NE(tx.c_header.find("_desc_init"), std::string::npos);
+  EXPECT_NE(tx.report.find("Chosen layout"), std::string::npos);
+  EXPECT_EQ(tx.context_assignment.at("ctx.h2c_fmt"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// net/offload unit tests
+// ---------------------------------------------------------------------------
+
+TEST(Offload, InsertVlanRejectsDoubleTagging) {
+  const net::Packet pkt = net::PacketBuilder()
+                              .eth(net::make_mac(2, 0, 0, 0, 0, 1),
+                                   net::make_mac(2, 0, 0, 0, 0, 2))
+                              .vlan(5)
+                              .ipv4(1, 2)
+                              .udp(1, 2)
+                              .build();
+  EXPECT_THROW((void)net::insert_vlan(pkt.bytes(), 7), std::invalid_argument);
+}
+
+TEST(Offload, TsoPassthroughForSmallOrNonTcp) {
+  const net::Packet udp = net::PacketBuilder()
+                              .eth(net::make_mac(2, 0, 0, 0, 0, 1),
+                                   net::make_mac(2, 0, 0, 0, 0, 2))
+                              .ipv4(1, 2)
+                              .udp(1, 2)
+                              .payload_text(std::string(500, 'y'))
+                              .build();
+  EXPECT_EQ(net::tso_segment(udp.bytes(), 100).size(), 1u);
+
+  const net::Packet small = net::PacketBuilder()
+                                .eth(net::make_mac(2, 0, 0, 0, 0, 1),
+                                     net::make_mac(2, 0, 0, 0, 0, 2))
+                                .ipv4(1, 2)
+                                .tcp(1, 2)
+                                .payload_text("tiny")
+                                .build();
+  EXPECT_EQ(net::tso_segment(small.bytes(), 1000).size(), 1u);
+}
+
+TEST(Offload, PatchIpv4ChecksumFixesCorruption) {
+  net::Packet pkt = net::PacketBuilder()
+                        .eth(net::make_mac(2, 0, 0, 0, 0, 1),
+                             net::make_mac(2, 0, 0, 0, 0, 2))
+                        .ipv4(1, 2)
+                        .udp(1, 2)
+                        .corrupt_ip_checksum()
+                        .build();
+  EXPECT_FALSE(
+      net::verify_checksum(net::PacketView::parse(pkt.bytes()).l3_bytes()));
+  net::patch_ipv4_checksum(pkt.bytes());
+  EXPECT_TRUE(
+      net::verify_checksum(net::PacketView::parse(pkt.bytes()).l3_bytes()));
+}
+
+}  // namespace
+}  // namespace opendesc::core

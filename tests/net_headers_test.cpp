@@ -1,0 +1,223 @@
+// Header serialize/parse round trips and the packet builder/view pipeline.
+#include <gtest/gtest.h>
+
+#include "net/checksum.hpp"
+#include "net/packet.hpp"
+
+namespace opendesc::net {
+namespace {
+
+TEST(Headers, EthernetRoundTrip) {
+  EthernetHeader h;
+  h.src = make_mac(0x02, 0x11, 0x22, 0x33, 0x44, 0x55);
+  h.dst = make_mac(0x02, 0xaa, 0xbb, 0xcc, 0xdd, 0xee);
+  h.ethertype = kEthertypeIpv6;
+
+  std::uint8_t buf[EthernetHeader::kWireSize];
+  h.serialize(buf);
+  const EthernetHeader parsed = EthernetHeader::parse(buf);
+  EXPECT_EQ(parsed.src, h.src);
+  EXPECT_EQ(parsed.dst, h.dst);
+  EXPECT_EQ(parsed.ethertype, kEthertypeIpv6);
+  EXPECT_EQ(parsed.src.to_string(), "02:11:22:33:44:55");
+}
+
+TEST(Headers, VlanTagFields) {
+  VlanTag tag;
+  tag.tci = (5u << 13) | 123;  // PCP 5, VID 123
+  std::uint8_t buf[VlanTag::kWireSize];
+  tag.serialize(buf);
+  const VlanTag parsed = VlanTag::parse(buf);
+  EXPECT_EQ(parsed.vid(), 123);
+  EXPECT_EQ(parsed.pcp(), 5);
+}
+
+TEST(Headers, Ipv4RoundTripAndVersionCheck) {
+  Ipv4Header ip;
+  ip.total_length = 1234;
+  ip.identification = 42;
+  ip.ttl = 17;
+  ip.protocol = kIpProtoUdp;
+  ip.src = ipv4_from_string("10.1.2.3");
+  ip.dst = ipv4_from_string("192.168.0.1");
+
+  std::uint8_t buf[Ipv4Header::kWireSize];
+  ip.serialize(buf);
+  const Ipv4Header parsed = Ipv4Header::parse(buf);
+  EXPECT_EQ(parsed.total_length, 1234);
+  EXPECT_EQ(parsed.identification, 42);
+  EXPECT_EQ(parsed.ttl, 17);
+  EXPECT_EQ(parsed.protocol, kIpProtoUdp);
+  EXPECT_EQ(ipv4_to_string(parsed.src), "10.1.2.3");
+  EXPECT_EQ(ipv4_to_string(parsed.dst), "192.168.0.1");
+
+  buf[0] = 0x65;  // version 6 in an IPv4 parse
+  EXPECT_THROW((void)Ipv4Header::parse(buf), std::invalid_argument);
+}
+
+TEST(Headers, Ipv6RoundTrip) {
+  Ipv6Header ip;
+  ip.flow_label = 0xABCDE;
+  ip.payload_length = 99;
+  ip.next_header = kIpProtoTcp;
+  ip.src[15] = 1;
+  ip.dst[0] = 0xfe;
+
+  std::uint8_t buf[Ipv6Header::kWireSize];
+  ip.serialize(buf);
+  const Ipv6Header parsed = Ipv6Header::parse(buf);
+  EXPECT_EQ(parsed.flow_label, 0xABCDEu);
+  EXPECT_EQ(parsed.payload_length, 99);
+  EXPECT_EQ(parsed.src[15], 1);
+  EXPECT_EQ(parsed.dst[0], 0xfe);
+}
+
+TEST(Headers, TcpUdpRoundTrip) {
+  TcpHeader tcp;
+  tcp.src_port = 12345;
+  tcp.dst_port = 80;
+  tcp.seq = 0xdeadbeef;
+  std::uint8_t tbuf[TcpHeader::kWireSize];
+  tcp.serialize(tbuf);
+  const TcpHeader tparsed = TcpHeader::parse(tbuf);
+  EXPECT_EQ(tparsed.src_port, 12345);
+  EXPECT_EQ(tparsed.dst_port, 80);
+  EXPECT_EQ(tparsed.seq, 0xdeadbeefu);
+
+  UdpHeader udp;
+  udp.src_port = 53;
+  udp.dst_port = 5353;
+  udp.length = 20;
+  std::uint8_t ubuf[UdpHeader::kWireSize];
+  udp.serialize(ubuf);
+  const UdpHeader uparsed = UdpHeader::parse(ubuf);
+  EXPECT_EQ(uparsed.src_port, 53);
+  EXPECT_EQ(uparsed.dst_port, 5353);
+  EXPECT_EQ(uparsed.length, 20);
+}
+
+TEST(Headers, TruncatedBuffersRejected) {
+  std::uint8_t small[4] = {};
+  EXPECT_THROW((void)EthernetHeader::parse(small), std::out_of_range);
+  EXPECT_THROW((void)Ipv4Header::parse(small), std::out_of_range);
+  EXPECT_THROW((void)TcpHeader::parse(small), std::out_of_range);
+}
+
+TEST(Headers, BadDottedQuadRejected) {
+  EXPECT_THROW((void)ipv4_from_string("300.0.0.1"), std::invalid_argument);
+  EXPECT_THROW((void)ipv4_from_string("1.2.3"), std::invalid_argument);
+  EXPECT_THROW((void)ipv4_from_string("a.b.c.d"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// PacketBuilder + PacketView
+// ---------------------------------------------------------------------------
+
+TEST(Packet, BuildAndParseTcpIpv4) {
+  const Packet pkt = PacketBuilder()
+                         .eth(make_mac(2, 0, 0, 0, 0, 1), make_mac(2, 0, 0, 0, 0, 2))
+                         .ipv4(ipv4_from_string("10.0.0.1"),
+                               ipv4_from_string("10.0.0.2"))
+                         .ip_id(777)
+                         .tcp(1111, 80)
+                         .payload_text("hello")
+                         .rx_timestamp(123456)
+                         .build();
+
+  const PacketView view = PacketView::parse(pkt.bytes());
+  EXPECT_EQ(view.l3_kind(), L3Kind::ipv4);
+  EXPECT_EQ(view.l4_kind(), L4Kind::tcp);
+  EXPECT_EQ(view.src_port(), 1111);
+  EXPECT_EQ(view.dst_port(), 80);
+  EXPECT_EQ(view.ipv4().identification, 777);
+  EXPECT_FALSE(view.has_vlan());
+  EXPECT_EQ(view.payload().size(), 5u);
+  EXPECT_EQ(pkt.rx_timestamp_ns, 123456u);
+
+  // The builder must emit valid checksums.
+  EXPECT_TRUE(verify_checksum(view.l3_bytes()));
+  const auto l4 = view.l4_bytes();
+  EXPECT_EQ(l4_checksum_ipv4(view.ipv4().src, view.ipv4().dst, kIpProtoTcp, l4), 0);
+}
+
+TEST(Packet, BuildVlanTagged) {
+  const Packet pkt = PacketBuilder()
+                         .eth(make_mac(2, 0, 0, 0, 0, 1), make_mac(2, 0, 0, 0, 0, 2))
+                         .vlan(100)
+                         .ipv4(1, 2)
+                         .udp(53, 53)
+                         .frame_size(100)
+                         .build();
+  EXPECT_EQ(pkt.size(), 100u);
+  const PacketView view = PacketView::parse(pkt.bytes());
+  ASSERT_TRUE(view.has_vlan());
+  EXPECT_EQ(view.vlan().vid(), 100);
+  EXPECT_EQ(view.l4_kind(), L4Kind::udp);
+}
+
+TEST(Packet, BuildIpv6Udp) {
+  std::array<std::uint8_t, 16> src{}, dst{};
+  src[15] = 1;
+  dst[15] = 2;
+  const Packet pkt = PacketBuilder()
+                         .eth(make_mac(2, 0, 0, 0, 0, 1), make_mac(2, 0, 0, 0, 0, 2))
+                         .ipv6(src, dst)
+                         .udp(1000, 2000)
+                         .payload_text("x")
+                         .build();
+  const PacketView view = PacketView::parse(pkt.bytes());
+  EXPECT_EQ(view.l3_kind(), L3Kind::ipv6);
+  EXPECT_EQ(view.l4_kind(), L4Kind::udp);
+  // UDP checksum over the IPv6 pseudo-header must validate.
+  EXPECT_EQ(l4_checksum_ipv6(view.ipv6().src, view.ipv6().dst, kIpProtoUdp,
+                             view.l4_bytes()),
+            0);
+}
+
+TEST(Packet, CorruptedChecksumsAreDetectable) {
+  const Packet good = PacketBuilder()
+                          .eth(make_mac(2, 0, 0, 0, 0, 1), make_mac(2, 0, 0, 0, 0, 2))
+                          .ipv4(1, 2)
+                          .tcp(1, 2)
+                          .build();
+  const Packet bad_ip = PacketBuilder()
+                            .eth(make_mac(2, 0, 0, 0, 0, 1), make_mac(2, 0, 0, 0, 0, 2))
+                            .ipv4(1, 2)
+                            .tcp(1, 2)
+                            .corrupt_ip_checksum()
+                            .build();
+  EXPECT_TRUE(verify_checksum(PacketView::parse(good.bytes()).l3_bytes()));
+  EXPECT_FALSE(verify_checksum(PacketView::parse(bad_ip.bytes()).l3_bytes()));
+}
+
+TEST(Packet, FrameSizePadsAndTruncates) {
+  PacketBuilder b;
+  b.eth(make_mac(2, 0, 0, 0, 0, 1), make_mac(2, 0, 0, 0, 0, 2))
+      .ipv4(1, 2)
+      .udp(1, 2)
+      .payload_text("0123456789");
+  EXPECT_EQ(b.frame_size(200).build().size(), 200u);
+  // Headers are 14+20+8 = 42; payload truncated to fit 45.
+  EXPECT_EQ(b.frame_size(45).build().size(), 45u);
+  EXPECT_THROW((void)b.frame_size(10).build(), std::invalid_argument);
+}
+
+TEST(Packet, BuilderRequiresLayers) {
+  PacketBuilder b;
+  EXPECT_THROW((void)b.build(), std::logic_error);
+}
+
+TEST(Packet, NonIpFrameParsesAsOpaque) {
+  // ARP ethertype: PacketView treats everything after Ethernet as payload.
+  std::vector<std::uint8_t> frame(64, 0);
+  EthernetHeader eth;
+  eth.ethertype = 0x0806;
+  eth.serialize(frame);
+  const PacketView view = PacketView::parse(frame);
+  EXPECT_EQ(view.l3_kind(), L3Kind::none);
+  EXPECT_EQ(view.l4_kind(), L4Kind::none);
+  EXPECT_EQ(view.payload().size(), 64u - EthernetHeader::kWireSize);
+}
+
+}  // namespace
+}  // namespace opendesc::net

@@ -1,0 +1,195 @@
+// Workload generator determinism and distribution properties.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/checksum.hpp"
+#include "net/workload.hpp"
+
+namespace opendesc::net {
+namespace {
+
+TEST(Workload, DeterministicForSameSeed) {
+  WorkloadConfig config;
+  config.seed = 99;
+  config.flow_count = 8;
+  WorkloadGenerator a(config), b(config);
+  for (int i = 0; i < 200; ++i) {
+    const Packet pa = a.next();
+    const Packet pb = b.next();
+    EXPECT_EQ(pa.data, pb.data);
+    EXPECT_EQ(pa.rx_timestamp_ns, pb.rx_timestamp_ns);
+  }
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  WorkloadConfig a_cfg, b_cfg;
+  a_cfg.seed = 1;
+  b_cfg.seed = 2;
+  WorkloadGenerator a(a_cfg), b(b_cfg);
+  bool any_difference = false;
+  for (int i = 0; i < 32 && !any_difference; ++i) {
+    any_difference = a.next().data != b.next().data;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Workload, FrameSizesWithinBounds) {
+  WorkloadConfig config;
+  config.min_frame = 64;
+  config.max_frame = 128;
+  WorkloadGenerator gen(config);
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t size = gen.next().size();
+    EXPECT_GE(size, 64u);
+    EXPECT_LE(size, 128u);
+  }
+}
+
+TEST(Workload, AllPacketsParseAndBelongToFlowTable) {
+  WorkloadConfig config;
+  config.flow_count = 16;
+  config.vlan_probability = 0.5;
+  config.udp_fraction = 0.5;
+  WorkloadGenerator gen(config);
+  for (int i = 0; i < 300; ++i) {
+    const Packet pkt = gen.next();
+    const PacketView view = PacketView::parse(pkt.bytes());
+    const FlowSpec& flow = gen.flows()[gen.last_flow_index()];
+    EXPECT_EQ(view.ipv4().src, flow.src_ip);
+    EXPECT_EQ(view.ipv4().dst, flow.dst_ip);
+    EXPECT_EQ(view.src_port(), flow.src_port);
+    EXPECT_EQ(view.dst_port(), flow.dst_port);
+    EXPECT_EQ(view.has_vlan(), flow.tagged);
+    EXPECT_EQ(view.l4_kind() == L4Kind::udp, flow.is_udp);
+  }
+}
+
+TEST(Workload, ZipfSkewConcentratesOnHeadFlows) {
+  WorkloadConfig config;
+  config.flow_count = 100;
+  config.zipf_skew = 1.0;
+  WorkloadGenerator gen(config);
+  std::map<std::size_t, int> hits;
+  const int kDraws = 5000;
+  for (int i = 0; i < kDraws; ++i) {
+    (void)gen.next();
+    ++hits[gen.last_flow_index()];
+  }
+  // Flow 0 should be far hotter than flow 99 and hold roughly 1/H(100)
+  // ≈ 19% of traffic.
+  EXPECT_GT(hits[0], kDraws / 10);
+  EXPECT_LT(hits[99], hits[0] / 4);
+}
+
+TEST(Workload, UniformWhenSkewZero) {
+  WorkloadConfig config;
+  config.flow_count = 10;
+  config.zipf_skew = 0.0;
+  WorkloadGenerator gen(config);
+  std::map<std::size_t, int> hits;
+  for (int i = 0; i < 5000; ++i) {
+    (void)gen.next();
+    ++hits[gen.last_flow_index()];
+  }
+  for (const auto& [flow, count] : hits) {
+    EXPECT_NEAR(count, 500, 150) << "flow " << flow;
+  }
+}
+
+TEST(Workload, KvRequestsCarryExtractableKeys) {
+  WorkloadConfig config;
+  config.kv_requests = true;
+  config.kv_key_space = 4;
+  config.min_frame = 80;
+  WorkloadGenerator gen(config);
+  for (int i = 0; i < 100; ++i) {
+    const Packet pkt = gen.next();
+    const PacketView view = PacketView::parse(pkt.bytes());
+    const std::string key = kv_extract_key(view.payload());
+    ASSERT_FALSE(key.empty());
+    EXPECT_EQ(key.substr(0, 4), "key-");
+  }
+}
+
+TEST(Workload, KvExtractKeyFormats) {
+  const auto key_of = [](std::string_view text) {
+    return kv_extract_key(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+  };
+  EXPECT_EQ(key_of("GET foo\n"), "foo");
+  EXPECT_EQ(key_of("SET bar 12345"), "bar");
+  EXPECT_EQ(key_of("GET noterminator"), "noterminator");
+  EXPECT_EQ(key_of("DEL foo\n"), "");
+  EXPECT_EQ(key_of(""), "");
+}
+
+TEST(Workload, BadChecksumInjectionRate) {
+  WorkloadConfig config;
+  config.bad_l4_csum_fraction = 1.0;  // every packet corrupted
+  WorkloadGenerator gen(config);
+  const Packet pkt = gen.next();
+  const PacketView view = PacketView::parse(pkt.bytes());
+  // Corrupted checksum: recomputing over the stored segment must not fold
+  // to zero.
+  const std::uint8_t proto =
+      view.l4_kind() == L4Kind::tcp ? kIpProtoTcp : kIpProtoUdp;
+  EXPECT_NE(
+      l4_checksum_ipv4(view.ipv4().src, view.ipv4().dst, proto, view.l4_bytes()),
+      0);
+}
+
+TEST(Workload, RejectsInvalidConfig) {
+  WorkloadConfig config;
+  config.flow_count = 0;
+  EXPECT_THROW(WorkloadGenerator{config}, std::invalid_argument);
+  config.flow_count = 1;
+  config.min_frame = 2000;
+  config.max_frame = 100;
+  EXPECT_THROW(WorkloadGenerator{config}, std::invalid_argument);
+}
+
+TEST(Workload, Ipv6FlowsGenerateValidDualStackTraffic) {
+  WorkloadConfig config;
+  config.ipv6_fraction = 0.5;
+  config.vlan_probability = 0.3;
+  config.flow_count = 32;
+  WorkloadGenerator gen(config);
+  int v6_count = 0;
+  for (int i = 0; i < 300; ++i) {
+    const Packet pkt = gen.next();
+    const PacketView view = PacketView::parse(pkt.bytes());
+    const FlowSpec& flow = gen.flows()[gen.last_flow_index()];
+    if (flow.is_ipv6) {
+      ++v6_count;
+      ASSERT_EQ(view.l3_kind(), L3Kind::ipv6);
+      EXPECT_TRUE(std::equal(flow.src_ip6.begin(), flow.src_ip6.end(),
+                             view.ipv6().src.begin()));
+      // L4 checksum over the v6 pseudo-header must validate.
+      const std::uint8_t proto =
+          view.l4_kind() == L4Kind::tcp ? kIpProtoTcp : kIpProtoUdp;
+      EXPECT_EQ(l4_checksum_ipv6(view.ipv6().src, view.ipv6().dst, proto,
+                                 view.l4_bytes()),
+                0);
+    } else {
+      ASSERT_EQ(view.l3_kind(), L3Kind::ipv4);
+    }
+  }
+  EXPECT_GT(v6_count, 50);
+  EXPECT_LT(v6_count, 250);
+}
+
+TEST(Workload, TimestampsAdvanceMonotonically) {
+  WorkloadConfig config;
+  config.inter_arrival_ns = 50;
+  WorkloadGenerator gen(config);
+  std::uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Packet pkt = gen.next();
+    EXPECT_GT(pkt.rx_timestamp_ns, last);
+    last = pkt.rx_timestamp_ns;
+  }
+}
+
+}  // namespace
+}  // namespace opendesc::net

@@ -1,0 +1,223 @@
+// NIC catalog tests: every model parses and type-checks, and the layouts
+// derived from the P4 descriptions match hand-written "datasheet" golden
+// tables (offset/width/semantic per field).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "nic/model.hpp"
+
+namespace opendesc::nic {
+namespace {
+
+using core::CompletionPath;
+using softnic::SemanticId;
+
+TEST(Catalog, AllModelsParseAndExposeDeparsers) {
+  for (const NicModel& model : NicCatalog::all()) {
+    EXPECT_NO_THROW({
+      const p4::Program& program = model.program();
+      (void)program;
+      const p4::ControlDecl& deparser = model.deparser();
+      EXPECT_FALSE(deparser.params().empty()) << model.name();
+    }) << model.name();
+  }
+}
+
+TEST(Catalog, LookupByName) {
+  EXPECT_EQ(NicCatalog::by_name("e1000").nic_class(), NicClass::fixed);
+  EXPECT_EQ(NicCatalog::by_name("bf3").nic_class(), NicClass::partial);
+  EXPECT_EQ(NicCatalog::by_name("qdma").nic_class(), NicClass::programmable);
+  EXPECT_THROW((void)NicCatalog::by_name("rtl8139"), Error);
+  EXPECT_EQ(NicCatalog::all().size(), 8u);
+}
+
+TEST(Catalog, ParseIsCachedAcrossCalls) {
+  const NicModel& model = NicCatalog::by_name("mlx5");
+  const p4::Program* first = &model.program();
+  const p4::Program* second = &model.program();
+  EXPECT_EQ(first, second);
+}
+
+/// Enumerates all paths of a model with a maximal intent (so nothing
+/// filters) and returns them.
+std::vector<CompletionPath> paths_of(const NicModel& model) {
+  softnic::SemanticRegistry registry;
+  const core::Cfg cfg =
+      core::build_cfg(model.program(), model.types(), model.deparser(), registry);
+  core::PathEnumOptions options;
+  options.consts = model.types().constants();
+  options.variable_bounds =
+      core::context_bounds(model.program(), model.types(), model.deparser());
+  return core::enumerate_paths(cfg, options);
+}
+
+struct GoldenField {
+  const char* name;
+  std::size_t byte_offset;
+  std::size_t bit_offset;
+  std::size_t bit_width;
+};
+
+/// Checks that the single path `path` packs exactly like the golden table.
+void expect_layout(const CompletionPath& path, const std::string& nic,
+                   Endian endian, std::span<const GoldenField> golden,
+                   std::size_t total_bytes) {
+  std::vector<core::FieldSlice> slices;
+  for (const core::EmitPiece& piece : path.pieces) {
+    core::FieldSlice s;
+    s.name = piece.field_name;
+    s.semantic = piece.semantic;
+    s.bit_width = piece.bit_width;
+    s.fixed_value = piece.fixed_value;
+    slices.push_back(std::move(s));
+  }
+  const core::CompiledLayout layout =
+      core::pack_layout(nic, path.id, endian, std::move(slices));
+  EXPECT_EQ(layout.total_bytes(), total_bytes) << nic << " " << path.id;
+  ASSERT_EQ(layout.slices().size(), golden.size()) << nic << " " << path.id;
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    const core::FieldSlice& s = layout.slices()[i];
+    EXPECT_EQ(s.name, golden[i].name) << nic << " slice " << i;
+    EXPECT_EQ(s.byte_offset(), golden[i].byte_offset) << nic << " " << s.name;
+    EXPECT_EQ(s.bit_offset(), golden[i].bit_offset) << nic << " " << s.name;
+    EXPECT_EQ(s.bit_width, golden[i].bit_width) << nic << " " << s.name;
+  }
+}
+
+TEST(Golden, E1000LegacyWriteback) {
+  // Datasheet-style layout: length@0 (16), csum@2 (16), status@4 (8),
+  // errors@5 (8), special@6 (16) — 8 bytes.
+  const auto paths = paths_of(NicCatalog::by_name("e1000"));
+  ASSERT_EQ(paths.size(), 1u);
+  const GoldenField golden[] = {
+      {"length", 0, 0, 16}, {"csum", 2, 0, 16},   {"status", 4, 0, 8},
+      {"errors", 5, 0, 8},  {"special", 6, 0, 16},
+  };
+  expect_layout(paths[0], "e1000", Endian::little, golden, 8);
+}
+
+TEST(Golden, E1000eBothWritebackFormats) {
+  const auto paths = paths_of(NicCatalog::by_name("e1000e"));
+  ASSERT_EQ(paths.size(), 2u);
+  // RSS format: rss@0 (32) then the common tail.
+  const GoldenField rss_golden[] = {
+      {"rss_hash", 0, 0, 32}, {"length", 4, 0, 16}, {"status", 6, 0, 8},
+      {"errors", 7, 0, 8},    {"vlan", 8, 0, 16},
+  };
+  expect_layout(paths[0], "e1000e", Endian::little, rss_golden, 10);
+  // csum format: ip_id@0 (16), csum@2 (16), same tail.
+  const GoldenField csum_golden[] = {
+      {"ip_id", 0, 0, 16},  {"csum", 2, 0, 16},  {"length", 4, 0, 16},
+      {"status", 6, 0, 8},  {"errors", 7, 0, 8}, {"vlan", 8, 0, 16},
+  };
+  expect_layout(paths[1], "e1000e", Endian::little, csum_golden, 10);
+}
+
+TEST(Golden, QdmaFourSizes) {
+  const auto paths = paths_of(NicCatalog::by_name("qdma"));
+  ASSERT_EQ(paths.size(), 4u);
+  // Paths in true-first DFS order: 64B, 32B, 16B, 8B.
+  EXPECT_EQ(paths[0].size_bytes(), 64u);
+  EXPECT_EQ(paths[1].size_bytes(), 32u);
+  EXPECT_EQ(paths[2].size_bytes(), 16u);
+  EXPECT_EQ(paths[3].size_bytes(), 8u);
+
+  // The 8B base format golden table.
+  const GoldenField base_golden[] = {
+      {"valid", 0, 0, 1},  {"err", 0, 1, 1},    {"rsvd_flags", 0, 2, 6},
+      {"length", 1, 0, 16}, {"flow_id", 3, 0, 32}, {"rsvd", 7, 0, 8},
+  };
+  expect_layout(paths[3], "qdma", Endian::little, base_golden, 8);
+
+  // Each larger format is a strict superset of the previous one's pieces.
+  for (std::size_t i = 0; i + 1 < paths.size(); ++i) {
+    for (const SemanticId s : paths[i + 1].provided) {
+      EXPECT_TRUE(paths[i].provides(s))
+          << "size " << paths[i].size_bytes() << " lost semantic";
+    }
+  }
+
+  // The programmable sizes carry the Fig. 1 accelerator result.
+  EXPECT_TRUE(paths[0].provides(SemanticId::kv_key_hash));
+  EXPECT_TRUE(paths[1].provides(SemanticId::kv_key_hash));
+  EXPECT_FALSE(paths[2].provides(SemanticId::kv_key_hash));
+}
+
+TEST(Golden, Mlx5FormatsAndFieldCount) {
+  const auto paths = paths_of(NicCatalog::by_name("mlx5"));
+  ASSERT_EQ(paths.size(), 4u);
+  // full+ts, full-no-ts (both 64B); mini-hash, mini-csum (both 8B).
+  EXPECT_EQ(paths[0].size_bytes(), 64u);
+  EXPECT_EQ(paths[1].size_bytes(), 64u);
+  EXPECT_EQ(paths[2].size_bytes(), 8u);
+  EXPECT_EQ(paths[3].size_bytes(), 8u);
+
+  EXPECT_EQ(paths[0].provided.size(), 12u);  // the "12 metadata information"
+  EXPECT_TRUE(paths[0].provides(SemanticId::timestamp));
+  EXPECT_FALSE(paths[1].provides(SemanticId::timestamp));
+  EXPECT_TRUE(paths[2].provides(SemanticId::rss_hash));
+  EXPECT_FALSE(paths[2].provides(SemanticId::l4_checksum));
+  EXPECT_TRUE(paths[3].provides(SemanticId::l4_checksum));
+  EXPECT_FALSE(paths[3].provides(SemanticId::rss_hash));
+
+  // Context steering of the mini-hash path.
+  EXPECT_EQ(paths[2].constraints.value_of("ctx.cqe_comp"), 1u);
+  EXPECT_EQ(paths[2].constraints.value_of("ctx.mini_format"), 0u);
+}
+
+TEST(Golden, Bf3MarkSupport) {
+  const auto paths = paths_of(NicCatalog::by_name("bf3"));
+  ASSERT_EQ(paths.size(), 3u);
+  // flex (16B) provides mark; full CQE paths provide mark too.
+  std::size_t with_mark = 0;
+  for (const auto& p : paths) {
+    if (p.provides(SemanticId::mark)) {
+      ++with_mark;
+    }
+  }
+  EXPECT_EQ(with_mark, 3u);
+  EXPECT_EQ(paths[0].size_bytes(), 16u);  // flex first (true branch)
+}
+
+TEST(Golden, IceFlexProfilesAllShare32ByteShell) {
+  const auto paths = paths_of(NicCatalog::by_name("ice"));
+  ASSERT_EQ(paths.size(), 3u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.size_bytes(), 32u) << p.id;  // fixed shell, variable slots
+    // The common prefix semantics appear in every profile.
+    EXPECT_TRUE(p.provides(SemanticId::packet_type));
+    EXPECT_TRUE(p.provides(SemanticId::pkt_len));
+    EXPECT_TRUE(p.provides(SemanticId::vlan_tci));
+  }
+  // Profile-specific slots.
+  EXPECT_TRUE(paths[0].provides(SemanticId::rss_hash));
+  EXPECT_TRUE(paths[0].provides(SemanticId::l4_checksum));
+  EXPECT_TRUE(paths[1].provides(SemanticId::timestamp));
+  EXPECT_TRUE(paths[1].provides(SemanticId::mark));
+  EXPECT_TRUE(paths[2].provides(SemanticId::lro_seg_count));
+  EXPECT_FALSE(paths[2].provides(SemanticId::rss_hash));
+  // Context steering per profile.
+  EXPECT_EQ(paths[0].constraints.value_of("ctx.flex_profile"), 0u);
+  EXPECT_EQ(paths[1].constraints.value_of("ctx.flex_profile"), 1u);
+}
+
+TEST(Golden, DumbnicMinimal) {
+  const auto paths = paths_of(NicCatalog::by_name("dumbnic"));
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].size_bytes(), 4u);
+  EXPECT_EQ(paths[0].provided, std::set<SemanticId>{SemanticId::pkt_len});
+}
+
+TEST(Catalog, EndiannessDeclarations) {
+  using core::deparser_endian;
+  EXPECT_EQ(deparser_endian(NicCatalog::by_name("e1000").deparser()),
+            Endian::little);
+  EXPECT_EQ(deparser_endian(NicCatalog::by_name("mlx5").deparser()), Endian::big);
+  EXPECT_EQ(deparser_endian(NicCatalog::by_name("bf3").deparser()), Endian::big);
+  EXPECT_EQ(deparser_endian(NicCatalog::by_name("qdma").deparser()),
+            Endian::little);
+}
+
+}  // namespace
+}  // namespace opendesc::nic

@@ -1,0 +1,173 @@
+// Constant evaluation and symbolic constraint (path feasibility) tests.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "p4/eval.hpp"
+#include "p4/parser.hpp"
+
+namespace opendesc::p4 {
+namespace {
+
+std::uint64_t eval(std::string_view source, const ConstEnv& env = {}) {
+  return evaluate(*parse_expression(source), env);
+}
+
+TEST(Eval, ArithmeticAndBitwise) {
+  EXPECT_EQ(eval("1 + 2 * 3"), 7u);
+  EXPECT_EQ(eval("(1 + 2) * 3"), 9u);
+  EXPECT_EQ(eval("10 / 3"), 3u);
+  EXPECT_EQ(eval("10 % 3"), 1u);
+  EXPECT_EQ(eval("1 << 4"), 16u);
+  EXPECT_EQ(eval("255 >> 4"), 15u);
+  EXPECT_EQ(eval("0xF0 & 0x3C"), 0x30u);
+  EXPECT_EQ(eval("0xF0 | 0x0F"), 0xFFu);
+  EXPECT_EQ(eval("0xFF ^ 0x0F"), 0xF0u);
+  EXPECT_EQ(eval("~0 & 0xFF"), 0xFFu);
+  EXPECT_EQ(eval("8w0xFF"), 255u);
+}
+
+TEST(Eval, ComparisonsAndLogic) {
+  EXPECT_EQ(eval("3 < 4"), 1u);
+  EXPECT_EQ(eval("4 <= 4"), 1u);
+  EXPECT_EQ(eval("5 > 6"), 0u);
+  EXPECT_EQ(eval("1 == 1 && 2 != 3"), 1u);
+  EXPECT_EQ(eval("0 || 0"), 0u);
+  EXPECT_EQ(eval("!0"), 1u);
+  EXPECT_EQ(eval("true"), 1u);
+  EXPECT_EQ(eval("false"), 0u);
+}
+
+TEST(Eval, VariablesFromEnvironment) {
+  const ConstEnv env = {{"ctx.mode", 2}, {"x", 5}};
+  EXPECT_EQ(eval("ctx.mode + x", env), 7u);
+  EXPECT_EQ(try_evaluate(*parse_expression("unknown_var"), env), std::nullopt);
+}
+
+TEST(Eval, ShortCircuitDecidesWithUnknowns) {
+  // 0 && unknown is decidable; unknown && 0 likewise.
+  EXPECT_EQ(try_evaluate(*parse_expression("0 && mystery"), {}), 0u);
+  EXPECT_EQ(try_evaluate(*parse_expression("mystery && 0"), {}), 0u);
+  EXPECT_EQ(try_evaluate(*parse_expression("1 || mystery"), {}), 1u);
+  EXPECT_EQ(try_evaluate(*parse_expression("mystery || 1"), {}), 1u);
+  EXPECT_EQ(try_evaluate(*parse_expression("1 && mystery"), {}), std::nullopt);
+}
+
+TEST(Eval, DivisionByZeroThrows) {
+  EXPECT_THROW((void)eval("1 / 0"), Error);
+}
+
+TEST(Eval, EvaluateThrowsOnNonConstant) {
+  EXPECT_THROW((void)eval("ctx.use_rss"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// ConstraintSet
+// ---------------------------------------------------------------------------
+
+class ConstraintTest : public ::testing::Test {
+ protected:
+  [[nodiscard]] static bool feasible(
+      std::initializer_list<std::pair<const char*, bool>> assumptions,
+      const ConstEnv& consts = {}) {
+    ConstraintSet set(consts);
+    for (const auto& [source, taken] : assumptions) {
+      if (!set.assume(*parse_expression(source), taken)) {
+        return false;
+      }
+    }
+    return set.feasible();
+  }
+};
+
+TEST_F(ConstraintTest, BooleanFlagContradiction) {
+  EXPECT_TRUE(feasible({{"ctx.use_rss", true}}));
+  EXPECT_FALSE(feasible({{"ctx.use_rss", true}, {"ctx.use_rss", false}}));
+  EXPECT_FALSE(feasible({{"ctx.use_rss == 1", true}, {"ctx.use_rss == 0", true}}));
+}
+
+TEST_F(ConstraintTest, EqualityAndInequality) {
+  EXPECT_TRUE(feasible({{"ctx.mode == 2", true}, {"ctx.mode != 3", true}}));
+  EXPECT_FALSE(feasible({{"ctx.mode == 2", true}, {"ctx.mode == 3", true}}));
+  EXPECT_FALSE(feasible({{"ctx.mode == 2", true}, {"ctx.mode != 2", true}}));
+  EXPECT_FALSE(feasible({{"ctx.mode == 2", true}, {"ctx.mode == 2", false}}));
+}
+
+TEST_F(ConstraintTest, IntervalReasoning) {
+  EXPECT_TRUE(feasible({{"ctx.size >= 2", true}, {"ctx.size <= 3", true}}));
+  EXPECT_FALSE(feasible({{"ctx.size >= 3", true}, {"ctx.size < 3", true}}));
+  EXPECT_FALSE(feasible({{"ctx.size >= 1", false}, {"ctx.size >= 2", true}}));
+  // Negation flips the operator: !(x <= 1) == x > 1.
+  EXPECT_TRUE(feasible({{"ctx.size <= 1", false}, {"ctx.size == 2", true}}));
+  EXPECT_FALSE(feasible({{"ctx.size <= 1", false}, {"ctx.size == 1", true}}));
+}
+
+TEST_F(ConstraintTest, MirroredComparisons) {
+  // constant OP variable forms.
+  EXPECT_FALSE(feasible({{"3 <= ctx.size", true}, {"ctx.size == 1", true}}));
+  EXPECT_TRUE(feasible({{"3 <= ctx.size", true}, {"ctx.size == 5", true}}));
+}
+
+TEST_F(ConstraintTest, WidthBoundsInteract) {
+  ConstraintSet set;
+  ASSERT_TRUE(set.bound("ctx.flag", 1));  // bit<1>
+  EXPECT_TRUE(set.assume(*parse_expression("ctx.flag == 1"), false));
+  // flag != 1 with domain [0,1] pins it to 0.
+  EXPECT_EQ(set.value_of("ctx.flag"), 0u);
+  // Further demanding flag >= 2 contradicts the width bound.
+  EXPECT_FALSE(set.assume(*parse_expression("ctx.flag >= 2"), true));
+}
+
+TEST_F(ConstraintTest, NegatedEqualityWithWidthBoundPinsValue) {
+  ConstraintSet set;
+  ASSERT_TRUE(set.bound("ctx.mode", 1));
+  ASSERT_TRUE(set.assume(*parse_expression("ctx.mode == 0"), false));
+  // Domain [0,1] minus forbidden {0} collapses to {1}.
+  EXPECT_EQ(set.value_of("ctx.mode"), 1u);
+  // But == 1 is still allowed and == 0 is not.
+  ConstraintSet copy = set;
+  EXPECT_TRUE(copy.assume(*parse_expression("ctx.mode == 1"), true));
+  EXPECT_FALSE(set.assume(*parse_expression("ctx.mode == 0"), true));
+}
+
+TEST_F(ConstraintTest, ConjunctionsSplit) {
+  EXPECT_FALSE(feasible({{"ctx.a == 1 && ctx.b == 2", true}, {"ctx.b == 3", true}}));
+  // De Morgan on a false disjunction constrains both sides.
+  EXPECT_FALSE(feasible({{"ctx.a == 1 || ctx.b == 2", false}, {"ctx.a == 1", true}}));
+}
+
+TEST_F(ConstraintTest, ConstantsDecideImmediately) {
+  const ConstEnv consts = {{"MODE_RSS", 1}};
+  EXPECT_TRUE(feasible({{"MODE_RSS == 1", true}}, consts));
+  EXPECT_FALSE(feasible({{"MODE_RSS == 1", false}}, consts));
+  EXPECT_FALSE(feasible({{"MODE_RSS == 2", true}}, consts));
+}
+
+TEST_F(ConstraintTest, UninterpretableConditionsAreConservative) {
+  // variable-vs-variable comparisons don't prune.
+  EXPECT_TRUE(feasible({{"ctx.a == ctx.b", true}, {"ctx.a != ctx.b", true}}));
+}
+
+TEST_F(ConstraintTest, SampleAssignmentSatisfiesConstraints) {
+  ConstraintSet set;
+  ASSERT_TRUE(set.assume(*parse_expression("ctx.mode >= 2"), true));
+  ASSERT_TRUE(set.assume(*parse_expression("ctx.mode != 2"), true));
+  ASSERT_TRUE(set.assume(*parse_expression("ctx.flag"), true));
+  const ConstEnv assignment = set.sample_assignment();
+  EXPECT_EQ(assignment.at("ctx.mode"), 3u);  // lowest allowed, skipping forbidden
+  EXPECT_EQ(assignment.at("ctx.flag"), 1u);
+  EXPECT_EQ(set.variables(), (std::set<std::string>{"ctx.flag", "ctx.mode"}));
+}
+
+TEST_F(ConstraintTest, BoolLiteralBranches) {
+  EXPECT_TRUE(feasible({{"true", true}}));
+  EXPECT_FALSE(feasible({{"true", false}}));
+  EXPECT_FALSE(feasible({{"false", true}}));
+}
+
+TEST_F(ConstraintTest, NotOperatorFlipsPolarity) {
+  EXPECT_FALSE(feasible({{"!(ctx.a == 1)", true}, {"ctx.a == 1", true}}));
+  EXPECT_TRUE(feasible({{"!(ctx.a == 1)", false}, {"ctx.a == 1", true}}));
+}
+
+}  // namespace
+}  // namespace opendesc::p4

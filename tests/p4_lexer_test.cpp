@@ -1,0 +1,141 @@
+// P4 subset lexer tests.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "p4/lexer.hpp"
+
+namespace opendesc::p4 {
+namespace {
+
+std::vector<TokenKind> kinds(std::string_view source) {
+  std::vector<TokenKind> out;
+  for (const Token& t : tokenize(source)) {
+    out.push_back(t.kind);
+  }
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto tokens = tokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::end_of_file);
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  const auto tokens = tokenize("header foo_t parser control bit bool apply x1");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kw_header);
+  EXPECT_EQ(tokens[1].kind, TokenKind::identifier);
+  EXPECT_EQ(tokens[1].text, "foo_t");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kw_parser);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kw_control);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kw_bit);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kw_bool);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kw_apply);
+  EXPECT_EQ(tokens[7].kind, TokenKind::identifier);
+}
+
+TEST(Lexer, IntegerLiterals) {
+  const auto tokens = tokenize("42 0x2A 0b101010 0o52 1_000");
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::int_literal);
+    EXPECT_EQ(tokens[i].int_value, 42u) << i;
+    EXPECT_FALSE(tokens[i].int_width.has_value());
+  }
+  EXPECT_EQ(tokens[4].int_value, 1000u);
+}
+
+TEST(Lexer, WidthLiterals) {
+  const auto tokens = tokenize("8w0xFF 4w0b1010 16w42");
+  EXPECT_EQ(tokens[0].int_value, 255u);
+  EXPECT_EQ(tokens[0].int_width, 8u);
+  EXPECT_EQ(tokens[1].int_value, 10u);
+  EXPECT_EQ(tokens[1].int_width, 4u);
+  EXPECT_EQ(tokens[2].int_value, 42u);
+  EXPECT_EQ(tokens[2].int_width, 16u);
+}
+
+TEST(Lexer, WidthLiteralOverflowRejected) {
+  EXPECT_THROW((void)tokenize("4w16"), Error);     // 16 needs 5 bits
+  EXPECT_THROW((void)tokenize("0w1"), Error);      // zero width
+  EXPECT_THROW((void)tokenize("65w0"), Error);     // too wide
+  EXPECT_THROW((void)tokenize("8s5"), Error);      // signed unsupported
+}
+
+TEST(Lexer, OperatorsIncludingDigraphs) {
+  const auto k = kinds("== != <= >= << >> && || < > = ! & | ^ ~ + - * / %");
+  const std::vector<TokenKind> expected = {
+      TokenKind::eq, TokenKind::ne, TokenKind::le, TokenKind::ge,
+      TokenKind::shl, TokenKind::shr, TokenKind::and_and, TokenKind::or_or,
+      TokenKind::l_angle, TokenKind::r_angle, TokenKind::assign, TokenKind::bang,
+      TokenKind::amp, TokenKind::pipe, TokenKind::caret, TokenKind::tilde,
+      TokenKind::plus, TokenKind::minus, TokenKind::star, TokenKind::slash,
+      TokenKind::percent, TokenKind::end_of_file,
+  };
+  EXPECT_EQ(k, expected);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  const auto tokens = tokenize(R"(
+      // line comment
+      header /* block
+                comment */ x
+  )");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kw_header);
+  EXPECT_EQ(tokens[1].text, "x");
+}
+
+TEST(Lexer, UnterminatedBlockCommentRejected) {
+  EXPECT_THROW((void)tokenize("/* never closed"), Error);
+}
+
+TEST(Lexer, StringLiteralsWithEscapes) {
+  const auto tokens = tokenize(R"( "rss" "a\nb" "q\"q" )");
+  EXPECT_EQ(tokens[0].kind, TokenKind::string_literal);
+  EXPECT_EQ(tokens[0].text, "rss");
+  EXPECT_EQ(tokens[1].text, "a\nb");
+  EXPECT_EQ(tokens[2].text, "q\"q");
+}
+
+TEST(Lexer, UnterminatedStringRejected) {
+  EXPECT_THROW((void)tokenize("\"oops"), Error);
+  EXPECT_THROW((void)tokenize("\"bad\\x\""), Error);
+}
+
+TEST(Lexer, UnderscoreIsWildcardToken) {
+  const auto tokens = tokenize("_ _name");
+  EXPECT_EQ(tokens[0].kind, TokenKind::underscore);
+  EXPECT_EQ(tokens[1].kind, TokenKind::identifier);
+  EXPECT_EQ(tokens[1].text, "_name");
+}
+
+TEST(Lexer, LocationsTrackLinesAndColumns) {
+  const auto tokens = tokenize("a\n  b\n\nc");
+  EXPECT_EQ(tokens[0].location.line, 1u);
+  EXPECT_EQ(tokens[0].location.column, 1u);
+  EXPECT_EQ(tokens[1].location.line, 2u);
+  EXPECT_EQ(tokens[1].location.column, 3u);
+  EXPECT_EQ(tokens[2].location.line, 4u);
+}
+
+TEST(Lexer, UnexpectedCharacterDiagnosed) {
+  try {
+    (void)tokenize("header $");
+    FAIL() << "expected lex error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::lex);
+    EXPECT_NE(std::string(e.what()).find("1:8"), std::string::npos);
+  }
+}
+
+TEST(Lexer, AnnotationTokens) {
+  const auto k = kinds("@semantic(\"rss\")");
+  const std::vector<TokenKind> expected = {
+      TokenKind::at, TokenKind::identifier, TokenKind::l_paren,
+      TokenKind::string_literal, TokenKind::r_paren, TokenKind::end_of_file,
+  };
+  EXPECT_EQ(k, expected);
+}
+
+}  // namespace
+}  // namespace opendesc::p4

@@ -1,0 +1,231 @@
+// P4 subset parser tests: declarations, statements, expressions, and the
+// print-parse fixpoint property.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "p4/parser.hpp"
+#include "p4/pretty.hpp"
+
+namespace opendesc::p4 {
+namespace {
+
+TEST(Parser, HeaderWithAnnotatedFields) {
+  const Program program = parse_program(R"(
+      header intent_t {
+          @semantic("rss")  bit<32> rss_val;
+          @semantic("vlan") bit<16> vlan_tag;
+          bool flag;
+      }
+  )");
+  const StructLikeDecl* header = program.find_header("intent_t");
+  ASSERT_NE(header, nullptr);
+  ASSERT_EQ(header->fields().size(), 3u);
+  EXPECT_EQ(header->fields()[0].name, "rss_val");
+  EXPECT_EQ(header->fields()[0].type.width, 32u);
+  const Annotation* sem = find_annotation(header->fields()[0].annotations, "semantic");
+  ASSERT_NE(sem, nullptr);
+  EXPECT_EQ(sem->string_arg(), "rss");
+  EXPECT_EQ(header->fields()[2].type.kind, TypeRef::Kind::boolean);
+  EXPECT_EQ(header->find_field("vlan_tag")->type.width, 16u);
+  EXPECT_EQ(header->find_field("absent"), nullptr);
+}
+
+TEST(Parser, TypedefAndConst) {
+  const Program program = parse_program(R"(
+      typedef bit<48> mac_t;
+      const bit<16> ETH_IPV4 = 0x800;
+      const bit<8> TWO = 1 + 1;
+  )");
+  const TypedefDecl* td = program.find_typedef("mac_t");
+  ASSERT_NE(td, nullptr);
+  EXPECT_EQ(td->aliased().width, 48u);
+  ASSERT_NE(program.find_const("ETH_IPV4"), nullptr);
+  ASSERT_NE(program.find_const("TWO"), nullptr);
+}
+
+TEST(Parser, ControlWithNestedIfElse) {
+  const Program program = parse_program(R"(
+      struct ctx_t { bit<2> mode; }
+      header m_t { bit<8> a; bit<8> b; }
+      control C(cmpt_out o, in ctx_t ctx, in m_t m) {
+          apply {
+              if (ctx.mode == 0) {
+                  o.emit(m.a);
+              } else {
+                  if (ctx.mode == 1) {
+                      o.emit(m.b);
+                  } else {
+                      o.emit(m);
+                  }
+              }
+          }
+      }
+  )");
+  const ControlDecl* control = program.find_control("C");
+  ASSERT_NE(control, nullptr);
+  ASSERT_EQ(control->params().size(), 3u);
+  EXPECT_EQ(control->params()[0].type.name, "cmpt_out");
+  EXPECT_EQ(control->params()[1].direction, ParamDir::in);
+  ASSERT_EQ(control->apply().statements().size(), 1u);
+  EXPECT_EQ(control->apply().statements()[0]->kind(), StmtKind::if_stmt);
+}
+
+TEST(Parser, ControlWithTypeParamsMatchesPaperFig4) {
+  // The deparser template of Fig. 4.
+  const Program program = parse_program(R"(
+      control CmptDeparser<C2H_CTX_T, DESC_T, META_T>(
+          cmpt_out cmpt_out_ch,
+          in DESC_T desc_hdr,
+          in META_T pipe_meta) {
+          apply { }
+      }
+  )");
+  const ControlDecl* control = program.find_control("CmptDeparser");
+  ASSERT_NE(control, nullptr);
+  EXPECT_EQ(control->type_params().size(), 3u);
+  EXPECT_EQ(control->type_params()[0], "C2H_CTX_T");
+}
+
+TEST(Parser, ParserDeclWithSelect) {
+  const Program program = parse_program(R"(
+      header eth_t { bit<48> dst; bit<48> src; bit<16> type; }
+      parser P(desc_in pkt, out eth_t eth) {
+          state start {
+              pkt.extract(eth);
+              transition select(eth.type) {
+                  0x800: parse_ipv4;
+                  0x86dd: parse_ipv6;
+                  default: accept;
+              };
+          }
+          state parse_ipv4 { transition accept; }
+          state parse_ipv6 { transition reject; }
+      }
+  )");
+  const ParserDecl* parser = program.find_parser("P");
+  ASSERT_NE(parser, nullptr);
+  ASSERT_EQ(parser->states().size(), 3u);
+  const ParserState* start = parser->find_state("start");
+  ASSERT_NE(start, nullptr);
+  EXPECT_TRUE(start->has_select());
+  ASSERT_EQ(start->cases.size(), 3u);
+  EXPECT_EQ(start->cases[0].next_state, "parse_ipv4");
+  EXPECT_EQ(start->cases[2].key, nullptr);  // default
+  EXPECT_EQ(parser->find_state("parse_ipv4")->direct_next, "accept");
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  // 1 + 2 * 3 == 7 must parse as 1 + (2 * 3) == 7 → eq(add(1, mul(2,3)), 7).
+  const ExprPtr e = parse_expression("1 + 2 * 3 == 7");
+  ASSERT_EQ(e->kind(), ExprKind::binary);
+  const auto& eq = static_cast<const BinaryExpr&>(*e);
+  EXPECT_EQ(eq.op(), BinaryOp::eq);
+  const auto& add = static_cast<const BinaryExpr&>(eq.lhs());
+  EXPECT_EQ(add.op(), BinaryOp::add);
+  const auto& mul = static_cast<const BinaryExpr&>(add.rhs());
+  EXPECT_EQ(mul.op(), BinaryOp::mul);
+}
+
+TEST(Parser, LogicalOperatorsLowerThanComparison) {
+  const ExprPtr e = parse_expression("a == 1 && b != 2 || c");
+  const auto& or_expr = static_cast<const BinaryExpr&>(*e);
+  EXPECT_EQ(or_expr.op(), BinaryOp::logical_or);
+  const auto& and_expr = static_cast<const BinaryExpr&>(or_expr.lhs());
+  EXPECT_EQ(and_expr.op(), BinaryOp::logical_and);
+}
+
+TEST(Parser, MemberChainsAndCalls) {
+  const ExprPtr e = parse_expression("a.b.c");
+  EXPECT_EQ(dotted_path(*e), "a.b.c");
+  const ExprPtr call = parse_expression("o.emit(m.x)");
+  ASSERT_EQ(call->kind(), ExprKind::call);
+  const auto& c = static_cast<const CallExpr&>(*call);
+  EXPECT_EQ(dotted_path(c.callee()), "o.emit");
+  ASSERT_EQ(c.args().size(), 1u);
+  EXPECT_EQ(dotted_path(*c.args()[0]), "m.x");
+}
+
+TEST(Parser, UnaryOperators) {
+  const ExprPtr e = parse_expression("!(a == 1)");
+  ASSERT_EQ(e->kind(), ExprKind::unary);
+  EXPECT_EQ(static_cast<const UnaryExpr&>(*e).op(), UnaryOp::logical_not);
+}
+
+TEST(Parser, SyntaxErrorsCarryLocations) {
+  try {
+    (void)parse_program("header x { bit<32> }");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::parse);
+    EXPECT_NE(std::string(e.what()).find("1:"), std::string::npos);
+  }
+  EXPECT_THROW((void)parse_program("control C() { }"), Error);    // no apply
+  EXPECT_THROW((void)parse_program("header {}"), Error);          // no name
+  EXPECT_THROW((void)parse_program("bogus x;"), Error);           // unknown decl
+  EXPECT_THROW((void)parse_expression("1 +"), Error);             // dangling op
+}
+
+TEST(Parser, BitWidthBoundsEnforced) {
+  EXPECT_THROW((void)parse_program("header h { bit<0> x; }"), Error);
+  EXPECT_THROW((void)parse_program("header h { bit<65> x; }"), Error);
+}
+
+TEST(Parser, PrintParseFixpoint) {
+  // to_source ∘ parse must be a fixpoint: parsing the printed form yields
+  // the same printed form again.
+  const char* source = R"(
+      struct ctx_t { bit<1> use_rss; }
+      header meta_t {
+          @semantic("rss") bit<32> rss_hash;
+          @semantic("ip_checksum") bit<16> csum;
+      }
+      const bit<16> MAGIC = 4096;
+      control C(cmpt_out o, in ctx_t ctx, in meta_t m) {
+          apply {
+              if (ctx.use_rss == 1) {
+                  o.emit(m.rss_hash);
+              } else {
+                  o.emit(m.csum);
+              }
+          }
+      }
+      parser P(desc_in d, out meta_t m) {
+          state start {
+              d.extract(m);
+              transition select(m.csum) {
+                  0: accept;
+                  default: reject;
+              };
+          }
+      }
+  )";
+  const std::string once = to_source(parse_program(source));
+  const std::string twice = to_source(parse_program(once));
+  EXPECT_EQ(once, twice);
+  EXPECT_FALSE(once.empty());
+}
+
+TEST(Parser, StatementVarietiesInsideApply) {
+  const Program program = parse_program(R"(
+      struct s_t { bit<8> v; }
+      control C(cmpt_out o, in s_t s) {
+          bit<8> local_before = 3;
+          apply {
+              bit<16> tmp = 1 + 2;
+              tmp = tmp + 1;
+              o.emit(s.v);
+          }
+      }
+  )");
+  const ControlDecl* control = program.find_control("C");
+  ASSERT_NE(control, nullptr);
+  EXPECT_EQ(control->locals().size(), 1u);
+  const auto& stmts = control->apply().statements();
+  ASSERT_EQ(stmts.size(), 3u);
+  EXPECT_EQ(stmts[0]->kind(), StmtKind::var_decl);
+  EXPECT_EQ(stmts[1]->kind(), StmtKind::assign);
+  EXPECT_EQ(stmts[2]->kind(), StmtKind::method_call);
+}
+
+}  // namespace
+}  // namespace opendesc::p4

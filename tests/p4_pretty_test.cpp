@@ -1,0 +1,88 @@
+// Pretty-printer fixpoint over every shipped NIC description, plus
+// error-taxonomy checks.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nic/model.hpp"
+#include "p4/parser.hpp"
+#include "p4/pretty.hpp"
+#include "p4/typecheck.hpp"
+
+namespace opendesc {
+namespace {
+
+class CatalogPretty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CatalogPretty, PrintParseFixpointOnRealDescriptions) {
+  const nic::NicModel& model = nic::NicCatalog::by_name(GetParam());
+  const p4::Program original = p4::parse_program(model.p4_source());
+  const std::string once = p4::to_source(original);
+  const p4::Program reparsed = p4::parse_program(once);
+  const std::string twice = p4::to_source(reparsed);
+  EXPECT_EQ(once, twice);
+  // The reprinted program must still type-check and keep its declarations.
+  EXPECT_NO_THROW((void)p4::check_program(reparsed));
+  EXPECT_EQ(reparsed.decls().size(), original.decls().size());
+}
+
+std::vector<std::string> catalog_names() {
+  std::vector<std::string> names;
+  for (const nic::NicModel& model : nic::NicCatalog::all()) {
+    names.push_back(model.name());
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, CatalogPretty,
+                         ::testing::ValuesIn(catalog_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(PrettyExpr, OperatorsRoundTrip) {
+  for (const char* source :
+       {"a + b * c", "(a + b) * c", "a == 1 && b != 2", "!(x < 3)",
+        "a | b & c ^ d", "x << 2 >> 1", "ctx.flags & 8w0x0F", "-y + ~z"}) {
+    const p4::ExprPtr once = p4::parse_expression(source);
+    const std::string printed = p4::to_source(*once);
+    const p4::ExprPtr again = p4::parse_expression(printed);
+    EXPECT_EQ(printed, p4::to_source(*again)) << source;
+  }
+}
+
+TEST(ErrorTaxonomy, KindsRoundTripThroughMessages) {
+  for (const ErrorKind kind :
+       {ErrorKind::lex, ErrorKind::parse, ErrorKind::type, ErrorKind::semantic,
+        ErrorKind::layout, ErrorKind::unsatisfiable, ErrorKind::verification,
+        ErrorKind::simulation, ErrorKind::io, ErrorKind::internal}) {
+    const Error error(kind, "details");
+    EXPECT_EQ(error.kind(), kind);
+    const std::string what = error.what();
+    EXPECT_NE(what.find(to_string(kind)), std::string::npos);
+    EXPECT_NE(what.find("details"), std::string::npos);
+  }
+}
+
+TEST(ErrorTaxonomy, PipelineStagesThrowDistinctKinds) {
+  EXPECT_THROW(
+      try { (void)p4::parse_program("header $"); } catch (const Error& e) {
+        EXPECT_EQ(e.kind(), ErrorKind::lex);
+        throw;
+      },
+      Error);
+  EXPECT_THROW(
+      try { (void)p4::parse_program("header x {"); } catch (const Error& e) {
+        EXPECT_EQ(e.kind(), ErrorKind::parse);
+        throw;
+      },
+      Error);
+  EXPECT_THROW(
+      try {
+        (void)p4::check_program(p4::parse_program("header h { ghost_t g; }"));
+      } catch (const Error& e) {
+        EXPECT_EQ(e.kind(), ErrorKind::type);
+        throw;
+      },
+      Error);
+}
+
+}  // namespace
+}  // namespace opendesc

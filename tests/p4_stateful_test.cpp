@@ -1,0 +1,100 @@
+// Stateful/extern descriptive constructs (§5): registers and externs parse,
+// type-check, survive the print-parse fixpoint, and are visible to
+// interface reports — but never influence layout selection ("used only as a
+// descriptive mechanism and ... not mapped to hardware resources").
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "p4/parser.hpp"
+#include "p4/pretty.hpp"
+#include "p4/typecheck.hpp"
+
+namespace opendesc::p4 {
+namespace {
+
+constexpr const char* kStatefulNic = R"(
+// A NIC whose description declares stateful offload context and an extern
+// accelerator — descriptive only.
+register<bit<32>>(1024) flow_state;
+register<bit<64>>(256) conn_timestamps;
+extern AesGcmEngine;
+extern RegexMatcher { bit<32> match(bit<32> rule_set); }
+
+struct st_ctx_t { bit<1> rich; }
+header st_meta_t {
+    @semantic("pkt_len") bit<16> len;
+    @semantic("rss")     bit<32> hash;
+}
+@nic("statefulnic")
+control StCmptDeparser(cmpt_out o, in st_ctx_t ctx, in st_meta_t m) {
+    apply {
+        o.emit(m.len);
+        if (ctx.rich == 1) {
+            o.emit(m.hash);
+        }
+    }
+}
+)";
+
+TEST(Stateful, RegistersAndExternsParse) {
+  const Program program = parse_program(kStatefulNic);
+  const RegisterDecl* flow = program.find_register("flow_state");
+  ASSERT_NE(flow, nullptr);
+  EXPECT_EQ(flow->value_type().width, 32u);
+  EXPECT_EQ(flow->size(), 1024u);
+  EXPECT_EQ(program.registers().size(), 2u);
+
+  const ExternDecl* aes = program.find_extern("AesGcmEngine");
+  ASSERT_NE(aes, nullptr);
+  EXPECT_TRUE(aes->opaque_body().empty());
+  const ExternDecl* regex = program.find_extern("RegexMatcher");
+  ASSERT_NE(regex, nullptr);
+  EXPECT_NE(regex->opaque_body().find("match"), std::string::npos);
+  EXPECT_EQ(program.externs().size(), 2u);
+}
+
+TEST(Stateful, TypecheckValidatesRegisters) {
+  EXPECT_NO_THROW((void)check_program(parse_program(kStatefulNic)));
+  // Zero-size register rejected.
+  EXPECT_THROW((void)check_program(parse_program(
+                   "register<bit<32>>(0) broken;")),
+               Error);
+  // Unknown value type rejected.
+  EXPECT_THROW((void)check_program(parse_program(
+                   "register<ghost_t>(4) broken;")),
+               Error);
+  // Typedef'd value types resolve.
+  EXPECT_NO_THROW((void)check_program(parse_program(
+      "typedef bit<48> mac_t; register<mac_t>(16) macs;")));
+}
+
+TEST(Stateful, NonLiteralRegisterSizeRejected) {
+  EXPECT_THROW((void)parse_program("register<bit<32>>(x) r;"), Error);
+  EXPECT_THROW((void)parse_program("extern Unfinished {"), Error);
+}
+
+TEST(Stateful, PrintParseFixpoint) {
+  const std::string once = to_source(parse_program(kStatefulNic));
+  const std::string twice = to_source(parse_program(once));
+  EXPECT_EQ(once, twice);
+  EXPECT_NE(once.find("register<bit<32>>(1024) flow_state;"), std::string::npos);
+  EXPECT_NE(once.find("extern AesGcmEngine;"), std::string::npos);
+}
+
+TEST(Stateful, CompilationIgnoresDescriptiveState) {
+  // The deparser analysis must be unaffected by registers/externs: same
+  // paths and layouts as the equivalent stateless description.
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs(registry);
+  core::Compiler compiler(registry, costs);
+  const auto result = compiler.compile(
+      kStatefulNic,
+      R"(header i_t { @semantic("rss") bit<32> h; })", {});
+  EXPECT_EQ(result.paths.size(), 2u);
+  EXPECT_TRUE(result.chosen_path().provides(softnic::SemanticId::rss_hash));
+  EXPECT_EQ(result.nic_name, "statefulnic");
+}
+
+}  // namespace
+}  // namespace opendesc::p4

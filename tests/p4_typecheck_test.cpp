@@ -1,0 +1,141 @@
+// Type/annotation checker tests.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "p4/parser.hpp"
+#include "p4/typecheck.hpp"
+
+namespace opendesc::p4 {
+namespace {
+
+TypeInfo check(std::string_view source) {
+  return check_program(parse_program(source));
+}
+
+TEST(Typecheck, ResolvesWidthsThroughTypedefChains) {
+  const Program program = parse_program(R"(
+      typedef bit<48> mac_t;
+      typedef mac_t hw_addr_t;
+      header eth_t { hw_addr_t dst; hw_addr_t src; bit<16> type; }
+  )");
+  const TypeInfo info = check_program(program);
+  EXPECT_EQ(info.width_of(TypeRef::named("mac_t")), 48u);
+  EXPECT_EQ(info.width_of(TypeRef::named("hw_addr_t")), 48u);
+  EXPECT_EQ(info.width_of(*program.find_header("eth_t")), 112u);
+  EXPECT_EQ(info.field_width(program.find_header("eth_t")->fields()[2]), 16u);
+}
+
+TEST(Typecheck, ForwardReferencesResolve) {
+  // typedef appears before the header it aliases.
+  const TypeInfo info = check(R"(
+      typedef inner_t outer_t;
+      header inner_t { bit<8> x; }
+  )");
+  EXPECT_EQ(info.width_of(TypeRef::named("outer_t")), 8u);
+}
+
+TEST(Typecheck, ConstantsEvaluated) {
+  const TypeInfo info = check(R"(
+      const bit<16> A = 10;
+      const bit<16> B = A * 2 + 5;
+  )");
+  EXPECT_EQ(info.constants().at("A"), 10u);
+  EXPECT_EQ(info.constants().at("B"), 25u);
+}
+
+TEST(Typecheck, RejectsDuplicates) {
+  EXPECT_THROW((void)check("header h { bit<8> a; } header h { bit<8> b; }"), Error);
+  EXPECT_THROW((void)check("header h { bit<8> a; bit<4> a; }"), Error);
+  EXPECT_THROW((void)check(R"(
+      control C(cmpt_out o, cmpt_out o) { apply { } }
+  )"), Error);
+}
+
+TEST(Typecheck, RejectsUnknownTypes) {
+  EXPECT_THROW((void)check("header h { unknown_t a; }"), Error);
+  EXPECT_THROW((void)check("typedef missing_t x;"), Error);
+  EXPECT_THROW((void)check(R"(
+      control C(cmpt_out o, in nowhere_t ctx) { apply { } }
+  )"), Error);
+}
+
+TEST(Typecheck, RejectsCircularTypedefs) {
+  EXPECT_THROW((void)check("typedef a_t b_t; typedef b_t a_t;"), Error);
+}
+
+TEST(Typecheck, ParserStateValidation) {
+  // Missing start state.
+  EXPECT_THROW((void)check(R"(
+      header h_t { bit<8> x; }
+      parser P(desc_in d, out h_t h) {
+          state other { transition accept; }
+      }
+  )"), Error);
+  // Dangling transition target.
+  EXPECT_THROW((void)check(R"(
+      header h_t { bit<8> x; }
+      parser P(desc_in d, out h_t h) {
+          state start { transition nowhere; }
+      }
+  )"), Error);
+  // Dangling select case target.
+  EXPECT_THROW((void)check(R"(
+      header h_t { bit<8> x; }
+      parser P(desc_in d, out h_t h) {
+          state start {
+              transition select(h.x) { 1: gone; };
+          }
+      }
+  )"), Error);
+  // accept/reject always valid.
+  EXPECT_NO_THROW((void)check(R"(
+      header h_t { bit<8> x; }
+      parser P(desc_in d, out h_t h) {
+          state start { transition accept; }
+      }
+  )"));
+}
+
+TEST(Typecheck, SemanticAnnotationShapeEnforced) {
+  EXPECT_THROW((void)check("header h { @semantic bit<8> a; }"), Error);
+  EXPECT_THROW((void)check("header h { @semantic(42) bit<8> a; }"), Error);
+  EXPECT_THROW((void)check(R"(header h { @semantic("a", "b") bit<8> a; })"), Error);
+  EXPECT_NO_THROW((void)check(R"(header h { @semantic("rss") bit<8> a; })"));
+  // @cost must be an integer.
+  EXPECT_THROW((void)check(R"(header h { @cost("x") bit<8> a; })"), Error);
+  EXPECT_NO_THROW((void)check("header h { @cost(100) bit<8> a; }"));
+  // Unknown annotations tolerated (forward compatibility).
+  EXPECT_NO_THROW((void)check("header h { @vendor_thing(1, 2) bit<8> a; }"));
+}
+
+TEST(Typecheck, TypeParamsAreOpaqueButLegalInSignatures) {
+  EXPECT_NO_THROW((void)check(R"(
+      parser DescParser<H2C_CTX_T, DESC_T>(
+          desc_in d,
+          in H2C_CTX_T h2c_ctx,
+          out DESC_T desc_hdr) {
+          state start { transition accept; }
+      }
+  )"));
+}
+
+TEST(Typecheck, ChannelTypesAreBuiltin) {
+  EXPECT_NO_THROW((void)check(R"(
+      control C(cmpt_out a, desc_in b, packet_in c, packet_out d) { apply { } }
+  )"));
+}
+
+TEST(Typecheck, WidthOfUnknownNamedTypeThrows) {
+  const TypeInfo info = check("header h { bit<8> a; }");
+  EXPECT_THROW((void)info.width_of(TypeRef::named("ghost")), Error);
+  EXPECT_EQ(info.width_of(TypeRef::bits(12)), 12u);
+  EXPECT_EQ(info.width_of(TypeRef::boolean()), 1u);
+}
+
+TEST(Typecheck, DivisionByZeroInConstRejected) {
+  EXPECT_THROW((void)check("const bit<8> BAD = 1 / 0;"), Error);
+  EXPECT_THROW((void)check("const bit<8> BAD = 1 % 0;"), Error);
+}
+
+}  // namespace
+}  // namespace opendesc::p4

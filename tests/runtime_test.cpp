@@ -1,0 +1,212 @@
+// Host runtime tests: offset accessors, the metadata facade, the baseline
+// strategies, and the rx loop — all strategies must agree on the metadata
+// values they deliver.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "nic/model.hpp"
+#include "runtime/rxloop.hpp"
+
+namespace opendesc::rt {
+namespace {
+
+using softnic::SemanticId;
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  core::CompileResult compile(const std::string& nic, const std::string& intent) {
+    const nic::NicModel& model = nic::NicCatalog::by_name(nic);
+    return compiler_.compile(model.p4_source(), intent, {});
+  }
+
+  softnic::SemanticRegistry registry_;
+  softnic::CostTable costs_{registry_};
+  core::Compiler compiler_{registry_, costs_};
+  softnic::ComputeEngine engine_{registry_};
+};
+
+constexpr const char* kIntent = R"P4(
+header i_t {
+    @semantic("rss")     bit<32> h;
+    @semantic("pkt_len") bit<16> l;
+    @semantic("vlan")    bit<16> v;
+}
+)P4";
+
+TEST_F(RuntimeTest, AccessorReadsMatchLayoutReads) {
+  const auto result = compile("mlx5", kIntent);
+  const OffsetAccessor accessor(result.layout, registry_);
+  EXPECT_EQ(accessor.record_size(), result.layout.total_bytes());
+
+  std::vector<std::uint64_t> values(result.layout.slices().size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 0x0101010101010101ULL * (i + 1);
+  }
+  std::vector<std::uint8_t> record(result.layout.total_bytes());
+  result.layout.serialize(record, values);
+
+  for (const core::FieldSlice& slice : result.layout.slices()) {
+    if (!slice.semantic) {
+      continue;
+    }
+    EXPECT_TRUE(accessor.provides(*slice.semantic));
+    EXPECT_EQ(accessor.read(record.data(), *slice.semantic),
+              result.layout.read(record, *slice.semantic));
+  }
+  EXPECT_FALSE(accessor.provides(SemanticId::kv_key_hash));
+  EXPECT_THROW((void)accessor.read(record.data(), SemanticId::kv_key_hash), Error);
+}
+
+TEST_F(RuntimeTest, CheckedReadRefusesTruncatedRecords) {
+  const auto result = compile("e1000e", kIntent);
+  const OffsetAccessor accessor(result.layout, registry_);
+  std::vector<std::uint8_t> record(result.layout.total_bytes(), 0);
+  EXPECT_TRUE(accessor
+                  .read_checked(std::span<const std::uint8_t>(record),
+                                SemanticId::pkt_len)
+                  .has_value());
+  // Truncate below the pkt_len slice end: checked read must refuse.
+  const std::span<const std::uint8_t> truncated(record.data(), 2);
+  EXPECT_FALSE(accessor.read_checked(truncated, SemanticId::pkt_len).has_value());
+  EXPECT_FALSE(accessor.read_checked(truncated, SemanticId::kv_key_hash).has_value());
+}
+
+TEST_F(RuntimeTest, FacadeServesHardwareAndSoftwarePaths) {
+  // e1000e with rss+pkt_len+vlan: chosen path provides pkt_len+vlan and one
+  // of rss/csum; rss comes from hardware on the rss path.
+  const auto result = compile("e1000e", kIntent);
+  MetadataFacade facade(result, engine_);
+
+  net::WorkloadConfig config;
+  config.vlan_probability = 1.0;
+  net::WorkloadGenerator gen(config);
+  sim::NicSimulator nic(result.layout, engine_, {});
+  const net::Packet pkt = gen.next();
+  ASSERT_TRUE(nic.rx(pkt));
+  std::vector<sim::RxEvent> events(1);
+  ASSERT_EQ(nic.poll(events), 1u);
+  const PacketContext ctx(events[0]);
+
+  const net::PacketView view = net::PacketView::parse(pkt.bytes());
+  softnic::RxContext hw_ctx;
+  hw_ctx.rx_timestamp_ns = pkt.rx_timestamp_ns;
+
+  EXPECT_EQ(facade.get(ctx, SemanticId::pkt_len), pkt.size());
+  EXPECT_EQ(facade.get(ctx, SemanticId::vlan_tci),
+            engine_.compute(SemanticId::vlan_tci, pkt.bytes(), view, hw_ctx));
+  EXPECT_EQ(facade.get(ctx, SemanticId::rss_hash),
+            engine_.compute(SemanticId::rss_hash, pkt.bytes(), view, hw_ctx));
+
+  // ip_checksum is not provided on the rss path → software fallback.
+  const std::uint64_t before = facade.fallback_calls();
+  EXPECT_EQ(facade.get(ctx, SemanticId::ip_checksum),
+            engine_.compute(SemanticId::ip_checksum, pkt.bytes(), view, hw_ctx));
+  EXPECT_EQ(facade.fallback_calls(), before + 1);
+}
+
+TEST_F(RuntimeTest, AllStrategiesAgreeOnValues) {
+  // The crucial equivalence: whichever datapath style is used, the
+  // application observes identical metadata for identical packets.
+  const auto result = compile("mlx5", kIntent);
+  const std::vector<SemanticId> wanted = {
+      SemanticId::rss_hash, SemanticId::pkt_len, SemanticId::vlan_tci};
+
+  net::WorkloadConfig config;
+  config.seed = 5;
+  config.vlan_probability = 0.5;
+
+  const auto run = [&](RxStrategy& strategy) {
+    net::WorkloadGenerator gen(config);  // same trace every time
+    sim::NicSimulator nic(result.layout, engine_, {});
+    RxLoopConfig loop;
+    loop.packet_count = 500;
+    net::WorkloadGenerator fresh(config);
+    return run_rx_loop(nic, fresh, strategy, wanted, loop);
+  };
+
+  SkbuffStrategy skbuff(result.layout, engine_);
+  MbufStrategy mbuf(result.layout, engine_);
+  RawStrategy raw(engine_);
+  OpenDescStrategy opendesc(result, engine_);
+
+  const RxLoopStats s1 = run(skbuff);
+  const RxLoopStats s2 = run(mbuf);
+  const RxLoopStats s3 = run(raw);
+  const RxLoopStats s4 = run(opendesc);
+
+  EXPECT_EQ(s1.packets, 500u);
+  EXPECT_EQ(s1.value_checksum, s2.value_checksum);
+  EXPECT_EQ(s1.value_checksum, s3.value_checksum);
+  EXPECT_EQ(s1.value_checksum, s4.value_checksum);
+  EXPECT_EQ(s1.drops, 0u);
+}
+
+TEST_F(RuntimeTest, OpenDescDoesNoFallbacksWhenPathCoversIntent) {
+  const auto result = compile("qdma", kIntent);  // 16B path provides all 3
+  OpenDescStrategy strategy(result, engine_);
+  net::WorkloadConfig config;
+  net::WorkloadGenerator gen(config);
+  sim::NicSimulator nic(result.layout, engine_, {});
+  const std::vector<SemanticId> wanted = {
+      SemanticId::rss_hash, SemanticId::pkt_len, SemanticId::vlan_tci};
+  RxLoopConfig loop;
+  loop.packet_count = 100;
+  const RxLoopStats stats = run_rx_loop(nic, gen, strategy, wanted, loop);
+  EXPECT_EQ(stats.packets, 100u);
+  EXPECT_EQ(strategy.facade().fallback_calls(), 0u);
+}
+
+TEST_F(RuntimeTest, RawStrategyComputesEverythingInSoftware) {
+  const auto result = compile("dumbnic", "header i_t { @semantic(\"pkt_len\") bit<16> l; }");
+  RawStrategy strategy(engine_);
+  net::WorkloadConfig config;
+  net::WorkloadGenerator gen(config);
+  sim::NicSimulator nic(result.layout, engine_, {});
+  const std::vector<SemanticId> wanted = {SemanticId::rss_hash,
+                                          SemanticId::pkt_len};
+  RxLoopConfig loop;
+  loop.packet_count = 50;
+  const RxLoopStats stats = run_rx_loop(nic, gen, strategy, wanted, loop);
+  EXPECT_EQ(stats.packets, 50u);
+  EXPECT_NE(stats.value_checksum, 0u);
+}
+
+TEST_F(RuntimeTest, MbufFillSetsFlagsOnlyForProvidedFields) {
+  const auto result = compile("e1000e", kIntent);  // rss path
+  MbufStrategy strategy(result.layout, engine_);
+  net::WorkloadConfig config;
+  net::WorkloadGenerator gen(config);
+  sim::NicSimulator nic(result.layout, engine_, {});
+  ASSERT_TRUE(nic.rx(gen.next()));
+  std::vector<sim::RxEvent> events(1);
+  ASSERT_EQ(nic.poll(events), 1u);
+  const MbufStrategy::Mbuf mbuf = strategy.fill(PacketContext(events[0]));
+  EXPECT_TRUE(mbuf.ol_flags & (1u << 0));   // rss provided
+  EXPECT_TRUE(mbuf.ol_flags & (1u << 1));   // vlan provided
+  EXPECT_FALSE(mbuf.ol_flags & (1u << 3));  // mark not provided
+  EXPECT_EQ(mbuf.pkt_len, events[0].frame.size());
+}
+
+TEST_F(RuntimeTest, SkbuffFillPopulatesEverything) {
+  const auto result = compile("mlx5", kIntent);
+  SkbuffStrategy strategy(result.layout, engine_);
+  net::WorkloadConfig config;
+  config.vlan_probability = 1.0;
+  net::WorkloadGenerator gen(config);
+  sim::NicSimulator nic(result.layout, engine_, {});
+  const net::Packet pkt = gen.next();
+  ASSERT_TRUE(nic.rx(pkt));
+  std::vector<sim::RxEvent> events(1);
+  ASSERT_EQ(nic.poll(events), 1u);
+  const SkbuffStrategy::Meta meta = strategy.fill(PacketContext(events[0]));
+  EXPECT_EQ(meta.len, pkt.size());
+  EXPECT_TRUE(meta.vlan_present);
+  EXPECT_NE(meta.hash, 0u);
+  EXPECT_TRUE(meta.ip_csum_ok);
+  EXPECT_TRUE(meta.l4_csum_ok);
+  EXPECT_NE(meta.packet_type, 0u);
+}
+
+}  // namespace
+}  // namespace opendesc::rt

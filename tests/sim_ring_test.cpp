@@ -1,0 +1,160 @@
+// Ring and buffer-pool invariants, including randomized producer/consumer
+// schedules.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/ring.hpp"
+
+namespace opendesc::sim {
+namespace {
+
+TEST(ByteRing, BasicProduceConsume) {
+  ByteRing ring(4, 8);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.entry_size(), 8u);
+
+  auto slot = ring.produce_slot();
+  ASSERT_EQ(slot.size(), 8u);
+  slot[0] = 0xAB;
+  ring.push();
+  EXPECT_EQ(ring.size(), 1u);
+
+  auto front = ring.front();
+  ASSERT_EQ(front.size(), 8u);
+  EXPECT_EQ(front[0], 0xAB);
+  ring.pop();
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(ByteRing, FullRingRefusesProduction) {
+  ByteRing ring(2, 4);
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_FALSE(ring.produce_slot().empty());
+    ring.push();
+  }
+  EXPECT_TRUE(ring.full());
+  EXPECT_TRUE(ring.produce_slot().empty());
+  ring.push();  // no-op on full ring
+  EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST(ByteRing, EmptyRingRefusesConsumption) {
+  ByteRing ring(2, 4);
+  EXPECT_TRUE(ring.front().empty());
+  ring.pop();  // no-op
+  EXPECT_EQ(ring.tail(), 0u);
+}
+
+TEST(ByteRing, WrapAroundPreservesFifoOrder) {
+  ByteRing ring(4, 1);
+  std::uint8_t next_value = 0;
+  std::uint8_t expect_value = 0;
+  // Drive 100 operations through a 4-entry ring.
+  for (int round = 0; round < 25; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      auto slot = ring.produce_slot();
+      ASSERT_FALSE(slot.empty());
+      slot[0] = next_value++;
+      ring.push();
+    }
+    for (int i = 0; i < 3; ++i) {
+      auto front = ring.front();
+      ASSERT_FALSE(front.empty());
+      EXPECT_EQ(front[0], expect_value++);
+      ring.pop();
+    }
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(ByteRing, PeekAtArbitraryPendingIndex) {
+  ByteRing ring(8, 1);
+  for (int i = 0; i < 5; ++i) {
+    auto slot = ring.produce_slot();
+    slot[0] = static_cast<std::uint8_t>(10 + i);
+    ring.push();
+  }
+  ring.pop();  // tail = 1
+  for (std::uint64_t i = ring.tail(); i < ring.head(); ++i) {
+    EXPECT_EQ(ring.peek(i)[0], 10 + i);
+  }
+  EXPECT_TRUE(ring.peek(0).empty());            // before tail
+  EXPECT_TRUE(ring.peek(ring.head()).empty());  // at head (not yet produced)
+}
+
+TEST(ByteRing, RejectsBadGeometry) {
+  EXPECT_THROW(ByteRing(3, 8), Error);   // not a power of two
+  EXPECT_THROW(ByteRing(0, 8), Error);
+  EXPECT_THROW(ByteRing(4, 0), Error);
+}
+
+TEST(ByteRing, RandomScheduleInvariant) {
+  // Property: under any interleaving, size == pushes - pops, and data read
+  // equals data written, FIFO.
+  Rng rng(77);
+  ByteRing ring(16, 2);
+  std::uint16_t write_seq = 0, read_seq = 0;
+  for (int op = 0; op < 10000; ++op) {
+    if (rng.chance(0.55) && !ring.full()) {
+      auto slot = ring.produce_slot();
+      slot[0] = static_cast<std::uint8_t>(write_seq);
+      slot[1] = static_cast<std::uint8_t>(write_seq >> 8);
+      ring.push();
+      ++write_seq;
+    } else if (!ring.empty()) {
+      auto front = ring.front();
+      const std::uint16_t got =
+          static_cast<std::uint16_t>(front[0] | (front[1] << 8));
+      ASSERT_EQ(got, read_seq);
+      ring.pop();
+      ++read_seq;
+    }
+    ASSERT_EQ(ring.size(), static_cast<std::size_t>(write_seq - read_seq));
+  }
+}
+
+TEST(BufferPool, AllocateReleaseCycle) {
+  BufferPool pool(4, 128);
+  EXPECT_EQ(pool.free_count(), 4u);
+  std::uint32_t ids[4];
+  for (auto& id : ids) {
+    ASSERT_TRUE(pool.allocate(id));
+    EXPECT_EQ(pool.buffer(id).size(), 128u);
+  }
+  EXPECT_EQ(pool.free_count(), 0u);
+  std::uint32_t overflow;
+  EXPECT_FALSE(pool.allocate(overflow));
+  pool.release(ids[2]);
+  EXPECT_EQ(pool.free_count(), 1u);
+  std::uint32_t again;
+  ASSERT_TRUE(pool.allocate(again));
+  EXPECT_EQ(again, ids[2]);
+}
+
+TEST(BufferPool, DoubleReleaseAndBadIdsRejected) {
+  BufferPool pool(2, 64);
+  std::uint32_t id;
+  ASSERT_TRUE(pool.allocate(id));
+  pool.release(id);
+  EXPECT_THROW(pool.release(id), Error);    // double free
+  EXPECT_THROW(pool.release(99), Error);    // bad id
+  EXPECT_THROW((void)pool.buffer(99), Error);
+  EXPECT_THROW(BufferPool(0, 64), Error);
+  EXPECT_THROW(BufferPool(4, 0), Error);
+}
+
+TEST(BufferPool, BuffersAreDisjoint) {
+  BufferPool pool(3, 16);
+  std::uint32_t a, b;
+  ASSERT_TRUE(pool.allocate(a));
+  ASSERT_TRUE(pool.allocate(b));
+  pool.buffer(a)[0] = 0x11;
+  pool.buffer(b)[0] = 0x22;
+  EXPECT_EQ(pool.buffer(a)[0], 0x11);
+  EXPECT_EQ(pool.buffer(b)[0], 0x22);
+}
+
+}  // namespace
+}  // namespace opendesc::sim

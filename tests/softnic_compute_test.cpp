@@ -1,0 +1,216 @@
+// Reference semantics implementations: ground truth the whole system
+// (simulated hardware AND software fallback) agrees on.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "net/workload.hpp"
+#include "softnic/compute.hpp"
+#include "softnic/cost.hpp"
+#include "softnic/toeplitz.hpp"
+
+namespace opendesc::softnic {
+namespace {
+
+using net::PacketBuilder;
+using net::PacketView;
+
+class ComputeTest : public ::testing::Test {
+ protected:
+  static net::Packet make_packet() {
+    return PacketBuilder()
+        .eth(net::make_mac(2, 0, 0, 0, 0, 1), net::make_mac(2, 0, 0, 0, 0, 2))
+        .vlan(42)
+        .ipv4(net::ipv4_from_string("10.0.0.1"), net::ipv4_from_string("10.0.0.2"))
+        .ip_id(1234)
+        .tcp(1000, 80)
+        .payload_text("GET key-000007\n")
+        .rx_timestamp(5555)
+        .build();
+  }
+
+  SemanticRegistry registry_;
+  ComputeEngine engine_{registry_};
+  RxContext ctx_{.queue_id = 3, .seq_no = 17, .mark = 0xAB,
+                 .lro_segments = 2, .rx_timestamp_ns = 5555};
+};
+
+TEST_F(ComputeTest, BuiltinSemanticsMatchDirectComputation) {
+  const net::Packet pkt = make_packet();
+  const PacketView view = PacketView::parse(pkt.bytes());
+  const auto value = [&](SemanticId id) {
+    return engine_.compute(id, pkt.bytes(), view, ctx_);
+  };
+
+  EXPECT_EQ(value(SemanticId::rss_hash),
+            rss_ipv4_l4(view.ipv4().src, view.ipv4().dst, 1000, 80));
+  EXPECT_EQ(value(SemanticId::rss_type), 2u);  // v4 + ports
+  EXPECT_EQ(value(SemanticId::ip_csum_ok), 1u);
+  EXPECT_EQ(value(SemanticId::l4_csum_ok), 1u);
+  EXPECT_EQ(value(SemanticId::ip_id), 1234u);
+  EXPECT_EQ(value(SemanticId::vlan_tci), 42u);
+  EXPECT_EQ(value(SemanticId::vlan_stripped), 1u);
+  EXPECT_EQ(value(SemanticId::timestamp), 5555u);
+  EXPECT_EQ(value(SemanticId::packet_type), (1u << 8) | (1u << 4) | 1u);
+  EXPECT_EQ(value(SemanticId::pkt_len), pkt.size());
+  EXPECT_EQ(value(SemanticId::queue_id), 3u);
+  EXPECT_EQ(value(SemanticId::seq_no), 17u);
+  EXPECT_NE(value(SemanticId::flow_id), 0u);
+  EXPECT_NE(value(SemanticId::kv_key_hash), 0u);
+}
+
+TEST_F(ComputeTest, IpChecksumValueIsTheCorrectOne) {
+  // The ip_checksum semantic equals the checksum actually stored by the
+  // builder (the correct one), so a NIC emitting it lets the host skip the
+  // computation.
+  const net::Packet pkt = make_packet();
+  const PacketView view = PacketView::parse(pkt.bytes());
+  const std::uint64_t computed =
+      engine_.compute(SemanticId::ip_checksum, pkt.bytes(), view, ctx_);
+  EXPECT_EQ(computed, view.ipv4().header_checksum);
+}
+
+TEST_F(ComputeTest, ChecksumStatusReflectsCorruption) {
+  const net::Packet bad = PacketBuilder()
+                              .eth(net::make_mac(2, 0, 0, 0, 0, 1),
+                                   net::make_mac(2, 0, 0, 0, 0, 2))
+                              .ipv4(1, 2)
+                              .udp(5, 6)
+                              .corrupt_l4_checksum()
+                              .build();
+  const PacketView view = PacketView::parse(bad.bytes());
+  EXPECT_EQ(engine_.compute(SemanticId::l4_csum_ok, bad.bytes(), view, ctx_), 0u);
+  EXPECT_EQ(engine_.compute(SemanticId::ip_csum_ok, bad.bytes(), view, ctx_), 1u);
+}
+
+TEST_F(ComputeTest, KvKeyHashMatchesFnvOfKey) {
+  const net::Packet pkt = make_packet();
+  const PacketView view = PacketView::parse(pkt.bytes());
+  const std::string key = "key-000007";
+  const std::uint32_t expected = fnv1a32(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(key.data()), key.size()));
+  EXPECT_EQ(engine_.compute(SemanticId::kv_key_hash, pkt.bytes(), view, ctx_),
+            expected);
+}
+
+TEST_F(ComputeTest, NicStateSemanticsThrowInSoftwareButResolveInHardware) {
+  const net::Packet pkt = make_packet();
+  const PacketView view = PacketView::parse(pkt.bytes());
+  EXPECT_FALSE(engine_.can_compute(SemanticId::mark));
+  EXPECT_FALSE(engine_.can_compute(SemanticId::lro_seg_count));
+  EXPECT_THROW((void)engine_.compute(SemanticId::mark, pkt.bytes(), view, ctx_),
+               Error);
+  EXPECT_EQ(engine_.hardware_value(SemanticId::mark, pkt.bytes(), view, ctx_),
+            0xABu);
+  EXPECT_EQ(
+      engine_.hardware_value(SemanticId::lro_seg_count, pkt.bytes(), view, ctx_),
+      2u);
+}
+
+TEST_F(ComputeTest, CustomSemanticInstallsAndComputes) {
+  const SemanticId id =
+      registry_.register_extension("payload_first_byte", 8, "test extension");
+  EXPECT_FALSE(engine_.can_compute(id));
+  engine_.set_custom(id, [](std::span<const std::uint8_t>,
+                            const PacketView& view, const RxContext&) {
+    return view.payload().empty() ? std::uint64_t{0}
+                                  : std::uint64_t{view.payload()[0]};
+  });
+  EXPECT_TRUE(engine_.can_compute(id));
+  const net::Packet pkt = make_packet();
+  const PacketView view = PacketView::parse(pkt.bytes());
+  EXPECT_EQ(engine_.compute(id, pkt.bytes(), view, ctx_), 'G');
+}
+
+TEST_F(ComputeTest, VlanSemanticsZeroOnUntaggedTraffic) {
+  const net::Packet pkt = PacketBuilder()
+                              .eth(net::make_mac(2, 0, 0, 0, 0, 1),
+                                   net::make_mac(2, 0, 0, 0, 0, 2))
+                              .ipv4(1, 2)
+                              .udp(5, 6)
+                              .build();
+  const PacketView view = PacketView::parse(pkt.bytes());
+  EXPECT_EQ(engine_.compute(SemanticId::vlan_tci, pkt.bytes(), view, ctx_), 0u);
+  EXPECT_EQ(engine_.compute(SemanticId::vlan_stripped, pkt.bytes(), view, ctx_), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, BuiltinsResolvableByName) {
+  SemanticRegistry registry;
+  EXPECT_EQ(registry.find("rss"), SemanticId::rss_hash);
+  EXPECT_EQ(registry.find("vlan"), SemanticId::vlan_tci);
+  EXPECT_EQ(registry.find("no_such_semantic"), std::nullopt);
+  EXPECT_EQ(registry.bit_width(SemanticId::rss_hash), 32u);
+  EXPECT_EQ(registry.bit_width(SemanticId::timestamp), 64u);
+  EXPECT_EQ(registry.all().size(), kBuiltinSemanticCount);
+}
+
+TEST(Registry, ExtensionRegistration) {
+  SemanticRegistry registry;
+  const SemanticId id = registry.register_extension("crypto_ctx", 48, "AES tag");
+  EXPECT_GE(raw(id), kFirstExtensionId);
+  EXPECT_EQ(registry.find("crypto_ctx"), id);
+  EXPECT_EQ(registry.bit_width(id), 48u);
+  EXPECT_THROW((void)registry.register_extension("crypto_ctx", 48, "dup"), Error);
+  EXPECT_THROW((void)registry.register_extension("too_wide", 65, ""), Error);
+  EXPECT_THROW((void)registry.register_extension("zero", 0, ""), Error);
+}
+
+TEST(Registry, UnknownIdThrows) {
+  SemanticRegistry registry;
+  EXPECT_THROW((void)registry.info(static_cast<SemanticId>(555)), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Cost table
+// ---------------------------------------------------------------------------
+
+TEST(CostTable, DefaultsEncodeThePapersOrdering) {
+  SemanticRegistry registry;
+  CostTable costs(registry);
+  // "software rss is cheaper than recomputing the csum" (§4) — the relation
+  // the Fig. 6 selection depends on.
+  EXPECT_LT(costs.cost(SemanticId::rss_hash), costs.cost(SemanticId::ip_checksum));
+  EXPECT_LT(costs.cost(SemanticId::rss_hash), costs.cost(SemanticId::l4_checksum));
+  EXPECT_FALSE(costs.is_finite(SemanticId::mark));
+  EXPECT_FALSE(costs.is_finite(SemanticId::lro_seg_count));
+}
+
+TEST(CostTable, OverrideAndExtensionDefaults) {
+  SemanticRegistry registry;
+  const SemanticId ext = registry.register_extension("my_thing", 32, "");
+  CostTable costs(registry);
+  EXPECT_FALSE(costs.is_finite(ext));  // extensions default to infinity
+  costs.set(ext, 12.5);
+  EXPECT_DOUBLE_EQ(costs.cost(ext), 12.5);
+}
+
+TEST(CostTable, MeasureProducesFinitePositiveCosts) {
+  SemanticRegistry registry;
+  CostTable costs(registry);
+  ComputeEngine engine(registry);
+  net::WorkloadConfig config;
+  config.flow_count = 4;
+  net::WorkloadGenerator gen(config);
+  const std::vector<net::Packet> samples = gen.batch(64);
+  costs.measure(engine, samples);
+  for (const SemanticInfo& info : registry.all()) {
+    if (info.name.starts_with("tx_")) {
+      continue;  // TX semantics: cost = host offload price, not RX compute
+    }
+    if (!engine.can_compute(info.id)) {
+      EXPECT_FALSE(costs.is_finite(info.id)) << info.name;
+      continue;
+    }
+    EXPECT_TRUE(costs.is_finite(info.id)) << info.name;
+    EXPECT_GT(costs.cost(info.id), 0.0) << info.name;
+  }
+  // Relative ordering survives measurement: checksum over the payload is
+  // costlier than a header-field read.
+  EXPECT_GT(costs.cost(SemanticId::l4_checksum), costs.cost(SemanticId::ip_id));
+}
+
+}  // namespace
+}  // namespace opendesc::softnic

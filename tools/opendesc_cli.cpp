@@ -1,0 +1,269 @@
+// The `opendesc` command-line compiler.
+//
+//   opendesc list-nics
+//       Catalog of built-in NIC interface descriptions.
+//   opendesc semantics
+//       The semantic alphabet Σ with widths and software costs.
+//   opendesc paths --nic <name|file.p4>
+//       Completion paths (and TX descriptor formats) of a NIC description.
+//   opendesc compile --nic <name|file.p4> --intent <file.p4>
+//                    [--tx] [--alpha <float>] [--out <dir>] [--quiet]
+//       Full compilation: prints the report; with --out, writes the
+//       generated artifacts (user header, XDP header, manifest, CFG dot).
+//
+// NIC arguments name either a catalog entry (e.g. "mlx5") or a path to a
+// standalone P4 interface description.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "core/planner.hpp"
+#include "core/txdesc.hpp"
+#include "p4/parser.hpp"
+#include "nic/model.hpp"
+
+namespace {
+
+using namespace opendesc;
+namespace fs = std::filesystem;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  opendesc list-nics\n"
+      "  opendesc semantics\n"
+      "  opendesc paths --nic <name|file.p4>\n"
+      "  opendesc compile --nic <name|file.p4> --intent <file.p4>\n"
+      "                   [--tx] [--alpha <float>] [--out <dir>] [--quiet]\n"
+      "                   [--plan <pipeline-stage-budget>]\n";
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw Error(ErrorKind::io, "cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Catalog name → its P4 source; otherwise treat as a file path.
+std::string resolve_nic_source(const std::string& nic_arg) {
+  for (const nic::NicModel& model : nic::NicCatalog::all()) {
+    if (model.name() == nic_arg) {
+      return model.p4_source();
+    }
+  }
+  return read_file(nic_arg);
+}
+
+struct Args {
+  std::string command;
+  std::string nic;
+  std::string intent;
+  std::string out_dir;
+  double alpha = 1.0;
+  bool tx = false;
+  bool quiet = false;
+  int plan_stages = -1;  ///< >= 0: print an offload placement plan
+};
+
+bool parse_args(int argc, char** argv, Args& args) {
+  if (argc < 2) {
+    return false;
+  }
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--nic") {
+      const char* v = next();
+      if (!v) return false;
+      args.nic = v;
+    } else if (arg == "--intent") {
+      const char* v = next();
+      if (!v) return false;
+      args.intent = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      args.out_dir = v;
+    } else if (arg == "--alpha") {
+      const char* v = next();
+      if (!v) return false;
+      args.alpha = std::stod(v);
+    } else if (arg == "--plan") {
+      const char* v = next();
+      if (!v) return false;
+      args.plan_stages = std::stoi(v);
+    } else if (arg == "--tx") {
+      args.tx = true;
+    } else if (arg == "--quiet") {
+      args.quiet = true;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_list_nics() {
+  std::printf("%-10s %-24s %s\n", "name", "class", "description");
+  for (const nic::NicModel& model : nic::NicCatalog::all()) {
+    std::printf("%-10s %-24s %s\n", model.name().c_str(),
+                to_string(model.nic_class()).c_str(),
+                model.description().c_str());
+  }
+  return 0;
+}
+
+int cmd_semantics() {
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs(registry);
+  std::printf("%-16s %6s %12s  %s\n", "name", "bits", "w(s) ns", "description");
+  for (const softnic::SemanticInfo& info : registry.all()) {
+    const double cost = costs.cost(info.id);
+    std::printf("%-16s %6zu %12s  %s\n", info.name.c_str(), info.bit_width,
+                cost >= softnic::kInfiniteCost ? "inf"
+                                               : std::to_string(cost).c_str(),
+                info.description.c_str());
+  }
+  return 0;
+}
+
+int cmd_paths(const Args& args) {
+  if (args.nic.empty()) {
+    return usage();
+  }
+  const std::string source = resolve_nic_source(args.nic);
+  const p4::Program program = p4::parse_program(source);
+  const p4::TypeInfo types = p4::check_program(program);
+  softnic::SemanticRegistry registry;
+
+  const p4::ControlDecl& deparser = core::select_deparser(program, "");
+  const core::Cfg cfg = core::build_cfg(program, types, deparser, registry);
+  core::PathEnumOptions options;
+  options.consts = types.constants();
+  options.variable_bounds = core::context_bounds(program, types, deparser);
+  const auto paths = core::enumerate_paths(cfg, options);
+
+  std::cout << "Completion deparser " << deparser.name() << ": "
+            << cfg.emit_count() << " emits, " << cfg.branch_count()
+            << " branches, " << paths.size() << " feasible path(s)\n";
+  for (const auto& path : paths) {
+    std::cout << "  " << path.describe(registry) << "\n";
+  }
+
+  // TX formats when described.
+  for (const p4::ParserDecl* parser : program.parsers()) {
+    const bool has_desc_in = std::any_of(
+        parser->params().begin(), parser->params().end(), [](const p4::Param& p) {
+          return p.type.kind == p4::TypeRef::Kind::named &&
+                 p.type.name == "desc_in";
+        });
+    if (!has_desc_in) {
+      continue;
+    }
+    core::TxDescOptions tx_options;
+    tx_options.consts = types.constants();
+    const auto formats =
+        core::enumerate_tx_formats(program, types, *parser, registry, tx_options);
+    std::cout << "Descriptor parser " << parser->name() << ": "
+              << formats.size() << " format(s)\n";
+    for (const auto& fmt : formats) {
+      std::cout << "  " << fmt.describe(registry) << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_compile(const Args& args) {
+  if (args.nic.empty() || args.intent.empty()) {
+    return usage();
+  }
+  const std::string nic_source = resolve_nic_source(args.nic);
+  const std::string intent_source = read_file(args.intent);
+
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs(registry);
+  core::Compiler compiler(registry, costs);
+  core::CompileOptions options;
+  options.dma_weight_per_byte = args.alpha;
+
+  const core::CompileResult result =
+      args.tx ? compiler.compile_tx(nic_source, intent_source, options)
+              : compiler.compile(nic_source, intent_source, options);
+
+  if (!args.quiet) {
+    std::cout << result.report << "\n";
+  }
+  if (args.plan_stages >= 0) {
+    // Placement plan: which shims a programmable pipeline could absorb.
+    nic::NicClass nic_class = nic::NicClass::programmable;
+    for (const nic::NicModel& model : nic::NicCatalog::all()) {
+      if (model.name() == args.nic) {
+        nic_class = model.nic_class();
+      }
+    }
+    core::PlannerOptions planner_options;
+    planner_options.pipeline_stage_budget =
+        static_cast<std::uint32_t>(args.plan_stages);
+    const core::FeatureLibrary library;
+    std::cout << core::plan_offloads(result.shims, nic_class, library,
+                                     planner_options)
+                     .describe()
+              << "\n";
+  }
+  if (!args.out_dir.empty()) {
+    fs::create_directories(args.out_dir);
+    const fs::path dir = args.out_dir;
+    const std::string base = result.nic_name + (args.tx ? "_tx" : "");
+    std::ofstream(dir / (base + ".h")) << result.c_header;
+    if (!result.xdp_header.empty()) {
+      std::ofstream(dir / (base + "_xdp.h")) << result.xdp_header;
+    }
+    std::ofstream(dir / (base + ".manifest")) << result.manifest;
+    if (!result.cfg_dot.empty()) {
+      std::ofstream(dir / (base + ".dot")) << result.cfg_dot;
+    }
+    std::cout << "wrote " << dir / (base + ".h") << ", "
+              << dir / (base + ".manifest")
+              << (args.tx ? "" : ", XDP header, CFG dot") << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) {
+    return usage();
+  }
+  try {
+    if (args.command == "list-nics") {
+      return cmd_list_nics();
+    }
+    if (args.command == "semantics") {
+      return cmd_semantics();
+    }
+    if (args.command == "paths") {
+      return cmd_paths(args);
+    }
+    if (args.command == "compile") {
+      return cmd_compile(args);
+    }
+    return usage();
+  } catch (const Error& e) {
+    std::cerr << "opendesc: " << e.what() << "\n";
+    return 1;
+  }
+}
