@@ -1,0 +1,139 @@
+// Fault-recovery overhead: what hardening the host datapath costs, and how
+// goodput degrades as the device misbehaves.
+//
+// Three questions the table answers:
+//  * validation tax — ns/packet of the ValidatingRxLoop vs the plain loop at
+//    fault rate 0 (the price of length/fixed-field/guard-tag checks);
+//  * graceful degradation — goodput (fraction of offered packets whose
+//    wanted semantics were delivered, hardware or SoftNIC path) at composite
+//    fault rates {0, 1e-4, 1e-2}: the hardened loop holds 100% while
+//    recovery work grows;
+//  * recovery mix — how many packets each rate pushes onto the quarantine /
+//    lost-completion / software-recovery paths.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/compiler.hpp"
+#include "nic/model.hpp"
+#include "runtime/guard.hpp"
+
+namespace {
+
+using namespace opendesc;
+using softnic::SemanticId;
+
+constexpr const char* kIntent = R"P4(
+header hard_intent_t {
+    @semantic("rss")     bit<32> hash;
+    @semantic("vlan")    bit<16> tci;
+    @semantic("pkt_len") bit<16> len;
+}
+)P4";
+
+const std::vector<SemanticId> kWanted = {
+    SemanticId::rss_hash, SemanticId::vlan_tci, SemanticId::pkt_len};
+
+struct Setup {
+  softnic::SemanticRegistry registry;
+  std::unique_ptr<softnic::CostTable> costs;
+  std::unique_ptr<softnic::ComputeEngine> engine;
+  core::CompileResult result;
+  core::CompiledLayout wire_layout;
+
+  Setup() {
+    costs = std::make_unique<softnic::CostTable>(registry);
+    engine = std::make_unique<softnic::ComputeEngine>(registry);
+    core::Compiler compiler(registry, *costs);
+    result = compiler.compile(nic::NicCatalog::by_name("ice").p4_source(),
+                              kIntent, {});
+    wire_layout = result.layout.with_guard();
+  }
+};
+
+net::WorkloadGenerator make_workload() {
+  net::WorkloadConfig config;
+  config.seed = 17;
+  config.vlan_probability = 0.5;
+  return net::WorkloadGenerator(config);
+}
+
+rt::RxLoopStats run_hardened(const Setup& setup, double fault_rate,
+                             std::size_t packets) {
+  sim::NicSimulator nic(setup.wire_layout, *setup.engine, {});
+  std::unique_ptr<sim::FaultInjector> injector;
+  if (fault_rate > 0.0) {
+    injector = std::make_unique<sim::FaultInjector>(
+        sim::FaultConfig::composite(fault_rate, 2026));
+    nic.set_fault_injector(injector.get());
+  }
+  net::WorkloadGenerator gen = make_workload();
+  rt::OpenDescStrategy strategy(setup.result, *setup.engine);
+  rt::ValidatingRxLoop loop(setup.wire_layout, *setup.engine);
+  rt::RxLoopConfig config;
+  config.packet_count = packets;
+  return loop.run(nic, gen, strategy, kWanted, config);
+}
+
+rt::RxLoopStats run_plain(const Setup& setup, std::size_t packets) {
+  sim::NicSimulator nic(setup.result.layout, *setup.engine, {});
+  net::WorkloadGenerator gen = make_workload();
+  rt::OpenDescStrategy strategy(setup.result, *setup.engine);
+  rt::RxLoopConfig config;
+  config.packet_count = packets;
+  return rt::run_rx_loop(nic, gen, strategy, kWanted, config);
+}
+
+void print_table() {
+  const Setup setup;
+  constexpr std::size_t kPackets = 50000;
+
+  std::printf("=== Fault recovery: hardened datapath cost and goodput "
+              "(ice, intent {rss, vlan, pkt_len}) ===\n");
+  const rt::RxLoopStats plain = run_plain(setup, kPackets);
+  std::printf("plain loop, no validation:            %8.1f ns/pkt   "
+              "goodput 100.0%%\n", plain.ns_per_packet());
+
+  for (const double rate : {0.0, 1e-4, 1e-2}) {
+    const rt::RxLoopStats stats = run_hardened(setup, rate, kPackets);
+    std::printf(
+        "hardened loop, fault rate %-7g       %8.1f ns/pkt   goodput %5.1f%%"
+        "   (hw %zu, quarantined %zu, lost %zu, sw-recovered %zu)\n",
+        rate, stats.ns_per_packet(),
+        100.0 * stats.delivery_ratio(kPackets),
+        static_cast<std::size_t>(stats.hw_consumed),
+        static_cast<std::size_t>(stats.quarantined),
+        static_cast<std::size_t>(stats.lost_completions),
+        static_cast<std::size_t>(stats.softnic_recovered));
+  }
+  std::printf(
+      "\nShape check: goodput stays at 100%% at every fault rate — faulted "
+      "packets shift\nfrom the accessor path to SoftNIC recovery, so "
+      "ns/packet grows with the rate\nwhile delivery never drops.\n\n");
+}
+
+void BM_FaultRecovery(benchmark::State& state, double fault_rate) {
+  static Setup setup;
+  constexpr std::size_t kPackets = 20000;
+  for (auto _ : state) {
+    const rt::RxLoopStats stats = run_hardened(setup, fault_rate, kPackets);
+    benchmark::DoNotOptimize(stats.value_checksum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPackets));
+}
+BENCHMARK_CAPTURE(BM_FaultRecovery, rate_0, 0.0)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FaultRecovery, rate_1e4, 1e-4)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FaultRecovery, rate_1e2, 1e-2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

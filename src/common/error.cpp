@@ -12,6 +12,7 @@ std::string to_string(ErrorKind kind) {
     case ErrorKind::unsatisfiable: return "unsatisfiable";
     case ErrorKind::verification: return "verification";
     case ErrorKind::simulation: return "simulation";
+    case ErrorKind::device: return "device";
     case ErrorKind::io: return "io";
     case ErrorKind::internal: return "internal";
   }

@@ -20,6 +20,7 @@ enum class ErrorKind {
   unsatisfiable,  ///< Eq. 1 has no finite-cost path for the intent
   verification,   ///< generated accessor failed the bounds verifier
   simulation,     ///< ring/DMA invariant violated at run time
+  device,         ///< device unresponsive/misbehaving after bounded recovery
   io,             ///< file or OS failure
   internal,       ///< invariant broken inside the compiler itself
 };

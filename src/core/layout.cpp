@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "softnic/compute.hpp"
 
 namespace opendesc::core {
 
@@ -66,6 +67,72 @@ std::uint64_t CompiledLayout::read(std::span<const std::uint8_t> record,
                                        std::to_string(softnic::raw(semantic)));
   }
   return read_bits(record, s->byte_offset(), s->bit_offset(), s->bit_width, endian_);
+}
+
+CompiledLayout CompiledLayout::with_guard() const {
+  if (guard_index_) {
+    return *this;
+  }
+  CompiledLayout guarded = *this;
+  FieldSlice guard;
+  guard.name = std::string(kGuardSliceName);
+  guard.bit_width = kGuardBits;
+  // Byte-align the tag; serialize() zero-fills any gap this leaves.
+  guard.bit_start = (total_bits_ + 7) / 8 * 8;
+  guarded.guard_index_ = guarded.slices_.size();
+  guarded.total_bits_ = guard.bit_start + guard.bit_width;
+  guarded.slices_.push_back(std::move(guard));
+  return guarded;
+}
+
+std::uint16_t CompiledLayout::guard_tag(std::span<const std::uint8_t> record,
+                                        std::span<const std::uint8_t> frame) const {
+  // Tag = fold of (record body, frame length, frame head, frame tail).
+  // Binding the frame catches stale/duplicated ring entries whose record
+  // bytes are internally consistent but describe another packet.  Head and
+  // tail windows bound the cost on jumbo frames; differences confined to
+  // the middle of equal-length frames are outside the guard's reach
+  // (documented in docs/fault_model.md).
+  std::size_t body_bytes = total_bytes();
+  if (guard_index_) {
+    body_bytes = std::min(body_bytes, slices_[*guard_index_].byte_offset());
+  }
+  body_bytes = std::min(body_bytes, record.size());
+  std::uint32_t tag = softnic::fnv1a32(record.first(body_bytes));
+  tag = (tag * 0x9e3779b1u) ^ static_cast<std::uint32_t>(frame.size());
+  tag ^= softnic::fnv1a32(frame.first(std::min<std::size_t>(frame.size(), 64)));
+  tag = (tag * 0x85ebca6bu) ^
+        softnic::fnv1a32(frame.last(std::min<std::size_t>(frame.size(), 32)));
+  return static_cast<std::uint16_t>(tag ^ (tag >> 16));
+}
+
+void CompiledLayout::seal(std::span<std::uint8_t> record,
+                          std::span<const std::uint8_t> frame) const {
+  if (!guard_index_) {
+    return;
+  }
+  if (record.size() < total_bytes()) {
+    throw Error(ErrorKind::layout,
+                "seal: record smaller than guarded layout '" + path_id_ + "'");
+  }
+  const FieldSlice& guard = slices_[*guard_index_];
+  write_bits(record, guard.byte_offset(), guard.bit_offset(), guard.bit_width,
+             endian_, guard_tag(record, frame));
+}
+
+bool CompiledLayout::verify_guard(std::span<const std::uint8_t> record,
+                                  std::span<const std::uint8_t> frame) const {
+  if (!guard_index_) {
+    return true;
+  }
+  if (record.size() < total_bytes()) {
+    return false;  // truncated: the tag itself is missing
+  }
+  const FieldSlice& guard = slices_[*guard_index_];
+  const std::uint64_t stored = read_bits(record, guard.byte_offset(),
+                                         guard.bit_offset(), guard.bit_width,
+                                         endian_);
+  return stored == guard_tag(record, frame);
 }
 
 CompiledLayout pack_layout(std::string nic_name, std::string path_id,

@@ -66,13 +66,46 @@ class CompiledLayout {
   [[nodiscard]] std::uint64_t read(std::span<const std::uint8_t> record,
                                    softnic::SemanticId semantic) const;
 
+  // --- Integrity guard (hardened datapath) ---------------------------------
+  //
+  // A guarded layout appends a byte-aligned 16-bit "__guard" slice carrying
+  // a tag over the record body *and* the frame the record describes.  The
+  // NIC seals each record after serializing it; the host's validating loop
+  // recomputes the tag and quarantines records where it mismatches — this
+  // catches bit flips, truncation, and stale/duplicated ring entries (a
+  // stale record carries a tag bound to the *previous* frame).
+
+  /// Copy of this layout with the guard slice appended (idempotent).
+  [[nodiscard]] CompiledLayout with_guard() const;
+
+  [[nodiscard]] bool has_guard() const noexcept { return guard_index_.has_value(); }
+
+  /// The tag value for a record body + frame pair (valid on any layout).
+  [[nodiscard]] std::uint16_t guard_tag(std::span<const std::uint8_t> record,
+                                        std::span<const std::uint8_t> frame) const;
+
+  /// Computes and writes the guard tag of a fully serialized record.
+  /// No-op on unguarded layouts.
+  void seal(std::span<std::uint8_t> record,
+            std::span<const std::uint8_t> frame) const;
+
+  /// True when the stored guard tag matches a recomputation (or the layout
+  /// carries no guard — nothing to check).
+  [[nodiscard]] bool verify_guard(std::span<const std::uint8_t> record,
+                                  std::span<const std::uint8_t> frame) const;
+
  private:
   std::string nic_name_;
   std::string path_id_;
   Endian endian_ = Endian::little;
   std::vector<FieldSlice> slices_;
   std::size_t total_bits_ = 0;
+  std::optional<std::size_t> guard_index_;  ///< index of the "__guard" slice
 };
+
+/// Name and width of the guard slice appended by with_guard().
+inline constexpr std::string_view kGuardSliceName = "__guard";
+inline constexpr std::size_t kGuardBits = 16;
 
 /// Packs `pieces` sequentially from bit 0 and returns the layout.
 /// Throws Error(layout) when a >56-bit field would start unaligned (the

@@ -1,0 +1,246 @@
+#include "runtime/guard.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/error.hpp"
+
+namespace opendesc::rt {
+
+std::string_view to_string(RecordVerdict verdict) noexcept {
+  switch (verdict) {
+    case RecordVerdict::ok:
+      return "ok";
+    case RecordVerdict::truncated:
+      return "truncated";
+    case RecordVerdict::bad_fixed_field:
+      return "bad_fixed_field";
+    case RecordVerdict::bad_guard_tag:
+      return "bad_guard_tag";
+  }
+  return "?";
+}
+
+RecordGuard::RecordGuard(const core::CompiledLayout& wire_layout,
+                         GuardConfig config)
+    : layout_(&wire_layout), config_(config) {
+  for (std::size_t i = 0; i < wire_layout.slices().size(); ++i) {
+    if (wire_layout.slices()[i].fixed_value) {
+      fixed_slices_.push_back(i);
+    }
+  }
+}
+
+RecordVerdict RecordGuard::validate(std::span<const std::uint8_t> record,
+                                    std::span<const std::uint8_t> frame) const {
+  if (record.size() < layout_->total_bytes()) {
+    return RecordVerdict::truncated;
+  }
+  if (config_.check_fixed_fields) {
+    for (const std::size_t index : fixed_slices_) {
+      if (layout_->read_slice(record, index) !=
+          *layout_->slices()[index].fixed_value) {
+        return RecordVerdict::bad_fixed_field;
+      }
+    }
+  }
+  if (config_.check_guard_tag && !layout_->verify_guard(record, frame)) {
+    return RecordVerdict::bad_guard_tag;
+  }
+  return RecordVerdict::ok;
+}
+
+void DeadLetterBuffer::push(QuarantinedRecord letter) {
+  ++total_;
+  ++by_reason_[static_cast<std::size_t>(letter.reason)];
+  entries_.push_back(std::move(letter));
+  while (entries_.size() > capacity_) {
+    entries_.pop_front();
+  }
+}
+
+void DeadLetterBuffer::clear() {
+  entries_.clear();
+  total_ = 0;
+  by_reason_.fill(0);
+}
+
+ProgramReport program_with_verify(sim::ProgrammableNic& nic,
+                                  const p4::ConstEnv& assignment,
+                                  const RetryPolicy& policy,
+                                  std::string_view expect_path_id) {
+  ProgramReport report;
+  double backoff = policy.backoff_base_ns;
+  std::vector<std::string> issues;
+
+  for (std::size_t attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    report.attempts = attempt;
+    issues.clear();
+
+    // Re-quiesce: the device rejects reprogramming with completions pending,
+    // and a retry may race freshly delayed completions.  Delayed doorbells
+    // surface only on later polls, so keep polling until the queue is empty.
+    std::vector<sim::RxEvent> events(32);
+    while (nic.pending() > 0) {
+      nic.advance(nic.poll(events));
+    }
+
+    nic.program(assignment);
+
+    // Verify-after-write, step 1: read every register back.
+    issues = nic.registers().mismatches(assignment);
+
+    // Step 2: the registers must select exactly one path (and the expected
+    // one, when the caller knows which).  active_layout() throws on
+    // zero/ambiguous selection — a partially-applied assignment.
+    if (issues.empty()) {
+      try {
+        const std::string& selected = nic.active_path_id();
+        if (expect_path_id.empty() || selected == expect_path_id) {
+          report.verified_path_id = selected;
+          return report;
+        }
+        issues.push_back("selected path '" + selected + "', expected '" +
+                         std::string(expect_path_id) + "'");
+      } catch (const Error& err) {
+        issues.emplace_back(err.what());
+      }
+    }
+
+    // Back off (simulated — accounted, not slept) and retry.
+    report.backoff_ns += backoff;
+    backoff *= policy.backoff_multiplier;
+  }
+
+  std::string detail;
+  for (const std::string& issue : issues) {
+    detail += detail.empty() ? issue : "; " + issue;
+  }
+  throw Error(ErrorKind::device,
+              "control-channel programming failed verification after " +
+                  std::to_string(policy.max_attempts) + " attempts" +
+                  (detail.empty() ? "" : ": " + detail));
+}
+
+ValidatingRxLoop::ValidatingRxLoop(const core::CompiledLayout& wire_layout,
+                                   const softnic::ComputeEngine& engine,
+                                   GuardConfig config)
+    : guard_(wire_layout, config), engine_(&engine),
+      dead_letters_(config.quarantine_capacity) {}
+
+std::uint64_t ValidatingRxLoop::software_fold(
+    const net::Packet& packet, std::span<const softnic::SemanticId> wanted,
+    RxLoopStats& stats) const {
+  std::optional<net::PacketView> view;
+  try {
+    view.emplace(net::PacketView::parse(packet.bytes()));
+  } catch (const std::exception&) {
+    // Unparseable frame: nothing can be recovered for it.
+    stats.unrecoverable_values += wanted.size();
+    return 0;
+  }
+
+  // Mirror what a fault-free hardware run would have delivered so the value
+  // checksum matches the golden run: semantics the layout provides are
+  // recomputed with the *device* context (hardware timestamp, queue id) and
+  // masked to the slice width, the rest with the *host* fallback context —
+  // exactly what MetadataFacade would have produced.
+  softnic::RxContext device_ctx;
+  device_ctx.queue_id = guard_.config().queue_id;
+  device_ctx.rx_timestamp_ns = packet.rx_timestamp_ns;
+  const softnic::RxContext host_ctx;
+
+  const core::CompiledLayout& layout = guard_.layout();
+  std::uint64_t fold = 0;
+  for (const softnic::SemanticId id : wanted) {
+    const core::FieldSlice* slice = layout.find(id);
+    const softnic::RxContext& ctx = slice != nullptr ? device_ctx : host_ctx;
+    if (!engine_->can_compute(id)) {
+      // w(s) = ∞: no software equivalent exists (e.g. mark, lro_seg_count
+      // when NIC state is gone with the record).
+      ++stats.unrecoverable_values;
+      continue;
+    }
+    try {
+      std::uint64_t value = engine_->compute(id, packet.bytes(), *view, ctx);
+      if (slice != nullptr && slice->bit_width < 64) {
+        value &= (std::uint64_t{1} << slice->bit_width) - 1;
+      }
+      fold ^= value;
+    } catch (const std::exception&) {
+      ++stats.unrecoverable_values;
+    }
+  }
+  return fold;
+}
+
+void ValidatingRxLoop::recover_lost(const net::Packet& packet,
+                                    std::span<const softnic::SemanticId> wanted,
+                                    RxLoopStats& stats) {
+  stats.value_checksum ^= software_fold(packet, wanted, stats);
+  ++stats.lost_completions;
+  ++stats.softnic_recovered;
+  ++stats.packets;
+}
+
+void ValidatingRxLoop::consume_events(std::span<const sim::RxEvent> events,
+                                      std::size_t n,
+                                      std::deque<net::Packet>& pending,
+                                      RxStrategy& strategy,
+                                      std::span<const softnic::SemanticId> wanted,
+                                      RxLoopStats& stats) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const sim::RxEvent& ev = events[i];
+
+    // Re-align against the in-flight FIFO.  Completions are delivered in
+    // acceptance order, and frames DMA verbatim — so any accepted packet
+    // whose frame precedes this event's frame lost its completion in the
+    // device.  Recover it in software and move on.
+    while (!pending.empty() &&
+           !std::equal(pending.front().data.begin(), pending.front().data.end(),
+                       ev.frame.begin(), ev.frame.end())) {
+      recover_lost(pending.front(), wanted, stats);
+      pending.pop_front();
+    }
+    const net::Packet* origin = pending.empty() ? nullptr : &pending.front();
+
+    ++sequence_;
+    const RecordVerdict verdict = guard_.validate(ev.record, ev.frame);
+    if (verdict == RecordVerdict::ok) {
+      const PacketContext pkt(ev);
+      stats.value_checksum ^= strategy.consume(pkt, wanted);
+      ++stats.hw_consumed;
+      ++stats.packets;
+    } else {
+      // Quarantine the malformed record, then deliver the packet's
+      // semantics anyway from the bytes we still trust: the DMA'd frame
+      // (plus the origin packet's receive context when we have it).
+      QuarantinedRecord letter;
+      letter.record.assign(ev.record.begin(), ev.record.end());
+      const std::size_t head =
+          std::min(guard_.config().frame_capture_bytes, ev.frame.size());
+      letter.frame_head.assign(ev.frame.begin(),
+                               ev.frame.begin() + static_cast<std::ptrdiff_t>(head));
+      letter.reason = verdict;
+      letter.sequence = sequence_;
+      dead_letters_.push(std::move(letter));
+      ++stats.quarantined;
+
+      if (origin != nullptr) {
+        stats.value_checksum ^= software_fold(*origin, wanted, stats);
+      } else {
+        net::Packet synthetic;
+        synthetic.data.assign(ev.frame.begin(), ev.frame.end());
+        stats.value_checksum ^= software_fold(synthetic, wanted, stats);
+      }
+      ++stats.softnic_recovered;
+      ++stats.packets;
+    }
+
+    if (origin != nullptr) {
+      pending.pop_front();
+    }
+  }
+}
+
+}  // namespace opendesc::rt

@@ -1,0 +1,256 @@
+// Hardened host datapath: record validation, quarantine, SoftNIC recovery,
+// and verify-after-write control programming.
+//
+// The paper's contract lets the host consume NIC metadata without parsing —
+// but a production driver can never trust DMA'd bytes unconditionally:
+// firmware bugs, torn writes and misprogrammed context registers all
+// surface as malformed completion records.  The ValidatingRxLoop is the
+// driver that survives them:
+//
+//   1. every record is validated against the CompiledLayout (length, fixed
+//      status fields, and — on guarded layouts — the integrity tag binding
+//      record to frame);
+//   2. malformed records are quarantined into an inspectable dead-letter
+//      buffer instead of being consumed (or crashing the loop);
+//   3. the packet's wanted semantics are *recovered* through the SoftNIC
+//      reference implementations, so goodput degrades to software speed
+//      instead of dropping to zero;
+//   4. completions that never arrive (device lost them) are detected by
+//      frame-matching the in-flight FIFO and recovered the same way;
+//   5. control-channel programming is wrapped in readback verification with
+//      bounded exponential-backoff retry, failing with Error(device) only
+//      after the policy is exhausted.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <deque>
+#include <string_view>
+
+#include "runtime/rxloop.hpp"
+#include "sim/ctrlchan.hpp"
+
+namespace opendesc::rt {
+
+/// Why a record failed validation.
+enum class RecordVerdict : std::size_t {
+  ok,
+  truncated,        ///< shorter than the layout's record size
+  bad_fixed_field,  ///< a @fixed status field holds the wrong value
+  bad_guard_tag,    ///< integrity tag mismatch (corruption or stale record)
+};
+
+inline constexpr std::size_t kRecordVerdictCount = 4;
+
+[[nodiscard]] std::string_view to_string(RecordVerdict verdict) noexcept;
+
+/// Validation knobs.
+struct GuardConfig {
+  bool check_fixed_fields = true;
+  bool check_guard_tag = true;
+  std::size_t quarantine_capacity = 64;  ///< dead letters kept for inspection
+  std::size_t frame_capture_bytes = 64;  ///< frame head stored per dead letter
+  std::uint16_t queue_id = 0;            ///< device queue (recovery context)
+};
+
+/// Stateless validator for completion records of one wire layout.
+class RecordGuard {
+ public:
+  explicit RecordGuard(const core::CompiledLayout& wire_layout,
+                       GuardConfig config = {});
+
+  /// Checks one record against the layout; `frame` feeds the integrity-tag
+  /// recomputation on guarded layouts.
+  [[nodiscard]] RecordVerdict validate(std::span<const std::uint8_t> record,
+                                       std::span<const std::uint8_t> frame) const;
+
+  [[nodiscard]] const core::CompiledLayout& layout() const noexcept {
+    return *layout_;
+  }
+  [[nodiscard]] const GuardConfig& config() const noexcept { return config_; }
+
+ private:
+  const core::CompiledLayout* layout_;  ///< not owned; must outlive the guard
+  GuardConfig config_;
+  std::vector<std::size_t> fixed_slices_;  ///< indices of @fixed slices
+};
+
+/// One quarantined completion record.
+struct QuarantinedRecord {
+  std::vector<std::uint8_t> record;      ///< the malformed record, verbatim
+  std::vector<std::uint8_t> frame_head;  ///< first bytes of the frame
+  RecordVerdict reason = RecordVerdict::ok;
+  std::uint64_t sequence = 0;  ///< loop-delivery index when quarantined
+};
+
+/// Bounded dead-letter buffer: keeps the newest `capacity` malformed
+/// records for inspection and counts every quarantine by reason.
+class DeadLetterBuffer {
+ public:
+  explicit DeadLetterBuffer(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  void push(QuarantinedRecord letter);
+
+  [[nodiscard]] const std::deque<QuarantinedRecord>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t count(RecordVerdict reason) const noexcept {
+    return by_reason_[static_cast<std::size_t>(reason)];
+  }
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<QuarantinedRecord> entries_;
+  std::uint64_t total_ = 0;
+  std::array<std::uint64_t, kRecordVerdictCount> by_reason_{};
+};
+
+// --- Control-channel verify-after-write ------------------------------------
+
+/// Bounded-retry policy for control programming.  Backoff time is
+/// *simulated* (accumulated in the report, not slept) so tests stay fast.
+struct RetryPolicy {
+  std::size_t max_attempts = 8;
+  double backoff_base_ns = 1000.0;
+  double backoff_multiplier = 2.0;
+};
+
+/// Outcome of a verified programming sequence.
+struct ProgramReport {
+  std::size_t attempts = 0;    ///< 1 = first write stuck
+  double backoff_ns = 0.0;     ///< simulated waiting time across retries
+  std::string verified_path_id;
+};
+
+/// Programs `assignment` with verify-after-write: quiesce (drain pending
+/// completions), program, read every register back, confirm the selection is
+/// unambiguous (and equals `expect_path_id` when given); on any mismatch
+/// back off and reprogram.  Throws Error(device) when the policy's attempts
+/// are exhausted — the device is declared misbehaving.
+ProgramReport program_with_verify(sim::ProgrammableNic& nic,
+                                  const p4::ConstEnv& assignment,
+                                  const RetryPolicy& policy = {},
+                                  std::string_view expect_path_id = {});
+
+// --- The validating receive loop -------------------------------------------
+
+/// Drop-in hardened replacement for run_rx_loop.  Works with any device
+/// exposing the NicSimulator datapath contract (rx/poll/advance/pending/
+/// dma/free_buffers) — both sim::NicSimulator and sim::ProgrammableNic.
+class ValidatingRxLoop {
+ public:
+  /// `wire_layout` is the layout the device actually serializes (the
+  /// guarded one when the guard is enabled); `engine` services recovery.
+  /// Both must outlive the loop.
+  ValidatingRxLoop(const core::CompiledLayout& wire_layout,
+                   const softnic::ComputeEngine& engine,
+                   GuardConfig config = {});
+
+  template <typename Nic>
+  [[nodiscard]] RxLoopStats run(Nic& nic, net::WorkloadGenerator& workload,
+                                RxStrategy& strategy,
+                                std::span<const softnic::SemanticId> wanted,
+                                const RxLoopConfig& config = {});
+
+  [[nodiscard]] const DeadLetterBuffer& dead_letters() const noexcept {
+    return dead_letters_;
+  }
+  [[nodiscard]] const RecordGuard& guard() const noexcept { return guard_; }
+
+ private:
+  /// Computes the wanted semantics of one packet entirely in software,
+  /// mirroring what the hardware path would have returned: NIC-provided
+  /// semantics use the device context (timestamp, queue), facade-fallback
+  /// semantics use the host context — so the fold matches a fault-free run.
+  [[nodiscard]] std::uint64_t software_fold(
+      const net::Packet& packet, std::span<const softnic::SemanticId> wanted,
+      RxLoopStats& stats) const;
+
+  /// Validates and consumes `n` polled events, re-aligning against the
+  /// in-flight FIFO (detects dropped completions by frame mismatch).
+  void consume_events(std::span<const sim::RxEvent> events, std::size_t n,
+                      std::deque<net::Packet>& pending, RxStrategy& strategy,
+                      std::span<const softnic::SemanticId> wanted,
+                      RxLoopStats& stats);
+
+  /// Recovers one packet whose completion never arrived.
+  void recover_lost(const net::Packet& packet,
+                    std::span<const softnic::SemanticId> wanted,
+                    RxLoopStats& stats);
+
+  RecordGuard guard_;
+  const softnic::ComputeEngine* engine_;
+  DeadLetterBuffer dead_letters_;
+  std::uint64_t sequence_ = 0;
+};
+
+template <typename Nic>
+RxLoopStats ValidatingRxLoop::run(Nic& nic, net::WorkloadGenerator& workload,
+                                  RxStrategy& strategy,
+                                  std::span<const softnic::SemanticId> wanted,
+                                  const RxLoopConfig& config) {
+  RxLoopStats stats;
+  std::vector<sim::RxEvent> events(config.batch);
+  std::deque<net::Packet> pending;  ///< accepted, completion not yet seen
+
+  const auto timed = [&stats](auto&& body) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    stats.host_ns += static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  };
+
+  std::size_t remaining = config.packet_count;
+  while (remaining > 0) {
+    const std::size_t burst = std::min(config.batch, remaining);
+    for (std::size_t i = 0; i < burst; ++i) {
+      net::Packet pkt = workload.next();
+      if (nic.rx(pkt)) {
+        pending.push_back(std::move(pkt));
+      } else {
+        // Backpressure or device refusal: degrade gracefully — the packet's
+        // semantics still get delivered, from software.
+        ++stats.drops;
+        ++stats.rx_rejected;
+        timed([&] { recover_lost(pkt, wanted, stats); });
+        --stats.lost_completions;  // rejected, not lost: recounted below
+      }
+    }
+    remaining -= burst;
+
+    const std::size_t n = nic.poll(events);
+    timed([&] { consume_events(events, n, pending, strategy, wanted, stats); });
+    nic.advance(n);
+  }
+
+  // Drain.  Delayed doorbells surface completions only after further polls;
+  // keep polling while the device reports work in flight.
+  while (nic.pending() > 0) {
+    const std::size_t n = nic.poll(events);
+    if (n == 0) {
+      continue;  // doorbell delay: the next poll advances the clock
+    }
+    timed([&] { consume_events(events, n, pending, strategy, wanted, stats); });
+    nic.advance(n);
+  }
+
+  // Whatever is still unmatched was accepted by rx() but never completed.
+  timed([&] {
+    for (const net::Packet& pkt : pending) {
+      recover_lost(pkt, wanted, stats);
+    }
+  });
+  pending.clear();
+
+  stats.completion_bytes = nic.dma().completion_bytes;
+  stats.frame_bytes = nic.dma().rx_frame_bytes;
+  stats.drops_ring_full = nic.dma().drops_ring_full;
+  stats.drops_pool_exhausted = nic.dma().drops_pool_exhausted;
+  stats.drops_oversize = nic.dma().drops_oversize;
+  return stats;
+}
+
+}  // namespace opendesc::rt

@@ -58,6 +58,9 @@ RxLoopStats run_rx_loop(sim::NicSimulator& nic, net::WorkloadGenerator& workload
 
   stats.completion_bytes = nic.dma().completion_bytes;
   stats.frame_bytes = nic.dma().rx_frame_bytes;
+  stats.drops_ring_full = nic.dma().drops_ring_full;
+  stats.drops_pool_exhausted = nic.dma().drops_pool_exhausted;
+  stats.drops_oversize = nic.dma().drops_oversize;
   return stats;
 }
 

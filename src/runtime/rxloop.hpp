@@ -17,12 +17,33 @@ struct RxLoopStats {
   std::uint64_t completion_bytes = 0;
   std::uint64_t frame_bytes = 0;
 
+  // Per-cause breakdown of device-side drops (mirrors sim::DmaAccounting).
+  std::uint64_t drops_ring_full = 0;
+  std::uint64_t drops_pool_exhausted = 0;
+  std::uint64_t drops_oversize = 0;
+
+  // Hardened-datapath counters (populated by the ValidatingRxLoop; zero for
+  // the plain loop).  packets = hw_consumed + softnic_recovered.
+  std::uint64_t hw_consumed = 0;        ///< records that passed validation
+  std::uint64_t quarantined = 0;        ///< malformed records dead-lettered
+  std::uint64_t softnic_recovered = 0;  ///< packets recovered in software
+  std::uint64_t lost_completions = 0;   ///< accepted by rx(), never completed
+  std::uint64_t rx_rejected = 0;        ///< rx() returned false (backpressure)
+  std::uint64_t unrecoverable_values = 0;  ///< wanted semantics w(s) = inf
+
   [[nodiscard]] double ns_per_packet() const noexcept {
     return packets == 0 ? 0.0 : host_ns / static_cast<double>(packets);
   }
   [[nodiscard]] double packets_per_second() const noexcept {
     const double ns = ns_per_packet();
     return ns <= 0.0 ? 0.0 : 1e9 / ns;
+  }
+  /// Fraction of offered packets whose semantics were delivered through
+  /// either path (goodput under fault).
+  [[nodiscard]] double delivery_ratio(std::uint64_t offered) const noexcept {
+    return offered == 0 ? 0.0
+                        : static_cast<double>(packets) /
+                              static_cast<double>(offered);
   }
 };
 

@@ -40,6 +40,19 @@ std::vector<core::CompiledLayout> pack_all(
 
 }  // namespace
 
+std::vector<std::string> RegisterFile::mismatches(
+    const p4::ConstEnv& assignment) const {
+  std::vector<std::string> bad;
+  for (const auto& [path, expected] : assignment) {
+    const std::uint64_t actual = read(path);
+    if (actual != expected) {
+      bad.push_back(path + " (expected " + std::to_string(expected) +
+                    ", read " + std::to_string(actual) + ")");
+    }
+  }
+  return bad;
+}
+
 ProgrammableNic::ProgrammableNic(std::string nic_name,
                                  std::vector<core::CompletionPath> paths,
                                  Endian endian,
@@ -59,15 +72,14 @@ ProgrammableNic::ProgrammableNic(std::string nic_name,
 }
 
 void ProgrammableNic::reselect() {
-  active_valid_ = false;
-  std::size_t matches = 0;
+  matched_.clear();
   for (std::size_t i = 0; i < paths_.size(); ++i) {
     if (paths_[i].constraints.satisfied_by(registers_.values())) {
       active_ = i;
-      ++matches;
+      matched_.push_back(i);
     }
   }
-  active_valid_ = matches == 1;
+  active_valid_ = matched_.size() == 1;
 }
 
 void ProgrammableNic::program(const p4::ConstEnv& assignment) {
@@ -75,7 +87,22 @@ void ProgrammableNic::program(const p4::ConstEnv& assignment) {
     throw Error(ErrorKind::simulation,
                 "quiesce the queue before reprogramming (completions pending)");
   }
-  registers_.program(assignment);
+  if (faults_ != nullptr && faults_->roll(FaultClass::ctrl_partial_program)) {
+    // Firmware applied only a prefix of the assignment before wedging —
+    // visible to the host only through readback verification.
+    const std::size_t keep =
+        static_cast<std::size_t>(faults_->rng().bounded(assignment.size()));
+    p4::ConstEnv prefix;
+    for (const auto& [path, value] : assignment) {
+      if (prefix.size() == keep) {
+        break;
+      }
+      prefix.emplace(path, value);
+    }
+    registers_.program(prefix);
+  } else {
+    registers_.program(assignment);
+  }
   reselect();
 }
 
@@ -85,16 +112,45 @@ void ProgrammableNic::write_register(const std::string& path,
     throw Error(ErrorKind::simulation,
                 "quiesce the queue before reprogramming (completions pending)");
   }
+  if (faults_ != nullptr && faults_->roll(FaultClass::ctrl_write_drop)) {
+    // MMIO write lost on the bus; the register keeps its old value.
+    reselect();
+    return;
+  }
   registers_.write(path, value);
   reselect();
 }
 
 const core::CompiledLayout& ProgrammableNic::active_layout() const {
   if (!active_valid_) {
+    if (matched_.size() > 1) {
+      std::string ids;
+      for (const std::size_t index : matched_) {
+        ids += ids.empty() ? paths_[index].id : ", " + paths_[index].id;
+      }
+      throw Error(ErrorKind::simulation,
+                  "context registers are ambiguous: completion paths {" + ids +
+                      "} all satisfied — partially-programmed context?");
+    }
     throw Error(ErrorKind::simulation,
-                "context registers select no unique completion path");
+                "context registers select no completion path (0 of " +
+                    std::to_string(paths_.size()) + " satisfied)");
   }
   return layouts_[active_];
+}
+
+void ProgrammableNic::enable_guard() {
+  if (pending() != 0) {
+    throw Error(ErrorKind::simulation,
+                "quiesce the queue before enabling the record guard");
+  }
+  std::size_t max_bytes = 1;
+  for (core::CompiledLayout& layout : layouts_) {
+    layout = layout.with_guard();
+    max_bytes = std::max(max_bytes, layout.total_bytes());
+  }
+  // Re-size the completion ring for the grown records.
+  ring_ = ByteRing(config_.cmpt_ring_entries, max_bytes);
 }
 
 const std::string& ProgrammableNic::active_path_id() const {
@@ -105,16 +161,26 @@ bool ProgrammableNic::rx(const net::Packet& packet) {
   const core::CompiledLayout& layout = active_layout();
   if (packet.size() > buffers_.buffer_size()) {
     ++dma_.drops;
+    ++dma_.drops_oversize;
     return false;
+  }
+  const RecordFaultPlan plan =
+      faults_ ? faults_->plan_record(layout.total_bytes()) : RecordFaultPlan{};
+  if (plan.drop_completion) {
+    dma_.rx_frame_bytes += packet.size();
+    ++dma_.frames;
+    return true;
   }
   std::span<std::uint8_t> slot = ring_.produce_slot();
   if (slot.empty()) {
     ++dma_.drops;
+    ++dma_.drops_ring_full;
     return false;
   }
   std::uint32_t buffer_id = 0;
   if (!buffers_.allocate(buffer_id)) {
     ++dma_.drops;
+    ++dma_.drops_pool_exhausted;
     return false;
   }
 
@@ -131,11 +197,37 @@ bool ProgrammableNic::rx(const net::Packet& packet) {
     }
   }
   layout.serialize(slot, values);
+  layout.seal(slot, packet.bytes());
+
+  std::uint32_t record_len = static_cast<std::uint32_t>(layout.total_bytes());
+  std::uint64_t visible_at = 0;
+  if (faults_) {
+    if (plan.stale && !last_record_.empty()) {
+      const std::size_t n =
+          std::min<std::size_t>(last_record_.size(), slot.size());
+      std::copy(last_record_.begin(),
+                last_record_.begin() + static_cast<std::ptrdiff_t>(n),
+                slot.begin());
+    } else {
+      last_record_.assign(slot.begin(),
+                          slot.begin() + static_cast<std::ptrdiff_t>(record_len));
+    }
+    if (plan.bitflip) {
+      faults_->corrupt_record(slot.first(record_len));
+    }
+    if (plan.truncate_to != 0) {
+      record_len = static_cast<std::uint32_t>(
+          std::min<std::size_t>(plan.truncate_to, record_len));
+    }
+    if (plan.delay_polls != 0) {
+      visible_at = poll_seq_ + plan.delay_polls;
+    }
+  }
 
   std::span<std::uint8_t> buffer = buffers_.buffer(buffer_id);
   std::copy(packet.data.begin(), packet.data.end(), buffer.begin());
   inflight_.push_back({buffer_id, static_cast<std::uint32_t>(packet.size()),
-                       static_cast<std::uint32_t>(layout.total_bytes())});
+                       record_len, visible_at});
   ring_.push();
 
   dma_.completion_bytes += layout.total_bytes();
@@ -147,11 +239,16 @@ bool ProgrammableNic::rx(const net::Packet& packet) {
 }
 
 std::size_t ProgrammableNic::poll(std::span<RxEvent> out) const {
-  const std::size_t n = std::min(out.size(), ring_.size());
-  for (std::size_t i = 0; i < n; ++i) {
-    const Inflight& frame = inflight_[i];
-    out[i].record = ring_.peek(ring_.tail() + i).first(frame.record_len);
-    out[i].frame = buffers_.buffer(frame.buffer_id).first(frame.frame_len);
+  ++poll_seq_;
+  const std::size_t limit = std::min(out.size(), ring_.size());
+  std::size_t n = 0;
+  for (; n < limit; ++n) {
+    const Inflight& frame = inflight_[n];
+    if (frame.visible_at_poll > poll_seq_) {
+      break;
+    }
+    out[n].record = ring_.peek(ring_.tail() + n).first(frame.record_len);
+    out[n].frame = buffers_.buffer(frame.buffer_id).first(frame.frame_len);
   }
   return n;
 }

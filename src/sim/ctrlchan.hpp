@@ -34,6 +34,18 @@ class RegisterFile {
   }
   [[nodiscard]] const p4::ConstEnv& values() const noexcept { return values_; }
 
+  /// Readback verification: every register whose current value differs from
+  /// `assignment`, as "path (expected E, read R)" strings.  Empty when the
+  /// assignment took effect — the building block of verify-after-write
+  /// control programming.
+  [[nodiscard]] std::vector<std::string> mismatches(
+      const p4::ConstEnv& assignment) const;
+
+  /// True when readback matches `assignment` exactly.
+  [[nodiscard]] bool verify(const p4::ConstEnv& assignment) const {
+    return mismatches(assignment).empty();
+  }
+
  private:
   p4::ConstEnv values_;
 };
@@ -52,15 +64,25 @@ class ProgrammableNic {
   /// The control channel.  Register writes take effect on the next rx();
   /// reconfiguring with completions pending is rejected (drain first), as
   /// real drivers quiesce a queue before reprogramming it.
+  ///
+  /// Under fault injection writes may be silently dropped
+  /// (FaultClass::ctrl_write_drop) and program() may apply only a prefix of
+  /// the assignment (FaultClass::ctrl_partial_program) — exactly the
+  /// failure modes rt::program_with_verify detects via readback.
   void program(const p4::ConstEnv& assignment);
   void write_register(const std::string& path, std::uint64_t value);
   [[nodiscard]] const RegisterFile& registers() const noexcept { return registers_; }
 
   /// The layout the current register values select.  Throws
-  /// Error(simulation) when no path (or more than one) matches — a
-  /// misprogrammed device.
+  /// Error(simulation) when no path matches, or — naming the conflicting
+  /// path ids — when several match (a misprogrammed device).
   [[nodiscard]] const core::CompiledLayout& active_layout() const;
   [[nodiscard]] const std::string& active_path_id() const;
+
+  /// Guards every completion record: each layout grows a 16-bit integrity
+  /// tag the host can validate.  Call before any traffic (throws with
+  /// completions pending).
+  void enable_guard();
 
   /// Datapath (same contract as NicSimulator).
   bool rx(const net::Packet& packet);
@@ -68,6 +90,13 @@ class ProgrammableNic {
   void advance(std::size_t n);
   [[nodiscard]] std::size_t pending() const noexcept { return ring_.size(); }
   [[nodiscard]] const DmaAccounting& dma() const noexcept { return dma_; }
+  [[nodiscard]] std::size_t free_buffers() const noexcept {
+    return buffers_.free_count();
+  }
+
+  /// Attaches a fault injector (nullptr detaches); must outlive the NIC.
+  void set_fault_injector(FaultInjector* injector) noexcept { faults_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const noexcept { return faults_; }
 
  private:
   void reselect();
@@ -79,6 +108,7 @@ class ProgrammableNic {
   SimConfig config_;
   RegisterFile registers_;
   std::size_t active_ = 0;
+  std::vector<std::size_t> matched_;  ///< all paths the registers satisfy
   bool active_valid_ = false;
   softnic::RxContext ctx_;
   ByteRing ring_;
@@ -87,9 +117,13 @@ class ProgrammableNic {
     std::uint32_t buffer_id;
     std::uint32_t frame_len;
     std::uint32_t record_len;
+    std::uint64_t visible_at_poll;
   };
   std::vector<Inflight> inflight_;
   DmaAccounting dma_;
+  FaultInjector* faults_ = nullptr;
+  std::vector<std::uint8_t> last_record_;
+  mutable std::uint64_t poll_seq_ = 0;
 };
 
 }  // namespace opendesc::sim

@@ -18,7 +18,13 @@ struct DmaAccounting {
   std::uint64_t descriptor_bytes = 0;   ///< host → NIC posted descriptors
   std::uint64_t completions = 0;
   std::uint64_t frames = 0;
-  std::uint64_t drops = 0;              ///< ring-full drops
+  std::uint64_t drops = 0;              ///< total drops (sum of the causes)
+
+  // Per-cause breakdown of `drops` — operators need to know *why* a device
+  // sheds load (undersized ring vs exhausted pool vs oversize frames).
+  std::uint64_t drops_ring_full = 0;
+  std::uint64_t drops_pool_exhausted = 0;
+  std::uint64_t drops_oversize = 0;
 
   [[nodiscard]] std::uint64_t total_to_host() const noexcept {
     return completion_bytes + rx_frame_bytes;

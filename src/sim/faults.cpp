@@ -1,0 +1,83 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+
+namespace opendesc::sim {
+
+std::string_view to_string(FaultClass fault) noexcept {
+  switch (fault) {
+    case FaultClass::record_bitflip: return "record_bitflip";
+    case FaultClass::record_truncate: return "record_truncate";
+    case FaultClass::record_stale: return "record_stale";
+    case FaultClass::completion_drop: return "completion_drop";
+    case FaultClass::doorbell_delay: return "doorbell_delay";
+    case FaultClass::tx_misparse: return "tx_misparse";
+    case FaultClass::ctrl_write_drop: return "ctrl_write_drop";
+    case FaultClass::ctrl_partial_program: return "ctrl_partial_program";
+  }
+  return "unknown";
+}
+
+FaultConfig FaultConfig::composite(double rate, std::uint64_t seed) {
+  FaultConfig config;
+  config.seed = seed;
+  config.probability.fill(rate);
+  return config;
+}
+
+RecordFaultPlan FaultInjector::plan_record(std::size_t record_bytes) {
+  RecordFaultPlan plan;
+  // Draw every class unconditionally so the PRNG stream stays aligned
+  // across runs that differ only in which faults happen to fire.
+  const bool drop = roll(FaultClass::completion_drop);
+  const bool stale = roll(FaultClass::record_stale);
+  const bool flip = roll(FaultClass::record_bitflip);
+  const bool truncate = roll(FaultClass::record_truncate);
+  const bool delay = roll(FaultClass::doorbell_delay);
+  if (drop) {
+    plan.drop_completion = true;
+    return plan;
+  }
+  plan.stale = stale;
+  plan.bitflip = flip;
+  if (truncate && record_bytes > 1) {
+    // Cut somewhere inside the record: [1, record_bytes - 1] bytes survive.
+    plan.truncate_to = 1 + static_cast<std::size_t>(
+                               rng_.bounded(record_bytes - 1));
+  }
+  if (delay) {
+    plan.delay_polls = config_.doorbell_delay_polls;
+  }
+  return plan;
+}
+
+void FaultInjector::corrupt_record(std::span<std::uint8_t> record) {
+  if (record.empty()) {
+    return;
+  }
+  const std::uint32_t flips =
+      1 + static_cast<std::uint32_t>(rng_.bounded(config_.max_bitflips));
+  for (std::uint32_t i = 0; i < flips; ++i) {
+    const std::size_t bit = static_cast<std::size_t>(rng_.bounded(record.size() * 8));
+    record[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+std::size_t FaultInjector::corrupt_descriptor(std::span<std::uint8_t> desc) {
+  if (desc.empty()) {
+    return 0;
+  }
+  if (rng_.chance(0.5)) {
+    // Truncation: the DMA read stopped early.
+    return static_cast<std::size_t>(rng_.bounded(desc.size()));
+  }
+  const std::uint32_t flips =
+      1 + static_cast<std::uint32_t>(rng_.bounded(config_.max_bitflips));
+  for (std::uint32_t i = 0; i < flips; ++i) {
+    const std::size_t bit = static_cast<std::size_t>(rng_.bounded(desc.size() * 8));
+    desc[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+  return desc.size();
+}
+
+}  // namespace opendesc::sim

@@ -1,0 +1,133 @@
+// Deterministic fault injection for the simulated NICs.
+//
+// Real devices fail in ways the descriptor contract cannot prevent: firmware
+// writes a torn or stale completion, a DMA engine truncates a record, a
+// doorbell update is delayed, an MMIO register write is silently lost.  The
+// FaultInjector reproduces each of these classes on demand — seeded, so a
+// (config, schedule) pair always yields the identical fault sequence — and
+// the hardened host datapath (runtime/guard.hpp) is tested against it.
+//
+// Injection sites:
+//  * NicSimulator::rx / ProgrammableNic::rx — record bit flips, truncation,
+//    stale/duplicated ring entries, dropped completions, delayed doorbells;
+//  * NicSimulator::tx_post — descriptor mis-parses (corrupted/truncated
+//    descriptor bytes before the DescParser sees them);
+//  * ProgrammableNic::write_register / program — dropped register writes and
+//    partially applied context assignments.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "common/rng.hpp"
+
+namespace opendesc::sim {
+
+/// Every injectable fault class.
+enum class FaultClass : std::size_t {
+  record_bitflip,        ///< completion-record bit flips after sealing
+  record_truncate,       ///< completion record cut short
+  record_stale,          ///< slot overwritten with the previous record
+  completion_drop,       ///< frame accepted, completion never written
+  doorbell_delay,        ///< completion visible only N polls late
+  tx_misparse,           ///< TX descriptor corrupted before parsing
+  ctrl_write_drop,       ///< register write silently lost
+  ctrl_partial_program,  ///< program() applies only a prefix
+};
+
+inline constexpr std::size_t kFaultClassCount = 8;
+
+[[nodiscard]] std::string_view to_string(FaultClass fault) noexcept;
+
+/// Per-class injection probabilities plus shaping knobs.  All probabilities
+/// are per-opportunity (per received packet, per posted descriptor, per
+/// register write).
+struct FaultConfig {
+  std::uint64_t seed = 1;
+  std::array<double, kFaultClassCount> probability{};  ///< indexed by FaultClass
+
+  std::uint32_t max_bitflips = 4;        ///< bits flipped per corrupted record
+  std::uint32_t doorbell_delay_polls = 3;///< extra polls before visibility
+
+  [[nodiscard]] double& rate(FaultClass fault) noexcept {
+    return probability[static_cast<std::size_t>(fault)];
+  }
+  [[nodiscard]] double rate(FaultClass fault) const noexcept {
+    return probability[static_cast<std::size_t>(fault)];
+  }
+
+  /// Uniform composite rate: every class injected with probability `rate`.
+  [[nodiscard]] static FaultConfig composite(double rate, std::uint64_t seed);
+};
+
+/// Injection counters, by class.
+struct FaultStats {
+  std::array<std::uint64_t, kFaultClassCount> injected{};
+
+  [[nodiscard]] std::uint64_t count(FaultClass fault) const noexcept {
+    return injected[static_cast<std::size_t>(fault)];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t n : injected) {
+      sum += n;
+    }
+    return sum;
+  }
+  void reset() noexcept { injected = {}; }
+};
+
+/// What the injector decided to do to one completion record.  Produced
+/// before the record is DMA'd so the simulators can apply the faults at the
+/// right pipeline stage.
+struct RecordFaultPlan {
+  bool drop_completion = false;   ///< do not write the record at all
+  bool stale = false;             ///< replace with the previous record bytes
+  bool bitflip = false;           ///< flip 1..max_bitflips bits
+  std::size_t truncate_to = 0;    ///< 0 = full length, else shortened length
+  std::uint32_t delay_polls = 0;  ///< 0 = visible immediately
+};
+
+/// Seeded fault source shared by the simulators.  One injector instance per
+/// device; every decision consumes PRNG state in call order, so a fixed
+/// (seed, schedule) pair reproduces the exact same fault pattern.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config) : config_(config), rng_(config.seed) {}
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+  /// One Bernoulli draw for `fault`; counts the injection when it fires.
+  [[nodiscard]] bool roll(FaultClass fault) {
+    const bool fire = rng_.chance(config_.rate(fault));
+    if (fire) {
+      ++stats_.injected[static_cast<std::size_t>(fault)];
+    }
+    return fire;
+  }
+
+  /// Draws the fault plan for one completion record of `record_bytes`.
+  /// A dropped completion short-circuits the other record faults.
+  [[nodiscard]] RecordFaultPlan plan_record(std::size_t record_bytes);
+
+  /// Applies bit flips to a sealed record (1..max_bitflips random bits).
+  void corrupt_record(std::span<std::uint8_t> record);
+
+  /// Corrupts a TX descriptor in place: either bit flips or truncation
+  /// (returns the new length; <= desc.size()).
+  [[nodiscard]] std::size_t corrupt_descriptor(std::span<std::uint8_t> desc);
+
+  /// Raw generator access for schedule-level randomness (tests).
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+  FaultStats stats_;
+};
+
+}  // namespace opendesc::sim

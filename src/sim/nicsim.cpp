@@ -21,16 +21,29 @@ NicSimulator::NicSimulator(core::CompiledLayout layout,
 bool NicSimulator::rx(const net::Packet& packet) {
   if (packet.size() > buffers_.buffer_size()) {
     ++dma_.drops;
+    ++dma_.drops_oversize;
     return false;
+  }
+  const RecordFaultPlan plan =
+      faults_ ? faults_->plan_record(layout_.total_bytes()) : RecordFaultPlan{};
+  if (plan.drop_completion) {
+    // Device accepted the frame (it crossed the link) but firmware lost the
+    // completion: the host never sees an event for this packet.  The buffer
+    // is recycled device-side so the pool does not leak.
+    dma_.rx_frame_bytes += packet.size();
+    ++dma_.frames;
+    return true;
   }
   std::span<std::uint8_t> slot = cmpt_ring_.produce_slot();
   if (slot.empty()) {
     ++dma_.drops;
+    ++dma_.drops_ring_full;
     return false;
   }
   std::uint32_t buffer_id = 0;
   if (!buffers_.allocate(buffer_id)) {
     ++dma_.drops;
+    ++dma_.drops_pool_exhausted;
     return false;
   }
 
@@ -50,12 +63,36 @@ bool NicSimulator::rx(const net::Packet& packet) {
     }
   }
   layout_.serialize(slot, scratch_values_);
+  layout_.seal(slot, packet.bytes());
+
+  // --- Fault model: corrupt the sealed record before the host sees it. ---
+  std::uint32_t record_len = static_cast<std::uint32_t>(layout_.total_bytes());
+  std::uint64_t visible_at = 0;
+  if (faults_) {
+    if (plan.stale && !last_record_.empty()) {
+      // The deparser re-emitted the previous completion into this slot.
+      std::copy(last_record_.begin(), last_record_.end(), slot.begin());
+    } else {
+      last_record_.assign(slot.begin(),
+                          slot.begin() + static_cast<std::ptrdiff_t>(record_len));
+    }
+    if (plan.bitflip) {
+      faults_->corrupt_record(slot.first(record_len));
+    }
+    if (plan.truncate_to != 0) {
+      record_len = static_cast<std::uint32_t>(
+          std::min<std::size_t>(plan.truncate_to, record_len));
+    }
+    if (plan.delay_polls != 0) {
+      visible_at = poll_seq_ + plan.delay_polls;
+    }
+  }
 
   // --- DMA: frame into the posted buffer, completion onto the ring. ---
   std::span<std::uint8_t> buffer = buffers_.buffer(buffer_id);
   std::copy(packet.data.begin(), packet.data.end(), buffer.begin());
-  inflight_.push_back(
-      {buffer_id, static_cast<std::uint32_t>(packet.size())});
+  inflight_.push_back({buffer_id, static_cast<std::uint32_t>(packet.size()),
+                       record_len, visible_at});
   cmpt_ring_.push();
 
   dma_.completion_bytes += layout_.total_bytes();
@@ -67,18 +104,20 @@ bool NicSimulator::rx(const net::Packet& packet) {
 }
 
 std::size_t NicSimulator::poll(std::span<RxEvent> out) const {
-  const std::size_t n = std::min(out.size(), cmpt_ring_.size());
-  // Peek entries tail..tail+n-1.  ByteRing only exposes front(); compute
-  // slots directly from the inflight FIFO, which is ring-order aligned.
-  for (std::size_t i = 0; i < n; ++i) {
-    // The i-th pending record is i entries past the tail.
-    const std::uint64_t index = cmpt_ring_.tail() + i;
-    // front() covers i == 0; for the rest we reconstruct the slot span via
-    // the ring's storage layout.  ByteRing keeps that private, so we use
-    // its peek_at accessor.
-    out[i].record = cmpt_ring_.peek(index);
-    const InflightFrame& frame = inflight_[i];
-    out[i].frame = buffers_.buffer(frame.buffer_id).first(frame.frame_len);
+  // Each poll advances the doorbell clock; a delayed completion blocks
+  // itself and everything behind it (the tail pointer is FIFO) until its
+  // visibility poll is reached.
+  ++poll_seq_;
+  const std::size_t limit = std::min(out.size(), cmpt_ring_.size());
+  std::size_t n = 0;
+  for (; n < limit; ++n) {
+    const InflightFrame& frame = inflight_[n];
+    if (frame.visible_at_poll > poll_seq_) {
+      break;
+    }
+    // The n-th pending record is n entries past the tail.
+    out[n].record = cmpt_ring_.peek(cmpt_ring_.tail() + n).first(frame.record_len);
+    out[n].frame = buffers_.buffer(frame.buffer_id).first(frame.frame_len);
   }
   return n;
 }
@@ -105,6 +144,16 @@ void NicSimulator::tx_post(std::span<const std::uint8_t> desc,
   if (!tx_layout_) {
     throw Error(ErrorKind::simulation, "tx_post before configure_tx");
   }
+  // Fault model: the DMA read of the descriptor returns corrupted or short
+  // bytes, so the DescParser walks garbage (mis-parse).  A truncated read
+  // surfaces as the typed too-short error below.
+  std::vector<std::uint8_t> misparsed;
+  if (faults_ && faults_->roll(FaultClass::tx_misparse)) {
+    misparsed.assign(desc.begin(), desc.end());
+    const std::size_t len = faults_->corrupt_descriptor(misparsed);
+    misparsed.resize(len);
+    desc = misparsed;
+  }
   const core::CompiledLayout& fmt = *tx_layout_;
   if (desc.size() < fmt.total_bytes()) {
     throw Error(ErrorKind::simulation,
@@ -124,26 +173,38 @@ void NicSimulator::tx_post(std::span<const std::uint8_t> desc,
                                  frame.begin() + static_cast<std::ptrdiff_t>(len));
 
   // Offload execution order mirrors real pipelines: tag insertion first,
-  // then segmentation, then checksum insertion per resulting frame.
-  const std::uint64_t vlan = field(SemanticId::tx_vlan_insert);
-  if (vlan != 0) {
-    wire = net::insert_vlan(wire, static_cast<std::uint16_t>(vlan));
-  }
-
+  // then segmentation, then checksum insertion per resulting frame.  The
+  // helpers reject impossible requests (double VLAN tag, unparsable frame)
+  // with standard exceptions; a mis-parsed descriptor can trigger any of
+  // them, so translate into the typed simulation error — the datapath
+  // contract is that only Error escapes tx_post.
   std::vector<std::vector<std::uint8_t>> frames;
-  if (field(SemanticId::tx_tso_en) != 0) {
-    const std::size_t mss =
-        static_cast<std::size_t>(field(SemanticId::tx_tso_mss));
-    frames = net::tso_segment(wire, mss == 0 ? 1460 : mss);
-  } else {
-    frames.push_back(std::move(wire));
+  try {
+    const std::uint64_t vlan = field(SemanticId::tx_vlan_insert);
+    if (vlan != 0) {
+      wire = net::insert_vlan(wire, static_cast<std::uint16_t>(vlan));
+    }
+    if (field(SemanticId::tx_tso_en) != 0) {
+      const std::size_t mss =
+          static_cast<std::size_t>(field(SemanticId::tx_tso_mss));
+      frames = net::tso_segment(wire, mss == 0 ? 1460 : mss);
+    } else {
+      frames.push_back(std::move(wire));
+    }
+    if (field(SemanticId::tx_csum_en) != 0) {
+      for (auto& out : frames) {
+        net::patch_l4_checksum(out);
+      }
+    }
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception& err) {
+    throw Error(ErrorKind::simulation,
+                std::string("tx offload rejected descriptor/frame: ") +
+                    err.what());
   }
 
-  const bool csum = field(SemanticId::tx_csum_en) != 0;
   for (auto& out : frames) {
-    if (csum) {
-      net::patch_l4_checksum(out);
-    }
     dma_.descriptor_bytes += fmt.total_bytes();
     transmitted_.push_back(std::move(out));
   }

@@ -16,6 +16,7 @@
 #include "core/layout.hpp"
 #include "net/packet.hpp"
 #include "sim/dma.hpp"
+#include "sim/faults.hpp"
 #include "sim/ring.hpp"
 #include "softnic/compute.hpp"
 
@@ -59,6 +60,18 @@ class NicSimulator {
   [[nodiscard]] const core::CompiledLayout& layout() const noexcept { return layout_; }
   [[nodiscard]] const softnic::RxContext& context() const noexcept { return ctx_; }
 
+  /// Free receive buffers (leak diagnostics: after a full drain this must
+  /// equal the configured pool size).
+  [[nodiscard]] std::size_t free_buffers() const noexcept {
+    return buffers_.free_count();
+  }
+
+  /// Attaches a fault injector (nullptr detaches).  The injector must
+  /// outlive the simulator; it is shared so the control channel and the
+  /// datapath draw from one deterministic stream.
+  void set_fault_injector(FaultInjector* injector) noexcept { faults_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const noexcept { return faults_; }
+
   // --- TX path (host → NIC → wire) -----------------------------------------
 
   /// Programs the TX descriptor format the NIC's DescParser will use
@@ -92,16 +105,22 @@ class NicSimulator {
   ByteRing cmpt_ring_;
   BufferPool buffers_;
   // Per in-flight completion, in ring order: which pool buffer holds the
-  // frame and how long the frame is.
+  // frame, how long frame and record are, and (fault model) from which poll
+  // sequence number the completion becomes host-visible.
   struct InflightFrame {
     std::uint32_t buffer_id = 0;
     std::uint32_t frame_len = 0;
+    std::uint32_t record_len = 0;
+    std::uint64_t visible_at_poll = 0;
   };
   std::vector<InflightFrame> inflight_;  ///< FIFO aligned with the ring
   DmaAccounting dma_;
   std::vector<std::uint64_t> scratch_values_;  ///< per-slice serialize buffer
   std::optional<core::CompiledLayout> tx_layout_;
   std::vector<std::vector<std::uint8_t>> transmitted_;
+  FaultInjector* faults_ = nullptr;
+  std::vector<std::uint8_t> last_record_;  ///< previous record (stale faults)
+  mutable std::uint64_t poll_seq_ = 0;     ///< doorbell-delay clock
 };
 
 }  // namespace opendesc::sim

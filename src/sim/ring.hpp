@@ -48,6 +48,18 @@ class ByteRing {
                                                            entry_size_);
   }
 
+  /// Mutable view of the entry at free-running index `index` (must be in
+  /// [tail, head)); empty span otherwise.  Exists for fault injection: a
+  /// misbehaving device scribbling over an already-produced slot (stale or
+  /// duplicated completion) is modelled by rewriting the slot in place.
+  [[nodiscard]] std::span<std::uint8_t> mutable_peek(std::uint64_t index) noexcept {
+    if (index < tail_ || index >= head_) {
+      return {};
+    }
+    return std::span<std::uint8_t>(storage_).subspan(slot_offset(index),
+                                                     entry_size_);
+  }
+
   /// Free-running indices (test/diagnostic access).
   [[nodiscard]] std::uint64_t head() const noexcept { return head_; }
   [[nodiscard]] std::uint64_t tail() const noexcept { return tail_; }

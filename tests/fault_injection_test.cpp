@@ -1,0 +1,405 @@
+// Seeded fault-matrix tests: every fault class, on both simulated devices,
+// against the hardened host datapath.  The acceptance bar (ISSUE 1): under a
+// fixed seed and a 1% composite fault rate over 100k packets — zero crashes,
+// zero buffer-pool leaks, 100% of the wanted semantics delivered through the
+// hardware or SoftNIC path, and exactly reproducible recovery counters.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "net/workload.hpp"
+#include "nic/model.hpp"
+#include "runtime/guard.hpp"
+#include "sim/ctrlchan.hpp"
+
+namespace opendesc::rt {
+namespace {
+
+using sim::FaultClass;
+using sim::FaultConfig;
+using sim::FaultInjector;
+using softnic::SemanticId;
+
+constexpr std::array<SemanticId, 3> kWanted = {
+    SemanticId::rss_hash, SemanticId::vlan_tci, SemanticId::pkt_len};
+
+struct Fixture {
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs{registry};
+  core::Compiler compiler{registry, costs};
+  softnic::ComputeEngine engine{registry};
+  core::CompileResult result;
+  core::CompiledLayout wire_layout;  ///< guarded layout the device serializes
+
+  Fixture()
+      : result(compiler.compile(
+            nic::NicCatalog::by_name("ice").p4_source(),
+            R"(header i_t {
+                @semantic("rss")     bit<32> h;
+                @semantic("vlan")    bit<16> v;
+                @semantic("pkt_len") bit<16> l;
+            })",
+            {})),
+        wire_layout(result.layout.with_guard()) {}
+
+  [[nodiscard]] net::WorkloadGenerator workload() const {
+    net::WorkloadConfig config;
+    config.seed = 42;
+    config.vlan_probability = 0.5;
+    return net::WorkloadGenerator(config);
+  }
+
+  /// Runs the validating loop over a guarded NicSimulator with `faults`
+  /// attached (nullptr = fault-free golden run).
+  [[nodiscard]] RxLoopStats run_sim(FaultInjector* faults,
+                                    std::size_t packets,
+                                    ValidatingRxLoop* loop_out = nullptr) {
+    sim::NicSimulator nic(wire_layout, engine, {});
+    nic.set_fault_injector(faults);
+    net::WorkloadGenerator gen = workload();
+    OpenDescStrategy strategy(result, engine);
+    ValidatingRxLoop loop(wire_layout, engine);
+    RxLoopConfig config;
+    config.packet_count = packets;
+    const RxLoopStats stats = loop.run(nic, gen, strategy, kWanted, config);
+    // No leak: every pool buffer is back after the loop drained the device.
+    EXPECT_EQ(nic.free_buffers(), sim::SimConfig{}.rx_buffer_count);
+    EXPECT_EQ(nic.pending(), 0u);
+    if (loop_out != nullptr) {
+      *loop_out = loop;
+    }
+    return stats;
+  }
+};
+
+FaultConfig single_fault(FaultClass fault, double rate, std::uint64_t seed) {
+  FaultConfig config;
+  config.seed = seed;
+  config.rate(fault) = rate;
+  return config;
+}
+
+TEST(FaultMatrix, EachRecordFaultClassOnNicSimulator) {
+  Fixture fx;
+  constexpr std::size_t kPackets = 5000;
+  const RxLoopStats golden = fx.run_sim(nullptr, kPackets);
+  ASSERT_EQ(golden.packets, kPackets);
+  ASSERT_EQ(golden.hw_consumed, kPackets);
+  ASSERT_EQ(golden.quarantined, 0u);
+
+  constexpr FaultClass kRecordFaults[] = {
+      FaultClass::record_bitflip, FaultClass::record_truncate,
+      FaultClass::record_stale, FaultClass::completion_drop,
+      FaultClass::doorbell_delay};
+  for (const FaultClass fault : kRecordFaults) {
+    SCOPED_TRACE(std::string(sim::to_string(fault)));
+    FaultInjector injector(single_fault(fault, 0.05, 7));
+    const RxLoopStats stats = fx.run_sim(&injector, kPackets);
+
+    // Nothing lost: every packet's wanted semantics were delivered, and the
+    // recovered values match the fault-free run bit for bit.
+    EXPECT_EQ(stats.packets, kPackets);
+    EXPECT_EQ(stats.hw_consumed + stats.softnic_recovered, kPackets);
+    EXPECT_EQ(stats.value_checksum, golden.value_checksum);
+    EXPECT_DOUBLE_EQ(stats.delivery_ratio(kPackets), 1.0);
+
+    const std::uint64_t injections = injector.stats().count(fault);
+    EXPECT_GT(injections, 0u);
+    switch (fault) {
+      case FaultClass::record_bitflip:
+      case FaultClass::record_truncate:
+      case FaultClass::record_stale:
+        // Corruption is caught by validation and quarantined.
+        EXPECT_EQ(stats.quarantined, injections);
+        EXPECT_EQ(stats.softnic_recovered, injections);
+        break;
+      case FaultClass::completion_drop:
+        // Lost completions are detected by FIFO re-alignment.
+        EXPECT_EQ(stats.lost_completions, injections);
+        EXPECT_EQ(stats.quarantined, 0u);
+        break;
+      case FaultClass::doorbell_delay:
+        // Late completions are still valid — just reordered in time.
+        EXPECT_EQ(stats.hw_consumed, kPackets);
+        EXPECT_EQ(stats.quarantined, 0u);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST(FaultMatrix, EachRecordFaultClassOnProgrammableNic) {
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs(registry);
+  core::Compiler compiler(registry, costs);
+  softnic::ComputeEngine engine(registry);
+  const nic::NicModel& model = nic::NicCatalog::by_name("e1000e");
+  const auto result = compiler.compile(
+      model.p4_source(), R"(header i_t { @semantic("rss") bit<32> h; })", {});
+  const core::Cfg cfg = core::build_cfg(model.program(), model.types(),
+                                        model.deparser(), registry);
+  core::PathEnumOptions options;
+  options.consts = model.types().constants();
+  options.variable_bounds =
+      core::context_bounds(model.program(), model.types(), model.deparser());
+  const std::vector<SemanticId> wanted = {SemanticId::rss_hash};
+
+  constexpr FaultClass kRecordFaults[] = {
+      FaultClass::record_bitflip, FaultClass::record_truncate,
+      FaultClass::record_stale, FaultClass::completion_drop,
+      FaultClass::doorbell_delay};
+
+  const auto run = [&](FaultInjector* faults) {
+    sim::ProgrammableNic nic("e1000e", core::enumerate_paths(cfg, options),
+                             core::deparser_endian(model.deparser()), engine);
+    nic.program(result.context_assignment);
+    nic.enable_guard();
+    nic.set_fault_injector(faults);
+    const core::CompiledLayout& wire = nic.active_layout();
+    EXPECT_TRUE(wire.has_guard());
+
+    net::WorkloadConfig wconfig;
+    wconfig.seed = 9;
+    net::WorkloadGenerator gen(wconfig);
+    OpenDescStrategy strategy(result, engine);
+    ValidatingRxLoop loop(wire, engine);
+    RxLoopConfig config;
+    config.packet_count = 3000;
+    const RxLoopStats stats = loop.run(nic, gen, strategy, wanted, config);
+    EXPECT_EQ(nic.free_buffers(), sim::SimConfig{}.rx_buffer_count);
+    return stats;
+  };
+
+  const RxLoopStats golden = run(nullptr);
+  ASSERT_EQ(golden.packets, 3000u);
+  for (const FaultClass fault : kRecordFaults) {
+    SCOPED_TRACE(std::string(sim::to_string(fault)));
+    FaultInjector injector(single_fault(fault, 0.05, 11));
+    const RxLoopStats stats = run(&injector);
+    EXPECT_EQ(stats.packets, 3000u);
+    EXPECT_EQ(stats.value_checksum, golden.value_checksum);
+    EXPECT_GT(injector.stats().count(fault), 0u);
+  }
+}
+
+TEST(FaultMatrix, CompositeAcceptance100kPackets) {
+  // The ISSUE's acceptance run: fixed seed, 1% composite rate, 100k packets.
+  Fixture fx;
+  constexpr std::size_t kPackets = 100000;
+  const RxLoopStats golden = fx.run_sim(nullptr, kPackets);
+
+  const auto faulted = [&](ValidatingRxLoop* loop_out) {
+    FaultInjector injector(FaultConfig::composite(0.01, 2026));
+    const RxLoopStats stats = fx.run_sim(&injector, kPackets, loop_out);
+    return std::pair(stats, injector.stats());
+  };
+
+  ValidatingRxLoop loop_a(fx.wire_layout, fx.engine);
+  const auto [stats_a, faults_a] = faulted(&loop_a);
+
+  // Zero crashes (we got here), zero leaks (checked inside run_sim), and
+  // 100% of the wanted semantics delivered through one path or the other.
+  EXPECT_EQ(stats_a.packets, kPackets);
+  EXPECT_EQ(stats_a.hw_consumed + stats_a.softnic_recovered, kPackets);
+  EXPECT_DOUBLE_EQ(stats_a.delivery_ratio(kPackets), 1.0);
+  EXPECT_EQ(stats_a.value_checksum, golden.value_checksum);
+  EXPECT_EQ(stats_a.unrecoverable_values, 0u);
+  EXPECT_GT(stats_a.quarantined, 0u);
+  EXPECT_GT(stats_a.lost_completions, 0u);
+
+  // Reproducibility: a second same-seed run yields identical counters.
+  ValidatingRxLoop loop_b(fx.wire_layout, fx.engine);
+  const auto [stats_b, faults_b] = faulted(&loop_b);
+  EXPECT_EQ(stats_a.value_checksum, stats_b.value_checksum);
+  EXPECT_EQ(stats_a.quarantined, stats_b.quarantined);
+  EXPECT_EQ(stats_a.softnic_recovered, stats_b.softnic_recovered);
+  EXPECT_EQ(stats_a.lost_completions, stats_b.lost_completions);
+  EXPECT_EQ(stats_a.hw_consumed, stats_b.hw_consumed);
+  EXPECT_EQ(faults_a.injected, faults_b.injected);
+  EXPECT_EQ(loop_a.dead_letters().total(), loop_b.dead_letters().total());
+}
+
+TEST(FaultMatrix, GuardCatchesStaleRecordsPlainLengthCheckCannot) {
+  // A stale record is internally consistent — only the frame-bound guard
+  // tag exposes it.  Without the guard the loop consumes wrong values.
+  Fixture fx;
+  FaultInjector injector(single_fault(FaultClass::record_stale, 0.2, 3));
+  ValidatingRxLoop loop(fx.wire_layout, fx.engine);
+  const RxLoopStats stats = fx.run_sim(&injector, 2000, &loop);
+  EXPECT_EQ(stats.quarantined, loop.dead_letters().total());
+  EXPECT_EQ(loop.dead_letters().count(RecordVerdict::bad_guard_tag),
+            loop.dead_letters().total());
+}
+
+TEST(DeadLetterBuffer, BoundedAndInspectable) {
+  DeadLetterBuffer buffer(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    QuarantinedRecord letter;
+    letter.record = {std::uint8_t(i)};
+    letter.reason = i % 2 == 0 ? RecordVerdict::truncated
+                               : RecordVerdict::bad_guard_tag;
+    letter.sequence = i;
+    buffer.push(std::move(letter));
+  }
+  EXPECT_EQ(buffer.total(), 10u);
+  EXPECT_EQ(buffer.entries().size(), 4u);  // only the newest 4 retained
+  EXPECT_EQ(buffer.entries().front().sequence, 6u);
+  EXPECT_EQ(buffer.entries().back().sequence, 9u);
+  EXPECT_EQ(buffer.count(RecordVerdict::truncated), 5u);
+  EXPECT_EQ(buffer.count(RecordVerdict::bad_guard_tag), 5u);
+  buffer.clear();
+  EXPECT_EQ(buffer.total(), 0u);
+  EXPECT_EQ(buffer.entries().size(), 0u);
+}
+
+TEST(FaultInjection, TxMisparseOnlyTypedErrorsEscape) {
+  Fixture fx;
+  sim::NicSimulator nic(fx.result.layout, fx.engine, {});
+  const auto tx_result = fx.compiler.compile_tx(
+      nic::NicCatalog::by_name("qdma").p4_source(),
+      R"(header t_t {
+          @semantic("tx_buf_len") bit<16> l;
+          @semantic("tx_csum_en") bit<1>  c;
+      })",
+      {});
+  nic.configure_tx(tx_result.layout);
+  const core::CompiledLayout& tx_layout = tx_result.layout;
+
+  FaultInjector injector(single_fault(FaultClass::tx_misparse, 1.0, 5));
+  nic.set_fault_injector(&injector);
+  net::WorkloadGenerator gen = fx.workload();
+  std::size_t posted = 0;
+  for (int i = 0; i < 500; ++i) {
+    const net::Packet pkt = gen.next();
+    std::vector<std::uint64_t> values(tx_layout.slices().size(), 0);
+    for (std::size_t s = 0; s < tx_layout.slices().size(); ++s) {
+      if (tx_layout.slices()[s].semantic == SemanticId::tx_buf_len) {
+        values[s] = pkt.size();
+      }
+    }
+    std::vector<std::uint8_t> desc(tx_layout.total_bytes());
+    tx_layout.serialize(desc, values);
+    try {
+      nic.tx_post(desc, pkt.bytes());
+      ++posted;
+    } catch (const Error&) {
+      // Typed errors are the only acceptable escape.
+    }
+  }
+  EXPECT_EQ(injector.stats().count(FaultClass::tx_misparse), 500u);
+  // Bit-flipped (not truncated) descriptors still parse: some succeed.
+  EXPECT_GT(posted, 0u);
+  EXPECT_LT(posted, 500u);
+}
+
+// --- Control-channel hardening ----------------------------------------------
+
+struct CtrlFixture {
+  softnic::SemanticRegistry registry;
+  softnic::ComputeEngine engine{registry};
+  std::vector<core::CompletionPath> paths;
+  Endian endian = Endian::little;
+
+  CtrlFixture() {
+    const nic::NicModel& model = nic::NicCatalog::by_name("e1000e");
+    const core::Cfg cfg = core::build_cfg(model.program(), model.types(),
+                                          model.deparser(), registry);
+    core::PathEnumOptions options;
+    options.consts = model.types().constants();
+    options.variable_bounds =
+        core::context_bounds(model.program(), model.types(), model.deparser());
+    paths = core::enumerate_paths(cfg, options);
+    endian = core::deparser_endian(model.deparser());
+  }
+};
+
+TEST(ControlRetry, VerifyAfterWriteRecoversFromPartialPrograms) {
+  CtrlFixture fx;
+  sim::ProgrammableNic nic("e1000e", fx.paths, fx.endian, fx.engine);
+  FaultInjector injector(
+      single_fault(FaultClass::ctrl_partial_program, 0.5, 21));
+  nic.set_fault_injector(&injector);
+
+  const p4::ConstEnv assignment = {{"ctx.use_rss", 1}};
+  RetryPolicy policy;
+  policy.max_attempts = 64;
+  const ProgramReport report = program_with_verify(nic, assignment, policy);
+  EXPECT_GE(report.attempts, 1u);
+  EXPECT_LE(report.attempts, 64u);
+  EXPECT_TRUE(nic.registers().verify(assignment));
+  EXPECT_EQ(report.verified_path_id, nic.active_path_id());
+  // Retries back off exponentially: attempts > 1 implies accumulated wait.
+  if (report.attempts > 1) {
+    EXPECT_GT(report.backoff_ns, 0.0);
+  }
+}
+
+TEST(ControlRetry, ExhaustedPolicyThrowsDeviceError) {
+  CtrlFixture fx;
+  sim::ProgrammableNic nic("e1000e", fx.paths, fx.endian, fx.engine);
+  // Rate 1.0: every program() applies a strict prefix; a single-entry
+  // assignment therefore never lands and readback always mismatches.
+  FaultInjector injector(single_fault(FaultClass::ctrl_partial_program, 1.0, 1));
+  nic.set_fault_injector(&injector);
+
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  try {
+    (void)program_with_verify(nic, {{"ctx.use_rss", 1}}, policy);
+    FAIL() << "expected Error(device)";
+  } catch (const Error& err) {
+    EXPECT_EQ(err.kind(), ErrorKind::device);
+    EXPECT_NE(std::string(err.what()).find("6 attempts"), std::string::npos);
+  }
+  EXPECT_EQ(injector.stats().count(FaultClass::ctrl_partial_program), 6u);
+}
+
+TEST(ControlRetry, DroppedRegisterWritesAreObservableViaReadback) {
+  CtrlFixture fx;
+  sim::ProgrammableNic nic("e1000e", fx.paths, fx.endian, fx.engine);
+  FaultInjector injector(single_fault(FaultClass::ctrl_write_drop, 1.0, 2));
+  nic.set_fault_injector(&injector);
+
+  nic.write_register("ctx.use_rss", 1);  // silently dropped
+  const std::vector<std::string> bad =
+      nic.registers().mismatches({{"ctx.use_rss", 1}});
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], "ctx.use_rss (expected 1, read 0)");
+  EXPECT_FALSE(nic.registers().verify({{"ctx.use_rss", 1}}));
+}
+
+TEST(ControlChannel, AmbiguousSelectionNamesConflictingPaths) {
+  CtrlFixture fx;
+  // Duplicate path0 under a new id: any registers satisfying path0 now
+  // satisfy both — the partially-programmed/misprogrammed context case.
+  std::vector<core::CompletionPath> paths = fx.paths;
+  core::CompletionPath dup = paths[0];
+  dup.id = "path0_dup";
+  paths.push_back(std::move(dup));
+
+  sim::ProgrammableNic nic("e1000e", paths, fx.endian, fx.engine);
+  nic.write_register("ctx.use_rss", 1);
+  try {
+    (void)nic.active_layout();
+    FAIL() << "expected ambiguity error";
+  } catch (const Error& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("path0"), std::string::npos) << what;
+    EXPECT_NE(what.find("path0_dup"), std::string::npos) << what;
+    EXPECT_NE(what.find("ambiguous"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultConfigTest, CompositeSetsEveryClass) {
+  const FaultConfig config = FaultConfig::composite(0.01, 99);
+  EXPECT_EQ(config.seed, 99u);
+  for (std::size_t i = 0; i < sim::kFaultClassCount; ++i) {
+    EXPECT_DOUBLE_EQ(config.probability[i], 0.01);
+  }
+  EXPECT_EQ(std::string(sim::to_string(FaultClass::record_bitflip)),
+            "record_bitflip");
+}
+
+}  // namespace
+}  // namespace opendesc::rt

@@ -131,6 +131,119 @@ TEST(SimSoak, RandomScheduleConservesResources) {
   EXPECT_TRUE(nic.rx(gen.next()));
 }
 
+// ---------------------------------------------------------------------------
+// TX descriptor fuzz: truncated and bit-mutated descriptors posted to the
+// device must either execute or raise a typed Error — never crash, hang, or
+// corrupt later posts.
+// ---------------------------------------------------------------------------
+
+class TxDescFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TxDescFuzz, TruncatedAndMutatedDescriptorsOnlyRaiseTypedErrors) {
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs(registry);
+  core::Compiler compiler(registry, costs);
+  const auto rx = compiler.compile(
+      nic::NicCatalog::by_name("qdma").p4_source(),
+      R"(header i_t { @semantic("pkt_len") bit<16> l; })", {});
+  const auto tx = compiler.compile_tx(
+      nic::NicCatalog::by_name("qdma").p4_source(),
+      R"(header t_t {
+          @semantic("tx_buf_len")     bit<16> l;
+          @semantic("tx_csum_en")     bit<1>  c;
+          @semantic("tx_tso_en")      bit<1>  t;
+          @semantic("tx_vlan_insert") bit<16> v;
+      })",
+      {});
+  softnic::ComputeEngine engine(registry);
+  sim::NicSimulator nic(rx.layout, engine, {});
+  nic.configure_tx(tx.layout);
+
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6007 + 13);
+  net::WorkloadConfig wl;
+  wl.seed = static_cast<std::uint64_t>(GetParam()) + 1;
+  net::WorkloadGenerator gen(wl);
+
+  // A well-formed reference descriptor to mutate.
+  std::vector<std::uint64_t> values(tx.layout.slices().size(), 0);
+  for (std::size_t i = 0; i < tx.layout.slices().size(); ++i) {
+    if (tx.layout.slices()[i].semantic == softnic::SemanticId::tx_buf_len) {
+      values[i] = 128;
+    }
+  }
+  std::vector<std::uint8_t> reference(tx.layout.total_bytes());
+  tx.layout.serialize(reference, values);
+
+  for (int round = 0; round < 2000; ++round) {
+    const net::Packet pkt = gen.next();
+    std::vector<std::uint8_t> desc = reference;
+    switch (rng.bounded(3)) {
+      case 0:  // truncate to a random (possibly zero) length
+        desc.resize(rng.bounded(desc.size() + 1));
+        break;
+      case 1: {  // flip 1-16 random bits anywhere in the descriptor
+        const std::size_t flips = 1 + rng.bounded(16);
+        for (std::size_t f = 0; f < flips; ++f) {
+          const std::size_t bit = rng.bounded(desc.size() * 8);
+          desc[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        }
+        break;
+      }
+      default:  // replace with random byte soup of the right length
+        for (std::uint8_t& byte : desc) {
+          byte = static_cast<std::uint8_t>(rng.bounded(256));
+        }
+    }
+    try {
+      nic.tx_post(desc, pkt.bytes());
+    } catch (const Error&) {
+      // the only acceptable escape
+    }
+  }
+
+  // The device is still healthy after the fuzz barrage: a well-formed
+  // descriptor executes.
+  const net::Packet pkt = gen.next();
+  nic.clear_transmitted();
+  nic.tx_post(reference, pkt.bytes());
+  EXPECT_EQ(nic.transmitted().size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TxDescFuzz, ::testing::Range(0, 4));
+
+TEST(SimSoak, PerCauseDropCountersSumToTotal) {
+  // Tiny ring + tiny pool: force both ring-full and pool-exhausted drops
+  // plus an oversize drop, and check the per-cause split covers the total.
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs(registry);
+  core::Compiler compiler(registry, costs);
+  const auto result = compiler.compile(
+      nic::NicCatalog::by_name("dumbnic").p4_source(),
+      R"(header i_t { @semantic("pkt_len") bit<16> l; })", {});
+  softnic::ComputeEngine engine(registry);
+
+  sim::SimConfig config;
+  config.cmpt_ring_entries = 8;
+  config.rx_buffer_count = 4;  // pool exhausts before the ring fills
+  sim::NicSimulator nic(result.layout, engine, {}, config);
+
+  net::WorkloadConfig wl;
+  wl.seed = 11;
+  net::WorkloadGenerator gen(wl);
+  for (int i = 0; i < 16; ++i) {
+    (void)nic.rx(gen.next());
+  }
+  net::Packet oversize;
+  oversize.data.assign(config.rx_buffer_size + 1, 0xab);
+  EXPECT_FALSE(nic.rx(oversize));
+
+  const sim::DmaAccounting& dma = nic.dma();
+  EXPECT_EQ(dma.drops_pool_exhausted, 12u);
+  EXPECT_EQ(dma.drops_oversize, 1u);
+  EXPECT_EQ(dma.drops,
+            dma.drops_ring_full + dma.drops_pool_exhausted + dma.drops_oversize);
+}
+
 TEST(SimSoak, DropsAreDeterministicForSameSchedule) {
   const auto run = [] {
     softnic::SemanticRegistry registry;

@@ -10,12 +10,23 @@
 //                    [--tx] [--alpha <float>] [--out <dir>] [--quiet]
 //       Full compilation: prints the report; with --out, writes the
 //       generated artifacts (user header, XDP header, manifest, CFG dot).
+//   opendesc simulate --nic <name|file.p4> [--intent <file.p4>]
+//                     [--packets <n>] [--fault-rate <p>] [--fault-seed <n>]
+//                     [--guard]
+//       Compiles the intent, drives a synthetic workload through the
+//       simulated NIC with the hardened (validating) receive loop, and
+//       prints datapath + fault-recovery statistics.  --fault-rate injects
+//       every fault class at the given per-packet probability; --guard
+//       seals each completion record with the 16-bit integrity tag.
 //
 // NIC arguments name either a catalog entry (e.g. "mlx5") or a path to a
 // standalone P4 interface description.
 #include <filesystem>
 #include <fstream>
+#include <type_traits>
 #include <iostream>
+#include <memory>
+#include <set>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -24,6 +35,7 @@
 #include "core/txdesc.hpp"
 #include "p4/parser.hpp"
 #include "nic/model.hpp"
+#include "runtime/guard.hpp"
 
 namespace {
 
@@ -38,7 +50,10 @@ int usage() {
       "  opendesc paths --nic <name|file.p4>\n"
       "  opendesc compile --nic <name|file.p4> --intent <file.p4>\n"
       "                   [--tx] [--alpha <float>] [--out <dir>] [--quiet]\n"
-      "                   [--plan <pipeline-stage-budget>]\n";
+      "                   [--plan <pipeline-stage-budget>]\n"
+      "  opendesc simulate --nic <name|file.p4> [--intent <file.p4>]\n"
+      "                    [--packets <n>] [--fault-rate <p>]\n"
+      "                    [--fault-seed <n>] [--guard]\n";
   return 2;
 }
 
@@ -71,7 +86,30 @@ struct Args {
   bool tx = false;
   bool quiet = false;
   int plan_stages = -1;  ///< >= 0: print an offload placement plan
+
+  // simulate options
+  std::size_t packets = 10000;
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 1;
+  bool guard = false;
 };
+
+// std::sto* throw on malformed input; reject with a message instead of
+// letting the exception abort the process past main's Error handler.
+template <typename T, typename Fn>
+bool parse_num(const char* flag, const char* v, Fn convert, T& out) {
+  try {
+    // std::stoull happily wraps "-5" to 2^64-5; reject signs for unsigned flags.
+    if (std::is_unsigned_v<T> && v[0] == '-') {
+      throw std::invalid_argument(v);
+    }
+    out = static_cast<T>(convert(v));
+    return true;
+  } catch (const std::exception&) {
+    std::cerr << "invalid numeric value for " << flag << ": " << v << "\n";
+    return false;
+  }
+}
 
 bool parse_args(int argc, char** argv, Args& args) {
   if (argc < 2) {
@@ -97,12 +135,26 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.out_dir = v;
     } else if (arg == "--alpha") {
       const char* v = next();
-      if (!v) return false;
-      args.alpha = std::stod(v);
+      if (!v || !parse_num("--alpha", v, [](const char* s) { return std::stod(s); }, args.alpha))
+        return false;
     } else if (arg == "--plan") {
       const char* v = next();
-      if (!v) return false;
-      args.plan_stages = std::stoi(v);
+      if (!v || !parse_num("--plan", v, [](const char* s) { return std::stoi(s); }, args.plan_stages))
+        return false;
+    } else if (arg == "--packets") {
+      const char* v = next();
+      if (!v || !parse_num("--packets", v, [](const char* s) { return std::stoull(s); }, args.packets))
+        return false;
+    } else if (arg == "--fault-rate") {
+      const char* v = next();
+      if (!v || !parse_num("--fault-rate", v, [](const char* s) { return std::stod(s); }, args.fault_rate))
+        return false;
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (!v || !parse_num("--fault-seed", v, [](const char* s) { return std::stoull(s); }, args.fault_seed))
+        return false;
+    } else if (arg == "--guard") {
+      args.guard = true;
     } else if (arg == "--tx") {
       args.tx = true;
     } else if (arg == "--quiet") {
@@ -241,6 +293,104 @@ int cmd_compile(const Args& args) {
   return 0;
 }
 
+int cmd_simulate(const Args& args) {
+  if (args.nic.empty()) {
+    return usage();
+  }
+  const std::string nic_source = resolve_nic_source(args.nic);
+  const std::string intent_source =
+      args.intent.empty()
+          ? R"(header sim_intent_t {
+                @semantic("rss")     bit<32> hash;
+                @semantic("pkt_len") bit<16> len;
+              })"
+          : read_file(args.intent);
+
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs(registry);
+  core::Compiler compiler(registry, costs);
+  const core::CompileResult result = compiler.compile(nic_source, intent_source, {});
+  softnic::ComputeEngine engine(registry);
+
+  const core::CompiledLayout wire_layout =
+      args.guard ? result.layout.with_guard() : result.layout;
+  sim::NicSimulator nic(wire_layout, engine, {});
+  std::unique_ptr<sim::FaultInjector> injector;
+  if (args.fault_rate > 0.0) {
+    injector = std::make_unique<sim::FaultInjector>(
+        sim::FaultConfig::composite(args.fault_rate, args.fault_seed));
+    nic.set_fault_injector(injector.get());
+  }
+
+  net::WorkloadConfig workload;
+  workload.seed = args.fault_seed;
+  workload.vlan_probability = 0.5;
+  net::WorkloadGenerator gen(workload);
+  rt::OpenDescStrategy strategy(result, engine);
+  rt::ValidatingRxLoop loop(wire_layout, engine);
+  const std::set<softnic::SemanticId> requested = result.intent.requested();
+  const std::vector<softnic::SemanticId> wanted(requested.begin(),
+                                                requested.end());
+  rt::RxLoopConfig config;
+  config.packet_count = args.packets;
+  const rt::RxLoopStats stats = loop.run(nic, gen, strategy, wanted, config);
+
+  std::printf("simulated %s: %zu packets, intent path '%s' (%zu-byte records"
+              "%s)\n",
+              result.nic_name.c_str(), args.packets,
+              result.chosen_path().id.c_str(), wire_layout.total_bytes(),
+              args.guard ? ", guarded" : "");
+  std::printf("  %-26s %12llu\n", "delivered (hw path)",
+              static_cast<unsigned long long>(stats.hw_consumed));
+  std::printf("  %-26s %12llu\n", "delivered (softnic path)",
+              static_cast<unsigned long long>(stats.softnic_recovered));
+  std::printf("  %-26s %12llu\n", "quarantined records",
+              static_cast<unsigned long long>(stats.quarantined));
+  std::printf("  %-26s %12llu\n", "lost completions",
+              static_cast<unsigned long long>(stats.lost_completions));
+  std::printf("  %-26s %12llu\n", "rx rejected",
+              static_cast<unsigned long long>(stats.rx_rejected));
+  std::printf("  %-26s %12llu  (ring %llu, pool %llu, oversize %llu)\n",
+              "device drops",
+              static_cast<unsigned long long>(stats.drops),
+              static_cast<unsigned long long>(stats.drops_ring_full),
+              static_cast<unsigned long long>(stats.drops_pool_exhausted),
+              static_cast<unsigned long long>(stats.drops_oversize));
+  std::printf("  %-26s %11.1f%%\n", "goodput",
+              100.0 * stats.delivery_ratio(args.packets));
+  std::printf("  %-26s %12.1f\n", "host ns/packet", stats.ns_per_packet());
+  std::printf("  %-26s %#12llx\n", "value checksum",
+              static_cast<unsigned long long>(stats.value_checksum));
+  if (injector) {
+    std::printf("  injected faults (seed %llu, rate %g):\n",
+                static_cast<unsigned long long>(args.fault_seed),
+                args.fault_rate);
+    for (std::size_t i = 0; i < sim::kFaultClassCount; ++i) {
+      const auto fault = static_cast<sim::FaultClass>(i);
+      if (injector->stats().count(fault) != 0) {
+        std::printf("    %-22s %12llu\n",
+                    std::string(sim::to_string(fault)).c_str(),
+                    static_cast<unsigned long long>(
+                        injector->stats().count(fault)));
+      }
+    }
+  }
+  if (loop.dead_letters().total() != 0) {
+    std::printf("  dead letters kept for inspection: %zu of %llu "
+                "(newest first reasons:",
+                loop.dead_letters().entries().size(),
+                static_cast<unsigned long long>(loop.dead_letters().total()));
+    std::size_t shown = 0;
+    for (auto it = loop.dead_letters().entries().rbegin();
+         it != loop.dead_letters().entries().rend() && shown < 4;
+         ++it, ++shown) {
+      std::printf(" %s", std::string(rt::to_string(it->reason)).c_str());
+    }
+    std::printf(")\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -260,6 +410,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "compile") {
       return cmd_compile(args);
+    }
+    if (args.command == "simulate") {
+      return cmd_simulate(args);
     }
     return usage();
   } catch (const Error& e) {
