@@ -1,0 +1,124 @@
+// Engine scaling: packets/sec of the multi-queue datapath at 1/2/4/8
+// queues over one fixed trace.
+//
+// Throughput here is the repo's host-side metric: each worker's host_ns is
+// its shard's per-thread CPU cost of the hardened consume path, and the
+// engine's rate is total packets over the slowest shard — the capacity of
+// an N-core host with one core per queue.  That makes the scaling curve a
+// property of the datapath (steering balance + per-shard cost), not of how
+// many cores the machine running the simulation has; wall-clock throughput
+// is printed alongside, unmodelled.  The acceptance bar is >= 2.5x at 4
+// queues vs 1.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "core/compiler.hpp"
+#include "engine/engine.hpp"
+#include "nic/model.hpp"
+
+namespace {
+
+using namespace opendesc;
+
+constexpr const char* kIntent = R"P4(
+header scale_intent_t {
+    @semantic("rss")        bit<32> hash;
+    @semantic("l4_csum_ok") bit<1>  ok;
+    @semantic("pkt_len")    bit<16> len;
+}
+)P4";
+
+struct Setup {
+  softnic::SemanticRegistry registry;
+  std::unique_ptr<softnic::CostTable> costs;
+  std::unique_ptr<softnic::ComputeEngine> compute;
+  core::CompileResult result;
+  std::vector<net::Packet> trace;
+
+  explicit Setup(std::size_t packets) {
+    costs = std::make_unique<softnic::CostTable>(registry);
+    compute = std::make_unique<softnic::ComputeEngine>(registry);
+    core::Compiler compiler(registry, *costs);
+    result = compiler.compile(nic::NicCatalog::by_name("mlx5").p4_source(),
+                              kIntent, {});
+    net::WorkloadConfig config;
+    config.seed = 3;
+    config.flow_count = 256;  // enough 5-tuples to balance 8 queues
+    config.udp_fraction = 0.5;
+    config.vlan_probability = 0.2;
+    net::WorkloadGenerator gen(config);
+    trace = gen.batch(packets);  // materialized once: identical input per run
+  }
+};
+
+engine::EngineReport run_queues(Setup& setup, std::size_t queues) {
+  engine::EngineConfig config;
+  config.queues = queues;
+  engine::MultiQueueEngine eng(setup.result, *setup.compute, config);
+  return eng.run(setup.trace);
+}
+
+void print_table() {
+  constexpr std::size_t kPackets = 40000;
+  Setup setup(kPackets);
+  std::printf("=== Engine scaling: %zu packets, intent {rss, l4_csum_ok, "
+              "pkt_len} on mlx5 ===\n", kPackets);
+  std::printf("%-7s %14s %14s %10s %14s\n", "queues", "pps(critical)",
+              "ns/pkt(max q)", "speedup", "pps(wall)");
+  double base_pps = 0.0;
+  double speedup_at_4 = 0.0;
+  for (const std::size_t queues : {1u, 2u, 4u, 8u}) {
+    const engine::EngineReport report = run_queues(setup, queues);
+    const double pps = report.packets_per_second();
+    if (queues == 1) {
+      base_pps = pps;
+    }
+    const double speedup = base_pps > 0.0 ? pps / base_pps : 0.0;
+    if (queues == 4) {
+      speedup_at_4 = speedup;
+    }
+    std::printf("%-7zu %12.0f/s %12.1fns %9.2fx %12.0f/s\n", queues, pps,
+                report.critical_path_ns() /
+                    static_cast<double>(report.total.packets) *
+                    static_cast<double>(queues),
+                speedup, report.wall_packets_per_second());
+  }
+  std::printf("\nShape check: critical-path throughput scales with queue "
+              "count (target >= 2.5x at\n4 queues; achieved %.2fx) because "
+              "RSS spreads the flows and each shard's hardened\nloop runs "
+              "unchanged on its slice.  Wall-clock pps is bounded by this "
+              "machine's\ncores and is not the modelled metric.\n\n",
+              speedup_at_4);
+}
+
+void BM_EngineScaling(benchmark::State& state) {
+  const auto queues = static_cast<std::size_t>(state.range(0));
+  static Setup setup(20000);
+  double pps = 0.0;
+  double wall_pps = 0.0;
+  std::uint64_t packets = 0;
+  for (auto _ : state) {
+    const engine::EngineReport report = run_queues(setup, queues);
+    pps = report.packets_per_second();
+    wall_pps = report.wall_packets_per_second();
+    packets = report.total.packets;
+    benchmark::DoNotOptimize(report.total.value_checksum);
+  }
+  state.counters["pps_critical"] = pps;
+  state.counters["pps_wall"] = wall_pps;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(packets));
+}
+BENCHMARK(BM_EngineScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

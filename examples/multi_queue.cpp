@@ -1,40 +1,36 @@
-// Multi-queue intents (§3): "applications might use multiple OpenDesc
-// instances with different intents to obtain different queues tailored for
-// different kinds of traffic."
+// Multi-queue receive scaling (§3): "applications might use multiple
+// OpenDesc instances with different intents to obtain different queues
+// tailored for different kinds of traffic" — and once there are queues,
+// there is RSS to spread flows across them.
 //
-// A monitoring application splits traffic over two queues of the same
-// programmable NIC:
-//   * a FAST queue for bulk data — minimal 8B completions (length only),
-//     maximizing packet rate;
-//   * a TELEMETRY queue for sampled traffic — 32B completions with
-//     timestamps and checksum status for measurement.
-// Each queue gets its own compiled contract; the DMA accounting shows the
-// footprint the split saves versus running everything on the rich layout.
+// This example drives the engine subsystem end to end: one compiled
+// contract, four hardware queues, mixed TCP/UDP traffic steered by the
+// Toeplitz classifier, one hardened worker per queue.  It verifies the
+// property applications rely on — flow affinity: every packet of a 5-tuple
+// lands on the same queue, and the engine's per-queue delivery matches the
+// host-side prediction computed from the steering table alone.
 //
 // Run:  ./multi_queue [packets]
+#include <cassert>
+#include <cstdio>
 #include <iostream>
+#include <map>
 
 #include "common/error.hpp"
 #include "core/compiler.hpp"
+#include "engine/engine.hpp"
 #include "net/workload.hpp"
 #include "nic/model.hpp"
-#include "runtime/facade.hpp"
-#include "sim/nicsim.hpp"
 
 namespace {
 
-constexpr const char* kFastIntent = R"P4(
-header fast_q_t {
-    @semantic("pkt_len") bit<16> len;
-}
-)P4";
+constexpr std::size_t kQueues = 4;
 
-constexpr const char* kTelemetryIntent = R"P4(
-header telemetry_q_t {
-    @semantic("pkt_len")     bit<16> len;
-    @semantic("timestamp")   bit<64> ts;
-    @semantic("l4_csum_ok")  bit<1>  ok;
-    @semantic("kv_key_hash") bit<32> key;
+constexpr const char* kIntent = R"P4(
+header mq_intent_t {
+    @semantic("rss")        bit<32> hash;
+    @semantic("pkt_len")    bit<16> len;
+    @semantic("l4_csum_ok") bit<1>  ok;
 }
 )P4";
 
@@ -42,105 +38,93 @@ header telemetry_q_t {
 
 int main(int argc, char** argv) {
   using namespace opendesc;
-  using softnic::SemanticId;
 
   const std::size_t packet_count =
       argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 50000;
 
   try {
-    const nic::NicModel& model = nic::NicCatalog::by_name("qdma");
     softnic::SemanticRegistry registry;
     softnic::CostTable costs(registry);
     core::Compiler compiler(registry, costs);
+    softnic::ComputeEngine compute(registry);
+    const auto result = compiler.compile(
+        nic::NicCatalog::by_name("qdma").p4_source(), kIntent, {});
 
-    // One compiler, two intents, two per-queue contracts.
-    core::CompileOptions fast_opts, telem_opts;
-    // The telemetry queue must carry the hardware timestamp: make the
-    // software clock substitute unattractive.
-    const auto fast = compiler.compile(model.p4_source(), kFastIntent, fast_opts);
-    telem_opts.dma_weight_per_byte = 0.1;  // telemetry tolerates footprint
-    const auto telemetry =
-        compiler.compile(model.p4_source(), kTelemetryIntent, telem_opts);
+    rt::EngineConfig config;
+    config.queues = kQueues;
+    rt::MultiQueueEngine engine(result, compute, config);
 
-    std::cout << "fast queue:      " << fast.layout.total_bytes()
-              << "B completions, ctx {";
-    for (const auto& [k, v] : fast.context_assignment) {
-      std::cout << k << "=" << v << " ";
-    }
-    std::cout << "}\ntelemetry queue: " << telemetry.layout.total_bytes()
-              << "B completions, ctx {";
-    for (const auto& [k, v] : telemetry.context_assignment) {
-      std::cout << k << "=" << v << " ";
-    }
-    std::cout << "}\n\n";
+    // Mixed TCP/UDP trace, some VLAN-tagged, enough flows to load 4 queues.
+    net::WorkloadConfig wconfig;
+    wconfig.seed = 9;
+    wconfig.flow_count = 96;
+    wconfig.udp_fraction = 0.5;
+    wconfig.vlan_probability = 0.3;
+    net::WorkloadGenerator gen(wconfig);
 
-    softnic::ComputeEngine engine(registry);
-    sim::SimConfig fast_cfg, telem_cfg;
-    fast_cfg.queue_id = 0;
-    telem_cfg.queue_id = 1;
-    sim::NicSimulator fast_q(fast.layout, engine, {}, fast_cfg);
-    sim::NicSimulator telem_q(telemetry.layout, engine, {}, telem_cfg);
-    rt::MetadataFacade fast_facade(fast, engine);
-    rt::MetadataFacade telem_facade(telemetry, engine);
-
-    // Classifier: 1-in-16 sampling to the telemetry queue (flow-stable via
-    // the workload's flow index would be the realistic policy; sampling
-    // keeps the example small).
-    net::WorkloadConfig config;
-    config.seed = 9;
-    config.kv_requests = true;
-    config.min_frame = 80;
-    net::WorkloadGenerator gen(config);
-
-    std::uint64_t fast_pkts = 0, telem_pkts = 0, bad_csum = 0;
-    std::vector<sim::RxEvent> events(64);
+    // Host-side prediction: the steering table is plain data, so the
+    // application can compute where any flow will land before a single
+    // packet moves — and every packet of a flow must land there.
+    std::vector<net::Packet> trace;
+    trace.reserve(packet_count);
+    std::map<std::size_t, std::uint16_t> flow_queue;
+    std::vector<std::uint64_t> predicted(kQueues, 0);
+    std::uint64_t tcp = 0, udp = 0;
     for (std::size_t i = 0; i < packet_count; ++i) {
-      const net::Packet pkt = gen.next();
-      const bool sample = (i % 16) == 0;
-      sim::NicSimulator& queue = sample ? telem_q : fast_q;
-      if (!queue.rx(pkt)) {
-        continue;  // ring full: drop (counted by the sim)
+      net::Packet pkt = gen.next();
+      const std::uint16_t queue = engine.steering().queue_for(pkt.bytes());
+      const auto [it, inserted] =
+          flow_queue.emplace(gen.last_flow_index(), queue);
+      if (it->second != queue) {
+        std::cerr << "flow affinity violated: flow " << gen.last_flow_index()
+                  << " split between queues " << it->second << " and " << queue
+                  << "\n";
+        return 1;
       }
-      const std::size_t n = queue.poll(events);
-      for (std::size_t e = 0; e < n; ++e) {
-        const rt::PacketContext ctx(events[e]);
-        if (sample) {
-          ++telem_pkts;
-          if (telem_facade.get(ctx, SemanticId::l4_csum_ok) == 0) {
-            ++bad_csum;
-          }
-        } else {
-          ++fast_pkts;
-          (void)fast_facade.get(ctx, SemanticId::pkt_len);
-        }
-      }
-      queue.advance(n);
+      ++predicted[queue];
+      (gen.flows()[gen.last_flow_index()].is_udp ? udp : tcp)++;
+      trace.push_back(std::move(pkt));
     }
 
-    const auto& fd = fast_q.dma();
-    const auto& td = telem_q.dma();
-    std::printf("%-12s %10s %14s %16s\n", "queue", "packets", "cmpt bytes",
-                "bytes/packet");
-    std::printf("%-12s %10llu %14llu %16.1f\n", "fast",
-                static_cast<unsigned long long>(fast_pkts),
-                static_cast<unsigned long long>(fd.completion_bytes),
-                static_cast<double>(fd.completion_bytes) / fast_pkts);
-    std::printf("%-12s %10llu %14llu %16.1f\n", "telemetry",
-                static_cast<unsigned long long>(telem_pkts),
-                static_cast<unsigned long long>(td.completion_bytes),
-                static_cast<double>(td.completion_bytes) / telem_pkts);
+    const rt::EngineReport report = engine.run(trace);
 
-    const std::uint64_t split_bytes = fd.completion_bytes + td.completion_bytes;
-    const std::uint64_t mono_bytes =
-        (fast_pkts + telem_pkts) * telemetry.layout.total_bytes();
-    std::printf("\ncompletion DMA: %llu bytes split vs %llu monolithic "
-                "(%.0f%% saved); %llu bad checksums sampled\n",
-                static_cast<unsigned long long>(split_bytes),
-                static_cast<unsigned long long>(mono_bytes),
-                (1.0 - static_cast<double>(split_bytes) /
-                           static_cast<double>(mono_bytes)) *
-                    100.0,
-                static_cast<unsigned long long>(bad_csum));
+    std::printf("steered %zu packets (%llu tcp, %llu udp) from %zu flows "
+                "across %zu queues\n\n",
+                packet_count, static_cast<unsigned long long>(tcp),
+                static_cast<unsigned long long>(udp), flow_queue.size(),
+                kQueues);
+    std::printf("%-6s %7s %10s %10s %12s %14s\n", "queue", "flows",
+                "predicted", "delivered", "cmpt bytes", "host ns/pkt");
+    for (std::size_t q = 0; q < kQueues; ++q) {
+      std::uint64_t flows_on_q = 0;
+      for (const auto& [flow, queue] : flow_queue) {
+        flows_on_q += queue == q ? 1 : 0;
+      }
+      const rt::RxLoopStats& shard = report.per_queue[q];
+      std::printf("%-6zu %7llu %10llu %10llu %12llu %13.1f\n", q,
+                  static_cast<unsigned long long>(flows_on_q),
+                  static_cast<unsigned long long>(predicted[q]),
+                  static_cast<unsigned long long>(shard.packets),
+                  static_cast<unsigned long long>(shard.completion_bytes),
+                  shard.ns_per_packet());
+      if (report.offered[q] != predicted[q] ||
+          shard.packets != predicted[q]) {
+        std::cerr << "queue " << q << " delivery diverged from prediction\n";
+        return 1;
+      }
+    }
+
+    std::printf("\naggregate: %llu/%zu delivered (goodput %.1f%%), "
+                "%.0f packets/sec on the critical path "
+                "(slowest queue), checksum %#llx\n",
+                static_cast<unsigned long long>(report.total.packets),
+                packet_count,
+                100.0 * report.total.delivery_ratio(report.offered_total),
+                report.packets_per_second(),
+                static_cast<unsigned long long>(report.total.value_checksum));
+    std::printf("flow affinity held for all %zu flows: same 5-tuple, same "
+                "queue, every time.\n",
+                flow_queue.size());
     return 0;
   } catch (const Error& e) {
     std::cerr << "opendesc: " << e.what() << "\n";

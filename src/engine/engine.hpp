@@ -1,0 +1,134 @@
+// Multi-queue parallel datapath engine.
+//
+// The paper's completion deparser already carries an RSS hash semantic; this
+// subsystem supplies the host half of that story: N hardware queues, each a
+// full sim::NicSimulator (own completion ring, buffer pool, doorbell clock
+// and DmaAccounting), fed by a steering thread that plays the device's RSS
+// classifier (engine::RssSteering, same Toeplitz the deparser writes), and
+// drained by one ValidatingRxLoop worker per queue — the hardened PR-1
+// datapath runs unchanged per shard, consuming packets over a lock-free
+// SPSC handoff with batched completion consumption and an arena-backed
+// quarantine buffer of its own.
+//
+// Shard counters are published to an engine::StatsRegistry after every
+// batch (epoch/snapshot protocol, no hot-path locks) and aggregated with
+// RxLoopStats::operator+= once the workers quiesce, so totals are exact.
+//
+// Throughput accounting follows the repo convention that *host-side* cost
+// is what we measure (the NIC-side rx() simulation stands in for silicon
+// and is untimed): each worker's host_ns runs on its per-thread CPU clock,
+// and the engine's packets/sec is total packets over the slowest shard's
+// host_ns — the rate an N-core host sustains, independent of how many cores
+// the machine running the simulation happens to have.  Wall time is
+// reported alongside, unmodelled.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "engine/stats.hpp"
+#include "engine/steering.hpp"
+#include "net/workload.hpp"
+#include "runtime/guard.hpp"
+#include "sim/faults.hpp"
+#include "sim/nicsim.hpp"
+
+namespace opendesc::engine {
+
+struct EngineConfig {
+  std::size_t queues = 1;
+  std::size_t batch = 32;          ///< rx burst + completion batch per shard
+  bool pin = false;                ///< pin worker q to CPU (q mod cores)
+  std::size_t spsc_capacity = 1024;///< handoff ring entries per queue
+  std::size_t rss_table_size = 128;
+  bool guard = false;              ///< seal records with the integrity tag
+  double fault_rate = 0.0;         ///< composite per-queue injection rate
+  std::uint64_t fault_seed = 1;    ///< base seed; queue q derives its own
+  sim::SimConfig sim;              ///< per-queue device template (queue_id is
+                                   ///< overridden with the queue index)
+  std::size_t quarantine_capacity = 64;  ///< dead letters kept per shard
+};
+
+/// Outcome of one engine run.
+struct EngineReport {
+  rt::RxLoopStats total;                    ///< operator+= over all shards
+  std::vector<rt::RxLoopStats> per_queue;
+  std::vector<std::uint64_t> offered;       ///< packets steered per queue
+  std::uint64_t offered_total = 0;
+  std::vector<std::uint64_t> quarantine_total;  ///< dead-letter count/shard
+  double wall_ns = 0.0;      ///< real elapsed time of the whole run
+  double steering_ns = 0.0;  ///< dispatch-thread classify+handoff CPU time
+                             ///< (device-side role, kept out of host cost)
+
+  /// Slowest shard's host-side processing time: with one core per queue,
+  /// the run completes when the busiest worker does.
+  [[nodiscard]] double critical_path_ns() const noexcept;
+  /// Host-datapath capacity: total packets over the critical path.
+  [[nodiscard]] double packets_per_second() const noexcept;
+  /// Throughput against real elapsed time (bounded by the machine's cores).
+  [[nodiscard]] double wall_packets_per_second() const noexcept;
+};
+
+/// N-queue receive engine over one compiled (NIC, intent) contract.
+///
+/// The engine owns per-queue strategies and steering; each run() builds
+/// fresh per-queue devices, injectors and hardened loops, so every run's
+/// DmaAccounting and fault schedule is self-contained and a fixed
+/// (workload seed, fault seed, queue count) triple is fully deterministic.
+class MultiQueueEngine {
+ public:
+  /// `result` and `compute` must outlive the engine.
+  MultiQueueEngine(const core::CompileResult& result,
+                   const softnic::ComputeEngine& compute,
+                   EngineConfig config = {});
+
+  /// Steers and consumes an already-materialized trace (packets copied in;
+  /// the caller's buffer is untouched).
+  [[nodiscard]] EngineReport run(std::span<const net::Packet> packets);
+
+  /// Steers and consumes `count` packets drawn from `workload`.
+  [[nodiscard]] EngineReport run(net::WorkloadGenerator& workload,
+                                 std::size_t count);
+
+  /// Overrides the semantics the workers request per packet (defaults to
+  /// the compiled intent's requested set).
+  void set_wanted(std::vector<softnic::SemanticId> wanted) {
+    wanted_ = std::move(wanted);
+  }
+
+  [[nodiscard]] const RssSteering& steering() const noexcept { return steering_; }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const core::CompiledLayout& wire_layout() const noexcept {
+    return wire_layout_;
+  }
+  [[nodiscard]] std::span<const softnic::SemanticId> wanted() const noexcept {
+    return wanted_;
+  }
+  /// Live shard counters (valid during a run; exact after it returns).
+  [[nodiscard]] const StatsRegistry& stats() const noexcept { return stats_; }
+
+ private:
+  template <typename NextFn>
+  EngineReport run_impl(NextFn&& next);
+
+  const core::CompileResult* result_;
+  const softnic::ComputeEngine* compute_;
+  EngineConfig config_;
+  core::CompiledLayout wire_layout_;
+  RssSteering steering_;
+  StatsRegistry stats_;
+  std::vector<std::unique_ptr<rt::RxStrategy>> strategies_;  ///< one per queue
+  std::vector<softnic::SemanticId> wanted_;
+};
+
+}  // namespace opendesc::engine
+
+namespace opendesc::rt {
+// Facade-level re-exports: runtime users configure the parallel datapath
+// with rt::EngineConfig{...} next to the rest of the host-side API.
+using engine::EngineConfig;
+using engine::EngineReport;
+using engine::MultiQueueEngine;
+}  // namespace opendesc::rt

@@ -1,0 +1,117 @@
+// Lock-free single-producer/single-consumer handoff ring.
+//
+// The multi-queue engine hands raw packets from the steering (dispatch)
+// thread to exactly one worker per queue, so the classic two-index SPSC ring
+// suffices: the producer owns tail_, the consumer owns head_, and each side
+// publishes its index with a release store the other side acquires.  No
+// locks, no CAS loops — a bounded ring with backpressure (the producer spins
+// with yield when the consumer falls behind, modelling a NIC whose internal
+// queue fill stalls the pipeline).
+//
+// close() is the end-of-stream signal: after the producer closes, pop_wait()
+// drains whatever is buffered and then returns nullopt exactly once per
+// remaining call — the worker's signal to drain its NIC queue and exit.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace opendesc::engine {
+
+/// Cache-line size used to keep the producer and consumer indices from
+/// false-sharing one line (std::hardware_destructive_interference_size is
+/// not reliably available across our toolchains).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 2).
+  explicit SpscQueue(std::size_t capacity = 1024) {
+    std::size_t cap = 2;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side.  Returns false when the ring is full.
+  [[nodiscard]] bool try_push(T&& item) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) {
+      return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: blocks (spin + yield) until the item is accepted.
+  void push(T&& item) {
+    while (!try_push(std::move(item))) {
+      std::this_thread::yield();
+    }
+  }
+
+  /// Consumer side.  nullopt when the ring is momentarily empty.
+  [[nodiscard]] std::optional<T> try_pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) {
+      return std::nullopt;
+    }
+    std::optional<T> item(std::move(slots_[head & mask_]));
+    head_.store(head + 1, std::memory_order_release);
+    return item;
+  }
+
+  /// Consumer side: blocks until an item arrives or the queue is closed and
+  /// fully drained (then returns nullopt — end of stream).
+  [[nodiscard]] std::optional<T> pop_wait() {
+    for (;;) {
+      if (std::optional<T> item = try_pop()) {
+        return item;
+      }
+      if (closed_.load(std::memory_order_acquire)) {
+        // Re-check after observing the close: the producer may have pushed
+        // between our failed pop and its close().
+        if (std::optional<T> item = try_pop()) {
+          return item;
+        }
+        return std::nullopt;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  /// Producer side: no further push() calls will follow.
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Approximate occupancy (exact only from the consumer thread).
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLineBytes) std::atomic<std::size_t> head_{0};  ///< consumer
+  alignas(kCacheLineBytes) std::atomic<std::size_t> tail_{0};  ///< producer
+  alignas(kCacheLineBytes) std::atomic<bool> closed_{false};
+};
+
+}  // namespace opendesc::engine

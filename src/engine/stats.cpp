@@ -1,0 +1,97 @@
+#include "engine/stats.hpp"
+
+#include <bit>
+
+namespace opendesc::engine {
+
+std::array<std::uint64_t, kStatsWords> encode_stats(
+    const rt::RxLoopStats& stats) noexcept {
+  return {
+      stats.packets,
+      stats.drops,
+      stats.value_checksum,
+      std::bit_cast<std::uint64_t>(stats.host_ns),
+      stats.completion_bytes,
+      stats.frame_bytes,
+      stats.drops_ring_full,
+      stats.drops_pool_exhausted,
+      stats.drops_oversize,
+      stats.hw_consumed,
+      stats.quarantined,
+      stats.softnic_recovered,
+      stats.lost_completions,
+      stats.rx_rejected,
+      stats.unrecoverable_values,
+  };
+}
+
+rt::RxLoopStats decode_stats(
+    const std::array<std::uint64_t, kStatsWords>& words) noexcept {
+  rt::RxLoopStats stats;
+  stats.packets = words[0];
+  stats.drops = words[1];
+  stats.value_checksum = words[2];
+  stats.host_ns = std::bit_cast<double>(words[3]);
+  stats.completion_bytes = words[4];
+  stats.frame_bytes = words[5];
+  stats.drops_ring_full = words[6];
+  stats.drops_pool_exhausted = words[7];
+  stats.drops_oversize = words[8];
+  stats.hw_consumed = words[9];
+  stats.quarantined = words[10];
+  stats.softnic_recovered = words[11];
+  stats.lost_completions = words[12];
+  stats.rx_rejected = words[13];
+  stats.unrecoverable_values = words[14];
+  return stats;
+}
+
+StatsRegistry::StatsRegistry(std::size_t shards)
+    : slots_(shards == 0 ? 1 : shards) {}
+
+void StatsRegistry::publish(std::size_t shard,
+                            const rt::RxLoopStats& stats) noexcept {
+  Slot& slot = slots_[shard];
+  const std::array<std::uint64_t, kStatsWords> words = encode_stats(stats);
+  // seq_cst keeps the odd-epoch store, the payload stores and the even-epoch
+  // store in a single total order the reader's seq_cst loads observe; no
+  // fences to reason about, and publish runs once per batch so the cost is
+  // irrelevant.
+  const std::uint64_t epoch = slot.epoch.load(std::memory_order_relaxed);
+  slot.epoch.store(epoch + 1);  // odd: write in progress
+  for (std::size_t i = 0; i < kStatsWords; ++i) {
+    slot.words[i].store(words[i]);
+  }
+  slot.epoch.store(epoch + 2);  // even: stable
+}
+
+rt::RxLoopStats StatsRegistry::snapshot(std::size_t shard) const noexcept {
+  const Slot& slot = slots_[shard];
+  std::array<std::uint64_t, kStatsWords> words{};
+  for (;;) {
+    const std::uint64_t before = slot.epoch.load();
+    if ((before & 1) != 0) {
+      continue;  // writer mid-publish
+    }
+    for (std::size_t i = 0; i < kStatsWords; ++i) {
+      words[i] = slot.words[i].load();
+    }
+    if (slot.epoch.load() == before) {
+      return decode_stats(words);
+    }
+  }
+}
+
+rt::RxLoopStats StatsRegistry::aggregate() const noexcept {
+  rt::RxLoopStats total;
+  for (std::size_t shard = 0; shard < slots_.size(); ++shard) {
+    total += snapshot(shard);
+  }
+  return total;
+}
+
+std::uint64_t StatsRegistry::epoch(std::size_t shard) const noexcept {
+  return slots_[shard].epoch.load();
+}
+
+}  // namespace opendesc::engine

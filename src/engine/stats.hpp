@@ -1,0 +1,73 @@
+// Shard statistics with epoch-consistent snapshots.
+//
+// Each engine worker owns one registry slot and republishes its running
+// RxLoopStats after every completion batch; the dispatch thread (or an
+// operator thread, or a test) can snapshot any slot at any time without
+// stopping the workers.  The protocol is a seqlock over *atomic* words:
+//
+//   writer:  epoch -> odd, payload words, epoch -> even   (one writer/slot)
+//   reader:  e1 = epoch; payload words; e2 = epoch;
+//            retry while e1 odd or e1 != e2
+//
+// Every access is a std::atomic operation, so the scheme is free of data
+// races by construction (ThreadSanitizer-clean) while the hot path takes no
+// lock: workers never wait on readers, readers never block workers, and a
+// retired snapshot is guaranteed to be one the worker actually published —
+// counters stay exact, never torn.  Publishing is once per batch, not per
+// packet, so even the seq_cst stores amortize to well under a nanosecond of
+// overhead per packet.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/rxloop.hpp"
+
+namespace opendesc::engine {
+
+/// Number of 64-bit words a serialized RxLoopStats occupies.
+inline constexpr std::size_t kStatsWords = 15;
+
+/// Lossless RxLoopStats <-> word-array conversion (host_ns via bit_cast).
+[[nodiscard]] std::array<std::uint64_t, kStatsWords> encode_stats(
+    const rt::RxLoopStats& stats) noexcept;
+[[nodiscard]] rt::RxLoopStats decode_stats(
+    const std::array<std::uint64_t, kStatsWords>& words) noexcept;
+
+class StatsRegistry {
+ public:
+  explicit StatsRegistry(std::size_t shards);
+
+  // Slots hold atomics; the registry is pinned in place.
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
+
+  [[nodiscard]] std::size_t shards() const noexcept { return slots_.size(); }
+
+  /// Publishes `stats` as shard `shard`'s current totals.  Must only be
+  /// called from the single thread owning that shard.
+  void publish(std::size_t shard, const rt::RxLoopStats& stats) noexcept;
+
+  /// Epoch-consistent copy of one shard's last published totals.
+  [[nodiscard]] rt::RxLoopStats snapshot(std::size_t shard) const noexcept;
+
+  /// Sum of all shard snapshots (RxLoopStats::operator+= semantics: counts
+  /// add, checksums xor-fold).  Each shard is individually consistent; the
+  /// cross-shard sum is exact once the workers have quiesced.
+  [[nodiscard]] rt::RxLoopStats aggregate() const noexcept;
+
+  /// Publication count for a shard (even = stable; monotone).
+  [[nodiscard]] std::uint64_t epoch(std::size_t shard) const noexcept;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{0};
+    std::array<std::atomic<std::uint64_t>, kStatsWords> words{};
+  };
+
+  std::vector<Slot> slots_;
+};
+
+}  // namespace opendesc::engine

@@ -1,0 +1,85 @@
+#include "engine/steering.hpp"
+
+#include "common/bytes.hpp"
+#include "net/headers.hpp"
+
+namespace opendesc::engine {
+
+RssSteering::RssSteering(SteeringConfig config) : config_(config) {
+  if (config_.queues == 0) {
+    config_.queues = 1;
+  }
+  std::size_t entries = 2;
+  while (entries < config_.table_size) {
+    entries <<= 1;
+  }
+  // Round-robin fill, as drivers program it by default: queue i serves
+  // every table_size/queues-th bucket, spreading hash space evenly.
+  table_.resize(entries);
+  for (std::size_t i = 0; i < entries; ++i) {
+    table_[i] = static_cast<std::uint16_t>(i % config_.queues);
+  }
+}
+
+std::uint32_t RssSteering::hash(std::span<const std::uint8_t> frame) const noexcept {
+  // Minimal L2/L3 walk.  Offsets mirror net::PacketView::parse, but nothing
+  // is decoded beyond what the tuple needs.
+  std::size_t l3 = net::EthernetHeader::kWireSize;
+  if (frame.size() < l3) {
+    return 0;
+  }
+  std::uint16_t ethertype = load_be16(frame.data() + 12);
+  if (ethertype == net::kEthertypeVlan) {
+    l3 += net::VlanTag::kWireSize;
+    if (frame.size() < l3) {
+      return 0;
+    }
+    ethertype = load_be16(frame.data() + l3 - 2);
+  }
+
+  // The Toeplitz input is the tuple's wire bytes: addresses (and ports) are
+  // already big-endian on the wire, exactly as softnic::rss_* re-serialize
+  // them — hash the frame in place, no decode round-trip.
+  std::uint8_t input[36];
+  std::size_t input_len = 0;
+  std::size_t l4 = 0;
+  std::uint8_t proto = 0;
+
+  if (ethertype == net::kEthertypeIpv4) {
+    if (frame.size() < l3 + net::Ipv4Header::kWireSize) {
+      return 0;
+    }
+    const std::size_t ihl = (frame[l3] & 0x0F) * std::size_t{4};
+    if (ihl < net::Ipv4Header::kWireSize || frame.size() < l3 + ihl) {
+      return 0;
+    }
+    proto = frame[l3 + 9];
+    std::copy(frame.begin() + static_cast<std::ptrdiff_t>(l3 + 12),
+              frame.begin() + static_cast<std::ptrdiff_t>(l3 + 20), input);
+    input_len = 8;
+    l4 = l3 + ihl;
+  } else if (ethertype == net::kEthertypeIpv6) {
+    if (frame.size() < l3 + net::Ipv6Header::kWireSize) {
+      return 0;
+    }
+    proto = frame[l3 + 6];
+    std::copy(frame.begin() + static_cast<std::ptrdiff_t>(l3 + 8),
+              frame.begin() + static_cast<std::ptrdiff_t>(l3 + 40), input);
+    input_len = 32;
+    l4 = l3 + net::Ipv6Header::kWireSize;
+  } else {
+    return 0;
+  }
+
+  if ((proto == net::kIpProtoTcp || proto == net::kIpProtoUdp) &&
+      frame.size() >= l4 + 4) {
+    input[input_len] = frame[l4];
+    input[input_len + 1] = frame[l4 + 1];
+    input[input_len + 2] = frame[l4 + 2];
+    input[input_len + 3] = frame[l4 + 3];
+    input_len += 4;
+  }
+  return softnic::toeplitz_hash(config_.key, {input, input_len});
+}
+
+}  // namespace opendesc::engine

@@ -1,0 +1,60 @@
+// RSS steering: the device half of receive-side scaling.
+//
+// Real NICs classify each arriving frame with a Toeplitz hash over the
+// flow tuple and index a small indirection table with the low hash bits to
+// pick the destination queue.  The engine's dispatch thread plays that
+// role: it must agree with the rss_hash semantic the completion deparser
+// writes (softnic::ComputeEngine), so the hash here is the same Toeplitz
+// over the same tuple bytes — extracted with a minimal header walk instead
+// of a full PacketView parse, because steering runs once per packet on the
+// dispatch path while the parse-heavy work runs sharded on the workers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "softnic/toeplitz.hpp"
+
+namespace opendesc::engine {
+
+struct SteeringConfig {
+  std::size_t queues = 1;
+  /// Indirection-table entries (rounded up to a power of two; real devices
+  /// ship 128 or 512).  Entry i serves hash values with low bits == i.
+  std::size_t table_size = 128;
+  std::array<std::uint8_t, 40> key = softnic::kDefaultRssKey;
+};
+
+class RssSteering {
+ public:
+  explicit RssSteering(SteeringConfig config = {});
+
+  /// Toeplitz hash of the frame's flow tuple: 4-tuple for TCP/UDP over
+  /// IPv4/IPv6 (with or without one 802.1Q tag), 2-tuple for other IP
+  /// traffic, 0 for anything unparsable — matching the NIC-side rss_hash
+  /// computation bit for bit.
+  [[nodiscard]] std::uint32_t hash(std::span<const std::uint8_t> frame) const noexcept;
+
+  /// Destination queue for a frame.
+  [[nodiscard]] std::uint16_t queue_for(std::span<const std::uint8_t> frame) const noexcept {
+    return queue_for_hash(hash(frame));
+  }
+
+  /// Destination queue for a precomputed RSS hash value.
+  [[nodiscard]] std::uint16_t queue_for_hash(std::uint32_t hash_value) const noexcept {
+    return table_[hash_value & (table_.size() - 1)];
+  }
+
+  [[nodiscard]] std::size_t queues() const noexcept { return config_.queues; }
+  [[nodiscard]] const std::vector<std::uint16_t>& table() const noexcept {
+    return table_;
+  }
+
+ private:
+  SteeringConfig config_;
+  std::vector<std::uint16_t> table_;  ///< hash low bits -> queue id
+};
+
+}  // namespace opendesc::engine

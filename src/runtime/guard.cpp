@@ -50,17 +50,58 @@ RecordVerdict RecordGuard::validate(std::span<const std::uint8_t> record,
   return RecordVerdict::ok;
 }
 
-void DeadLetterBuffer::push(QuarantinedRecord letter) {
-  ++total_;
-  ++by_reason_[static_cast<std::size_t>(letter.reason)];
-  entries_.push_back(std::move(letter));
+void DeadLetterBuffer::reserve_slots(std::size_t record_bytes,
+                                     std::size_t frame_bytes) {
+  free_.reserve(capacity_ + free_.size());
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    QuarantinedRecord slot;
+    slot.record.reserve(record_bytes);
+    slot.frame_head.reserve(frame_bytes);
+    free_.push_back(std::move(slot));
+  }
+}
+
+QuarantinedRecord DeadLetterBuffer::take_slot() {
+  if (free_.empty()) {
+    return {};
+  }
+  QuarantinedRecord slot = std::move(free_.back());
+  free_.pop_back();
+  return slot;
+}
+
+void DeadLetterBuffer::evict_over_capacity() {
   while (entries_.size() > capacity_) {
+    // Recycle the evicted entry's storage into the pool: its vectors keep
+    // their capacity, so the next push copies without allocating.
+    free_.push_back(std::move(entries_.front()));
     entries_.pop_front();
   }
 }
 
+void DeadLetterBuffer::push(QuarantinedRecord letter) {
+  ++total_;
+  ++by_reason_[static_cast<std::size_t>(letter.reason)];
+  entries_.push_back(std::move(letter));
+  evict_over_capacity();
+}
+
+void DeadLetterBuffer::push(std::span<const std::uint8_t> record,
+                            std::span<const std::uint8_t> frame_head,
+                            RecordVerdict reason, std::uint64_t sequence) {
+  QuarantinedRecord letter = take_slot();
+  letter.record.assign(record.begin(), record.end());
+  letter.frame_head.assign(frame_head.begin(), frame_head.end());
+  letter.reason = reason;
+  letter.sequence = sequence;
+  push(std::move(letter));
+}
+
 void DeadLetterBuffer::clear() {
-  entries_.clear();
+  while (!entries_.empty()) {
+    free_.push_back(std::move(entries_.front()));
+    entries_.pop_front();
+  }
   total_ = 0;
   by_reason_.fill(0);
 }
@@ -126,7 +167,13 @@ ValidatingRxLoop::ValidatingRxLoop(const core::CompiledLayout& wire_layout,
                                    const softnic::ComputeEngine& engine,
                                    GuardConfig config)
     : guard_(wire_layout, config), engine_(&engine),
-      dead_letters_(config.quarantine_capacity) {}
+      dead_letters_(config.quarantine_capacity) {
+  // Arena-style preallocation: each worker shard owns one loop, so every
+  // dead-letter slot's storage is carved out up front and recycled — no
+  // allocator traffic from the hot path under fault storms.
+  dead_letters_.reserve_slots(wire_layout.total_bytes(),
+                              config.frame_capture_bytes);
+}
 
 std::uint64_t ValidatingRxLoop::software_fold(
     const net::Packet& packet, std::span<const softnic::SemanticId> wanted,
@@ -215,15 +262,9 @@ void ValidatingRxLoop::consume_events(std::span<const sim::RxEvent> events,
       // Quarantine the malformed record, then deliver the packet's
       // semantics anyway from the bytes we still trust: the DMA'd frame
       // (plus the origin packet's receive context when we have it).
-      QuarantinedRecord letter;
-      letter.record.assign(ev.record.begin(), ev.record.end());
       const std::size_t head =
           std::min(guard_.config().frame_capture_bytes, ev.frame.size());
-      letter.frame_head.assign(ev.frame.begin(),
-                               ev.frame.begin() + static_cast<std::ptrdiff_t>(head));
-      letter.reason = verdict;
-      letter.sequence = sequence_;
-      dead_letters_.push(std::move(letter));
+      dead_letters_.push(ev.record, ev.frame.first(head), verdict, sequence_);
       ++stats.quarantined;
 
       if (origin != nullptr) {

@@ -23,8 +23,8 @@
 #pragma once
 
 #include <array>
-#include <chrono>
 #include <deque>
+#include <optional>
 #include <string_view>
 
 #include "runtime/rxloop.hpp"
@@ -85,11 +85,26 @@ struct QuarantinedRecord {
 
 /// Bounded dead-letter buffer: keeps the newest `capacity` malformed
 /// records for inspection and counts every quarantine by reason.
+///
+/// Storage is arena-style: reserve_slots() preallocates every entry's
+/// record/frame byte storage up front, and evicted entries recycle through a
+/// free pool — after warm-up, quarantining allocates nothing, so a worker
+/// shard under a fault storm never touches the global allocator from its
+/// hot loop.
 class DeadLetterBuffer {
  public:
   explicit DeadLetterBuffer(std::size_t capacity = 64) : capacity_(capacity) {}
 
+  /// Preallocates `capacity` pooled entries sized for `record_bytes`-byte
+  /// records and `frame_bytes`-byte frame captures.
+  void reserve_slots(std::size_t record_bytes, std::size_t frame_bytes);
+
   void push(QuarantinedRecord letter);
+
+  /// Copies the spans into pooled storage (no allocation once warmed up).
+  void push(std::span<const std::uint8_t> record,
+            std::span<const std::uint8_t> frame_head, RecordVerdict reason,
+            std::uint64_t sequence);
 
   [[nodiscard]] const std::deque<QuarantinedRecord>& entries() const noexcept {
     return entries_;
@@ -101,8 +116,13 @@ class DeadLetterBuffer {
   void clear();
 
  private:
+  /// Takes a recycled entry (or a fresh one) off the pool.
+  [[nodiscard]] QuarantinedRecord take_slot();
+  void evict_over_capacity();
+
   std::size_t capacity_;
   std::deque<QuarantinedRecord> entries_;
+  std::vector<QuarantinedRecord> free_;  ///< recycled entry storage
   std::uint64_t total_ = 0;
   std::array<std::uint64_t, kRecordVerdictCount> by_reason_{};
 };
@@ -136,6 +156,11 @@ ProgramReport program_with_verify(sim::ProgrammableNic& nic,
 
 // --- The validating receive loop -------------------------------------------
 
+/// No-op per-batch stats observer (the default for run_stream).
+struct NullStatsObserver {
+  void operator()(const RxLoopStats&) const noexcept {}
+};
+
 /// Drop-in hardened replacement for run_rx_loop.  Works with any device
 /// exposing the NicSimulator datapath contract (rx/poll/advance/pending/
 /// dma/free_buffers) — both sim::NicSimulator and sim::ProgrammableNic.
@@ -153,6 +178,21 @@ class ValidatingRxLoop {
                                 RxStrategy& strategy,
                                 std::span<const softnic::SemanticId> wanted,
                                 const RxLoopConfig& config = {});
+
+  /// Stream-driven variant: the engine's per-queue workers feed on this.
+  /// `source()` returns the next packet or nullopt for end-of-stream (it may
+  /// block — e.g. on an SPSC handoff ring — and blocking time is *not*
+  /// charged to host_ns).  Per iteration the loop accepts up to
+  /// config.batch packets, then polls and consumes one completion batch;
+  /// after the stream ends it drains the device and recovers whatever never
+  /// completed, exactly like run().  `observe(stats)` fires after every
+  /// consumed batch (and once on exit) so a live stats registry can publish
+  /// shard counters without the loop taking locks.
+  template <typename Nic, typename Source, typename Observer = NullStatsObserver>
+  [[nodiscard]] RxLoopStats run_stream(
+      Nic& nic, Source&& source, RxStrategy& strategy,
+      std::span<const softnic::SemanticId> wanted,
+      const RxLoopConfig& config = {}, Observer&& observe = {});
 
   [[nodiscard]] const DeadLetterBuffer& dead_letters() const noexcept {
     return dead_letters_;
@@ -191,23 +231,47 @@ RxLoopStats ValidatingRxLoop::run(Nic& nic, net::WorkloadGenerator& workload,
                                   RxStrategy& strategy,
                                   std::span<const softnic::SemanticId> wanted,
                                   const RxLoopConfig& config) {
+  std::size_t remaining = config.packet_count;
+  return run_stream(
+      nic,
+      [&]() -> std::optional<net::Packet> {
+        if (remaining == 0) {
+          return std::nullopt;
+        }
+        --remaining;
+        return workload.next();
+      },
+      strategy, wanted, config);
+}
+
+template <typename Nic, typename Source, typename Observer>
+RxLoopStats ValidatingRxLoop::run_stream(
+    Nic& nic, Source&& source, RxStrategy& strategy,
+    std::span<const softnic::SemanticId> wanted, const RxLoopConfig& config,
+    Observer&& observe) {
   RxLoopStats stats;
   std::vector<sim::RxEvent> events(config.batch);
   std::deque<net::Packet> pending;  ///< accepted, completion not yet seen
 
+  // host_ns is charged on the per-thread CPU clock: when several shard
+  // workers share fewer cores (or one), preemption by a sibling shard must
+  // not count against this shard's datapath cost.
   const auto timed = [&stats](auto&& body) {
-    const auto start = std::chrono::steady_clock::now();
+    const double start = thread_cpu_now_ns();
     body();
-    const auto elapsed = std::chrono::steady_clock::now() - start;
-    stats.host_ns += static_cast<double>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    stats.host_ns += thread_cpu_now_ns() - start;
   };
 
-  std::size_t remaining = config.packet_count;
-  while (remaining > 0) {
-    const std::size_t burst = std::min(config.batch, remaining);
-    for (std::size_t i = 0; i < burst; ++i) {
-      net::Packet pkt = workload.next();
+  bool open = true;
+  while (open) {
+    std::size_t burst = 0;
+    for (; burst < config.batch; ++burst) {
+      std::optional<net::Packet> next = source();
+      if (!next) {
+        open = false;
+        break;
+      }
+      net::Packet pkt = std::move(*next);
       if (nic.rx(pkt)) {
         pending.push_back(std::move(pkt));
       } else {
@@ -219,11 +283,14 @@ RxLoopStats ValidatingRxLoop::run(Nic& nic, net::WorkloadGenerator& workload,
         --stats.lost_completions;  // rejected, not lost: recounted below
       }
     }
-    remaining -= burst;
+    if (burst == 0) {
+      break;  // stream ended exactly on a batch boundary
+    }
 
     const std::size_t n = nic.poll(events);
     timed([&] { consume_events(events, n, pending, strategy, wanted, stats); });
     nic.advance(n);
+    observe(stats);
   }
 
   // Drain.  Delayed doorbells surface completions only after further polls;
@@ -235,6 +302,7 @@ RxLoopStats ValidatingRxLoop::run(Nic& nic, net::WorkloadGenerator& workload,
     }
     timed([&] { consume_events(events, n, pending, strategy, wanted, stats); });
     nic.advance(n);
+    observe(stats);
   }
 
   // Whatever is still unmatched was accepted by rx() but never completed.
@@ -250,6 +318,7 @@ RxLoopStats ValidatingRxLoop::run(Nic& nic, net::WorkloadGenerator& workload,
   stats.drops_ring_full = nic.dma().drops_ring_full;
   stats.drops_pool_exhausted = nic.dma().drops_pool_exhausted;
   stats.drops_oversize = nic.dma().drops_oversize;
+  observe(stats);
   return stats;
 }
 

@@ -1,8 +1,41 @@
 #include "runtime/rxloop.hpp"
 
 #include <chrono>
+#include <ctime>
 
 namespace opendesc::rt {
+
+RxLoopStats& RxLoopStats::operator+=(const RxLoopStats& other) noexcept {
+  packets += other.packets;
+  drops += other.drops;
+  value_checksum ^= other.value_checksum;
+  host_ns += other.host_ns;
+  completion_bytes += other.completion_bytes;
+  frame_bytes += other.frame_bytes;
+  drops_ring_full += other.drops_ring_full;
+  drops_pool_exhausted += other.drops_pool_exhausted;
+  drops_oversize += other.drops_oversize;
+  hw_consumed += other.hw_consumed;
+  quarantined += other.quarantined;
+  softnic_recovered += other.softnic_recovered;
+  lost_completions += other.lost_completions;
+  rx_rejected += other.rx_rejected;
+  unrecoverable_values += other.unrecoverable_values;
+  return *this;
+}
+
+double thread_cpu_now_ns() noexcept {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e9 + static_cast<double>(ts.tv_nsec);
+  }
+#endif
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 RxLoopStats run_rx_loop(sim::NicSimulator& nic, net::WorkloadGenerator& workload,
                         RxStrategy& strategy,

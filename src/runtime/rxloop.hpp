@@ -45,7 +45,30 @@ struct RxLoopStats {
                         : static_cast<double>(packets) /
                               static_cast<double>(offered);
   }
+
+  /// Merges another loop's (e.g. another queue's) stats into this one.
+  /// Counters and host_ns are *totals*, so they add — which is exactly what
+  /// makes the derived rates weight by per-queue packet counts:
+  /// merged ns_per_packet == sum(host_ns) / sum(packets), never the naive
+  /// mean of per-queue averages, and merged delivery_ratio(offered) divides
+  /// total delivered packets by total offered.  value_checksum xor-folds,
+  /// matching the per-packet fold, so an aggregate over any sharding of the
+  /// same trace reproduces the single-queue checksum.
+  RxLoopStats& operator+=(const RxLoopStats& other) noexcept;
 };
+
+[[nodiscard]] inline RxLoopStats operator+(RxLoopStats lhs,
+                                           const RxLoopStats& rhs) noexcept {
+  lhs += rhs;
+  return lhs;
+}
+
+/// Per-thread CPU time in nanoseconds (CLOCK_THREAD_CPUTIME_ID).  The
+/// sharded loops time their host-side consume sections with this clock so a
+/// worker's host_ns measures the work *its* shard performed even when more
+/// workers than cores are runnable — preemption by sibling shards does not
+/// inflate the measurement the way a wall clock would.
+[[nodiscard]] double thread_cpu_now_ns() noexcept;
 
 struct RxLoopConfig {
   std::size_t packet_count = 10000;

@@ -1,0 +1,351 @@
+// Multi-queue engine suite: SPSC handoff, RSS steering determinism and
+// device agreement, engine-vs-single-loop checksum equivalence at every
+// queue count, and the 4-queue fault-injection goodput bar.  The TSan twin
+// (engine_tsan_test) recompiles everything with -fsanitize=thread, so the
+// threaded tests here are also the race detector's workload.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "core/compiler.hpp"
+#include "engine/engine.hpp"
+#include "engine/spsc.hpp"
+#include "net/workload.hpp"
+#include "nic/model.hpp"
+#include "runtime/guard.hpp"
+
+namespace opendesc::engine {
+namespace {
+
+using softnic::SemanticId;
+
+// --- SPSC handoff ring ------------------------------------------------------
+
+TEST(SpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  SpscQueue<int> ring(100);
+  EXPECT_EQ(ring.capacity(), 128u);
+  SpscQueue<int> tiny(0);
+  EXPECT_EQ(tiny.capacity(), 2u);
+}
+
+TEST(SpscQueueTest, FillDrainPreservesOrderAndBounds) {
+  SpscQueue<int> ring(4);  // capacity 4
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.try_push(int(i)));
+  }
+  EXPECT_FALSE(ring.try_push(99));  // full: bounded, no overwrite
+  EXPECT_EQ(ring.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    const auto item = ring.try_pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscQueueTest, MoveOnlyPayloads) {
+  SpscQueue<std::unique_ptr<int>> ring(8);
+  ring.push(std::make_unique<int>(42));
+  const auto item = ring.try_pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(**item, 42);
+}
+
+TEST(SpscQueueTest, CloseDrainsThenSignalsEndOfStream) {
+  SpscQueue<int> ring(8);
+  ring.push(1);
+  ring.push(2);
+  ring.close();
+  EXPECT_EQ(ring.pop_wait(), std::optional<int>(1));
+  EXPECT_EQ(ring.pop_wait(), std::optional<int>(2));
+  EXPECT_FALSE(ring.pop_wait().has_value());  // drained + closed
+  EXPECT_FALSE(ring.pop_wait().has_value());  // stays terminal
+}
+
+TEST(SpscQueueTest, ProducerConsumerTransfersEverythingInOrder) {
+  // Small ring forces wraparound and producer backpressure; under the TSan
+  // twin this is the handoff protocol's race test.
+  constexpr std::uint64_t kItems = 50000;
+  SpscQueue<std::uint64_t> ring(16);
+  std::uint64_t sum = 0;
+  std::uint64_t count = 0;
+  std::uint64_t last = 0;
+  std::thread consumer([&] {
+    while (const auto item = ring.pop_wait()) {
+      EXPECT_EQ(*item, last + 1);  // strict FIFO, nothing lost or duplicated
+      last = *item;
+      sum += *item;
+      ++count;
+    }
+  });
+  for (std::uint64_t i = 1; i <= kItems; ++i) {
+    ring.push(std::uint64_t(i));
+  }
+  ring.close();
+  consumer.join();
+  EXPECT_EQ(count, kItems);
+  EXPECT_EQ(sum, kItems * (kItems + 1) / 2);
+}
+
+// --- Shared fixture ---------------------------------------------------------
+
+struct Fixture {
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs{registry};
+  core::Compiler compiler{registry, costs};
+  softnic::ComputeEngine compute{registry};
+  core::CompileResult result;
+
+  // The wanted set is the intent's: rss/vlan/pkt_len — all derived from the
+  // packet bytes alone, so their values (and the xor-fold over them) are
+  // identical no matter which queue a packet lands on.  That property is
+  // what the equivalence tests below rely on; queue-context semantics
+  // (queue_id, seq_no) would legitimately differ across shardings.
+  Fixture()
+      : result(compiler.compile(
+            nic::NicCatalog::by_name("ice").p4_source(),
+            R"(header i_t {
+                @semantic("rss")     bit<32> h;
+                @semantic("vlan")    bit<16> v;
+                @semantic("pkt_len") bit<16> l;
+            })",
+            {})) {}
+
+  [[nodiscard]] std::vector<net::Packet> trace(std::size_t n,
+                                               std::uint64_t seed = 42) const {
+    net::WorkloadConfig config;
+    config.seed = seed;
+    config.vlan_probability = 0.4;
+    config.udp_fraction = 0.5;
+    config.ipv6_fraction = 0.25;
+    config.min_frame = 96;  // IPv6 + VLAN headers don't fit in 64B runts
+    net::WorkloadGenerator gen(config);
+    return gen.batch(n);
+  }
+};
+
+// --- RSS steering -----------------------------------------------------------
+
+TEST(RssSteeringTest, DeterministicAcrossInstances) {
+  Fixture fx;
+  const std::vector<net::Packet> packets = fx.trace(2000);
+  RssSteering a(SteeringConfig{4, 128, softnic::kDefaultRssKey});
+  RssSteering b(SteeringConfig{4, 128, softnic::kDefaultRssKey});
+  for (const net::Packet& pkt : packets) {
+    EXPECT_EQ(a.queue_for(pkt.bytes()), b.queue_for(pkt.bytes()));
+    EXPECT_EQ(a.hash(pkt.bytes()), b.hash(pkt.bytes()));
+  }
+}
+
+TEST(RssSteeringTest, HashAgreesWithNicSideRssSemantic) {
+  // The steering thread plays the device's classifier; its minimal header
+  // walk must reproduce the rss_hash the completion deparser writes, bit
+  // for bit, for every traffic mix the workload produces (v4/v6, tcp/udp,
+  // tagged/untagged).
+  Fixture fx;
+  const std::vector<net::Packet> packets = fx.trace(2000);
+  RssSteering steering(SteeringConfig{4, 128, softnic::kDefaultRssKey});
+  for (const net::Packet& pkt : packets) {
+    const net::PacketView view = net::PacketView::parse(pkt.bytes());
+    const std::uint64_t nic_hash = fx.compute.compute(
+        SemanticId::rss_hash, pkt.bytes(), view, softnic::RxContext{});
+    EXPECT_EQ(steering.hash(pkt.bytes()), nic_hash);
+  }
+}
+
+TEST(RssSteeringTest, FlowAffinityAndSpread) {
+  // Same 5-tuple -> same queue, always; and 64 flows spread over all 4
+  // queues (fixed seed, deterministic table).
+  net::WorkloadConfig config;
+  config.seed = 42;
+  config.vlan_probability = 0.4;
+  config.udp_fraction = 0.5;
+  net::WorkloadGenerator gen(config);
+  RssSteering steering(SteeringConfig{4, 128, softnic::kDefaultRssKey});
+
+  std::map<std::size_t, std::uint16_t> flow_queue;
+  std::array<std::uint64_t, 4> per_queue_packets{};
+  for (std::size_t i = 0; i < 4000; ++i) {
+    const net::Packet pkt = gen.next();
+    const std::uint16_t queue = steering.queue_for(pkt.bytes());
+    ASSERT_LT(queue, 4u);
+    ++per_queue_packets[queue];
+    const auto [it, inserted] = flow_queue.emplace(gen.last_flow_index(), queue);
+    EXPECT_EQ(it->second, queue) << "flow " << gen.last_flow_index()
+                                 << " split across queues";
+  }
+  EXPECT_EQ(flow_queue.size(), gen.flows().size());
+  for (std::size_t q = 0; q < 4; ++q) {
+    EXPECT_GT(per_queue_packets[q], 0u) << "queue " << q << " starved";
+  }
+}
+
+TEST(RssSteeringTest, NonIpAndTruncatedFramesGoToQueueZero) {
+  RssSteering steering(SteeringConfig{4, 128, softnic::kDefaultRssKey});
+  const std::vector<std::uint8_t> arp(64, 0);  // ethertype 0x0000
+  EXPECT_EQ(steering.hash(arp), 0u);
+  EXPECT_EQ(steering.queue_for(arp), steering.queue_for_hash(0));
+  const std::vector<std::uint8_t> runt(10, 0xFF);
+  EXPECT_EQ(steering.hash(runt), 0u);
+}
+
+// --- Engine equivalence (satellite 3) ---------------------------------------
+
+TEST(EngineTest, ChecksumEquivalentToSingleLoopAtEveryQueueCount) {
+  Fixture fx;
+  const std::vector<net::Packet> packets = fx.trace(4000);
+
+  // Ground truth: the PR-1 hardened loop, single queue, no engine.
+  sim::NicSimulator nic(fx.result.layout, fx.compute, {});
+  rt::OpenDescStrategy strategy(fx.result, fx.compute);
+  rt::ValidatingRxLoop loop(fx.result.layout, fx.compute);
+  std::size_t index = 0;
+  // requested() returns the set by value: materialize before iterating.
+  const std::set<SemanticId> requested = fx.result.intent.requested();
+  const std::vector<SemanticId> wanted(requested.begin(), requested.end());
+  const rt::RxLoopStats single = loop.run_stream(
+      nic,
+      [&]() -> std::optional<net::Packet> {
+        if (index == packets.size()) {
+          return std::nullopt;
+        }
+        return packets[index++];
+      },
+      strategy, wanted);
+  ASSERT_EQ(single.packets, packets.size());
+
+  for (const std::size_t queues : {1u, 2u, 4u}) {
+    SCOPED_TRACE("queues=" + std::to_string(queues));
+    EngineConfig config;
+    config.queues = queues;
+    MultiQueueEngine engine(fx.result, fx.compute, config);
+    const EngineReport report = engine.run(packets);
+
+    // Same trace, any sharding: exact same packet count and the exact same
+    // xor-fold of delivered semantic values.
+    EXPECT_EQ(report.total.packets, packets.size());
+    EXPECT_EQ(report.offered_total, packets.size());
+    EXPECT_EQ(report.total.value_checksum, single.value_checksum);
+    EXPECT_EQ(report.total.hw_consumed, packets.size());
+    EXPECT_EQ(report.total.quarantined, 0u);
+
+    // Bookkeeping is consistent: per-queue rows sum to the totals, every
+    // steered packet was consumed by its queue's worker, and the live
+    // registry agrees with the final report.
+    ASSERT_EQ(report.per_queue.size(), queues);
+    std::uint64_t delivered = 0;
+    for (std::size_t q = 0; q < queues; ++q) {
+      EXPECT_EQ(report.per_queue[q].packets, report.offered[q]);
+      delivered += report.per_queue[q].packets;
+    }
+    EXPECT_EQ(delivered, report.total.packets);
+    EXPECT_EQ(std::accumulate(report.offered.begin(), report.offered.end(),
+                              std::uint64_t{0}),
+              report.offered_total);
+    EXPECT_EQ(engine.stats().aggregate().value_checksum,
+              report.total.value_checksum);
+  }
+}
+
+TEST(EngineTest, RunsAreReproducible) {
+  Fixture fx;
+  const std::vector<net::Packet> packets = fx.trace(2000, 7);
+  EngineConfig config;
+  config.queues = 4;
+  MultiQueueEngine engine(fx.result, fx.compute, config);
+  const EngineReport a = engine.run(packets);
+  const EngineReport b = engine.run(packets);  // fresh per-run device state
+  EXPECT_EQ(a.total.packets, b.total.packets);
+  EXPECT_EQ(a.total.value_checksum, b.total.value_checksum);
+  EXPECT_EQ(a.offered, b.offered);
+}
+
+TEST(EngineTest, WorkloadOverloadMatchesMaterializedTrace) {
+  Fixture fx;
+  net::WorkloadConfig wconfig;
+  wconfig.seed = 42;
+  wconfig.vlan_probability = 0.4;
+  wconfig.udp_fraction = 0.5;
+  wconfig.ipv6_fraction = 0.25;
+  wconfig.min_frame = 96;
+  net::WorkloadGenerator gen(wconfig);
+
+  EngineConfig config;
+  config.queues = 2;
+  MultiQueueEngine engine(fx.result, fx.compute, config);
+  const EngineReport streamed = engine.run(gen, 2000);
+  const EngineReport materialized = engine.run(fx.trace(2000));
+  EXPECT_EQ(streamed.total.value_checksum, materialized.total.value_checksum);
+  EXPECT_EQ(streamed.offered, materialized.offered);
+}
+
+TEST(EngineTest, QueueCountClampsToAtLeastOne) {
+  Fixture fx;
+  EngineConfig config;
+  config.queues = 0;
+  MultiQueueEngine engine(fx.result, fx.compute, config);
+  EXPECT_EQ(engine.config().queues, 1u);
+  const EngineReport report = engine.run(fx.trace(100));
+  EXPECT_EQ(report.total.packets, 100u);
+}
+
+// The facade re-exports are the supported spelling for runtime users.
+static_assert(std::is_same_v<rt::MultiQueueEngine, MultiQueueEngine>);
+static_assert(std::is_same_v<rt::EngineConfig, EngineConfig>);
+static_assert(std::is_same_v<rt::EngineReport, EngineReport>);
+
+// --- Fault injection across queues (satellite 3) ----------------------------
+
+TEST(EngineTest, CompositeFaultsAcrossFourQueuesPreserveGoodput) {
+  Fixture fx;
+  const std::vector<net::Packet> packets = fx.trace(6000);
+
+  EngineConfig clean;
+  clean.queues = 4;
+  clean.guard = true;  // same wire layout as the faulted run
+  MultiQueueEngine golden_engine(fx.result, fx.compute, clean);
+  const EngineReport golden = golden_engine.run(packets);
+  ASSERT_EQ(golden.total.packets, packets.size());
+  ASSERT_EQ(golden.total.quarantined, 0u);
+
+  EngineConfig faulty = clean;
+  faulty.fault_rate = 0.01;
+  faulty.fault_seed = 2026;
+  MultiQueueEngine engine(fx.result, fx.compute, faulty);
+  const EngineReport report = engine.run(packets);
+
+  // 100% goodput: every offered packet's wanted semantics were delivered —
+  // through the hardware path or the SoftNIC recovery path — on every queue.
+  EXPECT_EQ(report.total.packets, report.offered_total);
+  EXPECT_DOUBLE_EQ(report.total.delivery_ratio(report.offered_total), 1.0);
+  EXPECT_EQ(report.total.hw_consumed + report.total.softnic_recovered,
+            report.total.packets);
+  EXPECT_EQ(report.total.value_checksum, golden.total.value_checksum);
+  EXPECT_EQ(report.total.unrecoverable_values, 0u);
+  EXPECT_GT(report.total.quarantined, 0u);
+  for (std::size_t q = 0; q < 4; ++q) {
+    EXPECT_EQ(report.per_queue[q].packets, report.offered[q])
+        << "queue " << q << " lost packets";
+  }
+  // Per-queue fault streams are decorrelated but each queue saw *some*
+  // injected trouble at 1% over its share of the trace.
+  EXPECT_GT(std::accumulate(report.quarantine_total.begin(),
+                            report.quarantine_total.end(), std::uint64_t{0}),
+            0u);
+
+  // Determinism: (workload seed, fault seed, queue count) reproduces the
+  // exact recovery counters.
+  MultiQueueEngine repeat(fx.result, fx.compute, faulty);
+  const EngineReport again = repeat.run(packets);
+  EXPECT_EQ(again.total.value_checksum, report.total.value_checksum);
+  EXPECT_EQ(again.total.quarantined, report.total.quarantined);
+  EXPECT_EQ(again.total.softnic_recovered, report.total.softnic_recovered);
+  EXPECT_EQ(again.total.lost_completions, report.total.lost_completions);
+}
+
+}  // namespace
+}  // namespace opendesc::engine
