@@ -126,8 +126,8 @@ void BM_CheckedReads(benchmark::State& state) {
     for (std::size_t i = 0; i < f.count; ++i) {
       const std::span<const std::uint8_t> rec(
           f.records.data() + i * f.record_size, f.record_size);
-      sink ^= *accessor.read_checked(rec, SemanticId::rss_hash);
-      sink ^= *accessor.read_checked(rec, SemanticId::pkt_len);
+      sink ^= accessor.read_provided(rec, SemanticId::rss_hash).value();
+      sink ^= accessor.read_provided(rec, SemanticId::pkt_len).value();
     }
   }
   benchmark::DoNotOptimize(sink);

@@ -9,14 +9,23 @@
 // many cores the machine running the simulation has; wall-clock throughput
 // is printed alongside, unmodelled.  The acceptance bar is >= 2.5x at 4
 // queues vs 1.
+//
+// The run also measures the telemetry tax — per-packet host cost with a
+// Sink attached vs without (bar: < 3%) — and writes every number to
+// BENCH_engine_scaling.json in the working directory for machine
+// consumption (pps per queue count, per-queue breakdown, overhead).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "core/compiler.hpp"
 #include "engine/engine.hpp"
 #include "nic/model.hpp"
+#include "telemetry/sink.hpp"
 
 namespace {
 
@@ -53,11 +62,34 @@ struct Setup {
   }
 };
 
-engine::EngineReport run_queues(Setup& setup, std::size_t queues) {
-  engine::EngineConfig config;
-  config.queues = queues;
+engine::EngineReport run_queues(Setup& setup, std::size_t queues,
+                                telemetry::Sink* sink = nullptr) {
+  const engine::EngineConfig config =
+      rt::EngineConfig{}.with_queues(queues).with_telemetry(sink);
   engine::MultiQueueEngine eng(setup.result, *setup.compute, config);
   return eng.run(setup.trace);
+}
+
+/// Per-packet host CPU cost (sum of every shard's host_ns) with and without
+/// a sink.  Runs are interleaved (plain, sink, plain, sink, ...) so CPU
+/// frequency ramps and cache warmth hit both configurations equally, and
+/// the min over repetitions estimates each datapath's intrinsic cost.
+struct OverheadSample {
+  double plain_ns = 0.0;
+  double sink_ns = 0.0;
+};
+
+OverheadSample measure_overhead(Setup& setup, std::size_t queues,
+                                std::size_t reps, telemetry::Sink& sink) {
+  OverheadSample best;
+  run_queues(setup, queues);  // warm-up, discarded
+  for (std::size_t r = 0; r < reps; ++r) {
+    const double plain = run_queues(setup, queues).total.ns_per_packet();
+    const double with = run_queues(setup, queues, &sink).total.ns_per_packet();
+    best.plain_ns = r == 0 ? plain : std::min(best.plain_ns, plain);
+    best.sink_ns = r == 0 ? with : std::min(best.sink_ns, with);
+  }
+  return best;
 }
 
 void print_table() {
@@ -69,6 +101,7 @@ void print_table() {
               "ns/pkt(max q)", "speedup", "pps(wall)");
   double base_pps = 0.0;
   double speedup_at_4 = 0.0;
+  std::ostringstream rows;
   for (const std::size_t queues : {1u, 2u, 4u, 8u}) {
     const engine::EngineReport report = run_queues(setup, queues);
     const double pps = report.packets_per_second();
@@ -84,7 +117,45 @@ void print_table() {
                     static_cast<double>(report.total.packets) *
                     static_cast<double>(queues),
                 speedup, report.wall_packets_per_second());
+    if (queues != 1) {
+      rows << ",";
+    }
+    rows << "{\"queues\":" << queues << ",\"pps_critical\":" << pps
+         << ",\"pps_wall\":" << report.wall_packets_per_second()
+         << ",\"speedup\":" << speedup << ",\"per_queue\":[";
+    for (std::size_t q = 0; q < queues; ++q) {
+      const rt::RxLoopStats& shard = report.per_queue[q];
+      rows << (q == 0 ? "" : ",") << "{\"queue\":" << q
+           << ",\"offered\":" << report.offered[q]
+           << ",\"delivered\":" << shard.packets
+           << ",\"hw_consumed\":" << shard.hw_consumed
+           << ",\"softnic_recovered\":" << shard.softnic_recovered
+           << ",\"host_ns\":" << shard.host_ns << "}";
+    }
+    rows << "]}";
   }
+
+  // Telemetry tax at 4 queues: per-packet host cost with a sink attached
+  // (trace rings + latency shards hot) vs the null-sink path.
+  constexpr std::size_t kOverheadReps = 15;
+  telemetry::Sink sink({.queues = 4});
+  const OverheadSample tax = measure_overhead(setup, 4, kOverheadReps, sink);
+  const double ns_plain = tax.plain_ns;
+  const double ns_sink = tax.sink_ns;
+  const double overhead_percent =
+      ns_plain > 0.0 ? 100.0 * (ns_sink - ns_plain) / ns_plain : 0.0;
+  std::printf("\ntelemetry tax at 4 queues: %.1f ns/pkt without sink, %.1f "
+              "with (%.2f%% overhead; bar < 3%%)\n",
+              ns_plain, ns_sink, overhead_percent);
+
+  std::ofstream json("BENCH_engine_scaling.json");
+  json << "{\"bench\":\"engine_scaling\",\"nic\":\"mlx5\",\"packets\":"
+       << kPackets << ",\"rows\":[" << rows.str()
+       << "],\"telemetry\":{\"ns_per_packet_plain\":" << ns_plain
+       << ",\"ns_per_packet_sink\":" << ns_sink
+       << ",\"overhead_percent\":" << overhead_percent << "}}\n";
+  std::printf("wrote BENCH_engine_scaling.json\n");
+
   std::printf("\nShape check: critical-path throughput scales with queue "
               "count (target >= 2.5x at\n4 queues; achieved %.2fx) because "
               "RSS spreads the flows and each shard's hardened\nloop runs "

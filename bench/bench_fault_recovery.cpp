@@ -10,10 +10,16 @@
 //    recovery work grows;
 //  * recovery mix — how many packets each rate pushes onto the quarantine /
 //    lost-completion / software-recovery paths.
+//
+// Every row, including the per-semantic provenance split (nic_path /
+// softnic_shim / unavailable counts), is written to
+// BENCH_fault_recovery.json in the working directory.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "core/compiler.hpp"
 #include "nic/model.hpp"
@@ -59,8 +65,15 @@ net::WorkloadGenerator make_workload() {
   return net::WorkloadGenerator(config);
 }
 
-rt::RxLoopStats run_hardened(const Setup& setup, double fault_rate,
-                             std::size_t packets) {
+struct HardenedRun {
+  rt::RxLoopStats stats;
+  /// Facade counts (hw-consumed packets) merged with the loop's recovery
+  /// counts: per semantic, nic + softnic + unavailable == delivered packets.
+  rt::SemanticPathCounters paths;
+};
+
+HardenedRun run_hardened(const Setup& setup, double fault_rate,
+                         std::size_t packets) {
   sim::NicSimulator nic(setup.wire_layout, *setup.engine, {});
   std::unique_ptr<sim::FaultInjector> injector;
   if (fault_rate > 0.0) {
@@ -73,7 +86,11 @@ rt::RxLoopStats run_hardened(const Setup& setup, double fault_rate,
   rt::ValidatingRxLoop loop(setup.wire_layout, *setup.engine);
   rt::RxLoopConfig config;
   config.packet_count = packets;
-  return loop.run(nic, gen, strategy, kWanted, config);
+  HardenedRun run;
+  run.stats = loop.run(nic, gen, strategy, kWanted, config);
+  run.paths += strategy.facade().path_counters();
+  run.paths += loop.recovery_path_counters();
+  return run;
 }
 
 rt::RxLoopStats run_plain(const Setup& setup, std::size_t packets) {
@@ -95,8 +112,11 @@ void print_table() {
   std::printf("plain loop, no validation:            %8.1f ns/pkt   "
               "goodput 100.0%%\n", plain.ns_per_packet());
 
+  std::ostringstream rows;
+  bool first_row = true;
   for (const double rate : {0.0, 1e-4, 1e-2}) {
-    const rt::RxLoopStats stats = run_hardened(setup, rate, kPackets);
+    const HardenedRun run = run_hardened(setup, rate, kPackets);
+    const rt::RxLoopStats& stats = run.stats;
     std::printf(
         "hardened loop, fault rate %-7g       %8.1f ns/pkt   goodput %5.1f%%"
         "   (hw %zu, quarantined %zu, lost %zu, sw-recovered %zu)\n",
@@ -106,7 +126,34 @@ void print_table() {
         static_cast<std::size_t>(stats.quarantined),
         static_cast<std::size_t>(stats.lost_completions),
         static_cast<std::size_t>(stats.softnic_recovered));
+    rows << (first_row ? "" : ",") << "{\"fault_rate\":" << rate
+         << ",\"ns_per_packet\":" << stats.ns_per_packet()
+         << ",\"goodput\":" << stats.delivery_ratio(kPackets)
+         << ",\"hw_consumed\":" << stats.hw_consumed
+         << ",\"quarantined\":" << stats.quarantined
+         << ",\"lost_completions\":" << stats.lost_completions
+         << ",\"softnic_recovered\":" << stats.softnic_recovered
+         << ",\"semantic_paths\":[";
+    bool first_semantic = true;
+    for (const auto& [semantic, paths] : run.paths.snapshot()) {
+      rows << (first_semantic ? "" : ",") << "{\"semantic\":\""
+           << setup.registry.name(static_cast<SemanticId>(semantic))
+           << "\",\"nic_path\":" << paths.nic_path
+           << ",\"softnic_shim\":" << paths.softnic_shim
+           << ",\"unavailable\":" << paths.unavailable << "}";
+      first_semantic = false;
+    }
+    rows << "]}";
+    first_row = false;
   }
+
+  std::ofstream json("BENCH_fault_recovery.json");
+  json << "{\"bench\":\"fault_recovery\",\"nic\":\"ice\",\"packets\":"
+       << kPackets
+       << ",\"ns_per_packet_plain\":" << plain.ns_per_packet()
+       << ",\"rows\":[" << rows.str() << "]}\n";
+  std::printf("wrote BENCH_fault_recovery.json\n");
+
   std::printf(
       "\nShape check: goodput stays at 100%% at every fault rate — faulted "
       "packets shift\nfrom the accessor path to SoftNIC recovery, so "
@@ -117,7 +164,7 @@ void BM_FaultRecovery(benchmark::State& state, double fault_rate) {
   static Setup setup;
   constexpr std::size_t kPackets = 20000;
   for (auto _ : state) {
-    const rt::RxLoopStats stats = run_hardened(setup, fault_rate, kPackets);
+    const rt::RxLoopStats stats = run_hardened(setup, fault_rate, kPackets).stats;
     benchmark::DoNotOptimize(stats.value_checksum);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *

@@ -133,7 +133,7 @@ int main(int argc, char** argv) {
                   result.layout.total_bytes(), shims.c_str(),
                   stats.ns_per_packet(),
                   static_cast<unsigned long long>(
-                      strategy.facade().fallback_calls()),
+                      strategy.facade().path_counters().total().softnic_shim),
                   static_cast<unsigned long long>(stats.value_checksum));
     } catch (const Error& e) {
       std::printf("%-6s failed: %s\n", gen.name, e.what());

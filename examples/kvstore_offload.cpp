@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
                                                               : "software",
                   shims.c_str(), stats.ns_per_packet(),
                   static_cast<unsigned long long>(
-                      strategy.facade().fallback_calls()));
+                      strategy.facade().path_counters().total().softnic_shim));
     } catch (const Error& e) {
       std::printf("%-10s compilation failed: %s\n", nic_name, e.what());
     }

@@ -6,6 +6,7 @@
 #include "core/txdesc.hpp"
 #include "core/verifier.hpp"
 #include "p4/parser.hpp"
+#include "telemetry/sink.hpp"
 
 namespace opendesc::core {
 
@@ -140,6 +141,43 @@ std::string build_report(const CompileResult& r,
   return out.str();
 }
 
+/// Eq. 1 search statistics of one compilation, labelled by direction
+/// (rx completion paths vs tx descriptor formats) and NIC.  Gauges: a
+/// compiler run reports the state of its latest solve, not an accumulation.
+void publish_compile_telemetry(telemetry::Sink& sink,
+                               const CompileResult& result,
+                               const char* direction) {
+  telemetry::Registry& reg = sink.registry();
+  const telemetry::Labels labels = {{"direction", direction},
+                                    {"nic", result.nic_name}};
+  reg.counter("opendesc_compile_runs_total", "Compilations performed",
+              labels)
+      .add(1);
+  reg.gauge("opendesc_compile_paths_explored",
+            "Feasible completion paths enumerated by the last solve", labels)
+      .set(static_cast<double>(result.paths.size()));
+  reg.gauge("opendesc_compile_chosen_size_bytes",
+            "Size(p) of the chosen path: completion record DMA footprint",
+            labels)
+      .set(static_cast<double>(result.layout.total_bytes()));
+  reg.gauge("opendesc_compile_shim_count",
+            "SoftNIC shims synthesized for Req \\ Prov(p*)", labels)
+      .set(static_cast<double>(result.shims.size()));
+  const PathScore& best = result.chosen_score();
+  if (best.satisfiable()) {
+    reg.gauge("opendesc_compile_softnic_cost",
+              "Sum of w(s) over semantics missing from the chosen path",
+              labels)
+        .set(best.softnic_cost);
+    reg.gauge("opendesc_compile_dma_cost",
+              "alpha * Size(p) of the chosen path", labels)
+        .set(best.dma_cost);
+    reg.gauge("opendesc_compile_objective",
+              "Eq. 1 objective of the chosen path (softnic + dma)", labels)
+        .set(best.total());
+  }
+}
+
 }  // namespace
 
 CompileResult Compiler::compile(std::string_view nic_source,
@@ -219,6 +257,9 @@ CompileResult Compiler::compile(const p4::Program& nic_program,
       generate_xdp_header(result.layout, result.shims, registry_, cg);
   result.manifest = generate_manifest(result.layout, result.shims, registry_);
   result.report = build_report(result, registry_, costs_, result.intent);
+  if (options.telemetry != nullptr) {
+    publish_compile_telemetry(*options.telemetry, result, "rx");
+  }
   return result;
 }
 
@@ -307,6 +348,9 @@ CompileResult Compiler::compile_tx(const p4::Program& nic_program,
   result.c_header = generate_tx_writer_header(result.layout, registry_, prefix);
   result.manifest = generate_manifest(result.layout, result.shims, registry_);
   result.report = build_report(result, registry_, costs_, result.intent);
+  if (options.telemetry != nullptr) {
+    publish_compile_telemetry(*options.telemetry, result, "tx");
+  }
   return result;
 }
 

@@ -15,6 +15,10 @@
 #include "core/paths.hpp"
 #include "softnic/cost.hpp"
 
+namespace opendesc::telemetry {
+class Sink;
+}  // namespace opendesc::telemetry
+
 namespace opendesc::core {
 
 struct CompileOptions {
@@ -27,6 +31,9 @@ struct CompileOptions {
   std::string prefix;
   /// Auto-register unknown intent semantics as extensions.
   bool auto_register_semantics = true;
+  /// When set, each compilation publishes its search statistics (paths
+  /// explored, Eq. 1 objective, chosen Size(p)) into this sink's registry.
+  telemetry::Sink* telemetry = nullptr;
 };
 
 /// Everything the compilation of one (NIC, intent) pair produced.

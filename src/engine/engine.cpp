@@ -5,6 +5,7 @@
 #include <exception>
 #include <thread>
 
+#include "engine/publish.hpp"
 #include "engine/spsc.hpp"
 #include "runtime/baselines.hpp"
 
@@ -89,6 +90,21 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
   report.offered.assign(queues, 0);
   report.quarantine_total.assign(queues, 0);
 
+  // Telemetry is only attachable when the sink was sized for this engine:
+  // each worker needs its own single-writer ring and histogram shard.
+  telemetry::Sink* sink =
+      (config_.telemetry != nullptr && config_.telemetry->queues() >= queues)
+          ? config_.telemetry
+          : nullptr;
+
+  // Per-queue facade counters are cumulative across runs (strategies
+  // persist); snapshot them so this run reports deltas only.
+  std::vector<rt::SemanticPathCounters> facade_before;
+  facade_before.reserve(queues);
+  for (std::size_t q = 0; q < queues; ++q) {
+    facade_before.push_back(strategies_[q]->facade().path_counters());
+  }
+
   // Fresh per-run device state: each queue is a complete NIC instance with
   // its own completion ring, buffer pool, doorbell clock and accounting.
   std::vector<std::unique_ptr<sim::NicSimulator>> nics;
@@ -113,6 +129,7 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
     guard_config.quarantine_capacity = config_.quarantine_capacity;
     loops.push_back(std::make_unique<rt::ValidatingRxLoop>(
         wire_layout_, *compute_, guard_config));
+    loops.back()->set_telemetry(sink, q);
     handoff.push_back(
         std::make_unique<SpscQueue<net::Packet>>(config_.spsc_capacity));
   }
@@ -148,12 +165,20 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
   // A throwing packet source must still close the rings and join the
   // workers before the exception escapes, or ~thread() terminates.
   std::exception_ptr dispatch_error;
+  telemetry::TraceRing* dispatch_ring =
+      sink != nullptr ? &sink->dispatch_ring() : nullptr;
   try {
     const double steer_start = rt::thread_cpu_now_ns();
+    std::uint64_t handoff_seq = 0;
     while (std::optional<net::Packet> pkt = next()) {
       const std::uint16_t q = steering_.queue_for(pkt->bytes());
       ++report.offered[q];
       ++report.offered_total;
+      if (dispatch_ring != nullptr) {
+        dispatch_ring->record({telemetry::TraceEventType::queue_handoff, 0, q,
+                               static_cast<std::uint32_t>(pkt->bytes().size()),
+                               handoff_seq++});
+      }
       handoff[q]->push(std::move(*pkt));
     }
     report.steering_ns = rt::thread_cpu_now_ns() - steer_start;
@@ -179,6 +204,15 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
   for (std::size_t q = 0; q < queues; ++q) {
     report.quarantine_total[q] = loops[q]->dead_letters().total();
     report.total += report.per_queue[q];
+    // Per-run semantic provenance: the facade's delta covers hw-consumed
+    // packets, the loop's recovery counters cover quarantined/lost/rejected
+    // ones — together exactly one entry per wanted semantic per packet.
+    report.semantic_paths +=
+        strategies_[q]->facade().path_counters().since(facade_before[q]);
+    report.semantic_paths += loops[q]->recovery_path_counters();
+  }
+  if (sink != nullptr) {
+    publish_report(*sink, report, compute_->registry());
   }
   return report;
 }

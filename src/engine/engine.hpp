@@ -31,25 +31,18 @@
 #include "engine/stats.hpp"
 #include "engine/steering.hpp"
 #include "net/workload.hpp"
+#include "runtime/engine_config.hpp"
 #include "runtime/guard.hpp"
+#include "runtime/provided.hpp"
 #include "sim/faults.hpp"
 #include "sim/nicsim.hpp"
 
 namespace opendesc::engine {
 
-struct EngineConfig {
-  std::size_t queues = 1;
-  std::size_t batch = 32;          ///< rx burst + completion batch per shard
-  bool pin = false;                ///< pin worker q to CPU (q mod cores)
-  std::size_t spsc_capacity = 1024;///< handoff ring entries per queue
-  std::size_t rss_table_size = 128;
-  bool guard = false;              ///< seal records with the integrity tag
-  double fault_rate = 0.0;         ///< composite per-queue injection rate
-  std::uint64_t fault_seed = 1;    ///< base seed; queue q derives its own
-  sim::SimConfig sim;              ///< per-queue device template (queue_id is
-                                   ///< overridden with the queue index)
-  std::size_t quarantine_capacity = 64;  ///< dead letters kept per shard
-};
+// The engine is configured with the unified rt::EngineConfig (see
+// runtime/engine_config.hpp); the old engine::EngineConfig spelling keeps
+// working through this alias.
+using EngineConfig = rt::EngineConfig;
 
 /// Outcome of one engine run.
 struct EngineReport {
@@ -61,6 +54,12 @@ struct EngineReport {
   double wall_ns = 0.0;      ///< real elapsed time of the whole run
   double steering_ns = 0.0;  ///< dispatch-thread classify+handoff CPU time
                              ///< (device-side role, kept out of host cost)
+
+  /// Per-semantic reads split by serving path across every queue, for this
+  /// run only: facade deltas (hw-consumed packets) plus the loops' recovery
+  /// counters — per semantic, nic_path + softnic_shim + unavailable equals
+  /// the packets processed.
+  rt::SemanticPathCounters semantic_paths;
 
   /// Slowest shard's host-side processing time: with one core per queue,
   /// the run completes when the busiest worker does.
@@ -119,7 +118,7 @@ class MultiQueueEngine {
   core::CompiledLayout wire_layout_;
   RssSteering steering_;
   StatsRegistry stats_;
-  std::vector<std::unique_ptr<rt::RxStrategy>> strategies_;  ///< one per queue
+  std::vector<std::unique_ptr<rt::OpenDescStrategy>> strategies_;  ///< per queue
   std::vector<softnic::SemanticId> wanted_;
 };
 
@@ -128,7 +127,6 @@ class MultiQueueEngine {
 namespace opendesc::rt {
 // Facade-level re-exports: runtime users configure the parallel datapath
 // with rt::EngineConfig{...} next to the rest of the host-side API.
-using engine::EngineConfig;
 using engine::EngineReport;
 using engine::MultiQueueEngine;
 }  // namespace opendesc::rt

@@ -1,0 +1,106 @@
+#include "engine/publish.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace opendesc::engine {
+
+namespace {
+
+std::string semantic_label(const softnic::SemanticRegistry& registry,
+                           std::uint32_t raw) {
+  try {
+    return registry.name(static_cast<softnic::SemanticId>(raw));
+  } catch (const Error&) {
+    return "id_" + std::to_string(raw);
+  }
+}
+
+}  // namespace
+
+void publish_rx_stats(telemetry::Sink& sink, const EngineReport& report) {
+  telemetry::Registry& reg = sink.registry();
+  const auto queue_counter = [&](const char* name, const char* help,
+                                 std::size_t q, std::uint64_t delta) {
+    reg.counter(name, help, {{"queue", std::to_string(q)}}).add(delta);
+  };
+  for (std::size_t q = 0; q < report.per_queue.size(); ++q) {
+    const rt::RxLoopStats& s = report.per_queue[q];
+    queue_counter("opendesc_rx_packets_total",
+                  "Packets whose semantics were delivered (either path)", q,
+                  s.packets);
+    queue_counter("opendesc_rx_hw_consumed_total",
+                  "Completion records that passed validation", q,
+                  s.hw_consumed);
+    queue_counter("opendesc_rx_quarantined_total",
+                  "Malformed completion records dead-lettered", q,
+                  s.quarantined);
+    queue_counter("opendesc_rx_softnic_recovered_total",
+                  "Packets recovered entirely in software", q,
+                  s.softnic_recovered);
+    queue_counter("opendesc_rx_lost_completions_total",
+                  "Packets accepted by rx() whose completion never arrived",
+                  q, s.lost_completions);
+    queue_counter("opendesc_rx_rejected_total",
+                  "Packets the device refused at rx (backpressure)", q,
+                  s.rx_rejected);
+    queue_counter("opendesc_rx_unrecoverable_values_total",
+                  "Wanted semantics with no software equivalent (w(s)=inf)",
+                  q, s.unrecoverable_values);
+    queue_counter("opendesc_rx_drops_total", "Packets dropped device-side",
+                  q, s.drops);
+    queue_counter(
+        "opendesc_offered_packets_total",
+        "Packets steered to this queue by the RSS dispatch thread", q,
+        q < report.offered.size() ? report.offered[q] : 0);
+    reg.gauge("opendesc_rx_host_ns",
+              "Host-side CPU nanoseconds this queue's worker spent consuming",
+              {{"queue", std::to_string(q)}})
+        .set(s.host_ns);
+  }
+}
+
+void publish_semantic_paths(telemetry::Sink& sink,
+                            const rt::SemanticPathCounters& paths,
+                            const softnic::SemanticRegistry& registry) {
+  telemetry::Registry& reg = sink.registry();
+  for (const auto& [raw, counts] : paths.snapshot()) {
+    const std::string semantic = semantic_label(registry, raw);
+    const auto path_counter = [&](const char* path, std::uint64_t delta) {
+      reg.counter("opendesc_semantic_reads_total",
+                  "Metadata reads by semantic and serving path; per "
+                  "semantic, the three paths sum to packets processed",
+                  {{"semantic", semantic}, {"path", path}})
+          .add(delta);
+    };
+    path_counter("nic_path", counts.nic_path);
+    path_counter("softnic_shim", counts.softnic_shim);
+    path_counter("unavailable", counts.unavailable);
+  }
+}
+
+void publish_report(telemetry::Sink& sink, const EngineReport& report,
+                    const softnic::SemanticRegistry& registry) {
+  publish_rx_stats(sink, report);
+  publish_semantic_paths(sink, report.semantic_paths, registry);
+
+  telemetry::Registry& reg = sink.registry();
+  reg.gauge("opendesc_engine_queues", "Worker queues in the last run")
+      .set(static_cast<double>(report.per_queue.size()));
+  reg.gauge("opendesc_engine_wall_ns", "Real elapsed time of the last run")
+      .set(report.wall_ns);
+  reg.gauge("opendesc_engine_steering_ns",
+            "Dispatch-thread classify+handoff CPU time of the last run")
+      .set(report.steering_ns);
+  reg.gauge("opendesc_engine_packets_per_second",
+            "Host-datapath capacity: packets over the critical-path shard")
+      .set(report.packets_per_second());
+  reg.gauge("opendesc_engine_wall_packets_per_second",
+            "Throughput against real elapsed time")
+      .set(report.wall_packets_per_second());
+
+  sink.publish_trace_counters();
+}
+
+}  // namespace opendesc::engine

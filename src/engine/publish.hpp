@@ -1,0 +1,33 @@
+// Registry publication: turns one engine run's report into telemetry
+// counters and gauges.
+//
+// Counters take per-run deltas through add(), so repeated runs against the
+// same sink accumulate the way Prometheus counters should; gauges reflect
+// the most recent run.  The key family is opendesc_semantic_reads_total
+// {semantic, path}: per semantic, the nic_path + softnic_shim + unavailable
+// series sum to exactly the packets processed — the runtime image of the
+// paper's Eq. 1 trade-off.
+#pragma once
+
+#include "engine/engine.hpp"
+#include "telemetry/sink.hpp"
+
+namespace opendesc::engine {
+
+/// Per-queue and aggregate RxLoopStats counters (packets, quarantine,
+/// recovery, drops) plus per-queue host time.
+void publish_rx_stats(telemetry::Sink& sink, const EngineReport& report);
+
+/// opendesc_semantic_reads_total{semantic=..., path=...} from per-run path
+/// counters.  `registry` resolves semantic names; unknown ids fall back to
+/// "id_<raw>".
+void publish_semantic_paths(telemetry::Sink& sink,
+                            const rt::SemanticPathCounters& paths,
+                            const softnic::SemanticRegistry& registry);
+
+/// Everything a run exposes: rx stats, semantic paths, throughput gauges,
+/// and the sink's trace totals.
+void publish_report(telemetry::Sink& sink, const EngineReport& report,
+                    const softnic::SemanticRegistry& registry);
+
+}  // namespace opendesc::engine

@@ -41,19 +41,21 @@ const AccessorSlot* OffsetAccessor::slot_of(softnic::SemanticId id) const noexce
   return nullptr;
 }
 
-std::optional<std::uint64_t> OffsetAccessor::read_checked(
+Provided<std::uint64_t> OffsetAccessor::read_provided(
     std::span<const std::uint8_t> record, softnic::SemanticId id) const {
   const AccessorSlot* slot = slot_of(id);
   if (slot == nullptr) {
-    return std::nullopt;
+    return Provided<std::uint64_t>::missing(MissReason::not_in_layout);
   }
   const std::size_t span_bytes =
       bits_to_bytes(slot->bit_offset + slot->bit_width);
   if (slot->byte_offset + span_bytes > record.size()) {
-    return std::nullopt;  // truncated record: refuse, like the eBPF verifier
+    // Truncated record: refuse, like the eBPF verifier.
+    return Provided<std::uint64_t>::missing(MissReason::record_truncated);
   }
-  return read_bits_unchecked(record.data(), slot->byte_offset, slot->bit_offset,
-                             slot->bit_width, endian_);
+  return Provided<std::uint64_t>::nic(
+      read_bits_unchecked(record.data(), slot->byte_offset, slot->bit_offset,
+                          slot->bit_width, endian_));
 }
 
 }  // namespace opendesc::rt

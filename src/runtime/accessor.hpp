@@ -13,6 +13,7 @@
 
 #include "common/error.hpp"
 #include "core/layout.hpp"
+#include "runtime/provided.hpp"
 #include "softnic/semantics.hpp"
 
 namespace opendesc::rt {
@@ -53,10 +54,21 @@ class OffsetAccessor {
                                slot->bit_width, endian_);
   }
 
-  /// Checked read for untrusted/truncated records (XDP-style): nullopt when
-  /// the slice would cross `record.size()`.
-  [[nodiscard]] std::optional<std::uint64_t> read_checked(
+  /// Checked read for untrusted/truncated records (XDP-style), reporting
+  /// provenance: nic(value) on success, missing(not_in_layout) when the
+  /// layout lacks the semantic, missing(record_truncated) when the slice
+  /// would cross `record.size()`.
+  [[nodiscard]] Provided<std::uint64_t> read_provided(
       std::span<const std::uint8_t> record, softnic::SemanticId id) const;
+
+  /// Deprecated compatibility wrapper over read_provided(): the same read
+  /// with the provenance dropped.  Kept one release for pre-Provided
+  /// callers.
+  [[nodiscard]] [[deprecated("use read_provided(); it carries provenance")]]
+  std::optional<std::uint64_t> read_checked(
+      std::span<const std::uint8_t> record, softnic::SemanticId id) const {
+    return read_provided(record, id).to_optional();
+  }
 
  private:
   [[nodiscard]] const AccessorSlot* slot_of(softnic::SemanticId id) const noexcept;

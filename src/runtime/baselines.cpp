@@ -278,7 +278,9 @@ std::uint64_t OpenDescStrategy::consume(const PacketContext& pkt,
                                         std::span<const SemanticId> wanted) {
   std::uint64_t checksum = 0;
   for (const SemanticId id : wanted) {
-    checksum ^= facade_.get(pkt, id);
+    // fetch() never throws for missing values; unavailable reads fold as 0
+    // and show up in the facade's path counters as `unavailable`.
+    checksum ^= facade_.fetch(pkt, id).value_or(0);
   }
   return checksum;
 }

@@ -1,0 +1,87 @@
+// rt::EngineConfig — the one configuration type for the host datapath.
+//
+// Before this header, ValidatingRxLoop and MultiQueueEngine grew divergent
+// ad-hoc constructor argument lists (GuardConfig here, queue counts there,
+// fault knobs in a third place).  EngineConfig unifies them: a single plain
+// struct covering queues, batching, steering, fault injection, quarantine
+// and the telemetry sink, consumed by both the single-queue hardened loop
+// (which reads the per-queue subset) and the multi-queue engine (which
+// reads all of it).  Fields stay public for aggregate-style setup; the
+// fluent with_*() methods chain for one-expression construction:
+//
+//   auto config = rt::EngineConfig{}
+//                     .with_queues(4)
+//                     .with_fault_rate(0.01, /*seed=*/7)
+//                     .with_telemetry(&sink);
+#pragma once
+
+#include <cstdint>
+
+#include "sim/nicsim.hpp"
+
+namespace opendesc::telemetry {
+class Sink;  // full definition only needed by code that sets/uses a sink
+}  // namespace opendesc::telemetry
+
+namespace opendesc::rt {
+
+struct EngineConfig {
+  std::size_t queues = 1;
+  std::size_t batch = 32;          ///< rx burst + completion batch per shard
+  bool pin = false;                ///< pin worker q to CPU (q mod cores)
+  std::size_t spsc_capacity = 1024;///< handoff ring entries per queue
+  std::size_t rss_table_size = 128;
+  bool guard = false;              ///< seal records with the integrity tag
+  double fault_rate = 0.0;         ///< composite per-queue injection rate
+  std::uint64_t fault_seed = 1;    ///< base seed; queue q derives its own
+  sim::SimConfig sim;              ///< per-queue device template (queue_id is
+                                   ///< overridden with the queue index)
+  std::size_t quarantine_capacity = 64;  ///< dead letters kept per shard
+  telemetry::Sink* telemetry = nullptr;  ///< null = telemetry off
+
+  // Fluent builder surface -- each setter returns *this so configurations
+  // compose in one expression.
+  EngineConfig& with_queues(std::size_t n) {
+    queues = n;
+    return *this;
+  }
+  EngineConfig& with_batch(std::size_t n) {
+    batch = n;
+    return *this;
+  }
+  EngineConfig& with_pinning(bool enabled = true) {
+    pin = enabled;
+    return *this;
+  }
+  EngineConfig& with_spsc_capacity(std::size_t entries) {
+    spsc_capacity = entries;
+    return *this;
+  }
+  EngineConfig& with_rss_table_size(std::size_t entries) {
+    rss_table_size = entries;
+    return *this;
+  }
+  EngineConfig& with_guard(bool enabled = true) {
+    guard = enabled;
+    return *this;
+  }
+  EngineConfig& with_fault_rate(double rate, std::uint64_t seed = 1) {
+    fault_rate = rate;
+    fault_seed = seed;
+    return *this;
+  }
+  EngineConfig& with_sim(const sim::SimConfig& config) {
+    sim = config;
+    return *this;
+  }
+  EngineConfig& with_quarantine_capacity(std::size_t capacity) {
+    quarantine_capacity = capacity;
+    return *this;
+  }
+  EngineConfig& with_telemetry(telemetry::Sink* sink) {
+    telemetry = sink;
+    return *this;
+  }
+};
+
+}  // namespace opendesc::rt

@@ -14,17 +14,44 @@ MetadataFacade::MetadataFacade(const core::CompiledLayout& layout,
     : accessor_(layout, engine.registry()), shims_(std::move(shims)),
       engine_(engine) {}
 
-std::uint64_t MetadataFacade::get(const PacketContext& pkt,
-                                  softnic::SemanticId semantic) const {
-  if (accessor_.provides(semantic)) {
-    return accessor_.read(pkt.record().data(), semantic);
+Provided<std::uint64_t> MetadataFacade::fetch(
+    const PacketContext& pkt, softnic::SemanticId semantic) const {
+  Provided<std::uint64_t> nic = accessor_.read_provided(pkt.record(), semantic);
+  if (nic.from_hardware()) {
+    path_counters_.count(semantic, Provenance::nic_path);
+    return nic;
   }
-  ++fallback_calls_;
+  return compute_software(pkt, semantic, nic.miss_reason());
+}
+
+Provided<std::uint64_t> MetadataFacade::fetch_software(
+    const PacketContext& pkt, softnic::SemanticId semantic,
+    MissReason nic_miss) const {
+  return compute_software(pkt, semantic, nic_miss);
+}
+
+Provided<std::uint64_t> MetadataFacade::compute_software(
+    const PacketContext& pkt, softnic::SemanticId semantic,
+    MissReason nic_miss) const {
   // Software fallback: recompute from the frame.  The host has no NIC
-  // context, so NIC-private values are unavailable (caught at compile time)
-  // and the timestamp degrades to "no hardware stamp".
-  const softnic::RxContext host_ctx{};
-  return engine_.compute(semantic, pkt.frame(), pkt.view(), host_ctx);
+  // context, so NIC-private values are unavailable (caught at compile time
+  // for chosen paths, observable here for damaged packets) and the
+  // timestamp degrades to "no hardware stamp".
+  Provided<std::uint64_t> out = Provided<std::uint64_t>::missing(nic_miss);
+  if (engine_.can_compute(semantic)) {
+    try {
+      const softnic::RxContext host_ctx{};
+      out = Provided<std::uint64_t>::softnic(
+          engine_.compute(semantic, pkt.frame(), pkt.view(), host_ctx),
+          nic_miss);
+    } catch (const Error&) {
+      out = Provided<std::uint64_t>::missing(MissReason::frame_unparseable);
+    }
+  } else {
+    out = Provided<std::uint64_t>::missing(MissReason::no_software_impl);
+  }
+  path_counters_.count(semantic, out.provenance());
+  return out;
 }
 
 }  // namespace opendesc::rt

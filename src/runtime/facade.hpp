@@ -11,6 +11,7 @@
 
 #include "core/compiler.hpp"
 #include "runtime/accessor.hpp"
+#include "runtime/provided.hpp"
 #include "sim/nicsim.hpp"
 #include "softnic/compute.hpp"
 
@@ -61,12 +62,41 @@ class MetadataFacade {
                  std::vector<core::SoftNicShim> shims,
                  const softnic::ComputeEngine& engine);
 
-  /// The value of `semantic` for this packet.  Constant-time accessor read
-  /// when the NIC provides it; otherwise the SoftNIC shim computes it from
-  /// the frame (throws Error(semantic) when impossible — should have been
-  /// caught at compile time as unsatisfiable).
-  [[nodiscard]] std::uint64_t get(const PacketContext& pkt,
-                                  softnic::SemanticId semantic) const;
+  /// Primary accessor: the value of `semantic` plus its provenance.
+  /// Constant-time descriptor read when the chosen path provides it
+  /// (nic_path); otherwise the SoftNIC shim recomputes it from the frame
+  /// (softnic_shim, with the reason the NIC path missed); unavailable when
+  /// neither path can produce it — never throws for missing values.  Every
+  /// call counts its path in path_counters(), so per-semantic nic/softnic
+  /// totals reconcile exactly with packets processed.
+  [[nodiscard]] Provided<std::uint64_t> fetch(
+      const PacketContext& pkt, softnic::SemanticId semantic) const;
+
+  /// Software-only fetch for packets whose descriptor record cannot be
+  /// trusted (quarantined, completion lost, rx-rejected): skips the
+  /// accessor entirely and recomputes from the frame, recording `nic_miss`
+  /// as the reason the NIC path was unusable.  Counts in path_counters()
+  /// like fetch().
+  [[nodiscard]] Provided<std::uint64_t> fetch_software(
+      const PacketContext& pkt, softnic::SemanticId semantic,
+      MissReason nic_miss) const;
+
+  /// Deprecated compatibility wrapper (one release): fetch() with the
+  /// provenance collapsed to an optional.
+  [[nodiscard]] [[deprecated("use fetch(); it carries provenance")]]
+  std::optional<std::uint64_t> try_get(
+      const PacketContext& pkt, softnic::SemanticId semantic) const {
+    return fetch(pkt, semantic).to_optional();
+  }
+
+  /// Deprecated compatibility wrapper (one release): fetch() that throws
+  /// Error(semantic) when the value is unavailable — the pre-Provided
+  /// contract.
+  [[nodiscard]] [[deprecated("use fetch(...).value()")]]
+  std::uint64_t get(const PacketContext& pkt,
+                    softnic::SemanticId semantic) const {
+    return fetch(pkt, semantic).value();
+  }
 
   [[nodiscard]] bool hardware_provided(softnic::SemanticId semantic) const noexcept {
     return accessor_.provides(semantic);
@@ -76,16 +106,29 @@ class MetadataFacade {
     return accessor_.record_size();
   }
 
-  /// Number of get() calls served by software fallbacks (telemetry).
+  /// Per-semantic totals of every fetch, split by the path that served it
+  /// (nic_path / softnic_shim / unavailable).  Cumulative over the facade's
+  /// lifetime; snapshot and use SemanticPathCounters::since() for per-run
+  /// deltas.  Single-threaded like the facade itself.
+  [[nodiscard]] const SemanticPathCounters& path_counters() const noexcept {
+    return path_counters_;
+  }
+
+  /// Deprecated compatibility wrapper (one release): total reads served by
+  /// software fallbacks, now derived from path_counters().
   [[nodiscard]] std::uint64_t fallback_calls() const noexcept {
-    return fallback_calls_;
+    return path_counters_.total().softnic_shim;
   }
 
  private:
+  [[nodiscard]] Provided<std::uint64_t> compute_software(
+      const PacketContext& pkt, softnic::SemanticId semantic,
+      MissReason nic_miss) const;
+
   OffsetAccessor accessor_;
   std::vector<core::SoftNicShim> shims_;
   const softnic::ComputeEngine& engine_;
-  mutable std::uint64_t fallback_calls_ = 0;
+  mutable SemanticPathCounters path_counters_;
 };
 
 }  // namespace opendesc::rt

@@ -109,10 +109,30 @@ void DeadLetterBuffer::clear() {
 ProgramReport program_with_verify(sim::ProgrammableNic& nic,
                                   const p4::ConstEnv& assignment,
                                   const RetryPolicy& policy,
-                                  std::string_view expect_path_id) {
+                                  std::string_view expect_path_id,
+                                  telemetry::Sink* sink) {
   ProgramReport report;
   double backoff = policy.backoff_base_ns;
   std::vector<std::string> issues;
+  std::uint64_t trace_seq = 0;
+  const auto ctrl_trace = [&](telemetry::TraceEventType type,
+                              std::uint8_t detail) {
+    if (sink != nullptr) {
+      sink->ctrl_ring().record({type, detail, 0, 0, trace_seq++});
+    }
+  };
+  const auto publish_attempts = [&] {
+    if (sink != nullptr) {
+      sink->registry()
+          .counter("opendesc_ctrl_program_attempts_total",
+                   "Control-channel programming attempts (1 = stuck first try)")
+          .add(report.attempts);
+      sink->registry()
+          .counter("opendesc_ctrl_program_retries_total",
+                   "Control-channel reprogram retries after failed readback")
+          .add(report.attempts - 1);
+    }
+  };
 
   for (std::size_t attempt = 1; attempt <= policy.max_attempts; ++attempt) {
     report.attempts = attempt;
@@ -139,6 +159,10 @@ ProgramReport program_with_verify(sim::ProgrammableNic& nic,
         const std::string& selected = nic.active_path_id();
         if (expect_path_id.empty() || selected == expect_path_id) {
           report.verified_path_id = selected;
+          ctrl_trace(telemetry::TraceEventType::ctrl_programmed,
+                     static_cast<std::uint8_t>(
+                         attempt > 0xFF ? 0xFF : attempt));
+          publish_attempts();
           return report;
         }
         issues.push_back("selected path '" + selected + "', expected '" +
@@ -149,9 +173,12 @@ ProgramReport program_with_verify(sim::ProgrammableNic& nic,
     }
 
     // Back off (simulated — accounted, not slept) and retry.
+    ctrl_trace(telemetry::TraceEventType::ctrl_retry,
+               static_cast<std::uint8_t>(attempt > 0xFF ? 0xFF : attempt));
     report.backoff_ns += backoff;
     backoff *= policy.backoff_multiplier;
   }
+  publish_attempts();
 
   std::string detail;
   for (const std::string& issue : issues) {
@@ -162,6 +189,17 @@ ProgramReport program_with_verify(sim::ProgrammableNic& nic,
                   std::to_string(policy.max_attempts) + " attempts" +
                   (detail.empty() ? "" : ": " + detail));
 }
+
+namespace {
+
+GuardConfig guard_config_from(const EngineConfig& config, std::size_t queue) {
+  GuardConfig out;
+  out.queue_id = static_cast<std::uint16_t>(queue);
+  out.quarantine_capacity = config.quarantine_capacity;
+  return out;
+}
+
+}  // namespace
 
 ValidatingRxLoop::ValidatingRxLoop(const core::CompiledLayout& wire_layout,
                                    const softnic::ComputeEngine& engine,
@@ -175,15 +213,40 @@ ValidatingRxLoop::ValidatingRxLoop(const core::CompiledLayout& wire_layout,
                               config.frame_capture_bytes);
 }
 
+ValidatingRxLoop::ValidatingRxLoop(const core::CompiledLayout& wire_layout,
+                                   const softnic::ComputeEngine& engine,
+                                   const EngineConfig& config,
+                                   std::size_t queue)
+    : ValidatingRxLoop(wire_layout, engine, guard_config_from(config, queue)) {
+  set_telemetry(config.telemetry, queue);
+}
+
+void ValidatingRxLoop::set_telemetry(telemetry::Sink* sink, std::size_t queue) {
+  sink_ = sink;
+  queue_ = static_cast<std::uint16_t>(queue);
+  if (sink == nullptr) {
+    trace_ring_ = nullptr;
+    latency_shard_ = nullptr;
+    return;
+  }
+  // Resolve the single-writer endpoints once; the hot loop then pays one
+  // null check per use, never a registry lookup.
+  trace_ring_ = &sink->ring(queue);
+  latency_shard_ = &sink->batch_latency_shard(queue);
+}
+
 std::uint64_t ValidatingRxLoop::software_fold(
     const net::Packet& packet, std::span<const softnic::SemanticId> wanted,
-    RxLoopStats& stats) const {
+    RxLoopStats& stats, MissReason nic_miss) {
   std::optional<net::PacketView> view;
   try {
     view.emplace(net::PacketView::parse(packet.bytes()));
   } catch (const std::exception&) {
     // Unparseable frame: nothing can be recovered for it.
     stats.unrecoverable_values += wanted.size();
+    for (const softnic::SemanticId id : wanted) {
+      recovery_paths_.count(id, Provenance::unavailable);
+    }
     return 0;
   }
 
@@ -206,6 +269,7 @@ std::uint64_t ValidatingRxLoop::software_fold(
       // w(s) = ∞: no software equivalent exists (e.g. mark, lro_seg_count
       // when NIC state is gone with the record).
       ++stats.unrecoverable_values;
+      recovery_paths_.count(id, Provenance::unavailable);
       continue;
     }
     try {
@@ -214,8 +278,12 @@ std::uint64_t ValidatingRxLoop::software_fold(
         value &= (std::uint64_t{1} << slice->bit_width) - 1;
       }
       fold ^= value;
+      recovery_paths_.count(id, Provenance::softnic_shim);
+      trace(telemetry::TraceEventType::softnic_fallback,
+            static_cast<std::uint8_t>(nic_miss), softnic::raw(id));
     } catch (const std::exception&) {
       ++stats.unrecoverable_values;
+      recovery_paths_.count(id, Provenance::unavailable);
     }
   }
   return fold;
@@ -223,8 +291,11 @@ std::uint64_t ValidatingRxLoop::software_fold(
 
 void ValidatingRxLoop::recover_lost(const net::Packet& packet,
                                     std::span<const softnic::SemanticId> wanted,
-                                    RxLoopStats& stats) {
-  stats.value_checksum ^= software_fold(packet, wanted, stats);
+                                    RxLoopStats& stats, MissReason reason) {
+  if (reason == MissReason::completion_lost) {
+    trace(telemetry::TraceEventType::completion_lost);
+  }
+  stats.value_checksum ^= software_fold(packet, wanted, stats, reason);
   ++stats.lost_completions;
   ++stats.softnic_recovered;
   ++stats.packets;
@@ -236,6 +307,7 @@ void ValidatingRxLoop::consume_events(std::span<const sim::RxEvent> events,
                                       RxStrategy& strategy,
                                       std::span<const softnic::SemanticId> wanted,
                                       RxLoopStats& stats) {
+  std::uint32_t validated_in_batch = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const sim::RxEvent& ev = events[i];
 
@@ -254,6 +326,10 @@ void ValidatingRxLoop::consume_events(std::span<const sim::RxEvent> events,
     ++sequence_;
     const RecordVerdict verdict = guard_.validate(ev.record, ev.frame);
     if (verdict == RecordVerdict::ok) {
+      // Happy-path validations aggregate into one event per batch (below):
+      // a per-packet ring write would tax the hot path for an event whose
+      // only payload is its count.  Anomalies still trace individually.
+      ++validated_in_batch;
       const PacketContext pkt(ev);
       stats.value_checksum ^= strategy.consume(pkt, wanted);
       ++stats.hw_consumed;
@@ -266,13 +342,17 @@ void ValidatingRxLoop::consume_events(std::span<const sim::RxEvent> events,
           std::min(guard_.config().frame_capture_bytes, ev.frame.size());
       dead_letters_.push(ev.record, ev.frame.first(head), verdict, sequence_);
       ++stats.quarantined;
+      trace(telemetry::TraceEventType::record_quarantined,
+            static_cast<std::uint8_t>(verdict));
 
       if (origin != nullptr) {
-        stats.value_checksum ^= software_fold(*origin, wanted, stats);
+        stats.value_checksum ^=
+            software_fold(*origin, wanted, stats, MissReason::record_invalid);
       } else {
         net::Packet synthetic;
         synthetic.data.assign(ev.frame.begin(), ev.frame.end());
-        stats.value_checksum ^= software_fold(synthetic, wanted, stats);
+        stats.value_checksum ^=
+            software_fold(synthetic, wanted, stats, MissReason::record_invalid);
       }
       ++stats.softnic_recovered;
       ++stats.packets;
@@ -281,6 +361,9 @@ void ValidatingRxLoop::consume_events(std::span<const sim::RxEvent> events,
     if (origin != nullptr) {
       pending.pop_front();
     }
+  }
+  if (validated_in_batch != 0) {
+    trace(telemetry::TraceEventType::record_validated, 0, validated_in_batch);
   }
 }
 

@@ -27,8 +27,11 @@
 #include <optional>
 #include <string_view>
 
+#include "runtime/engine_config.hpp"
+#include "runtime/provided.hpp"
 #include "runtime/rxloop.hpp"
 #include "sim/ctrlchan.hpp"
+#include "telemetry/sink.hpp"
 
 namespace opendesc::rt {
 
@@ -148,11 +151,14 @@ struct ProgramReport {
 /// completions), program, read every register back, confirm the selection is
 /// unambiguous (and equals `expect_path_id` when given); on any mismatch
 /// back off and reprogram.  Throws Error(device) when the policy's attempts
-/// are exhausted — the device is declared misbehaving.
+/// are exhausted — the device is declared misbehaving.  When `sink` is
+/// given, each retry/success lands in its control-plane trace ring and the
+/// attempt totals in its registry.
 ProgramReport program_with_verify(sim::ProgrammableNic& nic,
                                   const p4::ConstEnv& assignment,
                                   const RetryPolicy& policy = {},
-                                  std::string_view expect_path_id = {});
+                                  std::string_view expect_path_id = {},
+                                  telemetry::Sink* sink = nullptr);
 
 // --- The validating receive loop -------------------------------------------
 
@@ -172,6 +178,17 @@ class ValidatingRxLoop {
   ValidatingRxLoop(const core::CompiledLayout& wire_layout,
                    const softnic::ComputeEngine& engine,
                    GuardConfig config = {});
+
+  /// Unified-config construction: derives the guard knobs from the shared
+  /// rt::EngineConfig and attaches its telemetry sink as queue `queue` —
+  /// the same struct that configures MultiQueueEngine.
+  ValidatingRxLoop(const core::CompiledLayout& wire_layout,
+                   const softnic::ComputeEngine& engine,
+                   const EngineConfig& config, std::size_t queue = 0);
+
+  /// Attaches (or detaches, with nullptr) a telemetry sink; this loop
+  /// writes queue `queue`'s trace ring and batch-latency histogram shard.
+  void set_telemetry(telemetry::Sink* sink, std::size_t queue = 0);
 
   template <typename Nic>
   [[nodiscard]] RxLoopStats run(Nic& nic, net::WorkloadGenerator& workload,
@@ -199,14 +216,32 @@ class ValidatingRxLoop {
   }
   [[nodiscard]] const RecordGuard& guard() const noexcept { return guard_; }
 
+  /// Per-semantic path counts for packets this loop recovered in software
+  /// (quarantined / lost / rejected) — the complement of the facade's
+  /// path_counters(), so per-semantic totals reconcile with packets.
+  [[nodiscard]] const SemanticPathCounters& recovery_path_counters()
+      const noexcept {
+    return recovery_paths_;
+  }
+
  private:
+  /// Records one trace event into this loop's ring (no-op without a sink).
+  void trace(telemetry::TraceEventType type, std::uint8_t detail = 0,
+             std::uint32_t arg = 0) {
+    if (trace_ring_ != nullptr) {
+      trace_ring_->record({type, detail, queue_, arg, trace_seq_++});
+    }
+  }
+
   /// Computes the wanted semantics of one packet entirely in software,
   /// mirroring what the hardware path would have returned: NIC-provided
   /// semantics use the device context (timestamp, queue), facade-fallback
   /// semantics use the host context — so the fold matches a fault-free run.
+  /// Counts each semantic's outcome in recovery_path_counters() with
+  /// `nic_miss` as the reason the NIC path was unusable.
   [[nodiscard]] std::uint64_t software_fold(
       const net::Packet& packet, std::span<const softnic::SemanticId> wanted,
-      RxLoopStats& stats) const;
+      RxLoopStats& stats, MissReason nic_miss);
 
   /// Validates and consumes `n` polled events, re-aligning against the
   /// in-flight FIFO (detects dropped completions by frame mismatch).
@@ -215,15 +250,23 @@ class ValidatingRxLoop {
                       std::span<const softnic::SemanticId> wanted,
                       RxLoopStats& stats);
 
-  /// Recovers one packet whose completion never arrived.
+  /// Recovers one packet whose completion never arrived (or was refused at
+  /// rx when `reason` says so).
   void recover_lost(const net::Packet& packet,
                     std::span<const softnic::SemanticId> wanted,
-                    RxLoopStats& stats);
+                    RxLoopStats& stats,
+                    MissReason reason = MissReason::completion_lost);
 
   RecordGuard guard_;
   const softnic::ComputeEngine* engine_;
   DeadLetterBuffer dead_letters_;
   std::uint64_t sequence_ = 0;
+  SemanticPathCounters recovery_paths_;
+  telemetry::Sink* sink_ = nullptr;
+  telemetry::TraceRing* trace_ring_ = nullptr;          ///< sink_->ring(queue_)
+  telemetry::Histogram::Shard* latency_shard_ = nullptr;///< per-batch host ns
+  std::uint16_t queue_ = 0;
+  std::uint64_t trace_seq_ = 0;
 };
 
 template <typename Nic>
@@ -255,12 +298,21 @@ RxLoopStats ValidatingRxLoop::run_stream(
 
   // host_ns is charged on the per-thread CPU clock: when several shard
   // workers share fewer cores (or one), preemption by a sibling shard must
-  // not count against this shard's datapath cost.
-  const auto timed = [&stats](auto&& body) {
+  // not count against this shard's datapath cost.  A consumed batch's
+  // elapsed time also lands in the sink's latency histogram (sink-gated:
+  // one branch when telemetry is off).
+  const auto timed = [&](auto&& body) {
     const double start = thread_cpu_now_ns();
     body();
-    stats.host_ns += thread_cpu_now_ns() - start;
+    const double elapsed = thread_cpu_now_ns() - start;
+    stats.host_ns += elapsed;
+    if (latency_shard_ != nullptr && elapsed > 0.0) {
+      latency_shard_->observe(static_cast<std::uint64_t>(elapsed));
+    }
   };
+
+  trace(telemetry::TraceEventType::run_started, 0,
+        static_cast<std::uint32_t>(config.batch));
 
   bool open = true;
   while (open) {
@@ -279,7 +331,10 @@ RxLoopStats ValidatingRxLoop::run_stream(
         // semantics still get delivered, from software.
         ++stats.drops;
         ++stats.rx_rejected;
-        timed([&] { recover_lost(pkt, wanted, stats); });
+        trace(telemetry::TraceEventType::rx_rejected);
+        timed([&] {
+          recover_lost(pkt, wanted, stats, MissReason::rx_rejected);
+        });
         --stats.lost_completions;  // rejected, not lost: recounted below
       }
     }
@@ -318,6 +373,9 @@ RxLoopStats ValidatingRxLoop::run_stream(
   stats.drops_ring_full = nic.dma().drops_ring_full;
   stats.drops_pool_exhausted = nic.dma().drops_pool_exhausted;
   stats.drops_oversize = nic.dma().drops_oversize;
+  trace(telemetry::TraceEventType::run_finished, 0,
+        static_cast<std::uint32_t>(
+            stats.packets > 0xFFFFFFFFULL ? 0xFFFFFFFFULL : stats.packets));
   observe(stats);
   return stats;
 }

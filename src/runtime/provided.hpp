@@ -1,0 +1,270 @@
+// Provenance-aware accessor results — the redesigned facade return type.
+//
+// A bare std::optional<uint64_t> answers "did I get a value?" but not the
+// question the paper actually cares about: *which path served it*.  Eq. 1
+// trades SoftNIC fallback cost against descriptor DMA footprint at compile
+// time; Provided<T> makes the same trade observable at runtime.  Every
+// facade read reports whether the value came off the NIC descriptor
+// (nic_path), was recomputed by a SoftNIC shim (softnic_shim), or could not
+// be produced at all (unavailable) — and, for the latter two, why the NIC
+// path missed.
+//
+// Migration: OffsetAccessor::read_checked and MetadataFacade::get/try_get
+// remain as thin compatibility wrappers for one release; new code should
+// call read_provided / fetch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "softnic/semantics.hpp"
+
+namespace opendesc::rt {
+
+/// Which path produced the value.
+enum class Provenance : std::uint8_t {
+  nic_path,      ///< constant-time descriptor read (hardware provided it)
+  softnic_shim,  ///< recomputed in software from the frame
+  unavailable,   ///< neither path could produce it
+};
+
+/// Why the NIC path did not serve the read (none when it did).
+enum class MissReason : std::uint8_t {
+  none,              ///< served from the descriptor
+  not_in_layout,     ///< chosen path does not carry this semantic
+  record_truncated,  ///< slice would cross the record boundary
+  record_invalid,    ///< record failed validation (quarantined)
+  completion_lost,   ///< completion never arrived for this packet
+  rx_rejected,       ///< device refused the packet at rx
+  no_software_impl,  ///< no SoftNIC shim exists (w(s) = infinity)
+  frame_unparseable, ///< shim exists but the frame could not be parsed
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Provenance p) noexcept {
+  switch (p) {
+    case Provenance::nic_path:
+      return "nic_path";
+    case Provenance::softnic_shim:
+      return "softnic_shim";
+    case Provenance::unavailable:
+      return "unavailable";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(MissReason r) noexcept {
+  switch (r) {
+    case MissReason::none:
+      return "none";
+    case MissReason::not_in_layout:
+      return "not_in_layout";
+    case MissReason::record_truncated:
+      return "record_truncated";
+    case MissReason::record_invalid:
+      return "record_invalid";
+    case MissReason::completion_lost:
+      return "completion_lost";
+    case MissReason::rx_rejected:
+      return "rx_rejected";
+    case MissReason::no_software_impl:
+      return "no_software_impl";
+    case MissReason::frame_unparseable:
+      return "frame_unparseable";
+  }
+  return "?";
+}
+
+/// A value plus where it came from.  Behaves like std::optional (has_value,
+/// value, value_or, operator bool) with provenance() and miss_reason()
+/// riding along.
+template <typename T>
+class Provided {
+ public:
+  [[nodiscard]] static Provided nic(T value) {
+    return Provided(std::move(value), Provenance::nic_path, MissReason::none);
+  }
+  [[nodiscard]] static Provided softnic(T value, MissReason nic_miss) {
+    return Provided(std::move(value), Provenance::softnic_shim, nic_miss);
+  }
+  [[nodiscard]] static Provided missing(MissReason reason) {
+    return Provided(T{}, Provenance::unavailable, reason);
+  }
+
+  [[nodiscard]] bool has_value() const noexcept {
+    return provenance_ != Provenance::unavailable;
+  }
+  [[nodiscard]] explicit operator bool() const noexcept { return has_value(); }
+
+  /// Throws Error(semantic) when unavailable.
+  [[nodiscard]] const T& value() const {
+    if (!has_value()) {
+      throw Error(ErrorKind::semantic,
+                  "provided: value unavailable (" +
+                      std::string(to_string(reason_)) + ")");
+    }
+    return value_;
+  }
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? value_ : std::move(fallback);
+  }
+
+  [[nodiscard]] Provenance provenance() const noexcept { return provenance_; }
+  /// Why the NIC path missed; `none` iff provenance() == nic_path.
+  [[nodiscard]] MissReason miss_reason() const noexcept { return reason_; }
+  [[nodiscard]] bool from_hardware() const noexcept {
+    return provenance_ == Provenance::nic_path;
+  }
+
+  /// Drops provenance — the shape the deprecated wrappers return.
+  [[nodiscard]] std::optional<T> to_optional() const {
+    return has_value() ? std::optional<T>(value_) : std::nullopt;
+  }
+
+ private:
+  Provided(T value, Provenance provenance, MissReason reason)
+      : value_(std::move(value)), provenance_(provenance), reason_(reason) {}
+
+  T value_{};
+  Provenance provenance_ = Provenance::unavailable;
+  MissReason reason_ = MissReason::none;
+};
+
+/// Per-semantic read totals split by path.
+struct PathCounts {
+  std::uint64_t nic_path = 0;
+  std::uint64_t softnic_shim = 0;
+  std::uint64_t unavailable = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return nic_path + softnic_shim + unavailable;
+  }
+  PathCounts& operator+=(const PathCounts& other) noexcept {
+    nic_path += other.nic_path;
+    softnic_shim += other.softnic_shim;
+    unavailable += other.unavailable;
+    return *this;
+  }
+};
+
+/// Counts, per semantic, how many reads each path served.  Built for the
+/// facade hot path: builtins index a flat array, extensions a short
+/// linear-scanned vector — the same shape as OffsetAccessor's slot table.
+/// Single writer per instance (the thread driving the facade); merge
+/// snapshots after the writers quiesce.
+class SemanticPathCounters {
+ public:
+  void count(softnic::SemanticId id, Provenance path) {
+    PathCounts& counts = slot(softnic::raw(id));
+    switch (path) {
+      case Provenance::nic_path:
+        ++counts.nic_path;
+        break;
+      case Provenance::softnic_shim:
+        ++counts.softnic_shim;
+        break;
+      case Provenance::unavailable:
+        ++counts.unavailable;
+        break;
+    }
+  }
+
+  [[nodiscard]] PathCounts for_semantic(softnic::SemanticId id) const noexcept {
+    const std::uint32_t raw = softnic::raw(id);
+    if (raw < softnic::kBuiltinSemanticCount) {
+      return builtin_[raw];
+    }
+    for (const auto& [ext_raw, counts] : extensions_) {
+      if (ext_raw == raw) {
+        return counts;
+      }
+    }
+    return {};
+  }
+
+  /// Sum over every semantic.
+  [[nodiscard]] PathCounts total() const noexcept {
+    PathCounts sum;
+    for (const PathCounts& counts : builtin_) {
+      sum += counts;
+    }
+    for (const auto& [raw, counts] : extensions_) {
+      sum += counts;
+    }
+    return sum;
+  }
+
+  /// (raw semantic id, counts) for every semantic with at least one read,
+  /// builtins first in id order.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, PathCounts>> snapshot()
+      const {
+    std::vector<std::pair<std::uint32_t, PathCounts>> out;
+    for (std::uint32_t raw = 0; raw < softnic::kBuiltinSemanticCount; ++raw) {
+      if (builtin_[raw].total() != 0) {
+        out.emplace_back(raw, builtin_[raw]);
+      }
+    }
+    for (const auto& [raw, counts] : extensions_) {
+      if (counts.total() != 0) {
+        out.emplace_back(raw, counts);
+      }
+    }
+    return out;
+  }
+
+  SemanticPathCounters& operator+=(const SemanticPathCounters& other) {
+    for (std::uint32_t raw = 0; raw < softnic::kBuiltinSemanticCount; ++raw) {
+      builtin_[raw] += other.builtin_[raw];
+    }
+    for (const auto& [raw, counts] : other.extensions_) {
+      slot(raw) += counts;
+    }
+    return *this;
+  }
+
+  /// this - earlier, per semantic — how the engine turns a cumulative
+  /// facade counter into a per-run delta.
+  [[nodiscard]] SemanticPathCounters since(
+      const SemanticPathCounters& earlier) const {
+    SemanticPathCounters delta = *this;
+    for (std::uint32_t raw = 0; raw < softnic::kBuiltinSemanticCount; ++raw) {
+      delta.builtin_[raw].nic_path -= earlier.builtin_[raw].nic_path;
+      delta.builtin_[raw].softnic_shim -= earlier.builtin_[raw].softnic_shim;
+      delta.builtin_[raw].unavailable -= earlier.builtin_[raw].unavailable;
+    }
+    for (const auto& [raw, counts] : earlier.extensions_) {
+      PathCounts& mine = delta.slot(raw);
+      mine.nic_path -= counts.nic_path;
+      mine.softnic_shim -= counts.softnic_shim;
+      mine.unavailable -= counts.unavailable;
+    }
+    return delta;
+  }
+
+  void clear() noexcept {
+    builtin_.fill({});
+    extensions_.clear();
+  }
+
+ private:
+  [[nodiscard]] PathCounts& slot(std::uint32_t raw) {
+    if (raw < softnic::kBuiltinSemanticCount) {
+      return builtin_[raw];
+    }
+    for (auto& [ext_raw, counts] : extensions_) {
+      if (ext_raw == raw) {
+        return counts;
+      }
+    }
+    return extensions_.emplace_back(raw, PathCounts{}).second;
+  }
+
+  std::array<PathCounts, softnic::kBuiltinSemanticCount> builtin_{};
+  std::vector<std::pair<std::uint32_t, PathCounts>> extensions_;
+};
+
+}  // namespace opendesc::rt

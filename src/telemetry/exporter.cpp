@@ -1,0 +1,255 @@
+#include "telemetry/exporter.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace opendesc::telemetry {
+
+namespace {
+
+/// Shortest round-trip decimal for a gauge value; integers print without a
+/// trailing ".0" so counters-published-as-gauges stay readable.
+std::string format_double(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      v >= -9.2e18 && v <= 9.2e18) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// '{k1="v1",k2="v2"}' with escaping; `extra` (e.g. le) is appended last.
+std::string label_block(const Labels& labels, const std::string& extra = {}) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    out += out.empty() ? "{" : ",";
+    out += k;
+    out += "=\"";
+    out += escape_label_value(v);
+    out += '"';
+  }
+  if (!extra.empty()) {
+    out += out.empty() ? "{" : ",";
+    out += extra;
+  }
+  if (!out.empty()) {
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_help(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_json(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_prometheus(const Registry& registry) {
+  std::ostringstream out;
+  for (const Registry::Family& family : registry.families()) {
+    if (!family.help.empty()) {
+      out << "# HELP " << family.name << ' ' << escape_help(family.help)
+          << '\n';
+    }
+    out << "# TYPE " << family.name << ' ' << to_string(family.kind) << '\n';
+    for (const Registry::Series& series : family.series) {
+      switch (family.kind) {
+        case MetricKind::counter:
+          out << family.name << label_block(series.labels) << ' '
+              << series.counter->value() << '\n';
+          break;
+        case MetricKind::gauge:
+          out << family.name << label_block(series.labels) << ' '
+              << format_double(series.gauge->value()) << '\n';
+          break;
+        case MetricKind::histogram: {
+          const HistogramData data = series.histogram->snapshot();
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+            cumulative += data.buckets[i];
+            // Only surface a bound when the bucket adds information: always
+            // the first and last bounded buckets, plus any non-empty one.
+            if (data.buckets[i] == 0 && i != 0 && i != kHistogramBuckets - 2) {
+              continue;
+            }
+            if (i == kHistogramBuckets - 1) {
+              break;  // the unbounded bucket is the +Inf line below
+            }
+            out << family.name << "_bucket"
+                << label_block(series.labels,
+                               "le=\"" +
+                                   std::to_string(histogram_upper_bound(i)) +
+                                   "\"")
+                << ' ' << cumulative << '\n';
+          }
+          out << family.name << "_bucket"
+              << label_block(series.labels, "le=\"+Inf\"") << ' ' << data.count
+              << '\n';
+          out << family.name << "_sum" << label_block(series.labels) << ' '
+              << data.sum << '\n';
+          out << family.name << "_count" << label_block(series.labels) << ' '
+              << data.count << '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string to_json(const Registry& registry) {
+  std::ostringstream out;
+  out << "{\"metrics\":[";
+  bool first_family = true;
+  for (const Registry::Family& family : registry.families()) {
+    if (!first_family) {
+      out << ',';
+    }
+    first_family = false;
+    out << "{\"name\":\"" << escape_json(family.name) << "\",\"kind\":\""
+        << to_string(family.kind) << "\",\"help\":\""
+        << escape_json(family.help) << "\",\"series\":[";
+    bool first_series = true;
+    for (const Registry::Series& series : family.series) {
+      if (!first_series) {
+        out << ',';
+      }
+      first_series = false;
+      out << "{\"labels\":{";
+      bool first_label = true;
+      for (const auto& [k, v] : series.labels) {
+        if (!first_label) {
+          out << ',';
+        }
+        first_label = false;
+        out << '"' << escape_json(k) << "\":\"" << escape_json(v) << '"';
+      }
+      out << '}';
+      switch (family.kind) {
+        case MetricKind::counter:
+          out << ",\"value\":" << series.counter->value();
+          break;
+        case MetricKind::gauge:
+          out << ",\"value\":" << format_double(series.gauge->value());
+          break;
+        case MetricKind::histogram: {
+          const HistogramData data = series.histogram->snapshot();
+          out << ",\"count\":" << data.count << ",\"sum\":" << data.sum
+              << ",\"buckets\":[";
+          bool first_bucket = true;
+          for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+            if (data.buckets[i] == 0) {
+              continue;
+            }
+            if (!first_bucket) {
+              out << ',';
+            }
+            first_bucket = false;
+            out << "{\"le\":";
+            if (i == kHistogramBuckets - 1) {
+              out << "\"+Inf\"";
+            } else {
+              out << histogram_upper_bound(i);
+            }
+            out << ",\"count\":" << data.buckets[i] << '}';
+          }
+          out << ']';
+          break;
+        }
+      }
+      out << '}';
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void write_metrics_file(const Registry& registry, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) {
+    throw Error(ErrorKind::io, "cannot open metrics file '" + path + "'");
+  }
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  file << (json ? to_json(registry) : to_prometheus(registry));
+  if (!file) {
+    throw Error(ErrorKind::io, "failed writing metrics file '" + path + "'");
+  }
+}
+
+}  // namespace opendesc::telemetry

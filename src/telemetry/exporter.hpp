@@ -1,0 +1,43 @@
+// Exposition: renders a telemetry::Registry as a Prometheus text scrape or
+// as JSON.
+//
+// Prometheus text format (version 0.0.4):
+//   # HELP <name> <escaped help>
+//   # TYPE <name> counter|gauge|histogram
+//   <name>{k1="v1",k2="v2"} <value>
+// Label values escape backslash, double-quote and newline; HELP text
+// escapes backslash and newline.  Labels are sorted by key; histogram
+// series expose cumulative <name>_bucket{...,le="..."} lines (the `le`
+// label last), then <name>_sum and <name>_count.
+//
+// JSON mirrors the same structure ({"metrics": [{name, kind, help,
+// series: [{labels, ...}]}]}) with only non-empty buckets listed, so a
+// scrape of a large histogram stays compact.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace opendesc::telemetry {
+
+/// Full Prometheus text exposition of the registry.
+[[nodiscard]] std::string to_prometheus(const Registry& registry);
+
+/// JSON exposition of the registry.
+[[nodiscard]] std::string to_json(const Registry& registry);
+
+/// Writes the exposition chosen by the file extension: ".json" gets JSON,
+/// anything else the Prometheus text format.  Throws Error(io) on failure.
+void write_metrics_file(const Registry& registry, const std::string& path);
+
+/// Escapes a Prometheus label value (backslash, double-quote, newline).
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+/// Escapes HELP text (backslash, newline).
+[[nodiscard]] std::string escape_help(std::string_view value);
+
+/// Escapes a JSON string body (without the surrounding quotes).
+[[nodiscard]] std::string escape_json(std::string_view value);
+
+}  // namespace opendesc::telemetry

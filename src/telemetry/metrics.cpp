@@ -1,0 +1,256 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace opendesc::telemetry {
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) {
+    return false;
+  }
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name.front())) {
+    return false;
+  }
+  return std::all_of(name.begin(), name.end(), [&](char c) {
+    return head(c) || (c >= '0' && c <= '9');
+  });
+}
+
+bool valid_label_name(std::string_view name) {
+  if (name.empty() || name.front() == ':') {
+    return false;
+  }
+  return valid_metric_name(name);
+}
+
+}  // namespace
+
+HistogramData& HistogramData::operator+=(const HistogramData& other) noexcept {
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  return *this;
+}
+
+std::uint64_t HistogramData::quantile_upper_bound(double q) const noexcept {
+  if (count == 0) {
+    return 0;
+  }
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= target) {
+      return histogram_upper_bound(i);
+    }
+  }
+  return histogram_upper_bound(kHistogramBuckets - 1);
+}
+
+void Histogram::Shard::observe(std::uint64_t value) noexcept {
+  ++local_.buckets[histogram_bucket(value)];
+  ++local_.count;
+  local_.sum += value;
+
+  // Seqlock publish (one writer per shard): odd epoch marks the payload as
+  // in flux, even epoch seals it.
+  const std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+  epoch_.store(e + 1, std::memory_order_release);
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    words_[i].store(local_.buckets[i], std::memory_order_relaxed);
+  }
+  words_[kHistogramBuckets].store(local_.count, std::memory_order_relaxed);
+  words_[kHistogramBuckets + 1].store(local_.sum, std::memory_order_relaxed);
+  epoch_.store(e + 2, std::memory_order_release);
+}
+
+HistogramData Histogram::Shard::snapshot() const noexcept {
+  HistogramData out;
+  for (;;) {
+    const std::uint64_t e1 = epoch_.load(std::memory_order_acquire);
+    if (e1 & 1) {
+      continue;  // writer mid-publish
+    }
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+      out.buckets[i] = words_[i].load(std::memory_order_relaxed);
+    }
+    out.count = words_[kHistogramBuckets].load(std::memory_order_relaxed);
+    out.sum = words_[kHistogramBuckets + 1].load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (epoch_.load(std::memory_order_acquire) == e1) {
+      return out;
+    }
+  }
+}
+
+Histogram::Histogram(std::size_t shards) {
+  shards_.reserve(std::max<std::size_t>(1, shards));
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, shards); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+HistogramData Histogram::snapshot() const {
+  HistogramData total;
+  for (const auto& shard : shards_) {
+    total += shard->snapshot();
+  }
+  return total;
+}
+
+std::string_view to_string(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::counter:
+      return "counter";
+    case MetricKind::gauge:
+      return "gauge";
+    case MetricKind::histogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+Labels normalize_labels(Labels labels) {
+  std::sort(labels.begin(), labels.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (!valid_label_name(labels[i].first)) {
+      throw Error(ErrorKind::semantic,
+                  "telemetry: invalid label name '" + labels[i].first + "'");
+    }
+    if (i > 0 && labels[i].first == labels[i - 1].first) {
+      throw Error(ErrorKind::semantic,
+                  "telemetry: duplicate label '" + labels[i].first + "'");
+    }
+  }
+  return labels;
+}
+
+std::string canonical_labels(const Labels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    if (!key.empty()) {
+      key += ',';
+    }
+    key += k;
+    key += "=\"";
+    key += v;
+    key += '"';
+  }
+  return key;
+}
+
+Registry::FamilySlot& Registry::family_slot(std::string_view name,
+                                            std::string_view help,
+                                            MetricKind kind) {
+  if (!valid_metric_name(name)) {
+    throw Error(ErrorKind::semantic,
+                "telemetry: invalid metric name '" + std::string(name) + "'");
+  }
+  const auto it = families_.find(name);
+  if (it == families_.end()) {
+    FamilySlot slot;
+    slot.help = std::string(help);
+    slot.kind = kind;
+    return families_.emplace(std::string(name), std::move(slot)).first->second;
+  }
+  if (it->second.kind != kind) {
+    throw Error(ErrorKind::semantic,
+                "telemetry: metric '" + std::string(name) + "' is a " +
+                    std::string(to_string(it->second.kind)) +
+                    ", re-registered as " + std::string(to_string(kind)));
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help,
+                           Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  labels = normalize_labels(std::move(labels));
+  FamilySlot& family = family_slot(name, help, MetricKind::counter);
+  const std::string key = canonical_labels(labels);
+  const auto it = family.series.find(key);
+  if (it != family.series.end()) {
+    return counters_[it->second];
+  }
+  counters_.emplace_back();
+  family.series.emplace(key, counters_.size() - 1);
+  family.series_labels.emplace(key, std::move(labels));
+  return counters_.back();
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help,
+                       Labels labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  labels = normalize_labels(std::move(labels));
+  FamilySlot& family = family_slot(name, help, MetricKind::gauge);
+  const std::string key = canonical_labels(labels);
+  const auto it = family.series.find(key);
+  if (it != family.series.end()) {
+    return gauges_[it->second];
+  }
+  gauges_.emplace_back();
+  family.series.emplace(key, gauges_.size() - 1);
+  family.series_labels.emplace(key, std::move(labels));
+  return gauges_.back();
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               Labels labels, std::size_t shards) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  labels = normalize_labels(std::move(labels));
+  FamilySlot& family = family_slot(name, help, MetricKind::histogram);
+  const std::string key = canonical_labels(labels);
+  const auto it = family.series.find(key);
+  if (it != family.series.end()) {
+    return *histograms_[it->second];
+  }
+  histograms_.push_back(std::make_unique<Histogram>(shards));
+  family.series.emplace(key, histograms_.size() - 1);
+  family.series_labels.emplace(key, std::move(labels));
+  return *histograms_.back();
+}
+
+std::vector<Registry::Family> Registry::families() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Family> out;
+  out.reserve(families_.size());
+  for (const auto& [name, slot] : families_) {
+    Family family;
+    family.name = name;
+    family.help = slot.help;
+    family.kind = slot.kind;
+    // std::map iteration over the canonical label string sorts series
+    // deterministically.
+    for (const auto& [key, index] : slot.series) {
+      Series series;
+      series.labels = slot.series_labels.at(key);
+      switch (slot.kind) {
+        case MetricKind::counter:
+          series.counter = &counters_[index];
+          break;
+        case MetricKind::gauge:
+          series.gauge = &gauges_[index];
+          break;
+        case MetricKind::histogram:
+          series.histogram = histograms_[index].get();
+          break;
+      }
+      family.series.push_back(std::move(series));
+    }
+    out.push_back(std::move(family));
+  }
+  return out;
+}
+
+}  // namespace opendesc::telemetry

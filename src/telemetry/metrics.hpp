@@ -1,0 +1,229 @@
+// Telemetry instruments: counters, gauges and log-bucketed histograms.
+//
+// The repro's answer to "is the NIC contract actually paying off" starts
+// here: every layer (compiler, hardened rx loop, multi-queue engine, control
+// channel) records into these instruments, and telemetry::Exporter renders
+// one registry as a Prometheus/JSON scrape.
+//
+// Concurrency model, chosen for a zero-lock hot path:
+//  * Counter / Gauge are single atomic words — add() is a relaxed fetch_add
+//    any thread may issue; store() publishes a precomputed total from the
+//    one thread that owns the series (how per-queue run totals land).
+//  * Histogram is sharded: each shard has exactly one writer (an engine
+//    worker observes its own shard) and publishes through the same
+//    epoch-seqlock protocol as engine::StatsRegistry — writers never wait on
+//    readers, readers retry until they hold an epoch-consistent copy, and a
+//    snapshot is always something the writer actually published.  Shard
+//    merge is plain HistogramData addition, which is associative and
+//    commutative, so any merge order over any sharding reproduces the same
+//    totals (tested).
+//  * Registry registration takes a mutex; the hot path never registers —
+//    components resolve instrument references once at setup.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace opendesc::telemetry {
+
+/// Sorted (key, value) label pairs identifying one series of a family.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotone event count.
+class Counter {
+ public:
+  /// Relaxed increment; safe from any thread.
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Publishes a precomputed running total (single-writer series only —
+  /// how per-queue totals are exposed without double counting).
+  void store(std::uint64_t total) noexcept {
+    value_.store(total, std::memory_order_release);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_release);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return std::bit_cast<double>(bits_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+/// Power-of-two ("log") histogram buckets: bucket 0 holds zeros, bucket i
+/// (i >= 1) holds values whose bit width is i, i.e. 2^(i-1) <= v <= 2^i - 1.
+/// 40 buckets cover 1 ns .. ~550 s of latency with ~2x resolution.
+inline constexpr std::size_t kHistogramBuckets = 40;
+
+/// The bucket a value lands in.
+[[nodiscard]] constexpr std::size_t histogram_bucket(std::uint64_t v) noexcept {
+  return v == 0 ? 0
+               : std::min<std::size_t>(kHistogramBuckets - 1,
+                                       std::bit_width(v));
+}
+
+/// Inclusive upper bound of bucket i; the last bucket is unbounded (+Inf).
+[[nodiscard]] constexpr std::uint64_t histogram_upper_bound(
+    std::size_t bucket) noexcept {
+  return bucket == 0 ? 0 : (std::uint64_t{1} << bucket) - 1;
+}
+
+/// One histogram's totals — plain data, so merging shards (or merging
+/// snapshots from different runs) is ordinary addition.
+struct HistogramData {
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  HistogramData& operator+=(const HistogramData& other) noexcept;
+
+  /// Upper bound of the smallest bucket at which the cumulative count
+  /// reaches q * count (0 when empty) — a conservative quantile estimate.
+  [[nodiscard]] std::uint64_t quantile_upper_bound(double q) const noexcept;
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+[[nodiscard]] inline HistogramData operator+(HistogramData lhs,
+                                             const HistogramData& rhs) noexcept {
+  lhs += rhs;
+  return lhs;
+}
+
+/// Sharded log-bucketed histogram.  shard(i).observe() must only be called
+/// from the single thread owning shard i; snapshot() may run concurrently
+/// from any thread.
+class Histogram {
+ public:
+  /// One single-writer shard, published via the epoch seqlock: the writer
+  /// flips the epoch odd, stores the payload words, flips it even; readers
+  /// retry until they see a stable even epoch on both sides of the copy.
+  class Shard {
+   public:
+    void observe(std::uint64_t value) noexcept;
+    [[nodiscard]] HistogramData snapshot() const noexcept;
+
+    Shard() = default;
+    Shard(const Shard&) = delete;
+    Shard& operator=(const Shard&) = delete;
+
+   private:
+    HistogramData local_{};  ///< writer-private running totals
+    std::atomic<std::uint64_t> epoch_{0};
+    std::array<std::atomic<std::uint64_t>, kHistogramBuckets + 2> words_{};
+  };
+
+  explicit Histogram(std::size_t shards);
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+  [[nodiscard]] Shard& shard(std::size_t i) { return *shards_.at(i); }
+  [[nodiscard]] HistogramData shard_snapshot(std::size_t i) const {
+    return shards_.at(i)->snapshot();
+  }
+  /// Lock-free merge of every shard's epoch-consistent snapshot.
+  [[nodiscard]] HistogramData snapshot() const;
+
+ private:
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// What a family measures.
+enum class MetricKind : std::uint8_t { counter, gauge, histogram };
+
+[[nodiscard]] std::string_view to_string(MetricKind kind) noexcept;
+
+/// Hierarchical instrument registry.  Families are keyed by metric name
+/// (Prometheus grammar: [a-zA-Z_:][a-zA-Z0-9_:]*); each family holds one
+/// series per distinct label set.  Registration is idempotent — asking for
+/// an existing (name, labels) pair returns the same instrument — and
+/// mismatched kinds are rejected.  Registration locks; reads never do.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name, std::string_view help,
+                   Labels labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help,
+               Labels labels = {});
+  /// `shards` only matters on first registration of the series.
+  Histogram& histogram(std::string_view name, std::string_view help,
+                       Labels labels = {}, std::size_t shards = 1);
+
+  /// One series of a family, for exposition.  Exactly one instrument
+  /// pointer is non-null, matching the family kind.
+  struct Series {
+    Labels labels;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const Histogram* histogram = nullptr;
+  };
+  struct Family {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::counter;
+    std::vector<Series> series;  ///< sorted by label set
+  };
+
+  /// Stable-order copy of the registry structure (instrument pointers stay
+  /// valid for the registry's lifetime); values are read through the
+  /// instruments at exposition time.
+  [[nodiscard]] std::vector<Family> families() const;
+
+ private:
+  struct FamilySlot {
+    std::string help;
+    MetricKind kind;
+    // Label-key -> instrument index into the matching storage deque.
+    std::map<std::string, std::size_t> series;
+    std::map<std::string, Labels> series_labels;
+  };
+
+  [[nodiscard]] FamilySlot& family_slot(std::string_view name,
+                                        std::string_view help,
+                                        MetricKind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, FamilySlot, std::less<>> families_;
+  // Instrument storage: deques never relocate elements, so references
+  // handed to the hot path stay valid as the registry grows.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Canonical text form of a label set ('k1="v1",k2="v2"'), used as the
+/// series key; also what sorts series deterministically in expositions.
+[[nodiscard]] std::string canonical_labels(const Labels& labels);
+
+/// Sorts by key and validates names; throws Error(semantic) on duplicate or
+/// malformed label names.
+[[nodiscard]] Labels normalize_labels(Labels labels);
+
+}  // namespace opendesc::telemetry

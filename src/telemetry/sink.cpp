@@ -1,0 +1,48 @@
+#include "telemetry/sink.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace opendesc::telemetry {
+
+Sink::Sink(SinkConfig config)
+    : queues_(std::max<std::size_t>(1, config.queues)) {
+  rings_.reserve(queues_ + 2);
+  for (std::size_t i = 0; i < queues_ + 2; ++i) {
+    rings_.emplace_back(config.trace_capacity);
+  }
+  batch_latency_ = &registry_.histogram(
+      "opendesc_batch_latency_ns",
+      "Host CPU nanoseconds spent consuming one rx batch", {}, queues_);
+}
+
+void Sink::publish_trace_counters() {
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+  for (std::size_t t = 0; t < kTraceEventTypeCount; ++t) {
+    const auto type = static_cast<TraceEventType>(t);
+    std::uint64_t total = 0;
+    for (const TraceRing& ring : rings_) {
+      total += ring.count(type);
+    }
+    registry_
+        .counter("opendesc_trace_events_total",
+                 "Trace events recorded, by event type",
+                 {{"event", std::string(to_string(type))}})
+        .store(total);
+  }
+  for (const TraceRing& ring : rings_) {
+    recorded += ring.recorded();
+    dropped += ring.dropped();
+  }
+  registry_
+      .counter("opendesc_trace_recorded_total",
+               "Trace events recorded across all rings")
+      .store(recorded);
+  registry_
+      .counter("opendesc_trace_dropped_total",
+               "Trace events overwritten by ring wrap (history lost)")
+      .store(dropped);
+}
+
+}  // namespace opendesc::telemetry

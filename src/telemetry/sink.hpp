@@ -1,0 +1,72 @@
+// telemetry::Sink — the one handle a datapath component needs.
+//
+// A Sink bundles the instrument Registry with the per-thread trace rings so
+// wiring telemetry into a loop or engine is a single pointer: each worker
+// queue gets its own TraceRing and its own batch-latency histogram shard
+// (both single-writer), the dispatch thread and the control plane get
+// dedicated rings, and exposition walks the shared Registry.  A null
+// Sink* anywhere in the stack means "telemetry off" and costs one branch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace opendesc::telemetry {
+
+struct SinkConfig {
+  std::size_t queues = 1;          ///< worker rings / histogram shards
+  std::size_t trace_capacity = 4096;  ///< per-ring retained events
+};
+
+class Sink {
+ public:
+  explicit Sink(SinkConfig config = {});
+  Sink(const Sink&) = delete;
+  Sink& operator=(const Sink&) = delete;
+
+  [[nodiscard]] Registry& registry() noexcept { return registry_; }
+  [[nodiscard]] const Registry& registry() const noexcept { return registry_; }
+
+  [[nodiscard]] std::size_t queues() const noexcept { return queues_; }
+
+  /// Worker queue q's ring; record() only from the thread driving queue q.
+  [[nodiscard]] TraceRing& ring(std::size_t queue) { return rings_.at(queue); }
+  /// The steering/dispatch thread's ring.
+  [[nodiscard]] TraceRing& dispatch_ring() noexcept {
+    return rings_[queues_];
+  }
+  /// The control-plane (programming / verification) ring.
+  [[nodiscard]] TraceRing& ctrl_ring() noexcept { return rings_[queues_ + 1]; }
+
+  /// All rings (workers, then dispatch, then ctrl), for draining after the
+  /// writers have quiesced.
+  [[nodiscard]] const std::vector<TraceRing>& rings() const noexcept {
+    return rings_;
+  }
+
+  /// Per-batch host latency histogram; shard q is written only by queue q's
+  /// worker.
+  [[nodiscard]] Histogram::Shard& batch_latency_shard(std::size_t queue) {
+    return batch_latency_->shard(queue);
+  }
+  [[nodiscard]] const Histogram& batch_latency() const noexcept {
+    return *batch_latency_;
+  }
+
+  /// Rolls every ring's per-type totals and drop counts into the registry
+  /// (opendesc_trace_events_total{event=...}, opendesc_trace_dropped_total).
+  /// Idempotent — totals are stored, not added — so call it whenever the
+  /// writers are quiesced, e.g. right before exposition.
+  void publish_trace_counters();
+
+ private:
+  std::size_t queues_;
+  Registry registry_;
+  std::vector<TraceRing> rings_;  ///< [0..queues) workers, +0 dispatch, +1 ctrl
+  Histogram* batch_latency_;      ///< owned by registry_
+};
+
+}  // namespace opendesc::telemetry

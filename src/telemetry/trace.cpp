@@ -1,0 +1,42 @@
+#include "telemetry/trace.hpp"
+
+namespace opendesc::telemetry {
+
+std::string_view to_string(TraceEventType type) noexcept {
+  switch (type) {
+    case TraceEventType::record_validated:
+      return "record_validated";
+    case TraceEventType::record_quarantined:
+      return "record_quarantined";
+    case TraceEventType::softnic_fallback:
+      return "softnic_fallback";
+    case TraceEventType::completion_lost:
+      return "completion_lost";
+    case TraceEventType::rx_rejected:
+      return "rx_rejected";
+    case TraceEventType::queue_handoff:
+      return "queue_handoff";
+    case TraceEventType::ctrl_retry:
+      return "ctrl_retry";
+    case TraceEventType::ctrl_programmed:
+      return "ctrl_programmed";
+    case TraceEventType::run_started:
+      return "run_started";
+    case TraceEventType::run_finished:
+      return "run_finished";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = size();
+  out.reserve(n);
+  const std::uint64_t first = recorded_ - n;
+  for (std::uint64_t i = first; i < recorded_; ++i) {
+    out.push_back(buffer_[static_cast<std::size_t>(i % buffer_.size())]);
+  }
+  return out;
+}
+
+}  // namespace opendesc::telemetry

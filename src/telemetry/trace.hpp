@@ -1,0 +1,99 @@
+// Per-thread bounded trace ring.
+//
+// Counters say *how much*; the trace ring says *what happened, in order*:
+// each datapath thread owns one ring and appends fixed-size typed events —
+// record validated, quarantine, SoftNIC fallback per semantic, lost
+// completion, queue handoff, control-channel retry.  The ring is bounded:
+// when it wraps, the oldest events are overwritten and counted as dropped,
+// so a fault storm can never grow memory, and the drop count tells the
+// operator exactly how much history was lost.  Per-type totals are kept
+// even for overwritten events.
+//
+// Threading: one writer per ring (the owning datapath thread); readers must
+// wait for the writer to quiesce (workers joined) before draining — the
+// same discipline as DeadLetterBuffer inspection.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace opendesc::telemetry {
+
+/// Every event class a datapath thread can record.
+enum class TraceEventType : std::uint8_t {
+  record_validated,    ///< records passed validation (arg: count in batch)
+  record_quarantined,  ///< malformed record dead-lettered (detail: verdict)
+  softnic_fallback,    ///< one semantic served in software (arg: semantic id)
+  completion_lost,     ///< accepted by rx(), completion never arrived
+  rx_rejected,         ///< device refused the packet (backpressure)
+  queue_handoff,       ///< steering pushed a packet to a worker (queue: dest)
+  ctrl_retry,          ///< control programming failed readback, backing off
+  ctrl_programmed,     ///< control programming verified (detail: attempts)
+  run_started,         ///< a loop/engine run began (arg: queue count)
+  run_finished,        ///< a loop/engine run ended (arg: packets, truncated)
+};
+
+inline constexpr std::size_t kTraceEventTypeCount = 10;
+
+[[nodiscard]] std::string_view to_string(TraceEventType type) noexcept;
+
+/// One 16-byte trace record.
+struct TraceEvent {
+  TraceEventType type{};
+  std::uint8_t detail = 0;     ///< type-specific (verdict, attempt, ...)
+  std::uint16_t queue = 0;     ///< originating / destination queue
+  std::uint32_t arg = 0;       ///< type-specific (raw semantic id, count, ...)
+  std::uint64_t sequence = 0;  ///< producer-local logical time
+};
+
+class TraceRing {
+ public:
+  /// Capacity is rounded up to a power of two so the hot-path slot index is
+  /// a mask, not a division.
+  explicit TraceRing(std::size_t capacity = 4096)
+      : buffer_(std::bit_ceil(capacity == 0 ? std::size_t{1} : capacity)),
+        mask_(buffer_.size() - 1) {}
+
+  /// Appends one event; overwrites (and drop-counts) the oldest when full.
+  void record(const TraceEvent& event) noexcept {
+    ++by_type_[static_cast<std::size_t>(event.type)];
+    buffer_[static_cast<std::size_t>(recorded_) & mask_] = event;
+    ++recorded_;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buffer_.size(); }
+  /// Events currently retained (<= capacity).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(
+        recorded_ < buffer_.size() ? recorded_ : buffer_.size());
+  }
+  /// Total record() calls.
+  [[nodiscard]] std::uint64_t recorded() const noexcept { return recorded_; }
+  /// Events overwritten by ring wrap (recorded - retained).
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return recorded_ - size();
+  }
+  /// Per-type totals, counted even for events later overwritten.
+  [[nodiscard]] std::uint64_t count(TraceEventType type) const noexcept {
+    return by_type_[static_cast<std::size_t>(type)];
+  }
+
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  void clear() noexcept {
+    recorded_ = 0;
+    by_type_.fill(0);
+  }
+
+ private:
+  std::vector<TraceEvent> buffer_;
+  std::size_t mask_;
+  std::uint64_t recorded_ = 0;
+  std::array<std::uint64_t, kTraceEventTypeCount> by_type_{};
+};
+
+}  // namespace opendesc::telemetry

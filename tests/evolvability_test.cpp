@@ -95,12 +95,12 @@ AppRun run_app(const char* firmware) {
     EXPECT_EQ(nic.poll(events), 1u);
     const rt::PacketContext ctx(events[0]);
     // Application logic — byte-for-byte identical for v1 and v2.
-    out.checksum ^= facade.get(ctx, SemanticId::pkt_len);
-    out.checksum ^= facade.get(ctx, SemanticId::ip_checksum) << 16;
-    out.checksum ^= facade.get(ctx, SemanticId::rss_hash) << 32;
+    out.checksum ^= facade.fetch(ctx, SemanticId::pkt_len).value();
+    out.checksum ^= facade.fetch(ctx, SemanticId::ip_checksum).value() << 16;
+    out.checksum ^= facade.fetch(ctx, SemanticId::rss_hash).value() << 32;
     nic.advance(1);
   }
-  out.fallbacks = facade.fallback_calls();
+  out.fallbacks = facade.path_counters().total().softnic_shim;
   return out;
 }
 

@@ -66,13 +66,13 @@ TEST(ForwardingNf, RxMetadataDrivesTxWithOffloads) {
     // NF logic: drop checksum-bad packets, steer the rest by hash, and
     // forward with hardware checksum insertion (we rewrite the TTL, so the
     // checksum must be regenerated anyway).
-    if (facade.get(ctx, SemanticId::l4_csum_ok) == 0) {
+    if (facade.fetch(ctx, SemanticId::l4_csum_ok).value() == 0) {
       ++dropped_bad;
       nic.advance(1);
       continue;
     }
-    const std::uint32_t bucket =
-        static_cast<std::uint32_t>(facade.get(ctx, SemanticId::rss_hash)) % 4;
+    const std::uint32_t bucket = static_cast<std::uint32_t>(
+        facade.fetch(ctx, SemanticId::rss_hash).value()) % 4;
     ++per_bucket[bucket];
 
     // Rewrite: decrement TTL (invalidates the IP checksum, fix it in
@@ -148,9 +148,9 @@ TEST(ForwardingNf, SameNfPortableAcrossRxNics) {
       std::vector<sim::RxEvent> events(1);
       EXPECT_EQ(nic.poll(events), 1u);
       const rt::PacketContext ctx(events[0]);
-      const bool drop = facade.get(ctx, SemanticId::l4_csum_ok) == 0;
-      const std::uint32_t bucket =
-          static_cast<std::uint32_t>(facade.get(ctx, SemanticId::rss_hash)) % 4;
+      const bool drop = facade.fetch(ctx, SemanticId::l4_csum_ok).value() == 0;
+      const std::uint32_t bucket = static_cast<std::uint32_t>(
+          facade.fetch(ctx, SemanticId::rss_hash).value()) % 4;
       decisions = decisions * 31 + (drop ? 99 : bucket);
       nic.advance(1);
     }

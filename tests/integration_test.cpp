@@ -89,7 +89,7 @@ TEST_P(Integration, RequestedSemanticsMatchGroundTruthEndToEnd) {
           id == SemanticId::timestamp && !facade.hardware_provided(id)
               ? 0  // software timestamp fallback has no hardware stamp
               : engine.compute(id, pkt.bytes(), view, hw_ctx);
-      EXPECT_EQ(facade.get(ctx, id), expected)
+      EXPECT_EQ(facade.fetch(ctx, id).value(), expected)
           << nic_name << "/" << scenario.name << " semantic "
           << registry.name(id) << " packet " << i;
     }
@@ -218,7 +218,9 @@ TEST(IntegrationFailure, CorruptChecksumsVisibleThroughAnyPath) {
     ASSERT_TRUE(nic.rx(gen.next()));
     std::vector<sim::RxEvent> events(1);
     ASSERT_EQ(nic.poll(events), 1u);
-    EXPECT_EQ(facade.get(rt::PacketContext(events[0]), SemanticId::l4_csum_ok), 0u)
+    EXPECT_EQ(facade.fetch(rt::PacketContext(events[0]), SemanticId::l4_csum_ok)
+                  .value(),
+              0u)
         << nic_name;
     nic.advance(1);
   }

@@ -204,7 +204,7 @@ TEST_P(FuzzPipeline, InvariantsHoldOnRandomNicsAndIntents) {
       softnic::RxContext hw_ctx;
       hw_ctx.rx_timestamp_ns = pkt.rx_timestamp_ns;
       for (const core::IntentField& field : result.intent.fields) {
-        EXPECT_EQ(facade.get(pkt_ctx, field.semantic),
+        EXPECT_EQ(facade.fetch(pkt_ctx, field.semantic).value(),
                   engine.compute(field.semantic, pkt.bytes(), view, hw_ctx))
             << registry.name(field.semantic);
       }

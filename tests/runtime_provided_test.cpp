@@ -1,0 +1,364 @@
+// Provided<T>, provenance counting, and the unified rt::EngineConfig
+// builder — the redesigned facade API.
+//
+// The invariants under test:
+//  * Provided<T> behaves like optional with provenance riding along, and
+//    value() on an unavailable read throws Error(semantic) naming the miss
+//    reason;
+//  * every facade fetch counts exactly one path, so per semantic
+//    nic_path + softnic_shim + unavailable == reads issued — and under a
+//    1% composite fault storm the engine-merged counters still reconcile
+//    exactly with packets delivered;
+//  * the EngineConfig fluent builder produces the same configuration as
+//    field assignment and threads a telemetry sink through the stack.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "core/compiler.hpp"
+#include "engine/engine.hpp"
+#include "nic/model.hpp"
+#include "runtime/guard.hpp"
+#include "telemetry/sink.hpp"
+
+namespace {
+
+using namespace opendesc;
+using softnic::SemanticId;
+
+// --- Provided<T> ----------------------------------------------------------
+
+TEST(Provided, NicPathCarriesValueAndNoMissReason) {
+  const auto p = rt::Provided<std::uint64_t>::nic(42);
+  EXPECT_TRUE(p.has_value());
+  EXPECT_TRUE(static_cast<bool>(p));
+  EXPECT_TRUE(p.from_hardware());
+  EXPECT_EQ(p.value(), 42u);
+  EXPECT_EQ(p.value_or(7), 42u);
+  EXPECT_EQ(p.provenance(), rt::Provenance::nic_path);
+  EXPECT_EQ(p.miss_reason(), rt::MissReason::none);
+  EXPECT_EQ(p.to_optional(), std::optional<std::uint64_t>(42));
+}
+
+TEST(Provided, SoftnicPathRecordsWhyTheNicMissed) {
+  const auto p = rt::Provided<std::uint64_t>::softnic(
+      9, rt::MissReason::not_in_layout);
+  EXPECT_TRUE(p.has_value());
+  EXPECT_FALSE(p.from_hardware());
+  EXPECT_EQ(p.value(), 9u);
+  EXPECT_EQ(p.provenance(), rt::Provenance::softnic_shim);
+  EXPECT_EQ(p.miss_reason(), rt::MissReason::not_in_layout);
+}
+
+TEST(Provided, MissingThrowsWithReasonInMessage) {
+  const auto p = rt::Provided<std::uint64_t>::missing(
+      rt::MissReason::no_software_impl);
+  EXPECT_FALSE(p.has_value());
+  EXPECT_EQ(p.value_or(5), 5u);
+  EXPECT_EQ(p.to_optional(), std::nullopt);
+  EXPECT_EQ(p.provenance(), rt::Provenance::unavailable);
+  try {
+    (void)p.value();
+    FAIL() << "value() on unavailable must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::semantic);
+    EXPECT_NE(std::string(e.what()).find("no_software_impl"),
+              std::string::npos);
+  }
+}
+
+TEST(Provided, ToStringCoversEveryEnumerator) {
+  EXPECT_EQ(rt::to_string(rt::Provenance::nic_path), "nic_path");
+  EXPECT_EQ(rt::to_string(rt::Provenance::softnic_shim), "softnic_shim");
+  EXPECT_EQ(rt::to_string(rt::Provenance::unavailable), "unavailable");
+  EXPECT_EQ(rt::to_string(rt::MissReason::record_invalid), "record_invalid");
+  EXPECT_EQ(rt::to_string(rt::MissReason::completion_lost), "completion_lost");
+  EXPECT_EQ(rt::to_string(rt::MissReason::frame_unparseable),
+            "frame_unparseable");
+}
+
+// --- SemanticPathCounters -------------------------------------------------
+
+TEST(SemanticPathCounters, CountsMergeAndDelta) {
+  rt::SemanticPathCounters a;
+  a.count(SemanticId::rss_hash, rt::Provenance::nic_path);
+  a.count(SemanticId::rss_hash, rt::Provenance::nic_path);
+  a.count(SemanticId::vlan_tci, rt::Provenance::softnic_shim);
+
+  rt::SemanticPathCounters b;
+  b.count(SemanticId::rss_hash, rt::Provenance::unavailable);
+  b += a;
+  EXPECT_EQ(b.for_semantic(SemanticId::rss_hash).nic_path, 2u);
+  EXPECT_EQ(b.for_semantic(SemanticId::rss_hash).unavailable, 1u);
+  EXPECT_EQ(b.for_semantic(SemanticId::vlan_tci).softnic_shim, 1u);
+  EXPECT_EQ(b.total().total(), 4u);
+
+  const rt::SemanticPathCounters delta = b.since(a);
+  EXPECT_EQ(delta.for_semantic(SemanticId::rss_hash).nic_path, 0u);
+  EXPECT_EQ(delta.for_semantic(SemanticId::rss_hash).unavailable, 1u);
+  EXPECT_EQ(delta.for_semantic(SemanticId::vlan_tci).total(), 0u);
+}
+
+TEST(SemanticPathCounters, SnapshotSkipsUntouchedSemantics) {
+  rt::SemanticPathCounters counters;
+  counters.count(SemanticId::pkt_len, rt::Provenance::nic_path);
+  const auto snap = counters.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].first, softnic::raw(SemanticId::pkt_len));
+  EXPECT_EQ(snap[0].second.nic_path, 1u);
+}
+
+// --- facade provenance ----------------------------------------------------
+
+constexpr const char* kIntent = R"P4(
+header prov_intent_t {
+    @semantic("rss")     bit<32> hash;
+    @semantic("vlan")    bit<16> tci;
+    @semantic("pkt_len") bit<16> len;
+}
+)P4";
+
+struct Compiled {
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs{registry};
+  softnic::ComputeEngine engine{registry};
+  core::Compiler compiler{registry, costs};
+  core::CompileResult result;
+
+  explicit Compiled(const char* nic = "ice") {
+    result = compiler.compile(nic::NicCatalog::by_name(nic).p4_source(),
+                              kIntent, {});
+  }
+};
+
+TEST(FacadeProvenance, EveryFetchCountsExactlyOnePath) {
+  Compiled c;
+  rt::MetadataFacade facade(c.result, c.engine);
+
+  net::WorkloadConfig wconfig;
+  wconfig.seed = 5;
+  wconfig.vlan_probability = 0.5;
+  net::WorkloadGenerator gen(wconfig);
+  sim::NicSimulator nic(c.result.layout, c.engine, {});
+
+  constexpr std::size_t kPackets = 64;
+  std::vector<sim::RxEvent> events(kPackets);
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    net::Packet pkt = gen.next();
+    ASSERT_TRUE(nic.rx(pkt));
+  }
+  const std::size_t n = nic.poll(events);
+  std::uint64_t reads = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const rt::PacketContext pkt(events[i]);
+    for (const SemanticId id :
+         {SemanticId::rss_hash, SemanticId::vlan_tci, SemanticId::pkt_len}) {
+      const auto provided = facade.fetch(pkt, id);
+      EXPECT_TRUE(provided.has_value());
+      ++reads;
+    }
+  }
+  nic.advance(n);
+  ASSERT_GT(n, 0u);
+  EXPECT_EQ(facade.path_counters().total().total(), reads);
+  // Each semantic was read exactly n times, on exactly one path per read.
+  for (const SemanticId id :
+       {SemanticId::rss_hash, SemanticId::vlan_tci, SemanticId::pkt_len}) {
+    EXPECT_EQ(facade.path_counters().for_semantic(id).total(), n);
+  }
+}
+
+TEST(FacadeProvenance, FetchSoftwareSkipsTheAccessor) {
+  Compiled c;
+  rt::MetadataFacade facade(c.result, c.engine);
+
+  net::WorkloadGenerator gen({});
+  const net::Packet pkt = gen.next();
+  const rt::PacketContext ctx({}, pkt.bytes());  // no descriptor record
+
+  const auto provided = facade.fetch_software(ctx, SemanticId::pkt_len,
+                                              rt::MissReason::record_invalid);
+  ASSERT_TRUE(provided.has_value());
+  EXPECT_EQ(provided.provenance(), rt::Provenance::softnic_shim);
+  EXPECT_EQ(provided.miss_reason(), rt::MissReason::record_invalid);
+  EXPECT_EQ(provided.value(), pkt.bytes().size());
+  EXPECT_EQ(
+      facade.path_counters().for_semantic(SemanticId::pkt_len).softnic_shim,
+      1u);
+}
+
+// This test exercises the one-release compatibility wrappers on purpose.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(FacadeProvenance, DeprecatedWrappersStillWork) {
+  Compiled c;
+  rt::MetadataFacade facade(c.result, c.engine);
+  net::WorkloadGenerator gen({});
+  const net::Packet pkt = gen.next();
+  const rt::PacketContext ctx({}, pkt.bytes());
+
+  // try_get collapses to optional; get throws the pre-Provided Error on an
+  // unavailable value.  The record is empty, so NIC-path semantics fall
+  // back to software.
+  EXPECT_EQ(facade.try_get(ctx, SemanticId::pkt_len),
+            std::optional<std::uint64_t>(pkt.bytes().size()));
+  EXPECT_EQ(facade.get(ctx, SemanticId::pkt_len), pkt.bytes().size());
+}
+#pragma GCC diagnostic pop
+
+// --- EngineConfig builder -------------------------------------------------
+
+TEST(EngineConfigBuilder, FluentChainsMatchFieldAssignment) {
+  telemetry::Sink sink({.queues = 2});
+  const rt::EngineConfig built = rt::EngineConfig{}
+                                     .with_queues(2)
+                                     .with_batch(16)
+                                     .with_spsc_capacity(512)
+                                     .with_rss_table_size(64)
+                                     .with_guard(true)
+                                     .with_fault_rate(0.01, 99)
+                                     .with_quarantine_capacity(8)
+                                     .with_telemetry(&sink);
+
+  rt::EngineConfig assigned;
+  assigned.queues = 2;
+  assigned.batch = 16;
+  assigned.spsc_capacity = 512;
+  assigned.rss_table_size = 64;
+  assigned.guard = true;
+  assigned.fault_rate = 0.01;
+  assigned.fault_seed = 99;
+  assigned.quarantine_capacity = 8;
+  assigned.telemetry = &sink;
+
+  EXPECT_EQ(built.queues, assigned.queues);
+  EXPECT_EQ(built.batch, assigned.batch);
+  EXPECT_EQ(built.spsc_capacity, assigned.spsc_capacity);
+  EXPECT_EQ(built.rss_table_size, assigned.rss_table_size);
+  EXPECT_EQ(built.guard, assigned.guard);
+  EXPECT_EQ(built.fault_rate, assigned.fault_rate);
+  EXPECT_EQ(built.fault_seed, assigned.fault_seed);
+  EXPECT_EQ(built.quarantine_capacity, assigned.quarantine_capacity);
+  EXPECT_EQ(built.telemetry, assigned.telemetry);
+}
+
+TEST(EngineConfigBuilder, LoopConstructedFromConfigInheritsTelemetry) {
+  Compiled c;
+  telemetry::Sink sink({.queues = 1});
+  const rt::EngineConfig config =
+      rt::EngineConfig{}.with_guard(true).with_telemetry(&sink);
+
+  const core::CompiledLayout wire = c.result.layout.with_guard();
+  rt::OpenDescStrategy strategy(c.result, c.engine);
+  rt::ValidatingRxLoop loop(wire, c.engine, config, 0);
+
+  sim::NicSimulator nic(wire, c.engine, {});
+  net::WorkloadGenerator gen({});
+  const std::vector<SemanticId> wanted = {SemanticId::pkt_len};
+  rt::RxLoopConfig rx;
+  rx.packet_count = 100;
+  const rt::RxLoopStats stats = loop.run(nic, gen, strategy, wanted, rx);
+  EXPECT_EQ(stats.packets, 100u);
+
+  // The loop traced into the sink's queue-0 ring (run_started at minimum)
+  // and observed batch latencies into shard 0.
+  EXPECT_GT(sink.ring(0).recorded(), 0u);
+  EXPECT_EQ(sink.ring(0).count(telemetry::TraceEventType::run_started), 1u);
+  EXPECT_GT(sink.batch_latency().snapshot().count, 0u);
+}
+
+// --- provenance under faults ----------------------------------------------
+
+// The acceptance invariant: under a 1% composite fault storm across 4
+// queues, the engine-merged path counters reconcile exactly — per wanted
+// semantic, nic_path + softnic_shim + unavailable == packets delivered.
+TEST(FaultProvenance, PathCountsReconcileUnderCompositeFaults) {
+  Compiled c;
+  telemetry::Sink sink({.queues = 4});
+  const rt::EngineConfig config = rt::EngineConfig{}
+                                      .with_queues(4)
+                                      .with_guard(true)
+                                      .with_fault_rate(0.01, 7)
+                                      .with_telemetry(&sink);
+  rt::MultiQueueEngine engine(c.result, c.engine, config);
+
+  net::WorkloadConfig wconfig;
+  wconfig.seed = 7;
+  wconfig.vlan_probability = 0.5;
+  net::WorkloadGenerator gen(wconfig);
+  constexpr std::size_t kPackets = 8000;
+  const rt::EngineReport report = engine.run(gen, kPackets);
+
+  ASSERT_GT(report.total.packets, 0u);
+  // Faults actually fired: some packets took the software path.
+  EXPECT_GT(report.total.softnic_recovered, 0u);
+
+  const auto snap = report.semantic_paths.snapshot();
+  ASSERT_EQ(snap.size(), 3u);  // rss, vlan, pkt_len
+  std::uint64_t nic_reads_total = 0;
+  for (const auto& [raw, counts] : snap) {
+    EXPECT_EQ(counts.total(), report.total.packets)
+        << "semantic raw id " << raw;
+    nic_reads_total += counts.nic_path;
+  }
+  EXPECT_GT(nic_reads_total, 0u);
+
+  // The same invariant via the published registry counters.
+  std::uint64_t nic = 0, softnic_reads = 0, unavailable = 0;
+  for (const auto& family : sink.registry().families()) {
+    if (family.name != "opendesc_semantic_reads_total") {
+      continue;
+    }
+    for (const auto& series : family.series) {
+      for (const auto& [k, v] : series.labels) {
+        if (k != "path") {
+          continue;
+        }
+        if (v == "nic_path") {
+          nic += series.counter->value();
+        } else if (v == "softnic_shim") {
+          softnic_reads += series.counter->value();
+        } else if (v == "unavailable") {
+          unavailable += series.counter->value();
+        }
+      }
+    }
+  }
+  EXPECT_EQ(nic + softnic_reads + unavailable, 3 * report.total.packets);
+  EXPECT_GT(softnic_reads, 0u);
+}
+
+// Identical runs with and without a sink deliver identical datapath results
+// — telemetry observes, never perturbs.
+TEST(FaultProvenance, SinkDoesNotPerturbTheDatapath) {
+  Compiled c;
+  const auto run = [&](telemetry::Sink* sink) {
+    const rt::EngineConfig config = rt::EngineConfig{}
+                                        .with_queues(2)
+                                        .with_guard(true)
+                                        .with_fault_rate(0.01, 3)
+                                        .with_telemetry(sink);
+    rt::MultiQueueEngine engine(c.result, c.engine, config);
+    net::WorkloadConfig wconfig;
+    wconfig.seed = 3;
+    wconfig.vlan_probability = 0.5;
+    net::WorkloadGenerator gen(wconfig);
+    return engine.run(gen, 4000);
+  };
+
+  telemetry::Sink sink({.queues = 2});
+  const rt::EngineReport with = run(&sink);
+  const rt::EngineReport without = run(nullptr);
+  EXPECT_EQ(with.total.packets, without.total.packets);
+  EXPECT_EQ(with.total.value_checksum, without.total.value_checksum);
+  EXPECT_EQ(with.total.quarantined, without.total.quarantined);
+  EXPECT_EQ(with.total.softnic_recovered, without.total.softnic_recovered);
+  for (const auto& [raw, counts] : with.semantic_paths.snapshot()) {
+    EXPECT_EQ(counts.total(),
+              without.semantic_paths.for_semantic(
+                  static_cast<SemanticId>(raw)).total());
+  }
+}
+
+}  // namespace

@@ -88,8 +88,8 @@ TEST(Facade, FallbackCounterTracksOnlyMissingSemantics) {
     ASSERT_TRUE(nic.rx(gen.next()));
     ASSERT_EQ(nic.poll(events), 1u);
     const PacketContext ctx(events[0]);
-    (void)facade.get(ctx, SemanticId::rss_hash);
-    (void)facade.get(ctx, SemanticId::timestamp);
+    (void)facade.fetch(ctx, SemanticId::rss_hash);
+    (void)facade.fetch(ctx, SemanticId::timestamp);
     nic.advance(1);
   }
   std::uint64_t expected_fallbacks = 0;
@@ -99,7 +99,7 @@ TEST(Facade, FallbackCounterTracksOnlyMissingSemantics) {
   if (!facade.hardware_provided(SemanticId::timestamp)) {
     expected_fallbacks += kPackets;
   }
-  EXPECT_EQ(facade.fallback_calls(), expected_fallbacks);
+  EXPECT_EQ(facade.path_counters().total().softnic_shim, expected_fallbacks);
   // ice profile 1 provides both rss and timestamp: zero fallbacks expected.
   EXPECT_EQ(expected_fallbacks, 0u);
 }

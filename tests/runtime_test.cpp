@@ -63,13 +63,18 @@ TEST_F(RuntimeTest, CheckedReadRefusesTruncatedRecords) {
   const OffsetAccessor accessor(result.layout, registry_);
   std::vector<std::uint8_t> record(result.layout.total_bytes(), 0);
   EXPECT_TRUE(accessor
-                  .read_checked(std::span<const std::uint8_t>(record),
-                                SemanticId::pkt_len)
-                  .has_value());
-  // Truncate below the pkt_len slice end: checked read must refuse.
+                  .read_provided(std::span<const std::uint8_t>(record),
+                                 SemanticId::pkt_len)
+                  .from_hardware());
+  // Truncate below the pkt_len slice end: checked read must refuse, and
+  // the provenance says exactly why.
   const std::span<const std::uint8_t> truncated(record.data(), 2);
-  EXPECT_FALSE(accessor.read_checked(truncated, SemanticId::pkt_len).has_value());
-  EXPECT_FALSE(accessor.read_checked(truncated, SemanticId::kv_key_hash).has_value());
+  const auto short_read = accessor.read_provided(truncated, SemanticId::pkt_len);
+  EXPECT_FALSE(short_read.has_value());
+  EXPECT_EQ(short_read.miss_reason(), MissReason::record_truncated);
+  EXPECT_EQ(accessor.read_provided(truncated, SemanticId::kv_key_hash)
+                .miss_reason(),
+            MissReason::not_in_layout);
 }
 
 TEST_F(RuntimeTest, FacadeServesHardwareAndSoftwarePaths) {
@@ -92,17 +97,24 @@ TEST_F(RuntimeTest, FacadeServesHardwareAndSoftwarePaths) {
   softnic::RxContext hw_ctx;
   hw_ctx.rx_timestamp_ns = pkt.rx_timestamp_ns;
 
-  EXPECT_EQ(facade.get(ctx, SemanticId::pkt_len), pkt.size());
-  EXPECT_EQ(facade.get(ctx, SemanticId::vlan_tci),
+  const auto pkt_len = facade.fetch(ctx, SemanticId::pkt_len);
+  EXPECT_EQ(pkt_len.value(), pkt.size());
+  EXPECT_TRUE(pkt_len.from_hardware());
+  EXPECT_EQ(facade.fetch(ctx, SemanticId::vlan_tci).value(),
             engine_.compute(SemanticId::vlan_tci, pkt.bytes(), view, hw_ctx));
-  EXPECT_EQ(facade.get(ctx, SemanticId::rss_hash),
+  EXPECT_EQ(facade.fetch(ctx, SemanticId::rss_hash).value(),
             engine_.compute(SemanticId::rss_hash, pkt.bytes(), view, hw_ctx));
 
-  // ip_checksum is not provided on the rss path → software fallback.
-  const std::uint64_t before = facade.fallback_calls();
-  EXPECT_EQ(facade.get(ctx, SemanticId::ip_checksum),
+  // ip_checksum is not provided on the rss path → software fallback, and
+  // the provenance says so.
+  const auto csum = facade.fetch(ctx, SemanticId::ip_checksum);
+  EXPECT_EQ(csum.value(),
             engine_.compute(SemanticId::ip_checksum, pkt.bytes(), view, hw_ctx));
-  EXPECT_EQ(facade.fallback_calls(), before + 1);
+  EXPECT_EQ(csum.provenance(), Provenance::softnic_shim);
+  EXPECT_EQ(csum.miss_reason(), MissReason::not_in_layout);
+  const PathCounts paths = facade.path_counters().total();
+  EXPECT_EQ(paths.nic_path, 3u);
+  EXPECT_EQ(paths.softnic_shim, 1u);
 }
 
 TEST_F(RuntimeTest, AllStrategiesAgreeOnValues) {
@@ -154,7 +166,7 @@ TEST_F(RuntimeTest, OpenDescDoesNoFallbacksWhenPathCoversIntent) {
   loop.packet_count = 100;
   const RxLoopStats stats = run_rx_loop(nic, gen, strategy, wanted, loop);
   EXPECT_EQ(stats.packets, 100u);
-  EXPECT_EQ(strategy.facade().fallback_calls(), 0u);
+  EXPECT_EQ(strategy.facade().path_counters().total().softnic_shim, 0u);
 }
 
 TEST_F(RuntimeTest, RawStrategyComputesEverythingInSoftware) {

@@ -1,0 +1,431 @@
+// Telemetry subsystem: instruments, shard-merge algebra, trace-ring drop
+// accounting, and the Prometheus/JSON expositions.
+//
+// The contract under test (src/telemetry):
+//  * HistogramData merge is associative and commutative, so any shard merge
+//    order reproduces the same totals;
+//  * a Shard snapshot taken concurrently with its writer is always
+//    internally consistent (epoch seqlock) — the TSan twin recompiles the
+//    library with -fsanitize=thread on top of this;
+//  * a TraceRing never grows, and recorded == retained + dropped exactly;
+//  * the Prometheus text exposition follows format 0.0.4: HELP/TYPE
+//    comments, escaped label values, sorted label keys (`le` last),
+//    cumulative buckets with +Inf == _count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "telemetry/exporter.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/trace.hpp"
+
+namespace {
+
+using namespace opendesc;
+using namespace opendesc::telemetry;
+
+// --- instruments ----------------------------------------------------------
+
+TEST(TelemetryCounter, AddAndStore) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.store(7);  // single-writer republication overwrites
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(TelemetryGauge, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  g.set(-1.75);
+  EXPECT_EQ(g.value(), -1.75);
+}
+
+TEST(TelemetryHistogram, BucketBoundaries) {
+  EXPECT_EQ(histogram_bucket(0), 0u);
+  EXPECT_EQ(histogram_bucket(1), 1u);
+  EXPECT_EQ(histogram_bucket(2), 2u);
+  EXPECT_EQ(histogram_bucket(3), 2u);
+  EXPECT_EQ(histogram_bucket(4), 3u);
+  // Bucket i holds values with bit width i: 2^(i-1) .. 2^i - 1.
+  for (std::size_t i = 1; i + 1 < kHistogramBuckets; ++i) {
+    const std::uint64_t lo = std::uint64_t{1} << (i - 1);
+    const std::uint64_t hi = histogram_upper_bound(i);
+    EXPECT_EQ(histogram_bucket(lo), i);
+    EXPECT_EQ(histogram_bucket(hi), i);
+    EXPECT_EQ(hi, (std::uint64_t{1} << i) - 1);
+  }
+  // Everything past the last boundary lands in the final (+Inf) bucket.
+  EXPECT_EQ(histogram_bucket(~std::uint64_t{0}), kHistogramBuckets - 1);
+}
+
+HistogramData random_data(std::mt19937_64& rng) {
+  HistogramData d;
+  std::uniform_int_distribution<std::uint64_t> values(0, 1u << 20);
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t v = values(rng);
+    ++d.buckets[histogram_bucket(v)];
+    ++d.count;
+    d.sum += v;
+  }
+  return d;
+}
+
+TEST(TelemetryHistogram, MergeIsAssociativeAndCommutative) {
+  std::mt19937_64 rng(11);
+  const HistogramData a = random_data(rng);
+  const HistogramData b = random_data(rng);
+  const HistogramData c = random_data(rng);
+
+  const HistogramData ab_c = (a + b) + c;
+  const HistogramData a_bc = a + (b + c);
+  const HistogramData cba = (c + b) + a;
+
+  EXPECT_EQ(ab_c.count, a_bc.count);
+  EXPECT_EQ(ab_c.sum, a_bc.sum);
+  EXPECT_EQ(ab_c.buckets, a_bc.buckets);
+  EXPECT_EQ(ab_c.count, cba.count);
+  EXPECT_EQ(ab_c.sum, cba.sum);
+  EXPECT_EQ(ab_c.buckets, cba.buckets);
+}
+
+TEST(TelemetryHistogram, ShardSnapshotMatchesObservations) {
+  Histogram h(2);
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : {0u, 1u, 5u, 1000u, 70000u}) {
+    h.shard(0).observe(v);
+    sum += v;
+  }
+  h.shard(1).observe(3);
+  sum += 3;
+
+  const HistogramData total = h.snapshot();
+  EXPECT_EQ(total.count, 6u);
+  EXPECT_EQ(total.sum, sum);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : total.buckets) {
+    bucket_total += b;
+  }
+  EXPECT_EQ(bucket_total, total.count);
+  EXPECT_EQ(total.buckets[0], 1u);  // the single zero observation
+}
+
+TEST(TelemetryHistogram, QuantileUpperBound) {
+  HistogramData d;
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    ++d.buckets[histogram_bucket(v)];
+    ++d.count;
+    d.sum += v;
+  }
+  EXPECT_EQ(d.quantile_upper_bound(0.0), 0u);  // target 0 met at bucket 0
+  // The p50 of 1..1000 (500) lives in bucket 9 (256..511).
+  EXPECT_EQ(d.quantile_upper_bound(0.5), histogram_upper_bound(9));
+  EXPECT_EQ(d.quantile_upper_bound(1.0), histogram_upper_bound(10));
+}
+
+// The seqlock contract: a reader racing the single writer always gets an
+// internally consistent snapshot — bucket sum equals count, and count never
+// runs ahead of what the writer published last.
+TEST(TelemetryHistogram, ConcurrentObserveAndSnapshotStayConsistent) {
+  Histogram h(1);
+  constexpr std::uint64_t kObservations = 200000;
+  std::atomic<bool> done{false};
+
+  std::thread writer([&] {
+    for (std::uint64_t i = 0; i < kObservations; ++i) {
+      h.shard(0).observe(i & 0xFFF);
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  std::uint64_t last_count = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    const HistogramData snap = h.snapshot();
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t b : snap.buckets) {
+      bucket_total += b;
+    }
+    ASSERT_EQ(bucket_total, snap.count);
+    ASSERT_GE(snap.count, last_count);  // monotone: published totals only
+    ASSERT_LE(snap.count, kObservations);
+    last_count = snap.count;
+  }
+  writer.join();
+  EXPECT_EQ(h.snapshot().count, kObservations);
+}
+
+// --- registry -------------------------------------------------------------
+
+TEST(TelemetryRegistry, RegistrationIsIdempotent) {
+  Registry reg;
+  Counter& a = reg.counter("requests_total", "requests", {{"queue", "0"}});
+  Counter& b = reg.counter("requests_total", "requests", {{"queue", "0"}});
+  EXPECT_EQ(&a, &b);
+  Counter& other = reg.counter("requests_total", "requests", {{"queue", "1"}});
+  EXPECT_NE(&a, &other);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(TelemetryRegistry, KindMismatchAndBadNamesThrow) {
+  Registry reg;
+  reg.counter("x_total", "x");
+  EXPECT_THROW(reg.gauge("x_total", "x"), Error);
+  EXPECT_THROW(reg.counter("0bad", "leading digit"), Error);
+  EXPECT_THROW(reg.counter("has space", "bad"), Error);
+  EXPECT_THROW(reg.counter("x_total", "x", {{"0bad", "v"}}), Error);
+  EXPECT_THROW(reg.counter("x_total", "x", {{"k", "v"}, {"k", "w"}}), Error);
+}
+
+TEST(TelemetryRegistry, LabelsNormalizeSorted) {
+  const Labels sorted = normalize_labels({{"z", "1"}, {"a", "2"}});
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].first, "a");
+  EXPECT_EQ(sorted[1].first, "z");
+  EXPECT_EQ(canonical_labels(sorted), "a=\"2\",z=\"1\"");
+}
+
+// --- trace ring -----------------------------------------------------------
+
+TEST(TelemetryTrace, CapacityRoundsToPowerOfTwo) {
+  EXPECT_EQ(TraceRing(1000).capacity(), 1024u);
+  EXPECT_EQ(TraceRing(4096).capacity(), 4096u);
+  EXPECT_EQ(TraceRing(0).capacity(), 1u);
+}
+
+TEST(TelemetryTrace, OverflowDropAccounting) {
+  constexpr std::size_t kCapacity = 64;
+  TraceRing ring(kCapacity);
+  constexpr std::uint64_t kEvents = 1000;
+  for (std::uint64_t i = 0; i < kEvents; ++i) {
+    ring.record({TraceEventType::record_validated, 0, 0,
+                 static_cast<std::uint32_t>(i), i});
+  }
+  EXPECT_EQ(ring.recorded(), kEvents);
+  EXPECT_EQ(ring.size(), kCapacity);
+  EXPECT_EQ(ring.dropped(), kEvents - kCapacity);
+  // Per-type totals survive overwrites.
+  EXPECT_EQ(ring.count(TraceEventType::record_validated), kEvents);
+
+  // The retained window is the newest kCapacity events, oldest first.
+  const std::vector<TraceEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), kCapacity);
+  EXPECT_EQ(events.front().sequence, kEvents - kCapacity);
+  EXPECT_EQ(events.back().sequence, kEvents - 1);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].sequence, events[i - 1].sequence + 1);
+  }
+}
+
+TEST(TelemetryTrace, ClearResetsEverything) {
+  TraceRing ring(8);
+  ring.record({TraceEventType::ctrl_retry, 1, 0, 0, 0});
+  ring.clear();
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.count(TraceEventType::ctrl_retry), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(TelemetrySink, RingLayoutAndTraceCounters) {
+  Sink sink({.queues = 3, .trace_capacity = 16});
+  EXPECT_EQ(sink.queues(), 3u);
+  EXPECT_EQ(sink.rings().size(), 5u);  // 3 workers + dispatch + ctrl
+  sink.ring(0).record({TraceEventType::softnic_fallback, 0, 0, 7, 0});
+  sink.dispatch_ring().record({TraceEventType::queue_handoff, 0, 1, 0, 0});
+  sink.ctrl_ring().record({TraceEventType::ctrl_programmed, 1, 0, 0, 0});
+
+  sink.publish_trace_counters();
+  sink.publish_trace_counters();  // idempotent: store, not add
+
+  bool found = false;
+  for (const Registry::Family& family : sink.registry().families()) {
+    if (family.name != "opendesc_trace_recorded_total") {
+      continue;
+    }
+    ASSERT_EQ(family.series.size(), 1u);
+    EXPECT_EQ(family.series[0].counter->value(), 3u);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- exposition -----------------------------------------------------------
+
+TEST(TelemetryExporter, EscapesLabelValuesAndHelp) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape_label_value("two\nlines"), "two\\nlines");
+  EXPECT_EQ(escape_help("back\\slash\nnewline"), "back\\\\slash\\nnewline");
+  // HELP text does not escape quotes.
+  EXPECT_EQ(escape_help("say \"hi\""), "say \"hi\"");
+}
+
+TEST(TelemetryExporter, PrometheusGrammar) {
+  Registry reg;
+  reg.counter("odx_requests_total", "Total \"requests\"\nseen",
+              {{"path", "a\\b"}, {"queue", "0"}})
+      .add(5);
+  reg.gauge("odx_depth", "queue depth").set(1.5);
+
+  const std::string text = to_prometheus(reg);
+  EXPECT_NE(text.find("# HELP odx_requests_total Total \"requests\"\\nseen\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE odx_requests_total counter\n"),
+            std::string::npos);
+  // Label keys sorted, values escaped.
+  EXPECT_NE(
+      text.find("odx_requests_total{path=\"a\\\\b\",queue=\"0\"} 5\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("# TYPE odx_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("odx_depth 1.5\n"), std::string::npos);
+
+  // Every line is a comment or a sample ending in a numeric value.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NO_THROW((void)std::stod(line.substr(space + 1))) << line;
+  }
+}
+
+TEST(TelemetryExporter, PrometheusHistogramSeries) {
+  Registry reg;
+  Histogram& h = reg.histogram("odx_latency_ns", "latency", {{"queue", "0"}});
+  for (std::uint64_t v : {3u, 3u, 200u, 70000u}) {
+    h.shard(0).observe(v);
+  }
+
+  const std::string text = to_prometheus(reg);
+  EXPECT_NE(text.find("# TYPE odx_latency_ns histogram"), std::string::npos);
+  // `le` is appended after the series labels, as the last label.
+  EXPECT_NE(text.find("odx_latency_ns_bucket{queue=\"0\",le=\"3\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("odx_latency_ns_bucket{queue=\"0\",le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("odx_latency_ns_sum{queue=\"0\"} 70206\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("odx_latency_ns_count{queue=\"0\"} 4\n"),
+            std::string::npos);
+
+  // Buckets are cumulative and non-decreasing up to +Inf == count.
+  std::istringstream lines(text);
+  std::string line;
+  double prev = 0.0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("odx_latency_ns_bucket", 0) != 0) {
+      continue;
+    }
+    const double value = std::stod(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(value, prev) << line;
+    prev = value;
+  }
+  EXPECT_EQ(prev, 4.0);
+}
+
+TEST(TelemetryExporter, SeriesOrderIsDeterministic) {
+  Registry reg;
+  reg.counter("odx_z_total", "z").add(1);
+  reg.counter("odx_a_total", "a", {{"queue", "1"}}).add(1);
+  reg.counter("odx_a_total", "a", {{"queue", "0"}}).add(1);
+
+  const std::string text = to_prometheus(reg);
+  // Families sorted by name; series sorted by canonical label set.
+  const std::size_t a0 = text.find("odx_a_total{queue=\"0\"}");
+  const std::size_t a1 = text.find("odx_a_total{queue=\"1\"}");
+  const std::size_t z = text.find("odx_z_total");
+  ASSERT_NE(a0, std::string::npos);
+  ASSERT_NE(a1, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a0, a1);
+  EXPECT_LT(a1, z);
+}
+
+TEST(TelemetryExporter, JsonExposition) {
+  Registry reg;
+  reg.counter("odx_total", "with \"quotes\" and \\slash").add(2);
+  Histogram& h = reg.histogram("odx_ns", "hist");
+  h.shard(0).observe(5);
+
+  const std::string json = to_json(reg);
+  EXPECT_NE(json.find("\"name\":\"odx_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("with \\\"quotes\\\" and \\\\slash"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  // Balanced braces/brackets — cheap structural sanity.
+  long braces = 0;
+  long brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      ++braces;
+    } else if (c == '}') {
+      --braces;
+    } else if (c == '[') {
+      ++brackets;
+    } else if (c == ']') {
+      --brackets;
+    }
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(TelemetryExporter, WriteMetricsFilePicksFormatByExtension) {
+  namespace fs = std::filesystem;
+  Registry reg;
+  reg.counter("odx_total", "t").add(1);
+  const fs::path dir = fs::temp_directory_path();
+  const fs::path prom = dir / "odx_scrape_test.prom";
+  const fs::path json = dir / "odx_scrape_test.json";
+
+  write_metrics_file(reg, prom.string());
+  write_metrics_file(reg, json.string());
+  std::stringstream prom_text, json_text;
+  prom_text << std::ifstream(prom).rdbuf();
+  json_text << std::ifstream(json).rdbuf();
+  EXPECT_NE(prom_text.str().find("# TYPE odx_total counter"),
+            std::string::npos);
+  EXPECT_NE(json_text.str().find("\"metrics\":["), std::string::npos);
+  fs::remove(prom);
+  fs::remove(json);
+
+  EXPECT_THROW(write_metrics_file(reg, "/nonexistent-dir/x.prom"), Error);
+}
+
+}  // namespace

@@ -13,6 +13,7 @@
 //   opendesc simulate --nic <name|file.p4> [--intent <file.p4>]
 //                     [--packets <n>] [--fault-rate <p>] [--fault-seed <n>]
 //                     [--guard] [--queues <n>] [--batch <n>]
+//                     [--metrics-out <file>]
 //       Compiles the intent, drives a synthetic workload through the
 //       simulated NIC with the hardened (validating) receive loop, and
 //       prints datapath + fault-recovery statistics.  --fault-rate injects
@@ -20,26 +21,38 @@
 //       seals each completion record with the 16-bit integrity tag.
 //       --queues > 1 runs the multi-queue engine instead: RSS steering
 //       across N simulated hardware queues, one hardened worker each, with
-//       per-queue and aggregate statistics.
+//       per-queue and aggregate statistics.  --metrics-out writes the run's
+//       telemetry registry as a Prometheus text scrape (or JSON when the
+//       file ends in .json).
+//   opendesc stats --nic <name|file.p4> [simulate options]
+//                  [--format prometheus|json]
+//       Same simulation, but prints the telemetry exposition to stdout
+//       instead of the human-readable summary.
 //
+// Every value flag accepts both "--flag value" and "--flag=value".
 // NIC arguments name either a catalog entry (e.g. "mlx5") or a path to a
 // standalone P4 interface description.
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <type_traits>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <set>
 #include <sstream>
 
 #include "common/error.hpp"
 #include "core/compiler.hpp"
 #include "engine/engine.hpp"
+#include "engine/publish.hpp"
 #include "core/planner.hpp"
 #include "core/txdesc.hpp"
 #include "p4/parser.hpp"
 #include "nic/model.hpp"
 #include "runtime/guard.hpp"
+#include "telemetry/exporter.hpp"
+#include "telemetry/sink.hpp"
 
 namespace {
 
@@ -58,7 +71,11 @@ int usage() {
       "  opendesc simulate --nic <name|file.p4> [--intent <file.p4>]\n"
       "                    [--packets <n>] [--fault-rate <p>]\n"
       "                    [--fault-seed <n>] [--guard]\n"
-      "                    [--queues <n>] [--batch <n>]\n";
+      "                    [--queues <n>] [--batch <n>]\n"
+      "                    [--metrics-out <file>]\n"
+      "  opendesc stats --nic <name|file.p4> [simulate options]\n"
+      "                 [--format prometheus|json]\n"
+      "(value flags also accept --flag=value)\n";
   return 2;
 }
 
@@ -99,6 +116,10 @@ struct Args {
   bool guard = false;
   std::size_t queues = 1;  ///< > 1 selects the multi-queue engine
   std::size_t batch = 32;
+
+  // telemetry options
+  std::string metrics_out;  ///< write the run's scrape here (simulate/stats)
+  std::string format;       ///< stats stdout format: prometheus (default)|json
 };
 
 // std::sto* throw on malformed input; reject with a message instead of
@@ -124,8 +145,20 @@ bool parse_args(int argc, char** argv, Args& args) {
   }
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept "--flag=value" by splitting it into the flag and an inline
+    // value that next() hands back instead of consuming argv.
+    std::optional<std::string> inline_value;
+    if (arg.rfind("--", 0) == 0) {
+      if (const auto eq = arg.find('='); eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+      }
+    }
     const auto next = [&]() -> const char* {
+      if (inline_value) {
+        return inline_value->c_str();
+      }
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (arg == "--nic") {
@@ -168,6 +201,14 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v || !parse_num("--batch", v, [](const char* s) { return std::stoull(s); }, args.batch))
         return false;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (!v) return false;
+      args.metrics_out = v;
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (!v) return false;
+      args.format = v;
     } else if (arg == "--guard") {
       args.guard = true;
     } else if (arg == "--tx") {
@@ -308,7 +349,12 @@ int cmd_compile(const Args& args) {
   return 0;
 }
 
-int cmd_simulate(const Args& args) {
+/// One simulation run, optionally instrumented.  When `sink` is non-null the
+/// compiler publishes its search gauges and the datapath (either engine
+/// branch) fills the registry; callers then expose it however they like
+/// (--metrics-out file, stats stdout).  `print_human` suppresses the
+/// summary tables for the stats subcommand.
+int run_simulation(const Args& args, telemetry::Sink* sink, bool print_human) {
   if (args.nic.empty()) {
     return usage();
   }
@@ -324,16 +370,20 @@ int cmd_simulate(const Args& args) {
   softnic::SemanticRegistry registry;
   softnic::CostTable costs(registry);
   core::Compiler compiler(registry, costs);
-  const core::CompileResult result = compiler.compile(nic_source, intent_source, {});
+  core::CompileOptions compile_options;
+  compile_options.telemetry = sink;
+  const core::CompileResult result =
+      compiler.compile(nic_source, intent_source, compile_options);
   softnic::ComputeEngine engine(registry);
 
   if (args.queues > 1) {
-    rt::EngineConfig engine_config;
-    engine_config.queues = args.queues;
-    engine_config.batch = args.batch;
-    engine_config.guard = args.guard;
-    engine_config.fault_rate = args.fault_rate;
-    engine_config.fault_seed = args.fault_seed;
+    const rt::EngineConfig engine_config = rt::EngineConfig{}
+                                               .with_queues(args.queues)
+                                               .with_batch(args.batch)
+                                               .with_guard(args.guard)
+                                               .with_fault_rate(args.fault_rate,
+                                                                args.fault_seed)
+                                               .with_telemetry(sink);
     rt::MultiQueueEngine mq(result, engine, engine_config);
 
     net::WorkloadConfig workload;
@@ -342,6 +392,9 @@ int cmd_simulate(const Args& args) {
     net::WorkloadGenerator gen(workload);
     const rt::EngineReport report = mq.run(gen, args.packets);
 
+    if (!print_human) {
+      return 0;
+    }
     std::printf("simulated %s: %zu packets across %zu queues, intent path "
                 "'%s' (%zu-byte records%s)\n",
                 result.nic_name.c_str(), args.packets, args.queues,
@@ -395,6 +448,9 @@ int cmd_simulate(const Args& args) {
   net::WorkloadGenerator gen(workload);
   rt::OpenDescStrategy strategy(result, engine);
   rt::ValidatingRxLoop loop(wire_layout, engine);
+  if (sink) {
+    loop.set_telemetry(sink, 0);
+  }
   const std::set<softnic::SemanticId> requested = result.intent.requested();
   const std::vector<softnic::SemanticId> wanted(requested.begin(),
                                                 requested.end());
@@ -402,6 +458,22 @@ int cmd_simulate(const Args& args) {
   config.packet_count = args.packets;
   const rt::RxLoopStats stats = loop.run(nic, gen, strategy, wanted, config);
 
+  if (sink) {
+    // Assemble a single-queue report so the same publication path serves
+    // both engine branches (and both exposition invariants hold).
+    rt::EngineReport report;
+    report.total = stats;
+    report.per_queue = {stats};
+    report.offered = {args.packets};
+    report.offered_total = args.packets;
+    report.semantic_paths += strategy.facade().path_counters();
+    report.semantic_paths += loop.recovery_path_counters();
+    // Fully qualified: the local ComputeEngine is also named `engine`.
+    opendesc::engine::publish_report(*sink, report, registry);
+  }
+  if (!print_human) {
+    return 0;
+  }
   std::printf("simulated %s: %zu packets, intent path '%s' (%zu-byte records"
               "%s)\n",
               result.nic_name.c_str(), args.packets,
@@ -458,6 +530,47 @@ int cmd_simulate(const Args& args) {
   return 0;
 }
 
+std::unique_ptr<telemetry::Sink> make_sink(const Args& args) {
+  telemetry::SinkConfig config;
+  config.queues = std::max<std::size_t>(1, args.queues);
+  return std::make_unique<telemetry::Sink>(config);
+}
+
+int cmd_simulate(const Args& args) {
+  std::unique_ptr<telemetry::Sink> sink;
+  if (!args.metrics_out.empty()) {
+    sink = make_sink(args);
+  }
+  const int rc = run_simulation(args, sink.get(), /*print_human=*/!args.quiet);
+  if (rc == 0 && sink) {
+    telemetry::write_metrics_file(sink->registry(), args.metrics_out);
+    if (!args.quiet) {
+      std::printf("wrote metrics scrape to %s\n", args.metrics_out.c_str());
+    }
+  }
+  return rc;
+}
+
+int cmd_stats(const Args& args) {
+  const std::string format = args.format.empty() ? "prometheus" : args.format;
+  if (format != "prometheus" && format != "json") {
+    std::cerr << "unknown --format '" << format
+              << "' (expected prometheus or json)\n";
+    return 2;
+  }
+  const std::unique_ptr<telemetry::Sink> sink = make_sink(args);
+  const int rc = run_simulation(args, sink.get(), /*print_human=*/false);
+  if (rc != 0) {
+    return rc;
+  }
+  if (!args.metrics_out.empty()) {
+    telemetry::write_metrics_file(sink->registry(), args.metrics_out);
+  }
+  std::cout << (format == "json" ? telemetry::to_json(sink->registry())
+                                 : telemetry::to_prometheus(sink->registry()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -480,6 +593,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "simulate") {
       return cmd_simulate(args);
+    }
+    if (args.command == "stats") {
+      return cmd_stats(args);
     }
     return usage();
   } catch (const Error& e) {

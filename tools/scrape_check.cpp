@@ -1,0 +1,496 @@
+// scrape_check — golden-schema validator for `opendesc simulate
+// --metrics-out` scrapes.
+//
+// Deliberately standalone (no opendesc libraries): it checks the exposition
+// the way an external scraper would, from the text alone.
+//
+//   scrape_check <scrape.prom>
+//
+// Validates, in order:
+//   1. grammar   — every line is a HELP/TYPE comment or a sample
+//                  `name{k="v",...} value`, names and label keys are legal,
+//                  label values are correctly escaped, label keys are sorted
+//                  (the histogram `le` key may come last), no duplicate
+//                  series;
+//   2. typing    — every sample belongs to a family declared by # TYPE
+//                  earlier in the scrape, histogram families expose
+//                  cumulative non-decreasing buckets whose +Inf bucket
+//                  equals the _count series;
+//   3. schema    — the instrument families the simulator contracts to emit
+//                  are all present with the right kind;
+//   4. invariant — per semantic, opendesc_semantic_reads_total summed over
+//                  {nic_path, softnic_shim, unavailable} equals
+//                  opendesc_rx_packets_total summed over queues: every
+//                  delivered packet's metadata came from exactly one path
+//                  (the runtime image of the paper's Eq. 1 split).
+//
+// Exit 0 and "scrape OK" on success; exit 1 with one line per violation.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Sample {
+  std::string name;                                   ///< full sample name
+  std::vector<std::pair<std::string, std::string>> labels;  ///< decoded
+  double value = 0.0;
+  std::size_t line = 0;
+};
+
+struct Checker {
+  std::vector<std::string> errors;
+  std::map<std::string, std::string> types;  ///< family → counter|gauge|histogram
+  std::set<std::string> helps;
+  std::set<std::string> seen_series;
+  std::vector<Sample> samples;
+
+  void fail(std::size_t line, const std::string& message) {
+    errors.push_back("line " + std::to_string(line) + ": " + message);
+  }
+};
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool valid_label_key(const std::string& key) {
+  if (key.empty()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    const char c = key[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parses `{k="v",...}` starting at text[pos] == '{'.  Returns the position
+/// one past the closing brace, or nullopt on malformed input.
+std::optional<std::size_t> parse_labels(
+    const std::string& text, std::size_t pos,
+    std::vector<std::pair<std::string, std::string>>& out,
+    std::string& error) {
+  ++pos;  // consume '{'
+  while (pos < text.size() && text[pos] != '}') {
+    const std::size_t eq = text.find('=', pos);
+    if (eq == std::string::npos || eq + 1 >= text.size() ||
+        text[eq + 1] != '"') {
+      error = "malformed label pair (expected key=\"value\")";
+      return std::nullopt;
+    }
+    const std::string key = text.substr(pos, eq - pos);
+    if (!valid_label_key(key)) {
+      error = "illegal label key '" + key + "'";
+      return std::nullopt;
+    }
+    std::string value;
+    std::size_t cursor = eq + 2;
+    bool closed = false;
+    while (cursor < text.size()) {
+      const char c = text[cursor];
+      if (c == '\\') {
+        if (cursor + 1 >= text.size()) {
+          error = "dangling escape in label value";
+          return std::nullopt;
+        }
+        const char esc = text[cursor + 1];
+        if (esc == '\\') {
+          value += '\\';
+        } else if (esc == '"') {
+          value += '"';
+        } else if (esc == 'n') {
+          value += '\n';
+        } else {
+          error = std::string("illegal escape '\\") + esc + "' in label value";
+          return std::nullopt;
+        }
+        cursor += 2;
+        continue;
+      }
+      if (c == '"') {
+        closed = true;
+        ++cursor;
+        break;
+      }
+      if (c == '\n') {
+        error = "unescaped newline in label value";
+        return std::nullopt;
+      }
+      value += c;
+      ++cursor;
+    }
+    if (!closed) {
+      error = "unterminated label value";
+      return std::nullopt;
+    }
+    out.emplace_back(key, value);
+    pos = cursor;
+    if (pos < text.size() && text[pos] == ',') {
+      ++pos;
+    } else if (pos < text.size() && text[pos] != '}') {
+      error = "expected ',' or '}' after label value";
+      return std::nullopt;
+    }
+  }
+  if (pos >= text.size()) {
+    error = "unterminated label block";
+    return std::nullopt;
+  }
+  return pos + 1;  // past '}'
+}
+
+std::optional<double> parse_value(const std::string& text) {
+  if (text == "+Inf") {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (text == "-Inf") {
+    return -std::numeric_limits<double>::infinity();
+  }
+  if (text == "NaN") {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) {
+      return std::nullopt;
+    }
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// The family a sample belongs to: histogram samples report under
+/// <family>_bucket/_sum/_count.
+std::string family_of(const Checker& chk, const std::string& sample_name) {
+  if (chk.types.count(sample_name) != 0) {
+    return sample_name;
+  }
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s = suffix;
+    if (sample_name.size() > s.size() &&
+        sample_name.compare(sample_name.size() - s.size(), s.size(), s) == 0) {
+      const std::string base = sample_name.substr(0, sample_name.size() - s.size());
+      const auto it = chk.types.find(base);
+      if (it != chk.types.end() && it->second == "histogram") {
+        return base;
+      }
+    }
+  }
+  return sample_name;  // unknown; typing check reports it
+}
+
+std::string series_key(const Sample& sample) {
+  std::string key = sample.name;
+  for (const auto& [k, v] : sample.labels) {
+    key += '\x1f' + k + '\x1e' + v;
+  }
+  return key;
+}
+
+void check_line(Checker& chk, const std::string& line, std::size_t lineno) {
+  if (line.empty()) {
+    return;
+  }
+  if (line[0] == '#') {
+    std::istringstream in(line);
+    std::string hash, keyword, name;
+    in >> hash >> keyword >> name;
+    if (keyword == "HELP") {
+      if (!valid_metric_name(name)) {
+        chk.fail(lineno, "HELP for illegal metric name '" + name + "'");
+      }
+      if (!chk.helps.insert(name).second) {
+        chk.fail(lineno, "duplicate HELP for '" + name + "'");
+      }
+      // Escaping: a raw backslash must start \\ or \n.
+      const std::size_t text_at = line.find(name) + name.size();
+      const std::string help = line.substr(std::min(text_at, line.size()));
+      for (std::size_t i = 0; i < help.size(); ++i) {
+        if (help[i] == '\\' &&
+            (i + 1 >= help.size() ||
+             (help[i + 1] != '\\' && help[i + 1] != 'n'))) {
+          chk.fail(lineno, "unescaped backslash in HELP text for '" + name + "'");
+        } else if (help[i] == '\\') {
+          ++i;
+        }
+      }
+      return;
+    }
+    if (keyword == "TYPE") {
+      std::string kind;
+      in >> kind;
+      if (!valid_metric_name(name)) {
+        chk.fail(lineno, "TYPE for illegal metric name '" + name + "'");
+      }
+      if (kind != "counter" && kind != "gauge" && kind != "histogram") {
+        chk.fail(lineno, "unknown TYPE kind '" + kind + "' for '" + name + "'");
+      }
+      if (!chk.types.emplace(name, kind).second) {
+        chk.fail(lineno, "duplicate TYPE for '" + name + "'");
+      }
+      return;
+    }
+    return;  // other comments are legal
+  }
+
+  // Sample line.
+  Sample sample;
+  sample.line = lineno;
+  std::size_t pos = 0;
+  while (pos < line.size() && line[pos] != '{' && line[pos] != ' ') {
+    ++pos;
+  }
+  sample.name = line.substr(0, pos);
+  if (!valid_metric_name(sample.name)) {
+    chk.fail(lineno, "illegal sample name '" + sample.name + "'");
+    return;
+  }
+  if (pos < line.size() && line[pos] == '{') {
+    std::string error;
+    const auto after = parse_labels(line, pos, sample.labels, error);
+    if (!after) {
+      chk.fail(lineno, error);
+      return;
+    }
+    pos = *after;
+  }
+  if (pos >= line.size() || line[pos] != ' ') {
+    chk.fail(lineno, "expected space before sample value");
+    return;
+  }
+  const auto value = parse_value(line.substr(pos + 1));
+  if (!value) {
+    chk.fail(lineno, "unparseable sample value '" + line.substr(pos + 1) + "'");
+    return;
+  }
+  sample.value = *value;
+
+  // Label keys sorted; the histogram `le` key is appended last by
+  // convention and exempt from the ordering check.
+  for (std::size_t i = 1; i < sample.labels.size(); ++i) {
+    if (sample.labels[i].first == "le" && i + 1 == sample.labels.size()) {
+      continue;
+    }
+    if (sample.labels[i - 1].first >= sample.labels[i].first) {
+      chk.fail(lineno, "label keys not sorted ('" + sample.labels[i - 1].first +
+                           "' before '" + sample.labels[i].first + "')");
+    }
+  }
+
+  if (!chk.seen_series.insert(series_key(sample)).second) {
+    chk.fail(lineno, "duplicate series for '" + sample.name + "'");
+  }
+  const std::string family = family_of(chk, sample.name);
+  if (chk.types.count(family) == 0) {
+    chk.fail(lineno, "sample '" + sample.name + "' has no preceding # TYPE");
+  }
+  chk.samples.push_back(std::move(sample));
+}
+
+/// Labels minus `le`, as a key — groups one histogram's bucket series.
+std::string histogram_series_key(const Sample& sample) {
+  std::string key;
+  for (const auto& [k, v] : sample.labels) {
+    if (k != "le") {
+      key += '\x1f' + k + '\x1e' + v;
+    }
+  }
+  return key;
+}
+
+void check_histograms(Checker& chk) {
+  for (const auto& [family, kind] : chk.types) {
+    if (kind != "histogram") {
+      continue;
+    }
+    struct SeriesAgg {
+      std::vector<std::pair<double, double>> buckets;  ///< (le, cumulative)
+      std::optional<double> count;
+      bool has_sum = false;
+    };
+    std::map<std::string, SeriesAgg> series;
+    for (const Sample& sample : chk.samples) {
+      if (sample.name == family + "_bucket") {
+        double le = std::numeric_limits<double>::quiet_NaN();
+        for (const auto& [k, v] : sample.labels) {
+          if (k == "le") {
+            le = *parse_value(v);
+          }
+        }
+        series[histogram_series_key(sample)].buckets.emplace_back(le,
+                                                                  sample.value);
+      } else if (sample.name == family + "_count") {
+        series[histogram_series_key(sample)].count = sample.value;
+      } else if (sample.name == family + "_sum") {
+        series[histogram_series_key(sample)].has_sum = true;
+      }
+    }
+    if (series.empty()) {
+      chk.errors.push_back("histogram '" + family + "' has no samples");
+      continue;
+    }
+    for (const auto& [key, agg] : series) {
+      if (agg.buckets.empty() || !agg.count || !agg.has_sum) {
+        chk.errors.push_back("histogram '" + family +
+                             "' series missing _bucket/_sum/_count");
+        continue;
+      }
+      double prev_le = -std::numeric_limits<double>::infinity();
+      double prev_cum = 0.0;
+      for (const auto& [le, cum] : agg.buckets) {
+        if (!(le > prev_le)) {
+          chk.errors.push_back("histogram '" + family +
+                               "' bucket le values not increasing");
+        }
+        if (cum + 1e-9 < prev_cum) {
+          chk.errors.push_back("histogram '" + family +
+                               "' bucket counts not cumulative");
+        }
+        prev_le = le;
+        prev_cum = cum;
+      }
+      const auto& [last_le, last_cum] = agg.buckets.back();
+      if (!std::isinf(last_le)) {
+        chk.errors.push_back("histogram '" + family + "' missing +Inf bucket");
+      } else if (std::fabs(last_cum - *agg.count) > 1e-9) {
+        chk.errors.push_back("histogram '" + family +
+                             "' +Inf bucket disagrees with _count");
+      }
+    }
+  }
+}
+
+void check_schema(Checker& chk) {
+  static const std::pair<const char*, const char*> kRequired[] = {
+      {"opendesc_rx_packets_total", "counter"},
+      {"opendesc_rx_hw_consumed_total", "counter"},
+      {"opendesc_rx_softnic_recovered_total", "counter"},
+      {"opendesc_rx_quarantined_total", "counter"},
+      {"opendesc_offered_packets_total", "counter"},
+      {"opendesc_semantic_reads_total", "counter"},
+      {"opendesc_batch_latency_ns", "histogram"},
+      {"opendesc_trace_events_total", "counter"},
+      {"opendesc_trace_recorded_total", "counter"},
+      {"opendesc_trace_dropped_total", "counter"},
+      {"opendesc_engine_queues", "gauge"},
+      {"opendesc_compile_runs_total", "counter"},
+      {"opendesc_compile_paths_explored", "gauge"},
+      {"opendesc_compile_chosen_size_bytes", "gauge"},
+  };
+  for (const auto& [name, kind] : kRequired) {
+    const auto it = chk.types.find(name);
+    if (it == chk.types.end()) {
+      chk.errors.push_back(std::string("schema: required family '") + name +
+                           "' missing");
+    } else if (it->second != kind) {
+      chk.errors.push_back(std::string("schema: '") + name + "' is " +
+                           it->second + ", expected " + kind);
+    }
+  }
+}
+
+void check_path_invariant(Checker& chk) {
+  double delivered = 0.0;
+  bool have_delivered = false;
+  std::map<std::string, double> per_semantic;
+  for (const Sample& sample : chk.samples) {
+    if (sample.name == "opendesc_rx_packets_total") {
+      delivered += sample.value;
+      have_delivered = true;
+    } else if (sample.name == "opendesc_semantic_reads_total") {
+      std::string semantic, path;
+      for (const auto& [k, v] : sample.labels) {
+        if (k == "semantic") {
+          semantic = v;
+        } else if (k == "path") {
+          path = v;
+        }
+      }
+      if (path != "nic_path" && path != "softnic_shim" && path != "unavailable") {
+        chk.errors.push_back("invariant: unknown path label '" + path + "'");
+        continue;
+      }
+      per_semantic[semantic] += sample.value;
+    }
+  }
+  if (!have_delivered) {
+    return;  // schema check already reported the missing family
+  }
+  if (per_semantic.empty()) {
+    chk.errors.push_back(
+        "invariant: no opendesc_semantic_reads_total series found");
+    return;
+  }
+  for (const auto& [semantic, total] : per_semantic) {
+    if (std::fabs(total - delivered) > 1e-9) {
+      std::ostringstream message;
+      message << "invariant: semantic '" << semantic
+              << "' path counts sum to " << total << ", expected " << delivered
+              << " delivered packets";
+      chk.errors.push_back(message.str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: scrape_check <scrape.prom>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "scrape_check: cannot open '%s'\n", argv[1]);
+    return 2;
+  }
+
+  Checker chk;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    check_line(chk, line, ++lineno);
+  }
+  if (lineno == 0) {
+    chk.errors.push_back("scrape is empty");
+  }
+  check_histograms(chk);
+  check_schema(chk);
+  check_path_invariant(chk);
+
+  if (!chk.errors.empty()) {
+    for (const std::string& error : chk.errors) {
+      std::fprintf(stderr, "scrape_check: %s\n", error.c_str());
+    }
+    return 1;
+  }
+  std::printf("scrape OK: %zu families, %zu series\n", chk.types.size(),
+              chk.samples.size());
+  return 0;
+}
