@@ -1,0 +1,24 @@
+#!/bin/sh
+# One-invocation CI tier: the tier-1 suite (default toolchain, own binary
+# dir so a developer's build/ is never clobbered), then the ASan+UBSan
+# whole-tree build, then the TSan whole-tree build — each via its CMake
+# preset, each running the full ctest suite.
+#
+#   scripts/ci.sh              # all three presets
+#   scripts/ci.sh ci tsan      # a subset
+#   JOBS=8 scripts/ci.sh       # override parallelism
+set -eu
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 2)}
+PRESETS=${*:-"ci sanitize tsan"}
+
+for preset in $PRESETS; do
+    echo "=== [$preset] configure ==="
+    cmake --preset "$preset"
+    echo "=== [$preset] build ==="
+    cmake --build --preset "$preset" -j "$JOBS"
+    echo "=== [$preset] test ==="
+    ctest --preset "$preset" -j "$JOBS"
+done
+echo "ci.sh: all presets green ($PRESETS)"

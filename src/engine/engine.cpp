@@ -79,6 +79,41 @@ MultiQueueEngine::MultiQueueEngine(const core::CompileResult& result,
   }
   const std::set<softnic::SemanticId> requested = result.intent.requested();
   wanted_.assign(requested.begin(), requested.end());
+
+  run_start_epochs_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(config_.queues);
+  if (!config_.listen.empty()) {
+    // The embedded server needs a sink to serve; create an engine-owned one
+    // when the caller did not attach their own.
+    if (config_.telemetry == nullptr) {
+      telemetry::SinkConfig sink_config;
+      sink_config.queues = config_.queues;
+      owned_sink_ = std::make_unique<telemetry::Sink>(sink_config);
+      config_.telemetry = owned_sink_.get();
+    }
+    server_ = std::make_unique<telemetry::ObservabilityServer>(
+        *config_.telemetry, http::parse_listen_address(config_.listen));
+    server_->set_ready_probe([this] { return ready(); });
+    server_->start();
+  }
+}
+
+bool MultiQueueEngine::ready() const noexcept {
+  if (!running_.load(std::memory_order_acquire)) {
+    // Between runs: ready once the engine has completed one, i.e. it has
+    // demonstrated the whole datapath works.
+    return runs_done_.load(std::memory_order_acquire) > 0;
+  }
+  // Mid-run: every queue must have published at least one batch since the
+  // run began — a stuck worker (or a queue the steering never feeds) keeps
+  // /readyz at 503 while /healthz stays 200.
+  for (std::size_t q = 0; q < config_.queues; ++q) {
+    if (stats_.epoch(q) <=
+        run_start_epochs_[q].load(std::memory_order_relaxed)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 template <typename NextFn>
@@ -104,6 +139,22 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
   for (std::size_t q = 0; q < queues; ++q) {
     facade_before.push_back(strategies_[q]->facade().path_counters());
   }
+
+  // The sink's stage histograms are cumulative too; baseline them so the
+  // report carries this run's stage latency only.
+  std::vector<telemetry::HistogramData> stage_before;
+  if (sink != nullptr) {
+    stage_before.reserve(telemetry::kStageCount);
+    for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
+      stage_before.push_back(
+          sink->stage_latency(static_cast<telemetry::Stage>(s)).snapshot());
+    }
+  }
+
+  for (std::size_t q = 0; q < queues; ++q) {
+    run_start_epochs_[q].store(stats_.epoch(q), std::memory_order_relaxed);
+  }
+  running_.store(true, std::memory_order_release);
 
   // Fresh per-run device state: each queue is a complete NIC instance with
   // its own completion ring, buffer pool, doorbell clock and accounting.
@@ -167,21 +218,70 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
   std::exception_ptr dispatch_error;
   telemetry::TraceRing* dispatch_ring =
       sink != nullptr ? &sink->dispatch_ring() : nullptr;
+  telemetry::Histogram::Shard* steer_shard = nullptr;
+  telemetry::Histogram::Shard* handoff_shard = nullptr;
+  if (sink != nullptr) {
+    steer_shard = &sink->stage_shard(telemetry::Stage::steer,
+                                     sink->dispatch_shard());
+    handoff_shard = &sink->stage_shard(telemetry::Stage::handoff,
+                                       sink->dispatch_shard());
+  }
   try {
-    const double steer_start = rt::thread_cpu_now_ns();
+    // Batch-size chunks so the steer and handoff stages each get one span
+    // per chunk: classify the whole chunk, then push the whole chunk.
+    // Packet *generation* (next()) happens between spans — steering_ns is
+    // the classify+handoff CPU time only.
     std::uint64_t handoff_seq = 0;
-    while (std::optional<net::Packet> pkt = next()) {
-      const std::uint16_t q = steering_.queue_for(pkt->bytes());
-      ++report.offered[q];
-      ++report.offered_total;
-      if (dispatch_ring != nullptr) {
-        dispatch_ring->record({telemetry::TraceEventType::queue_handoff, 0, q,
-                               static_cast<std::uint32_t>(pkt->bytes().size()),
-                               handoff_seq++});
+    std::vector<net::Packet> chunk;
+    std::vector<std::uint16_t> dest;
+    chunk.reserve(config_.batch);
+    dest.reserve(config_.batch);
+    bool open = true;
+    while (open) {
+      chunk.clear();
+      dest.clear();
+      while (chunk.size() < config_.batch) {
+        std::optional<net::Packet> pkt = next();
+        if (!pkt) {
+          open = false;
+          break;
+        }
+        chunk.push_back(std::move(*pkt));
       }
-      handoff[q]->push(std::move(*pkt));
+      if (chunk.empty()) {
+        break;
+      }
+
+      double t0 = rt::thread_cpu_now_ns();
+      for (const net::Packet& pkt : chunk) {
+        const std::uint16_t q = steering_.queue_for(pkt.bytes());
+        dest.push_back(q);
+        ++report.offered[q];
+        ++report.offered_total;
+      }
+      const double steer_ns = rt::thread_cpu_now_ns() - t0;
+
+      t0 = rt::thread_cpu_now_ns();
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        const std::uint16_t q = dest[i];
+        if (dispatch_ring != nullptr) {
+          dispatch_ring->record(
+              {telemetry::TraceEventType::queue_handoff, 0, q,
+               static_cast<std::uint32_t>(chunk[i].bytes().size()),
+               handoff_seq++});
+        }
+        handoff[q]->push(std::move(chunk[i]));
+      }
+      const double handoff_ns = rt::thread_cpu_now_ns() - t0;
+
+      report.steering_ns += steer_ns + handoff_ns;
+      if (steer_shard != nullptr && steer_ns > 0.0) {
+        steer_shard->observe(static_cast<std::uint64_t>(steer_ns));
+      }
+      if (handoff_shard != nullptr && handoff_ns > 0.0) {
+        handoff_shard->observe(static_cast<std::uint64_t>(handoff_ns));
+      }
     }
-    report.steering_ns = rt::thread_cpu_now_ns() - steer_start;
   } catch (...) {
     dispatch_error = std::current_exception();
   }
@@ -192,6 +292,7 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
     worker.join();
   }
   report.wall_ns = wall_now_ns() - wall_start;
+  running_.store(false, std::memory_order_release);
 
   if (dispatch_error) {
     std::rethrow_exception(dispatch_error);
@@ -212,8 +313,18 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
     report.semantic_paths += loops[q]->recovery_path_counters();
   }
   if (sink != nullptr) {
+    // Workers have quiesced: the stage histograms are stable, so the delta
+    // against the run-start baseline is exactly this run's spans.
+    report.stage_latency.resize(telemetry::kStageCount);
+    for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
+      telemetry::HistogramData delta =
+          sink->stage_latency(static_cast<telemetry::Stage>(s)).snapshot();
+      delta -= stage_before[s];
+      report.stage_latency[s] = delta;
+    }
     publish_report(*sink, report, compute_->registry());
   }
+  runs_done_.fetch_add(1, std::memory_order_release);
   return report;
 }
 

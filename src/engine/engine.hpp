@@ -23,6 +23,7 @@
 // reported alongside, unmodelled.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <span>
 #include <vector>
@@ -36,6 +37,7 @@
 #include "runtime/provided.hpp"
 #include "sim/faults.hpp"
 #include "sim/nicsim.hpp"
+#include "telemetry/server.hpp"
 
 namespace opendesc::engine {
 
@@ -60,6 +62,11 @@ struct EngineReport {
   /// counters — per semantic, nic_path + softnic_shim + unavailable equals
   /// the packets processed.
   rt::SemanticPathCounters semantic_paths;
+
+  /// Per-stage batch-latency histograms for this run only (delta over the
+  /// sink's cumulative stage histograms, indexed by telemetry::Stage).
+  /// Empty when no telemetry sink was attached.
+  std::vector<telemetry::HistogramData> stage_latency;
 
   /// Slowest shard's host-side processing time: with one core per queue,
   /// the run completes when the busiest worker does.
@@ -108,9 +115,22 @@ class MultiQueueEngine {
   /// Live shard counters (valid during a run; exact after it returns).
   [[nodiscard]] const StatsRegistry& stats() const noexcept { return stats_; }
 
+  /// The embedded observability server (null unless config.listen is set).
+  /// Serving starts with construction and outlives individual runs; /readyz
+  /// turns 200 once every queue of the active run has published a batch.
+  [[nodiscard]] telemetry::ObservabilityServer* server() noexcept {
+    return server_.get();
+  }
+  /// The sink the engine actually records into: the configured one, or the
+  /// engine-owned sink created to back an embedded server.
+  [[nodiscard]] telemetry::Sink* sink() noexcept { return config_.telemetry; }
+
  private:
   template <typename NextFn>
   EngineReport run_impl(NextFn&& next);
+
+  /// Lock-free /readyz probe (runs on server worker threads).
+  [[nodiscard]] bool ready() const noexcept;
 
   const core::CompileResult* result_;
   const softnic::ComputeEngine* compute_;
@@ -120,6 +140,15 @@ class MultiQueueEngine {
   StatsRegistry stats_;
   std::vector<std::unique_ptr<rt::OpenDescStrategy>> strategies_;  ///< per queue
   std::vector<softnic::SemanticId> wanted_;
+
+  std::unique_ptr<telemetry::Sink> owned_sink_;  ///< backs an embedded server
+  std::unique_ptr<telemetry::ObservabilityServer> server_;
+  std::atomic<bool> running_{false};        ///< a run is in flight
+  std::atomic<std::uint64_t> runs_done_{0};
+  /// stats_ epochs at the current run's start.  Atomic elements: a probe
+  /// that read running_ just before a run boundary may read these while the
+  /// next run writes them — it sees a transient value, never a race.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> run_start_epochs_;
 };
 
 }  // namespace opendesc::engine

@@ -1,0 +1,433 @@
+#include "http/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace opendesc::http {
+
+namespace {
+
+void set_socket_timeouts(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Writes the whole buffer or gives up (peer gone / timed out).
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Splits "a=1&b=2" into the query map (no %-decoding: the observability
+/// endpoints only take small numeric/identifier values).
+void parse_query(const std::string& raw, std::map<std::string, std::string>& out) {
+  std::size_t pos = 0;
+  while (pos < raw.size()) {
+    std::size_t amp = raw.find('&', pos);
+    if (amp == std::string::npos) {
+      amp = raw.size();
+    }
+    const std::string pair = raw.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      if (!pair.empty()) {
+        out[pair] = "";
+      }
+    } else {
+      out[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+    pos = amp + 1;
+  }
+}
+
+std::string lowercase(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') {
+      c = static_cast<char>(c - 'A' + 'a');
+    }
+  }
+  return s;
+}
+
+/// Parses the request head (request line + headers).  Returns false (with
+/// `status`) on anything malformed.
+bool parse_request(const std::string& head, Request& request, int& status) {
+  const std::size_t line_end = head.find("\r\n");
+  const std::string line = head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    status = 400;
+    return false;
+  }
+  request.method = line.substr(0, sp1);
+  request.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) {
+    status = 400;
+    return false;
+  }
+  if (request.method != "GET" && request.method != "HEAD") {
+    status = 405;
+    return false;
+  }
+  if (request.target.empty() || request.target[0] != '/') {
+    status = 400;
+    return false;
+  }
+  const std::size_t q = request.target.find('?');
+  request.path = request.target.substr(0, q);
+  if (q != std::string::npos) {
+    parse_query(request.target.substr(q + 1), request.query);
+  }
+
+  // Headers: "Key: value" lines until the blank line.
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t end = head.find("\r\n", pos);
+    if (end == std::string::npos) {
+      end = head.size();
+    }
+    const std::string header = head.substr(pos, end - pos);
+    pos = end + 2;
+    if (header.empty()) {
+      break;
+    }
+    const std::size_t colon = header.find(':');
+    if (colon == std::string::npos) {
+      continue;  // tolerate junk header lines
+    }
+    std::size_t value_at = colon + 1;
+    while (value_at < header.size() && header[value_at] == ' ') {
+      ++value_at;
+    }
+    request.headers[lowercase(header.substr(0, colon))] =
+        header.substr(value_at);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view status_reason(int status) noexcept {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Payload Too Large";
+    case 503:
+      return "Service Unavailable";
+    case 500:
+    default:
+      return "Internal Server Error";
+  }
+}
+
+ServerConfig parse_listen_address(const std::string& spec, ServerConfig base) {
+  std::string host = base.address;
+  std::string port = spec;
+  const std::size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon != 0) {
+      host = spec.substr(0, colon);
+    }
+    port = spec.substr(colon + 1);
+  }
+  if (port.empty()) {
+    throw Error(ErrorKind::semantic, "listen address '" + spec +
+                                         "' has no port (want host:port)");
+  }
+  unsigned long value = 0;
+  try {
+    std::size_t used = 0;
+    value = std::stoul(port, &used);
+    if (used != port.size() || value > 0xFFFF) {
+      throw std::invalid_argument(port);
+    }
+  } catch (const std::exception&) {
+    throw Error(ErrorKind::semantic,
+                "listen address '" + spec + "' has a malformed port");
+  }
+  base.address = host;
+  base.port = static_cast<std::uint16_t>(value);
+  return base;
+}
+
+HttpServer::HttpServer(ServerConfig config, Handler handler)
+    : config_(std::move(config)), handler_(std::move(handler)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw Error(ErrorKind::io, "http: socket() failed: " +
+                                   std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(ErrorKind::io,
+                "http: bad listen address '" + config_.address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, static_cast<int>(config_.max_queued)) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(ErrorKind::io, "http: cannot listen on " + config_.address +
+                                   ":" + std::to_string(config_.port) + ": " +
+                                   why);
+  }
+  socklen_t len = sizeof(addr);
+  (void)::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+HttpServer::~HttpServer() {
+  stop();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+  }
+}
+
+void HttpServer::start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  stopping_ = false;
+  const std::size_t workers = std::max<std::size_t>(1, config_.workers);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::stop() {
+  if (!running_) {
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  // shutdown() unblocks the accept thread; the workers see stopping_ after
+  // the queue drains.
+  (void)::shutdown(listen_fd_, SHUT_RDWR);
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const int fd : queued_) {
+      ::close(fd);
+    }
+    queued_.clear();
+  }
+  running_ = false;
+}
+
+std::uint64_t HttpServer::requests_served() const noexcept {
+  const std::lock_guard<std::mutex> lock(
+      const_cast<std::mutex&>(mutex_));
+  return served_;
+}
+
+void HttpServer::accept_loop() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) {
+        return;
+      }
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;
+      }
+      return;  // listen socket gone; nothing left to accept
+    }
+    set_socket_timeouts(fd, config_.timeout_ms);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (stopping_) {
+        lock.unlock();
+        ::close(fd);
+        return;
+      }
+      if (queued_.size() >= config_.max_queued) {
+        // Bounded: shed the newest connection instead of queueing without
+        // limit.  The peer sees a reset, which any scraper retries.
+        lock.unlock();
+        ::close(fd);
+        continue;
+      }
+      queued_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void HttpServer::worker_loop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queued_.empty(); });
+      if (queued_.empty()) {
+        return;  // stopping and drained
+      }
+      fd = queued_.front();
+      queued_.pop_front();
+    }
+    serve_connection(fd);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++served_;
+    }
+    ::close(fd);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  // Read until the end of the request head, the size bound, or the timeout.
+  std::string data;
+  char buf[2048];
+  bool timed_out = false;
+  while (data.find("\r\n\r\n") == std::string::npos) {
+    if (data.size() > config_.max_request_bytes) {
+      break;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      timed_out = n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+      break;
+    }
+    data.append(buf, static_cast<std::size_t>(n));
+  }
+
+  Response response;
+  Request request;
+  bool head_only = false;
+  if (data.size() > config_.max_request_bytes) {
+    response = {413, "text/plain; charset=utf-8", "request too large\n"};
+  } else if (data.find("\r\n\r\n") == std::string::npos) {
+    if (data.empty() && !timed_out) {
+      return;  // peer connected and went away; nothing to answer
+    }
+    response = {timed_out ? 408 : 400, "text/plain; charset=utf-8",
+                timed_out ? "request timeout\n" : "malformed request\n"};
+  } else {
+    int status = 200;
+    if (!parse_request(data, request, status)) {
+      response = {status, "text/plain; charset=utf-8",
+                  std::string(status_reason(status)) + "\n"};
+    } else {
+      head_only = request.method == "HEAD";
+      try {
+        response = handler_(request);
+      } catch (const std::exception& e) {
+        response = {500, "text/plain; charset=utf-8",
+                    std::string("internal error: ") + e.what() + "\n"};
+      }
+    }
+  }
+
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    std::string(status_reason(response.status)) +
+                    "\r\nContent-Type: " + response.content_type +
+                    "\r\nContent-Length: " + std::to_string(response.body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  if (!head_only) {
+    out += response.body;
+  }
+  (void)send_all(fd, out.data(), out.size());
+}
+
+Response http_get(const std::string& host, std::uint16_t port,
+                  const std::string& target, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw Error(ErrorKind::io, "http_get: socket() failed");
+  }
+  set_socket_timeouts(fd, timeout_ms);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw Error(ErrorKind::io, "http_get: cannot connect to " + host + ":" +
+                                   std::to_string(port) + ": " + why);
+  }
+  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  if (!send_all(fd, request.data(), request.size())) {
+    ::close(fd);
+    throw Error(ErrorKind::io, "http_get: send failed");
+  }
+  std::string raw;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (raw.rfind("HTTP/1.", 0) != 0 || head_end == std::string::npos) {
+    throw Error(ErrorKind::io, "http_get: malformed response");
+  }
+  Response response;
+  response.status = std::stoi(raw.substr(9, 3));
+  const std::string head = raw.substr(0, head_end);
+  const std::size_t ct = lowercase(head).find("content-type:");
+  if (ct != std::string::npos) {
+    std::size_t value_at = ct + 13;
+    while (value_at < head.size() && head[value_at] == ' ') {
+      ++value_at;
+    }
+    response.content_type =
+        head.substr(value_at, head.find("\r\n", value_at) - value_at);
+  }
+  response.body = raw.substr(head_end + 4);
+  return response;
+}
+
+}  // namespace opendesc::http

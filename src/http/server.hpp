@@ -1,0 +1,124 @@
+// Minimal embedded HTTP/1.1 server for the observability plane.
+//
+// Deliberately tiny and dependency-free (raw POSIX sockets): the point is a
+// scrape endpoint an operator's Prometheus/curl can hit while the engine
+// runs, in the embedded-management style of bmcweb — not a general web
+// framework.  Scope:
+//
+//   * GET/HEAD only, one request per connection (`Connection: close`);
+//   * one blocking accept thread feeding a small fixed worker pool through
+//     a bounded queue — the connection count can never grow unbounded, a
+//     slow peer occupies one worker, and the datapath threads are never
+//     involved in serving;
+//   * per-connection receive/send timeouts (SO_RCVTIMEO/SO_SNDTIMEO), a
+//     bounded request size, and loopback binding by default;
+//   * handlers are plain functions Request -> Response; whatever they
+//     throw becomes a 500 with the Error text.
+//
+// Port 0 binds an ephemeral port; port() reports the bound one, which is
+// what the tests and `--listen 127.0.0.1:0` use.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace opendesc::http {
+
+/// One parsed request.  Only the pieces the observability plane needs:
+/// method, path, decoded query parameters and (lowercased) headers.
+struct Request {
+  std::string method;  ///< "GET" / "HEAD"
+  std::string target;  ///< raw request target, e.g. "/traces?queue=2"
+  std::string path;    ///< target up to '?'
+  std::map<std::string, std::string> query;
+  std::map<std::string, std::string> headers;  ///< keys lowercased
+};
+
+struct Response {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+[[nodiscard]] std::string_view status_reason(int status) noexcept;
+
+struct ServerConfig {
+  std::string address = "127.0.0.1";
+  std::uint16_t port = 0;          ///< 0 = ephemeral; see HttpServer::port()
+  std::size_t workers = 2;         ///< connection-serving threads
+  std::size_t max_queued = 16;     ///< accepted-but-unserved connection bound
+  std::size_t max_request_bytes = 8192;
+  int timeout_ms = 2000;           ///< per-connection recv/send timeout
+};
+
+/// Parses "host:port", ":port" or "port" into a ServerConfig address/port
+/// pair (host defaults to 127.0.0.1).  Throws Error(semantic) on malformed
+/// input.
+[[nodiscard]] ServerConfig parse_listen_address(const std::string& spec,
+                                                ServerConfig base = {});
+
+class HttpServer {
+ public:
+  using Handler = std::function<Response(const Request&)>;
+
+  /// Binds and listens immediately (Error(io) on failure) but serves
+  /// nothing until start().
+  HttpServer(ServerConfig config, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Spawns the accept thread and the worker pool.  Idempotent.
+  void start();
+  /// Closes the listen socket, drains queued connections and joins every
+  /// thread.  Idempotent; also run by the destructor.
+  void stop();
+
+  [[nodiscard]] const std::string& address() const noexcept {
+    return config_.address;
+  }
+  /// The actually-bound port (resolves port 0 to the kernel's choice).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::string url() const {
+    return "http://" + config_.address + ":" + std::to_string(port_);
+  }
+
+  /// Requests served so far (including error responses).
+  [[nodiscard]] std::uint64_t requests_served() const noexcept;
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd);
+
+  ServerConfig config_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> queued_;  ///< accepted fds awaiting a worker
+  bool stopping_ = false;
+  std::uint64_t served_ = 0;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  bool running_ = false;
+};
+
+/// Blocking single-request HTTP/1.1 GET against a local server; used by the
+/// tests and the scrape-latency bench.  Throws Error(io) on connect/t/o.
+[[nodiscard]] Response http_get(const std::string& host, std::uint16_t port,
+                                const std::string& target,
+                                int timeout_ms = 2000);
+
+}  // namespace opendesc::http

@@ -61,15 +61,6 @@ class OffsetAccessor {
   [[nodiscard]] Provided<std::uint64_t> read_provided(
       std::span<const std::uint8_t> record, softnic::SemanticId id) const;
 
-  /// Deprecated compatibility wrapper over read_provided(): the same read
-  /// with the provenance dropped.  Kept one release for pre-Provided
-  /// callers.
-  [[nodiscard]] [[deprecated("use read_provided(); it carries provenance")]]
-  std::optional<std::uint64_t> read_checked(
-      std::span<const std::uint8_t> record, softnic::SemanticId id) const {
-    return read_provided(record, id).to_optional();
-  }
-
  private:
   [[nodiscard]] const AccessorSlot* slot_of(softnic::SemanticId id) const noexcept;
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "sim/nicsim.hpp"
 
@@ -38,6 +39,10 @@ struct EngineConfig {
                                    ///< overridden with the queue index)
   std::size_t quarantine_capacity = 64;  ///< dead letters kept per shard
   telemetry::Sink* telemetry = nullptr;  ///< null = telemetry off
+  /// Non-empty = embed the observability HTTP server ("host:port", ":port"
+  /// or "port"; port 0 binds an ephemeral port).  When no sink is attached
+  /// the engine creates its own so the server always has data to serve.
+  std::string listen;
 
   // Fluent builder surface -- each setter returns *this so configurations
   // compose in one expression.
@@ -80,6 +85,10 @@ struct EngineConfig {
   }
   EngineConfig& with_telemetry(telemetry::Sink* sink) {
     telemetry = sink;
+    return *this;
+  }
+  EngineConfig& with_server(std::string address) {
+    listen = std::move(address);
     return *this;
   }
 };

@@ -81,23 +81,6 @@ class MetadataFacade {
       const PacketContext& pkt, softnic::SemanticId semantic,
       MissReason nic_miss) const;
 
-  /// Deprecated compatibility wrapper (one release): fetch() with the
-  /// provenance collapsed to an optional.
-  [[nodiscard]] [[deprecated("use fetch(); it carries provenance")]]
-  std::optional<std::uint64_t> try_get(
-      const PacketContext& pkt, softnic::SemanticId semantic) const {
-    return fetch(pkt, semantic).to_optional();
-  }
-
-  /// Deprecated compatibility wrapper (one release): fetch() that throws
-  /// Error(semantic) when the value is unavailable — the pre-Provided
-  /// contract.
-  [[nodiscard]] [[deprecated("use fetch(...).value()")]]
-  std::uint64_t get(const PacketContext& pkt,
-                    softnic::SemanticId semantic) const {
-    return fetch(pkt, semantic).value();
-  }
-
   [[nodiscard]] bool hardware_provided(softnic::SemanticId semantic) const noexcept {
     return accessor_.provides(semantic);
   }
@@ -112,12 +95,6 @@ class MetadataFacade {
   /// deltas.  Single-threaded like the facade itself.
   [[nodiscard]] const SemanticPathCounters& path_counters() const noexcept {
     return path_counters_;
-  }
-
-  /// Deprecated compatibility wrapper (one release): total reads served by
-  /// software fallbacks, now derived from path_counters().
-  [[nodiscard]] std::uint64_t fallback_calls() const noexcept {
-    return path_counters_.total().softnic_shim;
   }
 
  private:

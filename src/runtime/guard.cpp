@@ -179,6 +179,15 @@ ProgramReport program_with_verify(sim::ProgrammableNic& nic,
     backoff *= policy.backoff_multiplier;
   }
   publish_attempts();
+  if (sink != nullptr) {
+    telemetry::FlightIncident incident;
+    incident.cause = telemetry::FlightCause::ctrl_retry_exhausted;
+    incident.detail = static_cast<std::uint8_t>(
+        policy.max_attempts > 0xFF ? 0xFF : policy.max_attempts);
+    incident.layout_id = std::string(expect_path_id);
+    incident.recent = sink->ctrl_ring().tail(sink->flight().context_events());
+    sink->flight().record(std::move(incident));
+  }
 
   std::string detail;
   for (const std::string& issue : issues) {
@@ -227,12 +236,43 @@ void ValidatingRxLoop::set_telemetry(telemetry::Sink* sink, std::size_t queue) {
   if (sink == nullptr) {
     trace_ring_ = nullptr;
     latency_shard_ = nullptr;
+    stage_shards_.fill(nullptr);
     return;
   }
   // Resolve the single-writer endpoints once; the hot loop then pays one
   // null check per use, never a registry lookup.
   trace_ring_ = &sink->ring(queue);
   latency_shard_ = &sink->batch_latency_shard(queue);
+  // This loop's worker owns the ring/validate/consume stages of its queue;
+  // steer and handoff belong to the dispatch thread.
+  for (const telemetry::Stage stage :
+       {telemetry::Stage::ring, telemetry::Stage::validate,
+        telemetry::Stage::consume}) {
+    stage_shards_[static_cast<std::size_t>(stage)] =
+        &sink->stage_shard(stage, queue);
+  }
+}
+
+void ValidatingRxLoop::flight_capture(telemetry::FlightCause cause,
+                                      std::uint8_t detail,
+                                      std::span<const std::uint8_t> record,
+                                      std::span<const std::uint8_t> frame_head) {
+  if (sink_ == nullptr) {
+    return;
+  }
+  telemetry::FlightIncident incident;
+  incident.cause = cause;
+  incident.queue = queue_;
+  incident.detail = detail;
+  incident.sequence = sequence_;
+  incident.layout_id =
+      guard_.layout().nic_name() + "/" + guard_.layout().path_id();
+  incident.record.assign(record.begin(), record.end());
+  incident.frame_head.assign(frame_head.begin(), frame_head.end());
+  if (trace_ring_ != nullptr) {
+    incident.recent = trace_ring_->tail(sink_->flight().context_events());
+  }
+  sink_->flight().record(std::move(incident));
 }
 
 std::uint64_t ValidatingRxLoop::software_fold(
@@ -294,6 +334,11 @@ void ValidatingRxLoop::recover_lost(const net::Packet& packet,
                                     RxLoopStats& stats, MissReason reason) {
   if (reason == MissReason::completion_lost) {
     trace(telemetry::TraceEventType::completion_lost);
+    const std::size_t head =
+        std::min<std::size_t>(guard_.config().frame_capture_bytes,
+                              packet.data.size());
+    flight_capture(telemetry::FlightCause::completion_lost, 0, {},
+                   std::span<const std::uint8_t>(packet.data).first(head));
   }
   stats.value_checksum ^= software_fold(packet, wanted, stats, reason);
   ++stats.lost_completions;
@@ -301,8 +346,18 @@ void ValidatingRxLoop::recover_lost(const net::Packet& packet,
   ++stats.packets;
 }
 
+void ValidatingRxLoop::validate_events(
+    std::span<const sim::RxEvent> events, std::size_t n,
+    std::vector<RecordVerdict>& verdicts) const {
+  verdicts.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    verdicts[i] = guard_.validate(events[i].record, events[i].frame);
+  }
+}
+
 void ValidatingRxLoop::consume_events(std::span<const sim::RxEvent> events,
                                       std::size_t n,
+                                      std::span<const RecordVerdict> verdicts,
                                       std::deque<net::Packet>& pending,
                                       RxStrategy& strategy,
                                       std::span<const softnic::SemanticId> wanted,
@@ -324,7 +379,7 @@ void ValidatingRxLoop::consume_events(std::span<const sim::RxEvent> events,
     const net::Packet* origin = pending.empty() ? nullptr : &pending.front();
 
     ++sequence_;
-    const RecordVerdict verdict = guard_.validate(ev.record, ev.frame);
+    const RecordVerdict verdict = verdicts[i];
     if (verdict == RecordVerdict::ok) {
       // Happy-path validations aggregate into one event per batch (below):
       // a per-packet ring write would tax the hot path for an event whose
@@ -344,6 +399,9 @@ void ValidatingRxLoop::consume_events(std::span<const sim::RxEvent> events,
       ++stats.quarantined;
       trace(telemetry::TraceEventType::record_quarantined,
             static_cast<std::uint8_t>(verdict));
+      flight_capture(telemetry::FlightCause::record_quarantined,
+                     static_cast<std::uint8_t>(verdict), ev.record,
+                     ev.frame.first(head));
 
       if (origin != nullptr) {
         stats.value_checksum ^=

@@ -243,12 +243,26 @@ class ValidatingRxLoop {
       const net::Packet& packet, std::span<const softnic::SemanticId> wanted,
       RxLoopStats& stats, MissReason nic_miss);
 
-  /// Validates and consumes `n` polled events, re-aligning against the
-  /// in-flight FIFO (detects dropped completions by frame mismatch).
+  /// Validation pass: verdicts[i] for each of the `n` polled events.
+  /// Pure per-record work (no FIFO interaction), so it is its own
+  /// stage-latency span.
+  void validate_events(std::span<const sim::RxEvent> events, std::size_t n,
+                       std::vector<RecordVerdict>& verdicts) const;
+
+  /// Consume pass over pre-validated events: re-aligns against the
+  /// in-flight FIFO (detects dropped completions by frame mismatch),
+  /// consumes good records through the strategy and recovers the rest.
   void consume_events(std::span<const sim::RxEvent> events, std::size_t n,
+                      std::span<const RecordVerdict> verdicts,
                       std::deque<net::Packet>& pending, RxStrategy& strategy,
                       std::span<const softnic::SemanticId> wanted,
                       RxLoopStats& stats);
+
+  /// Captures one postmortem incident into the sink's flight recorder
+  /// (no-op without a sink).  Fault-path only.
+  void flight_capture(telemetry::FlightCause cause, std::uint8_t detail,
+                      std::span<const std::uint8_t> record,
+                      std::span<const std::uint8_t> frame_head);
 
   /// Recovers one packet whose completion never arrived (or was refused at
   /// rx when `reason` says so).
@@ -265,8 +279,13 @@ class ValidatingRxLoop {
   telemetry::Sink* sink_ = nullptr;
   telemetry::TraceRing* trace_ring_ = nullptr;          ///< sink_->ring(queue_)
   telemetry::Histogram::Shard* latency_shard_ = nullptr;///< per-batch host ns
+  /// Worker-owned stage spans (ring / validate / consume); steer and
+  /// handoff stay null here — they belong to the dispatch thread.
+  std::array<telemetry::Histogram::Shard*, telemetry::kStageCount>
+      stage_shards_{};
   std::uint16_t queue_ = 0;
   std::uint64_t trace_seq_ = 0;
+  std::vector<RecordVerdict> verdicts_;  ///< per-batch scratch (no realloc)
 };
 
 template <typename Nic>
@@ -295,19 +314,62 @@ RxLoopStats ValidatingRxLoop::run_stream(
   RxLoopStats stats;
   std::vector<sim::RxEvent> events(config.batch);
   std::deque<net::Packet> pending;  ///< accepted, completion not yet seen
+  std::vector<net::Packet> burst;   ///< popped from the source, pre-rx
+  std::vector<net::Packet> rejected;  ///< rx() refused, recover in software
+  burst.reserve(config.batch);
+  rejected.reserve(config.batch);
+  verdicts_.reserve(config.batch);
 
   // host_ns is charged on the per-thread CPU clock: when several shard
   // workers share fewer cores (or one), preemption by a sibling shard must
-  // not count against this shard's datapath cost.  A consumed batch's
-  // elapsed time also lands in the sink's latency histogram (sink-gated:
-  // one branch when telemetry is off).
-  const auto timed = [&](auto&& body) {
+  // not count against this shard's datapath cost.  Each span also lands in
+  // the sink's per-stage latency histogram (sink-gated: one branch when
+  // telemetry is off), and a consumed batch's validate+consume total in
+  // the batch-latency histogram.
+  const auto span = [&](telemetry::Stage stage, auto&& body) -> double {
     const double start = thread_cpu_now_ns();
     body();
     const double elapsed = thread_cpu_now_ns() - start;
     stats.host_ns += elapsed;
-    if (latency_shard_ != nullptr && elapsed > 0.0) {
-      latency_shard_->observe(static_cast<std::uint64_t>(elapsed));
+    auto* shard = stage_shards_[static_cast<std::size_t>(stage)];
+    if (shard != nullptr && elapsed > 0.0) {
+      shard->observe(static_cast<std::uint64_t>(elapsed));
+    }
+    return elapsed;
+  };
+  // The ring stage (rx feed + completion poll) is simulated-device work:
+  // it is spanned for the stage histogram but never charged to host_ns,
+  // and costs zero clock reads when telemetry is off.
+  auto* const ring_shard =
+      stage_shards_[static_cast<std::size_t>(telemetry::Stage::ring)];
+  const auto ring_span = [&](auto&& body) {
+    if (ring_shard == nullptr) {
+      body();
+      return;
+    }
+    const double start = thread_cpu_now_ns();
+    body();
+    const double elapsed = thread_cpu_now_ns() - start;
+    if (elapsed > 0.0) {
+      ring_shard->observe(static_cast<std::uint64_t>(elapsed));
+    }
+  };
+  const auto consume_batch = [&](std::size_t n) {
+    double batch_ns = 0.0;
+    batch_ns += span(telemetry::Stage::validate,
+                     [&] { validate_events(events, n, verdicts_); });
+    batch_ns += span(telemetry::Stage::consume, [&] {
+      consume_events(events, n, verdicts_, pending, strategy, wanted, stats);
+      for (const net::Packet& pkt : rejected) {
+        // Backpressure or device refusal: degrade gracefully — the packet's
+        // semantics still get delivered, from software.
+        recover_lost(pkt, wanted, stats, MissReason::rx_rejected);
+        --stats.lost_completions;  // rejected, not lost: recounted above
+      }
+      rejected.clear();
+    });
+    if (latency_shard_ != nullptr && batch_ns > 0.0) {
+      latency_shard_->observe(static_cast<std::uint64_t>(batch_ns));
     }
   };
 
@@ -316,34 +378,36 @@ RxLoopStats ValidatingRxLoop::run_stream(
 
   bool open = true;
   while (open) {
-    std::size_t burst = 0;
-    for (; burst < config.batch; ++burst) {
+    // Pop the burst before touching the device: source() may block (e.g. on
+    // an SPSC handoff ring), and waiting must not pollute the ring span.
+    burst.clear();
+    while (burst.size() < config.batch) {
       std::optional<net::Packet> next = source();
       if (!next) {
         open = false;
         break;
       }
-      net::Packet pkt = std::move(*next);
-      if (nic.rx(pkt)) {
-        pending.push_back(std::move(pkt));
-      } else {
-        // Backpressure or device refusal: degrade gracefully — the packet's
-        // semantics still get delivered, from software.
-        ++stats.drops;
-        ++stats.rx_rejected;
-        trace(telemetry::TraceEventType::rx_rejected);
-        timed([&] {
-          recover_lost(pkt, wanted, stats, MissReason::rx_rejected);
-        });
-        --stats.lost_completions;  // rejected, not lost: recounted below
-      }
+      burst.push_back(std::move(*next));
     }
-    if (burst == 0) {
+    if (burst.empty()) {
       break;  // stream ended exactly on a batch boundary
     }
 
-    const std::size_t n = nic.poll(events);
-    timed([&] { consume_events(events, n, pending, strategy, wanted, stats); });
+    std::size_t n = 0;
+    ring_span([&] {
+      for (net::Packet& pkt : burst) {
+        if (nic.rx(pkt)) {
+          pending.push_back(std::move(pkt));
+        } else {
+          ++stats.drops;
+          ++stats.rx_rejected;
+          trace(telemetry::TraceEventType::rx_rejected);
+          rejected.push_back(std::move(pkt));
+        }
+      }
+      n = nic.poll(events);
+    });
+    consume_batch(n);
     nic.advance(n);
     observe(stats);
   }
@@ -351,17 +415,18 @@ RxLoopStats ValidatingRxLoop::run_stream(
   // Drain.  Delayed doorbells surface completions only after further polls;
   // keep polling while the device reports work in flight.
   while (nic.pending() > 0) {
-    const std::size_t n = nic.poll(events);
+    std::size_t n = 0;
+    ring_span([&] { n = nic.poll(events); });
     if (n == 0) {
       continue;  // doorbell delay: the next poll advances the clock
     }
-    timed([&] { consume_events(events, n, pending, strategy, wanted, stats); });
+    consume_batch(n);
     nic.advance(n);
     observe(stats);
   }
 
   // Whatever is still unmatched was accepted by rx() but never completed.
-  timed([&] {
+  span(telemetry::Stage::consume, [&] {
     for (const net::Packet& pkt : pending) {
       recover_lost(pkt, wanted, stats);
     }

@@ -9,9 +9,9 @@
 // be produced at all (unavailable) — and, for the latter two, why the NIC
 // path missed.
 //
-// Migration: OffsetAccessor::read_checked and MetadataFacade::get/try_get
-// remain as thin compatibility wrappers for one release; new code should
-// call read_provided / fetch.
+// Migration note: the pre-Provided wrappers (OffsetAccessor::read_checked,
+// MetadataFacade::get/try_get) lived one release as deprecated shims and
+// are now removed; read_provided / fetch are the only spellings.
 #pragma once
 
 #include <array>

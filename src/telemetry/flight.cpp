@@ -1,0 +1,106 @@
+#include "telemetry/flight.hpp"
+
+#include <sstream>
+
+#include "telemetry/exporter.hpp"
+
+namespace opendesc::telemetry {
+
+std::string_view to_string(FlightCause cause) noexcept {
+  switch (cause) {
+    case FlightCause::record_quarantined:
+      return "record_quarantined";
+    case FlightCause::completion_lost:
+      return "completion_lost";
+    case FlightCause::ctrl_retry_exhausted:
+      return "ctrl_retry_exhausted";
+  }
+  return "?";
+}
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::uint8_t b : bytes) {
+    out += kDigits[b >> 4];
+    out += kDigits[b & 0xF];
+  }
+  return out;
+}
+
+void FlightRecorder::record(FlightIncident incident) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  ++by_cause_[static_cast<std::size_t>(incident.cause)];
+  incidents_.push_back(std::move(incident));
+  while (incidents_.size() > capacity_) {
+    incidents_.pop_front();
+  }
+}
+
+std::vector<FlightIncident> FlightRecorder::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {incidents_.begin(), incidents_.end()};
+}
+
+std::uint64_t FlightRecorder::total() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::uint64_t FlightRecorder::count(FlightCause cause) const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return by_cause_[static_cast<std::size_t>(cause)];
+}
+
+void FlightRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  incidents_.clear();
+  total_ = 0;
+  by_cause_.fill(0);
+}
+
+std::string FlightRecorder::to_json() const {
+  // Snapshot under the lock, render outside it.
+  std::vector<FlightIncident> incidents;
+  std::uint64_t total = 0;
+  std::array<std::uint64_t, kFlightCauseCount> by_cause{};
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    incidents.assign(incidents_.begin(), incidents_.end());
+    total = total_;
+    by_cause = by_cause_;
+  }
+
+  std::ostringstream out;
+  out << "{\"total\":" << total << ",\"retained\":" << incidents.size()
+      << ",\"capacity\":" << capacity_ << ",\"counts\":{";
+  for (std::size_t c = 0; c < kFlightCauseCount; ++c) {
+    out << (c == 0 ? "" : ",") << '"'
+        << to_string(static_cast<FlightCause>(c)) << "\":" << by_cause[c];
+  }
+  out << "},\"incidents\":[";
+  for (std::size_t i = 0; i < incidents.size(); ++i) {
+    const FlightIncident& incident = incidents[i];
+    out << (i == 0 ? "" : ",") << "{\"cause\":\""
+        << to_string(incident.cause) << "\",\"queue\":" << incident.queue
+        << ",\"detail\":" << static_cast<unsigned>(incident.detail)
+        << ",\"sequence\":" << incident.sequence << ",\"layout\":\""
+        << escape_json(incident.layout_id) << "\",\"record\":\""
+        << to_hex(incident.record) << "\",\"frame_head\":\""
+        << to_hex(incident.frame_head) << "\",\"recent\":[";
+    for (std::size_t e = 0; e < incident.recent.size(); ++e) {
+      const TraceEvent& event = incident.recent[e];
+      out << (e == 0 ? "" : ",") << "{\"seq\":" << event.sequence
+          << ",\"type\":\"" << to_string(event.type) << "\",\"detail\":"
+          << static_cast<unsigned>(event.detail)
+          << ",\"queue\":" << event.queue << ",\"arg\":" << event.arg << '}';
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace opendesc::telemetry

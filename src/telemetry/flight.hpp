@@ -1,0 +1,107 @@
+// Fault flight recorder: bounded postmortem capture of datapath incidents.
+//
+// Counters tell the operator *that* faults happened and the trace ring
+// *when*; the flight recorder keeps the evidence.  On the three
+// unrecoverable-surprise paths — a quarantined record, a lost completion,
+// control-programming retry exhaustion — the faulting thread snapshots
+// everything a postmortem needs into one bounded buffer:
+//
+//   * the offending record bytes verbatim (and the frame head when the
+//     record never arrived),
+//   * the active CompiledLayout identity (nic/path) the record was
+//     validated against,
+//   * the last-N events of the thread's own trace ring — the ordered
+//     context leading up to the incident,
+//   * per-cause counters that survive eviction.
+//
+// The buffer keeps the newest `capacity` incidents; older ones are evicted
+// (and stay counted), so a fault storm can never grow memory.  Incidents
+// are rare by construction — every capture sits on a fault path, never the
+// per-packet hot path — so a plain mutex is the right tool: concurrent
+// writers (engine workers on different queues) and concurrent readers (the
+// HTTP /flight endpoint, --flight-out) serialize here without touching the
+// datapath's lock-free machinery.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/trace.hpp"
+
+namespace opendesc::telemetry {
+
+/// Why an incident was captured.
+enum class FlightCause : std::uint8_t {
+  record_quarantined,     ///< validation failed; detail = RecordVerdict
+  completion_lost,        ///< rx() accepted, completion never arrived
+  ctrl_retry_exhausted,   ///< programming failed verification; detail = attempts
+};
+
+inline constexpr std::size_t kFlightCauseCount = 3;
+
+[[nodiscard]] std::string_view to_string(FlightCause cause) noexcept;
+
+/// One captured incident.
+struct FlightIncident {
+  FlightCause cause = FlightCause::record_quarantined;
+  std::uint16_t queue = 0;     ///< originating queue (0 for control plane)
+  std::uint8_t detail = 0;     ///< cause-specific (verdict, attempts)
+  std::uint64_t sequence = 0;  ///< loop-delivery index at capture
+  std::string layout_id;       ///< active CompiledLayout ("nic/path")
+  std::vector<std::uint8_t> record;      ///< offending record bytes, verbatim
+  std::vector<std::uint8_t> frame_head;  ///< first frame bytes (when known)
+  std::vector<TraceEvent> recent;        ///< ring tail at capture, oldest first
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 32,
+                          std::size_t context_events = 16)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        context_events_(context_events) {}
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Captures one incident (newest kept, oldest evicted).  Fault-path only.
+  void record(FlightIncident incident);
+
+  /// Trace-ring context window captured per incident.
+  [[nodiscard]] std::size_t context_events() const noexcept {
+    return context_events_;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Incidents currently retained, oldest first.
+  [[nodiscard]] std::vector<FlightIncident> snapshot() const;
+  /// Incidents ever captured (including evicted ones).
+  [[nodiscard]] std::uint64_t total() const noexcept;
+  [[nodiscard]] std::uint64_t count(FlightCause cause) const noexcept;
+
+  void clear();
+
+  /// The whole recorder as a JSON document (the /flight payload and the
+  /// --flight-out file format): counts per cause plus every retained
+  /// incident with hex-encoded bytes.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t context_events_;
+  mutable std::mutex mutex_;
+  std::deque<FlightIncident> incidents_;
+  std::uint64_t total_ = 0;
+  std::array<std::uint64_t, kFlightCauseCount> by_cause_{};
+};
+
+/// Lower-case hex of a byte span ("deadbeef"), the JSON encoding of record
+/// and frame bytes.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> bytes);
+
+}  // namespace opendesc::telemetry

@@ -42,6 +42,15 @@ HistogramData& HistogramData::operator+=(const HistogramData& other) noexcept {
   return *this;
 }
 
+HistogramData& HistogramData::operator-=(const HistogramData& other) noexcept {
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] -= other.buckets[i];
+  }
+  count -= other.count;
+  sum -= other.sum;
+  return *this;
+}
+
 std::uint64_t HistogramData::quantile_upper_bound(double q) const noexcept {
   if (count == 0) {
     return 0;

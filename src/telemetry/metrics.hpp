@@ -99,6 +99,9 @@ struct HistogramData {
   std::uint64_t sum = 0;
 
   HistogramData& operator+=(const HistogramData& other) noexcept;
+  /// Element-wise difference; `other` must be a prefix of this history
+  /// (same shards, observed earlier), as when diffing before/after a run.
+  HistogramData& operator-=(const HistogramData& other) noexcept;
 
   /// Upper bound of the smallest bucket at which the cumulative count
   /// reaches q * count (0 when empty) — a conservative quantile estimate.

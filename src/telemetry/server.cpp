@@ -1,0 +1,112 @@
+#include "telemetry/server.hpp"
+
+#include <sstream>
+
+#include "telemetry/exporter.hpp"
+
+namespace opendesc::telemetry {
+
+std::string trace_ring_json(const TraceRing& ring, std::string_view name) {
+  const std::vector<TraceEvent> events = ring.snapshot();
+  std::ostringstream out;
+  out << "{\"ring\":\"" << escape_json(name)
+      << "\",\"recorded\":" << ring.recorded()
+      << ",\"dropped\":" << ring.dropped() << ",\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    out << (i == 0 ? "" : ",") << "{\"seq\":" << event.sequence
+        << ",\"type\":\"" << to_string(event.type) << "\",\"detail\":"
+        << static_cast<unsigned>(event.detail) << ",\"queue\":" << event.queue
+        << ",\"arg\":" << event.arg << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+ObservabilityServer::ObservabilityServer(Sink& sink, http::ServerConfig config)
+    : sink_(&sink),
+      server_(std::move(config),
+              [this](const http::Request& request) { return handle(request); }) {}
+
+http::Response ObservabilityServer::handle(const http::Request& request) {
+  http::Response response;
+  if (request.path == "/metrics") {
+    sink_->publish_trace_counters();
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = to_prometheus(sink_->registry());
+  } else if (request.path == "/metrics.json") {
+    sink_->publish_trace_counters();
+    response.content_type = "application/json";
+    response.body = to_json(sink_->registry());
+  } else if (request.path == "/healthz") {
+    response.body = "ok\n";
+  } else if (request.path == "/readyz") {
+    const bool ready = !ready_ || ready_();
+    response.status = ready ? 200 : 503;
+    response.body = ready ? "ready\n" : "not ready\n";
+  } else if (request.path == "/traces") {
+    response = traces(request);
+  } else if (request.path == "/flight") {
+    response.content_type = "application/json";
+    response.body = sink_->flight().to_json();
+  } else {
+    response.status = 404;
+    response.body = "not found\n";
+  }
+  return response;
+}
+
+http::Response ObservabilityServer::traces(const http::Request& request) {
+  http::Response response;
+  response.content_type = "application/json";
+
+  const auto ring_name = [this](std::size_t index) -> std::string {
+    if (index < sink_->queues()) {
+      return "queue" + std::to_string(index);
+    }
+    return index == sink_->queues() ? "dispatch" : "ctrl";
+  };
+
+  const auto it = request.query.find("queue");
+  if (it == request.query.end()) {
+    std::ostringstream out;
+    out << "{\"rings\":[";
+    const std::vector<TraceRing>& rings = sink_->rings();
+    for (std::size_t i = 0; i < rings.size(); ++i) {
+      out << (i == 0 ? "" : ",") << trace_ring_json(rings[i], ring_name(i));
+    }
+    out << "]}";
+    response.body = out.str();
+    return response;
+  }
+
+  const std::string& which = it->second;
+  if (which == "dispatch") {
+    response.body = trace_ring_json(sink_->dispatch_ring(), "dispatch");
+    return response;
+  }
+  if (which == "ctrl") {
+    response.body = trace_ring_json(sink_->ctrl_ring(), "ctrl");
+    return response;
+  }
+  std::size_t queue = 0;
+  try {
+    queue = static_cast<std::size_t>(std::stoul(which));
+  } catch (const std::exception&) {
+    response.status = 400;
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = "bad queue parameter: '" + which + "'\n";
+    return response;
+  }
+  if (queue >= sink_->queues()) {
+    response.status = 404;
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = "no such queue: " + which + " (have " +
+                    std::to_string(sink_->queues()) + ")\n";
+    return response;
+  }
+  response.body = trace_ring_json(sink_->ring(queue), ring_name(queue));
+  return response;
+}
+
+}  // namespace opendesc::telemetry

@@ -1,0 +1,76 @@
+// The observability plane: one embedded HTTP server over one telemetry
+// Sink.
+//
+// Routes (GET/HEAD, one request per connection):
+//
+//   /metrics       Prometheus text 0.0.4 exposition of the sink registry
+//   /metrics.json  the same registry as JSON
+//   /healthz       liveness: 200 as long as the server thread serves
+//   /readyz        readiness: 200 only when the injected probe says the
+//                  engine is running and every queue is making progress
+//                  (503 otherwise; no probe = always ready)
+//   /traces        trace-ring snapshots as JSON; ?queue=N picks worker
+//                  ring N, ?queue=dispatch / ?queue=ctrl the special rings,
+//                  no parameter returns every ring
+//   /flight        the fault flight recorder's postmortem buffer as JSON
+//
+// Everything served is read through the sink's lock-free snapshot
+// machinery (seqlock shards, atomic ring slots, the flight recorder's own
+// fault-path mutex), so a scrape — even a slow or hostile one — never
+// blocks a datapath thread.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "http/server.hpp"
+#include "telemetry/sink.hpp"
+
+namespace opendesc::telemetry {
+
+class ObservabilityServer {
+ public:
+  /// Readiness probe: return true when the datapath is live and making
+  /// progress.  Called on a server worker thread, so it must only read
+  /// lock-free state.
+  using ReadyProbe = std::function<bool()>;
+
+  /// Binds immediately (port 0 = ephemeral; Error(io) on failure), serves
+  /// after start().  `sink` must outlive the server.
+  explicit ObservabilityServer(Sink& sink, http::ServerConfig config = {});
+
+  /// Installs (or clears, with nullptr) the /readyz probe.  Not
+  /// synchronized with serving — install before start().
+  void set_ready_probe(ReadyProbe probe) { ready_ = std::move(probe); }
+
+  void start() { server_.start(); }
+  void stop() { server_.stop(); }
+
+  [[nodiscard]] const std::string& address() const noexcept {
+    return server_.address();
+  }
+  [[nodiscard]] std::uint16_t port() const noexcept { return server_.port(); }
+  [[nodiscard]] std::string url() const { return server_.url(); }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return server_.requests_served();
+  }
+
+  /// The route table, exposed directly so tests can exercise routing
+  /// without sockets.
+  [[nodiscard]] http::Response handle(const http::Request& request);
+
+ private:
+  [[nodiscard]] http::Response traces(const http::Request& request);
+
+  Sink* sink_;
+  ReadyProbe ready_;
+  http::HttpServer server_;
+};
+
+/// One trace-ring snapshot as a JSON object ({"ring":name,"recorded":...,
+/// "dropped":...,"events":[...]}) — the /traces building block, also used
+/// by the CLI's trace dump.
+[[nodiscard]] std::string trace_ring_json(const TraceRing& ring,
+                                          std::string_view name);
+
+}  // namespace opendesc::telemetry

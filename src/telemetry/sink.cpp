@@ -5,8 +5,25 @@
 
 namespace opendesc::telemetry {
 
+std::string_view to_string(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::steer:
+      return "steer";
+    case Stage::ring:
+      return "ring";
+    case Stage::validate:
+      return "validate";
+    case Stage::consume:
+      return "consume";
+    case Stage::handoff:
+      return "handoff";
+  }
+  return "?";
+}
+
 Sink::Sink(SinkConfig config)
-    : queues_(std::max<std::size_t>(1, config.queues)) {
+    : queues_(std::max<std::size_t>(1, config.queues)),
+      flight_(config.flight_capacity, config.flight_context) {
   rings_.reserve(queues_ + 2);
   for (std::size_t i = 0; i < queues_ + 2; ++i) {
     rings_.emplace_back(config.trace_capacity);
@@ -14,6 +31,15 @@ Sink::Sink(SinkConfig config)
   batch_latency_ = &registry_.histogram(
       "opendesc_batch_latency_ns",
       "Host CPU nanoseconds spent consuming one rx batch", {}, queues_);
+  // One extra shard beyond the workers for the dispatch thread, which owns
+  // the steer and handoff stages.
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    const auto stage = static_cast<Stage>(s);
+    stage_latency_[s] = &registry_.histogram(
+        "opendesc_stage_latency_ns",
+        "Host CPU nanoseconds one rx batch spent in each pipeline stage",
+        {{"stage", std::string(to_string(stage))}}, queues_ + 1);
+  }
 }
 
 void Sink::publish_trace_counters() {
@@ -43,6 +69,14 @@ void Sink::publish_trace_counters() {
       .counter("opendesc_trace_dropped_total",
                "Trace events overwritten by ring wrap (history lost)")
       .store(dropped);
+  for (std::size_t c = 0; c < kFlightCauseCount; ++c) {
+    const auto cause = static_cast<FlightCause>(c);
+    registry_
+        .counter("opendesc_flight_incidents_total",
+                 "Flight-recorder incidents captured, by cause",
+                 {{"cause", std::string(to_string(cause))}})
+        .store(flight_.count(cause));
+  }
 }
 
 }  // namespace opendesc::telemetry

@@ -8,17 +8,36 @@
 // Sink* anywhere in the stack means "telemetry off" and costs one branch.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "telemetry/flight.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
 namespace opendesc::telemetry {
 
+/// Datapath pipeline stages instrumented with per-batch latency spans.
+/// steer and handoff are dispatch-thread work; ring, validate and consume
+/// happen on the worker driving the queue.
+enum class Stage : std::uint8_t {
+  steer,     ///< dispatch: classify a burst to destination queues
+  ring,      ///< worker: feed rx, poll completions, advance the sim ring
+  validate,  ///< worker: schema/bounds validation of polled records
+  consume,   ///< worker: accessor reads or SoftNIC shim per record
+  handoff,   ///< dispatch: SPSC push of a classified burst to its worker
+};
+
+inline constexpr std::size_t kStageCount = 5;
+
+[[nodiscard]] std::string_view to_string(Stage stage) noexcept;
+
 struct SinkConfig {
   std::size_t queues = 1;          ///< worker rings / histogram shards
   std::size_t trace_capacity = 4096;  ///< per-ring retained events
+  std::size_t flight_capacity = 32;   ///< retained flight incidents
+  std::size_t flight_context = 16;    ///< trace events captured per incident
 };
 
 class Sink {
@@ -56,6 +75,23 @@ class Sink {
     return *batch_latency_;
   }
 
+  /// Per-stage per-batch latency shard.  Shards [0..queues) belong to the
+  /// worker threads; shard `queues` belongs to the dispatch thread (which
+  /// owns the steer and handoff stages).
+  [[nodiscard]] Histogram::Shard& stage_shard(Stage stage, std::size_t shard) {
+    return stage_latency_[static_cast<std::size_t>(stage)]->shard(shard);
+  }
+  [[nodiscard]] std::size_t dispatch_shard() const noexcept { return queues_; }
+  [[nodiscard]] const Histogram& stage_latency(Stage stage) const noexcept {
+    return *stage_latency_[static_cast<std::size_t>(stage)];
+  }
+
+  /// Bounded postmortem buffer; fault paths record(), /flight reads.
+  [[nodiscard]] FlightRecorder& flight() noexcept { return flight_; }
+  [[nodiscard]] const FlightRecorder& flight() const noexcept {
+    return flight_;
+  }
+
   /// Rolls every ring's per-type totals and drop counts into the registry
   /// (opendesc_trace_events_total{event=...}, opendesc_trace_dropped_total).
   /// Idempotent — totals are stored, not added — so call it whenever the
@@ -67,6 +103,8 @@ class Sink {
   Registry registry_;
   std::vector<TraceRing> rings_;  ///< [0..queues) workers, +0 dispatch, +1 ctrl
   Histogram* batch_latency_;      ///< owned by registry_
+  std::array<Histogram*, kStageCount> stage_latency_{};  ///< owned by registry_
+  FlightRecorder flight_;
 };
 
 }  // namespace opendesc::telemetry

@@ -1,5 +1,7 @@
 #include "telemetry/trace.hpp"
 
+#include <algorithm>
+
 namespace opendesc::telemetry {
 
 std::string_view to_string(TraceEventType type) noexcept {
@@ -29,14 +31,47 @@ std::string_view to_string(TraceEventType type) noexcept {
 }
 
 std::vector<TraceEvent> TraceRing::snapshot() const {
+  // Lock-free window copy.  The acquire load of the completion cursor makes
+  // every slot below it visible; after the copy, the started-write cursor
+  // bounds what the writer may have begun overwriting meanwhile: a write to
+  // event j reuses the slot of event j - capacity, so every copied index
+  // below writing - capacity is untrustworthy and discarded.  The acquire
+  // slot loads pair with record()'s release slot stores: if the copy
+  // observed any word of an in-progress write, the started-write cursor
+  // load below (ordered after the acquires) observes its advance.  A
+  // quiesced writer (writing == end) costs nothing — the full window stays.
+  const std::uint64_t end = recorded_.load(std::memory_order_acquire);
+  const std::uint64_t base = base_.load(std::memory_order_acquire);
+  const std::uint64_t retained =
+      std::min<std::uint64_t>(end - base, buffer_.size());
+  const std::uint64_t first = end - retained;
+
   std::vector<TraceEvent> out;
-  const std::size_t n = size();
-  out.reserve(n);
-  const std::uint64_t first = recorded_ - n;
-  for (std::uint64_t i = first; i < recorded_; ++i) {
-    out.push_back(buffer_[static_cast<std::size_t>(i % buffer_.size())]);
+  out.reserve(static_cast<std::size_t>(retained));
+  for (std::uint64_t i = first; i < end; ++i) {
+    const Slot& slot = buffer_[static_cast<std::size_t>(i) & mask_];
+    out.push_back(unpack(slot.head.load(std::memory_order_acquire),
+                         slot.sequence.load(std::memory_order_acquire)));
+  }
+
+  const std::uint64_t writing = writing_.load(std::memory_order_acquire);
+  const std::uint64_t overwritten_below =
+      writing > buffer_.size() ? writing - buffer_.size() : 0;
+  if (overwritten_below > first) {
+    out.erase(out.begin(),
+              out.begin() + static_cast<std::ptrdiff_t>(std::min<std::uint64_t>(
+                                overwritten_below - first, out.size())));
   }
   return out;
+}
+
+std::vector<TraceEvent> TraceRing::tail(std::size_t n) const {
+  std::vector<TraceEvent> events = snapshot();
+  if (events.size() > n) {
+    events.erase(events.begin(), events.begin() + static_cast<std::ptrdiff_t>(
+                                                      events.size() - n));
+  }
+  return events;
 }
 
 }  // namespace opendesc::telemetry

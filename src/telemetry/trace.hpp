@@ -9,12 +9,19 @@
 // operator exactly how much history was lost.  Per-type totals are kept
 // even for overwritten events.
 //
-// Threading: one writer per ring (the owning datapath thread); readers must
-// wait for the writer to quiesce (workers joined) before draining — the
-// same discipline as DeadLetterBuffer inspection.
+// Threading: one writer per ring (the owning datapath thread); snapshot()
+// may run concurrently from any thread — the live observability plane
+// scrapes /traces while the workers run.  Every slot is a pair of atomic
+// words the writer publishes with a release store of the write cursor;
+// the reader copies its window and then discards whatever the writer
+// overwrote during the copy, so a snapshot never blocks the writer and
+// never returns a torn event.  clear() is the one writer-quiesced
+// operation: it advances the epoch base below which events are invisible
+// (a wrapped buffer never leaks pre-clear events into a later snapshot).
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <string_view>
@@ -57,43 +64,116 @@ class TraceRing {
       : buffer_(std::bit_ceil(capacity == 0 ? std::size_t{1} : capacity)),
         mask_(buffer_.size() - 1) {}
 
+  TraceRing(TraceRing&& other) noexcept
+      : buffer_(std::move(other.buffer_)), mask_(other.mask_) {
+    recorded_.store(other.recorded_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    writing_.store(other.writing_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    base_.store(other.base_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    for (std::size_t t = 0; t < kTraceEventTypeCount; ++t) {
+      by_type_[t].store(other.by_type_[t].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    }
+  }
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
   /// Appends one event; overwrites (and drop-counts) the oldest when full.
+  /// Single writer only.  Protocol: advance the write-start cursor, then
+  /// release-store the slot words, then release-store the completion
+  /// cursor.  The release stores carry the start-cursor advance with them:
+  /// a concurrent snapshot that observed any word of this write (acquire
+  /// loads) is guaranteed to observe the advance too, and discards the
+  /// slot — while a quiesced ring snapshots its full window.
   void record(const TraceEvent& event) noexcept {
-    ++by_type_[static_cast<std::size_t>(event.type)];
-    buffer_[static_cast<std::size_t>(recorded_) & mask_] = event;
-    ++recorded_;
+    const std::size_t t = static_cast<std::size_t>(event.type);
+    by_type_[t].store(by_type_[t].load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+    const std::uint64_t index = recorded_.load(std::memory_order_relaxed);
+    writing_.store(index + 1, std::memory_order_relaxed);
+    Slot& slot = buffer_[static_cast<std::size_t>(index) & mask_];
+    slot.head.store(pack_head(event), std::memory_order_release);
+    slot.sequence.store(event.sequence, std::memory_order_release);
+    recorded_.store(index + 1, std::memory_order_release);
   }
 
   [[nodiscard]] std::size_t capacity() const noexcept { return buffer_.size(); }
   /// Events currently retained (<= capacity).
   [[nodiscard]] std::size_t size() const noexcept {
+    const std::uint64_t since = recorded();
     return static_cast<std::size_t>(
-        recorded_ < buffer_.size() ? recorded_ : buffer_.size());
+        since < buffer_.size() ? since : buffer_.size());
   }
-  /// Total record() calls.
-  [[nodiscard]] std::uint64_t recorded() const noexcept { return recorded_; }
+  /// Total record() calls since construction or the last clear().
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return recorded_.load(std::memory_order_acquire) -
+           base_.load(std::memory_order_acquire);
+  }
   /// Events overwritten by ring wrap (recorded - retained).
   [[nodiscard]] std::uint64_t dropped() const noexcept {
-    return recorded_ - size();
+    return recorded() - size();
   }
   /// Per-type totals, counted even for events later overwritten.
   [[nodiscard]] std::uint64_t count(TraceEventType type) const noexcept {
-    return by_type_[static_cast<std::size_t>(type)];
+    return by_type_[static_cast<std::size_t>(type)].load(
+        std::memory_order_relaxed);
   }
 
-  /// Retained events, oldest first.
+  /// Retained events, oldest first.  Safe against a concurrently recording
+  /// writer: events the writer overwrote mid-copy are discarded, never
+  /// returned torn.
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
 
+  /// The newest `n` retained events (or fewer), oldest first — the context
+  /// window a flight-recorder incident captures.
+  [[nodiscard]] std::vector<TraceEvent> tail(std::size_t n) const;
+
+  /// Forgets all retained events and per-type totals.  The retained window
+  /// is invalidated by advancing the epoch base, not by zeroing storage, so
+  /// a partial refill can never resurface pre-clear events through
+  /// snapshot().  Writer-quiesced operation (like draining).
   void clear() noexcept {
-    recorded_ = 0;
-    by_type_.fill(0);
+    base_.store(recorded_.load(std::memory_order_relaxed),
+                std::memory_order_release);
+    for (std::size_t t = 0; t < kTraceEventTypeCount; ++t) {
+      by_type_[t].store(0, std::memory_order_relaxed);
+    }
   }
 
  private:
-  std::vector<TraceEvent> buffer_;
+  /// Slot storage: one event packed into two atomic words, so concurrent
+  /// snapshot reads are race-free by construction (TSan-clean) without a
+  /// lock anywhere near the writer.
+  struct Slot {
+    std::atomic<std::uint64_t> head{0};  ///< type|detail|queue|arg
+    std::atomic<std::uint64_t> sequence{0};
+  };
+
+  [[nodiscard]] static std::uint64_t pack_head(const TraceEvent& e) noexcept {
+    return static_cast<std::uint64_t>(static_cast<std::uint8_t>(e.type)) |
+           (static_cast<std::uint64_t>(e.detail) << 8) |
+           (static_cast<std::uint64_t>(e.queue) << 16) |
+           (static_cast<std::uint64_t>(e.arg) << 32);
+  }
+  [[nodiscard]] static TraceEvent unpack(std::uint64_t head,
+                                         std::uint64_t sequence) noexcept {
+    TraceEvent e;
+    e.type = static_cast<TraceEventType>(head & 0xFF);
+    e.detail = static_cast<std::uint8_t>((head >> 8) & 0xFF);
+    e.queue = static_cast<std::uint16_t>((head >> 16) & 0xFFFF);
+    e.arg = static_cast<std::uint32_t>(head >> 32);
+    e.sequence = sequence;
+    return e;
+  }
+
+  std::vector<Slot> buffer_;
   std::size_t mask_;
-  std::uint64_t recorded_ = 0;
-  std::array<std::uint64_t, kTraceEventTypeCount> by_type_{};
+  std::atomic<std::uint64_t> recorded_{0};  ///< completed-write cursor
+  std::atomic<std::uint64_t> writing_{0};   ///< started-write cursor
+  std::atomic<std::uint64_t> base_{0};      ///< clear() epoch watermark
+  std::array<std::atomic<std::uint64_t>, kTraceEventTypeCount> by_type_{};
 };
 
 }  // namespace opendesc::telemetry

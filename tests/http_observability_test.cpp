@@ -1,0 +1,340 @@
+// Observability-plane suite: the embedded HTTP server (bind/serve/timeout
+// behaviour over real sockets), the ObservabilityServer route table
+// (exercised socket-free through handle()), and the full integration —
+// a 4-queue faulted engine run scraped live through `--listen`-style
+// configuration, including the fault flight recorder's postmortem dump.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "engine/engine.hpp"
+#include "http/server.hpp"
+#include "net/workload.hpp"
+#include "nic/model.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/server.hpp"
+#include "telemetry/sink.hpp"
+
+namespace opendesc {
+namespace {
+
+using http::http_get;
+using http::HttpServer;
+using http::Request;
+using http::Response;
+using http::ServerConfig;
+using telemetry::ObservabilityServer;
+using telemetry::Sink;
+
+// --- listen-address parsing -------------------------------------------------
+
+TEST(HttpConfig, ParseListenAddressForms) {
+  EXPECT_EQ(http::parse_listen_address("127.0.0.1:9464").port, 9464);
+  EXPECT_EQ(http::parse_listen_address("127.0.0.1:9464").address, "127.0.0.1");
+  EXPECT_EQ(http::parse_listen_address(":8080").address, "127.0.0.1");
+  EXPECT_EQ(http::parse_listen_address(":8080").port, 8080);
+  EXPECT_EQ(http::parse_listen_address("0").port, 0);
+  EXPECT_EQ(http::parse_listen_address("0.0.0.0:0").address, "0.0.0.0");
+  EXPECT_THROW((void)http::parse_listen_address(""), Error);
+  EXPECT_THROW((void)http::parse_listen_address("host:notaport"), Error);
+  EXPECT_THROW((void)http::parse_listen_address("host:70000"), Error);
+}
+
+// --- raw HTTP server --------------------------------------------------------
+
+TEST(HttpServerTest, ServesRequestsOnEphemeralPort) {
+  HttpServer server({}, [](const Request& req) {
+    Response out;
+    out.body = req.method + " " + req.path;
+    return out;
+  });
+  ASSERT_NE(server.port(), 0);  // port 0 resolved at bind time
+  server.start();
+  const Response got = http_get("127.0.0.1", server.port(), "/hello");
+  EXPECT_EQ(got.status, 200);
+  EXPECT_EQ(got.body, "GET /hello");
+  EXPECT_GE(server.requests_served(), 1u);
+  server.stop();
+}
+
+TEST(HttpServerTest, QueryParametersAreDecodedAndPassedThrough) {
+  HttpServer server({}, [](const Request& req) {
+    Response out;
+    const auto it = req.query.find("queue");
+    out.body = it == req.query.end() ? "none" : it->second;
+    return out;
+  });
+  server.start();
+  EXPECT_EQ(http_get("127.0.0.1", server.port(), "/t?queue=3").body, "3");
+  EXPECT_EQ(http_get("127.0.0.1", server.port(), "/t").body, "none");
+}
+
+TEST(HttpServerTest, HandlerExceptionBecomesInternalError) {
+  HttpServer server({}, [](const Request&) -> Response {
+    throw Error(ErrorKind::semantic, "boom");
+  });
+  server.start();
+  const Response got = http_get("127.0.0.1", server.port(), "/");
+  EXPECT_EQ(got.status, 500);
+  EXPECT_NE(got.body.find("boom"), std::string::npos);
+}
+
+TEST(HttpServerTest, StartStopAreIdempotentAndRestartable) {
+  std::atomic<int> calls{0};
+  HttpServer server({}, [&](const Request&) {
+    ++calls;
+    return Response{};
+  });
+  server.start();
+  server.start();  // no-op
+  (void)http_get("127.0.0.1", server.port(), "/");
+  server.stop();
+  server.stop();  // no-op
+  EXPECT_EQ(calls.load(), 1);
+  // After stop, connects must fail rather than hang.
+  EXPECT_THROW((void)http_get("127.0.0.1", server.port(), "/", 500), Error);
+}
+
+// --- ObservabilityServer route table (socket-free) --------------------------
+
+Request get(std::string path_and_query) {
+  Request req;
+  req.method = "GET";
+  req.target = path_and_query;
+  const auto q = path_and_query.find('?');
+  req.path = path_and_query.substr(0, q);
+  if (q != std::string::npos) {
+    const std::string query = path_and_query.substr(q + 1);
+    const auto eq = query.find('=');
+    if (eq != std::string::npos) {
+      req.query.emplace(query.substr(0, eq), query.substr(eq + 1));
+    }
+  }
+  return req;
+}
+
+struct Routes : ::testing::Test {
+  Sink sink{{.queues = 2, .trace_capacity = 32}};
+  ObservabilityServer server{sink};
+};
+
+TEST_F(Routes, MetricsServesPrometheusText) {
+  sink.registry()
+      .counter("opendesc_packets_total", "packets consumed", {})
+      .add(5);
+  const Response got = server.handle(get("/metrics"));
+  EXPECT_EQ(got.status, 200);
+  EXPECT_NE(got.content_type.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(got.body.find("# TYPE opendesc_packets_total counter"),
+            std::string::npos);
+  EXPECT_NE(got.body.find("opendesc_stage_latency_ns"), std::string::npos);
+}
+
+TEST_F(Routes, MetricsJsonServesJson) {
+  const Response got = server.handle(get("/metrics.json"));
+  EXPECT_EQ(got.status, 200);
+  EXPECT_EQ(got.content_type, "application/json");
+  EXPECT_EQ(got.body.front(), '{');
+}
+
+TEST_F(Routes, HealthzAlwaysOkReadyzFollowsProbe) {
+  EXPECT_EQ(server.handle(get("/healthz")).status, 200);
+  // No probe installed: ready by definition.
+  EXPECT_EQ(server.handle(get("/readyz")).status, 200);
+
+  bool ready = false;
+  server.set_ready_probe([&] { return ready; });
+  EXPECT_EQ(server.handle(get("/readyz")).status, 503);
+  ready = true;
+  EXPECT_EQ(server.handle(get("/readyz")).status, 200);
+}
+
+TEST_F(Routes, TracesServesAllRingsAndSelectsByQueue) {
+  sink.ring(0).record({telemetry::TraceEventType::record_validated, 0, 0, 7, 1});
+  sink.ctrl_ring().record({telemetry::TraceEventType::ctrl_retry, 0, 0, 0, 2});
+
+  const Response all = server.handle(get("/traces"));
+  EXPECT_EQ(all.status, 200);
+  // 2 workers + dispatch + ctrl.
+  EXPECT_NE(all.body.find("\"ring\":\"queue0\""), std::string::npos);
+  EXPECT_NE(all.body.find("\"ring\":\"queue1\""), std::string::npos);
+  EXPECT_NE(all.body.find("\"ring\":\"dispatch\""), std::string::npos);
+  EXPECT_NE(all.body.find("\"ring\":\"ctrl\""), std::string::npos);
+
+  const Response one = server.handle(get("/traces?queue=0"));
+  EXPECT_EQ(one.status, 200);
+  EXPECT_NE(one.body.find("record_validated"), std::string::npos);
+  EXPECT_EQ(one.body.find("\"ring\":\"queue1\""), std::string::npos);
+
+  EXPECT_EQ(server.handle(get("/traces?queue=ctrl")).status, 200);
+  EXPECT_EQ(server.handle(get("/traces?queue=dispatch")).status, 200);
+  EXPECT_EQ(server.handle(get("/traces?queue=9")).status, 404);
+  EXPECT_EQ(server.handle(get("/traces?queue=banana")).status, 400);
+}
+
+TEST_F(Routes, FlightServesRecorderDump) {
+  telemetry::FlightIncident incident;
+  incident.cause = telemetry::FlightCause::record_quarantined;
+  incident.queue = 1;
+  incident.layout_id = "ice/p0";
+  incident.record = {0xDE, 0xAD, 0xBE, 0xEF};
+  sink.flight().record(std::move(incident));
+
+  const Response got = server.handle(get("/flight"));
+  EXPECT_EQ(got.status, 200);
+  EXPECT_EQ(got.content_type, "application/json");
+  EXPECT_NE(got.body.find("record_quarantined"), std::string::npos);
+  EXPECT_NE(got.body.find("deadbeef"), std::string::npos);
+  EXPECT_NE(got.body.find("ice/p0"), std::string::npos);
+}
+
+TEST_F(Routes, UnknownPathIs404) {
+  EXPECT_EQ(server.handle(get("/nope")).status, 404);
+  EXPECT_EQ(server.handle(get("/")).status, 404);
+}
+
+// --- flight recorder unit behaviour -----------------------------------------
+
+TEST(FlightRecorder, BoundedEvictionKeepsCountersExact) {
+  telemetry::FlightRecorder recorder(/*capacity=*/2, /*context_events=*/4);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    telemetry::FlightIncident incident;
+    incident.cause = i < 4 ? telemetry::FlightCause::record_quarantined
+                           : telemetry::FlightCause::completion_lost;
+    incident.sequence = i;
+    recorder.record(std::move(incident));
+  }
+  EXPECT_EQ(recorder.total(), 5u);
+  EXPECT_EQ(recorder.count(telemetry::FlightCause::record_quarantined), 4u);
+  EXPECT_EQ(recorder.count(telemetry::FlightCause::completion_lost), 1u);
+  const auto kept = recorder.snapshot();
+  ASSERT_EQ(kept.size(), 2u);  // bounded: only the newest two retained
+  EXPECT_EQ(kept[0].sequence, 3u);
+  EXPECT_EQ(kept[1].sequence, 4u);
+  recorder.clear();
+  EXPECT_EQ(recorder.total(), 0u);
+  EXPECT_TRUE(recorder.snapshot().empty());
+}
+
+TEST(FlightRecorder, ToJsonEscapesAndHexDumps) {
+  telemetry::FlightRecorder recorder(4, 4);
+  telemetry::FlightIncident incident;
+  incident.cause = telemetry::FlightCause::ctrl_retry_exhausted;
+  incident.layout_id = "weird\"name";
+  incident.record = {0x00, 0xFF};
+  recorder.record(std::move(incident));
+  const std::string json = recorder.to_json();
+  EXPECT_NE(json.find("ctrl_retry_exhausted"), std::string::npos);
+  EXPECT_NE(json.find("weird\\\"name"), std::string::npos);
+  EXPECT_NE(json.find("00ff"), std::string::npos);
+  EXPECT_EQ(telemetry::to_hex(std::vector<std::uint8_t>{0xAB, 0x01}), "ab01");
+}
+
+// --- full integration: faulted 4-queue engine scraped live ------------------
+
+struct LiveEngine : ::testing::Test {
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs{registry};
+  core::Compiler compiler{registry, costs};
+  softnic::ComputeEngine compute{registry};
+  core::CompileResult result{compiler.compile(
+      nic::NicCatalog::by_name("ice").p4_source(),
+      R"(header i_t {
+          @semantic("rss")     bit<32> h;
+          @semantic("vlan")    bit<16> v;
+          @semantic("pkt_len") bit<16> l;
+      })",
+      {})};
+
+  [[nodiscard]] std::vector<net::Packet> trace(std::size_t n) const {
+    net::WorkloadConfig config;
+    config.seed = 42;
+    config.vlan_probability = 0.4;
+    config.udp_fraction = 0.5;
+    config.min_frame = 96;
+    net::WorkloadGenerator gen(config);
+    return gen.batch(n);
+  }
+};
+
+TEST_F(LiveEngine, ServesEveryEndpointDuringAndAfterAFaultedRun) {
+  Sink sink({.queues = 4, .trace_capacity = 256});
+  rt::EngineConfig config = rt::EngineConfig{}
+                                .with_queues(4)
+                                .with_guard(true)
+                                .with_fault_rate(0.01, 2026)
+                                .with_telemetry(&sink)
+                                .with_server("127.0.0.1:0");
+  engine::MultiQueueEngine engine(result, compute, config);
+  ASSERT_NE(engine.server(), nullptr);
+  const std::uint16_t port = engine.server()->port();
+  ASSERT_NE(port, 0);
+
+  // Before the first run: alive but not ready.
+  EXPECT_EQ(http_get("127.0.0.1", port, "/healthz").status, 200);
+  EXPECT_EQ(http_get("127.0.0.1", port, "/readyz").status, 503);
+
+  const engine::EngineReport report = engine.run(trace(6000));
+  EXPECT_GT(report.total.quarantined + report.total.lost_completions, 0u)
+      << "fault run produced no faults; flight assertions would be vacuous";
+
+  // After a completed run the probe reports ready.
+  EXPECT_EQ(http_get("127.0.0.1", port, "/readyz").status, 200);
+
+  const Response metrics = http_get("127.0.0.1", port, "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("opendesc_rx_packets_total"), std::string::npos);
+  EXPECT_NE(metrics.body.find("opendesc_stage_latency_ns_bucket"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("opendesc_flight_incidents_total"),
+            std::string::npos);
+
+  EXPECT_EQ(http_get("127.0.0.1", port, "/metrics.json").status, 200);
+  const Response traces = http_get("127.0.0.1", port, "/traces?queue=0");
+  EXPECT_EQ(traces.status, 200);
+
+  // The flight dump must carry the actual quarantined record bytes.
+  const Response flight = http_get("127.0.0.1", port, "/flight");
+  EXPECT_EQ(flight.status, 200);
+  if (report.total.quarantined > 0) {
+    EXPECT_NE(flight.body.find("record_quarantined"), std::string::npos);
+    EXPECT_NE(flight.body.find("\"record\":\""), std::string::npos);
+  }
+  const auto incidents = sink.flight().snapshot();
+  ASSERT_FALSE(incidents.empty());
+  bool found_record_bytes = false;
+  for (const auto& incident : incidents) {
+    if (incident.cause == telemetry::FlightCause::record_quarantined &&
+        !incident.record.empty()) {
+      found_record_bytes = true;
+      EXPECT_NE(flight.body.find(telemetry::to_hex(incident.record)),
+                std::string::npos);
+    }
+  }
+  if (report.total.quarantined > 0) {
+    EXPECT_TRUE(found_record_bytes);
+  }
+
+  // Stage-latency accounting made it into the report: every stage saw
+  // batches, and the validate stage saw at least one batch per queue.
+  ASSERT_EQ(report.stage_latency.size(), telemetry::kStageCount);
+  for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
+    EXPECT_GT(report.stage_latency[s].count, 0u)
+        << telemetry::to_string(static_cast<telemetry::Stage>(s));
+  }
+}
+
+TEST_F(LiveEngine, EngineWithoutListenHasNoServer) {
+  engine::MultiQueueEngine engine(result, compute,
+                                  rt::EngineConfig{}.with_queues(2));
+  EXPECT_EQ(engine.server(), nullptr);
+  const engine::EngineReport report = engine.run(trace(500));
+  EXPECT_EQ(report.total.packets, 500u);
+  EXPECT_TRUE(report.stage_latency.empty());  // no sink, no spans
+}
+
+}  // namespace
+}  // namespace opendesc

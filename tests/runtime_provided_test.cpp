@@ -188,24 +188,23 @@ TEST(FacadeProvenance, FetchSoftwareSkipsTheAccessor) {
       1u);
 }
 
-// This test exercises the one-release compatibility wrappers on purpose.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(FacadeProvenance, DeprecatedWrappersStillWork) {
+// The one-release compatibility wrappers (get/try_get/read_checked) are
+// gone; fetch()/read_provided() express the same reads with provenance.
+TEST(FacadeProvenance, FetchCoversTheRemovedWrapperContracts) {
   Compiled c;
   rt::MetadataFacade facade(c.result, c.engine);
   net::WorkloadGenerator gen({});
   const net::Packet pkt = gen.next();
   const rt::PacketContext ctx({}, pkt.bytes());
 
-  // try_get collapses to optional; get throws the pre-Provided Error on an
-  // unavailable value.  The record is empty, so NIC-path semantics fall
-  // back to software.
-  EXPECT_EQ(facade.try_get(ctx, SemanticId::pkt_len),
+  // What try_get collapsed to an optional and get threw on, fetch reports
+  // explicitly.  The record is empty, so NIC-path semantics fall back to
+  // software.
+  EXPECT_EQ(facade.fetch(ctx, SemanticId::pkt_len).to_optional(),
             std::optional<std::uint64_t>(pkt.bytes().size()));
-  EXPECT_EQ(facade.get(ctx, SemanticId::pkt_len), pkt.bytes().size());
+  EXPECT_EQ(facade.fetch(ctx, SemanticId::pkt_len).value(),
+            pkt.bytes().size());
 }
-#pragma GCC diagnostic pop
 
 // --- EngineConfig builder -------------------------------------------------
 

@@ -428,4 +428,144 @@ TEST(TelemetryExporter, WriteMetricsFilePicksFormatByExtension) {
   EXPECT_THROW(write_metrics_file(reg, "/nonexistent-dir/x.prom"), Error);
 }
 
+// --- trace-ring concurrency and the clear() epoch fix ---------------------
+
+// Regression: clear() used to reset the cursor but leave stale events in
+// the buffer, so a *partial* refill could resurface pre-clear events
+// through snapshot().  The epoch-base fix makes them unreachable.
+TEST(TelemetryTrace, PartialRefillAfterClearNeverResurfacesOldEvents) {
+  TraceRing ring(8);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ring.record({TraceEventType::record_validated, 0, 0, 111, i});
+  }
+  ring.clear();
+  // Refill only part of the ring with distinguishable events.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ring.record({TraceEventType::ctrl_retry, 0, 0, 222, 100 + i});
+  }
+  const std::vector<TraceEvent> events = ring.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  for (const TraceEvent& event : events) {
+    EXPECT_EQ(event.type, TraceEventType::ctrl_retry);
+    EXPECT_EQ(event.arg, 222u);
+    EXPECT_GE(event.sequence, 100u);
+  }
+  EXPECT_EQ(ring.recorded(), 3u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(TelemetryTrace, TailReturnsNewestWindow) {
+  TraceRing ring(16);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.record({TraceEventType::record_validated, 0, 0, 0, i});
+  }
+  const std::vector<TraceEvent> tail = ring.tail(4);
+  ASSERT_EQ(tail.size(), 4u);
+  EXPECT_EQ(tail.front().sequence, 6u);
+  EXPECT_EQ(tail.back().sequence, 9u);
+  EXPECT_EQ(ring.tail(100).size(), 10u);
+  EXPECT_TRUE(ring.tail(0).empty());
+}
+
+// Run under the TSan twin too: a writer hammering the ring while readers
+// snapshot.  Every returned event must be well-formed (never torn) and in
+// sequence order.
+TEST(TelemetryTrace, ConcurrentSnapshotNeverReturnsTornEvents) {
+  TraceRing ring(64);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t seq = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      // arg mirrors sequence so a torn slot (head from one event, sequence
+      // from another) is detectable.
+      ring.record({TraceEventType::record_validated, 7, 3,
+                   static_cast<std::uint32_t>(seq & 0xFFFFFFFF), seq});
+      ++seq;
+    }
+  });
+  for (int round = 0; round < 200; ++round) {
+    const std::vector<TraceEvent> events = ring.snapshot();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ(events[i].type, TraceEventType::record_validated);
+      EXPECT_EQ(events[i].detail, 7);
+      EXPECT_EQ(events[i].queue, 3);
+      EXPECT_EQ(events[i].arg,
+                static_cast<std::uint32_t>(events[i].sequence & 0xFFFFFFFF));
+      if (i > 0) {
+        EXPECT_EQ(events[i].sequence, events[i - 1].sequence + 1);
+      }
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+// --- label-value escaping through the full exposition ---------------------
+
+TEST(TelemetryExporter, PrometheusEscapesHostileLabelValuesInScrape) {
+  Registry reg;
+  reg.counter("odx_hostile_total", "hostile labels",
+              {{"path", "back\\slash"}}).add(1);
+  reg.counter("odx_hostile_total", "hostile labels",
+              {{"path", "quote\"inside"}}).add(2);
+  reg.counter("odx_hostile_total", "hostile labels",
+              {{"path", "two\nlines"}}).add(3);
+  const std::string text = to_prometheus(reg);
+  EXPECT_NE(text.find("path=\"back\\\\slash\""), std::string::npos);
+  EXPECT_NE(text.find("path=\"quote\\\"inside\""), std::string::npos);
+  EXPECT_NE(text.find("path=\"two\\nlines\""), std::string::npos);
+  // The raw (unescaped) forms must not appear anywhere in the scrape.
+  EXPECT_EQ(text.find("two\nlines"), std::string::npos);
+  EXPECT_EQ(text.find("quote\"inside"), std::string::npos);
+  // Exactly one line per series carries each value.
+  EXPECT_NE(text.find("} 3"), std::string::npos);
+}
+
+TEST(TelemetryExporter, JsonEscapesHostileLabelValues) {
+  Registry reg;
+  reg.counter("odx_hostile_total", "hostile labels",
+              {{"path", "a\"b\\c\nd"}}).add(1);
+  const std::string text = to_json(reg);
+  EXPECT_NE(text.find("a\\\"b\\\\c\\nd"), std::string::npos);
+  EXPECT_EQ(text.find('\n'), std::string::npos);
+}
+
+// --- stage-latency histograms in the sink ---------------------------------
+
+TEST(TelemetrySink, StageHistogramsHaveDispatchShard) {
+  Sink sink({.queues = 2});
+  // Workers own shards [0, queues); the dispatch thread owns one more.
+  EXPECT_EQ(sink.dispatch_shard(), 2u);
+  sink.stage_shard(Stage::validate, 0).observe(100);
+  sink.stage_shard(Stage::validate, 1).observe(200);
+  sink.stage_shard(Stage::steer, sink.dispatch_shard()).observe(50);
+  EXPECT_EQ(sink.stage_latency(Stage::validate).snapshot().count, 2u);
+  EXPECT_EQ(sink.stage_latency(Stage::steer).snapshot().count, 1u);
+  EXPECT_EQ(sink.stage_latency(Stage::consume).snapshot().count, 0u);
+
+  // All five stages expose one labelled series of the same family.
+  std::size_t stage_series = 0;
+  for (const Registry::Family& family : sink.registry().families()) {
+    if (family.name == "opendesc_stage_latency_ns") {
+      stage_series = family.series.size();
+      EXPECT_EQ(family.kind, MetricKind::histogram);
+    }
+  }
+  EXPECT_EQ(stage_series, kStageCount);
+}
+
+TEST(TelemetryHistogram, DataSubtractionInvertsAddition) {
+  HistogramData base;
+  Histogram h(1);
+  h.shard(0).observe(10);
+  h.shard(0).observe(1000);
+  base = h.snapshot();
+  h.shard(0).observe(77);
+  HistogramData delta = h.snapshot();
+  delta -= base;
+  EXPECT_EQ(delta.count, 1u);
+  EXPECT_EQ(delta.sum, 77u);
+  EXPECT_EQ(delta.buckets[histogram_bucket(77)], 1u);
+}
+
 }  // namespace

@@ -1,0 +1,62 @@
+#!/bin/sh
+# Live observability pipeline test: boot `opendesc serve` on an ephemeral
+# port, validate the /metrics exposition with scrape_check (grammar, golden
+# schema, per-semantic path invariant) and probe every other endpoint for
+# 200, then tear the server down.
+#
+#   live_scrape_test.sh <opendesc-binary> <scrape_check-binary> <workdir>
+set -u
+
+OPENDESC=$1
+SCRAPE_CHECK=$2
+DIR=$3
+PORT_FILE="$DIR/live_scrape.port"
+LOG="$DIR/live_scrape.log"
+
+mkdir -p "$DIR"
+rm -f "$PORT_FILE"
+"$OPENDESC" serve --nic ice --packets 2000 --queues 4 --fault-rate 0.01 \
+    --fault-seed 7 --guard --listen 127.0.0.1:0 --port-file "$PORT_FILE" \
+    --runs 0 >"$LOG" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null; wait "$SERVER_PID" 2>/dev/null' EXIT
+
+# Wait for the server to publish its kernel-chosen port.
+tries=0
+while [ ! -s "$PORT_FILE" ]; do
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "live_scrape_test: server exited before publishing its port" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "live_scrape_test: server never wrote $PORT_FILE" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+PORT=$(cat "$PORT_FILE")
+BASE="http://127.0.0.1:$PORT"
+
+# The golden-schema families only exist once the first run has published,
+# and /readyz legitimately answers 503 in the instants before every queue
+# lands its first batch — so the whole probe set retries until the engine
+# is warm.
+tries=0
+while :; do
+    if "$SCRAPE_CHECK" "$BASE/metrics" \
+        --probe "$BASE/healthz" --probe "$BASE/readyz" \
+        --probe "$BASE/metrics.json" --probe "$BASE/traces" \
+        --probe "$BASE/traces?queue=0" --probe "$BASE/flight"; then
+        exit 0
+    fi
+    tries=$((tries + 1))
+    if [ "$tries" -ge 30 ]; then
+        echo "live_scrape_test: scrape_check never passed against $BASE" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done

@@ -28,11 +28,20 @@
 //                  [--format prometheus|json]
 //       Same simulation, but prints the telemetry exposition to stdout
 //       instead of the human-readable summary.
+//   opendesc serve --nic <name|file.p4> [simulate options]
+//                  [--listen <host:port>] [--port-file <file>] [--runs <n>]
+//       Live observability: embeds the HTTP scrape server (/metrics,
+//       /metrics.json, /healthz, /readyz, /traces, /flight) and drives
+//       engine runs while it serves — `--runs 0` loops until killed.
+//
+// `simulate` also accepts --listen (serve this one run live), and
+// --flight-out writes the fault flight recorder's postmortem JSON.
 //
 // Every value flag accepts both "--flag value" and "--flag=value".
 // NIC arguments name either a catalog entry (e.g. "mlx5") or a path to a
 // standalone P4 interface description.
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <type_traits>
@@ -41,6 +50,7 @@
 #include <optional>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "common/error.hpp"
 #include "core/compiler.hpp"
@@ -52,6 +62,7 @@
 #include "nic/model.hpp"
 #include "runtime/guard.hpp"
 #include "telemetry/exporter.hpp"
+#include "telemetry/server.hpp"
 #include "telemetry/sink.hpp"
 
 namespace {
@@ -72,9 +83,13 @@ int usage() {
       "                    [--packets <n>] [--fault-rate <p>]\n"
       "                    [--fault-seed <n>] [--guard]\n"
       "                    [--queues <n>] [--batch <n>]\n"
-      "                    [--metrics-out <file>]\n"
+      "                    [--metrics-out <file>] [--flight-out <file>]\n"
+      "                    [--listen <host:port>]\n"
       "  opendesc stats --nic <name|file.p4> [simulate options]\n"
       "                 [--format prometheus|json]\n"
+      "  opendesc serve --nic <name|file.p4> [simulate options]\n"
+      "                 [--listen <host:port>] [--port-file <file>]\n"
+      "                 [--runs <n>]   (0 = loop until killed)\n"
       "(value flags also accept --flag=value)\n";
   return 2;
 }
@@ -120,6 +135,12 @@ struct Args {
   // telemetry options
   std::string metrics_out;  ///< write the run's scrape here (simulate/stats)
   std::string format;       ///< stats stdout format: prometheus (default)|json
+
+  // observability-plane options
+  std::string listen;      ///< host:port to serve scrapes on while running
+  std::string flight_out;  ///< write the flight recorder JSON here
+  std::string port_file;   ///< write the bound port here (for scripts)
+  std::size_t runs = 1;    ///< serve: engine runs to drive (0 = forever)
 };
 
 // std::sto* throw on malformed input; reject with a message instead of
@@ -205,6 +226,22 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.metrics_out = v;
+    } else if (arg == "--listen") {
+      const char* v = next();
+      if (!v) return false;
+      args.listen = v;
+    } else if (arg == "--flight-out") {
+      const char* v = next();
+      if (!v) return false;
+      args.flight_out = v;
+    } else if (arg == "--port-file") {
+      const char* v = next();
+      if (!v) return false;
+      args.port_file = v;
+    } else if (arg == "--runs") {
+      const char* v = next();
+      if (!v || !parse_num("--runs", v, [](const char* s) { return std::stoull(s); }, args.runs))
+        return false;
     } else if (arg == "--format") {
       const char* v = next();
       if (!v) return false;
@@ -349,6 +386,28 @@ int cmd_compile(const Args& args) {
   return 0;
 }
 
+/// Per-stage batch-latency table from an engine report (empty without a
+/// telemetry sink).
+void print_stage_table(const rt::EngineReport& report) {
+  if (report.stage_latency.empty()) {
+    return;
+  }
+  std::printf("  per-stage batch latency (ns):\n");
+  std::printf("    %-10s %10s %10s %10s %10s %10s\n", "stage", "batches",
+              "mean", "p50", "p99", "p999");
+  for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
+    const telemetry::HistogramData& data = report.stage_latency[s];
+    std::printf(
+        "    %-10s %10llu %10.0f %10llu %10llu %10llu\n",
+        std::string(telemetry::to_string(static_cast<telemetry::Stage>(s)))
+            .c_str(),
+        static_cast<unsigned long long>(data.count), data.mean(),
+        static_cast<unsigned long long>(data.quantile_upper_bound(0.5)),
+        static_cast<unsigned long long>(data.quantile_upper_bound(0.99)),
+        static_cast<unsigned long long>(data.quantile_upper_bound(0.999)));
+  }
+}
+
 /// One simulation run, optionally instrumented.  When `sink` is non-null the
 /// compiler publishes its search gauges and the datapath (either engine
 /// branch) fills the registry; callers then expose it however they like
@@ -376,21 +435,58 @@ int run_simulation(const Args& args, telemetry::Sink* sink, bool print_human) {
       compiler.compile(nic_source, intent_source, compile_options);
   softnic::ComputeEngine engine(registry);
 
-  if (args.queues > 1) {
+  // The engine branch also serves any run that wants the live observability
+  // plane: --listen embeds the HTTP server regardless of queue count.
+  if (args.queues > 1 || !args.listen.empty()) {
     const rt::EngineConfig engine_config = rt::EngineConfig{}
                                                .with_queues(args.queues)
                                                .with_batch(args.batch)
                                                .with_guard(args.guard)
                                                .with_fault_rate(args.fault_rate,
                                                                 args.fault_seed)
-                                               .with_telemetry(sink);
+                                               .with_telemetry(sink)
+                                               .with_server(args.listen);
     rt::MultiQueueEngine mq(result, engine, engine_config);
+
+    if (mq.server() != nullptr) {
+      if (!args.port_file.empty()) {
+        std::ofstream port_out(args.port_file);
+        if (!port_out) {
+          throw Error(ErrorKind::io,
+                      "cannot write port file '" + args.port_file + "'");
+        }
+        port_out << mq.server()->port() << "\n";
+      }
+      if (print_human) {
+        std::printf("observability server listening on %s\n",
+                    mq.server()->url().c_str());
+      }
+    }
 
     net::WorkloadConfig workload;
     workload.seed = args.fault_seed;
     workload.vlan_probability = 0.5;
-    net::WorkloadGenerator gen(workload);
-    const rt::EngineReport report = mq.run(gen, args.packets);
+    rt::EngineReport report;
+    for (std::size_t run = 0; args.runs == 0 || run < args.runs; ++run) {
+      net::WorkloadGenerator gen(workload);
+      report = mq.run(gen, args.packets);
+      if (args.runs != 1) {
+        if (print_human) {
+          std::printf("run %zu: %llu packets, %llu quarantined, %llu "
+                      "softnic-recovered, checksum %#llx\n",
+                      run + 1,
+                      static_cast<unsigned long long>(report.total.packets),
+                      static_cast<unsigned long long>(report.total.quarantined),
+                      static_cast<unsigned long long>(
+                          report.total.softnic_recovered),
+                      static_cast<unsigned long long>(
+                          report.total.value_checksum));
+        }
+        // Breathe between runs so a long-lived serve loop doesn't peg the
+        // machine: the server stays responsive throughout.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
 
     if (!print_human) {
       return 0;
@@ -419,6 +515,7 @@ int run_simulation(const Args& args, telemetry::Sink* sink, bool print_human) {
                 report.total.ns_per_packet());
     std::printf("  %-26s %#12llx\n", "value checksum",
                 static_cast<unsigned long long>(report.total.value_checksum));
+    print_stage_table(report);
     if (args.fault_rate > 0.0) {
       std::printf("  injected faults: composite rate %g, per-queue seeds "
                   "derived from %llu; quarantined %llu, softnic-recovered "
@@ -538,17 +635,37 @@ std::unique_ptr<telemetry::Sink> make_sink(const Args& args) {
 
 int cmd_simulate(const Args& args) {
   std::unique_ptr<telemetry::Sink> sink;
-  if (!args.metrics_out.empty()) {
+  if (!args.metrics_out.empty() || !args.flight_out.empty() ||
+      !args.listen.empty()) {
     sink = make_sink(args);
   }
   const int rc = run_simulation(args, sink.get(), /*print_human=*/!args.quiet);
-  if (rc == 0 && sink) {
+  if (rc == 0 && sink && !args.metrics_out.empty()) {
     telemetry::write_metrics_file(sink->registry(), args.metrics_out);
     if (!args.quiet) {
       std::printf("wrote metrics scrape to %s\n", args.metrics_out.c_str());
     }
   }
+  if (rc == 0 && sink && !args.flight_out.empty()) {
+    std::ofstream out(args.flight_out);
+    if (!out) {
+      throw Error(ErrorKind::io,
+                  "cannot write flight dump '" + args.flight_out + "'");
+    }
+    out << sink->flight().to_json() << "\n";
+    if (!args.quiet) {
+      std::printf("wrote flight recorder dump to %s\n",
+                  args.flight_out.c_str());
+    }
+  }
   return rc;
+}
+
+int cmd_serve(Args args) {
+  if (args.listen.empty()) {
+    args.listen = "127.0.0.1:9464";
+  }
+  return cmd_simulate(args);
 }
 
 int cmd_stats(const Args& args) {
@@ -596,6 +713,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "stats") {
       return cmd_stats(args);
+    }
+    if (args.command == "serve") {
+      return cmd_serve(args);
     }
     return usage();
   } catch (const Error& e) {

@@ -1,10 +1,14 @@
 // scrape_check — golden-schema validator for `opendesc simulate
-// --metrics-out` scrapes.
+// --metrics-out` scrapes and live `--listen` endpoints.
 //
-// Deliberately standalone (no opendesc libraries): it checks the exposition
-// the way an external scraper would, from the text alone.
+// Deliberately standalone (no opendesc libraries, raw POSIX sockets for the
+// live mode): it checks the exposition the way an external scraper would,
+// from the text alone.
 //
-//   scrape_check <scrape.prom>
+//   scrape_check <scrape.prom>                     # file mode
+//   scrape_check http://127.0.0.1:9464/metrics     # live scrape mode
+//   scrape_check ... --probe http://HOST:PORT/healthz   # extra endpoints
+//                                                       # that must be 200
 //
 // Validates, in order:
 //   1. grammar   — every line is a HELP/TYPE comment or a sample
@@ -28,6 +32,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <map>
@@ -36,6 +41,11 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 namespace {
 
@@ -395,6 +405,7 @@ void check_schema(Checker& chk) {
       {"opendesc_offered_packets_total", "counter"},
       {"opendesc_semantic_reads_total", "counter"},
       {"opendesc_batch_latency_ns", "histogram"},
+      {"opendesc_stage_latency_ns", "histogram"},
       {"opendesc_trace_events_total", "counter"},
       {"opendesc_trace_recorded_total", "counter"},
       {"opendesc_trace_dropped_total", "counter"},
@@ -458,20 +469,193 @@ void check_path_invariant(Checker& chk) {
   }
 }
 
+// --- live mode: a minimal one-shot HTTP/1.0-style GET -----------------------
+
+struct FetchResult {
+  int status = 0;
+  std::string body;
+};
+
+/// GETs an `http://host:port/path` URL.  IPv4 dotted-quad hosts only (the
+/// observability server binds loopback); no redirects, no chunked decoding
+/// (the server always sends Content-Length and closes).
+std::optional<FetchResult> http_fetch(const std::string& url,
+                                      std::string& error) {
+  const std::string scheme = "http://";
+  if (url.compare(0, scheme.size(), scheme) != 0) {
+    error = "only http:// URLs are supported";
+    return std::nullopt;
+  }
+  const std::size_t host_at = scheme.size();
+  const std::size_t path_at = url.find('/', host_at);
+  const std::string hostport =
+      url.substr(host_at, (path_at == std::string::npos ? url.size() : path_at) -
+                              host_at);
+  const std::string path =
+      path_at == std::string::npos ? "/" : url.substr(path_at);
+  const std::size_t colon = hostport.rfind(':');
+  if (colon == std::string::npos) {
+    error = "URL must carry an explicit port (http://host:port/path)";
+    return std::nullopt;
+  }
+  const std::string host = hostport.substr(0, colon);
+  int port = 0;
+  try {
+    port = std::stoi(hostport.substr(colon + 1));
+  } catch (const std::exception&) {
+    port = 0;
+  }
+  if (port <= 0 || port > 65535) {
+    error = "bad port in URL '" + url + "'";
+    return std::nullopt;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return std::nullopt;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    error = "unparseable IPv4 host '" + host + "'";
+    return std::nullopt;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    error = "connect " + hostport + ": " + std::strerror(errno);
+    return std::nullopt;
+  }
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + hostport +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      error = std::string("send: ") + std::strerror(errno);
+      return std::nullopt;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n < 0) {
+      ::close(fd);
+      error = std::string("recv: ") + std::strerror(errno);
+      return std::nullopt;
+    }
+    if (n == 0) {
+      break;
+    }
+    raw.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    error = "malformed HTTP response (no header terminator)";
+    return std::nullopt;
+  }
+  FetchResult result;
+  // Status line: "HTTP/1.1 200 OK".
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) {
+    error = "malformed HTTP status line";
+    return std::nullopt;
+  }
+  try {
+    result.status = std::stoi(raw.substr(sp + 1, 3));
+  } catch (const std::exception&) {
+    error = "malformed HTTP status code";
+    return std::nullopt;
+  }
+  result.body = raw.substr(header_end + 4);
+  return result;
+}
+
+bool is_url(const std::string& arg) {
+  return arg.compare(0, 7, "http://") == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: scrape_check <scrape.prom>\n");
-    return 2;
+  std::string source;
+  std::vector<std::string> probes;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--probe") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "scrape_check: --probe needs a URL\n");
+        return 2;
+      }
+      probes.emplace_back(argv[++i]);
+    } else if (source.empty()) {
+      source = arg;
+    } else {
+      std::fprintf(stderr, "scrape_check: unexpected argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
   }
-  std::ifstream in(argv[1]);
-  if (!in) {
-    std::fprintf(stderr, "scrape_check: cannot open '%s'\n", argv[1]);
+  if (source.empty()) {
+    std::fprintf(stderr,
+                 "usage: scrape_check <scrape.prom | http://host:port/metrics> "
+                 "[--probe http://host:port/path]...\n");
     return 2;
   }
 
+  // Liveness/readiness probes: each must answer 200.
+  bool probe_failed = false;
+  for (const std::string& probe : probes) {
+    std::string error;
+    const auto got = http_fetch(probe, error);
+    if (!got) {
+      std::fprintf(stderr, "scrape_check: probe %s: %s\n", probe.c_str(),
+                   error.c_str());
+      probe_failed = true;
+    } else if (got->status != 200) {
+      std::fprintf(stderr, "scrape_check: probe %s: HTTP %d, expected 200\n",
+                   probe.c_str(), got->status);
+      probe_failed = true;
+    } else {
+      std::printf("probe OK: %s\n", probe.c_str());
+    }
+  }
+
+  std::string text;
+  if (is_url(source)) {
+    std::string error;
+    const auto got = http_fetch(source, error);
+    if (!got) {
+      std::fprintf(stderr, "scrape_check: %s: %s\n", source.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    if (got->status != 200) {
+      std::fprintf(stderr, "scrape_check: %s: HTTP %d\n", source.c_str(),
+                   got->status);
+      return 2;
+    }
+    text = got->body;
+  } else {
+    std::ifstream in(source);
+    if (!in) {
+      std::fprintf(stderr, "scrape_check: cannot open '%s'\n", source.c_str());
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+
   Checker chk;
+  std::istringstream in(text);
   std::string line;
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
@@ -484,7 +668,7 @@ int main(int argc, char** argv) {
   check_schema(chk);
   check_path_invariant(chk);
 
-  if (!chk.errors.empty()) {
+  if (!chk.errors.empty() || probe_failed) {
     for (const std::string& error : chk.errors) {
       std::fprintf(stderr, "scrape_check: %s\n", error.c_str());
     }
