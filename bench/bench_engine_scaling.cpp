@@ -178,6 +178,66 @@ void scrape_latency_section(Setup& setup, double ns_plain) {
   std::printf("wrote BENCH_scrape_latency.json\n");
 }
 
+/// Health-plane tax: per-packet host cost of the full monitor (background
+/// sampler on a fast tick + two live SLO rules) vs the same sink-attached
+/// engine with the monitor off.  host_ns is per-thread CPU time of the
+/// datapath workers, so what this measures is the cost the sampler imposes
+/// *on the datapath* — seqlock publication traffic, shared-line contention —
+/// not the sampler thread's own cycles.  Interleaved min-of-reps, same
+/// methodology as measure_overhead().  Bar: < 3%.
+void health_overhead_section(Setup& setup) {
+  constexpr std::size_t kReps = 10;
+  const char* const kRules =
+      "drop_share: rate(opendesc_rx_quarantined_total[1s]) / "
+      "rate(opendesc_rx_packets_total[1s]) > 0.5\n"
+      "goodput_floor: rate(opendesc_rx_packets_total[1s]) < 1\n";
+  telemetry::Sink sink_off({.queues = 4});
+  telemetry::Sink sink_on({.queues = 4});
+  engine::MultiQueueEngine off(
+      setup.result, *setup.compute,
+      rt::EngineConfig{}.with_queues(4).with_telemetry(&sink_off));
+  engine::MultiQueueEngine on(setup.result, *setup.compute,
+                              rt::EngineConfig{}
+                                  .with_queues(4)
+                                  .with_telemetry(&sink_on)
+                                  .with_monitor(true)
+                                  .with_sample_interval(5)
+                                  .with_health_rules(kRules));
+  (void)off.run(setup.trace);  // warm-up, discarded
+  (void)on.run(setup.trace);
+  double ns_off = 0.0;
+  double ns_on = 0.0;
+  for (std::size_t r = 0; r < kReps; ++r) {
+    const double a = off.run(setup.trace).total.ns_per_packet();
+    const double b = on.run(setup.trace).total.ns_per_packet();
+    ns_off = r == 0 ? a : std::min(ns_off, a);
+    ns_on = r == 0 ? b : std::min(ns_on, b);
+  }
+  const double overhead_percent =
+      ns_off > 0.0 ? 100.0 * (ns_on - ns_off) / ns_off : 0.0;
+  std::printf("\nhealth-plane tax at 4 queues: %.1f ns/pkt sampler off, %.1f "
+              "with 5ms sampler + %zu rules (%.2f%% overhead; bar < 3%%), "
+              "%llu sampler ticks, %llu rule evaluations\n",
+              ns_off, ns_on,
+              on.health() != nullptr ? on.health()->rules() : std::size_t{0},
+              overhead_percent,
+              static_cast<unsigned long long>(on.monitor_ticks()),
+              static_cast<unsigned long long>(
+                  on.health() != nullptr ? on.health()->evaluations() : 0));
+
+  std::ofstream json("BENCH_health_overhead.json");
+  json << "{\"bench\":\"health_overhead\",\"queues\":4,\"reps\":" << kReps
+       << ",\"sample_interval_ms\":5,\"rules\":"
+       << (on.health() != nullptr ? on.health()->rules() : 0)
+       << ",\"sampler_ticks\":" << on.monitor_ticks()
+       << ",\"rule_evaluations\":"
+       << (on.health() != nullptr ? on.health()->evaluations() : 0)
+       << ",\"ns_per_packet_monitor_off\":" << ns_off
+       << ",\"ns_per_packet_monitor_on\":" << ns_on
+       << ",\"overhead_percent\":" << overhead_percent << "}\n";
+  std::printf("wrote BENCH_health_overhead.json\n");
+}
+
 void print_table() {
   constexpr std::size_t kPackets = 40000;
   Setup setup(kPackets);
@@ -243,6 +303,7 @@ void print_table() {
   std::printf("wrote BENCH_engine_scaling.json\n");
 
   scrape_latency_section(setup, ns_plain);
+  health_overhead_section(setup);
 
   std::printf("\nShape check: critical-path throughput scales with queue "
               "count (target >= 2.5x at\n4 queues; achieved %.2fx) because "

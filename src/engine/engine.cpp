@@ -82,21 +82,57 @@ MultiQueueEngine::MultiQueueEngine(const core::CompileResult& result,
 
   run_start_epochs_ =
       std::make_unique<std::atomic<std::uint64_t>[]>(config_.queues);
-  if (!config_.listen.empty()) {
-    // The embedded server needs a sink to serve; create an engine-owned one
-    // when the caller did not attach their own.
+
+  const bool monitor =
+      config_.sample_interval_ms > 0 &&
+      (config_.monitor || !config_.listen.empty() ||
+       !config_.health_rules.empty());
+  if (!config_.listen.empty() || monitor) {
+    // The embedded server and the health monitor both need a sink; create
+    // an engine-owned one when the caller did not attach their own.
     if (config_.telemetry == nullptr) {
       telemetry::SinkConfig sink_config;
       sink_config.queues = config_.queues;
       owned_sink_ = std::make_unique<telemetry::Sink>(sink_config);
       config_.telemetry = owned_sink_.get();
     }
+  }
+  if (monitor) {
+    telemetry::TimeSeriesConfig ts_config;
+    ts_config.tick_seconds =
+        static_cast<double>(config_.sample_interval_ms) / 1000.0;
+    ts_config.capacity = std::max<std::size_t>(2, config_.timeseries_capacity);
+    store_ = std::make_unique<telemetry::TimeSeriesStore>(ts_config);
+    live_ = std::make_unique<LivePublisher>(*config_.telemetry, stats_);
+    if (!config_.health_rules.empty()) {
+      health_ = std::make_unique<telemetry::HealthEngine>(
+          telemetry::parse_health_rules(config_.health_rules), *store_,
+          config_.telemetry);
+    }
+  }
+  if (!config_.listen.empty()) {
     server_ = std::make_unique<telemetry::ObservabilityServer>(
         *config_.telemetry, http::parse_listen_address(config_.listen));
     server_->set_ready_probe([this] { return ready(); });
+    server_->set_timeseries(store_.get());
+    server_->set_health(health_.get());
     server_->start();
   }
+  if (monitor) {
+    sampler_ = std::make_unique<telemetry::Sampler>(
+        [this] {
+          live_->tick();
+          store_->sample(config_.telemetry->registry());
+          if (health_ != nullptr) {
+            health_->evaluate();
+          }
+        },
+        std::chrono::milliseconds(config_.sample_interval_ms));
+    sampler_->start();
+  }
 }
+
+MultiQueueEngine::~MultiQueueEngine() = default;
 
 bool MultiQueueEngine::ready() const noexcept {
   if (!running_.load(std::memory_order_acquire)) {
@@ -151,6 +187,16 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
     }
   }
 
+  if (live_ != nullptr) {
+    // New run, fresh loops: zero the shard snapshots first (the engine
+    // thread is the owner until the workers spawn), then rebase the live
+    // publisher, so a sampler tick landing in this window publishes zero
+    // deltas instead of re-adding the previous run's stale totals.
+    for (std::size_t q = 0; q < queues; ++q) {
+      stats_.publish(q, rt::RxLoopStats{});
+    }
+    live_->begin_run();
+  }
   for (std::size_t q = 0; q < queues; ++q) {
     run_start_epochs_[q].store(stats_.epoch(q), std::memory_order_relaxed);
   }
@@ -322,7 +368,13 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
       delta -= stage_before[s];
       report.stage_latency[s] = delta;
     }
-    publish_report(*sink, report, compute_->registry());
+    if (live_ != nullptr) {
+      // Square the live counters up to the exact report totals; the
+      // publish below then skips the rx families to avoid double counting.
+      live_->finish_run(report);
+    }
+    publish_report(*sink, report, compute_->registry(),
+                   /*rx_published_live=*/live_ != nullptr);
   }
   runs_done_.fetch_add(1, std::memory_order_release);
   return report;

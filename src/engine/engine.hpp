@@ -37,9 +37,13 @@
 #include "runtime/provided.hpp"
 #include "sim/faults.hpp"
 #include "sim/nicsim.hpp"
+#include "telemetry/health.hpp"
 #include "telemetry/server.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace opendesc::engine {
+
+class LivePublisher;  // publish.hpp; engine.cpp owns the definition
 
 // The engine is configured with the unified rt::EngineConfig (see
 // runtime/engine_config.hpp); the old engine::EngineConfig spelling keeps
@@ -89,6 +93,7 @@ class MultiQueueEngine {
   MultiQueueEngine(const core::CompileResult& result,
                    const softnic::ComputeEngine& compute,
                    EngineConfig config = {});
+  ~MultiQueueEngine();
 
   /// Steers and consumes an already-materialized trace (packets copied in;
   /// the caller's buffer is untouched).
@@ -125,6 +130,20 @@ class MultiQueueEngine {
   /// engine-owned sink created to back an embedded server.
   [[nodiscard]] telemetry::Sink* sink() noexcept { return config_.telemetry; }
 
+  /// The health monitor's windowed time-series store (null unless the
+  /// monitor is active: a server, health rules, or with_monitor(true)).
+  [[nodiscard]] const telemetry::TimeSeriesStore* timeseries() const noexcept {
+    return store_.get();
+  }
+  /// The SLO rule engine (null unless health rules were configured).
+  [[nodiscard]] const telemetry::HealthEngine* health() const noexcept {
+    return health_.get();
+  }
+  /// Sampler ticks completed so far (0 when the monitor is off).
+  [[nodiscard]] std::uint64_t monitor_ticks() const noexcept {
+    return sampler_ != nullptr ? sampler_->ticks() : 0;
+  }
+
  private:
   template <typename NextFn>
   EngineReport run_impl(NextFn&& next);
@@ -141,8 +160,16 @@ class MultiQueueEngine {
   std::vector<std::unique_ptr<rt::OpenDescStrategy>> strategies_;  ///< per queue
   std::vector<softnic::SemanticId> wanted_;
 
+  // Health-monitor plane.  Declaration order is load-bearing for teardown:
+  // the sampler (last member) stops first, then the server (whose routes
+  // read the store and rule engine), then the monitor state, then the
+  // owned sink everything records into.
   std::unique_ptr<telemetry::Sink> owned_sink_;  ///< backs an embedded server
+  std::unique_ptr<telemetry::TimeSeriesStore> store_;
+  std::unique_ptr<LivePublisher> live_;      ///< in-run counter publication
+  std::unique_ptr<telemetry::HealthEngine> health_;
   std::unique_ptr<telemetry::ObservabilityServer> server_;
+  std::unique_ptr<telemetry::Sampler> sampler_;
   std::atomic<bool> running_{false};        ///< a run is in flight
   std::atomic<std::uint64_t> runs_done_{0};
   /// stats_ epochs at the current run's start.  Atomic elements: a probe

@@ -81,8 +81,11 @@ void publish_semantic_paths(telemetry::Sink& sink,
 }
 
 void publish_report(telemetry::Sink& sink, const EngineReport& report,
-                    const softnic::SemanticRegistry& registry) {
-  publish_rx_stats(sink, report);
+                    const softnic::SemanticRegistry& registry,
+                    bool rx_published_live) {
+  if (!rx_published_live) {
+    publish_rx_stats(sink, report);
+  }
   publish_semantic_paths(sink, report.semantic_paths, registry);
 
   telemetry::Registry& reg = sink.registry();
@@ -101,6 +104,105 @@ void publish_report(telemetry::Sink& sink, const EngineReport& report,
       .set(report.wall_packets_per_second());
 
   sink.publish_trace_counters();
+}
+
+LivePublisher::LivePublisher(telemetry::Sink& sink, const StatsRegistry& stats)
+    : stats_(&stats) {
+  // Resolve every per-queue series once here — registration is idempotent
+  // (same names/help/labels as publish_rx_stats), and the tick path must
+  // never take the registry's registration lock.
+  telemetry::Registry& reg = sink.registry();
+  counters_.reserve(stats.shards());
+  for (std::size_t q = 0; q < stats.shards(); ++q) {
+    const telemetry::Labels labels{{"queue", std::to_string(q)}};
+    QueueCounters c;
+    c.packets = &reg.counter(
+        "opendesc_rx_packets_total",
+        "Packets whose semantics were delivered (either path)", labels);
+    c.hw_consumed =
+        &reg.counter("opendesc_rx_hw_consumed_total",
+                     "Completion records that passed validation", labels);
+    c.quarantined =
+        &reg.counter("opendesc_rx_quarantined_total",
+                     "Malformed completion records dead-lettered", labels);
+    c.softnic_recovered =
+        &reg.counter("opendesc_rx_softnic_recovered_total",
+                     "Packets recovered entirely in software", labels);
+    c.lost_completions = &reg.counter(
+        "opendesc_rx_lost_completions_total",
+        "Packets accepted by rx() whose completion never arrived", labels);
+    c.rx_rejected = &reg.counter(
+        "opendesc_rx_rejected_total",
+        "Packets the device refused at rx (backpressure)", labels);
+    c.unrecoverable_values = &reg.counter(
+        "opendesc_rx_unrecoverable_values_total",
+        "Wanted semantics with no software equivalent (w(s)=inf)", labels);
+    c.drops = &reg.counter("opendesc_rx_drops_total",
+                           "Packets dropped device-side", labels);
+    c.offered = &reg.counter(
+        "opendesc_offered_packets_total",
+        "Packets steered to this queue by the RSS dispatch thread", labels);
+    c.host_ns = &reg.gauge(
+        "opendesc_rx_host_ns",
+        "Host-side CPU nanoseconds this queue's worker spent consuming",
+        labels);
+    counters_.push_back(c);
+  }
+  last_.assign(stats.shards(), rt::RxLoopStats{});
+}
+
+void LivePublisher::add_delta(std::size_t q, const rt::RxLoopStats& current) {
+  const rt::RxLoopStats& prev = last_[q];
+  const auto delta = [](std::uint64_t now, std::uint64_t before) {
+    return now >= before ? now - before : 0;
+  };
+  const QueueCounters& c = counters_[q];
+  c.packets->add(delta(current.packets, prev.packets));
+  c.hw_consumed->add(delta(current.hw_consumed, prev.hw_consumed));
+  c.quarantined->add(delta(current.quarantined, prev.quarantined));
+  c.softnic_recovered->add(
+      delta(current.softnic_recovered, prev.softnic_recovered));
+  c.lost_completions->add(
+      delta(current.lost_completions, prev.lost_completions));
+  c.rx_rejected->add(delta(current.rx_rejected, prev.rx_rejected));
+  c.unrecoverable_values->add(
+      delta(current.unrecoverable_values, prev.unrecoverable_values));
+  c.drops->add(delta(current.drops, prev.drops));
+  last_[q] = current;
+}
+
+void LivePublisher::begin_run() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // The engine zeroed the stats shards for the new run; restart the delta
+  // baseline so the first tick publishes exactly what the new run did.
+  last_.assign(counters_.size(), rt::RxLoopStats{});
+  in_run_ = true;
+}
+
+void LivePublisher::tick() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!in_run_) {
+    return;  // between runs: shards hold the previous run's stale totals
+  }
+  for (std::size_t q = 0; q < counters_.size(); ++q) {
+    add_delta(q, stats_->snapshot(q));
+  }
+}
+
+void LivePublisher::finish_run(const EngineReport& report) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  in_run_ = false;
+  // Workers have quiesced: square up against the report's exact per-queue
+  // totals (the stats registry may be a hair behind its final publication).
+  for (std::size_t q = 0; q < counters_.size(); ++q) {
+    if (q < report.per_queue.size()) {
+      add_delta(q, report.per_queue[q]);
+      counters_[q].host_ns->set(report.per_queue[q].host_ns);
+    }
+    if (q < report.offered.size()) {
+      counters_[q].offered->add(report.offered[q]);
+    }
+  }
 }
 
 }  // namespace opendesc::engine

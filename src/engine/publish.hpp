@@ -9,6 +9,10 @@
 // paper's Eq. 1 trade-off.
 #pragma once
 
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
 #include "engine/engine.hpp"
 #include "telemetry/sink.hpp"
 
@@ -26,8 +30,62 @@ void publish_semantic_paths(telemetry::Sink& sink,
                             const softnic::SemanticRegistry& registry);
 
 /// Everything a run exposes: rx stats, semantic paths, throughput gauges,
-/// and the sink's trace totals.
+/// and the sink's trace totals.  When `rx_published_live` is set, the
+/// per-queue rx counter families are assumed already accumulated by a
+/// LivePublisher (tick-by-tick) and only the gauges/semantic paths/trace
+/// totals are published here — publishing them again would double count.
 void publish_report(telemetry::Sink& sink, const EngineReport& report,
-                    const softnic::SemanticRegistry& registry);
+                    const softnic::SemanticRegistry& registry,
+                    bool rx_published_live = false);
+
+/// Tick-by-tick publication of the per-queue rx counter families, so the
+/// time-series sampler sees counters move *during* a run instead of one
+/// step per run.  The publisher reads the engine's lock-free StatsRegistry
+/// shard snapshots and add()s the delta since its previous tick into the
+/// same opendesc_rx_* / opendesc_offered_* counters publish_rx_stats
+/// would write — cumulative-across-runs semantics are preserved, the
+/// datapath is never touched.
+///
+/// Run protocol (driven by MultiQueueEngine):
+///   begin_run()   engine thread, after it zeroed the stats shards
+///   tick()        sampler thread, once per sampling tick
+///   finish_run()  engine thread, workers quiesced — squares the counters
+///                 up to the exact per-run totals in the report
+/// tick() and the run-boundary calls may interleave; a mutex serializes
+/// them (both are off the per-packet hot path).
+class LivePublisher {
+ public:
+  LivePublisher(telemetry::Sink& sink, const StatsRegistry& stats);
+
+  LivePublisher(const LivePublisher&) = delete;
+  LivePublisher& operator=(const LivePublisher&) = delete;
+
+  void begin_run();
+  void tick();
+  void finish_run(const EngineReport& report);
+
+ private:
+  /// add()s current-minus-last for queue q and remembers current.
+  void add_delta(std::size_t q, const rt::RxLoopStats& current);
+
+  struct QueueCounters {
+    telemetry::Counter* packets;
+    telemetry::Counter* hw_consumed;
+    telemetry::Counter* quarantined;
+    telemetry::Counter* softnic_recovered;
+    telemetry::Counter* lost_completions;
+    telemetry::Counter* rx_rejected;
+    telemetry::Counter* unrecoverable_values;
+    telemetry::Counter* drops;
+    telemetry::Counter* offered;
+    telemetry::Gauge* host_ns;
+  };
+
+  const StatsRegistry* stats_;
+  std::mutex mutex_;
+  bool in_run_ = false;
+  std::vector<QueueCounters> counters_;  ///< resolved once, per queue
+  std::vector<rt::RxLoopStats> last_;    ///< last published per queue
+};
 
 }  // namespace opendesc::engine

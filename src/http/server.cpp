@@ -381,6 +381,12 @@ void HttpServer::serve_connection(int fd) {
 
 Response http_get(const std::string& host, std::uint16_t port,
                   const std::string& target, int timeout_ms) {
+  return http_request("GET", host, port, target, timeout_ms);
+}
+
+Response http_request(const std::string& method, const std::string& host,
+                      std::uint16_t port, const std::string& target,
+                      int timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     throw Error(ErrorKind::io, "http_get: socket() failed");
@@ -396,8 +402,8 @@ Response http_get(const std::string& host, std::uint16_t port,
     throw Error(ErrorKind::io, "http_get: cannot connect to " + host + ":" +
                                    std::to_string(port) + ": " + why);
   }
-  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
-                              "\r\nConnection: close\r\n\r\n";
+  const std::string request = method + " " + target + " HTTP/1.1\r\nHost: " +
+                              host + "\r\nConnection: close\r\n\r\n";
   if (!send_all(fd, request.data(), request.size())) {
     ::close(fd);
     throw Error(ErrorKind::io, "http_get: send failed");

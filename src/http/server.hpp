@@ -121,4 +121,12 @@ class HttpServer {
                                 const std::string& target,
                                 int timeout_ms = 2000);
 
+/// Same client with an explicit method ("GET" or "HEAD") — how the tests
+/// verify HEAD answers headers-only.
+[[nodiscard]] Response http_request(const std::string& method,
+                                    const std::string& host,
+                                    std::uint16_t port,
+                                    const std::string& target,
+                                    int timeout_ms = 2000);
+
 }  // namespace opendesc::http

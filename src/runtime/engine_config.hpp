@@ -43,6 +43,17 @@ struct EngineConfig {
   /// or "port"; port 0 binds an ephemeral port).  When no sink is attached
   /// the engine creates its own so the server always has data to serve.
   std::string listen;
+  /// SLO rules document (health.hpp grammar).  Non-empty activates the
+  /// health monitor: sampler thread, time-series store and rule engine.
+  std::string health_rules;
+  /// Force the health monitor on even with no rules and no server (the
+  /// time-series windows still populate and /timeseries-style queries work
+  /// through MultiQueueEngine::timeseries()).
+  bool monitor = false;
+  /// Sampler tick in milliseconds; 0 disables the monitor entirely.
+  std::size_t sample_interval_ms = 100;
+  /// Ticks retained per series (default 600 = 60 s at the 100 ms tick).
+  std::size_t timeseries_capacity = 600;
 
   // Fluent builder surface -- each setter returns *this so configurations
   // compose in one expression.
@@ -89,6 +100,22 @@ struct EngineConfig {
   }
   EngineConfig& with_server(std::string address) {
     listen = std::move(address);
+    return *this;
+  }
+  EngineConfig& with_health_rules(std::string rules_text) {
+    health_rules = std::move(rules_text);
+    return *this;
+  }
+  EngineConfig& with_monitor(bool enabled = true) {
+    monitor = enabled;
+    return *this;
+  }
+  EngineConfig& with_sample_interval(std::size_t milliseconds) {
+    sample_interval_ms = milliseconds;
+    return *this;
+  }
+  EngineConfig& with_timeseries_capacity(std::size_t ticks) {
+    timeseries_capacity = ticks;
     return *this;
   }
 };

@@ -14,6 +14,8 @@ std::string_view to_string(FlightCause cause) noexcept {
       return "completion_lost";
     case FlightCause::ctrl_retry_exhausted:
       return "ctrl_retry_exhausted";
+    case FlightCause::alert_fired:
+      return "alert_fired";
   }
   return "?";
 }
@@ -29,7 +31,7 @@ std::string to_hex(std::span<const std::uint8_t> bytes) {
   return out;
 }
 
-void FlightRecorder::record(FlightIncident incident) {
+std::uint64_t FlightRecorder::record(FlightIncident incident) {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++total_;
   ++by_cause_[static_cast<std::size_t>(incident.cause)];
@@ -37,6 +39,7 @@ void FlightRecorder::record(FlightIncident incident) {
   while (incidents_.size() > capacity_) {
     incidents_.pop_front();
   }
+  return total_;
 }
 
 std::vector<FlightIncident> FlightRecorder::snapshot() const {

@@ -41,9 +41,10 @@ enum class FlightCause : std::uint8_t {
   record_quarantined,     ///< validation failed; detail = RecordVerdict
   completion_lost,        ///< rx() accepted, completion never arrived
   ctrl_retry_exhausted,   ///< programming failed verification; detail = attempts
+  alert_fired,            ///< an SLO health rule transitioned to firing
 };
 
-inline constexpr std::size_t kFlightCauseCount = 3;
+inline constexpr std::size_t kFlightCauseCount = 4;
 
 [[nodiscard]] std::string_view to_string(FlightCause cause) noexcept;
 
@@ -70,7 +71,9 @@ class FlightRecorder {
   FlightRecorder& operator=(const FlightRecorder&) = delete;
 
   /// Captures one incident (newest kept, oldest evicted).  Fault-path only.
-  void record(FlightIncident incident);
+  /// Returns the incident's capture id: the 1-based running total at
+  /// capture, stable across eviction — what a firing alert links to.
+  std::uint64_t record(FlightIncident incident);
 
   /// Trace-ring context window captured per incident.
   [[nodiscard]] std::size_t context_events() const noexcept {

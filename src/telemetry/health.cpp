@@ -1,0 +1,616 @@
+#include "telemetry/health.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "telemetry/exporter.hpp"
+#include "telemetry/sink.hpp"
+
+namespace opendesc::telemetry {
+
+std::string_view to_string(HealthFn fn) noexcept {
+  switch (fn) {
+    case HealthFn::rate:
+      return "rate";
+    case HealthFn::value:
+      return "value";
+    case HealthFn::min:
+      return "min";
+    case HealthFn::mean:
+      return "mean";
+    case HealthFn::max:
+      return "max";
+    case HealthFn::p50:
+      return "p50";
+    case HealthFn::p99:
+      return "p99";
+    case HealthFn::p999:
+      return "p999";
+  }
+  return "?";
+}
+
+std::string_view to_string(HealthCmp cmp) noexcept {
+  switch (cmp) {
+    case HealthCmp::gt:
+      return ">";
+    case HealthCmp::ge:
+      return ">=";
+    case HealthCmp::lt:
+      return "<";
+    case HealthCmp::le:
+      return "<=";
+  }
+  return "?";
+}
+
+std::string_view to_string(AlertState state) noexcept {
+  switch (state) {
+    case AlertState::inactive:
+      return "inactive";
+    case AlertState::pending:
+      return "pending";
+    case AlertState::firing:
+      return "firing";
+    case AlertState::resolved:
+      return "resolved";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------------
+
+double HealthExpr::evaluate(const TimeSeriesStore& store) const {
+  switch (kind) {
+    case Kind::constant:
+      return constant;
+    case Kind::selector: {
+      const double window =
+          window_seconds > 0.0 ? window_seconds : store.config().tick_seconds;
+      const std::optional<WindowAggregate> agg =
+          store.aggregate(metric, filter, window);
+      if (!agg) return 0.0;  // unsampled family: quietly zero, never NaN
+      switch (fn) {
+        case HealthFn::rate:
+          return agg->rate;
+        case HealthFn::value:
+          return agg->last;
+        case HealthFn::min:
+          return agg->min;
+        case HealthFn::mean:
+          return agg->mean;
+        case HealthFn::max:
+          return agg->max;
+        case HealthFn::p50:
+          return static_cast<double>(agg->delta.quantile_upper_bound(0.50));
+        case HealthFn::p99:
+          return static_cast<double>(agg->delta.quantile_upper_bound(0.99));
+        case HealthFn::p999:
+          return static_cast<double>(agg->delta.quantile_upper_bound(0.999));
+      }
+      return 0.0;
+    }
+    case Kind::binary: {
+      const double a = lhs->evaluate(store);
+      const double b = rhs->evaluate(store);
+      switch (op) {
+        case '+':
+          return a + b;
+        case '-':
+          return a - b;
+        case '*':
+          return a * b;
+        case '/':
+          return b == 0.0 ? 0.0 : a / b;  // 0/0 resolves, never latches NaN
+      }
+      return 0.0;
+    }
+  }
+  return 0.0;
+}
+
+namespace {
+
+std::string format_number(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+std::string window_text(double seconds) {
+  if (seconds >= 1.0 && seconds == static_cast<double>(
+                                       static_cast<std::uint64_t>(seconds))) {
+    return std::to_string(static_cast<std::uint64_t>(seconds)) + "s";
+  }
+  return std::to_string(static_cast<std::uint64_t>(seconds * 1000.0)) + "ms";
+}
+
+}  // namespace
+
+std::string HealthExpr::to_text() const {
+  switch (kind) {
+    case Kind::constant:
+      return format_number(constant);
+    case Kind::selector: {
+      std::string out(to_string(fn));
+      out += '(';
+      out += metric;
+      if (!filter.empty()) {
+        out += '{';
+        for (std::size_t i = 0; i < filter.size(); ++i) {
+          if (i != 0) out += ',';
+          out += filter[i].first;
+          out += "=\"";
+          out += filter[i].second;
+          out += '"';
+        }
+        out += '}';
+      }
+      if (fn != HealthFn::value) {
+        out += '[';
+        out += window_text(window_seconds);
+        out += ']';
+      }
+      out += ')';
+      return out;
+    }
+    case Kind::binary:
+      return "(" + lhs->to_text() + " " + op + " " + rhs->to_text() + ")";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Rule parsing: a small hand-rolled lexer + recursive-descent parser.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class RuleParser {
+ public:
+  RuleParser(std::string_view line, std::size_t line_no)
+      : line_(line), line_no_(line_no) {}
+
+  HealthRule parse() {
+    HealthRule rule;
+    rule.name = expect_ident("rule name");
+    expect(':');
+    rule.expr = expr();
+    rule.cmp = comparison();
+    rule.threshold = expect_number("threshold");
+    skip_ws();
+    if (!at_end()) {
+      const std::string kw = expect_ident("'for'");
+      if (kw != "for") fail("expected 'for', got '" + kw + "'");
+      const double n = expect_number("tick count");
+      if (n < 1.0 || n != static_cast<double>(static_cast<std::uint32_t>(n))) {
+        fail("'for' wants a positive integer tick count");
+      }
+      rule.for_ticks = static_cast<std::uint32_t>(n);
+      skip_ws();
+      if (!at_end()) {
+        const std::string unit = expect_ident("'ticks'");
+        if (unit != "ticks" && unit != "tick") {
+          fail("expected 'ticks', got '" + unit + "'");
+        }
+      }
+    }
+    skip_ws();
+    if (!at_end()) fail("trailing input after rule");
+    return rule;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error(ErrorKind::semantic, "health rules line " +
+                                         std::to_string(line_no_) + ": " +
+                                         what);
+  }
+
+  void skip_ws() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= line_.size();
+  }
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos_ < line_.size() ? line_[pos_] : '\0';
+  }
+  bool accept(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void expect(char c) {
+    if (!accept(c)) {
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  // Identifiers are [A-Za-z_][A-Za-z0-9_]* — the ':' Prometheus allows in
+  // metric names is reserved for the rule-name separator here, and no
+  // opendesc_* family uses it.
+  std::string expect_ident(const char* what) {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < line_.size() &&
+           (std::isalnum(static_cast<unsigned char>(line_[pos_])) != 0 ||
+            line_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail(std::string("expected ") + what);
+    return std::string(line_.substr(start, pos_ - start));
+  }
+
+  double expect_number(const char* what) {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < line_.size() &&
+           (std::isdigit(static_cast<unsigned char>(line_[pos_])) != 0 ||
+            line_[pos_] == '.' || line_[pos_] == 'e' || line_[pos_] == 'E' ||
+            ((line_[pos_] == '+' || line_[pos_] == '-') && pos_ > start &&
+             (line_[pos_ - 1] == 'e' || line_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    if (pos_ == start) fail(std::string("expected ") + what);
+    try {
+      return std::stod(std::string(line_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail(std::string("malformed number for ") + what);
+    }
+  }
+
+  HealthCmp comparison() {
+    skip_ws();
+    if (accept('>')) return accept('=') ? HealthCmp::ge : HealthCmp::gt;
+    if (accept('<')) return accept('=') ? HealthCmp::le : HealthCmp::lt;
+    fail("expected comparison (>, >=, <, <=)");
+  }
+
+  HealthExpr expr() {
+    HealthExpr left = term();
+    while (true) {
+      const char c = peek();
+      if (c != '+' && c != '-') return left;
+      ++pos_;
+      HealthExpr parent;
+      parent.kind = HealthExpr::Kind::binary;
+      parent.op = c;
+      parent.lhs = std::make_unique<HealthExpr>(std::move(left));
+      parent.rhs = std::make_unique<HealthExpr>(term());
+      left = std::move(parent);
+    }
+  }
+
+  HealthExpr term() {
+    HealthExpr left = factor();
+    while (true) {
+      const char c = peek();
+      if (c != '*' && c != '/') return left;
+      ++pos_;
+      HealthExpr parent;
+      parent.kind = HealthExpr::Kind::binary;
+      parent.op = c;
+      parent.lhs = std::make_unique<HealthExpr>(std::move(left));
+      parent.rhs = std::make_unique<HealthExpr>(factor());
+      left = std::move(parent);
+    }
+  }
+
+  HealthExpr factor() {
+    const char c = peek();
+    if (c == '(') {
+      ++pos_;
+      HealthExpr inner = expr();
+      expect(')');
+      return inner;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '.') {
+      HealthExpr node;
+      node.kind = HealthExpr::Kind::constant;
+      node.constant = expect_number("number");
+      return node;
+    }
+    return selector_fn();
+  }
+
+  HealthExpr selector_fn() {
+    const std::string fn_name = expect_ident("function name");
+    HealthExpr node;
+    node.kind = HealthExpr::Kind::selector;
+    bool windowed = true;
+    if (fn_name == "rate") {
+      node.fn = HealthFn::rate;
+    } else if (fn_name == "value") {
+      node.fn = HealthFn::value;
+      windowed = false;
+    } else if (fn_name == "min") {
+      node.fn = HealthFn::min;
+    } else if (fn_name == "mean") {
+      node.fn = HealthFn::mean;
+    } else if (fn_name == "max") {
+      node.fn = HealthFn::max;
+    } else if (fn_name == "p50") {
+      node.fn = HealthFn::p50;
+    } else if (fn_name == "p99") {
+      node.fn = HealthFn::p99;
+    } else if (fn_name == "p999") {
+      node.fn = HealthFn::p999;
+    } else {
+      fail("unknown function '" + fn_name +
+           "' (expected rate, value, min, mean, max, p50, p99 or p999)");
+    }
+    expect('(');
+    node.metric = expect_ident("metric name");
+    if (accept('{')) {
+      while (true) {
+        const std::string key = expect_ident("label name");
+        expect('=');
+        expect('"');
+        std::size_t start = pos_;
+        while (pos_ < line_.size() && line_[pos_] != '"') ++pos_;
+        if (pos_ >= line_.size()) fail("unterminated label value");
+        node.filter.emplace_back(key,
+                                 std::string(line_.substr(start, pos_ - start)));
+        ++pos_;  // closing quote
+        if (accept('}')) break;
+        expect(',');
+      }
+    }
+    if (windowed) {
+      expect('[');
+      skip_ws();
+      std::size_t start = pos_;
+      while (pos_ < line_.size() && line_[pos_] != ']') ++pos_;
+      if (pos_ >= line_.size()) fail("unterminated window spec");
+      std::string spec(line_.substr(start, pos_ - start));
+      while (!spec.empty() &&
+             std::isspace(static_cast<unsigned char>(spec.back())) != 0) {
+        spec.pop_back();
+      }
+      ++pos_;  // ']'
+      try {
+        node.window_seconds = parse_window_seconds(spec);
+      } catch (const Error& e) {
+        fail(e.what());
+      }
+    }
+    expect(')');
+    return node;
+  }
+
+  std::string_view line_;
+  std::size_t line_no_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<HealthRule> parse_health_rules(std::string_view text) {
+  std::vector<HealthRule> rules;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    ++line_no;
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    const bool blank =
+        std::all_of(line.begin(), line.end(), [](char c) {
+          return std::isspace(static_cast<unsigned char>(c)) != 0;
+        });
+    if (blank) continue;
+    HealthRule rule = RuleParser(line, line_no).parse();
+    for (const HealthRule& existing : rules) {
+      if (existing.name == rule.name) {
+        throw Error(ErrorKind::semantic,
+                    "health rules line " + std::to_string(line_no) +
+                        ": duplicate rule name '" + rule.name + "'");
+      }
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+// ---------------------------------------------------------------------------
+// HealthEngine
+// ---------------------------------------------------------------------------
+
+HealthEngine::HealthEngine(std::vector<HealthRule> rules,
+                           const TimeSeriesStore& store, Sink* sink)
+    : store_(store), sink_(sink) {
+  states_.reserve(rules.size());
+  for (HealthRule& rule : rules) {
+    RuleState state;
+    state.expr_text = rule.expr.to_text();
+    state.status.rule = rule.name;
+    state.status.expr = state.expr_text;
+    state.status.cmp = rule.cmp;
+    state.status.threshold = rule.threshold;
+    state.status.for_ticks = rule.for_ticks;
+    if (sink_ != nullptr) {
+      state.firing_gauge = &sink_->registry().gauge(
+          "opendesc_alerts_firing",
+          "1 while the named SLO rule is in the firing state.",
+          {{"rule", rule.name}});
+      state.firing_gauge->set(0.0);
+      state.fired_counter = &sink_->registry().counter(
+          "opendesc_alerts_fired_total",
+          "Pending-to-firing transitions of the named SLO rule.",
+          {{"rule", rule.name}});
+    }
+    state.rule = std::move(rule);
+    states_.push_back(std::move(state));
+  }
+}
+
+void HealthEngine::fire(RuleState& state) {
+  state.status.fired_total += 1;
+  if (state.fired_counter != nullptr) state.fired_counter->add(1);
+  if (sink_ == nullptr) return;
+  // Alert-triggered flight capture: the same forensic context a fault
+  // incident gets.  Per-queue trace tails give the ordered lead-up; the
+  // newest retained fault incident (if any) contributes the offending
+  // record bytes the rule most plausibly fired on.
+  FlightIncident incident;
+  incident.cause = FlightCause::alert_fired;
+  incident.detail = static_cast<std::uint8_t>(
+      std::min<std::uint64_t>(state.status.fired_total, 0xFF));
+  incident.sequence = evaluations_;
+  incident.layout_id = "alert/" + state.rule.name;
+  const std::vector<FlightIncident> prior = sink_->flight().snapshot();
+  for (auto it = prior.rbegin(); it != prior.rend(); ++it) {
+    if (it->cause != FlightCause::alert_fired) {
+      incident.queue = it->queue;
+      incident.record = it->record;
+      incident.frame_head = it->frame_head;
+      break;
+    }
+  }
+  const std::size_t queues = sink_->queues();
+  const std::size_t per_queue = std::max<std::size_t>(
+      1, sink_->flight().context_events() / std::max<std::size_t>(1, queues));
+  for (std::size_t q = 0; q < queues; ++q) {
+    const std::vector<TraceEvent> tail = sink_->ring(q).tail(per_queue);
+    incident.recent.insert(incident.recent.end(), tail.begin(), tail.end());
+  }
+  state.status.capture_id = sink_->flight().record(std::move(incident));
+}
+
+void HealthEngine::evaluate() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t tick = evaluations_++;
+  for (RuleState& state : states_) {
+    const double value = state.rule.expr.evaluate(store_);
+    state.status.value = value;
+    bool condition = false;
+    switch (state.rule.cmp) {
+      case HealthCmp::gt:
+        condition = value > state.rule.threshold;
+        break;
+      case HealthCmp::ge:
+        condition = value >= state.rule.threshold;
+        break;
+      case HealthCmp::lt:
+        condition = value < state.rule.threshold;
+        break;
+      case HealthCmp::le:
+        condition = value <= state.rule.threshold;
+        break;
+    }
+    AlertStatus& status = state.status;
+    if (condition) {
+      status.consecutive += 1;
+      switch (status.state) {
+        case AlertState::inactive:
+        case AlertState::resolved:
+          status.consecutive = 1;
+          status.state = AlertState::pending;
+          status.since_tick = tick;
+          if (status.consecutive >= state.rule.for_ticks) {
+            status.state = AlertState::firing;
+            fire(state);
+          }
+          break;
+        case AlertState::pending:
+          if (status.consecutive >= state.rule.for_ticks) {
+            status.state = AlertState::firing;
+            status.since_tick = tick;
+            fire(state);
+          }
+          break;
+        case AlertState::firing:
+          break;
+      }
+    } else {
+      status.consecutive = 0;
+      switch (status.state) {
+        case AlertState::pending:
+          status.state = AlertState::inactive;
+          status.since_tick = tick;
+          break;
+        case AlertState::firing:
+          status.state = AlertState::resolved;
+          status.since_tick = tick;
+          break;
+        case AlertState::inactive:
+        case AlertState::resolved:
+          break;
+      }
+    }
+    if (state.firing_gauge != nullptr) {
+      state.firing_gauge->set(status.state == AlertState::firing ? 1.0 : 0.0);
+    }
+  }
+}
+
+std::uint64_t HealthEngine::evaluations() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evaluations_;
+}
+
+std::size_t HealthEngine::firing() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::size_t>(
+      std::count_if(states_.begin(), states_.end(), [](const RuleState& s) {
+        return s.status.state == AlertState::firing;
+      }));
+}
+
+std::vector<AlertStatus> HealthEngine::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<AlertStatus> out;
+  out.reserve(states_.size());
+  for (const RuleState& state : states_) {
+    out.push_back(state.status);
+  }
+  return out;
+}
+
+std::string HealthEngine::to_json() const {
+  std::vector<AlertStatus> alerts;
+  std::uint64_t evaluations = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    evaluations = evaluations_;
+    alerts.reserve(states_.size());
+    for (const RuleState& state : states_) alerts.push_back(state.status);
+  }
+  std::size_t firing = 0;
+  for (const AlertStatus& a : alerts) {
+    if (a.state == AlertState::firing) ++firing;
+  }
+  std::ostringstream out;
+  out << "{\"enabled\":true,\"evaluations\":" << evaluations
+      << ",\"firing\":" << firing << ",\"rules\":[";
+  for (std::size_t i = 0; i < alerts.size(); ++i) {
+    const AlertStatus& a = alerts[i];
+    out << (i == 0 ? "" : ",") << "{\"name\":\"" << escape_json(a.rule)
+        << "\",\"expr\":\"" << escape_json(a.expr) << "\",\"cmp\":\""
+        << to_string(a.cmp) << "\",\"threshold\":" << a.threshold
+        << ",\"for_ticks\":" << a.for_ticks << ",\"state\":\""
+        << to_string(a.state) << "\",\"value\":" << a.value
+        << ",\"consecutive\":" << a.consecutive
+        << ",\"fired_total\":" << a.fired_total
+        << ",\"since_tick\":" << a.since_tick
+        << ",\"flight_capture_id\":" << a.capture_id << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace opendesc::telemetry

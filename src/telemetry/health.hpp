@@ -1,0 +1,173 @@
+// Declarative SLO rule engine over the windowed time-series layer.
+//
+// Operators declare health intent as rules over the opendesc_* catalog:
+//
+//   drop_ratio: rate(opendesc_rx_quarantined_total[10s])
+//               / rate(opendesc_rx_packets_total[10s]) > 0.001 for 3
+//
+// and the engine evaluates every rule once per sampler tick against
+// TimeSeriesStore windows, tracking Prometheus-style state transitions:
+// inactive → pending (condition true, not yet `for` consecutive ticks) →
+// firing → resolved (condition cleared after firing).  The moment a rule
+// fires, the engine captures a FlightRecorder incident — the same
+// trace-context window and offending-record hex dumps the fault paths
+// produce — so every firing alert carries a forensic capture id.
+//
+// Grammar (line-oriented; '#' starts a comment):
+//
+//   rule      := name ':' expr cmp number [ 'for' int [ 'ticks' ] ]
+//   expr      := term (('+'|'-') term)*        (usual precedence: * / bind
+//   term      := factor (('*'|'/') factor)*     tighter than + -)
+//   factor    := number | '(' expr ')' | fn
+//   fn        := 'rate'  '(' selector '[' window ']' ')'   counters
+//              | 'value' '(' selector ')'                  last raw value
+//              | 'min'|'mean'|'max' '(' selector '[' window ']' ')'  gauges
+//              | 'p50'|'p99'|'p999' '(' selector '[' window ']' ')'  histos
+//   selector  := metric_name [ '{' key '=' '"' value '"' (',' ...)* '}' ]
+//   window    := INT ('ms'|'s'|'m')             e.g. 500ms, 1s, 10s, 1m
+//   cmp       := '>' | '>=' | '<' | '<='
+//
+// Selectors sum across every series of the family that matches the label
+// filter (so rate(opendesc_rx_packets_total[1s]) is whole-engine goodput).
+// A selector over a family the store has not sampled evaluates to 0, and
+// division by zero yields 0 — so a ratio rule quietly resolves when
+// traffic stops instead of latching NaN.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace opendesc::telemetry {
+
+class Sink;
+
+/// Aggregation a selector term applies to its window.
+enum class HealthFn : std::uint8_t {
+  rate,   ///< counters: windowed per-second rate
+  value,  ///< any kind: newest raw value (summed across series)
+  min,    ///< gauges: window minimum
+  mean,   ///< gauges: window mean
+  max,    ///< gauges: window maximum
+  p50,    ///< histograms: window-delta quantile upper bound
+  p99,
+  p999,
+};
+
+/// Comparison between the rule expression and its threshold.
+enum class HealthCmp : std::uint8_t { gt, ge, lt, le };
+
+[[nodiscard]] std::string_view to_string(HealthFn fn) noexcept;
+[[nodiscard]] std::string_view to_string(HealthCmp cmp) noexcept;
+
+/// Expression tree node.  kind selects which members are meaningful.
+struct HealthExpr {
+  enum class Kind : std::uint8_t { constant, selector, binary };
+
+  Kind kind = Kind::constant;
+  double constant = 0.0;
+
+  // selector
+  HealthFn fn = HealthFn::rate;
+  std::string metric;
+  Labels filter;
+  double window_seconds = 0.0;  ///< 0 for value()
+
+  // binary
+  char op = '+';
+  std::unique_ptr<HealthExpr> lhs;
+  std::unique_ptr<HealthExpr> rhs;
+
+  [[nodiscard]] double evaluate(const TimeSeriesStore& store) const;
+  /// Round-trippable text form (used by /alerts so operators see what is
+  /// actually being evaluated).
+  [[nodiscard]] std::string to_text() const;
+};
+
+struct HealthRule {
+  std::string name;
+  HealthExpr expr;
+  HealthCmp cmp = HealthCmp::gt;
+  double threshold = 0.0;
+  std::uint32_t for_ticks = 1;  ///< consecutive true ticks before firing
+};
+
+/// Parses a rules document.  Throws Error(semantic) with the offending
+/// line number on any syntax error, duplicate rule name, or unknown
+/// function.  An empty/comment-only document parses to no rules.
+[[nodiscard]] std::vector<HealthRule> parse_health_rules(
+    std::string_view text);
+
+/// Prometheus-style alert lifecycle.
+enum class AlertState : std::uint8_t { inactive, pending, firing, resolved };
+
+[[nodiscard]] std::string_view to_string(AlertState state) noexcept;
+
+/// One rule's live status, as surfaced on /alerts.
+struct AlertStatus {
+  std::string rule;
+  std::string expr;            ///< normalized expression text
+  HealthCmp cmp = HealthCmp::gt;
+  double threshold = 0.0;
+  std::uint32_t for_ticks = 1;
+  AlertState state = AlertState::inactive;
+  double value = 0.0;          ///< last evaluated expression value
+  std::uint32_t consecutive = 0;  ///< ticks the condition has held
+  std::uint64_t fired_total = 0;  ///< pending→firing transitions so far
+  std::uint64_t since_tick = 0;   ///< evaluation tick of last state change
+  std::uint64_t capture_id = 0;   ///< FlightRecorder id of the last firing
+};
+
+/// Evaluates a rule set each sampler tick.  evaluate() runs on the sampler
+/// thread; snapshot()/to_json() may run concurrently from HTTP workers —
+/// a plain mutex serializes them, far from the datapath.
+class HealthEngine {
+ public:
+  /// `sink` provides the FlightRecorder + trace rings for alert-triggered
+  /// capture and the Registry for the opendesc_alerts_* instruments; it
+  /// must outlive the engine.  Pass nullptr to disable capture/publish
+  /// (pure evaluation, as in unit tests).
+  HealthEngine(std::vector<HealthRule> rules, const TimeSeriesStore& store,
+               Sink* sink);
+
+  HealthEngine(const HealthEngine&) = delete;
+  HealthEngine& operator=(const HealthEngine&) = delete;
+
+  /// One evaluation pass over every rule; call after each store sample.
+  void evaluate();
+
+  [[nodiscard]] std::size_t rules() const noexcept { return states_.size(); }
+  [[nodiscard]] std::uint64_t evaluations() const;
+  /// Rules currently in the firing state.
+  [[nodiscard]] std::size_t firing() const;
+  [[nodiscard]] std::vector<AlertStatus> snapshot() const;
+
+  /// The /alerts payload (and --alerts-out file format).
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  struct RuleState {
+    HealthRule rule;
+    std::string expr_text;
+    AlertStatus status;
+    Gauge* firing_gauge = nullptr;
+    Counter* fired_counter = nullptr;
+  };
+
+  void fire(RuleState& state);
+
+  const TimeSeriesStore& store_;
+  Sink* sink_;
+  mutable std::mutex mutex_;
+  std::uint64_t evaluations_ = 0;
+  std::vector<RuleState> states_;
+};
+
+}  // namespace opendesc::telemetry

@@ -2,7 +2,10 @@
 
 #include <sstream>
 
+#include "common/error.hpp"
 #include "telemetry/exporter.hpp"
+#include "telemetry/health.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace opendesc::telemetry {
 
@@ -49,10 +52,186 @@ http::Response ObservabilityServer::handle(const http::Request& request) {
   } else if (request.path == "/flight") {
     response.content_type = "application/json";
     response.body = sink_->flight().to_json();
+  } else if (request.path == "/alerts") {
+    const auto fmt = request.query.find("format");
+    if (fmt != request.query.end() && fmt->second == "tsv") {
+      // Flat rendering for `opendesc top` and shell tooling: one rule per
+      // line — name, state, value, threshold, consecutive, fired, capture.
+      std::ostringstream out;
+      if (health_ != nullptr) {
+        for (const AlertStatus& a : health_->snapshot()) {
+          out << a.rule << '\t' << to_string(a.state) << '\t' << a.value
+              << '\t' << to_string(a.cmp) << '\t' << a.threshold << '\t'
+              << a.consecutive << '\t' << a.fired_total << '\t'
+              << a.capture_id << '\n';
+        }
+      }
+      response.body = out.str();
+    } else {
+      response.content_type = "application/json";
+      response.body = health_ != nullptr
+                          ? health_->to_json()
+                          : std::string(
+                                "{\"enabled\":false,\"evaluations\":0,"
+                                "\"firing\":0,\"rules\":[]}");
+    }
+  } else if (request.path == "/timeseries") {
+    response = timeseries(request);
   } else {
+    // Structured 404: machine-readable, and it teaches the caller the
+    // route table instead of a bare "not found".
     response.status = 404;
-    response.body = "not found\n";
+    response.content_type = "application/json";
+    response.body = "{\"error\":\"not found\",\"path\":\"" +
+                    escape_json(request.path) +
+                    "\",\"routes\":[\"/metrics\",\"/metrics.json\","
+                    "\"/healthz\",\"/readyz\",\"/traces\",\"/flight\","
+                    "\"/alerts\",\"/timeseries\"]}";
   }
+  return response;
+}
+
+http::Response ObservabilityServer::timeseries(const http::Request& request) {
+  http::Response response;
+  response.content_type = "application/json";
+  if (store_ == nullptr) {
+    response.status = 404;
+    response.body =
+        "{\"error\":\"time-series monitor is not enabled\","
+        "\"hint\":\"run the engine with health rules, a server, or "
+        "with_monitor(true)\"}";
+    return response;
+  }
+
+  const auto format_it = request.query.find("format");
+  const bool tsv = format_it != request.query.end() &&
+                   format_it->second == "tsv";
+
+  const auto metric_it = request.query.find("metric");
+  if (metric_it == request.query.end()) {
+    // Catalog: what has been sampled, and on what tick.
+    const std::vector<std::string> names = store_->metric_names();
+    std::ostringstream out;
+    if (tsv) {
+      response.content_type = "text/plain; charset=utf-8";
+      for (const std::string& name : names) out << name << '\n';
+    } else {
+      out << "{\"tick_seconds\":" << store_->config().tick_seconds
+          << ",\"ticks\":" << store_->ticks() << ",\"metrics\":[";
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        out << (i == 0 ? "" : ",") << '"' << escape_json(names[i]) << '"';
+      }
+      out << "]}";
+    }
+    response.body = out.str();
+    return response;
+  }
+
+  double window_seconds = 10.0;
+  const auto window_it = request.query.find("window");
+  if (window_it != request.query.end()) {
+    try {
+      window_seconds = parse_window_seconds(window_it->second);
+    } catch (const Error& e) {
+      response.status = 400;
+      response.body = "{\"error\":\"" + escape_json(e.what()) + "\"}";
+      return response;
+    }
+  }
+
+  const std::optional<FamilyWindow> family =
+      store_->family_window(metric_it->second, window_seconds);
+  if (!family) {
+    response.status = 404;
+    response.body = "{\"error\":\"no such sampled metric\",\"metric\":\"" +
+                    escape_json(metric_it->second) + "\"}";
+    return response;
+  }
+
+  const auto labels_json = [](const Labels& labels) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      out += (i == 0 ? "\"" : ",\"");
+      out += escape_json(labels[i].first);
+      out += "\":\"";
+      out += escape_json(labels[i].second);
+      out += '"';
+    }
+    out += '}';
+    return out;
+  };
+  const auto series_fields = [&](std::ostream& out, const SeriesWindow& s) {
+    out << "\"samples\":" << s.samples << ",\"seconds\":" << s.seconds
+        << ",\"last\":" << s.last;
+    switch (family->kind) {
+      case MetricKind::counter:
+        out << ",\"rate\":" << s.rate;
+        break;
+      case MetricKind::gauge:
+        out << ",\"min\":" << s.min << ",\"mean\":" << s.mean
+            << ",\"max\":" << s.max;
+        break;
+      case MetricKind::histogram:
+        out << ",\"count\":" << s.delta.count << ",\"sum\":" << s.delta.sum
+            << ",\"mean\":" << s.delta.mean()
+            << ",\"p50\":" << s.delta.quantile_upper_bound(0.50)
+            << ",\"p99\":" << s.delta.quantile_upper_bound(0.99)
+            << ",\"p999\":" << s.delta.quantile_upper_bound(0.999);
+        break;
+    }
+  };
+
+  std::ostringstream out;
+  if (tsv) {
+    // One line per series: canonical labels, then the kind's key numbers —
+    // trivially parseable by `opendesc top` and awk alike.
+    response.content_type = "text/plain; charset=utf-8";
+    for (const SeriesWindow& s : family->series) {
+      out << canonical_labels(s.labels);
+      switch (family->kind) {
+        case MetricKind::counter:
+          out << '\t' << s.rate << '\t' << s.last;
+          break;
+        case MetricKind::gauge:
+          out << '\t' << s.min << '\t' << s.mean << '\t' << s.max << '\t'
+              << s.last;
+          break;
+        case MetricKind::histogram:
+          out << '\t' << s.delta.count << '\t' << s.delta.mean() << '\t'
+              << s.delta.quantile_upper_bound(0.50) << '\t'
+              << s.delta.quantile_upper_bound(0.99) << '\t'
+              << s.delta.quantile_upper_bound(0.999);
+          break;
+      }
+      out << '\n';
+    }
+  } else {
+    out << "{\"metric\":\"" << escape_json(family->name) << "\",\"kind\":\""
+        << to_string(family->kind)
+        << "\",\"window_seconds\":" << window_seconds
+        << ",\"tick_seconds\":" << store_->config().tick_seconds
+        << ",\"ticks\":" << store_->ticks() << ",\"series\":[";
+    for (std::size_t i = 0; i < family->series.size(); ++i) {
+      const SeriesWindow& s = family->series[i];
+      out << (i == 0 ? "" : ",") << "{\"labels\":" << labels_json(s.labels)
+          << ',';
+      series_fields(out, s);
+      out << '}';
+    }
+    out << "],\"total\":{";
+    SeriesWindow total;
+    total.samples = family->total.samples;
+    total.seconds = family->total.seconds;
+    total.last = family->total.last;
+    total.rate = family->total.rate;
+    total.min = family->total.min;
+    total.mean = family->total.mean;
+    total.max = family->total.max;
+    total.delta = family->total.delta;
+    series_fields(out, total);
+    out << "}}";
+  }
+  response.body = out.str();
   return response;
 }
 

@@ -13,6 +13,16 @@
 //                  ring N, ?queue=dispatch / ?queue=ctrl the special rings,
 //                  no parameter returns every ring
 //   /flight        the fault flight recorder's postmortem buffer as JSON
+//   /alerts        SLO rule engine status as JSON (every rule's state,
+//                  value, threshold, flight-capture id); {"enabled":false}
+//                  when no health engine is attached
+//   /timeseries    windowed aggregates: ?metric=NAME&window=10s returns
+//                  per-series rate/min/mean/max/quantiles over the window
+//                  (&format=tsv for a flat tab-separated rendering); no
+//                  parameters lists the sampled families
+//
+// Unknown routes answer a structured JSON 404 ({"error":..,"path":..,
+// "routes":[..]}); HEAD is answered with headers only at the http layer.
 //
 // Everything served is read through the sink's lock-free snapshot
 // machinery (seqlock shards, atomic ring slots, the flight recorder's own
@@ -28,6 +38,9 @@
 
 namespace opendesc::telemetry {
 
+class HealthEngine;
+class TimeSeriesStore;
+
 class ObservabilityServer {
  public:
   /// Readiness probe: return true when the datapath is live and making
@@ -42,6 +55,13 @@ class ObservabilityServer {
   /// Installs (or clears, with nullptr) the /readyz probe.  Not
   /// synchronized with serving — install before start().
   void set_ready_probe(ReadyProbe probe) { ready_ = std::move(probe); }
+
+  /// Attaches the /timeseries backing store (nullptr = route answers 404
+  /// JSON explaining the monitor is off).  Install before start().
+  void set_timeseries(const TimeSeriesStore* store) { store_ = store; }
+  /// Attaches the /alerts rule engine (nullptr = {"enabled":false}).
+  /// Install before start().
+  void set_health(const HealthEngine* health) { health_ = health; }
 
   void start() { server_.start(); }
   void stop() { server_.stop(); }
@@ -61,9 +81,12 @@ class ObservabilityServer {
 
  private:
   [[nodiscard]] http::Response traces(const http::Request& request);
+  [[nodiscard]] http::Response timeseries(const http::Request& request);
 
   Sink* sink_;
   ReadyProbe ready_;
+  const TimeSeriesStore* store_ = nullptr;
+  const HealthEngine* health_ = nullptr;
   http::HttpServer server_;
 };
 

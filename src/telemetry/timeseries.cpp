@@ -1,0 +1,279 @@
+#include "telemetry/timeseries.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace opendesc::telemetry {
+
+double parse_window_seconds(std::string_view spec) {
+  std::size_t i = 0;
+  while (i < spec.size() &&
+         (std::isdigit(static_cast<unsigned char>(spec[i])) != 0 ||
+          spec[i] == '.')) {
+    ++i;
+  }
+  if (i == 0) {
+    throw Error(ErrorKind::semantic,
+                "window '" + std::string(spec) + "' has no duration digits");
+  }
+  double value = 0.0;
+  try {
+    value = std::stod(std::string(spec.substr(0, i)));
+  } catch (const std::exception&) {
+    throw Error(ErrorKind::semantic,
+                "window '" + std::string(spec) + "' is not a number");
+  }
+  const std::string_view unit = spec.substr(i);
+  double scale = 0.0;
+  if (unit == "s") {
+    scale = 1.0;
+  } else if (unit == "ms") {
+    scale = 1e-3;
+  } else if (unit == "m") {
+    scale = 60.0;
+  } else {
+    throw Error(ErrorKind::semantic, "window '" + std::string(spec) +
+                                         "' has unknown unit '" +
+                                         std::string(unit) +
+                                         "' (expected ms, s or m)");
+  }
+  const double seconds = value * scale;
+  if (!(seconds > 0.0)) {
+    throw Error(ErrorKind::semantic,
+                "window '" + std::string(spec) + "' must be positive");
+  }
+  return seconds;
+}
+
+TimeSeriesStore::TimeSeriesStore(TimeSeriesConfig config) : config_(config) {
+  if (!(config_.tick_seconds > 0.0)) {
+    throw Error(ErrorKind::semantic, "time-series tick must be positive");
+  }
+  if (config_.capacity == 0) {
+    throw Error(ErrorKind::semantic, "time-series capacity must be non-zero");
+  }
+}
+
+void TimeSeriesStore::sample(const Registry& registry) {
+  // Instrument reads go through their lock-free snapshot paths; the only
+  // locks here are the registry's registration mutex (inside families())
+  // and this store's own mutex.  Neither is ever taken by a datapath worker.
+  const std::vector<Registry::Family> families = registry.families();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t tick = ticks_++;
+  for (const Registry::Family& family : families) {
+    FamilySlot& slot = families_[family.name];
+    slot.kind = family.kind;
+    for (const Registry::Series& series : family.series) {
+      SeriesRing& ring = slot.series[canonical_labels(series.labels)];
+      if (ring.tick.empty()) {
+        ring.labels = series.labels;
+      }
+      switch (family.kind) {
+        case MetricKind::counter:
+          ring.values.push_back(
+              static_cast<double>(series.counter->value()));
+          break;
+        case MetricKind::gauge:
+          ring.values.push_back(series.gauge->value());
+          break;
+        case MetricKind::histogram:
+          ring.hists.push_back(series.histogram->snapshot());
+          break;
+      }
+      ring.tick.push_back(tick);
+      while (ring.tick.size() > config_.capacity) {
+        ring.tick.pop_front();
+        if (!ring.values.empty()) ring.values.pop_front();
+        if (!ring.hists.empty()) ring.hists.pop_front();
+      }
+    }
+  }
+}
+
+std::uint64_t TimeSeriesStore::ticks() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ticks_;
+}
+
+std::vector<std::string> TimeSeriesStore::metric_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(families_.size());
+  for (const auto& [name, slot] : families_) {
+    if (!slot.series.empty()) names.push_back(name);
+  }
+  return names;
+}
+
+SeriesWindow TimeSeriesStore::series_window(
+    const SeriesRing& ring, MetricKind kind, std::size_t window_ticks) const {
+  SeriesWindow out;
+  out.labels = ring.labels;
+  const std::size_t size = ring.tick.size();
+  if (size == 0) return out;
+  const std::size_t span = std::min(window_ticks, size);
+  const std::size_t first = size - span;
+  out.samples = span;
+  out.seconds = static_cast<double>(span > 0 ? span - 1 : 0) *
+                config_.tick_seconds;
+  if (kind == MetricKind::histogram) {
+    HistogramData delta = ring.hists[size - 1];
+    if (span >= 2) delta -= ring.hists[first];
+    out.delta = delta;
+    out.last = static_cast<double>(ring.hists[size - 1].count);
+    return out;
+  }
+  out.last = ring.values[size - 1];
+  if (kind == MetricKind::counter) {
+    if (span >= 2 && out.seconds > 0.0) {
+      const double diff = ring.values[size - 1] - ring.values[first];
+      out.rate = diff > 0.0 ? diff / out.seconds : 0.0;
+    }
+    return out;
+  }
+  // Gauge: extrema and mean over the window.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  for (std::size_t i = first; i < size; ++i) {
+    lo = std::min(lo, ring.values[i]);
+    hi = std::max(hi, ring.values[i]);
+    sum += ring.values[i];
+  }
+  out.min = lo;
+  out.max = hi;
+  out.mean = sum / static_cast<double>(span);
+  return out;
+}
+
+namespace {
+
+/// True when every (key, value) of `filter` appears in `labels`.
+bool labels_match(const Labels& labels, const Labels& filter) {
+  for (const auto& [key, value] : filter) {
+    bool found = false;
+    for (const auto& [lk, lv] : labels) {
+      if (lk == key && lv == value) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+/// Folds one series' window into the family total.  Counter rates and
+/// histogram deltas sum; gauge extrema take the min/max of summed per-tick
+/// values, which for aligned ticks equals summing the per-series stats only
+/// for mean — so extrema are folded conservatively (sum of minima is a
+/// lower bound of the summed series' minimum over the same ticks).
+void fold(WindowAggregate& total, const SeriesWindow& w, bool first) {
+  total.samples = first ? w.samples : std::min(total.samples, w.samples);
+  total.seconds = first ? w.seconds : std::min(total.seconds, w.seconds);
+  total.last += w.last;
+  total.rate += w.rate;
+  total.min = first ? w.min : total.min + w.min;
+  total.mean = first ? w.mean : total.mean + w.mean;
+  total.max = first ? w.max : total.max + w.max;
+  total.delta += w.delta;
+}
+
+}  // namespace
+
+std::optional<WindowAggregate> TimeSeriesStore::aggregate(
+    std::string_view metric, const Labels& filter,
+    double window_seconds) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto family = families_.find(metric);
+  if (family == families_.end()) return std::nullopt;
+  // A window of W seconds measures W/tick intervals, which takes
+  // W/tick + 1 samples (both endpoints) — so even a one-tick window has a
+  // rate/delta instead of degenerating to a single point.
+  const std::size_t window_ticks =
+      1 + std::max<std::size_t>(
+              1, static_cast<std::size_t>(
+                     std::llround(window_seconds / config_.tick_seconds)));
+  WindowAggregate total;
+  total.kind = family->second.kind;
+  bool any = false;
+  for (const auto& [key, ring] : family->second.series) {
+    if (!labels_match(ring.labels, filter)) continue;
+    const SeriesWindow w =
+        series_window(ring, family->second.kind, window_ticks);
+    fold(total, w, !any);
+    any = true;
+  }
+  if (!any) return std::nullopt;
+  return total;
+}
+
+std::optional<FamilyWindow> TimeSeriesStore::family_window(
+    std::string_view metric, double window_seconds) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto family = families_.find(metric);
+  if (family == families_.end()) return std::nullopt;
+  // Same endpoint arithmetic as aggregate(): W/tick intervals, +1 samples.
+  const std::size_t window_ticks =
+      1 + std::max<std::size_t>(
+              1, static_cast<std::size_t>(
+                     std::llround(window_seconds / config_.tick_seconds)));
+  FamilyWindow out;
+  out.name = std::string(metric);
+  out.kind = family->second.kind;
+  out.total.kind = family->second.kind;
+  for (const auto& [key, ring] : family->second.series) {
+    SeriesWindow w = series_window(ring, family->second.kind, window_ticks);
+    fold(out.total, w, out.series.empty());
+    out.series.push_back(std::move(w));
+  }
+  if (out.series.empty()) return std::nullopt;
+  return out;
+}
+
+Sampler::Sampler(std::function<void()> tick, std::chrono::milliseconds interval)
+    : tick_(std::move(tick)),
+      interval_(interval.count() > 0 ? interval
+                                     : std::chrono::milliseconds(1)) {}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::start() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  stopping_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Sampler::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+void Sampler::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval_, [this] { return stopping_; })) {
+      return;
+    }
+    lock.unlock();
+    tick_();
+    ticks_.fetch_add(1, std::memory_order_release);
+    lock.lock();
+  }
+}
+
+}  // namespace opendesc::telemetry

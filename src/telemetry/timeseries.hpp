@@ -1,0 +1,173 @@
+// Windowed time-series layer over the instrument Registry.
+//
+// Counters, gauges and histograms answer "how much, ever"; operators need
+// "how much, lately".  This layer adds the time axis without touching the
+// datapath: a sampler thread snapshots the lock-free Registry on a fixed
+// tick (default 100 ms) into bounded per-series rings, and rolling-window
+// aggregates — rate for counters, min/mean/max for gauges, delta-merged
+// quantiles for histograms — are computed on demand from the rings.
+//
+// Concurrency model, continuing the repo discipline that observability
+// never blocks the datapath:
+//   * The sampler reads instruments through their existing lock-free
+//     snapshot paths (atomic loads, seqlock histogram shards).  The only
+//     lock it takes is the Registry's registration mutex (to walk the
+//     family table) and the store's own mutex — both off the per-packet
+//     hot path by construction.
+//   * TimeSeriesStore is mutex-protected: one writer (the sampler tick)
+//     and any number of readers (the /timeseries route, the SLO rule
+//     engine).  Datapath threads never touch it.
+//   * Rings are bounded (default 600 ticks = 60 s at 100 ms); old samples
+//     fall off the front, so a long-lived serve loop never grows memory.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace opendesc::telemetry {
+
+/// Parses a window spec ("10s", "1s", "500ms", "2m") into seconds.
+/// Throws Error(semantic) on malformed input.
+[[nodiscard]] double parse_window_seconds(std::string_view spec);
+
+struct TimeSeriesConfig {
+  double tick_seconds = 0.1;   ///< sampling period the rings assume
+  std::size_t capacity = 600;  ///< retained ticks per series (60 s default)
+};
+
+/// Rolling-window aggregate of one metric family (series summed per tick).
+struct WindowAggregate {
+  MetricKind kind = MetricKind::counter;
+  std::size_t samples = 0;  ///< ticks the window actually covered
+  double seconds = 0.0;     ///< wall span of those ticks
+  double last = 0.0;        ///< newest summed raw value
+  double rate = 0.0;        ///< counters: (newest - oldest) / seconds
+  double min = 0.0;         ///< gauges: extrema/mean of the summed series
+  double mean = 0.0;
+  double max = 0.0;
+  HistogramData delta;      ///< histograms: newest minus oldest snapshot
+};
+
+/// One series' view of the same window, for per-queue / per-stage detail.
+struct SeriesWindow {
+  Labels labels;
+  std::size_t samples = 0;
+  double seconds = 0.0;
+  double last = 0.0;
+  double rate = 0.0;
+  double min = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+  HistogramData delta;
+};
+
+struct FamilyWindow {
+  std::string name;
+  MetricKind kind = MetricKind::counter;
+  std::vector<SeriesWindow> series;  ///< deterministic (label-sorted) order
+  WindowAggregate total;
+};
+
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(TimeSeriesConfig config = {});
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  /// Appends one tick: snapshots every registry series into its ring.
+  /// Sampler-thread only (one logical writer).
+  void sample(const Registry& registry);
+
+  /// Ticks sampled so far.
+  [[nodiscard]] std::uint64_t ticks() const;
+
+  [[nodiscard]] const TimeSeriesConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Family names with at least one sampled series, sorted.
+  [[nodiscard]] std::vector<std::string> metric_names() const;
+
+  /// Summed-across-series window aggregate of one family; series whose
+  /// labels do not contain every (key, value) of `filter` are skipped.
+  /// nullopt when the family was never sampled (or nothing matches).
+  [[nodiscard]] std::optional<WindowAggregate> aggregate(
+      std::string_view metric, const Labels& filter,
+      double window_seconds) const;
+
+  /// Per-series windows plus the summed total for one family.
+  [[nodiscard]] std::optional<FamilyWindow> family_window(
+      std::string_view metric, double window_seconds) const;
+
+ private:
+  struct SeriesRing {
+    Labels labels;
+    std::deque<double> values;        ///< counter/gauge raw samples
+    std::deque<HistogramData> hists;  ///< histogram snapshots
+    std::deque<std::uint64_t> tick;   ///< tick index of each sample
+  };
+  struct FamilySlot {
+    MetricKind kind = MetricKind::counter;
+    std::map<std::string, SeriesRing> series;  ///< canonical labels → ring
+  };
+
+  [[nodiscard]] SeriesWindow series_window(const SeriesRing& ring,
+                                           MetricKind kind,
+                                           std::size_t window_ticks) const;
+
+  TimeSeriesConfig config_;
+  mutable std::mutex mutex_;
+  std::uint64_t ticks_ = 0;
+  std::map<std::string, FamilySlot, std::less<>> families_;
+};
+
+/// The background tick: a dedicated thread invoking one callback on a
+/// fixed period until stopped.  The callback runs on the sampler thread —
+/// typical wiring is live-publish, then TimeSeriesStore::sample(), then
+/// HealthEngine::evaluate().  stop() (and the destructor) wake the thread
+/// immediately rather than waiting out the period.
+class Sampler {
+ public:
+  Sampler(std::function<void()> tick, std::chrono::milliseconds interval);
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Spawns the tick thread.  Idempotent.
+  void start();
+  /// Joins the tick thread.  Idempotent; also run by the destructor.
+  void stop();
+
+  /// Callback invocations so far.
+  [[nodiscard]] std::uint64_t ticks() const noexcept {
+    return ticks_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void loop();
+
+  std::function<void()> tick_;
+  std::chrono::milliseconds interval_;
+  std::atomic<std::uint64_t> ticks_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace opendesc::telemetry

@@ -17,6 +17,7 @@
 #include "telemetry/flight.hpp"
 #include "telemetry/server.hpp"
 #include "telemetry/sink.hpp"
+#include "telemetry/timeseries.hpp"
 
 namespace opendesc {
 namespace {
@@ -80,6 +81,21 @@ TEST(HttpServerTest, HandlerExceptionBecomesInternalError) {
   const Response got = http_get("127.0.0.1", server.port(), "/");
   EXPECT_EQ(got.status, 500);
   EXPECT_NE(got.body.find("boom"), std::string::npos);
+}
+
+TEST(HttpServerTest, HeadIsAnsweredHeadersOnly) {
+  HttpServer server({}, [](const Request&) {
+    Response out;
+    out.body = "some body text";
+    return out;
+  });
+  server.start();
+  const Response head =
+      http::http_request("HEAD", "127.0.0.1", server.port(), "/");
+  EXPECT_EQ(head.status, 200);
+  EXPECT_TRUE(head.body.empty()) << "HEAD must not carry a body";
+  // The same target via GET does carry the body.
+  EXPECT_EQ(http_get("127.0.0.1", server.port(), "/").body, "some body text");
 }
 
 TEST(HttpServerTest, StartStopAreIdempotentAndRestartable) {
@@ -191,9 +207,60 @@ TEST_F(Routes, FlightServesRecorderDump) {
   EXPECT_NE(got.body.find("ice/p0"), std::string::npos);
 }
 
-TEST_F(Routes, UnknownPathIs404) {
-  EXPECT_EQ(server.handle(get("/nope")).status, 404);
+TEST_F(Routes, UnknownPathIsStructuredJson404) {
+  const Response got = server.handle(get("/nope"));
+  EXPECT_EQ(got.status, 404);
+  EXPECT_EQ(got.content_type, "application/json");
+  EXPECT_NE(got.body.find("\"error\":\"not found\""), std::string::npos);
+  EXPECT_NE(got.body.find("\"path\":\"/nope\""), std::string::npos);
+  // The route table is part of the contract: a scraper hitting a typo'd
+  // path learns what does exist.
+  EXPECT_NE(got.body.find("\"/metrics\""), std::string::npos);
+  EXPECT_NE(got.body.find("\"/alerts\""), std::string::npos);
+  EXPECT_NE(got.body.find("\"/timeseries\""), std::string::npos);
   EXPECT_EQ(server.handle(get("/")).status, 404);
+}
+
+TEST_F(Routes, AlertsWithoutHealthEngineReportsDisabled) {
+  const Response got = server.handle(get("/alerts"));
+  EXPECT_EQ(got.status, 200);
+  EXPECT_EQ(got.content_type, "application/json");
+  EXPECT_NE(got.body.find("\"enabled\":false"), std::string::npos);
+  EXPECT_NE(got.body.find("\"rules\":[]"), std::string::npos);
+}
+
+TEST_F(Routes, TimeseriesWithoutStoreIs404Json) {
+  const Response got = server.handle(get("/timeseries"));
+  EXPECT_EQ(got.status, 404);
+  EXPECT_EQ(got.content_type, "application/json");
+  EXPECT_NE(got.body.find("not enabled"), std::string::npos);
+}
+
+TEST_F(Routes, TimeseriesServesCatalogAndWindows) {
+  telemetry::TimeSeriesStore store({.tick_seconds = 0.1, .capacity = 16});
+  telemetry::Registry reg;
+  reg.counter("demo_total", "demo", {{"queue", "0"}}).add(10);
+  store.sample(reg);
+  reg.counter("demo_total", "demo", {{"queue", "0"}}).add(10);
+  store.sample(reg);
+  server.set_timeseries(&store);
+
+  const Response catalog = server.handle(get("/timeseries"));
+  EXPECT_EQ(catalog.status, 200);
+  EXPECT_NE(catalog.body.find("\"metrics\":[\"demo_total\"]"),
+            std::string::npos);
+
+  const Response family = server.handle(get("/timeseries?metric=demo_total"));
+  EXPECT_EQ(family.status, 200);
+  EXPECT_NE(family.body.find("\"metric\":\"demo_total\""), std::string::npos);
+  EXPECT_NE(family.body.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(family.body.find("\"rate\":"), std::string::npos);
+
+  EXPECT_EQ(server.handle(get("/timeseries?metric=missing")).status, 404);
+  // Malformed window → 400 with the parse error.
+  Request bad = get("/timeseries?metric=demo_total");
+  bad.query.emplace("window", "banana");
+  EXPECT_EQ(server.handle(bad).status, 400);
 }
 
 // --- flight recorder unit behaviour -----------------------------------------
@@ -295,6 +362,24 @@ TEST_F(LiveEngine, ServesEveryEndpointDuringAndAfterAFaultedRun) {
   EXPECT_EQ(http_get("127.0.0.1", port, "/metrics.json").status, 200);
   const Response traces = http_get("127.0.0.1", port, "/traces?queue=0");
   EXPECT_EQ(traces.status, 200);
+
+  // Unknown routes answer the structured JSON 404 over the wire too, and
+  // HEAD is headers-only end to end.
+  const Response missing = http_get("127.0.0.1", port, "/definitely-not");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_EQ(missing.content_type, "application/json");
+  EXPECT_NE(missing.body.find("\"routes\":"), std::string::npos);
+  const Response head =
+      http::http_request("HEAD", "127.0.0.1", port, "/metrics");
+  EXPECT_EQ(head.status, 200);
+  EXPECT_TRUE(head.body.empty());
+
+  // --listen implies the health monitor: the sampler feeds /timeseries even
+  // with no rules loaded, and /alerts reports the (disabled) rule engine.
+  const Response alerts = http_get("127.0.0.1", port, "/alerts");
+  EXPECT_EQ(alerts.status, 200);
+  EXPECT_NE(alerts.body.find("\"rules\":"), std::string::npos);
+  EXPECT_EQ(http_get("127.0.0.1", port, "/timeseries").status, 200);
 
   // The flight dump must carry the actual quarantined record bytes.
   const Response flight = http_get("127.0.0.1", port, "/flight");

@@ -40,16 +40,44 @@ done
 PORT=$(cat "$PORT_FILE")
 BASE="http://127.0.0.1:$PORT"
 
+# Readiness gate with bounded backoff: /readyz legitimately answers 503 in
+# the instants before every queue lands its first batch, and under scheduler
+# pressure that warm-up can take a while.  Waiting here (0.1s doubling to a
+# 1.6s cap) keeps the full probe set below from burning its retries against
+# a known-cold server.
+delay=0.1
+tries=0
+while ! "$SCRAPE_CHECK" "$BASE/metrics" --probe "$BASE/readyz" \
+        >/dev/null 2>&1; do
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "live_scrape_test: server died before turning ready" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    tries=$((tries + 1))
+    if [ "$tries" -ge 15 ]; then
+        echo "live_scrape_test: $BASE/readyz never turned ready" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep "$delay"
+    case "$delay" in
+        0.1) delay=0.2 ;;
+        0.2) delay=0.4 ;;
+        0.4) delay=0.8 ;;
+        *)   delay=1.6 ;;
+    esac
+done
+
 # The golden-schema families only exist once the first run has published,
-# and /readyz legitimately answers 503 in the instants before every queue
-# lands its first batch — so the whole probe set retries until the engine
-# is warm.
+# so the whole probe set still retries until the engine is warm.
 tries=0
 while :; do
     if "$SCRAPE_CHECK" "$BASE/metrics" \
         --probe "$BASE/healthz" --probe "$BASE/readyz" \
         --probe "$BASE/metrics.json" --probe "$BASE/traces" \
-        --probe "$BASE/traces?queue=0" --probe "$BASE/flight"; then
+        --probe "$BASE/traces?queue=0" --probe "$BASE/flight" \
+        --probe "$BASE/alerts" --probe "$BASE/timeseries"; then
         exit 0
     fi
     tries=$((tries + 1))

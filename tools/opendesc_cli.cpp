@@ -30,20 +30,35 @@
 //       instead of the human-readable summary.
 //   opendesc serve --nic <name|file.p4> [simulate options]
 //                  [--listen <host:port>] [--port-file <file>] [--runs <n>]
+//                  [--rules <file>] [--idle-ms <n>]
 //       Live observability: embeds the HTTP scrape server (/metrics,
-//       /metrics.json, /healthz, /readyz, /traces, /flight) and drives
-//       engine runs while it serves — `--runs 0` loops until killed.
+//       /metrics.json, /healthz, /readyz, /traces, /flight, /alerts,
+//       /timeseries) and drives engine runs while it serves — `--runs 0`
+//       loops until killed.  --rules loads SLO rules (see
+//       docs/observability.md) evaluated each sampler tick; --idle-ms
+//       keeps the server and sampler alive that long after finite runs
+//       finish, so windowed rates decay and firing alerts can resolve.
+//   opendesc top --url <http://host:port> [--interval <ms>]
+//                [--iterations <n>] [--plain]
+//       Live ANSI dashboard against a serving instance: per-queue goodput
+//       sparklines (1s window), stage-latency p99, and firing SLO alerts,
+//       refreshed every --interval ms.  --iterations bounds the redraw
+//       count (0 = until killed); --plain skips the ANSI screen clearing
+//       for logs and tests.
 //
-// `simulate` also accepts --listen (serve this one run live), and
-// --flight-out writes the fault flight recorder's postmortem JSON.
+// `simulate` also accepts --listen (serve this one run live), --rules /
+// --alerts-out (health-plane evaluation with a final JSON alert export),
+// and --flight-out writes the fault flight recorder's postmortem JSON.
 //
 // Every value flag accepts both "--flag value" and "--flag=value".
 // NIC arguments name either a catalog entry (e.g. "mlx5") or a path to a
 // standalone P4 interface description.
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <type_traits>
 #include <iostream>
 #include <memory>
@@ -54,6 +69,7 @@
 
 #include "common/error.hpp"
 #include "core/compiler.hpp"
+#include "http/server.hpp"
 #include "engine/engine.hpp"
 #include "engine/publish.hpp"
 #include "core/planner.hpp"
@@ -84,12 +100,16 @@ int usage() {
       "                    [--fault-seed <n>] [--guard]\n"
       "                    [--queues <n>] [--batch <n>]\n"
       "                    [--metrics-out <file>] [--flight-out <file>]\n"
-      "                    [--listen <host:port>]\n"
+      "                    [--listen <host:port>] [--rules <file>]\n"
+      "                    [--alerts-out <file>]\n"
       "  opendesc stats --nic <name|file.p4> [simulate options]\n"
       "                 [--format prometheus|json]\n"
       "  opendesc serve --nic <name|file.p4> [simulate options]\n"
       "                 [--listen <host:port>] [--port-file <file>]\n"
       "                 [--runs <n>]   (0 = loop until killed)\n"
+      "                 [--rules <file>] [--idle-ms <n>]\n"
+      "  opendesc top --url <http://host:port> [--interval <ms>]\n"
+      "               [--iterations <n>] [--plain]\n"
       "(value flags also accept --flag=value)\n";
   return 2;
 }
@@ -141,6 +161,17 @@ struct Args {
   std::string flight_out;  ///< write the flight recorder JSON here
   std::string port_file;   ///< write the bound port here (for scripts)
   std::size_t runs = 1;    ///< serve: engine runs to drive (0 = forever)
+
+  // health-plane options
+  std::string rules;       ///< SLO rules file evaluated each sampler tick
+  std::string alerts_out;  ///< write the final alert snapshot JSON here
+  std::size_t idle_ms = 0; ///< serve: linger after finite runs (rates decay)
+
+  // `top` dashboard options
+  std::string url;                 ///< server base URL, e.g. http://host:port
+  std::size_t interval_ms = 1000;  ///< redraw period
+  std::size_t iterations = 0;      ///< redraws before exiting (0 = forever)
+  bool plain = false;              ///< no ANSI clear — log/test friendly
 };
 
 // std::sto* throw on malformed input; reject with a message instead of
@@ -246,6 +277,32 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.format = v;
+    } else if (arg == "--rules") {
+      const char* v = next();
+      if (!v) return false;
+      args.rules = v;
+    } else if (arg == "--alerts-out") {
+      const char* v = next();
+      if (!v) return false;
+      args.alerts_out = v;
+    } else if (arg == "--idle-ms") {
+      const char* v = next();
+      if (!v || !parse_num("--idle-ms", v, [](const char* s) { return std::stoull(s); }, args.idle_ms))
+        return false;
+    } else if (arg == "--url") {
+      const char* v = next();
+      if (!v) return false;
+      args.url = v;
+    } else if (arg == "--interval") {
+      const char* v = next();
+      if (!v || !parse_num("--interval", v, [](const char* s) { return std::stoull(s); }, args.interval_ms))
+        return false;
+    } else if (arg == "--iterations") {
+      const char* v = next();
+      if (!v || !parse_num("--iterations", v, [](const char* s) { return std::stoull(s); }, args.iterations))
+        return false;
+    } else if (arg == "--plain") {
+      args.plain = true;
     } else if (arg == "--guard") {
       args.guard = true;
     } else if (arg == "--tx") {
@@ -397,10 +454,17 @@ void print_stage_table(const rt::EngineReport& report) {
               "mean", "p50", "p99", "p999");
   for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
     const telemetry::HistogramData& data = report.stage_latency[s];
+    const std::string stage =
+        std::string(telemetry::to_string(static_cast<telemetry::Stage>(s)));
+    if (data.count == 0) {
+      // A stage that recorded no batches has no latency distribution;
+      // printing zeros would read as "instantaneous", so print '-'.
+      std::printf("    %-10s %10s %10s %10s %10s %10s\n", stage.c_str(), "-",
+                  "-", "-", "-", "-");
+      continue;
+    }
     std::printf(
-        "    %-10s %10llu %10.0f %10llu %10llu %10llu\n",
-        std::string(telemetry::to_string(static_cast<telemetry::Stage>(s)))
-            .c_str(),
+        "    %-10s %10llu %10.0f %10llu %10llu %10llu\n", stage.c_str(),
         static_cast<unsigned long long>(data.count), data.mean(),
         static_cast<unsigned long long>(data.quantile_upper_bound(0.5)),
         static_cast<unsigned long long>(data.quantile_upper_bound(0.99)),
@@ -436,16 +500,21 @@ int run_simulation(const Args& args, telemetry::Sink* sink, bool print_human) {
   softnic::ComputeEngine engine(registry);
 
   // The engine branch also serves any run that wants the live observability
-  // plane: --listen embeds the HTTP server regardless of queue count.
-  if (args.queues > 1 || !args.listen.empty()) {
-    const rt::EngineConfig engine_config = rt::EngineConfig{}
-                                               .with_queues(args.queues)
-                                               .with_batch(args.batch)
-                                               .with_guard(args.guard)
-                                               .with_fault_rate(args.fault_rate,
-                                                                args.fault_seed)
-                                               .with_telemetry(sink)
-                                               .with_server(args.listen);
+  // plane: --listen embeds the HTTP server, --rules / --alerts-out activate
+  // the health monitor — each regardless of queue count.
+  if (args.queues > 1 || !args.listen.empty() || !args.rules.empty() ||
+      !args.alerts_out.empty()) {
+    const rt::EngineConfig engine_config =
+        rt::EngineConfig{}
+            .with_queues(args.queues)
+            .with_batch(args.batch)
+            .with_guard(args.guard)
+            .with_fault_rate(args.fault_rate, args.fault_seed)
+            .with_telemetry(sink)
+            .with_server(args.listen)
+            .with_health_rules(args.rules.empty() ? std::string()
+                                                  : read_file(args.rules))
+            .with_monitor(!args.alerts_out.empty());
     rt::MultiQueueEngine mq(result, engine, engine_config);
 
     if (mq.server() != nullptr) {
@@ -485,6 +554,28 @@ int run_simulation(const Args& args, telemetry::Sink* sink, bool print_human) {
         // Breathe between runs so a long-lived serve loop doesn't peg the
         // machine: the server stays responsive throughout.
         std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
+
+    if (args.idle_ms > 0) {
+      // Linger with the server and sampler alive but no traffic: windowed
+      // rates decay toward zero, giving firing alerts a chance to resolve
+      // before the final snapshot and shutdown.
+      std::this_thread::sleep_for(std::chrono::milliseconds(args.idle_ms));
+    }
+    if (!args.alerts_out.empty()) {
+      std::ofstream alerts(args.alerts_out);
+      if (!alerts) {
+        throw Error(ErrorKind::io,
+                    "cannot write alerts file '" + args.alerts_out + "'");
+      }
+      alerts << (mq.health() != nullptr
+                     ? mq.health()->to_json()
+                     : std::string("{\"enabled\":false,\"evaluations\":0,"
+                                   "\"firing\":0,\"rules\":[]}"))
+             << "\n";
+      if (print_human) {
+        std::printf("wrote alert snapshot to %s\n", args.alerts_out.c_str());
       }
     }
 
@@ -688,6 +779,198 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+// ---- opendesc top ----------------------------------------------------------
+
+/// "--url http://host:port" (scheme and any trailing path optional) → the
+/// host/port pair the HTTP client needs.
+std::pair<std::string, std::uint16_t> parse_top_url(const std::string& url) {
+  std::string rest = url;
+  if (rest.rfind("http://", 0) == 0) {
+    rest = rest.substr(7);
+  }
+  if (const auto slash = rest.find('/'); slash != std::string::npos) {
+    rest.resize(slash);
+  }
+  const auto colon = rest.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= rest.size()) {
+    throw Error(ErrorKind::semantic,
+                "--url must look like http://host:port, got '" + url + "'");
+  }
+  std::string host = rest.substr(0, colon);
+  if (host.empty()) {
+    host = "127.0.0.1";
+  }
+  unsigned long port = 0;
+  try {
+    port = std::stoul(rest.substr(colon + 1));
+  } catch (const std::exception&) {
+    port = 0;
+  }
+  if (port == 0 || port > 65535) {
+    throw Error(ErrorKind::semantic, "bad port in --url '" + url + "'");
+  }
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+std::vector<std::string> split_tabs(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const auto tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+double tsv_num(const std::vector<std::string>& fields, std::size_t index) {
+  if (index >= fields.size()) {
+    return 0.0;
+  }
+  try {
+    return std::stod(fields[index]);
+  } catch (const std::exception&) {
+    return 0.0;
+  }
+}
+
+/// Unicode block sparkline scaled to the window's own maximum.
+std::string sparkline(const std::deque<double>& history) {
+  static const char* const kBlocks[] = {"▁", "▂", "▃", "▄",
+                                        "▅", "▆", "▇", "█"};
+  double hi = 0.0;
+  for (const double v : history) {
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  for (const double v : history) {
+    if (!(hi > 0.0) || v <= 0.0) {
+      out += " ";
+      continue;
+    }
+    const int idx = std::clamp(static_cast<int>(v / hi * 7.0 + 0.5), 0, 7);
+    out += kBlocks[idx];
+  }
+  return out;
+}
+
+/// Live dashboard: poll /timeseries and /alerts in their TSV renderings and
+/// redraw.  Everything it shows comes over HTTP, so it runs against any
+/// serving instance — local or remote — with zero shared state.
+int cmd_top(const Args& args) {
+  const auto [host, port] =
+      parse_top_url(args.url.empty() ? "http://127.0.0.1:9464" : args.url);
+  std::map<std::string, std::deque<double>> history;
+  constexpr std::size_t kHistory = 32;
+  char buf[256];
+
+  for (std::size_t iter = 0; args.iterations == 0 || iter < args.iterations;
+       ++iter) {
+    if (iter != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::max<std::size_t>(1, args.interval_ms)));
+    }
+    http::Response goodput;
+    http::Response stages;
+    http::Response alerts;
+    try {
+      goodput = http::http_get(
+          host, port,
+          "/timeseries?metric=opendesc_rx_packets_total&window=1s&format=tsv");
+      stages = http::http_get(
+          host, port,
+          "/timeseries?metric=opendesc_stage_latency_ns&window=10s&format=tsv");
+      alerts = http::http_get(host, port, "/alerts?format=tsv");
+    } catch (const Error& e) {
+      if (iter == 0) {
+        throw;  // dead target: fail fast instead of redrawing errors forever
+      }
+      std::printf("opendesc top: fetch failed (%s) — retrying\n", e.what());
+      std::fflush(stdout);
+      continue;
+    }
+
+    std::ostringstream frame;
+    frame << "opendesc top — http://" << host << ':' << port << "  (frame "
+          << iter + 1 << ")\n\n";
+
+    frame << "per-queue goodput (pkts/s, 1s window):\n";
+    bool any_goodput = false;
+    if (goodput.status == 200) {
+      std::istringstream lines(goodput.body);
+      for (std::string line; std::getline(lines, line);) {
+        if (line.empty()) continue;
+        const std::vector<std::string> fields = split_tabs(line);
+        const double rate = tsv_num(fields, 1);
+        std::deque<double>& h = history[fields[0]];
+        h.push_back(rate);
+        while (h.size() > kHistory) h.pop_front();
+        std::snprintf(buf, sizeof buf, "  %-24s %12.0f  ", fields[0].c_str(),
+                      rate);
+        frame << buf << sparkline(h) << '\n';
+        any_goodput = true;
+      }
+    }
+    if (!any_goodput) {
+      frame << "  (no sampled data yet)\n";
+    }
+
+    frame << "\nstage latency (ns, 10s window):\n";
+    bool any_stage = false;
+    if (stages.status == 200) {
+      std::snprintf(buf, sizeof buf, "  %-24s %10s %10s %10s %10s %10s\n",
+                    "stage", "batches", "mean", "p50", "p99", "p999");
+      frame << buf;
+      std::istringstream lines(stages.body);
+      for (std::string line; std::getline(lines, line);) {
+        if (line.empty()) continue;
+        const std::vector<std::string> fields = split_tabs(line);
+        std::snprintf(buf, sizeof buf,
+                      "  %-24s %10.0f %10.0f %10.0f %10.0f %10.0f\n",
+                      fields[0].c_str(), tsv_num(fields, 1), tsv_num(fields, 2),
+                      tsv_num(fields, 3), tsv_num(fields, 4),
+                      tsv_num(fields, 5));
+        frame << buf;
+        any_stage = true;
+      }
+    }
+    if (!any_stage) {
+      frame << "  (no sampled data yet)\n";
+    }
+
+    frame << "\nSLO alerts:\n";
+    bool any_alert = false;
+    std::istringstream lines(alerts.body);
+    for (std::string line; std::getline(lines, line);) {
+      if (line.empty()) continue;
+      // name, state, value, cmp, threshold, consecutive, fired, capture
+      const std::vector<std::string> fields = split_tabs(line);
+      const auto field = [&](std::size_t i) {
+        return i < fields.size() ? fields[i].c_str() : "?";
+      };
+      std::snprintf(buf, sizeof buf,
+                    "  %-28s %-9s value %-12s (%s %s)  fired %s  capture %s\n",
+                    field(0), field(1), field(2), field(3), field(4), field(6),
+                    field(7));
+      frame << buf;
+      any_alert = true;
+    }
+    if (!any_alert) {
+      frame << "  (no rules loaded)\n";
+    }
+
+    if (!args.plain) {
+      std::fputs("\x1b[H\x1b[2J", stdout);  // cursor home + clear screen
+    }
+    std::fputs(frame.str().c_str(), stdout);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -716,6 +999,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "serve") {
       return cmd_serve(args);
+    }
+    if (args.command == "top") {
+      return cmd_top(args);
     }
     return usage();
   } catch (const Error& e) {

@@ -610,7 +610,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Liveness/readiness probes: each must answer 200.
+  // Liveness/readiness probes: each must answer 200.  Health-plane routes
+  // additionally get a shallow schema check — the body must carry the JSON
+  // keys an external consumer keys off of.
   bool probe_failed = false;
   for (const std::string& probe : probes) {
     std::string error;
@@ -619,13 +621,42 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "scrape_check: probe %s: %s\n", probe.c_str(),
                    error.c_str());
       probe_failed = true;
-    } else if (got->status != 200) {
+      continue;
+    }
+    if (got->status != 200) {
       std::fprintf(stderr, "scrape_check: probe %s: HTTP %d, expected 200\n",
                    probe.c_str(), got->status);
       probe_failed = true;
-    } else {
-      std::printf("probe OK: %s\n", probe.c_str());
+      continue;
     }
+    const std::size_t path_at = probe.find('/', 7);
+    const std::string path =
+        path_at == std::string::npos ? "/" : probe.substr(path_at);
+    if (path.compare(0, 7, "/alerts") == 0 &&
+        path.find("format=tsv") == std::string::npos) {
+      if (got->body.find("\"rules\":") == std::string::npos ||
+          got->body.find("\"firing\":") == std::string::npos) {
+        std::fprintf(stderr,
+                     "scrape_check: probe %s: /alerts body lacks "
+                     "\"rules\"/\"firing\" keys\n",
+                     probe.c_str());
+        probe_failed = true;
+        continue;
+      }
+    } else if (path.compare(0, 11, "/timeseries") == 0 &&
+               path.find("format=tsv") == std::string::npos) {
+      // Catalog form exposes "metrics": [...], single-metric form "metric":.
+      if (got->body.find("\"metrics\":") == std::string::npos &&
+          got->body.find("\"metric\":") == std::string::npos) {
+        std::fprintf(stderr,
+                     "scrape_check: probe %s: /timeseries body lacks a "
+                     "\"metric(s)\" key\n",
+                     probe.c_str());
+        probe_failed = true;
+        continue;
+      }
+    }
+    std::printf("probe OK: %s\n", probe.c_str());
   }
 
   std::string text;
