@@ -1,21 +1,28 @@
 // The title story, runnable: "from static NIC descriptors to EVOLVABLE
-// metadata interfaces".
+// metadata interfaces" — now without ever stopping the datapath.
 //
 // A NIC vendor ships three firmware generations of the same device.  The
-// application's intent never changes; at each generation it simply
-// recompiles the same intent against the new interface description.  Watch
-// the hardware/software split, the completion size, and the per-packet cost
-// evolve while the application code — and the values it observes — stay
-// identical.
+// application's intent never changes; each new generation is recompiled from
+// the same intent and HOT-SWAPPED into the running engine: the control plane
+// programs and verifies the new layout off to the side, every queue drains
+// to a barrier, and the epoch flips — no packet lost, no application change.
+// A sabotaged swap (a control channel that drops every register write) is
+// thrown in between the good ones to show the other half of the contract:
+// verification exhausts its bounded backoff, the swap rolls back, and the
+// engine keeps serving on the old firmware as if nothing happened.
 //
 // Run:  ./firmware_evolution [packets]
+#include <cstdio>
 #include <iostream>
+#include <memory>
+#include <vector>
 
 #include "common/error.hpp"
 #include "core/compiler.hpp"
+#include "engine/engine.hpp"
 #include "net/workload.hpp"
-#include "runtime/rxloop.hpp"
-#include "sim/nicsim.hpp"
+#include "runtime/epoch.hpp"
+#include "sim/faults.hpp"
 
 namespace {
 
@@ -81,70 +88,130 @@ header app_t {
 }
 )P4";
 
+const char* outcome_name(opendesc::rt::SwapOutcome outcome) {
+  return outcome == opendesc::rt::SwapOutcome::committed ? "committed"
+                                                         : "rolled back";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace opendesc;
-  using softnic::SemanticId;
 
   const std::size_t packet_count =
-      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 20000;
-  const std::vector<SemanticId> wanted = {
-      SemanticId::pkt_len, SemanticId::l4_csum_ok, SemanticId::rss_hash};
+      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 30000;
 
-  std::cout << "One application intent, three firmware generations:\n"
+  std::cout << "One application intent, three firmware generations, "
+               "zero downtime:\n"
             << kIntent << "\n";
-  std::printf("%-6s %6s %-28s %10s %12s %18s\n", "fw", "cmpt",
-              "software fallbacks", "ns/pkt", "fallbacks", "value checksum");
 
-  const struct {
-    const char* name;
-    const char* source;
-  } generations[] = {{"gen1", kGen1}, {"gen2", kGen2}, {"gen3", kGen3}};
+  try {
+    softnic::SemanticRegistry registry;
+    softnic::CostTable costs(registry);
+    core::Compiler compiler(registry, costs);
+    softnic::ComputeEngine compute(registry);
 
-  for (const auto& gen : generations) {
-    try {
-      softnic::SemanticRegistry registry;
-      softnic::CostTable costs(registry);
-      core::Compiler compiler(registry, costs);
-      const core::CompileResult result =
-          compiler.compile(gen.source, kIntent, {});
-      softnic::ComputeEngine engine(registry);
-      sim::NicSimulator nic(result.layout, engine, {});
-      rt::OpenDescStrategy strategy(result, engine);
+    // The running engine boots on generation 1; generations 2 and 3 are
+    // compiled from the SAME intent and queued as live swaps.
+    const core::CompileResult gen1 = compiler.compile(kGen1, kIntent, {});
+    const auto gen2 = std::make_shared<const core::CompileResult>(
+        compiler.compile(kGen2, kIntent, {}));
+    const auto gen3 = std::make_shared<const core::CompileResult>(
+        compiler.compile(kGen3, kIntent, {}));
 
-      net::WorkloadConfig config;
-      config.seed = 77;  // the same trace for every generation
-      config.bad_l4_csum_fraction = 0.1;
-      net::WorkloadGenerator workload(config);
+    net::WorkloadConfig workload;
+    workload.seed = 77;  // the same trace with or without swaps
+    workload.bad_l4_csum_fraction = 0.1;
+    net::WorkloadGenerator gen(workload);
+    const std::vector<net::Packet> trace = gen.batch(packet_count);
 
-      rt::RxLoopConfig loop;
-      loop.packet_count = packet_count;
-      const rt::RxLoopStats stats =
-          rt::run_rx_loop(nic, workload, strategy, wanted, loop);
+    rt::EngineConfig config;
+    config.queues = 4;
+    config.guard = true;
+    rt::MultiQueueEngine engine(gen1, compute, config);
 
-      std::string shims;
-      for (const auto& shim : result.shims) {
-        if (!shims.empty()) shims += ",";
-        shims += shim.semantic_name;
-      }
-      if (shims.empty()) shims = "(none)";
-      std::printf("%-6s %5zuB %-28s %10.1f %12llu %18llx\n", gen.name,
-                  result.layout.total_bytes(), shims.c_str(),
-                  stats.ns_per_packet(),
-                  static_cast<unsigned long long>(
-                      strategy.facade().path_counters().total().softnic_shim),
-                  static_cast<unsigned long long>(stats.value_checksum));
-    } catch (const Error& e) {
-      std::printf("%-6s failed: %s\n", gen.name, e.what());
+    // Upgrade to gen2 a third of the way in.
+    rt::SwapRequest to_gen2;
+    to_gen2.result = gen2;
+    to_gen2.at_offered = packet_count / 3;
+    engine.request_swap(to_gen2);
+
+    // A sabotaged gen3 upgrade: the control channel silently drops every
+    // register write.  Verify-after-write must catch it and roll back.
+    rt::SwapRequest sabotaged;
+    sabotaged.result = gen3;
+    sabotaged.ctrl_faults = sim::FaultConfig{};
+    sabotaged.ctrl_faults->seed = 13;
+    sabotaged.ctrl_faults->rate(sim::FaultClass::ctrl_write_drop) = 1.0;
+    sabotaged.at_offered = packet_count / 2;
+    engine.request_swap(sabotaged);
+
+    // ...and the honest gen3 upgrade lands two thirds of the way in.
+    rt::SwapRequest to_gen3;
+    to_gen3.result = gen3;
+    to_gen3.at_offered = 2 * packet_count / 3;
+    engine.request_swap(to_gen3);
+
+    const rt::EngineReport report = engine.run(trace);
+    const rt::LayoutEpochManager& epochs = engine.epochs();
+
+    std::printf("swap history:\n");
+    for (const rt::SwapRecord& swap : epochs.history()) {
+      std::printf("  epoch %llu -> %llu  %-11s attempts %zu%s%s\n",
+                  static_cast<unsigned long long>(swap.from_epoch),
+                  static_cast<unsigned long long>(swap.to_epoch),
+                  outcome_name(swap.outcome), swap.attempts,
+                  swap.detail.empty() ? "" : "  — ", swap.detail.c_str());
     }
-  }
 
-  std::cout << "\nThe value checksum is identical in every row: the "
-               "application observes the same\nmetadata regardless of where "
-               "it was computed.  Each firmware generation moves work\nfrom "
-               "the software column into the completion record — no driver "
-               "or application\nchanges, only a recompile of the same "
-               "intent.  That is the evolvability argument.\n";
+    std::printf("\nper-epoch accounting:\n");
+    std::printf("  %-6s %-10s %6s %10s %12s %18s\n", "epoch", "path", "cmpt",
+                "packets", "shim reads", "value checksum");
+    for (const rt::EpochAccounting& acct : epochs.accounting()) {
+      std::uint64_t shim_reads = 0;  // semantics served in software
+      for (const auto& [raw, counts] : acct.semantic_paths.snapshot()) {
+        shim_reads += counts.softnic_shim;
+      }
+      std::printf("  %-6llu %-10s %5zuB %10llu %12llu %18llx\n",
+                  static_cast<unsigned long long>(acct.epoch),
+                  acct.path_id.c_str(), acct.record_bytes,
+                  static_cast<unsigned long long>(acct.stats.packets),
+                  static_cast<unsigned long long>(shim_reads),
+                  static_cast<unsigned long long>(acct.stats.value_checksum));
+    }
+
+    // The proof: a static gen3 engine over the identical trace observes the
+    // identical semantic values — the swapped run lost and changed nothing.
+    rt::MultiQueueEngine golden(*gen3, compute, config);
+    const rt::EngineReport golden_report = golden.run(trace);
+
+    std::printf("\ngoodput: %llu / %llu packets (%.1f%%) across %llu live "
+                "swaps, %llu rolled back\n",
+                static_cast<unsigned long long>(report.total.packets),
+                static_cast<unsigned long long>(report.offered_total),
+                100.0 * report.total.delivery_ratio(report.offered_total),
+                static_cast<unsigned long long>(
+                    epochs.swaps(rt::SwapOutcome::committed)),
+                static_cast<unsigned long long>(
+                    epochs.swaps(rt::SwapOutcome::rolled_back)));
+    std::printf("value checksum: swapped run %llx, static gen3 run %llx — %s\n",
+                static_cast<unsigned long long>(report.total.value_checksum),
+                static_cast<unsigned long long>(
+                    golden_report.total.value_checksum),
+                report.total.value_checksum ==
+                        golden_report.total.value_checksum
+                    ? "identical"
+                    : "MISMATCH");
+
+    std::cout << "\nEach committed epoch moved work from the software column "
+                 "into the completion\nrecord while packets kept flowing; the "
+                 "sabotaged upgrade was refused by\nverify-after-write and "
+                 "rolled back without dropping a packet.  The interface\n"
+                 "evolved live — the application never stopped, never "
+                 "changed, and never\nobserved a different value.\n";
+  } catch (const Error& e) {
+    std::cerr << "firmware_evolution failed: " << e.what() << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -40,6 +40,40 @@ double wall_now_ns() {
           .count());
 }
 
+/// What crosses the SPSC handoff: a packet, or — when `cutover` is set — a
+/// drain barrier carrying the generation the worker must adopt.  The worker
+/// finishes its in-flight completions against the old epoch's accessors
+/// before touching the new one, so a barrier is an end-of-segment marker,
+/// not a packet.
+struct HandoffItem {
+  net::Packet packet;
+  std::shared_ptr<rt::EpochGeneration> cutover;
+};
+
+// run_stream assigns completion/frame byte totals and device-side drop
+// breakdowns from the NIC's cumulative DmaAccounting.  Within one run the
+// device persists across swap segments, so a segment's stats carry totals
+// since run start; these two helpers turn them back into per-segment
+// deltas (and remember the new cumulative baseline).
+void subtract_dma_fields(rt::RxLoopStats& stats, const rt::RxLoopStats& base) {
+  const auto sub = [](std::uint64_t& field, std::uint64_t prev) {
+    field = field >= prev ? field - prev : 0;
+  };
+  sub(stats.completion_bytes, base.completion_bytes);
+  sub(stats.frame_bytes, base.frame_bytes);
+  sub(stats.drops_ring_full, base.drops_ring_full);
+  sub(stats.drops_pool_exhausted, base.drops_pool_exhausted);
+  sub(stats.drops_oversize, base.drops_oversize);
+}
+
+void copy_dma_fields(rt::RxLoopStats& dst, const rt::RxLoopStats& src) {
+  dst.completion_bytes = src.completion_bytes;
+  dst.frame_bytes = src.frame_bytes;
+  dst.drops_ring_full = src.drops_ring_full;
+  dst.drops_pool_exhausted = src.drops_pool_exhausted;
+  dst.drops_oversize = src.drops_oversize;
+}
+
 }  // namespace
 
 double EngineReport::critical_path_ns() const noexcept {
@@ -73,10 +107,6 @@ MultiQueueEngine::MultiQueueEngine(const core::CompileResult& result,
       stats_(std::max<std::size_t>(1, config.queues)) {
   config_.queues = std::max<std::size_t>(1, config_.queues);
   config_.batch = std::max<std::size_t>(1, config_.batch);
-  for (std::size_t q = 0; q < config_.queues; ++q) {
-    strategies_.push_back(
-        std::make_unique<rt::OpenDescStrategy>(result, compute));
-  }
   const std::set<softnic::SemanticId> requested = result.intent.requested();
   wanted_.assign(requested.begin(), requested.end());
 
@@ -97,6 +127,12 @@ MultiQueueEngine::MultiQueueEngine(const core::CompileResult& result,
       config_.telemetry = owned_sink_.get();
     }
   }
+  // The epoch control plane is built once the telemetry sink is final (it
+  // publishes opendesc_layout_* there); epoch 1 is the construction-time
+  // compilation, and every run adopts whatever generation is current.
+  epochs_ = std::make_unique<rt::LayoutEpochManager>(
+      compute, config_.queues, config_.guard, config_.telemetry);
+  (void)epochs_->bootstrap(result);
   if (monitor) {
     telemetry::TimeSeriesConfig ts_config;
     ts_config.tick_seconds =
@@ -116,6 +152,7 @@ MultiQueueEngine::MultiQueueEngine(const core::CompileResult& result,
     server_->set_ready_probe([this] { return ready(); });
     server_->set_timeseries(store_.get());
     server_->set_health(health_.get());
+    server_->set_layout([this](bool tsv) { return epochs_->status(tsv); });
     server_->start();
   }
   if (monitor) {
@@ -168,13 +205,9 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
           ? config_.telemetry
           : nullptr;
 
-  // Per-queue facade counters are cumulative across runs (strategies
-  // persist); snapshot them so this run reports deltas only.
-  std::vector<rt::SemanticPathCounters> facade_before;
-  facade_before.reserve(queues);
-  for (std::size_t q = 0; q < queues; ++q) {
-    facade_before.push_back(strategies_[q]->facade().path_counters());
-  }
+  // The run adopts whatever layout generation is current; workers pick up
+  // later generations only through drain barriers on their handoff rings.
+  const std::shared_ptr<rt::EpochGeneration> start_gen = epochs_->current();
 
   // The sink's stage histograms are cumulative too; baseline them so the
   // report carries this run's stage latency only.
@@ -203,16 +236,17 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
   running_.store(true, std::memory_order_release);
 
   // Fresh per-run device state: each queue is a complete NIC instance with
-  // its own completion ring, buffer pool, doorbell clock and accounting.
+  // its own completion ring, buffer pool, doorbell clock and accounting,
+  // built for the current epoch's wire layout.
   std::vector<std::unique_ptr<sim::NicSimulator>> nics;
   std::vector<std::unique_ptr<sim::FaultInjector>> injectors;
   std::vector<std::unique_ptr<rt::ValidatingRxLoop>> loops;
-  std::vector<std::unique_ptr<SpscQueue<net::Packet>>> handoff;
+  std::vector<std::unique_ptr<SpscQueue<HandoffItem>>> handoff;
   for (std::size_t q = 0; q < queues; ++q) {
     sim::SimConfig sim_config = config_.sim;
     sim_config.queue_id = static_cast<std::uint16_t>(q);
     nics.push_back(std::make_unique<sim::NicSimulator>(
-        wire_layout_, *compute_, softnic::RxContext{}, sim_config));
+        start_gen->wire_layout, *compute_, softnic::RxContext{}, sim_config));
     if (config_.fault_rate > 0.0) {
       // Decorrelated per-queue streams: same composite rate, distinct seeds,
       // still fully reproducible from (fault_seed, queue index).
@@ -225,16 +259,17 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
     guard_config.queue_id = static_cast<std::uint16_t>(q);
     guard_config.quarantine_capacity = config_.quarantine_capacity;
     loops.push_back(std::make_unique<rt::ValidatingRxLoop>(
-        wire_layout_, *compute_, guard_config));
+        start_gen->wire_layout, *compute_, guard_config));
     loops.back()->set_telemetry(sink, q);
     handoff.push_back(
-        std::make_unique<SpscQueue<net::Packet>>(config_.spsc_capacity));
+        std::make_unique<SpscQueue<HandoffItem>>(config_.spsc_capacity));
   }
 
   rt::RxLoopConfig loop_config;
   loop_config.batch = config_.batch;
 
   std::vector<std::exception_ptr> worker_errors(queues);
+  std::vector<rt::SemanticPathCounters> worker_paths(queues);
   std::vector<std::thread> workers;
   workers.reserve(queues);
 
@@ -242,11 +277,75 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
   for (std::size_t q = 0; q < queues; ++q) {
     workers.emplace_back([&, q] {
       try {
-        SpscQueue<net::Packet>& ring = *handoff[q];
-        report.per_queue[q] = loops[q]->run_stream(
-            *nics[q], [&ring] { return ring.pop_wait(); }, *strategies_[q],
-            wanted_, loop_config,
-            [this, q](const rt::RxLoopStats& stats) { stats_.publish(q, stats); });
+        SpscQueue<HandoffItem>& ring = *handoff[q];
+        // Segment loop: run_stream consumes packets until the stream ends
+        // or a drain barrier arrives.  A barrier ends the segment exactly
+        // like end-of-stream — run_stream drains the device and recovers
+        // in-flight completions against the *old* epoch's accessors — then
+        // the worker swaps the device and guard onto the new layout,
+        // releases the old generation and starts the next segment.
+        std::shared_ptr<rt::EpochGeneration> gen = start_gen;
+        rt::RxLoopStats shard_total;
+        rt::RxLoopStats dma_prev;  ///< device-cumulative fields seen so far
+        rt::SemanticPathCounters& paths_total = worker_paths[q];
+        bool stream_open = true;
+        while (stream_open) {
+          std::shared_ptr<rt::EpochGeneration> barrier;
+          // Facade and recovery counters are cumulative (strategies persist
+          // across runs, loops across segments); snapshot so the segment
+          // contributes deltas only.
+          const rt::SemanticPathCounters facade_before =
+              gen->strategies[q]->facade().path_counters();
+          const rt::SemanticPathCounters recovery_before =
+              loops[q]->recovery_path_counters();
+          rt::RxLoopStats seg = loops[q]->run_stream(
+              *nics[q],
+              [&]() -> std::optional<net::Packet> {
+                std::optional<HandoffItem> item = ring.pop_wait();
+                if (!item) {
+                  stream_open = false;
+                  return std::nullopt;
+                }
+                if (item->cutover != nullptr) {
+                  barrier = std::move(item->cutover);
+                  return std::nullopt;
+                }
+                return std::move(item->packet);
+              },
+              *gen->strategies[q], gen->wanted, loop_config,
+              [&](const rt::RxLoopStats& stats) {
+                rt::RxLoopStats live = stats;
+                subtract_dma_fields(live, dma_prev);
+                rt::RxLoopStats publish = shard_total;
+                publish += live;
+                stats_.publish(q, publish);
+              });
+          rt::RxLoopStats dma_now;
+          copy_dma_fields(dma_now, seg);
+          subtract_dma_fields(seg, dma_prev);
+          dma_prev = dma_now;
+
+          rt::SemanticPathCounters seg_paths =
+              gen->strategies[q]->facade().path_counters().since(facade_before);
+          seg_paths +=
+              loops[q]->recovery_path_counters().since(recovery_before);
+          epochs_->contribute(gen->epoch, q, seg, seg_paths);
+          paths_total += seg_paths;
+          shard_total += seg;
+
+          if (barrier != nullptr) {
+            // Cutover order is load-bearing: the guard references the old
+            // generation's layout until cut_over reseats it, so the old
+            // generation must stay alive (and the device drained) first.
+            nics[q]->swap_layout(barrier->wire_layout);
+            loops[q]->cut_over(barrier->wire_layout,
+                               static_cast<std::uint32_t>(barrier->epoch));
+            const std::uint64_t old_epoch = gen->epoch;
+            gen = std::move(barrier);
+            epochs_->release(old_epoch, q);
+          }
+        }
+        report.per_queue[q] = shard_total;
       } catch (...) {
         worker_errors[q] = std::current_exception();
       }
@@ -272,6 +371,42 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
     handoff_shard = &sink->stage_shard(telemetry::Stage::handoff,
                                        sink->dispatch_shard());
   }
+  // Swap application point: between chunks the dispatch thread checks for a
+  // due hot-swap order (explicit request_swap or the auto-cycle), verifies
+  // it through the epoch manager and — only when the swap committed —
+  // pushes a drain barrier down every queue's handoff ring.  A rolled-back
+  // swap pushes nothing: the workers never notice, traffic continues on the
+  // old epoch.
+  std::uint64_t next_auto_swap = config_.swap_every;
+  std::size_t cycle_index = 0;
+  const auto maybe_swap = [&] {
+    std::optional<rt::SwapRequest> due;
+    {
+      const std::lock_guard<std::mutex> lock(swap_mutex_);
+      if (!swap_queue_.empty() &&
+          swap_queue_.front().at_offered <= report.offered_total) {
+        due = std::move(swap_queue_.front());
+        swap_queue_.pop_front();
+      } else if (config_.swap_every > 0 && !swap_cycle_.empty() &&
+                 report.offered_total >= next_auto_swap) {
+        rt::SwapRequest request;
+        request.result = swap_cycle_[cycle_index++ % swap_cycle_.size()];
+        next_auto_swap += config_.swap_every;
+        due = std::move(request);
+      }
+    }
+    if (!due) {
+      return;
+    }
+    const rt::LayoutEpochManager::SwapAttempt attempt =
+        epochs_->attempt_swap(*due, config_.sim);
+    if (attempt.generation != nullptr) {
+      for (std::size_t q = 0; q < queues; ++q) {
+        handoff[q]->push(HandoffItem{net::Packet{}, attempt.generation});
+      }
+    }
+  };
+
   try {
     // Batch-size chunks so the steer and handoff stages each get one span
     // per chunk: classify the whole chunk, then push the whole chunk.
@@ -283,6 +418,7 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
     chunk.reserve(config_.batch);
     dest.reserve(config_.batch);
     bool open = true;
+    maybe_swap();  // an at_offered=0 order applies before the first packet
     while (open) {
       chunk.clear();
       dest.clear();
@@ -316,7 +452,7 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
                static_cast<std::uint32_t>(chunk[i].bytes().size()),
                handoff_seq++});
         }
-        handoff[q]->push(std::move(chunk[i]));
+        handoff[q]->push(HandoffItem{std::move(chunk[i]), nullptr});
       }
       const double handoff_ns = rt::thread_cpu_now_ns() - t0;
 
@@ -327,6 +463,7 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
       if (handoff_shard != nullptr && handoff_ns > 0.0) {
         handoff_shard->observe(static_cast<std::uint64_t>(handoff_ns));
       }
+      maybe_swap();
     }
   } catch (...) {
     dispatch_error = std::current_exception();
@@ -351,12 +488,12 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
   for (std::size_t q = 0; q < queues; ++q) {
     report.quarantine_total[q] = loops[q]->dead_letters().total();
     report.total += report.per_queue[q];
-    // Per-run semantic provenance: the facade's delta covers hw-consumed
-    // packets, the loop's recovery counters cover quarantined/lost/rejected
-    // ones — together exactly one entry per wanted semantic per packet.
-    report.semantic_paths +=
-        strategies_[q]->facade().path_counters().since(facade_before[q]);
-    report.semantic_paths += loops[q]->recovery_path_counters();
+    // Per-run semantic provenance, accumulated segment by segment in each
+    // worker: facade deltas cover hw-consumed packets, the loops' recovery
+    // deltas cover quarantined/lost/rejected ones — together exactly one
+    // entry per wanted semantic per packet, partitioned by epoch in the
+    // epoch manager's accounting.
+    report.semantic_paths += worker_paths[q];
   }
   if (sink != nullptr) {
     // Workers have quiesced: the stage histograms are stable, so the delta
@@ -378,6 +515,17 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
   }
   runs_done_.fetch_add(1, std::memory_order_release);
   return report;
+}
+
+void MultiQueueEngine::request_swap(rt::SwapRequest request) {
+  const std::lock_guard<std::mutex> lock(swap_mutex_);
+  swap_queue_.push_back(std::move(request));
+}
+
+void MultiQueueEngine::set_swap_cycle(
+    std::vector<std::shared_ptr<const core::CompileResult>> cycle) {
+  const std::lock_guard<std::mutex> lock(swap_mutex_);
+  swap_cycle_ = std::move(cycle);
 }
 
 EngineReport MultiQueueEngine::run(std::span<const net::Packet> packets) {

@@ -24,7 +24,9 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -33,6 +35,7 @@
 #include "engine/steering.hpp"
 #include "net/workload.hpp"
 #include "runtime/engine_config.hpp"
+#include "runtime/epoch.hpp"
 #include "runtime/guard.hpp"
 #include "runtime/provided.hpp"
 #include "sim/faults.hpp"
@@ -104,9 +107,33 @@ class MultiQueueEngine {
                                  std::size_t count);
 
   /// Overrides the semantics the workers request per packet (defaults to
-  /// the compiled intent's requested set).
+  /// the compiled intent's requested set).  Applies to the current layout
+  /// epoch; a committed swap reverts to the new compilation's intent.
   void set_wanted(std::vector<softnic::SemanticId> wanted) {
-    wanted_ = std::move(wanted);
+    wanted_ = wanted;
+    epochs_->override_wanted(std::move(wanted));
+  }
+
+  // --- Live layout evolution -----------------------------------------------
+
+  /// Queues a hot-swap order.  The dispatch thread of the in-flight (or
+  /// next) run applies it once `request.at_offered` packets have been
+  /// steered: the target compilation is verified against a live control
+  /// channel and, on success, cut over queue by queue behind drain barriers;
+  /// on failure the engine stays on its current epoch.  Thread-safe.
+  void request_swap(rt::SwapRequest request);
+
+  /// Installs a round-robin swap schedule: with config.swap_every > 0 the
+  /// dispatch thread swaps to the next compilation in `cycle` every
+  /// swap_every offered packets.  The shared_ptrs keep the compilations
+  /// alive for as long as any epoch references them.
+  void set_swap_cycle(
+      std::vector<std::shared_ptr<const core::CompileResult>> cycle);
+
+  /// The epoch control plane: current generation, swap history, per-epoch
+  /// accounting (the /layout payload).
+  [[nodiscard]] const rt::LayoutEpochManager& epochs() const noexcept {
+    return *epochs_;
   }
 
   [[nodiscard]] const RssSteering& steering() const noexcept { return steering_; }
@@ -154,11 +181,18 @@ class MultiQueueEngine {
   const core::CompileResult* result_;
   const softnic::ComputeEngine* compute_;
   EngineConfig config_;
-  core::CompiledLayout wire_layout_;
+  core::CompiledLayout wire_layout_;  ///< construction-time (epoch 1) layout
   RssSteering steering_;
   StatsRegistry stats_;
-  std::vector<std::unique_ptr<rt::OpenDescStrategy>> strategies_;  ///< per queue
   std::vector<softnic::SemanticId> wanted_;
+
+  // Layout-epoch control plane.  Constructed after the telemetry sink is
+  // final (it publishes swap metrics there); per-queue accessor tables live
+  // inside its generations, not on the engine.
+  std::unique_ptr<rt::LayoutEpochManager> epochs_;
+  std::mutex swap_mutex_;
+  std::deque<rt::SwapRequest> swap_queue_;
+  std::vector<std::shared_ptr<const core::CompileResult>> swap_cycle_;
 
   // Health-monitor plane.  Declaration order is load-bearing for teardown:
   // the sampler (last member) stops first, then the server (whose routes

@@ -54,6 +54,11 @@ struct EngineConfig {
   std::size_t sample_interval_ms = 100;
   /// Ticks retained per series (default 600 = 60 s at the 100 ms tick).
   std::size_t timeseries_capacity = 600;
+  /// Auto-swap cadence: every `swap_every` offered packets the dispatch
+  /// thread hot-swaps to the next compilation in the engine's swap cycle
+  /// (see MultiQueueEngine::set_swap_cycle).  0 disables auto-swapping;
+  /// explicit request_swap() orders work either way.
+  std::size_t swap_every = 0;
 
   // Fluent builder surface -- each setter returns *this so configurations
   // compose in one expression.
@@ -116,6 +121,10 @@ struct EngineConfig {
   }
   EngineConfig& with_timeseries_capacity(std::size_t ticks) {
     timeseries_capacity = ticks;
+    return *this;
+  }
+  EngineConfig& with_swap_every(std::size_t offered_packets) {
+    swap_every = offered_packets;
     return *this;
   }
 };

@@ -1,0 +1,446 @@
+#include "runtime/epoch.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "net/workload.hpp"
+
+namespace opendesc::rt {
+
+namespace {
+
+constexpr const char* kSwapsHelp =
+    "Live layout swap attempts by outcome (committed / rolled_back)";
+constexpr const char* kEpochHelp =
+    "Layout epoch the engine currently serves traffic under";
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kDigits[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kDigits[(c >> 4) & 0xF];
+          out += kDigits[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string semantic_label(const softnic::SemanticRegistry& registry,
+                           std::uint32_t raw) {
+  try {
+    return registry.name(static_cast<softnic::SemanticId>(raw));
+  } catch (const Error&) {
+    return "id_" + std::to_string(raw);
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(SwapOutcome outcome) noexcept {
+  switch (outcome) {
+    case SwapOutcome::committed:
+      return "committed";
+    case SwapOutcome::rolled_back:
+      return "rolled_back";
+  }
+  return "?";
+}
+
+void register_layout_metrics(telemetry::Sink& sink) {
+  telemetry::Registry& reg = sink.registry();
+  reg.counter("opendesc_layout_swaps_total", kSwapsHelp,
+              {{"outcome", "committed"}})
+      .add(0);
+  reg.counter("opendesc_layout_swaps_total", kSwapsHelp,
+              {{"outcome", "rolled_back"}})
+      .add(0);
+  reg.gauge("opendesc_layout_epoch", kEpochHelp).set(1);
+}
+
+LayoutEpochManager::LayoutEpochManager(const softnic::ComputeEngine& compute,
+                                       std::size_t queues, bool guard,
+                                       telemetry::Sink* sink)
+    : compute_(&compute),
+      queues_(queues == 0 ? 1 : queues),
+      guard_(guard),
+      sink_(sink) {}
+
+std::shared_ptr<EpochGeneration> LayoutEpochManager::bootstrap(
+    const core::CompileResult& result) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<EpochGeneration> generation =
+      build_generation_locked(nullptr, result, next_epoch_);
+  ++next_epoch_;
+  current_ = generation;
+  generations_.push_back(generation);
+  slot_locked(*generation);
+  if (sink_ != nullptr) {
+    register_layout_metrics(*sink_);
+    publish_swap_metrics_locked();
+  }
+  return generation;
+}
+
+std::shared_ptr<EpochGeneration> LayoutEpochManager::current() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+std::uint64_t LayoutEpochManager::current_epoch() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return current_ != nullptr ? current_->epoch : 0;
+}
+
+LayoutEpochManager::SwapAttempt LayoutEpochManager::attempt_swap(
+    const SwapRequest& request, const sim::SimConfig& sim_config) {
+  SwapAttempt attempt;
+  SwapRecord& record = attempt.record;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    record.from_epoch = current_ != nullptr ? current_->epoch : 0;
+    record.to_epoch = next_epoch_;
+  }
+  if (request.result == nullptr) {
+    record.outcome = SwapOutcome::rolled_back;
+    record.detail = "swap request carries no compilation";
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++rolled_back_;
+    history_.push_back(record);
+    return attempt;
+  }
+  const core::CompileResult& result = *request.result;
+  record.path_id = result.nic_name + "/" + result.layout.path_id();
+
+  // Control-plane verification runs against a dedicated ProgrammableNic:
+  // the same deparser paths and register file a generated driver would
+  // program, with the request's fault configuration attached so swap
+  // failures (dropped / partial register writes, corrupted probe records)
+  // exercise the exact rollback machinery.
+  std::string failure;
+  std::optional<sim::FaultInjector> injector;
+  try {
+    sim::ProgrammableNic ctrl(result.nic_name, result.paths,
+                              result.layout.endian(), *compute_, sim_config);
+    if (request.ctrl_faults.has_value()) {
+      injector.emplace(*request.ctrl_faults);
+      ctrl.set_fault_injector(&*injector);
+    }
+    if (guard_) {
+      ctrl.enable_guard();
+    }
+    const ProgramReport programmed =
+        program_with_verify(ctrl, result.context_assignment, request.retry,
+                            result.layout.path_id(), sink_);
+    record.attempts = programmed.attempts;
+    record.backoff_ns = programmed.backoff_ns;
+
+    // Guard probe: push one canonical packet through the freshly programmed
+    // channel and validate the completion record it deparses.  A layout that
+    // programs cleanly but deparses garbage (guard-tag mismatch, truncated
+    // record) rolls back here instead of poisoning the datapath.
+    net::WorkloadConfig probe_cfg;
+    probe_cfg.seed = 0x51AB5;  // fixed: the probe must be deterministic
+    probe_cfg.min_frame = 128;
+    probe_cfg.max_frame = 128;
+    net::WorkloadGenerator probe_gen(probe_cfg);
+    const net::Packet probe = probe_gen.next();
+    if (!ctrl.rx(probe)) {
+      failure = "guard probe refused at rx";
+    } else {
+      std::array<sim::RxEvent, 4> events;
+      std::size_t n = 0;
+      // Delayed doorbells keep the completion invisible for a few polls;
+      // bound the spin so a wedged device cannot hang the swap.
+      for (int spin = 0; spin < 64 && n == 0; ++spin) {
+        n = ctrl.poll(events);
+      }
+      if (n == 0) {
+        failure = ctrl.pending() > 0
+                      ? "guard probe completion never became visible"
+                      : "guard probe completion lost";
+      } else {
+        const RecordGuard probe_guard(ctrl.active_layout());
+        const RecordVerdict verdict =
+            probe_guard.validate(events[0].record, events[0].frame);
+        if (verdict != RecordVerdict::ok) {
+          failure = "guard probe verdict: ";
+          failure += to_string(verdict);
+        }
+        ctrl.advance(n);
+      }
+    }
+  } catch (const Error& err) {
+    if (record.attempts == 0) {
+      record.attempts = request.retry.max_attempts;
+    }
+    failure = err.what();
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (failure.empty()) {
+      std::shared_ptr<EpochGeneration> generation =
+          build_generation_locked(request.result, result, next_epoch_);
+      record.to_epoch = generation->epoch;
+      record.outcome = SwapOutcome::committed;
+      ++next_epoch_;
+      current_ = generation;
+      generations_.push_back(generation);
+      slot_locked(*generation);
+      ++committed_;
+      attempt.generation = generation;
+      if (sink_ != nullptr) {
+        sink_->registry()
+            .counter("opendesc_layout_swaps_total", kSwapsHelp,
+                     {{"outcome", "committed"}})
+            .add(1);
+      }
+    } else {
+      record.outcome = SwapOutcome::rolled_back;
+      record.detail = failure;
+      ++rolled_back_;
+      if (sink_ != nullptr) {
+        sink_->registry()
+            .counter("opendesc_layout_swaps_total", kSwapsHelp,
+                     {{"outcome", "rolled_back"}})
+            .add(1);
+      }
+    }
+    history_.push_back(record);
+    publish_swap_metrics_locked();
+  }
+
+  if (!failure.empty() && sink_ != nullptr) {
+    telemetry::FlightIncident incident;
+    incident.cause = telemetry::FlightCause::layout_swap_rolled_back;
+    incident.detail = static_cast<std::uint8_t>(
+        std::min<std::size_t>(record.attempts, 0xFF));
+    incident.layout_id = record.path_id;
+    incident.recent = sink_->ctrl_ring().tail(sink_->flight().context_events());
+    sink_->flight().record(std::move(incident));
+  }
+  return attempt;
+}
+
+void LayoutEpochManager::contribute(std::uint64_t epoch, std::size_t queue,
+                                    const RxLoopStats& segment,
+                                    const SemanticPathCounters& paths) {
+  (void)queue;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (EpochAccounting& slot : accounting_) {
+    if (slot.epoch == epoch) {
+      slot.stats += segment;
+      slot.semantic_paths += paths;
+      return;
+    }
+  }
+  // An epoch the manager never installed (defensive): keep the accounting
+  // anyway — dropping a segment would break the partition invariant.
+  EpochAccounting slot;
+  slot.epoch = epoch;
+  slot.stats += segment;
+  slot.semantic_paths += paths;
+  accounting_.push_back(std::move(slot));
+}
+
+void LayoutEpochManager::release(std::uint64_t epoch, std::size_t queue) {
+  (void)queue;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (EpochAccounting& slot : accounting_) {
+    if (slot.epoch != epoch) {
+      continue;
+    }
+    ++slot.released_queues;
+    if (slot.released_queues >= queues_) {
+      slot.retired = true;
+    }
+    return;
+  }
+}
+
+void LayoutEpochManager::override_wanted(
+    std::vector<softnic::SemanticId> wanted) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (current_ != nullptr) {
+    current_->wanted = std::move(wanted);
+  }
+}
+
+std::vector<SwapRecord> LayoutEpochManager::history() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return history_;
+}
+
+std::vector<EpochAccounting> LayoutEpochManager::accounting() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return accounting_;
+}
+
+std::optional<EpochAccounting> LayoutEpochManager::accounting_for(
+    std::uint64_t epoch) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const EpochAccounting& slot : accounting_) {
+    if (slot.epoch == epoch) {
+      return slot;
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t LayoutEpochManager::swaps(SwapOutcome outcome) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return outcome == SwapOutcome::committed ? committed_ : rolled_back_;
+}
+
+std::size_t LayoutEpochManager::live_generations() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t live = 0;
+  for (const std::weak_ptr<EpochGeneration>& weak : generations_) {
+    if (!weak.expired()) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+std::string LayoutEpochManager::status(bool tsv) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  const std::uint64_t epoch = current_ != nullptr ? current_->epoch : 0;
+  std::size_t live = 0;
+  for (const std::weak_ptr<EpochGeneration>& weak : generations_) {
+    if (!weak.expired()) {
+      ++live;
+    }
+  }
+  if (tsv) {
+    out << "epoch\t" << epoch << "\n";
+    out << "swaps\t" << committed_ << "\t" << rolled_back_ << "\n";
+    for (const EpochAccounting& slot : accounting_) {
+      out << "gen\t" << slot.epoch << "\t" << slot.path_id << "\t"
+          << slot.stats.packets << "\t" << slot.stats.softnic_recovered << "\t"
+          << slot.stats.quarantined << "\t" << (slot.retired ? 1 : 0) << "\n";
+    }
+    for (const SwapRecord& record : history_) {
+      out << "swap\t" << record.from_epoch << "\t" << record.to_epoch << "\t"
+          << to_string(record.outcome) << "\t" << record.attempts << "\t"
+          << record.detail << "\n";
+    }
+    return out.str();
+  }
+  out << "{\"enabled\":true,\"epoch\":" << epoch
+      << ",\"generations_live\":" << live << ",\"swaps\":{\"committed\":"
+      << committed_ << ",\"rolled_back\":" << rolled_back_ << "},\"history\":[";
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    const SwapRecord& record = history_[i];
+    if (i != 0) {
+      out << ",";
+    }
+    out << "{\"from_epoch\":" << record.from_epoch
+        << ",\"to_epoch\":" << record.to_epoch << ",\"outcome\":\""
+        << to_string(record.outcome) << "\",\"attempts\":" << record.attempts
+        << ",\"backoff_ns\":" << record.backoff_ns << ",\"path\":\""
+        << json_escape(record.path_id) << "\",\"detail\":\""
+        << json_escape(record.detail) << "\"}";
+  }
+  out << "],\"epochs\":[";
+  for (std::size_t i = 0; i < accounting_.size(); ++i) {
+    const EpochAccounting& slot = accounting_[i];
+    if (i != 0) {
+      out << ",";
+    }
+    out << "{\"epoch\":" << slot.epoch << ",\"path\":\""
+        << json_escape(slot.path_id)
+        << "\",\"record_bytes\":" << slot.record_bytes
+        << ",\"packets\":" << slot.stats.packets
+        << ",\"hw_consumed\":" << slot.stats.hw_consumed
+        << ",\"softnic_recovered\":" << slot.stats.softnic_recovered
+        << ",\"quarantined\":" << slot.stats.quarantined
+        << ",\"lost_completions\":" << slot.stats.lost_completions
+        << ",\"released_queues\":" << slot.released_queues << ",\"retired\":"
+        << (slot.retired ? "true" : "false") << ",\"semantic_paths\":[";
+    const auto snapshot = slot.semantic_paths.snapshot();
+    for (std::size_t s = 0; s < snapshot.size(); ++s) {
+      const auto& [raw, counts] = snapshot[s];
+      if (s != 0) {
+        out << ",";
+      }
+      out << "{\"semantic\":\""
+          << json_escape(semantic_label(compute_->registry(), raw))
+          << "\",\"nic_path\":" << counts.nic_path
+          << ",\"softnic_shim\":" << counts.softnic_shim
+          << ",\"unavailable\":" << counts.unavailable << "}";
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::shared_ptr<EpochGeneration> LayoutEpochManager::build_generation_locked(
+    std::shared_ptr<const core::CompileResult> owned,
+    const core::CompileResult& result, std::uint64_t epoch) const {
+  auto generation = std::make_shared<EpochGeneration>();
+  generation->epoch = epoch;
+  generation->owned = std::move(owned);
+  generation->result = &result;
+  generation->wire_layout =
+      guard_ ? result.layout.with_guard() : result.layout;
+  generation->strategies.reserve(queues_);
+  for (std::size_t q = 0; q < queues_; ++q) {
+    generation->strategies.push_back(
+        std::make_unique<OpenDescStrategy>(result, *compute_));
+  }
+  const auto requested = result.intent.requested();
+  generation->wanted.assign(requested.begin(), requested.end());
+  return generation;
+}
+
+EpochAccounting& LayoutEpochManager::slot_locked(
+    const EpochGeneration& generation) {
+  for (EpochAccounting& slot : accounting_) {
+    if (slot.epoch == generation.epoch) {
+      return slot;
+    }
+  }
+  EpochAccounting slot;
+  slot.epoch = generation.epoch;
+  slot.path_id =
+      generation.result->nic_name + "/" + generation.wire_layout.path_id();
+  slot.record_bytes = generation.wire_layout.total_bytes();
+  accounting_.push_back(std::move(slot));
+  return accounting_.back();
+}
+
+void LayoutEpochManager::publish_swap_metrics_locked() {
+  if (sink_ == nullptr) {
+    return;
+  }
+  sink_->registry()
+      .gauge("opendesc_layout_epoch", kEpochHelp)
+      .set(static_cast<double>(current_ != nullptr ? current_->epoch : 0));
+}
+
+}  // namespace opendesc::rt

@@ -1,0 +1,199 @@
+// Live layout evolution: epoch/RCU-style hot-swap of the compiled
+// completion-record contract on a running engine.
+//
+// The paper's "evolvable" claim is that a changed NIC description or
+// application intent recompiles (Eq. 1) and redeploys *without taking the
+// datapath down*.  The LayoutEpochManager is that capability's control
+// plane: it holds refcounted (epoch, CompiledLayout, accessor table)
+// generations, verifies a candidate generation against a live
+// ProgrammableNic control channel (readback + bounded backoff via
+// program_with_verify, plus a sealed-record guard probe), and either
+// installs it as the new current epoch or rolls back to the previous one —
+// a failed swap leaves the engine exactly where it was, never wedged.
+//
+// The cutover itself is cooperative: the engine's dispatch thread pushes a
+// barrier over each queue's SPSC handoff ring; every ValidatingRxLoop
+// worker drains its in-flight completions against the *old* epoch's
+// accessors, contributes the segment's accounting to the manager, swaps its
+// simulator and guard onto the new layout, and releases the old epoch.  A
+// generation's storage is reclaimed when the last queue drops its
+// reference; the manager keeps only the per-epoch accounting and the swap
+// history (served on /layout).
+//
+// Thread model: attempt_swap runs on the dispatch thread; contribute() and
+// release() run on worker threads at segment boundaries (never per
+// packet); current()/to_json() may run concurrently from HTTP workers.
+// One mutex serializes them all — every call site is off the hot path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "runtime/baselines.hpp"
+#include "runtime/guard.hpp"
+#include "runtime/rxloop.hpp"
+#include "sim/faults.hpp"
+
+namespace opendesc::rt {
+
+/// One installed layout generation.  Workers hold a shared_ptr each — the
+/// refcount *is* the epoch's liveness: when the last queue releases its
+/// reference after cutting over, the generation (layout, per-queue accessor
+/// tables, compile artifacts) is reclaimed.
+struct EpochGeneration {
+  std::uint64_t epoch = 0;
+  /// Owning handle for swapped-in compilations; null for the bootstrap
+  /// generation, whose CompileResult the engine's caller keeps alive.
+  std::shared_ptr<const core::CompileResult> owned;
+  const core::CompileResult* result = nullptr;
+  core::CompiledLayout wire_layout;  ///< guarded when the engine guards
+  /// Per-queue accessor tables (facade + path counters); queue q's worker
+  /// is the only thread touching strategies[q].
+  std::vector<std::unique_ptr<OpenDescStrategy>> strategies;
+  std::vector<softnic::SemanticId> wanted;
+};
+
+enum class SwapOutcome : std::uint8_t { committed, rolled_back };
+
+[[nodiscard]] std::string_view to_string(SwapOutcome outcome) noexcept;
+
+/// A hot-swap order: the compilation to cut over to, the control-channel
+/// retry budget, an optional fault configuration for the control-plane NIC
+/// (tests inject deterministic swap failures through it), and the offered-
+/// packet threshold of the current run after which the dispatch thread
+/// applies the request.
+struct SwapRequest {
+  std::shared_ptr<const core::CompileResult> result;
+  RetryPolicy retry{};
+  /// Faults injected on the per-swap control-plane NIC (dropped / partial
+  /// register writes, record faults against the guard probe).  nullopt = a
+  /// healthy control channel.
+  std::optional<sim::FaultConfig> ctrl_faults;
+  std::uint64_t at_offered = 0;  ///< apply once this many packets steered
+};
+
+/// One swap attempt, as kept in the manager's history (and on /layout).
+struct SwapRecord {
+  std::uint64_t from_epoch = 0;
+  std::uint64_t to_epoch = 0;  ///< the epoch the attempt targeted
+  SwapOutcome outcome = SwapOutcome::rolled_back;
+  std::size_t attempts = 0;   ///< control-channel programming attempts
+  double backoff_ns = 0.0;    ///< simulated backoff across retries
+  std::string path_id;        ///< target layout ("nic/path")
+  std::string detail;         ///< failure reason on rollback, else empty
+};
+
+/// Exact per-epoch datapath accounting: what each generation processed
+/// while it was current.  Workers contribute at segment boundaries, so
+/// summing stats.packets over every epoch equals the packets the engine
+/// processed — the provenance deltas /layout serves.
+struct EpochAccounting {
+  std::uint64_t epoch = 0;
+  std::string path_id;
+  std::size_t record_bytes = 0;
+  RxLoopStats stats;                    ///< operator+= over queue segments
+  SemanticPathCounters semantic_paths;  ///< facade deltas + recovery counts
+  std::size_t released_queues = 0;      ///< queues that cut away from it
+  bool retired = false;  ///< every queue released it (storage reclaimed)
+};
+
+/// Registers the opendesc_layout_* metric families at their zero state
+/// (epoch gauge = 1, swap counters = 0) so scrapes expose them even before
+/// the first swap — single-queue runs without an epoch manager call this
+/// directly.
+void register_layout_metrics(telemetry::Sink& sink);
+
+class LayoutEpochManager {
+ public:
+  /// `compute` must outlive the manager; `guard` mirrors the engine's
+  /// record-guard setting (swapped-in layouts are sealed the same way);
+  /// `sink` (nullable) receives swap metrics, control-plane traces and
+  /// rollback flight incidents.
+  LayoutEpochManager(const softnic::ComputeEngine& compute, std::size_t queues,
+                     bool guard, telemetry::Sink* sink);
+
+  LayoutEpochManager(const LayoutEpochManager&) = delete;
+  LayoutEpochManager& operator=(const LayoutEpochManager&) = delete;
+
+  /// Installs epoch 1 from the engine's construction-time compilation
+  /// (`result` is borrowed — the engine's caller keeps it alive).
+  std::shared_ptr<EpochGeneration> bootstrap(const core::CompileResult& result);
+
+  /// The generation new runs (and cutovers) adopt.
+  [[nodiscard]] std::shared_ptr<EpochGeneration> current() const;
+  [[nodiscard]] std::uint64_t current_epoch() const;
+
+  struct SwapAttempt {
+    /// Non-null on commit: the installed generation the barriers carry.
+    std::shared_ptr<EpochGeneration> generation;
+    SwapRecord record;
+  };
+
+  /// Verifies `request` against a fresh control-plane ProgrammableNic:
+  /// quiesce → program_with_verify (readback + bounded backoff) → sealed
+  /// guard-probe packet.  On success the candidate generation becomes
+  /// current and is returned; on retry exhaustion, guard-tag mismatch or a
+  /// lost probe the previous epoch stays current (generation == nullptr),
+  /// the rollback lands in the swap history, the flight recorder and
+  /// opendesc_layout_swaps_total{outcome="rolled_back"}.  Never throws.
+  SwapAttempt attempt_swap(const SwapRequest& request,
+                           const sim::SimConfig& sim_config);
+
+  /// Worker queue `queue` folds one drained segment it processed under
+  /// `epoch` into that epoch's accounting.  Called at cutover barriers and
+  /// at end of stream, never per packet.
+  void contribute(std::uint64_t epoch, std::size_t queue,
+                  const RxLoopStats& segment,
+                  const SemanticPathCounters& paths);
+
+  /// Worker queue `queue` has cut over away from `epoch`.  When the last
+  /// queue releases it the epoch is marked retired — dropping the workers'
+  /// shared_ptrs then reclaims the generation's storage.
+  void release(std::uint64_t epoch, std::size_t queue);
+
+  /// Replaces the current generation's wanted set (pre-run configuration).
+  void override_wanted(std::vector<softnic::SemanticId> wanted);
+
+  [[nodiscard]] std::vector<SwapRecord> history() const;
+  [[nodiscard]] std::vector<EpochAccounting> accounting() const;
+  /// Accounting row for one epoch (nullopt when it never processed a
+  /// segment and was never installed).
+  [[nodiscard]] std::optional<EpochAccounting> accounting_for(
+      std::uint64_t epoch) const;
+  [[nodiscard]] std::uint64_t swaps(SwapOutcome outcome) const;
+  /// Generations still referenced by at least one queue (or current).
+  [[nodiscard]] std::size_t live_generations() const;
+
+  /// The /layout payload: current epoch, swap history, per-epoch
+  /// provenance deltas.  `tsv` renders the `opendesc top` pane form.
+  [[nodiscard]] std::string status(bool tsv) const;
+
+ private:
+  [[nodiscard]] std::shared_ptr<EpochGeneration> build_generation_locked(
+      std::shared_ptr<const core::CompileResult> owned,
+      const core::CompileResult& result, std::uint64_t epoch) const;
+  EpochAccounting& slot_locked(const EpochGeneration& generation);
+  void publish_swap_metrics_locked();
+
+  const softnic::ComputeEngine* compute_;
+  std::size_t queues_;
+  bool guard_;
+  telemetry::Sink* sink_;
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<EpochGeneration> current_;
+  std::uint64_t next_epoch_ = 1;
+  std::vector<SwapRecord> history_;
+  std::vector<EpochAccounting> accounting_;  ///< indexed by install order
+  std::vector<std::weak_ptr<EpochGeneration>> generations_;  ///< liveness
+  std::uint64_t committed_ = 0;
+  std::uint64_t rolled_back_ = 0;
+};
+
+}  // namespace opendesc::rt

@@ -230,6 +230,17 @@ ValidatingRxLoop::ValidatingRxLoop(const core::CompiledLayout& wire_layout,
   set_telemetry(config.telemetry, queue);
 }
 
+void ValidatingRxLoop::cut_over(const core::CompiledLayout& wire_layout,
+                                std::uint32_t epoch) {
+  // The caller (engine worker at a swap barrier) has already drained the
+  // device against the old layout; nothing in-flight references the old
+  // guard, so reseating it is a plain reassignment.
+  guard_ = RecordGuard(wire_layout, guard_.config());
+  dead_letters_.reserve_slots(wire_layout.total_bytes(),
+                              guard_.config().frame_capture_bytes);
+  trace(telemetry::TraceEventType::layout_cutover, 0, epoch);
+}
+
 void ValidatingRxLoop::set_telemetry(telemetry::Sink* sink, std::size_t queue) {
   sink_ = sink;
   queue_ = static_cast<std::uint16_t>(queue);

@@ -211,6 +211,13 @@ class ValidatingRxLoop {
       std::span<const softnic::SemanticId> wanted,
       const RxLoopConfig& config = {}, Observer&& observe = {});
 
+  /// Epoch cutover: re-targets validation at a new wire layout after the
+  /// caller has drained the device against the old one.  The dead-letter
+  /// arena is re-sized for the new record shape and a layout_cutover trace
+  /// event (arg = epoch) marks the boundary in this queue's ring.
+  /// `wire_layout` must outlive the loop, like the constructor's.
+  void cut_over(const core::CompiledLayout& wire_layout, std::uint32_t epoch);
+
   [[nodiscard]] const DeadLetterBuffer& dead_letters() const noexcept {
     return dead_letters_;
   }

@@ -100,6 +100,19 @@ void ProgrammableNic::program(const p4::ConstEnv& assignment) {
       prefix.emplace(path, value);
     }
     registers_.program(prefix);
+  } else if (faults_ != nullptr &&
+             faults_->config().rate(FaultClass::ctrl_write_drop) > 0.0) {
+    // Individual MMIO writes within the burst are silently dropped — the
+    // register keeps its previous value, visible to the host only through
+    // readback verification.  (Gated on the configured rate so a zero-rate
+    // injector draws no extra randomness and existing fault sequences stay
+    // byte-identical.)
+    for (const auto& [path, value] : assignment) {
+      if (faults_->roll(FaultClass::ctrl_write_drop)) {
+        continue;
+      }
+      registers_.write(path, value);
+    }
   } else {
     registers_.program(assignment);
   }

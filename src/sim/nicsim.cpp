@@ -135,6 +135,19 @@ void NicSimulator::advance(std::size_t n) {
                   inflight_.begin() + static_cast<std::ptrdiff_t>(n));
 }
 
+void NicSimulator::swap_layout(core::CompiledLayout layout) {
+  if (pending() != 0) {
+    throw Error(ErrorKind::simulation,
+                "swap_layout with completions pending (drain first)");
+  }
+  layout_ = std::move(layout);
+  cmpt_ring_ = ByteRing(config_.cmpt_ring_entries,
+                        std::max<std::size_t>(layout_.total_bytes(), 1));
+  scratch_values_.assign(layout_.slices().size(), 0);
+  inflight_.clear();
+  last_record_.clear();
+}
+
 void NicSimulator::configure_tx(core::CompiledLayout tx_layout) {
   tx_layout_ = std::move(tx_layout);
 }

@@ -58,6 +58,14 @@ class NicSimulator {
   [[nodiscard]] std::size_t pending() const noexcept { return cmpt_ring_.size(); }
   [[nodiscard]] const DmaAccounting& dma() const noexcept { return dma_; }
   [[nodiscard]] const core::CompiledLayout& layout() const noexcept { return layout_; }
+
+  /// Live layout cutover: replaces the completion layout the deparser emits.
+  /// Requires pending() == 0 — the caller drains the queue first, exactly as
+  /// a driver quiesces before reprogramming; throws Error(simulation)
+  /// otherwise.  The completion ring is rebuilt for the new record size and
+  /// the stale-record fault memory is cleared, so a stale replay can never
+  /// resurrect a record shaped by a previous epoch's layout.
+  void swap_layout(core::CompiledLayout layout);
   [[nodiscard]] const softnic::RxContext& context() const noexcept { return ctx_; }
 
   /// Free receive buffers (leak diagnostics: after a full drain this must

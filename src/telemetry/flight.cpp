@@ -16,6 +16,8 @@ std::string_view to_string(FlightCause cause) noexcept {
       return "ctrl_retry_exhausted";
     case FlightCause::alert_fired:
       return "alert_fired";
+    case FlightCause::layout_swap_rolled_back:
+      return "layout_swap_rolled_back";
   }
   return "?";
 }

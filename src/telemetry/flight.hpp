@@ -42,9 +42,10 @@ enum class FlightCause : std::uint8_t {
   completion_lost,        ///< rx() accepted, completion never arrived
   ctrl_retry_exhausted,   ///< programming failed verification; detail = attempts
   alert_fired,            ///< an SLO health rule transitioned to firing
+  layout_swap_rolled_back,///< live layout swap failed; detail = attempts
 };
 
-inline constexpr std::size_t kFlightCauseCount = 4;
+inline constexpr std::size_t kFlightCauseCount = 5;
 
 [[nodiscard]] std::string_view to_string(FlightCause cause) noexcept;
 

@@ -105,6 +105,15 @@ struct HealthRule {
 [[nodiscard]] std::vector<HealthRule> parse_health_rules(
     std::string_view text);
 
+/// Stock SLO rule for live layout evolution: fires (with flight capture)
+/// when the software-recovery rate stays non-zero after a swap — the
+/// signature of a cutover that degraded packets onto the SoftNIC path
+/// instead of the NIC path.  `opendesc simulate --swap-every` installs it
+/// automatically when no rules file is given.
+inline constexpr std::string_view kSwapFallbackRule =
+    "swap_softnic_fallback: "
+    "rate(opendesc_rx_softnic_recovered_total[2s]) > 0.5 for 3 ticks\n";
+
 /// Prometheus-style alert lifecycle.
 enum class AlertState : std::uint8_t { inactive, pending, firing, resolved };
 

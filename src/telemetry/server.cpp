@@ -77,6 +77,21 @@ http::Response ObservabilityServer::handle(const http::Request& request) {
     }
   } else if (request.path == "/timeseries") {
     response = timeseries(request);
+  } else if (request.path == "/layout") {
+    const auto fmt = request.query.find("format");
+    const bool tsv = fmt != request.query.end() && fmt->second == "tsv";
+    if (layout_ == nullptr) {
+      response.content_type = "application/json";
+      response.body =
+          "{\"enabled\":false,\"epoch\":0,\"swaps\":{\"committed\":0,"
+          "\"rolled_back\":0},\"history\":[],\"epochs\":[]}";
+    } else if (tsv) {
+      response.content_type = "text/plain; charset=utf-8";
+      response.body = layout_(true);
+    } else {
+      response.content_type = "application/json";
+      response.body = layout_(false);
+    }
   } else {
     // Structured 404: machine-readable, and it teaches the caller the
     // route table instead of a bare "not found".
@@ -86,7 +101,7 @@ http::Response ObservabilityServer::handle(const http::Request& request) {
                     escape_json(request.path) +
                     "\",\"routes\":[\"/metrics\",\"/metrics.json\","
                     "\"/healthz\",\"/readyz\",\"/traces\",\"/flight\","
-                    "\"/alerts\",\"/timeseries\"]}";
+                    "\"/alerts\",\"/timeseries\",\"/layout\"]}";
   }
   return response;
 }

@@ -20,6 +20,10 @@
 //                  per-series rate/min/mean/max/quantiles over the window
 //                  (&format=tsv for a flat tab-separated rendering); no
 //                  parameters lists the sampled families
+//   /layout        layout-epoch status: current epoch, swap history and
+//                  per-epoch provenance accounting as JSON (?format=tsv
+//                  for the `opendesc top` pane form); {"enabled":false}
+//                  when no epoch manager is attached
 //
 // Unknown routes answer a structured JSON 404 ({"error":..,"path":..,
 // "routes":[..]}); HEAD is answered with headers only at the http layer.
@@ -62,6 +66,11 @@ class ObservabilityServer {
   /// Attaches the /alerts rule engine (nullptr = {"enabled":false}).
   /// Install before start().
   void set_health(const HealthEngine* health) { health_ = health; }
+  /// Attaches the /layout provider: `provider(tsv)` renders the layout
+  /// epoch status (JSON, or the flat TSV pane when tsv is true).  No
+  /// provider = {"enabled":false}.  Install before start().
+  using LayoutProvider = std::function<std::string(bool tsv)>;
+  void set_layout(LayoutProvider provider) { layout_ = std::move(provider); }
 
   void start() { server_.start(); }
   void stop() { server_.stop(); }
@@ -87,6 +96,7 @@ class ObservabilityServer {
   ReadyProbe ready_;
   const TimeSeriesStore* store_ = nullptr;
   const HealthEngine* health_ = nullptr;
+  LayoutProvider layout_;
   http::HttpServer server_;
 };
 

@@ -26,6 +26,8 @@ std::string_view to_string(TraceEventType type) noexcept {
       return "run_started";
     case TraceEventType::run_finished:
       return "run_finished";
+    case TraceEventType::layout_cutover:
+      return "layout_cutover";
   }
   return "?";
 }

@@ -41,9 +41,10 @@ enum class TraceEventType : std::uint8_t {
   ctrl_programmed,     ///< control programming verified (detail: attempts)
   run_started,         ///< a loop/engine run began (arg: queue count)
   run_finished,        ///< a loop/engine run ended (arg: packets, truncated)
+  layout_cutover,      ///< worker cut over to a new layout epoch (arg: epoch)
 };
 
-inline constexpr std::size_t kTraceEventTypeCount = 10;
+inline constexpr std::size_t kTraceEventTypeCount = 11;
 
 [[nodiscard]] std::string_view to_string(TraceEventType type) noexcept;
 

@@ -347,5 +347,99 @@ TEST(EngineTest, CompositeFaultsAcrossFourQueuesPreserveGoodput) {
   EXPECT_EQ(again.total.lost_completions, report.total.lost_completions);
 }
 
+// --- Per-epoch accounting across a live layout swap -------------------------
+
+TEST(EngineTest, EpochAccountingPartitionsStatsAcrossSwap) {
+  Fixture fx;
+  const std::vector<net::Packet> packets = fx.trace(6000);
+
+  // Faults on: the partition must hold for the quarantine / dead-letter /
+  // SoftNIC-recovery paths too, not just clean hardware consumption.
+  EngineConfig config;
+  config.queues = 2;
+  config.guard = true;
+  config.fault_rate = 0.01;
+  config.fault_seed = 2026;
+  MultiQueueEngine engine(fx.result, fx.compute, config);
+
+  rt::SwapRequest request;
+  request.result = std::make_shared<const core::CompileResult>(fx.result);
+  request.at_offered = 3000;
+  engine.request_swap(request);
+
+  const EngineReport report = engine.run(packets);
+  ASSERT_EQ(engine.epochs().swaps(rt::SwapOutcome::committed), 1u);
+  ASSERT_EQ(engine.epochs().current_epoch(), 2u);
+  EXPECT_EQ(report.total.packets, report.offered_total);  // zero-loss cutover
+  EXPECT_GT(report.total.quarantined, 0u);
+
+  // RxLoopStats partition exactly by epoch: sums (and the xor-fold
+  // checksum) over the two generations reproduce the run totals, and both
+  // epochs actually processed traffic.
+  rt::RxLoopStats summed;
+  for (const rt::EpochAccounting& acct : engine.epochs().accounting()) {
+    EXPECT_GT(acct.stats.packets, 0u) << "epoch " << acct.epoch << " idle";
+    summed += acct.stats;
+  }
+  EXPECT_EQ(summed.packets, report.total.packets);
+  EXPECT_EQ(summed.hw_consumed, report.total.hw_consumed);
+  EXPECT_EQ(summed.softnic_recovered, report.total.softnic_recovered);
+  EXPECT_EQ(summed.quarantined, report.total.quarantined);
+  EXPECT_EQ(summed.lost_completions, report.total.lost_completions);
+  EXPECT_EQ(summed.value_checksum, report.total.value_checksum);
+
+  // The live StatsRegistry agrees with the partitioned totals.
+  EXPECT_EQ(engine.stats().aggregate().packets, summed.packets);
+  EXPECT_EQ(engine.stats().aggregate().value_checksum, summed.value_checksum);
+
+  // SemanticPathCounters partition the same way: per semantic, the
+  // nic_path/softnic_shim/unavailable splits summed over epochs equal the
+  // run's split — every read attributed to exactly one epoch.
+  rt::SemanticPathCounters epoch_paths;
+  for (const rt::EpochAccounting& acct : engine.epochs().accounting()) {
+    epoch_paths += acct.semantic_paths;
+  }
+  const auto expected = report.semantic_paths.snapshot();
+  const auto partitioned = epoch_paths.snapshot();
+  ASSERT_EQ(expected.size(), partitioned.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].first, partitioned[i].first);
+    EXPECT_EQ(expected[i].second.nic_path, partitioned[i].second.nic_path);
+    EXPECT_EQ(expected[i].second.softnic_shim,
+              partitioned[i].second.softnic_shim);
+    EXPECT_EQ(expected[i].second.unavailable,
+              partitioned[i].second.unavailable);
+  }
+  // And per semantic the split still reconciles with delivered packets.
+  for (const auto& [raw, counts] : partitioned) {
+    EXPECT_EQ(counts.total(), report.total.packets)
+        << "semantic " << raw << " over- or under-attributed";
+  }
+}
+
+TEST(EngineTest, SwappedRunMatchesUnswappedChecksum) {
+  // The swap machinery must be value-invisible: same trace, same wanted
+  // semantics, so the delivered value fold is identical whether the run cut
+  // over mid-stream or never swapped at all.
+  Fixture fx;
+  const std::vector<net::Packet> packets = fx.trace(3000);
+
+  EngineConfig config;
+  config.queues = 4;
+  MultiQueueEngine golden(fx.result, fx.compute, config);
+  const EngineReport unswapped = golden.run(packets);
+
+  MultiQueueEngine engine(fx.result, fx.compute, config);
+  rt::SwapRequest request;
+  request.result = std::make_shared<const core::CompileResult>(fx.result);
+  request.at_offered = 1500;
+  engine.request_swap(request);
+  const EngineReport swapped = engine.run(packets);
+
+  EXPECT_EQ(engine.epochs().swaps(rt::SwapOutcome::committed), 1u);
+  EXPECT_EQ(swapped.total.packets, unswapped.total.packets);
+  EXPECT_EQ(swapped.total.value_checksum, unswapped.total.value_checksum);
+}
+
 }  // namespace
 }  // namespace opendesc::engine

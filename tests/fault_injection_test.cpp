@@ -11,6 +11,8 @@
 #include "nic/model.hpp"
 #include "runtime/guard.hpp"
 #include "sim/ctrlchan.hpp"
+#include "telemetry/exporter.hpp"
+#include "telemetry/sink.hpp"
 
 namespace opendesc::rt {
 namespace {
@@ -367,6 +369,53 @@ TEST(ControlRetry, DroppedRegisterWritesAreObservableViaReadback) {
   ASSERT_EQ(bad.size(), 1u);
   EXPECT_EQ(bad[0], "ctx.use_rss (expected 1, read 0)");
   EXPECT_FALSE(nic.registers().verify({{"ctx.use_rss", 1}}));
+}
+
+TEST(ControlRetry, FullyDroppedWritesExhaustBackoffAndPreservePriorLayout) {
+  CtrlFixture fx;
+  sim::ProgrammableNic nic("e1000e", fx.paths, fx.endian, fx.engine);
+
+  // Establish a known-good layout over a healthy channel first.
+  const p4::ConstEnv prior = {{"ctx.use_rss", 1}};
+  (void)program_with_verify(nic, prior);
+  const std::string prior_path = nic.active_path_id();
+
+  // Now every MMIO write in the reprogramming burst is silently lost: the
+  // bounded backoff must exhaust and surface a typed device error.
+  telemetry::Sink sink;
+  FaultInjector injector(single_fault(FaultClass::ctrl_write_drop, 1.0, 11));
+  nic.set_fault_injector(&injector);
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  const p4::ConstEnv target = {{"ctx.use_rss", 0}};
+  try {
+    (void)program_with_verify(nic, target, policy, {}, &sink);
+    FAIL() << "expected Error(device)";
+  } catch (const Error& err) {
+    EXPECT_EQ(err.kind(), ErrorKind::device);
+    EXPECT_NE(std::string(err.what()).find("5 attempts"), std::string::npos)
+        << err.what();
+  }
+  // One dropped-write draw per attempt (single-entry assignment), exactly
+  // max_attempts times: the backoff really was bounded.
+  EXPECT_EQ(injector.stats().count(FaultClass::ctrl_write_drop), 5u);
+
+  // The prior layout survived untouched — the failed programming never tore
+  // the live contract.
+  EXPECT_TRUE(nic.registers().verify(prior));
+  EXPECT_EQ(nic.active_path_id(), prior_path);
+
+  // And the attempt totals landed in the telemetry registry: 5 attempts,
+  // 4 of them retries after failed readback.
+  const std::string scrape = telemetry::to_prometheus(sink.registry());
+  EXPECT_NE(scrape.find("\nopendesc_ctrl_program_attempts_total 5"),
+            std::string::npos)
+      << scrape;
+  EXPECT_NE(scrape.find("\nopendesc_ctrl_program_retries_total 4"),
+            std::string::npos)
+      << scrape;
+  EXPECT_GE(sink.flight().count(telemetry::FlightCause::ctrl_retry_exhausted),
+            1u);
 }
 
 TEST(ControlChannel, AmbiguousSelectionNamesConflictingPaths) {

@@ -1,0 +1,290 @@
+// Swap-soak suite: live layout evolution under sustained fire.  Back-to-back
+// epoch hot-swaps run under 4-queue traffic at 1% composite faults and must
+// keep 100% goodput with exact per-epoch packet accounting; poisoned control
+// channels (dropped register writes, corrupted guard probes) must roll back
+// cleanly — engine still on the old epoch, still delivering every packet.
+// The ASan and TSan twins (swap_soak_san_test / swap_soak_tsan_test)
+// recompile the whole library with instrumentation, so the drain barrier and
+// the refcounted generation handoff are also the race detector's workload.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "engine/engine.hpp"
+#include "net/workload.hpp"
+#include "nic/model.hpp"
+#include "runtime/epoch.hpp"
+#include "sim/faults.hpp"
+#include "telemetry/exporter.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/sink.hpp"
+
+namespace opendesc::rt {
+namespace {
+
+struct SoakFixture {
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs{registry};
+  core::Compiler compiler{registry, costs};
+  softnic::ComputeEngine compute{registry};
+  core::CompileResult result;
+  /// The swap target: the same intent recompiled under a DMA-austere alpha.
+  std::shared_ptr<const core::CompileResult> alt;
+  /// A swap target on ice's flex path (ctx.flex_profile=1): its register
+  /// assignment differs from a fresh register file, so a control channel
+  /// that drops every write can never fake a successful readback.
+  std::shared_ptr<const core::CompileResult> flex;
+
+  SoakFixture()
+      : result(compile(1.0)),
+        alt(std::make_shared<const core::CompileResult>(compile(16.0))),
+        flex(std::make_shared<const core::CompileResult>(
+            compile(1.0,
+                    R"(header flex_t {
+                        @semantic("timestamp") bit<64> t;
+                        @semantic("rss")       bit<32> h;
+                    })"))) {}
+
+  [[nodiscard]] core::CompileResult compile(
+      double alpha, const char* intent = R"(header soak_t {
+                                @semantic("rss")     bit<32> h;
+                                @semantic("vlan")    bit<16> v;
+                                @semantic("pkt_len") bit<16> l;
+                            })") {
+    core::CompileOptions options;
+    options.dma_weight_per_byte = alpha;
+    return compiler.compile(nic::NicCatalog::by_name("ice").p4_source(),
+                            intent, options);
+  }
+
+  [[nodiscard]] std::vector<net::Packet> trace(std::size_t n) const {
+    net::WorkloadConfig config;
+    config.seed = 42;
+    config.vlan_probability = 0.4;
+    config.udp_fraction = 0.5;
+    config.ipv6_fraction = 0.25;
+    config.min_frame = 96;
+    net::WorkloadGenerator gen(config);
+    return gen.batch(n);
+  }
+};
+
+/// First sample value of `series` (e.g. `opendesc_layout_epoch` or
+/// `opendesc_layout_swaps_total{outcome="rolled_back"}`) in a Prometheus
+/// exposition, or -1 when the series is absent.
+double metric_value(const std::string& text, const std::string& series) {
+  // Line-anchored so a bare gauge name can't match its own HELP comment.
+  const std::string needle = "\n" + series + " ";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) {
+    return -1.0;
+  }
+  return std::stod(text.substr(at + needle.size()));
+}
+
+TEST(SwapSoakTest, BackToBackSwapsUnderFaultsKeepFullGoodput) {
+  SoakFixture fx;
+  const std::vector<net::Packet> packets = fx.trace(12000);
+
+  telemetry::SinkConfig sink_config;
+  sink_config.queues = 4;
+  telemetry::Sink sink(sink_config);
+
+  rt::EngineConfig config;
+  config.queues = 4;
+  config.guard = true;
+  config.fault_rate = 0.01;
+  config.fault_seed = 7;
+  config.swap_every = 1200;
+  config.telemetry = &sink;
+  MultiQueueEngine engine(fx.result, fx.compute, config);
+  engine.set_swap_cycle(
+      {fx.alt, std::make_shared<const core::CompileResult>(fx.result)});
+
+  const EngineReport report = engine.run(packets);
+  const LayoutEpochManager& epochs = engine.epochs();
+
+  // >= 8 back-to-back live swaps, every one committed.
+  const std::uint64_t committed = epochs.swaps(SwapOutcome::committed);
+  EXPECT_GE(committed, 8u);
+  EXPECT_EQ(epochs.swaps(SwapOutcome::rolled_back), 0u);
+  EXPECT_EQ(epochs.current_epoch(), committed + 1);
+
+  // Zero-loss cutover: 100% goodput across every swap, all of it accounted
+  // to the hardware or SoftNIC recovery path.
+  EXPECT_EQ(report.total.packets, report.offered_total);
+  EXPECT_DOUBLE_EQ(report.total.delivery_ratio(report.offered_total), 1.0);
+  EXPECT_EQ(report.total.hw_consumed + report.total.softnic_recovered,
+            report.total.packets);
+  EXPECT_GT(report.total.quarantined, 0u);  // the faults really fired
+
+  // Per-epoch packet accounting is exact: the provenance deltas partition
+  // the run — no packet double-counted, none unattributed.
+  std::uint64_t epoch_packets = 0;
+  std::uint64_t epoch_quarantined = 0;
+  std::uint64_t epoch_softnic = 0;
+  std::uint64_t checksum = 0;
+  for (const EpochAccounting& acct : epochs.accounting()) {
+    epoch_packets += acct.stats.packets;
+    epoch_quarantined += acct.stats.quarantined;
+    epoch_softnic += acct.stats.softnic_recovered;
+    checksum ^= acct.stats.value_checksum;
+  }
+  EXPECT_EQ(epoch_packets, report.total.packets);
+  EXPECT_EQ(epoch_quarantined, report.total.quarantined);
+  EXPECT_EQ(epoch_softnic, report.total.softnic_recovered);
+  EXPECT_EQ(checksum, report.total.value_checksum);
+
+  // Reclamation: every superseded epoch was released by all four queues and
+  // retired; only the final generation is still live.
+  for (const EpochAccounting& acct : epochs.accounting()) {
+    if (acct.epoch != epochs.current_epoch()) {
+      EXPECT_TRUE(acct.retired) << "epoch " << acct.epoch << " leaked";
+      EXPECT_EQ(acct.released_queues, 4u);
+    }
+  }
+  EXPECT_EQ(epochs.live_generations(), 1u);
+
+  // The metric families agree with the manager.
+  const std::string scrape = telemetry::to_prometheus(sink.registry());
+  EXPECT_EQ(metric_value(scrape, "opendesc_layout_epoch"),
+            static_cast<double>(epochs.current_epoch()));
+  EXPECT_EQ(metric_value(
+                scrape, "opendesc_layout_swaps_total{outcome=\"committed\"}"),
+            static_cast<double>(committed));
+}
+
+TEST(SwapSoakTest, DroppedControlWritesRollBackAndEngineStaysServing) {
+  SoakFixture fx;
+  const std::vector<net::Packet> packets = fx.trace(6000);
+
+  telemetry::SinkConfig sink_config;
+  sink_config.queues = 4;
+  telemetry::Sink sink(sink_config);
+
+  rt::EngineConfig config;
+  config.queues = 4;
+  config.guard = true;
+  config.fault_rate = 0.01;
+  config.fault_seed = 7;
+  config.telemetry = &sink;
+  MultiQueueEngine engine(fx.result, fx.compute, config);
+
+  // A swap over a control channel that loses every register write must
+  // exhaust its bounded backoff and roll back...
+  SwapRequest poisoned;
+  poisoned.result = fx.flex;
+  poisoned.ctrl_faults = sim::FaultConfig{};
+  poisoned.ctrl_faults->seed = 99;
+  poisoned.ctrl_faults->rate(sim::FaultClass::ctrl_write_drop) = 1.0;
+  poisoned.at_offered = 1500;
+  engine.request_swap(poisoned);
+
+  // ...and a later swap over a healthy channel must still commit: a failed
+  // swap degrades gracefully, it does not wedge the control plane.
+  SwapRequest healthy;
+  healthy.result = fx.alt;
+  healthy.at_offered = 3500;
+  engine.request_swap(healthy);
+
+  const EngineReport report = engine.run(packets);
+  const LayoutEpochManager& epochs = engine.epochs();
+
+  const std::vector<SwapRecord> history = epochs.history();
+  ASSERT_EQ(history.size(), 2u);
+  const SwapRecord& rollback = history[0];
+  EXPECT_EQ(rollback.outcome, SwapOutcome::rolled_back);
+  EXPECT_EQ(rollback.from_epoch, 1u);
+  EXPECT_GT(rollback.attempts, 1u);  // bounded backoff actually retried
+  EXPECT_FALSE(rollback.detail.empty());
+  EXPECT_EQ(history[1].outcome, SwapOutcome::committed);
+
+  // The failed swap left the engine on epoch 1 until the healthy one landed.
+  EXPECT_EQ(epochs.swaps(SwapOutcome::rolled_back), 1u);
+  EXPECT_EQ(epochs.swaps(SwapOutcome::committed), 1u);
+  EXPECT_EQ(epochs.current_epoch(), 2u);
+
+  // Zero loss throughout, including across the failed attempt.
+  EXPECT_EQ(report.total.packets, report.offered_total);
+  EXPECT_DOUBLE_EQ(report.total.delivery_ratio(report.offered_total), 1.0);
+  std::uint64_t epoch_packets = 0;
+  for (const EpochAccounting& acct : epochs.accounting()) {
+    epoch_packets += acct.stats.packets;
+  }
+  EXPECT_EQ(epoch_packets, report.total.packets);
+
+  // The rollback is observable: flight incident + outcome-labelled counter.
+  EXPECT_GE(sink.flight().count(telemetry::FlightCause::layout_swap_rolled_back),
+            1u);
+  const std::string scrape = telemetry::to_prometheus(sink.registry());
+  EXPECT_GE(metric_value(
+                scrape, "opendesc_layout_swaps_total{outcome=\"rolled_back\"}"),
+            1.0);
+  EXPECT_EQ(metric_value(scrape, "opendesc_layout_epoch"), 2.0);
+}
+
+TEST(SwapSoakTest, GuardProbeMismatchRollsBack) {
+  SoakFixture fx;
+  const std::vector<net::Packet> packets = fx.trace(3000);
+
+  rt::EngineConfig config;
+  config.queues = 2;
+  config.guard = true;
+  MultiQueueEngine engine(fx.result, fx.compute, config);
+
+  // Register writes land, but the guard-probe completion comes back
+  // corrupted: the sealed-record verification must refuse the generation.
+  SwapRequest poisoned;
+  poisoned.result = fx.alt;
+  poisoned.ctrl_faults = sim::FaultConfig{};
+  poisoned.ctrl_faults->seed = 5;
+  poisoned.ctrl_faults->rate(sim::FaultClass::record_bitflip) = 1.0;
+  poisoned.at_offered = 1000;
+  engine.request_swap(poisoned);
+
+  const EngineReport report = engine.run(packets);
+  const LayoutEpochManager& epochs = engine.epochs();
+
+  EXPECT_EQ(epochs.swaps(SwapOutcome::rolled_back), 1u);
+  EXPECT_EQ(epochs.swaps(SwapOutcome::committed), 0u);
+  EXPECT_EQ(epochs.current_epoch(), 1u);
+  ASSERT_EQ(epochs.history().size(), 1u);
+  EXPECT_NE(epochs.history()[0].detail.find("guard probe"), std::string::npos)
+      << epochs.history()[0].detail;
+
+  // Clean traffic on the old epoch: nothing lost, nothing degraded.
+  EXPECT_EQ(report.total.packets, report.offered_total);
+  EXPECT_EQ(report.total.quarantined, 0u);
+}
+
+TEST(SwapSoakTest, SwapBeforeFirstPacketAppliesToWholeRun) {
+  SoakFixture fx;
+  const std::vector<net::Packet> packets = fx.trace(1000);
+
+  rt::EngineConfig config;
+  config.queues = 2;
+  MultiQueueEngine engine(fx.result, fx.compute, config);
+
+  SwapRequest request;
+  request.result = fx.alt;
+  request.at_offered = 0;  // apply before the first packet is steered
+  engine.request_swap(request);
+
+  const EngineReport report = engine.run(packets);
+  EXPECT_EQ(engine.epochs().current_epoch(), 2u);
+  EXPECT_EQ(report.total.packets, packets.size());
+
+  // Everything ran under epoch 2; epoch 1 processed nothing.
+  const auto first = engine.epochs().accounting_for(1);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->stats.packets, 0u);
+  const auto second = engine.epochs().accounting_for(2);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->stats.packets, packets.size());
+}
+
+}  // namespace
+}  // namespace opendesc::rt

@@ -77,7 +77,8 @@ while :; do
         --probe "$BASE/healthz" --probe "$BASE/readyz" \
         --probe "$BASE/metrics.json" --probe "$BASE/traces" \
         --probe "$BASE/traces?queue=0" --probe "$BASE/flight" \
-        --probe "$BASE/alerts" --probe "$BASE/timeseries"; then
+        --probe "$BASE/alerts" --probe "$BASE/timeseries" \
+        --probe "$BASE/layout"; then
         exit 0
     fi
     tries=$((tries + 1))

@@ -13,7 +13,7 @@
 //   opendesc simulate --nic <name|file.p4> [--intent <file.p4>]
 //                     [--packets <n>] [--fault-rate <p>] [--fault-seed <n>]
 //                     [--guard] [--queues <n>] [--batch <n>]
-//                     [--metrics-out <file>]
+//                     [--swap-every <n>] [--metrics-out <file>]
 //       Compiles the intent, drives a synthetic workload through the
 //       simulated NIC with the hardened (validating) receive loop, and
 //       prints datapath + fault-recovery statistics.  --fault-rate injects
@@ -21,7 +21,11 @@
 //       seals each completion record with the 16-bit integrity tag.
 //       --queues > 1 runs the multi-queue engine instead: RSS steering
 //       across N simulated hardware queues, one hardened worker each, with
-//       per-queue and aggregate statistics.  --metrics-out writes the run's
+//       per-queue and aggregate statistics.  --swap-every N hot-swaps the
+//       live layout every N offered packets (alternating between the
+//       intent compiled at the default alpha and a DMA-austere recompile),
+//       exercising the epoch cutover path and printing the swap history
+//       with per-epoch accounting.  --metrics-out writes the run's
 //       telemetry registry as a Prometheus text scrape (or JSON when the
 //       file ends in .json).
 //   opendesc stats --nic <name|file.p4> [simulate options]
@@ -41,7 +45,8 @@
 //   opendesc top --url <http://host:port> [--interval <ms>]
 //                [--iterations <n>] [--plain]
 //       Live ANSI dashboard against a serving instance: per-queue goodput
-//       sparklines (1s window), stage-latency p99, and firing SLO alerts,
+//       sparklines (1s window), stage-latency p99, layout-epoch status
+//       (current epoch, swap tallies), and firing SLO alerts,
 //       refreshed every --interval ms.  --iterations bounds the redraw
 //       count (0 = until killed); --plain skips the ANSI screen clearing
 //       for logs and tests.
@@ -76,6 +81,7 @@
 #include "core/txdesc.hpp"
 #include "p4/parser.hpp"
 #include "nic/model.hpp"
+#include "runtime/epoch.hpp"
 #include "runtime/guard.hpp"
 #include "telemetry/exporter.hpp"
 #include "telemetry/server.hpp"
@@ -98,7 +104,7 @@ int usage() {
       "  opendesc simulate --nic <name|file.p4> [--intent <file.p4>]\n"
       "                    [--packets <n>] [--fault-rate <p>]\n"
       "                    [--fault-seed <n>] [--guard]\n"
-      "                    [--queues <n>] [--batch <n>]\n"
+      "                    [--queues <n>] [--batch <n>] [--swap-every <n>]\n"
       "                    [--metrics-out <file>] [--flight-out <file>]\n"
       "                    [--listen <host:port>] [--rules <file>]\n"
       "                    [--alerts-out <file>]\n"
@@ -151,6 +157,7 @@ struct Args {
   bool guard = false;
   std::size_t queues = 1;  ///< > 1 selects the multi-queue engine
   std::size_t batch = 32;
+  std::size_t swap_every = 0;  ///< > 0: live layout hot-swap cadence
 
   // telemetry options
   std::string metrics_out;  ///< write the run's scrape here (simulate/stats)
@@ -252,6 +259,10 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else if (arg == "--batch") {
       const char* v = next();
       if (!v || !parse_num("--batch", v, [](const char* s) { return std::stoull(s); }, args.batch))
+        return false;
+    } else if (arg == "--swap-every") {
+      const char* v = next();
+      if (!v || !parse_num("--swap-every", v, [](const char* s) { return std::stoull(s); }, args.swap_every))
         return false;
     } else if (arg == "--metrics-out") {
       const char* v = next();
@@ -501,21 +512,44 @@ int run_simulation(const Args& args, telemetry::Sink* sink, bool print_human) {
 
   // The engine branch also serves any run that wants the live observability
   // plane: --listen embeds the HTTP server, --rules / --alerts-out activate
-  // the health monitor — each regardless of queue count.
-  if (args.queues > 1 || !args.listen.empty() || !args.rules.empty() ||
-      !args.alerts_out.empty()) {
+  // the health monitor — each regardless of queue count.  --swap-every
+  // needs the dispatch thread, so it lands here too.
+  if (args.queues > 1 || args.swap_every > 0 || !args.listen.empty() ||
+      !args.rules.empty() || !args.alerts_out.empty()) {
+    // Swapping with no explicit rules file still gets the stock cutover
+    // watchdog: sustained SoftNIC fallback after a swap fires an alert
+    // (with flight capture) instead of degrading silently.
+    std::string health_rules =
+        args.rules.empty() ? std::string() : read_file(args.rules);
+    if (args.swap_every > 0 && health_rules.empty()) {
+      health_rules = std::string(telemetry::kSwapFallbackRule);
+    }
     const rt::EngineConfig engine_config =
         rt::EngineConfig{}
             .with_queues(args.queues)
             .with_batch(args.batch)
             .with_guard(args.guard)
             .with_fault_rate(args.fault_rate, args.fault_seed)
+            .with_swap_every(args.swap_every)
             .with_telemetry(sink)
             .with_server(args.listen)
-            .with_health_rules(args.rules.empty() ? std::string()
-                                                  : read_file(args.rules))
+            .with_health_rules(health_rules)
             .with_monitor(!args.alerts_out.empty());
     rt::MultiQueueEngine mq(result, engine, engine_config);
+
+    if (args.swap_every > 0) {
+      // Alternate between this compilation and a DMA-austere recompile of
+      // the same intent (alpha high enough to flip path selection on NICs
+      // with a narrower path) — every cadence tick cuts the live engine
+      // over to the other epoch.
+      core::CompileOptions austere = compile_options;
+      austere.telemetry = nullptr;  // keep search gauges on the main compile
+      austere.dma_weight_per_byte = 16.0;
+      mq.set_swap_cycle(
+          {std::make_shared<const core::CompileResult>(
+               compiler.compile(nic_source, intent_source, austere)),
+           std::make_shared<const core::CompileResult>(result)});
+    }
 
     if (mq.server() != nullptr) {
       if (!args.port_file.empty()) {
@@ -607,6 +641,27 @@ int run_simulation(const Args& args, telemetry::Sink* sink, bool print_human) {
     std::printf("  %-26s %#12llx\n", "value checksum",
                 static_cast<unsigned long long>(report.total.value_checksum));
     print_stage_table(report);
+    if (args.swap_every > 0 || mq.epochs().history().size() != 0) {
+      std::printf("  layout epochs: current %llu, swaps committed %llu, "
+                  "rolled back %llu\n",
+                  static_cast<unsigned long long>(mq.epochs().current_epoch()),
+                  static_cast<unsigned long long>(
+                      mq.epochs().swaps(rt::SwapOutcome::committed)),
+                  static_cast<unsigned long long>(
+                      mq.epochs().swaps(rt::SwapOutcome::rolled_back)));
+      std::printf("    %-6s %-28s %10s %10s %12s\n", "epoch", "path",
+                  "packets", "softnic", "quarantined");
+      for (const rt::EpochAccounting& acct : mq.epochs().accounting()) {
+        std::printf("    %-6llu %-28s %10llu %10llu %12llu%s\n",
+                    static_cast<unsigned long long>(acct.epoch),
+                    acct.path_id.c_str(),
+                    static_cast<unsigned long long>(acct.stats.packets),
+                    static_cast<unsigned long long>(
+                        acct.stats.softnic_recovered),
+                    static_cast<unsigned long long>(acct.stats.quarantined),
+                    acct.retired ? "  (retired)" : "");
+      }
+    }
     if (args.fault_rate > 0.0) {
       std::printf("  injected faults: composite rate %g, per-queue seeds "
                   "derived from %llu; quarantined %llu, softnic-recovered "
@@ -658,6 +713,10 @@ int run_simulation(const Args& args, telemetry::Sink* sink, bool print_human) {
     report.semantic_paths += loop.recovery_path_counters();
     // Fully qualified: the local ComputeEngine is also named `engine`.
     opendesc::engine::publish_report(*sink, report, registry);
+    // The single-queue loop has no epoch manager, but scrapes should still
+    // expose the layout families at their zero state (epoch 1, no swaps) so
+    // dashboards and scrape_check see one catalog either way.
+    rt::register_layout_metrics(*sink);
   }
   if (!print_human) {
     return 0;
@@ -876,6 +935,7 @@ int cmd_top(const Args& args) {
     http::Response goodput;
     http::Response stages;
     http::Response alerts;
+    http::Response layout;
     try {
       goodput = http::http_get(
           host, port,
@@ -884,6 +944,7 @@ int cmd_top(const Args& args) {
           host, port,
           "/timeseries?metric=opendesc_stage_latency_ns&window=10s&format=tsv");
       alerts = http::http_get(host, port, "/alerts?format=tsv");
+      layout = http::http_get(host, port, "/layout?format=tsv");
     } catch (const Error& e) {
       if (iter == 0) {
         throw;  // dead target: fail fast instead of redrawing errors forever
@@ -939,6 +1000,48 @@ int cmd_top(const Args& args) {
     }
     if (!any_stage) {
       frame << "  (no sampled data yet)\n";
+    }
+
+    frame << "\nlayout epochs:\n";
+    bool any_layout = false;
+    if (layout.status == 200) {
+      // TSV lines: epoch N / swaps C R / gen ... / swap ... — a serving
+      // instance without an epoch manager answers JSON instead, which
+      // matches none of these tags and falls through to the placeholder.
+      std::istringstream lines(layout.body);
+      for (std::string line; std::getline(lines, line);) {
+        if (line.empty()) continue;
+        const std::vector<std::string> fields = split_tabs(line);
+        const auto field = [&](std::size_t i) {
+          return i < fields.size() ? fields[i].c_str() : "?";
+        };
+        if (fields[0] == "epoch") {
+          std::snprintf(buf, sizeof buf, "  current epoch %s", field(1));
+          frame << buf;
+          any_layout = true;
+        } else if (fields[0] == "swaps") {
+          std::snprintf(buf, sizeof buf,
+                        "  (swaps: %s committed, %s rolled back)\n", field(1),
+                        field(2));
+          frame << buf;
+        } else if (fields[0] == "gen") {
+          std::snprintf(buf, sizeof buf,
+                        "  epoch %-4s %-24s pkts %-10s softnic %-8s "
+                        "quarantined %s%s\n",
+                        field(1), field(2), field(3), field(4), field(5),
+                        fields.size() > 6 && fields[6] == "1" ? "  retired"
+                                                              : "");
+          frame << buf;
+        } else if (fields[0] == "swap") {
+          std::snprintf(buf, sizeof buf, "  swap %s->%-4s %-12s attempts %s %s\n",
+                        field(1), field(2), field(3), field(4),
+                        fields.size() > 5 ? field(5) : "");
+          frame << buf;
+        }
+      }
+    }
+    if (!any_layout) {
+      frame << "  (no layout epochs)\n";
     }
 
     frame << "\nSLO alerts:\n";

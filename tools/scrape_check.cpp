@@ -410,6 +410,8 @@ void check_schema(Checker& chk) {
       {"opendesc_trace_recorded_total", "counter"},
       {"opendesc_trace_dropped_total", "counter"},
       {"opendesc_engine_queues", "gauge"},
+      {"opendesc_layout_swaps_total", "counter"},
+      {"opendesc_layout_epoch", "gauge"},
       {"opendesc_compile_runs_total", "counter"},
       {"opendesc_compile_paths_explored", "gauge"},
       {"opendesc_compile_chosen_size_bytes", "gauge"},
@@ -639,6 +641,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "scrape_check: probe %s: /alerts body lacks "
                      "\"rules\"/\"firing\" keys\n",
+                     probe.c_str());
+        probe_failed = true;
+        continue;
+      }
+    } else if (path.compare(0, 7, "/layout") == 0 &&
+               path.find("format=tsv") == std::string::npos) {
+      if (got->body.find("\"epoch\":") == std::string::npos ||
+          got->body.find("\"swaps\":") == std::string::npos) {
+        std::fprintf(stderr,
+                     "scrape_check: probe %s: /layout body lacks "
+                     "\"epoch\"/\"swaps\" keys\n",
                      probe.c_str());
         probe_failed = true;
         continue;
