@@ -1,0 +1,226 @@
+// Planned-downtime comparison: evolving the completion-record contract on a
+// running engine (epoch hot-swap) vs the static-descriptor playbook (stop
+// the datapath, recompile, rebuild the engine, restart).
+//
+// Both arms process the same trace and end on the same target layout; the
+// difference is what happens in the middle:
+//
+//   - hot-swap arm: one engine, one run() — a SwapRequest lands at the
+//     halfway mark and the dispatch thread cuts over under fire.  Packets
+//     keep flowing; the arm's "downtime" is the swap's in-band overhead,
+//     measured as (swap-run wall - no-swap baseline wall), median of
+//     repeats, clamped at 0.
+//   - restart arm: run the first half, tear the engine down, recompile the
+//     target intent from source, build a new engine, run the second half.
+//     The gap between the halves — teardown + recompile + rebuild — is the
+//     planned downtime during which the datapath delivers nothing.
+//
+// Bars: the hot-swap commits with zero loss (100% goodput, exact packet
+// count), and the restart gap costs at least `kRatioBar` times the
+// hot-swap overhead.  Results land in BENCH_swap_downtime.json.
+// OPENDESC_BENCH_SMOKE=1 shrinks the trace; the bars are scale-free.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "engine/engine.hpp"
+#include "net/workload.hpp"
+#include "nic/model.hpp"
+#include "runtime/epoch.hpp"
+
+namespace {
+
+using namespace opendesc;
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kBaseIntent = R"(header base_t {
+  @semantic("rss")     bit<32> h;
+  @semantic("vlan")    bit<16> v;
+  @semantic("pkt_len") bit<16> l;
+})";
+
+constexpr const char* kTargetIntent = R"(header evolved_t {
+  @semantic("timestamp") bit<64> t;
+  @semantic("rss")       bit<32> h;
+  @semantic("pkt_len")   bit<16> l;
+})";
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Fixture {
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs{registry};
+  core::Compiler compiler{registry, costs};
+  softnic::ComputeEngine compute{registry};
+  std::string nic = nic::NicCatalog::by_name("ice").p4_source();
+  core::CompileResult base = compiler.compile(nic, kBaseIntent, {});
+  std::shared_ptr<const core::CompileResult> target =
+      std::make_shared<const core::CompileResult>(
+          compiler.compile(nic, kTargetIntent, {}));
+
+  [[nodiscard]] rt::EngineConfig engine_config() const {
+    rt::EngineConfig config;
+    config.queues = 4;
+    config.guard = true;
+    return config;
+  }
+
+  [[nodiscard]] std::vector<net::Packet> trace(std::size_t n) const {
+    net::WorkloadConfig config;
+    config.seed = 42;
+    config.vlan_probability = 0.4;
+    config.udp_fraction = 0.5;
+    net::WorkloadGenerator gen(config);
+    return gen.batch(n);
+  }
+};
+
+struct ArmResult {
+  double wall_s = 0.0;
+  double downtime_s = 0.0;  ///< service gap (restart) / in-band overhead (hot)
+  std::uint64_t delivered = 0;
+  std::uint64_t committed_swaps = 0;
+  double goodput = 0.0;
+};
+
+/// One engine, one run, a swap landing mid-trace.  Wall time covers the
+/// whole run; the committed-swap count and goodput come from the report.
+ArmResult run_hot(const Fixture& fx, const std::vector<net::Packet>& trace,
+                  bool with_swap) {
+  ArmResult arm;
+  rt::MultiQueueEngine engine(fx.base, fx.compute, fx.engine_config());
+  if (with_swap) {
+    rt::SwapRequest request;
+    request.result = fx.target;
+    request.at_offered = trace.size() / 2;
+    engine.request_swap(request);
+  }
+  const auto t0 = Clock::now();
+  const engine::EngineReport report = engine.run(trace);
+  arm.wall_s = seconds_since(t0);
+  arm.delivered = report.total.packets;
+  arm.goodput = report.total.delivery_ratio(report.offered_total);
+  arm.committed_swaps = engine.epochs().swaps(rt::SwapOutcome::committed);
+  return arm;
+}
+
+/// The static-descriptor playbook: drain and destroy the engine, recompile
+/// the target from source, build a fresh engine, resume.  The downtime is
+/// everything between the halves.
+ArmResult run_restart(Fixture& fx, const std::vector<net::Packet>& trace) {
+  ArmResult arm;
+  const std::size_t half = trace.size() / 2;
+  const std::vector<net::Packet> first(trace.begin(), trace.begin() + half);
+  const std::vector<net::Packet> second(trace.begin() + half, trace.end());
+
+  const auto t0 = Clock::now();
+  engine::EngineReport before;
+  {
+    rt::MultiQueueEngine engine(fx.base, fx.compute, fx.engine_config());
+    before = engine.run(first);
+  }  // teardown is part of the gap
+  const auto gap_start = Clock::now();
+  const core::CompileResult recompiled =
+      fx.compiler.compile(fx.nic, kTargetIntent, {});
+  rt::MultiQueueEngine engine(recompiled, fx.compute, fx.engine_config());
+  arm.downtime_s = seconds_since(gap_start);
+  const engine::EngineReport after = engine.run(second);
+  arm.wall_s = seconds_since(t0);
+  arm.delivered = before.total.packets + after.total.packets;
+  arm.goodput = (before.total.delivery_ratio(before.offered_total) +
+                 after.total.delivery_ratio(after.offered_total)) /
+                2.0;
+  return arm;
+}
+
+}  // namespace
+
+int main() {
+  const char* smoke_env = std::getenv("OPENDESC_BENCH_SMOKE");
+  const bool smoke =
+      smoke_env != nullptr && smoke_env[0] != '\0' && smoke_env[0] != '0';
+  const std::size_t packets = smoke ? 8000 : 48000;
+  const std::size_t repeats = smoke ? 3 : 7;
+  constexpr double kRatioBar = 1.5;
+
+  Fixture fx;
+  const std::vector<net::Packet> trace = fx.trace(packets);
+
+  // Warm-up both arms once (thread pools, allocator, code paths), then
+  // repeat and take medians — the quantities are milliseconds-scale and
+  // scheduler-noisy.
+  (void)run_hot(fx, trace, /*with_swap=*/false);
+  std::vector<double> baseline_walls, hot_walls, restart_gaps, restart_walls;
+  ArmResult hot_last, restart_last;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    baseline_walls.push_back(run_hot(fx, trace, /*with_swap=*/false).wall_s);
+    hot_last = run_hot(fx, trace, /*with_swap=*/true);
+    hot_walls.push_back(hot_last.wall_s);
+    restart_last = run_restart(fx, trace);
+    restart_gaps.push_back(restart_last.downtime_s);
+    restart_walls.push_back(restart_last.wall_s);
+  }
+  const auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double baseline_wall = median(baseline_walls);
+  const double hot_wall = median(hot_walls);
+  const double hot_overhead = std::max(0.0, hot_wall - baseline_wall);
+  const double restart_gap = median(restart_gaps);
+  const double restart_wall = median(restart_walls);
+  // Timer floor so a sub-resolution hot overhead yields a finite ratio.
+  const double ratio = restart_gap / std::max(hot_overhead, 1e-5);
+
+  const bool hot_zero_loss = hot_last.committed_swaps == 1 &&
+                             hot_last.delivered == packets &&
+                             hot_last.goodput == 1.0;
+  const bool ratio_pass = ratio >= kRatioBar;
+
+  std::printf("=== Planned downtime: hot-swap vs stop-recompile-restart "
+              "(%zu packets, %zu repeats, %s) ===\n",
+              packets, repeats, smoke ? "smoke" : "full");
+  std::printf("  baseline (no swap):     %8.2f ms wall\n",
+              baseline_wall * 1e3);
+  std::printf("  hot-swap:               %8.2f ms wall, %.3f ms in-band "
+              "overhead, %llu/%zu delivered, goodput %.1f%%\n",
+              hot_wall * 1e3, hot_overhead * 1e3,
+              static_cast<unsigned long long>(hot_last.delivered), packets,
+              100.0 * hot_last.goodput);
+  std::printf("  stop-recompile-restart: %8.2f ms wall, %.3f ms service "
+              "gap (teardown + recompile + rebuild)\n",
+              restart_wall * 1e3, restart_gap * 1e3);
+  std::printf("  bar hot_swap_zero_loss      %s\n",
+              hot_zero_loss ? "[pass]" : "[FAIL]");
+  std::printf("  bar downtime_ratio          %10.1f >= %10.1f  [%s]\n", ratio,
+              kRatioBar, ratio_pass ? "pass" : "FAIL");
+
+  std::ofstream json("BENCH_swap_downtime.json");
+  json << "{\"bench\":\"swap_downtime\",\"smoke\":" << (smoke ? "true" : "false")
+       << ",\"packets\":" << packets << ",\"repeats\":" << repeats
+       << ",\"baseline_wall_s\":" << baseline_wall
+       << ",\"hot_wall_s\":" << hot_wall
+       << ",\"hot_overhead_s\":" << hot_overhead
+       << ",\"hot_delivered\":" << hot_last.delivered
+       << ",\"hot_goodput\":" << hot_last.goodput
+       << ",\"hot_committed_swaps\":" << hot_last.committed_swaps
+       << ",\"restart_wall_s\":" << restart_wall
+       << ",\"restart_gap_s\":" << restart_gap
+       << ",\"downtime_ratio\":" << ratio
+       << ",\"bars\":[{\"name\":\"hot_swap_zero_loss\",\"pass\":"
+       << (hot_zero_loss ? "true" : "false")
+       << "},{\"name\":\"downtime_ratio\",\"value\":" << ratio
+       << ",\"bar\":" << kRatioBar << ",\"cmp\":\">=\",\"pass\":"
+       << (ratio_pass ? "true" : "false") << "}],\"all_pass\":"
+       << (hot_zero_loss && ratio_pass ? "true" : "false") << "}\n";
+  std::printf("wrote BENCH_swap_downtime.json (%s)\n",
+              hot_zero_loss && ratio_pass ? "all bars pass" : "BAR FAILURES");
+  return hot_zero_loss && ratio_pass ? 0 : 1;
+}

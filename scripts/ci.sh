@@ -20,5 +20,17 @@ for preset in $PRESETS; do
     cmake --build --preset "$preset" -j "$JOBS"
     echo "=== [$preset] test ==="
     ctest --preset "$preset" -j "$JOBS"
+    if [ "$preset" = ci ]; then
+        # Bench smoke: shrunken populations, bars still asserted (a bar
+        # failure fails the tier-1 job).  BENCH_*.json land in
+        # build-ci/bench for the workflow's artifact upload.  The
+        # no-match filter skips the google-benchmark BM_ loops — the
+        # structured sections each bench runs from main() are the smoke.
+        echo "=== [$preset] bench smoke ==="
+        (cd build-ci/bench &&
+            OPENDESC_BENCH_SMOKE=1 ./bench_flowtable --benchmark_filter=__sections_only__ &&
+            OPENDESC_BENCH_SMOKE=1 ./bench_swap_downtime &&
+            ./bench_engine_scaling --benchmark_filter=__sections_only__)
+    fi
 done
 echo "ci.sh: all presets green ($PRESETS)"

@@ -191,6 +191,27 @@ CompileResult Compiler::compile(std::string_view nic_source,
   return compile(program, types, deparser, std::move(intent), options);
 }
 
+std::vector<CompileResult> Compiler::compile_intents(
+    std::string_view nic_source, std::span<const std::string> intent_sources,
+    const CompileOptions& options) const {
+  // The shared front end runs once: one parse, one typecheck, one deparser
+  // selection.  Tenant compilations then diverge on the back half of the
+  // pipeline, each solving Eq. 1 for its own requested set.
+  const p4::Program program = p4::parse_program(nic_source);
+  const p4::TypeInfo types = p4::check_program(program);
+  const p4::ControlDecl& deparser =
+      select_deparser(program, options.deparser_name);
+  std::vector<CompileResult> results;
+  results.reserve(intent_sources.size());
+  for (const std::string& intent_source : intent_sources) {
+    Intent intent =
+        parse_intent(intent_source, registry_, options.auto_register_semantics);
+    results.push_back(
+        compile(program, types, deparser, std::move(intent), options));
+  }
+  return results;
+}
+
 CompileResult Compiler::compile(const p4::Program& nic_program,
                                 const p4::TypeInfo& types,
                                 const p4::ControlDecl& deparser, Intent intent,

@@ -5,6 +5,8 @@
 // path's layout → verify it → synthesize host stubs and SoftNIC shims.
 #pragma once
 
+#include <span>
+#include <string>
 #include <string_view>
 
 #include "core/cfg.hpp"
@@ -79,6 +81,17 @@ class Compiler {
   [[nodiscard]] CompileResult compile(std::string_view nic_source,
                                       std::string_view intent_source,
                                       const CompileOptions& options = {}) const;
+
+  /// Multi-tenant pipeline: compiles N intent headers against one shared
+  /// NIC description, parsing and typechecking the description once.  Each
+  /// tenant gets its own full CompileResult — distinct path selection,
+  /// CompiledLayout and shim set — exactly as if compiled alone; only the
+  /// front-end work is shared.  Results are positionally aligned with
+  /// `intent_sources`.
+  [[nodiscard]] std::vector<CompileResult> compile_intents(
+      std::string_view nic_source,
+      std::span<const std::string> intent_sources,
+      const CompileOptions& options = {}) const;
 
   /// Pipeline from pre-parsed artifacts (used by the NIC catalog, which
   /// caches parsed descriptions).

@@ -7,6 +7,7 @@
 
 #include "engine/publish.hpp"
 #include "engine/spsc.hpp"
+#include "flow/metrics.hpp"
 #include "runtime/baselines.hpp"
 
 #if defined(__linux__)
@@ -47,6 +48,11 @@ double wall_now_ns() {
 /// not a packet.
 struct HandoffItem {
   net::Packet packet;
+  /// 64-bit flow key the dispatch thread derived alongside the steering
+  /// hash (RssSteering::flow_hash); 0 when flow tracking is off or the
+  /// frame has no steerable tuple.  Carried across the handoff so the
+  /// worker's shard-local flow-table update never re-walks the headers.
+  std::uint64_t flow_key = 0;
   std::shared_ptr<rt::EpochGeneration> cutover;
 };
 
@@ -133,6 +139,26 @@ MultiQueueEngine::MultiQueueEngine(const core::CompileResult& result,
   epochs_ = std::make_unique<rt::LayoutEpochManager>(
       compute, config_.queues, config_.guard, config_.telemetry);
   (void)epochs_->bootstrap(result);
+  if (config_.flows > 0) {
+    // One shard per queue: the RSS indirection table already pins a flow's
+    // packets to one worker, so shard q has exactly one writer — queue q.
+    flow::FlowTableConfig flow_config;
+    flow_config.shards = config_.queues;
+    flow_config.slots_per_shard =
+        (config_.flows + config_.queues - 1) / config_.queues;
+    flow_config.idle_timeout_ns = config_.flow_idle_ns;
+    flow_table_ = std::make_unique<flow::FlowTable>(flow_config);
+  }
+  if (config_.telemetry != nullptr) {
+    // Register the tenant-labelled flow families up front (zero state when
+    // tracking is off) so every scrape carries the golden schema.
+    const flow::FlowStats flow_stats =
+        flow_table_ != nullptr ? flow_table_->stats() : flow::FlowStats{};
+    flow::publish_flow_metrics(config_.telemetry->registry(),
+                               flow_table_ != nullptr ? &flow_stats : nullptr,
+                               config_.tenant);
+    publish_tenant_report(*config_.telemetry, EngineReport{}, config_.tenant);
+  }
   if (monitor) {
     telemetry::TimeSeriesConfig ts_config;
     ts_config.tick_seconds =
@@ -153,12 +179,18 @@ MultiQueueEngine::MultiQueueEngine(const core::CompileResult& result,
     server_->set_timeseries(store_.get());
     server_->set_health(health_.get());
     server_->set_layout([this](bool tsv) { return epochs_->status(tsv); });
+    server_->set_flows([this](bool tsv) { return flows_status(tsv); });
     server_->start();
   }
   if (monitor) {
     sampler_ = std::make_unique<telemetry::Sampler>(
         [this] {
           live_->tick();
+          if (flow_table_ != nullptr) {
+            const flow::FlowStats flow_stats = flow_table_->stats();
+            flow::publish_flow_metrics(config_.telemetry->registry(),
+                                       &flow_stats, config_.tenant);
+          }
           store_->sample(config_.telemetry->registry());
           if (health_ != nullptr) {
             health_->evaluate();
@@ -170,6 +202,11 @@ MultiQueueEngine::MultiQueueEngine(const core::CompileResult& result,
 }
 
 MultiQueueEngine::~MultiQueueEngine() = default;
+
+std::string MultiQueueEngine::flows_status(bool tsv) const {
+  const flow::FlowStatusEntry entry{config_.tenant, flow_table_.get()};
+  return flow::render_flows_status({&entry, 1}, tsv);
+}
 
 bool MultiQueueEngine::ready() const noexcept {
   if (!running_.load(std::memory_order_acquire)) {
@@ -310,6 +347,17 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
                   barrier = std::move(item->cutover);
                   return std::nullopt;
                 }
+                if (flow_table_ != nullptr) {
+                  // Shard q belongs to this worker alone (the indirection
+                  // table routed every packet of this flow here), so the
+                  // update is plain stores — no locks on the hot path.
+                  // Charged to the source side, like packet generation:
+                  // host_ns stays the validate/consume cost the paper
+                  // models.
+                  flow_table_->record(q, item->flow_key,
+                                      item->packet.bytes().size(),
+                                      item->packet.rx_timestamp_ns);
+                }
                 return std::move(item->packet);
               },
               *gen->strategies[q], gen->wanted, loop_config,
@@ -402,7 +450,7 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
         epochs_->attempt_swap(*due, config_.sim);
     if (attempt.generation != nullptr) {
       for (std::size_t q = 0; q < queues; ++q) {
-        handoff[q]->push(HandoffItem{net::Packet{}, attempt.generation});
+        handoff[q]->push(HandoffItem{net::Packet{}, 0, attempt.generation});
       }
     }
   };
@@ -415,13 +463,16 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
     std::uint64_t handoff_seq = 0;
     std::vector<net::Packet> chunk;
     std::vector<std::uint16_t> dest;
+    std::vector<std::uint64_t> flow_keys;
     chunk.reserve(config_.batch);
     dest.reserve(config_.batch);
+    flow_keys.reserve(config_.batch);
     bool open = true;
     maybe_swap();  // an at_offered=0 order applies before the first packet
     while (open) {
       chunk.clear();
       dest.clear();
+      flow_keys.clear();
       while (chunk.size() < config_.batch) {
         std::optional<net::Packet> pkt = next();
         if (!pkt) {
@@ -436,7 +487,17 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
 
       double t0 = rt::thread_cpu_now_ns();
       for (const net::Packet& pkt : chunk) {
-        const std::uint16_t q = steering_.queue_for(pkt.bytes());
+        std::uint16_t q;
+        if (flow_table_ != nullptr) {
+          // One tuple walk yields the steering hash *and* the 64-bit flow
+          // key — the classifier computes what the NIC would report.
+          const RssSteering::FlowHash fh = steering_.flow_hash(pkt.bytes());
+          q = steering_.queue_for_hash(fh.hash);
+          flow_keys.push_back(fh.flow_key);
+        } else {
+          q = steering_.queue_for(pkt.bytes());
+          flow_keys.push_back(0);
+        }
         dest.push_back(q);
         ++report.offered[q];
         ++report.offered_total;
@@ -452,7 +513,7 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
                static_cast<std::uint32_t>(chunk[i].bytes().size()),
                handoff_seq++});
         }
-        handoff[q]->push(HandoffItem{std::move(chunk[i]), nullptr});
+        handoff[q]->push(HandoffItem{std::move(chunk[i]), flow_keys[i], nullptr});
       }
       const double handoff_ns = rt::thread_cpu_now_ns() - t0;
 
@@ -512,6 +573,12 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
     }
     publish_report(*sink, report, compute_->registry(),
                    /*rx_published_live=*/live_ != nullptr);
+    publish_tenant_report(*sink, report, config_.tenant);
+    const flow::FlowStats flow_stats =
+        flow_table_ != nullptr ? flow_table_->stats() : flow::FlowStats{};
+    flow::publish_flow_metrics(sink->registry(),
+                               flow_table_ != nullptr ? &flow_stats : nullptr,
+                               config_.tenant);
   }
   runs_done_.fetch_add(1, std::memory_order_release);
   return report;

@@ -33,6 +33,7 @@
 #include "core/compiler.hpp"
 #include "engine/stats.hpp"
 #include "engine/steering.hpp"
+#include "flow/flowtable.hpp"
 #include "net/workload.hpp"
 #include "runtime/engine_config.hpp"
 #include "runtime/epoch.hpp"
@@ -171,6 +172,15 @@ class MultiQueueEngine {
     return sampler_ != nullptr ? sampler_->ticks() : 0;
   }
 
+  /// The engine-owned flow table (null unless config.flows > 0).  One
+  /// shard per queue; shard q is written exclusively by queue q's worker.
+  [[nodiscard]] const flow::FlowTable* flow_table() const noexcept {
+    return flow_table_.get();
+  }
+  /// The /flows payload for this engine: JSON, or the flat TSV pane form
+  /// when `tsv` is set.  Thread-safe (reads the table's atomic counters).
+  [[nodiscard]] std::string flows_status(bool tsv) const;
+
  private:
   template <typename NextFn>
   EngineReport run_impl(NextFn&& next);
@@ -190,6 +200,10 @@ class MultiQueueEngine {
   // final (it publishes swap metrics there); per-queue accessor tables live
   // inside its generations, not on the engine.
   std::unique_ptr<rt::LayoutEpochManager> epochs_;
+  /// Per-queue-sharded flow state (config.flows > 0).  Declared before the
+  /// monitor plane: the server's /flows route and the sampler both read it,
+  /// so it must outlive them in teardown.
+  std::unique_ptr<flow::FlowTable> flow_table_;
   std::mutex swap_mutex_;
   std::deque<rt::SwapRequest> swap_queue_;
   std::vector<std::shared_ptr<const core::CompileResult>> swap_cycle_;

@@ -106,6 +106,21 @@ void publish_report(telemetry::Sink& sink, const EngineReport& report,
   sink.publish_trace_counters();
 }
 
+void publish_tenant_report(telemetry::Sink& sink, const EngineReport& report,
+                           const std::string& tenant) {
+  telemetry::Registry& reg = sink.registry();
+  const telemetry::Labels labels{{"tenant", tenant}};
+  reg.counter("opendesc_tenant_goodput_packets_total",
+              "Packets whose semantics were delivered, by tenant", labels)
+      .add(report.total.packets);
+  reg.counter("opendesc_tenant_offered_packets_total",
+              "Packets steered into this tenant's queues", labels)
+      .add(report.offered_total);
+  reg.counter("opendesc_tenant_drops_total",
+              "Packets dropped device-side, by tenant", labels)
+      .add(report.total.drops);
+}
+
 LivePublisher::LivePublisher(telemetry::Sink& sink, const StatsRegistry& stats)
     : stats_(&stats) {
   // Resolve every per-queue series once here — registration is idempotent

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "engine/engine.hpp"
@@ -37,6 +38,16 @@ void publish_semantic_paths(telemetry::Sink& sink,
 void publish_report(telemetry::Sink& sink, const EngineReport& report,
                     const softnic::SemanticRegistry& registry,
                     bool rx_published_live = false);
+
+/// Tenant-labelled aggregate families: opendesc_tenant_goodput_packets_total,
+/// _offered_packets_total and _drops_total, all labelled {tenant=...}.  In a
+/// multi-tenant plane every engine publishes under its own tenant name into
+/// one shared registry; single-tenant engines publish tenant="default", so
+/// the families are present (and golden-checkable) in every scrape.
+/// Counters take per-run deltas through add(); a zero report registers the
+/// families at zero state.
+void publish_tenant_report(telemetry::Sink& sink, const EngineReport& report,
+                           const std::string& tenant);
 
 /// Tick-by-tick publication of the per-queue rx counter families, so the
 /// time-series sampler sees counters move *during* a run instead of one

@@ -21,9 +21,27 @@ RssSteering::RssSteering(SteeringConfig config) : config_(config) {
   }
 }
 
-std::uint32_t RssSteering::hash(std::span<const std::uint8_t> frame) const noexcept {
-  // Minimal L2/L3 walk.  Offsets mirror net::PacketView::parse, but nothing
-  // is decoded beyond what the tuple needs.
+namespace {
+
+/// Independent 40-byte key for the secondary flow-key hash: the default
+/// RSS key reversed and whitened, so the two Toeplitz passes decorrelate
+/// while staying equally NIC-programmable (it is just another RSS key).
+constexpr std::array<std::uint8_t, 40> make_secondary_key() {
+  std::array<std::uint8_t, 40> key{};
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    key[i] = static_cast<std::uint8_t>(
+        softnic::kDefaultRssKey[key.size() - 1 - i] ^ 0xA5);
+  }
+  return key;
+}
+constexpr std::array<std::uint8_t, 40> kSecondaryRssKey = make_secondary_key();
+
+/// Minimal L2/L3 walk extracting the Toeplitz tuple bytes into `input`.
+/// Returns the tuple length, 0 when the frame has no steerable tuple.
+/// Offsets mirror net::PacketView::parse, but nothing is decoded beyond
+/// what the tuple needs.
+std::size_t extract_tuple(std::span<const std::uint8_t> frame,
+                          std::uint8_t (&input)[36]) noexcept {
   std::size_t l3 = net::EthernetHeader::kWireSize;
   if (frame.size() < l3) {
     return 0;
@@ -40,7 +58,6 @@ std::uint32_t RssSteering::hash(std::span<const std::uint8_t> frame) const noexc
   // The Toeplitz input is the tuple's wire bytes: addresses (and ports) are
   // already big-endian on the wire, exactly as softnic::rss_* re-serialize
   // them — hash the frame in place, no decode round-trip.
-  std::uint8_t input[36];
   std::size_t input_len = 0;
   std::size_t l4 = 0;
   std::uint8_t proto = 0;
@@ -79,7 +96,32 @@ std::uint32_t RssSteering::hash(std::span<const std::uint8_t> frame) const noexc
     input[input_len + 3] = frame[l4 + 3];
     input_len += 4;
   }
+  return input_len;
+}
+
+}  // namespace
+
+std::uint32_t RssSteering::hash(std::span<const std::uint8_t> frame) const noexcept {
+  std::uint8_t input[36];
+  const std::size_t input_len = extract_tuple(frame, input);
+  if (input_len == 0) {
+    return 0;
+  }
   return softnic::toeplitz_hash(config_.key, {input, input_len});
+}
+
+RssSteering::FlowHash RssSteering::flow_hash(
+    std::span<const std::uint8_t> frame) const noexcept {
+  std::uint8_t input[36];
+  const std::size_t input_len = extract_tuple(frame, input);
+  if (input_len == 0) {
+    return {};
+  }
+  const std::uint32_t h1 =
+      softnic::toeplitz_hash(config_.key, {input, input_len});
+  const std::uint32_t h2 =
+      softnic::toeplitz_hash(kSecondaryRssKey, {input, input_len});
+  return {h1, (static_cast<std::uint64_t>(h2) << 32) | h1};
 }
 
 }  // namespace opendesc::engine

@@ -37,6 +37,18 @@ class RssSteering {
   /// computation bit for bit.
   [[nodiscard]] std::uint32_t hash(std::span<const std::uint8_t> frame) const noexcept;
 
+  /// hash() plus a 64-bit flow key from one tuple walk.  The key's low 32
+  /// bits are the primary hash itself (the value the indirection table
+  /// steers on, so key low bits == queue placement bits); the high 32 bits
+  /// are a second Toeplitz over the same tuple with an independent key,
+  /// disambiguating primary-hash collisions in flow-table lookups.  Both
+  /// are zero for unparsable frames (flow::FlowTable's "no flow" sentinel).
+  struct FlowHash {
+    std::uint32_t hash = 0;
+    std::uint64_t flow_key = 0;
+  };
+  [[nodiscard]] FlowHash flow_hash(std::span<const std::uint8_t> frame) const noexcept;
+
   /// Destination queue for a frame.
   [[nodiscard]] std::uint16_t queue_for(std::span<const std::uint8_t> frame) const noexcept {
     return queue_for_hash(hash(frame));

@@ -1,0 +1,184 @@
+#include "flow/flowtable.hpp"
+
+#include <algorithm>
+
+namespace opendesc::flow {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+FlowTable::FlowTable(FlowTableConfig config) : config_(config) {
+  const std::size_t shard_count =
+      round_up_pow2(std::max<std::size_t>(1, config_.shards));
+  const std::size_t slots =
+      round_up_pow2(std::max<std::size_t>(2, config_.slots_per_shard));
+  config_.shards = shard_count;
+  config_.slots_per_shard = slots;
+  config_.probe_window =
+      std::min(std::max<std::size_t>(1, config_.probe_window), slots);
+  config_.expiry_stride = std::max<std::size_t>(1, config_.expiry_stride);
+  shard_mask_ = shard_count - 1;
+  slot_mask_ = slots - 1;
+  shards_ = std::vector<Shard>(shard_count);
+  for (Shard& shard : shards_) {
+    shard.slots.resize(slots);
+    shard.ref.assign(slots, 0);
+  }
+  memory_bytes_ = shard_count * slots * (sizeof(Slot) + sizeof(std::uint8_t));
+}
+
+void FlowTable::record(std::size_t shard_index, FlowKey key,
+                       std::uint64_t bytes, std::uint64_t now_ns) {
+  Shard& shard = shards_[shard_index & shard_mask_];
+  ShardCounters& c = shard.counters;
+  if (key == 0) {
+    // No steering tuple (non-IP frame): nothing portable to key on.
+    c.keyless.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  c.lookups.fetch_add(1, std::memory_order_relaxed);
+  if (config_.idle_timeout_ns > 0) {
+    sweep_expiry(shard, now_ns, config_.expiry_stride);
+  }
+
+  const std::size_t home = bucket_for(key);
+  constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  std::size_t first_empty = kNoSlot;
+  // Scan the whole bounded window: idle expiry punches holes mid-chain, so
+  // an empty slot is a candidate insertion point, never a miss terminator.
+  for (std::size_t i = 0; i < config_.probe_window; ++i) {
+    const std::size_t idx = (home + i) & slot_mask_;
+    Slot& slot = shard.slots[idx];
+    if (slot.key == key) {
+      slot.packets += 1;
+      slot.bytes += bytes;
+      slot.last_seen_ns = now_ns;
+      shard.ref[idx] = 1;
+      c.hits.fetch_add(1, std::memory_order_relaxed);
+      c.tracked_packets.fetch_add(1, std::memory_order_relaxed);
+      c.tracked_bytes.fetch_add(bytes, std::memory_order_relaxed);
+      return;
+    }
+    if (slot.key == 0 && first_empty == kNoSlot) {
+      first_empty = idx;
+    }
+  }
+
+  std::size_t target = first_empty;
+  if (target == kNoSlot) {
+    // Window full: clock (second-chance) eviction.  First pass spares any
+    // slot touched since its last consideration while stripping its
+    // reference bit; if every slot was recently hot the second pass —
+    // folded in by scanning up to 2×window — recycles the home slot.
+    for (std::size_t i = 0; i < 2 * config_.probe_window; ++i) {
+      const std::size_t idx = (home + (i % config_.probe_window)) & slot_mask_;
+      if (shard.ref[idx] == 0) {
+        target = idx;
+        break;
+      }
+      shard.ref[idx] = 0;
+    }
+    if (target == kNoSlot) {
+      target = home;  // unreachable: pass two always finds a cleared bit
+    }
+    c.evicted_lru.fetch_add(1, std::memory_order_relaxed);
+    c.occupancy.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  Slot& slot = shard.slots[target];
+  slot.key = key;
+  slot.packets = 1;
+  slot.bytes = bytes;
+  slot.last_seen_ns = now_ns;
+  shard.ref[target] = 1;
+  c.inserts.fetch_add(1, std::memory_order_relaxed);
+  c.occupancy.fetch_add(1, std::memory_order_relaxed);
+  c.tracked_packets.fetch_add(1, std::memory_order_relaxed);
+  c.tracked_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void FlowTable::sweep_expiry(Shard& shard, std::uint64_t now_ns,
+                             std::size_t slots) {
+  ShardCounters& c = shard.counters;
+  for (std::size_t i = 0; i < slots; ++i) {
+    const std::size_t idx = shard.expiry_hand;
+    shard.expiry_hand = (shard.expiry_hand + 1) & slot_mask_;
+    Slot& slot = shard.slots[idx];
+    if (slot.key != 0 && now_ns >= slot.last_seen_ns &&
+        now_ns - slot.last_seen_ns > config_.idle_timeout_ns) {
+      slot = Slot{};
+      shard.ref[idx] = 0;
+      c.expired_idle.fetch_add(1, std::memory_order_relaxed);
+      c.occupancy.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void FlowTable::expire_idle(std::size_t shard_index, std::uint64_t now_ns) {
+  if (config_.idle_timeout_ns == 0) {
+    return;
+  }
+  Shard& shard = shards_[shard_index & shard_mask_];
+  shard.expiry_hand = 0;
+  sweep_expiry(shard, now_ns, slot_mask_ + 1);
+}
+
+std::optional<FlowRecord> FlowTable::find(std::size_t shard_index,
+                                          FlowKey key) const {
+  if (key == 0) {
+    return std::nullopt;
+  }
+  const Shard& shard = shards_[shard_index & shard_mask_];
+  const std::size_t home = bucket_for(key);
+  for (std::size_t i = 0; i < config_.probe_window; ++i) {
+    const Slot& slot = shard.slots[(home + i) & slot_mask_];
+    if (slot.key == key) {
+      return FlowRecord{slot.key, slot.packets, slot.bytes, slot.last_seen_ns};
+    }
+  }
+  return std::nullopt;
+}
+
+void FlowTable::accumulate(FlowStats& out, const Shard& shard) const {
+  const ShardCounters& c = shard.counters;
+  out.lookups += c.lookups.load(std::memory_order_relaxed);
+  out.hits += c.hits.load(std::memory_order_relaxed);
+  out.inserts += c.inserts.load(std::memory_order_relaxed);
+  out.evicted_lru += c.evicted_lru.load(std::memory_order_relaxed);
+  out.expired_idle += c.expired_idle.load(std::memory_order_relaxed);
+  out.keyless += c.keyless.load(std::memory_order_relaxed);
+  out.tracked_packets += c.tracked_packets.load(std::memory_order_relaxed);
+  out.tracked_bytes += c.tracked_bytes.load(std::memory_order_relaxed);
+  out.active += c.occupancy.load(std::memory_order_relaxed);
+}
+
+FlowStats FlowTable::stats() const {
+  FlowStats out;
+  out.shards = shards_.size();
+  out.slots = capacity();
+  out.memory_bytes = memory_bytes_;
+  for (const Shard& shard : shards_) {
+    accumulate(out, shard);
+  }
+  return out;
+}
+
+FlowStats FlowTable::shard_stats(std::size_t shard_index) const {
+  FlowStats out;
+  out.shards = 1;
+  out.slots = slot_mask_ + 1;
+  out.memory_bytes = memory_bytes_ / shards_.size();
+  accumulate(out, shards_[shard_index & shard_mask_]);
+  return out;
+}
+
+}  // namespace opendesc::flow

@@ -1,0 +1,187 @@
+// Sharded, open-addressing flow table keyed on NIC-provided semantics.
+//
+// This is the production-shaped consumer of the paper's portable metadata
+// contract: the NIC already computes a Toeplitz RSS hash per packet (the
+// same semantic the completion deparser emits and engine::RssSteering
+// replays), so the host can key per-flow state off metadata it never has
+// to compute itself.  The table is sharded by that hash — one shard per
+// receive queue — which makes every hot-path access *shard-local to the
+// queue worker that owns it*: the worker that the RSS indirection table
+// steered a flow to is, by construction, the only thread that ever writes
+// that flow's slot.  Lookups and updates are therefore lock-free plain
+// loads/stores; only the per-shard statistics counters are atomics
+// (relaxed, single writer) so the observability plane can read them from
+// any thread mid-run.
+//
+// Memory is strictly bounded: each shard is a fixed power-of-two slot
+// array probed linearly within a bounded window.  A full window triggers
+// per-slot clock (second-chance LRU) eviction — recently-touched flows
+// survive, cold ones are recycled — and an optional idle timeout expires
+// flows incrementally, a few slots per record(), so expiry cost is
+// amortized across the hot path instead of spiking.  The table never
+// allocates after construction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace opendesc::flow {
+
+/// 64-bit flow key.  The engine builds it from two independent Toeplitz
+/// hashes over the packet's steering tuple (see RssSteering::flow_hash):
+/// the low 32 bits are the primary RSS hash — the exact value the NIC
+/// reports and the indirection table steers on — and the high 32 bits a
+/// secondary hash that disambiguates primary-hash collisions (at 1M
+/// concurrent flows a 32-bit key alone would alias ~116 flow pairs).
+/// Key 0 is reserved as the empty-slot sentinel; frames with no steering
+/// tuple (non-IP) produce key 0 and are counted, not tracked.
+using FlowKey = std::uint64_t;
+
+struct FlowTableConfig {
+  std::size_t shards = 1;              ///< rounded up to a power of two
+  std::size_t slots_per_shard = 4096;  ///< rounded up to a power of two
+  std::size_t probe_window = 16;       ///< bounded linear-probe chain
+  std::uint64_t idle_timeout_ns = 0;   ///< 0 disables idle expiry
+  std::size_t expiry_stride = 4;       ///< slots swept incrementally per record()
+};
+
+/// One tracked flow, as the owner thread sees it.
+struct FlowRecord {
+  FlowKey key = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t last_seen_ns = 0;
+};
+
+/// Aggregate (or per-shard) statistics snapshot.  All counters are
+/// cumulative since construction; `active` is the current occupancy.
+struct FlowStats {
+  std::uint64_t lookups = 0;        ///< record() calls with a real key
+  std::uint64_t hits = 0;           ///< key already present
+  std::uint64_t inserts = 0;        ///< new flows admitted
+  std::uint64_t evicted_lru = 0;    ///< clock-evicted on a full probe window
+  std::uint64_t expired_idle = 0;   ///< reclaimed by the idle timeout
+  std::uint64_t keyless = 0;        ///< key==0 packets (no steering tuple)
+  std::uint64_t tracked_packets = 0;
+  std::uint64_t tracked_bytes = 0;
+  std::uint64_t active = 0;         ///< flows currently resident
+  std::size_t shards = 0;
+  std::size_t slots = 0;            ///< total slot capacity
+  std::size_t memory_bytes = 0;     ///< fixed footprint (slots + ref bits)
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+  [[nodiscard]] double load_factor() const noexcept {
+    return slots == 0 ? 0.0
+                      : static_cast<double>(active) / static_cast<double>(slots);
+  }
+  /// Fixed footprint over resident flows — the bench's bytes/flow bar.
+  [[nodiscard]] double bytes_per_flow() const noexcept {
+    return active == 0 ? 0.0
+                       : static_cast<double>(memory_bytes) /
+                             static_cast<double>(active);
+  }
+};
+
+class FlowTable {
+ public:
+  explicit FlowTable(FlowTableConfig config);
+
+  FlowTable(const FlowTable&) = delete;
+  FlowTable& operator=(const FlowTable&) = delete;
+
+  /// Hot path: count one packet of `bytes` against `key` at time `now_ns`,
+  /// in `shard` (masked to the shard count).  Must only be called by the
+  /// thread owning that shard — in the engine, queue q's worker with
+  /// shard == q, which the RSS indirection table guarantees is the only
+  /// worker ever seeing that flow.
+  void record(std::size_t shard, FlowKey key, std::uint64_t bytes,
+              std::uint64_t now_ns);
+
+  /// Standalone form: the shard is the key's low bits — the same bits of
+  /// the same Toeplitz hash the RSS indirection table consumes, so for a
+  /// power-of-two queue count this reproduces the engine's placement.
+  void record(FlowKey key, std::uint64_t bytes, std::uint64_t now_ns) {
+    record(shard_for(key), key, bytes, now_ns);
+  }
+
+  [[nodiscard]] std::size_t shard_for(FlowKey key) const noexcept {
+    return static_cast<std::size_t>(key) & shard_mask_;
+  }
+
+  /// Full idle-expiry sweep of one shard (owner thread only).
+  void expire_idle(std::size_t shard, std::uint64_t now_ns);
+
+  /// Owner-thread (or quiesced) point lookup.
+  [[nodiscard]] std::optional<FlowRecord> find(std::size_t shard,
+                                               FlowKey key) const;
+
+  /// Thread-safe aggregate snapshot: readable from any thread mid-run.
+  [[nodiscard]] FlowStats stats() const;
+  /// Thread-safe single-shard snapshot.
+  [[nodiscard]] FlowStats shard_stats(std::size_t shard) const;
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t slots_per_shard() const noexcept {
+    return slot_mask_ + 1;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return shards_.size() * (slot_mask_ + 1);
+  }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return memory_bytes_;
+  }
+  [[nodiscard]] const FlowTableConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Slot {
+    FlowKey key = 0;  ///< 0 = empty
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t last_seen_ns = 0;
+  };
+
+  /// Single-writer counters with racy (relaxed) readers.
+  struct alignas(64) ShardCounters {
+    std::atomic<std::uint64_t> lookups{0};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> inserts{0};
+    std::atomic<std::uint64_t> evicted_lru{0};
+    std::atomic<std::uint64_t> expired_idle{0};
+    std::atomic<std::uint64_t> keyless{0};
+    std::atomic<std::uint64_t> tracked_packets{0};
+    std::atomic<std::uint64_t> tracked_bytes{0};
+    std::atomic<std::uint64_t> occupancy{0};
+  };
+
+  struct Shard {
+    std::vector<Slot> slots;
+    std::vector<std::uint8_t> ref;  ///< clock reference bits
+    std::size_t expiry_hand = 0;
+    ShardCounters counters;
+  };
+
+  /// Home slot index for `key` inside a shard: the *high* hash half, so
+  /// in-shard placement is independent of the low bits that picked the
+  /// shard (and the queue).
+  [[nodiscard]] std::size_t bucket_for(FlowKey key) const noexcept {
+    return static_cast<std::size_t>(key >> 32) & slot_mask_;
+  }
+
+  void sweep_expiry(Shard& shard, std::uint64_t now_ns, std::size_t slots);
+  void accumulate(FlowStats& out, const Shard& shard) const;
+
+  FlowTableConfig config_;
+  std::vector<Shard> shards_;
+  std::size_t shard_mask_ = 0;
+  std::size_t slot_mask_ = 0;
+  std::size_t memory_bytes_ = 0;
+};
+
+}  // namespace opendesc::flow

@@ -1,0 +1,120 @@
+#include "flow/metrics.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace opendesc::flow {
+
+void publish_flow_metrics(telemetry::Registry& registry, const FlowStats* stats,
+                          const std::string& tenant) {
+  const FlowStats zero;
+  const FlowStats& s = stats != nullptr ? *stats : zero;
+  const telemetry::Labels labels{{"tenant", tenant}};
+
+  registry
+      .gauge("opendesc_flow_active", "Flows currently resident in the table",
+             labels)
+      .set(static_cast<double>(s.active));
+  registry
+      .gauge("opendesc_flow_memory_bytes",
+             "Fixed flow-table footprint (slots + clock bits)", labels)
+      .set(static_cast<double>(s.memory_bytes));
+  registry
+      .counter("opendesc_flow_lookups_total",
+               "Flow-table lookups on the receive hot path", labels)
+      .store(s.lookups);
+  registry
+      .counter("opendesc_flow_inserts_total", "New flows admitted", labels)
+      .store(s.inserts);
+  registry
+      .counter("opendesc_flow_evictions_total",
+               "Flows reclaimed, by reason (lru = clock eviction on a full "
+               "probe window, idle = idle-timeout expiry)",
+               {{"reason", "lru"}, {"tenant", tenant}})
+      .store(s.evicted_lru);
+  registry
+      .counter("opendesc_flow_evictions_total",
+               "Flows reclaimed, by reason (lru = clock eviction on a full "
+               "probe window, idle = idle-timeout expiry)",
+               {{"reason", "idle"}, {"tenant", tenant}})
+      .store(s.expired_idle);
+  registry
+      .counter("opendesc_flow_tracked_packets_total",
+               "Packets counted against a tracked flow", labels)
+      .store(s.tracked_packets);
+  registry
+      .counter("opendesc_flow_tracked_bytes_total",
+               "Frame bytes counted against a tracked flow", labels)
+      .store(s.tracked_bytes);
+}
+
+namespace {
+
+std::string fixed1(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_flows_status(std::span<const FlowStatusEntry> entries,
+                                bool tsv) {
+  bool enabled = false;
+  for (const FlowStatusEntry& entry : entries) {
+    enabled = enabled || entry.table != nullptr;
+  }
+  std::ostringstream out;
+  if (tsv) {
+    for (const FlowStatusEntry& entry : entries) {
+      const FlowStats s =
+          entry.table != nullptr ? entry.table->stats() : FlowStats{};
+      out << "tenant\t" << entry.tenant << '\t' << s.active << '\t' << s.slots
+          << '\t' << s.inserts << '\t' << s.evicted_lru << '\t'
+          << s.expired_idle << '\t' << fixed1(s.hit_rate() * 100.0) << '\t'
+          << fixed1(s.load_factor() * 100.0) << '\t'
+          << fixed1(s.bytes_per_flow()) << '\n';
+    }
+    for (const FlowStatusEntry& entry : entries) {
+      if (entry.table == nullptr) {
+        continue;
+      }
+      for (std::size_t q = 0; q < entry.table->shards(); ++q) {
+        const FlowStats s = entry.table->shard_stats(q);
+        out << "shard\t" << entry.tenant << '\t' << q << '\t' << s.active
+            << '\t' << s.lookups << '\t' << (s.evicted_lru + s.expired_idle)
+            << '\n';
+      }
+    }
+    return out.str();
+  }
+
+  out << "{\"enabled\":" << (enabled ? "true" : "false") << ",\"tenants\":[";
+  bool first = true;
+  for (const FlowStatusEntry& entry : entries) {
+    if (!first) {
+      out << ',';
+    }
+    first = false;
+    const bool tracked = entry.table != nullptr;
+    const FlowStats s = tracked ? entry.table->stats() : FlowStats{};
+    out << "{\"tenant\":\"" << entry.tenant << "\",\"tracked\":"
+        << (tracked ? "true" : "false") << ",\"shards\":" << s.shards
+        << ",\"slots\":" << s.slots << ",\"active\":" << s.active
+        << ",\"lookups\":" << s.lookups << ",\"hits\":" << s.hits
+        << ",\"inserts\":" << s.inserts
+        << ",\"evicted_lru\":" << s.evicted_lru
+        << ",\"expired_idle\":" << s.expired_idle
+        << ",\"keyless\":" << s.keyless
+        << ",\"tracked_packets\":" << s.tracked_packets
+        << ",\"tracked_bytes\":" << s.tracked_bytes
+        << ",\"memory_bytes\":" << s.memory_bytes
+        << ",\"hit_rate\":" << fixed1(s.hit_rate() * 100.0)
+        << ",\"load_pct\":" << fixed1(s.load_factor() * 100.0)
+        << ",\"bytes_per_flow\":" << fixed1(s.bytes_per_flow()) << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace opendesc::flow

@@ -1,0 +1,38 @@
+// opendesc_flow_* metric families, tenant-labelled.
+//
+// Every series carries a `tenant` label so a multi-tenant plane publishes
+// all tenants into one registry without collisions; single-tenant engines
+// use tenant="default".  The flow counters in FlowStats are cumulative
+// since table construction, so publication store()s totals — idempotent
+// whether it runs per sampler tick, per run, or both.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "flow/flowtable.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace opendesc::flow {
+
+/// Publishes `stats` under tenant `tenant`.  A null `stats` registers every
+/// family at zero state, so scrapes from flow-less runs still satisfy the
+/// golden schema (the opendesc_layout_* precedent).
+void publish_flow_metrics(telemetry::Registry& registry, const FlowStats* stats,
+                          const std::string& tenant = "default");
+
+/// One tenant's row in the /flows payload.  A null table renders the
+/// tenant as present-but-untracked (active flows 0, enabled=false row).
+struct FlowStatusEntry {
+  std::string tenant;
+  const FlowTable* table = nullptr;
+};
+
+/// The /flows route body: JSON by default, or the flat tab-separated pane
+/// form `opendesc top` consumes when `tsv` is set (one `tenant` line per
+/// entry, then one `shard` line per shard of each tracked tenant).
+/// Thread-safe: only the tables' atomic counters are read.
+[[nodiscard]] std::string render_flows_status(
+    std::span<const FlowStatusEntry> entries, bool tsv);
+
+}  // namespace opendesc::flow

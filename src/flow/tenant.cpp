@@ -1,0 +1,119 @@
+#include "flow/tenant.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "core/compiler.hpp"
+#include "engine/publish.hpp"
+#include "flow/metrics.hpp"
+
+namespace opendesc::flow {
+
+namespace {
+
+/// Publishes one tenant's labelled families into the plane registry.
+void publish_tenant(telemetry::Sink& sink, const std::string& name,
+                    const engine::EngineReport& report,
+                    const FlowTable* table) {
+  engine::publish_tenant_report(sink, report, name);
+  const FlowStats stats = table != nullptr ? table->stats() : FlowStats{};
+  publish_flow_metrics(sink.registry(), table != nullptr ? &stats : nullptr,
+                       name);
+}
+
+}  // namespace
+
+TenantPlane::TenantPlane(std::string nic_source,
+                         std::vector<rt::TenantSpec> specs,
+                         TenantPlaneConfig config)
+    : config_(std::move(config)), specs_(std::move(specs)), costs_(registry_) {
+  std::vector<std::string> intents;
+  intents.reserve(specs_.size());
+  for (const rt::TenantSpec& spec : specs_) {
+    intents.push_back(spec.intent);
+  }
+  const core::Compiler compiler(registry_, costs_);
+  core::CompileOptions options;
+  options.dma_weight_per_byte = config_.dma_weight_per_byte;
+  results_ = compiler.compile_intents(nic_source, intents, options);
+  compute_ = std::make_unique<softnic::ComputeEngine>(registry_);
+
+  if (config_.sink != nullptr) {
+    sink_ = config_.sink;
+  } else {
+    telemetry::SinkConfig sink_config;
+    sink_config.queues = 1;
+    owned_sink_ = std::make_unique<telemetry::Sink>(sink_config);
+    sink_ = owned_sink_.get();
+  }
+
+  engines_.reserve(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    rt::EngineConfig engine_config = specs_[i].engine;
+    engine_config.tenant = specs_[i].name;
+    engine_config.listen.clear();  // the plane serves HTTP, not the tenants
+    engines_.push_back(std::make_unique<engine::MultiQueueEngine>(
+        results_[i], *compute_, engine_config));
+    // Register every tenant's families at zero state so the first plane
+    // scrape already carries the full schema.
+    publish_tenant(*sink_, specs_[i].name, engine::EngineReport{},
+                   engines_.back()->flow_table());
+  }
+
+  if (!config_.listen.empty()) {
+    server_ = std::make_unique<telemetry::ObservabilityServer>(
+        *sink_, http::parse_listen_address(config_.listen));
+    server_->set_flows([this](bool tsv) { return flows_status(tsv); });
+    server_->start();
+  }
+}
+
+TenantPlane::~TenantPlane() = default;
+
+std::vector<TenantResult> TenantPlane::run(
+    std::size_t packets_per_tenant, const net::WorkloadConfig& base_workload) {
+  std::vector<TenantResult> out(specs_.size());
+  std::vector<std::exception_ptr> errors(specs_.size());
+  std::vector<std::thread> threads;
+  threads.reserve(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        net::WorkloadConfig workload = base_workload;
+        workload.seed = base_workload.seed + i;
+        net::WorkloadGenerator gen(workload);
+        out[i].report = engines_[i]->run(gen, packets_per_tenant);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    out[i].name = specs_[i].name;
+    const FlowTable* table = engines_[i]->flow_table();
+    out[i].flows = table != nullptr ? table->stats() : FlowStats{};
+    out[i].chosen_path = results_[i].chosen_path().id;
+    out[i].record_bytes = engines_[i]->wire_layout().total_bytes();
+    publish_tenant(*sink_, specs_[i].name, out[i].report, table);
+  }
+  return out;
+}
+
+std::string TenantPlane::flows_status(bool tsv) const {
+  std::vector<FlowStatusEntry> entries;
+  entries.reserve(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    entries.push_back({specs_[i].name, engines_[i]->flow_table()});
+  }
+  return render_flows_status(entries, tsv);
+}
+
+}  // namespace opendesc::flow

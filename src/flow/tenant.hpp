@@ -1,0 +1,133 @@
+// Multi-tenant plane: N tenants, one NIC description, isolated datapaths.
+//
+// The paper's contract says the NIC description is shared infrastructure
+// and the *intent* is per-application.  This plane is that story at system
+// scale: each tenant registers its own intent header, the compiler front
+// end parses the NIC description once (Compiler::compile_intents) and
+// every tenant gets a distinct CompiledLayout, its own queue group — a
+// full MultiQueueEngine with private simulators, rx workers, SPSC rings,
+// quarantine buffers, flow-table shards and (optionally) SLO rules — and
+// its own fault schedule.  Nothing on any hot path is shared between
+// tenants, so isolation holds by construction: a fault storm inside one
+// tenant's devices cannot touch another tenant's goodput or evict its
+// flows (tenant_isolation_test pins this down numerically).
+//
+// What *is* shared is observability: the plane owns one telemetry sink and
+// (optionally) one HTTP server, and after every run each tenant's goodput,
+// drop and flow families are published there under its `tenant=` label —
+// one scrape, N tenants, no series collisions.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "flow/flowtable.hpp"
+#include "net/workload.hpp"
+#include "runtime/engine_config.hpp"
+#include "softnic/compute.hpp"
+#include "softnic/cost.hpp"
+#include "telemetry/server.hpp"
+#include "telemetry/sink.hpp"
+
+namespace opendesc::rt {
+
+/// One tenant's registration: a name (the telemetry label), the intent
+/// header compiled against the shared NIC description, and the tenant's
+/// datapath configuration — queues, batch, guard, fault schedule, flow
+/// capacity, SLO rules — via the standard EngineConfig.  The plane
+/// overrides `engine.tenant` with `name` and takes ownership of HTTP
+/// serving (`engine.listen` is ignored; the plane serves one /flows and
+/// /metrics for all tenants).
+struct TenantSpec {
+  std::string name;
+  std::string intent;
+  EngineConfig engine;
+};
+
+}  // namespace opendesc::rt
+
+namespace opendesc::flow {
+
+struct TenantPlaneConfig {
+  /// Non-empty = embed one plane-wide observability server ("host:port",
+  /// ":port" or "port"; port 0 binds an ephemeral port).
+  std::string listen;
+  /// α of Eq. 1 for every tenant compilation.
+  double dma_weight_per_byte = 1.0;
+  /// Plane sink for the tenant-labelled families (and compile telemetry).
+  /// Null = the plane owns one.  Must outlive the plane when set.
+  telemetry::Sink* sink = nullptr;
+};
+
+/// One tenant's outcome from a plane run.
+struct TenantResult {
+  std::string name;
+  engine::EngineReport report;
+  FlowStats flows;              ///< tenant flow-table totals after the run
+  std::string chosen_path;      ///< the tenant compilation's selected path
+  std::size_t record_bytes = 0; ///< its completion-record size
+};
+
+class TenantPlane {
+ public:
+  /// Compiles every tenant's intent against `nic_source` (front end parsed
+  /// once) and builds one engine per tenant.  Throws on compile errors.
+  TenantPlane(std::string nic_source, std::vector<rt::TenantSpec> specs,
+              TenantPlaneConfig config = {});
+  ~TenantPlane();
+
+  TenantPlane(const TenantPlane&) = delete;
+  TenantPlane& operator=(const TenantPlane&) = delete;
+
+  /// Runs every tenant's engine concurrently, `packets_per_tenant` packets
+  /// each over `base_workload` (tenant i draws from seed base+i, so tenant
+  /// traffics are decorrelated but individually reproducible), then
+  /// publishes the tenant-labelled families into the plane sink.  Results
+  /// are positionally aligned with the specs.
+  [[nodiscard]] std::vector<TenantResult> run(
+      std::size_t packets_per_tenant, const net::WorkloadConfig& base_workload);
+
+  [[nodiscard]] std::size_t tenants() const noexcept { return specs_.size(); }
+  [[nodiscard]] const rt::TenantSpec& spec(std::size_t i) const {
+    return specs_.at(i);
+  }
+  [[nodiscard]] engine::MultiQueueEngine& tenant_engine(std::size_t i) {
+    return *engines_.at(i);
+  }
+  [[nodiscard]] const core::CompileResult& compilation(std::size_t i) const {
+    return results_.at(i);
+  }
+
+  /// The plane-wide sink every tenant's labelled families publish into
+  /// (config.sink when provided, else plane-owned).
+  [[nodiscard]] telemetry::Sink& sink() noexcept { return *sink_; }
+  /// The plane server (null unless config.listen was set).
+  [[nodiscard]] telemetry::ObservabilityServer* server() noexcept {
+    return server_.get();
+  }
+  /// The /flows payload across all tenants (JSON, or TSV pane form).
+  [[nodiscard]] std::string flows_status(bool tsv) const;
+
+ private:
+  TenantPlaneConfig config_;
+  std::vector<rt::TenantSpec> specs_;
+  // Compiler state: tenant intents may register extension semantics, so
+  // the registry/cost table are plane-owned and shared by every tenant
+  // compilation and compute engine.
+  softnic::SemanticRegistry registry_;
+  softnic::CostTable costs_;
+  std::vector<core::CompileResult> results_;  ///< referenced by the engines
+  /// Built after compilation: tenant intents may register extension
+  /// semantics, and the compute engine snapshots the registry it serves.
+  std::unique_ptr<softnic::ComputeEngine> compute_;
+  std::unique_ptr<telemetry::Sink> owned_sink_;  ///< null when config.sink set
+  telemetry::Sink* sink_ = nullptr;
+  // Teardown order: the server (last member) stops first — its /flows
+  // route reads the engines' flow tables, so the engines must outlive it.
+  std::vector<std::unique_ptr<engine::MultiQueueEngine>> engines_;
+  std::unique_ptr<telemetry::ObservabilityServer> server_;
+};
+
+}  // namespace opendesc::flow

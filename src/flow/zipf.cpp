@@ -1,0 +1,65 @@
+#include "flow/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace opendesc::flow {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+ZipfFlowStream::ZipfFlowStream(ZipfConfig config)
+    : config_(config), rng_state_(config.seed) {
+  config_.flow_count = std::max<std::size_t>(1, config_.flow_count);
+  config_.skew = std::max(0.0, config_.skew);
+  config_.churn = std::clamp(config_.churn, 0.0, 1.0);
+
+  cdf_.resize(config_.flow_count);
+  double total = 0.0;
+  for (std::size_t rank = 0; rank < config_.flow_count; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), config_.skew);
+    cdf_[rank] = total;
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+
+  keys_.resize(config_.flow_count);
+  for (std::uint64_t& key : keys_) {
+    key = mint_key();
+  }
+}
+
+std::uint64_t ZipfFlowStream::mint_key() {
+  ++keys_minted_;
+  std::uint64_t key = splitmix64(rng_state_);
+  while (key == 0) {
+    key = splitmix64(rng_state_);
+  }
+  return key;
+}
+
+double ZipfFlowStream::uniform() {
+  // 53-bit mantissa draw in [0, 1).
+  return static_cast<double>(splitmix64(rng_state_) >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t ZipfFlowStream::next() {
+  const double u = uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  last_rank_ = static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+  if (config_.churn > 0.0 && uniform() < config_.churn) {
+    keys_[last_rank_] = mint_key();
+    ++churn_events_;
+  }
+  return keys_[last_rank_];
+}
+
+}  // namespace opendesc::flow

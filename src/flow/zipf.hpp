@@ -1,0 +1,69 @@
+// Deterministic Zipf-distributed flow-key stream with churn.
+//
+// The flow-table bench and tests need internet-shaped traffic — a heavy
+// head of elephant flows over a long mouse tail — at millions of flows,
+// without paying for packet synthesis.  This generator draws flow *keys*
+// directly: ranks follow a Zipf(s) distribution over a fixed population,
+// each rank owns a splitmix64-minted 64-bit key (hash-shaped, like the
+// engine's Toeplitz-derived keys), and churn models flow turnover by
+// replacing a drawn flow's key with a freshly minted one at a configured
+// per-draw probability — the rank keeps its popularity, the old key goes
+// cold and ages out of any table tracking it.
+//
+// Everything derives from the seed through splitmix64, so two streams with
+// equal configs produce identical key sequences and churn decisions — the
+// determinism the reproducibility suite pins down.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace opendesc::flow {
+
+struct ZipfConfig {
+  std::uint64_t seed = 1;
+  std::size_t flow_count = 1 << 20;  ///< rank population
+  double skew = 0.99;                ///< Zipf exponent s (0 = uniform)
+  double churn = 0.0;                ///< per-draw key-replacement probability
+};
+
+/// splitmix64: the key mint and the stream's RNG core.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+class ZipfFlowStream {
+ public:
+  explicit ZipfFlowStream(ZipfConfig config);
+
+  /// Draws the next flow key (never 0 — 0 is the table's empty sentinel).
+  [[nodiscard]] std::uint64_t next();
+
+  /// Rank of the flow the last next() returned (0 = hottest).
+  [[nodiscard]] std::size_t last_rank() const noexcept { return last_rank_; }
+  /// Flows replaced by churn so far.
+  [[nodiscard]] std::uint64_t churn_events() const noexcept {
+    return churn_events_;
+  }
+  /// Distinct keys minted so far (population + churn replacements).
+  [[nodiscard]] std::uint64_t keys_minted() const noexcept {
+    return keys_minted_;
+  }
+  [[nodiscard]] const ZipfConfig& config() const noexcept { return config_; }
+  /// Current rank -> key mapping (the bench's warm-fill walks this).
+  [[nodiscard]] const std::vector<std::uint64_t>& keys() const noexcept {
+    return keys_;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t mint_key();
+  [[nodiscard]] double uniform();
+
+  ZipfConfig config_;
+  std::uint64_t rng_state_;
+  std::vector<double> cdf_;            ///< cumulative rank probabilities
+  std::vector<std::uint64_t> keys_;    ///< rank -> current key
+  std::size_t last_rank_ = 0;
+  std::uint64_t churn_events_ = 0;
+  std::uint64_t keys_minted_ = 0;
+};
+
+}  // namespace opendesc::flow

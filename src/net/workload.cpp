@@ -17,26 +17,7 @@ WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
 
   flows_.reserve(config_.flow_count);
   for (std::size_t i = 0; i < config_.flow_count; ++i) {
-    FlowSpec f;
-    f.src_ip = 0x0A000000u | static_cast<std::uint32_t>(rng_.bounded(1 << 24));
-    f.dst_ip = 0xC0A80000u | static_cast<std::uint32_t>(rng_.bounded(1 << 16));
-    f.src_port = static_cast<std::uint16_t>(rng_.range(1024, 65535));
-    f.dst_port = static_cast<std::uint16_t>(rng_.range(1, 1023));
-    f.is_udp = rng_.chance(config_.udp_fraction);
-    f.is_ipv6 = rng_.chance(config_.ipv6_fraction);
-    if (f.is_ipv6) {
-      f.src_ip6[0] = 0x20;
-      f.src_ip6[1] = 0x01;
-      f.dst_ip6[0] = 0x20;
-      f.dst_ip6[1] = 0x01;
-      for (int b = 8; b < 16; ++b) {
-        f.src_ip6[b] = static_cast<std::uint8_t>(rng_.next());
-        f.dst_ip6[b] = static_cast<std::uint8_t>(rng_.next());
-      }
-    }
-    f.tagged = rng_.chance(config_.vlan_probability);
-    f.vlan_tci = static_cast<std::uint16_t>(rng_.range(1, 4094));
-    flows_.push_back(f);
+    flows_.push_back(make_flow());
   }
 
   if (config_.zipf_skew > 0.0) {
@@ -50,6 +31,29 @@ WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
       v /= total;
     }
   }
+}
+
+FlowSpec WorkloadGenerator::make_flow() {
+  FlowSpec f;
+  f.src_ip = 0x0A000000u | static_cast<std::uint32_t>(rng_.bounded(1 << 24));
+  f.dst_ip = 0xC0A80000u | static_cast<std::uint32_t>(rng_.bounded(1 << 16));
+  f.src_port = static_cast<std::uint16_t>(rng_.range(1024, 65535));
+  f.dst_port = static_cast<std::uint16_t>(rng_.range(1, 1023));
+  f.is_udp = rng_.chance(config_.udp_fraction);
+  f.is_ipv6 = rng_.chance(config_.ipv6_fraction);
+  if (f.is_ipv6) {
+    f.src_ip6[0] = 0x20;
+    f.src_ip6[1] = 0x01;
+    f.dst_ip6[0] = 0x20;
+    f.dst_ip6[1] = 0x01;
+    for (int b = 8; b < 16; ++b) {
+      f.src_ip6[b] = static_cast<std::uint8_t>(rng_.next());
+      f.dst_ip6[b] = static_cast<std::uint8_t>(rng_.next());
+    }
+  }
+  f.tagged = rng_.chance(config_.vlan_probability);
+  f.vlan_tci = static_cast<std::uint16_t>(rng_.range(1, 4094));
+  return f;
 }
 
 std::size_t WorkloadGenerator::pick_flow() {
@@ -72,6 +76,12 @@ std::size_t WorkloadGenerator::pick_flow() {
 
 Packet WorkloadGenerator::next() {
   last_flow_ = pick_flow();
+  if (config_.flow_churn > 0.0 && rng_.chance(config_.flow_churn)) {
+    // Turnover: the slot keeps its popularity rank, the tuple is new — the
+    // previous flow ends and a fresh one takes its place in the mix.
+    flows_[last_flow_] = make_flow();
+    ++churn_events_;
+  }
   const FlowSpec& f = flows_[last_flow_];
 
   PacketBuilder b;

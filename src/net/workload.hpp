@@ -31,6 +31,11 @@ struct WorkloadConfig {
   std::size_t kv_key_space = 1024;     ///< distinct keys when kv_requests
   double bad_l4_csum_fraction = 0.0;   ///< failure injection
   std::uint64_t inter_arrival_ns = 100;///< timestamp spacing
+  /// Flow churn: per-packet probability that the drawn flow's 5-tuple is
+  /// replaced with a freshly minted one before the packet is built.  The
+  /// flow slot keeps its Zipf popularity; the old tuple goes cold — the
+  /// turnover pattern that exercises flow-table eviction and idle expiry.
+  double flow_churn = 0.0;
 };
 
 /// A single flow's immutable 5-tuple (plus its VLAN TCI if tagged).
@@ -66,8 +71,14 @@ class WorkloadGenerator {
   /// Index of the flow used for the packet most recently returned by next().
   [[nodiscard]] std::size_t last_flow_index() const noexcept { return last_flow_; }
 
+  /// Flows replaced so far by config.flow_churn turnover.
+  [[nodiscard]] std::uint64_t churn_events() const noexcept {
+    return churn_events_;
+  }
+
  private:
   [[nodiscard]] std::size_t pick_flow();
+  [[nodiscard]] FlowSpec make_flow();
 
   WorkloadConfig config_;
   Rng rng_;
@@ -76,6 +87,7 @@ class WorkloadGenerator {
   std::uint64_t clock_ns_ = 0;
   std::size_t last_flow_ = 0;
   std::uint16_t next_ip_id_ = 1;
+  std::uint64_t churn_events_ = 0;
 };
 
 /// The key a KV request payload ("GET key-000042\n") refers to, or empty if

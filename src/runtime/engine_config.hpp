@@ -59,6 +59,16 @@ struct EngineConfig {
   /// (see MultiQueueEngine::set_swap_cycle).  0 disables auto-swapping;
   /// explicit request_swap() orders work either way.
   std::size_t swap_every = 0;
+  /// Target concurrent-flow capacity.  >0 builds an engine-owned
+  /// flow::FlowTable with one shard per queue; each rx worker records the
+  /// packets it consumes against the NIC-provided flow key, shard-locally
+  /// and lock-free.  0 disables flow tracking.
+  std::size_t flows = 0;
+  /// Idle-expiry timeout for tracked flows, against the workload's packet
+  /// timestamps.  0 = flows only leave by LRU eviction.
+  std::uint64_t flow_idle_ns = 0;
+  /// Tenant label stamped on this engine's flow/goodput metric families.
+  std::string tenant = "default";
 
   // Fluent builder surface -- each setter returns *this so configurations
   // compose in one expression.
@@ -125,6 +135,18 @@ struct EngineConfig {
   }
   EngineConfig& with_swap_every(std::size_t offered_packets) {
     swap_every = offered_packets;
+    return *this;
+  }
+  EngineConfig& with_flows(std::size_t target_flows) {
+    flows = target_flows;
+    return *this;
+  }
+  EngineConfig& with_flow_idle(std::uint64_t timeout_ns) {
+    flow_idle_ns = timeout_ns;
+    return *this;
+  }
+  EngineConfig& with_tenant(std::string name) {
+    tenant = std::move(name);
     return *this;
   }
 };

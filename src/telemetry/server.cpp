@@ -92,6 +92,19 @@ http::Response ObservabilityServer::handle(const http::Request& request) {
       response.content_type = "application/json";
       response.body = layout_(false);
     }
+  } else if (request.path == "/flows") {
+    const auto fmt = request.query.find("format");
+    const bool tsv = fmt != request.query.end() && fmt->second == "tsv";
+    if (flows_ == nullptr) {
+      response.content_type = "application/json";
+      response.body = "{\"enabled\":false,\"tenants\":[]}";
+    } else if (tsv) {
+      response.content_type = "text/plain; charset=utf-8";
+      response.body = flows_(true);
+    } else {
+      response.content_type = "application/json";
+      response.body = flows_(false);
+    }
   } else {
     // Structured 404: machine-readable, and it teaches the caller the
     // route table instead of a bare "not found".
@@ -101,7 +114,7 @@ http::Response ObservabilityServer::handle(const http::Request& request) {
                     escape_json(request.path) +
                     "\",\"routes\":[\"/metrics\",\"/metrics.json\","
                     "\"/healthz\",\"/readyz\",\"/traces\",\"/flight\","
-                    "\"/alerts\",\"/timeseries\",\"/layout\"]}";
+                    "\"/alerts\",\"/timeseries\",\"/layout\",\"/flows\"]}";
   }
   return response;
 }

@@ -24,6 +24,10 @@
 //                  per-epoch provenance accounting as JSON (?format=tsv
 //                  for the `opendesc top` pane form); {"enabled":false}
 //                  when no epoch manager is attached
+//   /flows         per-tenant flow-table status: active flows, inserts,
+//                  evictions, hit rate, memory per flow (?format=tsv for
+//                  the `opendesc top` pane form); {"enabled":false} when
+//                  no provider is attached
 //
 // Unknown routes answer a structured JSON 404 ({"error":..,"path":..,
 // "routes":[..]}); HEAD is answered with headers only at the http layer.
@@ -71,6 +75,11 @@ class ObservabilityServer {
   /// provider = {"enabled":false}.  Install before start().
   using LayoutProvider = std::function<std::string(bool tsv)>;
   void set_layout(LayoutProvider provider) { layout_ = std::move(provider); }
+  /// Attaches the /flows provider: `provider(tsv)` renders the flow-table
+  /// status per tenant (JSON, or the flat TSV pane when tsv is true).  No
+  /// provider = {"enabled":false}.  Install before start().
+  using FlowsProvider = std::function<std::string(bool tsv)>;
+  void set_flows(FlowsProvider provider) { flows_ = std::move(provider); }
 
   void start() { server_.start(); }
   void stop() { server_.stop(); }
@@ -97,6 +106,7 @@ class ObservabilityServer {
   const TimeSeriesStore* store_ = nullptr;
   const HealthEngine* health_ = nullptr;
   LayoutProvider layout_;
+  FlowsProvider flows_;
   http::HttpServer server_;
 };
 

@@ -16,7 +16,8 @@ LOG="$DIR/live_scrape.log"
 mkdir -p "$DIR"
 rm -f "$PORT_FILE"
 "$OPENDESC" serve --nic ice --packets 2000 --queues 4 --fault-rate 0.01 \
-    --fault-seed 7 --guard --listen 127.0.0.1:0 --port-file "$PORT_FILE" \
+    --fault-seed 7 --guard --flows 1024 --churn 0.01 \
+    --listen 127.0.0.1:0 --port-file "$PORT_FILE" \
     --runs 0 >"$LOG" 2>&1 &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null; wait "$SERVER_PID" 2>/dev/null' EXIT
@@ -78,7 +79,8 @@ while :; do
         --probe "$BASE/metrics.json" --probe "$BASE/traces" \
         --probe "$BASE/traces?queue=0" --probe "$BASE/flight" \
         --probe "$BASE/alerts" --probe "$BASE/timeseries" \
-        --probe "$BASE/layout"; then
+        --probe "$BASE/layout" --probe "$BASE/flows" \
+        --probe "$BASE/flows?format=tsv"; then
         exit 0
     fi
     tries=$((tries + 1))

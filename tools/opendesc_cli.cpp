@@ -13,7 +13,8 @@
 //   opendesc simulate --nic <name|file.p4> [--intent <file.p4>]
 //                     [--packets <n>] [--fault-rate <p>] [--fault-seed <n>]
 //                     [--guard] [--queues <n>] [--batch <n>]
-//                     [--swap-every <n>] [--metrics-out <file>]
+//                     [--swap-every <n>] [--flows <n>] [--flow-idle-ms <n>]
+//                     [--churn <p>] [--tenants <n>] [--metrics-out <file>]
 //       Compiles the intent, drives a synthetic workload through the
 //       simulated NIC with the hardened (validating) receive loop, and
 //       prints datapath + fault-recovery statistics.  --fault-rate injects
@@ -25,7 +26,13 @@
 //       live layout every N offered packets (alternating between the
 //       intent compiled at the default alpha and a DMA-austere recompile),
 //       exercising the epoch cutover path and printing the swap history
-//       with per-epoch accounting.  --metrics-out writes the run's
+//       with per-epoch accounting.  --flows N tracks per-flow state in a
+//       sharded flow table (N slots per queue; --flow-idle-ms expires idle
+//       flows, --churn sets the workload's flow-turnover probability).
+//       --tenants N runs the multi-tenant plane instead: N tenants with
+//       their own intents compiled against the one NIC description, each
+//       on an isolated engine (faults hit tenant0 only, so isolation is
+//       visible in the per-tenant table).  --metrics-out writes the run's
 //       telemetry registry as a Prometheus text scrape (or JSON when the
 //       file ends in .json).
 //   opendesc stats --nic <name|file.p4> [simulate options]
@@ -46,10 +53,12 @@
 //                [--iterations <n>] [--plain]
 //       Live ANSI dashboard against a serving instance: per-queue goodput
 //       sparklines (1s window), stage-latency p99, layout-epoch status
-//       (current epoch, swap tallies), and firing SLO alerts,
-//       refreshed every --interval ms.  --iterations bounds the redraw
-//       count (0 = until killed); --plain skips the ANSI screen clearing
-//       for logs and tests.
+//       (current epoch, swap tallies), per-tenant flow-table panes
+//       (/flows), and firing SLO alerts, refreshed every --interval ms.
+//       Frames are truncated to the terminal height (LINES overrides the
+//       probed size).  --iterations bounds the redraw count (0 = until
+//       killed); --plain skips the ANSI screen clearing for logs and
+//       tests, and never truncates.
 //
 // `simulate` also accepts --listen (serve this one run live), --rules /
 // --alerts-out (health-plane evaluation with a final JSON alert export),
@@ -58,8 +67,12 @@
 // Every value flag accepts both "--flag value" and "--flag=value".
 // NIC arguments name either a catalog entry (e.g. "mlx5") or a path to a
 // standalone P4 interface description.
+#include <sys/ioctl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <deque>
 #include <filesystem>
 #include <fstream>
@@ -74,6 +87,8 @@
 
 #include "common/error.hpp"
 #include "core/compiler.hpp"
+#include "flow/metrics.hpp"
+#include "flow/tenant.hpp"
 #include "http/server.hpp"
 #include "engine/engine.hpp"
 #include "engine/publish.hpp"
@@ -105,6 +120,8 @@ int usage() {
       "                    [--packets <n>] [--fault-rate <p>]\n"
       "                    [--fault-seed <n>] [--guard]\n"
       "                    [--queues <n>] [--batch <n>] [--swap-every <n>]\n"
+      "                    [--flows <n>] [--flow-idle-ms <n>] [--churn <p>]\n"
+      "                    [--tenants <n>]\n"
       "                    [--metrics-out <file>] [--flight-out <file>]\n"
       "                    [--listen <host:port>] [--rules <file>]\n"
       "                    [--alerts-out <file>]\n"
@@ -158,6 +175,12 @@ struct Args {
   std::size_t queues = 1;  ///< > 1 selects the multi-queue engine
   std::size_t batch = 32;
   std::size_t swap_every = 0;  ///< > 0: live layout hot-swap cadence
+
+  // flow-table / multi-tenant options
+  std::size_t flows = 0;        ///< > 0: track flow state (total slots)
+  std::size_t flow_idle_ms = 0; ///< > 0: expire flows idle this long
+  double churn = 0.0;           ///< workload flow-turnover probability
+  std::size_t tenants = 0;      ///< > 0: multi-tenant plane with n tenants
 
   // telemetry options
   std::string metrics_out;  ///< write the run's scrape here (simulate/stats)
@@ -263,6 +286,22 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else if (arg == "--swap-every") {
       const char* v = next();
       if (!v || !parse_num("--swap-every", v, [](const char* s) { return std::stoull(s); }, args.swap_every))
+        return false;
+    } else if (arg == "--flows") {
+      const char* v = next();
+      if (!v || !parse_num("--flows", v, [](const char* s) { return std::stoull(s); }, args.flows))
+        return false;
+    } else if (arg == "--flow-idle-ms") {
+      const char* v = next();
+      if (!v || !parse_num("--flow-idle-ms", v, [](const char* s) { return std::stoull(s); }, args.flow_idle_ms))
+        return false;
+    } else if (arg == "--churn") {
+      const char* v = next();
+      if (!v || !parse_num("--churn", v, [](const char* s) { return std::stod(s); }, args.churn))
+        return false;
+    } else if (arg == "--tenants") {
+      const char* v = next();
+      if (!v || !parse_num("--tenants", v, [](const char* s) { return std::stoull(s); }, args.tenants))
         return false;
     } else if (arg == "--metrics-out") {
       const char* v = next();
@@ -483,6 +522,128 @@ void print_stage_table(const rt::EngineReport& report) {
   }
 }
 
+/// The simulate workload, shared by every datapath branch.  --flows scales
+/// the trace's distinct-flow population toward the table capacity (capped so
+/// construction stays cheap) and --churn turns over tuples mid-run.
+net::WorkloadConfig make_workload(const Args& args) {
+  net::WorkloadConfig workload;
+  workload.seed = args.fault_seed;
+  workload.vlan_probability = 0.5;
+  workload.flow_churn = args.churn;
+  if (args.flows > 0) {
+    workload.flow_count = std::clamp<std::size_t>(args.flows, 64, 1 << 16);
+    workload.zipf_skew = 0.9;
+  }
+  return workload;
+}
+
+/// --tenants n: one NIC description, n intents, n isolated engines behind a
+/// single plane sink/server.  Tenant 0 takes the --fault-rate storm so the
+/// output demonstrates isolation: its neighbours' goodput stays clean.
+int run_tenants(const Args& args, telemetry::Sink* sink, bool print_human) {
+  static constexpr const char* kTenantIntents[] = {
+      // Rotated per tenant: distinct intents against the shared description
+      // compile to distinct layouts, which is the point of the exercise.
+      R"(header tenant_rss_t {
+           @semantic("rss")     bit<32> hash;
+           @semantic("pkt_len") bit<16> len;
+         })",
+      R"(header tenant_ts_t {
+           @semantic("rss")       bit<32> hash;
+           @semantic("timestamp") bit<64> ts;
+           @semantic("pkt_len")   bit<16> len;
+         })",
+      R"(header tenant_vlan_t {
+           @semantic("rss")     bit<32> hash;
+           @semantic("vlan")    bit<16> tci;
+           @semantic("pkt_len") bit<16> len;
+         })",
+  };
+  const std::string nic_source = resolve_nic_source(args.nic);
+  const std::string intent_override =
+      args.intent.empty() ? std::string() : read_file(args.intent);
+
+  std::vector<rt::TenantSpec> specs;
+  specs.reserve(args.tenants);
+  for (std::size_t i = 0; i < args.tenants; ++i) {
+    rt::TenantSpec spec;
+    spec.name = "tenant" + std::to_string(i);
+    spec.intent = intent_override.empty() ? kTenantIntents[i % 3]
+                                          : intent_override;
+    spec.engine = rt::EngineConfig{}
+                      .with_queues(std::max<std::size_t>(1, args.queues))
+                      .with_batch(args.batch)
+                      .with_guard(args.guard)
+                      .with_flows(args.flows)
+                      .with_flow_idle(args.flow_idle_ms * 1'000'000ull);
+    if (i == 0 && args.fault_rate > 0.0) {
+      spec.engine.with_fault_rate(args.fault_rate, args.fault_seed);
+    }
+    if (!args.rules.empty()) {
+      spec.engine.with_health_rules(read_file(args.rules));
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  flow::TenantPlaneConfig plane_config;
+  plane_config.listen = args.listen;
+  plane_config.dma_weight_per_byte = args.alpha;
+  plane_config.sink = sink;
+  flow::TenantPlane plane(nic_source, std::move(specs), plane_config);
+
+  if (plane.server() != nullptr) {
+    if (!args.port_file.empty()) {
+      std::ofstream port_out(args.port_file);
+      if (!port_out) {
+        throw Error(ErrorKind::io,
+                    "cannot write port file '" + args.port_file + "'");
+      }
+      port_out << plane.server()->port() << "\n";
+    }
+    if (print_human) {
+      std::printf("observability server listening on %s\n",
+                  plane.server()->url().c_str());
+    }
+  }
+
+  const net::WorkloadConfig workload = make_workload(args);
+  std::vector<flow::TenantResult> results;
+  for (std::size_t run = 0; args.runs == 0 || run < args.runs; ++run) {
+    results = plane.run(args.packets, workload);
+    if (args.runs != 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  if (args.idle_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(args.idle_ms));
+  }
+  if (!print_human) {
+    return 0;
+  }
+
+  std::printf("simulated %zu tenants x %zu packets on shared NIC description "
+              "(%zu queue(s) each)\n",
+              plane.tenants(), args.packets,
+              std::max<std::size_t>(1, args.queues));
+  std::printf("  %-10s %10s %9s %-22s %7s %10s %9s %9s\n", "tenant",
+              "delivered", "goodput", "path", "record", "flows", "evicted",
+              "expired");
+  for (const flow::TenantResult& r : results) {
+    std::printf("  %-10s %10llu %8.1f%% %-22s %6zuB %10llu %9llu %9llu%s\n",
+                r.name.c_str(),
+                static_cast<unsigned long long>(r.report.total.packets),
+                100.0 * r.report.total.delivery_ratio(r.report.offered_total),
+                r.chosen_path.c_str(), r.record_bytes,
+                static_cast<unsigned long long>(r.flows.active),
+                static_cast<unsigned long long>(r.flows.evicted_lru),
+                static_cast<unsigned long long>(r.flows.expired_idle),
+                &r == &results.front() && args.fault_rate > 0.0
+                    ? "  (fault storm)"
+                    : "");
+  }
+  return 0;
+}
+
 /// One simulation run, optionally instrumented.  When `sink` is non-null the
 /// compiler publishes its search gauges and the datapath (either engine
 /// branch) fills the registry; callers then expose it however they like
@@ -491,6 +652,9 @@ void print_stage_table(const rt::EngineReport& report) {
 int run_simulation(const Args& args, telemetry::Sink* sink, bool print_human) {
   if (args.nic.empty()) {
     return usage();
+  }
+  if (args.tenants > 0) {
+    return run_tenants(args, sink, print_human);
   }
   const std::string nic_source = resolve_nic_source(args.nic);
   const std::string intent_source =
@@ -514,8 +678,8 @@ int run_simulation(const Args& args, telemetry::Sink* sink, bool print_human) {
   // plane: --listen embeds the HTTP server, --rules / --alerts-out activate
   // the health monitor — each regardless of queue count.  --swap-every
   // needs the dispatch thread, so it lands here too.
-  if (args.queues > 1 || args.swap_every > 0 || !args.listen.empty() ||
-      !args.rules.empty() || !args.alerts_out.empty()) {
+  if (args.queues > 1 || args.swap_every > 0 || args.flows > 0 ||
+      !args.listen.empty() || !args.rules.empty() || !args.alerts_out.empty()) {
     // Swapping with no explicit rules file still gets the stock cutover
     // watchdog: sustained SoftNIC fallback after a swap fires an alert
     // (with flight capture) instead of degrading silently.
@@ -531,6 +695,8 @@ int run_simulation(const Args& args, telemetry::Sink* sink, bool print_human) {
             .with_guard(args.guard)
             .with_fault_rate(args.fault_rate, args.fault_seed)
             .with_swap_every(args.swap_every)
+            .with_flows(args.flows)
+            .with_flow_idle(args.flow_idle_ms * 1'000'000ull)
             .with_telemetry(sink)
             .with_server(args.listen)
             .with_health_rules(health_rules)
@@ -566,9 +732,7 @@ int run_simulation(const Args& args, telemetry::Sink* sink, bool print_human) {
       }
     }
 
-    net::WorkloadConfig workload;
-    workload.seed = args.fault_seed;
-    workload.vlan_probability = 0.5;
+    const net::WorkloadConfig workload = make_workload(args);
     rt::EngineReport report;
     for (std::size_t run = 0; args.runs == 0 || run < args.runs; ++run) {
       net::WorkloadGenerator gen(workload);
@@ -641,6 +805,18 @@ int run_simulation(const Args& args, telemetry::Sink* sink, bool print_human) {
     std::printf("  %-26s %#12llx\n", "value checksum",
                 static_cast<unsigned long long>(report.total.value_checksum));
     print_stage_table(report);
+    if (mq.flow_table() != nullptr) {
+      const flow::FlowStats fstats = mq.flow_table()->stats();
+      std::printf("  flow table: %llu active of %zu slots (%zu shards), "
+                  "%llu inserts, %llu LRU-evicted, %llu idle-expired, "
+                  "hit rate %.1f%%, %.1f bytes/flow\n",
+                  static_cast<unsigned long long>(fstats.active),
+                  fstats.slots, fstats.shards,
+                  static_cast<unsigned long long>(fstats.inserts),
+                  static_cast<unsigned long long>(fstats.evicted_lru),
+                  static_cast<unsigned long long>(fstats.expired_idle),
+                  100.0 * fstats.hit_rate(), fstats.bytes_per_flow());
+    }
     if (args.swap_every > 0 || mq.epochs().history().size() != 0) {
       std::printf("  layout epochs: current %llu, swaps committed %llu, "
                   "rolled back %llu\n",
@@ -685,10 +861,7 @@ int run_simulation(const Args& args, telemetry::Sink* sink, bool print_human) {
     nic.set_fault_injector(injector.get());
   }
 
-  net::WorkloadConfig workload;
-  workload.seed = args.fault_seed;
-  workload.vlan_probability = 0.5;
-  net::WorkloadGenerator gen(workload);
+  net::WorkloadGenerator gen(make_workload(args));
   rt::OpenDescStrategy strategy(result, engine);
   rt::ValidatingRxLoop loop(wire_layout, engine);
   if (sink) {
@@ -715,8 +888,12 @@ int run_simulation(const Args& args, telemetry::Sink* sink, bool print_human) {
     opendesc::engine::publish_report(*sink, report, registry);
     // The single-queue loop has no epoch manager, but scrapes should still
     // expose the layout families at their zero state (epoch 1, no swaps) so
-    // dashboards and scrape_check see one catalog either way.
+    // dashboards and scrape_check see one catalog either way.  Same deal for
+    // the flow-table and tenant families: no table and a single implicit
+    // tenant, registered at zero.
     rt::register_layout_metrics(*sink);
+    flow::publish_flow_metrics(sink->registry(), nullptr);
+    opendesc::engine::publish_tenant_report(*sink, report, "default");
   }
   if (!print_human) {
     return 0;
@@ -916,6 +1093,56 @@ std::string sparkline(const std::deque<double>& history) {
   return out;
 }
 
+/// Rows the output terminal can display.  LINES (set by test harnesses and
+/// some shells) wins over the tty ioctl so the limit is scriptable; a
+/// non-tty with neither gets the classic 24.  --plain output is a log, not
+/// a screen, so it is never truncated (returns 0 = unlimited).
+std::size_t terminal_rows(bool plain) {
+  if (plain) {
+    return 0;
+  }
+  if (const char* env = std::getenv("LINES")) {
+    try {
+      const unsigned long v = std::stoul(env);
+      if (v > 0) {
+        return static_cast<std::size_t>(v);
+      }
+    } catch (const std::exception&) {
+    }
+  }
+  winsize ws{};
+  if (ioctl(STDOUT_FILENO, TIOCGWINSZ, &ws) == 0 && ws.ws_row > 0) {
+    return ws.ws_row;
+  }
+  return 24;
+}
+
+/// Caps a rendered frame to the terminal height so a redraw never overdraws
+/// (scrolling the previous frame's remnants into view).  The cut is
+/// announced, not silent: the last visible row says how much is hidden.
+std::string fit_to_rows(std::string frame, std::size_t rows) {
+  if (rows <= 2) {
+    return frame;
+  }
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  std::size_t cut = std::string::npos;
+  while ((pos = frame.find('\n', pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+    if (lines == rows - 1) {
+      cut = pos;
+    }
+  }
+  if (cut == std::string::npos || lines < rows) {
+    return frame;
+  }
+  const std::size_t hidden = lines - (rows - 1);
+  frame.resize(cut);
+  frame += "… (+" + std::to_string(hidden) + " more rows)\n";
+  return frame;
+}
+
 /// Live dashboard: poll /timeseries and /alerts in their TSV renderings and
 /// redraw.  Everything it shows comes over HTTP, so it runs against any
 /// serving instance — local or remote — with zero shared state.
@@ -936,6 +1163,7 @@ int cmd_top(const Args& args) {
     http::Response stages;
     http::Response alerts;
     http::Response layout;
+    http::Response flows;
     try {
       goodput = http::http_get(
           host, port,
@@ -945,6 +1173,7 @@ int cmd_top(const Args& args) {
           "/timeseries?metric=opendesc_stage_latency_ns&window=10s&format=tsv");
       alerts = http::http_get(host, port, "/alerts?format=tsv");
       layout = http::http_get(host, port, "/layout?format=tsv");
+      flows = http::http_get(host, port, "/flows?format=tsv");
     } catch (const Error& e) {
       if (iter == 0) {
         throw;  // dead target: fail fast instead of redrawing errors forever
@@ -1044,6 +1273,40 @@ int cmd_top(const Args& args) {
       frame << "  (no layout epochs)\n";
     }
 
+    frame << "\ntenant flow tables:\n";
+    bool any_flows = false;
+    if (flows.status == 200) {
+      // TSV lines: tenant <name> <active> <slots> <ins> <evict> <expire>
+      // <hit%> <load%> <B/flow>, then shard <tenant> <q> <active> <lookups>
+      // <evictions>.  A server without a flows provider answers JSON, which
+      // matches neither tag and falls through to the placeholder.
+      std::istringstream flow_lines(flows.body);
+      for (std::string line; std::getline(flow_lines, line);) {
+        if (line.empty()) continue;
+        const std::vector<std::string> fields = split_tabs(line);
+        const auto field = [&](std::size_t i) {
+          return i < fields.size() ? fields[i].c_str() : "?";
+        };
+        if (fields[0] == "tenant") {
+          std::snprintf(buf, sizeof buf,
+                        "  %-12s flows %-9s/%-8s hit %5s%%  load %5s%%  "
+                        "%s B/flow  evict %s  expire %s\n",
+                        field(1), field(2), field(3), field(7), field(8),
+                        field(9), field(5), field(6));
+          frame << buf;
+          any_flows = true;
+        } else if (fields[0] == "shard") {
+          std::snprintf(buf, sizeof buf,
+                        "    %s q%-3s active %-9s lookups %-11s evictions %s\n",
+                        field(1), field(2), field(3), field(4), field(5));
+          frame << buf;
+        }
+      }
+    }
+    if (!any_flows) {
+      frame << "  (no flow tracking)\n";
+    }
+
     frame << "\nSLO alerts:\n";
     bool any_alert = false;
     std::istringstream lines(alerts.body);
@@ -1068,7 +1331,11 @@ int cmd_top(const Args& args) {
     if (!args.plain) {
       std::fputs("\x1b[H\x1b[2J", stdout);  // cursor home + clear screen
     }
-    std::fputs(frame.str().c_str(), stdout);
+    // Clamp the frame to the terminal height: with many tenants (or many
+    // shards per tenant) an oversized frame would scroll the screen and the
+    // next clear-and-redraw would stutter between partial frames.
+    std::fputs(fit_to_rows(frame.str(), terminal_rows(args.plain)).c_str(),
+               stdout);
     std::fflush(stdout);
   }
   return 0;

@@ -412,6 +412,16 @@ void check_schema(Checker& chk) {
       {"opendesc_engine_queues", "gauge"},
       {"opendesc_layout_swaps_total", "counter"},
       {"opendesc_layout_epoch", "gauge"},
+      {"opendesc_flow_active", "gauge"},
+      {"opendesc_flow_lookups_total", "counter"},
+      {"opendesc_flow_inserts_total", "counter"},
+      {"opendesc_flow_evictions_total", "counter"},
+      {"opendesc_flow_tracked_packets_total", "counter"},
+      {"opendesc_flow_tracked_bytes_total", "counter"},
+      {"opendesc_flow_memory_bytes", "gauge"},
+      {"opendesc_tenant_goodput_packets_total", "counter"},
+      {"opendesc_tenant_offered_packets_total", "counter"},
+      {"opendesc_tenant_drops_total", "counter"},
       {"opendesc_compile_runs_total", "counter"},
       {"opendesc_compile_paths_explored", "gauge"},
       {"opendesc_compile_chosen_size_bytes", "gauge"},
