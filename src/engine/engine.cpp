@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <exception>
 #include <thread>
 
@@ -180,6 +181,16 @@ MultiQueueEngine::MultiQueueEngine(const core::CompileResult& result,
     server_->set_health(health_.get());
     server_->set_layout([this](bool tsv) { return epochs_->status(tsv); });
     server_->set_flows([this](bool tsv) { return flows_status(tsv); });
+    server_->set_flows_json([this](const http::Request& request) {
+      return flows_json_response(request);
+    });
+    if (!config_.swap_token.empty()) {
+      server_->set_swap(
+          [this](const http::Request& request) {
+            return swap_from_request(request);
+          },
+          config_.swap_token);
+    }
     server_->start();
   }
   if (monitor) {
@@ -206,6 +217,213 @@ MultiQueueEngine::~MultiQueueEngine() = default;
 std::string MultiQueueEngine::flows_status(bool tsv) const {
   const flow::FlowStatusEntry entry{config_.tenant, flow_table_.get()};
   return flow::render_flows_status({&entry, 1}, tsv);
+}
+
+namespace {
+
+/// Minimal top-level field extraction from a small JSON request body:
+/// returns the raw token after `"key":` (string values unquoted).  The
+/// POST /layout body is two optional scalar fields, not worth a parser.
+std::optional<std::string> json_field(const std::string& body,
+                                      const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t pos = body.find(needle);
+  if (pos == std::string::npos) {
+    return std::nullopt;
+  }
+  pos = body.find(':', pos + needle.size());
+  if (pos == std::string::npos) {
+    return std::nullopt;
+  }
+  ++pos;
+  while (pos < body.size() &&
+         (body[pos] == ' ' || body[pos] == '\t' || body[pos] == '\n' ||
+          body[pos] == '\r')) {
+    ++pos;
+  }
+  if (pos >= body.size()) {
+    return std::nullopt;
+  }
+  if (body[pos] == '"') {
+    const std::size_t end = body.find('"', pos + 1);
+    if (end == std::string::npos) {
+      return std::nullopt;
+    }
+    return body.substr(pos + 1, end - pos - 1);
+  }
+  std::size_t end = pos;
+  while (end < body.size() && body[end] != ',' && body[end] != '}' &&
+         body[end] != ' ' && body[end] != '\n' && body[end] != '\r' &&
+         body[end] != '\t') {
+    ++end;
+  }
+  return body.substr(pos, end - pos);
+}
+
+std::optional<std::uint64_t> parse_u64(const std::string& raw) {
+  if (raw.empty()) {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  for (const char c : raw) {
+    if (c < '0' || c > '9' || value > (UINT64_MAX - 9) / 10) {
+      return std::nullopt;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+http::Response MultiQueueEngine::swap_from_request(
+    const http::Request& request) {
+  std::shared_ptr<const core::CompileResult> target;
+  std::size_t chosen = 0;
+  std::size_t cycle_size = 0;
+  {
+    const std::lock_guard<std::mutex> lock(swap_mutex_);
+    cycle_size = swap_cycle_.size();
+    if (cycle_size == 0) {
+      throw http::HttpError(
+          409, "no swap cycle installed; the engine has nothing to swap to");
+    }
+    const std::optional<std::string> target_field =
+        json_field(request.body, "target");
+    if (!target_field || *target_field == "next") {
+      chosen = post_cycle_index_.fetch_add(1, std::memory_order_relaxed) %
+               cycle_size;
+    } else {
+      const std::optional<std::uint64_t> index = parse_u64(*target_field);
+      if (!index) {
+        throw http::HttpError(400, "bad swap target '" + *target_field +
+                                       "' (want \"next\" or a cycle index)");
+      }
+      if (*index >= cycle_size) {
+        throw http::HttpError(
+            400, "swap target index " + std::to_string(*index) +
+                     " out of range (cycle has " + std::to_string(cycle_size) +
+                     " layouts)");
+      }
+      chosen = static_cast<std::size_t>(*index);
+    }
+    target = swap_cycle_[chosen];
+  }
+
+  std::uint64_t at_offered = 0;
+  if (const std::optional<std::string> at_field =
+          json_field(request.body, "at_offered")) {
+    const std::optional<std::uint64_t> value = parse_u64(*at_field);
+    if (!value) {
+      throw http::HttpError(
+          400, "bad at_offered '" + *at_field + "' (want a packet count)");
+    }
+    at_offered = *value;
+  }
+
+  rt::SwapRequest order;
+  order.result = std::move(target);
+  order.at_offered = at_offered;
+  request_swap(std::move(order));
+
+  http::Response response;
+  response.status = 202;
+  response.content_type = "application/json";
+  response.body = "{\"queued\":true,\"cycle_index\":" + std::to_string(chosen) +
+                  ",\"cycle_size\":" + std::to_string(cycle_size) +
+                  ",\"at_offered\":" + std::to_string(at_offered) + "}";
+  return response;
+}
+
+http::Response MultiQueueEngine::flows_json_response(
+    const http::Request& request) {
+  http::Response response;
+  response.content_type = "application/json";
+  const std::string* records = request.query_get("records");
+  if (records == nullptr) {
+    response.body = flows_status(false);
+    return response;
+  }
+  if (flow_table_ == nullptr) {
+    response.body = "{\"enabled\":false,\"tenants\":[]}";
+    return response;
+  }
+  // Record scans walk the non-atomic slot arrays, which are only coherent
+  // from the owning worker or with the datapath quiesced.
+  if (running_.load(std::memory_order_acquire)) {
+    throw http::HttpError(
+        503, "flow records are only scanned while the engine is quiesced");
+  }
+  std::uint64_t max_records = UINT64_MAX;
+  if (*records != "all") {
+    max_records = request.query_u64("records").value();  // 400 on malformed
+  }
+
+  std::string summary = flows_status(false);
+  if (!summary.empty() && summary.back() == '}') {
+    summary.pop_back();  // re-open the object to splice the records in
+  }
+
+  struct ScanState {
+    std::size_t shard = 0;
+    std::size_t slot = 0;
+    std::uint64_t emitted = 0;
+    bool opened = false;
+    bool done = false;
+  };
+  auto state = std::make_shared<ScanState>();
+  auto head = std::make_shared<std::string>(std::move(summary));
+  const flow::FlowTable* table = flow_table_.get();
+  // One bounded page of records per producer call: memory stays at page
+  // granularity no matter how many flows are resident.
+  response.stream = [table, state, head,
+                     max_records](http::ResponseWriter& writer) {
+    if (state->done) {
+      writer.end();
+      return;
+    }
+    std::string out;
+    if (!state->opened) {
+      state->opened = true;
+      out += *head;
+      out += ",\"records\":[";
+    }
+    constexpr std::size_t kPage = 2048;
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kPage, max_records - state->emitted));
+    std::vector<flow::FlowRecord> page;
+    page.reserve(want);
+    while (page.size() < want && state->shard < table->shards()) {
+      state->slot = table->scan(state->shard, state->slot, want, page);
+      if (state->slot >= table->slots_per_shard()) {
+        ++state->shard;
+        state->slot = 0;
+      }
+    }
+    for (const flow::FlowRecord& record : page) {
+      if (state->emitted++ > 0) {
+        out += ',';
+      }
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"key\":\"%016llx\",\"packets\":%llu,\"bytes\":%llu,"
+                    "\"last_seen_ns\":%llu}",
+                    static_cast<unsigned long long>(record.key),
+                    static_cast<unsigned long long>(record.packets),
+                    static_cast<unsigned long long>(record.bytes),
+                    static_cast<unsigned long long>(record.last_seen_ns));
+      out += buf;
+    }
+    if (state->shard >= table->shards() || state->emitted >= max_records) {
+      out += "]}";
+      state->done = true;
+    }
+    writer.write(out);
+    if (state->done) {
+      writer.end();
+    }
+  };
+  return response;
 }
 
 bool MultiQueueEngine::ready() const noexcept {

@@ -181,6 +181,18 @@ class MultiQueueEngine {
   /// when `tsv` is set.  Thread-safe (reads the table's atomic counters).
   [[nodiscard]] std::string flows_status(bool tsv) const;
 
+  /// Authenticated POST /layout body handler (the server checks the token
+  /// first): parses {"target":"next"|index, "at_offered":N}, queues the
+  /// swap from the installed swap cycle and answers 202 with what was
+  /// queued.  409 when no cycle is installed, 400 on a bad target.
+  [[nodiscard]] http::Response swap_from_request(const http::Request& request);
+
+  /// GET /flows with optional ?records=N|all: the summary JSON extended
+  /// with a "records" array streamed page by page out of the flow table.
+  /// Record scans read non-atomic slots, so they are only served while no
+  /// run is in flight (503 mid-run); the summary form stays always-safe.
+  [[nodiscard]] http::Response flows_json_response(const http::Request& request);
+
  private:
   template <typename NextFn>
   EngineReport run_impl(NextFn&& next);
@@ -207,6 +219,8 @@ class MultiQueueEngine {
   std::mutex swap_mutex_;
   std::deque<rt::SwapRequest> swap_queue_;
   std::vector<std::shared_ptr<const core::CompileResult>> swap_cycle_;
+  /// Round-robin cursor for POST /layout {"target":"next"} orders.
+  std::atomic<std::size_t> post_cycle_index_{0};
 
   // Health-monitor plane.  Declaration order is load-bearing for teardown:
   // the sampler (last member) stops first, then the server (whose routes

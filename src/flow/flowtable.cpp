@@ -148,6 +148,23 @@ std::optional<FlowRecord> FlowTable::find(std::size_t shard_index,
   return std::nullopt;
 }
 
+std::size_t FlowTable::scan(std::size_t shard_index, std::size_t from,
+                            std::size_t max,
+                            std::vector<FlowRecord>& out) const {
+  const Shard& shard = shards_[shard_index & shard_mask_];
+  const std::size_t slots = slot_mask_ + 1;
+  std::size_t i = from;
+  for (; i < slots && out.size() < max; ++i) {
+    const Slot& slot = shard.slots[i];
+    if (slot.key == 0) {
+      continue;
+    }
+    out.push_back(
+        FlowRecord{slot.key, slot.packets, slot.bytes, slot.last_seen_ns});
+  }
+  return i;
+}
+
 void FlowTable::accumulate(FlowStats& out, const Shard& shard) const {
   const ShardCounters& c = shard.counters;
   out.lookups += c.lookups.load(std::memory_order_relaxed);

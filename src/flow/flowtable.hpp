@@ -120,6 +120,14 @@ class FlowTable {
   [[nodiscard]] std::optional<FlowRecord> find(std::size_t shard,
                                                FlowKey key) const;
 
+  /// Owner-thread (or quiesced) page scan: appends up to `max` resident
+  /// flows of `shard` starting at slot index `from` to `out`, and returns
+  /// the slot index to resume from (slots_per_shard() when the shard is
+  /// exhausted).  The /flows?records streaming endpoint walks the table
+  /// with this, one bounded page per call.
+  std::size_t scan(std::size_t shard, std::size_t from, std::size_t max,
+                   std::vector<FlowRecord>& out) const;
+
   /// Thread-safe aggregate snapshot: readable from any thread mid-run.
   [[nodiscard]] FlowStats stats() const;
   /// Thread-safe single-shard snapshot.

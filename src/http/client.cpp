@@ -1,0 +1,464 @@
+#include "http/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace opendesc::http {
+
+namespace {
+
+void set_socket_timeouts(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int connect_to(const std::string& host, std::uint16_t port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw Error(ErrorKind::io, "http client: socket() failed");
+  }
+  set_socket_timeouts(fd, timeout_ms);
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw Error(ErrorKind::io, "http client: cannot connect to " + host + ":" +
+                                   std::to_string(port) + ": " + why);
+  }
+  return fd;
+}
+
+std::string lowercase(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') {
+      c = static_cast<char>(c - 'A' + 'a');
+    }
+  }
+  return s;
+}
+
+/// Appends whatever is readable; false on EOF or timeout/error.
+bool fill(int fd, std::string& buffer) {
+  char buf[4096];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+  if (n <= 0) {
+    return false;
+  }
+  buffer.append(buf, static_cast<std::size_t>(n));
+  return true;
+}
+
+/// Parses "<hex>\r\n<data>\r\n"* from `raw` into `out`.  Returns true once
+/// the terminating 0-chunk was consumed; leaves incomplete tail in `raw`.
+bool decode_chunks(std::string& raw, std::string& out) {
+  while (true) {
+    const std::size_t line_end = raw.find("\r\n");
+    if (line_end == std::string::npos) {
+      return false;
+    }
+    std::size_t size = 0;
+    std::size_t pos = 0;
+    while (pos < line_end) {
+      const char c = raw[pos];
+      if (c >= '0' && c <= '9') {
+        size = size * 16 + static_cast<std::size_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        size = size * 16 + static_cast<std::size_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        size = size * 16 + static_cast<std::size_t>(c - 'A' + 10);
+      } else {
+        break;  // chunk extension; ignore the rest of the line
+      }
+      ++pos;
+    }
+    if (pos == 0) {
+      throw Error(ErrorKind::io, "http client: malformed chunk size");
+    }
+    if (raw.size() < line_end + 2 + size + 2) {
+      return false;  // whole chunk not here yet
+    }
+    if (size == 0) {
+      raw.erase(0, line_end + 2 + 2);  // "0\r\n" + final "\r\n"
+      return true;
+    }
+    out.append(raw, line_end + 2, size);
+    raw.erase(0, line_end + 2 + size + 2);
+  }
+}
+
+struct ParsedHead {
+  int status = 0;
+  std::map<std::string, std::string> headers;  ///< lowercased keys
+};
+
+/// Parses the status line + headers out of `data` (which must contain the
+/// full head); returns the body offset.
+std::size_t parse_response_head(const std::string& data, ParsedHead& head) {
+  const std::size_t head_end = data.find("\r\n\r\n");
+  if (data.rfind("HTTP/1.", 0) != 0 || head_end == std::string::npos ||
+      data.size() < 12) {
+    throw Error(ErrorKind::io, "http client: malformed response");
+  }
+  head.status = std::stoi(data.substr(9, 3));
+  std::size_t pos = data.find("\r\n") + 2;
+  while (pos < head_end) {
+    std::size_t end = data.find("\r\n", pos);
+    if (end == std::string::npos || end > head_end) {
+      end = head_end;
+    }
+    const std::string line = data.substr(pos, end - pos);
+    pos = end + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      continue;
+    }
+    std::size_t value_at = colon + 1;
+    while (value_at < line.size() && line[value_at] == ' ') {
+      ++value_at;
+    }
+    head.headers[lowercase(line.substr(0, colon))] = line.substr(value_at);
+  }
+  return head_end + 4;
+}
+
+}  // namespace
+
+HttpClient::HttpClient(std::string host, std::uint16_t port, int timeout_ms)
+    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+
+HttpClient::~HttpClient() { close(); }
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : host_(std::move(other.host_)),
+      port_(other.port_),
+      timeout_ms_(other.timeout_ms_),
+      fd_(other.fd_),
+      connects_(other.connects_),
+      reconnects_(other.reconnects_),
+      requests_(other.requests_),
+      pending_(std::move(other.pending_)) {
+  other.fd_ = -1;
+}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    timeout_ms_ = other.timeout_ms_;
+    fd_ = other.fd_;
+    connects_ = other.connects_;
+    reconnects_ = other.reconnects_;
+    requests_ = other.requests_;
+    pending_ = std::move(other.pending_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void HttpClient::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  pending_.clear();
+}
+
+void HttpClient::connect() {
+  fd_ = connect_to(host_, port_, timeout_ms_);
+  if (connects_ > 0) {
+    ++reconnects_;
+  }
+  ++connects_;
+  pending_.clear();
+}
+
+Response HttpClient::request(const std::string& method,
+                             const std::string& target,
+                             const std::string& body,
+                             const HeaderList& extra_headers) {
+  std::string wire = method + " " + target + " HTTP/1.1\r\nHost: " + host_ +
+                     "\r\n";
+  bool has_content_length = false;
+  for (const auto& [key, value] : extra_headers) {
+    wire += key + ": " + value + "\r\n";
+    if (lowercase(key) == "content-length") {
+      has_content_length = true;
+    }
+  }
+  if ((!body.empty() || method == "POST") && !has_content_length) {
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+
+  // A fresh connection gets one attempt; a reused one gets a retry on a
+  // fresh socket — the server may have idle-closed it between requests.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool reused = fd_ >= 0;
+    if (!reused) {
+      connect();
+    }
+    if (!send_all(fd_, wire.data(), wire.size())) {
+      close();
+      if (reused) {
+        continue;
+      }
+      throw Error(ErrorKind::io, "http client: send failed");
+    }
+
+    // Head first.
+    std::string& data = pending_;
+    bool dead = false;
+    while (data.find("\r\n\r\n") == std::string::npos) {
+      if (!fill(fd_, data)) {
+        dead = true;
+        break;
+      }
+    }
+    if (dead) {
+      close();
+      if (reused) {
+        continue;  // stale keep-alive connection; retry once
+      }
+      throw Error(ErrorKind::io, "http client: no response from " + host_ +
+                                     ":" + std::to_string(port_));
+    }
+
+    ParsedHead head;
+    const std::size_t body_at = parse_response_head(data, head);
+    Response response;
+    response.status = head.status;
+    response.headers = head.headers;
+    const auto ct = head.headers.find("content-type");
+    if (ct != head.headers.end()) {
+      response.content_type = ct->second;
+    }
+    data.erase(0, body_at);
+
+    const bool head_request = method == "HEAD";
+    const auto te = head.headers.find("transfer-encoding");
+    const auto cl = head.headers.find("content-length");
+    bool close_framed = false;
+    if (head_request) {
+      // headers only
+    } else if (te != head.headers.end() &&
+               lowercase(te->second).find("chunked") != std::string::npos) {
+      while (!decode_chunks(data, response.body)) {
+        if (!fill(fd_, data)) {
+          close();
+          throw Error(ErrorKind::io, "http client: truncated chunked body");
+        }
+      }
+    } else if (cl != head.headers.end()) {
+      const std::size_t want = std::stoul(cl->second);
+      while (data.size() < want) {
+        if (!fill(fd_, data)) {
+          close();
+          throw Error(ErrorKind::io, "http client: truncated body");
+        }
+      }
+      response.body = data.substr(0, want);
+      data.erase(0, want);
+    } else {
+      while (fill(fd_, data)) {
+      }
+      response.body = std::move(data);
+      data.clear();
+      close_framed = true;
+    }
+
+    ++requests_;
+    const auto conn = head.headers.find("connection");
+    if (close_framed ||
+        (conn != head.headers.end() &&
+         lowercase(conn->second).find("close") != std::string::npos)) {
+      close();
+    }
+    return response;
+  }
+  throw Error(ErrorKind::io, "http client: request failed after reconnect");
+}
+
+// --- SSE ---------------------------------------------------------------------
+
+SseClient::SseClient(const std::string& host, std::uint16_t port,
+                     const std::string& target, int timeout_ms) {
+  fd_ = connect_to(host, port, timeout_ms);
+  const std::string wire = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                           "\r\nAccept: text/event-stream\r\n"
+                           "Connection: close\r\n\r\n";
+  if (!send_all(fd_, wire.data(), wire.size())) {
+    ::close(fd_);
+    fd_ = -1;
+    throw Error(ErrorKind::io, "sse client: send failed");
+  }
+  std::string data;
+  while (data.find("\r\n\r\n") == std::string::npos) {
+    if (!fill(fd_, data)) {
+      ::close(fd_);
+      fd_ = -1;
+      throw Error(ErrorKind::io, "sse client: no response head");
+    }
+  }
+  ParsedHead head;
+  const std::size_t body_at = parse_response_head(data, head);
+  if (head.status != 200) {
+    ::close(fd_);
+    fd_ = -1;
+    throw Error(ErrorKind::io,
+                "sse client: status " + std::to_string(head.status));
+  }
+  const auto ct = head.headers.find("content-type");
+  content_type_ = ct == head.headers.end() ? "" : ct->second;
+  const auto te = head.headers.find("transfer-encoding");
+  chunked_ = te != head.headers.end() &&
+             lowercase(te->second).find("chunked") != std::string::npos;
+  raw_ = data.substr(body_at);
+  if (chunked_) {
+    eof_ = decode_chunks(raw_, decoded_);
+  } else {
+    decoded_ = std::move(raw_);
+    raw_.clear();
+  }
+}
+
+SseClient::~SseClient() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+std::optional<SseEvent> SseClient::take_buffered_event() {
+  while (true) {
+    const std::size_t block_end = decoded_.find("\n\n");
+    if (block_end == std::string::npos) {
+      return std::nullopt;
+    }
+    const std::string block = decoded_.substr(0, block_end);
+    decoded_.erase(0, block_end + 2);
+    SseEvent event;
+    bool has_field = false;
+    std::size_t pos = 0;
+    while (pos <= block.size()) {
+      std::size_t end = block.find('\n', pos);
+      if (end == std::string::npos) {
+        end = block.size();
+      }
+      const std::string line = block.substr(pos, end - pos);
+      pos = end + 1;
+      if (line.empty() || line[0] == ':') {
+        continue;  // comment / keep-alive
+      }
+      const std::size_t colon = line.find(':');
+      const std::string field =
+          colon == std::string::npos ? line : line.substr(0, colon);
+      std::string value =
+          colon == std::string::npos ? "" : line.substr(colon + 1);
+      if (!value.empty() && value[0] == ' ') {
+        value.erase(0, 1);
+      }
+      if (field == "event") {
+        event.event = value;
+        has_field = true;
+      } else if (field == "data") {
+        event.data += event.data.empty() ? value : "\n" + value;
+        has_field = true;
+      } else if (field == "id") {
+        event.id = value;
+        has_field = true;
+      } else if (field == "retry") {
+        has_field = true;  // parsed, unused
+      }
+    }
+    if (has_field) {
+      return event;
+    }
+    // comment-only block: keep scanning
+  }
+}
+
+std::optional<SseEvent> SseClient::next(int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    if (std::optional<SseEvent> event = take_buffered_event()) {
+      return event;
+    }
+    if (eof_ || fd_ < 0) {
+      return std::nullopt;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return std::nullopt;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int wait_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready <= 0) {
+      return std::nullopt;  // timeout or poll error
+    }
+    if (chunked_) {
+      if (!fill(fd_, raw_)) {
+        eof_ = true;
+      } else {
+        eof_ = decode_chunks(raw_, decoded_) || eof_;
+      }
+    } else {
+      if (!fill(fd_, decoded_)) {
+        eof_ = true;
+      }
+    }
+  }
+}
+
+// --- one-shot helpers --------------------------------------------------------
+
+Response http_get(const std::string& host, std::uint16_t port,
+                  const std::string& target, int timeout_ms) {
+  return http_request("GET", host, port, target, timeout_ms);
+}
+
+Response http_request(const std::string& method, const std::string& host,
+                      std::uint16_t port, const std::string& target,
+                      int timeout_ms, const std::string& body,
+                      const HeaderList& extra_headers) {
+  HttpClient client(host, port, timeout_ms);
+  HeaderList headers = extra_headers;
+  headers.emplace_back("Connection", "close");
+  return client.request(method, target, body, headers);
+}
+
+}  // namespace opendesc::http

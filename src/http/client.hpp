@@ -1,0 +1,127 @@
+// HTTP/1.1 clients for tests, benches and the CLI.
+//
+//   * HttpClient — a persistent keep-alive connection: request() frames
+//     responses by Content-Length or chunked transfer-encoding (decoding
+//     the chunks), honours the server's Connection header, and
+//     transparently reconnects when the server closed between requests
+//     (reconnects() counts them, which is how the scrape-storm bench
+//     asserts keep-alive actually reused connections).
+//   * SseClient — opens a text/event-stream response and yields parsed
+//     events one at a time, decoding the chunked framing incrementally.
+//   * http_get / http_request — the classic one-shot helpers (Connection:
+//     close), kept for the many existing call sites.
+//
+// All throw Error(io) on connect/send/parse failures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "http/message.hpp"
+
+namespace opendesc::http {
+
+using HeaderList = std::vector<std::pair<std::string, std::string>>;
+
+class HttpClient {
+ public:
+  /// Connects lazily on the first request.
+  HttpClient(std::string host, std::uint16_t port, int timeout_ms = 2000);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+
+  /// One request over the persistent connection.  The response's `headers`
+  /// map is populated (keys lowercased) and chunked bodies are decoded.
+  Response request(const std::string& method, const std::string& target,
+                   const std::string& body = {},
+                   const HeaderList& extra_headers = {});
+  Response get(const std::string& target) { return request("GET", target); }
+  Response post(const std::string& target, const std::string& body,
+                const std::string& content_type = "application/json") {
+    return request("POST", target, body,
+                   {{"Content-Type", content_type}});
+  }
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  /// Times the connection had to be re-established after the first.
+  [[nodiscard]] std::uint64_t reconnects() const noexcept {
+    return reconnects_;
+  }
+  [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
+
+  void close() noexcept;
+
+ private:
+  void connect();
+
+  std::string host_;
+  std::uint16_t port_;
+  int timeout_ms_;
+  int fd_ = -1;
+  std::uint64_t connects_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t requests_ = 0;
+  std::string pending_;  ///< bytes read past the previous response
+};
+
+/// One parsed server-sent event.
+struct SseEvent {
+  std::string event;  ///< "event:" field ("" = unnamed "message")
+  std::string data;   ///< "data:" lines joined with '\n'
+  std::string id;     ///< "id:" field
+};
+
+/// Reads a text/event-stream response event by event over its own
+/// connection.  Construction sends the GET and parses the response head
+/// (Error(io) unless the status is 200 and the stream is chunked or
+/// close-delimited).
+class SseClient {
+ public:
+  SseClient(const std::string& host, std::uint16_t port,
+            const std::string& target, int timeout_ms = 2000);
+  ~SseClient();
+
+  SseClient(const SseClient&) = delete;
+  SseClient& operator=(const SseClient&) = delete;
+
+  /// Blocks up to `timeout_ms` for the next event; nullopt on stream end
+  /// or timeout.  Comment-only blocks (": keep-alive") are skipped.
+  std::optional<SseEvent> next(int timeout_ms);
+
+  [[nodiscard]] const std::string& content_type() const noexcept {
+    return content_type_;
+  }
+
+ private:
+  [[nodiscard]] std::optional<SseEvent> take_buffered_event();
+
+  int fd_ = -1;
+  std::string content_type_;
+  bool chunked_ = false;
+  std::string raw_;      ///< undecoded wire bytes (chunk framing)
+  std::string decoded_;  ///< event-stream text not yet consumed
+  bool eof_ = false;
+};
+
+/// Blocking one-shot HTTP/1.1 GET (Connection: close).
+[[nodiscard]] Response http_get(const std::string& host, std::uint16_t port,
+                                const std::string& target,
+                                int timeout_ms = 2000);
+
+/// One-shot request with an explicit method ("GET", "HEAD", "POST").
+[[nodiscard]] Response http_request(const std::string& method,
+                                    const std::string& host,
+                                    std::uint16_t port,
+                                    const std::string& target,
+                                    int timeout_ms = 2000,
+                                    const std::string& body = {},
+                                    const HeaderList& extra_headers = {});
+
+}  // namespace opendesc::http

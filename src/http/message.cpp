@@ -1,0 +1,160 @@
+#include "http/message.hpp"
+
+#include <cstdio>
+
+namespace opendesc::http {
+
+const std::string* Request::query_get(const std::string& key) const {
+  const auto it = query.find(key);
+  return it == query.end() ? nullptr : &it->second;
+}
+
+std::optional<std::uint64_t> Request::query_u64(const std::string& key) const {
+  const std::string* raw = query_get(key);
+  if (raw == nullptr) {
+    return std::nullopt;
+  }
+  if (raw->empty()) {
+    throw HttpError(400, "query parameter '" + key + "' is empty");
+  }
+  std::uint64_t value = 0;
+  for (const char c : *raw) {
+    if (c < '0' || c > '9' || value > (UINT64_MAX - 9) / 10) {
+      throw HttpError(400, "query parameter '" + key + "' is not an unsigned"
+                           " integer: '" + *raw + "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+std::optional<double> Request::query_double(const std::string& key) const {
+  const std::string* raw = query_get(key);
+  if (raw == nullptr) {
+    return std::nullopt;
+  }
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(*raw, &used);
+    if (used != raw->size()) {
+      throw std::invalid_argument(*raw);
+    }
+    return value;
+  } catch (const std::exception&) {
+    throw HttpError(400, "query parameter '" + key + "' is not a number: '" +
+                             *raw + "'");
+  }
+}
+
+bool Request::query_flag(const std::string& key) const {
+  return query.find(key) != query.end();
+}
+
+std::string Request::header(const std::string& lowercase_key) const {
+  const auto it = headers.find(lowercase_key);
+  return it == headers.end() ? std::string() : it->second;
+}
+
+void ResponseWriter::write(std::string_view chunk) {
+  if (chunk.empty()) {
+    return;
+  }
+  written_ += chunk.size();
+  if (!chunked_) {
+    out_->append(chunk.data(), chunk.size());
+    return;
+  }
+  char size_line[32];
+  const int n = std::snprintf(size_line, sizeof(size_line), "%zx\r\n",
+                              chunk.size());
+  out_->append(size_line, static_cast<std::size_t>(n));
+  out_->append(chunk.data(), chunk.size());
+  out_->append("\r\n");
+}
+
+std::string Response::full_body() const {
+  if (stream == nullptr) {
+    return body;
+  }
+  BodyProducer producer = stream;  // copy: the cursor state stays ours
+  std::string out;
+  ResponseWriter writer(out, /*chunked=*/false);
+  while (!writer.ended()) {
+    const std::size_t before = writer.bytes_written();
+    producer(writer);
+    if (!writer.ended() && writer.bytes_written() == before) {
+      break;  // finite: done; live: drained of what exists now
+    }
+  }
+  return out;
+}
+
+std::string_view status_reason(int status) noexcept {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 202:
+      return "Accepted";
+    case 204:
+      return "No Content";
+    case 400:
+      return "Bad Request";
+    case 401:
+      return "Unauthorized";
+    case 403:
+      return "Forbidden";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 409:
+      return "Conflict";
+    case 413:
+      return "Payload Too Large";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
+    case 500:
+    default:
+      return "Internal Server Error";
+  }
+}
+
+std::string json_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace opendesc::http

@@ -1,0 +1,131 @@
+// Message vocabulary of the embedded HTTP layer: Request, Response, the
+// streaming ResponseWriter and the HttpError handlers throw for structured
+// non-500 failures.
+//
+// Split out of server.hpp so the Router and the client helpers share these
+// types without pulling in the event-loop server.  Two deliberate API
+// choices:
+//
+//   * Request carries the body (POST support) and *typed* query accessors:
+//     query_u64()/query_double() turn a malformed parameter into an
+//     HttpError(400) at the point of use, so route handlers stop
+//     hand-rolling stoul-with-try/catch per endpoint.
+//   * Response is either a materialized string body or a pull-based
+//     streaming body: `stream` is invoked repeatedly by the event loop and
+//     emits chunks through a ResponseWriter (sent with chunked
+//     transfer-encoding, memory bounded by the loop's high-water mark
+//     instead of the body size).  `live` marks never-ending sources (SSE):
+//     a live producer call that emits nothing means "no data yet, poll me
+//     again on the next loop tick", where a non-live one means "done".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace opendesc::http {
+
+/// Thrown by route handlers (and the typed Request accessors) to produce a
+/// structured response with a specific status instead of a blanket 500.
+class HttpError : public std::runtime_error {
+ public:
+  HttpError(int status, const std::string& message)
+      : std::runtime_error(message), status_(status) {}
+
+  [[nodiscard]] int status() const noexcept { return status_; }
+
+ private:
+  int status_;
+};
+
+/// One parsed request: request line, decoded query parameters, lowercased
+/// headers, and the body (empty for GET/HEAD).
+struct Request {
+  std::string method;  ///< "GET" / "HEAD" / "POST"
+  std::string target;  ///< raw request target, e.g. "/traces?queue=2"
+  std::string path;    ///< target up to '?'
+  std::map<std::string, std::string> query;
+  std::map<std::string, std::string> headers;  ///< keys lowercased
+  std::string body;                            ///< request body (POST)
+  bool http11 = true;  ///< HTTP/1.1 (keep-alive default) vs 1.0
+
+  /// Raw parameter lookup: nullptr when absent.
+  [[nodiscard]] const std::string* query_get(const std::string& key) const;
+  /// Typed lookup: nullopt when absent, HttpError(400) when present but not
+  /// a decimal unsigned integer.
+  [[nodiscard]] std::optional<std::uint64_t> query_u64(
+      const std::string& key) const;
+  /// Typed lookup: nullopt when absent, HttpError(400) when malformed.
+  [[nodiscard]] std::optional<double> query_double(const std::string& key) const;
+  /// True when the parameter is present at all ("?follow", "?follow=1").
+  [[nodiscard]] bool query_flag(const std::string& key) const;
+  /// Header value by lowercased name ("" when absent).
+  [[nodiscard]] std::string header(const std::string& lowercase_key) const;
+};
+
+/// The streaming body sink handed to a Response::BodyProducer.  Each
+/// write() emits one chunk (framed as chunked transfer-encoding on the
+/// wire); end() marks the stream finished.  A producer call that neither
+/// writes nor ends means "no data yet" for live streams and "done" for
+/// finite ones.
+class ResponseWriter {
+ public:
+  /// `chunked` selects wire framing (event loop) vs raw append
+  /// (Response::full_body()).
+  ResponseWriter(std::string& out, bool chunked)
+      : out_(&out), chunked_(chunked) {}
+
+  /// Emits one chunk.  Empty writes are ignored (an empty wire chunk would
+  /// terminate the stream).
+  void write(std::string_view chunk);
+  /// Marks the stream complete; the producer is not called again.
+  void end() noexcept { done_ = true; }
+
+  [[nodiscard]] bool ended() const noexcept { return done_; }
+  /// Bytes emitted through this writer so far.
+  [[nodiscard]] std::size_t bytes_written() const noexcept { return written_; }
+
+ private:
+  std::string* out_;
+  bool chunked_;
+  bool done_ = false;
+  std::size_t written_ = 0;
+};
+
+struct Response {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  /// Extra response headers (e.g. "Allow", "Cache-Control").  Content-Type,
+  /// Content-Length/Transfer-Encoding and Connection are owned by the
+  /// server and must not be set here.
+  std::map<std::string, std::string> headers;
+
+  /// Pull-based streaming body: called repeatedly by the event loop; each
+  /// call appends zero or more chunks through the writer and calls end()
+  /// when finished.  Non-null => `body` is ignored and the response is sent
+  /// with chunked transfer-encoding.
+  using BodyProducer = std::function<void(ResponseWriter&)>;
+  BodyProducer stream;
+  /// Live stream (SSE-style): a producer call that emits nothing does not
+  /// end the response; the loop re-polls it on its tick.
+  bool live = false;
+
+  /// Materializes the complete body: `body` for plain responses, or the
+  /// streaming producer run to completion (on a copy, so the response can
+  /// still be served).  A live producer is drained only of the data it has
+  /// now.  Test/CLI helper — the event loop never materializes.
+  [[nodiscard]] std::string full_body() const;
+};
+
+[[nodiscard]] std::string_view status_reason(int status) noexcept;
+
+/// Escapes a JSON string body (no surrounding quotes).  Local to the http
+/// layer so Router/server error bodies do not depend on telemetry.
+[[nodiscard]] std::string json_escape(std::string_view value);
+
+}  // namespace opendesc::http

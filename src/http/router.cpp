@@ -1,0 +1,119 @@
+#include "http/router.hpp"
+
+namespace opendesc::http {
+
+namespace {
+
+std::string uppercase(std::string s) {
+  for (char& c : s) {
+    if (c >= 'a' && c <= 'z') {
+      c = static_cast<char>(c - 'a' + 'A');
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+Router& Router::get(std::string path, Handler handler) {
+  return route("GET", std::move(path), std::move(handler));
+}
+
+Router& Router::post(std::string path, Handler handler) {
+  return route("POST", std::move(path), std::move(handler));
+}
+
+Router& Router::route(std::string method, std::string path, Handler handler) {
+  routes_[std::move(path)][uppercase(std::move(method))] = std::move(handler);
+  return *this;
+}
+
+Router& Router::fallback(Handler handler) {
+  fallback_ = std::move(handler);
+  return *this;
+}
+
+std::vector<std::string> Router::paths() const {
+  std::vector<std::string> out;
+  out.reserve(routes_.size());
+  for (const auto& [path, methods] : routes_) {
+    out.push_back(path);
+  }
+  return out;
+}
+
+Response Router::dispatch(const Request& request) const {
+  const Handler* handler = nullptr;
+  const auto route_it = routes_.find(request.path);
+  if (route_it == routes_.end()) {
+    if (fallback_ == nullptr) {
+      return not_found(request);
+    }
+    handler = &fallback_;
+  } else {
+    const std::map<std::string, Handler>& methods = route_it->second;
+    auto handler_it = methods.find(request.method);
+    if (handler_it == methods.end() && request.method == "HEAD") {
+      handler_it = methods.find("GET");  // HEAD rides the GET handler
+    }
+    if (handler_it == methods.end()) {
+      return method_not_allowed(request, methods);
+    }
+    handler = &handler_it->second;
+  }
+  try {
+    return (*handler)(request);
+  } catch (const HttpError& e) {
+    Response response;
+    response.status = e.status();
+    response.content_type = "application/json";
+    response.body = "{\"error\":\"" + json_escape(e.what()) + "\"}";
+    return response;
+  } catch (const std::exception& e) {
+    Response response;
+    response.status = 500;
+    response.body = std::string("internal error: ") + e.what() + "\n";
+    return response;
+  }
+}
+
+Response Router::not_found(const Request& request) const {
+  Response response;
+  response.status = 404;
+  response.content_type = "application/json";
+  response.body =
+      "{\"error\":\"not found\",\"path\":\"" + json_escape(request.path) +
+      "\",\"routes\":[";
+  bool first = true;
+  for (const auto& [path, methods] : routes_) {
+    response.body += first ? "\"" : ",\"";
+    first = false;
+    response.body += json_escape(path);
+    response.body += '"';
+  }
+  response.body += "]}";
+  return response;
+}
+
+Response Router::method_not_allowed(
+    const Request& request,
+    const std::map<std::string, Handler>& methods) const {
+  std::string allow;
+  for (const auto& [method, handler] : methods) {
+    allow += allow.empty() ? method : ", " + method;
+    if (method == "GET") {
+      allow += ", HEAD";
+    }
+  }
+  Response response;
+  response.status = 405;
+  response.content_type = "application/json";
+  response.headers["Allow"] = allow;
+  response.body = "{\"error\":\"method not allowed\",\"method\":\"" +
+                  json_escape(request.method) + "\",\"path\":\"" +
+                  json_escape(request.path) + "\",\"allow\":\"" +
+                  json_escape(allow) + "\"}";
+  return response;
+}
+
+}  // namespace opendesc::http

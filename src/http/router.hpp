@@ -1,0 +1,68 @@
+// Declarative method+path routing for the embedded HTTP server.
+//
+// Routes are registered up front — router.get("/metrics", fn),
+// router.post("/layout", fn) — and the route table itself generates the
+// error surface, the same way the OpenDesc compiler derives accessors from
+// a declared contract instead of hand-rolling them per NIC:
+//
+//   * unknown path   → structured JSON 404 carrying the full route list,
+//     so a scraper hitting a typo'd path learns what does exist;
+//   * known path, unregistered method → 405 with an `Allow:` header and a
+//     JSON body listing the methods that are registered;
+//   * HEAD is served by the GET handler (the server strips the body);
+//   * HttpError thrown by a handler becomes a structured JSON response
+//     with its status; any other exception becomes the classic text 500.
+//
+// dispatch() is pure request→response (no sockets), which is what the
+// socket-free route tests and ObservabilityServer::handle() call directly.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "http/message.hpp"
+
+namespace opendesc::http {
+
+class Router {
+ public:
+  using Handler = std::function<Response(const Request&)>;
+
+  /// Registers a GET handler (it also answers HEAD).  Re-registering a
+  /// (method, path) pair replaces the handler.  Returns *this to chain.
+  Router& get(std::string path, Handler handler);
+  /// Registers a POST handler.
+  Router& post(std::string path, Handler handler);
+  /// Explicit-method registration ("GET", "POST", ...; uppercased).
+  Router& route(std::string method, std::string path, Handler handler);
+  /// Catch-all invoked when no path matches (instead of the 404).  Exists
+  /// for the legacy single-handler HttpServer constructor; routed tables
+  /// should not need it.
+  Router& fallback(Handler handler);
+
+  /// Routes one request: table lookup, then the handler under the error
+  /// contract above.  Never throws.
+  [[nodiscard]] Response dispatch(const Request& request) const;
+
+  /// Registered paths, sorted — the 404 body's route list.
+  [[nodiscard]] std::vector<std::string> paths() const;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return routes_.empty() && fallback_ == nullptr;
+  }
+
+ private:
+  [[nodiscard]] Response not_found(const Request& request) const;
+  [[nodiscard]] Response method_not_allowed(
+      const Request& request,
+      const std::map<std::string, Handler>& methods) const;
+
+  /// path → method → handler; both maps ordered so the 404 route list and
+  /// the Allow header are deterministic.
+  std::map<std::string, std::map<std::string, Handler>> routes_;
+  Handler fallback_;
+};
+
+}  // namespace opendesc::http

@@ -1,11 +1,16 @@
 #include "http/server.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 #include <cstring>
 
@@ -15,30 +20,18 @@ namespace opendesc::http {
 
 namespace {
 
-void set_socket_timeouts(int fd, int timeout_ms) {
-  timeval tv{};
-  tv.tv_sec = timeout_ms / 1000;
-  tv.tv_usec = (timeout_ms % 1000) * 1000;
-  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-/// Writes the whole buffer or gives up (peer gone / timed out).
-bool send_all(int fd, const char* data, std::size_t size) {
-  std::size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
+/// Outgoing-buffer high-water mark: a streaming producer is pumped only
+/// while the unsent backlog is below this, which bounds per-connection
+/// memory regardless of body size.
+constexpr std::size_t kHighWater = 64 * 1024;
+/// Unparsed-input bound (head limit + body limit + generous pipelining
+/// slack).  A peer that outruns it is abusing the connection and is closed.
+constexpr std::size_t kMaxBufferedInput = 1 << 20;
 
 /// Splits "a=1&b=2" into the query map (no %-decoding: the observability
 /// endpoints only take small numeric/identifier values).
-void parse_query(const std::string& raw, std::map<std::string, std::string>& out) {
+void parse_query(const std::string& raw,
+                 std::map<std::string, std::string>& out) {
   std::size_t pos = 0;
   while (pos < raw.size()) {
     std::size_t amp = raw.find('&', pos);
@@ -67,87 +60,18 @@ std::string lowercase(std::string s) {
   return s;
 }
 
-/// Parses the request head (request line + headers).  Returns false (with
-/// `status`) on anything malformed.
-bool parse_request(const std::string& head, Request& request, int& status) {
-  const std::size_t line_end = head.find("\r\n");
-  const std::string line = head.substr(0, line_end);
-  const std::size_t sp1 = line.find(' ');
-  const std::size_t sp2 = line.rfind(' ');
-  if (sp1 == std::string::npos || sp2 == sp1) {
-    status = 400;
-    return false;
-  }
-  request.method = line.substr(0, sp1);
-  request.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  const std::string version = line.substr(sp2 + 1);
-  if (version.rfind("HTTP/1.", 0) != 0) {
-    status = 400;
-    return false;
-  }
-  if (request.method != "GET" && request.method != "HEAD") {
-    status = 405;
-    return false;
-  }
-  if (request.target.empty() || request.target[0] != '/') {
-    status = 400;
-    return false;
-  }
-  const std::size_t q = request.target.find('?');
-  request.path = request.target.substr(0, q);
-  if (q != std::string::npos) {
-    parse_query(request.target.substr(q + 1), request.query);
-  }
+void wake(int event_fd) {
+  const std::uint64_t one = 1;
+  (void)!::write(event_fd, &one, sizeof(one));
+}
 
-  // Headers: "Key: value" lines until the blank line.
-  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
-  while (pos < head.size()) {
-    std::size_t end = head.find("\r\n", pos);
-    if (end == std::string::npos) {
-      end = head.size();
-    }
-    const std::string header = head.substr(pos, end - pos);
-    pos = end + 2;
-    if (header.empty()) {
-      break;
-    }
-    const std::size_t colon = header.find(':');
-    if (colon == std::string::npos) {
-      continue;  // tolerate junk header lines
-    }
-    std::size_t value_at = colon + 1;
-    while (value_at < header.size() && header[value_at] == ' ') {
-      ++value_at;
-    }
-    request.headers[lowercase(header.substr(0, colon))] =
-        header.substr(value_at);
-  }
-  return true;
+Router fallback_router(HttpServer::Handler handler) {
+  Router router;
+  router.fallback(std::move(handler));
+  return router;
 }
 
 }  // namespace
-
-std::string_view status_reason(int status) noexcept {
-  switch (status) {
-    case 200:
-      return "OK";
-    case 400:
-      return "Bad Request";
-    case 404:
-      return "Not Found";
-    case 405:
-      return "Method Not Allowed";
-    case 408:
-      return "Request Timeout";
-    case 413:
-      return "Payload Too Large";
-    case 503:
-      return "Service Unavailable";
-    case 500:
-    default:
-      return "Internal Server Error";
-  }
-}
 
 ServerConfig parse_listen_address(const std::string& spec, ServerConfig base) {
   std::string host = base.address;
@@ -179,8 +103,8 @@ ServerConfig parse_listen_address(const std::string& spec, ServerConfig base) {
   return base;
 }
 
-HttpServer::HttpServer(ServerConfig config, Handler handler)
-    : config_(std::move(config)), handler_(std::move(handler)) {
+HttpServer::HttpServer(ServerConfig config, Router router)
+    : config_(std::move(config)), router_(std::move(router)) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     throw Error(ErrorKind::io, "http: socket() failed: " +
@@ -198,7 +122,8 @@ HttpServer::HttpServer(ServerConfig config, Handler handler)
     throw Error(ErrorKind::io,
                 "http: bad listen address '" + config_.address + "'");
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
       ::listen(listen_fd_, static_cast<int>(config_.max_queued)) < 0) {
     const std::string why = std::strerror(errno);
     ::close(listen_fd_);
@@ -212,6 +137,9 @@ HttpServer::HttpServer(ServerConfig config, Handler handler)
   port_ = ntohs(addr.sin_port);
 }
 
+HttpServer::HttpServer(ServerConfig config, Handler handler)
+    : HttpServer(std::move(config), fallback_router(std::move(handler))) {}
+
 HttpServer::~HttpServer() {
   stop();
   if (listen_fd_ >= 0) {
@@ -224,11 +152,29 @@ void HttpServer::start() {
     return;
   }
   running_ = true;
-  stopping_ = false;
+  stopping_.store(false, std::memory_order_relaxed);
+
+  const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+  (void)::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+  accept_event_fd_ = ::eventfd(0, EFD_NONBLOCK);
+
   const std::size_t workers = std::max<std::size_t>(1, config_.workers);
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    auto worker = std::make_unique<Worker>();
+    worker->epoll_fd = ::epoll_create1(0);
+    worker->event_fd = ::eventfd(0, EFD_NONBLOCK);
+    if (worker->epoll_fd < 0 || worker->event_fd < 0) {
+      throw Error(ErrorKind::io, "http: cannot create event loop: " +
+                                     std::string(std::strerror(errno)));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = worker->event_fd;
+    (void)::epoll_ctl(worker->epoll_fd, EPOLL_CTL_ADD, worker->event_fd, &ev);
+    Worker* raw = worker.get();
+    worker->thread = std::thread([this, raw] { worker_loop(*raw); });
+    workers_.push_back(std::move(worker));
   }
   acceptor_ = std::thread([this] { accept_loop(); });
 }
@@ -237,203 +183,469 @@ void HttpServer::stop() {
   if (!running_) {
     return;
   }
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
-  }
-  // shutdown() unblocks the accept thread; the workers see stopping_ after
-  // the queue drains.
+  stopping_.store(true, std::memory_order_relaxed);
+  wake(accept_event_fd_);
+  // shutdown() makes later connects fail fast and unblocks any in-flight
+  // accept; the fd itself stays open so port() keeps answering.
   (void)::shutdown(listen_fd_, SHUT_RDWR);
-  queue_cv_.notify_all();
   if (acceptor_.joinable()) {
     acceptor_.join();
   }
-  queue_cv_.notify_all();
-  for (std::thread& worker : workers_) {
-    worker.join();
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    wake(worker->event_fd);
+  }
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+    }
+    ::close(worker->event_fd);
+    ::close(worker->epoll_fd);
   }
   workers_.clear();
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    for (const int fd : queued_) {
-      ::close(fd);
-    }
-    queued_.clear();
-  }
+  ::close(accept_event_fd_);
+  accept_event_fd_ = -1;
   running_ = false;
 }
 
-std::uint64_t HttpServer::requests_served() const noexcept {
-  const std::lock_guard<std::mutex> lock(
-      const_cast<std::mutex&>(mutex_));
-  return served_;
-}
-
 void HttpServer::accept_loop() {
-  while (true) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) {
-        return;
-      }
-      if (errno == EINTR || errno == ECONNABORTED) {
-        continue;
-      }
-      return;  // listen socket gone; nothing left to accept
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {accept_event_fd_, POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0 && errno != EINTR) {
+      return;
     }
-    set_socket_timeouts(fd, config_.timeout_ms);
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (stopping_) {
-        lock.unlock();
-        ::close(fd);
-        return;
+    if (stopping_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    while (true) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+            errno == ECONNABORTED) {
+          break;
+        }
+        return;  // listen socket gone; nothing left to accept
       }
-      if (queued_.size() >= config_.max_queued) {
-        // Bounded: shed the newest connection instead of queueing without
+      if (connections_.load(std::memory_order_relaxed) >=
+          config_.max_connections) {
+        // Bounded: shed the newest connection instead of growing without
         // limit.  The peer sees a reset, which any scraper retries.
-        lock.unlock();
         ::close(fd);
         continue;
       }
-      queued_.push_back(fd);
-    }
-    queue_cv_.notify_one();
-  }
-}
-
-void HttpServer::worker_loop() {
-  while (true) {
-    int fd = -1;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queued_.empty(); });
-      if (queued_.empty()) {
-        return;  // stopping and drained
+      const int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      Worker& worker = *workers_[next_worker_++ % workers_.size()];
+      {
+        const std::lock_guard<std::mutex> lock(worker.intake_mutex);
+        worker.intake.push_back(fd);
       }
-      fd = queued_.front();
-      queued_.pop_front();
+      wake(worker.event_fd);
     }
-    serve_connection(fd);
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      ++served_;
-    }
-    ::close(fd);
   }
 }
 
-void HttpServer::serve_connection(int fd) {
-  // Read until the end of the request head, the size bound, or the timeout.
-  std::string data;
-  char buf[2048];
-  bool timed_out = false;
-  while (data.find("\r\n\r\n") == std::string::npos) {
-    if (data.size() > config_.max_request_bytes) {
+void HttpServer::adopt_intake(Worker& worker) {
+  std::vector<int> fds;
+  {
+    const std::lock_guard<std::mutex> lock(worker.intake_mutex);
+    fds.swap(worker.intake);
+  }
+  for (const int fd : fds) {
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      continue;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(worker.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    Conn conn;
+    conn.fd = fd;
+    conn.deadline = Clock::now() + std::chrono::milliseconds(config_.timeout_ms);
+    worker.conns.emplace(fd, std::move(conn));
+    connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HttpServer::worker_loop(Worker& worker) {
+  std::array<epoll_event, 64> events{};
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int n = ::epoll_wait(worker.epoll_fd, events.data(),
+                               static_cast<int>(events.size()),
+                               config_.tick_ms);
+    if (stopping_.load(std::memory_order_relaxed)) {
       break;
     }
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) {
-      timed_out = n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+    if (n < 0 && errno != EINTR) {
       break;
     }
-    data.append(buf, static_cast<std::size_t>(n));
-  }
-
-  Response response;
-  Request request;
-  bool head_only = false;
-  if (data.size() > config_.max_request_bytes) {
-    response = {413, "text/plain; charset=utf-8", "request too large\n"};
-  } else if (data.find("\r\n\r\n") == std::string::npos) {
-    if (data.empty() && !timed_out) {
-      return;  // peer connected and went away; nothing to answer
-    }
-    response = {timed_out ? 408 : 400, "text/plain; charset=utf-8",
-                timed_out ? "request timeout\n" : "malformed request\n"};
-  } else {
-    int status = 200;
-    if (!parse_request(data, request, status)) {
-      response = {status, "text/plain; charset=utf-8",
-                  std::string(status_reason(status)) + "\n"};
-    } else {
-      head_only = request.method == "HEAD";
-      try {
-        response = handler_(request);
-      } catch (const std::exception& e) {
-        response = {500, "text/plain; charset=utf-8",
-                    std::string("internal error: ") + e.what() + "\n"};
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const std::uint32_t ev = events[i].events;
+      if (fd == worker.event_fd) {
+        std::uint64_t drain = 0;
+        while (::read(worker.event_fd, &drain, sizeof(drain)) > 0) {
+        }
+        adopt_intake(worker);
+        continue;
       }
+      const auto it = worker.conns.find(fd);
+      if (it == worker.conns.end()) {
+        continue;  // closed earlier in this batch
+      }
+      Conn& conn = it->second;
+      if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_conn(worker, fd);
+        continue;
+      }
+      bool peer_gone = false;
+      if ((ev & EPOLLIN) != 0) {
+        char buf[4096];
+        while (conn.in.size() < kMaxBufferedInput) {
+          const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+          if (r > 0) {
+            conn.in.append(buf, static_cast<std::size_t>(r));
+          } else if (r == 0) {
+            peer_gone = true;
+            break;
+          } else {
+            break;  // EAGAIN now; a real error raises EPOLLERR next pass
+          }
+        }
+        if (conn.in.size() >= kMaxBufferedInput) {
+          close_conn(worker, fd);  // pipelining flood; protect the worker
+          continue;
+        }
+      }
+      advance(worker, conn);
+      if (!flush_out(worker, conn)) {
+        close_conn(worker, fd);
+        continue;
+      }
+      const bool drained = conn.out_off >= conn.out.size();
+      if (peer_gone || (conn.close_after_flush && drained && !conn.stream)) {
+        close_conn(worker, fd);
+        continue;
+      }
+      update_interest(worker, conn);
+    }
+
+    // Tick pass: pump live streams, sweep deadlines.
+    const Clock::time_point now = Clock::now();
+    std::vector<int> doomed;
+    for (auto& [fd, conn] : worker.conns) {
+      if (conn.stream && conn.out_off >= conn.out.size()) {
+        advance(worker, conn);
+        if (!flush_out(worker, conn)) {
+          doomed.push_back(fd);
+          continue;
+        }
+        update_interest(worker, conn);
+      }
+      const bool drained = conn.out_off >= conn.out.size();
+      if (conn.close_after_flush && drained && !conn.stream) {
+        doomed.push_back(fd);
+        continue;
+      }
+      if (conn.stream && conn.stream_live && drained) {
+        // A quiet live stream is healthy; its clock restarts every tick.
+        conn.deadline = now + std::chrono::milliseconds(config_.timeout_ms);
+        continue;
+      }
+      if (now < conn.deadline) {
+        continue;
+      }
+      if (!drained) {
+        doomed.push_back(fd);  // write stall: peer stopped reading
+        continue;
+      }
+      if (!conn.in.empty() || conn.have_head || conn.served == 0) {
+        // Slowloris drip or a connection that never sent a request: answer
+        // 408 (best effort — the peer may not read it) and close.
+        fail_request(conn, 408, "request timeout");
+        (void)flush_out(worker, conn);
+      }
+      // Idle keep-alive after served requests closes silently.
+      doomed.push_back(fd);
+    }
+    for (const int fd : doomed) {
+      close_conn(worker, fd);
     }
   }
 
-  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                    std::string(status_reason(response.status)) +
-                    "\r\nContent-Type: " + response.content_type +
-                    "\r\nContent-Length: " + std::to_string(response.body.size()) +
-                    "\r\nConnection: close\r\n\r\n";
-  if (!head_only) {
-    out += response.body;
+  // Shutdown: everything this worker owns goes away.
+  {
+    const std::lock_guard<std::mutex> lock(worker.intake_mutex);
+    for (const int fd : worker.intake) {
+      ::close(fd);
+    }
+    worker.intake.clear();
   }
-  (void)send_all(fd, out.data(), out.size());
+  for (const auto& [fd, conn] : worker.conns) {
+    ::close(fd);
+    connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  worker.conns.clear();
 }
 
-Response http_get(const std::string& host, std::uint16_t port,
-                  const std::string& target, int timeout_ms) {
-  return http_request("GET", host, port, target, timeout_ms);
+void HttpServer::advance(Worker& worker, Conn& conn) {
+  (void)worker;
+  while (!conn.close_after_flush) {
+    if (conn.stream) {
+      // Fill the out buffer up to the high-water mark; a live producer
+      // with nothing new leaves the stream waiting for the next tick.
+      while (conn.stream &&
+             conn.out.size() - conn.out_off < kHighWater) {
+        if (!pump_stream(conn)) {
+          break;
+        }
+      }
+      if (conn.stream) {
+        return;  // still streaming: wait for drain or tick
+      }
+      if (!conn.keep_alive) {
+        conn.close_after_flush = true;
+        return;
+      }
+      continue;  // stream done: a pipelined request may be buffered
+    }
+    if (!conn.have_head && !parse_head(conn)) {
+      return;  // need more bytes, or an error response was queued
+    }
+    if (conn.in.size() < conn.body_need) {
+      return;  // body incomplete
+    }
+    conn.req.body = conn.in.substr(0, conn.body_need);
+    conn.in.erase(0, conn.body_need);
+    conn.body_need = 0;
+    dispatch(worker, conn);
+    if (!conn.stream && !conn.keep_alive) {
+      conn.close_after_flush = true;
+      return;
+    }
+    // Loop: an active stream pumps at the top; keep-alive parses the next
+    // pipelined request.
+  }
 }
 
-Response http_request(const std::string& method, const std::string& host,
-                      std::uint16_t port, const std::string& target,
-                      int timeout_ms) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    throw Error(ErrorKind::io, "http_get: socket() failed");
+bool HttpServer::parse_head(Conn& conn) {
+  const std::size_t head_end = conn.in.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    if (conn.in.size() > config_.max_request_bytes) {
+      fail_request(conn, 413, "request too large");
+    }
+    return false;
   }
-  set_socket_timeouts(fd, timeout_ms);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const std::string why = std::strerror(errno);
-    ::close(fd);
-    throw Error(ErrorKind::io, "http_get: cannot connect to " + host + ":" +
-                                   std::to_string(port) + ": " + why);
+  if (head_end + 4 > config_.max_request_bytes) {
+    fail_request(conn, 413, "request too large");
+    return false;
   }
-  const std::string request = method + " " + target + " HTTP/1.1\r\nHost: " +
-                              host + "\r\nConnection: close\r\n\r\n";
-  if (!send_all(fd, request.data(), request.size())) {
-    ::close(fd);
-    throw Error(ErrorKind::io, "http_get: send failed");
-  }
-  std::string raw;
-  char buf[4096];
-  ssize_t n = 0;
-  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
-    raw.append(buf, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
+  const std::string head = conn.in.substr(0, head_end + 2);
+  conn.in.erase(0, head_end + 4);
+  conn.req = Request{};
 
-  const std::size_t head_end = raw.find("\r\n\r\n");
-  if (raw.rfind("HTTP/1.", 0) != 0 || head_end == std::string::npos) {
-    throw Error(ErrorKind::io, "http_get: malformed response");
+  const std::size_t line_end = head.find("\r\n");
+  const std::string line = head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) {
+    fail_request(conn, 400, "malformed request");
+    return false;
   }
-  Response response;
-  response.status = std::stoi(raw.substr(9, 3));
-  const std::string head = raw.substr(0, head_end);
-  const std::size_t ct = lowercase(head).find("content-type:");
-  if (ct != std::string::npos) {
-    std::size_t value_at = ct + 13;
-    while (value_at < head.size() && head[value_at] == ' ') {
+  conn.req.method = line.substr(0, sp1);
+  conn.req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0 || conn.req.method.empty() ||
+      conn.req.target.empty() || conn.req.target[0] != '/') {
+    fail_request(conn, 400, "malformed request");
+    return false;
+  }
+  for (const char c : conn.req.method) {
+    if (c < 'A' || c > 'Z') {
+      fail_request(conn, 400, "malformed request");
+      return false;
+    }
+  }
+  conn.req.http11 = version != "HTTP/1.0";
+  const std::size_t q = conn.req.target.find('?');
+  conn.req.path = conn.req.target.substr(0, q);
+  if (q != std::string::npos) {
+    parse_query(conn.req.target.substr(q + 1), conn.req.query);
+  }
+
+  // Headers: "Key: value" lines until the blank line; junk lines tolerated.
+  std::size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t end = head.find("\r\n", pos);
+    if (end == std::string::npos) {
+      end = head.size();
+    }
+    const std::string header = head.substr(pos, end - pos);
+    pos = end + 2;
+    if (header.empty()) {
+      break;
+    }
+    const std::size_t colon = header.find(':');
+    if (colon == std::string::npos) {
+      continue;
+    }
+    std::size_t value_at = colon + 1;
+    while (value_at < header.size() && header[value_at] == ' ') {
       ++value_at;
     }
-    response.content_type =
-        head.substr(value_at, head.find("\r\n", value_at) - value_at);
+    conn.req.headers[lowercase(header.substr(0, colon))] =
+        header.substr(value_at);
   }
-  response.body = raw.substr(head_end + 4);
-  return response;
+
+  // Body framing.
+  if (!conn.req.header("transfer-encoding").empty()) {
+    fail_request(conn, 501, "chunked request bodies not supported");
+    return false;
+  }
+  const std::string content_length = conn.req.header("content-length");
+  if (!content_length.empty()) {
+    std::uint64_t value = 0;
+    for (const char c : content_length) {
+      if (c < '0' || c > '9' || value > (UINT64_MAX - 9) / 10) {
+        fail_request(conn, 400, "malformed request");
+        return false;
+      }
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (value > config_.max_body_bytes) {
+      fail_request(conn, 413, "request body too large");
+      return false;
+    }
+    conn.body_need = static_cast<std::size_t>(value);
+  }
+
+  const std::string connection = lowercase(conn.req.header("connection"));
+  conn.keep_alive = conn.req.http11
+                        ? connection.find("close") == std::string::npos
+                        : connection.find("keep-alive") != std::string::npos;
+  if (config_.max_keepalive_requests != 0 &&
+      conn.served + 1 >= config_.max_keepalive_requests) {
+    conn.keep_alive = false;
+  }
+  conn.head_only = conn.req.method == "HEAD";
+  conn.have_head = true;
+  return true;
+}
+
+void HttpServer::dispatch(Worker& worker, Conn& conn) {
+  (void)worker;
+  Response response = router_.dispatch(conn.req);
+  serialize_response(conn, std::move(response));
+  conn.req = Request{};
+  conn.have_head = false;
+  // The next request's (or the idle keep-alive) clock starts now; it is
+  // deliberately not refreshed per received byte.
+  conn.deadline = Clock::now() + std::chrono::milliseconds(config_.timeout_ms);
+}
+
+void HttpServer::serialize_response(Conn& conn, Response&& response) {
+  served_.fetch_add(1, std::memory_order_relaxed);
+  ++conn.served;
+  const bool streaming = response.stream != nullptr && !conn.head_only;
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     std::string(status_reason(response.status)) +
+                     "\r\nContent-Type: " + response.content_type + "\r\n";
+  for (const auto& [key, value] : response.headers) {
+    head += key + ": " + value + "\r\n";
+  }
+  if (streaming) {
+    head += "Transfer-Encoding: chunked\r\n";
+  } else if (!(conn.head_only && response.stream != nullptr)) {
+    head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  }
+  head += conn.keep_alive ? "Connection: keep-alive\r\n\r\n"
+                          : "Connection: close\r\n\r\n";
+  conn.out += head;
+  if (!conn.head_only && !streaming) {
+    conn.out += response.body;
+  }
+  if (streaming) {
+    conn.stream = std::move(response.stream);
+    conn.stream_live = response.live;
+  }
+}
+
+bool HttpServer::pump_stream(Conn& conn) {
+  ResponseWriter writer(conn.out, /*chunked=*/true);
+  conn.stream(writer);
+  if (writer.ended() ||
+      (!conn.stream_live && writer.bytes_written() == 0)) {
+    conn.out += "0\r\n\r\n";
+    conn.stream = nullptr;
+    conn.stream_live = false;
+    return true;  // finished
+  }
+  return writer.bytes_written() > 0;
+}
+
+bool HttpServer::flush_out(Worker& worker, Conn& conn) {
+  (void)worker;
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_off,
+                             conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      // Write progress resets the stall clock (the peer is reading).
+      conn.deadline =
+          Clock::now() + std::chrono::milliseconds(config_.timeout_ms);
+    } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    } else {
+      return false;  // peer gone
+    }
+  }
+  if (conn.out_off >= conn.out.size()) {
+    conn.out.clear();
+    conn.out_off = 0;
+  } else if (conn.out_off > kHighWater) {
+    conn.out.erase(0, conn.out_off);
+    conn.out_off = 0;
+  }
+  return true;
+}
+
+void HttpServer::update_interest(Worker& worker, Conn& conn) {
+  const bool want_out = conn.out_off < conn.out.size();
+  if (want_out == conn.want_out) {
+    return;
+  }
+  conn.want_out = want_out;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_out ? EPOLLOUT : 0U);
+  ev.data.fd = conn.fd;
+  (void)::epoll_ctl(worker.epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void HttpServer::close_conn(Worker& worker, int fd) {
+  const auto it = worker.conns.find(fd);
+  if (it == worker.conns.end()) {
+    return;
+  }
+  (void)::epoll_ctl(worker.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  worker.conns.erase(it);
+  connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void HttpServer::fail_request(Conn& conn, int status,
+                              const std::string& message) {
+  conn.keep_alive = false;
+  Response response;
+  response.status = status;
+  response.body = message + "\n";
+  serialize_response(conn, std::move(response));
+  conn.close_after_flush = true;
+  conn.have_head = false;
+  conn.body_need = 0;
+  conn.in.clear();
 }
 
 }  // namespace opendesc::http

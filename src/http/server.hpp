@@ -1,61 +1,62 @@
-// Minimal embedded HTTP/1.1 server for the observability plane.
+// Non-blocking embedded HTTP/1.1 server for the observability plane.
 //
-// Deliberately tiny and dependency-free (raw POSIX sockets): the point is a
-// scrape endpoint an operator's Prometheus/curl can hit while the engine
-// runs, in the embedded-management style of bmcweb — not a general web
-// framework.  Scope:
+// Still deliberately tiny and dependency-free (raw POSIX sockets + epoll):
+// the point is a scrape endpoint an operator's Prometheus/curl can hit
+// while the engine runs — not a general web framework.  The serving model
+// is an event loop rather than thread-per-connection:
 //
-//   * GET/HEAD only, one request per connection (`Connection: close`);
-//   * one blocking accept thread feeding a small fixed worker pool through
-//     a bounded queue — the connection count can never grow unbounded, a
-//     slow peer occupies one worker, and the datapath threads are never
-//     involved in serving;
-//   * per-connection receive/send timeouts (SO_RCVTIMEO/SO_SNDTIMEO), a
-//     bounded request size, and loopback binding by default;
-//   * handlers are plain functions Request -> Response; whatever they
-//     throw becomes a 500 with the Error text.
+//   * one acceptor thread (epoll on the listen socket) hands accepted
+//     connections round-robin to N event-driven workers over an eventfd-
+//     woken intake queue;
+//   * each worker owns an epoll instance and a set of per-connection state
+//     machines (read head → read body → dispatch → write/stream), so
+//     hundreds of keep-alive scrapers cost file descriptors, not threads;
+//   * HTTP/1.1 keep-alive with pipelining: buffered follow-up requests are
+//     parsed and answered in order on the same connection;
+//   * bounded everything: request-head and body size limits (413), a
+//     connection cap, an idle/slow-peer deadline that is *not* refreshed
+//     per byte (slowloris drip gets a 408, not a reset clock), and a
+//     write-stall deadline for peers that stop reading;
+//   * streaming responses: a Response with a BodyProducer is sent with
+//     chunked transfer-encoding, pumped incrementally so a 1M-flow dump
+//     never materializes; `live` producers (SSE) are re-polled on the
+//     loop tick and live for the life of the connection.
 //
-// Port 0 binds an ephemeral port; port() reports the bound one, which is
-// what the tests and `--listen 127.0.0.1:0` use.
+// Routing is declarative: the server owns a Router (method+path table) and
+// every connection dispatches through it.  Port 0 binds an ephemeral port;
+// port() reports the bound one, which is what tests and
+// `--listen 127.0.0.1:0` use.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
+
+#include "http/client.hpp"  // http_get/http_request, long declared here
+#include "http/message.hpp"
+#include "http/router.hpp"
 
 namespace opendesc::http {
 
-/// One parsed request.  Only the pieces the observability plane needs:
-/// method, path, decoded query parameters and (lowercased) headers.
-struct Request {
-  std::string method;  ///< "GET" / "HEAD"
-  std::string target;  ///< raw request target, e.g. "/traces?queue=2"
-  std::string path;    ///< target up to '?'
-  std::map<std::string, std::string> query;
-  std::map<std::string, std::string> headers;  ///< keys lowercased
-};
-
-struct Response {
-  int status = 200;
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-};
-
-[[nodiscard]] std::string_view status_reason(int status) noexcept;
-
 struct ServerConfig {
   std::string address = "127.0.0.1";
-  std::uint16_t port = 0;          ///< 0 = ephemeral; see HttpServer::port()
-  std::size_t workers = 2;         ///< connection-serving threads
-  std::size_t max_queued = 16;     ///< accepted-but-unserved connection bound
-  std::size_t max_request_bytes = 8192;
-  int timeout_ms = 2000;           ///< per-connection recv/send timeout
+  std::uint16_t port = 0;       ///< 0 = ephemeral; see HttpServer::port()
+  std::size_t workers = 2;      ///< event-loop threads
+  std::size_t max_queued = 64;  ///< listen(2) backlog
+  std::size_t max_request_bytes = 8192;  ///< request line + headers bound
+  int timeout_ms = 2000;        ///< idle / slow-peer / write-stall deadline
+  std::size_t max_body_bytes = 1 << 16;  ///< request body bound (413 above)
+  std::size_t max_connections = 1024;    ///< open connections across workers
+  /// Keep-alive requests served per connection before the server closes it
+  /// (0 = unlimited).
+  std::size_t max_keepalive_requests = 0;
+  int tick_ms = 25;  ///< loop tick: live-stream poll + deadline sweep cadence
 };
 
 /// Parses "host:port", ":port" or "port" into a ServerConfig address/port
@@ -66,20 +67,26 @@ struct ServerConfig {
 
 class HttpServer {
  public:
-  using Handler = std::function<Response(const Request&)>;
+  /// Kept as an alias for the transition away from the single-handler API;
+  /// new code registers routes on a Router instead.
+  using Handler = Router::Handler;
 
   /// Binds and listens immediately (Error(io) on failure) but serves
   /// nothing until start().
+  HttpServer(ServerConfig config, Router router);
+  /// Single-handler compatibility constructor: the handler becomes the
+  /// fallback for every request (no route table, no structured 404/405).
   HttpServer(ServerConfig config, Handler handler);
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Spawns the accept thread and the worker pool.  Idempotent.
+  /// Spawns the acceptor and the worker event loops.  Idempotent.
   void start();
-  /// Closes the listen socket, drains queued connections and joins every
-  /// thread.  Idempotent; also run by the destructor.
+  /// Shuts the listen socket, closes every connection and joins all
+  /// threads.  Idempotent; also run by the destructor.  Live streams are
+  /// terminated mid-flight.
   void stop();
 
   [[nodiscard]] const std::string& address() const noexcept {
@@ -91,42 +98,81 @@ class HttpServer {
     return "http://" + config_.address + ":" + std::to_string(port_);
   }
 
+  /// The route table requests dispatch through (socket-free testing entry).
+  [[nodiscard]] const Router& router() const noexcept { return router_; }
+
   /// Requests served so far (including error responses).
-  [[nodiscard]] std::uint64_t requests_served() const noexcept;
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+  /// Currently-open connections across all workers.
+  [[nodiscard]] std::size_t connections() const noexcept {
+    return connections_.load(std::memory_order_relaxed);
+  }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One connection's state machine.
+  struct Conn {
+    int fd = -1;
+    std::string in;        ///< bytes read, not yet parsed
+    std::string out;       ///< serialized bytes not yet written
+    std::size_t out_off = 0;
+    Request req;
+    bool have_head = false;
+    std::size_t body_need = 0;  ///< body bytes still missing
+    bool head_only = false;     ///< HEAD: suppress the body
+    bool keep_alive = true;
+    Response::BodyProducer stream;  ///< active streaming body, if any
+    bool stream_live = false;
+    bool close_after_flush = false;
+    bool want_out = false;  ///< EPOLLOUT currently registered
+    std::uint64_t served = 0;  ///< requests answered on this connection
+    Clock::time_point deadline{};
+  };
+
+  /// One event-loop thread: epoll fd + eventfd wakeup + its connections.
+  struct Worker {
+    int epoll_fd = -1;
+    int event_fd = -1;
+    std::thread thread;
+    std::mutex intake_mutex;
+    std::vector<int> intake;  ///< fds handed over by the acceptor
+    std::unordered_map<int, Conn> conns;
+  };
+
   void accept_loop();
-  void worker_loop();
-  void serve_connection(int fd);
+  void worker_loop(Worker& worker);
+  void adopt_intake(Worker& worker);
+  /// Drives the state machine as far as the buffered input allows.
+  void advance(Worker& worker, Conn& conn);
+  bool parse_head(Conn& conn);
+  void dispatch(Worker& worker, Conn& conn);
+  void serialize_response(Conn& conn, Response&& response);
+  /// Runs the streaming producer once; returns false when the connection
+  /// must close.
+  bool pump_stream(Conn& conn);
+  /// Opportunistic send + EPOLLOUT bookkeeping; false = connection dead.
+  bool flush_out(Worker& worker, Conn& conn);
+  void update_interest(Worker& worker, Conn& conn);
+  void close_conn(Worker& worker, int fd);
+  void fail_request(Conn& conn, int status, const std::string& message);
 
   ServerConfig config_;
-  Handler handler_;
+  Router router_;
   int listen_fd_ = -1;
+  int accept_event_fd_ = -1;  ///< wakes the acceptor for shutdown
   std::uint16_t port_ = 0;
 
-  std::mutex mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<int> queued_;  ///< accepted fds awaiting a worker
-  bool stopping_ = false;
-  std::uint64_t served_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::size_t> connections_{0};
 
   std::thread acceptor_;
-  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::size_t next_worker_ = 0;  ///< acceptor round-robin cursor
   bool running_ = false;
 };
-
-/// Blocking single-request HTTP/1.1 GET against a local server; used by the
-/// tests and the scrape-latency bench.  Throws Error(io) on connect/t/o.
-[[nodiscard]] Response http_get(const std::string& host, std::uint16_t port,
-                                const std::string& target,
-                                int timeout_ms = 2000);
-
-/// Same client with an explicit method ("GET" or "HEAD") — how the tests
-/// verify HEAD answers headers-only.
-[[nodiscard]] Response http_request(const std::string& method,
-                                    const std::string& host,
-                                    std::uint16_t port,
-                                    const std::string& target,
-                                    int timeout_ms = 2000);
 
 }  // namespace opendesc::http

@@ -69,6 +69,11 @@ struct EngineConfig {
   std::uint64_t flow_idle_ns = 0;
   /// Tenant label stamped on this engine's flow/goodput metric families.
   std::string tenant = "default";
+  /// Non-empty enables authenticated POST /layout on the embedded server:
+  /// a request carrying "Authorization: Bearer <swap_token>" queues a live
+  /// layout swap from the engine's swap cycle.  Empty = the route answers
+  /// 403.  Only meaningful together with `listen`.
+  std::string swap_token;
 
   // Fluent builder surface -- each setter returns *this so configurations
   // compose in one expression.
@@ -147,6 +152,10 @@ struct EngineConfig {
   }
   EngineConfig& with_tenant(std::string name) {
     tenant = std::move(name);
+    return *this;
+  }
+  EngineConfig& with_swap_token(std::string token) {
+    swap_token = std::move(token);
     return *this;
   }
 };

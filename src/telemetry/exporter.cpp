@@ -118,9 +118,9 @@ std::string escape_json(std::string_view value) {
   return out;
 }
 
-std::string to_prometheus(const Registry& registry) {
+std::string prometheus_family(const Registry::Family& family) {
   std::ostringstream out;
-  for (const Registry::Family& family : registry.families()) {
+  {
     if (!family.help.empty()) {
       out << "# HELP " << family.name << ' ' << escape_help(family.help)
           << '\n';
@@ -171,15 +171,17 @@ std::string to_prometheus(const Registry& registry) {
   return out.str();
 }
 
-std::string to_json(const Registry& registry) {
-  std::ostringstream out;
-  out << "{\"metrics\":[";
-  bool first_family = true;
+std::string to_prometheus(const Registry& registry) {
+  std::string out;
   for (const Registry::Family& family : registry.families()) {
-    if (!first_family) {
-      out << ',';
-    }
-    first_family = false;
+    out += prometheus_family(family);
+  }
+  return out;
+}
+
+std::string json_family(const Registry::Family& family) {
+  std::ostringstream out;
+  {
     out << "{\"name\":\"" << escape_json(family.name) << "\",\"kind\":\""
         << to_string(family.kind) << "\",\"help\":\""
         << escape_json(family.help) << "\",\"series\":[";
@@ -235,8 +237,21 @@ std::string to_json(const Registry& registry) {
     }
     out << "]}";
   }
-  out << "]}";
   return out.str();
+}
+
+std::string to_json(const Registry& registry) {
+  std::string out = "{\"metrics\":[";
+  bool first_family = true;
+  for (const Registry::Family& family : registry.families()) {
+    if (!first_family) {
+      out += ',';
+    }
+    first_family = false;
+    out += json_family(family);
+  }
+  out += "]}";
+  return out;
 }
 
 void write_metrics_file(const Registry& registry, const std::string& path) {

@@ -27,6 +27,16 @@ namespace opendesc::telemetry {
 /// JSON exposition of the registry.
 [[nodiscard]] std::string to_json(const Registry& registry);
 
+/// One family's Prometheus text block (HELP/TYPE + series lines).  The
+/// streaming /metrics endpoint renders family-by-family through this so a
+/// large registry never materializes as one string.
+[[nodiscard]] std::string prometheus_family(const Registry::Family& family);
+
+/// One family's JSON object ({"name":...,"kind":...,"series":[...]}),
+/// without surrounding punctuation — the streaming /metrics.json endpoint
+/// joins these with commas inside {"metrics":[...]}.
+[[nodiscard]] std::string json_family(const Registry::Family& family);
+
 /// Writes the exposition chosen by the file extension: ".json" gets JSON,
 /// anything else the Prometheus text format.  Throws Error(io) on failure.
 void write_metrics_file(const Registry& registry, const std::string& path);

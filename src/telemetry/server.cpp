@@ -1,6 +1,9 @@
 #include "telemetry/server.hpp"
 
+#include <map>
+#include <memory>
 #include <sstream>
+#include <vector>
 
 #include "common/error.hpp"
 #include "telemetry/exporter.hpp"
@@ -27,95 +30,180 @@ std::string trace_ring_json(const TraceRing& ring, std::string_view name) {
 }
 
 ObservabilityServer::ObservabilityServer(Sink& sink, http::ServerConfig config)
-    : sink_(&sink),
-      server_(std::move(config),
-              [this](const http::Request& request) { return handle(request); }) {}
+    : sink_(&sink), server_(std::move(config), build_router()) {}
 
-http::Response ObservabilityServer::handle(const http::Request& request) {
-  http::Response response;
-  if (request.path == "/metrics") {
-    sink_->publish_trace_counters();
-    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
-    response.body = to_prometheus(sink_->registry());
-  } else if (request.path == "/metrics.json") {
-    sink_->publish_trace_counters();
-    response.content_type = "application/json";
-    response.body = to_json(sink_->registry());
-  } else if (request.path == "/healthz") {
+http::Router ObservabilityServer::build_router() {
+  // Handlers capture `this` and read the provider members at request time,
+  // so set_*() installed between construction and start() all take effect.
+  http::Router router;
+  router.get("/metrics", [this](const http::Request&) {
+    return metrics(/*json=*/false);
+  });
+  router.get("/metrics.json", [this](const http::Request&) {
+    return metrics(/*json=*/true);
+  });
+  router.get("/healthz", [](const http::Request&) {
+    http::Response response;
     response.body = "ok\n";
-  } else if (request.path == "/readyz") {
+    return response;
+  });
+  router.get("/readyz", [this](const http::Request&) {
     const bool ready = !ready_ || ready_();
+    http::Response response;
     response.status = ready ? 200 : 503;
     response.body = ready ? "ready\n" : "not ready\n";
-  } else if (request.path == "/traces") {
-    response = traces(request);
-  } else if (request.path == "/flight") {
+    return response;
+  });
+  router.get("/traces",
+             [this](const http::Request& request) { return traces(request); });
+  router.get("/flight", [this](const http::Request&) {
+    http::Response response;
     response.content_type = "application/json";
     response.body = sink_->flight().to_json();
-  } else if (request.path == "/alerts") {
-    const auto fmt = request.query.find("format");
-    if (fmt != request.query.end() && fmt->second == "tsv") {
-      // Flat rendering for `opendesc top` and shell tooling: one rule per
-      // line — name, state, value, threshold, consecutive, fired, capture.
-      std::ostringstream out;
-      if (health_ != nullptr) {
-        for (const AlertStatus& a : health_->snapshot()) {
-          out << a.rule << '\t' << to_string(a.state) << '\t' << a.value
-              << '\t' << to_string(a.cmp) << '\t' << a.threshold << '\t'
-              << a.consecutive << '\t' << a.fired_total << '\t'
-              << a.capture_id << '\n';
+    return response;
+  });
+  router.get("/alerts",
+             [this](const http::Request& request) { return alerts(request); });
+  router.get("/events",
+             [this](const http::Request& request) { return events(request); });
+  router.get("/timeseries", [this](const http::Request& request) {
+    return timeseries(request);
+  });
+  router.get("/layout", [this](const http::Request& request) {
+    return layout_status(request);
+  });
+  router.post("/layout", [this](const http::Request& request) {
+    return post_layout(request);
+  });
+  router.get("/flows",
+             [this](const http::Request& request) { return flows(request); });
+  return router;
+}
+
+http::Response ObservabilityServer::metrics(bool json) {
+  sink_->publish_trace_counters();
+  http::Response response;
+  response.content_type = json ? "application/json"
+                               : "text/plain; version=0.0.4; charset=utf-8";
+  // Stream family by family: families() copies the family index (the
+  // instrument pointers stay valid for the registry's lifetime), and the
+  // event loop pulls one family per producer call, so a scrape of a huge
+  // registry is bounded by the loop's high-water mark, not the body size.
+  auto families = std::make_shared<std::vector<Registry::Family>>(
+      sink_->registry().families());
+  auto index = std::make_shared<std::size_t>(0);
+  if (json) {
+    response.stream = [families, index](http::ResponseWriter& writer) {
+      std::size_t& i = *index;
+      if (i == 0) {
+        writer.write("{\"metrics\":[");
+      }
+      if (i < families->size()) {
+        std::string piece = i == 0 ? "" : ",";
+        piece += json_family((*families)[i]);
+        writer.write(piece);
+        if (++i < families->size()) {
+          return;
         }
       }
-      response.body = out.str();
-    } else {
-      response.content_type = "application/json";
-      response.body = health_ != nullptr
-                          ? health_->to_json()
-                          : std::string(
-                                "{\"enabled\":false,\"evaluations\":0,"
-                                "\"firing\":0,\"rules\":[]}");
-    }
-  } else if (request.path == "/timeseries") {
-    response = timeseries(request);
-  } else if (request.path == "/layout") {
-    const auto fmt = request.query.find("format");
-    const bool tsv = fmt != request.query.end() && fmt->second == "tsv";
-    if (layout_ == nullptr) {
-      response.content_type = "application/json";
-      response.body =
-          "{\"enabled\":false,\"epoch\":0,\"swaps\":{\"committed\":0,"
-          "\"rolled_back\":0},\"history\":[],\"epochs\":[]}";
-    } else if (tsv) {
-      response.content_type = "text/plain; charset=utf-8";
-      response.body = layout_(true);
-    } else {
-      response.content_type = "application/json";
-      response.body = layout_(false);
-    }
-  } else if (request.path == "/flows") {
-    const auto fmt = request.query.find("format");
-    const bool tsv = fmt != request.query.end() && fmt->second == "tsv";
-    if (flows_ == nullptr) {
-      response.content_type = "application/json";
-      response.body = "{\"enabled\":false,\"tenants\":[]}";
-    } else if (tsv) {
-      response.content_type = "text/plain; charset=utf-8";
-      response.body = flows_(true);
-    } else {
-      response.content_type = "application/json";
-      response.body = flows_(false);
-    }
+      writer.write("]}");
+      writer.end();
+    };
   } else {
-    // Structured 404: machine-readable, and it teaches the caller the
-    // route table instead of a bare "not found".
-    response.status = 404;
-    response.content_type = "application/json";
-    response.body = "{\"error\":\"not found\",\"path\":\"" +
-                    escape_json(request.path) +
-                    "\",\"routes\":[\"/metrics\",\"/metrics.json\","
-                    "\"/healthz\",\"/readyz\",\"/traces\",\"/flight\","
-                    "\"/alerts\",\"/timeseries\",\"/layout\",\"/flows\"]}";
+    response.stream = [families, index](http::ResponseWriter& writer) {
+      if (*index >= families->size()) {
+        writer.end();
+        return;
+      }
+      writer.write(prometheus_family((*families)[(*index)++]));
+    };
   }
+  return response;
+}
+
+http::Response ObservabilityServer::alerts(const http::Request& request) {
+  http::Response response;
+  const auto fmt = request.query.find("format");
+  if (fmt != request.query.end() && fmt->second == "tsv") {
+    // Flat rendering for `opendesc top` and shell tooling: one rule per
+    // line — name, state, value, threshold, consecutive, fired, capture.
+    std::ostringstream out;
+    if (health_ != nullptr) {
+      for (const AlertStatus& a : health_->snapshot()) {
+        out << a.rule << '\t' << to_string(a.state) << '\t' << a.value << '\t'
+            << to_string(a.cmp) << '\t' << a.threshold << '\t'
+            << a.consecutive << '\t' << a.fired_total << '\t' << a.capture_id
+            << '\n';
+      }
+    }
+    response.body = out.str();
+  } else {
+    response.content_type = "application/json";
+    response.body = health_ != nullptr
+                        ? health_->to_json()
+                        : std::string(
+                              "{\"enabled\":false,\"evaluations\":0,"
+                              "\"firing\":0,\"rules\":[]}");
+  }
+  return response;
+}
+
+http::Response ObservabilityServer::events(const http::Request& request) {
+  http::Response response;
+  response.content_type = "text/event-stream";
+  response.headers["Cache-Control"] = "no-cache";
+  if (health_ == nullptr) {
+    // Finite stream: say why there is nothing to watch, then close.
+    response.stream = [](http::ResponseWriter& writer) {
+      writer.write("event: hello\ndata: {\"enabled\":false}\n\n");
+      writer.end();
+    };
+    return response;
+  }
+
+  // Live stream: a hello event, then one "alert" event per firing/resolved
+  // transition observed between loop ticks.  Rules already firing when the
+  // client connects are reported immediately (their baseline is inactive).
+  const std::uint64_t max_alerts = request.query_u64("max").value_or(0);
+  struct StreamState {
+    bool hello = false;
+    std::map<std::string, AlertState> baseline;
+    std::uint64_t sent = 0;
+  };
+  auto state = std::make_shared<StreamState>();
+  const HealthEngine* health = health_;
+  response.live = true;
+  response.stream = [health, state, max_alerts](http::ResponseWriter& writer) {
+    if (!state->hello) {
+      state->hello = true;
+      writer.write("event: hello\ndata: {\"stream\":\"alerts\"}\n\n");
+    }
+    for (const AlertStatus& a : health->snapshot()) {
+      const auto it = state->baseline.find(a.rule);
+      const AlertState previous =
+          it == state->baseline.end() ? AlertState::inactive : it->second;
+      state->baseline[a.rule] = a.state;
+      const bool fired =
+          a.state == AlertState::firing && previous != AlertState::firing;
+      const bool resolved =
+          a.state == AlertState::resolved && previous == AlertState::firing;
+      if (!fired && !resolved) {
+        continue;
+      }
+      std::ostringstream data;
+      data << "event: alert\ndata: {\"rule\":\"" << escape_json(a.rule)
+           << "\",\"state\":\"" << to_string(a.state)
+           << "\",\"value\":" << a.value << ",\"threshold\":" << a.threshold
+           << ",\"fired_total\":" << a.fired_total
+           << ",\"capture\":" << a.capture_id << "}\n\n";
+      writer.write(data.str());
+      ++state->sent;
+      if (max_alerts != 0 && state->sent >= max_alerts) {
+        writer.end();
+        return;
+      }
+    }
+  };
   return response;
 }
 
@@ -129,6 +217,9 @@ http::Response ObservabilityServer::timeseries(const http::Request& request) {
         "\"hint\":\"run the engine with health rules, a server, or "
         "with_monitor(true)\"}";
     return response;
+  }
+  if (request.query_flag("follow")) {
+    return timeseries_follow(request);
   }
 
   const auto format_it = request.query.find("format");
@@ -176,44 +267,11 @@ http::Response ObservabilityServer::timeseries(const http::Request& request) {
     return response;
   }
 
-  const auto labels_json = [](const Labels& labels) {
-    std::string out = "{";
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      out += (i == 0 ? "\"" : ",\"");
-      out += escape_json(labels[i].first);
-      out += "\":\"";
-      out += escape_json(labels[i].second);
-      out += '"';
-    }
-    out += '}';
-    return out;
-  };
-  const auto series_fields = [&](std::ostream& out, const SeriesWindow& s) {
-    out << "\"samples\":" << s.samples << ",\"seconds\":" << s.seconds
-        << ",\"last\":" << s.last;
-    switch (family->kind) {
-      case MetricKind::counter:
-        out << ",\"rate\":" << s.rate;
-        break;
-      case MetricKind::gauge:
-        out << ",\"min\":" << s.min << ",\"mean\":" << s.mean
-            << ",\"max\":" << s.max;
-        break;
-      case MetricKind::histogram:
-        out << ",\"count\":" << s.delta.count << ",\"sum\":" << s.delta.sum
-            << ",\"mean\":" << s.delta.mean()
-            << ",\"p50\":" << s.delta.quantile_upper_bound(0.50)
-            << ",\"p99\":" << s.delta.quantile_upper_bound(0.99)
-            << ",\"p999\":" << s.delta.quantile_upper_bound(0.999);
-        break;
-    }
-  };
-
-  std::ostringstream out;
   if (tsv) {
     // One line per series: canonical labels, then the kind's key numbers —
     // trivially parseable by `opendesc top` and awk alike.
     response.content_type = "text/plain; charset=utf-8";
+    std::ostringstream out;
     for (const SeriesWindow& s : family->series) {
       out << canonical_labels(s.labels);
       switch (family->kind) {
@@ -233,33 +291,195 @@ http::Response ObservabilityServer::timeseries(const http::Request& request) {
       }
       out << '\n';
     }
-  } else {
-    out << "{\"metric\":\"" << escape_json(family->name) << "\",\"kind\":\""
-        << to_string(family->kind)
-        << "\",\"window_seconds\":" << window_seconds
-        << ",\"tick_seconds\":" << store_->config().tick_seconds
-        << ",\"ticks\":" << store_->ticks() << ",\"series\":[";
-    for (std::size_t i = 0; i < family->series.size(); ++i) {
-      const SeriesWindow& s = family->series[i];
-      out << (i == 0 ? "" : ",") << "{\"labels\":" << labels_json(s.labels)
-          << ',';
-      series_fields(out, s);
-      out << '}';
-    }
-    out << "],\"total\":{";
-    SeriesWindow total;
-    total.samples = family->total.samples;
-    total.seconds = family->total.seconds;
-    total.last = family->total.last;
-    total.rate = family->total.rate;
-    total.min = family->total.min;
-    total.mean = family->total.mean;
-    total.max = family->total.max;
-    total.delta = family->total.delta;
-    series_fields(out, total);
-    out << "}}";
+    response.body = out.str();
+    return response;
   }
-  response.body = out.str();
+  response.body = family_window_json(*family, window_seconds);
+  return response;
+}
+
+http::Response ObservabilityServer::timeseries_follow(
+    const http::Request& request) {
+  const std::string* metric = request.query_get("metric");
+  if (metric == nullptr) {
+    throw http::HttpError(400, "follow requires a metric parameter");
+  }
+  double window_seconds = 10.0;
+  const std::string* window = request.query_get("window");
+  if (window != nullptr) {
+    try {
+      window_seconds = parse_window_seconds(*window);
+    } catch (const Error& e) {
+      throw http::HttpError(400, e.what());
+    }
+  }
+  const std::uint64_t max_ticks = request.query_u64("count").value_or(0);
+
+  http::Response response;
+  response.content_type = "text/event-stream";
+  response.headers["Cache-Control"] = "no-cache";
+  response.live = true;
+  struct StreamState {
+    bool hello = false;
+    std::uint64_t last_tick = 0;
+    std::uint64_t sent = 0;
+  };
+  auto state = std::make_shared<StreamState>();
+  const TimeSeriesStore* store = store_;
+  const std::string name = *metric;
+  const ObservabilityServer* self = this;
+  response.stream = [self, store, state, name, window_seconds,
+                     max_ticks](http::ResponseWriter& writer) {
+    if (!state->hello) {
+      state->hello = true;
+      writer.write("event: hello\ndata: {\"stream\":\"timeseries\","
+                   "\"metric\":\"" + escape_json(name) + "\"}\n\n");
+      state->last_tick = store->ticks();
+      // Fall through: emit the current window right away so a follower
+      // does not wait a full tick for its first datapoint.
+    } else {
+      const std::uint64_t tick = store->ticks();
+      if (tick == state->last_tick) {
+        return;  // nothing new; the loop re-polls on its tick
+      }
+      state->last_tick = tick;
+    }
+    const std::optional<FamilyWindow> family =
+        store->family_window(name, window_seconds);
+    if (!family) {
+      return;  // not sampled yet; keep waiting
+    }
+    writer.write("event: tick\ndata: " +
+                 self->family_window_json(*family, window_seconds) + "\n\n");
+    ++state->sent;
+    if (max_ticks != 0 && state->sent >= max_ticks) {
+      writer.end();
+    }
+  };
+  return response;
+}
+
+std::string ObservabilityServer::family_window_json(
+    const FamilyWindow& family, double window_seconds) const {
+  const auto labels_json = [](const Labels& labels) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      out += (i == 0 ? "\"" : ",\"");
+      out += escape_json(labels[i].first);
+      out += "\":\"";
+      out += escape_json(labels[i].second);
+      out += '"';
+    }
+    out += '}';
+    return out;
+  };
+  const auto series_fields = [&](std::ostream& out, const SeriesWindow& s) {
+    out << "\"samples\":" << s.samples << ",\"seconds\":" << s.seconds
+        << ",\"last\":" << s.last;
+    switch (family.kind) {
+      case MetricKind::counter:
+        out << ",\"rate\":" << s.rate;
+        break;
+      case MetricKind::gauge:
+        out << ",\"min\":" << s.min << ",\"mean\":" << s.mean
+            << ",\"max\":" << s.max;
+        break;
+      case MetricKind::histogram:
+        out << ",\"count\":" << s.delta.count << ",\"sum\":" << s.delta.sum
+            << ",\"mean\":" << s.delta.mean()
+            << ",\"p50\":" << s.delta.quantile_upper_bound(0.50)
+            << ",\"p99\":" << s.delta.quantile_upper_bound(0.99)
+            << ",\"p999\":" << s.delta.quantile_upper_bound(0.999);
+        break;
+    }
+  };
+
+  std::ostringstream out;
+  out << "{\"metric\":\"" << escape_json(family.name) << "\",\"kind\":\""
+      << to_string(family.kind) << "\",\"window_seconds\":" << window_seconds
+      << ",\"tick_seconds\":" << store_->config().tick_seconds
+      << ",\"ticks\":" << store_->ticks() << ",\"series\":[";
+  for (std::size_t i = 0; i < family.series.size(); ++i) {
+    const SeriesWindow& s = family.series[i];
+    out << (i == 0 ? "" : ",") << "{\"labels\":" << labels_json(s.labels)
+        << ',';
+    series_fields(out, s);
+    out << '}';
+  }
+  out << "],\"total\":{";
+  SeriesWindow total;
+  total.samples = family.total.samples;
+  total.seconds = family.total.seconds;
+  total.last = family.total.last;
+  total.rate = family.total.rate;
+  total.min = family.total.min;
+  total.mean = family.total.mean;
+  total.max = family.total.max;
+  total.delta = family.total.delta;
+  series_fields(out, total);
+  out << "}}";
+  return out.str();
+}
+
+http::Response ObservabilityServer::layout_status(
+    const http::Request& request) {
+  http::Response response;
+  const auto fmt = request.query.find("format");
+  const bool tsv = fmt != request.query.end() && fmt->second == "tsv";
+  if (layout_ == nullptr) {
+    response.content_type = "application/json";
+    response.body =
+        "{\"enabled\":false,\"epoch\":0,\"swaps\":{\"committed\":0,"
+        "\"rolled_back\":0},\"history\":[],\"epochs\":[]}";
+  } else if (tsv) {
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = layout_(true);
+  } else {
+    response.content_type = "application/json";
+    response.body = layout_(false);
+  }
+  return response;
+}
+
+http::Response ObservabilityServer::post_layout(const http::Request& request) {
+  http::Response response;
+  response.content_type = "application/json";
+  if (swap_ == nullptr) {
+    response.status = 403;
+    response.body =
+        "{\"error\":\"layout swaps are not enabled\","
+        "\"hint\":\"run the engine with a swap token and a swap cycle\"}";
+    return response;
+  }
+  if (request.header("authorization") != "Bearer " + swap_token_) {
+    response.status = 401;
+    response.headers["WWW-Authenticate"] = "Bearer";
+    response.body = "{\"error\":\"unauthorized\"}";
+    return response;
+  }
+  return swap_(request);
+}
+
+http::Response ObservabilityServer::flows(const http::Request& request) {
+  http::Response response;
+  const auto fmt = request.query.find("format");
+  const bool tsv = fmt != request.query.end() && fmt->second == "tsv";
+  if (tsv) {
+    if (flows_ == nullptr) {
+      response.content_type = "application/json";
+      response.body = "{\"enabled\":false,\"tenants\":[]}";
+    } else {
+      response.content_type = "text/plain; charset=utf-8";
+      response.body = flows_(true);
+    }
+    return response;
+  }
+  if (flows_json_ != nullptr) {
+    return flows_json_(request);
+  }
+  response.content_type = "application/json";
+  response.body =
+      flows_ == nullptr ? "{\"enabled\":false,\"tenants\":[]}" : flows_(false);
   return response;
 }
 

@@ -1,36 +1,48 @@
 // The observability plane: one embedded HTTP server over one telemetry
-// Sink.
+// Sink, with every route declared on a http::Router table.
 //
-// Routes (GET/HEAD, one request per connection):
+// Routes (HTTP/1.1 keep-alive, served by the epoll event loop):
 //
-//   /metrics       Prometheus text 0.0.4 exposition of the sink registry
-//   /metrics.json  the same registry as JSON
-//   /healthz       liveness: 200 as long as the server thread serves
-//   /readyz        readiness: 200 only when the injected probe says the
-//                  engine is running and every queue is making progress
-//                  (503 otherwise; no probe = always ready)
-//   /traces        trace-ring snapshots as JSON; ?queue=N picks worker
-//                  ring N, ?queue=dispatch / ?queue=ctrl the special rings,
-//                  no parameter returns every ring
-//   /flight        the fault flight recorder's postmortem buffer as JSON
-//   /alerts        SLO rule engine status as JSON (every rule's state,
-//                  value, threshold, flight-capture id); {"enabled":false}
-//                  when no health engine is attached
-//   /timeseries    windowed aggregates: ?metric=NAME&window=10s returns
-//                  per-series rate/min/mean/max/quantiles over the window
-//                  (&format=tsv for a flat tab-separated rendering); no
-//                  parameters lists the sampled families
-//   /layout        layout-epoch status: current epoch, swap history and
-//                  per-epoch provenance accounting as JSON (?format=tsv
-//                  for the `opendesc top` pane form); {"enabled":false}
-//                  when no epoch manager is attached
-//   /flows         per-tenant flow-table status: active flows, inserts,
-//                  evictions, hit rate, memory per flow (?format=tsv for
-//                  the `opendesc top` pane form); {"enabled":false} when
-//                  no provider is attached
+//   GET /metrics       Prometheus text 0.0.4 exposition of the sink
+//                      registry, streamed family by family (chunked)
+//   GET /metrics.json  the same registry as JSON, streamed the same way
+//   GET /healthz       liveness: 200 as long as the server thread serves
+//   GET /readyz        readiness: 200 only when the injected probe says the
+//                      engine is running and every queue is making progress
+//                      (503 otherwise; no probe = always ready)
+//   GET /traces        trace-ring snapshots as JSON; ?queue=N picks worker
+//                      ring N, ?queue=dispatch / ?queue=ctrl the special
+//                      rings, no parameter returns every ring
+//   GET /flight        the fault flight recorder's postmortem buffer as JSON
+//   GET /alerts        SLO rule engine status as JSON (every rule's state,
+//                      value, threshold, flight-capture id); {"enabled":
+//                      false} when no health engine is attached
+//   GET /events        live server-sent events: one "hello" on connect,
+//                      then an "alert" event per firing/resolved rule
+//                      transition (?max=N closes after N alerts — tests)
+//   GET /timeseries    windowed aggregates: ?metric=NAME&window=10s returns
+//                      per-series rate/min/mean/max/quantiles over the
+//                      window (&format=tsv flat rendering; no parameters
+//                      lists the sampled families).  ?follow turns the
+//                      response into a live SSE stream with one "tick"
+//                      event per sampler tick (?count=N closes after N)
+//   GET /layout        layout-epoch status: current epoch, swap history and
+//                      per-epoch provenance accounting as JSON (?format=tsv
+//                      for the `opendesc top` pane form); {"enabled":false}
+//                      when no epoch manager is attached
+//   POST /layout       queue a live layout swap on the serving engine.
+//                      Guarded by a shared-secret bearer token: 403 when
+//                      swaps are not enabled, 401 on a bad token, 202 with
+//                      the queued swap otherwise
+//   GET /flows         per-tenant flow-table status (?format=tsv for the
+//                      `opendesc top` pane; ?records=N|all streams the
+//                      flow records themselves page by page);
+//                      {"enabled":false} when no provider is attached
 //
-// Unknown routes answer a structured JSON 404 ({"error":..,"path":..,
-// "routes":[..]}); HEAD is answered with headers only at the http layer.
+// Unknown paths answer the Router's structured JSON 404 (carrying the full
+// route list); a known path with an unregistered method answers 405 with
+// an Allow header.  HEAD is served by the GET handlers (the http layer
+// strips the body).
 //
 // Everything served is read through the sink's lock-free snapshot
 // machinery (seqlock shards, atomic ring slots, the flight recorder's own
@@ -48,6 +60,7 @@ namespace opendesc::telemetry {
 
 class HealthEngine;
 class TimeSeriesStore;
+struct FamilyWindow;
 
 class ObservabilityServer {
  public:
@@ -67,8 +80,8 @@ class ObservabilityServer {
   /// Attaches the /timeseries backing store (nullptr = route answers 404
   /// JSON explaining the monitor is off).  Install before start().
   void set_timeseries(const TimeSeriesStore* store) { store_ = store; }
-  /// Attaches the /alerts rule engine (nullptr = {"enabled":false}).
-  /// Install before start().
+  /// Attaches the /alerts and /events rule engine (nullptr =
+  /// {"enabled":false}).  Install before start().
   void set_health(const HealthEngine* health) { health_ = health; }
   /// Attaches the /layout provider: `provider(tsv)` renders the layout
   /// epoch status (JSON, or the flat TSV pane when tsv is true).  No
@@ -80,6 +93,22 @@ class ObservabilityServer {
   /// provider = {"enabled":false}.  Install before start().
   using FlowsProvider = std::function<std::string(bool tsv)>;
   void set_flows(FlowsProvider provider) { flows_ = std::move(provider); }
+  /// Optional richer /flows JSON provider (takes the whole request so it
+  /// can honour ?records=N and stream pages).  When set it serves every
+  /// non-TSV /flows request; set_flows stays the TSV pane source.
+  using FlowsJsonProvider = std::function<http::Response(const http::Request&)>;
+  void set_flows_json(FlowsJsonProvider provider) {
+    flows_json_ = std::move(provider);
+  }
+  /// Enables POST /layout: `handler` runs an authenticated swap request
+  /// (normally MultiQueueEngine::swap_from_request); `token` is the shared
+  /// secret required as "Authorization: Bearer <token>".  Install before
+  /// start().
+  using SwapHandler = std::function<http::Response(const http::Request&)>;
+  void set_swap(SwapHandler handler, std::string token) {
+    swap_ = std::move(handler);
+    swap_token_ = std::move(token);
+  }
 
   void start() { server_.start(); }
   void stop() { server_.stop(); }
@@ -92,14 +121,32 @@ class ObservabilityServer {
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
     return server_.requests_served();
   }
+  /// Currently-open client connections (the scrape-storm bench reads this).
+  [[nodiscard]] std::size_t connections() const noexcept {
+    return server_.connections();
+  }
 
-  /// The route table, exposed directly so tests can exercise routing
-  /// without sockets.
-  [[nodiscard]] http::Response handle(const http::Request& request);
+  /// Dispatches through the route table directly, so tests can exercise
+  /// routing without sockets.
+  [[nodiscard]] http::Response handle(const http::Request& request) {
+    return server_.router().dispatch(request);
+  }
 
  private:
+  [[nodiscard]] http::Router build_router();
+  [[nodiscard]] http::Response metrics(bool json);
+  [[nodiscard]] http::Response alerts(const http::Request& request);
+  [[nodiscard]] http::Response events(const http::Request& request);
   [[nodiscard]] http::Response traces(const http::Request& request);
   [[nodiscard]] http::Response timeseries(const http::Request& request);
+  [[nodiscard]] http::Response timeseries_follow(const http::Request& request);
+  [[nodiscard]] http::Response layout_status(const http::Request& request);
+  [[nodiscard]] http::Response post_layout(const http::Request& request);
+  [[nodiscard]] http::Response flows(const http::Request& request);
+  /// The non-TSV /timeseries?metric=... JSON body — shared by the one-shot
+  /// response and the ?follow tick events.
+  [[nodiscard]] std::string family_window_json(const FamilyWindow& family,
+                                               double window_seconds) const;
 
   Sink* sink_;
   ReadyProbe ready_;
@@ -107,6 +154,9 @@ class ObservabilityServer {
   const HealthEngine* health_ = nullptr;
   LayoutProvider layout_;
   FlowsProvider flows_;
+  FlowsJsonProvider flows_json_;
+  SwapHandler swap_;
+  std::string swap_token_;
   http::HttpServer server_;
 };
 

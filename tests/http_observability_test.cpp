@@ -144,16 +144,18 @@ TEST_F(Routes, MetricsServesPrometheusText) {
   const Response got = server.handle(get("/metrics"));
   EXPECT_EQ(got.status, 200);
   EXPECT_NE(got.content_type.find("version=0.0.4"), std::string::npos);
-  EXPECT_NE(got.body.find("# TYPE opendesc_packets_total counter"),
+  // /metrics streams family by family; materialize it to assert on text.
+  const std::string body = got.full_body();
+  EXPECT_NE(body.find("# TYPE opendesc_packets_total counter"),
             std::string::npos);
-  EXPECT_NE(got.body.find("opendesc_stage_latency_ns"), std::string::npos);
+  EXPECT_NE(body.find("opendesc_stage_latency_ns"), std::string::npos);
 }
 
 TEST_F(Routes, MetricsJsonServesJson) {
   const Response got = server.handle(get("/metrics.json"));
   EXPECT_EQ(got.status, 200);
   EXPECT_EQ(got.content_type, "application/json");
-  EXPECT_EQ(got.body.front(), '{');
+  EXPECT_EQ(got.full_body().front(), '{');
 }
 
 TEST_F(Routes, HealthzAlwaysOkReadyzFollowsProbe) {

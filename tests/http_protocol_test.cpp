@@ -1,0 +1,663 @@
+// Protocol suite for the epoll event-loop HTTP server: keep-alive and
+// pipelining, request framing limits (413/400/501), slow-peer and idle
+// deadlines (408 vs silent close), POST bodies, chunked streaming
+// responses, SSE event framing (/events and /timeseries?follow), and the
+// authenticated POST /layout swap path — socket-free through the Router
+// and end-to-end over real sockets, including a live engine swap.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "engine/engine.hpp"
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "net/workload.hpp"
+#include "nic/model.hpp"
+#include "telemetry/health.hpp"
+#include "telemetry/server.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/timeseries.hpp"
+
+namespace opendesc {
+namespace {
+
+using http::HttpClient;
+using http::HttpError;
+using http::Request;
+using http::Response;
+using http::Router;
+using http::ServerConfig;
+using http::SseClient;
+using http::SseEvent;
+
+Router echo_router() {
+  Router router;
+  router.get("/echo", [](const Request& req) {
+    Response out;
+    out.body = req.method + " " + req.path;
+    return out;
+  });
+  router.post("/echo", [](const Request& req) {
+    Response out;
+    out.body = "POST:" + req.body;
+    return out;
+  });
+  router.get("/typed", [](const Request& req) {
+    Response out;
+    out.body = std::to_string(req.query_u64("n").value_or(0));
+    return out;
+  });
+  return router;
+}
+
+/// Raw connected socket for hand-crafted wire bytes.
+struct RawConn {
+  int fd = -1;
+
+  explicit RawConn(std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    timeval tv{5, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~RawConn() {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+
+  void send_bytes(const std::string& data) const {
+    EXPECT_EQ(::send(fd, data.data(), data.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(data.size()));
+  }
+  /// Reads until EOF or timeout; returns whatever arrived.
+  [[nodiscard]] std::string drain() const {
+    std::string out;
+    char buf[4096];
+    ssize_t n = 0;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
+  /// Reads until `count` responses (status lines) arrived or timeout.
+  [[nodiscard]] std::string read_responses(std::size_t count) const {
+    std::string out;
+    char buf[4096];
+    while (true) {
+      std::size_t seen = 0;
+      std::size_t pos = 0;
+      while ((pos = out.find("HTTP/1.1 ", pos)) != std::string::npos) {
+        ++seen;
+        pos += 9;
+      }
+      if (seen >= count) {
+        return out;
+      }
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        return out;
+      }
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+};
+
+// --- keep-alive & pipelining -------------------------------------------------
+
+TEST(KeepAlive, ManyRequestsReuseOneConnection) {
+  http::HttpServer server({}, echo_router());
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+  for (int i = 0; i < 32; ++i) {
+    const Response got = client.get("/echo");
+    EXPECT_EQ(got.status, 200);
+    EXPECT_EQ(got.body, "GET /echo");
+  }
+  EXPECT_EQ(client.reconnects(), 0u) << "keep-alive must reuse the socket";
+  EXPECT_TRUE(client.connected());
+  EXPECT_EQ(client.requests(), 32u);
+  server.stop();
+}
+
+TEST(KeepAlive, PipelinedRequestsAnswerInOrder) {
+  Router router;
+  router.get("/a", [](const Request&) {
+    Response out;
+    out.body = "alpha";
+    return out;
+  });
+  router.get("/b", [](const Request&) {
+    Response out;
+    out.body = "bravo";
+    return out;
+  });
+  http::HttpServer server({}, std::move(router));
+  server.start();
+
+  RawConn conn(server.port());
+  conn.send_bytes(
+      "GET /a HTTP/1.1\r\nHost: x\r\n\r\n"
+      "GET /b HTTP/1.1\r\nHost: x\r\n\r\n"
+      "GET /a HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  const std::string wire = conn.read_responses(3);
+  const std::size_t a1 = wire.find("alpha");
+  const std::size_t b = wire.find("bravo");
+  const std::size_t a2 = wire.find("alpha", a1 + 1);
+  ASSERT_NE(a1, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  ASSERT_NE(a2, std::string::npos);
+  EXPECT_LT(a1, b);
+  EXPECT_LT(b, a2);
+  EXPECT_NE(wire.find("Connection: close"), std::string::npos);
+  server.stop();
+}
+
+TEST(KeepAlive, ConnectionCloseIsHonored) {
+  http::HttpServer server({}, echo_router());
+  server.start();
+  RawConn conn(server.port());
+  conn.send_bytes("GET /echo HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  const std::string wire = conn.drain();  // server must EOF after one response
+  EXPECT_NE(wire.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close"), std::string::npos);
+  server.stop();
+}
+
+TEST(KeepAlive, Http10DefaultsToClose) {
+  http::HttpServer server({}, echo_router());
+  server.start();
+  RawConn conn(server.port());
+  conn.send_bytes("GET /echo HTTP/1.0\r\n\r\n");
+  const std::string wire = conn.drain();
+  EXPECT_NE(wire.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close"), std::string::npos);
+  server.stop();
+}
+
+TEST(KeepAlive, MaxKeepaliveRequestsClosesTheConnection) {
+  ServerConfig config;
+  config.max_keepalive_requests = 3;
+  http::HttpServer server(config, echo_router());
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(client.get("/echo").status, 200);
+  }
+  EXPECT_GE(client.reconnects(), 1u)
+      << "the server must have closed after 3 requests";
+  server.stop();
+}
+
+// --- request limits & malformed input ---------------------------------------
+
+TEST(Limits, OversizedRequestHeadAnswers413) {
+  http::HttpServer server({}, echo_router());
+  server.start();
+  RawConn conn(server.port());
+  conn.send_bytes("GET /echo?pad=" + std::string(10000, 'x') +
+                  " HTTP/1.1\r\nHost: x\r\n\r\n");
+  const std::string wire = conn.drain();
+  EXPECT_NE(wire.find("HTTP/1.1 413"), std::string::npos);
+  EXPECT_NE(wire.find("request too large"), std::string::npos);
+  server.stop();
+}
+
+TEST(Limits, OversizedBodyAnswers413) {
+  ServerConfig config;
+  config.max_body_bytes = 128;
+  http::HttpServer server(config, echo_router());
+  server.start();
+  RawConn conn(server.port());
+  conn.send_bytes(
+      "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 4096\r\n\r\n");
+  const std::string wire = conn.drain();
+  EXPECT_NE(wire.find("HTTP/1.1 413"), std::string::npos);
+  server.stop();
+}
+
+TEST(Limits, MalformedRequestLineAnswers400) {
+  http::HttpServer server({}, echo_router());
+  server.start();
+  RawConn conn(server.port());
+  conn.send_bytes("NONSENSE\r\n\r\n");
+  EXPECT_NE(conn.drain().find("HTTP/1.1 400"), std::string::npos);
+  server.stop();
+}
+
+TEST(Limits, ChunkedRequestBodyAnswers501) {
+  http::HttpServer server({}, echo_router());
+  server.start();
+  RawConn conn(server.port());
+  conn.send_bytes(
+      "POST /echo HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n");
+  EXPECT_NE(conn.drain().find("HTTP/1.1 501"), std::string::npos);
+  server.stop();
+}
+
+TEST(Limits, TornHeadersReassembleAcrossArbitrarySplits) {
+  http::HttpServer server({}, echo_router());
+  server.start();
+  const std::string request =
+      "GET /echo HTTP/1.1\r\nHost: torn.example\r\nX-Filler: abcdef\r\n"
+      "Connection: close\r\n\r\n";
+  std::mt19937 rng(7);
+  for (int round = 0; round < 8; ++round) {
+    RawConn conn(server.port());
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+      std::uniform_int_distribution<std::size_t> cut(
+          1, request.size() - sent);
+      const std::size_t piece = cut(rng);
+      conn.send_bytes(request.substr(sent, piece));
+      sent += piece;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_NE(conn.drain().find("HTTP/1.1 200"), std::string::npos)
+        << "round " << round;
+  }
+  server.stop();
+}
+
+TEST(Limits, SlowlorisPartialHeadGets408) {
+  ServerConfig config;
+  config.timeout_ms = 150;
+  config.tick_ms = 10;
+  http::HttpServer server(config, echo_router());
+  server.start();
+  RawConn conn(server.port());
+  conn.send_bytes("GET /echo HTTP/1.1\r\nHost: dribble");  // never finishes
+  const std::string wire = conn.drain();
+  EXPECT_NE(wire.find("HTTP/1.1 408"), std::string::npos);
+  EXPECT_NE(wire.find("request timeout"), std::string::npos);
+  server.stop();
+}
+
+TEST(Limits, IdleKeepAliveClosesSilentlyAfterServing) {
+  ServerConfig config;
+  config.timeout_ms = 150;
+  config.tick_ms = 10;
+  http::HttpServer server(config, echo_router());
+  server.start();
+  RawConn conn(server.port());
+  conn.send_bytes("GET /echo HTTP/1.1\r\nHost: x\r\n\r\n");
+  const std::string wire = conn.drain();  // response, then idle-timeout EOF
+  EXPECT_NE(wire.find("HTTP/1.1 200"), std::string::npos);
+  EXPECT_EQ(wire.find("HTTP/1.1 408"), std::string::npos)
+      << "idle close after a served request must not claim a timeout error";
+  server.stop();
+}
+
+// --- POST bodies -------------------------------------------------------------
+
+TEST(Post, BodyIsDeliveredToTheHandler) {
+  http::HttpServer server({}, echo_router());
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+  const Response got = client.post("/echo", "{\"k\":42}");
+  EXPECT_EQ(got.status, 200);
+  EXPECT_EQ(got.body, "POST:{\"k\":42}");
+  server.stop();
+}
+
+TEST(Post, MethodWithoutRouteAnswers405WithAllow) {
+  http::HttpServer server({}, echo_router());
+  server.start();
+  const Response got = http::http_request("POST", "127.0.0.1", server.port(),
+                                          "/typed", 2000, "x");
+  EXPECT_EQ(got.status, 405);
+  const auto allow = got.headers.find("allow");
+  ASSERT_NE(allow, got.headers.end());
+  EXPECT_NE(allow->second.find("GET"), std::string::npos);
+  EXPECT_NE(got.body.find("\"method\":\"POST\""), std::string::npos);
+  server.stop();
+}
+
+// --- Router unit behaviour ---------------------------------------------------
+
+TEST(RouterTable, TypedQueryAccessorsProduce400) {
+  http::HttpServer server({}, echo_router());
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+  EXPECT_EQ(client.get("/typed?n=12").body, "12");
+  const Response bad = client.get("/typed?n=banana");
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_NE(bad.body.find("not an unsigned integer"), std::string::npos);
+  server.stop();
+}
+
+TEST(RouterTable, UnknownPathCarriesRouteList) {
+  Router router = echo_router();
+  Request req;
+  req.method = "GET";
+  req.target = "/nope";
+  req.path = "/nope";
+  const Response got = router.dispatch(req);
+  EXPECT_EQ(got.status, 404);
+  EXPECT_NE(got.body.find("\"routes\":[\"/echo\",\"/typed\"]"),
+            std::string::npos);
+}
+
+TEST(RouterTable, HttpErrorBecomesStructuredJson) {
+  Router router;
+  router.get("/teapot", [](const Request&) -> Response {
+    throw HttpError(409, "short and stout");
+  });
+  Request req;
+  req.method = "GET";
+  req.target = "/teapot";
+  req.path = "/teapot";
+  const Response got = router.dispatch(req);
+  EXPECT_EQ(got.status, 409);
+  EXPECT_EQ(got.content_type, "application/json");
+  EXPECT_NE(got.body.find("short and stout"), std::string::npos);
+}
+
+// --- chunked streaming bodies ------------------------------------------------
+
+TEST(Streaming, FiniteProducerIsChunkedAndReassembled) {
+  Router router;
+  router.get("/pages", [](const Request&) {
+    Response out;
+    auto page = std::make_shared<int>(0);
+    out.stream = [page](http::ResponseWriter& writer) {
+      if (*page >= 5) {
+        writer.end();
+        return;
+      }
+      writer.write("page-" + std::to_string((*page)++) + ";");
+    };
+    return out;
+  });
+  http::HttpServer server({}, std::move(router));
+  server.start();
+
+  // The decoding client sees the reassembled body...
+  HttpClient client("127.0.0.1", server.port());
+  EXPECT_EQ(client.get("/pages").body,
+            "page-0;page-1;page-2;page-3;page-4;");
+  // ...and the raw wire carries chunked framing, no Content-Length.
+  RawConn conn(server.port());
+  conn.send_bytes("GET /pages HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  const std::string wire = conn.drain();
+  EXPECT_NE(wire.find("Transfer-Encoding: chunked"), std::string::npos);
+  EXPECT_EQ(wire.find("Content-Length"), std::string::npos);
+  EXPECT_NE(wire.find("0\r\n\r\n"), std::string::npos);
+  server.stop();
+}
+
+TEST(Streaming, FullBodyMaterializesStreams) {
+  Response response;
+  auto n = std::make_shared<int>(0);
+  response.stream = [n](http::ResponseWriter& writer) {
+    if (*n >= 3) {
+      writer.end();
+      return;
+    }
+    writer.write(std::to_string((*n)++));
+  };
+  EXPECT_EQ(response.full_body(), "012");
+}
+
+// --- SSE ---------------------------------------------------------------------
+
+TEST(Sse, EventsStreamsAlertTransitions) {
+  telemetry::Sink sink({.queues = 1, .trace_capacity = 16});
+  telemetry::TimeSeriesStore store({.tick_seconds = 0.01, .capacity = 64});
+  auto& gauge = sink.registry().gauge("demo_depth", "demo gauge", {});
+  telemetry::HealthEngine health(
+      telemetry::parse_health_rules("deep: value(demo_depth) > 10 for 1\n"),
+      store, &sink);
+
+  telemetry::ObservabilityServer server(sink);
+  server.set_health(&health);
+  server.start();
+
+  SseClient client("127.0.0.1", server.port(), "/events?max=2");
+  EXPECT_EQ(client.content_type().rfind("text/event-stream", 0), 0u);
+  const std::optional<SseEvent> hello = client.next(2000);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->event, "hello");
+
+  // Drive the rule over threshold → the stream must push a firing alert.
+  gauge.set(50);
+  store.sample(sink.registry());
+  health.evaluate();
+  const std::optional<SseEvent> fired = client.next(2000);
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(fired->event, "alert");
+  EXPECT_NE(fired->data.find("\"rule\":\"deep\""), std::string::npos);
+  EXPECT_NE(fired->data.find("\"state\":\"firing\""), std::string::npos);
+
+  // Back under threshold → resolved, and ?max=2 ends the stream after it.
+  gauge.set(0);
+  store.sample(sink.registry());
+  health.evaluate();
+  const std::optional<SseEvent> resolved = client.next(2000);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->event, "alert");
+  EXPECT_NE(resolved->data.find("\"state\":\"resolved\""), std::string::npos);
+  EXPECT_FALSE(client.next(500).has_value()) << "stream must end at max=2";
+  server.stop();
+}
+
+TEST(Sse, EventsWithoutHealthEngineSaysDisabledAndEnds) {
+  telemetry::Sink sink({.queues = 1, .trace_capacity = 16});
+  telemetry::ObservabilityServer server(sink);
+  server.start();
+  SseClient client("127.0.0.1", server.port(), "/events");
+  const std::optional<SseEvent> hello = client.next(2000);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_NE(hello->data.find("\"enabled\":false"), std::string::npos);
+  EXPECT_FALSE(client.next(500).has_value());
+  server.stop();
+}
+
+TEST(Sse, TimeseriesFollowTailsSamplerTicks) {
+  telemetry::Sink sink({.queues = 1, .trace_capacity = 16});
+  telemetry::TimeSeriesStore store({.tick_seconds = 0.01, .capacity = 64});
+  auto& counter = sink.registry().counter("demo_total", "demo", {});
+  counter.add(5);
+  store.sample(sink.registry());
+
+  telemetry::ObservabilityServer server(sink);
+  server.set_timeseries(&store);
+  server.start();
+
+  // Follow without a metric is a 400 at the route layer.
+  const Response bad =
+      http::http_get("127.0.0.1", server.port(), "/timeseries?follow");
+  EXPECT_EQ(bad.status, 400);
+
+  SseClient client("127.0.0.1", server.port(),
+                   "/timeseries?metric=demo_total&follow&count=2");
+  const std::optional<SseEvent> hello = client.next(2000);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->event, "hello");
+  const std::optional<SseEvent> first = client.next(2000);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->event, "tick");
+  EXPECT_NE(first->data.find("\"metric\":\"demo_total\""), std::string::npos);
+
+  // Advance the store → the follower must push a fresh tick event.
+  counter.add(7);
+  store.sample(sink.registry());
+  const std::optional<SseEvent> second = client.next(2000);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->event, "tick");
+  EXPECT_FALSE(client.next(500).has_value()) << "count=2 must end the stream";
+  server.stop();
+}
+
+// --- POST /layout ------------------------------------------------------------
+
+TEST(PostLayout, AuthMatrixSocketFree) {
+  telemetry::Sink sink({.queues = 1, .trace_capacity = 16});
+  telemetry::ObservabilityServer server(sink);
+
+  Request post;
+  post.method = "POST";
+  post.target = "/layout";
+  post.path = "/layout";
+
+  // No swap handler installed: forbidden.
+  EXPECT_EQ(server.handle(post).status, 403);
+
+  server.set_swap(
+      [](const Request&) {
+        Response out;
+        out.status = 202;
+        out.body = "{\"queued\":true}";
+        return out;
+      },
+      "sekrit");
+  // Wrong/missing token: unauthorized, with the auth scheme advertised.
+  const Response denied = server.handle(post);
+  EXPECT_EQ(denied.status, 401);
+  EXPECT_EQ(denied.headers.at("WWW-Authenticate"), "Bearer");
+  post.headers["authorization"] = "Bearer wrong";
+  EXPECT_EQ(server.handle(post).status, 401);
+  // Right token: the handler runs.
+  post.headers["authorization"] = "Bearer sekrit";
+  EXPECT_EQ(server.handle(post).status, 202);
+  // GET /layout is untouched by the guard.
+  Request get_status;
+  get_status.method = "GET";
+  get_status.target = "/layout";
+  get_status.path = "/layout";
+  EXPECT_EQ(server.handle(get_status).status, 200);
+}
+
+struct SwapEngine : ::testing::Test {
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs{registry};
+  core::Compiler compiler{registry, costs};
+  softnic::ComputeEngine compute{registry};
+  core::CompileResult result{compiler.compile(
+      nic::NicCatalog::by_name("ice").p4_source(),
+      R"(header i_t {
+          @semantic("rss")     bit<32> h;
+          @semantic("pkt_len") bit<16> l;
+      })",
+      {})};
+
+  [[nodiscard]] std::vector<net::Packet> trace(std::size_t n) const {
+    net::WorkloadConfig config;
+    config.seed = 11;
+    net::WorkloadGenerator gen(config);
+    return gen.batch(n);
+  }
+};
+
+TEST_F(SwapEngine, PostLayoutQueuesALiveSwap) {
+  rt::EngineConfig config = rt::EngineConfig{}
+                                .with_queues(2)
+                                .with_server("127.0.0.1:0")
+                                .with_swap_token("hunter2");
+  engine::MultiQueueEngine engine(result, compute, config);
+  ASSERT_NE(engine.server(), nullptr);
+  const std::uint16_t port = engine.server()->port();
+
+  // No cycle installed yet: the authenticated request answers 409.
+  const Response no_cycle = http::http_request(
+      "POST", "127.0.0.1", port, "/layout", 2000, "{\"target\":\"next\"}",
+      {{"Authorization", "Bearer hunter2"}});
+  EXPECT_EQ(no_cycle.status, 409);
+
+  auto alt = std::make_shared<core::CompileResult>(compiler.compile(
+      nic::NicCatalog::by_name("ice").p4_source(),
+      R"(header i_t { @semantic("pkt_len") bit<16> l; })", {}));
+  engine.set_swap_cycle({alt});
+
+  // Bad token stays locked out even with a cycle.
+  EXPECT_EQ(http::http_request("POST", "127.0.0.1", port, "/layout", 2000,
+                               "{}", {{"Authorization", "Bearer wrong"}})
+                .status,
+            401);
+  // Out-of-range index is a 400.
+  EXPECT_EQ(http::http_request("POST", "127.0.0.1", port, "/layout", 2000,
+                               "{\"target\":7}",
+                               {{"Authorization", "Bearer hunter2"}})
+                .status,
+            400);
+
+  const Response queued = http::http_request(
+      "POST", "127.0.0.1", port, "/layout", 2000,
+      "{\"target\":\"next\",\"at_offered\":0}",
+      {{"Authorization", "Bearer hunter2"}});
+  EXPECT_EQ(queued.status, 202);
+  EXPECT_NE(queued.body.find("\"queued\":true"), std::string::npos);
+
+  // The queued order applies on the next run: the epoch advances.
+  const engine::EngineReport report = engine.run(trace(2000));
+  EXPECT_EQ(report.total.packets, 2000u);
+  EXPECT_GE(engine.epochs().current_epoch(), 2u)
+      << "POST /layout swap must have committed during the run";
+}
+
+// --- server lifecycle under the event loop -----------------------------------
+
+TEST(EventLoop, ManyConcurrentKeepAliveClients) {
+  http::HttpServer server({}, echo_router());
+  server.start();
+  constexpr int kThreads = 8;
+  constexpr int kRequests = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      HttpClient client("127.0.0.1", server.port());
+      for (int i = 0; i < kRequests; ++i) {
+        if (client.get("/echo").status != 200) {
+          failures.fetch_add(1);
+        }
+      }
+      if (client.reconnects() != 0) {
+        failures.fetch_add(1000);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.requests_served(), kThreads * kRequests);
+  server.stop();
+}
+
+TEST(EventLoop, StopTerminatesLiveStreams) {
+  telemetry::Sink sink({.queues = 1, .trace_capacity = 16});
+  telemetry::TimeSeriesStore store({.tick_seconds = 0.01, .capacity = 16});
+  telemetry::HealthEngine health(
+      telemetry::parse_health_rules("r: value(demo) > 1 for 1\n"), store,
+      &sink);
+  auto server = std::make_unique<telemetry::ObservabilityServer>(sink);
+  server->set_health(&health);
+  server->start();
+  SseClient client("127.0.0.1", server->port(), "/events");
+  ASSERT_TRUE(client.next(2000).has_value());  // hello
+  // stop() with a live SSE connection open must not hang or crash.
+  server->stop();
+  (void)client.next(500);
+  server.reset();
+}
+
+}  // namespace
+}  // namespace opendesc

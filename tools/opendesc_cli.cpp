@@ -124,13 +124,14 @@ int usage() {
       "                    [--tenants <n>]\n"
       "                    [--metrics-out <file>] [--flight-out <file>]\n"
       "                    [--listen <host:port>] [--rules <file>]\n"
-      "                    [--alerts-out <file>]\n"
+      "                    [--alerts-out <file>] [--swap-token <secret>]\n"
       "  opendesc stats --nic <name|file.p4> [simulate options]\n"
       "                 [--format prometheus|json]\n"
       "  opendesc serve --nic <name|file.p4> [simulate options]\n"
       "                 [--listen <host:port>] [--port-file <file>]\n"
       "                 [--runs <n>]   (0 = loop until killed)\n"
       "                 [--rules <file>] [--idle-ms <n>]\n"
+      "                 [--swap-token <secret>]   (enables POST /layout)\n"
       "  opendesc top --url <http://host:port> [--interval <ms>]\n"
       "               [--iterations <n>] [--plain]\n"
       "(value flags also accept --flag=value)\n";
@@ -175,6 +176,7 @@ struct Args {
   std::size_t queues = 1;  ///< > 1 selects the multi-queue engine
   std::size_t batch = 32;
   std::size_t swap_every = 0;  ///< > 0: live layout hot-swap cadence
+  std::string swap_token;      ///< non-empty: authenticated POST /layout
 
   // flow-table / multi-tenant options
   std::size_t flows = 0;        ///< > 0: track flow state (total slots)
@@ -287,6 +289,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v || !parse_num("--swap-every", v, [](const char* s) { return std::stoull(s); }, args.swap_every))
         return false;
+    } else if (arg == "--swap-token") {
+      const char* v = next();
+      if (!v) return false;
+      args.swap_token = v;
     } else if (arg == "--flows") {
       const char* v = next();
       if (!v || !parse_num("--flows", v, [](const char* s) { return std::stoull(s); }, args.flows))
@@ -679,7 +685,8 @@ int run_simulation(const Args& args, telemetry::Sink* sink, bool print_human) {
   // the health monitor — each regardless of queue count.  --swap-every
   // needs the dispatch thread, so it lands here too.
   if (args.queues > 1 || args.swap_every > 0 || args.flows > 0 ||
-      !args.listen.empty() || !args.rules.empty() || !args.alerts_out.empty()) {
+      !args.listen.empty() || !args.rules.empty() || !args.alerts_out.empty() ||
+      !args.swap_token.empty()) {
     // Swapping with no explicit rules file still gets the stock cutover
     // watchdog: sustained SoftNIC fallback after a swap fires an alert
     // (with flight capture) instead of degrading silently.
@@ -700,10 +707,14 @@ int run_simulation(const Args& args, telemetry::Sink* sink, bool print_human) {
             .with_telemetry(sink)
             .with_server(args.listen)
             .with_health_rules(health_rules)
-            .with_monitor(!args.alerts_out.empty());
+            .with_monitor(!args.alerts_out.empty())
+            .with_swap_token(args.swap_token);
     rt::MultiQueueEngine mq(result, engine, engine_config);
 
-    if (args.swap_every > 0) {
+    // --swap-every drives the auto-swap cadence; --swap-token opens the
+    // operator-driven POST /layout path.  Either one needs a cycle of
+    // compilations to swap between.
+    if (args.swap_every > 0 || !args.swap_token.empty()) {
       // Alternate between this compilation and a DMA-austere recompile of
       // the same intent (alpha high enough to flip path selection on NICs
       // with a narrower path) — every cadence tick cuts the live engine
@@ -1149,6 +1160,10 @@ std::string fit_to_rows(std::string frame, std::size_t rows) {
 int cmd_top(const Args& args) {
   const auto [host, port] =
       parse_top_url(args.url.empty() ? "http://127.0.0.1:9464" : args.url);
+  // One keep-alive connection for the whole dashboard session: all five
+  // panes of every frame ride the same socket (the client transparently
+  // reconnects if the server recycles it between frames).
+  http::HttpClient client(host, port);
   std::map<std::string, std::deque<double>> history;
   constexpr std::size_t kHistory = 32;
   char buf[256];
@@ -1165,15 +1180,13 @@ int cmd_top(const Args& args) {
     http::Response layout;
     http::Response flows;
     try {
-      goodput = http::http_get(
-          host, port,
+      goodput = client.get(
           "/timeseries?metric=opendesc_rx_packets_total&window=1s&format=tsv");
-      stages = http::http_get(
-          host, port,
+      stages = client.get(
           "/timeseries?metric=opendesc_stage_latency_ns&window=10s&format=tsv");
-      alerts = http::http_get(host, port, "/alerts?format=tsv");
-      layout = http::http_get(host, port, "/layout?format=tsv");
-      flows = http::http_get(host, port, "/flows?format=tsv");
+      alerts = client.get("/alerts?format=tsv");
+      layout = client.get("/layout?format=tsv");
+      flows = client.get("/flows?format=tsv");
     } catch (const Error& e) {
       if (iter == 0) {
         throw;  // dead target: fail fast instead of redrawing errors forever

@@ -30,6 +30,7 @@
 //
 // Exit 0 and "scrape OK" on success; exit 1 with one line per violation.
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -481,51 +482,63 @@ void check_path_invariant(Checker& chk) {
   }
 }
 
-// --- live mode: a minimal one-shot HTTP/1.0-style GET -----------------------
+// --- live mode: a minimal standalone HTTP/1.1 client ------------------------
+//
+// The event-loop server speaks HTTP/1.1 with keep-alive and chunked
+// transfer-encoding (streamed routes like /metrics carry no Content-Length),
+// so the checker frames responses properly: Content-Length, chunked decode,
+// or read-to-EOF.  Probes against one host:port all ride a single reused
+// connection — exercising the server's keep-alive path from a plain
+// external client's point of view.
 
 struct FetchResult {
   int status = 0;
   std::string body;
 };
 
-/// GETs an `http://host:port/path` URL.  IPv4 dotted-quad hosts only (the
-/// observability server binds loopback); no redirects, no chunked decoding
-/// (the server always sends Content-Length and closes).
-std::optional<FetchResult> http_fetch(const std::string& url,
-                                      std::string& error) {
+struct UrlParts {
+  std::string hostport;  ///< "host:port" as written
+  std::string host;
+  int port = 0;
+  std::string path;
+};
+
+std::optional<UrlParts> split_url(const std::string& url, std::string& error) {
   const std::string scheme = "http://";
   if (url.compare(0, scheme.size(), scheme) != 0) {
     error = "only http:// URLs are supported";
     return std::nullopt;
   }
+  UrlParts parts;
   const std::size_t host_at = scheme.size();
   const std::size_t path_at = url.find('/', host_at);
-  const std::string hostport =
-      url.substr(host_at, (path_at == std::string::npos ? url.size() : path_at) -
-                              host_at);
-  const std::string path =
-      path_at == std::string::npos ? "/" : url.substr(path_at);
-  const std::size_t colon = hostport.rfind(':');
+  parts.hostport = url.substr(
+      host_at, (path_at == std::string::npos ? url.size() : path_at) - host_at);
+  parts.path = path_at == std::string::npos ? "/" : url.substr(path_at);
+  const std::size_t colon = parts.hostport.rfind(':');
   if (colon == std::string::npos) {
     error = "URL must carry an explicit port (http://host:port/path)";
     return std::nullopt;
   }
-  const std::string host = hostport.substr(0, colon);
-  int port = 0;
+  parts.host = parts.hostport.substr(0, colon);
   try {
-    port = std::stoi(hostport.substr(colon + 1));
+    parts.port = std::stoi(parts.hostport.substr(colon + 1));
   } catch (const std::exception&) {
-    port = 0;
+    parts.port = 0;
   }
-  if (port <= 0 || port > 65535) {
+  if (parts.port <= 0 || parts.port > 65535) {
     error = "bad port in URL '" + url + "'";
     return std::nullopt;
   }
+  return parts;
+}
 
+/// IPv4 dotted-quad hosts only (the observability server binds loopback).
+int connect_to(const std::string& host, int port, std::string& error) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     error = std::string("socket: ") + std::strerror(errno);
-    return std::nullopt;
+    return -1;
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -533,62 +546,256 @@ std::optional<FetchResult> http_fetch(const std::string& url,
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
     error = "unparseable IPv4 host '" + host + "'";
-    return std::nullopt;
+    return -1;
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
-    error = "connect " + hostport + ": " + std::strerror(errno);
-    return std::nullopt;
+    error = "connect " + host + ":" + std::to_string(port) + ": " +
+            std::strerror(errno);
+    return -1;
   }
-  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + hostport +
-                              "\r\nConnection: close\r\n\r\n";
+  return fd;
+}
+
+bool send_all(int fd, const std::string& data, std::string& error) {
   std::size_t sent = 0;
-  while (sent < request.size()) {
-    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
     if (n <= 0) {
-      ::close(fd);
       error = std::string("send: ") + std::strerror(errno);
-      return std::nullopt;
+      return false;
     }
     sent += static_cast<std::size_t>(n);
   }
-  std::string raw;
+  return true;
+}
+
+/// One recv() appended to `pending`; false on error or EOF (sets `eof`).
+bool recv_append(int fd, std::string& pending, bool& eof, std::string& error) {
   char buffer[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
-    if (n < 0) {
-      ::close(fd);
-      error = std::string("recv: ") + std::strerror(errno);
+  const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+  if (n < 0) {
+    error = std::string("recv: ") + std::strerror(errno);
+    return false;
+  }
+  if (n == 0) {
+    eof = true;
+    return false;
+  }
+  pending.append(buffer, static_cast<std::size_t>(n));
+  return true;
+}
+
+/// Reads one complete response off `fd`, consuming it from `pending` (extra
+/// bytes of a pipelined next response stay buffered).  `reusable` reports
+/// whether the connection can carry another request afterwards.
+std::optional<FetchResult> read_response(int fd, std::string& pending,
+                                         bool& reusable, std::string& error) {
+  reusable = false;
+  bool eof = false;
+  std::size_t header_end = std::string::npos;
+  while ((header_end = pending.find("\r\n\r\n")) == std::string::npos) {
+    if (!recv_append(fd, pending, eof, error)) {
+      if (eof) {
+        error = "connection closed before response headers";
+      }
       return std::nullopt;
     }
-    if (n == 0) {
-      break;
-    }
-    raw.append(buffer, static_cast<std::size_t>(n));
   }
-  ::close(fd);
+  const std::string head = pending.substr(0, header_end);
+  pending.erase(0, header_end + 4);
 
-  const std::size_t header_end = raw.find("\r\n\r\n");
-  if (header_end == std::string::npos) {
-    error = "malformed HTTP response (no header terminator)";
-    return std::nullopt;
-  }
   FetchResult result;
-  // Status line: "HTTP/1.1 200 OK".
-  const std::size_t sp = raw.find(' ');
-  if (sp == std::string::npos || sp + 4 > raw.size()) {
+  const std::size_t sp = head.find(' ');
+  if (sp == std::string::npos || sp + 4 > head.size()) {
     error = "malformed HTTP status line";
     return std::nullopt;
   }
   try {
-    result.status = std::stoi(raw.substr(sp + 1, 3));
+    result.status = std::stoi(head.substr(sp + 1, 3));
   } catch (const std::exception&) {
     error = "malformed HTTP status code";
     return std::nullopt;
   }
-  result.body = raw.substr(header_end + 4);
+
+  // Scan headers (case-insensitive) for the three framing-relevant ones.
+  auto header_value = [&head](const char* name) -> std::optional<std::string> {
+    std::istringstream lines(head);
+    std::string line;
+    std::getline(lines, line);  // status line
+    while (std::getline(lines, line)) {
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) {
+        continue;
+      }
+      std::string key = line.substr(0, colon);
+      for (char& c : key) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+      if (key == name) {
+        std::size_t at = colon + 1;
+        while (at < line.size() && line[at] == ' ') {
+          ++at;
+        }
+        return line.substr(at);
+      }
+    }
+    return std::nullopt;
+  };
+
+  const auto connection = header_value("connection");
+  const auto transfer = header_value("transfer-encoding");
+  const auto length = header_value("content-length");
+
+  if (transfer && transfer->find("chunked") != std::string::npos) {
+    // Chunked: decode size-line/data pairs until the zero chunk.
+    for (;;) {
+      std::size_t line_end = std::string::npos;
+      while ((line_end = pending.find("\r\n")) == std::string::npos) {
+        if (!recv_append(fd, pending, eof, error)) {
+          if (eof) {
+            error = "connection closed inside chunked body";
+          }
+          return std::nullopt;
+        }
+      }
+      std::size_t size = 0;
+      try {
+        size = std::stoul(pending.substr(0, line_end), nullptr, 16);
+      } catch (const std::exception&) {
+        error = "malformed chunk size '" + pending.substr(0, line_end) + "'";
+        return std::nullopt;
+      }
+      pending.erase(0, line_end + 2);
+      while (pending.size() < size + 2) {
+        if (!recv_append(fd, pending, eof, error)) {
+          if (eof) {
+            error = "connection closed inside chunk data";
+          }
+          return std::nullopt;
+        }
+      }
+      if (size == 0) {
+        pending.erase(0, 2);  // trailing CRLF after the last chunk
+        break;
+      }
+      result.body.append(pending, 0, size);
+      pending.erase(0, size + 2);
+    }
+    reusable = !(connection && connection->find("close") != std::string::npos);
+    return result;
+  }
+
+  if (length) {
+    std::size_t want = 0;
+    try {
+      want = std::stoul(*length);
+    } catch (const std::exception&) {
+      error = "malformed Content-Length '" + *length + "'";
+      return std::nullopt;
+    }
+    while (pending.size() < want) {
+      if (!recv_append(fd, pending, eof, error)) {
+        if (eof) {
+          error = "connection closed inside body";
+        }
+        return std::nullopt;
+      }
+    }
+    result.body = pending.substr(0, want);
+    pending.erase(0, want);
+    reusable = !(connection && connection->find("close") != std::string::npos);
+    return result;
+  }
+
+  // No framing header: the body runs to EOF and the connection is spent.
+  while (recv_append(fd, pending, eof, error)) {
+  }
+  if (!eof) {
+    return std::nullopt;  // recv error, message already set
+  }
+  result.body = std::move(pending);
+  pending.clear();
   return result;
 }
+
+/// One-shot GET of an `http://host:port/path` URL on its own connection.
+std::optional<FetchResult> http_fetch(const std::string& url,
+                                      std::string& error) {
+  const auto parts = split_url(url, error);
+  if (!parts) {
+    return std::nullopt;
+  }
+  const int fd = connect_to(parts->host, parts->port, error);
+  if (fd < 0) {
+    return std::nullopt;
+  }
+  if (!send_all(fd,
+                "GET " + parts->path + " HTTP/1.1\r\nHost: " + parts->hostport +
+                    "\r\nConnection: close\r\n\r\n",
+                error)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string pending;
+  bool reusable = false;
+  const auto result = read_response(fd, pending, reusable, error);
+  ::close(fd);
+  return result;
+}
+
+/// A keep-alive probe session: requests against the same host:port reuse one
+/// connection, reconnecting only if the server recycled it in between.
+struct ProbeSession {
+  int fd = -1;
+  std::string hostport;
+  std::string pending;
+  std::size_t on_this_conn = 0;
+  std::size_t connections = 0;
+
+  ~ProbeSession() {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+
+  std::optional<FetchResult> get(const UrlParts& parts, std::string& error) {
+    if (fd >= 0 && parts.hostport != hostport) {
+      ::close(fd);
+      fd = -1;
+    }
+    if (fd < 0) {
+      fd = connect_to(parts.host, parts.port, error);
+      if (fd < 0) {
+        return std::nullopt;
+      }
+      hostport = parts.hostport;
+      pending.clear();
+      on_this_conn = 0;
+      ++connections;
+    }
+    const std::string request = "GET " + parts.path + " HTTP/1.1\r\nHost: " +
+                                parts.hostport + "\r\n\r\n";
+    if (!send_all(fd, request, error)) {
+      ::close(fd);
+      fd = -1;
+      return std::nullopt;
+    }
+    bool reusable = false;
+    const auto result = read_response(fd, pending, reusable, error);
+    if (!result || !reusable) {
+      ::close(fd);
+      fd = -1;
+    }
+    if (result) {
+      ++on_this_conn;
+    }
+    return result;
+  }
+};
 
 bool is_url(const std::string& arg) {
   return arg.compare(0, 7, "http://") == 0;
@@ -624,11 +831,23 @@ int main(int argc, char** argv) {
 
   // Liveness/readiness probes: each must answer 200.  Health-plane routes
   // additionally get a shallow schema check — the body must carry the JSON
-  // keys an external consumer keys off of.
+  // keys an external consumer keys off of.  All probes against one
+  // host:port share a single keep-alive connection, so a multi-probe run
+  // doubles as a conformance check of the server's connection reuse.
   bool probe_failed = false;
+  ProbeSession session;
   for (const std::string& probe : probes) {
     std::string error;
-    const auto got = http_fetch(probe, error);
+    UrlParts parts;
+    if (const auto split = split_url(probe, error)) {
+      parts = *split;
+    } else {
+      std::fprintf(stderr, "scrape_check: probe %s: %s\n", probe.c_str(),
+                   error.c_str());
+      probe_failed = true;
+      continue;
+    }
+    const auto got = session.get(parts, error);
     if (!got) {
       std::fprintf(stderr, "scrape_check: probe %s: %s\n", probe.c_str(),
                    error.c_str());
@@ -679,7 +898,13 @@ int main(int argc, char** argv) {
         continue;
       }
     }
-    std::printf("probe OK: %s\n", probe.c_str());
+    std::printf("probe OK: %s%s\n", probe.c_str(),
+                session.on_this_conn > 1 ? "  (reused keep-alive connection)"
+                                         : "");
+  }
+  if (probes.size() > 1 && !probe_failed && session.connections > 0) {
+    std::printf("keep-alive: %zu probe(s) over %zu connection(s)\n",
+                probes.size(), session.connections);
   }
 
   std::string text;
