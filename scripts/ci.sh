@@ -31,6 +31,7 @@ for preset in $PRESETS; do
             OPENDESC_BENCH_SMOKE=1 ./bench_flowtable --benchmark_filter=__sections_only__ &&
             OPENDESC_BENCH_SMOKE=1 ./bench_swap_downtime &&
             OPENDESC_BENCH_SMOKE=1 ./bench_scrape_storm &&
+            OPENDESC_BENCH_SMOKE=1 ./bench_hotpath --benchmark_filter=__sections_only__ &&
             ./bench_engine_scaling --benchmark_filter=__sections_only__)
     fi
 done

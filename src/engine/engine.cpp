@@ -151,6 +151,12 @@ MultiQueueEngine::MultiQueueEngine(const core::CompileResult& result,
     flow_table_ = std::make_unique<flow::FlowTable>(flow_config);
   }
   if (config_.telemetry != nullptr) {
+    // Profiler plumbing: tenant attribution and the optional fixed stride
+    // are plane-wide settings on the sink's profiler.
+    config_.telemetry->profiler().set_tenant(config_.tenant);
+    if (config_.profile_stride > 0) {
+      config_.telemetry->profiler().set_stride(config_.profile_stride);
+    }
     // Register the tenant-labelled flow families up front (zero state when
     // tracking is off) so every scrape carries the golden schema.
     const flow::FlowStats flow_stats =
@@ -474,6 +480,13 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
           sink->stage_latency(static_cast<telemetry::Stage>(s)).snapshot());
     }
   }
+  // Same for the profiler: its shards and epoch table accumulate across
+  // runs; the report carries this run's delta.
+  const bool profiling = sink != nullptr && config_.profile;
+  telemetry::ProfileCapture profile_before;
+  if (profiling) {
+    profile_before = sink->profiler().capture();
+  }
 
   if (live_ != nullptr) {
     // New run, fresh loops: zero the shard snapshots first (the engine
@@ -516,6 +529,13 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
     loops.push_back(std::make_unique<rt::ValidatingRxLoop>(
         start_gen->wire_layout, *compute_, guard_config));
     loops.back()->set_telemetry(sink, q);
+    if (!profiling) {
+      loops.back()->set_profile(nullptr);
+    } else if (auto* shard = loops.back()->profile_shard()) {
+      // Workers start accounting against the run's starting epoch (the
+      // engine thread still owns the shard here — no worker has spawned).
+      shard->set_epoch(start_gen->epoch);
+    }
     handoff.push_back(
         std::make_unique<SpscQueue<HandoffItem>>(config_.spsc_capacity));
   }
@@ -603,9 +623,18 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
             // Cutover order is load-bearing: the guard references the old
             // generation's layout until cut_over reseats it, so the old
             // generation must stay alive (and the device drained) first.
+            telemetry::ProfileShard* const prof = loops[q]->profile_shard();
+            const double swap_start =
+                prof != nullptr ? telemetry::profile_now_ns() : 0.0;
             nics[q]->swap_layout(barrier->wire_layout);
             loops[q]->cut_over(barrier->wire_layout,
                                static_cast<std::uint32_t>(barrier->epoch));
+            if (prof != nullptr) {
+              // cut_over already moved the shard onto the new epoch, so the
+              // swap cost is charged to the epoch it bought.
+              prof->record(telemetry::ProfileStage::swap_barrier,
+                           telemetry::profile_now_ns() - swap_start);
+            }
             const std::uint64_t old_epoch = gen->epoch;
             gen = std::move(barrier);
             epochs_->release(old_epoch, q);
@@ -637,6 +666,14 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
     handoff_shard = &sink->stage_shard(telemetry::Stage::handoff,
                                        sink->dispatch_shard());
   }
+  // The dispatch thread drives the profiler's last lane; chunk refill
+  // (packet generation) is accounted as wait, classify splits into
+  // flow_classify + steer, and a committed hot-swap as swap_barrier.
+  telemetry::ProfileShard* const dprof =
+      profiling ? &sink->profile_shard(sink->queues()) : nullptr;
+  if (dprof != nullptr) {
+    dprof->set_epoch(start_gen->epoch);
+  }
   // Swap application point: between chunks the dispatch thread checks for a
   // due hot-swap order (explicit request_swap or the auto-cycle), verifies
   // it through the epoch manager and — only when the swap committed —
@@ -664,12 +701,25 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
     if (!due) {
       return;
     }
+    // Verification + barrier fan-out is the dispatch side of a hot-swap:
+    // rare, so it is always accounted (not subject to the sampling stride).
+    const double swap_start =
+        dprof != nullptr ? telemetry::profile_now_ns() : 0.0;
     const rt::LayoutEpochManager::SwapAttempt attempt =
         epochs_->attempt_swap(*due, config_.sim);
     if (attempt.generation != nullptr) {
       for (std::size_t q = 0; q < queues; ++q) {
         handoff[q]->push(HandoffItem{net::Packet{}, 0, attempt.generation});
       }
+    }
+    if (dprof != nullptr) {
+      if (attempt.generation != nullptr) {
+        // Committed: flush the old epoch's delta, adopt the new one, and
+        // charge the swap work to the epoch it bought (like the workers).
+        dprof->set_epoch(attempt.generation->epoch);
+      }
+      dprof->record(telemetry::ProfileStage::swap_barrier,
+                    telemetry::profile_now_ns() - swap_start);
     }
   };
 
@@ -688,6 +738,9 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
     bool open = true;
     maybe_swap();  // an at_offered=0 order applies before the first packet
     while (open) {
+      const bool dprof_sampled = dprof != nullptr && dprof->batch_begin();
+      const double wait_start =
+          dprof_sampled ? telemetry::profile_now_ns() : 0.0;
       chunk.clear();
       dest.clear();
       flow_keys.clear();
@@ -699,17 +752,40 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
         }
         chunk.push_back(std::move(*pkt));
       }
+      if (dprof_sampled) {
+        // Chunk refill is the packet *source* (generation or replay), not
+        // classifier work — the dispatch lane's wait, like a worker blocked
+        // on its handoff ring.
+        dprof->record(telemetry::ProfileStage::wait,
+                      telemetry::profile_now_ns() - wait_start);
+      }
       if (chunk.empty()) {
+        if (dprof_sampled) {
+          dprof->batch_end(0);
+        } else if (dprof != nullptr) {
+          dprof->batch_skip(0);
+        }
         break;
       }
 
+      // On sampled chunks the flow-key derivation inside the classify loop
+      // is timed per call and reported as its own stage (flow_classify);
+      // the remainder of the classify loop stays steer.
+      double classify_ns = 0.0;
       double t0 = rt::thread_cpu_now_ns();
       for (const net::Packet& pkt : chunk) {
         std::uint16_t q;
         if (flow_table_ != nullptr) {
           // One tuple walk yields the steering hash *and* the 64-bit flow
           // key — the classifier computes what the NIC would report.
-          const RssSteering::FlowHash fh = steering_.flow_hash(pkt.bytes());
+          RssSteering::FlowHash fh;
+          if (dprof_sampled) {
+            const double c0 = telemetry::profile_now_ns();
+            fh = steering_.flow_hash(pkt.bytes());
+            classify_ns += telemetry::profile_now_ns() - c0;
+          } else {
+            fh = steering_.flow_hash(pkt.bytes());
+          }
           q = steering_.queue_for_hash(fh.hash);
           flow_keys.push_back(fh.flow_key);
         } else {
@@ -742,7 +818,19 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
       if (handoff_shard != nullptr && handoff_ns > 0.0) {
         handoff_shard->observe(static_cast<std::uint64_t>(handoff_ns));
       }
+      if (dprof_sampled) {
+        classify_ns = std::min(classify_ns, steer_ns);
+        dprof->record(telemetry::ProfileStage::flow_classify, classify_ns);
+        dprof->record(telemetry::ProfileStage::steer, steer_ns - classify_ns);
+        dprof->record(telemetry::ProfileStage::handoff, handoff_ns);
+        dprof->batch_end(chunk.size());
+      } else if (dprof != nullptr) {
+        dprof->batch_skip(chunk.size());
+      }
       maybe_swap();
+    }
+    if (dprof != nullptr) {
+      dprof->flush();
     }
   } catch (...) {
     dispatch_error = std::current_exception();
@@ -783,6 +871,9 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
           sink->stage_latency(static_cast<telemetry::Stage>(s)).snapshot();
       delta -= stage_before[s];
       report.stage_latency[s] = delta;
+    }
+    if (profiling) {
+      report.profile = sink->profiler().capture().since(profile_before);
     }
     if (live_ != nullptr) {
       // Square the live counters up to the exact report totals; the

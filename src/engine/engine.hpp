@@ -76,6 +76,12 @@ struct EngineReport {
   /// Empty when no telemetry sink was attached.
   std::vector<telemetry::HistogramData> stage_latency;
 
+  /// Cycle-accounting profile for this run only (delta over the sink
+  /// profiler's cumulative shards): per-lane and per-epoch stage ns, work
+  /// vs wait split, sampling strides.  Empty shards when no sink was
+  /// attached or config.profile is off.
+  telemetry::ProfileCapture profile;
+
   /// Slowest shard's host-side processing time: with one core per queue,
   /// the run completes when the busiest worker does.
   [[nodiscard]] double critical_path_ns() const noexcept;

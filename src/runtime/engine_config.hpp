@@ -74,6 +74,13 @@ struct EngineConfig {
   /// layout swap from the engine's swap cycle.  Empty = the route answers
   /// 403.  Only meaningful together with `listen`.
   std::string swap_token;
+  /// Drive the sink's cycle-accounting profiler (telemetry::Profiler) from
+  /// every datapath thread.  On by default — sampling is batch-amortized
+  /// with an auto-tuned stride, so steady-state overhead stays under the
+  /// profiler's 3% target.  Meaningless without a telemetry sink.
+  bool profile = true;
+  /// Fixed profiler sampling stride (time every Nth batch); 0 = auto-tune.
+  std::size_t profile_stride = 0;
 
   // Fluent builder surface -- each setter returns *this so configurations
   // compose in one expression.
@@ -156,6 +163,14 @@ struct EngineConfig {
   }
   EngineConfig& with_swap_token(std::string token) {
     swap_token = std::move(token);
+    return *this;
+  }
+  EngineConfig& with_profiler(bool enabled = true) {
+    profile = enabled;
+    return *this;
+  }
+  EngineConfig& with_profile_stride(std::size_t stride) {
+    profile_stride = stride;
     return *this;
   }
 };

@@ -228,6 +228,11 @@ ValidatingRxLoop::ValidatingRxLoop(const core::CompiledLayout& wire_layout,
                                    std::size_t queue)
     : ValidatingRxLoop(wire_layout, engine, guard_config_from(config, queue)) {
   set_telemetry(config.telemetry, queue);
+  if (!config.profile) {
+    set_profile(nullptr);
+  } else if (config.telemetry != nullptr && config.profile_stride > 0) {
+    config.telemetry->profiler().set_stride(config.profile_stride);
+  }
 }
 
 void ValidatingRxLoop::cut_over(const core::CompiledLayout& wire_layout,
@@ -239,6 +244,11 @@ void ValidatingRxLoop::cut_over(const core::CompiledLayout& wire_layout,
   dead_letters_.reserve_slots(wire_layout.total_bytes(),
                               guard_.config().frame_capture_bytes);
   trace(telemetry::TraceEventType::layout_cutover, 0, epoch);
+  if (profile_shard_ != nullptr) {
+    // Epoch attribution boundary: everything accounted so far flushes to
+    // the outgoing epoch; subsequent spans charge the incoming one.
+    profile_shard_->set_epoch(epoch);
+  }
 }
 
 void ValidatingRxLoop::set_telemetry(telemetry::Sink* sink, std::size_t queue) {
@@ -248,6 +258,7 @@ void ValidatingRxLoop::set_telemetry(telemetry::Sink* sink, std::size_t queue) {
     trace_ring_ = nullptr;
     latency_shard_ = nullptr;
     stage_shards_.fill(nullptr);
+    profile_shard_ = nullptr;
     return;
   }
   // Resolve the single-writer endpoints once; the hot loop then pays one
@@ -262,6 +273,11 @@ void ValidatingRxLoop::set_telemetry(telemetry::Sink* sink, std::size_t queue) {
     stage_shards_[static_cast<std::size_t>(stage)] =
         &sink->stage_shard(stage, queue);
   }
+  // Profiler lane: on by default whenever telemetry is attached; callers
+  // that want spans without cycle accounting detach via set_profile(nullptr).
+  profile_shard_ = queue < sink->profiler().shards()
+                       ? &sink->profile_shard(queue)
+                       : nullptr;
 }
 
 void ValidatingRxLoop::flight_capture(telemetry::FlightCause cause,

@@ -187,8 +187,18 @@ class ValidatingRxLoop {
                    const EngineConfig& config, std::size_t queue = 0);
 
   /// Attaches (or detaches, with nullptr) a telemetry sink; this loop
-  /// writes queue `queue`'s trace ring and batch-latency histogram shard.
+  /// writes queue `queue`'s trace ring and batch-latency histogram shard,
+  /// and drives the sink profiler's shard `queue` (cycle accounting).
   void set_telemetry(telemetry::Sink* sink, std::size_t queue = 0);
+
+  /// Overrides (or detaches, with nullptr) the profiler lane this loop
+  /// drives; set_telemetry attaches the sink's matching shard by default.
+  void set_profile(telemetry::ProfileShard* shard) noexcept {
+    profile_shard_ = shard;
+  }
+  [[nodiscard]] telemetry::ProfileShard* profile_shard() const noexcept {
+    return profile_shard_;
+  }
 
   template <typename Nic>
   [[nodiscard]] RxLoopStats run(Nic& nic, net::WorkloadGenerator& workload,
@@ -290,6 +300,7 @@ class ValidatingRxLoop {
   /// handoff stay null here — they belong to the dispatch thread.
   std::array<telemetry::Histogram::Shard*, telemetry::kStageCount>
       stage_shards_{};
+  telemetry::ProfileShard* profile_shard_ = nullptr;  ///< cycle accounting
   std::uint16_t queue_ = 0;
   std::uint64_t trace_seq_ = 0;
   std::vector<RecordVerdict> verdicts_;  ///< per-batch scratch (no realloc)
@@ -327,6 +338,13 @@ RxLoopStats ValidatingRxLoop::run_stream(
   rejected.reserve(config.batch);
   verdicts_.reserve(config.batch);
 
+  // Profiler lane: spans re-use the histogram spans' elapsed time (no extra
+  // clock reads for work stages); sampling is decided per batch by the
+  // shard's auto-tuned stride.  prof_sampled is live state the span lambdas
+  // read — it flips at every batch_begin.
+  telemetry::ProfileShard* const prof = profile_shard_;
+  bool prof_sampled = false;
+
   // host_ns is charged on the per-thread CPU clock: when several shard
   // workers share fewer cores (or one), preemption by a sibling shard must
   // not count against this shard's datapath cost.  Each span also lands in
@@ -342,6 +360,9 @@ RxLoopStats ValidatingRxLoop::run_stream(
     if (shard != nullptr && elapsed > 0.0) {
       shard->observe(static_cast<std::uint64_t>(elapsed));
     }
+    if (prof_sampled) {
+      prof->record(telemetry::to_profile_stage(stage), elapsed);
+    }
     return elapsed;
   };
   // The ring stage (rx feed + completion poll) is simulated-device work:
@@ -350,15 +371,18 @@ RxLoopStats ValidatingRxLoop::run_stream(
   auto* const ring_shard =
       stage_shards_[static_cast<std::size_t>(telemetry::Stage::ring)];
   const auto ring_span = [&](auto&& body) {
-    if (ring_shard == nullptr) {
+    if (ring_shard == nullptr && !prof_sampled) {
       body();
       return;
     }
     const double start = thread_cpu_now_ns();
     body();
     const double elapsed = thread_cpu_now_ns() - start;
-    if (elapsed > 0.0) {
+    if (ring_shard != nullptr && elapsed > 0.0) {
       ring_shard->observe(static_cast<std::uint64_t>(elapsed));
+    }
+    if (prof_sampled) {
+      prof->record(telemetry::ProfileStage::ring, elapsed);
     }
   };
   const auto consume_batch = [&](std::size_t n) {
@@ -385,8 +409,14 @@ RxLoopStats ValidatingRxLoop::run_stream(
 
   bool open = true;
   while (open) {
+    prof_sampled = prof != nullptr && prof->batch_begin();
     // Pop the burst before touching the device: source() may block (e.g. on
     // an SPSC handoff ring), and waiting must not pollute the ring span.
+    // On sampled batches the whole refill is accounted as wait — source-side
+    // blocking on the TSC/wall clock, because blocked time never shows on
+    // the CPU clock the work spans use.
+    const double wait_start =
+        prof_sampled ? telemetry::profile_now_ns() : 0.0;
     burst.clear();
     while (burst.size() < config.batch) {
       std::optional<net::Packet> next = source();
@@ -396,7 +426,16 @@ RxLoopStats ValidatingRxLoop::run_stream(
       }
       burst.push_back(std::move(*next));
     }
+    if (prof_sampled) {
+      prof->record(telemetry::ProfileStage::wait,
+                   telemetry::profile_now_ns() - wait_start);
+    }
     if (burst.empty()) {
+      if (prof_sampled) {
+        prof->batch_end(0);
+      } else if (prof != nullptr) {
+        prof->batch_skip(0);
+      }
       break;  // stream ended exactly on a batch boundary
     }
 
@@ -417,28 +456,65 @@ RxLoopStats ValidatingRxLoop::run_stream(
     consume_batch(n);
     nic.advance(n);
     observe(stats);
+    // Packets are attributed at consumption (polled completions), never at
+    // burst refill — otherwise a completion surfacing in the drain phase
+    // would be counted against two batches.
+    if (prof_sampled) {
+      prof->batch_end(n);
+    } else if (prof != nullptr) {
+      prof->batch_skip(n);
+    }
   }
 
   // Drain.  Delayed doorbells surface completions only after further polls;
-  // keep polling while the device reports work in flight.
+  // keep polling while the device reports work in flight.  Cold path, so
+  // every drain iteration is force-sampled; an empty poll is an idle spin
+  // (doorbell delay) and accounted as wait, not ring work.
   while (nic.pending() > 0) {
     std::size_t n = 0;
-    ring_span([&] { n = nic.poll(events); });
-    if (n == 0) {
-      continue;  // doorbell delay: the next poll advances the clock
+    if (prof != nullptr) {
+      prof_sampled = prof->batch_begin(/*force=*/true);
+      const double start = thread_cpu_now_ns();
+      n = nic.poll(events);
+      const double elapsed = thread_cpu_now_ns() - start;
+      if (n == 0) {
+        prof->record(telemetry::ProfileStage::wait, elapsed);
+        prof->batch_end(0);
+        continue;  // doorbell delay: the next poll advances the clock
+      }
+      prof->record(telemetry::ProfileStage::ring, elapsed);
+      if (ring_shard != nullptr && elapsed > 0.0) {
+        ring_shard->observe(static_cast<std::uint64_t>(elapsed));
+      }
+    } else {
+      ring_span([&] { n = nic.poll(events); });
+      if (n == 0) {
+        continue;  // doorbell delay: the next poll advances the clock
+      }
     }
     consume_batch(n);
     nic.advance(n);
     observe(stats);
+    if (prof != nullptr) {
+      prof->batch_end(n);
+    }
   }
 
   // Whatever is still unmatched was accepted by rx() but never completed.
+  const std::size_t recovered = pending.size();
+  if (prof != nullptr) {
+    prof_sampled = prof->batch_begin(/*force=*/true);
+  }
   span(telemetry::Stage::consume, [&] {
     for (const net::Packet& pkt : pending) {
       recover_lost(pkt, wanted, stats);
     }
   });
   pending.clear();
+  if (prof != nullptr) {
+    prof->batch_end(recovered);
+    prof->flush();
+  }
 
   stats.completion_bytes = nic.dma().completion_bytes;
   stats.frame_bytes = nic.dma().rx_frame_bytes;

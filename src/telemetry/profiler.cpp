@@ -1,0 +1,708 @@
+#include "telemetry/profiler.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "telemetry/metrics.hpp"
+
+namespace opendesc::telemetry {
+
+std::string_view to_string(ProfileStage stage) noexcept {
+  switch (stage) {
+    case ProfileStage::steer:
+      return "steer";
+    case ProfileStage::flow_classify:
+      return "flow_classify";
+    case ProfileStage::ring:
+      return "ring";
+    case ProfileStage::validate:
+      return "validate";
+    case ProfileStage::consume:
+      return "consume";
+    case ProfileStage::handoff:
+      return "handoff";
+    case ProfileStage::swap_barrier:
+      return "swap_barrier";
+    case ProfileStage::wait:
+      return "wait";
+  }
+  return "?";
+}
+
+// --- Clock ------------------------------------------------------------------
+
+namespace {
+
+double steady_now_ns() noexcept {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+struct TscCalibration {
+  bool usable = false;
+  double ns_per_tick = 1.0;
+};
+
+TscCalibration calibrate_tsc() noexcept {
+  // Pair the clocks at both ends of a ~200us steady_clock window; invariant
+  // TSC (every x86 this code will meet) makes the ratio stable thereafter.
+  const double t0 = steady_now_ns();
+  const std::uint64_t c0 = __builtin_ia32_rdtsc();
+  while (steady_now_ns() - t0 < 200000.0) {
+  }
+  const std::uint64_t c1 = __builtin_ia32_rdtsc();
+  const double t1 = steady_now_ns();
+  if (c1 > c0 && t1 > t0) {
+    return {true, (t1 - t0) / static_cast<double>(c1 - c0)};
+  }
+  return {};
+}
+#endif
+
+double measure_clock_pair_cost() noexcept {
+  constexpr int kPairs = 512;
+  double sink = 0.0;
+  const double t0 = profile_now_ns();
+  for (int i = 0; i < kPairs; ++i) {
+    sink += profile_now_ns();
+  }
+  const double elapsed = profile_now_ns() - t0;
+  (void)sink;
+  // Each recorded span costs two reads; the loop above did one per
+  // iteration, so a pair costs twice the per-read average (floored so the
+  // tuner never divides by zero).
+  return std::max(1.0, 2.0 * elapsed / kPairs);
+}
+
+}  // namespace
+
+double profile_now_ns() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  static const TscCalibration cal = calibrate_tsc();
+  if (cal.usable) {
+    return static_cast<double>(__builtin_ia32_rdtsc()) * cal.ns_per_tick;
+  }
+#endif
+  return steady_now_ns();
+}
+
+double profile_clock_pair_cost_ns() noexcept {
+  static const double cost = measure_clock_pair_cost();
+  return cost;
+}
+
+// --- ProfileData ------------------------------------------------------------
+
+ProfileData& ProfileData::operator+=(const ProfileData& other) noexcept {
+  for (std::size_t s = 0; s < kProfileStageCount; ++s) {
+    stage_ns[s] += other.stage_ns[s];
+  }
+  loop_ns += other.loop_ns;
+  batches += other.batches;
+  sampled_batches += other.sampled_batches;
+  packets += other.packets;
+  sampled_packets += other.sampled_packets;
+  stride = std::max(stride, other.stride);
+  return *this;
+}
+
+ProfileData& ProfileData::operator-=(const ProfileData& base) noexcept {
+  const auto sub_u64 = [](std::uint64_t& field, std::uint64_t prev) {
+    field = field >= prev ? field - prev : 0;
+  };
+  const auto sub_ns = [](double& field, double prev) {
+    field = field >= prev ? field - prev : 0.0;
+  };
+  for (std::size_t s = 0; s < kProfileStageCount; ++s) {
+    sub_ns(stage_ns[s], base.stage_ns[s]);
+  }
+  sub_ns(loop_ns, base.loop_ns);
+  sub_u64(batches, base.batches);
+  sub_u64(sampled_batches, base.sampled_batches);
+  sub_u64(packets, base.packets);
+  sub_u64(sampled_packets, base.sampled_packets);
+  return *this;
+}
+
+std::array<std::uint64_t, kProfileWords> encode_profile(
+    const ProfileData& data) noexcept {
+  std::array<std::uint64_t, kProfileWords> words{};
+  for (std::size_t s = 0; s < kProfileStageCount; ++s) {
+    words[s] = std::bit_cast<std::uint64_t>(data.stage_ns[s]);
+  }
+  words[kProfileStageCount] = std::bit_cast<std::uint64_t>(data.loop_ns);
+  words[kProfileStageCount + 1] = data.batches;
+  words[kProfileStageCount + 2] = data.sampled_batches;
+  words[kProfileStageCount + 3] = data.packets;
+  words[kProfileStageCount + 4] = data.sampled_packets;
+  words[kProfileStageCount + 5] = data.stride;
+  return words;
+}
+
+ProfileData decode_profile(
+    const std::array<std::uint64_t, kProfileWords>& words) noexcept {
+  ProfileData data;
+  for (std::size_t s = 0; s < kProfileStageCount; ++s) {
+    data.stage_ns[s] = std::bit_cast<double>(words[s]);
+  }
+  data.loop_ns = std::bit_cast<double>(words[kProfileStageCount]);
+  data.batches = words[kProfileStageCount + 1];
+  data.sampled_batches = words[kProfileStageCount + 2];
+  data.packets = words[kProfileStageCount + 3];
+  data.sampled_packets = words[kProfileStageCount + 4];
+  data.stride = words[kProfileStageCount + 5];
+  return data;
+}
+
+// --- ProfileShard -----------------------------------------------------------
+
+bool ProfileShard::batch_begin(bool force) noexcept {
+  if (owner_ != nullptr) {
+    const std::uint64_t override_stride = owner_->stride_override();
+    if (override_stride != 0) {
+      stride_ = std::clamp<std::uint64_t>(override_stride, 1, 1024);
+    }
+  }
+  records_in_batch_ = 0;
+  batch_loop_base_ = pending_.loop_ns;
+  if (force) {
+    sampling_ = true;
+    since_sample_ = 0;
+    return true;
+  }
+  if (++since_sample_ >= stride_) {
+    since_sample_ = 0;
+    sampling_ = true;
+  } else {
+    sampling_ = false;
+  }
+  return sampling_;
+}
+
+void ProfileShard::batch_end(std::uint64_t packets) noexcept {
+  ++pending_.batches;
+  ++pending_.sampled_batches;
+  pending_.packets += packets;
+  pending_.sampled_packets += packets;
+  const bool auto_tune = owner_ == nullptr || owner_->stride_override() == 0;
+  if (auto_tune && records_in_batch_ > 0) {
+    // One sampled batch paid (records + begin/end) clock pairs; that cost is
+    // amortized over stride_ batches of this much work.  Double the stride
+    // while the measured fraction exceeds the target, shrink it when the
+    // fraction has fallen far below — K settles where overhead ~ target.
+    const double work = pending_.loop_ns - batch_loop_base_;
+    const double cost = static_cast<double>(records_in_batch_ + 2) *
+                        profile_clock_pair_cost_ns();
+    const double window = work * static_cast<double>(stride_);
+    if (window > 0.0) {
+      const double target =
+          owner_ != nullptr ? owner_->overhead_target() : 0.03;
+      const double overhead = cost / (window + cost);
+      if (overhead > target && stride_ < 1024) {
+        stride_ *= 2;
+      } else if (overhead * 4.0 < target && stride_ > 1) {
+        stride_ /= 2;
+      }
+    }
+  }
+  pending_.stride = stride_;
+  sampling_ = false;
+  publish();
+}
+
+void ProfileShard::batch_skip(std::uint64_t packets) noexcept {
+  ++pending_.batches;
+  pending_.packets += packets;
+  pending_.stride = stride_;
+  publish();
+}
+
+void ProfileShard::set_epoch(std::uint64_t epoch) noexcept {
+  flush_epoch();
+  current_epoch_ = epoch;
+}
+
+void ProfileShard::flush() noexcept {
+  pending_.stride = stride_;
+  publish();
+  flush_epoch();
+}
+
+void ProfileShard::flush_epoch() noexcept {
+  if (owner_ == nullptr) {
+    return;
+  }
+  ProfileData delta = pending_;
+  delta -= epoch_base_;
+  if (!delta.empty()) {
+    owner_->contribute_epoch(current_epoch_, delta);
+  }
+  epoch_base_ = pending_;
+}
+
+void ProfileShard::publish() noexcept {
+  // Same protocol (and same reasoning) as StatsRegistry::publish: seq_cst
+  // keeps the odd store, the payload and the even store in one total order;
+  // publish runs once per batch so the fence cost is irrelevant.
+  const std::array<std::uint64_t, kProfileWords> words =
+      encode_profile(pending_);
+  const std::uint64_t epoch = slot_.epoch.load(std::memory_order_relaxed);
+  slot_.epoch.store(epoch + 1);  // odd: write in progress
+  for (std::size_t i = 0; i < kProfileWords; ++i) {
+    slot_.words[i].store(words[i]);
+  }
+  slot_.epoch.store(epoch + 2);  // even: stable
+}
+
+ProfileData ProfileShard::snapshot() const noexcept {
+  std::array<std::uint64_t, kProfileWords> words{};
+  for (;;) {
+    const std::uint64_t before = slot_.epoch.load();
+    if ((before & 1) != 0) {
+      continue;  // writer mid-publish
+    }
+    for (std::size_t i = 0; i < kProfileWords; ++i) {
+      words[i] = slot_.words[i].load();
+    }
+    if (slot_.epoch.load() == before) {
+      return decode_profile(words);
+    }
+  }
+}
+
+// --- Profiler ---------------------------------------------------------------
+
+Profiler::Profiler(Config config)
+    : shards_(std::max<std::size_t>(1, config.shards)),
+      overhead_target_(config.overhead_target > 0.0 ? config.overhead_target
+                                                    : 0.03) {
+  stride_override_.store(config.stride, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].owner_ = this;
+  }
+  // Warm the clock + pair-cost calibrations before any writer runs, so the
+  // first sampled batch never pays the ~200us TSC calibration spin.
+  (void)profile_clock_pair_cost_ns();
+}
+
+void Profiler::set_tenant(std::string tenant) {
+  const std::lock_guard<std::mutex> lock(tenant_mutex_);
+  tenant_ = std::move(tenant);
+}
+
+std::string Profiler::tenant() const {
+  const std::lock_guard<std::mutex> lock(tenant_mutex_);
+  return tenant_;
+}
+
+ProfileData Profiler::aggregate() const noexcept {
+  ProfileData total;
+  for (const ProfileShard& shard : shards_) {
+    total += shard.snapshot();
+  }
+  return total;
+}
+
+std::vector<std::pair<std::uint64_t, ProfileData>> Profiler::epochs() const {
+  const std::lock_guard<std::mutex> lock(epoch_mutex_);
+  return {epochs_.begin(), epochs_.end()};
+}
+
+ProfileCapture Profiler::capture() const {
+  ProfileCapture capture;
+  capture.shards.reserve(shards_.size());
+  for (const ProfileShard& shard : shards_) {
+    capture.shards.push_back(shard.snapshot());
+  }
+  capture.queues = shards_.size() > 0 ? shards_.size() - 1 : 0;
+  capture.epochs = epochs();
+  capture.tenant = tenant();
+  return capture;
+}
+
+void Profiler::contribute_epoch(std::uint64_t epoch,
+                                const ProfileData& delta) {
+  const std::lock_guard<std::mutex> lock(epoch_mutex_);
+  epochs_[epoch] += delta;
+}
+
+void Profiler::publish(Registry& registry) const {
+  const ProfileCapture capture = this->capture();
+  const ProfileData total = capture.aggregate();
+  const auto ns_u64 = [](double ns) {
+    return ns > 0.0 ? static_cast<std::uint64_t>(ns) : 0;
+  };
+  for (std::size_t s = 0; s < kProfileStageCount; ++s) {
+    const auto stage = static_cast<ProfileStage>(s);
+    const Labels labels = {{"stage", std::string(to_string(stage))}};
+    registry
+        .counter("opendesc_profile_stage_ns_total",
+                 "Sampled nanoseconds accounted per pipeline stage", labels)
+        .store(ns_u64(total.stage_ns[s]));
+    registry
+        .gauge("opendesc_profile_stage_ns_per_packet",
+               "Sampled nanoseconds per packet, by pipeline stage", labels)
+        .set(capture.stage_ns_per_packet(stage));
+  }
+  registry
+      .counter("opendesc_profile_work_ns_total",
+               "Sampled work nanoseconds (all stages except wait)")
+      .store(ns_u64(total.work_ns()));
+  registry
+      .counter("opendesc_profile_wait_ns_total",
+               "Sampled wait/idle-spin nanoseconds")
+      .store(ns_u64(total.wait_ns()));
+  registry
+      .counter("opendesc_profile_batches_total",
+               "Batches processed by profiled threads")
+      .store(total.batches);
+  registry
+      .counter("opendesc_profile_sampled_batches_total",
+               "Batches whose spans were timed (every Kth)")
+      .store(total.sampled_batches);
+  registry
+      .counter("opendesc_profile_sampled_packets_total",
+               "Packets carried by sampled batches")
+      .store(total.sampled_packets);
+  std::uint64_t stride = 1;
+  for (const ProfileData& shard : capture.shards) {
+    stride = std::max(stride, shard.stride);
+  }
+  registry
+      .gauge("opendesc_profile_stride",
+             "Largest per-shard sampling stride K (auto-tuned)")
+      .set(static_cast<double>(stride));
+}
+
+// --- ProfileCapture ---------------------------------------------------------
+
+ProfileData ProfileCapture::aggregate() const noexcept {
+  ProfileData total;
+  for (const ProfileData& shard : shards) {
+    total += shard;
+  }
+  return total;
+}
+
+double ProfileCapture::stage_ns_per_packet(ProfileStage stage) const noexcept {
+  // Divide by the packets the *owning* side sampled: dispatch stages by the
+  // dispatch lane's, worker stages by the worker lanes'.  wait/swap_barrier
+  // occur on both sides, so they divide by everything sampled.
+  const bool dispatch_only = is_dispatch_stage(stage);
+  const bool worker_only = stage == ProfileStage::ring ||
+                           stage == ProfileStage::validate ||
+                           stage == ProfileStage::consume;
+  double ns = 0.0;
+  std::uint64_t pkts = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const bool is_dispatch_lane = i == queues;
+    if ((dispatch_only && !is_dispatch_lane) ||
+        (worker_only && is_dispatch_lane)) {
+      continue;
+    }
+    ns += shards[i].stage_ns[static_cast<std::size_t>(stage)];
+    pkts += shards[i].sampled_packets;
+  }
+  return pkts == 0 ? 0.0 : ns / static_cast<double>(pkts);
+}
+
+ProfileCapture ProfileCapture::since(const ProfileCapture& base) const {
+  ProfileCapture delta = *this;
+  for (std::size_t i = 0; i < delta.shards.size() && i < base.shards.size();
+       ++i) {
+    delta.shards[i] -= base.shards[i];
+  }
+  std::vector<std::pair<std::uint64_t, ProfileData>> epoch_delta;
+  for (const auto& [epoch, data] : delta.epochs) {
+    ProfileData d = data;
+    for (const auto& [base_epoch, base_data] : base.epochs) {
+      if (base_epoch == epoch) {
+        d -= base_data;
+        break;
+      }
+    }
+    if (!d.empty()) {
+      epoch_delta.emplace_back(epoch, d);
+    }
+  }
+  delta.epochs = std::move(epoch_delta);
+  return delta;
+}
+
+// --- Renderers --------------------------------------------------------------
+
+namespace {
+
+std::string lane_name(const ProfileCapture& capture, std::size_t index) {
+  if (index == capture.queues) {
+    return "dispatch";
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "queue%zu", index);
+  return buf;
+}
+
+void append_num(std::string& out, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f", value);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out += buf;
+}
+
+void append_profile_data_json(std::string& out, const ProfileData& data) {
+  out += "\"batches\":";
+  append_u64(out, data.batches);
+  out += ",\"sampled_batches\":";
+  append_u64(out, data.sampled_batches);
+  out += ",\"packets\":";
+  append_u64(out, data.packets);
+  out += ",\"sampled_packets\":";
+  append_u64(out, data.sampled_packets);
+  out += ",\"stride\":";
+  append_u64(out, data.stride);
+  out += ",\"work_ns\":";
+  append_num(out, data.work_ns());
+  out += ",\"wait_ns\":";
+  append_num(out, data.wait_ns());
+  out += ",\"loop_ns\":";
+  append_num(out, data.loop_ns);
+  out += ",\"work_ns_per_packet\":";
+  append_num(out, data.work_ns_per_packet());
+  out += ",\"stages\":{";
+  for (std::size_t s = 0; s < kProfileStageCount; ++s) {
+    if (s > 0) {
+      out += ',';
+    }
+    out += '"';
+    out += to_string(static_cast<ProfileStage>(s));
+    out += "\":{\"ns\":";
+    append_num(out, data.stage_ns[s]);
+    out += ",\"ns_per_packet\":";
+    append_num(out, data.ns_per_packet(static_cast<ProfileStage>(s)));
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string render_profile_json(const ProfileCapture& capture) {
+  std::string out = "{\"window_seconds\":";
+  append_num(out, capture.window_seconds);
+  out += ",\"tenant\":\"";
+  out += capture.tenant;  // tenant labels are identifier-like; no escaping
+  out += "\",\"queues\":";
+  append_u64(out, capture.queues);
+  out += ",\"lanes\":[";
+  for (std::size_t i = 0; i < capture.shards.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += "{\"lane\":\"";
+    out += lane_name(capture, i);
+    out += "\",";
+    append_profile_data_json(out, capture.shards[i]);
+    out += '}';
+  }
+  out += "],\"total\":{";
+  append_profile_data_json(out, capture.aggregate());
+  out += "},\"epochs\":[";
+  for (std::size_t e = 0; e < capture.epochs.size(); ++e) {
+    if (e > 0) {
+      out += ',';
+    }
+    out += "{\"epoch\":";
+    append_u64(out, capture.epochs[e].first);
+    out += ',';
+    append_profile_data_json(out, capture.epochs[e].second);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_profile_collapsed(const ProfileCapture& capture) {
+  // flamegraph.pl input: `frame;frame;frame value\n`, integer values.
+  // Lanes that processed nothing are omitted entirely (PR 5 empty-histogram
+  // convention), as are zero stages — flamegraphs have no zero-width boxes.
+  std::string out;
+  for (std::size_t i = 0; i < capture.shards.size(); ++i) {
+    const ProfileData& shard = capture.shards[i];
+    if (shard.batches == 0) {
+      continue;
+    }
+    const std::string lane = lane_name(capture, i);
+    for (std::size_t s = 0; s < kProfileStageCount; ++s) {
+      const auto stage = static_cast<ProfileStage>(s);
+      const std::uint64_t ns = static_cast<std::uint64_t>(
+          std::max(0.0, shard.stage_ns[s]));
+      if (ns == 0) {
+        continue;
+      }
+      out += "opendesc;";
+      out += lane;
+      out += ';';
+      out += stage == ProfileStage::wait ? "wait" : "work";
+      if (stage != ProfileStage::wait) {
+        out += ';';
+        out += to_string(stage);
+      }
+      out += ' ';
+      append_u64(out, ns);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string render_profile_speedscope(const ProfileCapture& capture) {
+  // https://www.speedscope.app/file-format-schema.json — evented profiles,
+  // one per active lane, frames shared.  Each lane lays its stages out
+  // sequentially under a work/wait parent frame; values are nanoseconds.
+  std::string out =
+      "{\"$schema\":\"https://www.speedscope.app/file-format-schema.json\","
+      "\"exporter\":\"opendesc\",\"name\":\"opendesc profile\","
+      "\"activeProfileIndex\":0,\"shared\":{\"frames\":[";
+  // Frame table: [0]=work, [1]=wait, [2..]=one per non-wait stage.
+  out += "{\"name\":\"work\"},{\"name\":\"wait\"}";
+  std::array<int, kProfileStageCount> frame_of{};
+  int next_frame = 2;
+  for (std::size_t s = 0; s < kProfileStageCount; ++s) {
+    if (static_cast<ProfileStage>(s) == ProfileStage::wait) {
+      frame_of[s] = 1;
+      continue;
+    }
+    frame_of[s] = next_frame++;
+    out += ",{\"name\":\"";
+    out += to_string(static_cast<ProfileStage>(s));
+    out += "\"}";
+  }
+  out += "]},\"profiles\":[";
+  bool first_profile = true;
+  for (std::size_t i = 0; i < capture.shards.size(); ++i) {
+    const ProfileData& shard = capture.shards[i];
+    if (shard.batches == 0) {
+      continue;
+    }
+    if (!first_profile) {
+      out += ',';
+    }
+    first_profile = false;
+    std::string events;
+    double cursor = 0.0;
+    const auto open_close = [&](int frame, double ns) {
+      events += "{\"type\":\"O\",\"frame\":";
+      append_u64(events, static_cast<std::uint64_t>(frame));
+      events += ",\"at\":";
+      append_num(events, cursor);
+      events += "},";
+      cursor += ns;
+      events += "{\"type\":\"C\",\"frame\":";
+      append_u64(events, static_cast<std::uint64_t>(frame));
+      events += ",\"at\":";
+      append_num(events, cursor);
+      events += "},";
+    };
+    // work parent open
+    const double work = std::max(0.0, shard.work_ns());
+    events += "{\"type\":\"O\",\"frame\":0,\"at\":0.0},";
+    for (std::size_t s = 0; s < kProfileStageCount; ++s) {
+      if (static_cast<ProfileStage>(s) == ProfileStage::wait) {
+        continue;
+      }
+      const double ns = std::max(0.0, shard.stage_ns[s]);
+      if (ns > 0.0) {
+        open_close(frame_of[s], ns);
+      }
+    }
+    cursor = work;
+    events += "{\"type\":\"C\",\"frame\":0,\"at\":";
+    append_num(events, cursor);
+    events += "},";
+    const double wait = std::max(0.0, shard.wait_ns());
+    if (wait > 0.0) {
+      open_close(1, wait);
+    }
+    if (!events.empty() && events.back() == ',') {
+      events.pop_back();
+    }
+    out += "{\"type\":\"evented\",\"name\":\"";
+    out += lane_name(capture, i);
+    out += "\",\"unit\":\"nanoseconds\",\"startValue\":0,\"endValue\":";
+    append_num(out, cursor);
+    out += ",\"events\":[";
+    out += events;
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_profile_tsv(const ProfileCapture& capture) {
+  // ns/pkt matrix: one row per stage, one column per lane plus a trailing
+  // ownership-aware total.  Lanes with zero sampled packets render `-`.
+  std::string out = "stage";
+  for (std::size_t i = 0; i < capture.shards.size(); ++i) {
+    out += '\t';
+    out += lane_name(capture, i);
+  }
+  out += "\ttotal\n";
+  for (std::size_t s = 0; s < kProfileStageCount; ++s) {
+    const auto stage = static_cast<ProfileStage>(s);
+    out += to_string(stage);
+    for (const ProfileData& shard : capture.shards) {
+      out += '\t';
+      if (shard.sampled_packets == 0) {
+        out += '-';
+      } else {
+        append_num(out, shard.ns_per_packet(stage));
+      }
+    }
+    out += '\t';
+    const double total = capture.stage_ns_per_packet(stage);
+    if (capture.aggregate().sampled_packets == 0) {
+      out += '-';
+    } else {
+      append_num(out, total);
+    }
+    out += '\n';
+  }
+  out += "work_ns_per_packet";
+  for (const ProfileData& shard : capture.shards) {
+    out += '\t';
+    if (shard.sampled_packets == 0) {
+      out += '-';
+    } else {
+      append_num(out, shard.work_ns_per_packet());
+    }
+  }
+  out += '\t';
+  const ProfileData total = capture.aggregate();
+  if (total.sampled_packets == 0) {
+    out += '-';
+  } else {
+    append_num(out, total.work_ns_per_packet());
+  }
+  out += '\n';
+  out += "stride";
+  for (const ProfileData& shard : capture.shards) {
+    out += '\t';
+    append_u64(out, shard.stride);
+  }
+  out += "\t-\n";
+  return out;
+}
+
+}  // namespace opendesc::telemetry

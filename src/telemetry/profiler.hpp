@@ -1,0 +1,303 @@
+// Continuous hot-path profiler: per-stage cycle accounting with bounded,
+// self-tuning overhead.
+//
+// The stage-latency histograms (telemetry::Stage) measure *batch wall time*;
+// they cannot attribute cycles per packet, separate work from idle spin, or
+// split cost by layout epoch.  The profiler closes that gap: every datapath
+// thread owns one single-writer ProfileShard and accounts nanoseconds into a
+// fixed stage enumeration (ProfileStage) extended with explicit wait/idle
+// accounting, so ns/pkt is computed over *work* cycles only.
+//
+// Cost model:
+//   - Sampling is batch-amortized: spans are timed on every Kth batch only,
+//     with K auto-tuned per shard against the calibrated cost of a clock
+//     read pair so measured overhead stays under Profiler::Config::
+//     overhead_target (3% by default).  Unsampled batches cost two counter
+//     adds and one seqlock publish — the same order as the per-batch stats
+//     publish the engine already does.
+//   - Snapshots use the StatsRegistry seqlock idiom: the writer bumps an
+//     epoch word odd, stores the payload words, bumps it even; readers retry
+//     until they observe a stable even epoch.  Every word is an atomic, so
+//     the protocol is TSan-clean by construction.
+//   - Work spans ride the per-thread CPU clock the host-cost convention
+//     already uses; wait spans (blocking pops, doorbell-delay idle polls)
+//     use the TSC-backed wall clock profile_now_ns(), because blocked time
+//     never shows on a CPU clock.
+//
+// Attribution: each shard tracks the layout epoch it is serving and flushes
+// its delta into a per-epoch table at every cutover (cold path, mutex'd),
+// so /profile can split cost by epoch across a hot-swap; the owning
+// engine's tenant label rides along for multi-tenant planes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace opendesc::telemetry {
+
+class Registry;
+
+/// Cycle-accounting stages.  Extends the five span stages with the flow
+/// classifier (carved out of steer), the swap drain barrier, and explicit
+/// wait/idle-spin time so work cost is separable from waiting.
+enum class ProfileStage : std::uint8_t {
+  steer,          ///< dispatch: RSS classify a chunk (minus flow_classify)
+  flow_classify,  ///< dispatch: flow-key derivation inside the classify loop
+  ring,           ///< worker: rx feed + completion poll + ring advance
+  validate,       ///< worker: schema/bounds validation of polled records
+  consume,        ///< worker: accessor reads / SoftNIC recovery per record
+  handoff,        ///< dispatch: SPSC push of a classified chunk
+  swap_barrier,   ///< both: layout hot-swap (verify, drain, cut over)
+  wait,           ///< both: blocking pops, idle polls, source refill
+};
+
+inline constexpr std::size_t kProfileStageCount = 8;
+
+[[nodiscard]] std::string_view to_string(ProfileStage stage) noexcept;
+
+/// True for stages owned by the dispatch/steering thread (wait and
+/// swap_barrier occur on both sides).
+[[nodiscard]] constexpr bool is_dispatch_stage(ProfileStage stage) noexcept {
+  return stage == ProfileStage::steer || stage == ProfileStage::flow_classify ||
+         stage == ProfileStage::handoff;
+}
+
+/// TSC-backed wall-clock nanoseconds (calibrated once against
+/// steady_clock); falls back to steady_clock where no TSC is available.
+[[nodiscard]] double profile_now_ns() noexcept;
+
+/// Calibrated cost of one profile_now_ns() begin/end pair — what one
+/// recorded span costs the hot path.  Feeds the stride auto-tuner.
+[[nodiscard]] double profile_clock_pair_cost_ns() noexcept;
+
+/// One coherent shard snapshot (or an aggregate / delta of them).
+///
+/// stage_ns are *sampled* sums: they cover sampled_batches of the batches
+/// total, so per-packet figures divide by sampled_packets, not packets.
+struct ProfileData {
+  std::array<double, kProfileStageCount> stage_ns{};
+  /// Independently accumulated sum of every recorded span (work + wait).
+  /// On a coherent snapshot work_ns() + wait_ns() == loop_ns up to float
+  /// rounding; a torn snapshot breaks the identity — tests exploit this.
+  double loop_ns = 0.0;
+  std::uint64_t batches = 0;
+  std::uint64_t sampled_batches = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t sampled_packets = 0;
+  std::uint64_t stride = 1;  ///< current K (not additive; max under +=)
+
+  [[nodiscard]] double wait_ns() const noexcept {
+    return stage_ns[static_cast<std::size_t>(ProfileStage::wait)];
+  }
+  [[nodiscard]] double work_ns() const noexcept { return loop_ns - wait_ns(); }
+  /// Sampled ns of `stage` per sampled packet; 0 when nothing was sampled.
+  [[nodiscard]] double ns_per_packet(ProfileStage stage) const noexcept {
+    return sampled_packets == 0
+               ? 0.0
+               : stage_ns[static_cast<std::size_t>(stage)] /
+                     static_cast<double>(sampled_packets);
+  }
+  [[nodiscard]] double work_ns_per_packet() const noexcept {
+    return sampled_packets == 0
+               ? 0.0
+               : work_ns() / static_cast<double>(sampled_packets);
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return batches == 0 && packets == 0 && loop_ns == 0.0;
+  }
+
+  ProfileData& operator+=(const ProfileData& other) noexcept;
+  /// Delta against an earlier snapshot of the same shard (saturating).
+  ProfileData& operator-=(const ProfileData& base) noexcept;
+};
+
+/// Seqlock payload: 8 stage words + loop_ns + 4 counters + stride.
+inline constexpr std::size_t kProfileWords = kProfileStageCount + 6;
+
+[[nodiscard]] std::array<std::uint64_t, kProfileWords> encode_profile(
+    const ProfileData& data) noexcept;
+[[nodiscard]] ProfileData decode_profile(
+    const std::array<std::uint64_t, kProfileWords>& words) noexcept;
+
+class Profiler;
+
+/// One thread's accounting lane.  The writer API (batch_begin / record /
+/// batch_end / batch_skip / set_epoch / flush) must be driven by exactly
+/// one thread; snapshot() is safe from any thread at any time.
+class ProfileShard {
+ public:
+  ProfileShard() = default;
+  ProfileShard(const ProfileShard&) = delete;
+  ProfileShard& operator=(const ProfileShard&) = delete;
+
+  /// Opens a batch; true when this batch is sampled (time its spans and
+  /// finish with batch_end; otherwise finish with batch_skip).  `force`
+  /// samples unconditionally — for cold paths like the device drain.
+  [[nodiscard]] bool batch_begin(bool force = false) noexcept;
+
+  /// Accounts one timed span.  Also feeds loop_ns, so the work/wait
+  /// partition identity holds by construction.
+  void record(ProfileStage stage, double ns) noexcept {
+    pending_.stage_ns[static_cast<std::size_t>(stage)] += ns;
+    pending_.loop_ns += ns;
+    ++records_in_batch_;
+  }
+
+  /// Closes a sampled batch: counts it, tunes the stride, publishes.
+  void batch_end(std::uint64_t packets) noexcept;
+  /// Closes an unsampled batch: counts it and publishes (no spans).
+  void batch_skip(std::uint64_t packets) noexcept;
+
+  /// Layout cutover: flushes the delta accumulated since the last boundary
+  /// into the owner's per-epoch table, then starts accounting against
+  /// `epoch`.  Cold path (takes the owner's epoch mutex).
+  void set_epoch(std::uint64_t epoch) noexcept;
+
+  /// Publishes pending totals and flushes the current epoch's delta; call
+  /// when the writer quiesces (end of a run segment).
+  void flush() noexcept;
+
+  /// Coherent reader-side snapshot (retries across concurrent publishes).
+  [[nodiscard]] ProfileData snapshot() const noexcept;
+
+ private:
+  friend class Profiler;
+
+  void publish() noexcept;
+  void flush_epoch() noexcept;
+
+  // -- writer-owned state (no concurrent access) --
+  Profiler* owner_ = nullptr;
+  ProfileData pending_;     ///< running totals since construction
+  ProfileData epoch_base_;  ///< pending_ at the last epoch boundary
+  std::uint64_t current_epoch_ = 0;
+  std::uint64_t stride_ = 1;        ///< sample every stride_-th batch
+  std::uint64_t since_sample_ = 0;
+  std::uint32_t records_in_batch_ = 0;
+  double batch_loop_base_ = 0.0;    ///< loop_ns at batch_begin (tuner window)
+  bool sampling_ = false;
+
+  // -- shared seqlock slot --
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{0};
+    std::array<std::atomic<std::uint64_t>, kProfileWords> words{};
+  };
+  Slot slot_;
+};
+
+/// A coherent multi-shard capture: worker shards [0..queues), then the
+/// dispatch shard, plus the committed per-epoch deltas.  Also the unit the
+/// renderers consume, and the delta type /profile windows are made of.
+struct ProfileCapture {
+  std::vector<ProfileData> shards;  ///< [0..queues) workers, [queues] dispatch
+  std::size_t queues = 0;           ///< worker shard count
+  std::vector<std::pair<std::uint64_t, ProfileData>> epochs;
+  std::string tenant;
+  double window_seconds = 0.0;  ///< 0 = cumulative since start
+
+  [[nodiscard]] ProfileData aggregate() const noexcept;
+  [[nodiscard]] const ProfileData* dispatch() const noexcept {
+    return queues < shards.size() ? &shards[queues] : nullptr;
+  }
+  /// Aggregate ns/pkt for one stage over the shards that own it (dispatch
+  /// stages divide by dispatched packets, worker stages by consumed ones).
+  /// Returns 0 when the owning side sampled nothing.
+  [[nodiscard]] double stage_ns_per_packet(ProfileStage stage) const noexcept;
+  /// This capture as a delta against `base` (earlier capture, same layout).
+  [[nodiscard]] ProfileCapture since(const ProfileCapture& base) const;
+};
+
+struct ProfilerConfig {
+  std::size_t shards = 1;
+  /// Fixed sampling stride; 0 = auto-tune per shard.
+  std::uint64_t stride = 0;
+  /// Auto-tune target: measured profiling cost as a fraction of work.
+  double overhead_target = 0.03;
+};
+
+/// The shard set plus the cold-path epoch/tenant attribution tables.
+class Profiler {
+ public:
+  using Config = ProfilerConfig;
+
+  explicit Profiler(Config config = {});
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+  [[nodiscard]] ProfileShard& shard(std::size_t index) noexcept {
+    return shards_[index];
+  }
+  [[nodiscard]] const ProfileShard& shard(std::size_t index) const noexcept {
+    return shards_[index];
+  }
+
+  /// Overrides the sampling stride for every shard (0 = back to auto).
+  /// Shards pick it up at their next batch_begin.
+  void set_stride(std::uint64_t stride) noexcept {
+    stride_override_.store(stride, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t stride_override() const noexcept {
+    return stride_override_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double overhead_target() const noexcept {
+    return overhead_target_;
+  }
+
+  /// Tenant label stamped on captures (set before the writers start).
+  void set_tenant(std::string tenant);
+  [[nodiscard]] std::string tenant() const;
+
+  [[nodiscard]] ProfileData snapshot(std::size_t index) const noexcept {
+    return shards_[index].snapshot();
+  }
+  [[nodiscard]] ProfileData aggregate() const noexcept;
+  /// Committed per-epoch deltas (ascending epoch).
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, ProfileData>> epochs()
+      const;
+
+  /// Everything /profile serves, coherently: shard snapshots + epoch table.
+  /// The last shard is reported as the dispatch lane.
+  [[nodiscard]] ProfileCapture capture() const;
+
+  /// Stores the opendesc_profile_* families into `registry` (idempotent —
+  /// totals are stored, not added — like the trace counters).
+  void publish(Registry& registry) const;
+
+ private:
+  friend class ProfileShard;
+  void contribute_epoch(std::uint64_t epoch, const ProfileData& delta);
+
+  std::vector<ProfileShard> shards_;
+  std::atomic<std::uint64_t> stride_override_{0};
+  double overhead_target_ = 0.03;
+  mutable std::mutex epoch_mutex_;
+  std::map<std::uint64_t, ProfileData> epochs_;
+  mutable std::mutex tenant_mutex_;
+  std::string tenant_ = "default";
+};
+
+// --- Renderers --------------------------------------------------------------
+// Shards with zero batches are omitted from collapsed/speedscope output and
+// rendered `-` in the tsv pane, mirroring the empty-histogram convention.
+
+/// Structured JSON: per-shard totals + stages, aggregate, epochs, tenant.
+[[nodiscard]] std::string render_profile_json(const ProfileCapture& capture);
+/// flamegraph.pl-compatible collapsed stacks: `opendesc;<lane>;work;<stage>
+/// <ns>` one per line, integer ns values.
+[[nodiscard]] std::string render_profile_collapsed(
+    const ProfileCapture& capture);
+/// speedscope.app JSON (evented profiles, one per lane, nanosecond unit).
+[[nodiscard]] std::string render_profile_speedscope(
+    const ProfileCapture& capture);
+/// Flat ns/pkt matrix (stages x lanes) for the `opendesc top` pane.
+[[nodiscard]] std::string render_profile_tsv(const ProfileCapture& capture);
+
+}  // namespace opendesc::telemetry

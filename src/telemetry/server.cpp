@@ -1,5 +1,7 @@
 #include "telemetry/server.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -77,7 +79,78 @@ http::Router ObservabilityServer::build_router() {
   });
   router.get("/flows",
              [this](const http::Request& request) { return flows(request); });
+  router.get("/profile", [this](const http::Request& request) {
+    return profile(request);
+  });
   return router;
+}
+
+namespace {
+
+std::string render_profile(const std::string& format,
+                           const ProfileCapture& capture) {
+  if (format == "collapsed") {
+    return render_profile_collapsed(capture);
+  }
+  if (format == "speedscope") {
+    return render_profile_speedscope(capture);
+  }
+  if (format == "tsv") {
+    return render_profile_tsv(capture);
+  }
+  return render_profile_json(capture);
+}
+
+}  // namespace
+
+http::Response ObservabilityServer::profile(const http::Request& request) {
+  http::Response response;
+  std::string format = "json";
+  const auto fmt = request.query.find("format");
+  if (fmt != request.query.end()) {
+    format = fmt->second;
+  }
+  if (format != "json" && format != "collapsed" && format != "speedscope" &&
+      format != "tsv") {
+    throw http::HttpError(
+        400, "unknown format (expected json, collapsed, speedscope or tsv)");
+  }
+  response.content_type = format == "json" || format == "speedscope"
+                              ? "application/json"
+                              : "text/plain; charset=utf-8";
+  // ?seconds=0 (the default) answers the cumulative profile immediately;
+  // ?seconds=N captures an N-second window: baseline now, stream the delta
+  // when the window elapses.  The producer runs on the event loop, so it
+  // emits nothing (= "poll me again") until the deadline instead of
+  // blocking a worker.
+  const std::uint64_t seconds =
+      std::min<std::uint64_t>(request.query_u64("seconds").value_or(0), 300);
+  if (seconds == 0) {
+    response.body = render_profile(format, sink_->profiler().capture());
+    return response;
+  }
+  struct WindowState {
+    ProfileCapture base;
+    std::chrono::steady_clock::time_point deadline;
+    double window_seconds = 0.0;
+  };
+  auto state = std::make_shared<WindowState>();
+  state->base = sink_->profiler().capture();
+  state->deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(static_cast<long>(seconds));
+  state->window_seconds = static_cast<double>(seconds);
+  Sink* const sink = sink_;
+  response.live = true;
+  response.stream = [sink, state, format](http::ResponseWriter& writer) {
+    if (std::chrono::steady_clock::now() < state->deadline) {
+      return;  // window still open: emit nothing, get polled again
+    }
+    ProfileCapture delta = sink->profiler().capture().since(state->base);
+    delta.window_seconds = state->window_seconds;
+    writer.write(render_profile(format, delta));
+    writer.end();
+  };
+  return response;
 }
 
 http::Response ObservabilityServer::metrics(bool json) {

@@ -38,6 +38,12 @@
 //                      `opendesc top` pane; ?records=N|all streams the
 //                      flow records themselves page by page);
 //                      {"enabled":false} when no provider is attached
+//   GET /profile       hot-path profiler capture.  ?seconds=0 (default)
+//                      answers the cumulative per-stage cycle accounting
+//                      immediately; ?seconds=N baselines, waits N seconds
+//                      on the event loop and streams the windowed delta.
+//                      ?format=json (default) | collapsed (flamegraph.pl
+//                      stacks) | speedscope | tsv (`opendesc top` pane)
 //
 // Unknown paths answer the Router's structured JSON 404 (carrying the full
 // route list); a known path with an unregistered method answers 405 with
@@ -143,6 +149,7 @@ class ObservabilityServer {
   [[nodiscard]] http::Response layout_status(const http::Request& request);
   [[nodiscard]] http::Response post_layout(const http::Request& request);
   [[nodiscard]] http::Response flows(const http::Request& request);
+  [[nodiscard]] http::Response profile(const http::Request& request);
   /// The non-TSV /timeseries?metric=... JSON body — shared by the one-shot
   /// response and the ?follow tick events.
   [[nodiscard]] std::string family_window_json(const FamilyWindow& family,

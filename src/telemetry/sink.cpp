@@ -23,7 +23,9 @@ std::string_view to_string(Stage stage) noexcept {
 
 Sink::Sink(SinkConfig config)
     : queues_(std::max<std::size_t>(1, config.queues)),
-      flight_(config.flight_capacity, config.flight_context) {
+      flight_(config.flight_capacity, config.flight_context),
+      profiler_(Profiler::Config{
+          std::max<std::size_t>(1, config.queues) + 1, 0, 0.03}) {
   rings_.reserve(queues_ + 2);
   for (std::size_t i = 0; i < queues_ + 2; ++i) {
     rings_.emplace_back(config.trace_capacity);
@@ -77,6 +79,9 @@ void Sink::publish_trace_counters() {
                  {{"cause", std::string(to_string(cause))}})
         .store(flight_.count(cause));
   }
+  // The profiler families ride the same exposition path: snapshot-based,
+  // idempotent stores, safe while the writers are live (seqlock reads).
+  profiler_.publish(registry_);
 }
 
 }  // namespace opendesc::telemetry

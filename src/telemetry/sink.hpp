@@ -14,6 +14,7 @@
 
 #include "telemetry/flight.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 
 namespace opendesc::telemetry {
@@ -32,6 +33,23 @@ enum class Stage : std::uint8_t {
 inline constexpr std::size_t kStageCount = 5;
 
 [[nodiscard]] std::string_view to_string(Stage stage) noexcept;
+
+/// The profiler stage a histogram span stage accounts into.
+[[nodiscard]] constexpr ProfileStage to_profile_stage(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::steer:
+      return ProfileStage::steer;
+    case Stage::ring:
+      return ProfileStage::ring;
+    case Stage::validate:
+      return ProfileStage::validate;
+    case Stage::consume:
+      return ProfileStage::consume;
+    case Stage::handoff:
+      return ProfileStage::handoff;
+  }
+  return ProfileStage::wait;
+}
 
 struct SinkConfig {
   std::size_t queues = 1;          ///< worker rings / histogram shards
@@ -86,6 +104,16 @@ class Sink {
     return *stage_latency_[static_cast<std::size_t>(stage)];
   }
 
+  /// The cycle-accounting profiler: shards [0..queues) belong to the worker
+  /// threads, shard `queues` to the dispatch thread (same layout as the
+  /// stage histograms).  Always constructed; writers opt out by simply not
+  /// driving their shard.
+  [[nodiscard]] Profiler& profiler() noexcept { return profiler_; }
+  [[nodiscard]] const Profiler& profiler() const noexcept { return profiler_; }
+  [[nodiscard]] ProfileShard& profile_shard(std::size_t shard) noexcept {
+    return profiler_.shard(shard);
+  }
+
   /// Bounded postmortem buffer; fault paths record(), /flight reads.
   [[nodiscard]] FlightRecorder& flight() noexcept { return flight_; }
   [[nodiscard]] const FlightRecorder& flight() const noexcept {
@@ -105,6 +133,7 @@ class Sink {
   Histogram* batch_latency_;      ///< owned by registry_
   std::array<Histogram*, kStageCount> stage_latency_{};  ///< owned by registry_
   FlightRecorder flight_;
+  Profiler profiler_;  ///< queues_ worker shards + 1 dispatch shard
 };
 
 }  // namespace opendesc::telemetry

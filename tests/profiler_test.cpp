@@ -1,0 +1,489 @@
+// Continuous hot-path profiler: cycle-accounting correctness and the
+// seqlock snapshot protocol.  Covers the ProfileData codec and arithmetic,
+// writer-side batch accounting with stride control, torn-snapshot stress
+// (a reader hammering snapshot() against a hot writer — also the TSan
+// twin's workload), the work-vs-wait partition invariant under a live
+// 4-queue engine run, per-epoch attribution across layout hot-swaps, and
+// the collapsed-stack / renderer goldens including the empty-lane
+// convention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "engine/engine.hpp"
+#include "net/workload.hpp"
+#include "nic/model.hpp"
+#include "runtime/epoch.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/sink.hpp"
+
+namespace opendesc {
+namespace {
+
+using telemetry::ProfileCapture;
+using telemetry::ProfileData;
+using telemetry::Profiler;
+using telemetry::ProfileShard;
+using telemetry::ProfileStage;
+
+/// Relative-epsilon check of the partition identity on one coherent
+/// snapshot: every recorded nanosecond is in exactly one stage, and
+/// loop_ns accumulated alongside, so the sums must agree up to float
+/// rounding.
+void expect_partition(const ProfileData& data) {
+  double stage_sum = 0.0;
+  for (const double ns : data.stage_ns) {
+    stage_sum += ns;
+  }
+  const double tol = 1e-6 * std::max(1.0, std::fabs(data.loop_ns));
+  EXPECT_NEAR(stage_sum, data.loop_ns, tol);
+  EXPECT_NEAR(data.work_ns() + data.wait_ns(), data.loop_ns, tol);
+}
+
+TEST(ProfileData, CodecRoundTripsEveryWord) {
+  ProfileData data;
+  for (std::size_t s = 0; s < telemetry::kProfileStageCount; ++s) {
+    data.stage_ns[s] = 1000.25 * static_cast<double>(s + 1);
+    data.loop_ns += data.stage_ns[s];
+  }
+  data.batches = 17;
+  data.sampled_batches = 5;
+  data.packets = 544;
+  data.sampled_packets = 160;
+  data.stride = 8;
+  const ProfileData back =
+      telemetry::decode_profile(telemetry::encode_profile(data));
+  for (std::size_t s = 0; s < telemetry::kProfileStageCount; ++s) {
+    EXPECT_DOUBLE_EQ(back.stage_ns[s], data.stage_ns[s]);
+  }
+  EXPECT_DOUBLE_EQ(back.loop_ns, data.loop_ns);
+  EXPECT_EQ(back.batches, data.batches);
+  EXPECT_EQ(back.sampled_batches, data.sampled_batches);
+  EXPECT_EQ(back.packets, data.packets);
+  EXPECT_EQ(back.sampled_packets, data.sampled_packets);
+  EXPECT_EQ(back.stride, data.stride);
+}
+
+TEST(ProfileData, DeltaSubtractionSaturatesAndAdditionAccumulates) {
+  ProfileData a;
+  a.stage_ns[0] = 100.0;
+  a.loop_ns = 100.0;
+  a.batches = 10;
+  a.packets = 320;
+  a.sampled_packets = 32;
+  a.stride = 4;
+  ProfileData b = a;
+  b.stage_ns[0] = 150.0;
+  b.loop_ns = 150.0;
+  b.batches = 14;
+  b.packets = 448;
+  b.sampled_packets = 64;
+  b.stride = 8;
+
+  ProfileData delta = b;
+  delta -= a;
+  EXPECT_DOUBLE_EQ(delta.stage_ns[0], 50.0);
+  EXPECT_EQ(delta.batches, 4u);
+  EXPECT_EQ(delta.packets, 128u);
+  EXPECT_EQ(delta.sampled_packets, 32u);
+  EXPECT_EQ(delta.stride, 8u);  // strides don't subtract
+
+  ProfileData sum = a;
+  sum += delta;
+  EXPECT_DOUBLE_EQ(sum.loop_ns, b.loop_ns);
+  EXPECT_EQ(sum.batches, b.batches);
+  EXPECT_EQ(sum.stride, 8u);  // max, not sum
+
+  // Subtracting a larger base saturates at zero instead of wrapping.
+  ProfileData under = a;
+  under -= b;
+  EXPECT_DOUBLE_EQ(under.stage_ns[0], 0.0);
+  EXPECT_EQ(under.batches, 0u);
+  EXPECT_TRUE(under.empty());
+}
+
+TEST(ProfileShard, BatchAccountingAndPartition) {
+  Profiler profiler({.shards = 1, .stride = 1});
+  ProfileShard& shard = profiler.shard(0);
+
+  ASSERT_TRUE(shard.batch_begin());
+  shard.record(ProfileStage::ring, 120.0);
+  shard.record(ProfileStage::validate, 40.0);
+  shard.record(ProfileStage::consume, 80.0);
+  shard.record(ProfileStage::wait, 60.0);
+  shard.batch_end(32);
+
+  const ProfileData data = shard.snapshot();
+  EXPECT_EQ(data.batches, 1u);
+  EXPECT_EQ(data.sampled_batches, 1u);
+  EXPECT_EQ(data.packets, 32u);
+  EXPECT_EQ(data.sampled_packets, 32u);
+  EXPECT_DOUBLE_EQ(data.loop_ns, 300.0);
+  EXPECT_DOUBLE_EQ(data.work_ns(), 240.0);
+  EXPECT_DOUBLE_EQ(data.wait_ns(), 60.0);
+  EXPECT_DOUBLE_EQ(data.ns_per_packet(ProfileStage::ring), 120.0 / 32.0);
+  EXPECT_DOUBLE_EQ(data.work_ns_per_packet(), 240.0 / 32.0);
+  expect_partition(data);
+}
+
+TEST(ProfileShard, SkippedBatchesCountPacketsButNoSpans) {
+  Profiler profiler({.shards = 1, .stride = 4});
+  ProfileShard& shard = profiler.shard(0);
+  std::uint64_t sampled = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (shard.batch_begin()) {
+      shard.record(ProfileStage::consume, 10.0);
+      shard.batch_end(16);
+      ++sampled;
+    } else {
+      shard.batch_skip(16);
+    }
+  }
+  const ProfileData data = shard.snapshot();
+  EXPECT_EQ(data.batches, 8u);
+  EXPECT_EQ(data.sampled_batches, sampled);
+  EXPECT_EQ(data.packets, 128u);
+  EXPECT_EQ(data.sampled_packets, sampled * 16);
+  // Stride 4 over 8 batches: every 4th sampled.
+  EXPECT_EQ(sampled, 2u);
+  EXPECT_DOUBLE_EQ(data.loop_ns, 10.0 * static_cast<double>(sampled));
+}
+
+TEST(ProfileShard, StrideOverrideIsClampedToBounds) {
+  Profiler profiler({.shards = 1});
+  ProfileShard& shard = profiler.shard(0);
+  profiler.set_stride(1u << 20);  // absurd override clamps to 1024
+  if (shard.batch_begin()) {
+    shard.batch_end(1);
+  } else {
+    shard.batch_skip(1);
+  }
+  EXPECT_EQ(shard.snapshot().stride, 1024u);
+  profiler.set_stride(0);  // back to auto: stays within [1, 1024]
+  for (int i = 0; i < 32; ++i) {
+    if (shard.batch_begin()) {
+      shard.record(ProfileStage::consume, 5.0);
+      shard.batch_end(8);
+    } else {
+      shard.batch_skip(8);
+    }
+  }
+  const std::uint64_t stride = shard.snapshot().stride;
+  EXPECT_GE(stride, 1u);
+  EXPECT_LE(stride, 1024u);
+}
+
+// A reader hammering snapshot() against a hot writer must only ever see
+// coherent payloads: the partition identity holds on every snapshot and the
+// counters are monotone.  A torn read (payload words from two publishes)
+// breaks both; the seqlock must retry instead.  This is also the dedicated
+// TSan workload for the profiler's publish/snapshot pair.
+TEST(ProfileShard, SnapshotsAreNeverTorn) {
+  Profiler profiler({.shards = 1, .stride = 1});
+  ProfileShard& shard = profiler.shard(0);
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    double ns = 1.0;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (shard.batch_begin()) {
+        shard.record(ProfileStage::ring, ns);
+        shard.record(ProfileStage::validate, ns * 0.5);
+        shard.record(ProfileStage::consume, ns * 2.0);
+        shard.record(ProfileStage::wait, ns * 0.25);
+        shard.batch_end(32);
+      } else {
+        shard.batch_skip(32);
+      }
+      ns += 1.0;
+    }
+  });
+
+  std::uint64_t last_batches = 0;
+  std::uint64_t last_packets = 0;
+  double last_loop = 0.0;
+  std::uint64_t coherent = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const ProfileData data = shard.snapshot();
+    expect_partition(data);
+    EXPECT_GE(data.batches, last_batches);
+    EXPECT_GE(data.packets, last_packets);
+    EXPECT_GE(data.loop_ns, last_loop);
+    last_batches = data.batches;
+    last_packets = data.packets;
+    last_loop = data.loop_ns;
+    ++coherent;
+  }
+  // Don't stop until the writer demonstrably ran — a fast reader can burn
+  // its iterations before the writer thread is even scheduled.
+  while (shard.snapshot().batches < 100) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  EXPECT_EQ(coherent, 20000u);
+  EXPECT_GT(shard.snapshot().batches, 0u);
+}
+
+// --- Live-engine coverage ---------------------------------------------------
+
+struct EngineFixture {
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs{registry};
+  core::Compiler compiler{registry, costs};
+  softnic::ComputeEngine compute{registry};
+  core::CompileResult result;
+
+  explicit EngineFixture(double alpha = 1.0)
+      : result(compile(alpha)) {}
+
+  [[nodiscard]] core::CompileResult compile(double alpha) {
+    core::CompileOptions options;
+    options.dma_weight_per_byte = alpha;
+    return compiler.compile(nic::NicCatalog::by_name("ice").p4_source(),
+                            R"(header prof_t {
+                                 @semantic("rss")     bit<32> h;
+                                 @semantic("pkt_len") bit<16> l;
+                               })",
+                            options);
+  }
+
+  [[nodiscard]] std::vector<net::Packet> trace(std::size_t n) const {
+    net::WorkloadConfig config;
+    config.seed = 11;
+    config.udp_fraction = 0.5;
+    config.vlan_probability = 0.3;
+    net::WorkloadGenerator gen(config);
+    return gen.batch(n);
+  }
+};
+
+TEST(ProfilerEngine, LiveFourQueueRunHoldsPartitionUnderConcurrentReaders) {
+  EngineFixture fx;
+  const std::vector<net::Packet> packets = fx.trace(6000);
+
+  telemetry::SinkConfig sink_config;
+  sink_config.queues = 4;
+  telemetry::Sink sink(sink_config);
+
+  rt::EngineConfig config;
+  config.queues = 4;
+  config.telemetry = &sink;
+  engine::MultiQueueEngine eng(fx.result, fx.compute, config);
+
+  // Reader thread: captures the whole profiler mid-run; every snapshot it
+  // takes must be coherent even while four workers and the dispatcher
+  // publish concurrently.
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const ProfileCapture capture = sink.profiler().capture();
+      for (const ProfileData& shard : capture.shards) {
+        expect_partition(shard);
+      }
+      expect_partition(capture.aggregate());
+    }
+  });
+  const engine::EngineReport report = eng.run(packets);
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(report.total.packets, report.offered_total);
+
+  // Post-run: every worker lane saw traffic, every shard holds the
+  // partition, sampling never exceeds reality, strides stay bounded.
+  const ProfileCapture capture = sink.profiler().capture();
+  ASSERT_EQ(capture.queues, 4u);
+  ASSERT_EQ(capture.shards.size(), 5u);
+  std::uint64_t shard_packets = 0;
+  for (std::size_t q = 0; q < capture.queues; ++q) {
+    const ProfileData& shard = capture.shards[q];
+    EXPECT_GT(shard.batches, 0u) << "queue " << q;
+    EXPECT_GT(shard.packets, 0u) << "queue " << q;
+    EXPECT_LE(shard.sampled_packets, shard.packets);
+    EXPECT_LE(shard.sampled_batches, shard.batches);
+    EXPECT_GE(shard.stride, 1u);
+    EXPECT_LE(shard.stride, 1024u);
+    expect_partition(shard);
+    shard_packets += shard.packets;
+  }
+  EXPECT_EQ(shard_packets, report.offered_total);
+
+  // The dispatch lane steered every packet and accounted dispatch-side
+  // stages only.
+  const ProfileData* dispatch = capture.dispatch();
+  ASSERT_NE(dispatch, nullptr);
+  EXPECT_EQ(dispatch->packets, report.offered_total);
+  EXPECT_GT(dispatch->sampled_packets, 0u);
+  EXPECT_DOUBLE_EQ(
+      dispatch->stage_ns[static_cast<std::size_t>(ProfileStage::ring)], 0.0);
+  EXPECT_GT(capture.stage_ns_per_packet(ProfileStage::steer), 0.0);
+
+  // Worker lanes did real per-record work.
+  EXPECT_GT(capture.stage_ns_per_packet(ProfileStage::consume), 0.0);
+  EXPECT_GT(capture.aggregate().work_ns_per_packet(), 0.0);
+
+  // An EngineReport carries the run's own profile delta.
+  EXPECT_GT(report.profile.aggregate().packets, 0u);
+  EXPECT_LE(report.profile.aggregate().packets,
+            capture.aggregate().packets);
+}
+
+TEST(ProfilerEngine, EpochAttributionSplitsAcrossHotSwap) {
+  EngineFixture fx;
+  const auto alt =
+      std::make_shared<const core::CompileResult>(fx.compile(16.0));
+  const std::vector<net::Packet> packets = fx.trace(6000);
+
+  telemetry::SinkConfig sink_config;
+  sink_config.queues = 4;
+  telemetry::Sink sink(sink_config);
+
+  rt::EngineConfig config;
+  config.queues = 4;
+  config.swap_every = 2000;
+  config.telemetry = &sink;
+  engine::MultiQueueEngine eng(fx.result, fx.compute, config);
+  eng.set_swap_cycle(
+      {alt, std::make_shared<const core::CompileResult>(fx.result)});
+
+  const engine::EngineReport report = eng.run(packets);
+  EXPECT_EQ(report.total.packets, report.offered_total);
+  EXPECT_GE(eng.epochs().swaps(rt::SwapOutcome::committed), 1u);
+
+  // The committed per-epoch deltas must partition the run: at least the
+  // pre-swap and post-swap epochs carry packets, and between them they
+  // account for every packet both sides processed (workers + dispatch).
+  const ProfileCapture capture = sink.profiler().capture();
+  ASSERT_GE(capture.epochs.size(), 2u);
+  std::uint64_t epoch_packets = 0;
+  std::uint64_t epochs_with_traffic = 0;
+  for (const auto& [epoch, delta] : capture.epochs) {
+    expect_partition(delta);
+    epoch_packets += delta.packets;
+    if (delta.packets > 0) {
+      ++epochs_with_traffic;
+    }
+  }
+  EXPECT_GE(epochs_with_traffic, 2u);
+  EXPECT_EQ(epoch_packets, capture.aggregate().packets);
+
+  // The swap itself was accounted: someone paid the barrier.
+  double swap_ns = 0.0;
+  for (const auto& [epoch, delta] : capture.epochs) {
+    swap_ns +=
+        delta.stage_ns[static_cast<std::size_t>(ProfileStage::swap_barrier)];
+  }
+  EXPECT_GT(swap_ns, 0.0);
+}
+
+// --- Renderers --------------------------------------------------------------
+
+/// A hand-driven two-lane profiler: queue0 with known spans, the dispatch
+/// lane deliberately left empty to exercise the omission convention.
+Profiler& golden_profiler() {
+  static Profiler profiler({.shards = 2, .stride = 1});
+  static bool driven = false;
+  if (!driven) {
+    driven = true;
+    ProfileShard& shard = profiler.shard(0);
+    EXPECT_TRUE(shard.batch_begin());
+    shard.record(ProfileStage::ring, 100.0);
+    shard.record(ProfileStage::validate, 40.0);
+    shard.record(ProfileStage::consume, 60.0);
+    shard.record(ProfileStage::wait, 50.0);
+    shard.batch_end(10);
+    shard.flush();
+  }
+  return profiler;
+}
+
+TEST(ProfileRender, CollapsedStacksMatchGoldenAndOmitEmptyLanes) {
+  const ProfileCapture capture = golden_profiler().capture();
+  const std::string collapsed = telemetry::render_profile_collapsed(capture);
+  // Stage order is the enumeration order; wait collapses to a two-frame
+  // stack; the empty dispatch lane and zero stages are omitted entirely.
+  EXPECT_EQ(collapsed,
+            "opendesc;queue0;work;ring 100\n"
+            "opendesc;queue0;work;validate 40\n"
+            "opendesc;queue0;work;consume 60\n"
+            "opendesc;queue0;wait 50\n");
+  EXPECT_EQ(collapsed.find("dispatch"), std::string::npos);
+  EXPECT_EQ(collapsed.find("steer"), std::string::npos);
+}
+
+TEST(ProfileRender, JsonCarriesLanesTotalsAndStages) {
+  const ProfileCapture capture = golden_profiler().capture();
+  const std::string json = telemetry::render_profile_json(capture);
+  EXPECT_NE(json.find("\"lanes\":["), std::string::npos);
+  EXPECT_NE(json.find("\"lane\":\"queue0\""), std::string::npos);
+  EXPECT_NE(json.find("\"lane\":\"dispatch\""), std::string::npos);
+  EXPECT_NE(json.find("\"total\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"work_ns\":200.0"), std::string::npos);
+  EXPECT_NE(json.find("\"wait_ns\":50.0"), std::string::npos);
+  EXPECT_NE(json.find("\"ring\":{\"ns\":100.0"), std::string::npos);
+  EXPECT_NE(json.find("\"epochs\":["), std::string::npos);
+}
+
+TEST(ProfileRender, SpeedscopeEmitsSchemaFramesAndOneProfilePerActiveLane) {
+  const ProfileCapture capture = golden_profiler().capture();
+  const std::string out = telemetry::render_profile_speedscope(capture);
+  EXPECT_NE(out.find("speedscope.app/file-format-schema.json"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"queue0\""), std::string::npos);
+  EXPECT_EQ(out.find("\"name\":\"dispatch\""), std::string::npos);
+  EXPECT_NE(out.find("\"unit\":\"nanoseconds\""), std::string::npos);
+  // Balanced open/close events.
+  std::size_t opens = 0;
+  std::size_t closes = 0;
+  for (std::size_t at = out.find("\"type\":\"O\""); at != std::string::npos;
+       at = out.find("\"type\":\"O\"", at + 1)) {
+    ++opens;
+  }
+  for (std::size_t at = out.find("\"type\":\"C\""); at != std::string::npos;
+       at = out.find("\"type\":\"C\"", at + 1)) {
+    ++closes;
+  }
+  EXPECT_GT(opens, 0u);
+  EXPECT_EQ(opens, closes);
+}
+
+TEST(ProfileRender, TsvRendersEmptyLanesAsDashes) {
+  const ProfileCapture capture = golden_profiler().capture();
+  const std::string tsv = telemetry::render_profile_tsv(capture);
+  EXPECT_EQ(tsv.rfind("stage\tqueue0\tdispatch\ttotal\n", 0), 0u);
+  // queue0 sampled 10 packets; the dispatch lane sampled none and renders
+  // '-' in every stage row (the empty-histogram convention).
+  EXPECT_NE(tsv.find("ring\t10.0\t-\t10.0"), std::string::npos);
+  EXPECT_NE(tsv.find("consume\t6.0\t-\t6.0"), std::string::npos);
+  EXPECT_NE(tsv.find("work_ns_per_packet\t20.0\t-\t20.0"), std::string::npos);
+  EXPECT_NE(tsv.find("stride\t"), std::string::npos);
+}
+
+TEST(ProfileCaptureDelta, SinceKeepsOnlyTheWindow) {
+  Profiler profiler({.shards = 1, .stride = 1});
+  ProfileShard& shard = profiler.shard(0);
+  ASSERT_TRUE(shard.batch_begin());
+  shard.record(ProfileStage::consume, 100.0);
+  shard.batch_end(10);
+
+  const ProfileCapture base = profiler.capture();
+  ASSERT_TRUE(shard.batch_begin());
+  shard.record(ProfileStage::consume, 40.0);
+  shard.batch_end(4);
+
+  const ProfileCapture delta = profiler.capture().since(base);
+  ASSERT_EQ(delta.shards.size(), 1u);
+  EXPECT_EQ(delta.shards[0].batches, 1u);
+  EXPECT_EQ(delta.shards[0].packets, 4u);
+  EXPECT_DOUBLE_EQ(delta.shards[0].loop_ns, 40.0);
+  expect_partition(delta.shards[0]);
+}
+
+}  // namespace
+}  // namespace opendesc

@@ -1,0 +1,101 @@
+#!/bin/sh
+# Profiler pipeline test: boot `opendesc serve` under 1% composite faults,
+# let the engine warm, then capture a 1-second /profile window through the
+# `opendesc profile` subcommand in all three export formats and assert every
+# active queue shows up with non-empty stage rows.
+#
+#   cli_profile_scrape_test.sh <opendesc-binary> <scrape_check-binary> <workdir>
+set -u
+
+OPENDESC=$1
+SCRAPE_CHECK=$2
+DIR=$3
+PORT_FILE="$DIR/profile_scrape.port"
+LOG="$DIR/profile_scrape.log"
+
+mkdir -p "$DIR"
+rm -f "$PORT_FILE"
+"$OPENDESC" serve --nic ice --packets 2000 --queues 4 --fault-rate 0.01 \
+    --fault-seed 11 --guard --listen 127.0.0.1:0 --port-file "$PORT_FILE" \
+    --runs 0 >"$LOG" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null; wait "$SERVER_PID" 2>/dev/null' EXIT
+
+tries=0
+while [ ! -s "$PORT_FILE" ]; do
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "cli_profile_scrape: server exited before publishing its port" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "cli_profile_scrape: server never wrote $PORT_FILE" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+PORT=$(cat "$PORT_FILE")
+BASE="http://127.0.0.1:$PORT"
+
+# Warm-up gate: wait until the cumulative profile validates (the probe checks
+# the work/wait partition and the stage sum), which implies the engine has
+# run at least one batch through every lane.
+tries=0
+while ! "$SCRAPE_CHECK" "$BASE/metrics" \
+        --probe "$BASE/profile?seconds=0&format=json" >/dev/null 2>&1; do
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "cli_profile_scrape: server died during warm-up" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    tries=$((tries + 1))
+    if [ "$tries" -ge 50 ]; then
+        echo "cli_profile_scrape: /profile never validated against $BASE" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# A 1-second window in each export format.  Traffic is continuous (--runs 0),
+# but a window can straddle a run boundary, so each capture gets a few tries.
+capture() {
+    fmt=$1
+    want=$2
+    tries=0
+    while :; do
+        body=$("$OPENDESC" profile --url "$BASE" --seconds 1 --format "$fmt")
+        if [ -n "$body" ]; then
+            missing=0
+            for needle in $want; do
+                case "$body" in
+                    *"$needle"*) ;;
+                    *) missing=1 ;;
+                esac
+            done
+            if [ "$missing" -eq 0 ]; then
+                return 0
+            fi
+        fi
+        tries=$((tries + 1))
+        if [ "$tries" -ge 5 ]; then
+            echo "cli_profile_scrape: $fmt window missing expected rows" >&2
+            echo "$body" >&2
+            cat "$LOG" >&2
+            exit 1
+        fi
+    done
+}
+
+# Collapsed stacks: every active queue contributes work frames, and the
+# dispatch lane is present too.
+capture collapsed "opendesc;queue0; opendesc;queue1; opendesc;queue2; opendesc;queue3; opendesc;dispatch;"
+# speedscope: schema header plus one evented profile per queue lane.
+capture speedscope "speedscope.app/file-format-schema.json \"name\":\"queue0\" \"name\":\"queue3\" \"unit\":\"nanoseconds\""
+# JSON: lanes array with per-stage breakdowns for the worker lanes.
+capture json "\"lanes\":[ \"lane\":\"queue0\" \"lane\":\"queue3\" \"lane\":\"dispatch\" \"stages\":{ \"work_ns_per_packet\":"
+
+echo "profile pipeline OK"
+exit 0

@@ -80,7 +80,8 @@ while :; do
         --probe "$BASE/traces?queue=0" --probe "$BASE/flight" \
         --probe "$BASE/alerts" --probe "$BASE/timeseries" \
         --probe "$BASE/layout" --probe "$BASE/flows" \
-        --probe "$BASE/flows?format=tsv"; then
+        --probe "$BASE/flows?format=tsv" \
+        --probe "$BASE/profile?seconds=0&format=json"; then
         exit 0
     fi
     tries=$((tries + 1))

@@ -59,6 +59,13 @@
 //       probed size).  --iterations bounds the redraw count (0 = until
 //       killed); --plain skips the ANSI screen clearing for logs and
 //       tests, and never truncates.
+//   opendesc profile --url <http://host:port> [--seconds <n>]
+//                    [--format collapsed|speedscope|json|tsv]
+//       One-shot hot-path profile capture against a serving instance:
+//       waits out an N-second window (default 1; 0 = cumulative since
+//       start) server-side and prints the rendering verbatim, so
+//       `--format collapsed` pipes straight into flamegraph.pl and
+//       `--format speedscope` into a speedscope.app import.
 //
 // `simulate` also accepts --listen (serve this one run live), --rules /
 // --alerts-out (health-plane evaluation with a final JSON alert export),
@@ -134,6 +141,8 @@ int usage() {
       "                 [--swap-token <secret>]   (enables POST /layout)\n"
       "  opendesc top --url <http://host:port> [--interval <ms>]\n"
       "               [--iterations <n>] [--plain]\n"
+      "  opendesc profile --url <http://host:port> [--seconds <n>]\n"
+      "                   [--format collapsed|speedscope|json|tsv]\n"
       "(value flags also accept --flag=value)\n";
   return 2;
 }
@@ -204,6 +213,9 @@ struct Args {
   std::size_t interval_ms = 1000;  ///< redraw period
   std::size_t iterations = 0;      ///< redraws before exiting (0 = forever)
   bool plain = false;              ///< no ANSI clear — log/test friendly
+
+  // `profile` options (also reuses --url and --format)
+  std::size_t seconds = 1;  ///< capture window (0 = cumulative since start)
 };
 
 // std::sto* throw on malformed input; reject with a message instead of
@@ -349,6 +361,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v) return false;
       args.url = v;
+    } else if (arg == "--seconds") {
+      const char* v = next();
+      if (!v || !parse_num("--seconds", v, [](const char* s) { return std::stoull(s); }, args.seconds))
+        return false;
     } else if (arg == "--interval") {
       const char* v = next();
       if (!v || !parse_num("--interval", v, [](const char* s) { return std::stoull(s); }, args.interval_ms))
@@ -500,31 +516,71 @@ int cmd_compile(const Args& args) {
 }
 
 /// Per-stage batch-latency table from an engine report (empty without a
-/// telemetry sink).
+/// telemetry sink), with the profiler's sampled ns/pkt alongside.
 void print_stage_table(const rt::EngineReport& report) {
   if (report.stage_latency.empty()) {
     return;
   }
-  std::printf("  per-stage batch latency (ns):\n");
-  std::printf("    %-10s %10s %10s %10s %10s %10s\n", "stage", "batches",
-              "mean", "p50", "p99", "p999");
+  const telemetry::ProfileCapture& prof = report.profile;
+  std::uint64_t worker_sampled = 0;
+  for (std::size_t q = 0; q < prof.queues && q < prof.shards.size(); ++q) {
+    worker_sampled += prof.shards[q].sampled_packets;
+  }
+  const telemetry::ProfileData* dispatch = prof.dispatch();
+  const std::uint64_t dispatch_sampled =
+      dispatch != nullptr ? dispatch->sampled_packets : 0;
+  const std::uint64_t any_sampled = worker_sampled + dispatch_sampled;
+  // A stage whose owning side sampled no packets has no per-packet figure;
+  // printing 0.0 would read as "free", so print '-' (the empty-histogram
+  // convention).
+  const auto profile_cell = [&](telemetry::ProfileStage stage) -> std::string {
+    const std::uint64_t sampled =
+        telemetry::is_dispatch_stage(stage) ? dispatch_sampled
+        : stage == telemetry::ProfileStage::wait ||
+                stage == telemetry::ProfileStage::swap_barrier
+            ? any_sampled
+            : worker_sampled;
+    if (sampled == 0) {
+      return "-";
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", prof.stage_ns_per_packet(stage));
+    return buf;
+  };
+  std::printf("  per-stage batch latency (ns) and profiled ns/pkt:\n");
+  std::printf("    %-14s %10s %10s %10s %10s %10s %10s\n", "stage", "batches",
+              "mean", "p50", "p99", "p999", "ns/pkt");
   for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
     const telemetry::HistogramData& data = report.stage_latency[s];
-    const std::string stage =
-        std::string(telemetry::to_string(static_cast<telemetry::Stage>(s)));
+    const auto stage = static_cast<telemetry::Stage>(s);
+    const std::string name = std::string(telemetry::to_string(stage));
+    const std::string ns_pkt = profile_cell(telemetry::to_profile_stage(stage));
     if (data.count == 0) {
       // A stage that recorded no batches has no latency distribution;
       // printing zeros would read as "instantaneous", so print '-'.
-      std::printf("    %-10s %10s %10s %10s %10s %10s\n", stage.c_str(), "-",
-                  "-", "-", "-", "-");
+      std::printf("    %-14s %10s %10s %10s %10s %10s %10s\n", name.c_str(),
+                  "-", "-", "-", "-", "-", ns_pkt.c_str());
       continue;
     }
     std::printf(
-        "    %-10s %10llu %10.0f %10llu %10llu %10llu\n", stage.c_str(),
+        "    %-14s %10llu %10.0f %10llu %10llu %10llu %10s\n", name.c_str(),
         static_cast<unsigned long long>(data.count), data.mean(),
         static_cast<unsigned long long>(data.quantile_upper_bound(0.5)),
         static_cast<unsigned long long>(data.quantile_upper_bound(0.99)),
-        static_cast<unsigned long long>(data.quantile_upper_bound(0.999)));
+        static_cast<unsigned long long>(data.quantile_upper_bound(0.999)),
+        ns_pkt.c_str());
+  }
+  if (any_sampled != 0) {
+    // Profiler-only stages: no batch-latency histogram backs them, so the
+    // distribution columns stay '-'.
+    for (const telemetry::ProfileStage stage :
+         {telemetry::ProfileStage::flow_classify,
+          telemetry::ProfileStage::swap_barrier,
+          telemetry::ProfileStage::wait}) {
+      std::printf("    %-14s %10s %10s %10s %10s %10s %10s\n",
+                  std::string(telemetry::to_string(stage)).c_str(), "-", "-",
+                  "-", "-", "-", profile_cell(stage).c_str());
+    }
   }
 }
 
@@ -1160,7 +1216,7 @@ std::string fit_to_rows(std::string frame, std::size_t rows) {
 int cmd_top(const Args& args) {
   const auto [host, port] =
       parse_top_url(args.url.empty() ? "http://127.0.0.1:9464" : args.url);
-  // One keep-alive connection for the whole dashboard session: all five
+  // One keep-alive connection for the whole dashboard session: all six
   // panes of every frame ride the same socket (the client transparently
   // reconnects if the server recycles it between frames).
   http::HttpClient client(host, port);
@@ -1179,6 +1235,7 @@ int cmd_top(const Args& args) {
     http::Response alerts;
     http::Response layout;
     http::Response flows;
+    http::Response profile;
     try {
       goodput = client.get(
           "/timeseries?metric=opendesc_rx_packets_total&window=1s&format=tsv");
@@ -1187,6 +1244,7 @@ int cmd_top(const Args& args) {
       alerts = client.get("/alerts?format=tsv");
       layout = client.get("/layout?format=tsv");
       flows = client.get("/flows?format=tsv");
+      profile = client.get("/profile?seconds=0&format=tsv");
     } catch (const Error& e) {
       if (iter == 0) {
         throw;  // dead target: fail fast instead of redrawing errors forever
@@ -1242,6 +1300,34 @@ int cmd_top(const Args& args) {
     }
     if (!any_stage) {
       frame << "  (no sampled data yet)\n";
+    }
+
+    frame << "\nhot-path profile (ns/pkt, cumulative):\n";
+    bool any_profile = false;
+    if (profile.status == 200) {
+      // TSV matrix: header `stage <lane>... total`, one row per stage, then
+      // work_ns_per_packet and stride footer rows.  Lanes that sampled
+      // nothing arrive pre-rendered as '-'.
+      std::istringstream profile_lines(profile.body);
+      bool header = true;
+      for (std::string line; std::getline(profile_lines, line);) {
+        if (line.empty()) continue;
+        const std::vector<std::string> fields = split_tabs(line);
+        std::snprintf(buf, sizeof buf, "  %-20s", fields[0].c_str());
+        frame << buf;
+        for (std::size_t i = 1; i < fields.size(); ++i) {
+          std::snprintf(buf, sizeof buf, " %10s", fields[i].c_str());
+          frame << buf;
+        }
+        frame << '\n';
+        if (!header) {
+          any_profile = true;
+        }
+        header = false;
+      }
+    }
+    if (!any_profile) {
+      frame << "  (no profiler data)\n";
     }
 
     frame << "\nlayout epochs:\n";
@@ -1354,6 +1440,39 @@ int cmd_top(const Args& args) {
   return 0;
 }
 
+// ---- opendesc profile ------------------------------------------------------
+
+/// One-shot /profile capture against a serving instance.  The server holds
+/// the response until the window closes, so the client timeout must outlast
+/// --seconds; the body is printed verbatim so collapsed output pipes
+/// straight into flamegraph.pl and speedscope output into an import.
+int cmd_profile(const Args& args) {
+  const std::string format = args.format.empty() ? "collapsed" : args.format;
+  if (format != "collapsed" && format != "speedscope" && format != "json" &&
+      format != "tsv") {
+    std::cerr << "unknown --format '" << format
+              << "' (expected collapsed, speedscope, json or tsv)\n";
+    return 2;
+  }
+  const auto [host, port] =
+      parse_top_url(args.url.empty() ? "http://127.0.0.1:9464" : args.url);
+  http::HttpClient client(
+      host, port, static_cast<int>(std::min<std::size_t>(args.seconds, 300)) * 1000 + 5000);
+  const http::Response response =
+      client.get("/profile?seconds=" + std::to_string(args.seconds) +
+                 "&format=" + format);
+  if (response.status != 200) {
+    std::cerr << "opendesc profile: GET /profile answered HTTP "
+              << response.status << "\n";
+    return 1;
+  }
+  std::fputs(response.body.c_str(), stdout);
+  if (!response.body.empty() && response.body.back() != '\n') {
+    std::fputs("\n", stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1385,6 +1504,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "top") {
       return cmd_top(args);
+    }
+    if (args.command == "profile") {
+      return cmd_profile(args);
     }
     return usage();
   } catch (const Error& e) {

@@ -411,6 +411,14 @@ void check_schema(Checker& chk) {
       {"opendesc_trace_recorded_total", "counter"},
       {"opendesc_trace_dropped_total", "counter"},
       {"opendesc_engine_queues", "gauge"},
+      {"opendesc_profile_stage_ns_total", "counter"},
+      {"opendesc_profile_stage_ns_per_packet", "gauge"},
+      {"opendesc_profile_work_ns_total", "counter"},
+      {"opendesc_profile_wait_ns_total", "counter"},
+      {"opendesc_profile_batches_total", "counter"},
+      {"opendesc_profile_sampled_batches_total", "counter"},
+      {"opendesc_profile_sampled_packets_total", "counter"},
+      {"opendesc_profile_stride", "gauge"},
       {"opendesc_layout_swaps_total", "counter"},
       {"opendesc_layout_epoch", "gauge"},
       {"opendesc_flow_active", "gauge"},
@@ -801,6 +809,83 @@ bool is_url(const std::string& arg) {
   return arg.compare(0, 7, "http://") == 0;
 }
 
+/// First `"key":<number>` at or after `from` — shallow JSON field reads for
+/// the /profile probe (stod stops at the first non-numeric character).
+std::optional<double> json_number_after(const std::string& body,
+                                        std::size_t from,
+                                        const std::string& key) {
+  const std::size_t at = body.find("\"" + key + "\":", from);
+  if (at == std::string::npos) {
+    return std::nullopt;
+  }
+  try {
+    return std::stod(body.substr(at + key.size() + 3));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// Shallow consistency check of a /profile?format=json body: the aggregate
+/// must exist, its work/wait partition must reproduce loop_ns, its per-stage
+/// ns must sum to loop_ns, and it cannot have sampled more packets than it
+/// processed.  Returns an error description, empty on success.
+std::string check_profile_body(const std::string& body) {
+  const std::size_t total_at = body.find("\"total\":{");
+  if (body.find("\"lanes\":") == std::string::npos ||
+      total_at == std::string::npos) {
+    return "body lacks \"lanes\"/\"total\" keys";
+  }
+  const auto work = json_number_after(body, total_at, "work_ns");
+  const auto wait = json_number_after(body, total_at, "wait_ns");
+  const auto loop = json_number_after(body, total_at, "loop_ns");
+  const auto packets = json_number_after(body, total_at, "packets");
+  const auto sampled = json_number_after(body, total_at, "sampled_packets");
+  if (!work || !wait || !loop || !packets || !sampled) {
+    return "total object lacks work_ns/wait_ns/loop_ns/packets keys";
+  }
+  // Rendered values carry one decimal, so the identities hold to rounding.
+  const double tol = std::max(1.0, 1e-3 * std::fabs(*loop));
+  if (std::fabs(*work + *wait - *loop) > tol) {
+    std::ostringstream message;
+    message << "work/wait partition broken: " << *work << " + " << *wait
+            << " != " << *loop;
+    return message.str();
+  }
+  if (*sampled > *packets + 1e-9) {
+    std::ostringstream message;
+    message << "sampled_packets " << *sampled << " exceeds packets "
+            << *packets;
+    return message.str();
+  }
+  // Per-stage ns of the aggregate (its "stages" object, bounded by the
+  // "epochs" array that follows) must sum back to loop_ns.
+  const std::size_t stages_at = body.find("\"stages\":{", total_at);
+  const std::size_t epochs_at = body.find("\"epochs\":", total_at);
+  if (stages_at == std::string::npos) {
+    return "total object lacks a \"stages\" map";
+  }
+  double stage_sum = 0.0;
+  std::size_t cursor = stages_at;
+  for (;;) {
+    const std::size_t ns_at = body.find("\"ns\":", cursor + 1);
+    if (ns_at == std::string::npos ||
+        (epochs_at != std::string::npos && ns_at > epochs_at)) {
+      break;
+    }
+    if (const auto ns = json_number_after(body, ns_at, "ns")) {
+      stage_sum += *ns;
+    }
+    cursor = ns_at + 4;
+  }
+  if (std::fabs(stage_sum - *loop) > tol) {
+    std::ostringstream message;
+    message << "per-stage ns sum " << stage_sum << " disagrees with loop_ns "
+            << *loop;
+    return message.str();
+  }
+  return {};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -882,6 +967,16 @@ int main(int argc, char** argv) {
                      "scrape_check: probe %s: /layout body lacks "
                      "\"epoch\"/\"swaps\" keys\n",
                      probe.c_str());
+        probe_failed = true;
+        continue;
+      }
+    } else if (path.compare(0, 8, "/profile") == 0 &&
+               (path.find("format=") == std::string::npos ||
+                path.find("format=json") != std::string::npos)) {
+      const std::string profile_error = check_profile_body(got->body);
+      if (!profile_error.empty()) {
+        std::fprintf(stderr, "scrape_check: probe %s: /profile %s\n",
+                     probe.c_str(), profile_error.c_str());
         probe_failed = true;
         continue;
       }
