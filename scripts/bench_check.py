@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Validate committed BENCH_*.json artifacts (and optionally fresh runs).
+
+Committed bench artifacts at the repo root are the performance record of
+the tree: every file must parse, its bars must be internally consistent
+(a bar's `pass` flag must agree with re-evaluating `value cmp bar`,
+`all_pass` must be the conjunction of the bars), and a committed artifact
+must represent a passing run — committing a red benchmark is a merge
+mistake, not a record.
+
+With --fresh DIR the checker also cross-validates each committed artifact
+against the same-named file a smoke run just produced (scripts/ci.sh
+points this at build-ci/bench).  The fresh comparison is *structural*:
+same bench name, same bar names, same thresholds and comparators — it
+catches a bench whose bars were renamed or retightened without the
+committed artifact being refreshed.  Fresh *measurements* are not
+re-asserted here; smoke populations are noise for ns-scale perf bars, and
+each bench already asserts its own bars via its exit code.
+
+Exit code 0 when everything holds, 1 with one line per violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+# Artifact sidecars that are bench *output dumps*, not bar records.
+SKIP_SUFFIXES = ("_spans.json",)
+
+CMP = {
+    "<=": lambda value, bar: value <= bar,
+    ">=": lambda value, bar: value >= bar,
+    "<": lambda value, bar: value < bar,
+    ">": lambda value, bar: value > bar,
+    "==": lambda value, bar: value == bar,
+}
+
+
+def check_bar(path: pathlib.Path, bar: dict, errors: list[str]) -> None:
+    name = bar.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{path.name}: bar without a name: {bar!r}")
+        return
+    ok = bar.get("pass")
+    if not isinstance(ok, bool):
+        errors.append(f"{path.name}: bar {name}: 'pass' must be a bool")
+        return
+    # Bars may be pure predicates (name + pass only, e.g. zero-loss flags);
+    # numeric bars must re-evaluate consistently.
+    if "value" in bar or "bar" in bar or "cmp" in bar:
+        for key in ("value", "bar", "cmp"):
+            if key not in bar:
+                errors.append(f"{path.name}: bar {name}: missing '{key}'")
+                return
+        cmp = bar["cmp"]
+        if cmp not in CMP:
+            errors.append(f"{path.name}: bar {name}: unknown cmp {cmp!r}")
+            return
+        value, threshold = bar["value"], bar["bar"]
+        if not isinstance(value, (int, float)) or not isinstance(
+            threshold, (int, float)
+        ):
+            errors.append(f"{path.name}: bar {name}: non-numeric value/bar")
+            return
+        if CMP[cmp](value, threshold) != ok:
+            errors.append(
+                f"{path.name}: bar {name}: pass={ok} disagrees with "
+                f"{value} {cmp} {threshold}"
+            )
+
+
+def check_file(path: pathlib.Path, errors: list[str]) -> dict | None:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        errors.append(f"{path.name}: unreadable: {exc}")
+        return None
+    if not isinstance(data, dict) or not isinstance(data.get("bench"), str):
+        errors.append(f"{path.name}: missing string 'bench' key")
+        return None
+    bars = data.get("bars")
+    if bars is None:
+        return data  # informational artifact (rows/tables only): fine
+    if not isinstance(bars, list) or not bars:
+        errors.append(f"{path.name}: 'bars' must be a non-empty list")
+        return data
+    for bar in bars:
+        check_bar(path, bar, errors)
+    names = [b.get("name") for b in bars]
+    if len(set(names)) != len(names):
+        errors.append(f"{path.name}: duplicate bar names: {names}")
+    conjunction = all(b.get("pass") is True for b in bars)
+    if data.get("all_pass") != conjunction:
+        errors.append(
+            f"{path.name}: all_pass={data.get('all_pass')!r} but the bars "
+            f"conjoin to {conjunction}"
+        )
+    return data
+
+
+def check_fresh(
+    committed_path: pathlib.Path,
+    committed: dict,
+    fresh_dir: pathlib.Path,
+    errors: list[str],
+) -> None:
+    fresh_path = fresh_dir / committed_path.name
+    if not fresh_path.is_file():
+        return  # bench not part of the smoke set: nothing to compare
+    fresh = check_file(fresh_path, errors)
+    if fresh is None:
+        return
+    if fresh.get("bench") != committed.get("bench"):
+        errors.append(
+            f"{committed_path.name}: fresh run names bench "
+            f"{fresh.get('bench')!r}, committed says "
+            f"{committed.get('bench')!r}"
+        )
+    committed_bars = {
+        b["name"]: b for b in committed.get("bars", []) if "name" in b
+    }
+    fresh_bars = {b["name"]: b for b in fresh.get("bars", []) if "name" in b}
+    if set(committed_bars) != set(fresh_bars):
+        errors.append(
+            f"{committed_path.name}: bar set drifted — committed "
+            f"{sorted(committed_bars)} vs fresh {sorted(fresh_bars)}; "
+            f"refresh the committed artifact from a full run"
+        )
+        return
+    # Numeric thresholds may legitimately scale with the run's population
+    # (smoke runs shrink both the workload and the bar), so the threshold
+    # value is only compared when both artifacts came from the same mode;
+    # the comparator is load-independent and always compared.
+    same_mode = committed.get("smoke") == fresh.get("smoke")
+    for name, fresh_bar in fresh_bars.items():
+        committed_bar = committed_bars[name]
+        keys = ("bar", "cmp") if same_mode else ("cmp",)
+        for key in keys:
+            if committed_bar.get(key) != fresh_bar.get(key):
+                errors.append(
+                    f"{committed_path.name}: bar {name}: threshold drifted "
+                    f"({key}: committed {committed_bar.get(key)!r} vs fresh "
+                    f"{fresh_bar.get(key)!r}); refresh the committed artifact"
+                )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        nargs="*",
+        type=pathlib.Path,
+        help="artifacts to check (default: BENCH_*.json at the repo root)",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=pathlib.Path,
+        metavar="DIR",
+        help="directory holding freshly produced BENCH_*.json to "
+        "cross-validate structurally (e.g. build-ci/bench)",
+    )
+    args = parser.parse_args()
+
+    files = args.files or sorted(REPO_ROOT.glob("BENCH_*.json"))
+    files = [f for f in files if not f.name.endswith(SKIP_SUFFIXES)]
+    if not files:
+        print("bench_check: no BENCH_*.json artifacts found", file=sys.stderr)
+        return 1
+
+    errors: list[str] = []
+    checked = 0
+    for path in files:
+        data = check_file(path, errors)
+        if data is None:
+            continue
+        checked += 1
+        if data.get("bars") is not None and data.get("all_pass") is not True:
+            errors.append(
+                f"{path.name}: committed artifact records a failing run "
+                f"(all_pass={data.get('all_pass')!r})"
+            )
+        if args.fresh is not None:
+            check_fresh(path, data, args.fresh, errors)
+
+    for line in errors:
+        print(f"bench_check: {line}", file=sys.stderr)
+    if errors:
+        print(
+            f"bench_check: FAILED — {len(errors)} violation(s) across "
+            f"{checked} artifact(s)",
+            file=sys.stderr,
+        )
+        return 1
+    suffix = f", fresh-compared against {args.fresh}" if args.fresh else ""
+    print(f"bench_check OK: {checked} artifact(s) validated{suffix}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

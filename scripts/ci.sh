@@ -32,7 +32,12 @@ for preset in $PRESETS; do
             OPENDESC_BENCH_SMOKE=1 ./bench_swap_downtime &&
             OPENDESC_BENCH_SMOKE=1 ./bench_scrape_storm &&
             OPENDESC_BENCH_SMOKE=1 ./bench_hotpath --benchmark_filter=__sections_only__ &&
+            OPENDESC_BENCH_SMOKE=1 ./bench_tracing --benchmark_filter=__sections_only__ &&
             ./bench_engine_scaling --benchmark_filter=__sections_only__)
+        # Committed BENCH_*.json must be internally consistent and
+        # structurally in sync with what the smoke runs just produced.
+        echo "=== [$preset] bench_check ==="
+        python3 scripts/bench_check.py --fresh build-ci/bench
     fi
 done
 echo "ci.sh: all presets green ($PRESETS)"

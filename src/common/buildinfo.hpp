@@ -1,0 +1,28 @@
+// Build provenance baked in at configure time: which commit, compiler,
+// build type and sanitizer produced this binary.  The observability
+// server's /buildinfo route and `opendesc --version` surface it, so an
+// operator correlating a flight capture with a deploy can tell exactly
+// what was running without reaching for the package manager.
+#pragma once
+
+#include <string>
+
+namespace opendesc {
+
+struct BuildInfo {
+  const char* version;     ///< project version (CMake PROJECT_VERSION)
+  const char* git_sha;     ///< HEAD commit at configure time ("unknown" outside git)
+  const char* git_dirty;   ///< "true" when the work tree had local edits
+  const char* compiler;    ///< compiler id + version
+  const char* build_type;  ///< CMAKE_BUILD_TYPE
+  const char* sanitizer;   ///< OPENDESC_SANITIZE (OFF, address, thread)
+  const char* cxx_standard;
+};
+
+/// The constants configure_file stamped into buildinfo.cpp.
+[[nodiscard]] const BuildInfo& build_info() noexcept;
+
+/// The same record as a JSON object (the /buildinfo response body).
+[[nodiscard]] std::string build_info_json();
+
+}  // namespace opendesc

@@ -183,6 +183,7 @@ MultiQueueEngine::MultiQueueEngine(const core::CompileResult& result,
     server_ = std::make_unique<telemetry::ObservabilityServer>(
         *config_.telemetry, http::parse_listen_address(config_.listen));
     server_->set_ready_probe([this] { return ready(); });
+    server_->set_tenant(config_.tenant);
     server_->set_timeseries(store_.get());
     server_->set_health(health_.get());
     server_->set_layout([this](bool tsv) { return epochs_->status(tsv); });
@@ -523,6 +524,16 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
                                       config_.fault_seed + 0x9E3779B9ULL * q)));
       nics.back()->set_fault_injector(injectors.back().get());
     }
+    if (sink != nullptr && config_.trace_sample > 0) {
+      // The device records nic_parse / completion_write spans into its
+      // worker's ring — rx() runs on that worker's thread, so the
+      // single-writer invariant holds; the clock is injected to keep the
+      // sim library link-free of telemetry.
+      nics.back()->set_span_recorder(&sink->span_ring(q),
+                                     &telemetry::profile_now_ns);
+      sink->span_ring(q).set_epoch(
+          static_cast<std::uint32_t>(start_gen->epoch));
+    }
     rt::GuardConfig guard_config;
     guard_config.queue_id = static_cast<std::uint16_t>(q);
     guard_config.quarantine_capacity = config_.quarantine_capacity;
@@ -674,6 +685,18 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
   if (dprof != nullptr) {
     dprof->set_epoch(start_gen->epoch);
   }
+  // Causal tracing: head-based 1-in-N sampling, decided here at TX post.
+  // The mask test rides the producer sequence so a fixed workload seed
+  // samples the same packets (and mints the same ids) run after run.
+  const std::uint64_t trace_mask =
+      sink != nullptr ? telemetry::clamp_trace_sample(config_.trace_sample)
+                      : 0;
+  telemetry::SpanRing* const dispatch_spans =
+      trace_mask != 0 ? &sink->dispatch_span_ring() : nullptr;
+  if (dispatch_spans != nullptr) {
+    dispatch_spans->set_epoch(static_cast<std::uint32_t>(start_gen->epoch));
+  }
+  std::uint64_t produced = 0;  ///< dispatch producer sequence (mint input)
   // Swap application point: between chunks the dispatch thread checks for a
   // due hot-swap order (explicit request_swap or the auto-cycle), verifies
   // it through the epoch manager and — only when the swap committed —
@@ -720,6 +743,10 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
       }
       dprof->record(telemetry::ProfileStage::swap_barrier,
                     telemetry::profile_now_ns() - swap_start);
+    }
+    if (dispatch_spans != nullptr && attempt.generation != nullptr) {
+      dispatch_spans->set_epoch(
+          static_cast<std::uint32_t>(attempt.generation->epoch));
     }
   };
 
@@ -773,7 +800,13 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
       // the remainder of the classify loop stays steer.
       double classify_ns = 0.0;
       double t0 = rt::thread_cpu_now_ns();
-      for (const net::Packet& pkt : chunk) {
+      for (net::Packet& pkt : chunk) {
+        // Head-based sampling decision: one mask test per packet; only a
+        // sampled packet pays the two clock reads and the id mint.
+        const bool pkt_traced =
+            trace_mask != 0 && (produced & (trace_mask - 1)) == 0;
+        const double trace_t0 =
+            pkt_traced ? telemetry::profile_now_ns() : 0.0;
         std::uint16_t q;
         if (flow_table_ != nullptr) {
           // One tuple walk yields the steering hash *and* the 64-bit flow
@@ -792,6 +825,18 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
           q = steering_.queue_for(pkt.bytes());
           flow_keys.push_back(0);
         }
+        if (pkt_traced) {
+          // Mint the trace id and open the trace: tx_post is the instant
+          // the descriptor entered the pipeline, steer covers the classify.
+          pkt.trace_id =
+              telemetry::mint_trace_id(config_.fault_seed, q, produced);
+          const double trace_t1 = telemetry::profile_now_ns();
+          dispatch_spans->record(telemetry::SpanStage::tx_post, pkt.trace_id,
+                                 trace_t0, 0.0);
+          dispatch_spans->record(telemetry::SpanStage::steer, pkt.trace_id,
+                                 trace_t0, trace_t1 - trace_t0);
+        }
+        ++produced;
         dest.push_back(q);
         ++report.offered[q];
         ++report.offered_total;
@@ -807,7 +852,16 @@ EngineReport MultiQueueEngine::run_impl(NextFn&& next) {
                static_cast<std::uint32_t>(chunk[i].bytes().size()),
                handoff_seq++});
         }
+        const std::uint64_t trace_id = chunk[i].trace_id;
+        const double trace_t0 = trace_id != 0 && dispatch_spans != nullptr
+                                    ? telemetry::profile_now_ns()
+                                    : 0.0;
         handoff[q]->push(HandoffItem{std::move(chunk[i]), flow_keys[i], nullptr});
+        if (trace_id != 0 && dispatch_spans != nullptr) {
+          dispatch_spans->record(telemetry::SpanStage::handoff, trace_id,
+                                 trace_t0,
+                                 telemetry::profile_now_ns() - trace_t0);
+        }
       }
       const double handoff_ns = rt::thread_cpu_now_ns() - t0;
 

@@ -98,6 +98,9 @@ class SseClient {
   [[nodiscard]] const std::string& content_type() const noexcept {
     return content_type_;
   }
+  /// True once the server ended the stream — the only way to tell a
+  /// final nullopt from a timeout.
+  [[nodiscard]] bool ended() const noexcept { return eof_; }
 
  private:
   [[nodiscard]] std::optional<SseEvent> take_buffered_event();

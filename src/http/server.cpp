@@ -537,7 +537,14 @@ bool HttpServer::parse_head(Conn& conn) {
 
 void HttpServer::dispatch(Worker& worker, Conn& conn) {
   (void)worker;
+  const Clock::time_point handled = Clock::now();
   Response response = router_.dispatch(conn.req);
+  if (metrics_hook_) {
+    metrics_hook_(conn.req, response.status,
+                  std::chrono::duration<double, std::nano>(Clock::now() -
+                                                           handled)
+                      .count());
+  }
   serialize_response(conn, std::move(response));
   conn.req = Request{};
   conn.have_head = false;

@@ -31,6 +31,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -101,6 +102,14 @@ class HttpServer {
   /// The route table requests dispatch through (socket-free testing entry).
   [[nodiscard]] const Router& router() const noexcept { return router_; }
 
+  /// Per-request observation hook: invoked on the worker event-loop thread
+  /// after every dispatch with the request, the response status and the
+  /// handler's wall time.  Must be cheap and thread-safe (several workers
+  /// call it concurrently).  Install before start().
+  using MetricsHook =
+      std::function<void(const Request&, int status, double duration_ns)>;
+  void set_metrics_hook(MetricsHook hook) { metrics_hook_ = std::move(hook); }
+
   /// Requests served so far (including error responses).
   [[nodiscard]] std::uint64_t requests_served() const noexcept {
     return served_.load(std::memory_order_relaxed);
@@ -161,6 +170,7 @@ class HttpServer {
 
   ServerConfig config_;
   Router router_;
+  MetricsHook metrics_hook_;
   int listen_fd_ = -1;
   int accept_event_fd_ = -1;  ///< wakes the acceptor for shutdown
   std::uint16_t port_ = 0;

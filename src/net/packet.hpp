@@ -17,6 +17,11 @@ struct Packet {
   std::vector<std::uint8_t> data;
   std::uint64_t rx_timestamp_ns = 0;
   std::uint16_t rx_port = 0;
+  /// Causal-tracing id minted at TX post for head-sampled packets (0 =
+  /// unsampled).  Out-of-band, like the timestamp: it models the opaque
+  /// cookie real NICs carry per descriptor, so corruption faults can never
+  /// destroy the trace identity itself.
+  std::uint64_t trace_id = 0;
 
   [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept { return data; }
   [[nodiscard]] std::span<std::uint8_t> bytes() noexcept { return data; }

@@ -81,6 +81,11 @@ struct EngineConfig {
   bool profile = true;
   /// Fixed profiler sampling stride (time every Nth batch); 0 = auto-tune.
   std::size_t profile_stride = 0;
+  /// Causal tracing cadence: head-sample 1-in-N packets at TX post and
+  /// record their full lifecycle as spans (telemetry::SpanRing).  0 = off
+  /// (the default); nonzero is rounded up to a power of two and clamped
+  /// like the profiler stride.  Meaningless without a telemetry sink.
+  std::size_t trace_sample = 0;
 
   // Fluent builder surface -- each setter returns *this so configurations
   // compose in one expression.
@@ -171,6 +176,10 @@ struct EngineConfig {
   }
   EngineConfig& with_profile_stride(std::size_t stride) {
     profile_stride = stride;
+    return *this;
+  }
+  EngineConfig& with_trace_sample(std::size_t one_in_n) {
+    trace_sample = one_in_n;
     return *this;
   }
 };

@@ -185,6 +185,7 @@ ProgramReport program_with_verify(sim::ProgrammableNic& nic,
     incident.detail = static_cast<std::uint8_t>(
         policy.max_attempts > 0xFF ? 0xFF : policy.max_attempts);
     incident.layout_id = std::string(expect_path_id);
+    incident.trace_id = sink->last_trace_id();  // nearest sampled packet
     incident.recent = sink->ctrl_ring().tail(sink->flight().context_events());
     sink->flight().record(std::move(incident));
   }
@@ -249,6 +250,11 @@ void ValidatingRxLoop::cut_over(const core::CompiledLayout& wire_layout,
     // the outgoing epoch; subsequent spans charge the incoming one.
     profile_shard_->set_epoch(epoch);
   }
+  if (span_ring_ != nullptr) {
+    // Lifecycle spans recorded after this point executed under the new
+    // layout; the ring stamps them accordingly.
+    span_ring_->set_epoch(epoch);
+  }
 }
 
 void ValidatingRxLoop::set_telemetry(telemetry::Sink* sink, std::size_t queue) {
@@ -259,6 +265,9 @@ void ValidatingRxLoop::set_telemetry(telemetry::Sink* sink, std::size_t queue) {
     latency_shard_ = nullptr;
     stage_shards_.fill(nullptr);
     profile_shard_ = nullptr;
+    span_ring_ = nullptr;
+    latency_hist_ = nullptr;
+    stage_hists_.fill(nullptr);
     return;
   }
   // Resolve the single-writer endpoints once; the hot loop then pays one
@@ -272,7 +281,14 @@ void ValidatingRxLoop::set_telemetry(telemetry::Sink* sink, std::size_t queue) {
         telemetry::Stage::consume}) {
     stage_shards_[static_cast<std::size_t>(stage)] =
         &sink->stage_shard(stage, queue);
+    stage_hists_[static_cast<std::size_t>(stage)] =
+        &sink->stage_latency_hist(stage);
   }
+  // Causal tracing endpoints: this worker's span ring plus the histograms
+  // exemplars attach to.  Always resolved — recording still costs nothing
+  // until a sampled packet (trace_id != 0) actually arrives.
+  span_ring_ = queue < sink->queues() ? &sink->span_ring(queue) : nullptr;
+  latency_hist_ = &sink->batch_latency_hist();
   // Profiler lane: on by default whenever telemetry is attached; callers
   // that want spans without cycle accounting detach via set_profile(nullptr).
   profile_shard_ = queue < sink->profiler().shards()
@@ -283,7 +299,8 @@ void ValidatingRxLoop::set_telemetry(telemetry::Sink* sink, std::size_t queue) {
 void ValidatingRxLoop::flight_capture(telemetry::FlightCause cause,
                                       std::uint8_t detail,
                                       std::span<const std::uint8_t> record,
-                                      std::span<const std::uint8_t> frame_head) {
+                                      std::span<const std::uint8_t> frame_head,
+                                      std::uint64_t trace_id) {
   if (sink_ == nullptr) {
     return;
   }
@@ -292,6 +309,9 @@ void ValidatingRxLoop::flight_capture(telemetry::FlightCause cause,
   incident.queue = queue_;
   incident.detail = detail;
   incident.sequence = sequence_;
+  incident.trace_id = trace_id != 0 ? trace_id
+                      : span_ring_ != nullptr ? span_ring_->last_trace_id()
+                                              : 0;
   incident.layout_id =
       guard_.layout().nic_name() + "/" + guard_.layout().path_id();
   incident.record.assign(record.begin(), record.end());
@@ -328,6 +348,7 @@ std::uint64_t ValidatingRxLoop::software_fold(
   const softnic::RxContext host_ctx;
 
   const core::CompiledLayout& layout = guard_.layout();
+  const bool traced = span_ring_ != nullptr && packet.trace_id != 0;
   std::uint64_t fold = 0;
   for (const softnic::SemanticId id : wanted) {
     const core::FieldSlice* slice = layout.find(id);
@@ -339,6 +360,7 @@ std::uint64_t ValidatingRxLoop::software_fold(
       recovery_paths_.count(id, Provenance::unavailable);
       continue;
     }
+    const double t0 = traced ? telemetry::profile_now_ns() : 0.0;
     try {
       std::uint64_t value = engine_->compute(id, packet.bytes(), *view, ctx);
       if (slice != nullptr && slice->bit_width < 64) {
@@ -348,6 +370,13 @@ std::uint64_t ValidatingRxLoop::software_fold(
       recovery_paths_.count(id, Provenance::softnic_shim);
       trace(telemetry::TraceEventType::softnic_fallback,
             static_cast<std::uint8_t>(nic_miss), softnic::raw(id));
+      if (traced) {
+        // One child span per semantic recovered in software (detail = the
+        // raw semantic id), parented on the preceding pipeline span.
+        span_ring_->record(telemetry::SpanStage::softnic, packet.trace_id, t0,
+                           telemetry::profile_now_ns() - t0,
+                           static_cast<std::uint8_t>(softnic::raw(id)));
+      }
     } catch (const std::exception&) {
       ++stats.unrecoverable_values;
       recovery_paths_.count(id, Provenance::unavailable);
@@ -365,7 +394,8 @@ void ValidatingRxLoop::recover_lost(const net::Packet& packet,
         std::min<std::size_t>(guard_.config().frame_capture_bytes,
                               packet.data.size());
     flight_capture(telemetry::FlightCause::completion_lost, 0, {},
-                   std::span<const std::uint8_t>(packet.data).first(head));
+                   std::span<const std::uint8_t>(packet.data).first(head),
+                   packet.trace_id);
   }
   stats.value_checksum ^= software_fold(packet, wanted, stats, reason);
   ++stats.lost_completions;
@@ -378,7 +408,14 @@ void ValidatingRxLoop::validate_events(
     std::vector<RecordVerdict>& verdicts) const {
   verdicts.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
+    const bool traced = span_ring_ != nullptr && events[i].trace_id != 0;
+    const double t0 = traced ? telemetry::profile_now_ns() : 0.0;
     verdicts[i] = guard_.validate(events[i].record, events[i].frame);
+    if (traced) {
+      span_ring_->record(telemetry::SpanStage::validate, events[i].trace_id,
+                         t0, telemetry::profile_now_ns() - t0,
+                         static_cast<std::uint8_t>(verdicts[i]));
+    }
   }
 }
 
@@ -406,6 +443,11 @@ void ValidatingRxLoop::consume_events(std::span<const sim::RxEvent> events,
     const net::Packet* origin = pending.empty() ? nullptr : &pending.front();
 
     ++sequence_;
+    const bool traced = span_ring_ != nullptr && ev.trace_id != 0;
+    const double t0 = traced ? telemetry::profile_now_ns() : 0.0;
+    if (traced) {
+      span_batch_trace_ = ev.trace_id;
+    }
     const RecordVerdict verdict = verdicts[i];
     if (verdict == RecordVerdict::ok) {
       // Happy-path validations aggregate into one event per batch (below):
@@ -428,7 +470,14 @@ void ValidatingRxLoop::consume_events(std::span<const sim::RxEvent> events,
             static_cast<std::uint8_t>(verdict));
       flight_capture(telemetry::FlightCause::record_quarantined,
                      static_cast<std::uint8_t>(verdict), ev.record,
-                     ev.frame.first(head));
+                     ev.frame.first(head), ev.trace_id);
+      if (traced) {
+        // Terminal span: the record was dead-lettered (detail = verdict).
+        // The softnic recovery below still adds child spans — the trace
+        // shows both the rejection and the software path that saved it.
+        span_ring_->record(telemetry::SpanStage::quarantine, ev.trace_id, t0,
+                           0.0, static_cast<std::uint8_t>(verdict));
+      }
 
       if (origin != nullptr) {
         stats.value_checksum ^=
@@ -436,11 +485,16 @@ void ValidatingRxLoop::consume_events(std::span<const sim::RxEvent> events,
       } else {
         net::Packet synthetic;
         synthetic.data.assign(ev.frame.begin(), ev.frame.end());
+        synthetic.trace_id = ev.trace_id;
         stats.value_checksum ^=
             software_fold(synthetic, wanted, stats, MissReason::record_invalid);
       }
       ++stats.softnic_recovered;
       ++stats.packets;
+    }
+    if (traced) {
+      span_ring_->record(telemetry::SpanStage::consume, ev.trace_id, t0,
+                         telemetry::profile_now_ns() - t0);
     }
 
     if (origin != nullptr) {

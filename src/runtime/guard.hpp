@@ -262,7 +262,8 @@ class ValidatingRxLoop {
 
   /// Validation pass: verdicts[i] for each of the `n` polled events.
   /// Pure per-record work (no FIFO interaction), so it is its own
-  /// stage-latency span.
+  /// stage-latency span.  Sampled events additionally record per-event
+  /// `validate` lifecycle spans (detail = verdict).
   void validate_events(std::span<const sim::RxEvent> events, std::size_t n,
                        std::vector<RecordVerdict>& verdicts) const;
 
@@ -276,10 +277,13 @@ class ValidatingRxLoop {
                       RxLoopStats& stats);
 
   /// Captures one postmortem incident into the sink's flight recorder
-  /// (no-op without a sink).  Fault-path only.
+  /// (no-op without a sink).  Fault-path only.  `trace_id` stamps the
+  /// incident with the offending packet's causal trace; 0 falls back to the
+  /// ring's most recent sampled id (nearest in time).
   void flight_capture(telemetry::FlightCause cause, std::uint8_t detail,
                       std::span<const std::uint8_t> record,
-                      std::span<const std::uint8_t> frame_head);
+                      std::span<const std::uint8_t> frame_head,
+                      std::uint64_t trace_id = 0);
 
   /// Recovers one packet whose completion never arrived (or was refused at
   /// rx when `reason` says so).
@@ -301,8 +305,13 @@ class ValidatingRxLoop {
   std::array<telemetry::Histogram::Shard*, telemetry::kStageCount>
       stage_shards_{};
   telemetry::ProfileShard* profile_shard_ = nullptr;  ///< cycle accounting
+  telemetry::SpanRing* span_ring_ = nullptr;  ///< sink_->span_ring(queue_)
+  telemetry::Histogram* latency_hist_ = nullptr;  ///< exemplar target
+  /// Exemplar targets per stage (null where this worker records no stage).
+  std::array<telemetry::Histogram*, telemetry::kStageCount> stage_hists_{};
   std::uint16_t queue_ = 0;
   std::uint64_t trace_seq_ = 0;
+  std::uint64_t span_batch_trace_ = 0;  ///< last sampled trace id this batch
   std::vector<RecordVerdict> verdicts_;  ///< per-batch scratch (no realloc)
 };
 
@@ -359,6 +368,12 @@ RxLoopStats ValidatingRxLoop::run_stream(
     auto* shard = stage_shards_[static_cast<std::size_t>(stage)];
     if (shard != nullptr && elapsed > 0.0) {
       shard->observe(static_cast<std::uint64_t>(elapsed));
+      // Exemplar: link this bucket to the batch's sampled packet (if any).
+      if (auto* hist = stage_hists_[static_cast<std::size_t>(stage)];
+          hist != nullptr && span_batch_trace_ != 0) {
+        hist->record_exemplar(static_cast<std::uint64_t>(elapsed),
+                              span_batch_trace_);
+      }
     }
     if (prof_sampled) {
       prof->record(telemetry::to_profile_stage(stage), elapsed);
@@ -401,6 +416,10 @@ RxLoopStats ValidatingRxLoop::run_stream(
     });
     if (latency_shard_ != nullptr && batch_ns > 0.0) {
       latency_shard_->observe(static_cast<std::uint64_t>(batch_ns));
+      if (latency_hist_ != nullptr && span_batch_trace_ != 0) {
+        latency_hist_->record_exemplar(static_cast<std::uint64_t>(batch_ns),
+                                       span_batch_trace_);
+      }
     }
   };
 
@@ -410,6 +429,7 @@ RxLoopStats ValidatingRxLoop::run_stream(
   bool open = true;
   while (open) {
     prof_sampled = prof != nullptr && prof->batch_begin();
+    span_batch_trace_ = 0;  // exemplars bind to *this* batch's sampled packet
     // Pop the burst before touching the device: source() may block (e.g. on
     // an SPSC handoff ring), and waiting must not pollute the ring span.
     // On sampled batches the whole refill is accounted as wait — source-side
@@ -442,6 +462,12 @@ RxLoopStats ValidatingRxLoop::run_stream(
     std::size_t n = 0;
     ring_span([&] {
       for (net::Packet& pkt : burst) {
+        // Sampled packets get a per-packet `ring` lifecycle span around the
+        // rx feed; the device then records nic_parse / completion_write
+        // inside rx() on this same thread (single-writer ring holds).
+        const bool traced = span_ring_ != nullptr && pkt.trace_id != 0;
+        const double t0 = traced ? telemetry::profile_now_ns() : 0.0;
+        const std::uint64_t trace_id = pkt.trace_id;
         if (nic.rx(pkt)) {
           pending.push_back(std::move(pkt));
         } else {
@@ -449,6 +475,11 @@ RxLoopStats ValidatingRxLoop::run_stream(
           ++stats.rx_rejected;
           trace(telemetry::TraceEventType::rx_rejected);
           rejected.push_back(std::move(pkt));
+        }
+        if (traced) {
+          span_batch_trace_ = trace_id;
+          span_ring_->record(telemetry::SpanStage::ring, trace_id, t0,
+                             telemetry::profile_now_ns() - t0);
         }
       }
       n = nic.poll(events);

@@ -47,6 +47,12 @@ bool NicSimulator::rx(const net::Packet& packet) {
     return false;
   }
 
+  // Causal tracing: a sampled packet carries a non-zero trace id; span
+  // timestamps come from the injected clock so the sim stays link-free of
+  // the telemetry library.
+  const bool traced = span_ring_ != nullptr && packet.trace_id != 0;
+  double span_start = traced ? span_clock_() : 0.0;
+
   // --- NIC pipeline: parse, compute provided semantics, deparse. ---
   const net::PacketView view = net::PacketView::parse(packet.bytes());
   ctx_.rx_timestamp_ns = packet.rx_timestamp_ns;
@@ -64,6 +70,12 @@ bool NicSimulator::rx(const net::Packet& packet) {
   }
   layout_.serialize(slot, scratch_values_);
   layout_.seal(slot, packet.bytes());
+  if (traced) {
+    const double now = span_clock_();
+    span_ring_->record(telemetry::SpanStage::nic_parse, packet.trace_id,
+                       span_start, now - span_start);
+    span_start = now;
+  }
 
   // --- Fault model: corrupt the sealed record before the host sees it. ---
   std::uint32_t record_len = static_cast<std::uint32_t>(layout_.total_bytes());
@@ -92,8 +104,12 @@ bool NicSimulator::rx(const net::Packet& packet) {
   std::span<std::uint8_t> buffer = buffers_.buffer(buffer_id);
   std::copy(packet.data.begin(), packet.data.end(), buffer.begin());
   inflight_.push_back({buffer_id, static_cast<std::uint32_t>(packet.size()),
-                       record_len, visible_at});
+                       record_len, visible_at, packet.trace_id});
   cmpt_ring_.push();
+  if (traced) {
+    span_ring_->record(telemetry::SpanStage::completion_write, packet.trace_id,
+                       span_start, span_clock_() - span_start);
+  }
 
   dma_.completion_bytes += layout_.total_bytes();
   dma_.rx_frame_bytes += packet.size();
@@ -118,6 +134,7 @@ std::size_t NicSimulator::poll(std::span<RxEvent> out) const {
     // The n-th pending record is n entries past the tail.
     out[n].record = cmpt_ring_.peek(cmpt_ring_.tail() + n).first(frame.record_len);
     out[n].frame = buffers_.buffer(frame.buffer_id).first(frame.frame_len);
+    out[n].trace_id = frame.trace_id;
   }
   return n;
 }

@@ -19,6 +19,7 @@
 #include "sim/faults.hpp"
 #include "sim/ring.hpp"
 #include "softnic/compute.hpp"
+#include "telemetry/spans.hpp"
 
 namespace opendesc::sim {
 
@@ -34,6 +35,9 @@ struct SimConfig {
 struct RxEvent {
   std::span<const std::uint8_t> record;  ///< completion record (ring slot)
   std::span<const std::uint8_t> frame;   ///< packet bytes (pool buffer)
+  std::uint64_t trace_id = 0;  ///< causal-tracing id (0 = unsampled); carried
+                               ///< out-of-band like a descriptor cookie, so
+                               ///< record corruption cannot destroy it
 };
 
 /// Single-queue receive-side NIC simulator.
@@ -80,6 +84,18 @@ class NicSimulator {
   void set_fault_injector(FaultInjector* injector) noexcept { faults_ = injector; }
   [[nodiscard]] FaultInjector* fault_injector() const noexcept { return faults_; }
 
+  /// Attaches the owning worker's span ring (nullptr detaches): rx() runs
+  /// on that worker's thread, so the ring's single-writer invariant holds.
+  /// The clock is injected alongside (telemetry::profile_now_ns in
+  /// production) so the simulator records `nic_parse` and
+  /// `completion_write` spans for sampled packets without a link-time
+  /// telemetry dependency.
+  void set_span_recorder(telemetry::SpanRing* ring,
+                         double (*clock)() noexcept) noexcept {
+    span_ring_ = ring;
+    span_clock_ = ring != nullptr ? clock : nullptr;
+  }
+
   // --- TX path (host → NIC → wire) -----------------------------------------
 
   /// Programs the TX descriptor format the NIC's DescParser will use
@@ -120,6 +136,7 @@ class NicSimulator {
     std::uint32_t frame_len = 0;
     std::uint32_t record_len = 0;
     std::uint64_t visible_at_poll = 0;
+    std::uint64_t trace_id = 0;  ///< sampled-packet cookie (0 = unsampled)
   };
   std::vector<InflightFrame> inflight_;  ///< FIFO aligned with the ring
   DmaAccounting dma_;
@@ -127,6 +144,8 @@ class NicSimulator {
   std::optional<core::CompiledLayout> tx_layout_;
   std::vector<std::vector<std::uint8_t>> transmitted_;
   FaultInjector* faults_ = nullptr;
+  telemetry::SpanRing* span_ring_ = nullptr;   ///< owning worker's span ring
+  double (*span_clock_)() noexcept = nullptr;  ///< injected span timestamp clock
   std::vector<std::uint8_t> last_record_;  ///< previous record (stale faults)
   mutable std::uint64_t poll_seq_ = 0;     ///< doorbell-delay clock
 };

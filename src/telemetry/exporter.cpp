@@ -154,7 +154,18 @@ std::string prometheus_family(const Registry::Family& family) {
                                "le=\"" +
                                    std::to_string(histogram_upper_bound(i)) +
                                    "\"")
-                << ' ' << cumulative << '\n';
+                << ' ' << cumulative;
+            // OpenMetrics exemplar: the trace id of a sampled observation
+            // that landed in this bucket, linking /metrics to /spans.
+            if (const auto ex = series.histogram->exemplar(i);
+                ex && ex->trace_id != 0) {
+              char hex[17];
+              std::snprintf(hex, sizeof hex, "%016llx",
+                            static_cast<unsigned long long>(ex->trace_id));
+              out << " # {trace_id=\"" << hex << "\"} "
+                  << format_double(ex->value);
+            }
+            out << '\n';
           }
           out << family.name << "_bucket"
               << label_block(series.labels, "le=\"+Inf\"") << ' ' << data.count

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "telemetry/exporter.hpp"
+#include "telemetry/spans.hpp"
 
 namespace opendesc::telemetry {
 
@@ -91,7 +92,8 @@ std::string FlightRecorder::to_json() const {
     out << (i == 0 ? "" : ",") << "{\"cause\":\""
         << to_string(incident.cause) << "\",\"queue\":" << incident.queue
         << ",\"detail\":" << static_cast<unsigned>(incident.detail)
-        << ",\"sequence\":" << incident.sequence << ",\"layout\":\""
+        << ",\"sequence\":" << incident.sequence << ",\"trace_id\":\""
+        << trace_id_hex(incident.trace_id) << "\",\"layout\":\""
         << escape_json(incident.layout_id) << "\",\"record\":\""
         << to_hex(incident.record) << "\",\"frame_head\":\""
         << to_hex(incident.frame_head) << "\",\"recent\":[";

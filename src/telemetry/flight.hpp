@@ -55,6 +55,8 @@ struct FlightIncident {
   std::uint16_t queue = 0;     ///< originating queue (0 for control plane)
   std::uint8_t detail = 0;     ///< cause-specific (verdict, attempts)
   std::uint64_t sequence = 0;  ///< loop-delivery index at capture
+  std::uint64_t trace_id = 0;  ///< causal trace of the offending packet, or
+                               ///< the nearest sampled one (0 = none known)
   std::string layout_id;       ///< active CompiledLayout ("nic/path")
   std::vector<std::uint8_t> record;      ///< offending record bytes, verbatim
   std::vector<std::uint8_t> frame_head;  ///< first frame bytes (when known)

@@ -472,12 +472,20 @@ void HealthEngine::fire(RuleState& state) {
       std::min<std::uint64_t>(state.status.fired_total, 0xFF));
   incident.sequence = evaluations_;
   incident.layout_id = "alert/" + state.rule.name;
+  // Nearest sampled packet at firing time: the causal starting point for
+  // "what was the datapath doing when this rule tripped".
+  incident.trace_id = sink_->last_trace_id();
   const std::vector<FlightIncident> prior = sink_->flight().snapshot();
   for (auto it = prior.rbegin(); it != prior.rend(); ++it) {
     if (it->cause != FlightCause::alert_fired) {
       incident.queue = it->queue;
       incident.record = it->record;
       incident.frame_head = it->frame_head;
+      if (it->trace_id != 0) {
+        // The fault incident the rule most plausibly fired on is more
+        // causal than "nearest sampled packet" — prefer its trace.
+        incident.trace_id = it->trace_id;
+      }
       break;
     }
   }

@@ -102,11 +102,52 @@ HistogramData Histogram::Shard::snapshot() const noexcept {
   }
 }
 
-Histogram::Histogram(std::size_t shards) {
+Histogram::Histogram(std::size_t shards)
+    : exemplars_(std::make_unique<ExemplarSlot[]>(kHistogramBuckets)) {
   shards_.reserve(std::max<std::size_t>(1, shards));
   for (std::size_t i = 0; i < std::max<std::size_t>(1, shards); ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+}
+
+void Histogram::record_exemplar(std::uint64_t value,
+                                std::uint64_t trace_id) noexcept {
+  ExemplarSlot& slot = exemplars_[histogram_bucket(value)];
+  std::uint64_t e = slot.epoch.load(std::memory_order_relaxed);
+  if ((e & 1) != 0 ||
+      !slot.epoch.compare_exchange_strong(e, e + 1, std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+    return;  // another writer mid-store; drop this sample
+  }
+  slot.id.store(trace_id, std::memory_order_relaxed);
+  slot.bits.store(std::bit_cast<std::uint64_t>(static_cast<double>(value)),
+                  std::memory_order_relaxed);
+  slot.epoch.store(e + 2, std::memory_order_release);
+}
+
+std::optional<Histogram::Exemplar> Histogram::exemplar(
+    std::size_t bucket) const noexcept {
+  if (bucket >= kHistogramBuckets) {
+    return std::nullopt;
+  }
+  const ExemplarSlot& slot = exemplars_[bucket];
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const std::uint64_t e1 = slot.epoch.load(std::memory_order_acquire);
+    if (e1 == 0) {
+      return std::nullopt;  // never written
+    }
+    if ((e1 & 1) != 0) {
+      continue;  // writer mid-store
+    }
+    Exemplar out;
+    out.trace_id = slot.id.load(std::memory_order_relaxed);
+    out.value = std::bit_cast<double>(slot.bits.load(std::memory_order_relaxed));
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.epoch.load(std::memory_order_acquire) == e1) {
+      return out;
+    }
+  }
+  return std::nullopt;
 }
 
 HistogramData Histogram::snapshot() const {
@@ -146,6 +187,11 @@ Labels normalize_labels(Labels labels) {
 }
 
 std::string canonical_labels(const Labels& labels) {
+  // Values are escaped per the exposition format (backslash, double-quote,
+  // newline).  This is load-bearing for correctness, not just rendering:
+  // the canonical form is the Registry's series key, and without escaping
+  // an adversarial value like `a",x="b` would collide distinct label sets
+  // into one series (reachable through tenant and SLO rule names).
   std::string key;
   for (const auto& [k, v] : labels) {
     if (!key.empty()) {
@@ -153,7 +199,21 @@ std::string canonical_labels(const Labels& labels) {
     }
     key += k;
     key += "=\"";
-    key += v;
+    for (const char c : v) {
+      switch (c) {
+        case '\\':
+          key += "\\\\";
+          break;
+        case '"':
+          key += "\\\"";
+          break;
+        case '\n':
+          key += "\\n";
+          break;
+        default:
+          key += c;
+      }
+    }
     key += '"';
   }
   return key;

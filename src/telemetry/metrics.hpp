@@ -29,6 +29,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -151,8 +152,32 @@ class Histogram {
   /// Lock-free merge of every shard's epoch-consistent snapshot.
   [[nodiscard]] HistogramData snapshot() const;
 
+  /// One OpenMetrics exemplar: the trace id of a sampled observation that
+  /// landed in a bucket, plus the observed value — the link from a /metrics
+  /// bucket line to a /spans trace.
+  struct Exemplar {
+    std::uint64_t trace_id = 0;
+    double value = 0.0;
+  };
+
+  /// Attaches `trace_id` as the exemplar of the bucket `value` lands in.
+  /// Safe from any thread: slots are guarded by a per-bucket mini-seqlock,
+  /// and a writer that finds the slot mid-store skips — exemplars are
+  /// best-effort samples, never accounting.
+  void record_exemplar(std::uint64_t value, std::uint64_t trace_id) noexcept;
+  /// The bucket's current exemplar, when a consistent one is readable.
+  [[nodiscard]] std::optional<Exemplar> exemplar(
+      std::size_t bucket) const noexcept;
+
  private:
+  struct ExemplarSlot {
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<std::uint64_t> id{0};
+    std::atomic<std::uint64_t> bits{0};  ///< bit_cast observed value
+  };
+
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ExemplarSlot[]> exemplars_;
 };
 
 /// What a family measures.

@@ -7,9 +7,11 @@
 #include <sstream>
 #include <vector>
 
+#include "common/buildinfo.hpp"
 #include "common/error.hpp"
 #include "telemetry/exporter.hpp"
 #include "telemetry/health.hpp"
+#include "telemetry/spans.hpp"
 #include "telemetry/timeseries.hpp"
 
 namespace opendesc::telemetry {
@@ -31,8 +33,60 @@ std::string trace_ring_json(const TraceRing& ring, std::string_view name) {
   return out.str();
 }
 
+namespace {
+
+/// The route label on opendesc_http_requests_total.  Known paths keep
+/// their literal form; anything else collapses to "other" so a scanner
+/// probing random paths cannot mint unbounded label values.
+std::string normalize_route(const std::string& path) {
+  static const char* const kKnown[] = {
+      "/metrics",    "/metrics.json", "/healthz", "/readyz", "/traces",
+      "/flight",     "/alerts",       "/events",  "/timeseries", "/layout",
+      "/flows",      "/profile",      "/spans",   "/buildinfo",
+  };
+  for (const char* known : kKnown) {
+    if (path == known) {
+      return known;
+    }
+  }
+  return "other";
+}
+
+}  // namespace
+
 ObservabilityServer::ObservabilityServer(Sink& sink, http::ServerConfig config)
-    : sink_(&sink), server_(std::move(config), build_router()) {}
+    : sink_(&sink), server_(std::move(config), build_router()) {
+  install_http_metrics();
+}
+
+void ObservabilityServer::install_http_metrics() {
+  // Pre-register the families so a scrape sees them (at zero) before the
+  // first request lands; the {route,code} counter series appear lazily as
+  // combinations are actually served.
+  Registry& registry = sink_->registry();
+  registry.counter("opendesc_http_requests_total",
+                   "HTTP requests served by the observability server",
+                   {{"route", "/metrics"}, {"code", "200"}});
+  http_connections_ = &registry.gauge(
+      "opendesc_http_connections",
+      "Currently open observability-server connections");
+  http_latency_ = &registry.histogram(
+      "opendesc_http_request_duration_ns",
+      "Route-handler wall time per observability request (ns)");
+  server_.set_metrics_hook(
+      [this](const http::Request& request, int status, double duration_ns) {
+        sink_->registry()
+            .counter("opendesc_http_requests_total",
+                     "HTTP requests served by the observability server",
+                     {{"route", normalize_route(request.path)},
+                      {"code", std::to_string(status)}})
+            .add();
+        http_connections_->set(static_cast<double>(server_.connections()));
+        const std::lock_guard<std::mutex> lock(http_metrics_mutex_);
+        http_latency_->shard(0).observe(
+            duration_ns <= 0.0 ? 0 : static_cast<std::uint64_t>(duration_ns));
+      });
+}
 
 http::Router ObservabilityServer::build_router() {
   // Handlers capture `this` and read the provider members at request time,
@@ -81,6 +135,14 @@ http::Router ObservabilityServer::build_router() {
              [this](const http::Request& request) { return flows(request); });
   router.get("/profile", [this](const http::Request& request) {
     return profile(request);
+  });
+  router.get("/spans",
+             [this](const http::Request& request) { return spans(request); });
+  router.get("/buildinfo", [](const http::Request&) {
+    http::Response response;
+    response.content_type = "application/json";
+    response.body = build_info_json();
+    return response;
   });
   return router;
 }
@@ -606,6 +668,93 @@ http::Response ObservabilityServer::traces(const http::Request& request) {
     return response;
   }
   response.body = trace_ring_json(sink_->ring(queue), ring_name(queue));
+  return response;
+}
+
+http::Response ObservabilityServer::spans(const http::Request& request) {
+  std::string format = "json";
+  const auto fmt = request.query.find("format");
+  if (fmt != request.query.end()) {
+    format = fmt->second;
+  }
+  if (format != "json" && format != "otlp" && format != "perfetto") {
+    throw http::HttpError(400,
+                          "unknown format (expected json, otlp or perfetto)");
+  }
+  if (request.query_flag("follow")) {
+    if (format != "json") {
+      throw http::HttpError(400, "follow only streams the json format");
+    }
+    return spans_follow(request);
+  }
+  const std::uint64_t limit = request.query_u64("limit").value_or(0);
+  std::vector<SpanRecord> all;
+  for (const SpanRing& ring : sink_->span_rings()) {
+    std::vector<SpanRecord> part = ring.snapshot();
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  const std::vector<TraceView> traces =
+      group_traces(std::move(all), static_cast<std::size_t>(limit));
+  http::Response response;
+  response.content_type = "application/json";
+  if (format == "otlp") {
+    response.body = render_spans_otlp(traces, tenant_, sink_->queues());
+  } else if (format == "perfetto") {
+    response.body = render_spans_perfetto(traces, tenant_, sink_->queues());
+  } else {
+    response.body = render_spans_json(traces, tenant_, sink_->queues());
+  }
+  return response;
+}
+
+http::Response ObservabilityServer::spans_follow(const http::Request& request) {
+  const std::uint64_t max_events = request.query_u64("count").value_or(0);
+
+  http::Response response;
+  response.content_type = "text/event-stream";
+  response.headers["Cache-Control"] = "no-cache";
+  response.live = true;
+  // One watermark per ring: start at 0 so the first poll replays what the
+  // rings retain (a follower sees recent history immediately, like
+  // /timeseries?follow), then advance past every span already sent.
+  struct StreamState {
+    bool hello = false;
+    std::vector<std::uint64_t> watermarks;
+    std::uint64_t sent = 0;
+  };
+  auto state = std::make_shared<StreamState>();
+  Sink* const sink = sink_;
+  const std::string tenant = tenant_;
+  response.stream = [sink, state, tenant,
+                     max_events](http::ResponseWriter& writer) {
+    const std::vector<SpanRing>& rings = sink->span_rings();
+    if (!state->hello) {
+      state->hello = true;
+      state->watermarks.assign(rings.size(), 0);
+      writer.write("event: hello\ndata: {\"stream\":\"spans\"}\n\n");
+    }
+    std::vector<SpanRecord> fresh;
+    for (std::size_t i = 0; i < rings.size(); ++i) {
+      std::vector<SpanRecord> part = rings[i].since(state->watermarks[i]);
+      for (const SpanRecord& span : part) {
+        if (span.sequence + 1 > state->watermarks[i]) {
+          state->watermarks[i] = span.sequence + 1;
+        }
+      }
+      fresh.insert(fresh.end(), part.begin(), part.end());
+    }
+    if (fresh.empty()) {
+      return;  // nothing new; the loop re-polls on its tick
+    }
+    writer.write("event: spans\ndata: " +
+                 render_spans_json(group_traces(std::move(fresh), 0), tenant,
+                                   sink->queues()) +
+                 "\n\n");
+    ++state->sent;
+    if (max_events != 0 && state->sent >= max_events) {
+      writer.end();
+    }
+  };
   return response;
 }
 

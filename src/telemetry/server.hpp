@@ -44,6 +44,22 @@
 //                      on the event loop and streams the windowed delta.
 //                      ?format=json (default) | collapsed (flamegraph.pl
 //                      stacks) | speedscope | tsv (`opendesc top` pane)
+//   GET /spans         sampled descriptor-lifecycle traces (causal packet
+//                      tracing).  ?format=json (default) | otlp (OTLP/JSON,
+//                      POSTable to an OpenTelemetry collector's /v1/traces)
+//                      | perfetto (Chrome trace-event JSON).  ?limit=N
+//                      keeps only the newest N traces; ?follow turns the
+//                      response into a live SSE stream with one "spans"
+//                      event per batch of newly recorded spans (?count=N
+//                      closes after N events — tests)
+//   GET /buildinfo     configure-time build provenance (git sha, compiler,
+//                      build type, sanitizer) as JSON
+//
+// The server also instruments itself into the sink registry:
+// opendesc_http_requests_total{route,code}, the
+// opendesc_http_connections gauge and the
+// opendesc_http_request_duration_ns histogram — scraping /metrics
+// observes the scrape plane too.
 //
 // Unknown paths answer the Router's structured JSON 404 (carrying the full
 // route list); a known path with an unregistered method answers 405 with
@@ -57,6 +73,7 @@
 #pragma once
 
 #include <functional>
+#include <mutex>
 #include <string>
 
 #include "http/server.hpp"
@@ -115,6 +132,9 @@ class ObservabilityServer {
     swap_ = std::move(handler);
     swap_token_ = std::move(token);
   }
+  /// Tenant label stamped on every /spans export (the engine's serving
+  /// tenant).  Install before start().
+  void set_tenant(std::string tenant) { tenant_ = std::move(tenant); }
 
   void start() { server_.start(); }
   void stop() { server_.stop(); }
@@ -150,6 +170,11 @@ class ObservabilityServer {
   [[nodiscard]] http::Response post_layout(const http::Request& request);
   [[nodiscard]] http::Response flows(const http::Request& request);
   [[nodiscard]] http::Response profile(const http::Request& request);
+  [[nodiscard]] http::Response spans(const http::Request& request);
+  [[nodiscard]] http::Response spans_follow(const http::Request& request);
+  /// Registers the server's own request/connection series in the sink
+  /// registry and installs the per-request hook that feeds them.
+  void install_http_metrics();
   /// The non-TSV /timeseries?metric=... JSON body — shared by the one-shot
   /// response and the ?follow tick events.
   [[nodiscard]] std::string family_window_json(const FamilyWindow& family,
@@ -164,6 +189,13 @@ class ObservabilityServer {
   FlowsJsonProvider flows_json_;
   SwapHandler swap_;
   std::string swap_token_;
+  std::string tenant_ = "default";
+  /// Self-instrumentation: the duration histogram is single-writer per
+  /// shard, and the hook runs on several event-loop workers, so a small
+  /// mutex serializes the observe (the scrape plane is not a hot path).
+  Gauge* http_connections_ = nullptr;
+  Histogram* http_latency_ = nullptr;
+  std::mutex http_metrics_mutex_;
   http::HttpServer server_;
 };
 

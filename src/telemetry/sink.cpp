@@ -30,6 +30,11 @@ Sink::Sink(SinkConfig config)
   for (std::size_t i = 0; i < queues_ + 2; ++i) {
     rings_.emplace_back(config.trace_capacity);
   }
+  span_rings_.reserve(queues_ + 1);
+  for (std::size_t i = 0; i < queues_ + 1; ++i) {
+    span_rings_.emplace_back(config.span_capacity);
+    span_rings_.back().set_queue(static_cast<std::uint16_t>(i));
+  }
   batch_latency_ = &registry_.histogram(
       "opendesc_batch_latency_ns",
       "Host CPU nanoseconds spent consuming one rx batch", {}, queues_);
@@ -71,6 +76,20 @@ void Sink::publish_trace_counters() {
       .counter("opendesc_trace_dropped_total",
                "Trace events overwritten by ring wrap (history lost)")
       .store(dropped);
+  std::uint64_t spans_recorded = 0;
+  std::uint64_t spans_dropped = 0;
+  for (const SpanRing& ring : span_rings_) {
+    spans_recorded += ring.recorded();
+    spans_dropped += ring.dropped();
+  }
+  registry_
+      .counter("opendesc_trace_spans_recorded_total",
+               "Lifecycle spans recorded for sampled packets")
+      .store(spans_recorded);
+  registry_
+      .counter("opendesc_trace_spans_dropped_total",
+               "Lifecycle spans overwritten by span-ring wrap")
+      .store(spans_dropped);
   for (std::size_t c = 0; c < kFlightCauseCount; ++c) {
     const auto cause = static_cast<FlightCause>(c);
     registry_

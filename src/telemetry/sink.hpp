@@ -15,6 +15,7 @@
 #include "telemetry/flight.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/profiler.hpp"
+#include "telemetry/spans.hpp"
 #include "telemetry/trace.hpp"
 
 namespace opendesc::telemetry {
@@ -56,6 +57,7 @@ struct SinkConfig {
   std::size_t trace_capacity = 4096;  ///< per-ring retained events
   std::size_t flight_capacity = 32;   ///< retained flight incidents
   std::size_t flight_context = 16;    ///< trace events captured per incident
+  std::size_t span_capacity = 2048;   ///< per-ring retained lifecycle spans
 };
 
 class Sink {
@@ -84,12 +86,46 @@ class Sink {
     return rings_;
   }
 
+  /// Worker queue q's span ring (causal packet tracing); record() only from
+  /// the thread driving queue q.
+  [[nodiscard]] SpanRing& span_ring(std::size_t queue) {
+    return span_rings_.at(queue);
+  }
+  /// The dispatch thread's span ring (tx_post / steer / handoff spans).
+  [[nodiscard]] SpanRing& dispatch_span_ring() noexcept {
+    return span_rings_[queues_];
+  }
+  /// All span rings (workers, then dispatch), for exposition snapshots.
+  [[nodiscard]] const std::vector<SpanRing>& span_rings() const noexcept {
+    return span_rings_;
+  }
+  /// The most recently minted trace id (dispatch ring), for stamping flight
+  /// incidents and alert captures with "the sampled packet nearest in time".
+  [[nodiscard]] std::uint64_t last_trace_id() const noexcept {
+    // Dispatch mints ids at tx_post, so its ring carries the freshest one;
+    // fall back to any worker ring (single-producer runs bypass dispatch).
+    if (const std::uint64_t id = span_rings_[queues_].last_trace_id(); id != 0) {
+      return id;
+    }
+    for (const SpanRing& ring : span_rings_) {
+      if (const std::uint64_t id = ring.last_trace_id(); id != 0) {
+        return id;
+      }
+    }
+    return 0;
+  }
+
   /// Per-batch host latency histogram; shard q is written only by queue q's
   /// worker.
   [[nodiscard]] Histogram::Shard& batch_latency_shard(std::size_t queue) {
     return batch_latency_->shard(queue);
   }
   [[nodiscard]] const Histogram& batch_latency() const noexcept {
+    return *batch_latency_;
+  }
+  /// Mutable handle for exemplar attachment (record_exemplar is lock-free
+  /// and safe from any thread).
+  [[nodiscard]] Histogram& batch_latency_hist() noexcept {
     return *batch_latency_;
   }
 
@@ -101,6 +137,10 @@ class Sink {
   }
   [[nodiscard]] std::size_t dispatch_shard() const noexcept { return queues_; }
   [[nodiscard]] const Histogram& stage_latency(Stage stage) const noexcept {
+    return *stage_latency_[static_cast<std::size_t>(stage)];
+  }
+  /// Mutable handle for exemplar attachment.
+  [[nodiscard]] Histogram& stage_latency_hist(Stage stage) noexcept {
     return *stage_latency_[static_cast<std::size_t>(stage)];
   }
 
@@ -130,6 +170,7 @@ class Sink {
   std::size_t queues_;
   Registry registry_;
   std::vector<TraceRing> rings_;  ///< [0..queues) workers, +0 dispatch, +1 ctrl
+  std::vector<SpanRing> span_rings_;  ///< [0..queues) workers, +0 dispatch
   Histogram* batch_latency_;      ///< owned by registry_
   std::array<Histogram*, kStageCount> stage_latency_{};  ///< owned by registry_
   FlightRecorder flight_;

@@ -1,0 +1,248 @@
+#include "telemetry/spans.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "telemetry/exporter.hpp"
+
+namespace opendesc::telemetry {
+
+std::string_view to_string(SpanStage stage) noexcept {
+  switch (stage) {
+    case SpanStage::tx_post:
+      return "tx_post";
+    case SpanStage::steer:
+      return "steer";
+    case SpanStage::handoff:
+      return "handoff";
+    case SpanStage::ring:
+      return "ring";
+    case SpanStage::nic_parse:
+      return "nic_parse";
+    case SpanStage::completion_write:
+      return "completion_write";
+    case SpanStage::validate:
+      return "validate";
+    case SpanStage::consume:
+      return "consume";
+    case SpanStage::softnic:
+      return "softnic";
+    case SpanStage::quarantine:
+      return "quarantine";
+  }
+  return "?";
+}
+
+std::string trace_id_hex(std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::vector<SpanRecord> SpanRing::snapshot() const {
+  return since(0);
+}
+
+std::vector<SpanRecord> SpanRing::since(std::uint64_t sequence) const {
+  const std::uint64_t end = recorded_.load(std::memory_order_acquire);
+  const std::uint64_t base = base_.load(std::memory_order_acquire);
+  const std::uint64_t window =
+      std::min<std::uint64_t>(end - base, buffer_.size());
+  std::uint64_t begin = end - window;
+  if (begin < sequence) {
+    begin = sequence > end ? end : sequence;
+  }
+  std::vector<SpanRecord> out;
+  out.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t idx = begin; idx < end; ++idx) {
+    const Slot& slot = buffer_[static_cast<std::size_t>(idx) & mask_];
+    SpanRecord r;
+    r.trace_id = slot.trace.load(std::memory_order_acquire);
+    r.start_ns =
+        std::bit_cast<double>(slot.start.load(std::memory_order_acquire));
+    r.duration_ns =
+        std::bit_cast<double>(slot.duration.load(std::memory_order_acquire));
+    const std::uint64_t meta = slot.meta.load(std::memory_order_acquire);
+    r.stage = static_cast<SpanStage>(meta & 0xFF);
+    r.detail = static_cast<std::uint8_t>((meta >> 8) & 0xFF);
+    r.queue = static_cast<std::uint16_t>((meta >> 16) & 0xFFFF);
+    r.epoch = static_cast<std::uint32_t>(meta >> 32);
+    r.sequence = idx;
+    out.push_back(r);
+  }
+  // Discard whatever the writer started overwriting during the copy: every
+  // slot below (started-write cursor - capacity) may have been re-entered,
+  // so its copied words could mix two spans.
+  const std::uint64_t writing = writing_.load(std::memory_order_acquire);
+  const std::uint64_t safe =
+      writing > buffer_.size() ? writing - buffer_.size() : 0;
+  std::erase_if(out,
+                [safe](const SpanRecord& r) { return r.sequence < safe; });
+  return out;
+}
+
+std::vector<TraceView> group_traces(std::vector<SpanRecord> spans,
+                                    std::size_t max_traces) {
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.start_ns != b.start_ns) {
+                       return a.start_ns < b.start_ns;
+                     }
+                     return static_cast<std::uint8_t>(a.stage) <
+                            static_cast<std::uint8_t>(b.stage);
+                   });
+  std::vector<TraceView> traces;
+  std::map<std::uint64_t, std::size_t> index;
+  for (SpanRecord& span : spans) {
+    if (span.trace_id == 0) {
+      continue;  // a slot the writer never finished, or a cleared ring
+    }
+    const auto [it, inserted] = index.emplace(span.trace_id, traces.size());
+    if (inserted) {
+      traces.push_back(TraceView{span.trace_id, {}});
+    }
+    traces[it->second].spans.push_back(span);
+  }
+  if (max_traces != 0 && traces.size() > max_traces) {
+    traces.erase(traces.begin(),
+                 traces.end() - static_cast<std::ptrdiff_t>(max_traces));
+  }
+  return traces;
+}
+
+namespace {
+
+std::string lane_name(std::uint16_t queue, std::size_t dispatch_queue) {
+  return queue == dispatch_queue ? std::string("dispatch")
+                                 : "queue" + std::to_string(queue);
+}
+
+/// Deterministic per-span id: distinct from the trace id, stable across
+/// exports of the same ring contents.
+std::uint64_t span_id(const SpanRecord& span) {
+  return mint_trace_id(span.trace_id,
+                       static_cast<std::uint64_t>(span.queue) + 1,
+                       span.sequence + 1);
+}
+
+void append_double(std::ostringstream& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", value);
+  out << buf;
+}
+
+}  // namespace
+
+std::string render_spans_json(const std::vector<TraceView>& traces,
+                              std::string_view tenant,
+                              std::size_t dispatch_queue) {
+  std::ostringstream out;
+  out << "{\"tenant\":\"" << escape_json(std::string(tenant))
+      << "\",\"traces\":[";
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    const TraceView& trace = traces[t];
+    out << (t == 0 ? "" : ",") << "{\"trace_id\":\""
+        << trace_id_hex(trace.trace_id) << "\",\"spans\":[";
+    for (std::size_t s = 0; s < trace.spans.size(); ++s) {
+      const SpanRecord& span = trace.spans[s];
+      out << (s == 0 ? "" : ",") << "{\"stage\":\"" << to_string(span.stage)
+          << "\",\"lane\":\"" << lane_name(span.queue, dispatch_queue)
+          << "\",\"queue\":" << span.queue << ",\"epoch\":" << span.epoch
+          << ",\"detail\":" << static_cast<unsigned>(span.detail)
+          << ",\"start_ns\":";
+      append_double(out, span.start_ns);
+      out << ",\"duration_ns\":";
+      append_double(out, span.duration_ns);
+      out << ",\"sequence\":" << span.sequence << "}";
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string render_spans_otlp(const std::vector<TraceView>& traces,
+                              std::string_view tenant,
+                              std::size_t dispatch_queue) {
+  // ExportTraceServiceRequest in proto3 JSON mapping: 128-bit trace ids are
+  // 32 hex chars (ours occupy the low 64 bits), span ids 16, and the
+  // uint64 nanosecond timestamps are JSON strings.
+  std::ostringstream out;
+  out << "{\"resourceSpans\":[{\"resource\":{\"attributes\":["
+      << "{\"key\":\"service.name\",\"value\":{\"stringValue\":\"opendesc\"}},"
+      << "{\"key\":\"tenant\",\"value\":{\"stringValue\":\""
+      << escape_json(std::string(tenant)) << "\"}}]},"
+      << "\"scopeSpans\":[{\"scope\":{\"name\":\"opendesc.datapath\"},"
+      << "\"spans\":[";
+  bool first = true;
+  for (const TraceView& trace : traces) {
+    std::uint64_t parent = 0;  // last pipeline span's id
+    for (const SpanRecord& span : trace.spans) {
+      const std::uint64_t self = span_id(span);
+      out << (first ? "" : ",") << "{\"traceId\":\"0000000000000000"
+          << trace_id_hex(trace.trace_id) << "\",\"spanId\":\""
+          << trace_id_hex(self) << "\",\"parentSpanId\":\""
+          << (parent == 0 ? std::string() : trace_id_hex(parent))
+          << "\",\"name\":\"" << to_string(span.stage)
+          << "\",\"kind\":1,\"startTimeUnixNano\":\""
+          << static_cast<std::uint64_t>(span.start_ns)
+          << "\",\"endTimeUnixNano\":\""
+          << static_cast<std::uint64_t>(span.start_ns + span.duration_ns)
+          << "\",\"attributes\":["
+          << "{\"key\":\"lane\",\"value\":{\"stringValue\":\""
+          << lane_name(span.queue, dispatch_queue) << "\"}},"
+          << "{\"key\":\"epoch\",\"value\":{\"intValue\":\"" << span.epoch
+          << "\"}},"
+          << "{\"key\":\"detail\",\"value\":{\"intValue\":\""
+          << static_cast<unsigned>(span.detail) << "\"}}]}";
+      first = false;
+      if (!is_child_stage(span.stage)) {
+        parent = self;
+      }
+    }
+  }
+  out << "]}]}]}";
+  return out.str();
+}
+
+std::string render_spans_perfetto(const std::vector<TraceView>& traces,
+                                  std::string_view tenant,
+                                  std::size_t dispatch_queue) {
+  // Chrome trace-event JSON: complete events ("ph":"X") with microsecond
+  // timestamps, one tid per datapath lane, thread_name metadata so the UI
+  // labels lanes instead of numbering them.
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  std::map<std::uint16_t, std::string> lanes;
+  for (const TraceView& trace : traces) {
+    for (const SpanRecord& span : trace.spans) {
+      lanes.emplace(span.queue, lane_name(span.queue, dispatch_queue));
+      out << (first ? "" : ",") << "{\"name\":\"" << to_string(span.stage)
+          << "\",\"cat\":\"opendesc\",\"ph\":\"X\",\"ts\":";
+      append_double(out, span.start_ns / 1000.0);
+      out << ",\"dur\":";
+      append_double(out, span.duration_ns / 1000.0);
+      out << ",\"pid\":1,\"tid\":" << span.queue << ",\"args\":{"
+          << "\"trace_id\":\"" << trace_id_hex(trace.trace_id)
+          << "\",\"tenant\":\"" << escape_json(std::string(tenant))
+          << "\",\"epoch\":" << span.epoch
+          << ",\"detail\":" << static_cast<unsigned>(span.detail) << "}}";
+      first = false;
+    }
+  }
+  for (const auto& [tid, name] : lanes) {
+    out << (first ? "" : ",")
+        << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"args\":{\"name\":\"" << name << "\"}}";
+    first = false;
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace opendesc::telemetry

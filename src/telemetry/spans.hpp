@@ -1,0 +1,269 @@
+// Causal packet tracing: sampled descriptor-lifecycle spans.
+//
+// Counters say *how much*, the trace ring says *what happened*; spans say
+// *which packet, through which path*.  The dispatch thread decides — head
+// based, 1-in-N — at TX post whether a packet is traced, mints a 64-bit
+// trace id (splitmix64 over queue and producer sequence, so a fixed
+// workload seed yields the same ids run after run), and the id rides the
+// packet through the simulator and the hardened loop.  Every stage a
+// sampled descriptor crosses records one span into the recording thread's
+// SpanRing: tx_post → steer → handoff on the dispatch lane, then ring →
+// nic_parse → completion_write → validate → consume on the owning worker
+// lane, with child `softnic` spans per recovered semantic and terminal
+// `quarantine` spans when validation rejects the record.
+//
+// Threading follows the TraceRing/ProfileShard discipline: one writer per
+// ring (the owning datapath thread — the per-queue NicSimulator records
+// into its worker's ring because rx() runs on that worker), snapshot() is
+// wait-free for the writer and never returns a torn span.  Epoch and queue
+// are writer-owned ring state so a layout cutover re-stamps every later
+// span without widening the record call.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace opendesc::telemetry {
+
+/// Lifecycle stages a sampled descriptor can record.  The first eight are
+/// the linear pipeline (superset of the profiler's datapath stages);
+/// `softnic` and `quarantine` are child/terminal kinds that attach to the
+/// preceding pipeline span.
+enum class SpanStage : std::uint8_t {
+  tx_post,           ///< dispatch: descriptor enters the pipeline (instant)
+  steer,             ///< dispatch: RSS classify + queue selection
+  handoff,           ///< dispatch: SPSC push toward the owning worker
+  ring,              ///< worker: rx feed of the frame into the device
+  nic_parse,         ///< device: header parse + semantic compute + serialize
+  completion_write,  ///< device: DMA of the record + completion-ring push
+  validate,          ///< worker: schema/bounds validation of the record
+  consume,           ///< worker: accessor reads of the wanted semantics
+  softnic,           ///< child: one semantic recovered in software (detail: id)
+  quarantine,        ///< terminal: record dead-lettered (detail: verdict)
+};
+
+inline constexpr std::size_t kSpanStageCount = 10;
+
+[[nodiscard]] std::string_view to_string(SpanStage stage) noexcept;
+
+/// Child/terminal kinds parent on the preceding pipeline span instead of
+/// extending the linear chain.
+[[nodiscard]] constexpr bool is_child_stage(SpanStage stage) noexcept {
+  return stage == SpanStage::softnic || stage == SpanStage::quarantine;
+}
+
+/// One reconstructed span (reader-side view of a ring slot).
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  double start_ns = 0.0;     ///< profile_now_ns() wall clock
+  double duration_ns = 0.0;
+  SpanStage stage{};
+  std::uint8_t detail = 0;   ///< stage-specific: semantic id, verdict, ...
+  std::uint16_t queue = 0;   ///< recording lane (== queues for dispatch)
+  std::uint32_t epoch = 0;   ///< layout epoch the span executed under
+  std::uint64_t sequence = 0;  ///< ring-local logical time
+};
+
+/// Sampling cadence guard, mirroring the profiler stride clamp: 0 stays 0
+/// (tracing off); anything else is rounded up to a power of two so the
+/// hot-path decision is one mask test, and clamped to [1, 2^20].
+[[nodiscard]] inline std::uint64_t clamp_trace_sample(std::uint64_t n) noexcept {
+  if (n == 0) {
+    return 0;
+  }
+  const std::uint64_t pow2 = std::bit_ceil(n);
+  return pow2 > (1ULL << 20) ? (1ULL << 20) : pow2;
+}
+
+/// Deterministic trace-id mint: splitmix64 over (seed, queue, producer
+/// sequence).  Never returns 0 — a zero trace id means "unsampled"
+/// everywhere a packet or event carries one.
+[[nodiscard]] constexpr std::uint64_t mint_trace_id(
+    std::uint64_t seed, std::uint64_t queue, std::uint64_t sequence) noexcept {
+  std::uint64_t state = seed ^ (queue * 0x9E3779B97F4A7C15ULL) ^
+                        (sequence * 0xBF58476D1CE4E5B9ULL);
+  const std::uint64_t id = splitmix64(state);
+  return id == 0 ? 1 : id;
+}
+
+/// 16-hex-digit lowercase rendering of a trace id (the form exemplars and
+/// every JSON export use).
+[[nodiscard]] std::string trace_id_hex(std::uint64_t id);
+
+/// Single-writer bounded span ring (the TraceRing protocol widened to a
+/// four-word slot).  When it wraps, the oldest spans are overwritten and
+/// counted as dropped; per-stage totals survive overwrites.
+class SpanRing {
+ public:
+  explicit SpanRing(std::size_t capacity = 2048)
+      : buffer_(std::bit_ceil(capacity == 0 ? std::size_t{1} : capacity)),
+        mask_(buffer_.size() - 1) {}
+
+  SpanRing(SpanRing&& other) noexcept
+      : buffer_(std::move(other.buffer_)),
+        mask_(other.mask_),
+        queue_(other.queue_),
+        epoch_(other.epoch_) {
+    recorded_.store(other.recorded_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    writing_.store(other.writing_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    base_.store(other.base_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    last_trace_.store(other.last_trace_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    for (std::size_t s = 0; s < kSpanStageCount; ++s) {
+      by_stage_[s].store(other.by_stage_[s].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    }
+  }
+  SpanRing(const SpanRing&) = delete;
+  SpanRing& operator=(const SpanRing&) = delete;
+
+  /// Lane index stamped on every span (writer-thread state; set once at
+  /// wiring time, before the writer starts).
+  void set_queue(std::uint16_t queue) noexcept { queue_ = queue; }
+  [[nodiscard]] std::uint16_t queue() const noexcept { return queue_; }
+
+  /// Layout epoch stamped on every later span.  Writer-thread only — the
+  /// worker calls this at cutover, the same thread that records.
+  void set_epoch(std::uint32_t epoch) noexcept { epoch_ = epoch; }
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
+
+  /// Appends one span; overwrites (and drop-counts) the oldest when full.
+  /// Single writer only; same publication protocol as TraceRing::record.
+  void record(SpanStage stage, std::uint64_t trace_id, double start_ns,
+              double duration_ns, std::uint8_t detail = 0) noexcept {
+    const std::size_t s = static_cast<std::size_t>(stage);
+    by_stage_[s].store(by_stage_[s].load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+    last_trace_.store(trace_id, std::memory_order_relaxed);
+    const std::uint64_t index = recorded_.load(std::memory_order_relaxed);
+    writing_.store(index + 1, std::memory_order_relaxed);
+    Slot& slot = buffer_[static_cast<std::size_t>(index) & mask_];
+    slot.trace.store(trace_id, std::memory_order_release);
+    slot.start.store(std::bit_cast<std::uint64_t>(start_ns),
+                     std::memory_order_release);
+    slot.duration.store(std::bit_cast<std::uint64_t>(duration_ns),
+                        std::memory_order_release);
+    slot.meta.store(pack_meta(stage, detail, queue_, epoch_),
+                    std::memory_order_release);
+    recorded_.store(index + 1, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return buffer_.size(); }
+  /// Spans currently retained (<= capacity).
+  [[nodiscard]] std::size_t size() const noexcept {
+    const std::uint64_t since = recorded();
+    return static_cast<std::size_t>(
+        since < buffer_.size() ? since : buffer_.size());
+  }
+  /// Total record() calls since construction or the last clear().
+  [[nodiscard]] std::uint64_t recorded() const noexcept {
+    return recorded_.load(std::memory_order_acquire) -
+           base_.load(std::memory_order_acquire);
+  }
+  /// Spans overwritten by ring wrap (recorded - retained).
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return recorded() - size();
+  }
+  /// Per-stage totals, counted even for spans later overwritten.
+  [[nodiscard]] std::uint64_t count(SpanStage stage) const noexcept {
+    return by_stage_[static_cast<std::size_t>(stage)].load(
+        std::memory_order_relaxed);
+  }
+  /// The most recently recorded trace id (0 before any span) — what alert
+  /// flight captures stamp when they fire without a specific packet.
+  [[nodiscard]] std::uint64_t last_trace_id() const noexcept {
+    return last_trace_.load(std::memory_order_relaxed);
+  }
+
+  /// Retained spans, oldest first.  Safe against a concurrently recording
+  /// writer: spans the writer overwrote mid-copy are discarded, never
+  /// returned torn.
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+
+  /// Retained spans with ring sequence >= `since`, oldest first (the
+  /// incremental window /spans?follow streams).
+  [[nodiscard]] std::vector<SpanRecord> since(std::uint64_t sequence) const;
+
+  /// Forgets retained spans and per-stage totals by advancing the epoch
+  /// base (storage is not zeroed).  Writer-quiesced operation.
+  void clear() noexcept {
+    base_.store(recorded_.load(std::memory_order_relaxed),
+                std::memory_order_release);
+    for (std::size_t s = 0; s < kSpanStageCount; ++s) {
+      by_stage_[s].store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  /// One span packed into four atomic words; the slot's ring index doubles
+  /// as the span sequence, so it is not stored.
+  struct Slot {
+    std::atomic<std::uint64_t> trace{0};
+    std::atomic<std::uint64_t> start{0};     ///< bit_cast double
+    std::atomic<std::uint64_t> duration{0};  ///< bit_cast double
+    std::atomic<std::uint64_t> meta{0};      ///< stage|detail|queue|epoch
+  };
+
+  [[nodiscard]] static std::uint64_t pack_meta(SpanStage stage,
+                                               std::uint8_t detail,
+                                               std::uint16_t queue,
+                                               std::uint32_t epoch) noexcept {
+    return static_cast<std::uint64_t>(static_cast<std::uint8_t>(stage)) |
+           (static_cast<std::uint64_t>(detail) << 8) |
+           (static_cast<std::uint64_t>(queue) << 16) |
+           (static_cast<std::uint64_t>(epoch) << 32);
+  }
+
+  std::vector<Slot> buffer_;
+  std::size_t mask_;
+  std::uint16_t queue_ = 0;
+  std::uint32_t epoch_ = 0;
+  std::atomic<std::uint64_t> recorded_{0};  ///< completed-write cursor
+  std::atomic<std::uint64_t> writing_{0};   ///< started-write cursor
+  std::atomic<std::uint64_t> base_{0};      ///< clear() epoch watermark
+  std::atomic<std::uint64_t> last_trace_{0};
+  std::array<std::atomic<std::uint64_t>, kSpanStageCount> by_stage_{};
+};
+
+/// One reconstructed trace: every retained span that shares a trace id,
+/// ordered by start time (ties broken by stage order, which follows the
+/// pipeline).
+struct TraceView {
+  std::uint64_t trace_id = 0;
+  std::vector<SpanRecord> spans;
+};
+
+/// Groups a mixed span dump into traces ordered by first-span start time.
+/// `max_traces` keeps only the newest N when nonzero.
+[[nodiscard]] std::vector<TraceView> group_traces(std::vector<SpanRecord> spans,
+                                                  std::size_t max_traces = 0);
+
+// --- Renderers --------------------------------------------------------------
+// `dispatch_queue` is the lane index that means "dispatch" (the sink's
+// worker-queue count); every format labels it instead of numbering it.
+
+/// Native JSON: traces with per-span stage/lane/epoch/detail/timing.
+[[nodiscard]] std::string render_spans_json(const std::vector<TraceView>& traces,
+                                            std::string_view tenant,
+                                            std::size_t dispatch_queue);
+/// OTLP/JSON ExportTraceServiceRequest — an OpenTelemetry collector's
+/// `/v1/traces` endpoint ingests the body unmodified.
+[[nodiscard]] std::string render_spans_otlp(const std::vector<TraceView>& traces,
+                                            std::string_view tenant,
+                                            std::size_t dispatch_queue);
+/// Chrome/Perfetto trace-event JSON for drag-and-drop into a trace UI.
+[[nodiscard]] std::string render_spans_perfetto(
+    const std::vector<TraceView>& traces, std::string_view tenant,
+    std::size_t dispatch_queue);
+
+}  // namespace opendesc::telemetry

@@ -505,6 +505,168 @@ TEST(Sse, TimeseriesFollowTailsSamplerTicks) {
   server.stop();
 }
 
+// --- HttpClient framing & reconnection ---------------------------------------
+
+/// Minimal scripted origin: accepts connections, reads a request head, then
+/// plays back pre-canned wire segments (with optional pauses between them)
+/// and closes.  Lets the tests exercise client-side framing paths the real
+/// server never produces — EOF-delimited bodies and torn chunk trailers.
+class ScriptedOrigin {
+ public:
+  explicit ScriptedOrigin(std::vector<std::pair<std::string, int>> script)
+      : script_(std::move(script)) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    EXPECT_EQ(::listen(fd_, 1), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { serve(); });
+  }
+  ~ScriptedOrigin() {
+    stop_.store(true);
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    thread_.join();
+  }
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  void serve() {
+    while (!stop_.load()) {
+      const int conn = ::accept(fd_, nullptr, nullptr);
+      if (conn < 0) {
+        return;  // listener closed by the destructor
+      }
+      // Read the request head; the scripts never need the bytes.
+      std::string head;
+      char buf[2048];
+      while (head.find("\r\n\r\n") == std::string::npos) {
+        const ssize_t n = ::recv(conn, buf, sizeof(buf), 0);
+        if (n <= 0) {
+          break;
+        }
+        head.append(buf, static_cast<std::size_t>(n));
+      }
+      for (const auto& [bytes, pause_ms] : script_) {
+        if (pause_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(pause_ms));
+        }
+        (void)::send(conn, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+      }
+      ::close(conn);  // every scripted exchange ends in a server close
+    }
+  }
+
+  std::vector<std::pair<std::string, int>> script_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+TEST(HttpClientFraming, ReconnectsOnceWhenTheServerClosesBetweenRequests) {
+  ServerConfig config;
+  config.max_keepalive_requests = 1;  // every response carries Connection: close
+  http::HttpServer server(config, echo_router());
+  server.start();
+  HttpClient client("127.0.0.1", server.port());
+  EXPECT_EQ(client.get("/echo").status, 200);
+  // The server closed after the first exchange; the second request must
+  // transparently re-establish the connection exactly once and succeed.
+  EXPECT_EQ(client.get("/echo").status, 200);
+  EXPECT_EQ(client.reconnects(), 1u);
+  EXPECT_EQ(client.requests(), 2u);
+  server.stop();
+}
+
+TEST(HttpClientFraming, EofDelimitedBodyIsFramedByTheClose) {
+  // No Content-Length, not chunked: the body runs to connection close.
+  ScriptedOrigin origin({{"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n"
+                          "Connection: close\r\n\r\nhello ",
+                          0},
+                         {"eof world", 20}});
+  HttpClient client("127.0.0.1", origin.port());
+  const Response got = client.get("/anything");
+  EXPECT_EQ(got.status, 200);
+  EXPECT_EQ(got.body, "hello eof world");
+  EXPECT_FALSE(client.connected()) << "close-framed response ends the socket";
+}
+
+TEST(HttpClientFraming, TornChunkedTrailerReassembles) {
+  // The terminal "0\r\n\r\n" arrives split across three writes with pauses;
+  // the client must keep reading rather than surface a truncated body.
+  ScriptedOrigin origin({{"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n"
+                          "Transfer-Encoding: chunked\r\n\r\n",
+                          0},
+                         {"5\r\nhello\r\n", 10},
+                         {"6\r\n world\r\n0", 20},
+                         {"\r\n", 20},
+                         {"\r\n", 20}});
+  HttpClient client("127.0.0.1", origin.port());
+  const Response got = client.get("/anything");
+  EXPECT_EQ(got.status, 200);
+  EXPECT_EQ(got.body, "hello world");
+}
+
+// --- /spans?follow over a live socket ----------------------------------------
+
+TEST(Sse, SpansFollowStreamsRetainedSpansAndSurvivesClientTeardown) {
+  telemetry::Sink sink({.queues = 1, .trace_capacity = 16});
+  // Pre-populate the worker ring: the follower's watermark starts at zero,
+  // so retained history is replayed into the first spans event.
+  sink.span_ring(0).record(telemetry::SpanStage::ring, 0xABCD, 100.0, 10.0);
+  sink.span_ring(0).record(telemetry::SpanStage::validate, 0xABCD, 120.0, 5.0);
+  telemetry::ObservabilityServer server(sink);
+  server.start();
+  {
+    SseClient client("127.0.0.1", server.port(), "/spans?follow");
+    EXPECT_EQ(client.content_type().rfind("text/event-stream", 0), 0u);
+    const std::optional<SseEvent> hello = client.next(2000);
+    ASSERT_TRUE(hello.has_value());
+    EXPECT_EQ(hello->event, "hello");
+    EXPECT_NE(hello->data.find("\"stream\":\"spans\""), std::string::npos);
+    const std::optional<SseEvent> spans = client.next(2000);
+    ASSERT_TRUE(spans.has_value());
+    EXPECT_EQ(spans->event, "spans");
+    EXPECT_NE(spans->data.find("000000000000abcd"), std::string::npos);
+    EXPECT_FALSE(client.ended());
+    // Scope exit tears the client down mid-stream (abrupt close).
+  }
+  // The server must shrug off the dropped follower and keep serving.
+  const Response after =
+      http::http_get("127.0.0.1", server.port(), "/spans?limit=1");
+  EXPECT_EQ(after.status, 200);
+  server.stop();
+}
+
+TEST(Sse, EndedDistinguishesServerEndFromTimeout) {
+  telemetry::Sink sink({.queues = 1, .trace_capacity = 16});
+  sink.span_ring(0).record(telemetry::SpanStage::consume, 0x77, 10.0, 1.0);
+  telemetry::ObservabilityServer server(sink);
+  server.start();
+
+  // count=1 ends the stream after one spans event: nullopt with ended().
+  SseClient finite("127.0.0.1", server.port(), "/spans?follow&count=1");
+  ASSERT_TRUE(finite.next(2000).has_value());  // hello
+  ASSERT_TRUE(finite.next(2000).has_value());  // the replayed spans event
+  EXPECT_FALSE(finite.next(2000).has_value());
+  EXPECT_TRUE(finite.ended()) << "count=1 must end the stream server-side";
+
+  // An open stream with nothing new is a timeout: nullopt without ended().
+  SseClient open("127.0.0.1", server.port(), "/spans?follow");
+  ASSERT_TRUE(open.next(2000).has_value());  // hello
+  ASSERT_TRUE(open.next(2000).has_value());  // replayed history
+  EXPECT_FALSE(open.next(200).has_value());
+  EXPECT_FALSE(open.ended()) << "a quiet stream is a timeout, not an end";
+  server.stop();
+}
+
 // --- POST /layout ------------------------------------------------------------
 
 TEST(PostLayout, AuthMatrixSocketFree) {

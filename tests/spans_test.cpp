@@ -1,0 +1,490 @@
+// Causal-tracing suite: the SpanRing single-writer protocol (wrap, drop
+// accounting, incremental windows, torn-read safety under a concurrent
+// writer), trace-id minting and sampling clamps, trace grouping and the
+// three renderers, then the system end to end — a sampled engine run must
+// reconstruct a packet's full lifecycle as one causally ordered trace,
+// histogram exemplars must resolve to retained spans, and the /spans +
+// /buildinfo routes (with the server's self-instrumentation) must serve it
+// all over a real socket.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/buildinfo.hpp"
+#include "core/compiler.hpp"
+#include "engine/engine.hpp"
+#include "http/server.hpp"
+#include "net/workload.hpp"
+#include "nic/model.hpp"
+#include "telemetry/exporter.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/server.hpp"
+#include "telemetry/sink.hpp"
+#include "telemetry/spans.hpp"
+
+namespace opendesc {
+namespace {
+
+using telemetry::clamp_trace_sample;
+using telemetry::group_traces;
+using telemetry::mint_trace_id;
+using telemetry::Sink;
+using telemetry::SpanRecord;
+using telemetry::SpanRing;
+using telemetry::SpanStage;
+using telemetry::trace_id_hex;
+using telemetry::TraceView;
+
+// --- sampling + identity ----------------------------------------------------
+
+TEST(SpanSampling, ClampKeepsZeroRoundsToPowerOfTwoAndCaps) {
+  EXPECT_EQ(clamp_trace_sample(0), 0u);  // 0 = tracing off, stays off
+  EXPECT_EQ(clamp_trace_sample(1), 1u);
+  EXPECT_EQ(clamp_trace_sample(3), 4u);
+  EXPECT_EQ(clamp_trace_sample(64), 64u);
+  EXPECT_EQ(clamp_trace_sample(65), 128u);
+  EXPECT_EQ(clamp_trace_sample(1ULL << 40), 1ULL << 20);
+}
+
+TEST(SpanSampling, MintIsDeterministicDistinctAndNeverZero) {
+  EXPECT_EQ(mint_trace_id(7, 2, 100), mint_trace_id(7, 2, 100));
+  EXPECT_NE(mint_trace_id(7, 2, 100), mint_trace_id(7, 3, 100));
+  EXPECT_NE(mint_trace_id(7, 2, 100), mint_trace_id(7, 2, 101));
+  EXPECT_NE(mint_trace_id(8, 2, 100), mint_trace_id(7, 2, 100));
+  for (std::uint64_t seq = 0; seq < 4096; ++seq) {
+    ASSERT_NE(mint_trace_id(0, 0, seq), 0u);
+  }
+}
+
+TEST(SpanSampling, TraceIdHexIsSixteenLowercaseDigits) {
+  EXPECT_EQ(trace_id_hex(0), "0000000000000000");
+  EXPECT_EQ(trace_id_hex(0xDEADBEEFULL), "00000000deadbeef");
+  EXPECT_EQ(trace_id_hex(0xFFFFFFFFFFFFFFFFULL), "ffffffffffffffff");
+  const std::string hex = trace_id_hex(mint_trace_id(1, 0, 0));
+  EXPECT_EQ(hex.size(), 16u);
+  EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+// --- SpanRing protocol ------------------------------------------------------
+
+TEST(SpanRingTest, RecordsStampLaneEpochAndSequence) {
+  SpanRing ring(8);
+  ring.set_queue(3);
+  ring.set_epoch(5);
+  ring.record(SpanStage::ring, 0xAB, 100.0, 10.0);
+  ring.set_epoch(6);  // cutover: later spans carry the new epoch
+  ring.record(SpanStage::validate, 0xAB, 120.0, 5.0, /*detail=*/2);
+
+  const std::vector<SpanRecord> spans = ring.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].stage, SpanStage::ring);
+  EXPECT_EQ(spans[0].queue, 3u);
+  EXPECT_EQ(spans[0].epoch, 5u);
+  EXPECT_EQ(spans[0].sequence, 0u);
+  EXPECT_DOUBLE_EQ(spans[0].start_ns, 100.0);
+  EXPECT_DOUBLE_EQ(spans[0].duration_ns, 10.0);
+  EXPECT_EQ(spans[1].stage, SpanStage::validate);
+  EXPECT_EQ(spans[1].epoch, 6u);
+  EXPECT_EQ(spans[1].detail, 2u);
+  EXPECT_EQ(spans[1].sequence, 1u);
+  EXPECT_EQ(ring.last_trace_id(), 0xABu);
+  EXPECT_EQ(ring.count(SpanStage::ring), 1u);
+  EXPECT_EQ(ring.count(SpanStage::validate), 1u);
+}
+
+TEST(SpanRingTest, WrapKeepsNewestAndCountsDropped) {
+  SpanRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ring.record(SpanStage::consume, i + 1, static_cast<double>(i), 1.0);
+  }
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.recorded(), 10u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  EXPECT_EQ(ring.count(SpanStage::consume), 10u);  // survives overwrites
+  const std::vector<SpanRecord> spans = ring.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].trace_id, 7 + i);  // newest four, oldest first
+    EXPECT_EQ(spans[i].sequence, 6 + i);
+  }
+}
+
+TEST(SpanRingTest, SinceReturnsTheIncrementalWindow) {
+  SpanRing ring(8);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ring.record(SpanStage::steer, i + 1, static_cast<double>(i), 0.0);
+  }
+  const std::vector<SpanRecord> tail = ring.since(3);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].sequence, 3u);
+  EXPECT_EQ(tail[1].sequence, 4u);
+  EXPECT_TRUE(ring.since(5).empty());
+  EXPECT_EQ(ring.since(0).size(), ring.snapshot().size());
+
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_EQ(ring.count(SpanStage::steer), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+TEST(SpanRingTest, ConcurrentSnapshotNeverReturnsTornSpans) {
+  // Writer publishes spans whose fields are all derived from the sequence;
+  // a torn read mixes fields from two slots and breaks the relation.
+  SpanRing ring(64);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ring.record(SpanStage::nic_parse, i + 1, static_cast<double>(i) * 2.0,
+                  static_cast<double>(i) + 0.5);
+      ++i;
+    }
+  });
+  for (int round = 0; round < 2000; ++round) {
+    for (const SpanRecord& span : ring.snapshot()) {
+      const std::uint64_t i = span.trace_id - 1;
+      ASSERT_EQ(span.stage, SpanStage::nic_parse);
+      ASSERT_DOUBLE_EQ(span.start_ns, static_cast<double>(i) * 2.0);
+      ASSERT_DOUBLE_EQ(span.duration_ns, static_cast<double>(i) + 0.5);
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+// --- grouping + renderers ---------------------------------------------------
+
+std::vector<SpanRecord> make_trace(std::uint64_t id, double base_ns) {
+  std::vector<SpanRecord> spans;
+  const SpanStage stages[] = {SpanStage::tx_post, SpanStage::steer,
+                              SpanStage::validate, SpanStage::consume};
+  for (std::size_t i = 0; i < 4; ++i) {
+    SpanRecord span;
+    span.trace_id = id;
+    span.stage = stages[i];
+    span.start_ns = base_ns + static_cast<double>(i) * 10.0;
+    span.duration_ns = 5.0;
+    span.queue = i < 2 ? 2 : 0;  // dispatch lane for queues()==2 sinks
+    spans.push_back(span);
+  }
+  return spans;
+}
+
+TEST(SpanGrouping, GroupsByTraceOrdersByStartAndSkipsUnsampled) {
+  std::vector<SpanRecord> mixed;
+  for (const auto& [id, base] : {std::pair<std::uint64_t, double>{11, 100.0},
+                                 {22, 50.0},
+                                 {0, 10.0}}) {  // id 0 = unsampled, dropped
+    for (SpanRecord span : make_trace(id, base)) {
+      mixed.push_back(span);
+    }
+  }
+  std::reverse(mixed.begin(), mixed.end());  // arrival order is no order
+
+  const std::vector<TraceView> traces = group_traces(mixed);
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].trace_id, 22u);  // earliest first span first
+  EXPECT_EQ(traces[1].trace_id, 11u);
+  for (const TraceView& trace : traces) {
+    ASSERT_EQ(trace.spans.size(), 4u);
+    for (std::size_t i = 1; i < trace.spans.size(); ++i) {
+      EXPECT_LE(trace.spans[i - 1].start_ns, trace.spans[i].start_ns);
+    }
+  }
+
+  // max_traces keeps the *newest* N.
+  const std::vector<TraceView> capped = group_traces(mixed, 1);
+  ASSERT_EQ(capped.size(), 1u);
+  EXPECT_EQ(capped[0].trace_id, 11u);
+}
+
+TEST(SpanRenderers, JsonShapeCarriesLanesAndStages) {
+  const std::vector<TraceView> traces = group_traces(make_trace(0xBEEF, 10.0));
+  const std::string json =
+      telemetry::render_spans_json(traces, "tenant-a", /*dispatch_queue=*/2);
+  EXPECT_NE(json.find("\"tenant\":\"tenant-a\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\"000000000000beef\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage\":\"tx_post\""), std::string::npos);
+  EXPECT_NE(json.find("\"lane\":\"dispatch\""), std::string::npos);
+  EXPECT_NE(json.find("\"lane\":\"queue0\""), std::string::npos);
+  EXPECT_NE(json.find("\"duration_ns\":5"), std::string::npos);
+}
+
+TEST(SpanRenderers, OtlpShapeIsAnExportTraceServiceRequest) {
+  const std::vector<TraceView> traces = group_traces(make_trace(0xBEEF, 10.0));
+  const std::string otlp =
+      telemetry::render_spans_otlp(traces, "tenant-a", 2);
+  EXPECT_NE(otlp.find("\"resourceSpans\""), std::string::npos);
+  EXPECT_NE(otlp.find("\"scopeSpans\""), std::string::npos);
+  EXPECT_NE(otlp.find("\"service.name\""), std::string::npos);
+  // 128-bit traceId: 16 zero digits then the 64-bit id.
+  EXPECT_NE(otlp.find("\"traceId\":\"0000000000000000000000000000beef\""),
+            std::string::npos);
+  // The linear pipeline parents each span on its predecessor.
+  EXPECT_NE(otlp.find("\"parentSpanId\":\"\""), std::string::npos);
+  std::size_t parented = 0;
+  for (std::size_t at = otlp.find("\"parentSpanId\":\"");
+       at != std::string::npos;
+       at = otlp.find("\"parentSpanId\":\"", at + 1)) {
+    if (otlp[at + 16] != '"') {  // value begins after the 16-char key prefix
+      ++parented;  // non-empty parent
+    }
+  }
+  EXPECT_EQ(parented, 3u);  // 4-span chain: all but the root have parents
+}
+
+TEST(SpanRenderers, PerfettoShapeIsTraceEventJson) {
+  const std::vector<TraceView> traces = group_traces(make_trace(0xBEEF, 10.0));
+  const std::string perfetto =
+      telemetry::render_spans_perfetto(traces, "tenant-a", 2);
+  EXPECT_NE(perfetto.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(perfetto.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(perfetto.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(perfetto.find("\"dispatch\""), std::string::npos);
+}
+
+// --- flight integration -----------------------------------------------------
+
+TEST(SpanFlight, IncidentJsonCarriesTheTraceId) {
+  telemetry::FlightRecorder recorder(4, 4);
+  telemetry::FlightIncident incident;
+  incident.cause = telemetry::FlightCause::record_quarantined;
+  incident.trace_id = 0xFACE;
+  recorder.record(std::move(incident));
+  const std::string json = recorder.to_json();
+  EXPECT_NE(json.find("\"trace_id\":\"000000000000face\""), std::string::npos);
+}
+
+// --- end to end through the engine ------------------------------------------
+
+constexpr const char* kIntent = R"P4(
+header spans_intent_t {
+    @semantic("rss")        bit<32> hash;
+    @semantic("l4_csum_ok") bit<1>  ok;
+    @semantic("pkt_len")    bit<16> len;
+}
+)P4";
+
+struct EngineFixture {
+  softnic::SemanticRegistry registry;
+  softnic::CostTable costs{registry};
+  softnic::ComputeEngine compute{registry};
+  core::CompileResult result;
+  std::vector<net::Packet> trace;
+
+  EngineFixture() {
+    core::Compiler compiler(registry, costs);
+    result = compiler.compile(nic::NicCatalog::by_name("mlx5").p4_source(),
+                              kIntent, {});
+    net::WorkloadConfig config;
+    config.seed = 3;
+    config.flow_count = 64;
+    config.udp_fraction = 0.5;
+    net::WorkloadGenerator gen(config);
+    trace = gen.batch(4000);
+  }
+
+  engine::EngineReport run(Sink& sink, std::size_t sample) const {
+    const engine::EngineConfig config = rt::EngineConfig{}
+                                            .with_queues(2)
+                                            .with_telemetry(&sink)
+                                            .with_trace_sample(sample);
+    engine::MultiQueueEngine eng(result, compute, config);
+    return eng.run(trace);
+  }
+};
+
+std::vector<SpanRecord> collect_spans(Sink& sink) {
+  std::vector<SpanRecord> all;
+  for (const SpanRing& ring : sink.span_rings()) {
+    const std::vector<SpanRecord> part = ring.snapshot();
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  return all;
+}
+
+bool has_causal_chain(const TraceView& trace) {
+  const SpanStage core[] = {SpanStage::tx_post,  SpanStage::steer,
+                            SpanStage::handoff,  SpanStage::ring,
+                            SpanStage::validate, SpanStage::consume};
+  double last = 0.0;
+  for (const SpanStage stage : core) {
+    const auto it = std::find_if(
+        trace.spans.begin(), trace.spans.end(),
+        [stage](const SpanRecord& s) { return s.stage == stage; });
+    if (it == trace.spans.end() || it->start_ns + 1e-9 < last) {
+      return false;
+    }
+    last = it->start_ns;
+  }
+  return true;
+}
+
+TEST(SpanEndToEnd, SampledRunReconstructsCausalLifecycles) {
+  const EngineFixture fx;
+  Sink sink({.queues = 2});
+  const engine::EngineReport report = fx.run(sink, 16);
+  ASSERT_EQ(report.total.packets, fx.trace.size());
+
+  const std::vector<TraceView> traces = group_traces(collect_spans(sink));
+  ASSERT_FALSE(traces.empty());
+  // 1-in-16 over 4000 packets: every sampled packet must reconstruct.
+  EXPECT_GE(traces.size(), 200u);
+  std::size_t complete = 0;
+  for (const TraceView& trace : traces) {
+    EXPECT_GE(trace.spans.size(), 6u);
+    if (has_causal_chain(trace)) {
+      ++complete;
+    }
+  }
+  EXPECT_EQ(complete, traces.size());
+}
+
+TEST(SpanEndToEnd, TraceIdsAreDeterministicAcrossRuns) {
+  const EngineFixture fx;
+  std::set<std::uint64_t> first, second;
+  {
+    Sink sink({.queues = 2});
+    (void)fx.run(sink, 16);
+    for (const SpanRecord& span : collect_spans(sink)) {
+      first.insert(span.trace_id);
+    }
+  }
+  {
+    Sink sink({.queues = 2});
+    (void)fx.run(sink, 16);
+    for (const SpanRecord& span : collect_spans(sink)) {
+      second.insert(span.trace_id);
+    }
+  }
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);  // same seed, same workload → same ids
+}
+
+TEST(SpanEndToEnd, UntracedRunRecordsNothing) {
+  const EngineFixture fx;
+  Sink sink({.queues = 2});
+  (void)fx.run(sink, 0);
+  EXPECT_TRUE(collect_spans(sink).empty());
+  for (const SpanRing& ring : sink.span_rings()) {
+    EXPECT_EQ(ring.recorded(), 0u);
+  }
+}
+
+TEST(SpanEndToEnd, HistogramExemplarsResolveToRetainedSpans) {
+  const EngineFixture fx;
+  Sink sink({.queues = 2});
+  (void)fx.run(sink, 16);
+
+  std::set<std::uint64_t> span_ids;
+  for (const SpanRecord& span : collect_spans(sink)) {
+    span_ids.insert(span.trace_id);
+  }
+  ASSERT_FALSE(span_ids.empty());
+
+  const std::string scrape = telemetry::to_prometheus(sink.registry());
+  std::size_t exemplars = 0;
+  const std::string marker = "# {trace_id=\"";
+  for (std::size_t at = scrape.find(marker); at != std::string::npos;
+       at = scrape.find(marker, at + 1)) {
+    const std::string hex = scrape.substr(at + marker.size(), 16);
+    std::uint64_t id = 0;
+    for (const char c : hex) {
+      id = id * 16 + (c <= '9' ? c - '0' : c - 'a' + 10);
+    }
+    EXPECT_TRUE(span_ids.count(id)) << "exemplar " << hex
+                                    << " does not resolve to a span";
+    ++exemplars;
+  }
+  EXPECT_GT(exemplars, 0u);
+}
+
+// --- /spans, /buildinfo and server self-instrumentation ---------------------
+
+TEST(SpanHttp, SpansRouteServesAllFormatsAndValidates) {
+  const EngineFixture fx;
+  Sink sink({.queues = 2});
+  (void)fx.run(sink, 16);
+  telemetry::ObservabilityServer server(sink);
+  server.set_tenant("tenant-b");
+  server.start();
+  const auto get = [&](const std::string& path) {
+    return http::http_get("127.0.0.1", server.port(), path);
+  };
+
+  const http::Response json = get("/spans");
+  EXPECT_EQ(json.status, 200);
+  EXPECT_NE(json.body.find("\"tenant\":\"tenant-b\""), std::string::npos);
+  EXPECT_NE(json.body.find("\"traces\":["), std::string::npos);
+  EXPECT_NE(json.body.find("\"stage\":\"consume\""), std::string::npos);
+
+  EXPECT_NE(get("/spans?format=otlp").body.find("\"resourceSpans\""),
+            std::string::npos);
+  EXPECT_NE(get("/spans?format=perfetto").body.find("\"traceEvents\""),
+            std::string::npos);
+  EXPECT_EQ(get("/spans?format=xml").status, 400);
+  EXPECT_EQ(get("/spans?follow&format=otlp").status, 400);
+  EXPECT_EQ(get("/spans?limit=bogus").status, 400);
+
+  // ?limit=1 keeps exactly the newest trace.
+  const http::Response limited = get("/spans?limit=1");
+  std::size_t trace_count = 0;
+  for (std::size_t at = limited.body.find("\"trace_id\"");
+       at != std::string::npos;
+       at = limited.body.find("\"trace_id\"", at + 1)) {
+    ++trace_count;
+  }
+  EXPECT_EQ(trace_count, 1u);
+  server.stop();
+}
+
+TEST(SpanHttp, BuildinfoRouteReportsTheBakedConfiguration) {
+  Sink sink({.queues = 1});
+  telemetry::ObservabilityServer server(sink);
+  server.start();
+  const http::Response got =
+      http::http_get("127.0.0.1", server.port(), "/buildinfo");
+  EXPECT_EQ(got.status, 200);
+  for (const char* key : {"\"version\"", "\"git_sha\"", "\"git_dirty\"",
+                          "\"compiler\"", "\"build_type\"", "\"sanitizer\"",
+                          "\"cxx_standard\""}) {
+    EXPECT_NE(got.body.find(key), std::string::npos) << key;
+  }
+  // The in-process view matches what the route serves.
+  EXPECT_EQ(got.body, build_info_json());
+  EXPECT_NE(build_info().compiler[0], '\0');
+  server.stop();
+}
+
+TEST(SpanHttp, ServerSelfInstrumentationCountsRequests) {
+  Sink sink({.queues = 1});
+  telemetry::ObservabilityServer server(sink);
+  server.start();
+  const auto get = [&](const std::string& path) {
+    return http::http_get("127.0.0.1", server.port(), path);
+  };
+  (void)get("/healthz");
+  (void)get("/no-such-route");  // high-cardinality scan folds to "other"
+  const http::Response scrape = get("/metrics");
+  ASSERT_EQ(scrape.status, 200);
+  EXPECT_NE(scrape.body.find("# TYPE opendesc_http_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(scrape.body.find("route=\"/healthz\""), std::string::npos);
+  EXPECT_NE(scrape.body.find("route=\"other\""), std::string::npos);
+  EXPECT_EQ(scrape.body.find("no-such-route"), std::string::npos);
+  EXPECT_NE(scrape.body.find("opendesc_http_connections"), std::string::npos);
+  EXPECT_NE(
+      scrape.body.find("# TYPE opendesc_http_request_duration_ns histogram"),
+      std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace opendesc

@@ -195,6 +195,29 @@ TEST(TelemetryRegistry, LabelsNormalizeSorted) {
   EXPECT_EQ(canonical_labels(sorted), "a=\"2\",z=\"1\"");
 }
 
+TEST(TelemetryRegistry, HostileLabelValuesNeverCollideSeries) {
+  // canonical_labels() is the Registry's series key, so an unescaped value
+  // could forge another label set's key and alias two distinct series.
+  // These two label sets render identically without escaping.
+  const Labels forged = {{"tenant", "a\",x=\"b"}};
+  const Labels plain = {{"tenant", "a"}, {"x", "b"}};
+  EXPECT_NE(canonical_labels(normalize_labels(forged)),
+            canonical_labels(normalize_labels(plain)));
+
+  Registry reg;
+  Counter& first = reg.counter("collide_total", "collision probe", forged);
+  Counter& second = reg.counter("collide_total", "collision probe", plain);
+  EXPECT_NE(&first, &second);
+  first.add(1);
+  second.add(41);
+  EXPECT_EQ(first.value(), 1u);
+  EXPECT_EQ(second.value(), 41u);
+  // Both series survive as separate rows in the exposition.
+  const std::string scrape = to_prometheus(reg);
+  EXPECT_NE(scrape.find("tenant=\"a\\\",x=\\\"b\""), std::string::npos);
+  EXPECT_NE(scrape.find("tenant=\"a\",x=\"b\""), std::string::npos);
+}
+
 // --- trace ring -----------------------------------------------------------
 
 TEST(TelemetryTrace, CapacityRoundsToPowerOfTwo) {

@@ -16,7 +16,7 @@ LOG="$DIR/live_scrape.log"
 mkdir -p "$DIR"
 rm -f "$PORT_FILE"
 "$OPENDESC" serve --nic ice --packets 2000 --queues 4 --fault-rate 0.01 \
-    --fault-seed 7 --guard --flows 1024 --churn 0.01 \
+    --fault-seed 7 --guard --flows 1024 --churn 0.01 --trace-sample 64 \
     --listen 127.0.0.1:0 --port-file "$PORT_FILE" \
     --runs 0 >"$LOG" 2>&1 &
 SERVER_PID=$!
@@ -81,7 +81,10 @@ while :; do
         --probe "$BASE/alerts" --probe "$BASE/timeseries" \
         --probe "$BASE/layout" --probe "$BASE/flows" \
         --probe "$BASE/flows?format=tsv" \
-        --probe "$BASE/profile?seconds=0&format=json"; then
+        --probe "$BASE/profile?seconds=0&format=json" \
+        --probe "$BASE/spans" --probe "$BASE/spans?format=perfetto" \
+        --probe "$BASE/buildinfo" \
+        --spans "$BASE/spans"; then
         exit 0
     fi
     tries=$((tries + 1))

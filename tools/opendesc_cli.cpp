@@ -128,7 +128,7 @@ int usage() {
       "                    [--fault-seed <n>] [--guard]\n"
       "                    [--queues <n>] [--batch <n>] [--swap-every <n>]\n"
       "                    [--flows <n>] [--flow-idle-ms <n>] [--churn <p>]\n"
-      "                    [--tenants <n>]\n"
+      "                    [--tenants <n>] [--trace-sample <n>]\n"
       "                    [--metrics-out <file>] [--flight-out <file>]\n"
       "                    [--listen <host:port>] [--rules <file>]\n"
       "                    [--alerts-out <file>] [--swap-token <secret>]\n"
@@ -143,6 +143,9 @@ int usage() {
       "               [--iterations <n>] [--plain]\n"
       "  opendesc profile --url <http://host:port> [--seconds <n>]\n"
       "                   [--format collapsed|speedscope|json|tsv]\n"
+      "  opendesc spans --url <http://host:port> [--limit <n>]\n"
+      "                 [--format json|otlp|perfetto] [--follow]\n"
+      "                 [--iterations <n>]   (--follow: events before exit)\n"
       "(value flags also accept --flag=value)\n";
   return 2;
 }
@@ -216,6 +219,11 @@ struct Args {
 
   // `profile` options (also reuses --url and --format)
   std::size_t seconds = 1;  ///< capture window (0 = cumulative since start)
+
+  // causal-tracing options
+  std::size_t trace_sample = 0;  ///< head-sample 1-in-N packets (0 = off)
+  bool follow = false;           ///< spans: stream ?follow SSE events
+  std::size_t limit = 0;         ///< spans: newest-N trace cap (0 = all)
 };
 
 // std::sto* throw on malformed input; reject with a message instead of
@@ -373,6 +381,16 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (!v || !parse_num("--iterations", v, [](const char* s) { return std::stoull(s); }, args.iterations))
         return false;
+    } else if (arg == "--trace-sample") {
+      const char* v = next();
+      if (!v || !parse_num("--trace-sample", v, [](const char* s) { return std::stoull(s); }, args.trace_sample))
+        return false;
+    } else if (arg == "--limit") {
+      const char* v = next();
+      if (!v || !parse_num("--limit", v, [](const char* s) { return std::stoull(s); }, args.limit))
+        return false;
+    } else if (arg == "--follow") {
+      args.follow = true;
     } else if (arg == "--plain") {
       args.plain = true;
     } else if (arg == "--guard") {
@@ -637,7 +655,8 @@ int run_tenants(const Args& args, telemetry::Sink* sink, bool print_human) {
                       .with_batch(args.batch)
                       .with_guard(args.guard)
                       .with_flows(args.flows)
-                      .with_flow_idle(args.flow_idle_ms * 1'000'000ull);
+                      .with_flow_idle(args.flow_idle_ms * 1'000'000ull)
+                      .with_trace_sample(args.trace_sample);
     if (i == 0 && args.fault_rate > 0.0) {
       spec.engine.with_fault_rate(args.fault_rate, args.fault_seed);
     }
@@ -764,7 +783,8 @@ int run_simulation(const Args& args, telemetry::Sink* sink, bool print_human) {
             .with_server(args.listen)
             .with_health_rules(health_rules)
             .with_monitor(!args.alerts_out.empty())
-            .with_swap_token(args.swap_token);
+            .with_swap_token(args.swap_token)
+            .with_trace_sample(args.trace_sample);
     rt::MultiQueueEngine mq(result, engine, engine_config);
 
     // --swap-every drives the auto-swap cadence; --swap-token opens the
@@ -1473,6 +1493,69 @@ int cmd_profile(const Args& args) {
   return 0;
 }
 
+// ---- opendesc spans --------------------------------------------------------
+
+/// Causal-trace export against a serving instance.  The default one-shot
+/// form prints /spans verbatim (json | otlp | perfetto); --follow opens the
+/// SSE stream instead and prints each "spans" event's JSON payload as one
+/// line (--iterations bounds how many before exiting).
+int cmd_spans(const Args& args) {
+  const std::string format = args.format.empty() ? "json" : args.format;
+  if (format != "json" && format != "otlp" && format != "perfetto") {
+    std::cerr << "unknown --format '" << format
+              << "' (expected json, otlp or perfetto)\n";
+    return 2;
+  }
+  const auto [host, port] =
+      parse_top_url(args.url.empty() ? "http://127.0.0.1:9464" : args.url);
+  if (args.follow) {
+    if (format != "json") {
+      std::cerr << "--follow only streams the json format\n";
+      return 2;
+    }
+    std::string target = "/spans?follow";
+    if (args.iterations != 0) {
+      target += "&count=" + std::to_string(args.iterations);
+    }
+    http::SseClient stream(host, port, target, 5000);
+    std::uint64_t seen = 0;
+    while (true) {
+      const std::optional<http::SseEvent> event = stream.next(1000);
+      if (!event) {
+        if (stream.ended()) {
+          return 0;  // server closed (e.g. after ?count events)
+        }
+        continue;  // idle tick; keep following until killed
+      }
+      if (event->event != "spans") {
+        continue;  // hello and keep-alive chatter
+      }
+      std::fputs(event->data.c_str(), stdout);
+      std::fputs("\n", stdout);
+      std::fflush(stdout);
+      if (args.iterations != 0 && ++seen >= args.iterations) {
+        return 0;
+      }
+    }
+  }
+  std::string target = "/spans?format=" + format;
+  if (args.limit != 0) {
+    target += "&limit=" + std::to_string(args.limit);
+  }
+  http::HttpClient client(host, port, 5000);
+  const http::Response response = client.get(target);
+  if (response.status != 200) {
+    std::cerr << "opendesc spans: GET /spans answered HTTP " << response.status
+              << "\n";
+    return 1;
+  }
+  std::fputs(response.body.c_str(), stdout);
+  if (!response.body.empty() && response.body.back() != '\n') {
+    std::fputs("\n", stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1507,6 +1590,9 @@ int main(int argc, char** argv) {
     }
     if (args.command == "profile") {
       return cmd_profile(args);
+    }
+    if (args.command == "spans") {
+      return cmd_spans(args);
     }
     return usage();
   } catch (const Error& e) {

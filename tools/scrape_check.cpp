@@ -63,6 +63,7 @@ struct Checker {
   std::set<std::string> helps;
   std::set<std::string> seen_series;
   std::vector<Sample> samples;
+  std::set<std::string> exemplar_trace_ids;  ///< from `# {trace_id="..."}`
 
   void fail(std::size_t line, const std::string& message) {
     errors.push_back("line " + std::to_string(line) + ": " + message);
@@ -295,12 +296,56 @@ void check_line(Checker& chk, const std::string& line, std::size_t lineno) {
     chk.fail(lineno, "expected space before sample value");
     return;
   }
-  const auto value = parse_value(line.substr(pos + 1));
+  // An OpenMetrics exemplar may trail the value: `value # {labels} exvalue`.
+  std::string value_text = line.substr(pos + 1);
+  std::string exemplar_text;
+  if (const std::size_t ex_at = value_text.find(" # "); ex_at != std::string::npos) {
+    exemplar_text = value_text.substr(ex_at + 3);
+    value_text.resize(ex_at);
+  }
+  const auto value = parse_value(value_text);
   if (!value) {
-    chk.fail(lineno, "unparseable sample value '" + line.substr(pos + 1) + "'");
+    chk.fail(lineno, "unparseable sample value '" + value_text + "'");
     return;
   }
   sample.value = *value;
+
+  if (!exemplar_text.empty()) {
+    // Only bucket series carry our exemplars; the label set must hold a
+    // 16-hex trace_id and the exemplar's own value must parse.
+    if (sample.name.size() < 7 ||
+        sample.name.compare(sample.name.size() - 7, 7, "_bucket") != 0) {
+      chk.fail(lineno, "exemplar on non-bucket sample '" + sample.name + "'");
+    } else if (exemplar_text.empty() || exemplar_text[0] != '{') {
+      chk.fail(lineno, "malformed exemplar (expected '{' after '# ')");
+    } else {
+      std::vector<std::pair<std::string, std::string>> ex_labels;
+      std::string error;
+      const auto after = parse_labels(exemplar_text, 0, ex_labels, error);
+      if (!after) {
+        chk.fail(lineno, "malformed exemplar labels: " + error);
+      } else if (*after >= exemplar_text.size() ||
+                 exemplar_text[*after] != ' ' ||
+                 !parse_value(exemplar_text.substr(*after + 1))) {
+        chk.fail(lineno, "unparseable exemplar value after labels");
+      } else {
+        std::string trace_id;
+        for (const auto& [k, v] : ex_labels) {
+          if (k == "trace_id") {
+            trace_id = v;
+          }
+        }
+        if (trace_id.size() != 16 ||
+            trace_id.find_first_not_of("0123456789abcdef") !=
+                std::string::npos) {
+          chk.fail(lineno,
+                   "exemplar trace_id '" + trace_id + "' is not 16 hex chars");
+        } else {
+          chk.exemplar_trace_ids.insert(trace_id);
+        }
+      }
+    }
+  }
 
   // Label keys sorted; the histogram `le` key is appended last by
   // convention and exempt from the ordering check.
@@ -397,7 +442,7 @@ void check_histograms(Checker& chk) {
   }
 }
 
-void check_schema(Checker& chk) {
+void check_schema(Checker& chk, bool live) {
   static const std::pair<const char*, const char*> kRequired[] = {
       {"opendesc_rx_packets_total", "counter"},
       {"opendesc_rx_hw_consumed_total", "counter"},
@@ -410,6 +455,8 @@ void check_schema(Checker& chk) {
       {"opendesc_trace_events_total", "counter"},
       {"opendesc_trace_recorded_total", "counter"},
       {"opendesc_trace_dropped_total", "counter"},
+      {"opendesc_trace_spans_recorded_total", "counter"},
+      {"opendesc_trace_spans_dropped_total", "counter"},
       {"opendesc_engine_queues", "gauge"},
       {"opendesc_profile_stage_ns_total", "counter"},
       {"opendesc_profile_stage_ns_per_packet", "gauge"},
@@ -435,7 +482,14 @@ void check_schema(Checker& chk) {
       {"opendesc_compile_paths_explored", "gauge"},
       {"opendesc_compile_chosen_size_bytes", "gauge"},
   };
-  for (const auto& [name, kind] : kRequired) {
+  // The server's self-instrumentation only exists when a server does, so
+  // these are golden schema for live scrapes, not --metrics-out files.
+  static const std::pair<const char*, const char*> kLiveRequired[] = {
+      {"opendesc_http_requests_total", "counter"},
+      {"opendesc_http_connections", "gauge"},
+      {"opendesc_http_request_duration_ns", "histogram"},
+  };
+  const auto require = [&chk](const char* name, const char* kind) {
     const auto it = chk.types.find(name);
     if (it == chk.types.end()) {
       chk.errors.push_back(std::string("schema: required family '") + name +
@@ -443,6 +497,14 @@ void check_schema(Checker& chk) {
     } else if (it->second != kind) {
       chk.errors.push_back(std::string("schema: '") + name + "' is " +
                            it->second + ", expected " + kind);
+    }
+  };
+  for (const auto& [name, kind] : kRequired) {
+    require(name, kind);
+  }
+  if (live) {
+    for (const auto& [name, kind] : kLiveRequired) {
+      require(name, kind);
     }
   }
 }
@@ -890,6 +952,7 @@ std::string check_profile_body(const std::string& body) {
 
 int main(int argc, char** argv) {
   std::string source;
+  std::string spans_url;
   std::vector<std::string> probes;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -899,6 +962,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       probes.emplace_back(argv[++i]);
+    } else if (arg == "--spans") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "scrape_check: --spans needs a URL\n");
+        return 2;
+      }
+      spans_url = argv[++i];
     } else if (source.empty()) {
       source = arg;
     } else {
@@ -910,7 +979,8 @@ int main(int argc, char** argv) {
   if (source.empty()) {
     std::fprintf(stderr,
                  "usage: scrape_check <scrape.prom | http://host:port/metrics> "
-                 "[--probe http://host:port/path]...\n");
+                 "[--probe http://host:port/path]... "
+                 "[--spans http://host:port/spans]\n");
     return 2;
   }
 
@@ -1039,8 +1109,48 @@ int main(int argc, char** argv) {
     chk.errors.push_back("scrape is empty");
   }
   check_histograms(chk);
-  check_schema(chk);
+  check_schema(chk, is_url(source));
   check_path_invariant(chk);
+
+  // Exemplar resolution: every trace_id a bucket line advertises must name
+  // a trace the /spans endpoint can actually serve — the whole point of an
+  // exemplar is that the operator can follow it.
+  if (!spans_url.empty()) {
+    std::string error;
+    const auto got = http_fetch(spans_url, error);
+    if (!got) {
+      chk.errors.push_back("spans: " + spans_url + ": " + error);
+    } else if (got->status != 200) {
+      chk.errors.push_back("spans: " + spans_url + ": HTTP " +
+                           std::to_string(got->status));
+    } else if (got->body.find("\"traces\":") == std::string::npos) {
+      chk.errors.push_back("spans: body lacks a \"traces\" key");
+    } else if (!chk.exemplar_trace_ids.empty()) {
+      // A cold bucket's exemplar can outlive the span rings' retention
+      // window, so a stale id is a warning; resolution as a mechanism must
+      // still demonstrably work — zero resolved ids is an error.
+      std::size_t resolved = 0;
+      for (const std::string& id : chk.exemplar_trace_ids) {
+        if (got->body.find("\"trace_id\":\"" + id + "\"") !=
+            std::string::npos) {
+          ++resolved;
+        } else {
+          std::fprintf(stderr,
+                       "scrape_check: warning: exemplar trace_id '%s' no "
+                       "longer retained by %s\n",
+                       id.c_str(), spans_url.c_str());
+        }
+      }
+      if (resolved == 0) {
+        chk.errors.push_back("spans: none of " +
+                             std::to_string(chk.exemplar_trace_ids.size()) +
+                             " exemplar trace ids resolve in " + spans_url);
+      } else {
+        std::printf("spans OK: %zu/%zu exemplar trace id(s) resolved\n",
+                    resolved, chk.exemplar_trace_ids.size());
+      }
+    }
+  }
 
   if (!chk.errors.empty() || probe_failed) {
     for (const std::string& error : chk.errors) {
